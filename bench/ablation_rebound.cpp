@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Ablation: how long to wait for Vfinal. The rebound after a task takes
+ * tens of milliseconds (charge redistribution); sampling Vfinal too
+ * early under-reports the rebound, inflating the apparent energy and
+ * deflating the apparent ESR drop. Sweeps the wait before rebound_end.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/common.hpp"
+#include "core/api.hpp"
+#include "harness/ground_truth.hpp"
+#include "harness/profiling.hpp"
+#include "load/library.hpp"
+#include "util/csv.hpp"
+
+using namespace culpeo;
+using namespace culpeo::units;
+using namespace culpeo::units::literals;
+
+int
+main()
+{
+    bench::banner("Rebound-wait policy ablation",
+                  "design ablation (Section V-C rebound tracking)");
+
+    const auto cfg = sim::capybaraConfig();
+    const auto model = core::modelFromConfig(cfg);
+    const double range = (cfg.monitor.vhigh - cfg.monitor.voff).value();
+    const auto profile = load::uniform(50.0_mA, 10.0_ms);
+    const auto truth = harness::findTrueVsafe(cfg, profile);
+
+    auto csv = util::CsvWriter::forBench(
+        "ablation_rebound",
+        {"wait_ms", "vfinal_v", "vdelta_v", "vsafe_v", "error_pct"});
+
+    std::printf("workload: 50 mA / 10 ms pulse, truth Vsafe = %.3f V\n\n",
+                truth.vsafe.value());
+    std::printf("%10s %10s %10s %10s %11s\n", "wait", "Vfinal", "Vdelta",
+                "Vsafe", "err %range");
+    bench::rule(56);
+
+    for (double wait_ms : {2.0, 10.0, 50.0, 150.0, 400.0, 1000.0}) {
+        core::Culpeo culpeo(model,
+                            std::make_unique<core::UArchProfiler>());
+
+        sim::PowerSystem system(cfg);
+        system.setBufferVoltage(cfg.monitor.vhigh);
+        system.forceOutputEnabled(true);
+
+        // Manual Table I sequence with a fixed rebound wait.
+        culpeo.profileStart(system.restingVoltage());
+        harness::RunOptions options;
+        options.dt = harness::chooseDt(profile);
+        options.settle_rebound = false;
+        options.culpeo = &culpeo;
+        const auto run = harness::runTask(system, profile, options);
+        culpeo.profileEnd(1, run.vend_loaded);
+        double waited = 0.0;
+        while (waited < wait_ms * 1e-3) {
+            const auto step = system.step(Seconds(1e-3), Amps(0.0));
+            culpeo.tick(Seconds(1e-3), step.terminal);
+            waited += 1e-3;
+        }
+        culpeo.reboundEnd(1, system.restingVoltage());
+        culpeo.computeVsafe(1);
+
+        const auto stored = culpeo.table().profile(1, 0);
+        const double vsafe = culpeo.getVsafe(1).value();
+        const double err = (vsafe - truth.vsafe.value()) / range * 100.0;
+        std::printf("%7.0f ms %9.3fV %9.3fV %9.3fV %10.1f%%\n", wait_ms,
+                    stored->vfinal.value(),
+                    (stored->vfinal - stored->vmin).value(), vsafe, err);
+        csv.row(wait_ms, stored->vfinal.value(),
+                (stored->vfinal - stored->vmin).value(), vsafe, err);
+    }
+
+    std::printf("\nAn early Vfinal under-reports the rebound (smaller\n"
+                "Vdelta) but over-reports the consumed energy by the\n"
+                "same voltage, so the two terms of Vsafe nearly cancel:\n"
+                "the Culpeo-R closed form is robust to Vfinal timing,\n"
+                "which is why the uArch block can let the scheduler\n"
+                "defer rebound_done indefinitely at no accuracy cost.\n");
+    return 0;
+}

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Shared formatting helpers for the figure/table benchmark binaries.
+ * Each binary prints the rows/series of one paper figure to stdout and,
+ * when CULPEO_BENCH_CSV names a directory, writes the raw data there.
+ */
+
+#ifndef CULPEO_BENCH_COMMON_HPP
+#define CULPEO_BENCH_COMMON_HPP
+
+#include <cstdio>
+#include <string>
+
+namespace culpeo::bench {
+
+/** Print a figure banner. */
+inline void
+banner(const std::string &title, const std::string &paper_ref)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+    std::printf("(reproduces %s)\n\n", paper_ref.c_str());
+}
+
+/** Print a horizontal rule sized to a table width. */
+inline void
+rule(int width)
+{
+    for (int i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+} // namespace culpeo::bench
+
+#endif // CULPEO_BENCH_COMMON_HPP

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Extension experiment (Section V-B): Culpeo-R values depend on the
+ * level of incoming power, so schedulers that monitor charge rate
+ * should re-profile when it changes.
+ *
+ * Scenario: Periodic Sensing profiled under a strong harvest, which
+ * then collapses to a weak one (clouds). Compare phase-2 event capture
+ * with (a) the stale strong-harvest profiles and (b) profiles re-taken
+ * after the ChargeRateMonitor trips.
+ */
+
+#include <cstdio>
+
+#include "apps/apps.hpp"
+#include "bench/common.hpp"
+#include "sched/adaptive.hpp"
+#include "sched/engine.hpp"
+#include "util/csv.hpp"
+
+using namespace culpeo;
+using namespace culpeo::units;
+using namespace culpeo::units::literals;
+
+namespace {
+
+/** PS variant with its harvest overridden. */
+sched::AppSpec
+psAt(Watts harvest, Seconds period)
+{
+    sched::AppSpec app = apps::periodicSensing(period);
+    app.harvest = harvest;
+    return app;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Harvest-change adaptive re-profiling",
+                  "Section V-B extension experiment");
+
+    const Watts strong(6.0_mW);
+    const Watts weak(1.0_mW);
+    const Seconds period(7.0_s);
+    const Seconds trial(300.0_s);
+
+    // Profiles taken in deployment under the strong harvest: charging
+    // during task execution offsets part of the discharge, so these
+    // Vsafe values are tuned to strong incoming power.
+    sched::CulpeoPolicy stale;
+    stale.initialize(psAt(strong, period));
+
+    // The charge-rate monitor notices the collapse and triggers a fresh
+    // profiling pass at the weak level.
+    sched::ChargeRateMonitor monitor(0.25);
+    monitor.baseline(strong);
+    const bool tripped = monitor.observe(weak);
+    sched::CulpeoPolicy reprofiled;
+    reprofiled.initialize(psAt(weak, period));
+
+    const sched::AppSpec phase2 = psAt(weak, period);
+    const auto stale_result =
+        sched::runTrials(phase2, stale, trial, 3);
+    const auto fresh_result =
+        sched::runTrials(phase2, reprofiled, trial, 3);
+
+    auto csv = util::CsvWriter::forBench(
+        "ext_adaptive_reprofile",
+        {"policy", "capture_pct", "power_failures_per_trial"});
+
+    std::printf("harvest change: %.1f mW -> %.1f mW "
+                "(monitor %s at 25%% threshold)\n\n",
+                strong.value() * 1e3, weak.value() * 1e3,
+                tripped ? "TRIPPED" : "missed it");
+    std::printf("%-26s %12s %16s\n", "phase-2 policy", "capture",
+                "pf per trial");
+    bench::rule(56);
+    std::printf("%-26s %11.1f%% %16.1f\n", "stale (strong-harvest)",
+                stale_result.rateOf("imu") * 100.0,
+                stale_result.power_failures_per_trial);
+    std::printf("%-26s %11.1f%% %16.1f\n", "re-profiled (weak)",
+                fresh_result.rateOf("imu") * 100.0,
+                fresh_result.power_failures_per_trial);
+    csv.row("stale", stale_result.rateOf("imu") * 100.0,
+            stale_result.power_failures_per_trial);
+    csv.row("reprofiled", fresh_result.rateOf("imu") * 100.0,
+            fresh_result.power_failures_per_trial);
+
+    std::printf("\nProfiles taken under strong harvest under-estimate\n"
+                "task costs once the harvest collapses; re-profiling on\n"
+                "the charge-rate trigger restores the margin — the\n"
+                "policy coupling Section V-B prescribes.\n");
+    return 0;
+}

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Extension experiment: a compressed solar day. Harvested power follows
+ * a dawn -> noon -> dusk trace (TraceHarvester); the Periodic Sensing
+ * application runs across it under three Culpeo deployments:
+ *
+ *  - profiled once at dawn (weak) and never again,
+ *  - profiled once at noon (strong) and never again,
+ *  - adaptive: re-profiled whenever the ChargeRateMonitor sees the
+ *    harvest drift 25% from the profiling baseline.
+ *
+ * Dawn-profiled values are safe all day (profiling at the weakest power
+ * is conservative); noon-profiled values brown the device out when the
+ * light fades; the adaptive deployment tracks the day with a bounded
+ * number of re-profiling passes.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "bench/common.hpp"
+#include "sched/adaptive.hpp"
+#include "sched/engine.hpp"
+#include "util/csv.hpp"
+
+using namespace culpeo;
+using namespace culpeo::units;
+using namespace culpeo::units::literals;
+
+namespace {
+
+/** One phase of the compressed day. */
+struct Phase
+{
+    const char *name;
+    Watts harvest;
+    Seconds duration;
+};
+
+const Phase kDay[] = {
+    {"dawn", 1.2_mW, 200.0_s},
+    {"noon", 6.0_mW, 200.0_s},
+    {"dusk", 1.0_mW, 200.0_s},
+};
+
+sched::AppSpec
+psAt(Watts harvest)
+{
+    sched::AppSpec app = apps::periodicSensing(Seconds(7.0));
+    app.harvest = harvest;
+    return app;
+}
+
+/** Run the whole day with a fixed set of per-phase policies. */
+double
+runDay(const std::vector<const sched::Policy *> &phase_policies,
+       unsigned &power_failures)
+{
+    unsigned arrived = 0;
+    unsigned captured = 0;
+    power_failures = 0;
+    for (std::size_t i = 0; i < std::size(kDay); ++i) {
+        const sched::TrialResult result = sched::runTrial(
+            psAt(kDay[i].harvest), *phase_policies[i], kDay[i].duration,
+            100 + i);
+        arrived += result.eventStats("imu").arrived;
+        captured += result.eventStats("imu").captured;
+        power_failures += result.power_failures;
+    }
+    return arrived == 0 ? 1.0 : double(captured) / double(arrived);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Compressed solar day: profiling policies",
+                  "Section V-B extension experiment");
+
+    // Fixed deployments: one profiling pass at a single phase's level.
+    sched::CulpeoPolicy dawn_profiled;
+    dawn_profiled.initialize(psAt(kDay[0].harvest));
+    sched::CulpeoPolicy noon_profiled;
+    noon_profiled.initialize(psAt(kDay[1].harvest));
+
+    // Adaptive deployment: re-profile when the monitor trips.
+    sched::ChargeRateMonitor monitor(0.25);
+    std::vector<sched::CulpeoPolicy> adaptive_policies(std::size(kDay));
+    std::vector<const sched::Policy *> adaptive(std::size(kDay));
+    unsigned reprofiles = 0;
+    Watts baseline = kDay[0].harvest;
+    monitor.baseline(baseline);
+    adaptive_policies[0].initialize(psAt(kDay[0].harvest));
+    adaptive[0] = &adaptive_policies[0];
+    for (std::size_t i = 1; i < std::size(kDay); ++i) {
+        if (monitor.observe(kDay[i].harvest)) {
+            adaptive_policies[i].initialize(psAt(kDay[i].harvest));
+            adaptive[i] = &adaptive_policies[i];
+            monitor.baseline(kDay[i].harvest);
+            ++reprofiles;
+        } else {
+            adaptive[i] = adaptive[i - 1];
+        }
+    }
+
+    auto csv = util::CsvWriter::forBench(
+        "ext_solar_day",
+        {"deployment", "capture_pct", "power_failures", "reprofiles"});
+
+    std::printf("day: dawn %.1f mW -> noon %.1f mW -> dusk %.1f mW "
+                "(200 s each)\n\n",
+                kDay[0].harvest.value() * 1e3,
+                kDay[1].harvest.value() * 1e3,
+                kDay[2].harvest.value() * 1e3);
+    std::printf("%-24s %10s %8s %12s\n", "deployment", "capture", "pf",
+                "re-profiles");
+    bench::rule(58);
+
+    unsigned pf = 0;
+    const std::vector<const sched::Policy *> dawn_all(
+        std::size(kDay), &dawn_profiled);
+    const double dawn_rate = runDay(dawn_all, pf);
+    std::printf("%-24s %9.1f%% %8u %12u\n", "dawn-profiled (fixed)",
+                dawn_rate * 100.0, pf, 1u);
+    csv.row("dawn", dawn_rate * 100.0, pf, 1);
+
+    const std::vector<const sched::Policy *> noon_all(
+        std::size(kDay), &noon_profiled);
+    const double noon_rate = runDay(noon_all, pf);
+    std::printf("%-24s %9.1f%% %8u %12u\n", "noon-profiled (fixed)",
+                noon_rate * 100.0, pf, 1u);
+    csv.row("noon", noon_rate * 100.0, pf, 1);
+
+    const double adaptive_rate = runDay(adaptive, pf);
+    std::printf("%-24s %9.1f%% %8u %12u\n", "adaptive (monitor)",
+                adaptive_rate * 100.0, pf, reprofiles + 1);
+    csv.row("adaptive", adaptive_rate * 100.0, pf, reprofiles + 1);
+
+    std::printf("\nProfiling at the weakest light is safe but the\n"
+                "adaptive deployment matches it with estimates tuned to\n"
+                "each phase; profiling only at noon browns the device\n"
+                "out after dusk — Culpeo-R values are only valid for\n"
+                "the incoming power they were profiled under (V-B).\n");
+    return 0;
+}

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Extension experiment: what Figure 3's technology choice means for
+ * charge management. For the smallest 45 mF bank of each technology,
+ * build the corresponding power system and report (a) the true
+ * ESR-aware Vsafe of a radio-class task, (b) the share of the operating
+ * range the ESR drop consumes, and (c) how long the idle buffer
+ * survives its own leakage — quantifying why supercapacitor systems
+ * specifically need Culpeo while low-ESR alternatives pay in volume or
+ * leakage instead.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "caps/catalog.hpp"
+#include "harness/ground_truth.hpp"
+#include "load/library.hpp"
+#include "util/csv.hpp"
+
+using namespace culpeo;
+using namespace culpeo::units;
+using namespace culpeo::units::literals;
+
+namespace {
+
+/** Power system with the bank's aggregate ESR/leakage/capacitance. */
+sim::PowerSystemConfig
+systemFor(const caps::Bank &bank)
+{
+    sim::PowerSystemConfig cfg = sim::capybaraConfig();
+    cfg.capacitor.capacitance = bank.capacitance;
+    cfg.capacitor.leakage = bank.leakage;
+    // Keep the reference bank's branch proportions, scaled to the
+    // bank's total ESR (reference: 4 ohm DC-class).
+    const double scale = bank.esr.value() / 4.0;
+    cfg.capacitor.series_esr = Ohms(std::max(1e-4, 1.5 * scale));
+    cfg.capacitor.bulk_resistance = Ohms(std::max(1e-4, 9.0 * scale));
+    cfg.capacitor.surface_resistance =
+        Ohms(std::max(1e-4, 1.2 * scale));
+    return cfg;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Storage technology vs charge management",
+                  "Figure 3 x Section II synthesis experiment");
+
+    const auto task = load::bleSendListen(1.0_s);
+    const auto parts = caps::generateCatalog();
+    auto banks = caps::composeBanks(parts, Farads(45e-3));
+    banks.push_back(caps::referenceBank());
+
+    auto csv = util::CsvWriter::forBench(
+        "ext_technology",
+        {"technology", "volume_mm3", "esr_ohm", "leakage_a", "vsafe_v",
+         "esr_share_pct", "idle_days"});
+
+    std::printf("%-16s %10s %8s | %8s %10s %12s\n", "technology",
+                "vol mm^3", "esr", "Vsafe", "ESR share", "idle life");
+    bench::rule(74);
+
+    for (caps::Technology tech :
+         {caps::Technology::Supercapacitor, caps::Technology::Tantalum,
+          caps::Technology::Ceramic, caps::Technology::Electrolytic}) {
+        const caps::Bank *bank =
+            tech == caps::Technology::Supercapacitor
+                ? [&]() {
+                      // Use the paper's own design point.
+                      for (const auto &b : banks)
+                          if (b.part.part_number == "CPX3225A752D")
+                              return &b;
+                      return caps::smallestOfTechnology(banks, tech);
+                  }()
+                : caps::smallestOfTechnology(banks, tech);
+        if (bank == nullptr)
+            continue;
+
+        const auto cfg = systemFor(*bank);
+        const auto truth = harness::findTrueVsafe(cfg, task);
+
+        // Energy-only requirement for the same task on this bank.
+        const auto baseline_truth = [&]() {
+            sim::PowerSystemConfig ideal = cfg;
+            ideal.capacitor.series_esr = Ohms(1e-4);
+            ideal.capacitor.bulk_resistance = Ohms(1e-4);
+            ideal.capacitor.surface_resistance = Ohms(1e-4);
+            return harness::findTrueVsafe(ideal, task);
+        }();
+        const double esr_share =
+            (truth.vsafe - baseline_truth.vsafe).value() / 0.96 * 100.0;
+
+        // Idle survival: drain Vhigh -> Voff on leakage alone.
+        const double idle_s =
+            bank->capacitance.value() * 0.96 /
+            std::max(bank->leakage.value(), 1e-12);
+        const double idle_days = idle_s / 86400.0;
+
+        std::printf("%-16s %10.0f %8.3g | %7.3fV %9.1f%% %9.3g days\n",
+                    caps::technologyName(tech), bank->volume_mm3,
+                    bank->esr.value(), truth.vsafe.value(), esr_share,
+                    idle_days);
+        csv.row(caps::technologyName(tech), bank->volume_mm3,
+                bank->esr.value(), bank->leakage.value(),
+                truth.vsafe.value(), esr_share, idle_days);
+    }
+
+    std::printf("\nOnly the supercapacitor bank pays a meaningful ESR\n"
+                "share of its operating range (the drop Culpeo manages);\n"
+                "the low-ESR technologies instead pay orders of\n"
+                "magnitude in volume (ceramic, electrolytic) or leak the\n"
+                "buffer away in minutes (tantalum).\n");
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 4: a LoRa-class 50 mA transmission on a high-ESR buffer powers
+ * the device off even though plenty of stored energy remains. Sweeps the
+ * starting voltage and reports, for each, whether the device survived
+ * and how much usable energy was left at the moment it died.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "harness/task_runner.hpp"
+#include "load/library.hpp"
+#include "util/csv.hpp"
+
+using namespace culpeo;
+using namespace culpeo::units;
+using namespace culpeo::units::literals;
+
+int
+main()
+{
+    bench::banner("LoRa transmission vs stored energy", "Figure 4");
+
+    const auto cfg = sim::capybaraConfig();
+    const auto lora = load::uniform(50.0_mA, 100.0_ms).renamed("lora_tx");
+    const Joules floor_energy =
+        units::capacitorEnergy(cfg.capacitor.capacitance,
+                               cfg.monitor.voff);
+
+    auto csv = util::CsvWriter::forBench(
+        "fig04_lora_drop",
+        {"vstart_v", "completed", "usable_energy_left_pct",
+         "tx_energy_pct_of_usable"});
+
+    std::printf("%8s %10s %22s %20s\n", "Vstart", "survives?",
+                "usable energy left", "TX needs (of usable)");
+    bench::rule(66);
+    for (double vstart = 1.7; vstart <= 2.56; vstart += 0.1) {
+        sim::PowerSystem system(cfg);
+        system.setBufferVoltage(Volts(vstart));
+        system.forceOutputEnabled(true);
+        const Joules usable_before =
+            system.capacitor().storedEnergy() - floor_energy;
+
+        harness::RunOptions options;
+        options.settle_rebound = false;
+        const auto run = harness::runTask(system, lora, options);
+
+        const Joules usable_after =
+            system.capacitor().storedEnergy() - floor_energy;
+        const double left_pct =
+            100.0 * usable_after.value() / usable_before.value();
+        const double tx_pct = 100.0 *
+            (lora.energyAt(cfg.output.vout) / 0.85).value() /
+            usable_before.value();
+        std::printf("%7.2fV %10s %20.1f%% %19.1f%%\n", vstart,
+                    run.completed ? "yes" : "NO",
+                    left_pct, tx_pct);
+        csv.row(vstart, run.completed ? 1 : 0, left_pct, tx_pct);
+    }
+
+    std::printf("\nThe device dies mid-transmission from low starting\n"
+                "voltages despite retaining most of its usable energy --\n"
+                "the ESR drop, not the energy, is what kills it.\n");
+    return 0;
+}

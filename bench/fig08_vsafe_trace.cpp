@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Figure 8: measured Vcap traces defining (a) a single task's Vsafe —
+ * start at Vsafe, dip to Vmin >= Voff, rebound to Vfinal — and (b) a
+ * task sequence's Vsafe_multi — sense -> encrypt -> send+listen all
+ * completing within one discharge when started at the composed value.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/common.hpp"
+#include "core/api.hpp"
+#include "harness/ground_truth.hpp"
+#include "harness/profiling.hpp"
+#include "load/library.hpp"
+#include "util/csv.hpp"
+
+using namespace culpeo;
+using namespace culpeo::units;
+using namespace culpeo::units::literals;
+
+int
+main()
+{
+    bench::banner("Vsafe and Vsafe_multi on executed traces", "Figure 8");
+
+    const auto cfg = sim::capybaraConfig();
+    const auto model = core::modelFromConfig(cfg);
+
+    // (a) single task: the BLE send+listen event of the figure.
+    const auto send = load::bleSendListen(2.0_s).renamed("send_listen");
+    core::Culpeo culpeo(model, std::make_unique<core::UArchProfiler>());
+    harness::profileTaskFrom(cfg, cfg.monitor.vhigh, culpeo, 3, send);
+
+    const double vsafe = culpeo.getVsafe(3).value();
+    harness::RunOptions options;
+    options.dt = harness::chooseDt(send);
+    const auto run = harness::runTaskFrom(cfg, Volts(vsafe), send, options);
+    std::printf("(a) single task '%s':\n", send.name().c_str());
+    std::printf("    Vsafe  = %.3f V (start)\n", vsafe);
+    std::printf("    Vmin   = %.3f V (>= Voff 1.600: %s)\n",
+                run.vmin.value(), run.completed ? "yes" : "NO");
+    std::printf("    Vfinal = %.3f V (Vdelta = %.0f mV rebound)\n",
+                run.vfinal.value(),
+                (run.vfinal - run.vmin).value() * 1e3);
+
+    // (b) sequence: sense -> encrypt -> send+listen via Vsafe_multi.
+    const std::vector<std::pair<core::TaskId, load::CurrentProfile>>
+        chain = {{1, load::imuRead()},
+                 {2, load::encrypt()},
+                 {3, send}};
+    for (const auto &[id, profile] : chain)
+        harness::profileTaskFrom(cfg, cfg.monitor.vhigh, culpeo, id,
+                                 profile);
+    const double multi = culpeo.getVsafeMulti({1, 2, 3}).value();
+
+    // Execute the whole sequence back-to-back from Vsafe_multi.
+    sim::PowerSystem system(cfg);
+    system.setBufferVoltage(Volts(multi));
+    system.forceOutputEnabled(true);
+    bool all_ok = true;
+    double vmin_seq = multi;
+    std::printf("\n(b) sequence sense -> encrypt -> send+listen:\n");
+    std::printf("    Vsafe_multi = %.3f V\n", multi);
+    for (const auto &[id, profile] : chain) {
+        harness::RunOptions seq_options;
+        seq_options.dt = harness::chooseDt(profile);
+        seq_options.settle_rebound = false;
+        const auto step = harness::runTask(system, profile, seq_options);
+        vmin_seq = std::min(vmin_seq, step.vmin.value());
+        all_ok = all_ok && step.completed;
+        std::printf("    %-12s vmin %.3f V  %s\n", profile.name().c_str(),
+                    step.vmin.value(),
+                    step.completed ? "completed" : "FAILED");
+    }
+    std::printf("    whole sequence %s; minimum %.3f V stayed above "
+                "Voff\n", all_ok ? "completed" : "FAILED", vmin_seq);
+
+    // Contrast: the same sequence from below Vsafe_multi fails.
+    const auto truth_multi = [&]() {
+        load::CurrentProfile combined = chain[0].second;
+        combined = combined.then(chain[1].second).then(chain[2].second);
+        return harness::findTrueVsafe(cfg, combined);
+    }();
+    std::printf("\n    brute-force sequence requirement: %.3f V "
+                "(Vsafe_multi margin %.0f mV)\n",
+                truth_multi.vsafe.value(),
+                (multi - truth_multi.vsafe.value()) * 1e3);
+
+    auto csv = util::CsvWriter::forBench(
+        "fig08_vsafe_trace",
+        {"quantity", "volts"});
+    csv.row("vsafe_single", vsafe);
+    csv.row("vmin_single", run.vmin.value());
+    csv.row("vfinal_single", run.vfinal.value());
+    csv.row("vsafe_multi", multi);
+    csv.row("vmin_sequence", vmin_seq);
+    csv.row("truth_multi", truth_multi.vsafe.value());
+    return all_ok ? 0 : 1;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Figure 12: percentage of events captured by the CatNap baseline vs the
+ * Culpeo-integrated scheduler for the three full applications —
+ * Periodic Sensing (PS), Responsive Reporting (RR), and the two event
+ * streams of Noise Monitoring & Reporting (NMR-mic, NMR-BLE).
+ *
+ * Three five-minute trials per configuration, as in Section VI-B.
+ */
+
+#include <cstdio>
+
+#include "apps/apps.hpp"
+#include "bench/common.hpp"
+#include "sched/engine.hpp"
+#include "util/csv.hpp"
+
+using namespace culpeo;
+using namespace culpeo::units;
+using namespace culpeo::units::literals;
+
+int
+main()
+{
+    bench::banner("Events captured: CatNap vs Culpeo", "Figure 12");
+
+    const Seconds trial = 300.0_s;
+    const unsigned trials = 3;
+
+    auto csv = util::CsvWriter::forBench(
+        "fig12_events",
+        {"metric", "catnap_pct", "culpeo_pct", "catnap_pf", "culpeo_pf"});
+
+    std::printf("%-22s %10s %10s   %s\n", "metric", "Catnap", "Culpeo",
+                "(power failures/trial)");
+    bench::rule(70);
+
+    struct Metric
+    {
+        sched::AppSpec app;
+        const char *event;
+        const char *label;
+    };
+    const Metric metrics[] = {
+        {apps::periodicSensing(), "imu", "Periodic Sensing"},
+        {apps::responsiveReporting(), "report", "Responsive Reporting"},
+        {apps::noiseMonitoring(), "mic", "Noise Monitor Mic"},
+        {apps::noiseMonitoring(), "ble", "Noise Monitor BLE"},
+    };
+
+    // NMR appears twice; cache per-app results keyed by name.
+    std::string cached_app;
+    sched::AggregateResult cat_cached, cul_cached;
+    for (const auto &m : metrics) {
+        if (m.app.name != cached_app) {
+            sched::CatnapPolicy catnap;
+            catnap.initialize(m.app);
+            sched::CulpeoPolicy culpeo;
+            culpeo.initialize(m.app);
+            cat_cached = sched::runTrials(m.app, catnap, trial, trials);
+            cul_cached = sched::runTrials(m.app, culpeo, trial, trials);
+            cached_app = m.app.name;
+        }
+        const double cat_pct = cat_cached.rateOf(m.event) * 100.0;
+        const double cul_pct = cul_cached.rateOf(m.event) * 100.0;
+        std::printf("%-22s %9.1f%% %9.1f%%   (%.1f vs %.1f)\n", m.label,
+                    cat_pct, cul_pct,
+                    cat_cached.power_failures_per_trial,
+                    cul_cached.power_failures_per_trial);
+        csv.row(m.label, cat_pct, cul_pct,
+                cat_cached.power_failures_per_trial,
+                cul_cached.power_failures_per_trial);
+    }
+
+    std::printf("\nCulpeo's accurate Vsafe estimates eliminate the\n"
+                "unexpected brown-outs that make CatNap miss events;\n"
+                "its only residual losses are recharge-to-Vsafe waits.\n");
+    return 0;
+}

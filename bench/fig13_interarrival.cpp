@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Figure 13: event capture vs event inter-arrival time for Periodic
+ * Sensing and Responsive Reporting at three rates each — slow (6 s /
+ * 60 s), achievable (4.5 s / 45 s), and too fast (3 s / 30 s).
+ *
+ * Culpeo improves monotonically as the rate becomes achievable; CatNap
+ * shows flat or inverted behaviour because longer gaps let its
+ * background work discharge the buffer deeper (Section VII-C).
+ */
+
+#include <cstdio>
+
+#include "apps/apps.hpp"
+#include "bench/common.hpp"
+#include "sched/engine.hpp"
+#include "util/csv.hpp"
+
+using namespace culpeo;
+using namespace culpeo::units;
+using namespace culpeo::units::literals;
+
+int
+main()
+{
+    bench::banner("Event capture vs inter-arrival rate", "Figure 13");
+
+    const Seconds trial = 300.0_s;
+    const unsigned trials = 3;
+
+    auto csv = util::CsvWriter::forBench(
+        "fig13_interarrival",
+        {"app", "rate", "interval_s", "catnap_pct", "culpeo_pct"});
+
+    std::printf("%-22s %-12s %10s %10s\n", "app (interval)", "rate",
+                "Catnap", "Culpeo");
+    bench::rule(58);
+
+    const struct
+    {
+        const char *rate;
+        double ps_period;
+        double rr_interarrival;
+    } rates[] = {
+        {"slow", 6.0, 60.0},
+        {"achievable", 4.5, 45.0},
+        {"too fast", 3.0, 30.0},
+    };
+
+    for (const auto &r : rates) {
+        const auto ps = apps::periodicSensing(Seconds(r.ps_period));
+        sched::CatnapPolicy catnap;
+        catnap.initialize(ps);
+        sched::CulpeoPolicy culpeo;
+        culpeo.initialize(ps);
+        const double cat =
+            sched::runTrials(ps, catnap, trial, trials).rateOf("imu") *
+            100.0;
+        const double cul =
+            sched::runTrials(ps, culpeo, trial, trials).rateOf("imu") *
+            100.0;
+        std::printf("PS (%4.1f s)            %-12s %9.1f%% %9.1f%%\n",
+                    r.ps_period, r.rate, cat, cul);
+        csv.row("PS", r.rate, r.ps_period, cat, cul);
+    }
+    bench::rule(58);
+    for (const auto &r : rates) {
+        const auto rr =
+            apps::responsiveReporting(Seconds(r.rr_interarrival));
+        sched::CatnapPolicy catnap;
+        catnap.initialize(rr);
+        sched::CulpeoPolicy culpeo;
+        culpeo.initialize(rr);
+        const double cat = sched::runTrials(rr, catnap, trial, trials)
+                               .rateOf("report") * 100.0;
+        const double cul = sched::runTrials(rr, culpeo, trial, trials)
+                               .rateOf("report") * 100.0;
+        std::printf("RR (%4.0f s)            %-12s %9.1f%% %9.1f%%\n",
+                    r.rr_interarrival, r.rate, cat, cul);
+        csv.row("RR", r.rate, r.rr_interarrival, cat, cul);
+    }
+
+    std::printf("\nCulpeo reaches high capture once the rate is\n"
+                "achievable; CatNap gains little (or inverts) from\n"
+                "slower events because its background work discharges\n"
+                "the buffer below the true chain requirement.\n");
+    return 0;
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the library's hot paths: the
+ * power-system transient step, Algorithm 1 (Culpeo-PG), the Culpeo-R
+ * closed form, the Vsafe_multi composition, and the brute-force ground
+ * truth search that the evaluation harness leans on.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/api.hpp"
+#include "core/vsafe_pg.hpp"
+#include "harness/ground_truth.hpp"
+#include "load/library.hpp"
+
+using namespace culpeo;
+using namespace culpeo::units;
+using namespace culpeo::units::literals;
+
+namespace {
+
+void
+BM_PowerSystemStep(benchmark::State &state)
+{
+    sim::PowerSystem system(sim::capybaraConfig());
+    system.setBufferVoltage(Volts(2.5));
+    system.forceOutputEnabled(true);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            system.step(Seconds(50e-6), Amps(10e-3)));
+        if (system.capacitor().openCircuitVoltage().value() < 1.7) {
+            state.PauseTiming();
+            system.setBufferVoltage(Volts(2.5));
+            state.ResumeTiming();
+        }
+    }
+}
+BENCHMARK(BM_PowerSystemStep);
+
+void
+BM_CapacitorStep(benchmark::State &state)
+{
+    sim::Capacitor cap(sim::capybaraConfig().capacitor);
+    cap.setOpenCircuitVoltage(Volts(2.5));
+    for (auto _ : state) {
+        cap.step(Seconds(50e-6), Amps(5e-3));
+        benchmark::DoNotOptimize(cap.openCircuitVoltage());
+        if (cap.openCircuitVoltage().value() < 1.7)
+            cap.setOpenCircuitVoltage(Volts(2.5));
+    }
+}
+BENCHMARK(BM_CapacitorStep);
+
+void
+BM_CulpeoPg(benchmark::State &state)
+{
+    const auto model = core::modelFromConfig(sim::capybaraConfig());
+    const auto trace = load::SampledTrace::fromProfile(
+        load::pulseWithCompute(25.0_mA, 10.0_ms),
+        Hertz(double(state.range(0))));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::culpeoPg(trace, model));
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(trace.size()));
+}
+BENCHMARK(BM_CulpeoPg)->Arg(1000)->Arg(10000)->Arg(125000);
+
+void
+BM_CulpeoRClosedForm(benchmark::State &state)
+{
+    const auto model = core::modelFromConfig(sim::capybaraConfig());
+    core::RProfile profile;
+    profile.vstart = Volts(2.5);
+    profile.vmin = Volts(2.1);
+    profile.vfinal = Volts(2.4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::culpeoR(profile, model));
+}
+BENCHMARK(BM_CulpeoRClosedForm);
+
+void
+BM_VsafeMulti(benchmark::State &state)
+{
+    std::vector<core::TaskRequirement> tasks;
+    for (int i = 0; i < state.range(0); ++i) {
+        tasks.push_back(core::requirementFrom(
+            "t", Volts(1.7 + 0.01 * (i % 5)), Volts(0.02 * (i % 4)),
+            Volts(1.6)));
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::vsafeMulti(tasks, Volts(1.6)));
+}
+BENCHMARK(BM_VsafeMulti)->Arg(4)->Arg(16)->Arg(64);
+
+void
+BM_GroundTruthSearch(benchmark::State &state)
+{
+    const auto cfg = sim::capybaraConfig();
+    const auto profile = load::uniform(25.0_mA, 10.0_ms);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            harness::findTrueVsafe(cfg, profile, Volts(5e-3)));
+    }
+}
+BENCHMARK(BM_GroundTruthSearch)->Unit(benchmark::kMillisecond);
+
+void
+BM_UArchTick(benchmark::State &state)
+{
+    mcu::UArchBlock block;
+    block.configure(true);
+    block.prepare(mcu::CaptureMode::Min);
+    block.sample(mcu::CaptureMode::Min);
+    double v = 2.5;
+    for (auto _ : state) {
+        block.tick(Seconds(50e-6), Volts(v));
+        v = v > 2.0 ? v - 1e-4 : 2.5;
+    }
+}
+BENCHMARK(BM_UArchTick);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Section II-D experiment: decoupling capacitance does not fix sustained
+ * ESR drops. Sweeps 400 uF .. 6.4 mF of low-ESR decoupling on a 33 mF
+ * supercapacitor under a 50 mA / 100 ms LoRa-class load and reports the
+ * worst node-voltage drop.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "sim/two_cap.hpp"
+#include "util/csv.hpp"
+
+using namespace culpeo;
+using namespace culpeo::units;
+
+int
+main()
+{
+    bench::banner("Decoupling capacitance vs sustained ESR drop",
+                  "Section II-D");
+
+    auto csv = util::CsvWriter::forBench(
+        "sec2d_decoupling",
+        {"decoupling_uf", "max_drop_mv", "drop_pct_of_range"});
+
+    std::printf("%14s %14s %18s\n", "decoupling", "max drop",
+                "% of 0.96 V range");
+    bench::rule(50);
+
+    for (double c_d : {400e-6, 800e-6, 1.6e-3, 3.2e-3, 6.4e-3}) {
+        sim::CapBranch super{Farads(33e-3), Ohms(8.0), Volts(2.5)};
+        sim::CapBranch dec{Farads(c_d), Ohms(0.01), Volts(2.5)};
+        sim::TwoCapNetwork net(super, dec);
+        net.setVoltage(Volts(2.5));
+
+        double vmin = 2.5;
+        double elapsed = 0.0;
+        const double dt = 1e-5;
+        while (elapsed < 0.1) {
+            net.step(Seconds(dt), Amps(0.05));
+            vmin = std::min(vmin, net.nodeVoltage(Amps(0.05)).value());
+            elapsed += dt;
+        }
+        const double drop_mv = (2.5 - vmin) * 1e3;
+        const double pct = drop_mv / 960.0 * 100.0;
+        std::printf("%11.0f uF %11.1f mV %16.1f%%\n", c_d * 1e6, drop_mv,
+                    pct);
+        csv.row(c_d * 1e6, drop_mv, pct);
+    }
+
+    std::printf("\nEven an abnormally large 6.4 mF of decoupling leaves\n"
+                "a several-hundred-mV drop for a sustained load (the\n"
+                "paper measured 200 mV on its rig): decoupling absorbs\n"
+                "transients, not sustained high-current loads.\n");
+    return 0;
+}

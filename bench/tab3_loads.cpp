@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Table III: the loads used in the evaluation — the synthetic Uniform
+ * and Pulse families and the three real-peripheral profiles — with
+ * their parameters and derived characteristics.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "load/library.hpp"
+#include "util/csv.hpp"
+
+using namespace culpeo;
+using namespace culpeo::units;
+using namespace culpeo::units::literals;
+
+namespace {
+
+void
+row(util::CsvWriter &csv, const char *type,
+    const load::CurrentProfile &profile)
+{
+    const double peak = profile.peakCurrent().value() * 1e3;
+    const double mean = profile.meanCurrent().value() * 1e3;
+    const double dur = profile.duration().value() * 1e3;
+    const double energy = profile.energyAt(Volts(2.55)).value() * 1e3;
+    std::printf("%-22s %-22s %8.1f %8.2f %9.1f %9.3f\n", type,
+                profile.name().c_str(), peak, mean, dur, energy);
+    csv.row(type, profile.name(), peak, mean, dur, energy);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Evaluation load profiles", "Table III");
+
+    auto csv = util::CsvWriter::forBench(
+        "tab3_loads", {"type", "name", "peak_ma", "mean_ma",
+                       "duration_ms", "energy_mj_at_vout"});
+
+    std::printf("%-22s %-22s %8s %8s %9s %9s\n", "type", "profile",
+                "peak mA", "mean mA", "dur ms", "E_load mJ");
+    bench::rule(84);
+
+    for (const auto &pt : load::figure10Sweep())
+        row(csv, "Uniform", load::uniform(pt.i_load, pt.t_pulse));
+    bench::rule(84);
+    for (const auto &pt : load::figure10Sweep())
+        row(csv, "Pulse+compute",
+            load::pulseWithCompute(pt.i_load, pt.t_pulse));
+    bench::rule(84);
+    row(csv, "Gesture Recognition", load::gestureSensor());
+    row(csv, "BLE Radio", load::bleRadio());
+    row(csv, "Compute Acceleration", load::mnistCompute());
+    bench::rule(84);
+    std::printf("application tasks (Section VI-B):\n");
+    row(csv, "App", load::imuRead());
+    row(csv, "App", load::photoSense());
+    row(csv, "App", load::encrypt());
+    row(csv, "App", load::bleSendListen(2.0_s));
+    row(csv, "App", load::micSample());
+    row(csv, "App", load::fftCompute());
+    return 0;
+}

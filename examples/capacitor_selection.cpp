@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Power-system design example: pick an energy buffer for a volume
+ * budget, then use Culpeo-PG to check whether the application's worst
+ * task can run on it at all (Section III: "if a task's Vsafe is higher
+ * than what the energy buffer can provide, the programmer knows they
+ * must correct the task division" — or pick a different bank).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "caps/catalog.hpp"
+#include "core/vsafe_pg.hpp"
+#include "load/library.hpp"
+
+using namespace culpeo;
+using namespace culpeo::units;
+using namespace culpeo::units::literals;
+
+namespace {
+
+/** Build a Culpeo model for a candidate bank on the Capybara rails. */
+core::PowerSystemModel
+modelFor(const caps::Bank &bank)
+{
+    sim::PowerSystemConfig cfg = sim::capybaraConfig();
+    cfg.capacitor.capacitance = bank.capacitance;
+    // Split the bank ESR into the two-branch shape with the same ratio
+    // as the reference bank (Rs : Rbulk : Rsurf).
+    const double scale = bank.esr.value() / 4.0; // Reference bank: 4 ohm.
+    cfg.capacitor.series_esr = Ohms(1.5 * scale);
+    cfg.capacitor.bulk_resistance = Ohms(9.0 * scale);
+    cfg.capacitor.surface_resistance = Ohms(1.2 * scale);
+    return core::modelFromConfig(cfg);
+}
+
+} // namespace
+
+int
+main()
+{
+    const double volume_budget_mm3 = 100.0;
+    const auto task = load::bleRadio().then(load::mnistCompute());
+    std::printf("volume budget: %.0f mm^3; worst task: %s\n\n",
+                volume_budget_mm3, task.name().c_str());
+
+    const auto parts = caps::generateCatalog();
+    auto banks = caps::composeBanks(parts, Farads(45e-3));
+    banks.push_back(caps::referenceBank());
+
+    std::printf("%-24s %10s %8s %8s | %8s %s\n", "bank", "vol mm^3",
+                "esr", "parts", "Vsafe", "verdict");
+    for (int i = 0; i < 72; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+
+    const caps::Bank *chosen = nullptr;
+    double chosen_vsafe = 0.0;
+    std::vector<caps::Bank> fitting;
+    for (const auto &bank : banks) {
+        if (bank.volume_mm3 <= volume_budget_mm3)
+            fitting.push_back(bank);
+    }
+    std::sort(fitting.begin(), fitting.end(),
+              [](const caps::Bank &a, const caps::Bank &b) {
+                  return a.esr < b.esr;
+              });
+    std::size_t shown = 0;
+    for (const auto &bank : fitting) {
+        const core::PowerSystemModel model = modelFor(bank);
+        const core::PgResult pg = core::culpeoPg(task, model);
+        const bool feasible = pg.vsafe <= model.vhigh;
+        if (shown < 12) {
+            std::printf("%-24s %10.1f %7.2f %8u | %7.3fV %s\n",
+                        bank.part.part_number.c_str(), bank.volume_mm3,
+                        bank.esr.value(), bank.count, pg.vsafe.value(),
+                        feasible ? "ok" : "task cannot run");
+            ++shown;
+        }
+        if (feasible && chosen == nullptr) {
+            chosen = &bank;
+            chosen_vsafe = pg.vsafe.value();
+        }
+    }
+    if (fitting.size() > shown)
+        std::printf("... (%zu more candidates within budget)\n",
+                    fitting.size() - shown);
+
+    if (chosen != nullptr) {
+        std::printf("\nselected %s x%u: task Vsafe %.3f V leaves "
+                    "%.0f mV of headroom below Vhigh.\n",
+                    chosen->part.part_number.c_str(), chosen->count,
+                    chosen_vsafe, (2.56 - chosen_vsafe) * 1e3);
+    } else {
+        std::printf("\nno bank within budget can run the task: split "
+                    "the task or raise the budget.\n");
+    }
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Event-driven scheduling example: run the Periodic Sensing application
+ * on harvested energy under the energy-only CatNap policy and under the
+ * Culpeo-integrated policy, and compare captured events.
+ *
+ * This is the paper's headline end-to-end use case (Section VI-B): the
+ * scheduler profiles each task once through the Culpeo API, then gates
+ * every dispatch on get_vsafe / Vsafe_multi instead of an energy budget.
+ */
+
+#include <cstdio>
+
+#include "apps/apps.hpp"
+#include "sched/engine.hpp"
+
+using namespace culpeo;
+using namespace culpeo::units;
+using namespace culpeo::units::literals;
+
+int
+main()
+{
+    const sched::AppSpec app = apps::periodicSensing();
+    std::printf("application: %s\n", app.name.c_str());
+    std::printf("  IMU event every %.1f s (deadline %.1f s), "
+                "background photoresistor averaging\n",
+                app.events[0].interval.value(),
+                app.events[0].deadline.value());
+    std::printf("  15 mF buffer, %.1f mW harvested\n\n",
+                app.harvest.value() * 1e3);
+
+    sched::CatnapPolicy catnap;
+    catnap.initialize(app);
+    sched::CulpeoPolicy culpeo;
+    culpeo.initialize(app);
+
+    // Show what each policy believes about the IMU task.
+    const auto &imu = app.events[0].chain[0];
+    std::printf("IMU task start voltage:  CatNap %.3f V   Culpeo %.3f V\n",
+                catnap.taskStart(imu).value(),
+                culpeo.taskStart(imu).value());
+    std::printf("background threshold:    CatNap %.3f V   Culpeo %.3f V\n\n",
+                catnap.backgroundThreshold(app).value(),
+                culpeo.backgroundThreshold(app).value());
+
+    for (const sched::Policy *policy :
+         {static_cast<const sched::Policy *>(&catnap),
+          static_cast<const sched::Policy *>(&culpeo)}) {
+        const sched::TrialResult result =
+            sched::runTrial(app, *policy, 120.0_s, 42);
+        const auto &stats = result.eventStats("imu");
+        std::printf("%-8s: %2u/%2u events captured (%.0f%%), "
+                    "%u power failures, %u background runs\n",
+                    policy->name(), stats.captured, stats.arrived,
+                    stats.captureRate() * 100.0, result.power_failures,
+                    result.background_runs);
+    }
+
+    std::printf("\nCatNap's energy-only start voltage lets the IMU's\n"
+                "20 mA burst pull the buffer below Voff; Culpeo waits\n"
+                "for the ESR-aware Vsafe and captures every event.\n");
+    return 0;
+}

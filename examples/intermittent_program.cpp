@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Intermittent-execution example: run a sense -> compute -> send program
+ * under the classic opportunistic dispatch (run whenever powered,
+ * Figure 1a) and under Culpeo's Vsafe-gated dispatch, counting atomic
+ * re-executions; then show the forward-progress check catching a task
+ * that can never complete on this power system.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "harness/profiling.hpp"
+#include "load/library.hpp"
+#include "runtime/intermittent.hpp"
+
+using namespace culpeo;
+using namespace culpeo::units;
+using namespace culpeo::units::literals;
+using runtime::AtomicTask;
+using runtime::DispatchPolicy;
+using runtime::ProgramResult;
+using runtime::RuntimeOptions;
+
+namespace {
+
+void
+report(const char *label, const ProgramResult &result)
+{
+    std::printf("%-14s: %s in %5.1f s, %u power failures, "
+                "%u wasted re-executions\n",
+                label,
+                result.finished ? "finished"
+                                : (result.nonterminating ? "NON-TERMINATING"
+                                                         : "timed out"),
+                result.elapsed.value(), result.power_failures,
+                result.totalFailures());
+    for (const auto &stats : result.per_task) {
+        std::printf("   %-10s ran %u time(s), failed %u\n",
+                    stats.name.c_str(), stats.executions, stats.failures);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::vector<AtomicTask> program = {
+        {1, "sense", load::imuRead()},
+        {2, "compute", load::encrypt()},
+        {3, "send", load::uniform(45.0_mA, 25.0_ms).renamed("send")},
+    };
+    const sim::ConstantHarvester harvester(4.0_mW);
+
+    // Profile each task once so the gated runtime has Vsafe values.
+    core::Culpeo culpeo(core::modelFromConfig(sim::capybaraConfig()),
+                        std::make_unique<core::UArchProfiler>());
+    for (const auto &task : program) {
+        harness::profileTaskFrom(sim::capybaraConfig(), Volts(2.56),
+                                 culpeo, task.id, task.profile);
+        std::printf("task %-8s Vsafe = %.3f V\n", task.name.c_str(),
+                    culpeo.getVsafe(task.id).value());
+    }
+    std::printf("\nstarting mid-charge (1.8 V), weak harvest:\n\n");
+
+    for (DispatchPolicy policy : {DispatchPolicy::Opportunistic,
+                                  DispatchPolicy::VsafeGated}) {
+        sim::PowerSystem system(sim::capybaraConfig());
+        system.setHarvester(&harvester);
+        system.setBufferVoltage(Volts(1.8));
+        system.forceOutputEnabled(true);
+
+        RuntimeOptions options;
+        options.policy = policy;
+        options.culpeo = &culpeo;
+        const ProgramResult result =
+            runProgram(system, program, options);
+        report(policy == DispatchPolicy::Opportunistic ? "opportunistic"
+                                                       : "vsafe-gated",
+               result);
+        std::putchar('\n');
+    }
+
+    // Forward progress: a task whose requirement exceeds the buffer.
+    std::printf("adding an oversized task (120 mA for 200 ms):\n");
+    sim::PowerSystem system(sim::capybaraConfig());
+    system.setHarvester(&harvester);
+    system.setBufferVoltage(Volts(2.56));
+    system.forceOutputEnabled(true);
+    RuntimeOptions options;
+    options.max_attempts_from_full = 3;
+    const ProgramResult result = runProgram(
+        system,
+        {{9, "oversized",
+          load::uniform(120.0_mA, 200.0_ms).renamed("oversized")}},
+        options);
+    report("opportunistic", result);
+    std::printf("\nThe runtime flags the task instead of re-executing\n"
+                "forever; Culpeo-PG would flag it at compile time (its\n"
+                "Vsafe exceeds Vhigh), guiding the task-splitting tools\n"
+                "the paper complements [29].\n");
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Quickstart: compute a safe starting voltage for a task three ways.
+ *
+ * 1. Describe the power system (or start from the Capybara defaults).
+ * 2. Describe the task as a current profile.
+ * 3. Ask Culpeo-PG (compile-time, from the current trace) and Culpeo-R
+ *    (runtime, from three voltage measurements) for Vsafe.
+ * 4. Check both against a brute-force simulation of the task.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "core/api.hpp"
+#include "core/vsafe_pg.hpp"
+#include "harness/ground_truth.hpp"
+#include "harness/profiling.hpp"
+#include "load/library.hpp"
+
+using namespace culpeo;
+using namespace culpeo::units;
+using namespace culpeo::units::literals;
+
+int
+main()
+{
+    // 1. The power system: 45 mF supercap bank, Voff 1.6 V, Vhigh 2.56 V.
+    const sim::PowerSystemConfig power = sim::capybaraConfig();
+    const core::PowerSystemModel model = core::modelFromConfig(power);
+
+    // 2. The task: a 25 mA radio-style pulse then 100 ms of computing.
+    const load::CurrentProfile task =
+        load::pulseWithCompute(25.0_mA, 10.0_ms);
+    std::printf("task: %s (peak %.0f mA, %.0f ms, %.2f mJ at Vout)\n",
+                task.name().c_str(), task.peakCurrent().value() * 1e3,
+                task.duration().value() * 1e3,
+                task.energyAt(model.vout).value() * 1e3);
+
+    // 3a. Culpeo-PG: feed the profiled current trace to Algorithm 1.
+    const core::PgResult pg = core::culpeoPg(task, model);
+    std::printf("Culpeo-PG : Vsafe = %.3f V (ESR used %.2f ohm, "
+                "worst drop %.0f mV)\n",
+                pg.vsafe.value(), pg.esr_used.value(),
+                pg.vdelta.value() * 1e3);
+
+    // 3b. Culpeo-R: profile one execution through the Table I API, here
+    //     with the proposed uArch peripheral doing the sampling.
+    core::Culpeo culpeo(model, std::make_unique<core::UArchProfiler>());
+    const core::TaskId radio_task = 1;
+    harness::profileTaskFrom(power, power.monitor.vhigh, culpeo,
+                             radio_task, task);
+    std::printf("Culpeo-R  : Vsafe = %.3f V (observed drop %.0f mV)\n",
+                culpeo.getVsafe(radio_task).value(),
+                culpeo.getVdrop(radio_task).value() * 1e3);
+
+    // 4. Sanity-check against exhaustive simulation.
+    const harness::GroundTruth truth =
+        harness::findTrueVsafe(power, task);
+    std::printf("brute force: Vsafe = %.3f V (%u trial executions)\n",
+                truth.vsafe.value(), truth.trials);
+
+    // A scheduler would now gate dispatch on the Theorem 1 test:
+    const Volts now_voltage{2.0};
+    std::printf("\nat %.2f V the task %s safe to start\n",
+                now_voltage.value(),
+                culpeo.feasible(radio_task, now_voltage) ? "IS"
+                                                         : "is NOT");
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Reconfigurable-buffer example (Capybara-style banked storage): profile
+ * the same tasks under different bank configurations, tagging each with
+ * Culpeo's buffer identifier (Section V-B), then choose a configuration
+ * per task: small configs recharge fast but cannot source the radio;
+ * the full array runs everything but takes longest to fill.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "core/api.hpp"
+#include "harness/ground_truth.hpp"
+#include "harness/profiling.hpp"
+#include "util/logging.hpp"
+#include "load/library.hpp"
+#include "sim/bank_array.hpp"
+
+using namespace culpeo;
+using namespace culpeo::units;
+using namespace culpeo::units::literals;
+
+int
+main()
+{
+    const sim::BankArray array(sim::capybaraBankArray());
+    const auto base = sim::capybaraConfig();
+    const Watts harvest(2.0_mW);
+
+    const struct
+    {
+        core::TaskId id;
+        const char *name;
+        load::CurrentProfile profile;
+    } tasks[] = {
+        {1, "photo_sense", load::photoSense()},
+        {2, "imu_read", load::imuRead()},
+        {3, "radio", load::uniform(40.0_mA, 20.0_ms).renamed("radio")},
+    };
+
+    // One Culpeo instance; per-configuration data is distinguished by
+    // the buffer tag, exactly as the paper's interface prescribes.
+    core::Culpeo culpeo(core::modelFromConfig(base),
+                        std::make_unique<core::UArchProfiler>());
+
+    std::printf("%-6s %12s %14s | %12s %12s %12s\n", "banks", "cap",
+                "recharge", tasks[0].name, tasks[1].name, tasks[2].name);
+    for (int i = 0; i < 78; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+
+    for (unsigned banks = 1; banks <= array.totalBanks(); ++banks) {
+        culpeo.setBufferConfig(banks);
+        const auto cfg = array.powerSystemFor(banks, base);
+        // The model must describe *this* configuration.
+        core::Culpeo tagged(core::modelFromConfig(cfg),
+                            std::make_unique<core::UArchProfiler>());
+        std::printf("%-6u %9.0f mF %11.1f s |", banks,
+                    cfg.capacitor.capacitance.value() * 1e3,
+                    array.rechargeEstimate(banks, harvest, base).value());
+        for (const auto &task : tasks) {
+            // Profiling an infeasible task browns out and stores
+            // nothing; silence the expected warning.
+            culpeo::log::setVerbose(false);
+            harness::profileTaskFrom(cfg, cfg.monitor.vhigh, tagged,
+                                     task.id, task.profile);
+            culpeo::log::setVerbose(true);
+            const double vsafe = tagged.getVsafe(task.id).value();
+            const bool feasible = harness::completesFrom(
+                cfg, Volts(std::min(vsafe, 2.56)), task.profile);
+            if (feasible)
+                std::printf(" %9.3f V ", vsafe);
+            else
+                std::printf(" %10s ", "infeasible");
+        }
+        std::putchar('\n');
+    }
+
+    std::printf("\nPolicy this table suggests: keep one bank active for\n"
+                "the periodic sensing duty cycle (fast recharge), and\n"
+                "switch the full array onto the rail before radio work.\n"
+                "Culpeo's buffer tags keep the per-configuration Vsafe\n"
+                "values separate so the scheduler can query the right\n"
+                "one after each reconfiguration.\n");
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Programmer-facing example from Section III: use per-task Vsafe values
+ * during development to decide how to structure atomic tasks — e.g.,
+ * whether operating the radio at the end of a compute task needs a
+ * higher starting voltage than operating it at the beginning, and
+ * whether splitting a long task into two separately-dispatched halves
+ * lowers the bar for each.
+ */
+
+#include <cstdio>
+
+#include "core/vsafe_multi.hpp"
+#include "core/vsafe_pg.hpp"
+#include "load/library.hpp"
+
+using namespace culpeo;
+using namespace culpeo::units;
+using namespace culpeo::units::literals;
+
+int
+main()
+{
+    const core::PowerSystemModel model =
+        core::modelFromConfig(sim::capybaraConfig());
+
+    const auto compute = load::uniform(3.0_mA, 400.0_ms).renamed("compute");
+    const auto radio = load::uniform(40.0_mA, 15.0_ms).renamed("radio");
+
+    // Question 1: radio before or after the computation?
+    const auto radio_first = radio.then(compute);
+    const auto radio_last = compute.then(radio);
+    const double v_first = core::culpeoPg(radio_first, model).vsafe.value();
+    const double v_last = core::culpeoPg(radio_last, model).vsafe.value();
+    std::printf("one atomic task:\n");
+    std::printf("  radio first : Vsafe = %.3f V\n", v_first);
+    std::printf("  radio last  : Vsafe = %.3f V\n", v_last);
+    std::printf("  -> run the radio %s (%.0f mV cheaper): the drop\n"
+                "     lands while the buffer is %s.\n\n",
+                v_first < v_last ? "FIRST" : "LAST",
+                std::abs(v_first - v_last) * 1e3,
+                v_first < v_last ? "still full" : "depleted");
+
+    // Question 2: is splitting into two tasks (with a recharge allowed
+    // between them) easier to provision than one atomic task?
+    const core::PgResult pg_compute = core::culpeoPg(compute, model);
+    const core::PgResult pg_radio = core::culpeoPg(radio, model);
+    const double atomic = std::min(v_first, v_last);
+    std::printf("split into two dispatches:\n");
+    std::printf("  compute alone : Vsafe = %.3f V\n",
+                pg_compute.vsafe.value());
+    std::printf("  radio alone   : Vsafe = %.3f V\n",
+                pg_radio.vsafe.value());
+    std::printf("  vs. atomic    : Vsafe = %.3f V\n", atomic);
+
+    // Question 3: if they must run back-to-back anyway, what does the
+    // sequence composition (Section IV-A) require?
+    const std::vector<core::TaskRequirement> seq = {
+        core::requirementFrom("radio", pg_radio.vsafe, pg_radio.vdelta,
+                              model.voff),
+        core::requirementFrom("compute", pg_compute.vsafe,
+                              pg_compute.vdelta, model.voff),
+    };
+    const core::MultiResult multi = core::vsafeMulti(seq, model.voff);
+    const double penalty_mv = multi.penalties[0].value() * 1e3;
+    std::printf("  back-to-back (Vsafe_multi, radio first): %.3f V\n",
+                multi.vsafe_multi.value());
+    if (penalty_mv > 0.5) {
+        std::printf("    (the radio's drop floor exceeds compute's\n"
+                    "     requirement, so %.0f mV of penalty is paid)\n",
+                    penalty_mv);
+    } else {
+        std::printf("    (compute's own requirement already covers the\n"
+                    "     radio's drop: the penalty is repaid)\n");
+    }
+
+    std::printf("\nVerdict: splitting isolates the cheap compute half\n"
+                "(Vsafe %.3f V) so it can run at almost any charge\n"
+                "level, while the radio half is dispatched only near a\n"
+                "full buffer — exactly the task-structure guidance the\n"
+                "Culpeo interface is meant to give (Section III).\n",
+                pg_compute.vsafe.value());
+    return 0;
+}

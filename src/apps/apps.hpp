@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The three full, event-driven evaluation applications (Section VI-B):
+ *
+ *  - Periodic Sensing (PS): read 32 IMU samples every 4.5 s on a 15 mF
+ *    buffer; background photoresistor averaging. An event is lost when
+ *    the inter-sample deadline is missed.
+ *  - Responsive Reporting (RR): GPIO interrupts arrive Poisson
+ *    (lambda = 45 s); each triggers sense -> encrypt -> BLE send +
+ *    2 s listen, due within 3 s. Background photoresistor averaging.
+ *  - Noise Monitoring & Reporting (NMR): 256 microphone samples every
+ *    7 s; Poisson (lambda = 30 s) interrupts trigger a BLE report +
+ *    listen due within 15 s; background FFT.
+ *
+ * Each factory takes the event interval so the Figure 13 sweep (slow /
+ * achievable / too-fast) can reuse the same construction.
+ */
+
+#ifndef CULPEO_APPS_APPS_HPP
+#define CULPEO_APPS_APPS_HPP
+
+#include "sched/app.hpp"
+
+namespace culpeo::apps {
+
+using sched::AppSpec;
+using units::Seconds;
+
+/** Capybara power system with a 15 mF two-part bank (PS's buffer). */
+sim::PowerSystemConfig smallBufferConfig();
+
+/** Periodic Sensing. @p period defaults to the achievable 4.5 s. */
+AppSpec periodicSensing(Seconds period = Seconds(4.5));
+
+/** Responsive Reporting. @p mean_interarrival defaults to 45 s. */
+AppSpec responsiveReporting(Seconds mean_interarrival = Seconds(45.0));
+
+/**
+ * Noise Monitoring & Reporting. @p mic_period defaults to 7 s and
+ * @p ble_interarrival to 30 s.
+ */
+AppSpec noiseMonitoring(Seconds mic_period = Seconds(7.0),
+                        Seconds ble_interarrival = Seconds(30.0));
+
+/** Stable task identifiers used across the applications. */
+namespace task_ids {
+inline constexpr core::TaskId imu_read = 1;
+inline constexpr core::TaskId photo_sense = 2;
+inline constexpr core::TaskId encrypt = 3;
+inline constexpr core::TaskId ble_report = 4;
+inline constexpr core::TaskId mic_sample = 5;
+inline constexpr core::TaskId fft = 6;
+inline constexpr core::TaskId ble_nmr = 7;
+} // namespace task_ids
+
+} // namespace culpeo::apps
+
+#endif // CULPEO_APPS_APPS_HPP

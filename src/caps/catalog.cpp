@@ -1,0 +1,196 @@
+#include "catalog.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace culpeo::caps {
+
+const char *
+technologyName(Technology tech)
+{
+    switch (tech) {
+      case Technology::Electrolytic:
+        return "electrolytic";
+      case Technology::Ceramic:
+        return "ceramic";
+      case Technology::Tantalum:
+        return "tantalum";
+      case Technology::Supercapacitor:
+        return "supercapacitor";
+    }
+    return "unknown";
+}
+
+namespace {
+
+/** Per-technology scaling-law coefficients (anchored to paper values). */
+struct TechLaw
+{
+    Technology tech;
+    /** Part capacitance range this technology actually covers. */
+    double min_c, max_c;
+    /** volume_mm3 = vol_per_mf * (C/1mF)^vol_exp */
+    double vol_per_mf, vol_exp;
+    /** esr_ohms = esr_per_mf / (C/1mF)^esr_exp */
+    double esr_per_mf, esr_exp;
+    /** leakage_a = dcl_per_mf * (C/1mF) */
+    double dcl_per_mf;
+    /** Log-normal scatter sigma applied to volume and ESR. */
+    double jitter;
+};
+
+constexpr TechLaw lawFor(Technology tech)
+{
+    switch (tech) {
+      case Technology::Electrolytic:
+        // Bulky; moderate ESR; uA-class leakage. Low-ESR variants are
+        // dramatically larger (pint-glass for 45 mF banks).
+        return {Technology::Electrolytic, 10e-6, 22e-3,
+                1800.0, 0.85, 0.9, 0.55, 4e-6, 0.50};
+      case Technology::Ceramic:
+        // Tiny per-part ESR (~10 mOhm) but only uF-class capacitance in
+        // low-profile packages: thousands of parts to reach 45 mF.
+        return {Technology::Ceramic, 1e-6, 47e-6,
+                150.0, 0.75, 0.010, 0.0, 0.2e-6, 0.35};
+      case Technology::Tantalum:
+        // Dense but leaky: DCL scales ~0.01 * C * V, mA-class for big
+        // parts.
+        return {Technology::Tantalum, 4.7e-6, 1.5e-3,
+                95.0, 0.80, 1.6, 0.60, 600e-6, 0.40};
+      case Technology::Supercapacitor:
+        // Densest by far and the least leaky, at ohm-class ESR.
+        return {Technology::Supercapacitor, 1e-3, 45e-3,
+                1.05, 0.90, 190.0, 1.0, 2.8e-9, 0.30};
+    }
+    return {};
+}
+
+} // namespace
+
+std::vector<Part>
+generateCatalog(const CatalogOptions &options)
+{
+    log::fatalIf(options.parts_per_technology == 0,
+                 "catalog needs at least one part per technology");
+
+    util::Rng rng(options.seed);
+    std::vector<Part> parts;
+
+    for (Technology tech : {Technology::Electrolytic, Technology::Ceramic,
+                            Technology::Tantalum,
+                            Technology::Supercapacitor}) {
+        const TechLaw law = lawFor(tech);
+        const double lo = std::max(law.min_c,
+                                   options.min_capacitance.value());
+        const double hi = std::min(law.max_c,
+                                   options.max_capacitance.value());
+        for (unsigned i = 0; i < options.parts_per_technology; ++i) {
+            // Log-uniform capacitance across the technology's range.
+            const double c = std::exp(
+                rng.uniform(std::log(lo), std::log(hi)));
+            const double c_mf = c * 1e3;
+
+            Part part;
+            part.technology = tech;
+            part.capacitance = Farads(c);
+            part.volume_mm3 = law.vol_per_mf *
+                              std::pow(c_mf, law.vol_exp) *
+                              std::exp(rng.gaussian(0.0, law.jitter));
+            part.esr = Ohms(law.esr_per_mf /
+                            std::pow(c_mf, law.esr_exp) *
+                            std::exp(rng.gaussian(0.0, law.jitter)));
+            part.leakage = Amps(law.dcl_per_mf * c_mf);
+
+            std::ostringstream number;
+            number << technologyName(tech)[0] << "-"
+                   << unsigned(c * 1e6) << "uF-" << i;
+            part.part_number = number.str();
+            parts.push_back(part);
+        }
+    }
+    return parts;
+}
+
+Part
+referencePart()
+{
+    Part part;
+    part.part_number = "CPX3225A752D";
+    part.technology = Technology::Supercapacitor;
+    part.capacitance = Farads(7.5e-3);
+    part.esr = Ohms(24.0); // Per part; six in parallel give 4 ohm.
+    part.volume_mm3 = 3.2 * 2.5 * 0.9; // 3225 footprint, 0.9 mm profile.
+    part.leakage = Amps(20e-9);
+    return part;
+}
+
+Bank
+referenceBank()
+{
+    return composeBank(referencePart(), Farads(45e-3));
+}
+
+Bank
+composeBank(const Part &part, Farads target)
+{
+    log::fatalIf(part.capacitance.value() <= 0.0,
+                 "part capacitance must be positive");
+    log::fatalIf(target.value() <= 0.0, "target capacitance must be positive");
+
+    Bank bank;
+    bank.part = part;
+    bank.count = unsigned(
+        std::ceil(target.value() / part.capacitance.value()));
+    bank.capacitance = part.capacitance * double(bank.count);
+    bank.esr = Ohms(part.esr.value() / double(bank.count));
+    bank.volume_mm3 = part.volume_mm3 * double(bank.count);
+    bank.leakage = part.leakage * double(bank.count);
+    return bank;
+}
+
+std::vector<Bank>
+composeBanks(const std::vector<Part> &parts, Farads target)
+{
+    std::vector<Bank> banks;
+    banks.reserve(parts.size());
+    for (const auto &part : parts)
+        banks.push_back(composeBank(part, target));
+    return banks;
+}
+
+std::vector<Bank>
+paretoFrontier(std::vector<Bank> banks)
+{
+    std::sort(banks.begin(), banks.end(), [](const Bank &a, const Bank &b) {
+        if (a.volume_mm3 != b.volume_mm3)
+            return a.volume_mm3 < b.volume_mm3;
+        return a.esr < b.esr;
+    });
+    std::vector<Bank> frontier;
+    double best_esr = 1e300;
+    for (const auto &bank : banks) {
+        if (bank.esr.value() < best_esr) {
+            best_esr = bank.esr.value();
+            frontier.push_back(bank);
+        }
+    }
+    return frontier;
+}
+
+const Bank *
+smallestOfTechnology(const std::vector<Bank> &banks, Technology tech)
+{
+    const Bank *best = nullptr;
+    for (const auto &bank : banks) {
+        if (bank.part.technology != tech)
+            continue;
+        if (best == nullptr || bank.volume_mm3 < best->volume_mm3)
+            best = &bank;
+    }
+    return best;
+}
+
+} // namespace culpeo::caps

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Synthetic capacitor part catalog for the Figure 3 design-space study:
+ * volume vs. ESR of 45 mF banks built from different capacitor
+ * technologies.
+ *
+ * The paper scrapes Digikey part metadata; we generate parts from
+ * per-technology scaling laws anchored at the paper's quoted points
+ * (supercap bank: six parts, 20 nA DCL, rice-grain volume, ohm-class
+ * ESR; ceramic: ~10 mOhm per part, >2,000 parts for 45 mF; tantalum:
+ * tens of mA leakage at the small end; electrolytic: pint-glass volumes
+ * for low ESR). A deterministic RNG adds the catalog-like scatter.
+ */
+
+#ifndef CULPEO_CAPS_CATALOG_HPP
+#define CULPEO_CAPS_CATALOG_HPP
+
+#include <string>
+#include <vector>
+
+#include "util/random.hpp"
+#include "util/units.hpp"
+
+namespace culpeo::caps {
+
+using units::Amps;
+using units::Farads;
+using units::Ohms;
+
+/** Capacitor technology family. */
+enum class Technology { Electrolytic, Ceramic, Tantalum, Supercapacitor };
+
+/** Human-readable technology name. */
+const char *technologyName(Technology tech);
+
+/** One purchasable part. */
+struct Part
+{
+    std::string part_number;
+    Technology technology{};
+    Farads capacitance{0.0};
+    Ohms esr{0.0};
+    double volume_mm3 = 0.0;
+    Amps leakage{0.0}; ///< DC leakage (DCL).
+};
+
+/** A parallel bank of identical parts hitting a target capacitance. */
+struct Bank
+{
+    Part part;
+    unsigned count = 0;
+    Farads capacitance{0.0};
+    Ohms esr{0.0};
+    double volume_mm3 = 0.0;
+    Amps leakage{0.0};
+};
+
+/** Catalog generation options. */
+struct CatalogOptions
+{
+    std::uint64_t seed = 2022;
+    unsigned parts_per_technology = 60;
+    /** Part capacitances are sampled in [min, max] log-uniformly. */
+    Farads min_capacitance{1e-6};
+    Farads max_capacitance{45e-3};
+};
+
+/** Generate the full synthetic catalog. */
+std::vector<Part> generateCatalog(const CatalogOptions &options = {});
+
+/**
+ * The paper's own design point ("This work" in Fig. 3): a CPX3225A-class
+ * 7.5 mF dense supercapacitor with 20 nA DCL; six in parallel form the
+ * 45 mF Capybara bank.
+ */
+Part referencePart();
+
+/** The six-part, 45 mF reference bank built from referencePart(). */
+Bank referenceBank();
+
+/**
+ * Compose a parallel bank of @p part reaching at least @p target
+ * capacitance: N parts in parallel give N*C, R/N, N*volume, N*DCL.
+ */
+Bank composeBank(const Part &part, Farads target);
+
+/** Compose one bank per catalog part for @p target capacitance. */
+std::vector<Bank> composeBanks(const std::vector<Part> &parts,
+                               Farads target);
+
+/**
+ * The Pareto frontier of @p banks over (volume, ESR): banks not
+ * dominated by any other bank that is both smaller and lower-ESR.
+ */
+std::vector<Bank> paretoFrontier(std::vector<Bank> banks);
+
+/** Smallest-volume bank of a given technology (the Fig. 3 callouts). */
+const Bank *smallestOfTechnology(const std::vector<Bank> &banks,
+                                 Technology tech);
+
+} // namespace culpeo::caps
+
+#endif // CULPEO_CAPS_CATALOG_HPP

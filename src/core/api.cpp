@@ -1,0 +1,142 @@
+#include "api.hpp"
+
+#include <algorithm>
+
+#include "core/persistence.hpp"
+
+#include "util/logging.hpp"
+
+namespace culpeo::core {
+
+Culpeo::Culpeo(PowerSystemModel model, std::unique_ptr<Profiler> profiler)
+    : model_(model), profiler_(std::move(profiler))
+{
+    log::fatalIf(profiler_ == nullptr, "Culpeo requires a profiler");
+}
+
+void
+Culpeo::profileStart(Volts vterm)
+{
+    profiler_->profileStart(vterm);
+}
+
+void
+Culpeo::profileEnd(TaskId, Volts vterm)
+{
+    profiler_->profileEnd(vterm);
+}
+
+void
+Culpeo::reboundEnd(TaskId id, Volts vterm)
+{
+    const RProfile profile = profiler_->reboundEnd(vterm);
+    if (profile.valid())
+        table_.storeProfile(id, buffer_, profile);
+    else
+        log::warn("discarding inconsistent profile for task ", id);
+}
+
+void
+Culpeo::computeVsafe(TaskId id)
+{
+    const auto profile = table_.profile(id, buffer_);
+    if (!profile.has_value())
+        return; // Unpopulated entry: no-op per Section V-B.
+    table_.storeResult(id, buffer_, culpeoR(*profile, model_));
+}
+
+Volts
+Culpeo::getVsafe(TaskId id) const
+{
+    const auto result = table_.result(id, buffer_);
+    if (!result.has_value())
+        return model_.vhigh;
+    // Never report a Vsafe above what the buffer can hold or below Voff.
+    return Volts(std::clamp(result->vsafe.value(), model_.voff.value(),
+                            model_.vhigh.value()));
+}
+
+Volts
+Culpeo::getVdrop(TaskId id) const
+{
+    const auto result = table_.result(id, buffer_);
+    if (!result.has_value())
+        return Volts(-1.0);
+    return result->vdelta_safe;
+}
+
+void
+Culpeo::importPg(TaskId id, Volts vsafe, Volts vdelta)
+{
+    RResult result;
+    result.vsafe = vsafe;
+    result.vdelta_safe = vdelta;
+    result.vdelta_observed = vdelta;
+    result.vsafe_energy = Volts(
+        std::max(model_.voff.value(), (vsafe - vdelta).value()));
+    table_.storeResult(id, buffer_, result);
+}
+
+void
+Culpeo::invalidate()
+{
+    table_.invalidateAll();
+}
+
+std::vector<std::uint8_t>
+Culpeo::snapshot() const
+{
+    return saveTable(table_);
+}
+
+void
+Culpeo::restore(const std::vector<std::uint8_t> &image)
+{
+    table_ = loadTable(image);
+}
+
+bool
+Culpeo::hasResult(TaskId id) const
+{
+    return table_.result(id, buffer_).has_value();
+}
+
+Volts
+Culpeo::getVsafeMulti(const std::vector<TaskId> &sequence) const
+{
+    std::vector<TaskRequirement> requirements;
+    requirements.reserve(sequence.size());
+    for (TaskId id : sequence) {
+        const auto result = table_.result(id, buffer_);
+        if (!result.has_value()) {
+            // Unknown task: the only safe claim is a full buffer.
+            return model_.vhigh;
+        }
+        requirements.push_back(
+            requirementFrom("task" + std::to_string(id), *result,
+                            model_.voff));
+    }
+    const MultiResult multi = vsafeMulti(requirements, model_.voff);
+    return Volts(std::clamp(multi.vsafe_multi.value(), model_.voff.value(),
+                            model_.vhigh.value()));
+}
+
+bool
+Culpeo::feasible(TaskId id, Volts now) const
+{
+    return feasibleToStart(now, getVsafe(id));
+}
+
+void
+Culpeo::tick(Seconds dt, Volts vterm)
+{
+    profiler_->tick(dt, vterm);
+}
+
+Amps
+Culpeo::overheadCurrent(Volts vout) const
+{
+    return profiler_->overheadCurrent(vout);
+}
+
+} // namespace culpeo::core

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The Culpeo public API (Table I): the interface an intermittent runtime
+ * or scheduler uses to profile tasks and retrieve safe starting voltages.
+ *
+ *   Profile                  Calculate           Access
+ *   profile_start()          compute_vsafe(id)   get_vsafe(id)
+ *   profile_end(id)                              get_vdrop(id)
+ *   rebound_end(id)
+ *
+ * Both Culpeo-R implementations sit behind this facade; Culpeo-PG results
+ * can be imported with importPg() so compile-time values flow through the
+ * same access path.
+ */
+
+#ifndef CULPEO_CORE_API_HPP
+#define CULPEO_CORE_API_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/power_model.hpp"
+#include "core/profile_table.hpp"
+#include "core/profiler.hpp"
+#include "core/vsafe_multi.hpp"
+
+namespace culpeo::core {
+
+/**
+ * The Culpeo charge-management interface. Owns the profiler and the
+ * per-task tables; the embedding runtime drives tick() with the observed
+ * capacitor terminal voltage.
+ */
+class Culpeo
+{
+  public:
+    Culpeo(PowerSystemModel model, std::unique_ptr<Profiler> profiler);
+
+    // --- Table I: Profile ---
+
+    /** Begin profiling the task that is about to run. */
+    void profileStart(Volts vterm);
+
+    /** Task @p id finished; begin rebound tracking. */
+    void profileEnd(TaskId id, Volts vterm);
+
+    /** Rebound settled; store the completed profile for @p id. */
+    void reboundEnd(TaskId id, Volts vterm);
+
+    // --- Table I: Calculate ---
+
+    /**
+     * Run the Culpeo-R math for @p id using the stored profile. A no-op
+     * when the task's profile-table entry is unpopulated (Section V-B).
+     */
+    void computeVsafe(TaskId id);
+
+    // --- Table I: Access ---
+
+    /** Vsafe for @p id; Vhigh when no valid value exists (Section V-B). */
+    Volts getVsafe(TaskId id) const;
+
+    /** Vdelta for @p id; -1 when no valid value exists (Section V-B). */
+    Volts getVdrop(TaskId id) const;
+
+    // --- Extensions ---
+
+    /** Select the active buffer configuration tag for stores and gets. */
+    void setBufferConfig(BufferId buffer) { buffer_ = buffer; }
+    BufferId bufferConfig() const { return buffer_; }
+
+    /** Import a compile-time (Culpeo-PG) result for @p id. */
+    void importPg(TaskId id, Volts vsafe, Volts vdelta);
+
+    /** Re-profiling trigger: drop all stored data. */
+    void invalidate();
+
+    /**
+     * FRAM-style snapshot of all per-task data (see core/persistence):
+     * intermittent devices checkpoint this across power failures.
+     */
+    std::vector<std::uint8_t> snapshot() const;
+
+    /** Replace the tables with the contents of @p image. */
+    void restore(const std::vector<std::uint8_t> &image);
+
+    /** Does @p id have a computed result? */
+    bool hasResult(TaskId id) const;
+
+    /**
+     * Sequence Vsafe (Section IV-A) for tasks run back-to-back; tasks
+     * without results contribute a Vhigh-at-once conservative bound by
+     * raising the result to Vhigh.
+     */
+    Volts getVsafeMulti(const std::vector<TaskId> &sequence) const;
+
+    /** Theorem 1 feasibility check for a single task. */
+    bool feasible(TaskId id, Volts now) const;
+
+    // --- Simulation hooks ---
+
+    /** Advance the profiler's measurement machinery. */
+    void tick(Seconds dt, Volts vterm);
+
+    /** Measurement overhead current to add to the present load. */
+    Amps overheadCurrent(Volts vout) const;
+
+    const PowerSystemModel &model() const { return model_; }
+    const ProfileTable &table() const { return table_; }
+    Profiler &profiler() { return *profiler_; }
+
+  private:
+    PowerSystemModel model_;
+    std::unique_ptr<Profiler> profiler_;
+    ProfileTable table_;
+    BufferId buffer_ = 0;
+};
+
+} // namespace culpeo::core
+
+#endif // CULPEO_CORE_API_HPP

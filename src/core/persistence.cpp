@@ -1,0 +1,209 @@
+#include "persistence.hpp"
+
+#include <cstring>
+
+#include "util/logging.hpp"
+
+namespace culpeo::core {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x43554C50u; // "CULP"
+constexpr std::uint16_t kVersion = 1;
+
+void
+putU16(std::vector<std::uint8_t> &out, std::uint16_t v)
+{
+    out.push_back(std::uint8_t(v & 0xFF));
+    out.push_back(std::uint8_t(v >> 8));
+}
+
+void
+putU32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(std::uint8_t(v >> (8 * i)));
+}
+
+void
+putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(std::uint8_t(v >> (8 * i)));
+}
+
+void
+putDouble(std::vector<std::uint8_t> &out, double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    putU64(out, bits);
+}
+
+/** Byte-order-independent reader with bounds checking. */
+class Reader
+{
+  public:
+    explicit Reader(const std::vector<std::uint8_t> &data) : data_(data) {}
+
+    std::uint16_t
+    u16()
+    {
+        require(2);
+        const std::uint16_t v = std::uint16_t(data_[pos_]) |
+                                std::uint16_t(data_[pos_ + 1]) << 8;
+        pos_ += 2;
+        return v;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        require(4);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= std::uint32_t(data_[pos_ + i]) << (8 * i);
+        pos_ += 4;
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        require(8);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= std::uint64_t(data_[pos_ + i]) << (8 * i);
+        pos_ += 8;
+        return v;
+    }
+
+    double
+    f64()
+    {
+        const std::uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    std::size_t position() const { return pos_; }
+
+  private:
+    const std::vector<std::uint8_t> &data_;
+    std::size_t pos_ = 0;
+
+    void
+    require(std::size_t n) const
+    {
+        log::fatalIf(pos_ + n > data_.size(),
+                     "profile-table image is truncated");
+    }
+};
+
+/** FNV-1a over a byte range: cheap torn-write detection. */
+std::uint64_t
+checksum(const std::uint8_t *data, std::size_t length)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (std::size_t i = 0; i < length; ++i) {
+        hash ^= data[i];
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+saveTable(const ProfileTable &table)
+{
+    std::vector<std::uint8_t> out;
+    putU32(out, kMagic);
+    putU16(out, kVersion);
+
+    const auto profiles = table.allProfiles();
+    const auto results = table.allResults();
+    putU32(out, std::uint32_t(profiles.size()));
+    putU32(out, std::uint32_t(results.size()));
+
+    for (const auto &[task, buffer, profile] : profiles) {
+        putU32(out, task);
+        putU32(out, buffer);
+        putDouble(out, profile.vstart.value());
+        putDouble(out, profile.vmin.value());
+        putDouble(out, profile.vfinal.value());
+    }
+    for (const auto &[task, buffer, result] : results) {
+        putU32(out, task);
+        putU32(out, buffer);
+        putDouble(out, result.vsafe.value());
+        putDouble(out, result.vsafe_energy.value());
+        putDouble(out, result.vdelta_safe.value());
+        putDouble(out, result.vdelta_observed.value());
+    }
+
+    putU64(out, checksum(out.data(), out.size()));
+    return out;
+}
+
+ProfileTable
+loadTable(const std::vector<std::uint8_t> &image)
+{
+    log::fatalIf(image.size() < 4 + 2 + 4 + 4 + 8,
+                 "profile-table image is too small");
+
+    // Verify the trailing checksum before trusting any field.
+    const std::size_t body = image.size() - 8;
+    std::uint64_t stored_sum = 0;
+    for (int i = 0; i < 8; ++i)
+        stored_sum |= std::uint64_t(image[body + i]) << (8 * i);
+    log::fatalIf(checksum(image.data(), body) != stored_sum,
+                 "profile-table image failed its checksum (torn write?)");
+
+    Reader reader(image);
+    log::fatalIf(reader.u32() != kMagic,
+                 "profile-table image has the wrong magic");
+    log::fatalIf(reader.u16() != kVersion,
+                 "profile-table image has an unsupported version");
+
+    const std::uint32_t profile_count = reader.u32();
+    const std::uint32_t result_count = reader.u32();
+
+    ProfileTable table;
+    for (std::uint32_t i = 0; i < profile_count; ++i) {
+        const TaskId task = reader.u32();
+        const BufferId buffer = reader.u32();
+        RProfile profile;
+        profile.vstart = units::Volts(reader.f64());
+        profile.vmin = units::Volts(reader.f64());
+        profile.vfinal = units::Volts(reader.f64());
+        table.storeProfile(task, buffer, profile);
+    }
+    for (std::uint32_t i = 0; i < result_count; ++i) {
+        const TaskId task = reader.u32();
+        const BufferId buffer = reader.u32();
+        RResult result;
+        result.vsafe = units::Volts(reader.f64());
+        result.vsafe_energy = units::Volts(reader.f64());
+        result.vdelta_safe = units::Volts(reader.f64());
+        result.vdelta_observed = units::Volts(reader.f64());
+        table.storeResult(task, buffer, result);
+    }
+    log::fatalIf(reader.position() != body,
+                 "profile-table image has trailing garbage");
+    return table;
+}
+
+bool
+imageIsValid(const std::vector<std::uint8_t> &image)
+{
+    try {
+        loadTable(image);
+        return true;
+    } catch (const log::FatalError &) {
+        return false;
+    }
+}
+
+} // namespace culpeo::core

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Nonvolatile persistence for Culpeo's per-task tables.
+ *
+ * The paper's prototype keeps its profile and Vsafe tables "in-memory"
+ * on an MSP430FR-class MCU — which is FRAM, so the tables survive power
+ * failure. On an SRAM-based part the tables must be explicitly
+ * checkpointed. This module serializes a ProfileTable to a compact,
+ * versioned, checksummed byte image (an FRAM snapshot) and restores it,
+ * rejecting torn or corrupted images — exactly the failure mode an
+ * intermittent device must guard against when it can lose power during
+ * the write itself.
+ */
+
+#ifndef CULPEO_CORE_PERSISTENCE_HPP
+#define CULPEO_CORE_PERSISTENCE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/profile_table.hpp"
+
+namespace culpeo::core {
+
+/** Serialize @p table to a self-validating byte image. */
+std::vector<std::uint8_t> saveTable(const ProfileTable &table);
+
+/**
+ * Restore a table from @p image.
+ * @throws log::FatalError if the image is truncated, has the wrong
+ *         magic/version, or fails its checksum (a torn FRAM write).
+ */
+ProfileTable loadTable(const std::vector<std::uint8_t> &image);
+
+/** True when @p image would load cleanly (no exception probe). */
+bool imageIsValid(const std::vector<std::uint8_t> &image);
+
+} // namespace culpeo::core
+
+#endif // CULPEO_CORE_PERSISTENCE_HPP

@@ -1,0 +1,42 @@
+#include "power_model.hpp"
+
+#include <algorithm>
+
+namespace culpeo::core {
+
+double
+EfficiencyLine::at(Volts v) const
+{
+    return std::clamp(slope * v.value() + intercept, min_eta, max_eta);
+}
+
+PowerSystemModel
+modelFromConfig(const sim::PowerSystemConfig &config)
+{
+    PowerSystemModel model;
+    model.capacitance = config.capacitor.capacitance;
+    // The ESR-vs-frequency curve as a profiling rig would measure it from
+    // the real part (the designer profiles this once, Section IV-B).
+    model.esr = config.capacitor.profiledEsrCurve();
+    model.vhigh = config.monitor.vhigh;
+    model.voff = config.monitor.voff;
+    model.vout = config.output.vout;
+
+    // The designer fits a *conservative* line to the measured efficiency
+    // curve: the tangent line minus the worst droop (curvature at Voff
+    // plus current droop at a mid-range 25 mA load) over the operating
+    // window, so the model never promises more efficiency than the part
+    // delivers.
+    const sim::Efficiency &truth = config.output.efficiency;
+    const sim::Efficiency linear = truth.linearApprox();
+    const double v_span = truth.v_ref - config.monitor.voff.value();
+    const double worst_droop =
+        truth.curvature * v_span * v_span + truth.current_coeff * 0.025;
+    model.efficiency.slope = linear.slope;
+    model.efficiency.intercept = linear.intercept - worst_droop;
+    model.efficiency.min_eta = linear.min_eta;
+    model.efficiency.max_eta = linear.max_eta;
+    return model;
+}
+
+} // namespace culpeo::core

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Culpeo's model of the target power system (Section IV-B): what the
+ * power-system *designer* supplies to the library, independent of any
+ * application load.
+ *
+ * The model deliberately simplifies the physical system: the capacitor is
+ * an ideal C in series with a resistor chosen from a measured
+ * ESR-vs-frequency curve, and the output booster's efficiency is a line
+ * in input voltage. These simplifications are the source of Culpeo-PG's
+ * compounding error on high-energy workloads (Section VII-A).
+ */
+
+#ifndef CULPEO_CORE_POWER_MODEL_HPP
+#define CULPEO_CORE_POWER_MODEL_HPP
+
+#include "sim/capacitor.hpp"
+#include "sim/power_system.hpp"
+#include "util/units.hpp"
+
+namespace culpeo::core {
+
+using units::Amps;
+using units::Farads;
+using units::Hertz;
+using units::Ohms;
+using units::Seconds;
+using units::Volts;
+
+/** Linear efficiency line eta(V) = slope * V + intercept, clamped. */
+struct EfficiencyLine
+{
+    double slope = 0.055;
+    double intercept = 0.70;
+    double min_eta = 0.30;
+    double max_eta = 0.97;
+
+    double at(Volts v) const;
+};
+
+/** Designer-provided description of the power system. */
+struct PowerSystemModel
+{
+    Farads capacitance{45e-3};            ///< Datasheet capacitance.
+    sim::EsrCurve esr = sim::EsrCurve::flat(Ohms(8.0)); ///< Measured curve.
+    Volts vhigh{2.56};
+    Volts voff{1.60};
+    Volts vout{2.55};
+    EfficiencyLine efficiency{};
+
+    /** Operating voltage range Vhigh - Voff. */
+    Volts operatingRange() const { return vhigh - voff; }
+};
+
+/**
+ * Derive the designer model from a simulated power system: datasheet
+ * capacitance, the measured ESR curve, thresholds, and the *linear
+ * approximation* of the booster efficiency (Culpeo never sees the true
+ * curvature/current droop).
+ */
+PowerSystemModel modelFromConfig(const sim::PowerSystemConfig &config);
+
+} // namespace culpeo::core
+
+#endif // CULPEO_CORE_POWER_MODEL_HPP

@@ -1,0 +1,85 @@
+#include "profile_table.hpp"
+
+#include <vector>
+
+namespace culpeo::core {
+
+void
+ProfileTable::storeProfile(TaskId task, BufferId buffer,
+                           const RProfile &profile)
+{
+    profiles_[key(task, buffer)] = profile;
+}
+
+std::optional<RProfile>
+ProfileTable::profile(TaskId task, BufferId buffer) const
+{
+    const auto it = profiles_.find(key(task, buffer));
+    if (it == profiles_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+ProfileTable::storeResult(TaskId task, BufferId buffer, const RResult &result)
+{
+    results_[key(task, buffer)] = result;
+}
+
+std::optional<RResult>
+ProfileTable::result(TaskId task, BufferId buffer) const
+{
+    const auto it = results_.find(key(task, buffer));
+    if (it == results_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::vector<std::tuple<TaskId, BufferId, RProfile>>
+ProfileTable::allProfiles() const
+{
+    std::vector<std::tuple<TaskId, BufferId, RProfile>> entries;
+    entries.reserve(profiles_.size());
+    for (const auto &[k, profile] : profiles_) {
+        entries.emplace_back(TaskId(k & 0xFFFFFFFFu), BufferId(k >> 32),
+                             profile);
+    }
+    return entries;
+}
+
+std::vector<std::tuple<TaskId, BufferId, RResult>>
+ProfileTable::allResults() const
+{
+    std::vector<std::tuple<TaskId, BufferId, RResult>> entries;
+    entries.reserve(results_.size());
+    for (const auto &[k, result] : results_) {
+        entries.emplace_back(TaskId(k & 0xFFFFFFFFu), BufferId(k >> 32),
+                             result);
+    }
+    return entries;
+}
+
+void
+ProfileTable::invalidateAll()
+{
+    profiles_.clear();
+    results_.clear();
+}
+
+void
+ProfileTable::invalidateBuffer(BufferId buffer)
+{
+    auto prune = [buffer](auto &map) {
+        std::vector<Key> doomed;
+        for (const auto &[k, v] : map) {
+            if ((k >> 32) == buffer)
+                doomed.push_back(k);
+        }
+        for (Key k : doomed)
+            map.erase(k);
+    };
+    prune(profiles_);
+    prune(results_);
+}
+
+} // namespace culpeo::core

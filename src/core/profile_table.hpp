@@ -1,0 +1,69 @@
+/**
+ * @file
+ * In-memory per-task measurement and result tables (Section V-B).
+ *
+ * Culpeo-R stores one RProfile per (task, buffer-configuration) pair and,
+ * after compute_vsafe, the derived Vsafe / Vdelta. Devices with
+ * reconfigurable energy buffers tag entries with a buffer identifier so
+ * a later get must name the configuration it wants.
+ */
+
+#ifndef CULPEO_CORE_PROFILE_TABLE_HPP
+#define CULPEO_CORE_PROFILE_TABLE_HPP
+
+#include <cstdint>
+#include <optional>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "core/vsafe_r.hpp"
+
+namespace culpeo::core {
+
+/** Task identifier as used across the Table I API. */
+using TaskId = std::uint32_t;
+
+/** Buffer-configuration identifier (0 = the default buffer). */
+using BufferId = std::uint32_t;
+
+/** Keyed storage of task profiles and computed Vsafe results. */
+class ProfileTable
+{
+  public:
+    void storeProfile(TaskId task, BufferId buffer, const RProfile &profile);
+    std::optional<RProfile> profile(TaskId task, BufferId buffer) const;
+
+    void storeResult(TaskId task, BufferId buffer, const RResult &result);
+    std::optional<RResult> result(TaskId task, BufferId buffer) const;
+
+    /** Drop everything (triggered by a harvestable-power change). */
+    void invalidateAll();
+
+    /** Drop entries for one buffer configuration. */
+    void invalidateBuffer(BufferId buffer);
+
+    std::size_t profileCount() const { return profiles_.size(); }
+    std::size_t resultCount() const { return results_.size(); }
+
+    /** All stored profiles as (task, buffer, profile), unordered. */
+    std::vector<std::tuple<TaskId, BufferId, RProfile>> allProfiles() const;
+
+    /** All stored results as (task, buffer, result), unordered. */
+    std::vector<std::tuple<TaskId, BufferId, RResult>> allResults() const;
+
+  private:
+    using Key = std::uint64_t;
+
+    static Key key(TaskId task, BufferId buffer)
+    {
+        return (Key(buffer) << 32) | Key(task);
+    }
+
+    std::unordered_map<Key, RProfile> profiles_;
+    std::unordered_map<Key, RResult> results_;
+};
+
+} // namespace culpeo::core
+
+#endif // CULPEO_CORE_PROFILE_TABLE_HPP

@@ -1,0 +1,156 @@
+#include "profiler.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace culpeo::core {
+
+IsrProfiler::IsrProfiler(mcu::AdcConfig adc, Seconds rebound_wake)
+    : adc_(adc), rebound_wake_(rebound_wake)
+{
+    log::fatalIf(rebound_wake_.value() <= 0.0,
+                 "rebound wake period must be positive");
+}
+
+void
+IsrProfiler::profileStart(Volts vterm)
+{
+    log::fatalIf(phase_ != Phase::Idle,
+                 "profileStart while a profile is in progress");
+    phase_ = Phase::Task;
+    // The profiling timer free-runs, so its phase relative to the task
+    // is arbitrary; model it half a period in so samples do not line up
+    // with segment boundaries.
+    accumulated_ = 0.5 * adc_.samplePeriod().value();
+    // Vstart is rounded up one LSB: underestimating the start voltage
+    // would underestimate the consumed energy and bias Vsafe unsafe.
+    vstart_ = adc_.readCeil(vterm);
+    vmin_ = adc_.read(vterm);
+    vmax_ = Volts(0.0);
+}
+
+void
+IsrProfiler::profileEnd(Volts vterm)
+{
+    log::fatalIf(phase_ != Phase::Task, "profileEnd without profileStart");
+    // Section V-C: the timer interrupt and ADC are disabled and the MCU
+    // goes to sleep — the minimum is whatever the ISR samples captured.
+    phase_ = Phase::Rebound;
+    accumulated_ = 0.0;
+    vmax_ = adc_.read(vterm);
+}
+
+RProfile
+IsrProfiler::reboundEnd(Volts vterm)
+{
+    log::fatalIf(phase_ != Phase::Rebound, "reboundEnd without profileEnd");
+    vmax_ = std::max(vmax_, adc_.read(vterm));
+    phase_ = Phase::Idle;
+
+    RProfile profile;
+    profile.vstart = vstart_;
+    profile.vmin = vmin_;
+    profile.vfinal = vmax_;
+    return profile;
+}
+
+void
+IsrProfiler::tick(Seconds dt, Volts vterm)
+{
+    if (phase_ == Phase::Idle)
+        return;
+    log::fatalIf(dt.value() <= 0.0, "tick requires dt > 0");
+
+    const double period = phase_ == Phase::Task
+        ? adc_.samplePeriod().value()
+        : rebound_wake_.value();
+    accumulated_ += dt.value();
+    while (accumulated_ >= period) {
+        accumulated_ -= period;
+        const Volts reading = adc_.read(vterm);
+        if (phase_ == Phase::Task)
+            vmin_ = std::min(vmin_, reading);
+        else
+            vmax_ = std::max(vmax_, reading);
+    }
+}
+
+Amps
+IsrProfiler::overheadCurrent(Volts vout) const
+{
+    switch (phase_) {
+      case Phase::Idle:
+        return Amps(0.0);
+      case Phase::Task:
+        // The on-chip ADC is powered for the whole task.
+        return adc_.supplyCurrent(vout);
+      case Phase::Rebound: {
+        // Sleeping MCU, ADC duty-cycled: ~1 ms conversion per wake.
+        const double duty = 1e-3 / rebound_wake_.value();
+        const double power = adc_.config().active_power.value() * duty +
+                             mcu::msp430SleepPower().value();
+        return Amps(power / vout.value());
+      }
+    }
+    return Amps(0.0);
+}
+
+UArchProfiler::UArchProfiler(mcu::AdcConfig adc) : block_(adc) {}
+
+void
+UArchProfiler::profileStart(Volts vterm)
+{
+    log::fatalIf(active_, "profileStart while a profile is in progress");
+    active_ = true;
+    // Section V-D: configure(on), read current value as Vstart, then
+    // prepare(min) and sample(min). Vstart is rounded up one LSB so
+    // quantization cannot underestimate the consumed energy.
+    block_.configure(true);
+    vstart_ = block_.adc().readCeil(vterm);
+    block_.prepare(mcu::CaptureMode::Min);
+    block_.sample(mcu::CaptureMode::Min);
+}
+
+void
+UArchProfiler::profileEnd(Volts)
+{
+    log::fatalIf(!active_, "profileEnd without profileStart");
+    // Table II flow: read() extracts the captured minimum, then the
+    // register is re-armed for maximum (rebound) tracking.
+    vmin_ = block_.readVolts();
+    block_.prepare(mcu::CaptureMode::Max);
+    block_.sample(mcu::CaptureMode::Max);
+}
+
+RProfile
+UArchProfiler::reboundEnd(Volts vterm)
+{
+    log::fatalIf(!active_, "reboundEnd without profileStart");
+    block_.tick(Seconds(1e-6), vterm); // Flush any pending sample point.
+    const Volts vmax = std::max(block_.readVolts(),
+                                block_.adc().toVolts(
+                                    block_.convertNow(vterm)));
+    block_.configure(false);
+    active_ = false;
+
+    RProfile profile;
+    profile.vstart = vstart_;
+    profile.vmin = vmin_;
+    profile.vfinal = vmax;
+    return profile;
+}
+
+void
+UArchProfiler::tick(Seconds dt, Volts vterm)
+{
+    block_.tick(dt, vterm);
+}
+
+Amps
+UArchProfiler::overheadCurrent(Volts vout) const
+{
+    return block_.supplyCurrent(vout);
+}
+
+} // namespace culpeo::core

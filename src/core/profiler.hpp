@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Culpeo-R profiler implementations (Sections V-C and V-D): the machinery
+ * that observes a task's Vstart / Vmin / Vfinal while it runs.
+ *
+ * Profilers are driven by the simulation harness through tick(), which
+ * delivers the evolving capacitor terminal voltage, and report the extra
+ * load current their measurement machinery imposes (the ISR design's ADC
+ * power is charged to the task being profiled, Section V-D).
+ */
+
+#ifndef CULPEO_CORE_PROFILER_HPP
+#define CULPEO_CORE_PROFILER_HPP
+
+#include <memory>
+
+#include "core/vsafe_r.hpp"
+#include "mcu/adc.hpp"
+#include "mcu/uarch_block.hpp"
+
+namespace culpeo::core {
+
+using units::Seconds;
+
+/** Interface shared by the ISR and uArch profilers. */
+class Profiler
+{
+  public:
+    virtual ~Profiler() = default;
+
+    /** Begin profiling: record Vstart, start minimum tracking. */
+    virtual void profileStart(Volts vterm) = 0;
+
+    /** Task finished: freeze the minimum, begin rebound (max) tracking. */
+    virtual void profileEnd(Volts vterm) = 0;
+
+    /** Rebound settled: freeze Vfinal and return the profile. */
+    virtual RProfile reboundEnd(Volts vterm) = 0;
+
+    /** Simulation hook: advance measurement machinery by dt at vterm. */
+    virtual void tick(Seconds dt, Volts vterm) = 0;
+
+    /** Extra load the profiler imposes right now, at supply vout. */
+    virtual Amps overheadCurrent(Volts vout) const = 0;
+
+    /** True between profileStart and reboundEnd. */
+    virtual bool active() const = 0;
+};
+
+/**
+ * Culpeo-R-ISR: a 1 ms hardware timer fires an ISR that reads the MCU's
+ * on-chip 12-bit ADC and updates the minimum; after the task the MCU
+ * sleeps, waking every 50 ms to track the rebound maximum.
+ */
+class IsrProfiler : public Profiler
+{
+  public:
+    explicit IsrProfiler(mcu::AdcConfig adc = mcu::msp430OnChipAdc(),
+                         Seconds rebound_wake = Seconds(50e-3));
+
+    void profileStart(Volts vterm) override;
+    void profileEnd(Volts vterm) override;
+    RProfile reboundEnd(Volts vterm) override;
+    void tick(Seconds dt, Volts vterm) override;
+    Amps overheadCurrent(Volts vout) const override;
+    bool active() const override { return phase_ != Phase::Idle; }
+
+    const mcu::Adc &adc() const { return adc_; }
+
+  private:
+    enum class Phase { Idle, Task, Rebound };
+
+    mcu::Adc adc_;
+    Seconds rebound_wake_;
+    Phase phase_ = Phase::Idle;
+    double accumulated_ = 0.0; ///< Time since the last sample (s).
+    Volts vstart_{0.0};
+    Volts vmin_{0.0};
+    Volts vmax_{0.0};
+};
+
+/**
+ * Culpeo-R-uArch: delegates min/max tracking to the dedicated peripheral
+ * block; the MCU only issues Table II commands at task boundaries.
+ */
+class UArchProfiler : public Profiler
+{
+  public:
+    explicit UArchProfiler(mcu::AdcConfig adc = mcu::dedicated8BitAdc());
+
+    void profileStart(Volts vterm) override;
+    void profileEnd(Volts vterm) override;
+    RProfile reboundEnd(Volts vterm) override;
+    void tick(Seconds dt, Volts vterm) override;
+    Amps overheadCurrent(Volts vout) const override;
+    bool active() const override { return active_; }
+
+    const mcu::UArchBlock &block() const { return block_; }
+
+  private:
+    mcu::UArchBlock block_;
+    bool active_ = false;
+    Volts vstart_{0.0};
+    Volts vmin_{0.0};
+};
+
+} // namespace culpeo::core
+
+#endif // CULPEO_CORE_PROFILER_HPP

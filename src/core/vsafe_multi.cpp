@@ -1,0 +1,90 @@
+#include "vsafe_multi.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace culpeo::core {
+
+TaskRequirement
+requirementFrom(const std::string &name, const RResult &r, Volts voff)
+{
+    TaskRequirement req;
+    req.name = name;
+    req.v_energy = Volts(std::max(0.0, (r.vsafe_energy - voff).value()));
+    req.vdelta = r.vdelta_safe;
+    return req;
+}
+
+TaskRequirement
+requirementFrom(const std::string &name, Volts vsafe, Volts vdelta,
+                Volts voff)
+{
+    TaskRequirement req;
+    req.name = name;
+    req.v_energy =
+        Volts(std::max(0.0, (vsafe - vdelta - voff).value()));
+    req.vdelta = vdelta;
+    return req;
+}
+
+MultiResult
+vsafeMulti(const std::vector<TaskRequirement> &tasks, Volts voff)
+{
+    MultiResult result;
+    result.per_task_vsafe.assign(tasks.size(), Volts(0.0));
+    result.penalties.assign(tasks.size(), Volts(0.0));
+
+    // Backward pass; the requirement after the last task is Voff.
+    Volts v_next = voff;
+    for (std::size_t i = tasks.size(); i-- > 0;) {
+        const auto &task = tasks[i];
+        const Volts drop_floor = voff + task.vdelta;
+        const Volts penalty = drop_floor > v_next
+            ? drop_floor - v_next
+            : Volts(0.0);
+        const Volts vsafe_i = task.v_energy + penalty + v_next;
+        result.penalties[i] = penalty;
+        result.per_task_vsafe[i] = vsafe_i;
+        v_next = vsafe_i;
+    }
+    result.vsafe_multi = tasks.empty() ? voff : result.per_task_vsafe.front();
+    return result;
+}
+
+MultiResult
+vsafeMultiExact(const std::vector<TaskRequirement> &tasks, Volts voff)
+{
+    MultiResult result;
+    result.per_task_vsafe.assign(tasks.size(), Volts(0.0));
+    result.penalties.assign(tasks.size(), Volts(0.0));
+
+    Volts v_next = voff;
+    for (std::size_t i = tasks.size(); i-- > 0;) {
+        const auto &task = tasks[i];
+        const Volts drop_floor = voff + task.vdelta;
+        const Volts base = std::max(v_next, drop_floor);
+        result.penalties[i] = base - v_next;
+
+        // Convert the additive energy increment into a V^2 increment
+        // anchored at Voff, then apply it on top of the base requirement.
+        const double at_floor = (voff + task.v_energy).value();
+        const double energy_sq = at_floor * at_floor -
+                                 voff.value() * voff.value();
+        const double vsafe_sq = base.value() * base.value() + energy_sq;
+        const Volts vsafe_i = Volts(std::sqrt(vsafe_sq));
+        result.per_task_vsafe[i] = vsafe_i;
+        v_next = vsafe_i;
+    }
+    result.vsafe_multi = tasks.empty() ? voff : result.per_task_vsafe.front();
+    return result;
+}
+
+bool
+feasibleToStart(Volts now, Volts vsafe)
+{
+    return now >= vsafe;
+}
+
+} // namespace culpeo::core

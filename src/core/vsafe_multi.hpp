@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Vsafe composition for task sequences (Section IV-A).
+ *
+ * A scheduler that wants to run tasks e0..en back-to-back in a single
+ * discharge needs a starting voltage that satisfies every task's energy
+ * *and* every task's transient ESR drop. The paper composes per-task
+ * requirements backwards with a penalty term:
+ *
+ *   penalty_i = max(0, Voff + Vdelta_i - Vsafe_{i+1})
+ *   Vsafe_i   = V(E_i) + penalty_i + Vsafe_{i+1},  Vsafe_{n+1} = Voff
+ *
+ * If the follower's requirement is already above the drop floor, the
+ * rebound "repays" the drop and no penalty accrues.
+ *
+ * We provide the paper's additive formulation plus an exact energy-domain
+ * variant (requirements composed as V^2 increments) used by the penalty
+ * ablation bench.
+ */
+
+#ifndef CULPEO_CORE_VSAFE_MULTI_HPP
+#define CULPEO_CORE_VSAFE_MULTI_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/power_model.hpp"
+#include "core/vsafe_r.hpp"
+
+namespace culpeo::core {
+
+/** Per-task requirement fed into the sequence composition. */
+struct TaskRequirement
+{
+    std::string name;
+    /** Voltage increment (above the follower's requirement) that covers
+     * the task's consumed energy: V(E_i). */
+    Volts v_energy{0.0};
+    /** Worst-case transient ESR drop of the task: Vdelta_i. */
+    Volts vdelta{0.0};
+};
+
+/** Build a requirement from a Culpeo-R result. */
+TaskRequirement requirementFrom(const std::string &name, const RResult &r,
+                                Volts voff);
+
+/** Build a requirement from a (vsafe, vdelta) pair, e.g. Culpeo-PG. */
+TaskRequirement requirementFrom(const std::string &name, Volts vsafe,
+                                Volts vdelta, Volts voff);
+
+/** Composition result: the sequence Vsafe plus per-task detail. */
+struct MultiResult
+{
+    Volts vsafe_multi{0.0};
+    std::vector<Volts> per_task_vsafe; ///< Vsafe_i for each suffix.
+    std::vector<Volts> penalties;      ///< penalty_i for each task.
+};
+
+/** The paper's additive composition. */
+MultiResult vsafeMulti(const std::vector<TaskRequirement> &tasks, Volts voff);
+
+/**
+ * Exact energy-domain composition: each task's energy increment is
+ * applied in the V^2 domain on top of max(follower requirement, drop
+ * floor). Slightly tighter than the additive form; used for ablation.
+ */
+MultiResult vsafeMultiExact(const std::vector<TaskRequirement> &tasks,
+                            Volts voff);
+
+/**
+ * The corrected feasibility test of Theorem 1: a task may start iff the
+ * current voltage is at or above its (sequence) Vsafe.
+ */
+bool feasibleToStart(Volts now, Volts vsafe);
+
+} // namespace culpeo::core
+
+#endif // CULPEO_CORE_VSAFE_MULTI_HPP

@@ -1,0 +1,105 @@
+#include "vsafe_pg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace culpeo::core {
+
+namespace {
+
+/**
+ * Width of the longest run of samples at or above 10% of the trace peak;
+ * "excluding high frequency noise" (Section IV-B) by ignoring sub-peak
+ * blips shorter than one sample period automatically.
+ */
+Seconds
+widestPulse(const load::SampledTrace &trace)
+{
+    Amps peak{0.0};
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        peak = std::max(peak, trace[i]);
+    const Amps threshold = peak * 0.1;
+
+    std::size_t widest = 0;
+    std::size_t run = 0;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        if (peak.value() > 0.0 && trace[i] >= threshold) {
+            ++run;
+            widest = std::max(widest, run);
+        } else {
+            run = 0;
+        }
+    }
+    const double period = trace.samplePeriod().value();
+    return Seconds(std::max(double(widest), 1.0) * period);
+}
+
+} // namespace
+
+PgResult
+culpeoPg(const load::SampledTrace &trace, const PowerSystemModel &model)
+{
+    PgResult result;
+    result.vsafe = model.voff;
+
+    if (trace.size() == 0)
+        return result;
+
+    result.esr_used = model.esr.forPulseWidth(widestPulse(trace));
+
+    const double dt = trace.samplePeriod().value();
+    const double c = model.capacitance.value();
+    const double vout = model.vout.value();
+    const double voff = model.voff.value();
+    const double r = result.esr_used.value();
+    const double eta_off = model.efficiency.at(model.voff);
+
+    // Backward pass (Algorithm 1). v_req holds V[i+1]: the requirement of
+    // everything after the current step; the base case is Voff.
+    double v_req = voff;
+    double max_drop = 0.0;
+    for (std::size_t idx = trace.size(); idx-- > 0;) {
+        const double i_load = trace[idx].value();
+
+        // Estimate Vcap during this step by the post-step requirement:
+        // conservative, since a lower Vcap draws more input current.
+        const double vcap_est = std::max(v_req, voff);
+        const double eta = model.efficiency.at(Volts(vcap_est));
+
+        // Current out of the capacitor (line 8), efficiency taken at
+        // Voff as the conservative bound.
+        const double i_in = i_load * vout / (eta_off * vcap_est);
+
+        // Energy drawn from the buffer by this step (line 6): the power
+        // delivered into the booster plus the power the buffer's own ESR
+        // dissipates while sourcing it.
+        const double energy =
+            (i_load * vout / eta + i_in * i_in * r) * dt;
+
+        // ESR drop this step (line 9) and resulting voltage floor
+        // (line 10).
+        const double v_delta = i_in * r;
+        max_drop = std::max(max_drop, v_delta);
+        const double v_penalty = std::max(voff + v_delta, v_req);
+
+        // Raise the requirement by this step's energy in the V^2 domain
+        // (line 11).
+        v_req = std::sqrt(2.0 * energy / c + v_penalty * v_penalty);
+    }
+
+    result.vsafe = Volts(v_req);
+    result.vdelta = Volts(max_drop);
+    return result;
+}
+
+PgResult
+culpeoPg(const load::CurrentProfile &profile, const PowerSystemModel &model,
+         Hertz rate)
+{
+    return culpeoPg(load::SampledTrace::fromProfile(profile, rate), model);
+}
+
+} // namespace culpeo::core

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Culpeo-PG: the compile-time, profile-guided Vsafe calculation
+ * (Algorithm 1 of the paper).
+ *
+ * Input: a uniformly sampled current trace of a task (captured on a
+ * continuously powered rig) and the designer's power-system model.
+ * Output: the safe starting voltage Vsafe and the worst ESR drop Vdelta
+ * observed by the model.
+ *
+ * The algorithm walks the trace *backwards*, maintaining the voltage
+ * requirement of the remainder of the trace; each step adds its energy
+ * requirement in the energy (V^2) domain and raises the floor to survive
+ * its ESR drop.
+ */
+
+#ifndef CULPEO_CORE_VSAFE_PG_HPP
+#define CULPEO_CORE_VSAFE_PG_HPP
+
+#include "core/power_model.hpp"
+#include "load/profile.hpp"
+
+namespace culpeo::core {
+
+/** Result of a profile-guided Vsafe computation. */
+struct PgResult
+{
+    Volts vsafe{0.0};  ///< Minimum safe starting voltage.
+    Volts vdelta{0.0}; ///< Largest single-step ESR drop in the model.
+    Ohms esr_used{0.0}; ///< ESR picked from the frequency curve.
+};
+
+/**
+ * Algorithm 1: compute Vsafe for @p trace under @p model.
+ *
+ * The ESR value is picked from the model's frequency curve using the
+ * width of the widest current pulse in the trace (excluding noise below
+ * 10% of the peak), per Section IV-B.
+ */
+PgResult culpeoPg(const load::SampledTrace &trace,
+                  const PowerSystemModel &model);
+
+/** Convenience: sample @p profile at @p rate (default 125 kHz) first. */
+PgResult culpeoPg(const load::CurrentProfile &profile,
+                  const PowerSystemModel &model,
+                  Hertz rate = Hertz(125e3));
+
+} // namespace culpeo::core
+
+#endif // CULPEO_CORE_VSAFE_PG_HPP

@@ -1,0 +1,48 @@
+#include "vsafe_r.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace culpeo::core {
+
+RResult
+culpeoR(const RProfile &profile, const PowerSystemModel &model)
+{
+    log::fatalIf(!profile.valid(),
+                 "culpeoR requires a populated, consistent profile");
+
+    RResult result;
+    const double voff = model.voff.value();
+    const double vstart = profile.vstart.value();
+    const double vmin = profile.vmin.value();
+    // Rebound can only restore voltage; clamp against sampling noise.
+    const double vfinal = std::max(profile.vfinal.value(), vmin);
+
+    // Observed ESR drop: the rebound height (Figure 8a).
+    const double vdelta = vfinal - vmin;
+    result.vdelta_observed = Volts(vdelta);
+
+    // Equation 1c: scale the observed drop to what it would be at Voff,
+    // where the booster draws more current at lower efficiency.
+    const double eta_min = model.efficiency.at(Volts(vmin));
+    const double eta_off = model.efficiency.at(model.voff);
+    const double vdelta_safe = vdelta * (vmin * eta_min) / (voff * eta_off);
+    result.vdelta_safe = Volts(vdelta_safe);
+
+    // Equation 3: energy component, collapsing eta(V) to constants known
+    // at compile time (eta at Vstart on the measured side, eta at Voff on
+    // the extrapolated side).
+    const double eta_start = model.efficiency.at(profile.vstart);
+    const double vsafe_e_sq = eta_start / eta_off *
+                                  (vstart * vstart - vfinal * vfinal) +
+                              voff * voff;
+    const double vsafe_e = std::sqrt(std::max(vsafe_e_sq, voff * voff));
+    result.vsafe_energy = Volts(vsafe_e);
+
+    result.vsafe = Volts(vsafe_e + vdelta_safe);
+    return result;
+}
+
+} // namespace culpeo::core

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Culpeo-R: the runtime Vsafe calculation (Section IV-D).
+ *
+ * From only three measured voltages — Vstart, the minimum voltage during
+ * the task Vmin, and the rebound-settled final voltage Vfinal — Culpeo-R
+ * computes:
+ *
+ *   Vdelta       = Vfinal - Vmin                       (observed ESR drop)
+ *   Vdelta_safe  = Vdelta * (Vmin * eta(Vmin)) / (Voff * eta(Voff)) (Eq 1c)
+ *   Vsafe_E^2    = eta(Vstart)/eta(Voff) * (Vstart^2 - Vfinal^2) + Voff^2
+ *                                                       (Eq 3)
+ *   Vsafe        = Vsafe_E + Vdelta_safe
+ *
+ * so the task can be profiled from an *arbitrary* starting voltage and
+ * the estimate extrapolated to the worst case at Voff.
+ */
+
+#ifndef CULPEO_CORE_VSAFE_R_HPP
+#define CULPEO_CORE_VSAFE_R_HPP
+
+#include "core/power_model.hpp"
+
+namespace culpeo::core {
+
+/** The three-point measurement a Culpeo-R profiler captures per task. */
+struct RProfile
+{
+    Volts vstart{0.0}; ///< Terminal voltage when the task began.
+    Volts vmin{0.0};   ///< Minimum terminal voltage during the task.
+    Volts vfinal{0.0}; ///< Settled voltage after the post-task rebound.
+
+    bool valid() const
+    {
+        return vstart.value() > 0.0 && vmin.value() > 0.0 &&
+               vfinal.value() > 0.0 && vmin <= vstart;
+    }
+};
+
+/** Result of the runtime Vsafe computation. */
+struct RResult
+{
+    Volts vsafe{0.0};       ///< Safe starting voltage.
+    Volts vsafe_energy{0.0}; ///< Energy component (Vsafe_E, Eq. 3).
+    Volts vdelta_safe{0.0}; ///< Worst-case ESR drop component (Eq. 1c).
+    Volts vdelta_observed{0.0}; ///< Raw Vfinal - Vmin measurement.
+};
+
+/**
+ * The Culpeo-R closed-form calculation. @p profile must be valid();
+ * callers feed ADC-quantized voltages so the result reflects the
+ * profiler's precision.
+ */
+RResult culpeoR(const RProfile &profile, const PowerSystemModel &model);
+
+} // namespace culpeo::core
+
+#endif // CULPEO_CORE_VSAFE_R_HPP

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The energy-only Vsafe estimators Culpeo is compared against
+ * (Sections II-D and VII):
+ *
+ *  - Energy-Direct: oracle knowledge of the task's energy draw, mapped
+ *    to a voltage via E = 1/2 C V^2.
+ *  - Energy-V: end-to-end voltage-as-energy approximation using the
+ *    fully rebounded start/final voltages.
+ *  - CatNap-Measured: the published CatNap approach — capacitor voltage
+ *    sampled immediately at task completion, before the ESR drop
+ *    rebounds.
+ *  - CatNap-Slow: the same measurement taken 2 ms after completion.
+ *
+ * All of these ignore the transient ESR drop (or capture it only by
+ * accident of measurement timing), which is precisely the failure the
+ * paper demonstrates.
+ */
+
+#ifndef CULPEO_HARNESS_BASELINES_HPP
+#define CULPEO_HARNESS_BASELINES_HPP
+
+#include "harness/task_runner.hpp"
+
+namespace culpeo::harness {
+
+/** All baseline estimates derived from one profiling execution. */
+struct BaselineEstimates
+{
+    Volts energy_direct{0.0};
+    Volts energy_v{0.0};
+    Volts catnap_measured{0.0};
+    Volts catnap_slow{0.0};
+    RunResult run; ///< The profiling run the estimates came from.
+};
+
+/**
+ * Profile @p profile once from a full buffer on an isolated copy of
+ * @p config and compute every baseline estimate.
+ *
+ * @param slow_delay measurement delay for CatNap-Slow (paper: 2 ms).
+ */
+BaselineEstimates estimateBaselines(const sim::PowerSystemConfig &config,
+                                    const load::CurrentProfile &profile,
+                                    units::Seconds slow_delay =
+                                        units::Seconds(2e-3));
+
+} // namespace culpeo::harness
+
+#endif // CULPEO_HARNESS_BASELINES_HPP

@@ -1,0 +1,57 @@
+#include "ground_truth.hpp"
+
+#include "util/logging.hpp"
+
+namespace culpeo::harness {
+
+bool
+completesFrom(const sim::PowerSystemConfig &config, Volts vstart,
+              const load::CurrentProfile &profile)
+{
+    RunOptions options;
+    options.dt = chooseDt(profile);
+    options.settle_rebound = false;
+    const RunResult result = runTaskFrom(config, vstart, profile, options);
+    return result.completed;
+}
+
+GroundTruth
+findTrueVsafe(const sim::PowerSystemConfig &config,
+              const load::CurrentProfile &profile, Volts resolution)
+{
+    log::fatalIf(resolution.value() <= 0.0, "resolution must be positive");
+
+    GroundTruth truth;
+    Volts lo = config.monitor.voff;
+    Volts hi = config.monitor.vhigh;
+
+    // The search needs a passing upper bound.
+    ++truth.trials;
+    if (!completesFrom(config, hi, profile)) {
+        truth.feasible = false;
+        truth.vsafe = hi;
+        return truth;
+    }
+    truth.feasible = true;
+
+    while (hi - lo > resolution) {
+        const Volts mid = Volts((hi.value() + lo.value()) / 2.0);
+        ++truth.trials;
+        if (completesFrom(config, mid, profile))
+            hi = mid;
+        else
+            lo = mid;
+    }
+    truth.vsafe = hi;
+
+    // Record the margin the found Vsafe leaves above Voff.
+    RunOptions options;
+    options.dt = chooseDt(profile);
+    options.settle_rebound = false;
+    const RunResult at_vsafe = runTaskFrom(config, hi, profile, options);
+    truth.vmin_at_vsafe = at_vsafe.vmin;
+    ++truth.trials;
+    return truth;
+}
+
+} // namespace culpeo::harness

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Known-good Vsafe by brute-force binary search (Section VI-A): the test
+ * harness repeatedly runs a load profile from candidate starting
+ * voltages, isolated from incoming power, until it finds the lowest
+ * start at which the minimum voltage stays at or above Voff.
+ */
+
+#ifndef CULPEO_HARNESS_GROUND_TRUTH_HPP
+#define CULPEO_HARNESS_GROUND_TRUTH_HPP
+
+#include <optional>
+
+#include "harness/task_runner.hpp"
+
+namespace culpeo::harness {
+
+/** Result of the brute-force search. */
+struct GroundTruth
+{
+    Volts vsafe{0.0};    ///< Lowest passing start voltage found.
+    bool feasible = false; ///< False if even Vhigh fails.
+    Volts vmin_at_vsafe{0.0}; ///< Minimum voltage when started at vsafe.
+    unsigned trials = 0;  ///< Number of simulated executions.
+};
+
+/**
+ * Binary-search the true Vsafe of @p profile on @p config to within
+ * @p resolution (the paper converges until Vmin is within 5 mV of Voff).
+ */
+GroundTruth findTrueVsafe(const sim::PowerSystemConfig &config,
+                          const load::CurrentProfile &profile,
+                          Volts resolution = Volts(1e-3));
+
+/**
+ * Does @p profile complete when started at @p vstart with no incoming
+ * power? (One isolated trial.)
+ */
+bool completesFrom(const sim::PowerSystemConfig &config, Volts vstart,
+                   const load::CurrentProfile &profile);
+
+} // namespace culpeo::harness
+
+#endif // CULPEO_HARNESS_GROUND_TRUTH_HPP

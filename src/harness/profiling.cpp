@@ -1,0 +1,89 @@
+#include "profiling.hpp"
+
+#include "util/logging.hpp"
+
+namespace culpeo::harness {
+
+ProfileOutcome
+profileTask(sim::PowerSystem &system, core::Culpeo &culpeo, core::TaskId id,
+            const load::CurrentProfile &profile, RunOptions options)
+{
+    ProfileOutcome outcome;
+
+    culpeo.profileStart(system.restingVoltage());
+
+    RunOptions task_options = options;
+    task_options.culpeo = &culpeo;
+    task_options.settle_rebound = false;
+    outcome.run = runTask(system, profile, task_options);
+
+    culpeo.profileEnd(id, outcome.run.vend_loaded);
+
+    const Volts vfinal = settleRebound(system, options, &culpeo);
+    outcome.run.vfinal = vfinal;
+    outcome.run.settle_end = system.now();
+    culpeo.reboundEnd(id, vfinal);
+
+    if (!outcome.run.completed) {
+        // A browned-out profiling run is useless; drop any stored entry.
+        log::warn("profiling run for task ", id, " failed; discarding");
+        return outcome;
+    }
+
+    culpeo.computeVsafe(id);
+    const auto stored =
+        culpeo.table().result(id, culpeo.bufferConfig());
+    if (stored.has_value()) {
+        outcome.result = *stored;
+        outcome.stored = true;
+    }
+    return outcome;
+}
+
+ProfileOutcome
+profileTaskFrom(const sim::PowerSystemConfig &config, Volts vstart,
+                core::Culpeo &culpeo, core::TaskId id,
+                const load::CurrentProfile &profile, RunOptions options)
+{
+    sim::PowerSystem system(config);
+    system.setBufferVoltage(vstart);
+    system.forceOutputEnabled(true);
+    if (options.dt.value() == RunOptions{}.dt.value())
+        options.dt = chooseDt(profile);
+    return profileTask(system, culpeo, id, profile, options);
+}
+
+units::Ohms
+measureApparentEsr(const sim::CapacitorConfig &config, units::Amps i_pulse,
+                   units::Seconds width, Volts vstart)
+{
+    log::fatalIf(i_pulse.value() <= 0.0, "probe current must be positive");
+    sim::Capacitor cap(config);
+    cap.setOpenCircuitVoltage(vstart);
+
+    const double dt = std::max(width.value() / 200.0, 1e-6);
+    double elapsed = 0.0;
+    while (elapsed < width.value()) {
+        cap.step(units::Seconds(dt), i_pulse);
+        elapsed += dt;
+    }
+    const Volts voc = cap.openCircuitVoltage();
+    const Volts vterm = cap.terminalVoltage(i_pulse);
+    return units::Ohms((voc - vterm).value() / i_pulse.value());
+}
+
+sim::EsrCurve
+measureEsrCurve(const sim::CapacitorConfig &config, units::Amps i_pulse,
+                const std::vector<units::Seconds> &widths, Volts vstart)
+{
+    std::vector<sim::EsrCurve::Point> points;
+    points.reserve(widths.size());
+    for (const auto width : widths) {
+        points.push_back({units::Hertz(1.0 / (2.0 * width.value())),
+                          measureApparentEsr(config, i_pulse, width,
+                                             vstart)});
+    }
+    return sim::EsrCurve(std::move(points));
+}
+
+} // namespace culpeo::harness

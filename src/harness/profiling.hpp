@@ -1,0 +1,64 @@
+/**
+ * @file
+ * End-to-end Culpeo-R profiling of a task on the simulator: drives the
+ * Table I call sequence (profile_start → run task → profile_end →
+ * rebound → rebound_end → compute_vsafe) exactly as a scheduler would
+ * (Section V-B), and measures the apparent ESR of a capacitor the way a
+ * characterization rig would (Section IV-B).
+ */
+
+#ifndef CULPEO_HARNESS_PROFILING_HPP
+#define CULPEO_HARNESS_PROFILING_HPP
+
+#include "core/api.hpp"
+#include "harness/task_runner.hpp"
+
+namespace culpeo::harness {
+
+/** Outcome of one profiling execution. */
+struct ProfileOutcome
+{
+    RunResult run;            ///< The profiling execution itself.
+    core::RResult result{};   ///< Computed Vsafe data (when successful).
+    bool stored = false;      ///< Profile stored and Vsafe computed.
+};
+
+/**
+ * Profile task @p id by executing @p profile on @p system with
+ * @p culpeo's profiler attached, then compute its Vsafe. The system
+ * should be charged and its output enabled; profiling failures (task
+ * browned out) leave the table unpopulated.
+ */
+ProfileOutcome profileTask(sim::PowerSystem &system, core::Culpeo &culpeo,
+                           core::TaskId id,
+                           const load::CurrentProfile &profile,
+                           RunOptions options = {});
+
+/**
+ * Charge an isolated copy of @p config to @p vstart and profile there
+ * (the one-time pre-deployment profiling pass used when harvested power
+ * is stable, Section VI-B).
+ */
+ProfileOutcome profileTaskFrom(const sim::PowerSystemConfig &config,
+                               Volts vstart, core::Culpeo &culpeo,
+                               core::TaskId id,
+                               const load::CurrentProfile &profile,
+                               RunOptions options = {});
+
+/**
+ * Measure the apparent ESR of @p config for a current pulse of
+ * @p width at @p i_pulse, as (Voc - Vterm) / I at the end of the pulse.
+ */
+units::Ohms measureApparentEsr(const sim::CapacitorConfig &config,
+                               units::Amps i_pulse, units::Seconds width,
+                               Volts vstart = Volts(2.5));
+
+/** Measure the full ESR-vs-frequency curve over @p widths. */
+sim::EsrCurve measureEsrCurve(const sim::CapacitorConfig &config,
+                              units::Amps i_pulse,
+                              const std::vector<units::Seconds> &widths,
+                              Volts vstart = Volts(2.5));
+
+} // namespace culpeo::harness
+
+#endif // CULPEO_HARNESS_PROFILING_HPP

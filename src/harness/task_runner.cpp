@@ -1,0 +1,107 @@
+#include "task_runner.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace culpeo::harness {
+
+Seconds
+chooseDt(const load::CurrentProfile &profile)
+{
+    // Resolve the shortest segment with at least 20 steps, but never
+    // step coarser than 100 us or finer than 5 us.
+    double shortest = 0.1;
+    for (const auto &seg : profile.segments())
+        shortest = std::min(shortest, seg.duration.value());
+    return Seconds(std::clamp(shortest / 20.0, 5e-6, 100e-6));
+}
+
+RunResult
+runTask(sim::PowerSystem &system, const load::CurrentProfile &profile,
+        const RunOptions &options)
+{
+    log::fatalIf(options.dt.value() <= 0.0, "run dt must be positive");
+
+    RunResult result;
+    result.vstart = system.restingVoltage();
+    result.vmin = result.vstart;
+    result.vend_loaded = result.vstart;
+
+    core::Culpeo *culpeo = options.culpeo;
+    const Volts vout = system.vout();
+    const Seconds duration = profile.duration();
+    const double dt = options.dt.value();
+
+    bool failed = false;
+    Seconds offset{0.0};
+    while (offset < duration) {
+        Amps demand = profile.currentAt(offset);
+        if (culpeo != nullptr)
+            demand += culpeo->overheadCurrent(vout);
+
+        const sim::StepResult step = system.step(options.dt, demand);
+        result.vmin = std::min(result.vmin, step.terminal);
+        result.vend_loaded = step.terminal;
+        if (culpeo != nullptr)
+            culpeo->tick(options.dt, step.terminal);
+
+        if (step.power_failed || step.collapsed) {
+            result.power_failed = result.power_failed || step.power_failed;
+            result.collapsed = result.collapsed || step.collapsed;
+            failed = true;
+            if (options.stop_on_failure)
+                break;
+        }
+        offset += Seconds(dt);
+    }
+    result.completed = !failed;
+    result.task_end = system.now();
+
+    // Let the ESR drop rebound with no load, tracking the recovery, so
+    // Vfinal reflects the post-redistribution voltage (Figure 8a).
+    result.vfinal = system.restingVoltage();
+    if (options.settle_rebound)
+        result.vfinal = settleRebound(system, options, culpeo);
+    result.settle_end = system.now();
+    return result;
+}
+
+Volts
+settleRebound(sim::PowerSystem &system, const RunOptions &options,
+              core::Culpeo *culpeo)
+{
+    const Volts vout = system.vout();
+    const Seconds deadline = system.now() + options.settle_timeout;
+    Volts window_start = system.restingVoltage();
+    Seconds window_elapsed{0.0};
+    while (system.now() < deadline) {
+        Amps demand{0.0};
+        if (culpeo != nullptr)
+            demand += culpeo->overheadCurrent(vout);
+        const sim::StepResult step = system.step(options.settle_dt, demand);
+        if (culpeo != nullptr)
+            culpeo->tick(options.settle_dt, step.terminal);
+
+        window_elapsed += options.settle_dt;
+        if (window_elapsed >= options.settle_window) {
+            if (step.terminal - window_start < options.settle_epsilon)
+                break;
+            window_start = step.terminal;
+            window_elapsed = Seconds(0.0);
+        }
+    }
+    return system.restingVoltage();
+}
+
+RunResult
+runTaskFrom(const sim::PowerSystemConfig &config, Volts vstart,
+            const load::CurrentProfile &profile, const RunOptions &options)
+{
+    sim::PowerSystem system(config);
+    system.setBufferVoltage(vstart);
+    system.forceOutputEnabled(true);
+    return runTask(system, profile, options);
+}
+
+} // namespace culpeo::harness

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Drives a load profile on the simulated power system, mirroring the
+ * paper's hardware test harness (Section VI-A): charge to a chosen
+ * voltage, apply the load, observe whether the device browns out, and
+ * optionally wait out the post-task rebound to capture Vfinal.
+ *
+ * When a Culpeo instance is attached, its profiler is ticked with the
+ * evolving terminal voltage and its measurement overhead current is
+ * added to the task load (the ISR design pays for its own ADC).
+ */
+
+#ifndef CULPEO_HARNESS_TASK_RUNNER_HPP
+#define CULPEO_HARNESS_TASK_RUNNER_HPP
+
+#include "core/api.hpp"
+#include "load/profile.hpp"
+#include "sim/power_system.hpp"
+
+namespace culpeo::harness {
+
+using units::Amps;
+using units::Seconds;
+using units::Volts;
+
+/** Controls for one task execution. */
+struct RunOptions
+{
+    /** Simulation step during the task. */
+    Seconds dt{50e-6};
+    /** Simulation step while waiting out the rebound. */
+    Seconds settle_dt{1e-3};
+    /** Wait for the rebound to settle after the task. */
+    bool settle_rebound = true;
+    /**
+     * Give up waiting for settle after this long. The default covers
+     * ~7 redistribution time constants of the Capybara bank; it must
+     * stay bounded because with incoming power the voltage never stops
+     * rising, and crediting charging time against the task would
+     * corrupt the profiled energy.
+     */
+    Seconds settle_timeout{0.4};
+    /** Rebound is settled once it gains less than this per window. */
+    Volts settle_epsilon{0.2e-3};
+    /** Window over which settle_epsilon is evaluated. */
+    Seconds settle_window{20e-3};
+    /** Attached Culpeo instance (profiling overhead + ticks), or null. */
+    core::Culpeo *culpeo = nullptr;
+    /** Abort the run at the first brown-out (a real device would). */
+    bool stop_on_failure = true;
+};
+
+/** Outcome of one task execution. */
+struct RunResult
+{
+    bool completed = false;    ///< All load served without brown-out.
+    bool power_failed = false; ///< Monitor crossed Voff during the task.
+    bool collapsed = false;    ///< Booster could not source the power.
+    Volts vstart{0.0};         ///< Resting terminal voltage at start.
+    Volts vmin{0.0};           ///< Minimum terminal voltage during task.
+    Volts vend_loaded{0.0};    ///< Terminal voltage at the last loaded step.
+    Volts vfinal{0.0};         ///< Settled terminal voltage after rebound.
+    Seconds task_end{0.0};     ///< Simulation time when the load ended.
+    Seconds settle_end{0.0};   ///< Simulation time when settle finished.
+};
+
+/**
+ * Run @p profile on @p system from its current state. The monitor state
+ * is left as configured by the caller (force it on for isolated harness
+ * runs).
+ */
+RunResult runTask(sim::PowerSystem &system,
+                  const load::CurrentProfile &profile,
+                  const RunOptions &options = {});
+
+/**
+ * Idle the system until the post-load rebound settles (gain below
+ * options.settle_epsilon per settle_window) or settle_timeout elapses.
+ * Returns the settled resting voltage. Ticks/charges @p culpeo's
+ * profiler when non-null.
+ */
+Volts settleRebound(sim::PowerSystem &system, const RunOptions &options,
+                    core::Culpeo *culpeo);
+
+/**
+ * Convenience: build an isolated system at @p vstart (settled, output
+ * forced on, no harvester) and run @p profile on it.
+ */
+RunResult runTaskFrom(const sim::PowerSystemConfig &config, Volts vstart,
+                      const load::CurrentProfile &profile,
+                      const RunOptions &options = {});
+
+/** Pick a task simulation step that resolves @p profile's features. */
+Seconds chooseDt(const load::CurrentProfile &profile);
+
+} // namespace culpeo::harness
+
+#endif // CULPEO_HARNESS_TASK_RUNNER_HPP

@@ -1,0 +1,140 @@
+#include "library.hpp"
+
+#include <sstream>
+
+namespace culpeo::load {
+
+using units::literals::operator""_mA;
+using units::literals::operator""_ms;
+using units::literals::operator""_s;
+
+namespace {
+
+std::string
+pointName(const char *kind, Amps i, Seconds t)
+{
+    std::ostringstream os;
+    os << kind << "_" << i.value() * 1e3 << "mA_" << t.value() * 1e3 << "ms";
+    return os.str();
+}
+
+} // namespace
+
+CurrentProfile
+uniform(Amps i_load, Seconds t_pulse)
+{
+    return CurrentProfile(pointName("uniform", i_load, t_pulse),
+                          {{t_pulse, i_load}});
+}
+
+Amps
+computeTailCurrent()
+{
+    return 1.5_mA;
+}
+
+CurrentProfile
+pulseWithCompute(Amps i_load, Seconds t_pulse)
+{
+    return CurrentProfile(pointName("pulse", i_load, t_pulse),
+                          {{t_pulse, i_load},
+                           {100.0_ms, computeTailCurrent()}});
+}
+
+std::vector<SyntheticPoint>
+figure10Sweep()
+{
+    return {
+        {5.0_mA, 100.0_ms},  {10.0_mA, 100.0_ms}, {5.0_mA, 10.0_ms},
+        {10.0_mA, 10.0_ms},  {25.0_mA, 10.0_ms},  {50.0_mA, 10.0_ms},
+        {10.0_mA, 1.0_ms},   {25.0_mA, 1.0_ms},   {50.0_mA, 1.0_ms},
+    };
+}
+
+std::vector<SyntheticPoint>
+figure6Sweep()
+{
+    return {
+        {5.0_mA, 100.0_ms}, {10.0_mA, 100.0_ms}, {5.0_mA, 10.0_ms},
+        {10.0_mA, 10.0_ms}, {25.0_mA, 10.0_ms},  {50.0_mA, 10.0_ms},
+    };
+}
+
+CurrentProfile
+gestureSensor()
+{
+    // LED burst ramps up, holds peak, and trails off (Table III: 25 mA
+    // max over 3.5 ms).
+    return CurrentProfile("gesture", {
+        {0.5_ms, 8.0_mA},
+        {2.5_ms, 25.0_mA},
+        {0.5_ms, 12.0_mA},
+    });
+}
+
+CurrentProfile
+bleRadio()
+{
+    // Radio wakeup, transmit burst, RX turnaround (13 mA max, 17 ms).
+    return CurrentProfile("ble", {
+        {3.0_ms, 5.0_mA},
+        {9.0_ms, 13.0_mA},
+        {5.0_ms, 7.0_mA},
+    });
+}
+
+CurrentProfile
+mnistCompute()
+{
+    return CurrentProfile("mnist", {{1.1_s, 5.0_mA}});
+}
+
+CurrentProfile
+imuRead()
+{
+    // 32 samples: sensor power-up and FIFO burst read (high current up
+    // front) followed by a low-power processing tail. The tail lets the
+    // ESR drop rebound before an end-of-task voltage measurement — the
+    // shape that defeats energy-only estimates (Section II-D).
+    return CurrentProfile("imu_read", {
+        {20.0_ms, 20.0_mA},
+        {200.0_ms, 3.0_mA},
+    });
+}
+
+CurrentProfile
+photoSense()
+{
+    // A burst of photoresistor ADC reads plus averaging; runs
+    // back-to-back whenever the scheduler grants low-priority energy.
+    return CurrentProfile("photo_sense", {{50.0_ms, 3.0_mA}});
+}
+
+CurrentProfile
+encrypt()
+{
+    return CurrentProfile("encrypt", {{50.0_ms, 3.0_mA}});
+}
+
+CurrentProfile
+bleSendListen(Seconds listen_window)
+{
+    CurrentProfile listen("listen", {{listen_window, 1.2_mA}});
+    return bleRadio().then(listen).renamed("ble_send_listen");
+}
+
+CurrentProfile
+micSample()
+{
+    // 256 samples at 12 kHz is ~21.3 ms of mic + ADC activity.
+    return CurrentProfile("mic_sample", {{Seconds(256.0 / 12000.0),
+                                          2.5_mA}});
+}
+
+CurrentProfile
+fftCompute()
+{
+    return CurrentProfile("fft", {{100.0_ms, 2.0_mA}});
+}
+
+} // namespace culpeo::load

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The load-profile library: the synthetic Uniform/Pulse loads and real
+ * peripheral profiles of Table III, plus the per-task profiles of the
+ * three full applications (Section VI-B).
+ *
+ * Peak currents and pulse widths follow the paper: gesture sensor 25 mA
+ * for 3.5 ms, BLE radio 13 mA for 17 ms, compute acceleration (MNIST on a
+ * Cortex-M4) 5 mA for 1.1 s, low-power compute tail 1.5 mA for 100 ms.
+ */
+
+#ifndef CULPEO_LOAD_LIBRARY_HPP
+#define CULPEO_LOAD_LIBRARY_HPP
+
+#include <vector>
+
+#include "load/profile.hpp"
+
+namespace culpeo::load {
+
+// --- Synthetic loads (Table III) ---
+
+/** Single rectangular pulse: Iload for tpulse. */
+CurrentProfile uniform(Amps i_load, Seconds t_pulse);
+
+/**
+ * High-current pulse followed by 100 ms of low-power compute at
+ * Icompute = 1.5 mA: peripheral activation then computation.
+ */
+CurrentProfile pulseWithCompute(Amps i_load, Seconds t_pulse);
+
+/** The compute-tail current used by pulseWithCompute. */
+Amps computeTailCurrent();
+
+/** One (Iload, tpulse) point of the synthetic sweep. */
+struct SyntheticPoint
+{
+    Amps i_load;
+    Seconds t_pulse;
+};
+
+/**
+ * The Figure 10 sweep: {5, 10} mA at 100 ms; {5, 10, 25, 50} mA at 10 ms;
+ * {10, 25, 50} mA at 1 ms.
+ */
+std::vector<SyntheticPoint> figure10Sweep();
+
+/** The Figure 6 subset (no 1 ms points). */
+std::vector<SyntheticPoint> figure6Sweep();
+
+// --- Real peripheral profiles (Table III) ---
+
+/** APDS-9960 gesture-recognition sensing burst: 25 mA peak, 3.5 ms. */
+CurrentProfile gestureSensor();
+
+/** CC2650 BLE radio packet: 13 mA peak, 17 ms. */
+CurrentProfile bleRadio();
+
+/** MNIST digit-recognition DNN on a Cortex-M4: 5 mA for 1.1 s. */
+CurrentProfile mnistCompute();
+
+// --- Application task profiles (Section VI-B) ---
+
+/** Read 32 samples from the IMU (Periodic Sensing / RR first task). */
+CurrentProfile imuRead();
+
+/** Background photoresistor read + averaging (PS / RR low priority). */
+CurrentProfile photoSense();
+
+/** Encrypt the IMU samples (RR second task). */
+CurrentProfile encrypt();
+
+/**
+ * BLE transmit followed by a low-power listen window (RR third task:
+ * 2 s listen; NMR report: configurable).
+ */
+CurrentProfile bleSendListen(Seconds listen_window);
+
+/** Read 256 microphone samples at 12 kHz (NMR sampling task). */
+CurrentProfile micSample();
+
+/** FFT over the microphone samples (NMR low-priority task). */
+CurrentProfile fftCompute();
+
+} // namespace culpeo::load
+
+#endif // CULPEO_LOAD_LIBRARY_HPP

@@ -1,0 +1,173 @@
+#include "profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace culpeo::load {
+
+CurrentProfile::CurrentProfile(std::string name, std::vector<Segment> segments)
+    : name_(std::move(name)), segments_(std::move(segments))
+{
+    for (const auto &seg : segments_) {
+        log::fatalIf(seg.duration.value() <= 0.0,
+                     "profile segment durations must be positive: ", name_);
+        log::fatalIf(seg.current.value() < 0.0,
+                     "profile segment currents must be non-negative: ",
+                     name_);
+    }
+    buildIndex();
+}
+
+void
+CurrentProfile::buildIndex()
+{
+    cumulative_.clear();
+    cumulative_.reserve(segments_.size());
+    double t = 0.0;
+    for (const auto &seg : segments_) {
+        t += seg.duration.value();
+        cumulative_.push_back(t);
+    }
+}
+
+Seconds
+CurrentProfile::duration() const
+{
+    return cumulative_.empty() ? Seconds(0.0) : Seconds(cumulative_.back());
+}
+
+Amps
+CurrentProfile::currentAt(Seconds t) const
+{
+    if (segments_.empty() || t.value() < 0.0 ||
+        t.value() >= cumulative_.back()) {
+        return Amps(0.0);
+    }
+    const auto it =
+        std::upper_bound(cumulative_.begin(), cumulative_.end(), t.value());
+    const auto idx = std::size_t(it - cumulative_.begin());
+    return segments_[idx].current;
+}
+
+units::Coulombs
+CurrentProfile::charge() const
+{
+    units::Coulombs total{0.0};
+    for (const auto &seg : segments_)
+        total = units::Coulombs(total.value() +
+                                (seg.current * seg.duration).value());
+    return total;
+}
+
+Joules
+CurrentProfile::energyAt(Volts vout) const
+{
+    Joules total{0.0};
+    for (const auto &seg : segments_)
+        total += (vout * seg.current) * seg.duration;
+    return total;
+}
+
+Amps
+CurrentProfile::peakCurrent() const
+{
+    Amps peak{0.0};
+    for (const auto &seg : segments_)
+        peak = std::max(peak, seg.current);
+    return peak;
+}
+
+Amps
+CurrentProfile::meanCurrent() const
+{
+    const double total = duration().value();
+    if (total <= 0.0)
+        return Amps(0.0);
+    return Amps(charge().value() / total);
+}
+
+Seconds
+CurrentProfile::widestPulseAbove(Amps threshold) const
+{
+    Seconds widest{0.0};
+    Seconds run{0.0};
+    for (const auto &seg : segments_) {
+        if (seg.current >= threshold) {
+            run += seg.duration;
+            widest = std::max(widest, run);
+        } else {
+            run = Seconds(0.0);
+        }
+    }
+    return widest;
+}
+
+CurrentProfile
+CurrentProfile::then(const CurrentProfile &next) const
+{
+    std::vector<Segment> combined = segments_;
+    combined.insert(combined.end(), next.segments_.begin(),
+                    next.segments_.end());
+    return CurrentProfile(name_ + "+" + next.name_, std::move(combined));
+}
+
+CurrentProfile
+CurrentProfile::repeat(unsigned times) const
+{
+    log::fatalIf(times == 0, "repeat count must be positive");
+    std::vector<Segment> combined;
+    combined.reserve(segments_.size() * times);
+    for (unsigned i = 0; i < times; ++i)
+        combined.insert(combined.end(), segments_.begin(), segments_.end());
+    return CurrentProfile(name_ + "x" + std::to_string(times),
+                          std::move(combined));
+}
+
+CurrentProfile
+CurrentProfile::scaled(double factor) const
+{
+    log::fatalIf(factor < 0.0, "scale factor must be non-negative");
+    std::vector<Segment> scaled = segments_;
+    for (auto &seg : scaled)
+        seg.current = seg.current * factor;
+    return CurrentProfile(name_, std::move(scaled));
+}
+
+CurrentProfile
+CurrentProfile::renamed(std::string name) const
+{
+    return CurrentProfile(std::move(name), segments_);
+}
+
+SampledTrace::SampledTrace(Hertz rate, std::vector<Amps> samples)
+    : rate_(rate), samples_(std::move(samples))
+{
+    log::fatalIf(rate_.value() <= 0.0, "sample rate must be positive");
+}
+
+SampledTrace
+SampledTrace::fromProfile(const CurrentProfile &profile, Hertz rate)
+{
+    log::fatalIf(rate.value() <= 0.0, "sample rate must be positive");
+    const double period = 1.0 / rate.value();
+    const double total = profile.duration().value();
+    const auto count = std::size_t(std::ceil(total / period));
+    std::vector<Amps> samples;
+    samples.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        // Sample at the middle of each period to avoid edge ambiguity.
+        samples.push_back(profile.currentAt(Seconds((double(i) + 0.5) *
+                                                    period)));
+    }
+    return SampledTrace(rate, std::move(samples));
+}
+
+Seconds
+SampledTrace::duration() const
+{
+    return Seconds(double(samples_.size()) / rate_.value());
+}
+
+} // namespace culpeo::load

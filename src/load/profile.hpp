@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Load current profiles: piecewise-constant current demand over time.
+ *
+ * A profile describes what a software task draws from the output booster
+ * at Vout. Profiles are the input both to the power-system simulator
+ * ("run this task") and to Culpeo-PG ("here is the task's measured
+ * current trace", Section V-A).
+ */
+
+#ifndef CULPEO_LOAD_PROFILE_HPP
+#define CULPEO_LOAD_PROFILE_HPP
+
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace culpeo::load {
+
+using units::Amps;
+using units::Hertz;
+using units::Joules;
+using units::Seconds;
+using units::Volts;
+
+/** One constant-current stretch of a profile. */
+struct Segment
+{
+    Seconds duration{0.0};
+    Amps current{0.0};
+};
+
+/**
+ * A named, piecewise-constant current profile. Immutable after
+ * construction except through the composition helpers, which return new
+ * profiles.
+ */
+class CurrentProfile
+{
+  public:
+    CurrentProfile() = default;
+    CurrentProfile(std::string name, std::vector<Segment> segments);
+
+    const std::string &name() const { return name_; }
+    const std::vector<Segment> &segments() const { return segments_; }
+    bool empty() const { return segments_.empty(); }
+
+    /** Total profile duration. */
+    Seconds duration() const;
+
+    /** Current demanded at offset @p t from the profile start. */
+    Amps currentAt(Seconds t) const;
+
+    /** Charge delivered to the load over the whole profile. */
+    units::Coulombs charge() const;
+
+    /** Load-side energy at supply voltage @p vout. */
+    Joules energyAt(Volts vout) const;
+
+    /** Highest current in any segment. */
+    Amps peakCurrent() const;
+
+    /** Mean current over the profile duration. */
+    Amps meanCurrent() const;
+
+    /**
+     * Width of the longest contiguous stretch with current at or above
+     * @p threshold. Culpeo-PG uses the widest pulse (excluding
+     * high-frequency noise) to pick an ESR from the frequency curve
+     * (Section IV-B).
+     */
+    Seconds widestPulseAbove(Amps threshold) const;
+
+    /** New profile: this followed by @p next. */
+    CurrentProfile then(const CurrentProfile &next) const;
+
+    /** New profile: this repeated @p times. */
+    CurrentProfile repeat(unsigned times) const;
+
+    /** New profile with all currents multiplied by @p factor. */
+    CurrentProfile scaled(double factor) const;
+
+    /** New profile with the given name. */
+    CurrentProfile renamed(std::string name) const;
+
+  private:
+    std::string name_;
+    std::vector<Segment> segments_;
+    std::vector<double> cumulative_; ///< Cumulative end time per segment.
+
+    void buildIndex();
+};
+
+/**
+ * A uniformly sampled current trace, the on-disk artifact Culpeo-PG
+ * ingests (captured at 125 kHz on the prototype, Section V-A).
+ */
+class SampledTrace
+{
+  public:
+    SampledTrace(Hertz rate, std::vector<Amps> samples);
+
+    /** Sample @p profile at @p rate (last partial sample included). */
+    static SampledTrace fromProfile(const CurrentProfile &profile,
+                                    Hertz rate);
+
+    Hertz rate() const { return rate_; }
+    Seconds samplePeriod() const { return units::periodOf(rate_); }
+    std::size_t size() const { return samples_.size(); }
+    Amps operator[](std::size_t i) const { return samples_[i]; }
+    const std::vector<Amps> &samples() const { return samples_; }
+    Seconds duration() const;
+
+  private:
+    Hertz rate_;
+    std::vector<Amps> samples_;
+};
+
+} // namespace culpeo::load
+
+#endif // CULPEO_LOAD_PROFILE_HPP

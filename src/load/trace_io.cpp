@@ -1,0 +1,100 @@
+#include "trace_io.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace culpeo::load {
+
+void
+saveTraceCsv(const SampledTrace &trace, const std::string &path)
+{
+    std::ofstream out(path);
+    log::fatalIf(!out.is_open(), "cannot open trace file for writing: ",
+                 path);
+    out << "sample_rate_hz," << std::setprecision(17)
+        << trace.rate().value() << '\n';
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        out << std::setprecision(17) << trace[i].value() << '\n';
+    log::fatalIf(!out.good(), "failed while writing trace file: ", path);
+}
+
+SampledTrace
+loadTraceCsv(const std::string &path)
+{
+    std::ifstream in(path);
+    log::fatalIf(!in.is_open(), "cannot open trace file: ", path);
+
+    std::string header;
+    log::fatalIf(!std::getline(in, header),
+                 "trace file is empty: ", path);
+    const std::string prefix = "sample_rate_hz,";
+    log::fatalIf(header.rfind(prefix, 0) != 0,
+                 "trace file has a bad header: ", path);
+    double rate = 0.0;
+    try {
+        rate = std::stod(header.substr(prefix.size()));
+    } catch (const std::exception &) {
+        log::fatal("trace file has an unparsable sample rate: ", path);
+    }
+    log::fatalIf(rate <= 0.0, "trace sample rate must be positive: ",
+                 path);
+
+    std::vector<Amps> samples;
+    std::string line;
+    std::size_t line_number = 1;
+    while (std::getline(in, line)) {
+        ++line_number;
+        if (line.empty())
+            continue;
+        try {
+            std::size_t consumed = 0;
+            const double value = std::stod(line, &consumed);
+            log::fatalIf(consumed != line.size(),
+                         "trailing characters on trace line ",
+                         line_number, " of ", path);
+            log::fatalIf(value < 0.0 || !std::isfinite(value),
+                         "invalid current sample on line ", line_number,
+                         " of ", path);
+            samples.push_back(Amps(value));
+        } catch (const log::FatalError &) {
+            throw;
+        } catch (const std::exception &) {
+            log::fatal("unparsable sample on line ", line_number, " of ",
+                       path);
+        }
+    }
+    return SampledTrace(Hertz(rate), std::move(samples));
+}
+
+CurrentProfile
+profileFromTrace(const SampledTrace &trace, const std::string &name,
+                 Amps tolerance)
+{
+    log::fatalIf(tolerance.value() < 0.0, "tolerance cannot be negative");
+    std::vector<Segment> segments;
+    const double period = trace.samplePeriod().value();
+
+    std::size_t i = 0;
+    while (i < trace.size()) {
+        const double level = trace[i].value();
+        std::size_t run = 1;
+        while (i + run < trace.size() &&
+               std::abs(trace[i + run].value() - level) <=
+                   tolerance.value()) {
+            ++run;
+        }
+        // Zero-current stretches still occupy time in the profile, but
+        // CurrentProfile requires non-negative currents only; keep the
+        // measured level as-is.
+        segments.push_back({units::Seconds(double(run) * period),
+                            Amps(level)});
+        i += run;
+    }
+    return CurrentProfile(name, std::move(segments));
+}
+
+} // namespace culpeo::load

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * File I/O for task current traces: the on-disk artifact a measurement
+ * instrument (e.g. the STM32 power shield the paper profiles with,
+ * Section V-A) produces and Culpeo-PG ingests.
+ *
+ * Format: plain CSV. The first line is the header
+ * `sample_rate_hz,<rate>`; each following line is one current sample in
+ * amperes. A round-trip through save/load is exact to double precision
+ * (printed with 17 significant digits).
+ */
+
+#ifndef CULPEO_LOAD_TRACE_IO_HPP
+#define CULPEO_LOAD_TRACE_IO_HPP
+
+#include <string>
+
+#include "load/profile.hpp"
+
+namespace culpeo::load {
+
+/** Write @p trace to @p path. @throws log::FatalError on I/O failure. */
+void saveTraceCsv(const SampledTrace &trace, const std::string &path);
+
+/**
+ * Load a trace written by saveTraceCsv (or by an external capture
+ * tool following the same format).
+ * @throws log::FatalError on missing file, bad header, or malformed
+ *         sample lines.
+ */
+SampledTrace loadTraceCsv(const std::string &path);
+
+/**
+ * Reconstruct a piecewise-constant CurrentProfile from a sampled trace,
+ * merging runs of (approximately) equal samples into single segments.
+ * Useful for replaying captured traces through the simulator.
+ *
+ * @param tolerance samples within this of each other merge into one
+ *        segment.
+ */
+CurrentProfile profileFromTrace(const SampledTrace &trace,
+                                const std::string &name,
+                                Amps tolerance = Amps(1e-5));
+
+} // namespace culpeo::load
+
+#endif // CULPEO_LOAD_TRACE_IO_HPP

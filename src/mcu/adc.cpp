@@ -1,0 +1,100 @@
+#include "adc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace culpeo::mcu {
+
+AdcConfig
+msp430OnChipAdc()
+{
+    AdcConfig cfg;
+    cfg.bits = 12;
+    cfg.sample_rate = Hertz(1000.0); // 1 ms profiling timer (Section V-C).
+    cfg.vref = Volts(2.56);
+    cfg.active_power = Watts(180e-6);
+    return cfg;
+}
+
+AdcConfig
+dedicated8BitAdc()
+{
+    AdcConfig cfg;
+    cfg.bits = 8;
+    cfg.sample_rate = Hertz(100e3); // 100 kHz block clock (Section V-D).
+    cfg.vref = Volts(2.56);
+    cfg.active_power = Watts(140e-9);
+    return cfg;
+}
+
+Adc::Adc(AdcConfig config) : config_(config)
+{
+    log::fatalIf(config_.bits == 0 || config_.bits > 24,
+                 "ADC resolution must be in 1..24 bits");
+    log::fatalIf(config_.vref.value() <= 0.0, "vref must be positive");
+    log::fatalIf(config_.sample_rate.value() <= 0.0,
+                 "sample rate must be positive");
+    max_code_ = (1u << config_.bits) - 1u;
+}
+
+std::uint32_t
+Adc::quantize(Volts v) const
+{
+    const double clamped = std::clamp(v.value(), 0.0, config_.vref.value());
+    const double code =
+        std::floor(clamped / config_.vref.value() * double(max_code_ + 1u));
+    return std::uint32_t(std::min(code, double(max_code_)));
+}
+
+Volts
+Adc::toVolts(std::uint32_t code) const
+{
+    return Volts(double(code) * lsb().value());
+}
+
+Volts
+Adc::readCeil(Volts v) const
+{
+    // Unlike a hardware register, this software-side bound may exceed
+    // full scale by one LSB: a saturated conversion means "at least full
+    // scale", and rounding down there would underestimate the energy.
+    return toVolts(quantize(v) + 1u);
+}
+
+Volts
+Adc::lsb() const
+{
+    return Volts(config_.vref.value() / double(max_code_ + 1u));
+}
+
+Amps
+Adc::supplyCurrent(Volts vout) const
+{
+    log::fatalIf(vout.value() <= 0.0, "supply voltage must be positive");
+    return Amps(config_.active_power.value() / vout.value());
+}
+
+Seconds
+Adc::samplePeriod() const
+{
+    return units::periodOf(config_.sample_rate);
+}
+
+Watts
+msp430ActivePower()
+{
+    // 8 MHz, Vcc = 2.5 V, 50% SRAM hit rate (paper footnote 1): ~4.3 mW,
+    // which makes the 180 uW on-chip ADC 4.2% of MCU power and the 140 nW
+    // dedicated ADC 0.003%.
+    return Watts(4.3e-3);
+}
+
+Watts
+msp430SleepPower()
+{
+    return Watts(2.0e-6);
+}
+
+} // namespace culpeo::mcu

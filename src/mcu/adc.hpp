@@ -1,0 +1,93 @@
+/**
+ * @file
+ * ADC models used by the two Culpeo-R implementations (Section V).
+ *
+ * Culpeo-R-ISR samples the capacitor voltage with the MCU's on-chip
+ * 12-bit ADC at 1 kHz, burning ~180 uW while active; Culpeo-uArch uses a
+ * dedicated 8-bit ADC at 100 kHz consuming ~140 nW. Quantization and
+ * sample-rate aliasing are exactly the accuracy effects Figure 10
+ * attributes to the two designs.
+ */
+
+#ifndef CULPEO_MCU_ADC_HPP
+#define CULPEO_MCU_ADC_HPP
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace culpeo::mcu {
+
+using units::Amps;
+using units::Hertz;
+using units::Seconds;
+using units::Volts;
+using units::Watts;
+
+/** Static ADC description. */
+struct AdcConfig
+{
+    unsigned bits = 12;         ///< Resolution.
+    Hertz sample_rate{1000.0};  ///< Conversion rate while sampling.
+    Volts vref{2.56};           ///< Full-scale input voltage.
+    Watts active_power{180e-6}; ///< Power while converting.
+};
+
+/** MSP430-class on-chip 12-bit ADC (Culpeo-R-ISR, 1 ms timer). */
+AdcConfig msp430OnChipAdc();
+
+/** Dedicated 130 nm 8-bit ADC (Culpeo-uArch, 100 kHz clock, 140 nW). */
+AdcConfig dedicated8BitAdc();
+
+/**
+ * Quantizing ADC. Stateless conversion plus a helper for the extra load
+ * current its power draw adds at the regulated supply voltage.
+ */
+class Adc
+{
+  public:
+    explicit Adc(AdcConfig config);
+
+    const AdcConfig &config() const { return config_; }
+    unsigned maxCode() const { return max_code_; }
+
+    /** Convert @p v to a code (clamped to the full-scale range). */
+    std::uint32_t quantize(Volts v) const;
+
+    /** Voltage represented by @p code (code * LSB). */
+    Volts toVolts(std::uint32_t code) const;
+
+    /** One LSB in volts. */
+    Volts lsb() const;
+
+    /** Round-trip v through the converter (what software "reads"). */
+    Volts read(Volts v) const { return toVolts(quantize(v)); }
+
+    /**
+     * Conservative upward read: one LSB above the truncated code.
+     * Culpeo-R rounds Vstart up this way so quantization can only
+     * overestimate the profiled energy (underestimating it would bias
+     * Vsafe unsafe). May exceed full scale by one LSB: a saturated
+     * conversion means "at least full scale".
+     */
+    Volts readCeil(Volts v) const;
+
+    /** Extra load current while converting, at supply voltage @p vout. */
+    Amps supplyCurrent(Volts vout) const;
+
+    Seconds samplePeriod() const;
+
+  private:
+    AdcConfig config_;
+    unsigned max_code_;
+};
+
+/** MSP430FR5994-class MCU power at 8 MHz, Vcc 2.5 V, 50% SRAM hit rate. */
+Watts msp430ActivePower();
+
+/** MCU sleep (LPM3-class) power used while waiting for rebound. */
+Watts msp430SleepPower();
+
+} // namespace culpeo::mcu
+
+#endif // CULPEO_MCU_ADC_HPP

@@ -1,0 +1,80 @@
+#include "uarch_block.hpp"
+
+#include "util/logging.hpp"
+
+namespace culpeo::mcu {
+
+UArchBlock::UArchBlock(AdcConfig adc) : adc_(adc)
+{
+    log::fatalIf(adc.bits != 8,
+                 "the Culpeo-uArch capture path is 8 bits wide");
+}
+
+void
+UArchBlock::configure(bool on)
+{
+    enabled_ = on;
+    if (!on) {
+        sampling_ = false;
+        accumulated_ = 0.0;
+    }
+}
+
+void
+UArchBlock::prepare(CaptureMode mode)
+{
+    log::fatalIf(!enabled_, "prepare() issued while the block is disabled");
+    mode_ = mode;
+    capture_ = (mode == CaptureMode::Min) ? 0xFF : 0x00;
+}
+
+void
+UArchBlock::sample(CaptureMode mode)
+{
+    log::fatalIf(!enabled_, "sample() issued while the block is disabled");
+    mode_ = mode;
+    sampling_ = true;
+    accumulated_ = 0.0;
+}
+
+std::uint8_t
+UArchBlock::convertNow(Volts vcap) const
+{
+    return std::uint8_t(adc_.quantize(vcap));
+}
+
+void
+UArchBlock::applyComparator(std::uint8_t code)
+{
+    // The XOR-selected comparator (Figure 9): write-enable asserts when
+    // the new code is below (min mode) or above (max mode) the register.
+    const bool write = (mode_ == CaptureMode::Min) ? (code < capture_)
+                                                   : (code > capture_);
+    if (write)
+        capture_ = code;
+}
+
+void
+UArchBlock::tick(Seconds dt, Volts vcap)
+{
+    if (!enabled_ || !sampling_)
+        return;
+    log::fatalIf(dt.value() <= 0.0, "tick requires dt > 0");
+
+    const double period = adc_.samplePeriod().value();
+    accumulated_ += dt.value();
+    while (accumulated_ >= period) {
+        accumulated_ -= period;
+        applyComparator(convertNow(vcap));
+    }
+}
+
+Amps
+UArchBlock::supplyCurrent(Volts vout) const
+{
+    if (!enabled_)
+        return Amps(0.0);
+    return adc_.supplyCurrent(vout);
+}
+
+} // namespace culpeo::mcu

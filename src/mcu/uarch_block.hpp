@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The Culpeo-uArch on-chip peripheral (Figure 9): a dedicated 8-bit ADC,
+ * an 8-bit digital comparator, and a single min/max capture register,
+ * exposed to software through the memory-mapped command interface of
+ * Table II (configure / prepare / sample / read).
+ *
+ * The block samples Vcap on its own clock with no MCU involvement; the
+ * comparator conditionally overwrites the capture register so that after
+ * a task it holds the minimum (or, during rebound, maximum) observed
+ * voltage code.
+ */
+
+#ifndef CULPEO_MCU_UARCH_BLOCK_HPP
+#define CULPEO_MCU_UARCH_BLOCK_HPP
+
+#include <cstdint>
+
+#include "mcu/adc.hpp"
+
+namespace culpeo::mcu {
+
+/** Min/max selection for the capture register ("min/max" input, Fig. 9). */
+enum class CaptureMode : std::uint8_t { Min, Max };
+
+/**
+ * Behavioural model of the Culpeo-uArch peripheral block. The simulation
+ * harness calls tick() with the evolving terminal voltage; the block
+ * samples at its configured ADC rate and maintains the capture register
+ * exactly as the hardware comparator would.
+ */
+class UArchBlock
+{
+  public:
+    explicit UArchBlock(AdcConfig adc = dedicated8BitAdc());
+
+    // --- Table II command interface ---
+
+    /** configure([on/off]): enable or disable the ADC and comparator. */
+    void configure(bool on);
+
+    /** prepare([min/max]): preset the capture register (0xFF / 0x00). */
+    void prepare(CaptureMode mode);
+
+    /** sample([min/max]): start repeated sampling in the given mode. */
+    void sample(CaptureMode mode);
+
+    /** read(): current value of the capture register. */
+    std::uint8_t read() const { return capture_; }
+
+    /** Capture register as a voltage. */
+    Volts readVolts() const { return adc_.toVolts(capture_); }
+
+    /** Immediate one-shot conversion of the present input. */
+    std::uint8_t convertNow(Volts vcap) const;
+
+    // --- Simulation hooks ---
+
+    /**
+     * Advance the block by @p dt with the input at @p vcap. Performs all
+     * ADC conversions whose sample instants fall in the elapsed window.
+     * The input is treated as constant across the window, so callers
+     * should tick at least as fast as the signal changes of interest.
+     */
+    void tick(Seconds dt, Volts vcap);
+
+    /** Supply current while enabled (0 when off). */
+    Amps supplyCurrent(Volts vout) const;
+
+    bool enabled() const { return enabled_; }
+    bool sampling() const { return sampling_; }
+    CaptureMode mode() const { return mode_; }
+    const Adc &adc() const { return adc_; }
+
+  private:
+    Adc adc_;
+    bool enabled_ = false;
+    bool sampling_ = false;
+    CaptureMode mode_ = CaptureMode::Min;
+    std::uint8_t capture_ = 0xFF;
+    double accumulated_ = 0.0; ///< Time since the last conversion (s).
+
+    void applyComparator(std::uint8_t code);
+};
+
+} // namespace culpeo::mcu
+
+#endif // CULPEO_MCU_UARCH_BLOCK_HPP

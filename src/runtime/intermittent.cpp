@@ -1,0 +1,99 @@
+#include "intermittent.hpp"
+
+#include "harness/task_runner.hpp"
+#include "util/logging.hpp"
+
+namespace culpeo::runtime {
+
+unsigned
+ProgramResult::totalFailures() const
+{
+    unsigned total = 0;
+    for (const auto &stats : per_task)
+        total += stats.failures;
+    return total;
+}
+
+ProgramResult
+runProgram(sim::PowerSystem &system, const std::vector<AtomicTask> &program,
+            const RuntimeOptions &options)
+{
+    log::fatalIf(options.policy == DispatchPolicy::VsafeGated &&
+                     options.culpeo == nullptr,
+                 "VsafeGated dispatch requires a Culpeo instance");
+    log::fatalIf(options.idle_dt.value() <= 0.0,
+                 "idle_dt must be positive");
+
+    ProgramResult result;
+    result.per_task.reserve(program.size());
+    for (const auto &task : program)
+        result.per_task.push_back({task.name, 0, 0, 0});
+
+    const Seconds deadline = system.now() + options.timeout;
+    const Volts vhigh = system.vhigh();
+    // "Full" for the non-termination check. The monitor re-enables when
+    // the *charging* terminal voltage reaches Vhigh, which overshoots
+    // the resting voltage by the charge current's ESR drop, so accept a
+    // margin below Vhigh as "effectively full".
+    const Volts full_threshold = vhigh - Volts(50e-3);
+
+    for (std::size_t i = 0; i < program.size(); ++i) {
+        const AtomicTask &task = program[i];
+        TaskStats &stats = result.per_task[i];
+        unsigned failures_from_full = 0;
+
+        while (true) {
+            if (system.now() >= deadline) {
+                result.elapsed = system.now();
+                return result; // Timed out; finished stays false.
+            }
+
+            // Wait for the dispatch condition.
+            const bool enabled = system.monitor().enabled();
+            const Volts resting = system.restingVoltage();
+            bool may_run = enabled;
+            if (may_run && options.policy == DispatchPolicy::VsafeGated)
+                may_run = options.culpeo->feasible(task.id, resting);
+            if (!may_run) {
+                system.step(options.idle_dt, units::Amps(0.0));
+                continue;
+            }
+
+            // Atomic execution attempt.
+            const bool from_full = resting >= full_threshold;
+            harness::RunOptions run_options;
+            run_options.dt = harness::chooseDt(task.profile);
+            run_options.settle_rebound = false;
+            ++stats.executions;
+            const harness::RunResult run =
+                harness::runTask(system, task.profile, run_options);
+            if (run.completed) {
+                ++stats.completions;
+                break;
+            }
+
+            // Power failure: the task will re-execute from its start
+            // once the device recharges (monitor hysteresis enforces a
+            // full recharge).
+            ++stats.failures;
+            if (from_full) {
+                ++failures_from_full;
+                if (failures_from_full >= options.max_attempts_from_full) {
+                    result.nonterminating = true;
+                    result.stuck_task = task.name;
+                    result.elapsed = system.now();
+                    result.power_failures =
+                        system.monitor().powerFailures();
+                    return result;
+                }
+            }
+        }
+    }
+
+    result.finished = true;
+    result.elapsed = system.now();
+    result.power_failures = system.monitor().powerFailures();
+    return result;
+}
+
+} // namespace culpeo::runtime

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * A task-based intermittent runtime, the execution model Culpeo plugs
+ * into (Section I / Figure 1a): a program is a sequence of atomic
+ * tasks; a task interrupted by power failure re-executes from its start
+ * after the device recharges.
+ *
+ * Two dispatch policies are provided:
+ *  - Opportunistic: run the next task whenever the output booster is on
+ *    (the prior-work behaviour of Figure 1a) — risking ESR brown-outs,
+ *    wasted re-execution energy, and even non-termination.
+ *  - VsafeGated: additionally wait until the buffer is at or above the
+ *    task's Culpeo Vsafe (the Theorem 1 dispatch rule).
+ *
+ * The runtime also implements the forward-progress check the paper's
+ * related work motivates [29]: a task that fails repeatedly from a full
+ * buffer can never complete on this power system and is reported as
+ * non-terminating instead of looping forever.
+ */
+
+#ifndef CULPEO_RUNTIME_INTERMITTENT_HPP
+#define CULPEO_RUNTIME_INTERMITTENT_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/api.hpp"
+#include "load/profile.hpp"
+#include "sim/power_system.hpp"
+
+namespace culpeo::runtime {
+
+using units::Seconds;
+using units::Volts;
+
+/** One atomic (all-or-nothing) task of an intermittent program. */
+struct AtomicTask
+{
+    core::TaskId id = 0;
+    std::string name;
+    load::CurrentProfile profile;
+};
+
+/** When the runtime may dispatch the next task. */
+enum class DispatchPolicy {
+    Opportunistic, ///< Whenever the output booster is enabled.
+    VsafeGated,    ///< Additionally require V >= Culpeo's Vsafe.
+};
+
+/** Per-task execution counters. */
+struct TaskStats
+{
+    std::string name;
+    unsigned executions = 0;
+    unsigned completions = 0;
+    unsigned failures = 0;
+};
+
+/** Outcome of one program run. */
+struct ProgramResult
+{
+    bool finished = false;
+    /** True when a task failed repeatedly from a full buffer. */
+    bool nonterminating = false;
+    std::string stuck_task;
+    Seconds elapsed{0.0};
+    unsigned power_failures = 0;
+    std::vector<TaskStats> per_task;
+
+    /** Total failed executions (wasted atomic re-executions). */
+    unsigned totalFailures() const;
+};
+
+/** Runtime knobs. */
+struct RuntimeOptions
+{
+    DispatchPolicy policy = DispatchPolicy::Opportunistic;
+    /** Required for VsafeGated; may carry pre-profiled Vsafe values. */
+    const core::Culpeo *culpeo = nullptr;
+    /** Give up (finished = false) after this much simulated time. */
+    Seconds timeout{600.0};
+    /** Failures from a full buffer before declaring non-termination. */
+    unsigned max_attempts_from_full = 3;
+    /** Idle/recharge simulation step. */
+    Seconds idle_dt{1e-3};
+};
+
+/**
+ * Execute @p program on @p system (with whatever harvester the caller
+ * attached) under @p options. The system should be charged and enabled,
+ * or the runtime will first wait for the monitor to enable it.
+ */
+ProgramResult runProgram(sim::PowerSystem &system,
+                         const std::vector<AtomicTask> &program,
+                         const RuntimeOptions &options);
+
+} // namespace culpeo::runtime
+
+#endif // CULPEO_RUNTIME_INTERMITTENT_HPP

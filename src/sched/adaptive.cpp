@@ -1,0 +1,35 @@
+#include "adaptive.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace culpeo::sched {
+
+ChargeRateMonitor::ChargeRateMonitor(double relative_threshold)
+    : relative_threshold_(relative_threshold)
+{
+    log::fatalIf(relative_threshold <= 0.0,
+                 "re-profiling threshold must be positive");
+}
+
+void
+ChargeRateMonitor::baseline(units::Watts level)
+{
+    log::fatalIf(level.value() < 0.0, "harvest level cannot be negative");
+    baseline_ = level;
+    has_baseline_ = true;
+}
+
+bool
+ChargeRateMonitor::observe(units::Watts level) const
+{
+    if (!has_baseline_)
+        return true; // Never profiled: any observation demands one.
+    const double base = baseline_.value();
+    if (base <= 0.0)
+        return level.value() > 0.0;
+    return std::abs(level.value() - base) / base > relative_threshold_;
+}
+
+} // namespace culpeo::sched

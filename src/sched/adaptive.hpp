@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Adaptive re-profiling support (Section V-B): Culpeo-R values depend on
+ * the level of incoming power, so schedulers that monitor charge rate
+ * should re-profile when harvestable power changes past a threshold.
+ *
+ * ChargeRateMonitor watches the observed harvest level and reports when
+ * it has drifted enough from the level the current profiles were taken
+ * at; the owner then calls Culpeo::invalidate() and re-profiles.
+ */
+
+#ifndef CULPEO_SCHED_ADAPTIVE_HPP
+#define CULPEO_SCHED_ADAPTIVE_HPP
+
+#include "util/units.hpp"
+
+namespace culpeo::sched {
+
+/** Detects harvest-level changes that warrant re-profiling. */
+class ChargeRateMonitor
+{
+  public:
+    /**
+     * @param relative_threshold fractional change in harvested power
+     *        (relative to the profiling baseline) that triggers
+     *        re-profiling; e.g. 0.25 = 25%.
+     */
+    explicit ChargeRateMonitor(double relative_threshold = 0.25);
+
+    /**
+     * Record the harvest level the active profiles were taken at.
+     * Resets the trigger.
+     */
+    void baseline(units::Watts level);
+
+    /**
+     * Observe the present harvest level; returns true when it has moved
+     * beyond the threshold from the baseline (the caller should then
+     * invalidate and re-profile, and set a new baseline).
+     */
+    bool observe(units::Watts level) const;
+
+    units::Watts currentBaseline() const { return baseline_; }
+    double threshold() const { return relative_threshold_; }
+
+  private:
+    double relative_threshold_;
+    units::Watts baseline_{0.0};
+    bool has_baseline_ = false;
+};
+
+} // namespace culpeo::sched
+
+#endif // CULPEO_SCHED_ADAPTIVE_HPP

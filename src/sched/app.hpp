@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Application model for the scheduler evaluation (Section VI-B): an app
+ * is a set of event types, each triggering a chain of high-priority
+ * tasks that must complete within a deadline, plus an optional
+ * low-priority background task run opportunistically when energy allows.
+ */
+
+#ifndef CULPEO_SCHED_APP_HPP
+#define CULPEO_SCHED_APP_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/profile_table.hpp"
+#include "load/profile.hpp"
+#include "sim/power_system.hpp"
+
+namespace culpeo::sched {
+
+using units::Seconds;
+using units::Volts;
+using units::Watts;
+
+/** A schedulable software task with a known load profile. */
+struct SchedTask
+{
+    core::TaskId id = 0;
+    std::string name;
+    load::CurrentProfile profile;
+};
+
+/** How an event type's arrivals are generated. */
+enum class Arrival { Periodic, Poisson };
+
+/** One event type: arrivals trigger a task chain with a deadline. */
+struct EventSpec
+{
+    std::string name;
+    Arrival arrival = Arrival::Periodic;
+    Seconds interval{1.0}; ///< Period, or mean inter-arrival for Poisson.
+    Seconds deadline{1.0}; ///< Chain must finish this long after arrival.
+    std::vector<SchedTask> chain;
+};
+
+/** A complete application: events, background work, power system. */
+struct AppSpec
+{
+    std::string name;
+    std::vector<EventSpec> events;
+    std::optional<SchedTask> background;
+    /** Minimum gap between background executions. */
+    Seconds background_period{1.0};
+    sim::PowerSystemConfig power;
+    Watts harvest{10e-3};
+};
+
+} // namespace culpeo::sched
+
+#endif // CULPEO_SCHED_APP_HPP

@@ -1,0 +1,270 @@
+#include "engine.hpp"
+
+#include <algorithm>
+
+#include "harness/task_runner.hpp"
+#include "util/logging.hpp"
+#include "util/random.hpp"
+
+namespace culpeo::sched {
+
+const EventTypeStats &
+TrialResult::eventStats(const std::string &name) const
+{
+    for (const auto &stats : per_event) {
+        if (stats.name == name)
+            return stats;
+    }
+    log::fatal("no event type named ", name);
+}
+
+double
+TrialResult::overallCaptureRate() const
+{
+    unsigned arrived = 0;
+    unsigned captured = 0;
+    for (const auto &stats : per_event) {
+        arrived += stats.arrived;
+        captured += stats.captured;
+    }
+    return arrived == 0 ? 1.0 : double(captured) / double(arrived);
+}
+
+namespace {
+
+/** One concrete event instance awaiting service. */
+struct PendingEvent
+{
+    Seconds arrival{0.0};
+    std::size_t spec_index = 0;
+    bool handled = false;
+};
+
+std::vector<PendingEvent>
+generateArrivals(const AppSpec &app, Seconds duration, util::Rng &rng)
+{
+    std::vector<PendingEvent> arrivals;
+    for (std::size_t i = 0; i < app.events.size(); ++i) {
+        const EventSpec &spec = app.events[i];
+        Seconds t{0.0};
+        while (true) {
+            if (spec.arrival == Arrival::Periodic)
+                t += spec.interval;
+            else
+                t += Seconds(rng.exponential(spec.interval.value()));
+            if (t >= duration)
+                break;
+            arrivals.push_back({t, i, false});
+        }
+    }
+    std::sort(arrivals.begin(), arrivals.end(),
+              [](const PendingEvent &a, const PendingEvent &b) {
+                  return a.arrival < b.arrival;
+              });
+    return arrivals;
+}
+
+/** Mutable trial state shared across the helpers below. */
+struct Trial
+{
+    const AppSpec &app;
+    const Policy &policy;
+    sim::PowerSystem system;
+    const Seconds idle_dt{1e-3};
+    TrialResult result;
+
+    explicit Trial(const AppSpec &app_in, const Policy &policy_in)
+        : app(app_in), policy(policy_in), system(app_in.power)
+    {}
+
+    void
+    idleStep()
+    {
+        system.step(idle_dt, units::Amps(0.0));
+    }
+
+    bool
+    deviceOn() const
+    {
+        return system.monitor().enabled();
+    }
+
+    /** Run one task; returns true when it completed. */
+    bool
+    runOne(const SchedTask &task)
+    {
+        harness::RunOptions options;
+        options.dt = harness::chooseDt(task.profile);
+        options.settle_rebound = false;
+        const harness::RunResult run =
+            harness::runTask(system, task.profile, options);
+        return run.completed;
+    }
+
+    /**
+     * Service one event: wait for charge, run the chain, decide
+     * captured/lost. Returns once the event is resolved (or the device
+     * browned out).
+     */
+    void
+    serviceEvent(const PendingEvent &event, EventTypeStats &stats)
+    {
+        const EventSpec &spec = app.events[event.spec_index];
+        const Seconds deadline = event.arrival + spec.deadline;
+        const Volts need = policy.chainStart(spec);
+
+        // Wait (recharging) until the chain may start.
+        while (system.restingVoltage() < need) {
+            if (system.now() > deadline || !deviceOn()) {
+                ++stats.lost;
+                return;
+            }
+            idleStep();
+        }
+
+        for (const auto &task : spec.chain) {
+            const Volts task_need = policy.taskStart(task);
+            while (system.restingVoltage() < task_need) {
+                if (system.now() > deadline || !deviceOn()) {
+                    ++stats.lost;
+                    return;
+                }
+                idleStep();
+            }
+            if (!runOne(task)) {
+                // Brown-out mid-chain: the event is lost and the device
+                // must fully recharge before doing anything else.
+                ++stats.lost;
+                return;
+            }
+        }
+
+        if (system.now() <= deadline)
+            ++stats.captured;
+        else
+            ++stats.lost;
+    }
+};
+
+} // namespace
+
+TrialResult
+runTrial(const AppSpec &app, const Policy &policy, Seconds duration,
+         std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    Trial trial(app, policy);
+
+    sim::ConstantHarvester harvester(app.harvest);
+    trial.system.setHarvester(&harvester);
+    trial.system.setBufferVoltage(app.power.monitor.vhigh);
+    trial.system.forceOutputEnabled(true);
+
+    trial.result.per_event.resize(app.events.size());
+    for (std::size_t i = 0; i < app.events.size(); ++i)
+        trial.result.per_event[i].name = app.events[i].name;
+
+    std::vector<PendingEvent> arrivals =
+        generateArrivals(app, duration, rng);
+    std::size_t next_arrival = 0;
+    Seconds last_background{-1e9};
+
+    while (trial.system.now() < duration) {
+        // Retire any arrival whose deadline already passed unserviced.
+        bool serviced = false;
+        for (std::size_t i = next_arrival; i < arrivals.size(); ++i) {
+            PendingEvent &event = arrivals[i];
+            if (event.arrival > trial.system.now())
+                break;
+            if (event.handled)
+                continue;
+            EventTypeStats &stats =
+                trial.result.per_event[event.spec_index];
+            const EventSpec &spec = app.events[event.spec_index];
+            ++stats.arrived;
+            event.handled = true;
+            if (i == next_arrival)
+                ++next_arrival;
+
+            if (trial.system.now() >
+                event.arrival + spec.deadline) {
+                ++stats.lost; // Expired while the device was busy/off.
+            } else if (!trial.deviceOn()) {
+                ++stats.lost; // Device is off recharging.
+            } else {
+                trial.serviceEvent(event, stats);
+            }
+            serviced = true;
+            break; // Re-evaluate time/arrivals after servicing.
+        }
+        if (serviced)
+            continue;
+
+        if (!trial.deviceOn()) {
+            trial.idleStep();
+            continue;
+        }
+
+        // No pending event: consider background work.
+        if (app.background.has_value() &&
+            trial.system.now() - last_background >=
+                app.background_period &&
+            trial.system.restingVoltage() >=
+                policy.backgroundThreshold(app)) {
+            trial.runOne(*app.background);
+            ++trial.result.background_runs;
+            last_background = trial.system.now();
+            continue;
+        }
+
+        trial.idleStep();
+    }
+
+    trial.result.power_failures = trial.system.monitor().powerFailures();
+    return trial.result;
+}
+
+double
+AggregateResult::rateOf(const std::string &name) const
+{
+    for (std::size_t i = 0; i < event_names.size(); ++i) {
+        if (event_names[i] == name)
+            return capture_rates[i];
+    }
+    log::fatal("no aggregated event type named ", name);
+}
+
+AggregateResult
+runTrials(const AppSpec &app, const Policy &policy, Seconds duration,
+          unsigned trials, std::uint64_t base_seed)
+{
+    log::fatalIf(trials == 0, "at least one trial is required");
+
+    AggregateResult aggregate;
+    for (const auto &event : app.events)
+        aggregate.event_names.push_back(event.name);
+    aggregate.capture_rates.assign(app.events.size(), 0.0);
+
+    unsigned total_failures = 0;
+    std::vector<unsigned> arrived(app.events.size(), 0);
+    std::vector<unsigned> captured(app.events.size(), 0);
+    for (unsigned t = 0; t < trials; ++t) {
+        const TrialResult result =
+            runTrial(app, policy, duration, base_seed + t * 1000003ULL);
+        for (std::size_t i = 0; i < result.per_event.size(); ++i) {
+            arrived[i] += result.per_event[i].arrived;
+            captured[i] += result.per_event[i].captured;
+        }
+        total_failures += result.power_failures;
+    }
+    for (std::size_t i = 0; i < aggregate.capture_rates.size(); ++i) {
+        aggregate.capture_rates[i] =
+            arrived[i] == 0 ? 1.0
+                            : double(captured[i]) / double(arrived[i]);
+    }
+    aggregate.power_failures_per_trial =
+        double(total_failures) / double(trials);
+    return aggregate;
+}
+
+} // namespace culpeo::sched

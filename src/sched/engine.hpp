@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Event-driven scheduler engine: runs an application (event chains +
+ * background work) on the simulated power system under a charge
+ * management policy, and reports per-event capture rates — the Figure 12
+ * and 13 metric.
+ *
+ * Semantics follow Section VI-B: an event is captured when its whole
+ * task chain completes within the deadline; a brown-out mid-chain powers
+ * the device off until the buffer fully recharges to Vhigh (hysteresis),
+ * typically losing the event and any that arrive while off.
+ */
+
+#ifndef CULPEO_SCHED_ENGINE_HPP
+#define CULPEO_SCHED_ENGINE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/app.hpp"
+#include "sched/policy.hpp"
+#include "sim/harvester.hpp"
+
+namespace culpeo::sched {
+
+/** Outcome counters for one event type. */
+struct EventTypeStats
+{
+    std::string name;
+    unsigned arrived = 0;
+    unsigned captured = 0;
+    unsigned lost = 0;
+
+    double captureRate() const
+    {
+        return arrived == 0 ? 1.0 : double(captured) / double(arrived);
+    }
+};
+
+/** Outcome of one trial. */
+struct TrialResult
+{
+    std::vector<EventTypeStats> per_event;
+    unsigned power_failures = 0;
+    unsigned background_runs = 0;
+
+    const EventTypeStats &eventStats(const std::string &name) const;
+    double overallCaptureRate() const;
+};
+
+/** Run one trial of @p app under @p policy (already initialized). */
+TrialResult runTrial(const AppSpec &app, const Policy &policy,
+                     Seconds duration, std::uint64_t seed);
+
+/** Averaged capture rates over @p trials independent trials. */
+struct AggregateResult
+{
+    std::vector<std::string> event_names;
+    std::vector<double> capture_rates; ///< Parallel to event_names.
+    double power_failures_per_trial = 0.0;
+
+    double rateOf(const std::string &name) const;
+};
+
+AggregateResult runTrials(const AppSpec &app, const Policy &policy,
+                          Seconds duration, unsigned trials,
+                          std::uint64_t base_seed = 7);
+
+} // namespace culpeo::sched
+
+#endif // CULPEO_SCHED_ENGINE_HPP

@@ -1,0 +1,105 @@
+#include "feasibility.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/logging.hpp"
+
+namespace culpeo::sched {
+
+namespace {
+
+/** A pending dispatch on the analysis timeline. */
+struct Release
+{
+    double time;
+    std::size_t task;
+
+    bool
+    operator>(const Release &other) const
+    {
+        return time > other.time;
+    }
+};
+
+/**
+ * Walk the release timeline, charging between dispatches and serving
+ * releases in time order. @p requirement maps a task to the minimum
+ * voltage its dispatch needs.
+ */
+template <typename Requirement>
+FeasibilityVerdict
+walkTimeline(const FeasibilityInput &input, Requirement requirement)
+{
+    log::fatalIf(input.tasks.empty(), "feasibility needs at least a task");
+    log::fatalIf(input.charge_volts_per_sec < 0.0,
+                 "charge slope cannot be negative");
+
+    double horizon = input.horizon.value();
+    if (horizon <= 0.0) {
+        double longest = 0.0;
+        for (const auto &task : input.tasks)
+            longest = std::max(longest, task.period.value());
+        horizon = 4.0 * longest;
+    }
+
+    std::priority_queue<Release, std::vector<Release>, std::greater<>>
+        releases;
+    for (std::size_t i = 0; i < input.tasks.size(); ++i)
+        releases.push({input.tasks[i].period.value(), i});
+
+    FeasibilityVerdict verdict;
+    double v = input.vhigh.value(); // Deployment starts fully charged.
+    double now = 0.0;
+    const double vhigh = input.vhigh.value();
+
+    while (!releases.empty() && releases.top().time <= horizon) {
+        const Release release = releases.top();
+        releases.pop();
+        const PeriodicTaskSpec &task = input.tasks[release.task];
+
+        // Charge from `now` to the release instant.
+        v = std::min(vhigh,
+                     v + (release.time - now) *
+                             input.charge_volts_per_sec);
+        now = release.time;
+
+        const double need = requirement(task);
+        const double margin = v - need;
+        if (margin < verdict.worst_margin.value())
+            verdict.worst_margin = Volts(margin);
+        if (margin < 0.0 && verdict.feasible) {
+            verdict.feasible = false;
+            verdict.limiting_task = task.name;
+            verdict.violation_time = Seconds(now);
+        }
+
+        // Execute: consumes its energy; the ESR drop rebounds.
+        v = std::max(input.voff.value(), v - task.v_energy.value());
+        now += task.duration.value();
+        releases.push({release.time + task.period.value(), release.task});
+    }
+    return verdict;
+}
+
+} // namespace
+
+FeasibilityVerdict
+catnapFeasibility(const FeasibilityInput &input)
+{
+    const double voff = input.voff.value();
+    return walkTimeline(input, [voff](const PeriodicTaskSpec &task) {
+        return voff + task.v_energy.value();
+    });
+}
+
+FeasibilityVerdict
+theorem1Feasibility(const FeasibilityInput &input)
+{
+    const double voff = input.voff.value();
+    return walkTimeline(input, [voff](const PeriodicTaskSpec &task) {
+        return voff + task.v_energy.value() + task.vdelta.value();
+    });
+}
+
+} // namespace culpeo::sched

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Analytic feasibility tests for periodic task sets (Section VII-B).
+ *
+ * CatNap's test is "at any time there is always energy in the capacitor
+ * after executing the task scheduled at time t": an energy-only check.
+ * Theorem 1 corrects it: tasks {e0..en} are feasible iff for every
+ * dispatch the voltage is at or above the task's ESR-aware Vsafe *and*
+ * energy remains. Both tests are evaluated by walking the release
+ * timeline over an analysis horizon with idealized charging.
+ */
+
+#ifndef CULPEO_SCHED_FEASIBILITY_HPP
+#define CULPEO_SCHED_FEASIBILITY_HPP
+
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace culpeo::sched {
+
+using units::Seconds;
+using units::Volts;
+
+/** One periodic task for the analytic tests. */
+struct PeriodicTaskSpec
+{
+    std::string name;
+    Seconds period{1.0};
+    Seconds duration{0.01}; ///< Execution time per dispatch.
+    /** Voltage cost of the energy one dispatch consumes. */
+    Volts v_energy{0.0};
+    /** Worst transient ESR drop during a dispatch. */
+    Volts vdelta{0.0};
+};
+
+/** System-side inputs of the analytic tests. */
+struct FeasibilityInput
+{
+    std::vector<PeriodicTaskSpec> tasks;
+    Volts vhigh{2.56};
+    Volts voff{1.60};
+    /** Idealized recharge slope while no task executes. */
+    double charge_volts_per_sec = 0.02;
+    /** Analysis horizon; defaults to 4x the longest period. */
+    Seconds horizon{0.0};
+};
+
+/** Outcome of an analytic feasibility test. */
+struct FeasibilityVerdict
+{
+    bool feasible = true;
+    std::string limiting_task; ///< First task to violate, if any.
+    Seconds violation_time{0.0};
+    /** Smallest margin between available and required voltage seen. */
+    Volts worst_margin{1e9};
+};
+
+/**
+ * CatNap's energy-only test: every dispatch needs only its energy cost
+ * above Voff (∀t, ecap(t) > 0).
+ */
+FeasibilityVerdict catnapFeasibility(const FeasibilityInput &input);
+
+/**
+ * The corrected Theorem 1 test: every dispatch additionally needs the
+ * voltage to be at or above its ESR-aware Vsafe
+ * (Voff + V(E) + penalty, where a lone dispatch's penalty is Vdelta).
+ */
+FeasibilityVerdict theorem1Feasibility(const FeasibilityInput &input);
+
+} // namespace culpeo::sched
+
+#endif // CULPEO_SCHED_FEASIBILITY_HPP

@@ -1,0 +1,163 @@
+#include "policy.hpp"
+
+#include <algorithm>
+
+#include "harness/baselines.hpp"
+#include "harness/profiling.hpp"
+#include "util/logging.hpp"
+
+namespace culpeo::sched {
+
+namespace {
+
+/** Every task an app can run (chains plus background). */
+std::vector<const SchedTask *>
+allTasks(const AppSpec &app)
+{
+    std::vector<const SchedTask *> tasks;
+    for (const auto &event : app.events)
+        for (const auto &task : event.chain)
+            tasks.push_back(&task);
+    if (app.background.has_value())
+        tasks.push_back(&*app.background);
+    return tasks;
+}
+
+} // namespace
+
+void
+CatnapPolicy::initialize(const AppSpec &app)
+{
+    voff_ = app.power.monitor.voff;
+    vhigh_ = app.power.monitor.vhigh;
+    cost_.clear();
+    for (const SchedTask *task : allTasks(app)) {
+        const harness::BaselineEstimates estimates =
+            harness::estimateBaselines(app.power, task->profile);
+        // CatNap's task cost is the start-to-completion voltage drop.
+        cost_[task->id] = estimates.catnap_measured - voff_;
+    }
+}
+
+Volts
+CatnapPolicy::costOf(core::TaskId id) const
+{
+    const auto it = cost_.find(id);
+    log::fatalIf(it == cost_.end(), "no CatNap cost for task ", id);
+    return it->second;
+}
+
+Volts
+CatnapPolicy::taskStart(const SchedTask &task) const
+{
+    return voff_ + costOf(task.id);
+}
+
+Volts
+CatnapPolicy::chainStart(const EventSpec &event) const
+{
+    // "Energy bucket": the sum of per-task voltage costs.
+    Volts total = voff_;
+    for (const auto &task : event.chain)
+        total += costOf(task.id);
+    return std::min(total, vhigh_);
+}
+
+Volts
+CatnapPolicy::backgroundThreshold(const AppSpec &app) const
+{
+    // Keep an energy reserve for the most expensive event chain, plus
+    // the background task's own cost. ESR is not considered, so this
+    // reserve lets the buffer discharge too deep (Section VII-C).
+    Volts reserve = voff_;
+    for (const auto &event : app.events)
+        reserve = std::max(reserve, chainStart(event));
+    if (app.background.has_value())
+        reserve += costOf(app.background->id);
+    return std::min(reserve, vhigh_);
+}
+
+CulpeoPolicy::CulpeoPolicy(bool use_uarch, Volts dispatch_margin)
+    : use_uarch_(use_uarch), dispatch_margin_(dispatch_margin)
+{
+    log::fatalIf(dispatch_margin.value() < 0.0,
+                 "dispatch margin cannot be negative");
+}
+
+const core::Culpeo &
+CulpeoPolicy::culpeo() const
+{
+    log::fatalIf(culpeo_ == nullptr, "CulpeoPolicy not initialized");
+    return *culpeo_;
+}
+
+void
+CulpeoPolicy::initialize(const AppSpec &app)
+{
+    vhigh_ = app.power.monitor.vhigh;
+    const core::PowerSystemModel model = core::modelFromConfig(app.power);
+    std::unique_ptr<core::Profiler> profiler;
+    if (use_uarch_)
+        profiler = std::make_unique<core::UArchProfiler>();
+    else
+        profiler = std::make_unique<core::IsrProfiler>();
+    culpeo_ = std::make_unique<core::Culpeo>(model, std::move(profiler));
+
+    // Profile each task once from a full buffer, *in deployment*: the
+    // app's harvester charges during profiling, so the estimates are
+    // tuned to the present incoming power. Stable harvest means a
+    // single pass suffices (Section VI-B); a charge-rate change should
+    // trigger re-initialization (Section V-B, sched::ChargeRateMonitor).
+    const sim::ConstantHarvester harvester(app.harvest);
+    for (const SchedTask *task : allTasks(app)) {
+        sim::PowerSystem system(app.power);
+        system.setHarvester(&harvester);
+        system.setBufferVoltage(app.power.monitor.vhigh);
+        system.forceOutputEnabled(true);
+        harness::RunOptions options;
+        options.dt = harness::chooseDt(task->profile);
+        const harness::ProfileOutcome outcome = harness::profileTask(
+            system, *culpeo_, task->id, task->profile, options);
+        if (!outcome.stored) {
+            log::warn("Culpeo profiling failed for task ", task->name,
+                      "; its Vsafe defaults to Vhigh");
+        }
+    }
+}
+
+Volts
+CulpeoPolicy::taskStart(const SchedTask &task) const
+{
+    return culpeo().getVsafe(task.id);
+}
+
+Volts
+CulpeoPolicy::chainStart(const EventSpec &event) const
+{
+    std::vector<core::TaskId> ids;
+    ids.reserve(event.chain.size());
+    for (const auto &task : event.chain)
+        ids.push_back(task.id);
+    return std::min(culpeo().getVsafeMulti(ids) + dispatch_margin_,
+                    vhigh_);
+}
+
+Volts
+CulpeoPolicy::backgroundThreshold(const AppSpec &app) const
+{
+    if (!app.background.has_value())
+        return vhigh_;
+    // Background work may run only if, after it, the buffer could still
+    // serve the most demanding event chain: compose background + chain.
+    Volts threshold{0.0};
+    for (const auto &event : app.events) {
+        std::vector<core::TaskId> ids;
+        ids.push_back(app.background->id);
+        for (const auto &task : event.chain)
+            ids.push_back(task.id);
+        threshold = std::max(threshold, culpeo().getVsafeMulti(ids));
+    }
+    return std::min(threshold + dispatch_margin_, vhigh_);
+}
+
+} // namespace culpeo::sched

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Charge-management policies for the scheduler engine.
+ *
+ * CatnapPolicy reproduces the energy-only reasoning of the CatNap
+ * scheduler [71]: each task's cost is the capacitor voltage drop measured
+ * at task completion (before the ESR rebound), and chains are budgeted by
+ * summing those drops ("energy buckets"). Its background threshold keeps
+ * only that energy-based reserve — which, because ESR is ignored,
+ * discharges the buffer too far (Section VII-C).
+ *
+ * CulpeoPolicy replaces the estimates with Culpeo-R Vsafe values obtained
+ * by profiling each task once through the Table I interface, and budgets
+ * chains with Vsafe_multi (Section IV-A), implementing the corrected
+ * feasibility test of Theorem 1.
+ */
+
+#ifndef CULPEO_SCHED_POLICY_HPP
+#define CULPEO_SCHED_POLICY_HPP
+
+#include <map>
+#include <memory>
+
+#include "core/api.hpp"
+#include "sched/app.hpp"
+
+namespace culpeo::sched {
+
+/** Interface the engine consults for start/reserve voltage levels. */
+class Policy
+{
+  public:
+    virtual ~Policy() = default;
+
+    virtual const char *name() const = 0;
+
+    /**
+     * One-time offline profiling pass against an isolated copy of the
+     * app's power system (harvested power is stable in the evaluation,
+     * Section VI-B, so profiling happens once before the app starts).
+     */
+    virtual void initialize(const AppSpec &app) = 0;
+
+    /** Minimum voltage to begin an individual task. */
+    virtual Volts taskStart(const SchedTask &task) const = 0;
+
+    /** Minimum voltage to begin an event's full task chain. */
+    virtual Volts chainStart(const EventSpec &event) const = 0;
+
+    /**
+     * Minimum voltage at which background (low-priority) work may run;
+     * below it the scheduler hoards charge for future events.
+     */
+    virtual Volts backgroundThreshold(const AppSpec &app) const = 0;
+};
+
+/** Energy-only baseline (CatNap-style voltage-as-energy budgeting). */
+class CatnapPolicy : public Policy
+{
+  public:
+    const char *name() const override { return "catnap"; }
+    void initialize(const AppSpec &app) override;
+    Volts taskStart(const SchedTask &task) const override;
+    Volts chainStart(const EventSpec &event) const override;
+    Volts backgroundThreshold(const AppSpec &app) const override;
+
+    /** Measured voltage-drop cost of a task (for inspection/tests). */
+    Volts costOf(core::TaskId id) const;
+
+  private:
+    std::map<core::TaskId, Volts> cost_; ///< Per-task measured drop.
+    Volts voff_{0.0};
+    Volts vhigh_{0.0};
+};
+
+/** Culpeo-R-ISR integrated policy (Section VI-B). */
+class CulpeoPolicy : public Policy
+{
+  public:
+    /**
+     * @param use_uarch profile with the uArch block instead of the ISR.
+     * @param dispatch_margin guard band added to the chain-start and
+     *        background thresholds (not to Vsafe itself): the scheduler
+     *        idles the buffer this far above the requirement so that
+     *        estimate noise cannot leave a dispatch exactly at the
+     *        boundary. Default 20 mV (~2% of the operating range).
+     */
+    explicit CulpeoPolicy(bool use_uarch = false,
+                          Volts dispatch_margin = Volts(20e-3));
+
+    const char *name() const override
+    {
+        return use_uarch_ ? "culpeo-uarch" : "culpeo";
+    }
+    void initialize(const AppSpec &app) override;
+    Volts taskStart(const SchedTask &task) const override;
+    Volts chainStart(const EventSpec &event) const override;
+    Volts backgroundThreshold(const AppSpec &app) const override;
+
+    /** The underlying Culpeo instance (valid after initialize). */
+    const core::Culpeo &culpeo() const;
+
+  private:
+    bool use_uarch_;
+    Volts dispatch_margin_;
+    std::unique_ptr<core::Culpeo> culpeo_;
+    Volts vhigh_{0.0};
+};
+
+} // namespace culpeo::sched
+
+#endif // CULPEO_SCHED_POLICY_HPP

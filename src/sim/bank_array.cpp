@@ -1,0 +1,74 @@
+#include "bank_array.hpp"
+
+#include "util/logging.hpp"
+
+namespace culpeo::sim {
+
+BankArrayConfig
+capybaraBankArray()
+{
+    BankArrayConfig cfg;
+    // One third of the 45 mF bank per sub-bank: 15 mF with 3x the
+    // branch resistances of the full array.
+    cfg.sub_bank.capacitance = Farads(15e-3);
+    cfg.sub_bank.series_esr = Ohms(4.5);
+    cfg.sub_bank.surface_fraction = 0.15;
+    cfg.sub_bank.bulk_resistance = Ohms(27.0);
+    cfg.sub_bank.surface_resistance = Ohms(3.6);
+    cfg.sub_bank.leakage = Amps(40e-9);
+    cfg.total_banks = 3;
+    cfg.switch_resistance = Ohms(0.15);
+    return cfg;
+}
+
+BankArray::BankArray(BankArrayConfig config) : config_(config)
+{
+    log::fatalIf(config_.total_banks == 0,
+                 "a bank array needs at least one sub-bank");
+    log::fatalIf(config_.switch_resistance.value() < 0.0,
+                 "switch resistance cannot be negative");
+}
+
+CapacitorConfig
+BankArray::capacitorFor(unsigned active) const
+{
+    log::fatalIf(active == 0 || active > config_.total_banks,
+                 "active bank count must be in 1..", config_.total_banks);
+    const double k = double(active);
+    CapacitorConfig cap = config_.sub_bank;
+    cap.capacitance = cap.capacitance * k;
+    cap.leakage = cap.leakage * k;
+    // Parallel banks divide every internal resistance; each bank's
+    // switch is in series with that bank, so the k switches parallel
+    // into r_switch / k added to the series path.
+    cap.series_esr = Ohms(cap.series_esr.value() / k +
+                          config_.switch_resistance.value() / k);
+    cap.bulk_resistance = Ohms(cap.bulk_resistance.value() / k);
+    cap.surface_resistance = Ohms(cap.surface_resistance.value() / k);
+    return cap;
+}
+
+PowerSystemConfig
+BankArray::powerSystemFor(unsigned active,
+                          const PowerSystemConfig &base) const
+{
+    PowerSystemConfig cfg = base;
+    cfg.capacitor = capacitorFor(active);
+    return cfg;
+}
+
+Seconds
+BankArray::rechargeEstimate(unsigned active, units::Watts harvested,
+                            const PowerSystemConfig &base) const
+{
+    log::fatalIf(harvested.value() <= 0.0,
+                 "recharge estimate needs positive harvested power");
+    const CapacitorConfig cap = capacitorFor(active);
+    const units::Joules deficit =
+        units::capacitorEnergy(cap.capacitance, base.monitor.vhigh) -
+        units::capacitorEnergy(cap.capacitance, base.monitor.voff);
+    const double effective = harvested.value() * base.input.efficiency;
+    return Seconds(deficit.value() / effective);
+}
+
+} // namespace culpeo::sim

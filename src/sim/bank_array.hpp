@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Reconfigurable energy-storage array (Capybara [30] / Morphy [118]):
+ * a set of identical supercapacitor sub-banks that software can switch
+ * onto the shared capacitor rail. More active banks mean more
+ * capacitance and lower ESR but longer recharge-to-Vhigh; fewer banks
+ * recharge quickly but cannot sustain high-current tasks.
+ *
+ * Culpeo models such a buffer as a capacitor in series with a variable
+ * resistance that captures the bank-switch interconnect (Section V-B),
+ * and tags all profile data with a buffer-configuration identifier.
+ */
+
+#ifndef CULPEO_SIM_BANK_ARRAY_HPP
+#define CULPEO_SIM_BANK_ARRAY_HPP
+
+#include "sim/power_system.hpp"
+
+namespace culpeo::sim {
+
+/** Static description of the reconfigurable array. */
+struct BankArrayConfig
+{
+    /** One sub-bank (the two-branch supercap model). */
+    CapacitorConfig sub_bank{};
+    /** Number of installed sub-banks. */
+    unsigned total_banks = 3;
+    /** Per-switch interconnect resistance between a bank and the rail. */
+    Ohms switch_resistance{0.15};
+};
+
+/** A three-sub-bank split of the Capybara 45 mF array (15 mF each). */
+BankArrayConfig capybaraBankArray();
+
+/**
+ * Reconfigurable buffer: derives the aggregate capacitor model for any
+ * number of active banks. Sub-banks are identical and switched in
+ * parallel, so k active banks give k*C, branch resistances / k, and the
+ * switch resistance (one per bank, in parallel) added in series.
+ */
+class BankArray
+{
+  public:
+    explicit BankArray(BankArrayConfig config);
+
+    const BankArrayConfig &config() const { return config_; }
+    unsigned totalBanks() const { return config_.total_banks; }
+
+    /** Aggregate capacitor model with @p active banks on the rail. */
+    CapacitorConfig capacitorFor(unsigned active) const;
+
+    /**
+     * Power-system configuration with @p active banks, on the supplied
+     * rail/booster/monitor settings.
+     */
+    PowerSystemConfig powerSystemFor(unsigned active,
+                                     const PowerSystemConfig &base) const;
+
+    /**
+     * Time to recharge the active configuration from Voff to Vhigh at
+     * @p harvested power (ideal-capacitor estimate; used by schedulers
+     * to weigh small-vs-large configurations).
+     */
+    Seconds rechargeEstimate(unsigned active, units::Watts harvested,
+                             const PowerSystemConfig &base) const;
+
+  private:
+    BankArrayConfig config_;
+};
+
+} // namespace culpeo::sim
+
+#endif // CULPEO_SIM_BANK_ARRAY_HPP

@@ -1,0 +1,110 @@
+#include "booster.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace culpeo::sim {
+
+double
+Efficiency::at(units::Volts v) const
+{
+    return at(v, Amps(0.0));
+}
+
+double
+Efficiency::at(units::Volts v, Amps i_load) const
+{
+    double eta = slope * v.value() + intercept;
+    const double dv = v_ref - v.value();
+    eta -= curvature * dv * dv;
+    eta -= current_coeff * i_load.value();
+    return std::clamp(eta, min_eta, max_eta);
+}
+
+Efficiency
+Efficiency::linearApprox() const
+{
+    Efficiency linear = *this;
+    linear.curvature = 0.0;
+    linear.current_coeff = 0.0;
+    return linear;
+}
+
+OutputBooster::OutputBooster(OutputBoosterConfig config) : config_(config)
+{
+    log::fatalIf(config_.vout.value() <= 0.0, "vout must be positive");
+    log::fatalIf(config_.dropout.value() < 0.0, "dropout must be >= 0");
+}
+
+BoosterDraw
+OutputBooster::computeDraw(const Capacitor &cap, Amps i_load) const
+{
+    BoosterDraw draw;
+    // Thevenin equivalent of the buffer at this instant: the terminal
+    // voltage under draw I is vth - I * rth.
+    const Volts voc = cap.theveninVoltage();
+    const Ohms esr = cap.theveninResistance();
+    const Watts pout = config_.vout * i_load;
+
+    if (voc.value() <= 0.0) {
+        draw.collapsed = true;
+        return draw;
+    }
+
+    // Fixed-point iteration: efficiency depends on the terminal voltage,
+    // which depends on the input current, which depends on efficiency.
+    Volts vterm = voc;
+    Amps i_in{0.0};
+    double eta = 1.0;
+    for (int iter = 0; iter < 8; ++iter) {
+        eta = config_.efficiency.at(vterm, i_load);
+        const double pin = pout.value() / eta;
+        const double r = esr.value();
+        const double disc =
+            voc.value() * voc.value() - 4.0 * r * pin;
+        if (disc < 0.0) {
+            // The buffer cannot push this power through its ESR at any
+            // operating current: voltage collapse.
+            draw.collapsed = true;
+            draw.efficiency = eta;
+            draw.terminal_voltage = Volts(voc.value() * 0.5);
+            draw.input_current = Volts(voc.value() * 0.5) / esr;
+            return draw;
+        }
+        const double i_new = r > 0.0
+            ? (voc.value() - std::sqrt(disc)) / (2.0 * r)
+            : pin / voc.value();
+        i_in = Amps(i_new);
+        vterm = voc - i_in * esr;
+    }
+
+    draw.input_current = i_in + config_.quiescent;
+    draw.terminal_voltage = voc - draw.input_current * esr;
+    draw.efficiency = eta;
+    draw.collapsed = draw.terminal_voltage < config_.dropout;
+    return draw;
+}
+
+InputBooster::InputBooster(InputBoosterConfig config) : config_(config)
+{
+    log::fatalIf(config_.efficiency <= 0.0 || config_.efficiency > 1.0,
+                 "input booster efficiency must be in (0, 1]");
+    log::fatalIf(config_.vhigh.value() <= 0.0, "vhigh must be positive");
+}
+
+Amps
+InputBooster::chargeCurrent(Watts harvested, Volts voc) const
+{
+    if (harvested.value() <= 0.0 || voc >= config_.vhigh)
+        return Amps(0.0);
+    // Charging into a nearly empty buffer is current-limited by the IC.
+    const double denom = std::max(voc.value(), 0.1);
+    const double current =
+        std::min(config_.efficiency * harvested.value() / denom,
+                 config_.max_charge_current.value());
+    return Amps(current);
+}
+
+} // namespace culpeo::sim

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Voltage regulator models: the output booster that feeds the load a
+ * stable Vout while discharging the energy buffer, and the input booster
+ * that charges the buffer from the harvester (Figure 2 of the paper).
+ *
+ * The output booster's conversion efficiency is the quantity Culpeo
+ * approximates as a line in input voltage (Section IV-B). The simulator's
+ * "true" model optionally adds curvature and a load-current droop so that
+ * the linear approximation carries realistic compounding error — the
+ * mechanism behind Culpeo-PG's drift on high-energy workloads (Fig. 10).
+ */
+
+#ifndef CULPEO_SIM_BOOSTER_HPP
+#define CULPEO_SIM_BOOSTER_HPP
+
+#include "sim/capacitor.hpp"
+#include "util/units.hpp"
+
+namespace culpeo::sim {
+
+using units::Watts;
+
+/**
+ * Boost-converter efficiency versus input voltage (and optionally load
+ * current). The base model is the paper's line eta = slope * V + intercept;
+ * curvature and current_coeff add the nonlinear truth.
+ */
+struct Efficiency
+{
+    double slope = 0.055;      ///< Efficiency gain per input volt.
+    double intercept = 0.70;   ///< Efficiency at 0 V input (extrapolated).
+    double curvature = 0.0;    ///< Droop factor: -curvature * (v_ref - V)^2.
+    double current_coeff = 0.0; ///< Droop per ampere of load current.
+    double v_ref = 2.56;       ///< Voltage at which droop terms vanish.
+    double min_eta = 0.30;     ///< Clamp floor.
+    double max_eta = 0.97;     ///< Clamp ceiling.
+
+    /** Efficiency at input voltage @p v, ignoring current droop. */
+    double at(units::Volts v) const;
+
+    /** Efficiency at input voltage @p v while delivering @p i_load. */
+    double at(units::Volts v, Amps i_load) const;
+
+    /** The linear model Culpeo assumes (curvature and droop stripped). */
+    Efficiency linearApprox() const;
+};
+
+/** Result of asking the output booster to serve a load for one step. */
+struct BoosterDraw
+{
+    Amps input_current{0.0};   ///< Current pulled from the capacitor.
+    Volts terminal_voltage{0.0}; ///< Capacitor terminal voltage under draw.
+    double efficiency = 1.0;   ///< Conversion efficiency used.
+    bool collapsed = false;    ///< True if the buffer cannot source the power.
+};
+
+/** Output booster configuration (TPS61200-class part). */
+struct OutputBoosterConfig
+{
+    Volts vout{2.55};
+    Efficiency efficiency{};
+    /** Input terminal voltage below which conversion is unreliable. */
+    Volts dropout{0.5};
+    /** Quiescent current drawn from the buffer while enabled. */
+    Amps quiescent{55e-6};
+};
+
+/**
+ * The output booster. Stateless; computes, for a demanded load current at
+ * Vout, the self-consistent current drawn from the capacitor given the
+ * capacitor's ESR (input current raises ESR drop, which lowers input
+ * voltage, which lowers efficiency, which raises input current...).
+ */
+class OutputBooster
+{
+  public:
+    explicit OutputBooster(OutputBoosterConfig config);
+
+    const OutputBoosterConfig &config() const { return config_; }
+    Volts vout() const { return config_.vout; }
+
+    /**
+     * Solve the input-side operating point for load current @p i_load.
+     * The quadratic R*Iin^2 - Voc*Iin + Pin = 0 (from Iin * Vterm = Pin,
+     * Vterm = Voc - Iin * R) is iterated with the efficiency model until
+     * the operating point is self-consistent. A negative discriminant
+     * means the buffer cannot deliver Pin through its ESR at any current
+     * (max-power-transfer exceeded) and is reported as collapse.
+     */
+    BoosterDraw computeDraw(const Capacitor &cap, Amps i_load) const;
+
+  private:
+    OutputBoosterConfig config_;
+};
+
+/** Input booster configuration (BQ25504-class part). */
+struct InputBoosterConfig
+{
+    /** Harvest-side conversion efficiency (flat). */
+    double efficiency = 0.80;
+    /** Charging stops once the buffer terminal voltage reaches this. */
+    Volts vhigh{2.56};
+    /** Charge-current clamp of the charger IC. */
+    Amps max_charge_current{0.2};
+};
+
+/**
+ * The input booster: converts harvested power into charge current for the
+ * energy buffer, decoupling charging from the harvester's voltage limits.
+ */
+class InputBooster
+{
+  public:
+    explicit InputBooster(InputBoosterConfig config);
+
+    const InputBoosterConfig &config() const { return config_; }
+
+    /**
+     * Charge current delivered into the buffer when the harvester
+     * supplies @p harvested and the buffer sits at open-circuit voltage
+     * @p voc. Zero once the buffer is full.
+     */
+    Amps chargeCurrent(Watts harvested, Volts voc) const;
+
+  private:
+    InputBoosterConfig config_;
+};
+
+} // namespace culpeo::sim
+
+#endif // CULPEO_SIM_BOOSTER_HPP

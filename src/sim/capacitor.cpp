@@ -1,0 +1,263 @@
+#include "capacitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace culpeo::sim {
+
+EsrCurve
+EsrCurve::flat(Ohms esr)
+{
+    return EsrCurve({{Hertz(1.0), esr}});
+}
+
+EsrCurve::EsrCurve(std::vector<Point> points) : points_(std::move(points))
+{
+    log::fatalIf(points_.empty(), "EsrCurve requires at least one point");
+    for (const auto &p : points_) {
+        log::fatalIf(p.frequency.value() <= 0.0,
+                     "EsrCurve frequencies must be positive");
+        log::fatalIf(p.esr.value() <= 0.0, "EsrCurve ESR must be positive");
+    }
+    std::sort(points_.begin(), points_.end(),
+              [](const Point &a, const Point &b) {
+                  return a.frequency < b.frequency;
+              });
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+        log::fatalIf(points_[i].frequency == points_[i - 1].frequency,
+                     "EsrCurve frequencies must be distinct");
+    }
+}
+
+Ohms
+EsrCurve::at(Hertz f) const
+{
+    log::fatalIf(f.value() <= 0.0, "EsrCurve::at requires positive frequency");
+    if (f <= points_.front().frequency)
+        return points_.front().esr;
+    if (f >= points_.back().frequency)
+        return points_.back().esr;
+    // Log-log interpolation between bracketing points.
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+        if (f <= points_[i].frequency) {
+            const auto &lo = points_[i - 1];
+            const auto &hi = points_[i];
+            const double t =
+                (std::log(f.value()) - std::log(lo.frequency.value())) /
+                (std::log(hi.frequency.value()) -
+                 std::log(lo.frequency.value()));
+            const double log_r = std::log(lo.esr.value()) * (1.0 - t) +
+                                 std::log(hi.esr.value()) * t;
+            return Ohms(std::exp(log_r));
+        }
+    }
+    return points_.back().esr; // Unreachable; keeps the compiler happy.
+}
+
+Ohms
+EsrCurve::forPulseWidth(Seconds width) const
+{
+    log::fatalIf(width.value() <= 0.0,
+                 "EsrCurve::forPulseWidth requires positive width");
+    return at(Hertz(1.0 / (2.0 * width.value())));
+}
+
+Ohms
+EsrCurve::dcEsr() const
+{
+    return points_.front().esr;
+}
+
+Farads
+CapacitorConfig::bulkCapacitance() const
+{
+    return capacitance * capacitance_fraction * (1.0 - surface_fraction);
+}
+
+Farads
+CapacitorConfig::surfaceCapacitance() const
+{
+    return capacitance * capacitance_fraction * surface_fraction;
+}
+
+Ohms
+CapacitorConfig::agedSeriesEsr() const
+{
+    return series_esr * esr_multiplier;
+}
+
+Ohms
+CapacitorConfig::agedBulkResistance() const
+{
+    return bulk_resistance * esr_multiplier;
+}
+
+Ohms
+CapacitorConfig::agedSurfaceResistance() const
+{
+    return surface_resistance * esr_multiplier;
+}
+
+Ohms
+CapacitorConfig::instantaneousEsr() const
+{
+    const double rb = agedBulkResistance().value();
+    const double rs = agedSurfaceResistance().value();
+    return Ohms(agedSeriesEsr().value() + rb * rs / (rb + rs));
+}
+
+Ohms
+CapacitorConfig::sustainedEsr() const
+{
+    const double cb = bulkCapacitance().value();
+    const double cs = surfaceCapacitance().value();
+    const double c = cb + cs;
+    const double rb = agedBulkResistance().value();
+    const double rs = agedSurfaceResistance().value();
+    return Ohms(agedSeriesEsr().value() +
+                (rb * cb * cb + rs * cs * cs) / (c * c));
+}
+
+Seconds
+CapacitorConfig::redistributionTau() const
+{
+    const double cb = bulkCapacitance().value();
+    const double cs = surfaceCapacitance().value();
+    const double c = cb + cs;
+    return Seconds((agedBulkResistance().value() +
+                    agedSurfaceResistance().value()) *
+                   cb * cs / c);
+}
+
+Ohms
+CapacitorConfig::apparentEsrForWidth(Seconds width) const
+{
+    log::fatalIf(width.value() <= 0.0, "pulse width must be positive");
+    const double r0 = instantaneousEsr().value();
+    const double rdc = sustainedEsr().value();
+    const double tau = redistributionTau().value();
+    // The drop is worst at the *end* of the pulse, where the surface
+    // branch has depleted most: the apparent resistance approaches the
+    // sustained value exponentially with the redistribution constant.
+    const double blend = 1.0 - std::exp(-width.value() / tau);
+    return Ohms(r0 + (rdc - r0) * blend);
+}
+
+EsrCurve
+CapacitorConfig::profiledEsrCurve() const
+{
+    std::vector<EsrCurve::Point> points;
+    for (double f = 0.05; f <= 2e5; f *= std::sqrt(10.0)) {
+        const double width = 1.0 / (2.0 * f);
+        points.push_back({Hertz(f), apparentEsrForWidth(Seconds(width))});
+    }
+    return EsrCurve(std::move(points));
+}
+
+Capacitor::Capacitor(CapacitorConfig config) : config_(config)
+{
+    log::fatalIf(config_.capacitance.value() <= 0.0,
+                 "capacitance must be positive");
+    log::fatalIf(config_.surface_fraction <= 0.0 ||
+                     config_.surface_fraction >= 1.0,
+                 "surface_fraction must be in (0, 1)");
+    log::fatalIf(config_.series_esr.value() < 0.0 ||
+                     config_.bulk_resistance.value() <= 0.0 ||
+                     config_.surface_resistance.value() <= 0.0,
+                 "branch resistances must be positive");
+    log::fatalIf(config_.capacitance_fraction <= 0.0 ||
+                     config_.capacitance_fraction > 1.0,
+                 "capacitance_fraction must be in (0, 1]");
+    log::fatalIf(config_.esr_multiplier < 1.0,
+                 "esr_multiplier models aging and must be >= 1");
+}
+
+Farads
+Capacitor::capacitance() const
+{
+    return config_.capacitance * config_.capacitance_fraction;
+}
+
+Volts
+Capacitor::openCircuitVoltage() const
+{
+    const double cb = config_.bulkCapacitance().value();
+    const double cs = config_.surfaceCapacitance().value();
+    return Volts((cb * v_bulk_.value() + cs * v_surf_.value()) / (cb + cs));
+}
+
+void
+Capacitor::setOpenCircuitVoltage(Volts voc)
+{
+    log::fatalIf(voc.value() < 0.0, "buffer voltage cannot be negative");
+    v_bulk_ = voc;
+    v_surf_ = voc;
+}
+
+Joules
+Capacitor::storedEnergy() const
+{
+    return units::capacitorEnergy(config_.bulkCapacitance(), v_bulk_) +
+           units::capacitorEnergy(config_.surfaceCapacitance(), v_surf_);
+}
+
+Volts
+Capacitor::theveninVoltage() const
+{
+    const double gb = 1.0 / config_.agedBulkResistance().value();
+    const double gs = 1.0 / config_.agedSurfaceResistance().value();
+    return Volts((v_bulk_.value() * gb + v_surf_.value() * gs) / (gb + gs));
+}
+
+Ohms
+Capacitor::theveninResistance() const
+{
+    const double gb = 1.0 / config_.agedBulkResistance().value();
+    const double gs = 1.0 / config_.agedSurfaceResistance().value();
+    return Ohms(config_.agedSeriesEsr().value() + 1.0 / (gb + gs));
+}
+
+Volts
+Capacitor::terminalVoltage(Amps i_out) const
+{
+    return theveninVoltage() - i_out * theveninResistance();
+}
+
+void
+Capacitor::step(Seconds dt, Amps i_out)
+{
+    log::fatalIf(dt.value() <= 0.0, "Capacitor::step requires dt > 0");
+
+    Amps net = i_out;
+    if (openCircuitVoltage().value() > 0.0)
+        net += config_.leakage;
+
+    // Explicit Euler is only stable for steps well below the branch
+    // redistribution time constant; sub-step internally so callers may
+    // use coarse steps while idling or recharging.
+    const double tau = config_.redistributionTau().value();
+    const auto substeps = std::max<std::size_t>(
+        1, std::size_t(std::ceil(dt.value() / (0.25 * tau))));
+    const double h = dt.value() / double(substeps);
+
+    const double gb = 1.0 / config_.agedBulkResistance().value();
+    const double gs = 1.0 / config_.agedSurfaceResistance().value();
+    const double cb = config_.bulkCapacitance().value();
+    const double cs = config_.surfaceCapacitance().value();
+
+    for (std::size_t s = 0; s < substeps; ++s) {
+        // Internal node voltage from the current balance, then branch
+        // currents and integration.
+        const double vm = (v_bulk_.value() * gb + v_surf_.value() * gs -
+                           net.value()) /
+                          (gb + gs);
+        const double ib = (v_bulk_.value() - vm) * gb;
+        const double is = (v_surf_.value() - vm) * gs;
+        v_bulk_ = Volts(std::max(0.0, v_bulk_.value() - ib * h / cb));
+        v_surf_ = Volts(std::max(0.0, v_surf_.value() - is * h / cs));
+    }
+}
+
+} // namespace culpeo::sim

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Energy-buffer capacitor model.
+ *
+ * This is the component whose ESR voltage drop the paper identifies as
+ * the failure mode of energy-only charge management (Section II-C). We
+ * model a supercapacitor with the standard two-branch equivalent circuit:
+ *
+ *            Rs (series ESR)
+ *   term ----/\/\----+----- Rbulk ---[ Cbulk ]
+ *                    |
+ *                    +----- Rsurf ---[ Csurf ]
+ *
+ * The fast surface branch supplies transients; sustained loads force
+ * current through the slow bulk branch, so the *apparent* ESR grows with
+ * pulse width — the frequency-dependent ESR curve Culpeo-PG profiles
+ * (Section IV-B). After a load is removed the terminal voltage rebounds
+ * instantly by I*Rs and then recovers slowly as charge redistributes
+ * between the branches, reproducing the drop-and-rebound traces of
+ * Figures 1(b) and 8.
+ *
+ * EsrCurve is the *profiled artifact* form of this behaviour: apparent
+ * ESR versus load frequency, as a measurement rig would report it.
+ */
+
+#ifndef CULPEO_SIM_CAPACITOR_HPP
+#define CULPEO_SIM_CAPACITOR_HPP
+
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace culpeo::sim {
+
+using units::Amps;
+using units::Farads;
+using units::Hertz;
+using units::Joules;
+using units::Ohms;
+using units::Seconds;
+using units::Volts;
+
+/**
+ * Apparent ESR as a function of applied-load frequency. Points are
+ * interpolated log-log; queries outside the covered range clamp to the
+ * end points.
+ */
+class EsrCurve
+{
+  public:
+    struct Point
+    {
+        Hertz frequency;
+        Ohms esr;
+    };
+
+    /** Frequency-independent (flat) ESR. */
+    static EsrCurve flat(Ohms esr);
+
+    /**
+     * Curve from (frequency, esr) points. Points are sorted internally;
+     * at least one point is required and frequencies must be positive
+     * and distinct.
+     */
+    explicit EsrCurve(std::vector<Point> points);
+
+    /** ESR seen by a load applied at frequency @p f. */
+    Ohms at(Hertz f) const;
+
+    /**
+     * ESR seen by a single sustained pulse of width @p width. A pulse of
+     * width w has most spectral content near f = 1 / (2 w).
+     */
+    Ohms forPulseWidth(Seconds width) const;
+
+    /** Lowest-frequency (i.e. highest, DC-like) ESR on the curve. */
+    Ohms dcEsr() const;
+
+    const std::vector<Point> &points() const { return points_; }
+
+  private:
+    std::vector<Point> points_;
+};
+
+/** Static description of a capacitor bank (two-branch model). */
+struct CapacitorConfig
+{
+    Farads capacitance{45e-3};   ///< Total nominal capacitance.
+    Ohms series_esr{1.5};        ///< Rs: fast series resistance.
+    double surface_fraction = 0.15; ///< Share of C in the surface branch.
+    Ohms bulk_resistance{9.0};   ///< Rbulk: slow-branch resistance.
+    Ohms surface_resistance{1.2}; ///< Rsurf: fast-branch resistance.
+    /** DC leakage drawn from the buffer whenever it holds charge. */
+    Amps leakage{120e-9};
+    /**
+     * Aging knobs (Section IV-C): capacitance can fall to 80% of nominal
+     * and ESR double before the part is considered dead.
+     */
+    double capacitance_fraction = 1.0;
+    double esr_multiplier = 1.0;
+
+    /** Aged branch values. */
+    Farads bulkCapacitance() const;
+    Farads surfaceCapacitance() const;
+    Ohms agedSeriesEsr() const;
+    Ohms agedBulkResistance() const;
+    Ohms agedSurfaceResistance() const;
+
+    /** Instantaneous Thevenin resistance Rs + Rbulk || Rsurf. */
+    Ohms instantaneousEsr() const;
+
+    /**
+     * Apparent ESR of a sustained (quasi-steady) discharge:
+     * Rs + (Rb*Cb^2 + Rsf*Csf^2) / C^2.
+     */
+    Ohms sustainedEsr() const;
+
+    /** Branch redistribution time constant (Rb + Rsf) * (Cb*Csf/C). */
+    Seconds redistributionTau() const;
+
+    /**
+     * Analytic apparent ESR for a single pulse of width @p width:
+     * interpolates from the instantaneous to the sustained value with
+     * the redistribution time constant.
+     */
+    Ohms apparentEsrForWidth(Seconds width) const;
+
+    /** The apparent-ESR curve a profiling rig would measure. */
+    EsrCurve profiledEsrCurve() const;
+};
+
+/**
+ * The energy buffer. Stateful: tracks the open-circuit voltage of each
+ * internal branch.
+ */
+class Capacitor
+{
+  public:
+    explicit Capacitor(CapacitorConfig config);
+
+    /** Aged total effective capacitance. */
+    Farads capacitance() const;
+
+    /**
+     * Charge-weighted open-circuit voltage (the energy-state voltage an
+     * ideal-capacitor model would report).
+     */
+    Volts openCircuitVoltage() const;
+
+    /** Set both branch voltages (a settled, equalized buffer). */
+    void setOpenCircuitVoltage(Volts voc);
+
+    /** Stored energy across both branches. */
+    Joules storedEnergy() const;
+
+    /**
+     * Thevenin equivalent at this instant: terminal voltage is
+     * theveninVoltage() - i_out * theveninResistance().
+     */
+    Volts theveninVoltage() const;
+    Ohms theveninResistance() const;
+
+    /**
+     * Terminal voltage while sourcing @p i_out (positive = discharge;
+     * negative values model net charging).
+     */
+    Volts terminalVoltage(Amps i_out) const;
+
+    /**
+     * Advance the state by @p dt with net output current @p i_out
+     * (leakage is added internally). Branch currents are solved from the
+     * internal node and integrated, producing both the growing sag under
+     * sustained load and the slow post-load redistribution rebound.
+     */
+    void step(Seconds dt, Amps i_out);
+
+    Volts bulkVoltage() const { return v_bulk_; }
+    Volts surfaceVoltage() const { return v_surf_; }
+
+    const CapacitorConfig &config() const { return config_; }
+
+  private:
+    CapacitorConfig config_;
+    Volts v_bulk_{0.0};
+    Volts v_surf_{0.0};
+};
+
+} // namespace culpeo::sim
+
+#endif // CULPEO_SIM_CAPACITOR_HPP

@@ -1,0 +1,52 @@
+#include "harvester.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace culpeo::sim {
+
+ConstantHarvester::ConstantHarvester(Watts power) : power_(power)
+{
+    log::fatalIf(power.value() < 0.0, "harvested power cannot be negative");
+}
+
+Watts
+ConstantHarvester::powerAt(Seconds) const
+{
+    return power_;
+}
+
+TraceHarvester::TraceHarvester(std::vector<Point> points)
+    : points_(std::move(points))
+{
+    log::fatalIf(points_.empty(), "TraceHarvester requires at least a point");
+    log::fatalIf(!std::is_sorted(points_.begin(), points_.end(),
+                                 [](const Point &a, const Point &b) {
+                                     return a.time < b.time;
+                                 }),
+                 "TraceHarvester points must be time-sorted");
+}
+
+Watts
+TraceHarvester::powerAt(Seconds t) const
+{
+    if (t <= points_.front().time)
+        return points_.front().power;
+    if (t >= points_.back().time)
+        return points_.back().power;
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+        if (t <= points_[i].time) {
+            const auto &lo = points_[i - 1];
+            const auto &hi = points_[i];
+            const double span = (hi.time - lo.time).value();
+            const double frac =
+                span > 0.0 ? (t - lo.time).value() / span : 0.0;
+            return Watts(lo.power.value() * (1.0 - frac) +
+                         hi.power.value() * frac);
+        }
+    }
+    return points_.back().power;
+}
+
+} // namespace culpeo::sim

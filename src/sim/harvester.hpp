@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Harvested-power sources. The paper's evaluation simulates solar energy
+ * with a constant, weak supply (Section VI-B); we additionally provide a
+ * piecewise-linear trace source for experiments with varying power.
+ */
+
+#ifndef CULPEO_SIM_HARVESTER_HPP
+#define CULPEO_SIM_HARVESTER_HPP
+
+#include <memory>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace culpeo::sim {
+
+using units::Seconds;
+using units::Watts;
+
+/** Interface: harvestable power available at absolute time t. */
+class Harvester
+{
+  public:
+    virtual ~Harvester() = default;
+
+    /** Power available from the environment at time @p t. */
+    virtual Watts powerAt(Seconds t) const = 0;
+};
+
+/** Constant harvestable power (the paper's evaluation condition). */
+class ConstantHarvester : public Harvester
+{
+  public:
+    explicit ConstantHarvester(Watts power);
+
+    Watts powerAt(Seconds t) const override;
+
+  private:
+    Watts power_;
+};
+
+/** No incoming power: the worst case Culpeo-PG assumes (Section IV-B). */
+class NoHarvester : public Harvester
+{
+  public:
+    Watts powerAt(Seconds) const override { return Watts(0.0); }
+};
+
+/**
+ * Piecewise-linear power trace; clamps to the first/last point outside
+ * the covered time span.
+ */
+class TraceHarvester : public Harvester
+{
+  public:
+    struct Point
+    {
+        Seconds time;
+        Watts power;
+    };
+
+    explicit TraceHarvester(std::vector<Point> points);
+
+    Watts powerAt(Seconds t) const override;
+
+  private:
+    std::vector<Point> points_;
+};
+
+} // namespace culpeo::sim
+
+#endif // CULPEO_SIM_HARVESTER_HPP

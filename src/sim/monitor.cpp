@@ -1,0 +1,29 @@
+#include "monitor.hpp"
+
+#include "util/logging.hpp"
+
+namespace culpeo::sim {
+
+VoltageMonitor::VoltageMonitor(MonitorConfig config) : config_(config)
+{
+    log::fatalIf(config_.voff.value() <= 0.0, "voff must be positive");
+    log::fatalIf(config_.vhigh <= config_.voff,
+                 "vhigh must exceed voff for hysteresis to function");
+}
+
+bool
+VoltageMonitor::update(Volts vterm)
+{
+    if (enabled_) {
+        if (vterm < config_.voff) {
+            enabled_ = false;
+            ++power_failures_;
+        }
+    } else {
+        if (vterm >= config_.vhigh)
+            enabled_ = true;
+    }
+    return enabled_;
+}
+
+} // namespace culpeo::sim

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Hysteretic voltage monitor (BU4924-class part): enables the output
+ * booster only after the buffer has fully recharged to Vhigh and disables
+ * it the moment the terminal voltage crosses Voff (Section II-A).
+ */
+
+#ifndef CULPEO_SIM_MONITOR_HPP
+#define CULPEO_SIM_MONITOR_HPP
+
+#include "util/units.hpp"
+
+namespace culpeo::sim {
+
+using units::Volts;
+
+/** Thresholds for the output-enable state machine. */
+struct MonitorConfig
+{
+    Volts vhigh{2.56}; ///< Re-enable (after an off) at or above this.
+    Volts voff{1.60};  ///< Disable strictly below this.
+};
+
+/**
+ * Output-enable state machine with hysteresis. Software may execute only
+ * while the monitor reports enabled; crossing below Voff is the paper's
+ * "power failure".
+ */
+class VoltageMonitor
+{
+  public:
+    explicit VoltageMonitor(MonitorConfig config);
+
+    const MonitorConfig &config() const { return config_; }
+
+    /**
+     * Update with the current terminal voltage; returns whether the
+     * output booster is enabled after the update.
+     */
+    bool update(Volts vterm);
+
+    bool enabled() const { return enabled_; }
+
+    /**
+     * Force the enabled state (test harnesses isolate the supply side and
+     * trigger delivery explicitly, as in Section VI-A).
+     */
+    void forceEnabled(bool enabled) { enabled_ = enabled; }
+
+    /** Number of disable (power failure) events observed so far. */
+    unsigned powerFailures() const { return power_failures_; }
+
+  private:
+    MonitorConfig config_;
+    bool enabled_ = false;
+    unsigned power_failures_ = 0;
+};
+
+} // namespace culpeo::sim
+
+#endif // CULPEO_SIM_MONITOR_HPP

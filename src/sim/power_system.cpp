@@ -1,0 +1,125 @@
+#include "power_system.hpp"
+
+#include "util/logging.hpp"
+
+namespace culpeo::sim {
+
+PowerSystemConfig
+capybaraConfig()
+{
+    PowerSystemConfig cfg;
+
+    // 45 mF bank of six dense supercapacitors (Seiko CPX-class). The
+    // two-branch parameters give an apparent ESR of ~2.6 ohm for
+    // kHz-class transients rising to ~8 ohm for sustained (DC-like)
+    // loads, per supercapacitor porous electrode behaviour.
+    cfg.capacitor.capacitance = Farads(45e-3);
+    cfg.capacitor.series_esr = Ohms(1.5);
+    cfg.capacitor.surface_fraction = 0.15;
+    cfg.capacitor.bulk_resistance = Ohms(9.0);
+    cfg.capacitor.surface_resistance = Ohms(1.2);
+    cfg.capacitor.leakage = Amps(120e-9); // Six parts at 20 nA DCL each.
+
+    cfg.output.vout = Volts(2.55);
+    // True efficiency: a line with mild curvature away from Vhigh and a
+    // small current droop; Culpeo's models use only the linear part.
+    cfg.output.efficiency.slope = 0.055;
+    cfg.output.efficiency.intercept = 0.70;
+    cfg.output.efficiency.curvature = 0.012;
+    cfg.output.efficiency.current_coeff = 0.10;
+    cfg.output.efficiency.v_ref = 2.56;
+    cfg.output.dropout = Volts(0.5);
+    cfg.output.quiescent = Amps(55e-6);
+
+    cfg.input.efficiency = 0.80;
+    cfg.input.vhigh = Volts(2.56);
+    cfg.input.max_charge_current = Amps(0.2);
+
+    cfg.monitor.vhigh = Volts(2.56);
+    cfg.monitor.voff = Volts(1.60);
+
+    return cfg;
+}
+
+PowerSystem::PowerSystem(PowerSystemConfig config)
+    : config_(config),
+      cap_(config.capacitor),
+      output_(config.output),
+      input_(config.input),
+      monitor_(config.monitor)
+{}
+
+StepResult
+PowerSystem::step(Seconds dt, Amps i_load)
+{
+    log::fatalIf(dt.value() <= 0.0, "PowerSystem::step requires dt > 0");
+    log::fatalIf(i_load.value() < 0.0, "load current cannot be negative");
+
+    StepResult result;
+    const bool was_enabled = monitor_.enabled();
+
+    Amps i_out{0.0};
+    if (was_enabled) {
+        const BoosterDraw draw = output_.computeDraw(cap_, i_load);
+        i_out = draw.input_current;
+        result.collapsed = draw.collapsed;
+        result.delivering = !draw.collapsed && i_load.value() > 0.0;
+    }
+
+    const Watts harvested = harvester_ != nullptr
+        ? harvester_->powerAt(now_)
+        : Watts(0.0);
+    const Amps i_charge =
+        input_.chargeCurrent(harvested, cap_.openCircuitVoltage());
+
+    const Amps net = i_out - i_charge;
+    const Volts vterm = cap_.terminalVoltage(net);
+    const bool enabled_after = monitor_.update(vterm);
+    result.power_failed = was_enabled && !enabled_after;
+    if (result.power_failed)
+        result.delivering = false;
+
+    cap_.step(dt, net);
+    now_ += dt;
+
+    result.time = now_;
+    result.terminal = vterm;
+    result.open_circuit = cap_.openCircuitVoltage();
+    result.input_current = i_out;
+
+    if (capture_) {
+        trace_.add({now_, vterm, result.open_circuit, i_load,
+                    result.delivering});
+    }
+    return result;
+}
+
+void
+PowerSystem::recharge(Seconds dt, Seconds deadline)
+{
+    while (now_ < deadline &&
+           cap_.openCircuitVoltage() < config_.monitor.vhigh) {
+        step(dt, Amps(0.0));
+    }
+}
+
+Volts
+PowerSystem::restingVoltage() const
+{
+    return cap_.terminalVoltage(Amps(0.0));
+}
+
+void
+PowerSystem::setBufferVoltage(Volts voc)
+{
+    log::fatalIf(voc.value() < 0.0, "buffer voltage cannot be negative");
+    cap_.setOpenCircuitVoltage(voc);
+}
+
+void
+PowerSystem::forceOutputEnabled(bool enabled)
+{
+    monitor_.forceEnabled(enabled);
+}
+
+} // namespace culpeo::sim

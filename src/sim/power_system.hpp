@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The complete energy-harvesting power system of Figure 2: harvester →
+ * input booster → energy buffer (supercap bank with ESR) → output booster
+ * → load, supervised by a hysteretic voltage monitor.
+ *
+ * The simulator advances with caller-chosen time steps; each step serves a
+ * demanded load current (if the monitor allows), charges from the
+ * harvester, and reports the resulting terminal voltage and any brown-out.
+ */
+
+#ifndef CULPEO_SIM_POWER_SYSTEM_HPP
+#define CULPEO_SIM_POWER_SYSTEM_HPP
+
+#include <optional>
+
+#include "sim/booster.hpp"
+#include "sim/capacitor.hpp"
+#include "sim/harvester.hpp"
+#include "sim/monitor.hpp"
+#include "sim/trace.hpp"
+#include "util/units.hpp"
+
+namespace culpeo::sim {
+
+/** Aggregate configuration of the whole supply side. */
+struct PowerSystemConfig
+{
+    CapacitorConfig capacitor{};
+    OutputBoosterConfig output{};
+    InputBoosterConfig input{};
+    MonitorConfig monitor{};
+};
+
+/**
+ * Capybara-like configuration used throughout the evaluation: Voff 1.6 V,
+ * Vhigh 2.56 V, Vout 2.55 V, 45 mF supercapacitor bank of six dense parts
+ * with ohm-class, frequency-dependent ESR (Section VI-A).
+ */
+PowerSystemConfig capybaraConfig();
+
+/** Outcome of one simulation step. */
+struct StepResult
+{
+    Seconds time{0.0};   ///< Simulation time after the step.
+    Volts terminal{0.0}; ///< Terminal voltage during the step.
+    Volts open_circuit{0.0};
+    Amps input_current{0.0}; ///< Current drawn from the buffer.
+    bool delivering = false; ///< Load current actually served this step.
+    bool collapsed = false;  ///< Booster could not source the power.
+    bool power_failed = false; ///< Monitor disabled output this step.
+};
+
+/**
+ * The power-system transient simulator. Owns all supply-side component
+ * models; the harvester is borrowed (callers keep it alive).
+ */
+class PowerSystem
+{
+  public:
+    explicit PowerSystem(PowerSystemConfig config);
+
+    /** Select the energy source; nullptr means no incoming power. */
+    void setHarvester(const Harvester *harvester) { harvester_ = harvester; }
+
+    /**
+     * Advance by @p dt while the load demands @p i_load at Vout.
+     * The demand is served only while the monitor enables the output
+     * booster; otherwise only charging and leakage progress.
+     */
+    StepResult step(Seconds dt, Amps i_load);
+
+    /** Run with zero load until @p deadline or the buffer reaches vhigh. */
+    void recharge(Seconds dt, Seconds deadline);
+
+    Seconds now() const { return now_; }
+    const Capacitor &capacitor() const { return cap_; }
+    const VoltageMonitor &monitor() const { return monitor_; }
+    const OutputBooster &outputBooster() const { return output_; }
+    const PowerSystemConfig &config() const { return config_; }
+
+    /** Terminal voltage with no load applied (what an idle ADC reads). */
+    Volts restingVoltage() const;
+
+    Volts vhigh() const { return config_.monitor.vhigh; }
+    Volts voff() const { return config_.monitor.voff; }
+    Volts vout() const { return config_.output.vout; }
+
+    /** Operating range Vhigh - Voff used for error normalization. */
+    Volts operatingRange() const { return vhigh() - voff(); }
+
+    // --- Test-harness controls (Section VI-A isolation mode) ---
+
+    /** Instantly set the buffer's open-circuit voltage. */
+    void setBufferVoltage(Volts voc);
+
+    /** Force the monitor state regardless of thresholds. */
+    void forceOutputEnabled(bool enabled);
+
+    /** Enable/disable trace capture; captured on every step. */
+    void captureTrace(bool capture) { capture_ = capture; }
+    const VoltageTrace &trace() const { return trace_; }
+    void clearTrace() { trace_.clear(); }
+
+  private:
+    PowerSystemConfig config_;
+    Capacitor cap_;
+    OutputBooster output_;
+    InputBooster input_;
+    VoltageMonitor monitor_;
+    const Harvester *harvester_ = nullptr;
+    Seconds now_{0.0};
+    bool capture_ = false;
+    VoltageTrace trace_;
+};
+
+} // namespace culpeo::sim
+
+#endif // CULPEO_SIM_POWER_SYSTEM_HPP

@@ -1,0 +1,107 @@
+#include "trace.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace culpeo::sim {
+
+void
+VoltageTrace::add(TraceSample sample)
+{
+    log::panicIf(!samples_.empty() && sample.time < samples_.back().time,
+                 "trace samples must be appended in time order");
+    samples_.push_back(sample);
+}
+
+void
+VoltageTrace::clear()
+{
+    samples_.clear();
+}
+
+const TraceSample &
+VoltageTrace::front() const
+{
+    log::fatalIf(samples_.empty(), "front() on empty trace");
+    return samples_.front();
+}
+
+const TraceSample &
+VoltageTrace::back() const
+{
+    log::fatalIf(samples_.empty(), "back() on empty trace");
+    return samples_.back();
+}
+
+Volts
+VoltageTrace::minTerminal() const
+{
+    log::fatalIf(samples_.empty(), "minTerminal() on empty trace");
+    auto it = std::min_element(samples_.begin(), samples_.end(),
+                               [](const TraceSample &a, const TraceSample &b) {
+                                   return a.terminal < b.terminal;
+                               });
+    return it->terminal;
+}
+
+Volts
+VoltageTrace::minTerminalBetween(Seconds t0, Seconds t1) const
+{
+    log::fatalIf(samples_.empty(), "minTerminalBetween() on empty trace");
+    Volts best{1e9};
+    bool found = false;
+    for (const auto &s : samples_) {
+        if (s.time >= t0 && s.time <= t1 && s.terminal < best) {
+            best = s.terminal;
+            found = true;
+        }
+    }
+    log::fatalIf(!found, "no samples in requested window");
+    return best;
+}
+
+Volts
+VoltageTrace::maxTerminalBetween(Seconds t0, Seconds t1) const
+{
+    log::fatalIf(samples_.empty(), "maxTerminalBetween() on empty trace");
+    Volts best{-1e9};
+    bool found = false;
+    for (const auto &s : samples_) {
+        if (s.time >= t0 && s.time <= t1 && s.terminal > best) {
+            best = s.terminal;
+            found = true;
+        }
+    }
+    log::fatalIf(!found, "no samples in requested window");
+    return best;
+}
+
+Volts
+VoltageTrace::terminalAt(Seconds t) const
+{
+    log::fatalIf(samples_.empty(), "terminalAt() on empty trace");
+    if (t <= samples_.front().time)
+        return samples_.front().terminal;
+    if (t >= samples_.back().time)
+        return samples_.back().terminal;
+    const auto it = std::lower_bound(
+        samples_.begin(), samples_.end(), t,
+        [](const TraceSample &s, Seconds when) { return s.time < when; });
+    const auto &hi = *it;
+    const auto &lo = *(it - 1);
+    const double span = (hi.time - lo.time).value();
+    const double frac = span > 0.0 ? (t - lo.time).value() / span : 0.0;
+    return Volts(lo.terminal.value() * (1.0 - frac) +
+                 hi.terminal.value() * frac);
+}
+
+Seconds
+VoltageTrace::duration() const
+{
+    if (samples_.size() < 2)
+        return Seconds(0.0);
+    return samples_.back().time - samples_.front().time;
+}
+
+} // namespace culpeo::sim

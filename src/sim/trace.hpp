@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Time-series capture of power-system state, mirroring the measurement
+ * harness (Saleae + current-sense rig) the paper uses to record energy
+ * buffer voltage and load current (Section VI-A).
+ */
+
+#ifndef CULPEO_SIM_TRACE_HPP
+#define CULPEO_SIM_TRACE_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace culpeo::sim {
+
+using units::Amps;
+using units::Seconds;
+using units::Volts;
+
+/** One recorded instant of power-system state. */
+struct TraceSample
+{
+    Seconds time{0.0};
+    Volts terminal{0.0}; ///< Capacitor terminal voltage (what an ADC sees).
+    Volts open_circuit{0.0}; ///< Ideal-capacitor voltage (energy proxy).
+    Amps load{0.0};          ///< Load-side current demand.
+    bool delivering = false; ///< Output booster enabled and not collapsed.
+};
+
+/** Append-only voltage/current trace with range queries. */
+class VoltageTrace
+{
+  public:
+    void add(TraceSample sample);
+    void clear();
+
+    std::size_t size() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+    const TraceSample &operator[](std::size_t i) const { return samples_[i]; }
+    const TraceSample &front() const;
+    const TraceSample &back() const;
+    const std::vector<TraceSample> &samples() const { return samples_; }
+
+    /** Minimum terminal voltage over the whole trace. */
+    Volts minTerminal() const;
+
+    /** Minimum terminal voltage for samples with time in [t0, t1]. */
+    Volts minTerminalBetween(Seconds t0, Seconds t1) const;
+
+    /** Maximum terminal voltage for samples with time in [t0, t1]. */
+    Volts maxTerminalBetween(Seconds t0, Seconds t1) const;
+
+    /** Linear interpolation of terminal voltage at time @p t. */
+    Volts terminalAt(Seconds t) const;
+
+    /** Total spanned time (0 for traces with < 2 samples). */
+    Seconds duration() const;
+
+  private:
+    std::vector<TraceSample> samples_;
+};
+
+} // namespace culpeo::sim
+
+#endif // CULPEO_SIM_TRACE_HPP

@@ -1,0 +1,55 @@
+#include "two_cap.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace culpeo::sim {
+
+TwoCapNetwork::TwoCapNetwork(CapBranch main, CapBranch decoupling)
+    : main_(main), decoupling_(decoupling)
+{
+    log::fatalIf(main_.capacitance.value() <= 0.0 ||
+                     decoupling_.capacitance.value() <= 0.0,
+                 "both branch capacitances must be positive");
+    log::fatalIf(main_.esr.value() <= 0.0 || decoupling_.esr.value() <= 0.0,
+                 "both branch ESRs must be positive");
+}
+
+Volts
+TwoCapNetwork::nodeVoltage(Amps i_load) const
+{
+    const double g1 = 1.0 / main_.esr.value();
+    const double g2 = 1.0 / decoupling_.esr.value();
+    const double vn = (main_.open_circuit.value() * g1 +
+                       decoupling_.open_circuit.value() * g2 -
+                       i_load.value()) /
+                      (g1 + g2);
+    return Volts(vn);
+}
+
+void
+TwoCapNetwork::step(Seconds dt, Amps i_load)
+{
+    log::fatalIf(dt.value() <= 0.0, "TwoCapNetwork::step requires dt > 0");
+    const Volts vn = nodeVoltage(i_load);
+    const Amps i1 = (main_.open_circuit - vn) / main_.esr;
+    const Amps i2 = (decoupling_.open_circuit - vn) / decoupling_.esr;
+
+    main_.open_circuit = Volts(std::max(
+        0.0, main_.open_circuit.value() -
+                 i1.value() * dt.value() / main_.capacitance.value()));
+    decoupling_.open_circuit = Volts(std::max(
+        0.0,
+        decoupling_.open_circuit.value() -
+            i2.value() * dt.value() / decoupling_.capacitance.value()));
+}
+
+void
+TwoCapNetwork::setVoltage(Volts v)
+{
+    main_.open_circuit = v;
+    decoupling_.open_circuit = v;
+}
+
+} // namespace culpeo::sim

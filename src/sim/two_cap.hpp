@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Two-capacitor network: a high-ESR supercapacitor in parallel with a
+ * low-ESR decoupling bank, both feeding the output booster's input node.
+ *
+ * Used to reproduce the Section II-D experiment showing that even
+ * abnormally large decoupling capacitance (up to 6.4 mF) cannot absorb a
+ * *sustained* high-current load: the decoupling bank sags within
+ * milliseconds and the supercapacitor's ESR drop reappears at the node.
+ */
+
+#ifndef CULPEO_SIM_TWO_CAP_HPP
+#define CULPEO_SIM_TWO_CAP_HPP
+
+#include "util/units.hpp"
+
+namespace culpeo::sim {
+
+using units::Amps;
+using units::Farads;
+using units::Ohms;
+using units::Seconds;
+using units::Volts;
+using units::Watts;
+
+/** One capacitor branch: ideal C in series with an ESR. */
+struct CapBranch
+{
+    Farads capacitance{0.0};
+    Ohms esr{0.0};
+    Volts open_circuit{0.0};
+};
+
+/**
+ * Transient solver for two capacitor branches sharing a supply node.
+ * Each step solves the node voltage from the current balance
+ *
+ *   (V1 - Vn)/R1 + (V2 - Vn)/R2 = Iload
+ *
+ * then integrates each branch's open-circuit voltage with its branch
+ * current. The load is a demanded current at the node (the booster's
+ * input current).
+ */
+class TwoCapNetwork
+{
+  public:
+    TwoCapNetwork(CapBranch main, CapBranch decoupling);
+
+    /** Node (booster input) voltage if @p i_load were drawn right now. */
+    Volts nodeVoltage(Amps i_load) const;
+
+    /** Advance by dt while the node sources @p i_load. */
+    void step(Seconds dt, Amps i_load);
+
+    const CapBranch &main() const { return main_; }
+    const CapBranch &decoupling() const { return decoupling_; }
+
+    /** Set both branch voltages (fully charged, settled start). */
+    void setVoltage(Volts v);
+
+  private:
+    CapBranch main_;
+    CapBranch decoupling_;
+};
+
+} // namespace culpeo::sim
+
+#endif // CULPEO_SIM_TWO_CAP_HPP

@@ -1,0 +1,50 @@
+#include "csv.hpp"
+
+#include <cstdlib>
+
+#include "logging.hpp"
+
+namespace culpeo::util {
+
+CsvWriter::CsvWriter(const std::string &path, std::vector<std::string> header)
+{
+    out_.open(path);
+    log::fatalIf(!out_.is_open(), "cannot open CSV output file: ", path);
+    bool first = true;
+    std::ostringstream line;
+    for (const auto &cell : header) {
+        if (!first)
+            line << ',';
+        first = false;
+        line << csvEscape(cell);
+    }
+    out_ << line.str() << '\n';
+}
+
+CsvWriter
+CsvWriter::forBench(const std::string &bench_name,
+                    std::vector<std::string> header)
+{
+    const char *dir = std::getenv("CULPEO_BENCH_CSV");
+    if (dir == nullptr)
+        return CsvWriter();
+    return CsvWriter(std::string(dir) + "/" + bench_name + ".csv",
+                     std::move(header));
+}
+
+std::string
+csvEscape(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string escaped = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            escaped += '"';
+        escaped += c;
+    }
+    escaped += '"';
+    return escaped;
+}
+
+} // namespace culpeo::util

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Small CSV writer used by benchmarks to emit figure data series.
+ *
+ * Benchmarks print human-readable tables to stdout and, when the
+ * CULPEO_BENCH_CSV environment variable is set, also write the raw rows
+ * to a CSV file so figures can be re-plotted.
+ */
+
+#ifndef CULPEO_UTIL_CSV_HPP
+#define CULPEO_UTIL_CSV_HPP
+
+#include <fstream>
+#include <initializer_list>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace culpeo::util {
+
+/** Writes rows to a CSV file; silently inactive when not opened. */
+class CsvWriter
+{
+  public:
+    CsvWriter() = default;
+
+    /**
+     * Open @p path for writing and emit @p header as the first row.
+     * Throws log::FatalError if the file cannot be created.
+     */
+    CsvWriter(const std::string &path, std::vector<std::string> header);
+
+    /** True when rows will actually be written somewhere. */
+    bool active() const { return out_.is_open(); }
+
+    /** Append one row; each cell is formatted with operator<<. */
+    template <typename... Cells>
+    void
+    row(const Cells &...cells)
+    {
+        if (!active())
+            return;
+        std::ostringstream line;
+        bool first = true;
+        (appendCell(line, first, cells), ...);
+        out_ << line.str() << '\n';
+    }
+
+    /**
+     * Construct a writer for benchmark output: active only when the
+     * CULPEO_BENCH_CSV environment variable is set, writing to
+     * "<benchName>.csv" inside that directory.
+     */
+    static CsvWriter forBench(const std::string &bench_name,
+                              std::vector<std::string> header);
+
+  private:
+    std::ofstream out_;
+
+    template <typename Cell>
+    static void
+    appendCell(std::ostringstream &line, bool &first, const Cell &cell)
+    {
+        if (!first)
+            line << ',';
+        first = false;
+        line << cell;
+    }
+};
+
+/** Escape a string cell for CSV if it contains separators or quotes. */
+std::string csvEscape(const std::string &cell);
+
+} // namespace culpeo::util
+
+#endif // CULPEO_UTIL_CSV_HPP

@@ -1,0 +1,37 @@
+#include "logging.hpp"
+
+#include <iostream>
+
+namespace culpeo::log {
+
+namespace {
+bool verbose_flag = true;
+} // namespace
+
+void
+setVerbose(bool verbose)
+{
+    verbose_flag = verbose;
+}
+
+bool
+verbose()
+{
+    return verbose_flag;
+}
+
+void
+emitWarn(const std::string &message)
+{
+    if (verbose_flag)
+        std::cerr << "warn: " << message << '\n';
+}
+
+void
+emitInform(const std::string &message)
+{
+    if (verbose_flag)
+        std::cout << "info: " << message << '\n';
+}
+
+} // namespace culpeo::log

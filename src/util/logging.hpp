@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Minimal status/error reporting in the spirit of gem5's logging.hh.
+ *
+ * fatal()  — the run cannot continue because of a configuration or input
+ *            error that is the caller's fault; throws FatalError.
+ * panic()  — an internal invariant was violated (a bug in this library);
+ *            throws PanicError.
+ * warn()   — something is suspicious but the run can continue.
+ * inform() — normal status output.
+ */
+
+#ifndef CULPEO_UTIL_LOGGING_HPP
+#define CULPEO_UTIL_LOGGING_HPP
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace culpeo::log {
+
+/** Error caused by invalid user input or configuration. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what)
+        : std::runtime_error("fatal: " + what)
+    {}
+};
+
+/** Error caused by a violated internal invariant (a library bug). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &what)
+        : std::logic_error("panic: " + what)
+    {}
+};
+
+namespace detail {
+
+inline void
+append(std::ostringstream &)
+{}
+
+template <typename First, typename... Rest>
+void
+append(std::ostringstream &os, const First &first, const Rest &...rest)
+{
+    os << first;
+    append(os, rest...);
+}
+
+template <typename... Args>
+std::string
+format(const Args &...args)
+{
+    std::ostringstream os;
+    append(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Toggle for warn()/inform() console output (on by default). */
+void setVerbose(bool verbose);
+bool verbose();
+
+void emitWarn(const std::string &message);
+void emitInform(const std::string &message);
+
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    throw FatalError(detail::format(args...));
+}
+
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    throw PanicError(detail::format(args...));
+}
+
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    emitWarn(detail::format(args...));
+}
+
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    emitInform(detail::format(args...));
+}
+
+/** fatal() unless a user-facing precondition holds. */
+template <typename... Args>
+void
+fatalIf(bool condition, const Args &...args)
+{
+    if (condition)
+        fatal(args...);
+}
+
+/** panic() unless an internal invariant holds. */
+template <typename... Args>
+void
+panicIf(bool condition, const Args &...args)
+{
+    if (condition)
+        panic(args...);
+}
+
+} // namespace culpeo::log
+
+#endif // CULPEO_UTIL_LOGGING_HPP

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Deterministic random number generation for reproducible experiments.
+ *
+ * Wraps a 64-bit SplitMix64-seeded xoshiro256** generator with the
+ * distributions the benchmarks need (uniform, exponential for Poisson
+ * event inter-arrival times, and Gaussian for measurement noise).
+ */
+
+#ifndef CULPEO_UTIL_RANDOM_HPP
+#define CULPEO_UTIL_RANDOM_HPP
+
+#include <array>
+#include <cstdint>
+
+namespace culpeo::util {
+
+/** Deterministic xoshiro256** PRNG; identical streams across platforms. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). n must be > 0. */
+    std::uint64_t uniformInt(std::uint64_t n);
+
+    /** Exponentially distributed value with the given mean (> 0). */
+    double exponential(double mean);
+
+    /** Standard normal via Box-Muller, scaled to (mean, stddev). */
+    double gaussian(double mean, double stddev);
+
+  private:
+    std::array<std::uint64_t, 4> state_;
+    bool has_cached_gaussian_ = false;
+    double cached_gaussian_ = 0.0;
+};
+
+} // namespace culpeo::util
+
+#endif // CULPEO_UTIL_RANDOM_HPP

@@ -1,0 +1,96 @@
+#include "stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "logging.hpp"
+
+namespace culpeo::util {
+
+void
+Summary::add(double sample)
+{
+    samples_.push_back(sample);
+    sorted_valid_ = false;
+}
+
+double
+Summary::mean() const
+{
+    log::fatalIf(samples_.empty(), "Summary::mean on empty summary");
+    double total = 0.0;
+    for (double s : samples_)
+        total += s;
+    return total / double(samples_.size());
+}
+
+double
+Summary::stddev() const
+{
+    if (samples_.size() < 2)
+        return 0.0;
+    const double m = mean();
+    double accum = 0.0;
+    for (double s : samples_)
+        accum += (s - m) * (s - m);
+    return std::sqrt(accum / double(samples_.size() - 1));
+}
+
+double
+Summary::min() const
+{
+    log::fatalIf(samples_.empty(), "Summary::min on empty summary");
+    return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double
+Summary::max() const
+{
+    log::fatalIf(samples_.empty(), "Summary::max on empty summary");
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double
+Summary::sum() const
+{
+    double total = 0.0;
+    for (double s : samples_)
+        total += s;
+    return total;
+}
+
+const std::vector<double> &
+Summary::sorted() const
+{
+    if (!sorted_valid_) {
+        sorted_ = samples_;
+        std::sort(sorted_.begin(), sorted_.end());
+        sorted_valid_ = true;
+    }
+    return sorted_;
+}
+
+double
+Summary::percentile(double p) const
+{
+    log::fatalIf(samples_.empty(), "Summary::percentile on empty summary");
+    log::fatalIf(p < 0.0 || p > 100.0, "percentile out of range: ", p);
+    const auto &data = sorted();
+    if (data.size() == 1)
+        return data.front();
+    const double rank = p / 100.0 * double(data.size() - 1);
+    const auto lo = std::size_t(rank);
+    const auto hi = std::min(lo + 1, data.size() - 1);
+    const double frac = rank - double(lo);
+    return data[lo] * (1.0 - frac) + data[hi] * frac;
+}
+
+double
+fraction(std::size_t hits, std::size_t total)
+{
+    if (total == 0)
+        return 0.0;
+    return double(hits) / double(total);
+}
+
+} // namespace culpeo::util

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Descriptive statistics accumulator used by benchmarks and the test
+ * harness to summarize repeated trials.
+ */
+
+#ifndef CULPEO_UTIL_STATS_HPP
+#define CULPEO_UTIL_STATS_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace culpeo::util {
+
+/**
+ * Collects samples and reports mean / stddev / min / max / percentiles.
+ * Samples are stored, so percentile queries are exact.
+ */
+class Summary
+{
+  public:
+    void add(double sample);
+
+    std::size_t count() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+
+    double mean() const;
+    /** Sample standard deviation (n-1 denominator); 0 for n < 2. */
+    double stddev() const;
+    double min() const;
+    double max() const;
+    double sum() const;
+
+    /**
+     * Exact percentile by linear interpolation between closest ranks.
+     * @param p percentile in [0, 100].
+     */
+    double percentile(double p) const;
+    double median() const { return percentile(50.0); }
+
+    const std::vector<double> &samples() const { return samples_; }
+
+  private:
+    std::vector<double> samples_;
+    mutable std::vector<double> sorted_;
+    mutable bool sorted_valid_ = false;
+
+    const std::vector<double> &sorted() const;
+};
+
+/** Fraction (0..1) of samples satisfying a predicate-style count. */
+double fraction(std::size_t hits, std::size_t total);
+
+} // namespace culpeo::util
+
+#endif // CULPEO_UTIL_STATS_HPP

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Strongly typed physical quantities used throughout the Culpeo
+ * reproduction: volts, amps, ohms, farads, seconds, joules, watts,
+ * coulombs and hertz.
+ *
+ * Each quantity wraps a double in SI base units. Same-type arithmetic and
+ * comparisons are always available; cross-type operators are defined only
+ * where physically meaningful (e.g. Volts / Ohms = Amps). The .value()
+ * accessor exposes the raw double for dense numeric kernels.
+ */
+
+#ifndef CULPEO_UTIL_UNITS_HPP
+#define CULPEO_UTIL_UNITS_HPP
+
+#include <cmath>
+#include <compare>
+#include <ostream>
+
+namespace culpeo::units {
+
+/**
+ * Generic strongly typed quantity. Tag types make each physical dimension
+ * a distinct C++ type so that, e.g., a time cannot be passed where a
+ * voltage is expected.
+ */
+template <typename Tag>
+class Quantity
+{
+  public:
+    constexpr Quantity() = default;
+    constexpr explicit Quantity(double value) : value_(value) {}
+
+    /** Raw value in SI base units. */
+    constexpr double value() const { return value_; }
+
+    constexpr Quantity operator+(Quantity other) const
+    {
+        return Quantity(value_ + other.value_);
+    }
+    constexpr Quantity operator-(Quantity other) const
+    {
+        return Quantity(value_ - other.value_);
+    }
+    constexpr Quantity operator-() const { return Quantity(-value_); }
+    constexpr Quantity operator*(double scale) const
+    {
+        return Quantity(value_ * scale);
+    }
+    constexpr Quantity operator/(double scale) const
+    {
+        return Quantity(value_ / scale);
+    }
+    /** Ratio of two same-dimension quantities is dimensionless. */
+    constexpr double operator/(Quantity other) const
+    {
+        return value_ / other.value_;
+    }
+
+    constexpr Quantity &operator+=(Quantity other)
+    {
+        value_ += other.value_;
+        return *this;
+    }
+    constexpr Quantity &operator-=(Quantity other)
+    {
+        value_ -= other.value_;
+        return *this;
+    }
+    constexpr Quantity &operator*=(double scale)
+    {
+        value_ *= scale;
+        return *this;
+    }
+
+    constexpr auto operator<=>(const Quantity &) const = default;
+
+  private:
+    double value_ = 0.0;
+};
+
+template <typename Tag>
+constexpr Quantity<Tag>
+operator*(double scale, Quantity<Tag> q)
+{
+    return q * scale;
+}
+
+template <typename Tag>
+std::ostream &
+operator<<(std::ostream &os, Quantity<Tag> q)
+{
+    return os << q.value();
+}
+
+struct VoltTag {};
+struct AmpTag {};
+struct OhmTag {};
+struct FaradTag {};
+struct SecondTag {};
+struct JouleTag {};
+struct WattTag {};
+struct CoulombTag {};
+struct HertzTag {};
+
+using Volts = Quantity<VoltTag>;
+using Amps = Quantity<AmpTag>;
+using Ohms = Quantity<OhmTag>;
+using Farads = Quantity<FaradTag>;
+using Seconds = Quantity<SecondTag>;
+using Joules = Quantity<JouleTag>;
+using Watts = Quantity<WattTag>;
+using Coulombs = Quantity<CoulombTag>;
+using Hertz = Quantity<HertzTag>;
+
+// Ohm's law.
+constexpr Amps
+operator/(Volts v, Ohms r)
+{
+    return Amps(v.value() / r.value());
+}
+constexpr Volts
+operator*(Amps i, Ohms r)
+{
+    return Volts(i.value() * r.value());
+}
+constexpr Volts
+operator*(Ohms r, Amps i)
+{
+    return i * r;
+}
+constexpr Ohms
+resistanceOf(Volts v, Amps i)
+{
+    return Ohms(v.value() / i.value());
+}
+
+// Power.
+constexpr Watts
+operator*(Volts v, Amps i)
+{
+    return Watts(v.value() * i.value());
+}
+constexpr Watts
+operator*(Amps i, Volts v)
+{
+    return v * i;
+}
+constexpr Amps
+operator/(Watts p, Volts v)
+{
+    return Amps(p.value() / v.value());
+}
+constexpr Volts
+operator/(Watts p, Amps i)
+{
+    return Volts(p.value() / i.value());
+}
+
+// Energy.
+constexpr Joules
+operator*(Watts p, Seconds t)
+{
+    return Joules(p.value() * t.value());
+}
+constexpr Joules
+operator*(Seconds t, Watts p)
+{
+    return p * t;
+}
+constexpr Watts
+operator/(Joules e, Seconds t)
+{
+    return Watts(e.value() / t.value());
+}
+constexpr Seconds
+operator/(Joules e, Watts p)
+{
+    return Seconds(e.value() / p.value());
+}
+
+// Charge.
+constexpr Coulombs
+operator*(Amps i, Seconds t)
+{
+    return Coulombs(i.value() * t.value());
+}
+constexpr Coulombs
+operator*(Seconds t, Amps i)
+{
+    return i * t;
+}
+constexpr Amps
+operator/(Coulombs q, Seconds t)
+{
+    return Amps(q.value() / t.value());
+}
+constexpr Coulombs
+operator*(Farads c, Volts v)
+{
+    return Coulombs(c.value() * v.value());
+}
+constexpr Volts
+operator/(Coulombs q, Farads c)
+{
+    return Volts(q.value() / c.value());
+}
+
+// Frequency.
+constexpr Hertz
+frequencyOf(Seconds period)
+{
+    return Hertz(1.0 / period.value());
+}
+constexpr Seconds
+periodOf(Hertz f)
+{
+    return Seconds(1.0 / f.value());
+}
+
+/** Energy stored in an ideal capacitor at open-circuit voltage v. */
+constexpr Joules
+capacitorEnergy(Farads c, Volts v)
+{
+    return Joules(0.5 * c.value() * v.value() * v.value());
+}
+
+/**
+ * Open-circuit voltage of an ideal capacitor holding energy e.
+ * Returns 0 V for non-positive energies.
+ */
+inline Volts
+capacitorVoltage(Farads c, Joules e)
+{
+    if (e.value() <= 0.0)
+        return Volts(0.0);
+    return Volts(std::sqrt(2.0 * e.value() / c.value()));
+}
+
+namespace literals {
+
+// NOLINTBEGIN(google-runtime-int) — UDL signature mandates long double.
+constexpr Volts operator""_V(long double v) { return Volts(double(v)); }
+constexpr Volts operator""_mV(long double v) { return Volts(double(v) * 1e-3); }
+constexpr Amps operator""_A(long double v) { return Amps(double(v)); }
+constexpr Amps operator""_mA(long double v) { return Amps(double(v) * 1e-3); }
+constexpr Amps operator""_uA(long double v) { return Amps(double(v) * 1e-6); }
+constexpr Amps operator""_nA(long double v) { return Amps(double(v) * 1e-9); }
+constexpr Ohms operator""_Ohm(long double v) { return Ohms(double(v)); }
+constexpr Ohms operator""_mOhm(long double v) { return Ohms(double(v) * 1e-3); }
+constexpr Farads operator""_F(long double v) { return Farads(double(v)); }
+constexpr Farads operator""_mF(long double v) { return Farads(double(v) * 1e-3); }
+constexpr Farads operator""_uF(long double v) { return Farads(double(v) * 1e-6); }
+constexpr Seconds operator""_s(long double v) { return Seconds(double(v)); }
+constexpr Seconds operator""_ms(long double v) { return Seconds(double(v) * 1e-3); }
+constexpr Seconds operator""_us(long double v) { return Seconds(double(v) * 1e-6); }
+constexpr Joules operator""_J(long double v) { return Joules(double(v)); }
+constexpr Joules operator""_mJ(long double v) { return Joules(double(v) * 1e-3); }
+constexpr Joules operator""_uJ(long double v) { return Joules(double(v) * 1e-6); }
+constexpr Watts operator""_W(long double v) { return Watts(double(v)); }
+constexpr Watts operator""_mW(long double v) { return Watts(double(v) * 1e-3); }
+constexpr Watts operator""_uW(long double v) { return Watts(double(v) * 1e-6); }
+constexpr Watts operator""_nW(long double v) { return Watts(double(v) * 1e-9); }
+constexpr Hertz operator""_Hz(long double v) { return Hertz(double(v)); }
+constexpr Hertz operator""_kHz(long double v) { return Hertz(double(v) * 1e3); }
+// NOLINTEND(google-runtime-int)
+
+} // namespace literals
+
+} // namespace culpeo::units
+
+#endif // CULPEO_UTIL_UNITS_HPP

@@ -1,0 +1,105 @@
+/** @file Unit tests for the three evaluation application specs. */
+
+#include <gtest/gtest.h>
+
+#include "apps/apps.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+using apps::noiseMonitoring;
+using apps::periodicSensing;
+using apps::responsiveReporting;
+
+TEST(Apps, SmallBufferScalesWithPartCount)
+{
+    const auto small = apps::smallBufferConfig();
+    const auto big = sim::capybaraConfig();
+    EXPECT_NEAR(small.capacitor.capacitance.value(), 15e-3, 1e-12);
+    // A third of the parts: three times the resistance everywhere.
+    EXPECT_NEAR(small.capacitor.series_esr.value(),
+                3.0 * big.capacitor.series_esr.value(), 1e-9);
+    EXPECT_NEAR(small.capacitor.sustainedEsr().value(),
+                3.0 * big.capacitor.sustainedEsr().value(), 0.1);
+}
+
+TEST(Apps, PeriodicSensingShape)
+{
+    const auto app = periodicSensing();
+    EXPECT_EQ(app.events.size(), 1u);
+    EXPECT_EQ(app.events[0].arrival, sched::Arrival::Periodic);
+    EXPECT_DOUBLE_EQ(app.events[0].interval.value(), 4.5);
+    EXPECT_DOUBLE_EQ(app.events[0].deadline.value(), 4.5);
+    EXPECT_EQ(app.events[0].chain.size(), 1u);
+    ASSERT_TRUE(app.background.has_value());
+    // PS uses the 15 mF buffer (Section VI-B).
+    EXPECT_NEAR(app.power.capacitor.capacitance.value(), 15e-3, 1e-12);
+}
+
+TEST(Apps, PeriodicSensingHonorsRequestedPeriod)
+{
+    const auto app = periodicSensing(Seconds(3.0));
+    EXPECT_DOUBLE_EQ(app.events[0].interval.value(), 3.0);
+    EXPECT_DOUBLE_EQ(app.events[0].deadline.value(), 3.0);
+}
+
+TEST(Apps, ResponsiveReportingShape)
+{
+    const auto app = responsiveReporting();
+    ASSERT_EQ(app.events.size(), 1u);
+    const auto &report = app.events[0];
+    EXPECT_EQ(report.arrival, sched::Arrival::Poisson);
+    EXPECT_DOUBLE_EQ(report.interval.value(), 45.0);
+    EXPECT_DOUBLE_EQ(report.deadline.value(), 3.0);
+    // Sense -> encrypt -> BLE send + listen.
+    ASSERT_EQ(report.chain.size(), 3u);
+    EXPECT_EQ(report.chain[0].name, "imu_read");
+    EXPECT_EQ(report.chain[1].name, "encrypt");
+    EXPECT_EQ(report.chain[2].name, "ble_send_listen");
+    // The BLE task carries its 2 s listen window.
+    EXPECT_GT(report.chain[2].profile.duration().value(), 2.0);
+}
+
+TEST(Apps, NoiseMonitoringShape)
+{
+    const auto app = noiseMonitoring();
+    ASSERT_EQ(app.events.size(), 2u);
+    EXPECT_EQ(app.events[0].name, "mic");
+    EXPECT_EQ(app.events[0].arrival, sched::Arrival::Periodic);
+    EXPECT_DOUBLE_EQ(app.events[0].interval.value(), 7.0);
+    EXPECT_EQ(app.events[1].name, "ble");
+    EXPECT_EQ(app.events[1].arrival, sched::Arrival::Poisson);
+    EXPECT_DOUBLE_EQ(app.events[1].interval.value(), 30.0);
+    EXPECT_DOUBLE_EQ(app.events[1].deadline.value(), 15.0);
+    ASSERT_TRUE(app.background.has_value());
+    EXPECT_EQ(app.background->name, "fft");
+}
+
+TEST(Apps, TaskIdsAreUniqueWithinEachApp)
+{
+    for (const auto &app : {periodicSensing(), responsiveReporting(),
+                            noiseMonitoring()}) {
+        std::vector<core::TaskId> ids;
+        for (const auto &event : app.events)
+            for (const auto &task : event.chain)
+                ids.push_back(task.id);
+        if (app.background.has_value())
+            ids.push_back(app.background->id);
+        std::sort(ids.begin(), ids.end());
+        EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end())
+            << "duplicate task id in " << app.name;
+    }
+}
+
+TEST(Apps, AllAppsHaveWeakButPositiveHarvest)
+{
+    for (const auto &app : {periodicSensing(), responsiveReporting(),
+                            noiseMonitoring()}) {
+        EXPECT_GT(app.harvest.value(), 0.0);
+        EXPECT_LT(app.harvest.value(), 50e-3)
+            << app.name << " should model a weak solar harvester";
+    }
+}
+
+} // namespace

@@ -1,0 +1,177 @@
+/** @file Unit tests for the capacitor catalog and bank composer. */
+
+#include <gtest/gtest.h>
+
+#include "caps/catalog.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+using caps::Bank;
+using caps::CatalogOptions;
+using caps::Part;
+using caps::Technology;
+
+TEST(Catalog, GeneratesAllTechnologies)
+{
+    const auto parts = caps::generateCatalog();
+    unsigned counts[4] = {0, 0, 0, 0};
+    for (const auto &part : parts)
+        ++counts[unsigned(part.technology)];
+    for (unsigned c : counts)
+        EXPECT_EQ(c, 60u);
+}
+
+TEST(Catalog, DeterministicForSameSeed)
+{
+    const auto a = caps::generateCatalog();
+    const auto b = caps::generateCatalog();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].part_number, b[i].part_number);
+        EXPECT_DOUBLE_EQ(a[i].volume_mm3, b[i].volume_mm3);
+    }
+}
+
+TEST(Catalog, PartsHavePositiveProperties)
+{
+    for (const auto &part : caps::generateCatalog()) {
+        EXPECT_GT(part.capacitance.value(), 0.0);
+        EXPECT_GT(part.esr.value(), 0.0);
+        EXPECT_GT(part.volume_mm3, 0.0);
+        EXPECT_GE(part.leakage.value(), 0.0);
+    }
+}
+
+TEST(ComposeBank, ParallelMath)
+{
+    Part part;
+    part.technology = Technology::Supercapacitor;
+    part.capacitance = Farads(7.5e-3);
+    part.esr = Ohms(24.0);
+    part.volume_mm3 = 7.2;
+    part.leakage = Amps(20e-9);
+
+    const Bank bank = caps::composeBank(part, Farads(45e-3));
+    EXPECT_EQ(bank.count, 6u);
+    EXPECT_NEAR(bank.capacitance.value(), 45e-3, 1e-12);
+    EXPECT_NEAR(bank.esr.value(), 4.0, 1e-12);
+    EXPECT_NEAR(bank.volume_mm3, 43.2, 1e-9);
+    EXPECT_NEAR(bank.leakage.value(), 120e-9, 1e-15);
+}
+
+TEST(ComposeBank, RoundsPartCountUp)
+{
+    Part part;
+    part.capacitance = Farads(10e-3);
+    part.esr = Ohms(1.0);
+    part.volume_mm3 = 1.0;
+    const Bank bank = caps::composeBank(part, Farads(45e-3));
+    EXPECT_EQ(bank.count, 5u);
+    EXPECT_GE(bank.capacitance.value(), 45e-3);
+}
+
+TEST(Banks, SupercapsAreSmallestAndLeastLeaky)
+{
+    const auto banks =
+        caps::composeBanks(caps::generateCatalog(), Farads(45e-3));
+    const Bank *super =
+        caps::smallestOfTechnology(banks, Technology::Supercapacitor);
+    ASSERT_NE(super, nullptr);
+    for (Technology other : {Technology::Electrolytic, Technology::Ceramic,
+                             Technology::Tantalum}) {
+        const Bank *best = caps::smallestOfTechnology(banks, other);
+        ASSERT_NE(best, nullptr);
+        EXPECT_LT(super->volume_mm3, best->volume_mm3)
+            << "supercap bank should be smaller than "
+            << caps::technologyName(other);
+    }
+    // nA-class leakage and a practical part count (Fig. 3 callouts).
+    EXPECT_LT(super->leakage.value(), 1e-6);
+    EXPECT_LE(super->count, 60u);
+}
+
+TEST(Banks, CeramicsNeedThousandsOfParts)
+{
+    const auto banks =
+        caps::composeBanks(caps::generateCatalog(), Farads(45e-3));
+    const Bank *ceramic =
+        caps::smallestOfTechnology(banks, Technology::Ceramic);
+    ASSERT_NE(ceramic, nullptr);
+    EXPECT_GT(ceramic->count, 900u);
+    // But extremely low ESR.
+    EXPECT_LT(ceramic->esr.value(), 1e-3);
+}
+
+TEST(Banks, TantalumLeakageIsMilliampClass)
+{
+    const auto banks =
+        caps::composeBanks(caps::generateCatalog(), Farads(45e-3));
+    const Bank *tantalum =
+        caps::smallestOfTechnology(banks, Technology::Tantalum);
+    ASSERT_NE(tantalum, nullptr);
+    EXPECT_GT(tantalum->leakage.value(), 1e-3);
+}
+
+TEST(Banks, SupercapEsrIsOhmClass)
+{
+    const auto banks =
+        caps::composeBanks(caps::generateCatalog(), Farads(45e-3));
+    const Bank *super =
+        caps::smallestOfTechnology(banks, Technology::Supercapacitor);
+    ASSERT_NE(super, nullptr);
+    EXPECT_GT(super->esr.value(), 0.5);
+}
+
+TEST(Pareto, FrontierIsMonotone)
+{
+    const auto banks =
+        caps::composeBanks(caps::generateCatalog(), Farads(45e-3));
+    const auto frontier = caps::paretoFrontier(banks);
+    ASSERT_GT(frontier.size(), 1u);
+    for (std::size_t i = 1; i < frontier.size(); ++i) {
+        EXPECT_GE(frontier[i].volume_mm3, frontier[i - 1].volume_mm3);
+        EXPECT_LT(frontier[i].esr.value(), frontier[i - 1].esr.value());
+    }
+}
+
+TEST(Pareto, FrontierMembersAreNotDominated)
+{
+    const auto banks =
+        caps::composeBanks(caps::generateCatalog(), Farads(45e-3));
+    const auto frontier = caps::paretoFrontier(banks);
+    for (const auto &member : frontier) {
+        for (const auto &other : banks) {
+            const bool dominates =
+                other.volume_mm3 < member.volume_mm3 &&
+                other.esr.value() < member.esr.value();
+            EXPECT_FALSE(dominates);
+        }
+    }
+}
+
+TEST(ReferenceBank, MatchesPaperCallout)
+{
+    const caps::Bank bank = caps::referenceBank();
+    EXPECT_EQ(bank.part.part_number, "CPX3225A752D");
+    EXPECT_EQ(bank.count, 6u);
+    EXPECT_NEAR(bank.capacitance.value(), 45e-3, 1e-12);
+    EXPECT_NEAR(bank.esr.value(), 4.0, 1e-9);
+    EXPECT_NEAR(bank.leakage.value(), 120e-9, 1e-15);
+    // Rice-grain scale: tens of cubic millimetres.
+    EXPECT_LT(bank.volume_mm3, 60.0);
+}
+
+TEST(Catalog, Validation)
+{
+    CatalogOptions bad;
+    bad.parts_per_technology = 0;
+    EXPECT_THROW(caps::generateCatalog(bad), culpeo::log::FatalError);
+    Part part;
+    part.capacitance = Farads(0.0);
+    EXPECT_THROW(caps::composeBank(part, Farads(1e-3)), culpeo::log::FatalError);
+}
+
+} // namespace

@@ -1,0 +1,158 @@
+/** @file Unit tests for the Culpeo public API facade (Table I). */
+
+#include <gtest/gtest.h>
+
+#include "core/api.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+using core::Culpeo;
+using core::PowerSystemModel;
+using core::UArchProfiler;
+
+Culpeo
+makeCulpeo()
+{
+    return Culpeo(core::modelFromConfig(sim::capybaraConfig()),
+                  std::make_unique<UArchProfiler>());
+}
+
+/** Run a synthetic profile cycle through the Table I calls. */
+void
+profileCycle(Culpeo &culpeo, core::TaskId id, double dip, double vfinal)
+{
+    culpeo.profileStart(Volts(2.5));
+    for (int i = 0; i < 100; ++i)
+        culpeo.tick(Seconds(1e-3), Volts(2.5 - dip * (i % 10 == 5)));
+    culpeo.profileEnd(id, Volts(2.5 - dip));
+    for (int i = 0; i < 100; ++i)
+        culpeo.tick(Seconds(1e-3), Volts(vfinal));
+    culpeo.reboundEnd(id, Volts(vfinal));
+}
+
+TEST(CulpeoApi, RequiresProfiler)
+{
+    EXPECT_THROW(Culpeo(PowerSystemModel{}, nullptr), culpeo::log::FatalError);
+}
+
+TEST(CulpeoApi, UnknownTaskDefaults)
+{
+    // Section V-B: get_vsafe returns Vhigh and get_vdrop returns -1 when
+    // no valid values exist.
+    Culpeo culpeo = makeCulpeo();
+    EXPECT_DOUBLE_EQ(culpeo.getVsafe(99).value(),
+                     culpeo.model().vhigh.value());
+    EXPECT_DOUBLE_EQ(culpeo.getVdrop(99).value(), -1.0);
+    EXPECT_FALSE(culpeo.hasResult(99));
+}
+
+TEST(CulpeoApi, ComputeVsafeOnUnprofiledTaskIsNoOp)
+{
+    Culpeo culpeo = makeCulpeo();
+    culpeo.computeVsafe(5);
+    EXPECT_FALSE(culpeo.hasResult(5));
+}
+
+TEST(CulpeoApi, FullProfileCycleYieldsResult)
+{
+    Culpeo culpeo = makeCulpeo();
+    profileCycle(culpeo, 3, 0.4, 2.4);
+    culpeo.computeVsafe(3);
+    ASSERT_TRUE(culpeo.hasResult(3));
+    const Volts vsafe = culpeo.getVsafe(3);
+    EXPECT_GT(vsafe.value(), culpeo.model().voff.value());
+    EXPECT_LE(vsafe.value(), culpeo.model().vhigh.value());
+    EXPECT_GT(culpeo.getVdrop(3).value(), 0.0);
+}
+
+TEST(CulpeoApi, VsafeClampedToBufferRange)
+{
+    Culpeo culpeo = makeCulpeo();
+    // An enormous drop extrapolates beyond Vhigh; the API clamps.
+    profileCycle(culpeo, 4, 0.9, 2.45);
+    culpeo.computeVsafe(4);
+    EXPECT_LE(culpeo.getVsafe(4).value(), culpeo.model().vhigh.value());
+}
+
+TEST(CulpeoApi, ImportPgFlowsThroughAccessors)
+{
+    Culpeo culpeo = makeCulpeo();
+    culpeo.importPg(7, Volts(2.2), Volts(0.3));
+    EXPECT_TRUE(culpeo.hasResult(7));
+    EXPECT_DOUBLE_EQ(culpeo.getVsafe(7).value(), 2.2);
+    EXPECT_DOUBLE_EQ(culpeo.getVdrop(7).value(), 0.3);
+}
+
+TEST(CulpeoApi, BufferConfigTagsResults)
+{
+    Culpeo culpeo = makeCulpeo();
+    culpeo.importPg(1, Volts(2.0), Volts(0.1));
+    culpeo.setBufferConfig(2);
+    // The buffer-2 view has no data for task 1.
+    EXPECT_DOUBLE_EQ(culpeo.getVsafe(1).value(),
+                     culpeo.model().vhigh.value());
+    culpeo.importPg(1, Volts(2.3), Volts(0.2));
+    EXPECT_DOUBLE_EQ(culpeo.getVsafe(1).value(), 2.3);
+    culpeo.setBufferConfig(0);
+    EXPECT_DOUBLE_EQ(culpeo.getVsafe(1).value(), 2.0);
+}
+
+TEST(CulpeoApi, InvalidateForcesReprofiling)
+{
+    Culpeo culpeo = makeCulpeo();
+    culpeo.importPg(1, Volts(2.0), Volts(0.1));
+    culpeo.invalidate();
+    EXPECT_FALSE(culpeo.hasResult(1));
+}
+
+TEST(CulpeoApi, MultiWithUnknownTaskIsVhigh)
+{
+    Culpeo culpeo = makeCulpeo();
+    culpeo.importPg(1, Volts(2.0), Volts(0.1));
+    EXPECT_DOUBLE_EQ(culpeo.getVsafeMulti({1, 42}).value(),
+                     culpeo.model().vhigh.value());
+}
+
+TEST(CulpeoApi, MultiComposesKnownTasks)
+{
+    Culpeo culpeo = makeCulpeo();
+    culpeo.importPg(1, Volts(1.9), Volts(0.1));
+    culpeo.importPg(2, Volts(2.0), Volts(0.15));
+    const Volts multi = culpeo.getVsafeMulti({1, 2});
+    // The sequence needs at least as much as the single most demanding
+    // task, and no more than Vhigh.
+    EXPECT_GE(multi.value(), 2.0);
+    EXPECT_LE(multi.value(), culpeo.model().vhigh.value());
+}
+
+TEST(CulpeoApi, FeasibilityUsesVsafe)
+{
+    Culpeo culpeo = makeCulpeo();
+    culpeo.importPg(1, Volts(2.0), Volts(0.1));
+    EXPECT_TRUE(culpeo.feasible(1, Volts(2.1)));
+    EXPECT_FALSE(culpeo.feasible(1, Volts(1.9)));
+    // Unknown task: feasible only from a full buffer.
+    EXPECT_FALSE(culpeo.feasible(9, Volts(2.5)));
+    EXPECT_TRUE(culpeo.feasible(9, culpeo.model().vhigh));
+}
+
+TEST(CulpeoApi, InconsistentProfileIsDiscarded)
+{
+    culpeo::log::setVerbose(false);
+    Culpeo culpeo = makeCulpeo();
+    // Rebound "settles" above the start voltage is fine, but a minimum
+    // above the start is impossible; simulate by never ticking and
+    // ending at a voltage above start so vmin > vstart cannot happen —
+    // instead check the valid() guard via a zero-voltage final.
+    culpeo.profileStart(Volts(2.5));
+    culpeo.profileEnd(8, Volts(2.4));
+    culpeo.reboundEnd(8, Volts(0.0));
+    culpeo.computeVsafe(8);
+    culpeo::log::setVerbose(true);
+    EXPECT_FALSE(culpeo.hasResult(8));
+}
+
+} // namespace

@@ -1,0 +1,133 @@
+/** @file Unit tests for FRAM-style profile-table persistence. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/api.hpp"
+#include "core/persistence.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace culpeo;
+using culpeo::units::Volts;
+using core::ProfileTable;
+using core::RProfile;
+using core::RResult;
+using core::imageIsValid;
+using core::loadTable;
+using core::saveTable;
+
+ProfileTable
+populatedTable()
+{
+    ProfileTable table;
+    RProfile profile;
+    profile.vstart = Volts(2.50);
+    profile.vmin = Volts(2.10);
+    profile.vfinal = Volts(2.40);
+    table.storeProfile(1, 0, profile);
+    profile.vmin = Volts(2.30);
+    table.storeProfile(2, 0, profile);
+    table.storeProfile(1, 3, profile); // Second buffer configuration.
+
+    RResult result;
+    result.vsafe = Volts(2.05);
+    result.vsafe_energy = Volts(1.72);
+    result.vdelta_safe = Volts(0.33);
+    result.vdelta_observed = Volts(0.21);
+    table.storeResult(1, 0, result);
+    return table;
+}
+
+TEST(Persistence, RoundTripPreservesEverything)
+{
+    const ProfileTable original = populatedTable();
+    const ProfileTable restored = loadTable(saveTable(original));
+
+    EXPECT_EQ(restored.profileCount(), original.profileCount());
+    EXPECT_EQ(restored.resultCount(), original.resultCount());
+
+    const auto profile = restored.profile(1, 0);
+    ASSERT_TRUE(profile.has_value());
+    EXPECT_DOUBLE_EQ(profile->vstart.value(), 2.50);
+    EXPECT_DOUBLE_EQ(profile->vmin.value(), 2.10);
+    EXPECT_DOUBLE_EQ(profile->vfinal.value(), 2.40);
+    ASSERT_TRUE(restored.profile(1, 3).has_value());
+
+    const auto result = restored.result(1, 0);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_DOUBLE_EQ(result->vsafe.value(), 2.05);
+    EXPECT_DOUBLE_EQ(result->vdelta_safe.value(), 0.33);
+}
+
+TEST(Persistence, EmptyTableRoundTrips)
+{
+    const ProfileTable restored = loadTable(saveTable(ProfileTable{}));
+    EXPECT_EQ(restored.profileCount(), 0u);
+    EXPECT_EQ(restored.resultCount(), 0u);
+}
+
+TEST(Persistence, TruncatedImageRejected)
+{
+    auto image = saveTable(populatedTable());
+    image.resize(image.size() - 3);
+    EXPECT_FALSE(imageIsValid(image));
+    EXPECT_THROW(loadTable(image), log::FatalError);
+}
+
+TEST(Persistence, BitFlipRejected)
+{
+    auto image = saveTable(populatedTable());
+    image[image.size() / 2] ^= 0x40; // A torn/corrupted FRAM write.
+    EXPECT_FALSE(imageIsValid(image));
+}
+
+TEST(Persistence, WrongMagicRejected)
+{
+    auto image = saveTable(populatedTable());
+    image[0] ^= 0xFF;
+    EXPECT_FALSE(imageIsValid(image));
+}
+
+TEST(Persistence, TinyImageRejected)
+{
+    EXPECT_FALSE(imageIsValid({1, 2, 3}));
+}
+
+TEST(Persistence, ValidImageAccepted)
+{
+    EXPECT_TRUE(imageIsValid(saveTable(populatedTable())));
+}
+
+TEST(Persistence, CulpeoSnapshotSurvivesPowerFailure)
+{
+    // The end-to-end intermittent story: profile, checkpoint, "reboot"
+    // into a fresh instance, restore, and keep the same Vsafe values.
+    const auto model = core::modelFromConfig(sim::capybaraConfig());
+    core::Culpeo before(model, std::make_unique<core::UArchProfiler>());
+    before.importPg(7, Volts(2.10), Volts(0.25));
+    before.setBufferConfig(2);
+    before.importPg(7, Volts(2.30), Volts(0.30));
+
+    const auto image = before.snapshot();
+
+    core::Culpeo after(model, std::make_unique<core::UArchProfiler>());
+    after.restore(image);
+    EXPECT_DOUBLE_EQ(after.getVsafe(7).value(), 2.10);
+    after.setBufferConfig(2);
+    EXPECT_DOUBLE_EQ(after.getVsafe(7).value(), 2.30);
+}
+
+TEST(Persistence, RestoreReplacesExistingContents)
+{
+    const auto model = core::modelFromConfig(sim::capybaraConfig());
+    core::Culpeo culpeo(model, std::make_unique<core::UArchProfiler>());
+    culpeo.importPg(1, Volts(2.0), Volts(0.1));
+    const auto empty_image = saveTable(ProfileTable{});
+    culpeo.restore(empty_image);
+    EXPECT_FALSE(culpeo.hasResult(1));
+}
+
+} // namespace

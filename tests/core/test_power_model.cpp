@@ -1,0 +1,85 @@
+/** @file Unit tests for Culpeo's designer-provided power-system model. */
+
+#include <gtest/gtest.h>
+
+#include "core/power_model.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+using core::EfficiencyLine;
+using core::PowerSystemModel;
+using core::modelFromConfig;
+
+TEST(EfficiencyLine, EvaluatesLine)
+{
+    EfficiencyLine line;
+    line.slope = 0.05;
+    line.intercept = 0.7;
+    EXPECT_NEAR(line.at(Volts(2.0)), 0.8, 1e-12);
+}
+
+TEST(EfficiencyLine, Clamps)
+{
+    EfficiencyLine line;
+    line.slope = 1.0;
+    line.intercept = 0.0;
+    EXPECT_DOUBLE_EQ(line.at(Volts(10.0)), line.max_eta);
+    EXPECT_DOUBLE_EQ(line.at(Volts(0.0)), line.min_eta);
+}
+
+TEST(Model, OperatingRange)
+{
+    PowerSystemModel model;
+    model.vhigh = Volts(2.56);
+    model.voff = Volts(1.60);
+    EXPECT_NEAR(model.operatingRange().value(), 0.96, 1e-12);
+}
+
+TEST(ModelFromConfig, CopiesThresholdsAndCapacitance)
+{
+    const auto cfg = sim::capybaraConfig();
+    const PowerSystemModel model = modelFromConfig(cfg);
+    EXPECT_DOUBLE_EQ(model.vhigh.value(), cfg.monitor.vhigh.value());
+    EXPECT_DOUBLE_EQ(model.voff.value(), cfg.monitor.voff.value());
+    EXPECT_DOUBLE_EQ(model.vout.value(), cfg.output.vout.value());
+    EXPECT_DOUBLE_EQ(model.capacitance.value(),
+                     cfg.capacitor.capacitance.value());
+}
+
+TEST(ModelFromConfig, EfficiencyIsAConservativeLine)
+{
+    const auto cfg = sim::capybaraConfig();
+    const PowerSystemModel model = modelFromConfig(cfg);
+    // The designer's line lower-bounds the true curve at moderate loads
+    // across the operating window...
+    for (double v = 1.6; v <= 2.56; v += 0.1) {
+        EXPECT_LE(model.efficiency.at(Volts(v)),
+                  cfg.output.efficiency.at(Volts(v), Amps(0.025)) + 1e-9)
+            << "model optimistic at " << v << " V";
+    }
+    // ...but stays within a few percent of it (not uselessly loose).
+    EXPECT_GT(model.efficiency.at(Volts(2.0)),
+              cfg.output.efficiency.at(Volts(2.0)) - 0.05);
+    // At very high currents the true droop can still exceed the line:
+    // the PG error source of Section VII-A remains.
+    EXPECT_GT(model.efficiency.at(Volts(1.7)),
+              cfg.output.efficiency.at(Volts(1.7), Amps(0.08)));
+}
+
+TEST(ModelFromConfig, EsrCurveIsFrequencyDependent)
+{
+    const auto cfg = sim::capybaraConfig();
+    const PowerSystemModel model = modelFromConfig(cfg);
+    const double r_slow = model.esr.forPulseWidth(Seconds(0.1)).value();
+    const double r_fast = model.esr.forPulseWidth(Seconds(1e-3)).value();
+    EXPECT_GT(r_slow, r_fast);
+    // Anchored to the two-branch truth.
+    EXPECT_NEAR(r_slow, cfg.capacitor.apparentEsrForWidth(
+                            Seconds(0.1)).value(), 0.3);
+    EXPECT_NEAR(r_fast, cfg.capacitor.apparentEsrForWidth(
+                            Seconds(1e-3)).value(), 0.3);
+}
+
+} // namespace

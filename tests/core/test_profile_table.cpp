@@ -1,0 +1,106 @@
+/** @file Unit tests for the per-task profile/result tables. */
+
+#include <gtest/gtest.h>
+
+#include "core/profile_table.hpp"
+
+namespace {
+
+using namespace culpeo;
+using culpeo::units::Volts;
+using core::ProfileTable;
+using core::RProfile;
+using core::RResult;
+
+RProfile
+profile(double vstart)
+{
+    RProfile p;
+    p.vstart = Volts(vstart);
+    p.vmin = Volts(vstart - 0.3);
+    p.vfinal = Volts(vstart - 0.1);
+    return p;
+}
+
+TEST(ProfileTable, MissingEntriesAreEmpty)
+{
+    const ProfileTable table;
+    EXPECT_FALSE(table.profile(1, 0).has_value());
+    EXPECT_FALSE(table.result(1, 0).has_value());
+}
+
+TEST(ProfileTable, StoreAndLookup)
+{
+    ProfileTable table;
+    table.storeProfile(1, 0, profile(2.5));
+    const auto got = table.profile(1, 0);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_DOUBLE_EQ(got->vstart.value(), 2.5);
+    EXPECT_EQ(table.profileCount(), 1u);
+}
+
+TEST(ProfileTable, OverwriteReplaces)
+{
+    ProfileTable table;
+    table.storeProfile(1, 0, profile(2.5));
+    table.storeProfile(1, 0, profile(2.2));
+    EXPECT_EQ(table.profileCount(), 1u);
+    EXPECT_DOUBLE_EQ(table.profile(1, 0)->vstart.value(), 2.2);
+}
+
+TEST(ProfileTable, BufferConfigurationsAreDistinct)
+{
+    ProfileTable table;
+    table.storeProfile(1, 0, profile(2.5));
+    table.storeProfile(1, 7, profile(2.0));
+    EXPECT_DOUBLE_EQ(table.profile(1, 0)->vstart.value(), 2.5);
+    EXPECT_DOUBLE_EQ(table.profile(1, 7)->vstart.value(), 2.0);
+    EXPECT_FALSE(table.profile(1, 3).has_value());
+}
+
+TEST(ProfileTable, ResultsStoredIndependently)
+{
+    ProfileTable table;
+    RResult result;
+    result.vsafe = Volts(2.1);
+    table.storeResult(4, 0, result);
+    EXPECT_FALSE(table.profile(4, 0).has_value());
+    ASSERT_TRUE(table.result(4, 0).has_value());
+    EXPECT_DOUBLE_EQ(table.result(4, 0)->vsafe.value(), 2.1);
+}
+
+TEST(ProfileTable, InvalidateAllClearsEverything)
+{
+    ProfileTable table;
+    table.storeProfile(1, 0, profile(2.5));
+    table.storeResult(1, 0, RResult{});
+    table.invalidateAll();
+    EXPECT_EQ(table.profileCount(), 0u);
+    EXPECT_EQ(table.resultCount(), 0u);
+}
+
+TEST(ProfileTable, InvalidateBufferIsSelective)
+{
+    ProfileTable table;
+    table.storeProfile(1, 0, profile(2.5));
+    table.storeProfile(2, 0, profile(2.4));
+    table.storeProfile(1, 1, profile(2.3));
+    table.storeResult(1, 1, RResult{});
+    table.invalidateBuffer(1);
+    EXPECT_TRUE(table.profile(1, 0).has_value());
+    EXPECT_TRUE(table.profile(2, 0).has_value());
+    EXPECT_FALSE(table.profile(1, 1).has_value());
+    EXPECT_FALSE(table.result(1, 1).has_value());
+}
+
+TEST(ProfileTable, LargeTaskIdsDoNotCollideAcrossBuffers)
+{
+    ProfileTable table;
+    // Same low 32 bits must not alias between buffers.
+    table.storeProfile(0xFFFFFFFFu, 0, profile(2.5));
+    table.storeProfile(0xFFFFFFFFu, 1, profile(2.0));
+    EXPECT_DOUBLE_EQ(table.profile(0xFFFFFFFFu, 0)->vstart.value(), 2.5);
+    EXPECT_DOUBLE_EQ(table.profile(0xFFFFFFFFu, 1)->vstart.value(), 2.0);
+}
+
+} // namespace

@@ -1,0 +1,147 @@
+/** @file Unit tests for the ISR and uArch Culpeo-R profilers. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/profiler.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+using core::IsrProfiler;
+using core::RProfile;
+using core::UArchProfiler;
+
+/** Feed a synthetic dip-and-rebound waveform to a profiler. */
+template <typename Profiler>
+RProfile
+profileSyntheticDip(Profiler &profiler, double dip_volts,
+                    double dip_duration_s)
+{
+    profiler.profileStart(Volts(2.5));
+    // Task phase: voltage dips linearly to the bottom and back.
+    const double dt = 50e-6;
+    const int steps = int(dip_duration_s / dt);
+    for (int i = 0; i < steps; ++i) {
+        const double phase = double(i) / steps;
+        const double depth = dip_volts * (phase < 0.5 ? phase * 2.0
+                                                      : (1.0 - phase) * 2.0);
+        profiler.tick(Seconds(dt), Volts(2.5 - depth));
+    }
+    profiler.profileEnd(Volts(2.5 - 0.1));
+    // Rebound phase: recover toward 2.45 V.
+    for (int i = 0; i < 2000; ++i) {
+        const double v = 2.5 - 0.1 + 0.05 * std::min(1.0, i / 1000.0);
+        profiler.tick(Seconds(1e-3), Volts(v));
+    }
+    return profiler.reboundEnd(Volts(2.45));
+}
+
+TEST(IsrProfiler, CapturesSlowDip)
+{
+    IsrProfiler profiler;
+    const RProfile p = profileSyntheticDip(profiler, 0.4, 0.1);
+    EXPECT_NEAR(p.vstart.value(), 2.5, 0.01);
+    // 12-bit ADC at 1 kHz has plenty of samples across 100 ms.
+    EXPECT_NEAR(p.vmin.value(), 2.1, 0.02);
+    EXPECT_NEAR(p.vfinal.value(), 2.45, 0.01);
+    EXPECT_TRUE(p.valid());
+}
+
+TEST(IsrProfiler, AliasesSubMillisecondDip)
+{
+    IsrProfiler profiler;
+    // A 1 ms dip gives the 1 kHz sampler at most one conversion near the
+    // bottom; the captured minimum is likely shallower than the truth.
+    const RProfile p = profileSyntheticDip(profiler, 0.4, 1e-3);
+    EXPECT_GT(p.vmin.value(), 2.1 - 1e-9);
+}
+
+TEST(IsrProfiler, OverheadOnlyWhileActive)
+{
+    IsrProfiler profiler;
+    EXPECT_DOUBLE_EQ(profiler.overheadCurrent(Volts(2.55)).value(), 0.0);
+    profiler.profileStart(Volts(2.5));
+    // Task phase: full ADC power.
+    EXPECT_NEAR(profiler.overheadCurrent(Volts(2.55)).value(),
+                180e-6 / 2.55, 1e-9);
+    profiler.profileEnd(Volts(2.4));
+    // Rebound phase: duty-cycled ADC + sleep, far less than task phase.
+    const double rebound = profiler.overheadCurrent(Volts(2.55)).value();
+    EXPECT_GT(rebound, 0.0);
+    EXPECT_LT(rebound, 180e-6 / 2.55 / 10.0);
+    profiler.reboundEnd(Volts(2.45));
+    EXPECT_DOUBLE_EQ(profiler.overheadCurrent(Volts(2.55)).value(), 0.0);
+}
+
+TEST(IsrProfiler, PhaseProtocolEnforced)
+{
+    IsrProfiler profiler;
+    EXPECT_THROW(profiler.profileEnd(Volts(2.0)), culpeo::log::FatalError);
+    EXPECT_THROW(profiler.reboundEnd(Volts(2.0)), culpeo::log::FatalError);
+    profiler.profileStart(Volts(2.5));
+    EXPECT_THROW(profiler.profileStart(Volts(2.5)), culpeo::log::FatalError);
+    profiler.profileEnd(Volts(2.4));
+    profiler.reboundEnd(Volts(2.45));
+    // Reusable after a full cycle.
+    profiler.profileStart(Volts(2.5));
+    profiler.profileEnd(Volts(2.4));
+    profiler.reboundEnd(Volts(2.45));
+}
+
+TEST(UArchProfiler, CapturesFastDip)
+{
+    UArchProfiler profiler;
+    // 100 kHz sampling nails even a 1 ms dip, at 10 mV resolution.
+    const RProfile p = profileSyntheticDip(profiler, 0.4, 1e-3);
+    EXPECT_NEAR(p.vmin.value(), 2.1, 0.03);
+    EXPECT_TRUE(p.valid());
+}
+
+TEST(UArchProfiler, QuantizesToEightBits)
+{
+    UArchProfiler profiler;
+    const RProfile p = profileSyntheticDip(profiler, 0.4, 0.1);
+    // Every reported voltage is a multiple of the 10 mV LSB.
+    const double lsb = 2.56 / 256.0;
+    EXPECT_NEAR(std::fmod(p.vmin.value() + 1e-9, lsb), 0.0, 1e-6);
+    // Truncation makes the captured minimum conservative (<= truth).
+    EXPECT_LE(p.vmin.value(), 2.1 + 1e-9);
+}
+
+TEST(UArchProfiler, TinyOverhead)
+{
+    UArchProfiler profiler;
+    profiler.profileStart(Volts(2.5));
+    EXPECT_NEAR(profiler.overheadCurrent(Volts(2.55)).value(),
+                140e-9 / 2.55, 1e-12);
+    profiler.profileEnd(Volts(2.4));
+    profiler.reboundEnd(Volts(2.45));
+    EXPECT_DOUBLE_EQ(profiler.overheadCurrent(Volts(2.55)).value(), 0.0);
+}
+
+TEST(UArchProfiler, IsrVsUArchPrecision)
+{
+    // On a slow dip the 12-bit ISR minimum is at least as accurate as
+    // the 8-bit uArch minimum (the Fig. 10 precision gap).
+    IsrProfiler isr;
+    UArchProfiler uarch;
+    const RProfile p_isr = profileSyntheticDip(isr, 0.37, 0.05);
+    const RProfile p_uarch = profileSyntheticDip(uarch, 0.37, 0.05);
+    EXPECT_LE(p_uarch.vmin.value(), p_isr.vmin.value() + 1e-9);
+}
+
+TEST(UArchProfiler, PhaseProtocolEnforced)
+{
+    UArchProfiler profiler;
+    EXPECT_THROW(profiler.profileEnd(Volts(2.0)), culpeo::log::FatalError);
+    profiler.profileStart(Volts(2.5));
+    EXPECT_THROW(profiler.profileStart(Volts(2.5)), culpeo::log::FatalError);
+    profiler.profileEnd(Volts(2.4));
+    profiler.reboundEnd(Volts(2.45));
+}
+
+} // namespace

@@ -1,0 +1,163 @@
+/** @file Unit tests for Vsafe sequence composition (Section IV-A). */
+
+#include <gtest/gtest.h>
+
+#include "core/vsafe_multi.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+using core::MultiResult;
+using core::TaskRequirement;
+using core::vsafeMulti;
+using core::vsafeMultiExact;
+
+const Volts kVoff{1.6};
+
+TaskRequirement
+task(const char *name, double v_energy, double vdelta)
+{
+    TaskRequirement req;
+    req.name = name;
+    req.v_energy = Volts(v_energy);
+    req.vdelta = Volts(vdelta);
+    return req;
+}
+
+TEST(Multi, EmptySequenceIsVoff)
+{
+    const MultiResult r = vsafeMulti({}, kVoff);
+    EXPECT_DOUBLE_EQ(r.vsafe_multi.value(), kVoff.value());
+}
+
+TEST(Multi, SingleTaskPaysEnergyPlusDrop)
+{
+    // For a single task the follower requirement is Voff, so the full
+    // drop becomes penalty: Vsafe = V(E) + Vdelta + Voff.
+    const MultiResult r = vsafeMulti({task("t", 0.1, 0.25)}, kVoff);
+    EXPECT_NEAR(r.vsafe_multi.value(), 0.1 + 0.25 + 1.6, 1e-12);
+    EXPECT_NEAR(r.penalties[0].value(), 0.25, 1e-12);
+}
+
+TEST(Multi, ReboundRepaysPenaltyWhenFollowerIsDemanding)
+{
+    // Task 0 has a drop of 0.1, but task 1 requires Vsafe_1 = 1.9
+    // (> Voff + 0.1 = 1.7): the rebound repays the drop, no penalty.
+    const MultiResult r = vsafeMulti(
+        {task("t0", 0.05, 0.10), task("t1", 0.10, 0.20)}, kVoff);
+    // Vsafe_1 = 0.10 + 0.20 + 1.6 = 1.90. Voff + Vdelta_0 = 1.70 < 1.90.
+    EXPECT_NEAR(r.per_task_vsafe[1].value(), 1.90, 1e-12);
+    EXPECT_DOUBLE_EQ(r.penalties[0].value(), 0.0);
+    EXPECT_NEAR(r.vsafe_multi.value(), 0.05 + 1.90, 1e-12);
+}
+
+TEST(Multi, PenaltyAppliedWhenFollowerIsCheap)
+{
+    // Task 0's drop floor (Voff + 0.4 = 2.0) exceeds task 1's Vsafe
+    // (1.65): penalty = 2.0 - 1.65 = 0.35.
+    const MultiResult r = vsafeMulti(
+        {task("t0", 0.05, 0.40), task("t1", 0.05, 0.0)}, kVoff);
+    EXPECT_NEAR(r.per_task_vsafe[1].value(), 1.65, 1e-12);
+    EXPECT_NEAR(r.penalties[0].value(), 0.35, 1e-12);
+    EXPECT_NEAR(r.vsafe_multi.value(), 0.05 + 0.35 + 1.65, 1e-12);
+}
+
+TEST(Multi, MatchesPaperSummationForm)
+{
+    // Vsafe_multi = sum V(E_i) + sum penalty_i + Voff.
+    const std::vector<TaskRequirement> tasks = {
+        task("a", 0.08, 0.30), task("b", 0.05, 0.10),
+        task("c", 0.12, 0.05)};
+    const MultiResult r = vsafeMulti(tasks, kVoff);
+    double sum_e = 0.0;
+    double sum_p = 0.0;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        sum_e += tasks[i].v_energy.value();
+        sum_p += r.penalties[i].value();
+    }
+    EXPECT_NEAR(r.vsafe_multi.value(), sum_e + sum_p + kVoff.value(),
+                1e-12);
+}
+
+TEST(Multi, OrderMatters)
+{
+    // A drop-heavy task is cheaper when followed by a demanding task
+    // (rebound repaid) than when run last.
+    const TaskRequirement heavy = task("heavy", 0.02, 0.40);
+    const TaskRequirement hungry = task("hungry", 0.30, 0.0);
+    const double heavy_first =
+        vsafeMulti({heavy, hungry}, kVoff).vsafe_multi.value();
+    const double heavy_last =
+        vsafeMulti({hungry, heavy}, kVoff).vsafe_multi.value();
+    EXPECT_LT(heavy_first, heavy_last);
+}
+
+TEST(Multi, SequenceAtLeastAsDemandingAsAnySuffix)
+{
+    const std::vector<TaskRequirement> tasks = {
+        task("a", 0.1, 0.2), task("b", 0.05, 0.3), task("c", 0.2, 0.1)};
+    const MultiResult r = vsafeMulti(tasks, kVoff);
+    for (std::size_t i = 1; i < tasks.size(); ++i)
+        EXPECT_GE(r.per_task_vsafe[0].value(),
+                  r.per_task_vsafe[i].value());
+}
+
+TEST(Multi, TheoremOneInduction)
+{
+    // Proof-sketch property: Vsafe_i - V(E_i) - penalty_i = Vsafe_{i+1},
+    // so starting at Vsafe_0 never dips below Voff between tasks.
+    const std::vector<TaskRequirement> tasks = {
+        task("a", 0.07, 0.25), task("b", 0.02, 0.35),
+        task("c", 0.15, 0.05), task("d", 0.01, 0.0)};
+    const MultiResult r = vsafeMulti(tasks, kVoff);
+    for (std::size_t i = 0; i + 1 < tasks.size(); ++i) {
+        const double after = r.per_task_vsafe[i].value() -
+                             tasks[i].v_energy.value() -
+                             r.penalties[i].value();
+        EXPECT_NEAR(after, r.per_task_vsafe[i + 1].value(), 1e-12);
+        EXPECT_GE(after, kVoff.value() - 1e-12);
+    }
+}
+
+TEST(MultiExact, NeverAboveAdditiveForm)
+{
+    // Composition in the V^2 domain is tighter than adding voltage
+    // increments linearly.
+    const std::vector<TaskRequirement> tasks = {
+        task("a", 0.2, 0.1), task("b", 0.3, 0.05), task("c", 0.1, 0.2)};
+    const double additive = vsafeMulti(tasks, kVoff).vsafe_multi.value();
+    const double exact =
+        vsafeMultiExact(tasks, kVoff).vsafe_multi.value();
+    EXPECT_LE(exact, additive + 1e-9);
+    EXPECT_GT(exact, kVoff.value());
+}
+
+TEST(MultiExact, SingleTaskMatchesEnergyAnchor)
+{
+    // One task with no drop: exact form reduces to the Voff-anchored
+    // energy requirement.
+    const MultiResult r = vsafeMultiExact({task("t", 0.2, 0.0)}, kVoff);
+    EXPECT_NEAR(r.vsafe_multi.value(), 1.8, 1e-9);
+}
+
+TEST(Requirement, FromVsafeAndDelta)
+{
+    const TaskRequirement req =
+        core::requirementFrom("x", Volts(2.1), Volts(0.3), kVoff);
+    EXPECT_NEAR(req.v_energy.value(), 2.1 - 0.3 - 1.6, 1e-12);
+    EXPECT_NEAR(req.vdelta.value(), 0.3, 1e-12);
+    // Never negative even for drop-dominated results.
+    const TaskRequirement clamped =
+        core::requirementFrom("y", Volts(1.7), Volts(0.3), kVoff);
+    EXPECT_DOUBLE_EQ(clamped.v_energy.value(), 0.0);
+}
+
+TEST(Feasibility, TheoremOneCheck)
+{
+    EXPECT_TRUE(core::feasibleToStart(Volts(2.0), Volts(2.0)));
+    EXPECT_TRUE(core::feasibleToStart(Volts(2.1), Volts(2.0)));
+    EXPECT_FALSE(core::feasibleToStart(Volts(1.99), Volts(2.0)));
+}
+
+} // namespace

@@ -1,0 +1,147 @@
+/** @file Unit tests for the Culpeo-R closed-form Vsafe (Eqs. 1-3). */
+
+#include <gtest/gtest.h>
+
+#include "core/vsafe_r.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+using core::PowerSystemModel;
+using core::RProfile;
+using core::RResult;
+using core::culpeoR;
+
+PowerSystemModel
+model()
+{
+    return core::modelFromConfig(sim::capybaraConfig());
+}
+
+RProfile
+typicalProfile()
+{
+    RProfile p;
+    p.vstart = Volts(2.50);
+    p.vmin = Volts(2.10);
+    p.vfinal = Volts(2.40);
+    return p;
+}
+
+TEST(RProfile, ValidityChecks)
+{
+    EXPECT_TRUE(typicalProfile().valid());
+    RProfile bad = typicalProfile();
+    bad.vmin = Volts(2.6); // Above vstart.
+    EXPECT_FALSE(bad.valid());
+    bad = RProfile{};
+    EXPECT_FALSE(bad.valid());
+}
+
+TEST(CulpeoR, RejectsInvalidProfile)
+{
+    EXPECT_THROW(culpeoR(RProfile{}, model()), culpeo::log::FatalError);
+}
+
+TEST(CulpeoR, ObservedDeltaIsReboundHeight)
+{
+    const RResult r = culpeoR(typicalProfile(), model());
+    EXPECT_NEAR(r.vdelta_observed.value(), 0.30, 1e-12);
+}
+
+TEST(CulpeoR, DeltaSafeScalesPerEquation1c)
+{
+    const PowerSystemModel m = model();
+    const RProfile p = typicalProfile();
+    const RResult r = culpeoR(p, m);
+    const double expected = 0.30 *
+        (2.10 * m.efficiency.at(Volts(2.10))) /
+        (m.voff.value() * m.efficiency.at(m.voff));
+    EXPECT_NEAR(r.vdelta_safe.value(), expected, 1e-9);
+    // At Voff the booster draws more current at lower efficiency, so the
+    // extrapolated drop exceeds the observed one.
+    EXPECT_GT(r.vdelta_safe.value(), r.vdelta_observed.value());
+}
+
+TEST(CulpeoR, EnergyComponentMatchesEquation3)
+{
+    const PowerSystemModel m = model();
+    const RProfile p = typicalProfile();
+    const RResult r = culpeoR(p, m);
+    const double voff = m.voff.value();
+    const double expected_sq =
+        m.efficiency.at(p.vstart) / m.efficiency.at(m.voff) *
+            (2.50 * 2.50 - 2.40 * 2.40) +
+        voff * voff;
+    EXPECT_NEAR(r.vsafe_energy.value(), std::sqrt(expected_sq), 1e-9);
+}
+
+TEST(CulpeoR, VsafeIsSumOfComponents)
+{
+    const RResult r = culpeoR(typicalProfile(), model());
+    EXPECT_NEAR(r.vsafe.value(),
+                r.vsafe_energy.value() + r.vdelta_safe.value(), 1e-12);
+}
+
+TEST(CulpeoR, NoDropNoEnergyGivesVoff)
+{
+    RProfile p;
+    p.vstart = Volts(2.0);
+    p.vmin = Volts(2.0);
+    p.vfinal = Volts(2.0);
+    const RResult r = culpeoR(p, model());
+    EXPECT_NEAR(r.vsafe.value(), model().voff.value(), 1e-9);
+}
+
+TEST(CulpeoR, BiggerDropBiggerVsafe)
+{
+    RProfile small = typicalProfile();
+    RProfile large = typicalProfile();
+    large.vmin = Volts(1.90);
+    EXPECT_GT(culpeoR(large, model()).vsafe.value(),
+              culpeoR(small, model()).vsafe.value());
+}
+
+TEST(CulpeoR, MoreEnergyBiggerVsafe)
+{
+    RProfile less = typicalProfile();
+    RProfile more = typicalProfile();
+    more.vfinal = Volts(2.30); // Consumed more energy.
+    more.vmin = Volts(2.00);   // Same rebound height.
+    EXPECT_GT(culpeoR(more, model()).vsafe.value(),
+              culpeoR(less, model()).vsafe.value());
+}
+
+TEST(CulpeoR, NoiseWithVfinalBelowVminIsClamped)
+{
+    RProfile p = typicalProfile();
+    p.vfinal = Volts(2.05); // ADC noise below the minimum.
+    p.vmin = Volts(2.10);
+    const RResult r = culpeoR(p, model());
+    EXPECT_GE(r.vdelta_observed.value(), 0.0);
+    EXPECT_GE(r.vsafe.value(), model().voff.value());
+}
+
+TEST(CulpeoR, StartVoltageIndependenceApproximately)
+{
+    // Profiling the same physical task from different start voltages
+    // should produce similar Vsafe. Model a task consuming energy dE
+    // (V^2 difference constant) with the same ESR drop.
+    const PowerSystemModel m = model();
+    const double dsq = 2.50 * 2.50 - 2.40 * 2.40; // V^2 consumed.
+    RProfile high;
+    high.vstart = Volts(2.50);
+    high.vfinal = Volts(2.40);
+    high.vmin = Volts(2.10);
+    RProfile low;
+    low.vstart = Volts(2.20);
+    low.vfinal = Volts(std::sqrt(2.20 * 2.20 - dsq));
+    low.vmin = Volts(low.vfinal.value() - 0.30);
+    const double v_high = culpeoR(high, m).vsafe.value();
+    const double v_low = culpeoR(low, m).vsafe.value();
+    EXPECT_NEAR(v_high, v_low, 0.08);
+}
+
+} // namespace

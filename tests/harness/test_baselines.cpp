@@ -1,0 +1,102 @@
+/** @file Unit tests for the energy-only baseline estimators. */
+
+#include <gtest/gtest.h>
+
+#include "harness/baselines.hpp"
+#include "harness/ground_truth.hpp"
+#include "load/library.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+using namespace culpeo::units::literals;
+using harness::BaselineEstimates;
+using harness::estimateBaselines;
+
+TEST(Baselines, AllEstimatesAtLeastVoff)
+{
+    const BaselineEstimates est = estimateBaselines(
+        sim::capybaraConfig(), load::uniform(25.0_mA, 10.0_ms));
+    EXPECT_GE(est.energy_direct.value(), 1.6);
+    EXPECT_GE(est.energy_v.value(), 1.6);
+    EXPECT_GE(est.catnap_measured.value(), 1.6);
+    EXPECT_GE(est.catnap_slow.value(), 1.6);
+}
+
+TEST(Baselines, EnergyDirectTracksTaskEnergy)
+{
+    const auto cfg = sim::capybaraConfig();
+    const auto profile = load::mnistCompute(); // Energy-dominated load.
+    const BaselineEstimates est = estimateBaselines(cfg, profile);
+    // Vsafe_E^2 - Voff^2 = 2 E_buffer / C, E_buffer >= E_load.
+    const double v2 = est.energy_direct.value() * est.energy_direct.value()
+                      - 1.6 * 1.6;
+    const double e_buffer = v2 * cfg.capacitor.capacitance.value() / 2.0;
+    EXPECT_GT(e_buffer, profile.energyAt(cfg.output.vout).value());
+    EXPECT_LT(e_buffer, profile.energyAt(cfg.output.vout).value() * 2.0);
+}
+
+TEST(Baselines, EnergyVCloseToEnergyDirect)
+{
+    // The paper calls Energy-V "an end-to-end voltage based approximation
+    // that closely tracks with direct measurements" (Section VII-A).
+    const BaselineEstimates est = estimateBaselines(
+        sim::capybaraConfig(), load::pulseWithCompute(25.0_mA, 10.0_ms));
+    EXPECT_NEAR(est.energy_v.value(), est.energy_direct.value(), 0.03);
+}
+
+TEST(Baselines, CatnapMeasuredCapturesUnreboundedDropOnUniform)
+{
+    // Sampling at the last loaded instant sees the full ESR sag, so the
+    // uniform-load estimate is much higher than the pure energy cost.
+    const BaselineEstimates est = estimateBaselines(
+        sim::capybaraConfig(), load::uniform(50.0_mA, 10.0_ms));
+    EXPECT_GT(est.catnap_measured.value(),
+              est.energy_direct.value() + 0.1);
+}
+
+TEST(Baselines, CatnapMissesDropBehindComputeTail)
+{
+    // With a 100 ms compute tail after the pulse the drop rebounds
+    // before the end-of-task measurement: CatNap sees only energy.
+    const BaselineEstimates est = estimateBaselines(
+        sim::capybaraConfig(), load::pulseWithCompute(50.0_mA, 10.0_ms));
+    EXPECT_LT(est.catnap_measured.value(),
+              est.energy_direct.value() + 0.15);
+}
+
+TEST(Baselines, CatnapSlowBelowCatnapMeasuredOnUniform)
+{
+    // 2 ms after completion the instantaneous series-ESR rebound has
+    // already happened: the slow measurement under-counts the drop.
+    const BaselineEstimates est = estimateBaselines(
+        sim::capybaraConfig(), load::uniform(50.0_mA, 10.0_ms));
+    EXPECT_LT(est.catnap_slow.value(), est.catnap_measured.value());
+}
+
+TEST(Baselines, AllBaselinesUnsafeForPulsedLoads)
+{
+    // The headline failure: every energy-only estimate is below the true
+    // Vsafe for a pulse + compute load (Figures 6 and 10).
+    const auto cfg = sim::capybaraConfig();
+    const auto profile = load::pulseWithCompute(50.0_mA, 10.0_ms);
+    const harness::GroundTruth truth = harness::findTrueVsafe(cfg, profile);
+    ASSERT_TRUE(truth.feasible);
+    const BaselineEstimates est = estimateBaselines(cfg, profile);
+    EXPECT_LT(est.energy_direct.value(), truth.vsafe.value());
+    EXPECT_LT(est.energy_v.value(), truth.vsafe.value());
+    EXPECT_LT(est.catnap_measured.value(), truth.vsafe.value());
+    EXPECT_LT(est.catnap_slow.value(), truth.vsafe.value());
+}
+
+TEST(Baselines, ProfilingRunRecordsShape)
+{
+    const BaselineEstimates est = estimateBaselines(
+        sim::capybaraConfig(), load::uniform(25.0_mA, 10.0_ms));
+    EXPECT_TRUE(est.run.completed);
+    EXPECT_LT(est.run.vmin.value(), est.run.vstart.value());
+    EXPECT_GT(est.run.vfinal.value(), est.run.vend_loaded.value());
+}
+
+} // namespace

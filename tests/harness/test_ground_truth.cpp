@@ -1,0 +1,104 @@
+/** @file Unit tests for the brute-force true-Vsafe search. */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hpp"
+
+#include "harness/ground_truth.hpp"
+#include "load/library.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+using namespace culpeo::units::literals;
+using harness::GroundTruth;
+using harness::completesFrom;
+using harness::findTrueVsafe;
+
+TEST(GroundTruth, CompletesFromVhighForModestLoads)
+{
+    EXPECT_TRUE(completesFrom(sim::capybaraConfig(), Volts(2.56),
+                              load::uniform(10.0_mA, 10.0_ms)));
+}
+
+TEST(GroundTruth, FailsJustAboveVoffForHighCurrent)
+{
+    EXPECT_FALSE(completesFrom(sim::capybaraConfig(), Volts(1.65),
+                               load::uniform(50.0_mA, 10.0_ms)));
+}
+
+TEST(GroundTruth, SearchBracketsTheBoundary)
+{
+    const GroundTruth truth = findTrueVsafe(
+        sim::capybaraConfig(), load::uniform(25.0_mA, 10.0_ms));
+    ASSERT_TRUE(truth.feasible);
+    // Starting at the found Vsafe completes; 10 mV lower fails.
+    EXPECT_TRUE(completesFrom(sim::capybaraConfig(), truth.vsafe,
+                              load::uniform(25.0_mA, 10.0_ms)));
+    EXPECT_FALSE(completesFrom(sim::capybaraConfig(),
+                               truth.vsafe - Volts(0.01),
+                               load::uniform(25.0_mA, 10.0_ms)));
+}
+
+TEST(GroundTruth, VminAtVsafeHugsVoff)
+{
+    // The paper's rig converges until Vmin is within 5 mV of Voff.
+    const GroundTruth truth = findTrueVsafe(
+        sim::capybaraConfig(), load::uniform(25.0_mA, 10.0_ms),
+        Volts(0.5e-3));
+    EXPECT_GE(truth.vmin_at_vsafe.value(), 1.6 - 1e-9);
+    EXPECT_LE(truth.vmin_at_vsafe.value(), 1.6 + 0.01);
+}
+
+TEST(GroundTruth, HigherCurrentNeedsHigherVsafe)
+{
+    const auto cfg = sim::capybaraConfig();
+    double prev = 0.0;
+    for (double ma : {5.0, 10.0, 25.0, 50.0}) {
+        const GroundTruth truth =
+            findTrueVsafe(cfg, load::uniform(Amps(ma * 1e-3), 10.0_ms));
+        ASSERT_TRUE(truth.feasible);
+        EXPECT_GT(truth.vsafe.value(), prev);
+        prev = truth.vsafe.value();
+    }
+}
+
+TEST(GroundTruth, LongerPulseNeedsHigherVsafe)
+{
+    const auto cfg = sim::capybaraConfig();
+    const double v10 =
+        findTrueVsafe(cfg, load::uniform(25.0_mA, 10.0_ms)).vsafe.value();
+    const double v100 =
+        findTrueVsafe(cfg, load::uniform(25.0_mA, 100.0_ms)).vsafe.value();
+    EXPECT_GT(v100, v10);
+}
+
+TEST(GroundTruth, InfeasibleLoadReported)
+{
+    // A huge sustained load cannot run even from Vhigh on this bank.
+    const GroundTruth truth = findTrueVsafe(
+        sim::capybaraConfig(),
+        load::CurrentProfile("hog", {{Seconds(0.5), Amps(0.2)}}));
+    EXPECT_FALSE(truth.feasible);
+    EXPECT_DOUBLE_EQ(truth.vsafe.value(), 2.56);
+}
+
+TEST(GroundTruth, ResolutionBoundsTrialCount)
+{
+    const GroundTruth coarse = findTrueVsafe(
+        sim::capybaraConfig(), load::uniform(10.0_mA, 10.0_ms),
+        Volts(10e-3));
+    // log2(0.96 / 0.01) ~ 7 bisections plus bracketing runs.
+    EXPECT_LE(coarse.trials, 12u);
+}
+
+TEST(GroundTruth, ResolutionValidation)
+{
+    EXPECT_THROW(findTrueVsafe(sim::capybaraConfig(),
+                               load::uniform(10.0_mA, 10.0_ms),
+                               Volts(0.0)),
+                 culpeo::log::FatalError);
+}
+
+} // namespace

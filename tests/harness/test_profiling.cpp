@@ -1,0 +1,156 @@
+/** @file Unit tests for end-to-end Culpeo-R profiling on the simulator. */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hpp"
+
+#include "harness/ground_truth.hpp"
+#include "harness/profiling.hpp"
+#include "load/library.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+using namespace culpeo::units::literals;
+using core::Culpeo;
+using core::IsrProfiler;
+using core::UArchProfiler;
+using harness::ProfileOutcome;
+using harness::profileTaskFrom;
+
+Culpeo
+makeCulpeo(bool uarch)
+{
+    std::unique_ptr<core::Profiler> profiler;
+    if (uarch)
+        profiler = std::make_unique<UArchProfiler>();
+    else
+        profiler = std::make_unique<IsrProfiler>();
+    return Culpeo(core::modelFromConfig(sim::capybaraConfig()),
+                  std::move(profiler));
+}
+
+TEST(Profiling, StoresResultOnSuccess)
+{
+    Culpeo culpeo = makeCulpeo(true);
+    const ProfileOutcome outcome = profileTaskFrom(
+        sim::capybaraConfig(), Volts(2.56), culpeo, 1,
+        load::uniform(25.0_mA, 10.0_ms));
+    ASSERT_TRUE(outcome.stored);
+    EXPECT_TRUE(culpeo.hasResult(1));
+    EXPECT_GT(outcome.result.vsafe.value(), 1.6);
+}
+
+TEST(Profiling, CapturesDipAndRebound)
+{
+    Culpeo culpeo = makeCulpeo(true);
+    const ProfileOutcome outcome = profileTaskFrom(
+        sim::capybaraConfig(), Volts(2.4), culpeo, 2,
+        load::uniform(50.0_mA, 10.0_ms));
+    ASSERT_TRUE(outcome.stored);
+    const auto profile = culpeo.table().profile(2, 0);
+    ASSERT_TRUE(profile.has_value());
+    EXPECT_LT(profile->vmin.value(), profile->vstart.value() - 0.05);
+    EXPECT_GT(profile->vfinal.value(), profile->vmin.value() + 0.05);
+}
+
+TEST(Profiling, IsrOverheadChargedToTask)
+{
+    // The ISR profiler's ADC power adds load during profiling, making
+    // its profiled energy slightly larger than the uArch profiler's.
+    Culpeo isr = makeCulpeo(false);
+    Culpeo uarch = makeCulpeo(true);
+    profileTaskFrom(sim::capybaraConfig(), Volts(2.56), isr, 1,
+                    load::mnistCompute());
+    profileTaskFrom(sim::capybaraConfig(), Volts(2.56), uarch, 1,
+                    load::mnistCompute());
+    const auto p_isr = isr.table().profile(1, 0);
+    const auto p_uarch = uarch.table().profile(1, 0);
+    ASSERT_TRUE(p_isr.has_value());
+    ASSERT_TRUE(p_uarch.has_value());
+    // More consumed energy shows as a lower final voltage.
+    EXPECT_LE(p_isr->vfinal.value(), p_uarch->vfinal.value() + 0.002);
+}
+
+TEST(Profiling, FailedRunLeavesTableUnpopulated)
+{
+    culpeo::log::setVerbose(false);
+    Culpeo culpeo = makeCulpeo(true);
+    const ProfileOutcome outcome = profileTaskFrom(
+        sim::capybaraConfig(), Volts(1.7), culpeo, 3,
+        load::uniform(50.0_mA, 100.0_ms));
+    culpeo::log::setVerbose(true);
+    EXPECT_FALSE(outcome.stored);
+    EXPECT_FALSE(outcome.run.completed);
+    EXPECT_FALSE(culpeo.hasResult(3));
+}
+
+TEST(Profiling, ProfiledVsafeIsSafe)
+{
+    // The central claim: the computed Vsafe is within the paper's
+    // correctness band (above -2% of the operating range relative to
+    // the brute-force truth, Section VII-A), and a task started one
+    // such band above it always completes.
+    const auto cfg = sim::capybaraConfig();
+    const double band = 0.02 * 0.96;
+    const auto profile = load::pulseWithCompute(25.0_mA, 10.0_ms);
+    const auto truth = harness::findTrueVsafe(cfg, profile);
+    ASSERT_TRUE(truth.feasible);
+    for (bool uarch : {false, true}) {
+        Culpeo culpeo = makeCulpeo(uarch);
+        const ProfileOutcome outcome =
+            profileTaskFrom(cfg, Volts(2.56), culpeo, 1, profile);
+        ASSERT_TRUE(outcome.stored);
+        const double vsafe = culpeo.getVsafe(1).value();
+        EXPECT_GT(vsafe, truth.vsafe.value() - band);
+        EXPECT_TRUE(harness::completesFrom(cfg, Volts(vsafe + band),
+                                           profile));
+    }
+}
+
+TEST(Profiling, UArchVsafeIsStrictlySafe)
+{
+    // The uArch profiler's conservative quantization keeps its Vsafe
+    // above the truth, so the task completes from it directly.
+    const auto cfg = sim::capybaraConfig();
+    Culpeo culpeo = makeCulpeo(true);
+    const auto profile = load::uniform(25.0_mA, 10.0_ms);
+    const ProfileOutcome outcome =
+        profileTaskFrom(cfg, Volts(2.56), culpeo, 1, profile);
+    ASSERT_TRUE(outcome.stored);
+    EXPECT_TRUE(harness::completesFrom(cfg, culpeo.getVsafe(1), profile));
+}
+
+TEST(MeasureEsr, ApparentEsrMatchesAnalyticModel)
+{
+    const auto cfg = sim::capybaraConfig().capacitor;
+    for (double w : {1e-3, 10e-3, 100e-3}) {
+        const Ohms measured =
+            harness::measureApparentEsr(cfg, Amps(0.02), Seconds(w));
+        const Ohms analytic = cfg.apparentEsrForWidth(Seconds(w));
+        EXPECT_NEAR(measured.value(), analytic.value(),
+                    analytic.value() * 0.15)
+            << "pulse width " << w;
+    }
+}
+
+TEST(MeasureEsr, CurveIsMonotoneInFrequency)
+{
+    const auto cfg = sim::capybaraConfig().capacitor;
+    const sim::EsrCurve curve = harness::measureEsrCurve(
+        cfg, Amps(0.02),
+        {Seconds(1e-3), Seconds(10e-3), Seconds(100e-3)});
+    // Higher frequency (shorter pulse) -> lower apparent ESR.
+    EXPECT_LT(curve.forPulseWidth(Seconds(1e-3)).value(),
+              curve.forPulseWidth(Seconds(100e-3)).value());
+}
+
+TEST(MeasureEsr, Validation)
+{
+    const auto cfg = sim::capybaraConfig().capacitor;
+    EXPECT_THROW(harness::measureApparentEsr(cfg, Amps(0.0), Seconds(1e-3)),
+                 culpeo::log::FatalError);
+}
+
+} // namespace

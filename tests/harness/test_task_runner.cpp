@@ -1,0 +1,134 @@
+/** @file Unit tests for the task runner / settle machinery. */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hpp"
+
+#include "harness/task_runner.hpp"
+#include "load/library.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+using namespace culpeo::units::literals;
+using harness::RunOptions;
+using harness::RunResult;
+using harness::chooseDt;
+using harness::runTask;
+using harness::runTaskFrom;
+
+TEST(ChooseDt, ResolvesShortSegments)
+{
+    EXPECT_LE(chooseDt(load::uniform(10.0_mA, 1.0_ms)).value(),
+              1e-3 / 20.0 + 1e-12);
+    // Clamped to sane bounds.
+    EXPECT_GE(chooseDt(load::uniform(10.0_mA, 1.0_ms)).value(), 5e-6);
+    EXPECT_LE(chooseDt(load::mnistCompute()).value(), 100e-6);
+}
+
+TEST(RunTask, CompletesFromFullBuffer)
+{
+    const RunResult result = runTaskFrom(
+        sim::capybaraConfig(), Volts(2.56), load::uniform(10.0_mA, 10.0_ms));
+    EXPECT_TRUE(result.completed);
+    EXPECT_FALSE(result.power_failed);
+    EXPECT_NEAR(result.vstart.value(), 2.56, 1e-6);
+    EXPECT_LT(result.vmin.value(), result.vstart.value());
+}
+
+TEST(RunTask, FailsFromLowStart)
+{
+    const RunResult result = runTaskFrom(
+        sim::capybaraConfig(), Volts(1.65), load::uniform(50.0_mA, 10.0_ms));
+    EXPECT_FALSE(result.completed);
+    EXPECT_TRUE(result.power_failed || result.collapsed);
+}
+
+TEST(RunTask, VminAtMostVendLoaded)
+{
+    const RunResult result = runTaskFrom(
+        sim::capybaraConfig(), Volts(2.4),
+        load::pulseWithCompute(25.0_mA, 10.0_ms));
+    EXPECT_LE(result.vmin.value(), result.vend_loaded.value() + 1e-9);
+}
+
+TEST(RunTask, ReboundRecoversAboveLoadedEnd)
+{
+    // The ESR drop rebounds after the load: vfinal > terminal at the
+    // last loaded step (Figure 1b).
+    const RunResult result = runTaskFrom(
+        sim::capybaraConfig(), Volts(2.4), load::uniform(25.0_mA, 50.0_ms));
+    EXPECT_TRUE(result.completed);
+    EXPECT_GT(result.vfinal.value(), result.vend_loaded.value() + 0.05);
+}
+
+TEST(RunTask, ReboundDoesNotRestoreConsumedEnergy)
+{
+    const RunResult result = runTaskFrom(
+        sim::capybaraConfig(), Volts(2.4), load::uniform(25.0_mA, 50.0_ms));
+    EXPECT_LT(result.vfinal.value(), result.vstart.value());
+}
+
+TEST(RunTask, SettleDisabledSkipsRebound)
+{
+    RunOptions options;
+    options.settle_rebound = false;
+    const RunResult result = runTaskFrom(
+        sim::capybaraConfig(), Volts(2.4), load::uniform(25.0_mA, 50.0_ms),
+        options);
+    EXPECT_NEAR(result.settle_end.value(), result.task_end.value(), 1e-9);
+}
+
+TEST(RunTask, SettleRespectsTimeout)
+{
+    RunOptions options;
+    options.settle_timeout = Seconds(0.05);
+    const RunResult result = runTaskFrom(
+        sim::capybaraConfig(), Volts(2.4), load::uniform(25.0_mA, 50.0_ms),
+        options);
+    EXPECT_LE((result.settle_end - result.task_end).value(), 0.06);
+}
+
+TEST(RunTask, StopOnFailureHaltsEarly)
+{
+    RunOptions stop;
+    stop.settle_rebound = false;
+    stop.stop_on_failure = true;
+    const RunResult halted = runTaskFrom(
+        sim::capybaraConfig(), Volts(1.7), load::uniform(50.0_mA, 100.0_ms),
+        stop);
+    EXPECT_FALSE(halted.completed);
+    EXPECT_LT(halted.task_end.value(), 0.1);
+
+    RunOptions go_on = stop;
+    go_on.stop_on_failure = false;
+    const RunResult full = runTaskFrom(
+        sim::capybaraConfig(), Volts(1.7), load::uniform(50.0_mA, 100.0_ms),
+        go_on);
+    EXPECT_GE(full.task_end.value(), 0.1 - 1e-6);
+}
+
+TEST(RunTask, MonitorDisabledServesNothing)
+{
+    sim::PowerSystem system(sim::capybaraConfig());
+    system.setBufferVoltage(Volts(2.0)); // Below Vhigh: output off.
+    RunOptions options;
+    options.settle_rebound = false;
+    const RunResult result =
+        runTask(system, load::uniform(10.0_mA, 10.0_ms), options);
+    // Nothing was delivered, so nothing failed and no energy moved.
+    EXPECT_TRUE(result.completed);
+    EXPECT_NEAR(result.vmin.value(), 2.0, 1e-3);
+}
+
+TEST(RunTask, InvalidDtIsFatal)
+{
+    RunOptions options;
+    options.dt = Seconds(0.0);
+    EXPECT_THROW(runTaskFrom(sim::capybaraConfig(), Volts(2.0),
+                             load::uniform(10.0_mA, 10.0_ms), options),
+                 culpeo::log::FatalError);
+}
+
+} // namespace

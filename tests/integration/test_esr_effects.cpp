@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Integration tests of the motivating ESR phenomena: the Figure 4
+ * "plenty of energy but the device died" failure, the Section II-D
+ * decoupling-capacitor non-fix, and the Figure 5 schedule failure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/vsafe_multi.hpp"
+#include "harness/baselines.hpp"
+#include "harness/ground_truth.hpp"
+#include "load/library.hpp"
+#include "sim/two_cap.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+using namespace culpeo::units::literals;
+
+TEST(EsrEffects, LoRaClassLoadKillsDeviceWithAmpleEnergy)
+{
+    // Figure 4: a 50 mA LoRa-class transmission from mid-range voltage
+    // powers the device off while most stored energy remains.
+    sim::PowerSystem system(sim::capybaraConfig());
+    system.setBufferVoltage(Volts(2.0));
+    system.forceOutputEnabled(true);
+    const Joules before = system.capacitor().storedEnergy();
+    const Joules usable_before =
+        before - units::capacitorEnergy(Farads(45e-3), Volts(1.6));
+
+    harness::RunOptions options;
+    options.settle_rebound = false;
+    const auto result =
+        harness::runTask(system, load::uniform(50.0_mA, 100.0_ms), options);
+
+    EXPECT_FALSE(result.completed);
+    const Joules after = system.capacitor().storedEnergy();
+    const Joules usable_after =
+        after - units::capacitorEnergy(Farads(45e-3), Volts(1.6));
+    // More than 80% of the *usable* energy is still there.
+    EXPECT_GT(usable_after.value(), usable_before.value() * 0.8);
+}
+
+TEST(EsrEffects, SameLoadFineOnLowEsrBank)
+{
+    // The identical load completes from the same voltage when the bank
+    // has ceramic-class ESR: the failure is ESR, not energy.
+    auto cfg = sim::capybaraConfig();
+    cfg.capacitor.series_esr = Ohms(0.01);
+    cfg.capacitor.bulk_resistance = Ohms(0.05);
+    cfg.capacitor.surface_resistance = Ohms(0.01);
+    EXPECT_TRUE(harness::completesFrom(cfg, Volts(2.0),
+                                       load::uniform(50.0_mA, 100.0_ms)));
+}
+
+TEST(EsrEffects, EsrDropDominatesEnergyDropOnRealTrace)
+{
+    // Figure 1(b): the transient ESR drop exceeds the energy-consumption
+    // drop for a high-current pulse.
+    const auto est = harness::estimateBaselines(
+        sim::capybaraConfig(), load::uniform(50.0_mA, 100.0_ms));
+    const double energy_drop = est.run.vstart.value() -
+                               est.run.vfinal.value();
+    const double total_drop = est.run.vstart.value() -
+                              est.run.vmin.value();
+    const double esr_drop = total_drop - energy_drop;
+    EXPECT_GT(esr_drop, energy_drop);
+}
+
+TEST(EsrEffects, DecouplingSweepLeavesResidualDrop)
+{
+    // Section II-D: 400 uF .. 6.4 mF of decoupling on a 33 mF supercap
+    // still shows a >= 200 mV drop for a 50 mA / 100 ms load.
+    for (double c_d : {400e-6, 1.6e-3, 6.4e-3}) {
+        sim::CapBranch super{Farads(33e-3), Ohms(8.0), Volts(2.5)};
+        sim::CapBranch dec{Farads(c_d), Ohms(0.01), Volts(2.5)};
+        sim::TwoCapNetwork net(super, dec);
+        net.setVoltage(Volts(2.5));
+        double vmin = 2.5;
+        double elapsed = 0.0;
+        while (elapsed < 0.1) {
+            net.step(Seconds(1e-5), Amps(0.05));
+            vmin = std::min(vmin, net.nodeVoltage(Amps(0.05)).value());
+            elapsed += 1e-5;
+        }
+        EXPECT_GT(2.5 - vmin, 0.2)
+            << "decoupling " << c_d * 1e6 << " uF hid the ESR drop";
+    }
+}
+
+TEST(EsrEffects, MoreDecouplingHelpsButSaturates)
+{
+    auto min_drop = [](double c_d) {
+        sim::CapBranch super{Farads(33e-3), Ohms(8.0), Volts(2.5)};
+        sim::CapBranch dec{Farads(c_d), Ohms(0.01), Volts(2.5)};
+        sim::TwoCapNetwork net(super, dec);
+        net.setVoltage(Volts(2.5));
+        double vmin = 2.5;
+        double elapsed = 0.0;
+        while (elapsed < 0.1) {
+            net.step(Seconds(1e-5), Amps(0.05));
+            vmin = std::min(vmin, net.nodeVoltage(Amps(0.05)).value());
+            elapsed += 1e-5;
+        }
+        return 2.5 - vmin;
+    };
+    EXPECT_GT(min_drop(400e-6), min_drop(6.4e-3));
+}
+
+TEST(EsrEffects, CatnapFeasibleScheduleFailsUnderEsr)
+{
+    // Figure 5: a schedule CatNap's energy reasoning declares feasible
+    // (sense then radio in one discharge) fails because the radio starts
+    // below its ESR-aware requirement.
+    const auto cfg = sim::capybaraConfig();
+    const auto sense = load::uniform(5.0_mA, 50.0_ms).renamed("sense");
+    const auto radio = load::uniform(50.0_mA, 20.0_ms).renamed("radio");
+
+    // CatNap's budget: energy-only voltage costs.
+    const auto est_sense = harness::estimateBaselines(cfg, sense);
+    const auto est_radio = harness::estimateBaselines(cfg, radio);
+    const double budget = (est_sense.energy_direct.value() - 1.6) +
+                          (est_radio.energy_direct.value() - 1.6) + 1.6;
+
+    // The combined profile's true requirement exceeds the budget...
+    const auto truth =
+        harness::findTrueVsafe(cfg, sense.then(radio));
+    ASSERT_TRUE(truth.feasible);
+    EXPECT_GT(truth.vsafe.value(), budget);
+    // ...so executing from CatNap's budget voltage browns out.
+    EXPECT_FALSE(harness::completesFrom(cfg, Volts(budget),
+                                        sense.then(radio)));
+}
+
+TEST(EsrEffects, AgedCapacitorRaisesTrueVsafe)
+{
+    auto fresh = sim::capybaraConfig();
+    auto aged = sim::capybaraConfig();
+    aged.capacitor.esr_multiplier = 2.0;
+    aged.capacitor.capacitance_fraction = 0.8;
+    const auto profile = load::uniform(25.0_mA, 10.0_ms);
+    const auto v_fresh = harness::findTrueVsafe(fresh, profile);
+    const auto v_aged = harness::findTrueVsafe(aged, profile);
+    ASSERT_TRUE(v_fresh.feasible);
+    ASSERT_TRUE(v_aged.feasible);
+    EXPECT_GT(v_aged.vsafe.value(), v_fresh.vsafe.value() + 0.05);
+}
+
+} // namespace

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Integration test of the intermittent reboot story: profile tasks
+ * once, checkpoint the Culpeo tables (FRAM image), lose power, restore
+ * into a fresh runtime instance, and dispatch safely without ever
+ * re-profiling — the workflow an intermittent device actually follows,
+ * since its RAM state dies with every brown-out.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "util/logging.hpp"
+#include "core/persistence.hpp"
+#include "harness/profiling.hpp"
+#include "load/library.hpp"
+#include "runtime/intermittent.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+using namespace culpeo::units::literals;
+
+std::vector<runtime::AtomicTask>
+program()
+{
+    return {
+        {1, "sense", load::imuRead()},
+        {2, "send", load::uniform(45.0_mA, 25.0_ms).renamed("send")},
+    };
+}
+
+TEST(RebootPersistence, RestoredTablesDriveGatedDispatch)
+{
+    const auto cfg = sim::capybaraConfig();
+    const auto model = core::modelFromConfig(cfg);
+
+    // Boot 1: profile both tasks and checkpoint the tables.
+    std::vector<std::uint8_t> fram;
+    {
+        core::Culpeo culpeo(model,
+                            std::make_unique<core::UArchProfiler>());
+        for (const auto &task : program()) {
+            harness::profileTaskFrom(cfg, cfg.monitor.vhigh, culpeo,
+                                     task.id, task.profile);
+            ASSERT_TRUE(culpeo.hasResult(task.id));
+        }
+        fram = culpeo.snapshot();
+    } // "Power failure": all RAM state (the Culpeo object) is gone.
+
+    // Boot 2: restore the tables; no profiling pass needed.
+    core::Culpeo rebooted(model, std::make_unique<core::UArchProfiler>());
+    ASSERT_FALSE(rebooted.hasResult(1));
+    ASSERT_TRUE(core::imageIsValid(fram));
+    rebooted.restore(fram);
+    ASSERT_TRUE(rebooted.hasResult(1));
+    ASSERT_TRUE(rebooted.hasResult(2));
+
+    // The restored values gate dispatch exactly as the originals would:
+    // the program completes from mid-charge without a single brown-out.
+    const sim::ConstantHarvester harvester(5.0_mW);
+    sim::PowerSystem system(cfg);
+    system.setHarvester(&harvester);
+    system.setBufferVoltage(Volts(1.8));
+    system.forceOutputEnabled(true);
+
+    runtime::RuntimeOptions options;
+    options.policy = runtime::DispatchPolicy::VsafeGated;
+    options.culpeo = &rebooted;
+    const runtime::ProgramResult result =
+        runtime::runProgram(system, program(), options);
+    EXPECT_TRUE(result.finished);
+    EXPECT_EQ(result.totalFailures(), 0u);
+    EXPECT_EQ(result.power_failures, 0u);
+}
+
+TEST(RebootPersistence, CorruptImageForcesReprofiling)
+{
+    const auto cfg = sim::capybaraConfig();
+    const auto model = core::modelFromConfig(cfg);
+    core::Culpeo culpeo(model, std::make_unique<core::UArchProfiler>());
+    harness::profileTaskFrom(cfg, cfg.monitor.vhigh, culpeo, 1,
+                             load::imuRead());
+    auto fram = culpeo.snapshot();
+    fram[fram.size() / 3] ^= 0x01; // Torn write during the brown-out.
+
+    core::Culpeo rebooted(model, std::make_unique<core::UArchProfiler>());
+    EXPECT_FALSE(core::imageIsValid(fram));
+    EXPECT_THROW(rebooted.restore(fram), culpeo::log::FatalError);
+    // The device falls back to the conservative default (Vhigh) and can
+    // simply profile again.
+    EXPECT_DOUBLE_EQ(rebooted.getVsafe(1).value(), model.vhigh.value());
+    harness::profileTaskFrom(cfg, cfg.monitor.vhigh, rebooted, 1,
+                             load::imuRead());
+    EXPECT_TRUE(rebooted.hasResult(1));
+}
+
+} // namespace

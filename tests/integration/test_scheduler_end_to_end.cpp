@@ -1,0 +1,136 @@
+/**
+ * @file
+ * End-to-end scheduler integration tests (the Figure 12/13 mechanism in
+ * miniature): Culpeo-integrated scheduling captures events that the
+ * energy-only CatNap policy loses to ESR-induced brown-outs.
+ *
+ * Trials are shortened relative to the benchmark binaries to keep the
+ * test suite fast; the full five-minute, three-trial runs live in
+ * bench/fig12_events.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/apps.hpp"
+#include "sched/engine.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+using namespace culpeo::units::literals;
+using sched::AggregateResult;
+using sched::CatnapPolicy;
+using sched::CulpeoPolicy;
+
+class SchedulerEndToEnd : public ::testing::Test
+{
+  protected:
+    static sched::AppSpec ps_;
+    static CatnapPolicy catnap_;
+    static CulpeoPolicy culpeo_;
+    static bool ready_;
+
+    static void
+    SetUpTestSuite()
+    {
+        if (!ready_) {
+            ps_ = apps::periodicSensing();
+            catnap_.initialize(ps_);
+            culpeo_.initialize(ps_);
+            ready_ = true;
+        }
+    }
+};
+
+sched::AppSpec SchedulerEndToEnd::ps_;
+CatnapPolicy SchedulerEndToEnd::catnap_;
+CulpeoPolicy SchedulerEndToEnd::culpeo_;
+bool SchedulerEndToEnd::ready_ = false;
+
+TEST_F(SchedulerEndToEnd, CulpeoCapturesNearlyAllPsEvents)
+{
+    const AggregateResult result =
+        sched::runTrials(ps_, culpeo_, 60.0_s, 1);
+    EXPECT_GE(result.rateOf("imu"), 0.9);
+}
+
+TEST_F(SchedulerEndToEnd, CatnapLosesPsEventsToPowerFailures)
+{
+    const sched::TrialResult result =
+        sched::runTrial(ps_, catnap_, 60.0_s, 1);
+    EXPECT_GT(result.power_failures, 0u)
+        << "CatNap should brown out running at its energy-only Vsafe";
+    EXPECT_LT(result.eventStats("imu").captureRate(), 0.9);
+}
+
+TEST_F(SchedulerEndToEnd, CulpeoBeatsCatnapOnPs)
+{
+    const AggregateResult catnap_result =
+        sched::runTrials(ps_, catnap_, 60.0_s, 2);
+    const AggregateResult culpeo_result =
+        sched::runTrials(ps_, culpeo_, 60.0_s, 2);
+    EXPECT_GT(culpeo_result.rateOf("imu"),
+              catnap_result.rateOf("imu"));
+}
+
+TEST_F(SchedulerEndToEnd, CulpeoAvoidsPowerFailures)
+{
+    const sched::TrialResult result =
+        sched::runTrial(ps_, culpeo_, 60.0_s, 3);
+    EXPECT_EQ(result.power_failures, 0u);
+}
+
+TEST(SchedulerNmr, CulpeoServesBothEventStreams)
+{
+    // NMR has two competing event streams (periodic mic + Poisson BLE)
+    // plus FFT background work; Culpeo must serve both without
+    // brown-outs.
+    const sched::AppSpec nmr = apps::noiseMonitoring();
+    CulpeoPolicy culpeo;
+    culpeo.initialize(nmr);
+    const sched::TrialResult result =
+        sched::runTrial(nmr, culpeo, 120.0_s, 11);
+    EXPECT_EQ(result.power_failures, 0u);
+    EXPECT_GE(result.eventStats("mic").captureRate(), 0.9);
+    EXPECT_GE(result.eventStats("ble").captureRate(), 0.7);
+    EXPECT_GT(result.background_runs, 0u);
+}
+
+TEST(SchedulerNmr, CatnapBrownsOutOnBleReports)
+{
+    const sched::AppSpec nmr = apps::noiseMonitoring();
+    CatnapPolicy catnap;
+    catnap.initialize(nmr);
+    const AggregateResult result =
+        sched::runTrials(nmr, catnap, 200.0_s, 2);
+    // The BLE chain's ESR drop is what CatNap's estimate misses.
+    EXPECT_GT(result.power_failures_per_trial, 0.0);
+    EXPECT_LT(result.rateOf("ble"), 0.95);
+}
+
+TEST(SchedulerRr, CatnapFailsMostRrResponses)
+{
+    // Compressed RR: 30 s mean inter-arrival over 300 s keeps the test
+    // quick while exercising the sense->encrypt->BLE chain with enough
+    // arrivals for stable rates.
+    const sched::AppSpec rr = apps::responsiveReporting(30.0_s);
+    CatnapPolicy catnap;
+    catnap.initialize(rr);
+    CulpeoPolicy culpeo;
+    culpeo.initialize(rr);
+
+    const AggregateResult catnap_result =
+        sched::runTrials(rr, catnap, 300.0_s, 3);
+    const AggregateResult culpeo_result =
+        sched::runTrials(rr, culpeo, 300.0_s, 3);
+
+    EXPECT_LT(catnap_result.rateOf("report"), 0.6)
+        << "CatNap should fail most RR responses";
+    EXPECT_GT(culpeo_result.rateOf("report"), 0.7)
+        << "Culpeo should capture most RR responses";
+    EXPECT_GT(culpeo_result.rateOf("report"),
+              catnap_result.rateOf("report") + 0.15);
+}
+
+} // namespace

@@ -1,0 +1,107 @@
+/** @file Unit tests for the Table III load-profile library. */
+
+#include <gtest/gtest.h>
+
+#include "load/library.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+using namespace culpeo::units::literals;
+
+TEST(Library, UniformMatchesTableIII)
+{
+    const auto p = load::uniform(50.0_mA, 10.0_ms);
+    EXPECT_EQ(p.segments().size(), 1u);
+    EXPECT_DOUBLE_EQ(p.peakCurrent().value(), 0.05);
+    EXPECT_NEAR(p.duration().value(), 0.01, 1e-12);
+}
+
+TEST(Library, PulseAddsComputeTail)
+{
+    const auto p = load::pulseWithCompute(25.0_mA, 10.0_ms);
+    EXPECT_EQ(p.segments().size(), 2u);
+    EXPECT_NEAR(p.duration().value(), 0.110, 1e-12);
+    EXPECT_DOUBLE_EQ(p.currentAt(Seconds(0.05)).value(),
+                     load::computeTailCurrent().value());
+}
+
+TEST(Library, Figure10SweepHasNinePoints)
+{
+    const auto sweep = load::figure10Sweep();
+    EXPECT_EQ(sweep.size(), 9u);
+    // Must include the extremes the figure labels.
+    bool has_5_100 = false;
+    bool has_50_1 = false;
+    for (const auto &pt : sweep) {
+        if (pt.i_load.value() == 0.005 && pt.t_pulse.value() == 0.1)
+            has_5_100 = true;
+        if (pt.i_load.value() == 0.05 && pt.t_pulse.value() == 0.001)
+            has_50_1 = true;
+    }
+    EXPECT_TRUE(has_5_100);
+    EXPECT_TRUE(has_50_1);
+}
+
+TEST(Library, Figure6SweepExcludesOneMsPoints)
+{
+    const auto sweep = load::figure6Sweep();
+    EXPECT_EQ(sweep.size(), 6u);
+    for (const auto &pt : sweep)
+        EXPECT_GE(pt.t_pulse.value(), 0.01);
+}
+
+TEST(Library, GestureMatchesPaperPeakAndWidth)
+{
+    const auto p = load::gestureSensor();
+    EXPECT_DOUBLE_EQ(p.peakCurrent().value(), 0.025);
+    EXPECT_NEAR(p.duration().value(), 3.5e-3, 1e-12);
+}
+
+TEST(Library, BleMatchesPaperPeakAndWidth)
+{
+    const auto p = load::bleRadio();
+    EXPECT_DOUBLE_EQ(p.peakCurrent().value(), 0.013);
+    EXPECT_NEAR(p.duration().value(), 17e-3, 1e-12);
+}
+
+TEST(Library, MnistMatchesPaperLoad)
+{
+    const auto p = load::mnistCompute();
+    EXPECT_DOUBLE_EQ(p.peakCurrent().value(), 0.005);
+    EXPECT_NEAR(p.duration().value(), 1.1, 1e-12);
+}
+
+TEST(Library, ImuReadFrontLoadsItsBurst)
+{
+    const auto p = load::imuRead();
+    // Burst first, tail after: peak in the first segment.
+    EXPECT_DOUBLE_EQ(p.segments().front().current.value(),
+                     p.peakCurrent().value());
+    EXPECT_GT(p.peakCurrent().value(),
+              p.segments().back().current.value() * 3);
+}
+
+TEST(Library, BleSendListenAppendsListenWindow)
+{
+    const auto p = load::bleSendListen(2.0_s);
+    EXPECT_NEAR(p.duration().value(), 17e-3 + 2.0, 1e-9);
+    // Listen current is low-power.
+    EXPECT_LT(p.segments().back().current.value(), 0.002);
+}
+
+TEST(Library, MicSampleCoversSampleWindow)
+{
+    const auto p = load::micSample();
+    // 256 samples at 12 kHz.
+    EXPECT_NEAR(p.duration().value(), 256.0 / 12000.0, 1e-9);
+}
+
+TEST(Library, BackgroundTasksAreLowPower)
+{
+    EXPECT_LT(load::photoSense().peakCurrent().value(), 0.005);
+    EXPECT_LT(load::fftCompute().peakCurrent().value(), 0.005);
+}
+
+} // namespace

@@ -1,0 +1,166 @@
+/** @file Unit tests for current profiles and sampled traces. */
+
+#include <gtest/gtest.h>
+
+#include "load/profile.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+using namespace culpeo::units::literals;
+using load::CurrentProfile;
+using load::SampledTrace;
+using load::Segment;
+
+CurrentProfile
+pulseTail()
+{
+    return CurrentProfile("pulse_tail", {{10.0_ms, 50.0_mA},
+                                         {100.0_ms, 1.5_mA}});
+}
+
+TEST(Profile, EmptyProfileBasics)
+{
+    const CurrentProfile p;
+    EXPECT_TRUE(p.empty());
+    EXPECT_DOUBLE_EQ(p.duration().value(), 0.0);
+    EXPECT_DOUBLE_EQ(p.currentAt(Seconds(0.0)).value(), 0.0);
+    EXPECT_DOUBLE_EQ(p.peakCurrent().value(), 0.0);
+    EXPECT_DOUBLE_EQ(p.meanCurrent().value(), 0.0);
+}
+
+TEST(Profile, DurationSumsSegments)
+{
+    EXPECT_NEAR(pulseTail().duration().value(), 0.110, 1e-12);
+}
+
+TEST(Profile, CurrentAtSelectsSegment)
+{
+    const CurrentProfile p = pulseTail();
+    EXPECT_DOUBLE_EQ(p.currentAt(Seconds(0.005)).value(), 0.05);
+    EXPECT_DOUBLE_EQ(p.currentAt(Seconds(0.05)).value(), 0.0015);
+    // Outside the profile: zero.
+    EXPECT_DOUBLE_EQ(p.currentAt(Seconds(-1.0)).value(), 0.0);
+    EXPECT_DOUBLE_EQ(p.currentAt(Seconds(0.2)).value(), 0.0);
+}
+
+TEST(Profile, BoundaryBelongsToLaterSegment)
+{
+    const CurrentProfile p = pulseTail();
+    EXPECT_DOUBLE_EQ(p.currentAt(Seconds(0.010)).value(), 0.0015);
+}
+
+TEST(Profile, ChargeAndEnergy)
+{
+    const CurrentProfile p = pulseTail();
+    const double q = 0.05 * 0.01 + 0.0015 * 0.1;
+    EXPECT_NEAR(p.charge().value(), q, 1e-12);
+    EXPECT_NEAR(p.energyAt(Volts(2.55)).value(), q * 2.55, 1e-12);
+}
+
+TEST(Profile, PeakAndMeanCurrent)
+{
+    const CurrentProfile p = pulseTail();
+    EXPECT_DOUBLE_EQ(p.peakCurrent().value(), 0.05);
+    EXPECT_NEAR(p.meanCurrent().value(), p.charge().value() / 0.110,
+                1e-12);
+}
+
+TEST(Profile, WidestPulseAboveThreshold)
+{
+    const CurrentProfile p = pulseTail();
+    EXPECT_NEAR(p.widestPulseAbove(10.0_mA).value(), 0.010, 1e-12);
+    // Low threshold: both segments qualify contiguously.
+    EXPECT_NEAR(p.widestPulseAbove(1.0_mA).value(), 0.110, 1e-12);
+    // Higher than the peak: nothing qualifies.
+    EXPECT_DOUBLE_EQ(p.widestPulseAbove(60.0_mA).value(), 0.0);
+}
+
+TEST(Profile, WidestPulseBridgesEqualSegments)
+{
+    const CurrentProfile p("split", {{5.0_ms, 20.0_mA},
+                                     {5.0_ms, 25.0_mA},
+                                     {5.0_ms, 1.0_mA},
+                                     {5.0_ms, 30.0_mA}});
+    EXPECT_NEAR(p.widestPulseAbove(10.0_mA).value(), 0.010, 1e-12);
+}
+
+TEST(Profile, ThenConcatenates)
+{
+    const CurrentProfile a("a", {{1.0_ms, 1.0_mA}});
+    const CurrentProfile b("b", {{2.0_ms, 2.0_mA}});
+    const CurrentProfile ab = a.then(b);
+    EXPECT_NEAR(ab.duration().value(), 3e-3, 1e-12);
+    EXPECT_DOUBLE_EQ(ab.currentAt(Seconds(2e-3)).value(), 0.002);
+    EXPECT_EQ(ab.name(), "a+b");
+}
+
+TEST(Profile, RepeatTiles)
+{
+    const CurrentProfile p("p", {{1.0_ms, 1.0_mA}});
+    const CurrentProfile p3 = p.repeat(3);
+    EXPECT_NEAR(p3.duration().value(), 3e-3, 1e-12);
+    EXPECT_EQ(p3.segments().size(), 3u);
+    EXPECT_THROW(p.repeat(0), culpeo::log::FatalError);
+}
+
+TEST(Profile, ScaledMultipliesCurrents)
+{
+    const CurrentProfile p = pulseTail().scaled(2.0);
+    EXPECT_DOUBLE_EQ(p.peakCurrent().value(), 0.1);
+    EXPECT_THROW(pulseTail().scaled(-1.0), culpeo::log::FatalError);
+}
+
+TEST(Profile, RenamedKeepsShape)
+{
+    const CurrentProfile p = pulseTail().renamed("other");
+    EXPECT_EQ(p.name(), "other");
+    EXPECT_EQ(p.segments().size(), 2u);
+}
+
+TEST(Profile, Validation)
+{
+    EXPECT_THROW(CurrentProfile("bad", {{Seconds(0.0), Amps(1.0)}}),
+                 culpeo::log::FatalError);
+    EXPECT_THROW(CurrentProfile("bad", {{Seconds(1.0), Amps(-1.0)}}),
+                 culpeo::log::FatalError);
+}
+
+TEST(SampledTrace, SamplesAtRate)
+{
+    const SampledTrace trace =
+        SampledTrace::fromProfile(pulseTail(), Hertz(1000.0));
+    EXPECT_EQ(trace.size(), 110u);
+    EXPECT_DOUBLE_EQ(trace[0].value(), 0.05);
+    EXPECT_DOUBLE_EQ(trace[50].value(), 0.0015);
+    EXPECT_NEAR(trace.duration().value(), 0.110, 1e-9);
+}
+
+TEST(SampledTrace, MidPeriodSamplingAvoidsEdges)
+{
+    // A 1 ms profile sampled at 1 kHz takes exactly one sample, taken at
+    // 0.5 ms (mid-period) rather than at the ambiguous edge.
+    const CurrentProfile p("edge", {{1.0_ms, 10.0_mA}});
+    const SampledTrace trace = SampledTrace::fromProfile(p, Hertz(1000.0));
+    ASSERT_EQ(trace.size(), 1u);
+    EXPECT_DOUBLE_EQ(trace[0].value(), 0.01);
+}
+
+TEST(SampledTrace, ChargePreservedAtHighRate)
+{
+    const SampledTrace trace =
+        SampledTrace::fromProfile(pulseTail(), Hertz(125e3));
+    double q = 0.0;
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        q += trace[i].value() * trace.samplePeriod().value();
+    EXPECT_NEAR(q, pulseTail().charge().value(), 1e-5);
+}
+
+TEST(SampledTrace, Validation)
+{
+    EXPECT_THROW(SampledTrace(Hertz(0.0), {}), culpeo::log::FatalError);
+}
+
+} // namespace

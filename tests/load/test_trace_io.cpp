@@ -1,0 +1,154 @@
+/** @file Unit tests for current-trace file I/O. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/vsafe_pg.hpp"
+#include "load/library.hpp"
+#include "load/trace_io.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+using namespace culpeo::units::literals;
+using load::SampledTrace;
+using load::loadTraceCsv;
+using load::profileFromTrace;
+using load::saveTraceCsv;
+
+class TraceIoTest : public ::testing::Test
+{
+  protected:
+    std::string path_;
+
+    void
+    SetUp() override
+    {
+        path_ = ::testing::TempDir() + "culpeo_trace_test.csv";
+    }
+
+    void
+    TearDown() override
+    {
+        std::remove(path_.c_str());
+    }
+
+    void
+    writeFile(const std::string &content) const
+    {
+        std::ofstream out(path_);
+        out << content;
+    }
+};
+
+TEST_F(TraceIoTest, RoundTripIsExact)
+{
+    const SampledTrace original = SampledTrace::fromProfile(
+        load::pulseWithCompute(25.0_mA, 10.0_ms), Hertz(125e3));
+    saveTraceCsv(original, path_);
+    const SampledTrace loaded = loadTraceCsv(path_);
+
+    ASSERT_EQ(loaded.size(), original.size());
+    EXPECT_DOUBLE_EQ(loaded.rate().value(), original.rate().value());
+    for (std::size_t i = 0; i < loaded.size(); ++i)
+        EXPECT_DOUBLE_EQ(loaded[i].value(), original[i].value());
+}
+
+TEST_F(TraceIoTest, LoadedTraceFeedsCulpeoPgIdentically)
+{
+    const auto model = core::modelFromConfig(sim::capybaraConfig());
+    const SampledTrace original = SampledTrace::fromProfile(
+        load::uniform(25.0_mA, 10.0_ms), Hertz(125e3));
+    saveTraceCsv(original, path_);
+    const double from_memory =
+        core::culpeoPg(original, model).vsafe.value();
+    const double from_disk =
+        core::culpeoPg(loadTraceCsv(path_), model).vsafe.value();
+    EXPECT_DOUBLE_EQ(from_memory, from_disk);
+}
+
+TEST_F(TraceIoTest, MissingFileIsFatal)
+{
+    EXPECT_THROW(loadTraceCsv("/nonexistent/trace.csv"),
+                 log::FatalError);
+}
+
+TEST_F(TraceIoTest, BadHeaderIsFatal)
+{
+    writeFile("rate,125000\n0.001\n");
+    EXPECT_THROW(loadTraceCsv(path_), log::FatalError);
+}
+
+TEST_F(TraceIoTest, NonPositiveRateIsFatal)
+{
+    writeFile("sample_rate_hz,0\n0.001\n");
+    EXPECT_THROW(loadTraceCsv(path_), log::FatalError);
+}
+
+TEST_F(TraceIoTest, MalformedSampleIsFatal)
+{
+    writeFile("sample_rate_hz,1000\n0.001\nbogus\n");
+    EXPECT_THROW(loadTraceCsv(path_), log::FatalError);
+}
+
+TEST_F(TraceIoTest, TrailingCharactersAreFatal)
+{
+    writeFile("sample_rate_hz,1000\n0.001 extra\n");
+    EXPECT_THROW(loadTraceCsv(path_), log::FatalError);
+}
+
+TEST_F(TraceIoTest, NegativeSampleIsFatal)
+{
+    writeFile("sample_rate_hz,1000\n-0.5\n");
+    EXPECT_THROW(loadTraceCsv(path_), log::FatalError);
+}
+
+TEST_F(TraceIoTest, EmptyLinesSkipped)
+{
+    writeFile("sample_rate_hz,1000\n0.001\n\n0.002\n");
+    const SampledTrace trace = loadTraceCsv(path_);
+    ASSERT_EQ(trace.size(), 2u);
+    EXPECT_DOUBLE_EQ(trace[1].value(), 0.002);
+}
+
+TEST(ProfileFromTrace, MergesEqualRuns)
+{
+    const SampledTrace trace(
+        Hertz(1000.0),
+        {Amps(0.01), Amps(0.01), Amps(0.01), Amps(0.002), Amps(0.002)});
+    const auto profile = profileFromTrace(trace, "reconstructed");
+    ASSERT_EQ(profile.segments().size(), 2u);
+    EXPECT_NEAR(profile.segments()[0].duration.value(), 3e-3, 1e-12);
+    EXPECT_DOUBLE_EQ(profile.segments()[0].current.value(), 0.01);
+    EXPECT_NEAR(profile.segments()[1].duration.value(), 2e-3, 1e-12);
+}
+
+TEST(ProfileFromTrace, ToleranceMergesNoisyRuns)
+{
+    const SampledTrace trace(
+        Hertz(1000.0),
+        {Amps(0.0100), Amps(0.0101), Amps(0.0099), Amps(0.03)});
+    const auto tight = profileFromTrace(trace, "t", Amps(1e-6));
+    const auto loose = profileFromTrace(trace, "t", Amps(5e-4));
+    EXPECT_EQ(tight.segments().size(), 4u);
+    EXPECT_EQ(loose.segments().size(), 2u);
+}
+
+TEST(ProfileFromTrace, PreservesChargeAndDuration)
+{
+    const SampledTrace trace = SampledTrace::fromProfile(
+        load::gestureSensor(), Hertz(10e3));
+    const auto profile = profileFromTrace(trace, "gesture_replay");
+    EXPECT_NEAR(profile.duration().value(), trace.duration().value(),
+                1e-9);
+    double q = 0.0;
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        q += trace[i].value() * trace.samplePeriod().value();
+    EXPECT_NEAR(profile.charge().value(), q, 1e-12);
+}
+
+} // namespace

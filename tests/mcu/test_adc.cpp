@@ -1,0 +1,96 @@
+/** @file Unit tests for the ADC models. */
+
+#include <gtest/gtest.h>
+
+#include "mcu/adc.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+using mcu::Adc;
+using mcu::AdcConfig;
+
+TEST(Adc, FactoryConfigsMatchPaper)
+{
+    const AdcConfig isr = mcu::msp430OnChipAdc();
+    EXPECT_EQ(isr.bits, 12u);
+    EXPECT_DOUBLE_EQ(isr.sample_rate.value(), 1000.0);
+    EXPECT_DOUBLE_EQ(isr.active_power.value(), 180e-6);
+
+    const AdcConfig uarch = mcu::dedicated8BitAdc();
+    EXPECT_EQ(uarch.bits, 8u);
+    EXPECT_DOUBLE_EQ(uarch.sample_rate.value(), 100e3);
+    EXPECT_DOUBLE_EQ(uarch.active_power.value(), 140e-9);
+}
+
+TEST(Adc, QuantizeAndBack)
+{
+    const Adc adc(mcu::dedicated8BitAdc());
+    EXPECT_EQ(adc.maxCode(), 255u);
+    // 2.56 V full scale, 8 bits: LSB = 10 mV.
+    EXPECT_NEAR(adc.lsb().value(), 0.01, 1e-12);
+    EXPECT_EQ(adc.quantize(Volts(1.60)), 160u);
+    EXPECT_NEAR(adc.toVolts(160).value(), 1.60, 1e-12);
+}
+
+TEST(Adc, QuantizationTruncatesDown)
+{
+    const Adc adc(mcu::dedicated8BitAdc());
+    // 1.609 V reads as code 160 -> 1.60 V: conservative for minima.
+    EXPECT_EQ(adc.quantize(Volts(1.609)), 160u);
+    EXPECT_NEAR(adc.read(Volts(1.609)).value(), 1.60, 1e-12);
+}
+
+TEST(Adc, ClampsOutOfRangeInputs)
+{
+    const Adc adc(mcu::dedicated8BitAdc());
+    EXPECT_EQ(adc.quantize(Volts(-0.5)), 0u);
+    EXPECT_EQ(adc.quantize(Volts(5.0)), adc.maxCode());
+}
+
+TEST(Adc, TwelveBitIsFinerThanEightBit)
+{
+    const Adc isr(mcu::msp430OnChipAdc());
+    const Adc uarch(mcu::dedicated8BitAdc());
+    EXPECT_LT(isr.lsb().value(), uarch.lsb().value());
+    // Round-trip error is bounded by one LSB.
+    const double v = 2.123456;
+    EXPECT_NEAR(isr.read(Volts(v)).value(), v, isr.lsb().value());
+    EXPECT_NEAR(uarch.read(Volts(v)).value(), v, uarch.lsb().value());
+}
+
+TEST(Adc, SupplyCurrentIsPowerOverVout)
+{
+    const Adc adc(mcu::msp430OnChipAdc());
+    EXPECT_NEAR(adc.supplyCurrent(Volts(2.5)).value(), 180e-6 / 2.5,
+                1e-12);
+    EXPECT_THROW(adc.supplyCurrent(Volts(0.0)), culpeo::log::FatalError);
+}
+
+TEST(Adc, SamplePeriodInvertsRate)
+{
+    const Adc adc(mcu::msp430OnChipAdc());
+    EXPECT_NEAR(adc.samplePeriod().value(), 1e-3, 1e-12);
+}
+
+TEST(Adc, ConfigValidation)
+{
+    AdcConfig bad = mcu::dedicated8BitAdc();
+    bad.bits = 0;
+    EXPECT_THROW(Adc{bad}, culpeo::log::FatalError);
+    bad = mcu::dedicated8BitAdc();
+    bad.vref = Volts(0.0);
+    EXPECT_THROW(Adc{bad}, culpeo::log::FatalError);
+}
+
+TEST(McuPower, AdcOverheadFractionsMatchPaper)
+{
+    // ISR sampling: ~4.2% of MCU power; uArch: ~0.003% (Section V-D).
+    const double mcu_power = mcu::msp430ActivePower().value();
+    EXPECT_NEAR(180e-6 / mcu_power, 0.042, 0.003);
+    EXPECT_NEAR(140e-9 / mcu_power, 0.00003, 0.00001);
+}
+
+} // namespace

@@ -1,0 +1,121 @@
+/** @file Unit tests for the Culpeo-uArch peripheral block (Table II). */
+
+#include <gtest/gtest.h>
+
+#include "mcu/uarch_block.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+using mcu::CaptureMode;
+using mcu::UArchBlock;
+
+TEST(UArch, StartsDisabled)
+{
+    UArchBlock block;
+    EXPECT_FALSE(block.enabled());
+    EXPECT_FALSE(block.sampling());
+    EXPECT_DOUBLE_EQ(block.supplyCurrent(Volts(2.55)).value(), 0.0);
+}
+
+TEST(UArch, PrepareSetsRegisterSentinels)
+{
+    UArchBlock block;
+    block.configure(true);
+    block.prepare(CaptureMode::Min);
+    EXPECT_EQ(block.read(), 0xFF);
+    block.prepare(CaptureMode::Max);
+    EXPECT_EQ(block.read(), 0x00);
+}
+
+TEST(UArch, CommandsRequireEnable)
+{
+    UArchBlock block;
+    EXPECT_THROW(block.prepare(CaptureMode::Min), culpeo::log::FatalError);
+    EXPECT_THROW(block.sample(CaptureMode::Min), culpeo::log::FatalError);
+}
+
+TEST(UArch, MinTrackingCapturesDip)
+{
+    UArchBlock block;
+    block.configure(true);
+    block.prepare(CaptureMode::Min);
+    block.sample(CaptureMode::Min);
+    // Feed a dip: 2.3 -> 1.8 -> 2.2 V, ticking longer than the sample
+    // period (10 us at 100 kHz).
+    block.tick(Seconds(100e-6), Volts(2.3));
+    block.tick(Seconds(100e-6), Volts(1.8));
+    block.tick(Seconds(100e-6), Volts(2.2));
+    EXPECT_NEAR(block.readVolts().value(), 1.8, 0.011);
+}
+
+TEST(UArch, MaxTrackingCapturesRebound)
+{
+    UArchBlock block;
+    block.configure(true);
+    block.prepare(CaptureMode::Max);
+    block.sample(CaptureMode::Max);
+    block.tick(Seconds(100e-6), Volts(1.9));
+    block.tick(Seconds(100e-6), Volts(2.15));
+    block.tick(Seconds(100e-6), Volts(2.05));
+    EXPECT_NEAR(block.readVolts().value(), 2.15, 0.011);
+}
+
+TEST(UArch, ComparatorOnlyWritesOnImprovement)
+{
+    UArchBlock block;
+    block.configure(true);
+    block.prepare(CaptureMode::Min);
+    block.sample(CaptureMode::Min);
+    block.tick(Seconds(20e-6), Volts(2.0));
+    const auto after_first = block.read();
+    block.tick(Seconds(20e-6), Volts(2.4)); // Higher: no write in Min.
+    EXPECT_EQ(block.read(), after_first);
+}
+
+TEST(UArch, SamplingRateGovernsCaptures)
+{
+    UArchBlock block;
+    block.configure(true);
+    block.prepare(CaptureMode::Min);
+    block.sample(CaptureMode::Min);
+    // A dip shorter than the 10 us sample period straddled between
+    // sample instants can be missed entirely.
+    block.tick(Seconds(4e-6), Volts(1.0));
+    EXPECT_EQ(block.read(), 0xFF); // No conversion happened yet.
+}
+
+TEST(UArch, DisableStopsSampling)
+{
+    UArchBlock block;
+    block.configure(true);
+    block.prepare(CaptureMode::Min);
+    block.sample(CaptureMode::Min);
+    block.configure(false);
+    block.tick(Seconds(1e-3), Volts(1.0));
+    EXPECT_FALSE(block.sampling());
+}
+
+TEST(UArch, ConvertNowQuantizes)
+{
+    UArchBlock block;
+    EXPECT_EQ(block.convertNow(Volts(1.60)), 160);
+    EXPECT_EQ(block.convertNow(Volts(2.559)), 255);
+}
+
+TEST(UArch, SupplyCurrentWhileEnabled)
+{
+    UArchBlock block;
+    block.configure(true);
+    EXPECT_NEAR(block.supplyCurrent(Volts(2.55)).value(), 140e-9 / 2.55,
+                1e-15);
+}
+
+TEST(UArch, Requires8BitAdc)
+{
+    EXPECT_THROW(UArchBlock{mcu::msp430OnChipAdc()}, culpeo::log::FatalError);
+}
+
+} // namespace

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Property-based tests of the output-booster operating-point solver,
+ * swept across load currents and buffer voltages: power balance,
+ * monotonicity, and the max-power-transfer collapse boundary.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/power_system.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+using sim::BoosterDraw;
+using sim::Capacitor;
+using sim::CapacitorConfig;
+using sim::OutputBooster;
+using sim::OutputBoosterConfig;
+
+struct OperatingPoint
+{
+    double voc;
+    double load_a;
+};
+
+std::string
+pointName(const ::testing::TestParamInfo<OperatingPoint> &info)
+{
+    return std::to_string(int(info.param.voc * 100)) + "cV_" +
+           std::to_string(int(info.param.load_a * 1e3)) + "mA";
+}
+
+class BoosterGrid : public ::testing::TestWithParam<OperatingPoint>
+{
+  protected:
+    OutputBooster booster_{OutputBoosterConfig{}};
+
+    Capacitor
+    capAt(double voc) const
+    {
+        Capacitor cap{sim::capybaraConfig().capacitor};
+        cap.setOpenCircuitVoltage(Volts(voc));
+        return cap;
+    }
+};
+
+TEST_P(BoosterGrid, PowerBalanceAtOperatingPoint)
+{
+    const OperatingPoint p = GetParam();
+    const Capacitor cap = capAt(p.voc);
+    const BoosterDraw draw = booster_.computeDraw(cap, Amps(p.load_a));
+    if (draw.collapsed)
+        GTEST_SKIP() << "infeasible point";
+    const double pout = booster_.vout().value() * p.load_a;
+    const double pin = (draw.input_current.value() - 55e-6) *
+                       draw.terminal_voltage.value();
+    EXPECT_NEAR(pin * draw.efficiency, pout, pout * 0.02);
+}
+
+TEST_P(BoosterGrid, TerminalConsistentWithThevenin)
+{
+    const OperatingPoint p = GetParam();
+    const Capacitor cap = capAt(p.voc);
+    const BoosterDraw draw = booster_.computeDraw(cap, Amps(p.load_a));
+    if (draw.collapsed)
+        GTEST_SKIP();
+    const double expected =
+        cap.theveninVoltage().value() -
+        draw.input_current.value() * cap.theveninResistance().value();
+    EXPECT_NEAR(draw.terminal_voltage.value(), expected, 1e-9);
+}
+
+TEST_P(BoosterGrid, MoreLoadMoreInputCurrent)
+{
+    const OperatingPoint p = GetParam();
+    const Capacitor cap = capAt(p.voc);
+    const BoosterDraw lo = booster_.computeDraw(cap, Amps(p.load_a));
+    const BoosterDraw hi =
+        booster_.computeDraw(cap, Amps(p.load_a * 1.2));
+    if (lo.collapsed || hi.collapsed)
+        GTEST_SKIP();
+    EXPECT_GT(hi.input_current.value(), lo.input_current.value());
+}
+
+TEST_P(BoosterGrid, HigherBufferVoltageLessCurrent)
+{
+    const OperatingPoint p = GetParam();
+    const BoosterDraw lo =
+        booster_.computeDraw(capAt(p.voc), Amps(p.load_a));
+    const BoosterDraw hi =
+        booster_.computeDraw(capAt(p.voc + 0.2), Amps(p.load_a));
+    if (lo.collapsed || hi.collapsed)
+        GTEST_SKIP();
+    EXPECT_LT(hi.input_current.value(), lo.input_current.value());
+}
+
+TEST_P(BoosterGrid, CollapseMatchesMaxPowerTransfer)
+{
+    // The solver must report collapse iff the demanded input power
+    // exceeds Voc^2 / (4 Rth) (within the efficiency iteration's slack).
+    const OperatingPoint p = GetParam();
+    const Capacitor cap = capAt(p.voc);
+    const BoosterDraw draw = booster_.computeDraw(cap, Amps(p.load_a));
+    const double rth = cap.theveninResistance().value();
+    const double max_power = p.voc * p.voc / (4.0 * rth);
+    const double pout = booster_.vout().value() * p.load_a;
+    // Use the reported efficiency for the demanded input power.
+    const double pin = pout / std::max(draw.efficiency, 0.3);
+    if (pin > max_power * 1.1) {
+        EXPECT_TRUE(draw.collapsed);
+    } else if (pin < max_power * 0.9 &&
+               draw.terminal_voltage.value() > 0.5) {
+        EXPECT_FALSE(draw.collapsed);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BoosterGrid,
+    ::testing::Values(OperatingPoint{2.5, 0.005}, OperatingPoint{2.5, 0.05},
+                      OperatingPoint{2.2, 0.01}, OperatingPoint{2.2, 0.08},
+                      OperatingPoint{1.9, 0.005}, OperatingPoint{1.9, 0.05},
+                      OperatingPoint{1.7, 0.02}, OperatingPoint{1.7, 0.1},
+                      OperatingPoint{1.2, 0.02}, OperatingPoint{1.0, 0.1}),
+    pointName);
+
+} // namespace

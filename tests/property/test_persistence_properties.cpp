@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Property-based tests of profile-table persistence: a TEST_P sweep
+ * flips a bit at many positions across the image and requires every
+ * corruption to be rejected — the torn-FRAM-write guarantee — plus
+ * round-trip invariance across table sizes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/persistence.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace culpeo;
+using culpeo::units::Volts;
+using core::ProfileTable;
+using core::RProfile;
+using core::RResult;
+
+ProfileTable
+tableWithEntries(unsigned profiles, unsigned results)
+{
+    ProfileTable table;
+    util::Rng rng(profiles * 31 + results);
+    for (unsigned i = 0; i < profiles; ++i) {
+        RProfile profile;
+        profile.vstart = Volts(rng.uniform(2.0, 2.56));
+        profile.vmin = Volts(rng.uniform(1.6, 2.0));
+        profile.vfinal = Volts(rng.uniform(2.0, 2.5));
+        table.storeProfile(i, i % 3, profile);
+    }
+    for (unsigned i = 0; i < results; ++i) {
+        RResult result;
+        result.vsafe = Volts(rng.uniform(1.7, 2.5));
+        result.vsafe_energy = Volts(rng.uniform(1.6, 2.0));
+        result.vdelta_safe = Volts(rng.uniform(0.0, 0.5));
+        result.vdelta_observed = Volts(rng.uniform(0.0, 0.4));
+        table.storeResult(i, i % 2, result);
+    }
+    return table;
+}
+
+class BitFlipSweep : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(BitFlipSweep, AnySingleBitFlipIsRejected)
+{
+    const auto image = core::saveTable(tableWithEntries(5, 4));
+    // Parameter selects a relative position within the image.
+    const std::size_t index =
+        std::size_t(GetParam() * double(image.size() - 1));
+    for (int bit = 0; bit < 8; ++bit) {
+        auto corrupted = image;
+        corrupted[index] ^= std::uint8_t(1u << bit);
+        EXPECT_FALSE(core::imageIsValid(corrupted))
+            << "byte " << index << " bit " << bit
+            << " corruption was accepted";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Positions, BitFlipSweep,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.4, 0.5,
+                                           0.6, 0.75, 0.9, 1.0));
+
+class SizeSweep
+    : public ::testing::TestWithParam<std::pair<unsigned, unsigned>>
+{};
+
+TEST_P(SizeSweep, RoundTripPreservesCounts)
+{
+    const auto [profiles, results] = GetParam();
+    const ProfileTable original = tableWithEntries(profiles, results);
+    const auto image = core::saveTable(original);
+    EXPECT_TRUE(core::imageIsValid(image));
+    const ProfileTable restored = core::loadTable(image);
+    EXPECT_EQ(restored.profileCount(), original.profileCount());
+    EXPECT_EQ(restored.resultCount(), original.resultCount());
+    // Spot-check one representative entry of each kind.
+    if (profiles > 0) {
+        const auto a = original.profile(0, 0);
+        const auto b = restored.profile(0, 0);
+        ASSERT_EQ(a.has_value(), b.has_value());
+        if (a.has_value()) {
+            EXPECT_DOUBLE_EQ(a->vmin.value(), b->vmin.value());
+        }
+    }
+    if (results > 0) {
+        const auto a = original.result(0, 0);
+        const auto b = restored.result(0, 0);
+        ASSERT_EQ(a.has_value(), b.has_value());
+        if (a.has_value()) {
+            EXPECT_DOUBLE_EQ(a->vsafe.value(), b->vsafe.value());
+        }
+    }
+}
+
+TEST_P(SizeSweep, TruncationAnywhereIsRejected)
+{
+    const auto [profiles, results] = GetParam();
+    const auto image = core::saveTable(tableWithEntries(profiles, results));
+    for (std::size_t keep : {image.size() - 1, image.size() / 2,
+                             std::size_t(5)}) {
+        auto truncated = image;
+        truncated.resize(keep);
+        EXPECT_FALSE(core::imageIsValid(truncated))
+            << "truncated to " << keep << " bytes was accepted";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, SizeSweep,
+    ::testing::Values(std::make_pair(0u, 0u), std::make_pair(1u, 0u),
+                      std::make_pair(0u, 1u), std::make_pair(3u, 2u),
+                      std::make_pair(16u, 16u),
+                      std::make_pair(100u, 50u)));
+
+} // namespace

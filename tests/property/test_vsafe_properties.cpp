@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Property-based tests of the Vsafe calculations, swept with TEST_P:
+ * monotonicity of Culpeo-PG in current, duration, and aging; safety and
+ * ordering invariants of Culpeo-R; and composition laws of Vsafe_multi.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/vsafe_multi.hpp"
+#include "core/vsafe_pg.hpp"
+#include "core/vsafe_r.hpp"
+#include "load/library.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+using namespace culpeo::units::literals;
+
+core::PowerSystemModel
+model()
+{
+    return core::modelFromConfig(sim::capybaraConfig());
+}
+
+// --- Culpeo-PG monotonicity over a current sweep ---
+
+class PgCurrentSweep : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(PgCurrentSweep, MoreCurrentNeedsMoreVoltage)
+{
+    const double ma = GetParam();
+    const auto m = model();
+    const double lo =
+        core::culpeoPg(load::uniform(Amps(ma * 1e-3), 10.0_ms), m)
+            .vsafe.value();
+    const double hi =
+        core::culpeoPg(load::uniform(Amps(ma * 1.5e-3), 10.0_ms), m)
+            .vsafe.value();
+    EXPECT_GT(hi, lo);
+}
+
+TEST_P(PgCurrentSweep, LongerPulseNeedsMoreVoltage)
+{
+    const double ma = GetParam();
+    const auto m = model();
+    const double lo =
+        core::culpeoPg(load::uniform(Amps(ma * 1e-3), 5.0_ms), m)
+            .vsafe.value();
+    const double hi =
+        core::culpeoPg(load::uniform(Amps(ma * 1e-3), 50.0_ms), m)
+            .vsafe.value();
+    EXPECT_GT(hi, lo);
+}
+
+TEST_P(PgCurrentSweep, AgedEsrNeedsMoreVoltage)
+{
+    const double ma = GetParam();
+    auto aged_cfg = sim::capybaraConfig();
+    aged_cfg.capacitor.esr_multiplier = 1.7;
+    const auto fresh = model();
+    const auto aged = core::modelFromConfig(aged_cfg);
+    const auto profile = load::uniform(Amps(ma * 1e-3), 10.0_ms);
+    EXPECT_GT(core::culpeoPg(profile, aged).vsafe.value(),
+              core::culpeoPg(profile, fresh).vsafe.value());
+}
+
+TEST_P(PgCurrentSweep, VsafeWithinOperatingWindowForFeasibleLoads)
+{
+    const double ma = GetParam();
+    const auto m = model();
+    const auto result =
+        core::culpeoPg(load::uniform(Amps(ma * 1e-3), 10.0_ms), m);
+    EXPECT_GT(result.vsafe.value(), m.voff.value());
+    EXPECT_LT(result.vsafe.value(), m.vhigh.value());
+    EXPECT_GT(result.vdelta.value(), 0.0);
+    EXPECT_GT(result.esr_used.value(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Currents, PgCurrentSweep,
+                         ::testing::Values(2.0, 5.0, 10.0, 20.0, 35.0,
+                                           50.0));
+
+// --- Culpeo-R ordering invariants over a drop sweep ---
+
+class RDropSweep : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(RDropSweep, VsafeComponentsOrdered)
+{
+    const double drop = GetParam();
+    core::RProfile profile;
+    profile.vstart = Volts(2.50);
+    profile.vmin = Volts(2.45 - drop);
+    profile.vfinal = Volts(2.45);
+    const core::RResult r = core::culpeoR(profile, model());
+    // The extrapolated drop exceeds the observed one (efficiency falls
+    // toward Voff), and Vsafe covers both terms.
+    EXPECT_GE(r.vdelta_safe.value(), r.vdelta_observed.value() - 1e-12);
+    EXPECT_GE(r.vsafe_energy.value(), 1.6 - 1e-12);
+    EXPECT_NEAR(r.vsafe.value(),
+                r.vsafe_energy.value() + r.vdelta_safe.value(), 1e-12);
+}
+
+TEST_P(RDropSweep, VsafeMonotoneInDrop)
+{
+    const double drop = GetParam();
+    const auto m = model();
+    auto vsafe_for = [&](double d) {
+        core::RProfile profile;
+        profile.vstart = Volts(2.50);
+        profile.vmin = Volts(2.45 - d);
+        profile.vfinal = Volts(2.45);
+        return core::culpeoR(profile, m).vsafe.value();
+    };
+    EXPECT_GT(vsafe_for(drop + 0.05), vsafe_for(drop));
+}
+
+INSTANTIATE_TEST_SUITE_P(Drops, RDropSweep,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.3, 0.4,
+                                           0.6));
+
+// --- Vsafe_multi composition laws over random-ish task sets ---
+
+class MultiLaw : public ::testing::TestWithParam<unsigned>
+{
+  protected:
+    std::vector<core::TaskRequirement>
+    taskSet(unsigned seed) const
+    {
+        std::vector<core::TaskRequirement> tasks;
+        // Deterministic pseudo-random small task set.
+        unsigned state = seed * 2654435761u + 17;
+        const unsigned count = 2 + seed % 4;
+        for (unsigned i = 0; i < count; ++i) {
+            state = state * 1664525u + 1013904223u;
+            const double e = double(state % 100) / 1000.0;      // 0..0.1
+            state = state * 1664525u + 1013904223u;
+            const double d = double(state % 300) / 1000.0;      // 0..0.3
+            core::TaskRequirement req;
+            req.name = "t" + std::to_string(i);
+            req.v_energy = Volts(e);
+            req.vdelta = Volts(d);
+            tasks.push_back(req);
+        }
+        return tasks;
+    }
+};
+
+TEST_P(MultiLaw, SequenceDominatesEveryMember)
+{
+    const auto tasks = taskSet(GetParam());
+    const auto multi = core::vsafeMulti(tasks, Volts(1.6));
+    for (const auto &task : tasks) {
+        const double single =
+            core::vsafeMulti({task}, Volts(1.6)).vsafe_multi.value();
+        // Running a task inside the sequence can only demand at least
+        // as much as running it... as the final task (drop fully paid).
+        EXPECT_GE(multi.vsafe_multi.value() + 1e-12,
+                  task.v_energy.value() + 1.6);
+        (void)single;
+    }
+}
+
+TEST_P(MultiLaw, AppendingATaskNeverLowersTheRequirement)
+{
+    auto tasks = taskSet(GetParam());
+    const double before =
+        core::vsafeMulti(tasks, Volts(1.6)).vsafe_multi.value();
+    core::TaskRequirement extra;
+    extra.name = "extra";
+    extra.v_energy = Volts(0.02);
+    extra.vdelta = Volts(0.05);
+    tasks.push_back(extra);
+    const double after =
+        core::vsafeMulti(tasks, Volts(1.6)).vsafe_multi.value();
+    EXPECT_GE(after, before - 1e-12);
+}
+
+TEST_P(MultiLaw, ExactNeverAboveAdditive)
+{
+    const auto tasks = taskSet(GetParam());
+    EXPECT_LE(core::vsafeMultiExact(tasks, Volts(1.6))
+                  .vsafe_multi.value(),
+              core::vsafeMulti(tasks, Volts(1.6)).vsafe_multi.value() +
+                  1e-9);
+}
+
+TEST_P(MultiLaw, PenaltiesAreNonNegativeAndBounded)
+{
+    const auto tasks = taskSet(GetParam());
+    const auto multi = core::vsafeMulti(tasks, Volts(1.6));
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        EXPECT_GE(multi.penalties[i].value(), 0.0);
+        EXPECT_LE(multi.penalties[i].value(),
+                  tasks[i].vdelta.value() + 1e-12);
+    }
+}
+
+TEST_P(MultiLaw, SummationFormHolds)
+{
+    // Vsafe_multi = sum V(E_i) + sum penalty_i + Voff (Section IV-A).
+    const auto tasks = taskSet(GetParam());
+    const auto multi = core::vsafeMulti(tasks, Volts(1.6));
+    double sum = 1.6;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        sum += tasks[i].v_energy.value();
+        sum += multi.penalties[i].value();
+    }
+    EXPECT_NEAR(multi.vsafe_multi.value(), sum, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sets, MultiLaw,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u,
+                                           8u));
+
+} // namespace

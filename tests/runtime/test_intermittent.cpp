@@ -1,0 +1,180 @@
+/** @file Unit tests for the intermittent atomic-task runtime. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "harness/profiling.hpp"
+#include "load/library.hpp"
+#include "runtime/intermittent.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+using namespace culpeo::units::literals;
+using runtime::AtomicTask;
+using runtime::DispatchPolicy;
+using runtime::ProgramResult;
+using runtime::RuntimeOptions;
+using runtime::runProgram;
+
+std::vector<AtomicTask>
+senseComputeSend()
+{
+    return {
+        {1, "sense", load::imuRead()},
+        {2, "compute", load::encrypt()},
+        {3, "send", load::uniform(50.0_mA, 20.0_ms).renamed("send")},
+    };
+}
+
+sim::PowerSystem
+chargedSystem(const sim::ConstantHarvester *harvester)
+{
+    sim::PowerSystem system(sim::capybaraConfig());
+    system.setHarvester(harvester);
+    system.setBufferVoltage(Volts(2.56));
+    system.forceOutputEnabled(true);
+    return system;
+}
+
+TEST(IntermittentRuntime, FinishesEasyProgramWithoutFailures)
+{
+    const sim::ConstantHarvester harvester(Watts(3e-3));
+    sim::PowerSystem system = chargedSystem(&harvester);
+    RuntimeOptions options;
+    const ProgramResult result =
+        runProgram(system, senseComputeSend(), options);
+    EXPECT_TRUE(result.finished);
+    EXPECT_EQ(result.totalFailures(), 0u);
+    for (const auto &stats : result.per_task) {
+        EXPECT_EQ(stats.executions, 1u);
+        EXPECT_EQ(stats.completions, 1u);
+    }
+}
+
+TEST(IntermittentRuntime, OpportunisticReexecutesAfterBrownout)
+{
+    // Start mid-charge: the opportunistic runtime dispatches the radio
+    // at a voltage that cannot survive its ESR drop, browns out, fully
+    // recharges, and re-executes the task from its start (Figure 1a).
+    const sim::ConstantHarvester harvester(Watts(10e-3));
+    sim::PowerSystem system = chargedSystem(&harvester);
+    system.setBufferVoltage(Volts(1.75));
+
+    RuntimeOptions options;
+    options.policy = DispatchPolicy::Opportunistic;
+    const std::vector<AtomicTask> program = {
+        {1, "radio", load::uniform(50.0_mA, 20.0_ms).renamed("radio")}};
+    const ProgramResult result = runProgram(system, program, options);
+
+    EXPECT_TRUE(result.finished);
+    EXPECT_GE(result.per_task[0].failures, 1u);
+    EXPECT_EQ(result.per_task[0].completions, 1u);
+    EXPECT_GE(result.power_failures, 1u);
+}
+
+TEST(IntermittentRuntime, VsafeGatedAvoidsTheBrownout)
+{
+    const sim::ConstantHarvester harvester(Watts(10e-3));
+
+    // Profile the radio task once so the gate has a Vsafe.
+    core::Culpeo culpeo(core::modelFromConfig(sim::capybaraConfig()),
+                        std::make_unique<core::UArchProfiler>());
+    const auto radio = load::uniform(50.0_mA, 20.0_ms).renamed("radio");
+    harness::profileTaskFrom(sim::capybaraConfig(), Volts(2.56), culpeo,
+                             1, radio);
+
+    sim::PowerSystem system = chargedSystem(&harvester);
+    system.setBufferVoltage(Volts(1.75));
+
+    RuntimeOptions options;
+    options.policy = DispatchPolicy::VsafeGated;
+    options.culpeo = &culpeo;
+    const ProgramResult result =
+        runProgram(system, {{1, "radio", radio}}, options);
+
+    EXPECT_TRUE(result.finished);
+    EXPECT_EQ(result.totalFailures(), 0u);
+    EXPECT_EQ(result.power_failures, 0u);
+}
+
+TEST(IntermittentRuntime, DetectsNonterminatingTask)
+{
+    // A sustained 120 mA load cannot complete even from Vhigh on this
+    // bank: the runtime must flag non-termination instead of looping.
+    const sim::ConstantHarvester harvester(Watts(20e-3));
+    sim::PowerSystem system = chargedSystem(&harvester);
+
+    RuntimeOptions options;
+    options.max_attempts_from_full = 3;
+    const std::vector<AtomicTask> program = {
+        {1, "hog", load::uniform(120.0_mA, 200.0_ms).renamed("hog")}};
+    const ProgramResult result = runProgram(system, program, options);
+
+    EXPECT_FALSE(result.finished);
+    EXPECT_TRUE(result.nonterminating);
+    EXPECT_EQ(result.stuck_task, "hog");
+    EXPECT_GE(result.per_task[0].failures, 3u);
+}
+
+TEST(IntermittentRuntime, TimesOutWhenStarved)
+{
+    // No harvest and an empty buffer: nothing can ever run.
+    sim::PowerSystem system(sim::capybaraConfig());
+    system.setBufferVoltage(Volts(1.0));
+
+    RuntimeOptions options;
+    options.timeout = Seconds(2.0);
+    const ProgramResult result =
+        runProgram(system, senseComputeSend(), options);
+    EXPECT_FALSE(result.finished);
+    EXPECT_FALSE(result.nonterminating);
+}
+
+TEST(IntermittentRuntime, GatedRequiresCulpeo)
+{
+    sim::PowerSystem system(sim::capybaraConfig());
+    RuntimeOptions options;
+    options.policy = DispatchPolicy::VsafeGated;
+    EXPECT_THROW(runProgram(system, senseComputeSend(), options),
+                 log::FatalError);
+}
+
+TEST(IntermittentRuntime, GatedWastesLessEnergyThanOpportunistic)
+{
+    // The paper's motivation: failed attempts cost energy. Compare the
+    // total failed executions across a program of mixed tasks starting
+    // from mid-charge.
+    const sim::ConstantHarvester harvester(Watts(10e-3));
+
+    core::Culpeo culpeo(core::modelFromConfig(sim::capybaraConfig()),
+                        std::make_unique<core::UArchProfiler>());
+    auto program = senseComputeSend();
+    for (const auto &task : program) {
+        harness::profileTaskFrom(sim::capybaraConfig(), Volts(2.56),
+                                 culpeo, task.id, task.profile);
+    }
+
+    sim::PowerSystem opportunistic = chargedSystem(&harvester);
+    opportunistic.setBufferVoltage(Volts(1.8));
+    RuntimeOptions opp;
+    const ProgramResult opp_result =
+        runProgram(opportunistic, program, opp);
+
+    sim::PowerSystem gated = chargedSystem(&harvester);
+    gated.setBufferVoltage(Volts(1.8));
+    RuntimeOptions gate;
+    gate.policy = DispatchPolicy::VsafeGated;
+    gate.culpeo = &culpeo;
+    const ProgramResult gated_result = runProgram(gated, program, gate);
+
+    EXPECT_TRUE(opp_result.finished);
+    EXPECT_TRUE(gated_result.finished);
+    EXPECT_LE(gated_result.totalFailures(), opp_result.totalFailures());
+    EXPECT_EQ(gated_result.totalFailures(), 0u);
+}
+
+} // namespace

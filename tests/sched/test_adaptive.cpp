@@ -1,0 +1,93 @@
+/** @file Unit tests for harvest-adaptive re-profiling support. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "harness/profiling.hpp"
+#include "load/library.hpp"
+#include "sched/adaptive.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+using namespace culpeo::units::literals;
+using sched::ChargeRateMonitor;
+
+TEST(ChargeRateMonitor, TriggersWithoutBaseline)
+{
+    const ChargeRateMonitor monitor(0.25);
+    EXPECT_TRUE(monitor.observe(Watts(1e-3)));
+}
+
+TEST(ChargeRateMonitor, SmallDriftDoesNotTrigger)
+{
+    ChargeRateMonitor monitor(0.25);
+    monitor.baseline(Watts(2e-3));
+    EXPECT_FALSE(monitor.observe(Watts(2.2e-3)));
+    EXPECT_FALSE(monitor.observe(Watts(1.8e-3)));
+}
+
+TEST(ChargeRateMonitor, LargeDriftTriggersBothDirections)
+{
+    ChargeRateMonitor monitor(0.25);
+    monitor.baseline(Watts(2e-3));
+    EXPECT_TRUE(monitor.observe(Watts(2.6e-3)));
+    EXPECT_TRUE(monitor.observe(Watts(1.4e-3)));
+}
+
+TEST(ChargeRateMonitor, RebaselineResets)
+{
+    ChargeRateMonitor monitor(0.25);
+    monitor.baseline(Watts(2e-3));
+    ASSERT_TRUE(monitor.observe(Watts(4e-3)));
+    monitor.baseline(Watts(4e-3));
+    EXPECT_FALSE(monitor.observe(Watts(4.2e-3)));
+}
+
+TEST(ChargeRateMonitor, ZeroBaselineEdge)
+{
+    ChargeRateMonitor monitor(0.25);
+    monitor.baseline(Watts(0.0));
+    EXPECT_FALSE(monitor.observe(Watts(0.0)));
+    EXPECT_TRUE(monitor.observe(Watts(1e-3)));
+}
+
+TEST(ChargeRateMonitor, Validation)
+{
+    EXPECT_THROW(ChargeRateMonitor{0.0}, log::FatalError);
+    ChargeRateMonitor monitor(0.25);
+    EXPECT_THROW(monitor.baseline(Watts(-1.0)), log::FatalError);
+}
+
+TEST(AdaptiveReprofiling, HarvestLevelChangesProfiledVsafe)
+{
+    // Culpeo-R profiles the task *in deployment*, with the harvester
+    // charging during execution: stronger harvest offsets part of the
+    // discharge, lowering the observed energy cost. This is exactly why
+    // Section V-B couples Culpeo-R with charge-rate re-profiling.
+    const auto task = load::uniform(25.0_mA, 100.0_ms);
+    auto vsafe_at = [&](double harvest_w) {
+        const sim::ConstantHarvester harvester{Watts(harvest_w)};
+        sim::PowerSystem system(sim::capybaraConfig());
+        system.setHarvester(&harvester);
+        system.setBufferVoltage(Volts(2.56));
+        system.forceOutputEnabled(true);
+        core::Culpeo culpeo(core::modelFromConfig(sim::capybaraConfig()),
+                            std::make_unique<core::UArchProfiler>());
+        harness::profileTask(system, culpeo, 1, task);
+        return culpeo.getVsafe(1).value();
+    };
+    const double weak = vsafe_at(1e-3);
+    const double strong = vsafe_at(20e-3);
+    EXPECT_LT(strong, weak);
+
+    // The monitor flags the change so the scheduler re-profiles.
+    ChargeRateMonitor monitor(0.25);
+    monitor.baseline(Watts(1e-3));
+    EXPECT_TRUE(monitor.observe(Watts(20e-3)));
+}
+
+} // namespace

@@ -1,0 +1,172 @@
+/** @file Unit tests for the event-driven scheduler engine. */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hpp"
+
+#include "apps/apps.hpp"
+#include "load/library.hpp"
+#include "sched/engine.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+using namespace culpeo::units::literals;
+using sched::AggregateResult;
+using sched::AppSpec;
+using sched::TrialResult;
+
+/** A trivial policy with fixed thresholds, for engine-only tests. */
+class FixedPolicy : public sched::Policy
+{
+  public:
+    Volts task_start{1.9};
+    Volts chain_start{1.9};
+    Volts background{2.3};
+
+    const char *name() const override { return "fixed"; }
+    void initialize(const AppSpec &) override {}
+    Volts taskStart(const sched::SchedTask &) const override
+    {
+        return task_start;
+    }
+    Volts chainStart(const sched::EventSpec &) const override
+    {
+        return chain_start;
+    }
+    Volts backgroundThreshold(const AppSpec &) const override
+    {
+        return background;
+    }
+};
+
+AppSpec
+simpleApp()
+{
+    AppSpec app;
+    app.name = "simple";
+    app.power = sim::capybaraConfig();
+    app.harvest = 5.0_mW;
+
+    sched::EventSpec ping;
+    ping.name = "ping";
+    ping.arrival = sched::Arrival::Periodic;
+    ping.interval = 2.0_s;
+    ping.deadline = 2.0_s;
+    ping.chain = {{1, "blip", load::uniform(5.0_mA, 10.0_ms)}};
+    app.events.push_back(ping);
+    return app;
+}
+
+TEST(Engine, CapturesAllEasyEvents)
+{
+    FixedPolicy policy;
+    const TrialResult result =
+        sched::runTrial(simpleApp(), policy, 20.0_s, 1);
+    const auto &stats = result.eventStats("ping");
+    EXPECT_EQ(stats.arrived, 9u); // t = 2,4,...,18.
+    EXPECT_EQ(stats.captured, stats.arrived);
+    EXPECT_EQ(result.power_failures, 0u);
+}
+
+TEST(Engine, UnreachableChainStartLosesEverything)
+{
+    FixedPolicy policy;
+    policy.chain_start = Volts(3.0); // Above Vhigh: never satisfiable.
+    const TrialResult result =
+        sched::runTrial(simpleApp(), policy, 10.0_s, 1);
+    const auto &stats = result.eventStats("ping");
+    EXPECT_GT(stats.arrived, 0u);
+    EXPECT_EQ(stats.captured, 0u);
+    EXPECT_EQ(stats.lost, stats.arrived);
+}
+
+TEST(Engine, UnsafeTaskStartCausesPowerFailures)
+{
+    AppSpec app = simpleApp();
+    app.events[0].chain = {{1, "hog", load::uniform(50.0_mA, 100.0_ms)}};
+    // Run the heavy task from barely above Voff: guaranteed brown-out.
+    FixedPolicy policy;
+    policy.task_start = Volts(1.7);
+    policy.chain_start = Volts(1.7);
+    // Drain the buffer toward the threshold with background work first.
+    app.background = sched::SchedTask{2, "drain",
+                                      load::uniform(10.0_mA, 50.0_ms)};
+    app.background_period = 0.06_s;
+    policy.background = Volts(1.71);
+    const TrialResult result = sched::runTrial(app, policy, 30.0_s, 1);
+    EXPECT_GT(result.power_failures, 0u);
+    EXPECT_GT(result.eventStats("ping").lost, 0u);
+}
+
+TEST(Engine, BackgroundRunsOnlyAboveThreshold)
+{
+    AppSpec app = simpleApp();
+    app.background = sched::SchedTask{2, "bg",
+                                      load::uniform(5.0_mA, 20.0_ms)};
+    app.background_period = 0.1_s;
+
+    FixedPolicy generous;
+    generous.background = Volts(1.7);
+    const TrialResult with_bg =
+        sched::runTrial(app, generous, 10.0_s, 1);
+    EXPECT_GT(with_bg.background_runs, 0u);
+
+    FixedPolicy stingy;
+    stingy.background = Volts(3.0); // Above Vhigh: never runs.
+    const TrialResult without_bg =
+        sched::runTrial(app, stingy, 10.0_s, 1);
+    EXPECT_EQ(without_bg.background_runs, 0u);
+}
+
+TEST(Engine, PoissonArrivalsVaryBySeed)
+{
+    AppSpec app = simpleApp();
+    app.events[0].arrival = sched::Arrival::Poisson;
+    app.events[0].interval = 1.0_s;
+    FixedPolicy policy;
+    const TrialResult a = sched::runTrial(app, policy, 30.0_s, 1);
+    const TrialResult b = sched::runTrial(app, policy, 30.0_s, 2);
+    // Different seeds, (almost surely) different arrival counts.
+    EXPECT_NE(a.eventStats("ping").arrived, b.eventStats("ping").arrived);
+}
+
+TEST(Engine, SameSeedIsDeterministic)
+{
+    AppSpec app = simpleApp();
+    app.events[0].arrival = sched::Arrival::Poisson;
+    FixedPolicy policy;
+    const TrialResult a = sched::runTrial(app, policy, 30.0_s, 5);
+    const TrialResult b = sched::runTrial(app, policy, 30.0_s, 5);
+    EXPECT_EQ(a.eventStats("ping").arrived, b.eventStats("ping").arrived);
+    EXPECT_EQ(a.eventStats("ping").captured,
+              b.eventStats("ping").captured);
+}
+
+TEST(Engine, AggregateAveragesTrials)
+{
+    FixedPolicy policy;
+    const AggregateResult agg =
+        sched::runTrials(simpleApp(), policy, 10.0_s, 3);
+    EXPECT_EQ(agg.event_names.size(), 1u);
+    EXPECT_NEAR(agg.rateOf("ping"), 1.0, 1e-12);
+}
+
+TEST(Engine, OverallCaptureRateWeighsAllEvents)
+{
+    TrialResult result;
+    result.per_event.push_back({"a", 10, 5, 5});
+    result.per_event.push_back({"b", 10, 10, 0});
+    EXPECT_NEAR(result.overallCaptureRate(), 0.75, 1e-12);
+}
+
+TEST(Engine, UnknownEventNameIsFatal)
+{
+    TrialResult result;
+    EXPECT_THROW(result.eventStats("nope"), culpeo::log::FatalError);
+    AggregateResult agg;
+    EXPECT_THROW(agg.rateOf("nope"), culpeo::log::FatalError);
+}
+
+} // namespace

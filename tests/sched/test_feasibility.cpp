@@ -1,0 +1,129 @@
+/** @file Unit tests for the analytic feasibility tests (Theorem 1). */
+
+#include <gtest/gtest.h>
+
+#include "sched/feasibility.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+using sched::FeasibilityInput;
+using sched::FeasibilityVerdict;
+using sched::PeriodicTaskSpec;
+using sched::catnapFeasibility;
+using sched::theorem1Feasibility;
+
+/** The Figure 5 scenario: sense every 3 ticks, radio every 6.5 ticks. */
+FeasibilityInput
+figure5()
+{
+    FeasibilityInput input;
+    PeriodicTaskSpec sense;
+    sense.name = "sense";
+    sense.period = Seconds(3.0);
+    sense.duration = Seconds(0.05);
+    sense.v_energy = Volts(0.10);
+    sense.vdelta = Volts(0.03);
+
+    PeriodicTaskSpec radio;
+    radio.name = "radio";
+    radio.period = Seconds(6.5);
+    radio.duration = Seconds(0.02);
+    radio.v_energy = Volts(0.05);
+    radio.vdelta = Volts(0.45); // The high-current ESR drop.
+
+    input.tasks = {sense, radio};
+    // Weak harvesting: the buffer declines across the schedule, as in
+    // the figure's discharge segments.
+    input.charge_volts_per_sec = 0.005;
+    return input;
+}
+
+TEST(Feasibility, CatnapAcceptsFigure5Schedule)
+{
+    const FeasibilityVerdict verdict = catnapFeasibility(figure5());
+    EXPECT_TRUE(verdict.feasible);
+}
+
+TEST(Feasibility, Theorem1RejectsFigure5Schedule)
+{
+    const FeasibilityVerdict verdict = theorem1Feasibility(figure5());
+    EXPECT_FALSE(verdict.feasible);
+    EXPECT_EQ(verdict.limiting_task, "radio");
+    EXPECT_LT(verdict.worst_margin.value(), 0.0);
+}
+
+TEST(Feasibility, Theorem1AcceptsWithFasterCharging)
+{
+    FeasibilityInput input = figure5();
+    // With a high enough recharge slope the buffer recovers to the
+    // radio's Vsafe between dispatches.
+    input.charge_volts_per_sec = 0.2;
+    EXPECT_TRUE(theorem1Feasibility(input).feasible);
+}
+
+TEST(Feasibility, Theorem1AcceptsZeroDropTaskSets)
+{
+    FeasibilityInput input = figure5();
+    for (auto &task : input.tasks)
+        task.vdelta = Volts(0.0);
+    // With no ESR drops both tests must agree.
+    EXPECT_EQ(theorem1Feasibility(input).feasible,
+              catnapFeasibility(input).feasible);
+}
+
+TEST(Feasibility, Theorem1NeverMoreOptimisticThanCatnap)
+{
+    // Property: Theorem 1's requirement dominates CatNap's, so its
+    // worst margin can never exceed CatNap's.
+    for (double delta : {0.0, 0.1, 0.3, 0.5}) {
+        FeasibilityInput input = figure5();
+        input.tasks[1].vdelta = Volts(delta);
+        const auto catnap = catnapFeasibility(input);
+        const auto theorem = theorem1Feasibility(input);
+        EXPECT_LE(theorem.worst_margin.value(),
+                  catnap.worst_margin.value() + 1e-12);
+        if (!catnap.feasible) {
+            EXPECT_FALSE(theorem.feasible);
+        }
+    }
+}
+
+TEST(Feasibility, EnergyOverloadRejectedByBoth)
+{
+    FeasibilityInput input = figure5();
+    // A task consuming more per period than charging restores.
+    input.tasks[0].v_energy = Volts(0.5);
+    input.charge_volts_per_sec = 0.01;
+    EXPECT_FALSE(catnapFeasibility(input).feasible);
+    EXPECT_FALSE(theorem1Feasibility(input).feasible);
+}
+
+TEST(Feasibility, ViolationTimeIsWithinHorizon)
+{
+    const FeasibilityVerdict verdict = theorem1Feasibility(figure5());
+    ASSERT_FALSE(verdict.feasible);
+    EXPECT_GT(verdict.violation_time.value(), 0.0);
+    EXPECT_LE(verdict.violation_time.value(), 4.0 * 6.5);
+}
+
+TEST(Feasibility, HorizonOverrideRespected)
+{
+    FeasibilityInput input = figure5();
+    input.horizon = Seconds(5.0); // Before the first radio release.
+    const FeasibilityVerdict verdict = theorem1Feasibility(input);
+    EXPECT_TRUE(verdict.feasible);
+}
+
+TEST(Feasibility, Validation)
+{
+    FeasibilityInput empty;
+    EXPECT_THROW(catnapFeasibility(empty), log::FatalError);
+    FeasibilityInput bad = figure5();
+    bad.charge_volts_per_sec = -1.0;
+    EXPECT_THROW(theorem1Feasibility(bad), log::FatalError);
+}
+
+} // namespace

@@ -1,0 +1,155 @@
+/** @file Unit tests for the CatNap and Culpeo scheduling policies. */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hpp"
+
+#include "apps/apps.hpp"
+#include "sched/engine.hpp"
+#include "sched/policy.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+using sched::CatnapPolicy;
+using sched::CulpeoPolicy;
+
+class PolicyTest : public ::testing::Test
+{
+  protected:
+    static sched::AppSpec app_;
+    static CatnapPolicy catnap_;
+    static CulpeoPolicy culpeo_;
+    static bool initialized_;
+
+    static void
+    SetUpTestSuite()
+    {
+        if (!initialized_) {
+            app_ = apps::responsiveReporting();
+            catnap_.initialize(app_);
+            culpeo_.initialize(app_);
+            initialized_ = true;
+        }
+    }
+};
+
+sched::AppSpec PolicyTest::app_;
+CatnapPolicy PolicyTest::catnap_;
+CulpeoPolicy PolicyTest::culpeo_;
+bool PolicyTest::initialized_ = false;
+
+TEST_F(PolicyTest, CatnapCostsArePositive)
+{
+    for (const auto &task : app_.events[0].chain)
+        EXPECT_GT(catnap_.costOf(task.id).value(), 0.0);
+}
+
+TEST_F(PolicyTest, CatnapChainSumsTaskCosts)
+{
+    const auto &event = app_.events[0];
+    double sum = app_.power.monitor.voff.value();
+    for (const auto &task : event.chain)
+        sum += catnap_.costOf(task.id).value();
+    EXPECT_NEAR(catnap_.chainStart(event).value(),
+                std::min(sum, app_.power.monitor.vhigh.value()), 1e-9);
+}
+
+TEST_F(PolicyTest, CulpeoTaskStartAboveVoff)
+{
+    for (const auto &task : app_.events[0].chain) {
+        const double v = culpeo_.taskStart(task).value();
+        EXPECT_GT(v, app_.power.monitor.voff.value());
+        EXPECT_LE(v, app_.power.monitor.vhigh.value());
+    }
+}
+
+TEST_F(PolicyTest, CulpeoDemandsMoreThanCatnapForBurstyTasks)
+{
+    // The IMU task front-loads a 20 mA burst whose drop rebounds behind
+    // the compute tail; CatNap's end measurement misses it.
+    const auto &imu = app_.events[0].chain[0];
+    EXPECT_GT(culpeo_.taskStart(imu).value(),
+              catnap_.taskStart(imu).value() + 0.03);
+}
+
+TEST_F(PolicyTest, CulpeoChainAtLeastMaxTask)
+{
+    const auto &event = app_.events[0];
+    double max_task = 0.0;
+    for (const auto &task : event.chain)
+        max_task = std::max(max_task, culpeo_.taskStart(task).value());
+    EXPECT_GE(culpeo_.chainStart(event).value(), max_task - 1e-9);
+}
+
+TEST_F(PolicyTest, BackgroundThresholdReservesForChain)
+{
+    // Both policies hold background work above their own chain start.
+    EXPECT_GE(catnap_.backgroundThreshold(app_).value(),
+              catnap_.chainStart(app_.events[0]).value());
+    EXPECT_GE(culpeo_.backgroundThreshold(app_).value(),
+              culpeo_.chainStart(app_.events[0]).value());
+}
+
+TEST_F(PolicyTest, CulpeoBackgroundThresholdHigherThanCatnap)
+{
+    // The Section VII-C mechanism: CatNap lets background work discharge
+    // the buffer further than is actually safe.
+    EXPECT_GT(culpeo_.backgroundThreshold(app_).value(),
+              catnap_.backgroundThreshold(app_).value());
+}
+
+TEST_F(PolicyTest, PolicyNames)
+{
+    EXPECT_STREQ(catnap_.name(), "catnap");
+    EXPECT_STREQ(culpeo_.name(), "culpeo");
+    EXPECT_STREQ(CulpeoPolicy(true).name(), "culpeo-uarch");
+}
+
+TEST(CulpeoPolicyStandalone, UninitializedAccessIsFatal)
+{
+    CulpeoPolicy policy;
+    EXPECT_THROW(policy.culpeo(), culpeo::log::FatalError);
+}
+
+TEST(CulpeoPolicyStandalone, NegativeMarginIsFatal)
+{
+    EXPECT_THROW(CulpeoPolicy(false, Volts(-0.01)),
+                 culpeo::log::FatalError);
+}
+
+TEST(CulpeoPolicyStandalone, DispatchMarginShiftsThresholds)
+{
+    const sched::AppSpec app = apps::periodicSensing();
+    CulpeoPolicy tight(false, Volts(0.0));
+    CulpeoPolicy padded(false, Volts(0.04));
+    tight.initialize(app);
+    padded.initialize(app);
+    const double delta = padded.chainStart(app.events[0]).value() -
+                         tight.chainStart(app.events[0]).value();
+    // Identical profiling (deterministic), so the gap is the margin --
+    // unless clamped at Vhigh.
+    if (padded.chainStart(app.events[0]).value() < 2.56 - 1e-9) {
+        EXPECT_NEAR(delta, 0.04, 1e-6);
+    }
+    EXPECT_GE(padded.backgroundThreshold(app).value(),
+              tight.backgroundThreshold(app).value());
+}
+
+TEST(CulpeoPolicyStandalone, UArchVariantProducesSaneThresholds)
+{
+    const sched::AppSpec app = apps::periodicSensing();
+    CulpeoPolicy policy(true);
+    policy.initialize(app);
+    const double chain = policy.chainStart(app.events[0]).value();
+    EXPECT_GT(chain, app.power.monitor.voff.value());
+    EXPECT_LE(chain, app.power.monitor.vhigh.value());
+    // And it schedules successfully end-to-end.
+    const sched::TrialResult result =
+        sched::runTrial(app, policy, units::Seconds(30.0), 3);
+    EXPECT_EQ(result.power_failures, 0u);
+    EXPECT_GT(result.eventStats("imu").captureRate(), 0.9);
+}
+
+} // namespace

@@ -1,0 +1,108 @@
+/** @file Unit tests for the reconfigurable energy-storage array. */
+
+#include <gtest/gtest.h>
+
+#include "sim/bank_array.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+using sim::BankArray;
+using sim::BankArrayConfig;
+
+TEST(BankArray, CapybaraArraySumsToFullBank)
+{
+    const BankArray array(sim::capybaraBankArray());
+    const auto all = array.capacitorFor(3);
+    EXPECT_NEAR(all.capacitance.value(), 45e-3, 1e-12);
+    // Full array matches the monolithic Capybara bank up to the switch
+    // resistance.
+    const auto mono = sim::capybaraConfig().capacitor;
+    EXPECT_NEAR(all.bulk_resistance.value(),
+                mono.bulk_resistance.value(), 1e-9);
+    EXPECT_NEAR(all.surface_resistance.value(),
+                mono.surface_resistance.value(), 1e-9);
+    EXPECT_NEAR(all.series_esr.value(),
+                mono.series_esr.value() + 0.15 / 3.0, 1e-9);
+}
+
+TEST(BankArray, MoreBanksMeanLowerEsr)
+{
+    const BankArray array(sim::capybaraBankArray());
+    const double one = array.capacitorFor(1).sustainedEsr().value();
+    const double two = array.capacitorFor(2).sustainedEsr().value();
+    const double three = array.capacitorFor(3).sustainedEsr().value();
+    EXPECT_GT(one, two);
+    EXPECT_GT(two, three);
+}
+
+TEST(BankArray, LeakageScalesWithActiveBanks)
+{
+    const BankArray array(sim::capybaraBankArray());
+    EXPECT_NEAR(array.capacitorFor(2).leakage.value(), 80e-9, 1e-15);
+}
+
+TEST(BankArray, PowerSystemForSwapsOnlyTheCapacitor)
+{
+    const BankArray array(sim::capybaraBankArray());
+    const auto base = sim::capybaraConfig();
+    const auto small = array.powerSystemFor(1, base);
+    EXPECT_NEAR(small.capacitor.capacitance.value(), 15e-3, 1e-12);
+    EXPECT_DOUBLE_EQ(small.monitor.vhigh.value(),
+                     base.monitor.vhigh.value());
+    EXPECT_DOUBLE_EQ(small.output.vout.value(), base.output.vout.value());
+}
+
+TEST(BankArray, RechargeEstimateScalesWithCapacitance)
+{
+    const BankArray array(sim::capybaraBankArray());
+    const auto base = sim::capybaraConfig();
+    const double one =
+        array.rechargeEstimate(1, Watts(2e-3), base).value();
+    const double three =
+        array.rechargeEstimate(3, Watts(2e-3), base).value();
+    EXPECT_NEAR(three, 3.0 * one, 1e-9);
+    // Sanity: 15 mF from 1.6 to 2.56 V at 1.6 mW effective is ~18.7 s.
+    EXPECT_NEAR(one, 0.5 * 15e-3 * (2.56 * 2.56 - 1.6 * 1.6) /
+                         (2e-3 * 0.8),
+                0.5);
+}
+
+TEST(BankArray, SmallConfigFailsTaskThatBigConfigRuns)
+{
+    // The Capybara premise: high-current tasks need more banks; small
+    // configurations recharge faster but cannot source the radio.
+    const BankArray array(sim::capybaraBankArray());
+    const auto base = sim::capybaraConfig();
+
+    auto min_terminal = [&](unsigned active) {
+        sim::PowerSystem system(array.powerSystemFor(active, base));
+        system.setBufferVoltage(Volts(2.2));
+        system.forceOutputEnabled(true);
+        double vmin = 10.0;
+        for (int i = 0; i < 400; ++i) {
+            const auto step = system.step(Seconds(1e-4), Amps(0.04));
+            vmin = std::min(vmin, step.terminal.value());
+        }
+        return vmin;
+    };
+    EXPECT_LT(min_terminal(1), 1.6);
+    EXPECT_GT(min_terminal(3), 1.6);
+}
+
+TEST(BankArray, Validation)
+{
+    BankArrayConfig cfg = sim::capybaraBankArray();
+    const BankArray array(cfg);
+    EXPECT_THROW(array.capacitorFor(0), log::FatalError);
+    EXPECT_THROW(array.capacitorFor(4), log::FatalError);
+    EXPECT_THROW(array.rechargeEstimate(1, Watts(0.0),
+                                        sim::capybaraConfig()),
+                 log::FatalError);
+    cfg.total_banks = 0;
+    EXPECT_THROW(BankArray{cfg}, log::FatalError);
+}
+
+} // namespace

@@ -1,0 +1,198 @@
+/** @file Unit tests for the output/input booster models. */
+
+#include <gtest/gtest.h>
+
+#include "sim/booster.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+using sim::BoosterDraw;
+using sim::Capacitor;
+using sim::CapacitorConfig;
+using sim::Efficiency;
+using sim::InputBooster;
+using sim::InputBoosterConfig;
+using sim::OutputBooster;
+using sim::OutputBoosterConfig;
+
+Capacitor
+chargedCap(double volts = 2.5)
+{
+    Capacitor cap = Capacitor(CapacitorConfig{});
+    cap.setOpenCircuitVoltage(Volts(volts));
+    return cap;
+}
+
+TEST(Efficiency, LinearLine)
+{
+    Efficiency eta;
+    eta.slope = 0.05;
+    eta.intercept = 0.7;
+    eta.curvature = 0.0;
+    EXPECT_NEAR(eta.at(Volts(2.0)), 0.8, 1e-12);
+}
+
+TEST(Efficiency, ClampsToBounds)
+{
+    Efficiency eta;
+    eta.slope = 1.0;
+    eta.intercept = 0.0;
+    EXPECT_DOUBLE_EQ(eta.at(Volts(10.0)), eta.max_eta);
+    EXPECT_DOUBLE_EQ(eta.at(Volts(0.0)), eta.min_eta);
+}
+
+TEST(Efficiency, CurvatureLowersEfficiencyAwayFromReference)
+{
+    Efficiency eta;
+    eta.slope = 0.05;
+    eta.intercept = 0.7;
+    eta.curvature = 0.02;
+    eta.v_ref = 2.56;
+    EXPECT_LT(eta.at(Volts(1.6)), 0.05 * 1.6 + 0.7);
+    EXPECT_NEAR(eta.at(Volts(2.56)), 0.05 * 2.56 + 0.7, 1e-9);
+}
+
+TEST(Efficiency, CurrentDroop)
+{
+    Efficiency eta;
+    eta.current_coeff = 0.5;
+    EXPECT_LT(eta.at(Volts(2.0), Amps(0.05)), eta.at(Volts(2.0)));
+}
+
+TEST(Efficiency, LinearApproxStripsNonlinearities)
+{
+    Efficiency eta;
+    eta.curvature = 0.02;
+    eta.current_coeff = 0.5;
+    const Efficiency linear = eta.linearApprox();
+    EXPECT_EQ(linear.curvature, 0.0);
+    EXPECT_EQ(linear.current_coeff, 0.0);
+    EXPECT_EQ(linear.slope, eta.slope);
+    EXPECT_EQ(linear.intercept, eta.intercept);
+}
+
+TEST(OutputBooster, ZeroLoadDrawsOnlyQuiescent)
+{
+    OutputBoosterConfig cfg;
+    cfg.quiescent = Amps(55e-6);
+    const OutputBooster booster(cfg);
+    const Capacitor cap = chargedCap();
+    const BoosterDraw draw = booster.computeDraw(cap, Amps(0.0));
+    EXPECT_FALSE(draw.collapsed);
+    EXPECT_NEAR(draw.input_current.value(), 55e-6, 1e-9);
+}
+
+TEST(OutputBooster, InputPowerCoversOutputPowerOverEfficiency)
+{
+    const OutputBooster booster{OutputBoosterConfig{}};
+    const Capacitor cap = chargedCap();
+    const Amps load(0.02);
+    const BoosterDraw draw = booster.computeDraw(cap, load);
+    ASSERT_FALSE(draw.collapsed);
+    const double pout = booster.vout().value() * load.value();
+    const double pin = (draw.input_current.value() - 55e-6) *
+                       draw.terminal_voltage.value();
+    EXPECT_NEAR(pin, pout / draw.efficiency, pout * 0.05);
+}
+
+TEST(OutputBooster, InputCurrentExceedsLoadWhenBoosting)
+{
+    // Boosting 2.0 V up to 2.55 V at ~85% efficiency needs more input
+    // current than output current.
+    const OutputBooster booster{OutputBoosterConfig{}};
+    Capacitor cap = chargedCap(2.0);
+    const BoosterDraw draw = booster.computeDraw(cap, Amps(0.05));
+    ASSERT_FALSE(draw.collapsed);
+    EXPECT_GT(draw.input_current.value(), 0.05);
+}
+
+TEST(OutputBooster, LowerBufferVoltageDrawsMoreCurrent)
+{
+    const OutputBooster booster{OutputBoosterConfig{}};
+    const BoosterDraw high = booster.computeDraw(chargedCap(2.5),
+                                                 Amps(0.05));
+    const BoosterDraw low = booster.computeDraw(chargedCap(1.8),
+                                                Amps(0.05));
+    ASSERT_FALSE(high.collapsed);
+    ASSERT_FALSE(low.collapsed);
+    EXPECT_GT(low.input_current.value(), high.input_current.value());
+}
+
+TEST(OutputBooster, CollapsesWhenPowerExceedsMaxTransfer)
+{
+    // Max power through Rth at Voc is Voc^2 / (4 Rth); demand more.
+    const OutputBooster booster{OutputBoosterConfig{}};
+    const Capacitor cap = chargedCap(0.9);
+    const BoosterDraw draw = booster.computeDraw(cap, Amps(0.2));
+    EXPECT_TRUE(draw.collapsed);
+}
+
+TEST(OutputBooster, CollapsesOnEmptyBuffer)
+{
+    const OutputBooster booster{OutputBoosterConfig{}};
+    Capacitor cap = Capacitor(CapacitorConfig{});
+    cap.setOpenCircuitVoltage(Volts(0.0));
+    EXPECT_TRUE(booster.computeDraw(cap, Amps(0.01)).collapsed);
+}
+
+TEST(OutputBooster, DropoutMarksCollapse)
+{
+    OutputBoosterConfig cfg;
+    cfg.dropout = Volts(2.3);
+    const OutputBooster booster(cfg);
+    // Terminal under load lands below 2.3 V from a 2.4 V buffer.
+    const BoosterDraw draw = booster.computeDraw(chargedCap(2.4),
+                                                 Amps(0.05));
+    EXPECT_TRUE(draw.collapsed);
+}
+
+TEST(OutputBooster, ConfigValidation)
+{
+    OutputBoosterConfig cfg;
+    cfg.vout = Volts(0.0);
+    EXPECT_THROW(OutputBooster{cfg}, culpeo::log::FatalError);
+}
+
+TEST(InputBooster, DeliversEfficiencyScaledPower)
+{
+    InputBoosterConfig cfg;
+    cfg.efficiency = 0.8;
+    const InputBooster booster(cfg);
+    const Amps i = booster.chargeCurrent(Watts(10e-3), Volts(2.0));
+    EXPECT_NEAR(i.value(), 0.8 * 10e-3 / 2.0, 1e-12);
+}
+
+TEST(InputBooster, StopsAtVhigh)
+{
+    const InputBooster booster{InputBoosterConfig{}};
+    EXPECT_EQ(booster.chargeCurrent(Watts(10e-3), Volts(2.56)).value(),
+              0.0);
+    EXPECT_EQ(booster.chargeCurrent(Watts(10e-3), Volts(3.0)).value(), 0.0);
+}
+
+TEST(InputBooster, ZeroHarvestZeroCurrent)
+{
+    const InputBooster booster{InputBoosterConfig{}};
+    EXPECT_EQ(booster.chargeCurrent(Watts(0.0), Volts(1.0)).value(), 0.0);
+}
+
+TEST(InputBooster, CurrentClampNearEmptyBuffer)
+{
+    InputBoosterConfig cfg;
+    cfg.max_charge_current = Amps(0.2);
+    const InputBooster booster(cfg);
+    const Amps i = booster.chargeCurrent(Watts(1.0), Volts(0.01));
+    EXPECT_DOUBLE_EQ(i.value(), 0.2);
+}
+
+TEST(InputBooster, ConfigValidation)
+{
+    InputBoosterConfig cfg;
+    cfg.efficiency = 1.5;
+    EXPECT_THROW(InputBooster{cfg}, culpeo::log::FatalError);
+}
+
+} // namespace

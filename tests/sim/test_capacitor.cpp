@@ -1,0 +1,251 @@
+/** @file Unit tests for the two-branch supercapacitor model. */
+
+#include <gtest/gtest.h>
+
+#include "sim/capacitor.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+using sim::Capacitor;
+using sim::CapacitorConfig;
+using sim::EsrCurve;
+
+CapacitorConfig
+capybaraBank()
+{
+    CapacitorConfig cfg;
+    cfg.capacitance = Farads(45e-3);
+    cfg.series_esr = Ohms(1.5);
+    cfg.surface_fraction = 0.15;
+    cfg.bulk_resistance = Ohms(9.0);
+    cfg.surface_resistance = Ohms(1.2);
+    cfg.leakage = Amps(120e-9);
+    return cfg;
+}
+
+TEST(EsrCurve, FlatCurveReturnsSameValueEverywhere)
+{
+    const EsrCurve curve = EsrCurve::flat(Ohms(8.0));
+    EXPECT_DOUBLE_EQ(curve.at(Hertz(0.01)).value(), 8.0);
+    EXPECT_DOUBLE_EQ(curve.at(Hertz(1e5)).value(), 8.0);
+    EXPECT_DOUBLE_EQ(curve.dcEsr().value(), 8.0);
+}
+
+TEST(EsrCurve, InterpolatesLogLog)
+{
+    const EsrCurve curve({{Hertz(1.0), Ohms(10.0)},
+                          {Hertz(100.0), Ohms(1.0)}});
+    // Geometric midpoint of the frequency range maps to the geometric
+    // midpoint of the resistance range under log-log interpolation.
+    EXPECT_NEAR(curve.at(Hertz(10.0)).value(), std::sqrt(10.0), 1e-9);
+}
+
+TEST(EsrCurve, ClampsOutsideRange)
+{
+    const EsrCurve curve({{Hertz(1.0), Ohms(10.0)},
+                          {Hertz(100.0), Ohms(1.0)}});
+    EXPECT_DOUBLE_EQ(curve.at(Hertz(0.1)).value(), 10.0);
+    EXPECT_DOUBLE_EQ(curve.at(Hertz(1e6)).value(), 1.0);
+}
+
+TEST(EsrCurve, PulseWidthMapsToHalfPeriod)
+{
+    const EsrCurve curve({{Hertz(1.0), Ohms(10.0)},
+                          {Hertz(100.0), Ohms(1.0)}});
+    // Width w maps to f = 1/(2w); w = 50 ms -> 10 Hz.
+    EXPECT_NEAR(curve.forPulseWidth(Seconds(0.05)).value(),
+                curve.at(Hertz(10.0)).value(), 1e-12);
+}
+
+TEST(EsrCurve, RejectsBadInputs)
+{
+    EXPECT_THROW(EsrCurve({}), culpeo::log::FatalError);
+    EXPECT_THROW(EsrCurve({{Hertz(0.0), Ohms(1.0)}}), culpeo::log::FatalError);
+    EXPECT_THROW(EsrCurve({{Hertz(1.0), Ohms(-1.0)}}), culpeo::log::FatalError);
+    EXPECT_THROW(EsrCurve({{Hertz(1.0), Ohms(1.0)},
+                           {Hertz(1.0), Ohms(2.0)}}),
+                 culpeo::log::FatalError);
+}
+
+TEST(CapacitorConfig, BranchSplitSumsToTotal)
+{
+    const CapacitorConfig cfg = capybaraBank();
+    EXPECT_NEAR(cfg.bulkCapacitance().value() +
+                    cfg.surfaceCapacitance().value(),
+                0.045, 1e-12);
+}
+
+TEST(CapacitorConfig, InstantaneousBelowSustainedEsr)
+{
+    const CapacitorConfig cfg = capybaraBank();
+    EXPECT_LT(cfg.instantaneousEsr().value(), cfg.sustainedEsr().value());
+    // Anchors: ~2.6 ohm instantaneous, ~8 ohm sustained.
+    EXPECT_NEAR(cfg.instantaneousEsr().value(), 2.56, 0.05);
+    EXPECT_NEAR(cfg.sustainedEsr().value(), 8.03, 0.05);
+}
+
+TEST(CapacitorConfig, ApparentEsrGrowsWithPulseWidth)
+{
+    const CapacitorConfig cfg = capybaraBank();
+    const double r1 = cfg.apparentEsrForWidth(Seconds(1e-3)).value();
+    const double r10 = cfg.apparentEsrForWidth(Seconds(10e-3)).value();
+    const double r100 = cfg.apparentEsrForWidth(Seconds(100e-3)).value();
+    EXPECT_LT(r1, r10);
+    EXPECT_LT(r10, r100);
+    EXPECT_GT(r1, cfg.instantaneousEsr().value() - 1e-9);
+    EXPECT_LT(r100, cfg.sustainedEsr().value());
+}
+
+TEST(CapacitorConfig, ProfiledCurveMatchesAnalyticEsr)
+{
+    const CapacitorConfig cfg = capybaraBank();
+    const EsrCurve curve = cfg.profiledEsrCurve();
+    for (double w : {1e-3, 10e-3, 100e-3}) {
+        EXPECT_NEAR(curve.forPulseWidth(Seconds(w)).value(),
+                    cfg.apparentEsrForWidth(Seconds(w)).value(),
+                    0.25);
+    }
+}
+
+TEST(CapacitorConfig, AgingScalesEsrAndCapacitance)
+{
+    CapacitorConfig cfg = capybaraBank();
+    cfg.esr_multiplier = 2.0;
+    cfg.capacitance_fraction = 0.8;
+    EXPECT_NEAR(cfg.sustainedEsr().value(), 2.0 * 8.03, 0.2);
+    const Capacitor cap(cfg);
+    EXPECT_NEAR(cap.capacitance().value(), 0.045 * 0.8, 1e-12);
+}
+
+TEST(Capacitor, SetVoltageEqualizesBranches)
+{
+    Capacitor cap(capybaraBank());
+    cap.setOpenCircuitVoltage(Volts(2.5));
+    EXPECT_DOUBLE_EQ(cap.bulkVoltage().value(), 2.5);
+    EXPECT_DOUBLE_EQ(cap.surfaceVoltage().value(), 2.5);
+    EXPECT_DOUBLE_EQ(cap.openCircuitVoltage().value(), 2.5);
+    EXPECT_DOUBLE_EQ(cap.terminalVoltage(Amps(0.0)).value(), 2.5);
+}
+
+TEST(Capacitor, TerminalDropsUnderLoadByTheveninResistance)
+{
+    Capacitor cap(capybaraBank());
+    cap.setOpenCircuitVoltage(Volts(2.5));
+    const double rth = cap.theveninResistance().value();
+    EXPECT_NEAR(cap.terminalVoltage(Amps(0.05)).value(),
+                2.5 - 0.05 * rth, 1e-12);
+}
+
+TEST(Capacitor, ChargeConservationUnderDischarge)
+{
+    Capacitor cap(capybaraBank());
+    cap.setOpenCircuitVoltage(Volts(2.5));
+    const double dt = 50e-6;
+    const double i = 0.02;
+    double elapsed = 0.0;
+    while (elapsed < 0.5) {
+        cap.step(Seconds(dt), Amps(i));
+        elapsed += dt;
+    }
+    // Delivered charge i*t lowers the charge-weighted OCV by i*t/C
+    // (leakage adds a negligible extra).
+    const double expected = 2.5 - i * 0.5 / 0.045;
+    EXPECT_NEAR(cap.openCircuitVoltage().value(), expected, 2e-3);
+}
+
+TEST(Capacitor, SustainedLoadSagsDeeperThanInstantaneous)
+{
+    Capacitor cap(capybaraBank());
+    cap.setOpenCircuitVoltage(Volts(2.5));
+    const Amps load(0.05);
+    const double v_first = cap.terminalVoltage(load).value();
+    double elapsed = 0.0;
+    while (elapsed < 0.2) {
+        cap.step(Seconds(1e-4), load);
+        elapsed += 1e-4;
+    }
+    const double v_later = cap.terminalVoltage(load).value();
+    // The drop relative to the OCV must have grown as the surface
+    // branch depleted (apparent ESR rose toward the sustained value).
+    const double drop_first = 2.5 - v_first;
+    const double drop_later = cap.openCircuitVoltage().value() - v_later;
+    EXPECT_GT(drop_later, drop_first * 1.5);
+}
+
+TEST(Capacitor, ReboundIsPartialInstantlyAndFullOverTime)
+{
+    Capacitor cap(capybaraBank());
+    cap.setOpenCircuitVoltage(Volts(2.5));
+    // Sustained load long enough to split the branches.
+    for (int i = 0; i < 2000; ++i)
+        cap.step(Seconds(1e-4), Amps(0.05));
+    const double v_loaded = cap.terminalVoltage(Amps(0.05)).value();
+    const double v_unloaded_now = cap.terminalVoltage(Amps(0.0)).value();
+    // Removing the load rebounds instantly by roughly I * Rth...
+    EXPECT_GT(v_unloaded_now, v_loaded + 0.05);
+    // ...but the redistribution recovery takes tens of ms more.
+    for (int i = 0; i < 5000; ++i)
+        cap.step(Seconds(1e-4), Amps(0.0));
+    const double v_settled = cap.terminalVoltage(Amps(0.0)).value();
+    EXPECT_GT(v_settled, v_unloaded_now + 0.02);
+}
+
+TEST(Capacitor, LeakageDrainsIdleBuffer)
+{
+    CapacitorConfig cfg = capybaraBank();
+    cfg.leakage = Amps(1e-6);
+    Capacitor cap(cfg);
+    cap.setOpenCircuitVoltage(Volts(2.0));
+    for (int i = 0; i < 1000; ++i)
+        cap.step(Seconds(1.0), Amps(0.0));
+    // 1 uA for 1000 s from 45 mF: dV = 22.2 mV.
+    EXPECT_NEAR(cap.openCircuitVoltage().value(), 2.0 - 1e-3 / 0.045,
+                1e-3);
+}
+
+TEST(Capacitor, VoltageNeverGoesNegative)
+{
+    Capacitor cap(capybaraBank());
+    cap.setOpenCircuitVoltage(Volts(0.05));
+    for (int i = 0; i < 100000; ++i)
+        cap.step(Seconds(1e-3), Amps(0.1));
+    EXPECT_GE(cap.bulkVoltage().value(), 0.0);
+    EXPECT_GE(cap.surfaceVoltage().value(), 0.0);
+}
+
+TEST(Capacitor, NegativeCurrentCharges)
+{
+    Capacitor cap(capybaraBank());
+    cap.setOpenCircuitVoltage(Volts(1.0));
+    for (int i = 0; i < 1000; ++i)
+        cap.step(Seconds(1e-3), Amps(-0.01));
+    EXPECT_GT(cap.openCircuitVoltage().value(), 1.2);
+}
+
+TEST(Capacitor, StoredEnergyMatchesBranchSum)
+{
+    Capacitor cap(capybaraBank());
+    cap.setOpenCircuitVoltage(Volts(2.0));
+    EXPECT_NEAR(cap.storedEnergy().value(), 0.5 * 0.045 * 4.0, 1e-9);
+}
+
+TEST(Capacitor, ConfigValidation)
+{
+    CapacitorConfig cfg = capybaraBank();
+    cfg.surface_fraction = 0.0;
+    EXPECT_THROW(Capacitor{cfg}, culpeo::log::FatalError);
+    cfg = capybaraBank();
+    cfg.esr_multiplier = 0.5;
+    EXPECT_THROW(Capacitor{cfg}, culpeo::log::FatalError);
+    cfg = capybaraBank();
+    cfg.capacitance = Farads(0.0);
+    EXPECT_THROW(Capacitor{cfg}, culpeo::log::FatalError);
+    cfg = capybaraBank();
+    EXPECT_THROW(Capacitor(cfg).step(Seconds(0.0), Amps(0.0)),
+                 culpeo::log::FatalError);
+}
+
+} // namespace

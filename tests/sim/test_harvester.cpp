@@ -1,0 +1,65 @@
+/** @file Unit tests for the harvested-power sources. */
+
+#include <gtest/gtest.h>
+
+#include "sim/harvester.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace culpeo;
+using culpeo::units::Seconds;
+using culpeo::units::Watts;
+using sim::ConstantHarvester;
+using sim::NoHarvester;
+using sim::TraceHarvester;
+
+TEST(ConstantHarvester, SamePowerAtAllTimes)
+{
+    const ConstantHarvester h(Watts(5e-3));
+    EXPECT_DOUBLE_EQ(h.powerAt(Seconds(0.0)).value(), 5e-3);
+    EXPECT_DOUBLE_EQ(h.powerAt(Seconds(1e6)).value(), 5e-3);
+}
+
+TEST(ConstantHarvester, RejectsNegativePower)
+{
+    EXPECT_THROW(ConstantHarvester{Watts(-1.0)}, culpeo::log::FatalError);
+}
+
+TEST(NoHarvester, AlwaysZero)
+{
+    const NoHarvester h;
+    EXPECT_DOUBLE_EQ(h.powerAt(Seconds(42.0)).value(), 0.0);
+}
+
+TEST(TraceHarvester, InterpolatesLinearly)
+{
+    const TraceHarvester h({{Seconds(0.0), Watts(0.0)},
+                            {Seconds(10.0), Watts(10e-3)}});
+    EXPECT_NEAR(h.powerAt(Seconds(5.0)).value(), 5e-3, 1e-12);
+    EXPECT_NEAR(h.powerAt(Seconds(2.5)).value(), 2.5e-3, 1e-12);
+}
+
+TEST(TraceHarvester, ClampsOutsideSpan)
+{
+    const TraceHarvester h({{Seconds(1.0), Watts(1e-3)},
+                            {Seconds(2.0), Watts(3e-3)}});
+    EXPECT_DOUBLE_EQ(h.powerAt(Seconds(0.0)).value(), 1e-3);
+    EXPECT_DOUBLE_EQ(h.powerAt(Seconds(10.0)).value(), 3e-3);
+}
+
+TEST(TraceHarvester, SinglePointActsConstant)
+{
+    const TraceHarvester h({{Seconds(0.0), Watts(7e-3)}});
+    EXPECT_DOUBLE_EQ(h.powerAt(Seconds(100.0)).value(), 7e-3);
+}
+
+TEST(TraceHarvester, RejectsEmptyAndUnsorted)
+{
+    EXPECT_THROW(TraceHarvester{{}}, culpeo::log::FatalError);
+    EXPECT_THROW(TraceHarvester({{Seconds(2.0), Watts(1.0)},
+                                 {Seconds(1.0), Watts(1.0)}}),
+                 culpeo::log::FatalError);
+}
+
+} // namespace

@@ -1,0 +1,95 @@
+/** @file Unit tests for the hysteretic voltage monitor. */
+
+#include <gtest/gtest.h>
+
+#include "sim/monitor.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace culpeo;
+using culpeo::units::Volts;
+using sim::MonitorConfig;
+using sim::VoltageMonitor;
+
+MonitorConfig
+standard()
+{
+    MonitorConfig cfg;
+    cfg.vhigh = Volts(2.56);
+    cfg.voff = Volts(1.60);
+    return cfg;
+}
+
+TEST(Monitor, StartsDisabled)
+{
+    VoltageMonitor monitor(standard());
+    EXPECT_FALSE(monitor.enabled());
+}
+
+TEST(Monitor, EnablesOnlyAtVhigh)
+{
+    VoltageMonitor monitor(standard());
+    EXPECT_FALSE(monitor.update(Volts(2.0)));
+    EXPECT_FALSE(monitor.update(Volts(2.55)));
+    EXPECT_TRUE(monitor.update(Volts(2.56)));
+}
+
+TEST(Monitor, StaysEnabledThroughMidRange)
+{
+    VoltageMonitor monitor(standard());
+    monitor.update(Volts(2.56));
+    EXPECT_TRUE(monitor.update(Volts(2.0)));
+    EXPECT_TRUE(monitor.update(Volts(1.60))); // Exactly Voff stays on.
+}
+
+TEST(Monitor, DisablesBelowVoff)
+{
+    VoltageMonitor monitor(standard());
+    monitor.update(Volts(2.56));
+    EXPECT_FALSE(monitor.update(Volts(1.59)));
+    EXPECT_EQ(monitor.powerFailures(), 1u);
+}
+
+TEST(Monitor, RequiresFullRechargeAfterFailure)
+{
+    VoltageMonitor monitor(standard());
+    monitor.update(Volts(2.56));
+    monitor.update(Volts(1.0)); // Power failure.
+    // Mid-range is not enough to re-enable (hysteresis).
+    EXPECT_FALSE(monitor.update(Volts(2.0)));
+    EXPECT_FALSE(monitor.update(Volts(2.4)));
+    EXPECT_TRUE(monitor.update(Volts(2.56)));
+}
+
+TEST(Monitor, CountsRepeatedFailures)
+{
+    VoltageMonitor monitor(standard());
+    for (int i = 0; i < 3; ++i) {
+        monitor.update(Volts(2.56));
+        monitor.update(Volts(1.0));
+    }
+    EXPECT_EQ(monitor.powerFailures(), 3u);
+}
+
+TEST(Monitor, ForceEnabledOverridesState)
+{
+    VoltageMonitor monitor(standard());
+    monitor.forceEnabled(true);
+    EXPECT_TRUE(monitor.enabled());
+    // A forced-on monitor still trips below Voff.
+    EXPECT_FALSE(monitor.update(Volts(1.0)));
+    EXPECT_EQ(monitor.powerFailures(), 1u);
+}
+
+TEST(Monitor, ConfigValidation)
+{
+    MonitorConfig bad = standard();
+    bad.vhigh = Volts(1.0); // Below Voff.
+    EXPECT_THROW(VoltageMonitor{bad}, culpeo::log::FatalError);
+    bad = standard();
+    bad.voff = Volts(0.0);
+    EXPECT_THROW(VoltageMonitor{bad}, culpeo::log::FatalError);
+}
+
+} // namespace

@@ -1,0 +1,167 @@
+/** @file Unit tests for the assembled power-system simulator. */
+
+#include <gtest/gtest.h>
+
+#include "sim/power_system.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+using sim::ConstantHarvester;
+using sim::PowerSystem;
+using sim::PowerSystemConfig;
+using sim::StepResult;
+using sim::capybaraConfig;
+
+TEST(CapybaraConfig, MatchesPaperThresholds)
+{
+    const PowerSystemConfig cfg = capybaraConfig();
+    EXPECT_DOUBLE_EQ(cfg.monitor.voff.value(), 1.60);
+    EXPECT_DOUBLE_EQ(cfg.monitor.vhigh.value(), 2.56);
+    EXPECT_DOUBLE_EQ(cfg.output.vout.value(), 2.55);
+    EXPECT_DOUBLE_EQ(cfg.capacitor.capacitance.value(), 45e-3);
+}
+
+TEST(PowerSystem, OperatingRange)
+{
+    PowerSystem system(capybaraConfig());
+    EXPECT_NEAR(system.operatingRange().value(), 0.96, 1e-12);
+}
+
+TEST(PowerSystem, NoLoadWhileDisabledOnlyLeaks)
+{
+    PowerSystem system(capybaraConfig());
+    system.setBufferVoltage(Volts(2.0)); // Below Vhigh: stays disabled.
+    const StepResult result = system.step(Seconds(1e-3), Amps(0.05));
+    EXPECT_FALSE(result.delivering);
+    EXPECT_EQ(result.input_current.value(), 0.0);
+    EXPECT_NEAR(result.open_circuit.value(), 2.0, 1e-5);
+}
+
+TEST(PowerSystem, DeliversWhenForcedOn)
+{
+    PowerSystem system(capybaraConfig());
+    system.setBufferVoltage(Volts(2.4));
+    system.forceOutputEnabled(true);
+    const StepResult result = system.step(Seconds(1e-3), Amps(0.01));
+    EXPECT_TRUE(result.delivering);
+    EXPECT_GT(result.input_current.value(), 0.01);
+    EXPECT_LT(result.terminal.value(), 2.4);
+}
+
+TEST(PowerSystem, SustainedLoadLowersVoltage)
+{
+    PowerSystem system(capybaraConfig());
+    system.setBufferVoltage(Volts(2.5));
+    system.forceOutputEnabled(true);
+    for (int i = 0; i < 1000; ++i)
+        system.step(Seconds(1e-3), Amps(0.02));
+    EXPECT_LT(system.capacitor().openCircuitVoltage().value(), 2.45);
+}
+
+TEST(PowerSystem, PowerFailureOnDeepDrop)
+{
+    PowerSystem system(capybaraConfig());
+    system.setBufferVoltage(Volts(1.75));
+    system.forceOutputEnabled(true);
+    // 50 mA through ohm-class ESR drops the terminal far below Voff.
+    bool failed = false;
+    for (int i = 0; i < 100 && !failed; ++i)
+        failed = system.step(Seconds(1e-4), Amps(0.05)).power_failed;
+    EXPECT_TRUE(failed);
+    EXPECT_FALSE(system.monitor().enabled());
+    EXPECT_EQ(system.monitor().powerFailures(), 1u);
+}
+
+TEST(PowerSystem, PowerFailureDespiteStoredEnergy)
+{
+    // The headline effect (Figure 4): the device dies with ample energy.
+    PowerSystem system(capybaraConfig());
+    system.setBufferVoltage(Volts(1.75));
+    system.forceOutputEnabled(true);
+    const Joules before = system.capacitor().storedEnergy();
+    for (int i = 0; i < 100; ++i)
+        system.step(Seconds(1e-4), Amps(0.05));
+    const Joules after = system.capacitor().storedEnergy();
+    EXPECT_FALSE(system.monitor().enabled());
+    // Less than 2% of the stored energy was actually consumed.
+    EXPECT_GT(after.value(), before.value() * 0.98);
+}
+
+TEST(PowerSystem, HarvesterRecharges)
+{
+    PowerSystem system(capybaraConfig());
+    ConstantHarvester harvester(Watts(10e-3));
+    system.setHarvester(&harvester);
+    system.setBufferVoltage(Volts(1.7));
+    const double v0 = system.restingVoltage().value();
+    for (int i = 0; i < 1000; ++i)
+        system.step(Seconds(10e-3), Amps(0.0));
+    EXPECT_GT(system.restingVoltage().value(), v0 + 0.05);
+}
+
+TEST(PowerSystem, RechargeStopsAtVhigh)
+{
+    PowerSystem system(capybaraConfig());
+    ConstantHarvester harvester(Watts(50e-3));
+    system.setHarvester(&harvester);
+    system.setBufferVoltage(Volts(2.0));
+    system.recharge(Seconds(10e-3), Seconds(1e4));
+    EXPECT_NEAR(system.capacitor().openCircuitVoltage().value(), 2.56,
+                0.01);
+}
+
+TEST(PowerSystem, MonitorReenablesAfterFullRecharge)
+{
+    PowerSystem system(capybaraConfig());
+    ConstantHarvester harvester(Watts(20e-3));
+    system.setHarvester(&harvester);
+    system.setBufferVoltage(Volts(1.8));
+    system.forceOutputEnabled(true);
+    // Brown out.
+    for (int i = 0; i < 200; ++i)
+        system.step(Seconds(1e-4), Amps(0.05));
+    ASSERT_FALSE(system.monitor().enabled());
+    // Recharge; the monitor must re-enable only at Vhigh.
+    bool reenabled = false;
+    for (int i = 0; i < 200000 && !reenabled; ++i) {
+        system.step(Seconds(10e-3), Amps(0.0));
+        reenabled = system.monitor().enabled();
+    }
+    EXPECT_TRUE(reenabled);
+    EXPECT_GE(system.restingVoltage().value(), 2.5);
+}
+
+TEST(PowerSystem, TraceCaptureRecordsSteps)
+{
+    PowerSystem system(capybaraConfig());
+    system.setBufferVoltage(Volts(2.4));
+    system.forceOutputEnabled(true);
+    system.captureTrace(true);
+    for (int i = 0; i < 10; ++i)
+        system.step(Seconds(1e-3), Amps(0.01));
+    EXPECT_EQ(system.trace().size(), 10u);
+    system.clearTrace();
+    EXPECT_TRUE(system.trace().empty());
+}
+
+TEST(PowerSystem, TimeAdvances)
+{
+    PowerSystem system(capybaraConfig());
+    system.setBufferVoltage(Volts(2.0));
+    for (int i = 0; i < 5; ++i)
+        system.step(Seconds(2e-3), Amps(0.0));
+    EXPECT_NEAR(system.now().value(), 10e-3, 1e-12);
+}
+
+TEST(PowerSystem, InputValidation)
+{
+    PowerSystem system(capybaraConfig());
+    EXPECT_THROW(system.step(Seconds(0.0), Amps(0.0)), culpeo::log::FatalError);
+    EXPECT_THROW(system.step(Seconds(1e-3), Amps(-1.0)), culpeo::log::FatalError);
+    EXPECT_THROW(system.setBufferVoltage(Volts(-1.0)), culpeo::log::FatalError);
+}
+
+} // namespace

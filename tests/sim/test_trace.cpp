@@ -1,0 +1,107 @@
+/** @file Unit tests for the voltage/current trace container. */
+
+#include <gtest/gtest.h>
+
+#include "sim/trace.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace culpeo;
+using culpeo::units::Amps;
+using culpeo::units::Seconds;
+using culpeo::units::Volts;
+using sim::TraceSample;
+using sim::VoltageTrace;
+
+VoltageTrace
+ramp()
+{
+    VoltageTrace trace;
+    for (int i = 0; i <= 10; ++i) {
+        // Terminal voltage dips in the middle of the trace.
+        const double t = i * 0.1;
+        const double v = 2.5 - 0.1 * (5 - std::abs(5 - i));
+        trace.add({Seconds(t), Volts(v), Volts(v + 0.05), Amps(0.01),
+                   true});
+    }
+    return trace;
+}
+
+TEST(Trace, EmptyQueriesAreFatal)
+{
+    VoltageTrace trace;
+    EXPECT_TRUE(trace.empty());
+    EXPECT_THROW(trace.minTerminal(), culpeo::log::FatalError);
+    EXPECT_THROW(trace.front(), culpeo::log::FatalError);
+    EXPECT_THROW(trace.back(), culpeo::log::FatalError);
+    EXPECT_THROW(trace.terminalAt(Seconds(0.0)), culpeo::log::FatalError);
+}
+
+TEST(Trace, AppendsAndIndexes)
+{
+    const VoltageTrace trace = ramp();
+    EXPECT_EQ(trace.size(), 11u);
+    EXPECT_DOUBLE_EQ(trace.front().time.value(), 0.0);
+    EXPECT_DOUBLE_EQ(trace.back().time.value(), 1.0);
+    EXPECT_DOUBLE_EQ(trace[0].terminal.value(), 2.5);
+}
+
+TEST(Trace, OutOfOrderAppendIsPanic)
+{
+    VoltageTrace trace;
+    trace.add({Seconds(1.0), Volts(2.0), Volts(2.0), Amps(0.0), false});
+    EXPECT_THROW(trace.add({Seconds(0.5), Volts(2.0), Volts(2.0),
+                            Amps(0.0), false}),
+                 culpeo::log::PanicError);
+}
+
+TEST(Trace, MinTerminalFindsGlobalMinimum)
+{
+    const VoltageTrace trace = ramp();
+    EXPECT_DOUBLE_EQ(trace.minTerminal().value(), 2.0);
+}
+
+TEST(Trace, WindowedMinAndMax)
+{
+    const VoltageTrace trace = ramp();
+    // Window covering only the descending start of the dip.
+    EXPECT_NEAR(
+        trace.minTerminalBetween(Seconds(0.0), Seconds(0.21)).value(),
+        2.3, 1e-12);
+    EXPECT_NEAR(
+        trace.maxTerminalBetween(Seconds(0.0), Seconds(0.21)).value(),
+        2.5, 1e-12);
+    // Empty window is fatal.
+    EXPECT_THROW(trace.minTerminalBetween(Seconds(5.0), Seconds(6.0)),
+                 culpeo::log::FatalError);
+}
+
+TEST(Trace, TerminalAtInterpolates)
+{
+    VoltageTrace trace;
+    trace.add({Seconds(0.0), Volts(2.0), Volts(2.0), Amps(0.0), true});
+    trace.add({Seconds(1.0), Volts(3.0), Volts(3.0), Amps(0.0), true});
+    EXPECT_NEAR(trace.terminalAt(Seconds(0.5)).value(), 2.5, 1e-12);
+    EXPECT_NEAR(trace.terminalAt(Seconds(0.25)).value(), 2.25, 1e-12);
+}
+
+TEST(Trace, TerminalAtClampsOutsideSpan)
+{
+    VoltageTrace trace;
+    trace.add({Seconds(1.0), Volts(2.0), Volts(2.0), Amps(0.0), true});
+    trace.add({Seconds(2.0), Volts(3.0), Volts(3.0), Amps(0.0), true});
+    EXPECT_DOUBLE_EQ(trace.terminalAt(Seconds(0.0)).value(), 2.0);
+    EXPECT_DOUBLE_EQ(trace.terminalAt(Seconds(5.0)).value(), 3.0);
+}
+
+TEST(Trace, DurationAndClear)
+{
+    VoltageTrace trace = ramp();
+    EXPECT_NEAR(trace.duration().value(), 1.0, 1e-12);
+    trace.clear();
+    EXPECT_TRUE(trace.empty());
+    EXPECT_DOUBLE_EQ(trace.duration().value(), 0.0);
+}
+
+} // namespace

@@ -1,0 +1,109 @@
+/** @file Unit tests for the decoupling-capacitor two-branch network. */
+
+#include <gtest/gtest.h>
+
+#include "sim/two_cap.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+using sim::CapBranch;
+using sim::TwoCapNetwork;
+
+TwoCapNetwork
+typicalNetwork(double decoupling_farads = 1e-3)
+{
+    CapBranch super;
+    super.capacitance = Farads(33e-3);
+    super.esr = Ohms(8.0);
+    CapBranch decouple;
+    decouple.capacitance = Farads(decoupling_farads);
+    decouple.esr = Ohms(0.01);
+    TwoCapNetwork net(super, decouple);
+    net.setVoltage(Volts(2.5));
+    return net;
+}
+
+TEST(TwoCap, NodeVoltageAtNoLoadEqualsBranchVoltage)
+{
+    TwoCapNetwork net = typicalNetwork();
+    EXPECT_NEAR(net.nodeVoltage(Amps(0.0)).value(), 2.5, 1e-12);
+}
+
+TEST(TwoCap, TransientLoadServedByDecouplingBranch)
+{
+    // For a *brief* spike the low-ESR decoupling branch holds the node
+    // voltage up: drop is roughly I * (R1 || R2) ~ I * R2.
+    TwoCapNetwork net = typicalNetwork();
+    const double vn = net.nodeVoltage(Amps(0.05)).value();
+    EXPECT_GT(vn, 2.5 - 0.05 * 0.02); // Far better than 0.05 * 8.
+}
+
+TEST(TwoCap, SustainedLoadSagsToSupercapEsrDrop)
+{
+    // After the decoupling bank depletes, the supercap's ESR drop
+    // reappears at the node (the Section II-D result).
+    TwoCapNetwork net = typicalNetwork(1e-3);
+    const double dt = 1e-5;
+    double elapsed = 0.0;
+    while (elapsed < 0.1) {
+        net.step(units::Seconds(dt), Amps(0.05));
+        elapsed += dt;
+    }
+    const double vn = net.nodeVoltage(Amps(0.05)).value();
+    const double sag = net.main().open_circuit.value() - vn;
+    // Most of I * R_super (0.4 V) shows at the node by 100 ms.
+    EXPECT_GT(sag, 0.2);
+}
+
+TEST(TwoCap, LargerDecouplingDelaysButDoesNotPreventSag)
+{
+    auto sag_after = [](double c_decouple) {
+        TwoCapNetwork net = typicalNetwork(c_decouple);
+        double elapsed = 0.0;
+        while (elapsed < 0.1) {
+            net.step(units::Seconds(1e-5), Amps(0.05));
+            elapsed += 1e-5;
+        }
+        return net.main().open_circuit.value() -
+               net.nodeVoltage(Amps(0.05)).value();
+    };
+    const double small = sag_after(400e-6);
+    const double large = sag_after(6.4e-3);
+    EXPECT_GT(small, large);
+    // Even 6.4 mF of decoupling leaves a substantial (>100 mV) drop.
+    EXPECT_GT(large, 0.1);
+}
+
+TEST(TwoCap, ChargeIsConserved)
+{
+    TwoCapNetwork net = typicalNetwork();
+    const double q0 = net.main().open_circuit.value() * 33e-3 +
+                      net.decoupling().open_circuit.value() * 1e-3;
+    double delivered = 0.0;
+    for (int i = 0; i < 1000; ++i) {
+        net.step(units::Seconds(1e-5), Amps(0.05));
+        delivered += 0.05 * 1e-5;
+    }
+    const double q1 = net.main().open_circuit.value() * 33e-3 +
+                      net.decoupling().open_circuit.value() * 1e-3;
+    EXPECT_NEAR(q0 - q1, delivered, delivered * 0.01);
+}
+
+TEST(TwoCap, Validation)
+{
+    CapBranch bad;
+    bad.capacitance = Farads(0.0);
+    bad.esr = Ohms(1.0);
+    CapBranch ok;
+    ok.capacitance = Farads(1e-3);
+    ok.esr = Ohms(1.0);
+    EXPECT_THROW(TwoCapNetwork(bad, ok), culpeo::log::FatalError);
+    TwoCapNetwork net(ok, ok);
+    EXPECT_THROW(net.step(units::Seconds(0.0), Amps(0.0)),
+                 culpeo::log::FatalError);
+}
+
+} // namespace

@@ -1,0 +1,100 @@
+/** @file Unit tests for the CSV writer. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using culpeo::util::CsvWriter;
+using culpeo::util::csvEscape;
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+class CsvTest : public ::testing::Test
+{
+  protected:
+    std::string path_;
+
+    void
+    SetUp() override
+    {
+        path_ = ::testing::TempDir() + "culpeo_csv_test.csv";
+    }
+
+    void
+    TearDown() override
+    {
+        std::remove(path_.c_str());
+    }
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows)
+{
+    {
+        CsvWriter csv(path_, {"a", "b"});
+        csv.row(1, 2.5);
+        csv.row("x", "y");
+    }
+    EXPECT_EQ(slurp(path_), "a,b\n1,2.5\nx,y\n");
+}
+
+TEST_F(CsvTest, InactiveWriterDropsRows)
+{
+    CsvWriter csv;
+    EXPECT_FALSE(csv.active());
+    csv.row(1, 2, 3); // Must not crash.
+}
+
+TEST_F(CsvTest, UnwritablePathIsFatal)
+{
+    EXPECT_THROW(CsvWriter("/nonexistent-dir/x/y.csv", {"a"}),
+                 culpeo::log::FatalError);
+}
+
+TEST_F(CsvTest, ForBenchInactiveWithoutEnv)
+{
+    unsetenv("CULPEO_BENCH_CSV");
+    CsvWriter csv = CsvWriter::forBench("some_bench", {"a"});
+    EXPECT_FALSE(csv.active());
+}
+
+TEST_F(CsvTest, ForBenchWritesIntoEnvDirectory)
+{
+    const std::string dir = ::testing::TempDir();
+    setenv("CULPEO_BENCH_CSV", dir.c_str(), 1);
+    {
+        CsvWriter csv = CsvWriter::forBench("bench_x", {"h"});
+        EXPECT_TRUE(csv.active());
+        csv.row(42);
+    }
+    unsetenv("CULPEO_BENCH_CSV");
+    EXPECT_EQ(slurp(dir + "/bench_x.csv"), "h\n42\n");
+    std::remove((dir + "/bench_x.csv").c_str());
+}
+
+TEST(CsvEscape, PlainStringsPassThrough)
+{
+    EXPECT_EQ(csvEscape("hello"), "hello");
+}
+
+TEST(CsvEscape, SeparatorsAndQuotesAreQuoted)
+{
+    EXPECT_EQ(csvEscape("a,b"), "\"a,b\"");
+    EXPECT_EQ(csvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(csvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+} // namespace

@@ -1,0 +1,67 @@
+/** @file Unit tests for the fatal/panic/warn reporting helpers. */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace culpeo;
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(culpeo::log::fatal("bad input: ", 42), culpeo::log::FatalError);
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(culpeo::log::panic("invariant broken"), culpeo::log::PanicError);
+}
+
+TEST(Logging, FatalMessageContainsFormattedArgs)
+{
+    try {
+        culpeo::log::fatal("value was ", 7, " not ", 8);
+        FAIL() << "fatal did not throw";
+    } catch (const culpeo::log::FatalError &err) {
+        EXPECT_STREQ(err.what(), "fatal: value was 7 not 8");
+    }
+}
+
+TEST(Logging, FatalIfOnlyThrowsWhenConditionHolds)
+{
+    EXPECT_NO_THROW(culpeo::log::fatalIf(false, "should not fire"));
+    EXPECT_THROW(culpeo::log::fatalIf(true, "fires"), culpeo::log::FatalError);
+}
+
+TEST(Logging, PanicIfOnlyThrowsWhenConditionHolds)
+{
+    EXPECT_NO_THROW(culpeo::log::panicIf(false, "should not fire"));
+    EXPECT_THROW(culpeo::log::panicIf(true, "fires"), culpeo::log::PanicError);
+}
+
+TEST(Logging, FatalErrorIsRuntimeErrorPanicIsLogicError)
+{
+    EXPECT_THROW(culpeo::log::fatal("x"), std::runtime_error);
+    EXPECT_THROW(culpeo::log::panic("x"), std::logic_error);
+}
+
+TEST(Logging, VerboseToggleRoundTrips)
+{
+    const bool before = culpeo::log::verbose();
+    culpeo::log::setVerbose(false);
+    EXPECT_FALSE(culpeo::log::verbose());
+    culpeo::log::setVerbose(true);
+    EXPECT_TRUE(culpeo::log::verbose());
+    culpeo::log::setVerbose(before);
+}
+
+TEST(Logging, WarnAndInformDoNotThrow)
+{
+    culpeo::log::setVerbose(false); // Keep test output clean.
+    EXPECT_NO_THROW(culpeo::log::warn("warning ", 1));
+    EXPECT_NO_THROW(culpeo::log::inform("status ", 2));
+    culpeo::log::setVerbose(true);
+}
+
+} // namespace

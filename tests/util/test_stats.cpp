@@ -1,0 +1,114 @@
+/** @file Unit tests for the descriptive-statistics accumulator. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/logging.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using culpeo::util::Summary;
+using culpeo::util::fraction;
+
+TEST(Summary, EmptySummaryBasics)
+{
+    Summary s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.sum(), 0.0);
+}
+
+TEST(Summary, EmptyQueriesAreFatal)
+{
+    Summary s;
+    EXPECT_THROW(s.mean(), culpeo::log::FatalError);
+    EXPECT_THROW(s.min(), culpeo::log::FatalError);
+    EXPECT_THROW(s.max(), culpeo::log::FatalError);
+    EXPECT_THROW(s.percentile(50.0), culpeo::log::FatalError);
+}
+
+TEST(Summary, MeanMinMaxSum)
+{
+    Summary s;
+    for (double x : {3.0, 1.0, 2.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 3.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 6.0);
+    EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(Summary, StddevOfKnownSet)
+{
+    Summary s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    // Sample stddev with n-1: variance = 32/7.
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Summary, StddevOfSingletonIsZero)
+{
+    Summary s;
+    s.add(5.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, MedianOfOddAndEvenCounts)
+{
+    Summary odd;
+    for (double x : {5.0, 1.0, 3.0})
+        odd.add(x);
+    EXPECT_DOUBLE_EQ(odd.median(), 3.0);
+
+    Summary even;
+    for (double x : {4.0, 1.0, 3.0, 2.0})
+        even.add(x);
+    EXPECT_DOUBLE_EQ(even.median(), 2.5);
+}
+
+TEST(Summary, PercentileEndpoints)
+{
+    Summary s;
+    for (double x : {10.0, 20.0, 30.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100.0), 30.0);
+}
+
+TEST(Summary, PercentileInterpolates)
+{
+    Summary s;
+    for (double x : {0.0, 10.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.percentile(25.0), 2.5);
+    EXPECT_DOUBLE_EQ(s.percentile(75.0), 7.5);
+}
+
+TEST(Summary, PercentileRangeValidated)
+{
+    Summary s;
+    s.add(1.0);
+    EXPECT_THROW(s.percentile(-1.0), culpeo::log::FatalError);
+    EXPECT_THROW(s.percentile(101.0), culpeo::log::FatalError);
+}
+
+TEST(Summary, PercentileValidAfterLaterAdds)
+{
+    Summary s;
+    s.add(2.0);
+    EXPECT_DOUBLE_EQ(s.median(), 2.0);
+    s.add(1.0); // Must invalidate the cached sorted copy.
+    EXPECT_DOUBLE_EQ(s.median(), 1.5);
+}
+
+TEST(Fraction, HandlesZeroTotal)
+{
+    EXPECT_EQ(fraction(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(fraction(1, 4), 0.25);
+}
+
+} // namespace

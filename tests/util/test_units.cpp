@@ -1,0 +1,137 @@
+/** @file Unit tests for the strong physical-quantity types. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/units.hpp"
+
+namespace {
+
+using namespace culpeo::units;
+using namespace culpeo::units::literals;
+
+TEST(Units, DefaultConstructedIsZero)
+{
+    Volts v;
+    EXPECT_EQ(v.value(), 0.0);
+}
+
+TEST(Units, SameTypeArithmetic)
+{
+    const Volts a(2.0);
+    const Volts b(0.5);
+    EXPECT_DOUBLE_EQ((a + b).value(), 2.5);
+    EXPECT_DOUBLE_EQ((a - b).value(), 1.5);
+    EXPECT_DOUBLE_EQ((-a).value(), -2.0);
+    EXPECT_DOUBLE_EQ((a * 3.0).value(), 6.0);
+    EXPECT_DOUBLE_EQ((3.0 * a).value(), 6.0);
+    EXPECT_DOUBLE_EQ((a / 4.0).value(), 0.5);
+}
+
+TEST(Units, CompoundAssignment)
+{
+    Volts v(1.0);
+    v += Volts(0.5);
+    EXPECT_DOUBLE_EQ(v.value(), 1.5);
+    v -= Volts(1.0);
+    EXPECT_DOUBLE_EQ(v.value(), 0.5);
+    v *= 4.0;
+    EXPECT_DOUBLE_EQ(v.value(), 2.0);
+}
+
+TEST(Units, SameTypeRatioIsDimensionless)
+{
+    const double ratio = Volts(3.0) / Volts(1.5);
+    EXPECT_DOUBLE_EQ(ratio, 2.0);
+}
+
+TEST(Units, Comparisons)
+{
+    EXPECT_LT(Volts(1.0), Volts(2.0));
+    EXPECT_GT(Volts(2.0), Volts(1.0));
+    EXPECT_EQ(Volts(1.0), Volts(1.0));
+    EXPECT_LE(Volts(1.0), Volts(1.0));
+}
+
+TEST(Units, OhmsLaw)
+{
+    const Amps i = Volts(10.0) / Ohms(5.0);
+    EXPECT_DOUBLE_EQ(i.value(), 2.0);
+    const Volts v = Amps(2.0) * Ohms(5.0);
+    EXPECT_DOUBLE_EQ(v.value(), 10.0);
+    const Ohms r = resistanceOf(Volts(10.0), Amps(2.0));
+    EXPECT_DOUBLE_EQ(r.value(), 5.0);
+}
+
+TEST(Units, PowerRelations)
+{
+    const Watts p = Volts(2.0) * Amps(3.0);
+    EXPECT_DOUBLE_EQ(p.value(), 6.0);
+    EXPECT_DOUBLE_EQ((p / Volts(2.0)).value(), 3.0);
+    EXPECT_DOUBLE_EQ((p / Amps(3.0)).value(), 2.0);
+}
+
+TEST(Units, EnergyRelations)
+{
+    const Joules e = Watts(2.0) * Seconds(3.0);
+    EXPECT_DOUBLE_EQ(e.value(), 6.0);
+    EXPECT_DOUBLE_EQ((e / Seconds(3.0)).value(), 2.0);
+    EXPECT_DOUBLE_EQ((e / Watts(2.0)).value(), 3.0);
+}
+
+TEST(Units, ChargeRelations)
+{
+    const Coulombs q = Amps(2.0) * Seconds(3.0);
+    EXPECT_DOUBLE_EQ(q.value(), 6.0);
+    EXPECT_DOUBLE_EQ((q / Seconds(3.0)).value(), 2.0);
+    const Farads c(2.0);
+    EXPECT_DOUBLE_EQ((c * Volts(3.0)).value(), 6.0);
+    EXPECT_DOUBLE_EQ((q / c).value(), 3.0);
+}
+
+TEST(Units, FrequencyInversion)
+{
+    const Hertz f = frequencyOf(Seconds(0.01));
+    EXPECT_DOUBLE_EQ(f.value(), 100.0);
+    EXPECT_DOUBLE_EQ(periodOf(f).value(), 0.01);
+}
+
+TEST(Units, CapacitorEnergyRoundTrip)
+{
+    const Farads c(45e-3);
+    const Volts v(2.5);
+    const Joules e = capacitorEnergy(c, v);
+    EXPECT_DOUBLE_EQ(e.value(), 0.5 * 45e-3 * 2.5 * 2.5);
+    EXPECT_NEAR(capacitorVoltage(c, e).value(), 2.5, 1e-12);
+}
+
+TEST(Units, CapacitorVoltageOfNonPositiveEnergyIsZero)
+{
+    EXPECT_EQ(capacitorVoltage(Farads(1.0), Joules(0.0)).value(), 0.0);
+    EXPECT_EQ(capacitorVoltage(Farads(1.0), Joules(-1.0)).value(), 0.0);
+}
+
+TEST(Units, Literals)
+{
+    EXPECT_DOUBLE_EQ((2.5_V).value(), 2.5);
+    EXPECT_DOUBLE_EQ((100.0_mV).value(), 0.1);
+    EXPECT_DOUBLE_EQ((50.0_mA).value(), 0.05);
+    EXPECT_DOUBLE_EQ((20.0_nA).value(), 20e-9);
+    EXPECT_DOUBLE_EQ((10.0_Ohm).value(), 10.0);
+    EXPECT_DOUBLE_EQ((10.0_mOhm).value(), 0.01);
+    EXPECT_DOUBLE_EQ((45.0_mF).value(), 0.045);
+    EXPECT_DOUBLE_EQ((100.0_ms).value(), 0.1);
+    EXPECT_DOUBLE_EQ((125.0_kHz).value(), 125e3);
+    EXPECT_DOUBLE_EQ((180.0_uW).value(), 180e-6);
+    EXPECT_DOUBLE_EQ((140.0_nW).value(), 140e-9);
+}
+
+TEST(Units, StreamInsertionPrintsRawValue)
+{
+    std::ostringstream os;
+    os << Volts(1.25);
+    EXPECT_EQ(os.str(), "1.25");
+}
+
+} // namespace
