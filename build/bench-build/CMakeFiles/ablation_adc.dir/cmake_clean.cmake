@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_adc"
+  "../bench/ablation_adc.pdb"
+  "CMakeFiles/ablation_adc.dir/ablation_adc.cpp.o"
+  "CMakeFiles/ablation_adc.dir/ablation_adc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_adc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_rebound"
+  "../bench/ablation_rebound.pdb"
+  "CMakeFiles/ablation_rebound.dir/ablation_rebound.cpp.o"
+  "CMakeFiles/ablation_rebound.dir/ablation_rebound.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rebound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

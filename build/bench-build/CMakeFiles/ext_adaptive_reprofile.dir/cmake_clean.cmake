@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_adaptive_reprofile"
+  "../bench/ext_adaptive_reprofile.pdb"
+  "CMakeFiles/ext_adaptive_reprofile.dir/ext_adaptive_reprofile.cpp.o"
+  "CMakeFiles/ext_adaptive_reprofile.dir/ext_adaptive_reprofile.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_adaptive_reprofile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

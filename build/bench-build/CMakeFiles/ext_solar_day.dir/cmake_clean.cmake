@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_solar_day"
+  "../bench/ext_solar_day.pdb"
+  "CMakeFiles/ext_solar_day.dir/ext_solar_day.cpp.o"
+  "CMakeFiles/ext_solar_day.dir/ext_solar_day.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_solar_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_technology"
+  "../bench/ext_technology.pdb"
+  "CMakeFiles/ext_technology.dir/ext_technology.cpp.o"
+  "CMakeFiles/ext_technology.dir/ext_technology.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_technology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_esr_drop"
+  "../bench/fig01_esr_drop.pdb"
+  "CMakeFiles/fig01_esr_drop.dir/fig01_esr_drop.cpp.o"
+  "CMakeFiles/fig01_esr_drop.dir/fig01_esr_drop.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_esr_drop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

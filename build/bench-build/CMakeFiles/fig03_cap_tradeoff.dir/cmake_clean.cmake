@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_cap_tradeoff"
+  "../bench/fig03_cap_tradeoff.pdb"
+  "CMakeFiles/fig03_cap_tradeoff.dir/fig03_cap_tradeoff.cpp.o"
+  "CMakeFiles/fig03_cap_tradeoff.dir/fig03_cap_tradeoff.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_cap_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_lora_drop"
+  "../bench/fig04_lora_drop.pdb"
+  "CMakeFiles/fig04_lora_drop.dir/fig04_lora_drop.cpp.o"
+  "CMakeFiles/fig04_lora_drop.dir/fig04_lora_drop.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_lora_drop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

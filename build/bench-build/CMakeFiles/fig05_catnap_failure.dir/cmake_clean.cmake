@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_catnap_failure"
+  "../bench/fig05_catnap_failure.pdb"
+  "CMakeFiles/fig05_catnap_failure.dir/fig05_catnap_failure.cpp.o"
+  "CMakeFiles/fig05_catnap_failure.dir/fig05_catnap_failure.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_catnap_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_energy_estimates"
+  "../bench/fig06_energy_estimates.pdb"
+  "CMakeFiles/fig06_energy_estimates.dir/fig06_energy_estimates.cpp.o"
+  "CMakeFiles/fig06_energy_estimates.dir/fig06_energy_estimates.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_energy_estimates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

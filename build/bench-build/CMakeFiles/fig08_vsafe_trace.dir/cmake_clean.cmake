@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_vsafe_trace"
+  "../bench/fig08_vsafe_trace.pdb"
+  "CMakeFiles/fig08_vsafe_trace.dir/fig08_vsafe_trace.cpp.o"
+  "CMakeFiles/fig08_vsafe_trace.dir/fig08_vsafe_trace.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_vsafe_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

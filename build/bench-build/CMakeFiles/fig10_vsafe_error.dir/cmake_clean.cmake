@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_vsafe_error"
+  "../bench/fig10_vsafe_error.pdb"
+  "CMakeFiles/fig10_vsafe_error.dir/fig10_vsafe_error.cpp.o"
+  "CMakeFiles/fig10_vsafe_error.dir/fig10_vsafe_error.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_vsafe_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

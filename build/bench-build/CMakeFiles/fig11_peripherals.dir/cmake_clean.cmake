@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_peripherals"
+  "../bench/fig11_peripherals.pdb"
+  "CMakeFiles/fig11_peripherals.dir/fig11_peripherals.cpp.o"
+  "CMakeFiles/fig11_peripherals.dir/fig11_peripherals.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_peripherals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_interarrival"
+  "../bench/fig13_interarrival.pdb"
+  "CMakeFiles/fig13_interarrival.dir/fig13_interarrival.cpp.o"
+  "CMakeFiles/fig13_interarrival.dir/fig13_interarrival.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_interarrival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

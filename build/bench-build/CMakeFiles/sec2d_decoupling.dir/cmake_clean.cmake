@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec2d_decoupling"
+  "../bench/sec2d_decoupling.pdb"
+  "CMakeFiles/sec2d_decoupling.dir/sec2d_decoupling.cpp.o"
+  "CMakeFiles/sec2d_decoupling.dir/sec2d_decoupling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec2d_decoupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec5d_adc_power"
+  "../bench/sec5d_adc_power.pdb"
+  "CMakeFiles/sec5d_adc_power.dir/sec5d_adc_power.cpp.o"
+  "CMakeFiles/sec5d_adc_power.dir/sec5d_adc_power.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5d_adc_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab3_loads"
+  "../bench/tab3_loads.pdb"
+  "CMakeFiles/tab3_loads.dir/tab3_loads.cpp.o"
+  "CMakeFiles/tab3_loads.dir/tab3_loads.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_loads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aging_adaptation.dir/aging_adaptation.cpp.o"
+  "CMakeFiles/aging_adaptation.dir/aging_adaptation.cpp.o.d"
+  "aging_adaptation"
+  "aging_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aging_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

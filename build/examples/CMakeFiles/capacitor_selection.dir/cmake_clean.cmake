@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capacitor_selection.dir/capacitor_selection.cpp.o"
+  "CMakeFiles/capacitor_selection.dir/capacitor_selection.cpp.o.d"
+  "capacitor_selection"
+  "capacitor_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacitor_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_scheduling.dir/event_scheduling.cpp.o"
+  "CMakeFiles/event_scheduling.dir/event_scheduling.cpp.o.d"
+  "event_scheduling"
+  "event_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

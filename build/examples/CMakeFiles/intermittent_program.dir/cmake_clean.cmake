@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intermittent_program.dir/intermittent_program.cpp.o"
+  "CMakeFiles/intermittent_program.dir/intermittent_program.cpp.o.d"
+  "intermittent_program"
+  "intermittent_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intermittent_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

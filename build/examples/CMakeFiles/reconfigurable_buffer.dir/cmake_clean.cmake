@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconfigurable_buffer.dir/reconfigurable_buffer.cpp.o"
+  "CMakeFiles/reconfigurable_buffer.dir/reconfigurable_buffer.cpp.o.d"
+  "reconfigurable_buffer"
+  "reconfigurable_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconfigurable_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/task_splitting.dir/task_splitting.cpp.o"
+  "CMakeFiles/task_splitting.dir/task_splitting.cpp.o.d"
+  "task_splitting"
+  "task_splitting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/task_splitting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

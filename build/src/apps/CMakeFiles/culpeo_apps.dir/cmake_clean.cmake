@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/culpeo_apps.dir/apps.cpp.o"
+  "CMakeFiles/culpeo_apps.dir/apps.cpp.o.d"
+  "libculpeo_apps.a"
+  "libculpeo_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/culpeo_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/culpeo_caps.dir/catalog.cpp.o"
+  "CMakeFiles/culpeo_caps.dir/catalog.cpp.o.d"
+  "libculpeo_caps.a"
+  "libculpeo_caps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/culpeo_caps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

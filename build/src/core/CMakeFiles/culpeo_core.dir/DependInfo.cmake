@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/api.cpp" "src/core/CMakeFiles/culpeo_core.dir/api.cpp.o" "gcc" "src/core/CMakeFiles/culpeo_core.dir/api.cpp.o.d"
+  "/root/repo/src/core/persistence.cpp" "src/core/CMakeFiles/culpeo_core.dir/persistence.cpp.o" "gcc" "src/core/CMakeFiles/culpeo_core.dir/persistence.cpp.o.d"
+  "/root/repo/src/core/power_model.cpp" "src/core/CMakeFiles/culpeo_core.dir/power_model.cpp.o" "gcc" "src/core/CMakeFiles/culpeo_core.dir/power_model.cpp.o.d"
+  "/root/repo/src/core/profile_table.cpp" "src/core/CMakeFiles/culpeo_core.dir/profile_table.cpp.o" "gcc" "src/core/CMakeFiles/culpeo_core.dir/profile_table.cpp.o.d"
+  "/root/repo/src/core/profiler.cpp" "src/core/CMakeFiles/culpeo_core.dir/profiler.cpp.o" "gcc" "src/core/CMakeFiles/culpeo_core.dir/profiler.cpp.o.d"
+  "/root/repo/src/core/vsafe_multi.cpp" "src/core/CMakeFiles/culpeo_core.dir/vsafe_multi.cpp.o" "gcc" "src/core/CMakeFiles/culpeo_core.dir/vsafe_multi.cpp.o.d"
+  "/root/repo/src/core/vsafe_pg.cpp" "src/core/CMakeFiles/culpeo_core.dir/vsafe_pg.cpp.o" "gcc" "src/core/CMakeFiles/culpeo_core.dir/vsafe_pg.cpp.o.d"
+  "/root/repo/src/core/vsafe_r.cpp" "src/core/CMakeFiles/culpeo_core.dir/vsafe_r.cpp.o" "gcc" "src/core/CMakeFiles/culpeo_core.dir/vsafe_r.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/culpeo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/culpeo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/load/CMakeFiles/culpeo_load.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcu/CMakeFiles/culpeo_mcu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/culpeo_core.dir/api.cpp.o"
+  "CMakeFiles/culpeo_core.dir/api.cpp.o.d"
+  "CMakeFiles/culpeo_core.dir/persistence.cpp.o"
+  "CMakeFiles/culpeo_core.dir/persistence.cpp.o.d"
+  "CMakeFiles/culpeo_core.dir/power_model.cpp.o"
+  "CMakeFiles/culpeo_core.dir/power_model.cpp.o.d"
+  "CMakeFiles/culpeo_core.dir/profile_table.cpp.o"
+  "CMakeFiles/culpeo_core.dir/profile_table.cpp.o.d"
+  "CMakeFiles/culpeo_core.dir/profiler.cpp.o"
+  "CMakeFiles/culpeo_core.dir/profiler.cpp.o.d"
+  "CMakeFiles/culpeo_core.dir/vsafe_multi.cpp.o"
+  "CMakeFiles/culpeo_core.dir/vsafe_multi.cpp.o.d"
+  "CMakeFiles/culpeo_core.dir/vsafe_pg.cpp.o"
+  "CMakeFiles/culpeo_core.dir/vsafe_pg.cpp.o.d"
+  "CMakeFiles/culpeo_core.dir/vsafe_r.cpp.o"
+  "CMakeFiles/culpeo_core.dir/vsafe_r.cpp.o.d"
+  "libculpeo_core.a"
+  "libculpeo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/culpeo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/baselines.cpp" "src/harness/CMakeFiles/culpeo_harness.dir/baselines.cpp.o" "gcc" "src/harness/CMakeFiles/culpeo_harness.dir/baselines.cpp.o.d"
+  "/root/repo/src/harness/ground_truth.cpp" "src/harness/CMakeFiles/culpeo_harness.dir/ground_truth.cpp.o" "gcc" "src/harness/CMakeFiles/culpeo_harness.dir/ground_truth.cpp.o.d"
+  "/root/repo/src/harness/profiling.cpp" "src/harness/CMakeFiles/culpeo_harness.dir/profiling.cpp.o" "gcc" "src/harness/CMakeFiles/culpeo_harness.dir/profiling.cpp.o.d"
+  "/root/repo/src/harness/task_runner.cpp" "src/harness/CMakeFiles/culpeo_harness.dir/task_runner.cpp.o" "gcc" "src/harness/CMakeFiles/culpeo_harness.dir/task_runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/culpeo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/culpeo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/load/CMakeFiles/culpeo_load.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/culpeo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcu/CMakeFiles/culpeo_mcu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/culpeo_harness.dir/baselines.cpp.o"
+  "CMakeFiles/culpeo_harness.dir/baselines.cpp.o.d"
+  "CMakeFiles/culpeo_harness.dir/ground_truth.cpp.o"
+  "CMakeFiles/culpeo_harness.dir/ground_truth.cpp.o.d"
+  "CMakeFiles/culpeo_harness.dir/profiling.cpp.o"
+  "CMakeFiles/culpeo_harness.dir/profiling.cpp.o.d"
+  "CMakeFiles/culpeo_harness.dir/task_runner.cpp.o"
+  "CMakeFiles/culpeo_harness.dir/task_runner.cpp.o.d"
+  "libculpeo_harness.a"
+  "libculpeo_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/culpeo_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

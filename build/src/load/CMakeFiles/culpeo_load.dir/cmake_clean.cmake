@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/culpeo_load.dir/library.cpp.o"
+  "CMakeFiles/culpeo_load.dir/library.cpp.o.d"
+  "CMakeFiles/culpeo_load.dir/profile.cpp.o"
+  "CMakeFiles/culpeo_load.dir/profile.cpp.o.d"
+  "CMakeFiles/culpeo_load.dir/trace_io.cpp.o"
+  "CMakeFiles/culpeo_load.dir/trace_io.cpp.o.d"
+  "libculpeo_load.a"
+  "libculpeo_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/culpeo_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

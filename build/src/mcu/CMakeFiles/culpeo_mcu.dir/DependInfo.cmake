@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mcu/adc.cpp" "src/mcu/CMakeFiles/culpeo_mcu.dir/adc.cpp.o" "gcc" "src/mcu/CMakeFiles/culpeo_mcu.dir/adc.cpp.o.d"
+  "/root/repo/src/mcu/uarch_block.cpp" "src/mcu/CMakeFiles/culpeo_mcu.dir/uarch_block.cpp.o" "gcc" "src/mcu/CMakeFiles/culpeo_mcu.dir/uarch_block.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/culpeo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

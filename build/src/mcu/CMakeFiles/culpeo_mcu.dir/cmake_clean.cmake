@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/culpeo_mcu.dir/adc.cpp.o"
+  "CMakeFiles/culpeo_mcu.dir/adc.cpp.o.d"
+  "CMakeFiles/culpeo_mcu.dir/uarch_block.cpp.o"
+  "CMakeFiles/culpeo_mcu.dir/uarch_block.cpp.o.d"
+  "libculpeo_mcu.a"
+  "libculpeo_mcu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/culpeo_mcu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

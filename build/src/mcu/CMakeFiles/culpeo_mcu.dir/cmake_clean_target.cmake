@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libculpeo_mcu.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/culpeo_runtime.dir/intermittent.cpp.o"
+  "CMakeFiles/culpeo_runtime.dir/intermittent.cpp.o.d"
+  "libculpeo_runtime.a"
+  "libculpeo_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/culpeo_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

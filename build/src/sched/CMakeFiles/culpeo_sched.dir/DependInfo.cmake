@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/adaptive.cpp" "src/sched/CMakeFiles/culpeo_sched.dir/adaptive.cpp.o" "gcc" "src/sched/CMakeFiles/culpeo_sched.dir/adaptive.cpp.o.d"
+  "/root/repo/src/sched/engine.cpp" "src/sched/CMakeFiles/culpeo_sched.dir/engine.cpp.o" "gcc" "src/sched/CMakeFiles/culpeo_sched.dir/engine.cpp.o.d"
+  "/root/repo/src/sched/feasibility.cpp" "src/sched/CMakeFiles/culpeo_sched.dir/feasibility.cpp.o" "gcc" "src/sched/CMakeFiles/culpeo_sched.dir/feasibility.cpp.o.d"
+  "/root/repo/src/sched/policy.cpp" "src/sched/CMakeFiles/culpeo_sched.dir/policy.cpp.o" "gcc" "src/sched/CMakeFiles/culpeo_sched.dir/policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/culpeo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/culpeo_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/culpeo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/load/CMakeFiles/culpeo_load.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/culpeo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcu/CMakeFiles/culpeo_mcu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/culpeo_sched.dir/adaptive.cpp.o"
+  "CMakeFiles/culpeo_sched.dir/adaptive.cpp.o.d"
+  "CMakeFiles/culpeo_sched.dir/engine.cpp.o"
+  "CMakeFiles/culpeo_sched.dir/engine.cpp.o.d"
+  "CMakeFiles/culpeo_sched.dir/feasibility.cpp.o"
+  "CMakeFiles/culpeo_sched.dir/feasibility.cpp.o.d"
+  "CMakeFiles/culpeo_sched.dir/policy.cpp.o"
+  "CMakeFiles/culpeo_sched.dir/policy.cpp.o.d"
+  "libculpeo_sched.a"
+  "libculpeo_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/culpeo_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

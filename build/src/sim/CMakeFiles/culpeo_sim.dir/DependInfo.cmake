@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/bank_array.cpp" "src/sim/CMakeFiles/culpeo_sim.dir/bank_array.cpp.o" "gcc" "src/sim/CMakeFiles/culpeo_sim.dir/bank_array.cpp.o.d"
+  "/root/repo/src/sim/booster.cpp" "src/sim/CMakeFiles/culpeo_sim.dir/booster.cpp.o" "gcc" "src/sim/CMakeFiles/culpeo_sim.dir/booster.cpp.o.d"
+  "/root/repo/src/sim/capacitor.cpp" "src/sim/CMakeFiles/culpeo_sim.dir/capacitor.cpp.o" "gcc" "src/sim/CMakeFiles/culpeo_sim.dir/capacitor.cpp.o.d"
+  "/root/repo/src/sim/harvester.cpp" "src/sim/CMakeFiles/culpeo_sim.dir/harvester.cpp.o" "gcc" "src/sim/CMakeFiles/culpeo_sim.dir/harvester.cpp.o.d"
+  "/root/repo/src/sim/monitor.cpp" "src/sim/CMakeFiles/culpeo_sim.dir/monitor.cpp.o" "gcc" "src/sim/CMakeFiles/culpeo_sim.dir/monitor.cpp.o.d"
+  "/root/repo/src/sim/power_system.cpp" "src/sim/CMakeFiles/culpeo_sim.dir/power_system.cpp.o" "gcc" "src/sim/CMakeFiles/culpeo_sim.dir/power_system.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/culpeo_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/culpeo_sim.dir/trace.cpp.o.d"
+  "/root/repo/src/sim/two_cap.cpp" "src/sim/CMakeFiles/culpeo_sim.dir/two_cap.cpp.o" "gcc" "src/sim/CMakeFiles/culpeo_sim.dir/two_cap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/culpeo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/culpeo_sim.dir/bank_array.cpp.o"
+  "CMakeFiles/culpeo_sim.dir/bank_array.cpp.o.d"
+  "CMakeFiles/culpeo_sim.dir/booster.cpp.o"
+  "CMakeFiles/culpeo_sim.dir/booster.cpp.o.d"
+  "CMakeFiles/culpeo_sim.dir/capacitor.cpp.o"
+  "CMakeFiles/culpeo_sim.dir/capacitor.cpp.o.d"
+  "CMakeFiles/culpeo_sim.dir/harvester.cpp.o"
+  "CMakeFiles/culpeo_sim.dir/harvester.cpp.o.d"
+  "CMakeFiles/culpeo_sim.dir/monitor.cpp.o"
+  "CMakeFiles/culpeo_sim.dir/monitor.cpp.o.d"
+  "CMakeFiles/culpeo_sim.dir/power_system.cpp.o"
+  "CMakeFiles/culpeo_sim.dir/power_system.cpp.o.d"
+  "CMakeFiles/culpeo_sim.dir/trace.cpp.o"
+  "CMakeFiles/culpeo_sim.dir/trace.cpp.o.d"
+  "CMakeFiles/culpeo_sim.dir/two_cap.cpp.o"
+  "CMakeFiles/culpeo_sim.dir/two_cap.cpp.o.d"
+  "libculpeo_sim.a"
+  "libculpeo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/culpeo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/culpeo_util.dir/csv.cpp.o"
+  "CMakeFiles/culpeo_util.dir/csv.cpp.o.d"
+  "CMakeFiles/culpeo_util.dir/logging.cpp.o"
+  "CMakeFiles/culpeo_util.dir/logging.cpp.o.d"
+  "CMakeFiles/culpeo_util.dir/random.cpp.o"
+  "CMakeFiles/culpeo_util.dir/random.cpp.o.d"
+  "CMakeFiles/culpeo_util.dir/stats.cpp.o"
+  "CMakeFiles/culpeo_util.dir/stats.cpp.o.d"
+  "libculpeo_util.a"
+  "libculpeo_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/culpeo_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/caps/test_catalog.cpp" "tests/CMakeFiles/test_caps.dir/caps/test_catalog.cpp.o" "gcc" "tests/CMakeFiles/test_caps.dir/caps/test_catalog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/culpeo_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/culpeo_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/culpeo_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/culpeo_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/culpeo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcu/CMakeFiles/culpeo_mcu.dir/DependInfo.cmake"
+  "/root/repo/build/src/load/CMakeFiles/culpeo_load.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/culpeo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/caps/CMakeFiles/culpeo_caps.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/culpeo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

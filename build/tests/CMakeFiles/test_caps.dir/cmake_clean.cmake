@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_caps.dir/caps/test_catalog.cpp.o"
+  "CMakeFiles/test_caps.dir/caps/test_catalog.cpp.o.d"
+  "test_caps"
+  "test_caps.pdb"
+  "test_caps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_caps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

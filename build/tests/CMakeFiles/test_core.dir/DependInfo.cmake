@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_api.cpp" "tests/CMakeFiles/test_core.dir/core/test_api.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_api.cpp.o.d"
+  "/root/repo/tests/core/test_persistence.cpp" "tests/CMakeFiles/test_core.dir/core/test_persistence.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_persistence.cpp.o.d"
+  "/root/repo/tests/core/test_power_model.cpp" "tests/CMakeFiles/test_core.dir/core/test_power_model.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_power_model.cpp.o.d"
+  "/root/repo/tests/core/test_profile_table.cpp" "tests/CMakeFiles/test_core.dir/core/test_profile_table.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_profile_table.cpp.o.d"
+  "/root/repo/tests/core/test_profiler.cpp" "tests/CMakeFiles/test_core.dir/core/test_profiler.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_profiler.cpp.o.d"
+  "/root/repo/tests/core/test_vsafe_multi.cpp" "tests/CMakeFiles/test_core.dir/core/test_vsafe_multi.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_vsafe_multi.cpp.o.d"
+  "/root/repo/tests/core/test_vsafe_pg.cpp" "tests/CMakeFiles/test_core.dir/core/test_vsafe_pg.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_vsafe_pg.cpp.o.d"
+  "/root/repo/tests/core/test_vsafe_r.cpp" "tests/CMakeFiles/test_core.dir/core/test_vsafe_r.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_vsafe_r.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/culpeo_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/culpeo_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/culpeo_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/culpeo_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/culpeo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcu/CMakeFiles/culpeo_mcu.dir/DependInfo.cmake"
+  "/root/repo/build/src/load/CMakeFiles/culpeo_load.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/culpeo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/caps/CMakeFiles/culpeo_caps.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/culpeo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

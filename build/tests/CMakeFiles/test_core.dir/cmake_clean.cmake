@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_api.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_api.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_persistence.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_persistence.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_power_model.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_power_model.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_profile_table.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_profile_table.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_profiler.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_profiler.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_vsafe_multi.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_vsafe_multi.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_vsafe_pg.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_vsafe_pg.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_vsafe_r.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_vsafe_r.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_harness.dir/harness/test_baselines.cpp.o"
+  "CMakeFiles/test_harness.dir/harness/test_baselines.cpp.o.d"
+  "CMakeFiles/test_harness.dir/harness/test_ground_truth.cpp.o"
+  "CMakeFiles/test_harness.dir/harness/test_ground_truth.cpp.o.d"
+  "CMakeFiles/test_harness.dir/harness/test_profiling.cpp.o"
+  "CMakeFiles/test_harness.dir/harness/test_profiling.cpp.o.d"
+  "CMakeFiles/test_harness.dir/harness/test_task_runner.cpp.o"
+  "CMakeFiles/test_harness.dir/harness/test_task_runner.cpp.o.d"
+  "test_harness"
+  "test_harness.pdb"
+  "test_harness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

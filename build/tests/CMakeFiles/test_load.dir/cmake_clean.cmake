@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_load.dir/load/test_library.cpp.o"
+  "CMakeFiles/test_load.dir/load/test_library.cpp.o.d"
+  "CMakeFiles/test_load.dir/load/test_profile.cpp.o"
+  "CMakeFiles/test_load.dir/load/test_profile.cpp.o.d"
+  "CMakeFiles/test_load.dir/load/test_trace_io.cpp.o"
+  "CMakeFiles/test_load.dir/load/test_trace_io.cpp.o.d"
+  "test_load"
+  "test_load.pdb"
+  "test_load[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

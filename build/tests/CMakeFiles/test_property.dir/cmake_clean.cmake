@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property.dir/property/test_booster_properties.cpp.o"
+  "CMakeFiles/test_property.dir/property/test_booster_properties.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/test_capacitor_properties.cpp.o"
+  "CMakeFiles/test_property.dir/property/test_capacitor_properties.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/test_persistence_properties.cpp.o"
+  "CMakeFiles/test_property.dir/property/test_persistence_properties.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/test_vsafe_properties.cpp.o"
+  "CMakeFiles/test_property.dir/property/test_vsafe_properties.cpp.o.d"
+  "test_property"
+  "test_property.pdb"
+  "test_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

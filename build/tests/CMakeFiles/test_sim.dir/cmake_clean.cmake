@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_bank_array.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_bank_array.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_booster.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_booster.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_capacitor.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_capacitor.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_harvester.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_harvester.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_monitor.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_monitor.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_power_system.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_power_system.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_trace.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_trace.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_two_cap.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_two_cap.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
