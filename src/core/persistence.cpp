@@ -1,5 +1,6 @@
 #include "persistence.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "util/logging.hpp"
@@ -122,8 +123,18 @@ saveTable(const ProfileTable &table)
     putU32(out, kMagic);
     putU16(out, kVersion);
 
-    const auto profiles = table.allProfiles();
-    const auto results = table.allResults();
+    // Canonical entry order: the table hands back hash-map order, but
+    // the image must be a pure function of the table's *contents* so
+    // that identical tables produce identical snapshots and save∘load
+    // is a byte fixed point (the persistence-idempotence invariant).
+    auto profiles = table.allProfiles();
+    auto results = table.allResults();
+    const auto by_key = [](const auto &a, const auto &b) {
+        return std::make_pair(std::get<1>(a), std::get<0>(a)) <
+               std::make_pair(std::get<1>(b), std::get<0>(b));
+    };
+    std::sort(profiles.begin(), profiles.end(), by_key);
+    std::sort(results.begin(), results.end(), by_key);
     putU32(out, std::uint32_t(profiles.size()));
     putU32(out, std::uint32_t(results.size()));
 

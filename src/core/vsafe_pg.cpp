@@ -69,9 +69,14 @@ culpeoPg(const load::SampledTrace &trace, const PowerSystemModel &model)
         const double vcap_est = std::max(v_req, voff);
         const double eta = model.efficiency.at(Volts(vcap_est));
 
-        // Current out of the capacitor (line 8), efficiency taken at
-        // Voff as the conservative bound.
-        const double i_in = i_load * vout / (eta_off * vcap_est);
+        // Current out of the capacitor (line 8). The booster draws the
+        // most input current at the lowest admissible input voltage, so
+        // the bound evaluates both the efficiency and the voltage at
+        // Voff: budgeting a step by the (smaller) current of the
+        // post-step estimate under-predicts the transient drop on parts
+        // with a large surface-branch resistance, where the true floor
+        // sits near Voff.
+        const double i_in = i_load * vout / (eta_off * voff);
 
         // Energy drawn from the buffer by this step (line 6): the power
         // delivered into the booster plus the power the buffer's own ESR

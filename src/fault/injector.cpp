@@ -1,0 +1,197 @@
+#include "injector.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace culpeo::fault {
+
+namespace {
+
+double
+harvestTraceScale(const std::vector<HarvestPoint> &trace, Seconds t)
+{
+    if (trace.empty())
+        return 1.0;
+    if (t <= trace.front().time)
+        return trace.front().scale;
+    if (t >= trace.back().time)
+        return trace.back().scale;
+    for (std::size_t i = 1; i < trace.size(); ++i) {
+        if (t <= trace[i].time) {
+            const auto &lo = trace[i - 1];
+            const auto &hi = trace[i];
+            const double span = (hi.time - lo.time).value();
+            const double frac =
+                span <= 0.0 ? 1.0 : (t - lo.time).value() / span;
+            return lo.scale + (hi.scale - lo.scale) * frac;
+        }
+    }
+    return trace.back().scale;
+}
+
+} // namespace
+
+std::string
+FaultPlan::summary() const
+{
+    std::ostringstream os;
+    os << "faults{harvest_pts=" << harvest_trace.size()
+       << " dropouts=" << dropouts.size()
+       << " leak_spikes=" << leakage_spikes.size()
+       << " aging=" << aging_steps.size()
+       << " brownouts=" << brownouts.size()
+       << " adc_offset=" << adc.offset.value() * 1e3 << "mV"
+       << " adc_noise=" << adc.noise_stddev.value() * 1e3 << "mV}";
+    return os.str();
+}
+
+FaultPlan
+randomPlan(util::Rng &rng, Seconds horizon, const FaultKnobs &knobs)
+{
+    log::fatalIf(horizon.value() <= 0.0,
+                 "fault plan horizon must be positive");
+    FaultPlan plan;
+    const double h = horizon.value();
+
+    const unsigned harvest_points =
+        unsigned(rng.uniformInt(knobs.max_harvest_points + 1));
+    for (unsigned i = 0; i < harvest_points; ++i) {
+        plan.harvest_trace.push_back(
+            {Seconds(rng.uniform(0.0, h)),
+             rng.uniform(knobs.min_harvest_scale, 1.0)});
+    }
+    std::sort(plan.harvest_trace.begin(), plan.harvest_trace.end(),
+              [](const HarvestPoint &a, const HarvestPoint &b) {
+                  return a.time < b.time;
+              });
+
+    const unsigned dropouts =
+        unsigned(rng.uniformInt(knobs.max_dropouts + 1));
+    for (unsigned i = 0; i < dropouts; ++i) {
+        const double start = rng.uniform(0.0, h);
+        const double length =
+            rng.uniform(0.0, knobs.max_dropout_length.value());
+        plan.dropouts.push_back({Seconds(start),
+                                 Seconds(std::min(h, start + length)),
+                                 rng.uniform() < 0.5 ? 0.0
+                                                     : rng.uniform()});
+    }
+
+    const unsigned spikes =
+        unsigned(rng.uniformInt(knobs.max_leakage_spikes + 1));
+    for (unsigned i = 0; i < spikes; ++i) {
+        const double start = rng.uniform(0.0, h);
+        const double length = rng.uniform(0.0, 0.2 * h);
+        plan.leakage_spikes.push_back(
+            {Seconds(start), Seconds(std::min(h, start + length)),
+             Amps(rng.uniform(0.0, knobs.max_leakage.value()))});
+    }
+
+    const unsigned aging =
+        unsigned(rng.uniformInt(knobs.max_aging_steps + 1));
+    for (unsigned i = 0; i < aging; ++i) {
+        plan.aging_steps.push_back(
+            {Seconds(rng.uniform(0.0, h)),
+             rng.uniform(knobs.min_capacitance_fraction, 1.0),
+             rng.uniform(1.0, knobs.max_esr_multiplier)});
+    }
+    std::sort(plan.aging_steps.begin(), plan.aging_steps.end(),
+              [](const AgingStep &a, const AgingStep &b) {
+                  return a.at < b.at;
+              });
+    // Later steps must not rejuvenate the part: aging is monotone.
+    for (std::size_t i = 1; i < plan.aging_steps.size(); ++i) {
+        auto &step = plan.aging_steps[i];
+        const auto &prev = plan.aging_steps[i - 1];
+        step.capacitance_fraction = std::min(step.capacitance_fraction,
+                                             prev.capacitance_fraction);
+        step.esr_multiplier =
+            std::max(step.esr_multiplier, prev.esr_multiplier);
+    }
+
+    const unsigned brownouts =
+        unsigned(rng.uniformInt(knobs.max_brownouts + 1));
+    for (unsigned i = 0; i < brownouts; ++i)
+        plan.brownouts.push_back({Seconds(rng.uniform(0.0, h))});
+    std::sort(plan.brownouts.begin(), plan.brownouts.end(),
+              [](const ForcedBrownout &a, const ForcedBrownout &b) {
+                  return a.at < b.at;
+              });
+
+    plan.adc.offset = Volts(rng.uniform(-knobs.max_adc_offset.value(),
+                                        knobs.max_adc_offset.value()));
+    plan.adc.noise_stddev =
+        Volts(rng.uniform(0.0, knobs.max_adc_noise.value()));
+    return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t noise_seed)
+    : plan_(std::move(plan)), noise_seed_(noise_seed), noise_(noise_seed)
+{
+    std::sort(plan_.aging_steps.begin(), plan_.aging_steps.end(),
+              [](const AgingStep &a, const AgingStep &b) {
+                  return a.at < b.at;
+              });
+    std::sort(plan_.brownouts.begin(), plan_.brownouts.end(),
+              [](const ForcedBrownout &a, const ForcedBrownout &b) {
+                  return a.at < b.at;
+              });
+}
+
+sim::FaultActions
+FaultInjector::onStep(Seconds now, Seconds dt)
+{
+    (void)dt;
+    sim::FaultActions actions;
+
+    actions.harvest_scale = harvestTraceScale(plan_.harvest_trace, now);
+    for (const auto &window : plan_.dropouts) {
+        if (now >= window.start && now < window.end)
+            actions.harvest_scale *= window.scale;
+    }
+
+    for (const auto &spike : plan_.leakage_spikes) {
+        if (now >= spike.start && now < spike.end)
+            actions.extra_leakage += spike.extra;
+    }
+
+    while (next_aging_ < plan_.aging_steps.size() &&
+           now >= plan_.aging_steps[next_aging_].at) {
+        const AgingStep &step = plan_.aging_steps[next_aging_];
+        actions.apply_aging = true;
+        actions.capacitance_fraction = step.capacitance_fraction;
+        actions.esr_multiplier = step.esr_multiplier;
+        ++next_aging_;
+    }
+
+    if (next_brownout_ < plan_.brownouts.size() &&
+        now >= plan_.brownouts[next_brownout_].at) {
+        actions.force_brownout = true;
+        ++next_brownout_;
+        ++fired_brownouts_;
+    }
+    return actions;
+}
+
+Volts
+FaultInjector::perturbReading(Volts v)
+{
+    double observed = v.value() + plan_.adc.offset.value();
+    if (plan_.adc.noise_stddev.value() > 0.0)
+        observed = noise_.gaussian(observed,
+                                   plan_.adc.noise_stddev.value());
+    return Volts(std::max(0.0, observed));
+}
+
+void
+FaultInjector::reset()
+{
+    next_aging_ = 0;
+    next_brownout_ = 0;
+    fired_brownouts_ = 0;
+    noise_ = util::Rng(noise_seed_);
+}
+
+} // namespace culpeo::fault

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Deterministic fault injection for the power-system simulator.
+ *
+ * A FaultPlan is a complete, explicit schedule of disturbances — harvest
+ * scaling traces and dropouts, leakage spikes, abrupt ESR/capacitance
+ * aging steps, forced brown-outs (reboots), and an ADC error model for
+ * software voltage reads. Plans are either hand-authored or generated
+ * from a single seed by randomPlan(); a FaultInjector replays a plan
+ * through the sim::FaultHooks seam, so any failing run is reproducible
+ * from its seed alone.
+ *
+ * The default FaultKnobs keep every *continuous* disturbance within the
+ * scheduler's dispatch guard band (ADC error well under the 20 mV
+ * margin, leakage spikes under a millivolt of extra ESR drop), matching
+ * how a real deployment reasons: bounded noise is absorbed by margins,
+ * while unbounded disturbances (forced brown-outs) power the device off
+ * and are handled by the reboot path, not by Vsafe.
+ */
+
+#ifndef CULPEO_FAULT_INJECTOR_HPP
+#define CULPEO_FAULT_INJECTOR_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/instrumentation.hpp"
+#include "util/random.hpp"
+#include "util/units.hpp"
+
+namespace culpeo::fault {
+
+using units::Amps;
+using units::Seconds;
+using units::Volts;
+
+/** Harvested power scaled by @p scale over [start, end). */
+struct DropoutWindow
+{
+    Seconds start{0.0};
+    Seconds end{0.0};
+    double scale = 0.0; ///< 0 = full dropout; 0.5 = half power.
+};
+
+/** Extra buffer drain of @p extra over [start, end). */
+struct LeakageSpike
+{
+    Seconds start{0.0};
+    Seconds end{0.0};
+    Amps extra{0.0};
+};
+
+/** Abrupt capacitor degradation applied once at time @p at. */
+struct AgingStep
+{
+    Seconds at{0.0};
+    double capacitance_fraction = 1.0;
+    double esr_multiplier = 1.0;
+};
+
+/** Injected power failure (reboot) fired once at time @p at. */
+struct ForcedBrownout
+{
+    Seconds at{0.0};
+};
+
+/**
+ * One point of a piecewise-linear harvest scaling trace (a randomized
+ * harvest condition layered on the app's base harvester). Queries clamp
+ * to the first/last point outside the covered span; an empty trace
+ * means a constant scale of 1.
+ */
+struct HarvestPoint
+{
+    Seconds time{0.0};
+    double scale = 1.0;
+};
+
+/** ADC error model for software voltage reads. */
+struct AdcFault
+{
+    Volts offset{0.0};        ///< Systematic read offset.
+    Volts noise_stddev{0.0};  ///< Gaussian read noise.
+};
+
+/** A complete, explicit disturbance schedule. */
+struct FaultPlan
+{
+    std::vector<HarvestPoint> harvest_trace;
+    std::vector<DropoutWindow> dropouts;
+    std::vector<LeakageSpike> leakage_spikes;
+    std::vector<AgingStep> aging_steps;
+    std::vector<ForcedBrownout> brownouts;
+    AdcFault adc;
+
+    /** One-line human-readable description (for failure reports). */
+    std::string summary() const;
+};
+
+/** Bounds for randomPlan(). See the file comment for the rationale. */
+struct FaultKnobs
+{
+    unsigned max_harvest_points = 4;
+    double min_harvest_scale = 0.2;
+    unsigned max_dropouts = 3;
+    Seconds max_dropout_length{0.5};
+    unsigned max_leakage_spikes = 2;
+    Amps max_leakage{200e-6};
+    unsigned max_aging_steps = 1;
+    double max_esr_multiplier = 1.5;
+    double min_capacitance_fraction = 0.85;
+    unsigned max_brownouts = 2;
+    Volts max_adc_offset{5e-3};
+    Volts max_adc_noise{2e-3};
+};
+
+/** Generate a random plan covering [0, horizon) from @p rng. */
+FaultPlan randomPlan(util::Rng &rng, Seconds horizon,
+                     const FaultKnobs &knobs = {});
+
+/**
+ * Replays a FaultPlan through the simulator's fault seam. One-shot
+ * events (aging steps, brown-outs) fire on the first step whose start
+ * time reaches them; call reset() to replay the same plan from t = 0.
+ */
+class FaultInjector : public sim::FaultHooks
+{
+  public:
+    /** @param noise_seed seeds the ADC read-noise stream. */
+    explicit FaultInjector(FaultPlan plan, std::uint64_t noise_seed = 1);
+
+    sim::FaultActions onStep(Seconds now, Seconds dt) override;
+    Volts perturbReading(Volts v) override;
+
+    const FaultPlan &plan() const { return plan_; }
+
+    /** Forced brown-outs fired so far. */
+    unsigned firedBrownouts() const { return fired_brownouts_; }
+
+    /** Aging steps applied so far. */
+    unsigned appliedAgingSteps() const { return next_aging_; }
+
+    /** Rewind all one-shot events and the noise stream for a replay. */
+    void reset();
+
+  private:
+    FaultPlan plan_;
+    std::uint64_t noise_seed_;
+    util::Rng noise_;
+    std::size_t next_aging_ = 0;
+    std::size_t next_brownout_ = 0;
+    unsigned fired_brownouts_ = 0;
+};
+
+} // namespace culpeo::fault
+
+#endif // CULPEO_FAULT_INJECTOR_HPP

@@ -1,0 +1,176 @@
+#include "invariants.hpp"
+
+#include <memory>
+#include <sstream>
+
+#include "core/persistence.hpp"
+#include "core/profiler.hpp"
+
+namespace culpeo::fault {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+std::string
+volts(Volts v)
+{
+    std::ostringstream os;
+    os << v.value() << " V";
+    return os.str();
+}
+
+} // namespace
+
+InvariantMonitor::InvariantMonitor(Volts voff) : voff_(voff) {}
+
+void
+InvariantMonitor::onCommit(const std::string &name, Volts admitted_at,
+                           Volts vsafe)
+{
+    in_commit_ = true;
+    commit_name_ = name;
+    commit_admitted_ = admitted_at;
+    commit_vsafe_ = vsafe;
+    ++commits_;
+    // Theorem 1 is conditional on V >= Vsafe at dispatch. An admission
+    // below the requirement can only come from injected ADC read error;
+    // the window is tracked but makes no safety claim.
+    premise_holds_ = admitted_at.value() + kEps >= vsafe.value();
+    if (!premise_holds_)
+        ++noise_admissions_;
+}
+
+void
+InvariantMonitor::onCommitEnd(bool completed)
+{
+    (void)completed;
+    in_commit_ = false;
+}
+
+void
+InvariantMonitor::onStep(const sim::StepResult &step)
+{
+    if (!in_commit_)
+        return;
+
+    if (step.forced_brownout) {
+        // Injected reboot: the admission premise (the profiled power
+        // system keeps running) is void. End the window as exempt.
+        ++exempted_reboots_;
+        in_commit_ = false;
+        return;
+    }
+    if (!premise_holds_)
+        return;
+
+    if (step.power_failed) {
+        std::ostringstream os;
+        os << "committed task '" << commit_name_ << "' admitted at "
+           << volts(commit_admitted_) << " (Vsafe "
+           << volts(commit_vsafe_) << ") browned out: Vterm "
+           << volts(step.terminal) << " < Voff " << volts(voff_);
+        violations_.push_back(
+            {"vterm>=voff", os.str(), step.time});
+        in_commit_ = false; // The device is off; the window is over.
+    } else if (step.collapsed) {
+        std::ostringstream os;
+        os << "committed task '" << commit_name_ << "' admitted at "
+           << volts(commit_admitted_) << " (Vsafe "
+           << volts(commit_vsafe_)
+           << ") collapsed the output booster at Vterm "
+           << volts(step.terminal);
+        violations_.push_back({"no-collapse", os.str(), step.time});
+        in_commit_ = false;
+    }
+}
+
+std::string
+InvariantMonitor::report(std::uint64_t seed) const
+{
+    std::ostringstream os;
+    os << violations_.size() << " invariant violation(s) across "
+       << commits_ << " commitment(s), " << exempted_reboots_
+       << " exempted injected reboot(s), " << noise_admissions_
+       << " noise admission(s); replay with CULPEO_FUZZ_SEED=" << seed
+       << '\n';
+    for (const auto &violation : violations_) {
+        os << "  [" << violation.invariant << "] t="
+           << violation.time.value() << " s: " << violation.detail
+           << '\n';
+    }
+    return os.str();
+}
+
+std::optional<Violation>
+checkPersistenceIdempotence(const core::Culpeo &culpeo,
+                            const std::vector<core::TaskId> &ids)
+{
+    const std::vector<std::uint8_t> image = culpeo.snapshot();
+    if (!core::imageIsValid(image)) {
+        return Violation{"persistence-idempotent",
+                         "snapshot image fails its own validation",
+                         Seconds(0.0)};
+    }
+
+    // Byte fixed point: load → save reproduces the image exactly.
+    const core::ProfileTable table = core::loadTable(image);
+    if (core::saveTable(table) != image) {
+        return Violation{"persistence-idempotent",
+                         "save(load(image)) differs from image",
+                         Seconds(0.0)};
+    }
+
+    // Value fixed point: a rebooted device restoring the snapshot sees
+    // the same Vsafe/Vdelta for every task.
+    core::Culpeo restored(culpeo.model(),
+                          std::make_unique<core::IsrProfiler>());
+    restored.restore(image);
+    restored.setBufferConfig(culpeo.bufferConfig());
+    for (const core::TaskId id : ids) {
+        if (restored.hasResult(id) != culpeo.hasResult(id) ||
+            restored.getVsafe(id).value() !=
+                culpeo.getVsafe(id).value() ||
+            restored.getVdrop(id).value() !=
+                culpeo.getVdrop(id).value()) {
+            std::ostringstream os;
+            os << "task " << id
+               << " differs after snapshot/restore reboot";
+            return Violation{"persistence-idempotent", os.str(),
+                             Seconds(0.0)};
+        }
+    }
+    if (restored.snapshot() != image) {
+        return Violation{"persistence-idempotent",
+                         "re-snapshot after restore differs",
+                         Seconds(0.0)};
+    }
+    return std::nullopt;
+}
+
+std::optional<Violation>
+checkCompositionDominance(const std::vector<core::TaskRequirement> &tasks,
+                          Volts voff)
+{
+    const core::MultiResult additive = core::vsafeMulti(tasks, voff);
+    const core::MultiResult exact = core::vsafeMultiExact(tasks, voff);
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        const std::vector<core::TaskRequirement> alone{tasks[i]};
+        const double single_add =
+            core::vsafeMulti(alone, voff).vsafe_multi.value();
+        const double single_exact =
+            core::vsafeMultiExact(alone, voff).vsafe_multi.value();
+        if (additive.per_task_vsafe[i].value() + kEps < single_add ||
+            exact.per_task_vsafe[i].value() + kEps < single_exact) {
+            std::ostringstream os;
+            os << "sequence requirement at position " << i << " ('"
+               << tasks[i].name
+               << "') is below the single-task requirement";
+            return Violation{"composition-dominates", os.str(),
+                             Seconds(0.0)};
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace culpeo::fault

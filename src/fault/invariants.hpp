@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Invariant monitoring for fault-injected runs: the machine-checkable
+ * form of the paper's safety claims.
+ *
+ *  1. Theorem 1 (Section IV): a task admitted at or above its Vsafe
+ *     never drives the terminal voltage below Voff mid-execution. The
+ *     InvariantMonitor observes every simulation step inside a
+ *     commitment window and records a violation on any electrical
+ *     brown-out or booster collapse. Injected (forced) brown-outs power
+ *     the device off for an external reason and are exempt — they void
+ *     the theorem's premise, and the reboot path handles them.
+ *     Commitments whose true dispatch voltage was below the requirement
+ *     (possible only through injected ADC read error) are likewise
+ *     tracked but exempt: the theorem is conditional on V >= Vsafe.
+ *  2. Persistence is idempotent across injected reboots: a snapshot of
+ *     Culpeo's tables restores to an identical table, byte-for-byte and
+ *     value-for-value, no matter how often the save/load cycle repeats.
+ *  3. Vsafe_multi composition (Section IV-A) never admits a sequence a
+ *     single-task check would reject: every position's sequence
+ *     requirement dominates that task's standalone requirement.
+ */
+
+#ifndef CULPEO_FAULT_INVARIANTS_HPP
+#define CULPEO_FAULT_INVARIANTS_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/api.hpp"
+#include "sim/instrumentation.hpp"
+#include "sim/power_system.hpp"
+#include "util/units.hpp"
+
+namespace culpeo::fault {
+
+using units::Seconds;
+using units::Volts;
+
+/** One observed invariant violation. */
+struct Violation
+{
+    std::string invariant; ///< Short identifier, e.g. "vterm>=voff".
+    std::string detail;    ///< Human-readable specifics.
+    Seconds time{0.0};     ///< Simulation time of the observation.
+};
+
+/**
+ * Streaming checker for invariant 1, attached to a PowerSystem as its
+ * StepObserver. The scheduler/runtime reports commitment windows via
+ * notifyCommit()/notifyCommitEnd(); every step inside a window with the
+ * admission premise intact must stay brown-out free.
+ */
+class InvariantMonitor : public sim::StepObserver
+{
+  public:
+    explicit InvariantMonitor(Volts voff);
+
+    void onStep(const sim::StepResult &step) override;
+    void onCommit(const std::string &name, Volts admitted_at,
+                  Volts vsafe) override;
+    void onCommitEnd(bool completed) override;
+
+    bool clean() const { return violations_.empty(); }
+    const std::vector<Violation> &violations() const
+    {
+        return violations_;
+    }
+
+    unsigned commits() const { return commits_; }
+    /** Commitment windows ended by an injected (exempt) reboot. */
+    unsigned exemptedReboots() const { return exempted_reboots_; }
+    /** Commitments whose true dispatch voltage was below Vsafe. */
+    unsigned noiseAdmissions() const { return noise_admissions_; }
+
+    /** Multi-line failure report including the replay seed. */
+    std::string report(std::uint64_t seed) const;
+
+  private:
+    Volts voff_;
+    bool in_commit_ = false;
+    bool premise_holds_ = false;
+    std::string commit_name_;
+    Volts commit_vsafe_{0.0};
+    Volts commit_admitted_{0.0};
+    unsigned commits_ = 0;
+    unsigned exempted_reboots_ = 0;
+    unsigned noise_admissions_ = 0;
+    std::vector<Violation> violations_;
+};
+
+/**
+ * Invariant 2: Culpeo's FRAM-style snapshot is a fixed point of the
+ * save/load cycle, and restoring it into a fresh instance reproduces
+ * every stored Vsafe/Vdelta for @p ids exactly.
+ */
+std::optional<Violation>
+checkPersistenceIdempotence(const core::Culpeo &culpeo,
+                            const std::vector<core::TaskId> &ids);
+
+/**
+ * Invariant 3: in both the additive and the exact composition, the
+ * sequence requirement at every position dominates that task's
+ * standalone (single-task) requirement, so composing can never admit a
+ * task a single-task Theorem 1 check would reject.
+ */
+std::optional<Violation>
+checkCompositionDominance(const std::vector<core::TaskRequirement> &tasks,
+                          Volts voff);
+
+} // namespace culpeo::fault
+
+#endif // CULPEO_FAULT_INVARIANTS_HPP

@@ -1,0 +1,115 @@
+#include "scenario.hpp"
+
+#include <string>
+#include <vector>
+
+namespace culpeo::fault {
+
+namespace {
+
+using load::CurrentProfile;
+using load::Segment;
+using units::Amps;
+using units::Ohms;
+using units::Seconds;
+using units::Watts;
+
+sim::PowerSystemConfig
+randomConfig(util::Rng &rng)
+{
+    sim::PowerSystemConfig config = sim::capybaraConfig();
+    config.capacitor.capacitance =
+        units::Farads(rng.uniform(30e-3, 60e-3));
+    config.capacitor.series_esr = Ohms(rng.uniform(1.0, 2.2));
+    config.capacitor.bulk_resistance = Ohms(rng.uniform(6.0, 11.0));
+    config.capacitor.surface_resistance = Ohms(rng.uniform(0.8, 1.6));
+    config.capacitor.surface_fraction = rng.uniform(0.10, 0.25);
+    config.capacitor.capacitance_fraction = rng.uniform(0.85, 1.0);
+    config.capacitor.esr_multiplier = rng.uniform(1.0, 1.4);
+    return config;
+}
+
+CurrentProfile
+randomProfile(util::Rng &rng, const std::string &name)
+{
+    std::vector<Segment> segments;
+    const unsigned count = 1 + unsigned(rng.uniformInt(3));
+    for (unsigned i = 0; i < count; ++i) {
+        segments.push_back({Seconds(rng.uniform(0.5e-3, 15e-3)),
+                            Amps(rng.uniform(2e-3, 40e-3))});
+    }
+    // A third of the tasks get the paper's low-power compute tail.
+    if (rng.uniform() < 1.0 / 3.0) {
+        segments.push_back(
+            {Seconds(rng.uniform(20e-3, 80e-3)), Amps(1.5e-3)});
+    }
+    return CurrentProfile(name, std::move(segments));
+}
+
+} // namespace
+
+TaskScenario
+randomTaskScenario(std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    TaskScenario scenario;
+    scenario.seed = seed;
+    scenario.config = randomConfig(rng);
+    scenario.profile =
+        randomProfile(rng, "fuzz_" + std::to_string(seed));
+    return scenario;
+}
+
+AppScenario
+randomAppScenario(std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    AppScenario scenario;
+    scenario.seed = seed;
+    scenario.duration = Seconds(rng.uniform(6.0, 10.0));
+
+    sched::AppSpec &app = scenario.app;
+    app.name = "fuzz_app_" + std::to_string(seed);
+    app.power = randomConfig(rng);
+    // Lean incoming power: comparable to the apps' average demand, so
+    // the buffer actually hovers near the policies' thresholds and
+    // dispatches exercise the admission rules. Generous harvest lets
+    // every policy dispatch from a nearly full buffer, which would hide
+    // exactly the threshold errors the differential harness exists to
+    // expose.
+    app.harvest = Watts(rng.uniform(0.6e-3, 6e-3));
+
+    core::TaskId next_id = 1;
+    const unsigned event_count = 1 + unsigned(rng.uniformInt(2));
+    for (unsigned e = 0; e < event_count; ++e) {
+        sched::EventSpec event;
+        event.name = "event" + std::to_string(e);
+        event.arrival = rng.uniform() < 0.5 ? sched::Arrival::Periodic
+                                            : sched::Arrival::Poisson;
+        event.interval = Seconds(rng.uniform(0.4, 1.5));
+        event.deadline = Seconds(rng.uniform(0.2, 0.8));
+        const unsigned chain_length = 1 + unsigned(rng.uniformInt(3));
+        for (unsigned t = 0; t < chain_length; ++t) {
+            sched::SchedTask task;
+            task.id = next_id++;
+            task.name = event.name + "_t" + std::to_string(t);
+            task.profile = randomProfile(rng, task.name);
+            event.chain.push_back(std::move(task));
+        }
+        app.events.push_back(std::move(event));
+    }
+
+    if (rng.uniform() < 0.5) {
+        sched::SchedTask background;
+        background.id = next_id++;
+        background.name = "background";
+        background.profile = randomProfile(rng, background.name);
+        app.background = std::move(background);
+        app.background_period = Seconds(rng.uniform(0.5, 2.0));
+    }
+
+    scenario.plan = randomPlan(rng, scenario.duration);
+    return scenario;
+}
+
+} // namespace culpeo::fault

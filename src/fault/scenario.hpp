@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Machine-generated adversarial scenarios for the differential test
+ * harness: randomized task sets, capacitor/power-system variations,
+ * application specs, and fault plans, all derived deterministically
+ * from a single 64-bit seed so any failure replays exactly.
+ *
+ * Parameter ranges bracket the paper's evaluation space: load currents
+ * of a few to tens of mA against ohm-class ESR (Table III), Capybara-
+ * class buffers with aging within the Section IV-C limits, and weak
+ * constant harvesting perturbed by randomized traces and dropouts.
+ */
+
+#ifndef CULPEO_FAULT_SCENARIO_HPP
+#define CULPEO_FAULT_SCENARIO_HPP
+
+#include <cstdint>
+
+#include "fault/injector.hpp"
+#include "load/profile.hpp"
+#include "sched/app.hpp"
+#include "sim/power_system.hpp"
+
+namespace culpeo::fault {
+
+/** One randomized single-task differential scenario. */
+struct TaskScenario
+{
+    std::uint64_t seed = 0;
+    sim::PowerSystemConfig config;
+    load::CurrentProfile profile;
+};
+
+/**
+ * Deterministic scenario from @p seed: a randomized piecewise-constant
+ * task profile (possibly with a compute tail) on a randomized
+ * Capybara-class power system.
+ */
+TaskScenario randomTaskScenario(std::uint64_t seed);
+
+/** One randomized scheduler application plus its disturbance plan. */
+struct AppScenario
+{
+    std::uint64_t seed = 0;
+    sched::AppSpec app;
+    FaultPlan plan;
+    units::Seconds duration{8.0};
+};
+
+/**
+ * Deterministic app scenario from @p seed: 1-2 event types with task
+ * chains and deadlines, optional background work, a randomized power
+ * system and harvest level, and a fault plan covering the trial.
+ */
+AppScenario randomAppScenario(std::uint64_t seed);
+
+} // namespace culpeo::fault
+
+#endif // CULPEO_FAULT_SCENARIO_HPP

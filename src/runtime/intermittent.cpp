@@ -48,25 +48,39 @@ runProgram(sim::PowerSystem &system, const std::vector<AtomicTask> &program,
                 return result; // Timed out; finished stays false.
             }
 
-            // Wait for the dispatch condition.
+            // Wait for the dispatch condition. Software sees the
+            // voltage through the attached fault hooks' ADC model.
             const bool enabled = system.monitor().enabled();
-            const Volts resting = system.restingVoltage();
+            const Volts observed = system.observedRestingVoltage();
+            const bool gated =
+                options.policy == DispatchPolicy::VsafeGated;
             bool may_run = enabled;
-            if (may_run && options.policy == DispatchPolicy::VsafeGated)
-                may_run = options.culpeo->feasible(task.id, resting);
+            if (may_run && gated) {
+                may_run = options.culpeo->feasible(
+                    task.id, observed - options.dispatch_margin);
+            }
             if (!may_run) {
                 system.step(options.idle_dt, units::Amps(0.0));
                 continue;
             }
 
-            // Atomic execution attempt.
-            const bool from_full = resting >= full_threshold;
+            // Atomic execution attempt. A Vsafe-gated dispatch is a
+            // safety commitment the attached observer can audit;
+            // opportunistic dispatch claims nothing.
+            const bool from_full = observed >= full_threshold;
+            if (gated) {
+                system.notifyCommit(task.name, system.restingVoltage(),
+                                    options.culpeo->getVsafe(task.id) +
+                                        options.dispatch_margin);
+            }
             harness::RunOptions run_options;
             run_options.dt = harness::chooseDt(task.profile);
             run_options.settle_rebound = false;
             ++stats.executions;
             const harness::RunResult run =
                 harness::runTask(system, task.profile, run_options);
+            if (gated)
+                system.notifyCommitEnd(run.completed);
             if (run.completed) {
                 ++stats.completions;
                 break;

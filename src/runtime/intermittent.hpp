@@ -83,6 +83,13 @@ struct RuntimeOptions
     unsigned max_attempts_from_full = 3;
     /** Idle/recharge simulation step. */
     Seconds idle_dt{1e-3};
+    /**
+     * Guard band added to the Vsafe gate (VsafeGated only): dispatch
+     * waits until the observed voltage exceeds Vsafe by this much,
+     * absorbing ADC read error and Vsafe model error. Default 0 keeps
+     * the bare Theorem 1 gate.
+     */
+    Volts dispatch_margin{0.0};
 };
 
 /**

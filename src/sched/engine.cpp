@@ -102,6 +102,19 @@ struct Trial
     }
 
     /**
+     * Run one task as a commitment the attached observer can audit: the
+     * policy admitted it at the current voltage against @p need.
+     */
+    bool
+    runCommitted(const SchedTask &task, Volts need)
+    {
+        system.notifyCommit(task.name, system.restingVoltage(), need);
+        const bool completed = runOne(task);
+        system.notifyCommitEnd(completed);
+        return completed;
+    }
+
+    /**
      * Service one event: wait for charge, run the chain, decide
      * captured/lost. Returns once the event is resolved (or the device
      * browned out).
@@ -113,8 +126,9 @@ struct Trial
         const Seconds deadline = event.arrival + spec.deadline;
         const Volts need = policy.chainStart(spec);
 
-        // Wait (recharging) until the chain may start.
-        while (system.restingVoltage() < need) {
+        // Wait (recharging) until the chain may start. Dispatch reads
+        // go through the fault hooks' ADC model when attached.
+        while (system.observedRestingVoltage() < need) {
             if (system.now() > deadline || !deviceOn()) {
                 ++stats.lost;
                 return;
@@ -124,14 +138,14 @@ struct Trial
 
         for (const auto &task : spec.chain) {
             const Volts task_need = policy.taskStart(task);
-            while (system.restingVoltage() < task_need) {
+            while (system.observedRestingVoltage() < task_need) {
                 if (system.now() > deadline || !deviceOn()) {
                     ++stats.lost;
                     return;
                 }
                 idleStep();
             }
-            if (!runOne(task)) {
+            if (!runCommitted(task, task_need)) {
                 // Brown-out mid-chain: the event is lost and the device
                 // must fully recharge before doing anything else.
                 ++stats.lost;
@@ -150,13 +164,15 @@ struct Trial
 
 TrialResult
 runTrial(const AppSpec &app, const Policy &policy, Seconds duration,
-         std::uint64_t seed)
+         std::uint64_t seed, const TrialInstruments &instruments)
 {
     util::Rng rng(seed);
     Trial trial(app, policy);
 
     sim::ConstantHarvester harvester(app.harvest);
     trial.system.setHarvester(&harvester);
+    trial.system.setFaultHooks(instruments.faults);
+    trial.system.setObserver(instruments.observer);
     trial.system.setBufferVoltage(app.power.monitor.vhigh);
     trial.system.forceOutputEnabled(true);
 
@@ -209,9 +225,10 @@ runTrial(const AppSpec &app, const Policy &policy, Seconds duration,
         if (app.background.has_value() &&
             trial.system.now() - last_background >=
                 app.background_period &&
-            trial.system.restingVoltage() >=
+            trial.system.observedRestingVoltage() >=
                 policy.backgroundThreshold(app)) {
-            trial.runOne(*app.background);
+            trial.runCommitted(*app.background,
+                               policy.backgroundThreshold(app));
             ++trial.result.background_runs;
             last_background = trial.system.now();
             continue;

@@ -49,9 +49,21 @@ struct TrialResult
     double overallCaptureRate() const;
 };
 
+/**
+ * Optional instrumentation attached to a trial's power system: a fault
+ * model (disturbances + ADC read error) and a step/commitment observer
+ * (e.g. fault::InvariantMonitor). Either may be null.
+ */
+struct TrialInstruments
+{
+    sim::FaultHooks *faults = nullptr;
+    sim::StepObserver *observer = nullptr;
+};
+
 /** Run one trial of @p app under @p policy (already initialized). */
 TrialResult runTrial(const AppSpec &app, const Policy &policy,
-                     Seconds duration, std::uint64_t seed);
+                     Seconds duration, std::uint64_t seed,
+                     const TrialInstruments &instruments = {});
 
 /** Averaged capture rates over @p trials independent trials. */
 struct AggregateResult

@@ -128,7 +128,12 @@ CulpeoPolicy::initialize(const AppSpec &app)
 Volts
 CulpeoPolicy::taskStart(const SchedTask &task) const
 {
-    return culpeo().getVsafe(task.id);
+    // The guard band applies to every dispatch, not only chain starts:
+    // Vsafe estimates carry model error of a few mV (the Figure 10
+    // accuracy band), and the fuzz harness shows that dispatching at
+    // the bare estimate can brown out by exactly that margin.
+    return std::min(culpeo().getVsafe(task.id) + dispatch_margin_,
+                    vhigh_);
 }
 
 Volts

@@ -79,11 +79,13 @@ class CulpeoPolicy : public Policy
   public:
     /**
      * @param use_uarch profile with the uArch block instead of the ISR.
-     * @param dispatch_margin guard band added to the chain-start and
-     *        background thresholds (not to Vsafe itself): the scheduler
-     *        idles the buffer this far above the requirement so that
-     *        estimate noise cannot leave a dispatch exactly at the
-     *        boundary. Default 20 mV (~2% of the operating range).
+     * @param dispatch_margin guard band added to every dispatch
+     *        threshold (task, chain start, background) on top of the
+     *        raw Vsafe values: the scheduler idles the buffer this far
+     *        above the requirement so that estimate noise and Vsafe
+     *        model error (the Figure 10 accuracy band) cannot leave a
+     *        dispatch exactly at the brown-out boundary. Default 20 mV
+     *        (~2% of the operating range).
      */
     explicit CulpeoPolicy(bool use_uarch = false,
                           Volts dispatch_margin = Volts(20e-3));

@@ -226,6 +226,17 @@ Capacitor::terminalVoltage(Amps i_out) const
 }
 
 void
+Capacitor::applyAging(double capacitance_fraction, double esr_multiplier)
+{
+    log::fatalIf(capacitance_fraction <= 0.0 || capacitance_fraction > 1.0,
+                 "capacitance_fraction must be in (0, 1]");
+    log::fatalIf(esr_multiplier < 1.0,
+                 "esr_multiplier models aging and must be >= 1");
+    config_.capacitance_fraction = capacitance_fraction;
+    config_.esr_multiplier = esr_multiplier;
+}
+
+void
 Capacitor::step(Seconds dt, Amps i_out)
 {
     log::fatalIf(dt.value() <= 0.0, "Capacitor::step requires dt > 0");

@@ -174,6 +174,13 @@ class Capacitor
      */
     void step(Seconds dt, Amps i_out);
 
+    /**
+     * Apply an abrupt aging step (fault injection): replace the aging
+     * knobs while preserving the branch voltages, modelling sudden
+     * degradation mid-run. Same validity ranges as construction.
+     */
+    void applyAging(double capacitance_fraction, double esr_multiplier);
+
     Volts bulkVoltage() const { return v_bulk_; }
     Volts surfaceVoltage() const { return v_surf_; }
 

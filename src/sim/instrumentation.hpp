@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Instrumentation seams of the power-system simulator: a fault-injection
+ * hook consulted before every step and a passive observer notified after
+ * every step and around scheduler dispatch commitments.
+ *
+ * Both interfaces live in sim so that higher layers (sched, runtime,
+ * fault) can plug in without creating a dependency cycle: the simulator
+ * only sees the abstract interfaces; the concrete injectors and
+ * invariant monitors live in src/fault.
+ */
+
+#ifndef CULPEO_SIM_INSTRUMENTATION_HPP
+#define CULPEO_SIM_INSTRUMENTATION_HPP
+
+#include <string>
+
+#include "util/units.hpp"
+
+namespace culpeo::sim {
+
+struct StepResult;
+
+/** Disturbances a fault model may apply to one simulation step. */
+struct FaultActions
+{
+    /** Multiplier on the harvested power (0 = dropout). */
+    double harvest_scale = 1.0;
+    /** Extra drain on the buffer during this step (leakage spike). */
+    units::Amps extra_leakage{0.0};
+    /** Cut the output booster as an injected power failure (reboot). */
+    bool force_brownout = false;
+    /** Apply the aging values below to the capacitor before stepping. */
+    bool apply_aging = false;
+    double capacitance_fraction = 1.0; ///< New aged-capacitance fraction.
+    double esr_multiplier = 1.0;       ///< New aged-ESR multiplier.
+};
+
+/**
+ * Fault model consulted by PowerSystem::step and by the software-visible
+ * voltage read path. Implementations must be deterministic for a given
+ * construction (seed) so failing runs replay exactly.
+ */
+class FaultHooks
+{
+  public:
+    virtual ~FaultHooks() = default;
+
+    /** Disturbances for the step covering [now, now + dt). */
+    virtual FaultActions onStep(units::Seconds now, units::Seconds dt) = 0;
+
+    /**
+     * What software observes when it samples the voltage @p v (ADC
+     * offset/noise model). The electrical simulation always uses the
+     * true voltage; only dispatch decisions see the perturbed one.
+     */
+    virtual units::Volts perturbReading(units::Volts v) { return v; }
+};
+
+/**
+ * Passive observer of the simulation: sees every step result, plus the
+ * dispatch commitments a scheduler or runtime makes. Used by the
+ * invariant monitor to check that no committed task ever crosses Voff.
+ */
+class StepObserver
+{
+  public:
+    virtual ~StepObserver() = default;
+
+    /** Called after every PowerSystem::step with the step's outcome. */
+    virtual void onStep(const StepResult &step) = 0;
+
+    /**
+     * A dispatcher committed to running task @p name: the true resting
+     * voltage at dispatch was @p admitted_at and the admission
+     * requirement (Vsafe or a baseline estimate) was @p vsafe.
+     */
+    virtual void onCommit(const std::string & /*name*/,
+                          units::Volts /*admitted_at*/,
+                          units::Volts /*vsafe*/)
+    {}
+
+    /** The committed task ended; @p completed is false on brown-out. */
+    virtual void onCommitEnd(bool /*completed*/) {}
+};
+
+} // namespace culpeo::sim
+
+#endif // CULPEO_SIM_INSTRUMENTATION_HPP

@@ -47,6 +47,19 @@ class VoltageMonitor
      */
     void forceEnabled(bool enabled) { enabled_ = enabled; }
 
+    /**
+     * Disable the output as an injected power failure (fault injection:
+     * a forced brown-out/reboot). Counts as a power failure when the
+     * output was enabled; a no-op while already off.
+     */
+    void forceFailure()
+    {
+        if (enabled_) {
+            enabled_ = false;
+            ++power_failures_;
+        }
+    }
+
     /** Number of disable (power failure) events observed so far. */
     unsigned powerFailures() const { return power_failures_; }
 

@@ -55,11 +55,24 @@ PowerSystem::step(Seconds dt, Amps i_load)
     log::fatalIf(dt.value() <= 0.0, "PowerSystem::step requires dt > 0");
     log::fatalIf(i_load.value() < 0.0, "load current cannot be negative");
 
+    FaultActions faults;
+    if (hooks_ != nullptr)
+        faults = hooks_->onStep(now_, dt);
+    if (faults.apply_aging) {
+        cap_.applyAging(faults.capacitance_fraction,
+                        faults.esr_multiplier);
+    }
+
     StepResult result;
     const bool was_enabled = monitor_.enabled();
 
+    if (faults.force_brownout && was_enabled) {
+        monitor_.forceFailure();
+        result.forced_brownout = true;
+    }
+
     Amps i_out{0.0};
-    if (was_enabled) {
+    if (was_enabled && !result.forced_brownout) {
         const BoosterDraw draw = output_.computeDraw(cap_, i_load);
         i_out = draw.input_current;
         result.collapsed = draw.collapsed;
@@ -67,15 +80,16 @@ PowerSystem::step(Seconds dt, Amps i_load)
     }
 
     const Watts harvested = harvester_ != nullptr
-        ? harvester_->powerAt(now_)
+        ? harvester_->powerAt(now_) * faults.harvest_scale
         : Watts(0.0);
     const Amps i_charge =
         input_.chargeCurrent(harvested, cap_.openCircuitVoltage());
 
-    const Amps net = i_out - i_charge;
+    const Amps net = i_out - i_charge + faults.extra_leakage;
     const Volts vterm = cap_.terminalVoltage(net);
     const bool enabled_after = monitor_.update(vterm);
-    result.power_failed = was_enabled && !enabled_after;
+    result.power_failed =
+        was_enabled && (!enabled_after || result.forced_brownout);
     if (result.power_failed)
         result.delivering = false;
 
@@ -91,6 +105,8 @@ PowerSystem::step(Seconds dt, Amps i_load)
         trace_.add({now_, vterm, result.open_circuit, i_load,
                     result.delivering});
     }
+    if (observer_ != nullptr)
+        observer_->onStep(result);
     return result;
 }
 
@@ -107,6 +123,28 @@ Volts
 PowerSystem::restingVoltage() const
 {
     return cap_.terminalVoltage(Amps(0.0));
+}
+
+Volts
+PowerSystem::observedRestingVoltage()
+{
+    const Volts v = restingVoltage();
+    return hooks_ != nullptr ? hooks_->perturbReading(v) : v;
+}
+
+void
+PowerSystem::notifyCommit(const std::string &name, Volts admitted_at,
+                          Volts vsafe)
+{
+    if (observer_ != nullptr)
+        observer_->onCommit(name, admitted_at, vsafe);
+}
+
+void
+PowerSystem::notifyCommitEnd(bool completed)
+{
+    if (observer_ != nullptr)
+        observer_->onCommitEnd(completed);
 }
 
 void

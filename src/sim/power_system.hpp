@@ -17,6 +17,7 @@
 #include "sim/booster.hpp"
 #include "sim/capacitor.hpp"
 #include "sim/harvester.hpp"
+#include "sim/instrumentation.hpp"
 #include "sim/monitor.hpp"
 #include "sim/trace.hpp"
 #include "util/units.hpp"
@@ -49,6 +50,8 @@ struct StepResult
     bool delivering = false; ///< Load current actually served this step.
     bool collapsed = false;  ///< Booster could not source the power.
     bool power_failed = false; ///< Monitor disabled output this step.
+    /** The power failure was injected by a fault hook, not electrical. */
+    bool forced_brownout = false;
 };
 
 /**
@@ -82,6 +85,13 @@ class PowerSystem
     /** Terminal voltage with no load applied (what an idle ADC reads). */
     Volts restingVoltage() const;
 
+    /**
+     * The resting voltage as dispatch software observes it: the true
+     * value passed through the attached fault hooks' ADC error model
+     * (identity when no hooks are attached).
+     */
+    Volts observedRestingVoltage();
+
     Volts vhigh() const { return config_.monitor.vhigh; }
     Volts voff() const { return config_.monitor.voff; }
     Volts vout() const { return config_.output.vout; }
@@ -102,6 +112,21 @@ class PowerSystem
     const VoltageTrace &trace() const { return trace_; }
     void clearTrace() { trace_.clear(); }
 
+    // --- Instrumentation (src/fault plugs in here) ---
+
+    /** Attach a fault model consulted before every step; nullptr clears. */
+    void setFaultHooks(FaultHooks *hooks) { hooks_ = hooks; }
+    FaultHooks *faultHooks() const { return hooks_; }
+
+    /** Attach a passive step/commitment observer; nullptr clears. */
+    void setObserver(StepObserver *observer) { observer_ = observer; }
+    StepObserver *observer() const { return observer_; }
+
+    /** Forward a dispatch commitment to the attached observer, if any. */
+    void notifyCommit(const std::string &name, Volts admitted_at,
+                      Volts vsafe);
+    void notifyCommitEnd(bool completed);
+
   private:
     PowerSystemConfig config_;
     Capacitor cap_;
@@ -109,6 +134,8 @@ class PowerSystem
     InputBooster input_;
     VoltageMonitor monitor_;
     const Harvester *harvester_ = nullptr;
+    FaultHooks *hooks_ = nullptr;
+    StepObserver *observer_ = nullptr;
     Seconds now_{0.0};
     bool capture_ = false;
     VoltageTrace trace_;

@@ -1,0 +1,343 @@
+/**
+ * @file
+ * Unit tests for the deterministic fault injector: plan generation is
+ * seed-reproducible and bounded by its knobs, and replaying a plan
+ * through a PowerSystem produces exactly the scheduled disturbances.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fault/injector.hpp"
+#include "fault/scenario.hpp"
+#include "sim/power_system.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+using fault::FaultInjector;
+using fault::FaultKnobs;
+using fault::FaultPlan;
+
+FaultPlan
+planFromSeed(std::uint64_t seed, double horizon = 8.0,
+             const FaultKnobs &knobs = {})
+{
+    util::Rng rng(seed);
+    return fault::randomPlan(rng, Seconds(horizon), knobs);
+}
+
+TEST(RandomPlan, SameSeedSamePlan)
+{
+    for (std::uint64_t seed : {1ULL, 42ULL, 987654321ULL}) {
+        const FaultPlan a = planFromSeed(seed);
+        const FaultPlan b = planFromSeed(seed);
+        EXPECT_EQ(a.summary(), b.summary());
+        ASSERT_EQ(a.harvest_trace.size(), b.harvest_trace.size());
+        for (std::size_t i = 0; i < a.harvest_trace.size(); ++i) {
+            EXPECT_DOUBLE_EQ(a.harvest_trace[i].time.value(),
+                             b.harvest_trace[i].time.value());
+            EXPECT_DOUBLE_EQ(a.harvest_trace[i].scale,
+                             b.harvest_trace[i].scale);
+        }
+        ASSERT_EQ(a.dropouts.size(), b.dropouts.size());
+        for (std::size_t i = 0; i < a.dropouts.size(); ++i) {
+            EXPECT_DOUBLE_EQ(a.dropouts[i].start.value(),
+                             b.dropouts[i].start.value());
+            EXPECT_DOUBLE_EQ(a.dropouts[i].scale, b.dropouts[i].scale);
+        }
+        EXPECT_DOUBLE_EQ(a.adc.offset.value(), b.adc.offset.value());
+        EXPECT_DOUBLE_EQ(a.adc.noise_stddev.value(),
+                         b.adc.noise_stddev.value());
+    }
+}
+
+TEST(RandomPlan, RespectsKnobBounds)
+{
+    const FaultKnobs knobs;
+    for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+        const FaultPlan plan = planFromSeed(seed, 8.0, knobs);
+        EXPECT_LE(plan.harvest_trace.size(), knobs.max_harvest_points);
+        EXPECT_LE(plan.dropouts.size(), knobs.max_dropouts);
+        EXPECT_LE(plan.leakage_spikes.size(), knobs.max_leakage_spikes);
+        EXPECT_LE(plan.aging_steps.size(), knobs.max_aging_steps);
+        EXPECT_LE(plan.brownouts.size(), knobs.max_brownouts);
+        for (const auto &point : plan.harvest_trace) {
+            EXPECT_GE(point.scale, knobs.min_harvest_scale);
+            EXPECT_LE(point.scale, 1.0);
+            EXPECT_GE(point.time.value(), 0.0);
+            EXPECT_LE(point.time.value(), 8.0);
+        }
+        for (const auto &window : plan.dropouts) {
+            EXPECT_GE(window.end.value(), window.start.value());
+            EXPECT_LE(window.end.value(), 8.0);
+            EXPECT_LE(window.end.value() - window.start.value(),
+                      knobs.max_dropout_length.value() + 1e-12);
+        }
+        for (const auto &spike : plan.leakage_spikes)
+            EXPECT_LE(spike.extra.value(), knobs.max_leakage.value());
+        for (const auto &step : plan.aging_steps) {
+            EXPECT_GE(step.capacitance_fraction,
+                      knobs.min_capacitance_fraction);
+            EXPECT_LE(step.capacitance_fraction, 1.0);
+            EXPECT_GE(step.esr_multiplier, 1.0);
+            EXPECT_LE(step.esr_multiplier, knobs.max_esr_multiplier);
+        }
+        EXPECT_LE(std::abs(plan.adc.offset.value()),
+                  knobs.max_adc_offset.value());
+        EXPECT_LE(plan.adc.noise_stddev.value(),
+                  knobs.max_adc_noise.value());
+    }
+}
+
+TEST(FaultInjector, EmptyPlanIsIdentity)
+{
+    FaultInjector injector(FaultPlan{});
+    const sim::FaultActions actions =
+        injector.onStep(Seconds(1.0), Seconds(1e-3));
+    EXPECT_DOUBLE_EQ(actions.harvest_scale, 1.0);
+    EXPECT_DOUBLE_EQ(actions.extra_leakage.value(), 0.0);
+    EXPECT_FALSE(actions.force_brownout);
+    EXPECT_FALSE(actions.apply_aging);
+    EXPECT_DOUBLE_EQ(injector.perturbReading(Volts(2.3)).value(), 2.3);
+}
+
+TEST(FaultInjector, HarvestTraceInterpolatesAndClamps)
+{
+    FaultPlan plan;
+    plan.harvest_trace = {{Seconds(1.0), 1.0}, {Seconds(3.0), 0.5}};
+    FaultInjector injector(plan);
+    const Seconds dt(1e-3);
+    // Clamped before the first point and after the last.
+    EXPECT_DOUBLE_EQ(injector.onStep(Seconds(0.0), dt).harvest_scale,
+                     1.0);
+    EXPECT_DOUBLE_EQ(injector.onStep(Seconds(5.0), dt).harvest_scale,
+                     0.5);
+    // Linear in between.
+    EXPECT_NEAR(injector.onStep(Seconds(2.0), dt).harvest_scale, 0.75,
+                1e-12);
+}
+
+TEST(FaultInjector, DropoutWindowScalesHarvest)
+{
+    FaultPlan plan;
+    plan.dropouts = {{Seconds(1.0), Seconds(2.0), 0.0}};
+    FaultInjector injector(plan);
+    const Seconds dt(1e-3);
+    EXPECT_DOUBLE_EQ(injector.onStep(Seconds(0.5), dt).harvest_scale,
+                     1.0);
+    EXPECT_DOUBLE_EQ(injector.onStep(Seconds(1.5), dt).harvest_scale,
+                     0.0);
+    EXPECT_DOUBLE_EQ(injector.onStep(Seconds(2.5), dt).harvest_scale,
+                     1.0);
+}
+
+TEST(FaultInjector, OverlappingLeakageSpikesSum)
+{
+    FaultPlan plan;
+    plan.leakage_spikes = {
+        {Seconds(0.0), Seconds(2.0), Amps(100e-6)},
+        {Seconds(1.0), Seconds(3.0), Amps(50e-6)},
+    };
+    FaultInjector injector(plan);
+    const Seconds dt(1e-3);
+    EXPECT_NEAR(injector.onStep(Seconds(0.5), dt).extra_leakage.value(),
+                100e-6, 1e-12);
+    EXPECT_NEAR(injector.onStep(Seconds(1.5), dt).extra_leakage.value(),
+                150e-6, 1e-12);
+    EXPECT_NEAR(injector.onStep(Seconds(2.5), dt).extra_leakage.value(),
+                50e-6, 1e-12);
+}
+
+TEST(FaultInjector, OneShotEventsFireOnceAndResetRewinds)
+{
+    FaultPlan plan;
+    plan.aging_steps = {{Seconds(1.0), 0.9, 1.2}};
+    plan.brownouts = {{Seconds(2.0)}};
+    FaultInjector injector(plan);
+    const Seconds dt(1e-3);
+
+    EXPECT_FALSE(injector.onStep(Seconds(0.5), dt).apply_aging);
+    const sim::FaultActions at_aging =
+        injector.onStep(Seconds(1.5), dt);
+    EXPECT_TRUE(at_aging.apply_aging);
+    EXPECT_DOUBLE_EQ(at_aging.capacitance_fraction, 0.9);
+    EXPECT_DOUBLE_EQ(at_aging.esr_multiplier, 1.2);
+    // Already fired: subsequent steps do not re-apply it.
+    EXPECT_FALSE(injector.onStep(Seconds(1.6), dt).apply_aging);
+
+    EXPECT_TRUE(injector.onStep(Seconds(2.5), dt).force_brownout);
+    EXPECT_FALSE(injector.onStep(Seconds(2.6), dt).force_brownout);
+    EXPECT_EQ(injector.firedBrownouts(), 1u);
+    EXPECT_EQ(injector.appliedAgingSteps(), 1u);
+
+    injector.reset();
+    EXPECT_EQ(injector.firedBrownouts(), 0u);
+    EXPECT_TRUE(injector.onStep(Seconds(1.5), dt).apply_aging);
+    EXPECT_TRUE(injector.onStep(Seconds(2.5), dt).force_brownout);
+}
+
+TEST(FaultInjector, AdcModelIsDeterministicPerSeed)
+{
+    FaultPlan plan;
+    plan.adc.offset = Volts(3e-3);
+    plan.adc.noise_stddev = Volts(1e-3);
+
+    FaultInjector a(plan, 77);
+    FaultInjector b(plan, 77);
+    FaultInjector c(plan, 78);
+    bool any_differs = false;
+    for (int i = 0; i < 32; ++i) {
+        const double ra = a.perturbReading(Volts(2.3)).value();
+        const double rb = b.perturbReading(Volts(2.3)).value();
+        const double rc = c.perturbReading(Volts(2.3)).value();
+        EXPECT_DOUBLE_EQ(ra, rb);
+        any_differs = any_differs || ra != rc;
+        // Gaussian tails: 32 draws at sigma = 1 mV stay within 6 sigma
+        // of the offset value with overwhelming probability.
+        EXPECT_NEAR(ra, 2.303, 6e-3);
+    }
+    EXPECT_TRUE(any_differs) << "different seeds gave identical noise";
+
+    // reset() replays the identical noise stream.
+    a.reset();
+    FaultInjector fresh(plan, 77);
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_DOUBLE_EQ(a.perturbReading(Volts(2.3)).value(),
+                         fresh.perturbReading(Volts(2.3)).value());
+    }
+}
+
+TEST(FaultInjector, OffsetOnlyReadsShiftExactly)
+{
+    FaultPlan plan;
+    plan.adc.offset = Volts(-4e-3);
+    FaultInjector injector(plan);
+    EXPECT_NEAR(injector.perturbReading(Volts(2.5)).value(), 2.496,
+                1e-12);
+    // Readings clamp at zero rather than going negative.
+    EXPECT_DOUBLE_EQ(injector.perturbReading(Volts(1e-3)).value(), 0.0);
+}
+
+// --- Replay through the simulator ---
+
+TEST(FaultInjectorSim, ForcedBrownoutPowersFailsAndIsFlagged)
+{
+    sim::PowerSystem system(sim::capybaraConfig());
+    system.setBufferVoltage(Volts(2.5));
+    system.forceOutputEnabled(true);
+
+    FaultPlan plan;
+    plan.brownouts = {{Seconds(5e-3)}};
+    FaultInjector injector(plan);
+    system.setFaultHooks(&injector);
+
+    const unsigned before = system.monitor().powerFailures();
+    bool saw_forced = false;
+    for (int i = 0; i < 20; ++i) {
+        const sim::StepResult step =
+            system.step(Seconds(1e-3), Amps(5e-3));
+        if (step.forced_brownout) {
+            saw_forced = true;
+            EXPECT_TRUE(step.power_failed);
+        }
+    }
+    EXPECT_TRUE(saw_forced);
+    EXPECT_EQ(system.monitor().powerFailures(), before + 1);
+    EXPECT_EQ(injector.firedBrownouts(), 1u);
+}
+
+TEST(FaultInjectorSim, ExtraLeakageDischargesFaster)
+{
+    auto run = [](Amps leak) {
+        sim::PowerSystem system(sim::capybaraConfig());
+        system.setBufferVoltage(Volts(2.4));
+        system.forceOutputEnabled(true);
+        FaultPlan plan;
+        if (leak.value() > 0.0)
+            plan.leakage_spikes = {
+                {Seconds(0.0), Seconds(10.0), leak}};
+        FaultInjector injector(plan);
+        system.setFaultHooks(&injector);
+        for (int i = 0; i < 1000; ++i)
+            system.step(Seconds(1e-3), Amps(0.0));
+        return system.restingVoltage().value();
+    };
+    EXPECT_LT(run(Amps(10e-3)), run(Amps(0.0)) - 1e-4);
+}
+
+TEST(FaultInjectorSim, HarvestDropoutStopsCharging)
+{
+    auto run = [](double scale) {
+        sim::PowerSystem system(sim::capybaraConfig());
+        sim::ConstantHarvester harvester(Watts(10e-3));
+        system.setHarvester(&harvester);
+        system.setBufferVoltage(Volts(2.0));
+        system.forceOutputEnabled(true);
+        FaultPlan plan;
+        plan.dropouts = {{Seconds(0.0), Seconds(10.0), scale}};
+        FaultInjector injector(plan);
+        system.setFaultHooks(&injector);
+        for (int i = 0; i < 1000; ++i)
+            system.step(Seconds(1e-3), Amps(0.0));
+        return system.restingVoltage().value();
+    };
+    const double full = run(1.0);
+    const double none = run(0.0);
+    EXPECT_GT(full, 2.0);            // Charged up.
+    EXPECT_LE(none, 2.0 + 1e-9);     // No incoming energy.
+    EXPECT_GT(run(0.5), none);
+    EXPECT_LT(run(0.5), full);
+}
+
+TEST(FaultInjectorSim, AgingStepDegradesTheCapacitorInPlace)
+{
+    sim::PowerSystem system(sim::capybaraConfig());
+    system.setBufferVoltage(Volts(2.4));
+    system.forceOutputEnabled(true);
+
+    FaultPlan plan;
+    plan.aging_steps = {{Seconds(1e-3), 0.9, 1.3}};
+    FaultInjector injector(plan);
+    system.setFaultHooks(&injector);
+
+    const double voltage_before = system.restingVoltage().value();
+    for (int i = 0; i < 5; ++i)
+        system.step(Seconds(1e-3), Amps(0.0));
+    EXPECT_EQ(injector.appliedAgingSteps(), 1u);
+    EXPECT_DOUBLE_EQ(system.config().capacitor.capacitance_fraction, 1.0)
+        << "config snapshot must keep the as-built description";
+    EXPECT_DOUBLE_EQ(system.capacitor().config().capacitance_fraction,
+                     0.9);
+    EXPECT_DOUBLE_EQ(system.capacitor().config().esr_multiplier, 1.3);
+    // Aging rescales charge capacity, not stored state: the terminal
+    // voltage stays continuous across the step.
+    EXPECT_NEAR(system.restingVoltage().value(), voltage_before, 5e-3);
+}
+
+TEST(Scenario, TaskScenariosAreDeterministicAndDistinct)
+{
+    const fault::TaskScenario a = fault::randomTaskScenario(7);
+    const fault::TaskScenario b = fault::randomTaskScenario(7);
+    const fault::TaskScenario c = fault::randomTaskScenario(8);
+    EXPECT_DOUBLE_EQ(a.config.capacitor.capacitance.value(),
+                     b.config.capacitor.capacitance.value());
+    EXPECT_EQ(a.profile.segments().size(), b.profile.segments().size());
+    EXPECT_NE(a.config.capacitor.capacitance.value(),
+              c.config.capacitor.capacitance.value());
+}
+
+TEST(Scenario, AppScenariosAreDeterministic)
+{
+    const fault::AppScenario a = fault::randomAppScenario(11);
+    const fault::AppScenario b = fault::randomAppScenario(11);
+    EXPECT_EQ(a.app.events.size(), b.app.events.size());
+    EXPECT_DOUBLE_EQ(a.duration.value(), b.duration.value());
+    EXPECT_EQ(a.plan.summary(), b.plan.summary());
+    ASSERT_FALSE(a.app.events.empty());
+    EXPECT_EQ(a.app.events[0].chain.size(),
+              b.app.events[0].chain.size());
+}
+
+} // namespace

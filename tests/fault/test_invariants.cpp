@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Unit tests for the invariant monitor and the standalone persistence /
+ * composition checks, driven with synthetic step streams so every
+ * branch of the premise logic is exercised deterministically.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/api.hpp"
+#include "core/profiler.hpp"
+#include "fault/invariants.hpp"
+#include "harness/profiling.hpp"
+#include "load/library.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+using namespace culpeo::units::literals;
+using fault::InvariantMonitor;
+
+sim::StepResult
+stepAt(double t, double vterm, bool power_failed = false,
+       bool forced = false, bool collapsed = false)
+{
+    sim::StepResult step;
+    step.time = Seconds(t);
+    step.terminal = Volts(vterm);
+    step.power_failed = power_failed;
+    step.forced_brownout = forced;
+    step.collapsed = collapsed;
+    return step;
+}
+
+TEST(InvariantMonitor, CleanCommittedRunHasNoViolations)
+{
+    InvariantMonitor monitor(Volts(1.6));
+    monitor.onCommit("task", Volts(2.2), Volts(2.1));
+    monitor.onStep(stepAt(0.001, 2.0));
+    monitor.onStep(stepAt(0.002, 1.9));
+    monitor.onCommitEnd(true);
+    EXPECT_TRUE(monitor.clean());
+    EXPECT_EQ(monitor.commits(), 1u);
+    EXPECT_EQ(monitor.exemptedReboots(), 0u);
+    EXPECT_EQ(monitor.noiseAdmissions(), 0u);
+}
+
+TEST(InvariantMonitor, BrownOutDuringValidCommitIsAViolation)
+{
+    InvariantMonitor monitor(Volts(1.6));
+    monitor.onCommit("task", Volts(2.2), Volts(2.1));
+    monitor.onStep(stepAt(0.001, 1.55, /*power_failed=*/true));
+    EXPECT_FALSE(monitor.clean());
+    ASSERT_EQ(monitor.violations().size(), 1u);
+    EXPECT_EQ(monitor.violations()[0].invariant, "vterm>=voff");
+    EXPECT_DOUBLE_EQ(monitor.violations()[0].time.value(), 0.001);
+    // The report names the task and carries the replay seed.
+    const std::string report = monitor.report(1234);
+    EXPECT_NE(report.find("CULPEO_FUZZ_SEED=1234"), std::string::npos);
+    EXPECT_NE(report.find("task"), std::string::npos);
+    EXPECT_NE(report.find("vterm>=voff"), std::string::npos);
+}
+
+TEST(InvariantMonitor, BoosterCollapseDuringCommitIsAViolation)
+{
+    InvariantMonitor monitor(Volts(1.6));
+    monitor.onCommit("task", Volts(2.2), Volts(2.1));
+    monitor.onStep(stepAt(0.001, 1.8, false, false, /*collapsed=*/true));
+    ASSERT_EQ(monitor.violations().size(), 1u);
+    EXPECT_EQ(monitor.violations()[0].invariant, "no-collapse");
+}
+
+TEST(InvariantMonitor, InjectedRebootIsExemptNotAViolation)
+{
+    InvariantMonitor monitor(Volts(1.6));
+    monitor.onCommit("task", Volts(2.2), Volts(2.1));
+    monitor.onStep(
+        stepAt(0.001, 2.0, /*power_failed=*/true, /*forced=*/true));
+    EXPECT_TRUE(monitor.clean());
+    EXPECT_EQ(monitor.exemptedReboots(), 1u);
+    // The window ended with the reboot: later electrical failures are
+    // outside any commitment.
+    monitor.onStep(stepAt(0.002, 1.5, true));
+    EXPECT_TRUE(monitor.clean());
+}
+
+TEST(InvariantMonitor, NoiseAdmissionVoidsThePremise)
+{
+    InvariantMonitor monitor(Volts(1.6));
+    // ADC error let the scheduler admit below Vsafe: Theorem 1 makes no
+    // claim, so a brown-out is tracked but not a violation.
+    monitor.onCommit("task", Volts(2.05), Volts(2.1));
+    EXPECT_EQ(monitor.noiseAdmissions(), 1u);
+    monitor.onStep(stepAt(0.001, 1.55, true));
+    EXPECT_TRUE(monitor.clean());
+}
+
+TEST(InvariantMonitor, StepsOutsideCommitWindowsAreIgnored)
+{
+    InvariantMonitor monitor(Volts(1.6));
+    monitor.onStep(stepAt(0.001, 1.5, true, false, true));
+    monitor.onCommit("task", Volts(2.2), Volts(2.1));
+    monitor.onCommitEnd(true);
+    monitor.onStep(stepAt(0.002, 1.5, true));
+    EXPECT_TRUE(monitor.clean());
+    EXPECT_EQ(monitor.commits(), 1u);
+}
+
+TEST(InvariantMonitor, AdmissionExactlyAtVsafeKeepsThePremise)
+{
+    InvariantMonitor monitor(Volts(1.6));
+    monitor.onCommit("task", Volts(2.1), Volts(2.1));
+    EXPECT_EQ(monitor.noiseAdmissions(), 0u);
+    monitor.onStep(stepAt(0.001, 1.55, true));
+    EXPECT_FALSE(monitor.clean());
+}
+
+// --- Persistence idempotence ---
+
+TEST(PersistenceInvariant, HoldsForImportedAndProfiledTables)
+{
+    const auto cfg = sim::capybaraConfig();
+    core::Culpeo culpeo(core::modelFromConfig(cfg),
+                        std::make_unique<core::IsrProfiler>());
+    culpeo.importPg(1, Volts(2.1), Volts(0.3));
+    const auto outcome = harness::profileTaskFrom(
+        cfg, Volts(2.56), culpeo, 2, load::uniform(25.0_mA, 10.0_ms));
+    ASSERT_TRUE(outcome.stored);
+
+    // Ids 1 and 2 are populated; 3 exercises the no-result path.
+    const auto violation =
+        fault::checkPersistenceIdempotence(culpeo, {1, 2, 3});
+    EXPECT_FALSE(violation.has_value())
+        << (violation.has_value() ? violation->detail : "");
+}
+
+TEST(PersistenceInvariant, HoldsOnAnEmptyTable)
+{
+    core::Culpeo culpeo(core::modelFromConfig(sim::capybaraConfig()),
+                        std::make_unique<core::IsrProfiler>());
+    EXPECT_FALSE(
+        fault::checkPersistenceIdempotence(culpeo, {1, 2}).has_value());
+}
+
+TEST(PersistenceInvariant, HoldsAcrossRepeatedRebootCycles)
+{
+    core::Culpeo culpeo(core::modelFromConfig(sim::capybaraConfig()),
+                        std::make_unique<core::IsrProfiler>());
+    culpeo.importPg(7, Volts(2.2), Volts(0.25));
+    // Simulate a crash-loop: restore from the same snapshot many times.
+    const auto image = culpeo.snapshot();
+    for (int reboot = 0; reboot < 5; ++reboot) {
+        culpeo.restore(image);
+        EXPECT_FALSE(
+            fault::checkPersistenceIdempotence(culpeo, {7}).has_value());
+        EXPECT_EQ(culpeo.snapshot(), image);
+    }
+}
+
+// --- Composition dominance ---
+
+TEST(CompositionInvariant, HoldsOnRandomRequirementSets)
+{
+    util::Rng rng(99);
+    for (int trial = 0; trial < 200; ++trial) {
+        std::vector<core::TaskRequirement> tasks;
+        const unsigned count = 1 + unsigned(rng.uniformInt(5));
+        for (unsigned i = 0; i < count; ++i) {
+            core::TaskRequirement req;
+            req.name = "t" + std::to_string(i);
+            req.v_energy = Volts(rng.uniform(0.0, 0.15));
+            req.vdelta = Volts(rng.uniform(0.0, 0.4));
+            tasks.push_back(req);
+        }
+        const auto violation =
+            fault::checkCompositionDominance(tasks, Volts(1.6));
+        EXPECT_FALSE(violation.has_value())
+            << (violation.has_value() ? violation->detail : "")
+            << " (trial " << trial << ")";
+    }
+}
+
+} // namespace

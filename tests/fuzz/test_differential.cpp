@@ -1,0 +1,467 @@
+/**
+ * @file
+ * Randomized differential test harness (the fault-injection tentpole):
+ * seeded scenario generators drive Culpeo-PG, Culpeo-R, and the CatNap
+ * energy-only baseline against brute-force ground-truth simulation, and
+ * full scheduler/runtime trials run under injected faults with the
+ * invariant monitor attached.
+ *
+ * Every scenario derives from a single 64-bit seed; failures print the
+ * seed so `CULPEO_FUZZ_SEED=<seed> CULPEO_FUZZ_ITERS=1 ./test_fuzz`
+ * replays exactly one failing case. CULPEO_FUZZ_ITERS scales the
+ * iteration budget (default keeps tier-1 runtime bounded).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/api.hpp"
+#include "core/vsafe_pg.hpp"
+#include "fault/injector.hpp"
+#include "fault/invariants.hpp"
+#include "fault/scenario.hpp"
+#include "harness/baselines.hpp"
+#include "harness/ground_truth.hpp"
+#include "harness/profiling.hpp"
+#include "mcu/adc.hpp"
+#include "runtime/intermittent.hpp"
+#include "sched/engine.hpp"
+#include "sched/policy.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+
+unsigned
+envUnsigned(const char *name, unsigned fallback)
+{
+    const char *value = std::getenv(name);
+    if (value == nullptr || *value == '\0')
+        return fallback;
+    const unsigned long parsed = std::strtoul(value, nullptr, 10);
+    return parsed == 0 ? fallback : unsigned(parsed);
+}
+
+bool
+seedOverridden()
+{
+    const char *value = std::getenv("CULPEO_FUZZ_SEED");
+    return value != nullptr && *value != '\0';
+}
+
+std::uint64_t
+baseSeed()
+{
+    const char *value = std::getenv("CULPEO_FUZZ_SEED");
+    if (value == nullptr || *value == '\0')
+        return 20220101; // Fixed default: tier-1 is deterministic.
+    return std::strtoull(value, nullptr, 10);
+}
+
+std::string
+seedHint(std::uint64_t seed)
+{
+    return "replay with CULPEO_FUZZ_SEED=" + std::to_string(seed) +
+           " CULPEO_FUZZ_ITERS=1";
+}
+
+/**
+ * Differential check of the single-task admission rule, against the
+ * paper's own accuracy criterion (Figure 10): for every randomized
+ * (power system, task) pair, each Culpeo estimate must sit no more
+ * than 2% of the operating range below the brute-force truth, and an
+ * admission made with the scheduler's 20 mV dispatch guard band must
+ * survive ground-truth simulation (Theorem 1 as deployed). A CatNap
+ * estimate below the true requirement must brown out — the paper's
+ * predicted failure mode, confirmed rather than assumed.
+ */
+TEST(FuzzDifferential, VsafeAdmissionsSurviveGroundTruth)
+{
+    const unsigned scenarios = envUnsigned("CULPEO_FUZZ_ITERS", 200);
+    const std::uint64_t base = baseSeed();
+
+    unsigned feasible_scenarios = 0;
+    unsigned pg_checked = 0;
+    unsigned r_uarch_checked = 0;
+    unsigned r_isr_checked = 0;
+    unsigned catnap_unsafe = 0;
+
+    for (unsigned i = 0; i < scenarios; ++i) {
+        const std::uint64_t seed = base + i;
+        const fault::TaskScenario scenario =
+            fault::randomTaskScenario(seed);
+        SCOPED_TRACE(seedHint(seed));
+
+        const harness::GroundTruth truth =
+            harness::findTrueVsafe(scenario.config, scenario.profile);
+        if (!truth.feasible)
+            continue; // Task too heavy for this buffer even from Vhigh.
+        ++feasible_scenarios;
+        const double vhigh =
+            scenario.config.monitor.vhigh.value();
+        // Figure 10's safety criterion: an estimate within 2% of the
+        // operating range below the truth is "correct"; the deployed
+        // scheduler covers that band with its dispatch guard band.
+        const double tolerance =
+            0.02 * (vhigh - scenario.config.monitor.voff.value());
+        const Volts guard(20e-3);
+        const auto admitAt = [&](Volts vsafe) {
+            return Volts(std::min(vsafe.value() + guard.value(),
+                                  vhigh));
+        };
+
+        // Culpeo-PG: the compile-time estimate, checked by simulation.
+        const core::PgResult pg = core::culpeoPg(
+            scenario.profile, core::modelFromConfig(scenario.config));
+        if (pg.vsafe.value() <= vhigh) {
+            ++pg_checked;
+            EXPECT_GE(pg.vsafe.value(),
+                      truth.vsafe.value() - tolerance)
+                << "Culpeo-PG estimate " << pg.vsafe.value()
+                << " V is unsafely below truth "
+                << truth.vsafe.value() << " V";
+            EXPECT_TRUE(harness::completesFrom(
+                scenario.config, admitAt(pg.vsafe), scenario.profile))
+                << "Culpeo-PG admission with guard band browned out "
+                   "(estimate " << pg.vsafe.value() << " V, truth "
+                << truth.vsafe.value() << " V)";
+        }
+
+        // Culpeo-R: profile once through the Table I interface, then
+        // check the stored estimate the same way. The uArch block's
+        // 100 kHz capture resolves any generated profile; the 1 ms ISR
+        // timer is only held to the accuracy claim on profiles whose
+        // segments it can actually sample — a high-current burst
+        // shorter than the sample period falls between ISR reads by
+        // design, which is the paper's motivation for the uArch block
+        // (Section V-D).
+        double shortest_segment = 1.0;
+        for (const auto &segment : scenario.profile.segments())
+            shortest_segment =
+                std::min(shortest_segment, segment.duration.value());
+        const double isr_period =
+            1.0 / mcu::msp430OnChipAdc().sample_rate.value();
+
+        const auto checkR = [&](std::unique_ptr<core::Profiler> profiler,
+                                const char *label) {
+            core::Culpeo culpeo(core::modelFromConfig(scenario.config),
+                                std::move(profiler));
+            const harness::ProfileOutcome outcome =
+                harness::profileTaskFrom(scenario.config, Volts(vhigh),
+                                         culpeo, 1, scenario.profile);
+            if (!outcome.stored || culpeo.getVsafe(1).value() > vhigh)
+                return false;
+            EXPECT_GE(culpeo.getVsafe(1).value(),
+                      truth.vsafe.value() - tolerance)
+                << label << " estimate " << culpeo.getVsafe(1).value()
+                << " V is unsafely below truth "
+                << truth.vsafe.value() << " V";
+            EXPECT_TRUE(harness::completesFrom(
+                scenario.config, admitAt(culpeo.getVsafe(1)),
+                scenario.profile))
+                << label << " admission with guard band browned out "
+                   "(estimate " << culpeo.getVsafe(1).value()
+                << " V, truth " << truth.vsafe.value() << " V)";
+
+            const auto persistence =
+                fault::checkPersistenceIdempotence(culpeo, {1, 2});
+            EXPECT_FALSE(persistence.has_value())
+                << (persistence.has_value() ? persistence->detail : "");
+            return true;
+        };
+        if (checkR(std::make_unique<core::UArchProfiler>(),
+                   "Culpeo-R-uArch"))
+            ++r_uarch_checked;
+        if (shortest_segment >= isr_period &&
+            checkR(std::make_unique<core::IsrProfiler>(),
+                   "Culpeo-R-ISR"))
+            ++r_isr_checked;
+
+        // CatNap: when the energy-only estimate lands below even the
+        // tolerance band, the admission it implies must actually fail.
+        const harness::BaselineEstimates baselines =
+            harness::estimateBaselines(scenario.config,
+                                       scenario.profile);
+        if (baselines.catnap_measured.value() <
+            truth.vsafe.value() - tolerance) {
+            ++catnap_unsafe;
+            EXPECT_FALSE(harness::completesFrom(
+                scenario.config, baselines.catnap_measured,
+                scenario.profile))
+                << "CatNap at " << baselines.catnap_measured.value()
+                << " V was below truth " << truth.vsafe.value()
+                << " V yet completed";
+        }
+    }
+
+    RecordProperty("feasible_scenarios", int(feasible_scenarios));
+    RecordProperty("catnap_unsafe", int(catnap_unsafe));
+    if (!seedOverridden()) {
+        // Aggregate expectations hold for the default sweep only: a
+        // single replayed seed may be infeasible, carry sub-ISR-period
+        // bursts (no ISR check), or never push CatNap under truth.
+        EXPECT_GT(feasible_scenarios, scenarios / 2)
+            << "scenario generator produces too few feasible tasks";
+        EXPECT_GT(pg_checked, 0u);
+        EXPECT_GT(r_uarch_checked, 0u);
+        EXPECT_GT(r_isr_checked, 0u);
+        // With the default seed the sweep must exhibit the paper's
+        // predicted CatNap failure mode at least once.
+        EXPECT_GT(catnap_unsafe, 0u);
+    }
+}
+
+/**
+ * Composition invariant over profiled task sets: sequence requirements
+ * from real Culpeo-R results dominate every member's standalone check,
+ * and an unprofiled member forces the conservative Vhigh bound.
+ */
+TEST(FuzzDifferential, CompositionNeverAdmitsBelowSingleTaskCheck)
+{
+    const unsigned sets =
+        std::max(8u, envUnsigned("CULPEO_FUZZ_ITERS", 200) / 5);
+    const std::uint64_t base = baseSeed() + 0x1000000;
+
+    for (unsigned i = 0; i < sets; ++i) {
+        const std::uint64_t seed = base + i;
+        SCOPED_TRACE(seedHint(seed));
+        const fault::TaskScenario first =
+            fault::randomTaskScenario(seed);
+        const Volts voff = first.config.monitor.voff;
+        const Volts vhigh = first.config.monitor.vhigh;
+
+        core::Culpeo culpeo(core::modelFromConfig(first.config),
+                            std::make_unique<core::IsrProfiler>());
+        std::vector<core::TaskRequirement> requirements;
+        std::vector<core::TaskId> ids;
+        for (core::TaskId id = 1; id <= 3; ++id) {
+            // Distinct task profiles on the shared power system.
+            const load::CurrentProfile profile =
+                fault::randomTaskScenario(seed + id * 7919).profile;
+            const harness::ProfileOutcome outcome =
+                harness::profileTaskFrom(first.config, vhigh, culpeo,
+                                         id, profile);
+            if (!outcome.stored)
+                continue;
+            ids.push_back(id);
+            requirements.push_back(core::requirementFrom(
+                profile.name(), culpeo.getVsafe(id),
+                culpeo.getVdrop(id), voff));
+        }
+        if (requirements.empty())
+            continue;
+
+        const auto violation =
+            fault::checkCompositionDominance(requirements, voff);
+        EXPECT_FALSE(violation.has_value())
+            << (violation.has_value() ? violation->detail : "");
+
+        // The facade's sequence query dominates each member too.
+        const Volts multi = culpeo.getVsafeMulti(ids);
+        for (const core::TaskId id : ids) {
+            EXPECT_GE(multi.value() + 1e-9,
+                      culpeo.getVsafe(id).value());
+        }
+        // An unprofiled task degrades the whole sequence to Vhigh.
+        std::vector<core::TaskId> with_unknown = ids;
+        with_unknown.push_back(200);
+        EXPECT_GE(culpeo.getVsafeMulti(with_unknown).value() + 1e-9,
+                  vhigh.value());
+    }
+}
+
+/**
+ * Full scheduler trials under injected faults: harvest dropouts,
+ * leakage spikes, aging steps, forced reboots, and ADC read error all
+ * active, with the invariant monitor auditing every commitment the
+ * Culpeo policy makes. The policy profiles against a zero-harvest,
+ * end-of-life copy of the app (the worst state any injected fault can
+ * reach), so runtime faults can only make its estimates conservative.
+ */
+TEST(FuzzDifferential, CulpeoSchedulingStaysCleanUnderInjectedFaults)
+{
+    const unsigned trials =
+        std::max(8u, envUnsigned("CULPEO_FUZZ_ITERS", 200) / 8);
+    const std::uint64_t base = baseSeed() + 0x2000000;
+
+    unsigned total_commits = 0;
+    unsigned total_reboots = 0;
+    unsigned catnap_violations = 0;
+
+    for (unsigned i = 0; i < trials; ++i) {
+        const std::uint64_t seed = base + i;
+        SCOPED_TRACE(seedHint(seed));
+        const fault::AppScenario scenario =
+            fault::randomAppScenario(seed);
+
+        // Profile at the envelope of every injectable fault: no
+        // incoming power, and the capacitor already at the worst aging
+        // an AgingStep may apply.
+        const fault::FaultKnobs knobs;
+        sched::AppSpec profiling_app = scenario.app;
+        profiling_app.harvest = Watts(0.0);
+        auto &aging = profiling_app.power.capacitor;
+        aging.capacitance_fraction =
+            std::min(aging.capacitance_fraction,
+                     knobs.min_capacitance_fraction);
+        aging.esr_multiplier =
+            std::max(aging.esr_multiplier, knobs.max_esr_multiplier);
+
+        // Profile with the uArch block: generated tasks carry bursts
+        // shorter than the ISR profiler's 1 ms sample period, which the
+        // ISR design cannot resolve by construction (Section V-D). ISR
+        // accuracy on resolvable profiles is covered by the admissions
+        // sweep above.
+        sched::CulpeoPolicy culpeo_policy(/*use_uarch=*/true);
+        culpeo_policy.initialize(profiling_app);
+        {
+            fault::FaultInjector injector(scenario.plan, seed);
+            fault::InvariantMonitor monitor(
+                scenario.app.power.monitor.voff);
+            sched::TrialInstruments instruments;
+            instruments.faults = &injector;
+            instruments.observer = &monitor;
+            sched::runTrial(scenario.app, culpeo_policy,
+                            scenario.duration, seed, instruments);
+            EXPECT_TRUE(monitor.clean()) << monitor.report(seed);
+            total_commits += monitor.commits();
+            total_reboots += monitor.exemptedReboots();
+        }
+
+        // The CatNap baseline under the identical scenario: violations
+        // are counted, not asserted per-trial — the differential claim
+        // is aggregate (it browns out somewhere; Culpeo never does).
+        // CatNap measures its energy buckets on the part as built — it
+        // has no ESR or aging model, so it gets no end-of-life
+        // envelope — and that optimism is exactly the failure mode the
+        // paper predicts for energy-only budgeting.
+        sched::CatnapPolicy catnap_policy;
+        catnap_policy.initialize(scenario.app);
+        {
+            fault::FaultInjector injector(scenario.plan, seed);
+            fault::InvariantMonitor monitor(
+                scenario.app.power.monitor.voff);
+            sched::TrialInstruments instruments;
+            instruments.faults = &injector;
+            instruments.observer = &monitor;
+            sched::runTrial(scenario.app, catnap_policy,
+                            scenario.duration, seed, instruments);
+            catnap_violations += unsigned(monitor.violations().size());
+        }
+    }
+
+    RecordProperty("total_commits", int(total_commits));
+    RecordProperty("catnap_violations", int(catnap_violations));
+    if (!seedOverridden()) {
+        EXPECT_GT(total_commits, 0u)
+            << "no scenario exercised a committed dispatch";
+        EXPECT_GT(total_reboots, 0u)
+            << "no scenario exercised an injected reboot";
+        EXPECT_GT(catnap_violations, 0u)
+            << "CatNap survived every scenario; the differential "
+               "harness lost its discriminating power";
+    }
+}
+
+/**
+ * Intermittent-runtime trials under injected faults: atomic tasks
+ * re-execute across injected reboots while the Vsafe gate holds, and
+ * Culpeo's persisted tables survive every snapshot/restore cycle.
+ */
+TEST(FuzzDifferential, RuntimeSurvivesInjectedRebootsWithCleanInvariants)
+{
+    const unsigned programs =
+        std::max(6u, envUnsigned("CULPEO_FUZZ_ITERS", 200) / 20);
+    const std::uint64_t base = baseSeed() + 0x3000000;
+
+    unsigned finished_programs = 0;
+
+    for (unsigned i = 0; i < programs; ++i) {
+        const std::uint64_t seed = base + i;
+        SCOPED_TRACE(seedHint(seed));
+        const fault::TaskScenario scenario =
+            fault::randomTaskScenario(seed);
+        const Volts vhigh = scenario.config.monitor.vhigh;
+
+        // Profile against the end-of-life envelope (see the scheduler
+        // test above) so injected aging cannot outrun the estimates.
+        const fault::FaultKnobs knobs;
+        sim::PowerSystemConfig profiling_config = scenario.config;
+        profiling_config.capacitor.capacitance_fraction =
+            std::min(profiling_config.capacitor.capacitance_fraction,
+                     knobs.min_capacitance_fraction);
+        profiling_config.capacitor.esr_multiplier =
+            std::max(profiling_config.capacitor.esr_multiplier,
+                     knobs.max_esr_multiplier);
+
+        core::Culpeo culpeo(core::modelFromConfig(profiling_config),
+                            std::make_unique<core::IsrProfiler>());
+        std::vector<runtime::AtomicTask> program;
+        std::vector<core::TaskId> ids;
+        for (core::TaskId id = 1; id <= 3; ++id) {
+            const load::CurrentProfile profile =
+                fault::randomTaskScenario(seed + id * 104729).profile;
+            const harness::ProfileOutcome outcome =
+                harness::profileTaskFrom(profiling_config, vhigh,
+                                         culpeo, id, profile);
+            if (!outcome.stored)
+                continue;
+            ids.push_back(id);
+            program.push_back({id, profile.name(), profile});
+        }
+        if (program.empty())
+            continue;
+
+        // Simulate the reboot cycle a real deployment would take: the
+        // tables round-trip through persistent storage first.
+        const auto image = culpeo.snapshot();
+        culpeo.restore(image);
+        const auto persistence =
+            fault::checkPersistenceIdempotence(culpeo, ids);
+        EXPECT_FALSE(persistence.has_value())
+            << (persistence.has_value() ? persistence->detail : "");
+
+        util::Rng plan_rng(seed ^ 0x5bd1e995);
+        fault::FaultInjector injector(
+            fault::randomPlan(plan_rng, Seconds(20.0)), seed);
+        fault::InvariantMonitor monitor(scenario.config.monitor.voff);
+
+        sim::PowerSystem system(scenario.config);
+        sim::ConstantHarvester harvester(Watts(15e-3));
+        system.setHarvester(&harvester);
+        system.setFaultHooks(&injector);
+        system.setObserver(&monitor);
+        system.setBufferVoltage(vhigh);
+        system.forceOutputEnabled(true);
+
+        runtime::RuntimeOptions options;
+        options.policy = runtime::DispatchPolicy::VsafeGated;
+        options.culpeo = &culpeo;
+        options.timeout = Seconds(60.0);
+        // Same guard band the scheduler uses: absorbs ADC read error
+        // and the Vsafe model-error tolerance.
+        options.dispatch_margin = Volts(20e-3);
+        const runtime::ProgramResult result =
+            runtime::runProgram(system, program, options);
+
+        EXPECT_TRUE(monitor.clean()) << monitor.report(seed);
+        EXPECT_FALSE(result.nonterminating)
+            << "Vsafe-gated program declared non-terminating at task "
+            << result.stuck_task;
+        if (result.finished)
+            ++finished_programs;
+    }
+
+    if (!seedOverridden()) {
+        EXPECT_GT(finished_programs, 0u)
+            << "no fuzzed program ran to completion";
+    }
+}
+
+} // namespace

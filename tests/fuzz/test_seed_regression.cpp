@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Seeded replay regression: a specific scenario seed, found by the
+ * randomized differential sweep, is pinned here so the exact failure
+ * mode it exposed — CatNap's energy-only estimate admitting a pulsed
+ * task below its true requirement and browning out, while both Culpeo
+ * estimators stay safe — is re-verified on every run. This also guards
+ * the generator: if scenario derivation from a seed ever changes, the
+ * pinned expectations break loudly instead of silently shifting the
+ * whole fuzz corpus.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/api.hpp"
+#include "core/vsafe_pg.hpp"
+#include "fault/injector.hpp"
+#include "fault/scenario.hpp"
+#include "harness/baselines.hpp"
+#include "harness/ground_truth.hpp"
+#include "harness/profiling.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+
+/** Found by the VsafeAdmissionsSurviveGroundTruth sweep (seed base
+ * 20220101): CatNap lands well below the true Vsafe and browns out. */
+constexpr std::uint64_t kKnownFailingSeed = 20220103;
+
+TEST(SeedRegression, ScenarioDerivationIsStable)
+{
+    const fault::TaskScenario scenario =
+        fault::randomTaskScenario(kKnownFailingSeed);
+    const fault::TaskScenario replay =
+        fault::randomTaskScenario(kKnownFailingSeed);
+    EXPECT_DOUBLE_EQ(scenario.config.capacitor.capacitance.value(),
+                     replay.config.capacitor.capacitance.value());
+    EXPECT_DOUBLE_EQ(scenario.config.capacitor.series_esr.value(),
+                     replay.config.capacitor.series_esr.value());
+    ASSERT_EQ(scenario.profile.segments().size(),
+              replay.profile.segments().size());
+    for (std::size_t i = 0; i < scenario.profile.segments().size();
+         ++i) {
+        EXPECT_DOUBLE_EQ(
+            scenario.profile.segments()[i].current.value(),
+            replay.profile.segments()[i].current.value());
+        EXPECT_DOUBLE_EQ(
+            scenario.profile.segments()[i].duration.value(),
+            replay.profile.segments()[i].duration.value());
+    }
+}
+
+TEST(SeedRegression, CatnapBrownsOutWhereCulpeoSurvives)
+{
+    const fault::TaskScenario scenario =
+        fault::randomTaskScenario(kKnownFailingSeed);
+    const harness::GroundTruth truth =
+        harness::findTrueVsafe(scenario.config, scenario.profile);
+    ASSERT_TRUE(truth.feasible);
+
+    const double vhigh = scenario.config.monitor.vhigh.value();
+    const double tolerance =
+        0.02 * (vhigh - scenario.config.monitor.voff.value());
+    const auto admitAt = [&](Volts vsafe) {
+        return Volts(std::min(vsafe.value() + 20e-3, vhigh));
+    };
+
+    // The energy-only estimate is far below the true requirement —
+    // outside even the Figure 10 tolerance band — and the admission it
+    // implies actually browns out in simulation.
+    const harness::BaselineEstimates baselines =
+        harness::estimateBaselines(scenario.config, scenario.profile);
+    EXPECT_LT(baselines.catnap_measured.value(),
+              truth.vsafe.value() - tolerance);
+    EXPECT_FALSE(harness::completesFrom(scenario.config,
+                                        baselines.catnap_measured,
+                                        scenario.profile));
+
+    // Both Culpeo estimators stay inside the tolerance band, and their
+    // guard-banded admissions complete.
+    const core::PgResult pg = core::culpeoPg(
+        scenario.profile, core::modelFromConfig(scenario.config));
+    ASSERT_LE(pg.vsafe.value(), vhigh);
+    EXPECT_GE(pg.vsafe.value(), truth.vsafe.value() - tolerance);
+    EXPECT_TRUE(harness::completesFrom(
+        scenario.config, admitAt(pg.vsafe), scenario.profile));
+
+    core::Culpeo culpeo(core::modelFromConfig(scenario.config),
+                        std::make_unique<core::IsrProfiler>());
+    const harness::ProfileOutcome outcome = harness::profileTaskFrom(
+        scenario.config, scenario.config.monitor.vhigh, culpeo, 1,
+        scenario.profile);
+    ASSERT_TRUE(outcome.stored);
+    EXPECT_GE(culpeo.getVsafe(1).value(),
+              truth.vsafe.value() - tolerance);
+    EXPECT_TRUE(harness::completesFrom(scenario.config,
+                                       admitAt(culpeo.getVsafe(1)),
+                                       scenario.profile));
+}
+
+TEST(SeedRegression, FaultPlanReplayIsBitIdentical)
+{
+    util::Rng rng_a(kKnownFailingSeed);
+    util::Rng rng_b(kKnownFailingSeed);
+    const fault::FaultPlan plan_a =
+        fault::randomPlan(rng_a, Seconds(8.0));
+    const fault::FaultPlan plan_b =
+        fault::randomPlan(rng_b, Seconds(8.0));
+    EXPECT_EQ(plan_a.summary(), plan_b.summary());
+
+    fault::FaultInjector injector_a(plan_a, kKnownFailingSeed);
+    fault::FaultInjector injector_b(plan_b, kKnownFailingSeed);
+    for (int i = 0; i < 200; ++i) {
+        const Seconds t(i * 0.04);
+        const sim::FaultActions a =
+            injector_a.onStep(t, Seconds(1e-3));
+        const sim::FaultActions b =
+            injector_b.onStep(t, Seconds(1e-3));
+        EXPECT_DOUBLE_EQ(a.harvest_scale, b.harvest_scale);
+        EXPECT_DOUBLE_EQ(a.extra_leakage.value(),
+                         b.extra_leakage.value());
+        EXPECT_EQ(a.force_brownout, b.force_brownout);
+        EXPECT_EQ(a.apply_aging, b.apply_aging);
+        EXPECT_DOUBLE_EQ(
+            injector_a.perturbReading(Volts(2.3)).value(),
+            injector_b.perturbReading(Volts(2.3)).value());
+    }
+    EXPECT_EQ(injector_a.firedBrownouts(), injector_b.firedBrownouts());
+}
+
+} // namespace

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Golden-file tests for trace I/O: checked-in fixtures under
+ * tests/data/ pin the on-disk CSV format. The good fixture was written
+ * by saveTraceCsv itself (gesture sensor at 50 kHz), so any format
+ * drift in either direction — load rejecting old files, or save
+ * emitting something new — breaks a test here before it breaks a
+ * user's archived captures.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/vsafe_pg.hpp"
+#include "load/library.hpp"
+#include "load/trace_io.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+using load::SampledTrace;
+using load::loadTraceCsv;
+using load::saveTraceCsv;
+
+std::string
+dataPath(const std::string &name)
+{
+    return std::string(CULPEO_TEST_DATA_DIR) + "/" + name;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+TEST(GoldenTrace, MatchesLibraryProfileExactly)
+{
+    const SampledTrace golden =
+        loadTraceCsv(dataPath("gesture_50khz.csv"));
+    const SampledTrace expected = SampledTrace::fromProfile(
+        load::gestureSensor(), Hertz(50e3));
+    EXPECT_DOUBLE_EQ(golden.rate().value(), 50e3);
+    ASSERT_EQ(golden.size(), expected.size());
+    for (std::size_t i = 0; i < golden.size(); ++i)
+        EXPECT_DOUBLE_EQ(golden[i].value(), expected[i].value());
+}
+
+TEST(GoldenTrace, SaveReproducesTheCheckedInBytes)
+{
+    // load ∘ save must be the identity on files save produced: re-saving
+    // the loaded golden trace yields a byte-identical file.
+    const std::string golden_path = dataPath("gesture_50khz.csv");
+    const std::string resaved_path =
+        ::testing::TempDir() + "culpeo_golden_resave.csv";
+    saveTraceCsv(loadTraceCsv(golden_path), resaved_path);
+    EXPECT_EQ(slurp(resaved_path), slurp(golden_path));
+    std::remove(resaved_path.c_str());
+}
+
+TEST(GoldenTrace, FeedsCulpeoPgLikeTheInMemoryProfile)
+{
+    const auto model = core::modelFromConfig(sim::capybaraConfig());
+    const double from_golden =
+        core::culpeoPg(loadTraceCsv(dataPath("gesture_50khz.csv")),
+                       model)
+            .vsafe.value();
+    const double from_memory =
+        core::culpeoPg(SampledTrace::fromProfile(load::gestureSensor(),
+                                                 Hertz(50e3)),
+                       model)
+            .vsafe.value();
+    EXPECT_DOUBLE_EQ(from_golden, from_memory);
+}
+
+class MalformedFixture : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(MalformedFixture, IsRejected)
+{
+    EXPECT_THROW(loadTraceCsv(dataPath(GetParam())), log::FatalError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Files, MalformedFixture,
+    ::testing::Values("malformed_header.csv", "malformed_sample.csv",
+                      "malformed_negative.csv", "malformed_rate.csv"));
+
+} // namespace

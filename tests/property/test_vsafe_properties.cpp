@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/vsafe_multi.hpp"
 #include "core/vsafe_pg.hpp"
 #include "core/vsafe_r.hpp"
@@ -210,6 +212,96 @@ TEST_P(MultiLaw, SummationFormHolds)
         sum += multi.penalties[i].value();
     }
     EXPECT_NEAR(multi.vsafe_multi.value(), sum, 1e-12);
+}
+
+TEST_P(MultiLaw, PermutationInvariantWhenDropsEqual)
+{
+    // With every Vdelta_i equal, only the final task pays a penalty
+    // (every follower requirement already sits above the shared drop
+    // floor), so the composition collapses to Voff + d + sum V(E_i) —
+    // independent of task order, for both formulations.
+    auto tasks = taskSet(GetParam());
+    const Volts d(0.15);
+    double energy_sum = 0.0;
+    for (auto &task : tasks) {
+        task.vdelta = d;
+        energy_sum += task.v_energy.value();
+    }
+
+    const double original =
+        core::vsafeMulti(tasks, Volts(1.6)).vsafe_multi.value();
+    EXPECT_NEAR(original, 1.6 + d.value() + energy_sum, 1e-12);
+
+    auto reversed = tasks;
+    std::reverse(reversed.begin(), reversed.end());
+    EXPECT_NEAR(core::vsafeMulti(reversed, Volts(1.6))
+                    .vsafe_multi.value(),
+                original, 1e-12);
+
+    auto rotated = tasks;
+    std::rotate(rotated.begin(), rotated.begin() + 1, rotated.end());
+    EXPECT_NEAR(core::vsafeMulti(rotated, Volts(1.6))
+                    .vsafe_multi.value(),
+                original, 1e-12);
+
+    const double exact =
+        core::vsafeMultiExact(tasks, Volts(1.6)).vsafe_multi.value();
+    EXPECT_NEAR(core::vsafeMultiExact(reversed, Volts(1.6))
+                    .vsafe_multi.value(),
+                exact, 1e-9);
+    EXPECT_NEAR(core::vsafeMultiExact(rotated, Volts(1.6))
+                    .vsafe_multi.value(),
+                exact, 1e-9);
+}
+
+TEST_P(MultiLaw, MonotoneInEveryDropTerm)
+{
+    // Vsafe_i = V(E_i) + max(Vsafe_{i+1}, Voff + Vdelta_i): raising any
+    // task's worst-case drop can never lower the sequence requirement.
+    const auto tasks = taskSet(GetParam());
+    const double additive =
+        core::vsafeMulti(tasks, Volts(1.6)).vsafe_multi.value();
+    const double exact =
+        core::vsafeMultiExact(tasks, Volts(1.6)).vsafe_multi.value();
+    for (std::size_t j = 0; j < tasks.size(); ++j) {
+        auto bumped = tasks;
+        bumped[j].vdelta += Volts(0.05);
+        EXPECT_GE(core::vsafeMulti(bumped, Volts(1.6))
+                      .vsafe_multi.value(),
+                  additive - 1e-12)
+            << "raising vdelta of task " << j << " lowered the additive "
+               "sequence requirement";
+        EXPECT_GE(core::vsafeMultiExact(bumped, Volts(1.6))
+                      .vsafe_multi.value(),
+                  exact - 1e-12)
+            << "raising vdelta of task " << j << " lowered the exact "
+               "sequence requirement";
+    }
+}
+
+TEST_P(MultiLaw, MonotoneInEveryEnergyTerm)
+{
+    const auto tasks = taskSet(GetParam());
+    const double additive =
+        core::vsafeMulti(tasks, Volts(1.6)).vsafe_multi.value();
+    const double exact =
+        core::vsafeMultiExact(tasks, Volts(1.6)).vsafe_multi.value();
+    for (std::size_t j = 0; j < tasks.size(); ++j) {
+        auto bumped = tasks;
+        bumped[j].v_energy += Volts(0.02);
+        // Non-strict: an earlier task whose Voff + Vdelta floor
+        // dominates its follower requirement absorbs the bump.
+        EXPECT_GE(core::vsafeMulti(bumped, Volts(1.6))
+                      .vsafe_multi.value(),
+                  additive - 1e-12)
+            << "raising v_energy of task " << j << " lowered the "
+               "additive sequence requirement";
+        EXPECT_GE(core::vsafeMultiExact(bumped, Volts(1.6))
+                      .vsafe_multi.value(),
+                  exact - 1e-12)
+            << "raising v_energy of task " << j << " lowered the exact "
+               "sequence requirement";
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Sets, MultiLaw,
