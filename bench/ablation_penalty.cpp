@@ -8,13 +8,16 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/common.hpp"
 #include "core/vsafe_multi.hpp"
 #include "core/vsafe_pg.hpp"
 #include "harness/ground_truth.hpp"
+#include "harness/vsafe_cache.hpp"
 #include "load/library.hpp"
 #include "util/csv.hpp"
+#include "util/parallel.hpp"
 
 using namespace culpeo;
 using namespace culpeo::units;
@@ -54,38 +57,61 @@ main()
                 "truth", "no-penalty", "additive", "exact");
     bench::rule(78);
 
-    for (const auto &seq : sequences) {
-        // Per-task requirements from Culpeo-PG.
-        std::vector<core::TaskRequirement> reqs;
-        load::CurrentProfile combined = seq.tasks.front();
-        for (std::size_t i = 1; i < seq.tasks.size(); ++i)
-            combined = combined.then(seq.tasks[i]);
-        for (const auto &task : seq.tasks) {
-            const auto pg = core::culpeoPg(task, model);
-            reqs.push_back(core::requirementFrom(task.name(), pg.vsafe,
-                                                 pg.vdelta, model.voff));
-        }
+    struct Row
+    {
+        double truth = 0.0;
+        double no_penalty = 0.0;
+        double additive = 0.0;
+        double exact = 0.0;
+    };
+    std::vector<std::size_t> indices(std::size(sequences));
+    for (std::size_t i = 0; i < indices.size(); ++i)
+        indices[i] = i;
 
-        const auto truth = harness::findTrueVsafe(cfg, combined);
+    // Each sequence's ground-truth search runs on the sweep executor;
+    // printing stays serial and in declaration order.
+    const std::vector<Row> rows = util::parallelMap(
+        indices, [&](const std::size_t &idx) {
+            const auto &seq = sequences[idx];
+            Row row;
+            // Per-task requirements from Culpeo-PG.
+            std::vector<core::TaskRequirement> reqs;
+            load::CurrentProfile combined = seq.tasks.front();
+            for (std::size_t i = 1; i < seq.tasks.size(); ++i)
+                combined = combined.then(seq.tasks[i]);
+            for (const auto &task : seq.tasks) {
+                const auto pg = core::culpeoPg(task, model);
+                reqs.push_back(core::requirementFrom(
+                    task.name(), pg.vsafe, pg.vdelta, model.voff));
+            }
 
-        // No penalty: energy increments only.
-        double no_penalty = model.voff.value();
-        for (const auto &req : reqs)
-            no_penalty += req.v_energy.value();
+            const auto truth = harness::VsafeCache::global().findOrCompute(
+                cfg, combined);
+            row.truth = truth.vsafe.value();
 
-        const double additive =
-            core::vsafeMulti(reqs, model.voff).vsafe_multi.value();
-        const double exact =
-            core::vsafeMultiExact(reqs, model.voff).vsafe_multi.value();
+            // No penalty: energy increments only.
+            row.no_penalty = model.voff.value();
+            for (const auto &req : reqs)
+                row.no_penalty += req.v_energy.value();
 
-        const double t = truth.vsafe.value();
+            row.additive =
+                core::vsafeMulti(reqs, model.voff).vsafe_multi.value();
+            row.exact =
+                core::vsafeMultiExact(reqs, model.voff).vsafe_multi.value();
+            return row;
+        });
+
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+        const auto &seq = sequences[i];
+        const Row &row = rows[i];
+        const double t = row.truth;
         std::printf("%-22s %7.3fV | %10.1f%% %9.1f%% %8.1f%%\n", seq.name,
-                    t, (no_penalty - t) / range * 100.0,
-                    (additive - t) / range * 100.0,
-                    (exact - t) / range * 100.0);
-        csv.row(seq.name, t, (no_penalty - t) / range * 100.0,
-                (additive - t) / range * 100.0,
-                (exact - t) / range * 100.0);
+                    t, (row.no_penalty - t) / range * 100.0,
+                    (row.additive - t) / range * 100.0,
+                    (row.exact - t) / range * 100.0);
+        csv.row(seq.name, t, (row.no_penalty - t) / range * 100.0,
+                (row.additive - t) / range * 100.0,
+                (row.exact - t) / range * 100.0);
     }
 
     std::printf("\nDropping the penalty term is always unsafe (negative\n"

@@ -17,7 +17,9 @@
 #include "core/vsafe_pg.hpp"
 #include "harness/baselines.hpp"
 #include "harness/ground_truth.hpp"
+#include "harness/vsafe_cache.hpp"
 #include "load/library.hpp"
+#include "util/parallel.hpp"
 
 using namespace culpeo;
 using namespace culpeo::units;
@@ -35,8 +37,23 @@ main()
     const auto both = sense.then(radio);
 
     // (a) CatNap's energy profiling (Fig. 5a): start/end voltage deltas.
-    const auto est_sense = harness::estimateBaselines(cfg, sense);
-    const auto est_radio = harness::estimateBaselines(cfg, radio);
+    // The two profiling runs and the brute-force search are mutually
+    // independent — run all three on the sweep executor.
+    harness::BaselineEstimates est_sense, est_radio;
+    harness::GroundTruth truth;
+    util::parallelFor(3, [&](std::size_t i) {
+        switch (i) {
+        case 0:
+            est_sense = harness::estimateBaselines(cfg, sense);
+            break;
+        case 1:
+            est_radio = harness::estimateBaselines(cfg, radio);
+            break;
+        default:
+            truth = harness::VsafeCache::global().findOrCompute(cfg, both);
+            break;
+        }
+    });
     const double cost_sense = est_sense.energy_direct.value() - 1.6;
     const double cost_radio = est_radio.energy_direct.value() - 1.6;
     std::printf("CatNap energy costs:  sense %.3f V   radio %.3f V\n",
@@ -47,7 +64,6 @@ main()
     std::printf("CatNap budget for sense+radio in one discharge: %.3f V\n",
                 budget);
 
-    const auto truth = harness::findTrueVsafe(cfg, both);
     std::printf("True safe starting voltage (ESR-aware):         %.3f V\n",
                 truth.vsafe.value());
 

@@ -11,6 +11,7 @@
 
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "bench/common.hpp"
 #include "core/api.hpp"
@@ -18,8 +19,10 @@
 #include "harness/baselines.hpp"
 #include "harness/ground_truth.hpp"
 #include "harness/profiling.hpp"
+#include "harness/vsafe_cache.hpp"
 #include "load/library.hpp"
 #include "util/csv.hpp"
+#include "util/parallel.hpp"
 
 using namespace culpeo;
 using namespace culpeo::units;
@@ -62,41 +65,71 @@ main()
                 "Culpeo-uArch");
     bench::rule(80);
 
-    int unsafe_culpeo = 0;
+    // Work list first, rows computed on the sweep executor, printed in
+    // order afterwards so the table is identical to the serial sweep.
+    struct Point
+    {
+        load::CurrentProfile profile;
+        Amps i_load{0.0};
+        Seconds t_pulse{0.0};
+        bool with_tail = false;
+    };
+    struct Row
+    {
+        double truth = 0.0;
+        double catnap = 0.0;
+        double pg = 0.0;
+        double isr = 0.0;
+        double uarch = 0.0;
+    };
+    std::vector<Point> points;
     for (bool with_tail : {false, true}) {
         for (const auto &pt : load::figure10Sweep()) {
             const auto profile = with_tail
                 ? load::pulseWithCompute(pt.i_load, pt.t_pulse)
                 : load::uniform(pt.i_load, pt.t_pulse);
-            const auto truth = harness::findTrueVsafe(cfg, profile);
-            const double t = truth.vsafe.value();
-
-            const auto baselines = harness::estimateBaselines(cfg, profile);
-            const double catnap =
-                (baselines.catnap_measured.value() - t) / range * 100.0;
-            const double pg =
-                (core::culpeoPg(profile, model).vsafe.value() - t) /
-                range * 100.0;
-            const double isr =
-                culpeoRError(cfg, profile, false, t, range);
-            const double uarch =
-                culpeoRError(cfg, profile, true, t, range);
-
-            for (double err : {pg, isr, uarch}) {
-                if (err < -2.0)
-                    ++unsafe_culpeo;
-            }
-
-            char label[32];
-            std::snprintf(label, sizeof(label), "%.0fmA/%.0fms",
-                          pt.i_load.value() * 1e3,
-                          pt.t_pulse.value() * 1e3);
-            const char *shape = with_tail ? "pulse+" : "uniform";
-            std::printf("%-13s %-8s %8.3f | %7.1f%% %9.1f%% %10.1f%% "
-                        "%12.1f%%\n",
-                        label, shape, t, catnap, pg, isr, uarch);
-            csv.row(label, shape, t, catnap, pg, isr, uarch);
+            points.push_back({profile, pt.i_load, pt.t_pulse, with_tail});
         }
+    }
+
+    const std::vector<Row> rows = util::parallelMap(
+        points, [&](const Point &pt) {
+            Row row;
+            const auto truth = harness::VsafeCache::global().findOrCompute(
+                cfg, pt.profile);
+            row.truth = truth.vsafe.value();
+            const auto baselines =
+                harness::estimateBaselines(cfg, pt.profile);
+            row.catnap = (baselines.catnap_measured.value() - row.truth) /
+                         range * 100.0;
+            row.pg = (core::culpeoPg(pt.profile, model).vsafe.value() -
+                      row.truth) /
+                     range * 100.0;
+            row.isr = culpeoRError(cfg, pt.profile, false, row.truth, range);
+            row.uarch =
+                culpeoRError(cfg, pt.profile, true, row.truth, range);
+            return row;
+        });
+
+    int unsafe_culpeo = 0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const Point &pt = points[i];
+        const Row &row = rows[i];
+        for (double err : {row.pg, row.isr, row.uarch}) {
+            if (err < -2.0)
+                ++unsafe_culpeo;
+        }
+
+        char label[32];
+        std::snprintf(label, sizeof(label), "%.0fmA/%.0fms",
+                      pt.i_load.value() * 1e3, pt.t_pulse.value() * 1e3);
+        const char *shape = pt.with_tail ? "pulse+" : "uniform";
+        std::printf("%-13s %-8s %8.3f | %7.1f%% %9.1f%% %10.1f%% "
+                    "%12.1f%%\n",
+                    label, shape, row.truth, row.catnap, row.pg, row.isr,
+                    row.uarch);
+        csv.row(label, shape, row.truth, row.catnap, row.pg, row.isr,
+                row.uarch);
     }
 
     bench::rule(80);

@@ -19,21 +19,31 @@ using namespace culpeo::units::literals;
 
 namespace {
 
+/**
+ * Steps per timed iteration for the stepping benchmarks. The buffer
+ * reset runs once per batch inside PauseTiming, so the timer-toggle
+ * overhead (which used to land on individual sub-microsecond steps and
+ * skew them) is amortized 1/kStepBatch; 256 steps of 50 us at these
+ * loads discharge well above the collapse region, so no mid-batch
+ * reset is ever needed.
+ */
+constexpr int kStepBatch = 256;
+
 void
 BM_PowerSystemStep(benchmark::State &state)
 {
     sim::PowerSystem system(sim::capybaraConfig());
-    system.setBufferVoltage(Volts(2.5));
-    system.forceOutputEnabled(true);
     for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            system.step(Seconds(50e-6), Amps(10e-3)));
-        if (system.capacitor().openCircuitVoltage().value() < 1.7) {
-            state.PauseTiming();
-            system.setBufferVoltage(Volts(2.5));
-            state.ResumeTiming();
+        state.PauseTiming();
+        system.setBufferVoltage(Volts(2.5));
+        system.forceOutputEnabled(true);
+        state.ResumeTiming();
+        for (int i = 0; i < kStepBatch; ++i) {
+            benchmark::DoNotOptimize(
+                system.step(Seconds(50e-6), Amps(10e-3)));
         }
     }
+    state.SetItemsProcessed(int64_t(state.iterations()) * kStepBatch);
 }
 BENCHMARK(BM_PowerSystemStep);
 
@@ -41,15 +51,62 @@ void
 BM_CapacitorStep(benchmark::State &state)
 {
     sim::Capacitor cap(sim::capybaraConfig().capacitor);
-    cap.setOpenCircuitVoltage(Volts(2.5));
     for (auto _ : state) {
-        cap.step(Seconds(50e-6), Amps(5e-3));
-        benchmark::DoNotOptimize(cap.openCircuitVoltage());
-        if (cap.openCircuitVoltage().value() < 1.7)
-            cap.setOpenCircuitVoltage(Volts(2.5));
+        state.PauseTiming();
+        cap.setOpenCircuitVoltage(Volts(2.5));
+        state.ResumeTiming();
+        for (int i = 0; i < kStepBatch; ++i) {
+            cap.step(Seconds(50e-6), Amps(5e-3));
+            benchmark::DoNotOptimize(cap.openCircuitVoltage());
+        }
     }
+    state.SetItemsProcessed(int64_t(state.iterations()) * kStepBatch);
 }
 BENCHMARK(BM_CapacitorStep);
+
+void
+BM_CapacitorAdvanceAnalytic(benchmark::State &state)
+{
+    sim::Capacitor cap(sim::capybaraConfig().capacitor);
+    for (auto _ : state) {
+        state.PauseTiming();
+        cap.setOpenCircuitVoltage(Volts(2.5));
+        state.ResumeTiming();
+        for (int i = 0; i < kStepBatch; ++i) {
+            cap.advanceAnalytic(Seconds(50e-6), Amps(5e-3));
+            benchmark::DoNotOptimize(cap.openCircuitVoltage());
+        }
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) * kStepBatch);
+}
+BENCHMARK(BM_CapacitorAdvanceAnalytic);
+
+/**
+ * One 25 mA / 10 ms task segment through the Euler loop vs. the
+ * analytic fast path — the per-execution speedup that multiplies
+ * through every harness simulation.
+ */
+void
+BM_RunSegment(benchmark::State &state)
+{
+    const bool analytic = state.range(0) != 0;
+    sim::PowerSystem system(sim::capybaraConfig());
+    sim::SegmentOptions options;
+    options.allow_analytic = analytic;
+    for (auto _ : state) {
+        state.PauseTiming();
+        system.setBufferVoltage(Volts(2.5));
+        system.forceOutputEnabled(true);
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(
+            system.runSegment(Seconds(10e-3), Amps(25e-3), options));
+    }
+}
+BENCHMARK(BM_RunSegment)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("analytic")
+    ->Unit(benchmark::kMicrosecond);
 
 void
 BM_CulpeoPg(benchmark::State &state)
@@ -92,6 +149,13 @@ BM_VsafeMulti(benchmark::State &state)
 }
 BENCHMARK(BM_VsafeMulti)->Arg(4)->Arg(16)->Arg(64);
 
+/**
+ * The full bisection search on the analytic fast path (the default
+ * everywhere in the harness). BM_GroundTruthSearchEuler below runs the
+ * identical search with the fast path disabled; their ratio is the
+ * segment-stepping speedup, measured in-process so machine load
+ * cancels out of the comparison.
+ */
 void
 BM_GroundTruthSearch(benchmark::State &state)
 {
@@ -103,6 +167,21 @@ BM_GroundTruthSearch(benchmark::State &state)
     }
 }
 BENCHMARK(BM_GroundTruthSearch)->Unit(benchmark::kMillisecond);
+
+void
+BM_GroundTruthSearchEuler(benchmark::State &state)
+{
+    const auto cfg = sim::capybaraConfig();
+    const auto profile = load::uniform(25.0_mA, 10.0_ms);
+    harness::SearchOptions options;
+    options.resolution = Volts(5e-3);
+    options.allow_fast_path = false;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            harness::findTrueVsafe(cfg, profile, options));
+    }
+}
+BENCHMARK(BM_GroundTruthSearchEuler)->Unit(benchmark::kMillisecond);
 
 void
 BM_UArchTick(benchmark::State &state)

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Run the micro_perf suite and record machine-readable results.
+#
+# Usage: bench/run_benchmarks.sh [build_dir] [output_json]
+#
+# Defaults: build_dir=build, output_json=BENCH_micro_perf.json (repo
+# root). Pass BENCHMARK_FILTER to restrict benchmarks, e.g.
+#   BENCHMARK_FILTER='BM_GroundTruthSearch.*' bench/run_benchmarks.sh
+#
+# The JSON is google-benchmark's --benchmark_out format; the
+# BM_GroundTruthSearch / BM_GroundTruthSearchEuler pair measures the
+# analytic segment-stepping speedup in-process, so their ratio is
+# meaningful even on a loaded machine.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+OUTPUT="${2:-BENCH_micro_perf.json}"
+FILTER="${BENCHMARK_FILTER:-}"
+
+BIN="$BUILD_DIR/bench/micro_perf"
+if [[ ! -x "$BIN" ]]; then
+    echo "error: $BIN not built; run:" >&2
+    echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+    exit 1
+fi
+
+ARGS=(
+    --benchmark_out="$OUTPUT"
+    --benchmark_out_format=json
+    --benchmark_repetitions="${BENCHMARK_REPETITIONS:-1}"
+)
+if [[ -n "$FILTER" ]]; then
+    ARGS+=(--benchmark_filter="$FILTER")
+fi
+
+"$BIN" "${ARGS[@]}"
+
+echo
+echo "wrote $OUTPUT"
+
+# Convenience: print the analytic-vs-Euler search speedup if both
+# benchmarks are present in the output.
+python3 - "$OUTPUT" <<'EOF' 2>/dev/null || true
+import json, sys
+data = json.load(open(sys.argv[1]))
+times = {}
+for b in data.get("benchmarks", []):
+    if b.get("run_type") == "aggregate":
+        continue
+    times[b["name"]] = b["real_time"]
+fast = times.get("BM_GroundTruthSearch")
+euler = times.get("BM_GroundTruthSearchEuler")
+if fast and euler:
+    print(f"ground-truth search speedup (Euler/analytic): {euler / fast:.1f}x")
+EOF

@@ -6,52 +6,68 @@ namespace culpeo::harness {
 
 bool
 completesFrom(const sim::PowerSystemConfig &config, Volts vstart,
-              const load::CurrentProfile &profile)
+              const load::CurrentProfile &profile, bool allow_fast_path)
 {
     RunOptions options;
     options.dt = chooseDt(profile);
     options.settle_rebound = false;
+    options.allow_fast_path = allow_fast_path;
     const RunResult result = runTaskFrom(config, vstart, profile, options);
     return result.completed;
 }
 
 GroundTruth
 findTrueVsafe(const sim::PowerSystemConfig &config,
-              const load::CurrentProfile &profile, Volts resolution)
+              const load::CurrentProfile &profile,
+              const SearchOptions &search)
 {
-    log::fatalIf(resolution.value() <= 0.0, "resolution must be positive");
+    log::fatalIf(search.resolution.value() <= 0.0,
+                 "resolution must be positive");
+
+    RunOptions options;
+    options.dt = chooseDt(profile);
+    options.settle_rebound = false;
+    options.allow_fast_path = search.allow_fast_path;
 
     GroundTruth truth;
     Volts lo = config.monitor.voff;
     Volts hi = config.monitor.vhigh;
 
-    // The search needs a passing upper bound.
+    // The search needs a passing upper bound. The latest passing run at
+    // the current `hi` is kept so the converged bound's vmin doubles as
+    // vmin_at_vsafe without a redundant final trial.
     ++truth.trials;
-    if (!completesFrom(config, hi, profile)) {
+    RunResult at_hi = runTaskFrom(config, hi, profile, options);
+    if (!at_hi.completed) {
         truth.feasible = false;
         truth.vsafe = hi;
         return truth;
     }
     truth.feasible = true;
 
-    while (hi - lo > resolution) {
+    while (hi - lo > search.resolution) {
         const Volts mid = Volts((hi.value() + lo.value()) / 2.0);
         ++truth.trials;
-        if (completesFrom(config, mid, profile))
+        RunResult at_mid = runTaskFrom(config, mid, profile, options);
+        if (at_mid.completed) {
             hi = mid;
-        else
+            at_hi = at_mid;
+        } else {
             lo = mid;
+        }
     }
     truth.vsafe = hi;
-
-    // Record the margin the found Vsafe leaves above Voff.
-    RunOptions options;
-    options.dt = chooseDt(profile);
-    options.settle_rebound = false;
-    const RunResult at_vsafe = runTaskFrom(config, hi, profile, options);
-    truth.vmin_at_vsafe = at_vsafe.vmin;
-    ++truth.trials;
+    truth.vmin_at_vsafe = at_hi.vmin;
     return truth;
+}
+
+GroundTruth
+findTrueVsafe(const sim::PowerSystemConfig &config,
+              const load::CurrentProfile &profile, Volts resolution)
+{
+    SearchOptions search;
+    search.resolution = resolution;
+    return findTrueVsafe(config, profile, search);
 }
 
 } // namespace culpeo::harness

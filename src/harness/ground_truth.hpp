@@ -24,10 +24,28 @@ struct GroundTruth
     unsigned trials = 0;  ///< Number of simulated executions.
 };
 
+/** Controls for the brute-force search. */
+struct SearchOptions
+{
+    /**
+     * Convergence width of the bisection (the paper converges until
+     * Vmin is within 5 mV of Voff).
+     */
+    Volts resolution{1e-3};
+    /** Permit the analytic segment fast path for each trial. */
+    bool allow_fast_path = true;
+};
+
 /**
  * Binary-search the true Vsafe of @p profile on @p config to within
- * @p resolution (the paper converges until Vmin is within 5 mV of Voff).
+ * options.resolution. The final passing trial at the converged upper
+ * bound doubles as the vmin_at_vsafe measurement — no extra run.
  */
+GroundTruth findTrueVsafe(const sim::PowerSystemConfig &config,
+                          const load::CurrentProfile &profile,
+                          const SearchOptions &options);
+
+/** Convenience overload keeping the original resolution-only call. */
 GroundTruth findTrueVsafe(const sim::PowerSystemConfig &config,
                           const load::CurrentProfile &profile,
                           Volts resolution = Volts(1e-3));
@@ -37,7 +55,8 @@ GroundTruth findTrueVsafe(const sim::PowerSystemConfig &config,
  * power? (One isolated trial.)
  */
 bool completesFrom(const sim::PowerSystemConfig &config, Volts vstart,
-                   const load::CurrentProfile &profile);
+                   const load::CurrentProfile &profile,
+                   bool allow_fast_path = true);
 
 } // namespace culpeo::harness
 

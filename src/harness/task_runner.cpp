@@ -33,6 +33,39 @@ runTask(sim::PowerSystem &system, const load::CurrentProfile &profile,
     const Seconds duration = profile.duration();
     const double dt = options.dt.value();
 
+    // With no Culpeo attached (nothing to tick per step) and an
+    // instrumentation-free system, each piecewise-constant profile
+    // segment can be advanced with the analytic fast path.
+    if (options.allow_fast_path && culpeo == nullptr &&
+        system.analyticEligible()) {
+        sim::SegmentOptions seg_options;
+        seg_options.fallback_dt = options.dt;
+        seg_options.stop_on_failure = options.stop_on_failure;
+        bool fast_failed = false;
+        for (const auto &seg : profile.segments()) {
+            const sim::SegmentResult seg_result =
+                system.runSegment(seg.duration, seg.current, seg_options);
+            result.vmin = std::min(result.vmin, seg_result.vmin);
+            result.vend_loaded = seg_result.vend;
+            if (seg_result.power_failed || seg_result.collapsed) {
+                result.power_failed =
+                    result.power_failed || seg_result.power_failed;
+                result.collapsed =
+                    result.collapsed || seg_result.collapsed;
+                fast_failed = true;
+                if (options.stop_on_failure)
+                    break;
+            }
+        }
+        result.completed = !fast_failed;
+        result.task_end = system.now();
+        result.vfinal = system.restingVoltage();
+        if (options.settle_rebound)
+            result.vfinal = settleRebound(system, options, culpeo);
+        result.settle_end = system.now();
+        return result;
+    }
+
     bool failed = false;
     Seconds offset{0.0};
     while (offset < duration) {

@@ -48,6 +48,12 @@ struct RunOptions
     core::Culpeo *culpeo = nullptr;
     /** Abort the run at the first brown-out (a real device would). */
     bool stop_on_failure = true;
+    /**
+     * Permit analytic segment stepping (PowerSystem::runSegment) when no
+     * Culpeo instance is attached and the system is instrumentation-free.
+     * False forces the reference Euler loop at dt.
+     */
+    bool allow_fast_path = true;
 };
 
 /** Outcome of one task execution. */

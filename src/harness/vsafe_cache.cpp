@@ -1,0 +1,142 @@
+#include "vsafe_cache.hpp"
+
+#include <bit>
+
+namespace culpeo::harness {
+
+namespace {
+
+/** splitmix64 finalizer: the standard strong 64-bit mixer. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+struct Hasher
+{
+    std::uint64_t state = 0x435553504f4b4559ULL; // "CUSPOKEY"
+
+    void add(std::uint64_t v) { state = mix(state ^ v); }
+    void add(double v)
+    {
+        // Normalize -0.0 so numerically equal configs key identically.
+        add(std::bit_cast<std::uint64_t>(v == 0.0 ? 0.0 : v));
+    }
+    void add(bool v) { add(std::uint64_t(v ? 1 : 2)); }
+};
+
+} // namespace
+
+std::uint64_t
+groundTruthKey(const sim::PowerSystemConfig &config,
+               const load::CurrentProfile &profile,
+               const SearchOptions &options)
+{
+    Hasher h;
+
+    const sim::CapacitorConfig &cap = config.capacitor;
+    h.add(cap.capacitance.value());
+    h.add(cap.series_esr.value());
+    h.add(cap.surface_fraction);
+    h.add(cap.bulk_resistance.value());
+    h.add(cap.surface_resistance.value());
+    h.add(cap.leakage.value());
+    h.add(cap.capacitance_fraction);
+    h.add(cap.esr_multiplier);
+
+    const sim::OutputBoosterConfig &out = config.output;
+    h.add(out.vout.value());
+    h.add(out.efficiency.slope);
+    h.add(out.efficiency.intercept);
+    h.add(out.efficiency.curvature);
+    h.add(out.efficiency.current_coeff);
+    h.add(out.efficiency.v_ref);
+    h.add(out.efficiency.min_eta);
+    h.add(out.efficiency.max_eta);
+    h.add(out.dropout.value());
+    h.add(out.quiescent.value());
+
+    const sim::InputBoosterConfig &in = config.input;
+    h.add(in.efficiency);
+    h.add(in.vhigh.value());
+    h.add(in.max_charge_current.value());
+
+    h.add(config.monitor.vhigh.value());
+    h.add(config.monitor.voff.value());
+
+    h.add(std::uint64_t(profile.segments().size()));
+    for (const auto &seg : profile.segments()) {
+        h.add(seg.duration.value());
+        h.add(seg.current.value());
+    }
+
+    h.add(options.resolution.value());
+    h.add(options.allow_fast_path);
+    return h.state;
+}
+
+VsafeCache &
+VsafeCache::global()
+{
+    static VsafeCache cache;
+    return cache;
+}
+
+GroundTruth
+VsafeCache::findOrCompute(const sim::PowerSystemConfig &config,
+                          const load::CurrentProfile &profile,
+                          const SearchOptions &options)
+{
+    const std::uint64_t key = groundTruthKey(config, profile, options);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            ++hits_;
+            return it->second;
+        }
+    }
+    const GroundTruth truth = findTrueVsafe(config, profile, options);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++misses_;
+        entries_.emplace(key, truth);
+    }
+    return truth;
+}
+
+std::size_t
+VsafeCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+std::size_t
+VsafeCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+std::size_t
+VsafeCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+void
+VsafeCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    hits_ = 0;
+    misses_ = 0;
+}
+
+} // namespace culpeo::harness

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Memoized ground truth: the figure sweeps and the fuzz campaigns call
+ * findTrueVsafe with overlapping (config, profile, resolution) tuples —
+ * notably ablation variants that share a baseline — and each search
+ * costs a bisection's worth of simulated executions. The cache keys the
+ * exact numeric content of the search inputs and is safe to share
+ * across the sweep executor's threads.
+ */
+
+#ifndef CULPEO_HARNESS_VSAFE_CACHE_HPP
+#define CULPEO_HARNESS_VSAFE_CACHE_HPP
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "harness/ground_truth.hpp"
+
+namespace culpeo::harness {
+
+/**
+ * 64-bit key over every double that feeds a ground-truth search: all
+ * capacitor/booster/monitor config fields, each profile segment's
+ * (duration, current), the search resolution, and the fast-path flag.
+ * splitmix64-mixed; collisions are astronomically unlikely at sweep
+ * scale, and a collision only ever substitutes another *computed*
+ * ground truth.
+ */
+std::uint64_t groundTruthKey(const sim::PowerSystemConfig &config,
+                             const load::CurrentProfile &profile,
+                             const SearchOptions &options);
+
+/**
+ * Thread-safe memo table for findTrueVsafe results. Lookups and
+ * inserts are mutex-protected; the search itself runs outside the lock
+ * so concurrent threads never serialize on a miss (a duplicated
+ * compute is benign — both arrive at the same truth).
+ */
+class VsafeCache
+{
+  public:
+    /** Process-wide cache shared by the sweeps. */
+    static VsafeCache &global();
+
+    /** Cached search: hit returns the memoized truth, miss computes. */
+    GroundTruth findOrCompute(const sim::PowerSystemConfig &config,
+                              const load::CurrentProfile &profile,
+                              const SearchOptions &options = {});
+
+    std::size_t hits() const;
+    std::size_t misses() const;
+    std::size_t size() const;
+    void clear();
+
+  private:
+    mutable std::mutex mutex_;
+    std::unordered_map<std::uint64_t, GroundTruth> entries_;
+    std::size_t hits_ = 0;
+    std::size_t misses_ = 0;
+};
+
+} // namespace culpeo::harness
+
+#endif // CULPEO_HARNESS_VSAFE_CACHE_HPP

@@ -271,4 +271,55 @@ Capacitor::step(Seconds dt, Amps i_out)
     }
 }
 
+TwoBranchCoefficients
+Capacitor::analyticCoefficients() const
+{
+    const double cb = config_.bulkCapacitance().value();
+    const double cs = config_.surfaceCapacitance().value();
+    const double c = cb + cs;
+    const double gb = 1.0 / config_.agedBulkResistance().value();
+    const double gs = 1.0 / config_.agedSurfaceResistance().value();
+    const double g = gb + gs;
+
+    TwoBranchCoefficients k;
+    k.tau = config_.redistributionTau().value();
+    k.beta = (gb / g) / cb - (gs / g) / cs;
+    k.gamma = gb / g - cb / c;
+    k.c_total = c;
+    k.cb = cb;
+    k.cs = cs;
+    k.rth = theveninResistance().value();
+    return k;
+}
+
+void
+Capacitor::advanceAnalytic(Seconds dt, Amps i_out)
+{
+    log::fatalIf(dt.value() <= 0.0,
+                 "Capacitor::advanceAnalytic requires dt > 0");
+
+    double net = i_out.value();
+    if (openCircuitVoltage().value() > 0.0)
+        net += config_.leakage.value();
+
+    const TwoBranchCoefficients k = analyticCoefficients();
+    const double q0 =
+        (k.cb * v_bulk_.value() + k.cs * v_surf_.value()) / k.c_total;
+    const double d0 = v_bulk_.value() - v_surf_.value();
+    const double d_inf = -net * k.beta * k.tau;
+    const double q = q0 - net * dt.value() / k.c_total;
+    const double d = (d0 - d_inf) * std::exp(-dt.value() / k.tau) + d_inf;
+    const double vb = q + (k.cs / k.c_total) * d;
+    const double vs = q - (k.cb / k.c_total) * d;
+    if (vb < 0.0 || vs < 0.0) {
+        // The Euler path clamps branch voltages at zero every sub-step;
+        // the closed form has no clamp, so deep-discharge segments are
+        // delegated to the reference integrator.
+        step(dt, i_out);
+        return;
+    }
+    v_bulk_ = Volts(vb);
+    v_surf_ = Volts(vs);
+}
+
 } // namespace culpeo::sim

@@ -130,6 +130,31 @@ struct CapacitorConfig
 };
 
 /**
+ * Coefficients of the closed-form solution of the two-branch model
+ * under a constant net output current I (DESIGN.md §10). In the
+ * coordinates q (charge-weighted open-circuit voltage) and
+ * d = v_bulk - v_surf the dynamics decouple:
+ *
+ *   q(t) = q0 - I t / c_total
+ *   d(t) = (d0 - d_inf) exp(-t / tau) + d_inf,   d_inf = -I beta tau
+ *
+ * and the branch/Thevenin voltages recover as
+ *
+ *   v_bulk = q + (cs / c_total) d,  v_surf = q - (cb / c_total) d,
+ *   Vth    = q + gamma d,           vterm  = Vth - I_term rth.
+ */
+struct TwoBranchCoefficients
+{
+    double tau = 0.0;     ///< Redistribution time constant (s).
+    double beta = 0.0;    ///< Forcing coefficient of d' = -d/tau - beta I.
+    double gamma = 0.0;   ///< Thevenin weight: Vth = q + gamma d.
+    double c_total = 0.0; ///< Aged total capacitance (F).
+    double cb = 0.0;      ///< Aged bulk-branch capacitance (F).
+    double cs = 0.0;      ///< Aged surface-branch capacitance (F).
+    double rth = 0.0;     ///< Thevenin resistance incl. series ESR (ohm).
+};
+
+/**
  * The energy buffer. Stateful: tracks the open-circuit voltage of each
  * internal branch.
  */
@@ -173,6 +198,20 @@ class Capacitor
      * sustained load and the slow post-load redistribution rebound.
      */
     void step(Seconds dt, Amps i_out);
+
+    /**
+     * Advance the state by @p dt with a *constant* net output current
+     * @p i_out (leakage is added internally, as in step()) using the
+     * exact closed-form solution of the two-branch linear ODE instead
+     * of Euler sub-stepping. Exact for any dt while both branch
+     * voltages stay positive; a segment that would drive a branch
+     * negative is delegated to step(), whose per-sub-step clamping
+     * defines the deep-discharge semantics.
+     */
+    void advanceAnalytic(Seconds dt, Amps i_out);
+
+    /** Closed-form update coefficients at the current aging state. */
+    TwoBranchCoefficients analyticCoefficients() const;
 
     /**
      * Apply an abrupt aging step (fault injection): replace the aging

@@ -9,6 +9,7 @@
 #define CULPEO_SIM_HARVESTER_HPP
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "util/units.hpp"
@@ -26,6 +27,18 @@ class Harvester
 
     /** Power available from the environment at time @p t. */
     virtual Watts powerAt(Seconds t) const = 0;
+
+    /**
+     * The constant power this source delivers at *every* instant, or
+     * nullopt for time-varying sources. The analytic segment fast path
+     * (PowerSystem::runSegment) only engages when the harvest is
+     * declared constant; sources that cannot guarantee it keep the
+     * default and force the step-by-step Euler path.
+     */
+    virtual std::optional<Watts> constantPower() const
+    {
+        return std::nullopt;
+    }
 };
 
 /** Constant harvestable power (the paper's evaluation condition). */
@@ -36,6 +49,8 @@ class ConstantHarvester : public Harvester
 
     Watts powerAt(Seconds t) const override;
 
+    std::optional<Watts> constantPower() const override { return power_; }
+
   private:
     Watts power_;
 };
@@ -45,6 +60,11 @@ class NoHarvester : public Harvester
 {
   public:
     Watts powerAt(Seconds) const override { return Watts(0.0); }
+
+    std::optional<Watts> constantPower() const override
+    {
+        return Watts(0.0);
+    }
 };
 
 /**

@@ -1,8 +1,90 @@
 #include "power_system.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "util/logging.hpp"
 
 namespace culpeo::sim {
+
+namespace {
+
+/**
+ * Explicit terminal-voltage curve of one analytic macro step under a
+ * constant net buffer current (DESIGN.md §10):
+ *
+ *   v(t) = a + b t + c exp(-t / tau)
+ *
+ * v' is monotone, so the curve has at most one interior stationary
+ * point and splits into at most two monotone pieces — level crossings
+ * are found by bracketed bisection per piece.
+ */
+struct SegmentCurve
+{
+    double a = 0.0;
+    double b = 0.0;
+    double c = 0.0;
+    double tau = 1.0;
+
+    double at(double t) const { return a + b * t + c * std::exp(-t / tau); }
+
+    /** Interior stationary point in (0, horizon), or a negative value. */
+    double stationaryPoint(double horizon) const
+    {
+        if (c == 0.0 || b == 0.0)
+            return -1.0;
+        const double ratio = b * tau / c;
+        if (ratio <= 0.0 || ratio > 1.0)
+            return -1.0;
+        const double t = -tau * std::log(ratio);
+        return (t > 0.0 && t < horizon) ? t : -1.0;
+    }
+
+    /** Continuous minimum over [0, horizon]. */
+    double minOver(double horizon) const
+    {
+        double m = std::min(at(0.0), at(horizon));
+        const double t = stationaryPoint(horizon);
+        if (t > 0.0)
+            m = std::min(m, at(t));
+        return m;
+    }
+
+    /**
+     * Earliest t in (0, horizon] where the curve reaches @p level while
+     * falling (or rising when @p falling is false). Returns a negative
+     * value when the curve never crosses in that direction.
+     */
+    double firstCrossing(double level, double horizon, bool falling) const
+    {
+        const double t_star = stationaryPoint(horizon);
+        const double knots[3] = {0.0, t_star > 0.0 ? t_star : horizon,
+                                 horizon};
+        for (int piece = 0; piece < 2; ++piece) {
+            double lo = knots[piece];
+            double hi = knots[piece + 1];
+            if (hi <= lo)
+                continue;
+            const double v_lo = at(lo);
+            const double v_hi = at(hi);
+            const bool brackets = falling
+                ? (v_lo >= level && v_hi < level)
+                : (v_lo < level && v_hi >= level);
+            if (!brackets)
+                continue;
+            for (int iter = 0; iter < 64; ++iter) {
+                const double mid = 0.5 * (lo + hi);
+                const bool crossed =
+                    falling ? at(mid) < level : at(mid) >= level;
+                (crossed ? hi : lo) = mid;
+            }
+            return hi;
+        }
+        return -1.0;
+    }
+};
+
+} // namespace
 
 PowerSystemConfig
 capybaraConfig()
@@ -110,12 +192,287 @@ PowerSystem::step(Seconds dt, Amps i_load)
     return result;
 }
 
+bool
+PowerSystem::analyticEligible() const
+{
+    return hooks_ == nullptr && observer_ == nullptr && !capture_ &&
+           (harvester_ == nullptr ||
+            harvester_->constantPower().has_value());
+}
+
+SegmentResult
+PowerSystem::runSegment(Seconds duration, Amps i_load,
+                        const SegmentOptions &options)
+{
+    log::fatalIf(i_load.value() < 0.0, "load current cannot be negative");
+    log::fatalIf(options.fallback_dt.value() <= 0.0,
+                 "fallback_dt must be positive");
+    if (duration.value() <= 0.0) {
+        SegmentResult result;
+        result.vmin = restingVoltage();
+        result.vend = result.vmin;
+        return result;
+    }
+    if (options.allow_analytic && analyticEligible())
+        return runSegmentAnalytic(duration, i_load, options);
+    return runSegmentEuler(duration, i_load, options);
+}
+
+SegmentResult
+PowerSystem::runSegmentEuler(Seconds duration, Amps i_load,
+                             const SegmentOptions &options)
+{
+    SegmentResult result;
+    result.vmin = restingVoltage();
+    result.vend = result.vmin;
+
+    // Same overrun semantics as the step loops in the harness: the last
+    // step may carry past the requested duration by up to one dt.
+    double remaining = duration.value();
+    while (remaining > 0.0) {
+        const StepResult s = step(options.fallback_dt, i_load);
+        remaining -= options.fallback_dt.value();
+        ++result.reference_steps;
+        result.vmin = std::min(result.vmin, s.terminal);
+        result.vend = s.terminal;
+        if (s.power_failed || s.collapsed) {
+            result.power_failed = result.power_failed || s.power_failed;
+            result.collapsed = result.collapsed || s.collapsed;
+            if (options.stop_on_failure)
+                break;
+        }
+    }
+    result.elapsed = Seconds(duration.value() - remaining);
+    return result;
+}
+
+void
+PowerSystem::analyticEventStep(SegmentResult &result, Amps i_load,
+                               Seconds fallback_dt, double &remaining)
+{
+    const StepResult s = step(fallback_dt, i_load);
+    remaining -= fallback_dt.value();
+    ++result.reference_steps;
+    result.vmin = std::min(result.vmin, s.terminal);
+    result.vend = s.terminal;
+    result.power_failed = result.power_failed || s.power_failed;
+    result.collapsed = result.collapsed || s.collapsed;
+}
+
+SegmentResult
+PowerSystem::runSegmentAnalytic(Seconds duration, Amps i_load,
+                                const SegmentOptions &options)
+{
+    SegmentResult result;
+    result.used_analytic = true;
+    result.vmin = restingVoltage();
+    result.vend = result.vmin;
+
+    const double fallback = options.fallback_dt.value();
+    const Watts harvest = harvester_ != nullptr
+        ? *harvester_->constantPower()
+        : Watts(0.0);
+    const double voff = config_.monitor.voff.value();
+    const double vhigh = config_.monitor.vhigh.value();
+
+    double remaining = duration.value();
+    // Macro-step size hint carried across steps: start each search at
+    // twice the last accepted step so steady regimes converge to a few
+    // macro steps instead of re-probing from the full horizon.
+    double hint = remaining;
+    bool stopped = false;
+    while (remaining > 0.0 && !stopped) {
+        const bool enabled = monitor_.enabled();
+
+        // Net buffer current of the current regime (as step() would
+        // compute it at this state).
+        Amps i_out{0.0};
+        bool collapsed_now = false;
+        if (enabled) {
+            const BoosterDraw draw = output_.computeDraw(cap_, i_load);
+            collapsed_now = draw.collapsed;
+            i_out = draw.input_current;
+        }
+        const Amps i_charge =
+            input_.chargeCurrent(harvest, cap_.openCircuitVoltage());
+        const double net0 = i_out.value() - i_charge.value();
+        const double vterm0 = cap_.terminalVoltage(Amps(net0)).value();
+
+        // Collapse and monitor transitions carry per-step side effects
+        // (hysteresis state, power-failure accounting), so they are
+        // executed as reference Euler steps, never synthesized.
+        if (collapsed_now || (enabled && vterm0 < voff) ||
+            (!enabled && vterm0 >= vhigh)) {
+            analyticEventStep(result, i_load, options.fallback_dt,
+                              remaining);
+            if ((result.power_failed || result.collapsed) &&
+                options.stop_on_failure)
+                stopped = true;
+            hint = std::max(hint, 4.0 * fallback);
+            continue;
+        }
+
+        // Adaptive macro step: the largest dt over which the net current
+        // stays constant to within options.current_tolerance, probed on
+        // a copy of the buffer state. The controller is proportional:
+        // the drift is ~linear in dt within a regime, so a rejected
+        // probe predicts the acceptable step directly instead of
+        // halving blindly.
+        double dt_try = std::min(remaining, hint);
+        double net1 = net0;
+        bool at_floor = false;
+        const double bound =
+            std::max(1e-6, options.current_tolerance * std::abs(net0));
+        while (true) {
+            if (dt_try <= fallback * (1.0 + 1e-9)) {
+                at_floor = true;
+                break;
+            }
+            ++result.probes;
+            Capacitor probe = cap_;
+            probe.advanceAnalytic(Seconds(dt_try), Amps(net0));
+            Amps i_out1{0.0};
+            bool collapsed1 = false;
+            if (enabled) {
+                const BoosterDraw draw1 = output_.computeDraw(probe, i_load);
+                collapsed1 = draw1.collapsed;
+                i_out1 = draw1.input_current;
+            }
+            const Amps i_charge1 =
+                input_.chargeCurrent(harvest, probe.openCircuitVoltage());
+            net1 = i_out1.value() - i_charge1.value();
+            const double drift = std::abs(net1 - net0);
+            if (!collapsed1 && drift <= bound)
+                break;
+            const double shrink = (!collapsed1 && drift > 0.0)
+                ? std::clamp(0.9 * bound / drift, 0.05, 0.5)
+                : 0.5;
+            dt_try *= shrink;
+        }
+        if (at_floor) {
+            // The regime changes faster than one fallback step can
+            // resolve analytically; degenerate to the reference path.
+            analyticEventStep(result, i_load, options.fallback_dt,
+                              remaining);
+            if ((result.power_failed || result.collapsed) &&
+                options.stop_on_failure)
+                stopped = true;
+            hint = 4.0 * fallback;
+            continue;
+        }
+
+        // Commit with the trapezoidal current correction and scan the
+        // explicit terminal-voltage curve for monitor crossings.
+        const double net_avg = 0.5 * (net0 + net1);
+        const TwoBranchCoefficients k = cap_.analyticCoefficients();
+        double i_state = net_avg;
+        if (cap_.openCircuitVoltage().value() > 0.0)
+            i_state += cap_.config().leakage.value();
+        const double vb = cap_.bulkVoltage().value();
+        const double vs = cap_.surfaceVoltage().value();
+        const double q0 = (k.cb * vb + k.cs * vs) / k.c_total;
+        const double d0 = vb - vs;
+        const double d_inf = -i_state * k.beta * k.tau;
+
+        SegmentCurve curve;
+        curve.tau = k.tau;
+        curve.b = -i_state / k.c_total;
+        curve.c = k.gamma * (d0 - d_inf);
+        // The -I R drop uses the external net current, matching
+        // terminalVoltage(net) on the Euler path (leakage acts on the
+        // stored charge, not through the series resistance).
+        curve.a = q0 + k.gamma * d_inf - net_avg * k.rth;
+
+        const double crossing = enabled
+            ? curve.firstCrossing(voff, dt_try, /*falling=*/true)
+            : curve.firstCrossing(vhigh, dt_try, /*falling=*/false);
+        const bool event = crossing > 0.0;
+        const double commit = event ? crossing : dt_try;
+        if (commit > 0.0) {
+            ++result.macro_steps;
+            cap_.advanceAnalytic(Seconds(commit), Amps(net_avg));
+            now_ += Seconds(commit);
+            remaining -= commit;
+            result.vmin =
+                std::min(result.vmin, Volts(curve.minOver(commit)));
+            result.vend = Volts(curve.at(commit));
+        }
+        if (event) {
+            analyticEventStep(result, i_load, options.fallback_dt,
+                              remaining);
+            if ((result.power_failed || result.collapsed) &&
+                options.stop_on_failure)
+                stopped = true;
+            hint = std::max(2.0 * fallback, commit);
+        } else {
+            // Grow the hint in proportion to the headroom the accepted
+            // probe left under the drift bound.
+            const double drift = std::abs(net1 - net0);
+            const double grow = drift > 0.0
+                ? std::clamp(0.9 * bound / drift, 1.0, 8.0)
+                : 8.0;
+            hint = dt_try * grow;
+        }
+    }
+    result.elapsed = Seconds(duration.value() - remaining);
+    return result;
+}
+
 void
 PowerSystem::recharge(Seconds dt, Seconds deadline)
 {
-    while (now_ < deadline &&
-           cap_.openCircuitVoltage() < config_.monitor.vhigh) {
-        step(dt, Amps(0.0));
+    if (!analyticEligible()) {
+        while (now_ < deadline &&
+               cap_.openCircuitVoltage() < config_.monitor.vhigh) {
+            step(dt, Amps(0.0));
+        }
+        return;
+    }
+
+    // Fast path: charge in analytic chunks, each bounded by the time to
+    // reach vhigh at the *current* charge rate. The rate only falls as
+    // the buffer fills (chargeCurrent ∝ 1/voc), so a chunk never
+    // overshoots; the final approach within one dt of full is walked
+    // with reference steps to keep the Euler loop's overshoot-by-one-dt
+    // exit semantics.
+    SegmentOptions seg_opts;
+    seg_opts.fallback_dt = dt;
+    seg_opts.stop_on_failure = false;
+    const Watts harvest = harvester_ != nullptr
+        ? *harvester_->constantPower()
+        : Watts(0.0);
+    const double vhigh = config_.monitor.vhigh.value();
+    while (now_ < deadline && cap_.openCircuitVoltage().value() < vhigh) {
+        Amps i_out{0.0};
+        if (monitor_.enabled()) {
+            const BoosterDraw draw = output_.computeDraw(cap_, Amps(0.0));
+            if (draw.collapsed) {
+                step(dt, Amps(0.0));
+                continue;
+            }
+            i_out = draw.input_current;
+        }
+        const Amps i_charge =
+            input_.chargeCurrent(harvest, cap_.openCircuitVoltage());
+        double net = i_out.value() - i_charge.value();
+        if (cap_.openCircuitVoltage().value() > 0.0)
+            net += cap_.config().leakage.value();
+        if (net >= 0.0) {
+            // Not actually charging: vhigh is unreachable, so just run
+            // out the clock in one segment.
+            runSegment(deadline - now_, Amps(0.0), seg_opts);
+            return;
+        }
+        const double t_full =
+            (vhigh - cap_.openCircuitVoltage().value()) *
+            cap_.capacitance().value() / (-net);
+        if (t_full <= dt.value()) {
+            step(dt, Amps(0.0));
+            continue;
+        }
+        const double chunk =
+            std::min(deadline.value() - now_.value(), t_full);
+        runSegment(Seconds(chunk), Amps(0.0), seg_opts);
     }
 }
 

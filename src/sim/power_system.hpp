@@ -54,6 +54,47 @@ struct StepResult
     bool forced_brownout = false;
 };
 
+/** Controls for one runSegment() call. */
+struct SegmentOptions
+{
+    /**
+     * Step used on the Euler fallback path and for the single
+     * reference steps the analytic path takes around monitor/collapse
+     * events.
+     */
+    Seconds fallback_dt{50e-6};
+    /** Stop at the first brown-out or collapse (a real device would). */
+    bool stop_on_failure = true;
+    /** Permit the closed-form fast path (false forces Euler stepping). */
+    bool allow_analytic = true;
+    /**
+     * Macro-step acceptance bound of the fast path: the relative drift
+     * of the net buffer current across an analytic macro step. The
+     * committed step uses the trapezoidal (endpoint-mean) current, so
+     * the residual terminal-voltage error is second order in this
+     * tolerance — a few mV at the default, even under heavy aging.
+     */
+    double current_tolerance = 0.025;
+};
+
+/** Outcome of one constant-load segment run. */
+struct SegmentResult
+{
+    Seconds elapsed{0.0}; ///< Simulated time (== duration unless stopped).
+    /** Minimum terminal voltage observed during the segment. */
+    Volts vmin{0.0};
+    Volts vend{0.0}; ///< Terminal voltage at the end of the run.
+    bool power_failed = false; ///< Monitor crossed Voff in the segment.
+    bool collapsed = false;    ///< Booster could not source the power.
+    bool used_analytic = false; ///< The closed-form fast path was taken.
+    /** Accepted analytic macro steps (0 on the Euler path). */
+    unsigned macro_steps = 0;
+    /** Trial macro steps probed (accepted + rejected halvings). */
+    unsigned probes = 0;
+    /** Reference Euler steps taken (all steps on the Euler path). */
+    unsigned reference_steps = 0;
+};
+
 /**
  * The power-system transient simulator. Owns all supply-side component
  * models; the harvester is borrowed (callers keep it alive).
@@ -72,6 +113,34 @@ class PowerSystem
      * booster; otherwise only charging and leakage progress.
      */
     StepResult step(Seconds dt, Amps i_load);
+
+    /**
+     * Advance by @p duration while the load demands a *constant*
+     * @p i_load at Vout — one piecewise-constant profile segment.
+     *
+     * When the run is instrumentation-free (analyticEligible()) and
+     * @p options permits, the segment advances with the closed-form
+     * two-branch solution: adaptive macro steps that hold the net
+     * buffer current constant, with Voff/Vhigh monitor crossings
+     * located by root-finding on the explicit terminal-voltage curve
+     * and handled by single reference Euler steps so monitor semantics
+     * match the step() path exactly. Otherwise it falls back to
+     * stepping options.fallback_dt through step().
+     *
+     * vmin covers only this segment's observations (the Euler path
+     * samples per-step terminal voltages; the analytic path takes the
+     * continuous minimum, which is equal or slightly lower).
+     */
+    SegmentResult runSegment(Seconds duration, Amps i_load,
+                             const SegmentOptions &options = {});
+
+    /**
+     * True when no fault hooks, observer, or trace capture are
+     * attached and the harvest (if any) is declared constant — the
+     * conditions under which runSegment()/recharge() may use the
+     * closed-form fast path without skipping instrumentation.
+     */
+    bool analyticEligible() const;
 
     /** Run with zero load until @p deadline or the buffer reaches vhigh. */
     void recharge(Seconds dt, Seconds deadline);
@@ -128,6 +197,18 @@ class PowerSystem
     void notifyCommitEnd(bool completed);
 
   private:
+    SegmentResult runSegmentEuler(Seconds duration, Amps i_load,
+                                  const SegmentOptions &options);
+    SegmentResult runSegmentAnalytic(Seconds duration, Amps i_load,
+                                     const SegmentOptions &options);
+    /**
+     * One reference Euler step inside the analytic path, used exactly
+     * at monitor/collapse events so their side effects (hysteresis
+     * transitions, failure accounting) match the step() path.
+     */
+    void analyticEventStep(SegmentResult &result, Amps i_load,
+                           Seconds fallback_dt, double &remaining);
+
     PowerSystemConfig config_;
     Capacitor cap_;
     OutputBooster output_;

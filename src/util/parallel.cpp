@@ -1,0 +1,261 @@
+#include "parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+#include <string>
+
+namespace culpeo::util {
+
+namespace {
+
+/** Set while the current thread executes inside a parallel region. */
+thread_local bool t_in_parallel_region = false;
+
+unsigned
+resolveThreadCount(unsigned requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("CULPEO_THREADS")) {
+        const long parsed = std::strtol(env, nullptr, 10);
+        if (parsed >= 1)
+            return unsigned(std::min<long>(parsed, 256));
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+} // namespace
+
+/**
+ * One parallelFor invocation. Lanes hold contiguous index ranges;
+ * owners pop from the front, thieves from the back, so contention on a
+ * lane mutex only occurs during steals.
+ */
+struct ThreadPool::Job
+{
+    struct Lane
+    {
+        std::mutex mutex;
+        std::size_t next = 0; ///< First unclaimed index.
+        std::size_t last = 0; ///< One past the last unclaimed index.
+    };
+
+    const std::function<void(std::size_t)> *body = nullptr;
+    std::vector<std::unique_ptr<Lane>> lanes;
+    std::size_t count = 0;
+    std::atomic<std::size_t> completed{0};
+
+    std::mutex error_mutex;
+    std::size_t error_index = std::numeric_limits<std::size_t>::max();
+    std::exception_ptr error;
+
+    std::mutex done_mutex;
+    std::condition_variable done;
+
+    void recordError(std::size_t index)
+    {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (index < error_index) {
+            error_index = index;
+            error = std::current_exception();
+        }
+    }
+
+    void finishItem()
+    {
+        if (completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            count) {
+            std::lock_guard<std::mutex> lock(done_mutex);
+            done.notify_all();
+        }
+    }
+};
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    const unsigned total = resolveThreadCount(threads);
+    for (unsigned i = 1; i < total; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+ThreadPool &
+ThreadPool::shared()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+void
+ThreadPool::runSerial(std::size_t count,
+                      const std::function<void(std::size_t)> &body)
+{
+    // Same semantics as the parallel path: run every item, surface the
+    // lowest-indexed failure (which, serially, is simply the first).
+    std::exception_ptr first_error;
+    for (std::size_t i = 0; i < count; ++i) {
+        try {
+            body(i);
+        } catch (...) {
+            if (!first_error)
+                first_error = std::current_exception();
+        }
+    }
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+void
+ThreadPool::parallelFor(std::size_t count,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (count == 0)
+        return;
+    if (t_in_parallel_region || workers_.empty() || count == 1) {
+        // Nested regions run inline to avoid deadlocking the pool on
+        // itself; tiny jobs are not worth a wakeup.
+        const bool was_inside = t_in_parallel_region;
+        t_in_parallel_region = true;
+        try {
+            runSerial(count, body);
+        } catch (...) {
+            t_in_parallel_region = was_inside;
+            throw;
+        }
+        t_in_parallel_region = was_inside;
+        return;
+    }
+
+    auto job = std::make_shared<Job>();
+    job->body = &body;
+    job->count = count;
+    const std::size_t lanes = std::min<std::size_t>(threadCount(), count);
+    job->lanes.reserve(lanes);
+    // Contiguous block partition: lane L owns [L*count/lanes, ...).
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+        auto slot = std::make_unique<Job::Lane>();
+        slot->next = lane * count / lanes;
+        slot->last = (lane + 1) * count / lanes;
+        job->lanes.push_back(std::move(slot));
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job_ = job;
+        ++generation_;
+    }
+    wake_.notify_all();
+
+    runJob(*job, 0);
+
+    std::unique_lock<std::mutex> lock(job->done_mutex);
+    job->done.wait(lock, [&] {
+        return job->completed.load(std::memory_order_acquire) ==
+               job->count;
+    });
+    lock.unlock();
+
+    if (job->error)
+        std::rethrow_exception(job->error);
+}
+
+void
+ThreadPool::runJob(Job &job, std::size_t home_lane)
+{
+    const bool was_inside = t_in_parallel_region;
+    t_in_parallel_region = true;
+
+    const std::size_t lanes = job.lanes.size();
+    while (true) {
+        std::size_t index = 0;
+        bool claimed = false;
+
+        // Own lane first (front pop)...
+        if (home_lane < lanes) {
+            Job::Lane &mine = *job.lanes[home_lane];
+            std::lock_guard<std::mutex> lock(mine.mutex);
+            if (mine.next < mine.last) {
+                index = mine.next++;
+                claimed = true;
+            }
+        }
+        // ...then steal from the back of the fullest victim.
+        if (!claimed) {
+            std::size_t victim = lanes;
+            std::size_t victim_size = 0;
+            for (std::size_t lane = 0; lane < lanes; ++lane) {
+                if (lane == home_lane)
+                    continue;
+                Job::Lane &other = *job.lanes[lane];
+                std::lock_guard<std::mutex> lock(other.mutex);
+                const std::size_t size = other.last - other.next;
+                if (size > victim_size) {
+                    victim_size = size;
+                    victim = lane;
+                }
+            }
+            if (victim < lanes) {
+                Job::Lane &other = *job.lanes[victim];
+                std::lock_guard<std::mutex> lock(other.mutex);
+                if (other.next < other.last) {
+                    index = --other.last;
+                    claimed = true;
+                }
+            }
+        }
+        if (!claimed)
+            break;
+
+        try {
+            (*job.body)(index);
+        } catch (...) {
+            job.recordError(index);
+        }
+        job.finishItem();
+    }
+
+    t_in_parallel_region = was_inside;
+}
+
+void
+ThreadPool::workerLoop(std::size_t worker_index)
+{
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (true) {
+        wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        if (stop_)
+            return;
+        seen = generation_;
+        auto job = job_;
+        lock.unlock();
+        // Home lane = worker index (the caller is lane 0); workers
+        // beyond the lane count have no home and go straight to steals.
+        if (job)
+            runJob(*job, worker_index);
+        lock.lock();
+    }
+}
+
+void
+parallelFor(std::size_t count,
+            const std::function<void(std::size_t)> &body)
+{
+    ThreadPool::shared().parallelFor(count, body);
+}
+
+} // namespace culpeo::util

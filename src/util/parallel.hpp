@@ -1,0 +1,118 @@
+/**
+ * @file
+ * A small work-stealing thread pool for the evaluation stack's
+ * embarrassingly parallel sweeps (ground-truth searches over scenario
+ * sets, figure sweeps, fuzz campaigns).
+ *
+ * Design goals, in order:
+ *  1. Determinism: parallelMap() writes each result into its item's
+ *     slot, so result order is independent of scheduling. Callers that
+ *     need randomness derive a per-item seed from the item index; runs
+ *     are then bit-identical to a serial execution.
+ *  2. Faithful failure: exceptions thrown by item bodies are caught,
+ *     every remaining item still runs, and the exception of the
+ *     *lowest-indexed* failing item is rethrown to the caller — the
+ *     same error a serial loop that runs all items would surface.
+ *  3. No oversubscription: nested parallel regions execute inline on
+ *     the calling worker.
+ *
+ * The pool divides [0, count) into one contiguous lane per
+ * participant; each participant drains its own lane from the front and
+ * then steals from the back of the fullest remaining lane. The caller
+ * participates as lane 0, so a pool with no worker threads (or
+ * CULPEO_THREADS=1) degrades to a plain serial loop.
+ */
+
+#ifndef CULPEO_UTIL_PARALLEL_HPP
+#define CULPEO_UTIL_PARALLEL_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include <condition_variable>
+#include <mutex>
+
+namespace culpeo::util {
+
+class ThreadPool
+{
+  public:
+    /**
+     * @p threads is the total participant count including the caller;
+     * 0 resolves from the CULPEO_THREADS environment variable, falling
+     * back to std::thread::hardware_concurrency().
+     */
+    explicit ThreadPool(unsigned threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Process-wide pool sized from the environment/hardware. */
+    static ThreadPool &shared();
+
+    /** Total participants (worker threads + the calling thread). */
+    unsigned threadCount() const { return unsigned(workers_.size()) + 1; }
+
+    /**
+     * Run body(i) for every i in [0, count). Blocks until all items
+     * complete; rethrows the lowest-indexed item's exception, if any.
+     * Safe to call from inside an item body (runs inline, serially).
+     */
+    void parallelFor(std::size_t count,
+                     const std::function<void(std::size_t)> &body);
+
+    /**
+     * Map @p fn over @p items, preserving order: result[i] == fn(items[i])
+     * regardless of which thread computed it. The result type must be
+     * default-constructible. Exception semantics as parallelFor().
+     */
+    template <typename T, typename Fn>
+    auto parallelMap(const std::vector<T> &items, Fn fn)
+        -> std::vector<std::invoke_result_t<Fn, const T &>>
+    {
+        using R = std::invoke_result_t<Fn, const T &>;
+        std::vector<R> results(items.size());
+        parallelFor(items.size(), [&](std::size_t i) {
+            results[i] = fn(items[i]);
+        });
+        return results;
+    }
+
+  private:
+    struct Job;
+
+    void workerLoop(std::size_t worker_index);
+    void runJob(Job &job, std::size_t home_lane);
+    void runSerial(std::size_t count,
+                   const std::function<void(std::size_t)> &body);
+
+    std::vector<std::thread> workers_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::shared_ptr<Job> job_;
+    std::uint64_t generation_ = 0;
+    bool stop_ = false;
+};
+
+/** Convenience: shared().parallelMap(items, fn). */
+template <typename T, typename Fn>
+auto
+parallelMap(const std::vector<T> &items, Fn fn)
+    -> std::vector<std::invoke_result_t<Fn, const T &>>
+{
+    return ThreadPool::shared().parallelMap(items, std::move(fn));
+}
+
+/** Convenience: shared().parallelFor(count, body). */
+void parallelFor(std::size_t count,
+                 const std::function<void(std::size_t)> &body);
+
+} // namespace culpeo::util
+
+#endif // CULPEO_UTIL_PARALLEL_HPP

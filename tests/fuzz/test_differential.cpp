@@ -10,6 +10,14 @@
  * seed so `CULPEO_FUZZ_SEED=<seed> CULPEO_FUZZ_ITERS=1 ./test_fuzz`
  * replays exactly one failing case. CULPEO_FUZZ_ITERS scales the
  * iteration budget (default keeps tier-1 runtime bounded).
+ *
+ * Execution model: scenarios are evaluated on the shared sweep
+ * executor (util::ThreadPool, sized by CULPEO_THREADS) as *pure*
+ * per-seed verdict computations — no gtest calls off the main thread —
+ * and all assertions replay serially over the ordered verdicts. Each
+ * scenario's randomness derives only from its seed, so the verdict
+ * vector (and therefore every assertion) is bit-identical whether the
+ * pool runs 1 thread or many.
  */
 
 #include <gtest/gtest.h>
@@ -17,6 +25,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <memory>
+#include <numeric>
 #include <string>
 #include <vector>
 
@@ -28,10 +37,12 @@
 #include "harness/baselines.hpp"
 #include "harness/ground_truth.hpp"
 #include "harness/profiling.hpp"
+#include "harness/vsafe_cache.hpp"
 #include "mcu/adc.hpp"
 #include "runtime/intermittent.hpp"
 #include "sched/engine.hpp"
 #include "sched/policy.hpp"
+#include "util/parallel.hpp"
 
 namespace {
 
@@ -71,6 +82,15 @@ seedHint(std::uint64_t seed)
            " CULPEO_FUZZ_ITERS=1";
 }
 
+/** Seeds base + 0 .. base + count-1, the per-item work list. */
+std::vector<std::uint64_t>
+seedRange(std::uint64_t base, unsigned count)
+{
+    std::vector<std::uint64_t> seeds(count);
+    std::iota(seeds.begin(), seeds.end(), base);
+    return seeds;
+}
+
 /**
  * Differential check of the single-task admission rule, against the
  * paper's own accuracy criterion (Figure 10): for every randomized
@@ -81,10 +101,124 @@ seedHint(std::uint64_t seed)
  * estimate below the true requirement must brown out — the paper's
  * predicted failure mode, confirmed rather than assumed.
  */
+struct EstimateVerdict
+{
+    bool checked = false;     ///< Estimate stored and within Vhigh.
+    double vsafe = 0.0;       ///< The estimate itself (V).
+    bool admission_ok = false; ///< Guard-banded admission completed.
+    std::string persistence_detail; ///< Empty = idempotence held.
+};
+
+struct AdmissionVerdict
+{
+    std::uint64_t seed = 0;
+    bool feasible = false;
+    double truth_vsafe = 0.0;
+    double tolerance = 0.0;
+    EstimateVerdict pg;
+    EstimateVerdict r_uarch;
+    EstimateVerdict r_isr;
+    bool catnap_unsafe = false;   ///< Estimate below tolerance band.
+    double catnap_vsafe = 0.0;
+    bool catnap_completed = false; ///< It must NOT have completed.
+};
+
+AdmissionVerdict
+runAdmissionScenario(std::uint64_t seed)
+{
+    AdmissionVerdict v;
+    v.seed = seed;
+    const fault::TaskScenario scenario = fault::randomTaskScenario(seed);
+
+    const harness::GroundTruth truth =
+        harness::VsafeCache::global().findOrCompute(scenario.config,
+                                                    scenario.profile);
+    if (!truth.feasible)
+        return v; // Task too heavy for this buffer even from Vhigh.
+    v.feasible = true;
+    v.truth_vsafe = truth.vsafe.value();
+    const double vhigh = scenario.config.monitor.vhigh.value();
+    // Figure 10's safety criterion: an estimate within 2% of the
+    // operating range below the truth is "correct"; the deployed
+    // scheduler covers that band with its dispatch guard band.
+    v.tolerance = 0.02 * (vhigh - scenario.config.monitor.voff.value());
+    const Volts guard(20e-3);
+    const auto admitAt = [&](Volts vsafe) {
+        return Volts(std::min(vsafe.value() + guard.value(), vhigh));
+    };
+
+    // Culpeo-PG: the compile-time estimate, checked by simulation.
+    const core::PgResult pg = core::culpeoPg(
+        scenario.profile, core::modelFromConfig(scenario.config));
+    if (pg.vsafe.value() <= vhigh) {
+        v.pg.checked = true;
+        v.pg.vsafe = pg.vsafe.value();
+        v.pg.admission_ok = harness::completesFrom(
+            scenario.config, admitAt(pg.vsafe), scenario.profile);
+    }
+
+    // Culpeo-R: profile once through the Table I interface, then
+    // check the stored estimate the same way. The uArch block's
+    // 100 kHz capture resolves any generated profile; the 1 ms ISR
+    // timer is only held to the accuracy claim on profiles whose
+    // segments it can actually sample — a high-current burst
+    // shorter than the sample period falls between ISR reads by
+    // design, which is the paper's motivation for the uArch block
+    // (Section V-D).
+    double shortest_segment = 1.0;
+    for (const auto &segment : scenario.profile.segments())
+        shortest_segment =
+            std::min(shortest_segment, segment.duration.value());
+    const double isr_period =
+        1.0 / mcu::msp430OnChipAdc().sample_rate.value();
+
+    const auto checkR = [&](std::unique_ptr<core::Profiler> profiler,
+                            EstimateVerdict &out) {
+        core::Culpeo culpeo(core::modelFromConfig(scenario.config),
+                            std::move(profiler));
+        const harness::ProfileOutcome outcome =
+            harness::profileTaskFrom(scenario.config, Volts(vhigh),
+                                     culpeo, 1, scenario.profile);
+        if (!outcome.stored || culpeo.getVsafe(1).value() > vhigh)
+            return;
+        out.checked = true;
+        out.vsafe = culpeo.getVsafe(1).value();
+        out.admission_ok = harness::completesFrom(
+            scenario.config, admitAt(culpeo.getVsafe(1)),
+            scenario.profile);
+        const auto persistence =
+            fault::checkPersistenceIdempotence(culpeo, {1, 2});
+        if (persistence.has_value())
+            out.persistence_detail = persistence->detail;
+    };
+    checkR(std::make_unique<core::UArchProfiler>(), v.r_uarch);
+    if (shortest_segment >= isr_period)
+        checkR(std::make_unique<core::IsrProfiler>(), v.r_isr);
+
+    // CatNap: when the energy-only estimate lands below even the
+    // tolerance band, the admission it implies must actually fail.
+    const harness::BaselineEstimates baselines =
+        harness::estimateBaselines(scenario.config, scenario.profile);
+    if (baselines.catnap_measured.value() <
+        v.truth_vsafe - v.tolerance) {
+        v.catnap_unsafe = true;
+        v.catnap_vsafe = baselines.catnap_measured.value();
+        v.catnap_completed = harness::completesFrom(
+            scenario.config, baselines.catnap_measured,
+            scenario.profile);
+    }
+    return v;
+}
+
 TEST(FuzzDifferential, VsafeAdmissionsSurviveGroundTruth)
 {
     const unsigned scenarios = envUnsigned("CULPEO_FUZZ_ITERS", 200);
     const std::uint64_t base = baseSeed();
+
+    // Compute phase, off-thread and gtest-free; assert phase, serial.
+    const std::vector<AdmissionVerdict> verdicts =
+        util::ThreadPool::shared().parallelMap(
+            seedRange(base, scenarios), runAdmissionScenario);
 
     unsigned feasible_scenarios = 0;
     unsigned pg_checked = 0;
@@ -92,110 +226,40 @@ TEST(FuzzDifferential, VsafeAdmissionsSurviveGroundTruth)
     unsigned r_isr_checked = 0;
     unsigned catnap_unsafe = 0;
 
-    for (unsigned i = 0; i < scenarios; ++i) {
-        const std::uint64_t seed = base + i;
-        const fault::TaskScenario scenario =
-            fault::randomTaskScenario(seed);
-        SCOPED_TRACE(seedHint(seed));
-
-        const harness::GroundTruth truth =
-            harness::findTrueVsafe(scenario.config, scenario.profile);
-        if (!truth.feasible)
-            continue; // Task too heavy for this buffer even from Vhigh.
+    for (const AdmissionVerdict &v : verdicts) {
+        SCOPED_TRACE(seedHint(v.seed));
+        if (!v.feasible)
+            continue;
         ++feasible_scenarios;
-        const double vhigh =
-            scenario.config.monitor.vhigh.value();
-        // Figure 10's safety criterion: an estimate within 2% of the
-        // operating range below the truth is "correct"; the deployed
-        // scheduler covers that band with its dispatch guard band.
-        const double tolerance =
-            0.02 * (vhigh - scenario.config.monitor.voff.value());
-        const Volts guard(20e-3);
-        const auto admitAt = [&](Volts vsafe) {
-            return Volts(std::min(vsafe.value() + guard.value(),
-                                  vhigh));
-        };
 
-        // Culpeo-PG: the compile-time estimate, checked by simulation.
-        const core::PgResult pg = core::culpeoPg(
-            scenario.profile, core::modelFromConfig(scenario.config));
-        if (pg.vsafe.value() <= vhigh) {
-            ++pg_checked;
-            EXPECT_GE(pg.vsafe.value(),
-                      truth.vsafe.value() - tolerance)
-                << "Culpeo-PG estimate " << pg.vsafe.value()
-                << " V is unsafely below truth "
-                << truth.vsafe.value() << " V";
-            EXPECT_TRUE(harness::completesFrom(
-                scenario.config, admitAt(pg.vsafe), scenario.profile))
-                << "Culpeo-PG admission with guard band browned out "
-                   "(estimate " << pg.vsafe.value() << " V, truth "
-                << truth.vsafe.value() << " V)";
-        }
-
-        // Culpeo-R: profile once through the Table I interface, then
-        // check the stored estimate the same way. The uArch block's
-        // 100 kHz capture resolves any generated profile; the 1 ms ISR
-        // timer is only held to the accuracy claim on profiles whose
-        // segments it can actually sample — a high-current burst
-        // shorter than the sample period falls between ISR reads by
-        // design, which is the paper's motivation for the uArch block
-        // (Section V-D).
-        double shortest_segment = 1.0;
-        for (const auto &segment : scenario.profile.segments())
-            shortest_segment =
-                std::min(shortest_segment, segment.duration.value());
-        const double isr_period =
-            1.0 / mcu::msp430OnChipAdc().sample_rate.value();
-
-        const auto checkR = [&](std::unique_ptr<core::Profiler> profiler,
-                                const char *label) {
-            core::Culpeo culpeo(core::modelFromConfig(scenario.config),
-                                std::move(profiler));
-            const harness::ProfileOutcome outcome =
-                harness::profileTaskFrom(scenario.config, Volts(vhigh),
-                                         culpeo, 1, scenario.profile);
-            if (!outcome.stored || culpeo.getVsafe(1).value() > vhigh)
+        const auto checkEstimate = [&](const EstimateVerdict &e,
+                                       const char *label) {
+            if (!e.checked)
                 return false;
-            EXPECT_GE(culpeo.getVsafe(1).value(),
-                      truth.vsafe.value() - tolerance)
-                << label << " estimate " << culpeo.getVsafe(1).value()
-                << " V is unsafely below truth "
-                << truth.vsafe.value() << " V";
-            EXPECT_TRUE(harness::completesFrom(
-                scenario.config, admitAt(culpeo.getVsafe(1)),
-                scenario.profile))
+            EXPECT_GE(e.vsafe, v.truth_vsafe - v.tolerance)
+                << label << " estimate " << e.vsafe
+                << " V is unsafely below truth " << v.truth_vsafe
+                << " V";
+            EXPECT_TRUE(e.admission_ok)
                 << label << " admission with guard band browned out "
-                   "(estimate " << culpeo.getVsafe(1).value()
-                << " V, truth " << truth.vsafe.value() << " V)";
-
-            const auto persistence =
-                fault::checkPersistenceIdempotence(culpeo, {1, 2});
-            EXPECT_FALSE(persistence.has_value())
-                << (persistence.has_value() ? persistence->detail : "");
+                   "(estimate " << e.vsafe << " V, truth "
+                << v.truth_vsafe << " V)";
+            EXPECT_TRUE(e.persistence_detail.empty())
+                << e.persistence_detail;
             return true;
         };
-        if (checkR(std::make_unique<core::UArchProfiler>(),
-                   "Culpeo-R-uArch"))
+        if (checkEstimate(v.pg, "Culpeo-PG"))
+            ++pg_checked;
+        if (checkEstimate(v.r_uarch, "Culpeo-R-uArch"))
             ++r_uarch_checked;
-        if (shortest_segment >= isr_period &&
-            checkR(std::make_unique<core::IsrProfiler>(),
-                   "Culpeo-R-ISR"))
+        if (checkEstimate(v.r_isr, "Culpeo-R-ISR"))
             ++r_isr_checked;
 
-        // CatNap: when the energy-only estimate lands below even the
-        // tolerance band, the admission it implies must actually fail.
-        const harness::BaselineEstimates baselines =
-            harness::estimateBaselines(scenario.config,
-                                       scenario.profile);
-        if (baselines.catnap_measured.value() <
-            truth.vsafe.value() - tolerance) {
+        if (v.catnap_unsafe) {
             ++catnap_unsafe;
-            EXPECT_FALSE(harness::completesFrom(
-                scenario.config, baselines.catnap_measured,
-                scenario.profile))
-                << "CatNap at " << baselines.catnap_measured.value()
-                << " V was below truth " << truth.vsafe.value()
+            EXPECT_FALSE(v.catnap_completed)
+                << "CatNap at " << v.catnap_vsafe
+                << " V was below truth " << v.truth_vsafe
                 << " V yet completed";
         }
     }
@@ -222,57 +286,84 @@ TEST(FuzzDifferential, VsafeAdmissionsSurviveGroundTruth)
  * from real Culpeo-R results dominate every member's standalone check,
  * and an unprofiled member forces the conservative Vhigh bound.
  */
+struct CompositionVerdict
+{
+    std::uint64_t seed = 0;
+    bool skipped = false; ///< No profiled member stored an estimate.
+    std::string dominance_detail; ///< Empty = dominance held.
+    double multi = 0.0;           ///< getVsafeMulti over the set.
+    double max_member = 0.0;      ///< Largest member Vsafe.
+    double with_unknown = 0.0;    ///< Multi with an unprofiled task.
+    double vhigh = 0.0;
+};
+
+CompositionVerdict
+runCompositionScenario(std::uint64_t seed)
+{
+    CompositionVerdict v;
+    v.seed = seed;
+    const fault::TaskScenario first = fault::randomTaskScenario(seed);
+    const Volts voff = first.config.monitor.voff;
+    const Volts vhigh = first.config.monitor.vhigh;
+    v.vhigh = vhigh.value();
+
+    core::Culpeo culpeo(core::modelFromConfig(first.config),
+                        std::make_unique<core::IsrProfiler>());
+    std::vector<core::TaskRequirement> requirements;
+    std::vector<core::TaskId> ids;
+    for (core::TaskId id = 1; id <= 3; ++id) {
+        // Distinct task profiles on the shared power system.
+        const load::CurrentProfile profile =
+            fault::randomTaskScenario(seed + id * 7919).profile;
+        const harness::ProfileOutcome outcome =
+            harness::profileTaskFrom(first.config, vhigh, culpeo, id,
+                                     profile);
+        if (!outcome.stored)
+            continue;
+        ids.push_back(id);
+        requirements.push_back(core::requirementFrom(
+            profile.name(), culpeo.getVsafe(id), culpeo.getVdrop(id),
+            voff));
+    }
+    if (requirements.empty()) {
+        v.skipped = true;
+        return v;
+    }
+
+    const auto violation =
+        fault::checkCompositionDominance(requirements, voff);
+    if (violation.has_value())
+        v.dominance_detail = violation->detail;
+
+    // The facade's sequence query dominates each member too.
+    v.multi = culpeo.getVsafeMulti(ids).value();
+    for (const core::TaskId id : ids)
+        v.max_member =
+            std::max(v.max_member, culpeo.getVsafe(id).value());
+    // An unprofiled task degrades the whole sequence to Vhigh.
+    std::vector<core::TaskId> with_unknown = ids;
+    with_unknown.push_back(200);
+    v.with_unknown = culpeo.getVsafeMulti(with_unknown).value();
+    return v;
+}
+
 TEST(FuzzDifferential, CompositionNeverAdmitsBelowSingleTaskCheck)
 {
     const unsigned sets =
         std::max(8u, envUnsigned("CULPEO_FUZZ_ITERS", 200) / 5);
     const std::uint64_t base = baseSeed() + 0x1000000;
 
-    for (unsigned i = 0; i < sets; ++i) {
-        const std::uint64_t seed = base + i;
-        SCOPED_TRACE(seedHint(seed));
-        const fault::TaskScenario first =
-            fault::randomTaskScenario(seed);
-        const Volts voff = first.config.monitor.voff;
-        const Volts vhigh = first.config.monitor.vhigh;
+    const std::vector<CompositionVerdict> verdicts =
+        util::ThreadPool::shared().parallelMap(seedRange(base, sets),
+                                               runCompositionScenario);
 
-        core::Culpeo culpeo(core::modelFromConfig(first.config),
-                            std::make_unique<core::IsrProfiler>());
-        std::vector<core::TaskRequirement> requirements;
-        std::vector<core::TaskId> ids;
-        for (core::TaskId id = 1; id <= 3; ++id) {
-            // Distinct task profiles on the shared power system.
-            const load::CurrentProfile profile =
-                fault::randomTaskScenario(seed + id * 7919).profile;
-            const harness::ProfileOutcome outcome =
-                harness::profileTaskFrom(first.config, vhigh, culpeo,
-                                         id, profile);
-            if (!outcome.stored)
-                continue;
-            ids.push_back(id);
-            requirements.push_back(core::requirementFrom(
-                profile.name(), culpeo.getVsafe(id),
-                culpeo.getVdrop(id), voff));
-        }
-        if (requirements.empty())
+    for (const CompositionVerdict &v : verdicts) {
+        SCOPED_TRACE(seedHint(v.seed));
+        if (v.skipped)
             continue;
-
-        const auto violation =
-            fault::checkCompositionDominance(requirements, voff);
-        EXPECT_FALSE(violation.has_value())
-            << (violation.has_value() ? violation->detail : "");
-
-        // The facade's sequence query dominates each member too.
-        const Volts multi = culpeo.getVsafeMulti(ids);
-        for (const core::TaskId id : ids) {
-            EXPECT_GE(multi.value() + 1e-9,
-                      culpeo.getVsafe(id).value());
-        }
-        // An unprofiled task degrades the whole sequence to Vhigh.
-        std::vector<core::TaskId> with_unknown = ids;
-        with_unknown.push_back(200);
-        EXPECT_GE(culpeo.getVsafeMulti(with_unknown).value() + 1e-9,
-                  vhigh.value());
+        EXPECT_TRUE(v.dominance_detail.empty()) << v.dominance_detail;
+        EXPECT_GE(v.multi + 1e-9, v.max_member);
+        EXPECT_GE(v.with_unknown + 1e-9, v.vhigh);
     }
 }
 
@@ -284,76 +375,98 @@ TEST(FuzzDifferential, CompositionNeverAdmitsBelowSingleTaskCheck)
  * end-of-life copy of the app (the worst state any injected fault can
  * reach), so runtime faults can only make its estimates conservative.
  */
+struct SchedulingVerdict
+{
+    std::uint64_t seed = 0;
+    bool culpeo_clean = false;
+    std::string culpeo_report;
+    unsigned commits = 0;
+    unsigned reboots = 0;
+    unsigned catnap_violations = 0;
+};
+
+SchedulingVerdict
+runSchedulingScenario(std::uint64_t seed)
+{
+    SchedulingVerdict v;
+    v.seed = seed;
+    const fault::AppScenario scenario = fault::randomAppScenario(seed);
+
+    // Profile at the envelope of every injectable fault: no incoming
+    // power, and the capacitor already at the worst aging an AgingStep
+    // may apply.
+    const fault::FaultKnobs knobs;
+    sched::AppSpec profiling_app = scenario.app;
+    profiling_app.harvest = Watts(0.0);
+    auto &aging = profiling_app.power.capacitor;
+    aging.capacitance_fraction = std::min(
+        aging.capacitance_fraction, knobs.min_capacitance_fraction);
+    aging.esr_multiplier =
+        std::max(aging.esr_multiplier, knobs.max_esr_multiplier);
+
+    // Profile with the uArch block: generated tasks carry bursts
+    // shorter than the ISR profiler's 1 ms sample period, which the
+    // ISR design cannot resolve by construction (Section V-D). ISR
+    // accuracy on resolvable profiles is covered by the admissions
+    // sweep above.
+    sched::CulpeoPolicy culpeo_policy(/*use_uarch=*/true);
+    culpeo_policy.initialize(profiling_app);
+    {
+        fault::FaultInjector injector(scenario.plan, seed);
+        fault::InvariantMonitor monitor(scenario.app.power.monitor.voff);
+        sched::TrialInstruments instruments;
+        instruments.faults = &injector;
+        instruments.observer = &monitor;
+        sched::runTrial(scenario.app, culpeo_policy, scenario.duration,
+                        seed, instruments);
+        v.culpeo_clean = monitor.clean();
+        if (!v.culpeo_clean)
+            v.culpeo_report = monitor.report(seed);
+        v.commits = monitor.commits();
+        v.reboots = monitor.exemptedReboots();
+    }
+
+    // The CatNap baseline under the identical scenario: violations
+    // are counted, not asserted per-trial — the differential claim
+    // is aggregate (it browns out somewhere; Culpeo never does).
+    // CatNap measures its energy buckets on the part as built — it
+    // has no ESR or aging model, so it gets no end-of-life
+    // envelope — and that optimism is exactly the failure mode the
+    // paper predicts for energy-only budgeting.
+    sched::CatnapPolicy catnap_policy;
+    catnap_policy.initialize(scenario.app);
+    {
+        fault::FaultInjector injector(scenario.plan, seed);
+        fault::InvariantMonitor monitor(scenario.app.power.monitor.voff);
+        sched::TrialInstruments instruments;
+        instruments.faults = &injector;
+        instruments.observer = &monitor;
+        sched::runTrial(scenario.app, catnap_policy, scenario.duration,
+                        seed, instruments);
+        v.catnap_violations = unsigned(monitor.violations().size());
+    }
+    return v;
+}
+
 TEST(FuzzDifferential, CulpeoSchedulingStaysCleanUnderInjectedFaults)
 {
     const unsigned trials =
         std::max(8u, envUnsigned("CULPEO_FUZZ_ITERS", 200) / 8);
     const std::uint64_t base = baseSeed() + 0x2000000;
 
+    const std::vector<SchedulingVerdict> verdicts =
+        util::ThreadPool::shared().parallelMap(seedRange(base, trials),
+                                               runSchedulingScenario);
+
     unsigned total_commits = 0;
     unsigned total_reboots = 0;
     unsigned catnap_violations = 0;
-
-    for (unsigned i = 0; i < trials; ++i) {
-        const std::uint64_t seed = base + i;
-        SCOPED_TRACE(seedHint(seed));
-        const fault::AppScenario scenario =
-            fault::randomAppScenario(seed);
-
-        // Profile at the envelope of every injectable fault: no
-        // incoming power, and the capacitor already at the worst aging
-        // an AgingStep may apply.
-        const fault::FaultKnobs knobs;
-        sched::AppSpec profiling_app = scenario.app;
-        profiling_app.harvest = Watts(0.0);
-        auto &aging = profiling_app.power.capacitor;
-        aging.capacitance_fraction =
-            std::min(aging.capacitance_fraction,
-                     knobs.min_capacitance_fraction);
-        aging.esr_multiplier =
-            std::max(aging.esr_multiplier, knobs.max_esr_multiplier);
-
-        // Profile with the uArch block: generated tasks carry bursts
-        // shorter than the ISR profiler's 1 ms sample period, which the
-        // ISR design cannot resolve by construction (Section V-D). ISR
-        // accuracy on resolvable profiles is covered by the admissions
-        // sweep above.
-        sched::CulpeoPolicy culpeo_policy(/*use_uarch=*/true);
-        culpeo_policy.initialize(profiling_app);
-        {
-            fault::FaultInjector injector(scenario.plan, seed);
-            fault::InvariantMonitor monitor(
-                scenario.app.power.monitor.voff);
-            sched::TrialInstruments instruments;
-            instruments.faults = &injector;
-            instruments.observer = &monitor;
-            sched::runTrial(scenario.app, culpeo_policy,
-                            scenario.duration, seed, instruments);
-            EXPECT_TRUE(monitor.clean()) << monitor.report(seed);
-            total_commits += monitor.commits();
-            total_reboots += monitor.exemptedReboots();
-        }
-
-        // The CatNap baseline under the identical scenario: violations
-        // are counted, not asserted per-trial — the differential claim
-        // is aggregate (it browns out somewhere; Culpeo never does).
-        // CatNap measures its energy buckets on the part as built — it
-        // has no ESR or aging model, so it gets no end-of-life
-        // envelope — and that optimism is exactly the failure mode the
-        // paper predicts for energy-only budgeting.
-        sched::CatnapPolicy catnap_policy;
-        catnap_policy.initialize(scenario.app);
-        {
-            fault::FaultInjector injector(scenario.plan, seed);
-            fault::InvariantMonitor monitor(
-                scenario.app.power.monitor.voff);
-            sched::TrialInstruments instruments;
-            instruments.faults = &injector;
-            instruments.observer = &monitor;
-            sched::runTrial(scenario.app, catnap_policy,
-                            scenario.duration, seed, instruments);
-            catnap_violations += unsigned(monitor.violations().size());
-        }
+    for (const SchedulingVerdict &v : verdicts) {
+        SCOPED_TRACE(seedHint(v.seed));
+        EXPECT_TRUE(v.culpeo_clean) << v.culpeo_report;
+        total_commits += v.commits;
+        total_reboots += v.reboots;
+        catnap_violations += v.catnap_violations;
     }
 
     RecordProperty("total_commits", int(total_commits));
@@ -374,87 +487,119 @@ TEST(FuzzDifferential, CulpeoSchedulingStaysCleanUnderInjectedFaults)
  * re-execute across injected reboots while the Vsafe gate holds, and
  * Culpeo's persisted tables survive every snapshot/restore cycle.
  */
+struct RuntimeVerdict
+{
+    std::uint64_t seed = 0;
+    bool skipped = false; ///< No task stored an estimate.
+    std::string persistence_detail; ///< Empty = idempotence held.
+    bool monitor_clean = false;
+    std::string monitor_report;
+    bool nonterminating = false;
+    std::string stuck_task;
+    bool finished = false;
+};
+
+RuntimeVerdict
+runRuntimeScenario(std::uint64_t seed)
+{
+    RuntimeVerdict v;
+    v.seed = seed;
+    const fault::TaskScenario scenario = fault::randomTaskScenario(seed);
+    const Volts vhigh = scenario.config.monitor.vhigh;
+
+    // Profile against the end-of-life envelope (see the scheduler
+    // test above) so injected aging cannot outrun the estimates.
+    const fault::FaultKnobs knobs;
+    sim::PowerSystemConfig profiling_config = scenario.config;
+    profiling_config.capacitor.capacitance_fraction =
+        std::min(profiling_config.capacitor.capacitance_fraction,
+                 knobs.min_capacitance_fraction);
+    profiling_config.capacitor.esr_multiplier =
+        std::max(profiling_config.capacitor.esr_multiplier,
+                 knobs.max_esr_multiplier);
+
+    core::Culpeo culpeo(core::modelFromConfig(profiling_config),
+                        std::make_unique<core::IsrProfiler>());
+    std::vector<runtime::AtomicTask> program;
+    std::vector<core::TaskId> ids;
+    for (core::TaskId id = 1; id <= 3; ++id) {
+        const load::CurrentProfile profile =
+            fault::randomTaskScenario(seed + id * 104729).profile;
+        const harness::ProfileOutcome outcome = harness::profileTaskFrom(
+            profiling_config, vhigh, culpeo, id, profile);
+        if (!outcome.stored)
+            continue;
+        ids.push_back(id);
+        program.push_back({id, profile.name(), profile});
+    }
+    if (program.empty()) {
+        v.skipped = true;
+        return v;
+    }
+
+    // Simulate the reboot cycle a real deployment would take: the
+    // tables round-trip through persistent storage first.
+    const auto image = culpeo.snapshot();
+    culpeo.restore(image);
+    const auto persistence =
+        fault::checkPersistenceIdempotence(culpeo, ids);
+    if (persistence.has_value())
+        v.persistence_detail = persistence->detail;
+
+    util::Rng plan_rng(seed ^ 0x5bd1e995);
+    fault::FaultInjector injector(
+        fault::randomPlan(plan_rng, Seconds(20.0)), seed);
+    fault::InvariantMonitor monitor(scenario.config.monitor.voff);
+
+    sim::PowerSystem system(scenario.config);
+    sim::ConstantHarvester harvester(Watts(15e-3));
+    system.setHarvester(&harvester);
+    system.setFaultHooks(&injector);
+    system.setObserver(&monitor);
+    system.setBufferVoltage(vhigh);
+    system.forceOutputEnabled(true);
+
+    runtime::RuntimeOptions options;
+    options.policy = runtime::DispatchPolicy::VsafeGated;
+    options.culpeo = &culpeo;
+    options.timeout = Seconds(60.0);
+    // Same guard band the scheduler uses: absorbs ADC read error
+    // and the Vsafe model-error tolerance.
+    options.dispatch_margin = Volts(20e-3);
+    const runtime::ProgramResult result =
+        runtime::runProgram(system, program, options);
+
+    v.monitor_clean = monitor.clean();
+    if (!v.monitor_clean)
+        v.monitor_report = monitor.report(seed);
+    v.nonterminating = result.nonterminating;
+    v.stuck_task = result.stuck_task;
+    v.finished = result.finished;
+    return v;
+}
+
 TEST(FuzzDifferential, RuntimeSurvivesInjectedRebootsWithCleanInvariants)
 {
     const unsigned programs =
         std::max(6u, envUnsigned("CULPEO_FUZZ_ITERS", 200) / 20);
     const std::uint64_t base = baseSeed() + 0x3000000;
 
+    const std::vector<RuntimeVerdict> verdicts =
+        util::ThreadPool::shared().parallelMap(seedRange(base, programs),
+                                               runRuntimeScenario);
+
     unsigned finished_programs = 0;
-
-    for (unsigned i = 0; i < programs; ++i) {
-        const std::uint64_t seed = base + i;
-        SCOPED_TRACE(seedHint(seed));
-        const fault::TaskScenario scenario =
-            fault::randomTaskScenario(seed);
-        const Volts vhigh = scenario.config.monitor.vhigh;
-
-        // Profile against the end-of-life envelope (see the scheduler
-        // test above) so injected aging cannot outrun the estimates.
-        const fault::FaultKnobs knobs;
-        sim::PowerSystemConfig profiling_config = scenario.config;
-        profiling_config.capacitor.capacitance_fraction =
-            std::min(profiling_config.capacitor.capacitance_fraction,
-                     knobs.min_capacitance_fraction);
-        profiling_config.capacitor.esr_multiplier =
-            std::max(profiling_config.capacitor.esr_multiplier,
-                     knobs.max_esr_multiplier);
-
-        core::Culpeo culpeo(core::modelFromConfig(profiling_config),
-                            std::make_unique<core::IsrProfiler>());
-        std::vector<runtime::AtomicTask> program;
-        std::vector<core::TaskId> ids;
-        for (core::TaskId id = 1; id <= 3; ++id) {
-            const load::CurrentProfile profile =
-                fault::randomTaskScenario(seed + id * 104729).profile;
-            const harness::ProfileOutcome outcome =
-                harness::profileTaskFrom(profiling_config, vhigh,
-                                         culpeo, id, profile);
-            if (!outcome.stored)
-                continue;
-            ids.push_back(id);
-            program.push_back({id, profile.name(), profile});
-        }
-        if (program.empty())
+    for (const RuntimeVerdict &v : verdicts) {
+        SCOPED_TRACE(seedHint(v.seed));
+        if (v.skipped)
             continue;
-
-        // Simulate the reboot cycle a real deployment would take: the
-        // tables round-trip through persistent storage first.
-        const auto image = culpeo.snapshot();
-        culpeo.restore(image);
-        const auto persistence =
-            fault::checkPersistenceIdempotence(culpeo, ids);
-        EXPECT_FALSE(persistence.has_value())
-            << (persistence.has_value() ? persistence->detail : "");
-
-        util::Rng plan_rng(seed ^ 0x5bd1e995);
-        fault::FaultInjector injector(
-            fault::randomPlan(plan_rng, Seconds(20.0)), seed);
-        fault::InvariantMonitor monitor(scenario.config.monitor.voff);
-
-        sim::PowerSystem system(scenario.config);
-        sim::ConstantHarvester harvester(Watts(15e-3));
-        system.setHarvester(&harvester);
-        system.setFaultHooks(&injector);
-        system.setObserver(&monitor);
-        system.setBufferVoltage(vhigh);
-        system.forceOutputEnabled(true);
-
-        runtime::RuntimeOptions options;
-        options.policy = runtime::DispatchPolicy::VsafeGated;
-        options.culpeo = &culpeo;
-        options.timeout = Seconds(60.0);
-        // Same guard band the scheduler uses: absorbs ADC read error
-        // and the Vsafe model-error tolerance.
-        options.dispatch_margin = Volts(20e-3);
-        const runtime::ProgramResult result =
-            runtime::runProgram(system, program, options);
-
-        EXPECT_TRUE(monitor.clean()) << monitor.report(seed);
-        EXPECT_FALSE(result.nonterminating)
+        EXPECT_TRUE(v.persistence_detail.empty())
+            << v.persistence_detail;
+        EXPECT_TRUE(v.monitor_clean) << v.monitor_report;
+        EXPECT_FALSE(v.nonterminating)
             << "Vsafe-gated program declared non-terminating at task "
-            << result.stuck_task;
-        if (result.finished)
+            << v.stuck_task;
+        if (v.finished)
             ++finished_programs;
     }
 

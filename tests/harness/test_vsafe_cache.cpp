@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the memoized ground-truth cache: hits return the exact
+ * computed truth, and the key is sensitive to every input that can
+ * change a search's answer (config fields, profile shape, resolution,
+ * fast-path flag).
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/vsafe_cache.hpp"
+#include "load/library.hpp"
+#include "util/parallel.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+using namespace culpeo::units::literals;
+
+TEST(VsafeCache, HitReturnsIdenticalTruth)
+{
+    harness::VsafeCache cache;
+    const auto cfg = sim::capybaraConfig();
+    const auto profile = load::uniform(25.0_mA, 10.0_ms);
+
+    const auto first = cache.findOrCompute(cfg, profile);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 0u);
+
+    const auto second = cache.findOrCompute(cfg, profile);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.size(), 1u);
+
+    EXPECT_EQ(first.vsafe.value(), second.vsafe.value());
+    EXPECT_EQ(first.feasible, second.feasible);
+    EXPECT_EQ(first.vmin_at_vsafe.value(), second.vmin_at_vsafe.value());
+    EXPECT_EQ(first.trials, second.trials);
+}
+
+TEST(VsafeCache, CachedTruthMatchesDirectSearch)
+{
+    harness::VsafeCache cache;
+    const auto cfg = sim::capybaraConfig();
+    const auto profile = load::uniform(40.0_mA, 5.0_ms);
+    const auto cached = cache.findOrCompute(cfg, profile);
+    const auto direct = harness::findTrueVsafe(cfg, profile);
+    EXPECT_EQ(cached.vsafe.value(), direct.vsafe.value());
+    EXPECT_EQ(cached.feasible, direct.feasible);
+}
+
+TEST(VsafeCache, KeySensitivity)
+{
+    const auto cfg = sim::capybaraConfig();
+    const auto profile = load::uniform(25.0_mA, 10.0_ms);
+    const harness::SearchOptions defaults;
+    const std::uint64_t base =
+        harness::groundTruthKey(cfg, profile, defaults);
+
+    // Same inputs, same key.
+    EXPECT_EQ(harness::groundTruthKey(cfg, profile, defaults), base);
+
+    // Any config field that feeds the simulation changes the key.
+    {
+        auto changed = cfg;
+        changed.capacitor.capacitance = Farads(
+            changed.capacitor.capacitance.value() * 1.01);
+        EXPECT_NE(harness::groundTruthKey(changed, profile, defaults),
+                  base);
+    }
+    {
+        auto changed = cfg;
+        changed.capacitor.esr_multiplier *= 1.5;
+        EXPECT_NE(harness::groundTruthKey(changed, profile, defaults),
+                  base);
+    }
+    {
+        auto changed = cfg;
+        changed.monitor.voff = Volts(changed.monitor.voff.value() + 1e-3);
+        EXPECT_NE(harness::groundTruthKey(changed, profile, defaults),
+                  base);
+    }
+
+    // Profile shape: different segment currents, durations, or count.
+    EXPECT_NE(harness::groundTruthKey(
+                  cfg, load::uniform(26.0_mA, 10.0_ms), defaults),
+              base);
+    EXPECT_NE(harness::groundTruthKey(
+                  cfg, load::uniform(25.0_mA, 11.0_ms), defaults),
+              base);
+    EXPECT_NE(harness::groundTruthKey(
+                  cfg, load::pulseWithCompute(25.0_mA, 10.0_ms),
+                  defaults),
+              base);
+
+    // Search controls.
+    {
+        harness::SearchOptions options;
+        options.resolution = Volts(5e-3);
+        EXPECT_NE(harness::groundTruthKey(cfg, profile, options), base);
+    }
+    {
+        harness::SearchOptions options;
+        options.allow_fast_path = false;
+        EXPECT_NE(harness::groundTruthKey(cfg, profile, options), base);
+    }
+}
+
+TEST(VsafeCache, ConcurrentLookupsAreConsistent)
+{
+    harness::VsafeCache cache;
+    const auto cfg = sim::capybaraConfig();
+    const auto profile = load::uniform(25.0_mA, 10.0_ms);
+    const auto expected = harness::findTrueVsafe(cfg, profile);
+
+    util::ThreadPool pool(4);
+    std::vector<int> items(32);
+    const auto results =
+        pool.parallelMap(items, [&](const int &) {
+            return cache.findOrCompute(cfg, profile).vsafe.value();
+        });
+    for (const double v : results)
+        EXPECT_EQ(v, expected.vsafe.value());
+    // Racing misses may compute the duplicate truth more than once,
+    // but every lookup is accounted and the table holds one entry.
+    EXPECT_EQ(cache.hits() + cache.misses(), results.size());
+    EXPECT_GE(cache.misses(), 1u);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(VsafeCache, ClearResetsCounters)
+{
+    harness::VsafeCache cache;
+    const auto cfg = sim::capybaraConfig();
+    const auto profile = load::uniform(25.0_mA, 10.0_ms);
+    cache.findOrCompute(cfg, profile);
+    cache.findOrCompute(cfg, profile);
+    cache.clear();
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 0u);
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+} // namespace
