@@ -46,25 +46,26 @@ main()
         core::Culpeo culpeo(model,
                             std::make_unique<core::UArchProfiler>());
 
-        sim::PowerSystem system(cfg);
-        system.setBufferVoltage(cfg.monitor.vhigh);
-        system.forceOutputEnabled(true);
+        sim::Device device(cfg);
+        device.setBufferVoltage(cfg.monitor.vhigh);
+        device.forceOutputEnabled(true);
 
         // Manual Table I sequence with a fixed rebound wait.
-        culpeo.profileStart(system.restingVoltage());
+        culpeo.profileStart(device.restingVoltage());
         harness::RunOptions options;
         options.dt = harness::chooseDt(profile);
         options.settle_rebound = false;
         options.culpeo = &culpeo;
-        const auto run = harness::runTask(system, profile, options);
+        const auto run = harness::runTask(device, profile, options);
         culpeo.profileEnd(1, run.vend_loaded);
         double waited = 0.0;
         while (waited < wait_ms * 1e-3) {
-            const auto step = system.step(Seconds(1e-3), Amps(0.0));
+            const auto step =
+                device.system().step(Seconds(1e-3), Amps(0.0));
             culpeo.tick(Seconds(1e-3), step.terminal);
             waited += 1e-3;
         }
-        culpeo.reboundEnd(1, system.restingVoltage());
+        culpeo.reboundEnd(1, device.restingVoltage());
         culpeo.computeVsafe(1);
 
         const auto stored = culpeo.table().profile(1, 0);

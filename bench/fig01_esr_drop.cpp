@@ -23,17 +23,17 @@ main()
     bench::banner("ESR drop and rebound on a task trace", "Figure 1(b)");
 
     const auto cfg = sim::capybaraConfig();
-    sim::PowerSystem system(cfg);
-    system.setBufferVoltage(Volts(2.35));
-    system.forceOutputEnabled(true);
-    system.captureTrace(true);
+    sim::Device device(cfg);
+    device.setBufferVoltage(Volts(2.35));
+    device.forceOutputEnabled(true);
+    device.captureTrace(true); // Tracing forces the per-step backend.
 
     // A sensing burst followed by a radio-class pulse, like the trace in
     // the figure.
     const auto profile =
         load::uniform(10.0_mA, 60.0_ms).renamed("sense").then(
             load::uniform(25.0_mA, 120.0_ms).renamed("radio"));
-    const auto run = harness::runTask(system, profile);
+    const auto run = harness::runTask(device, profile);
 
     const double v_before = run.vstart.value();
     const double v_min = run.vmin.value();
@@ -56,7 +56,7 @@ main()
     auto csv = util::CsvWriter::forBench(
         "fig01_esr_drop", {"time_s", "terminal_v", "open_circuit_v",
                            "load_a"});
-    for (const auto &s : system.trace().samples())
+    for (const auto &s : device.system().trace().samples())
         csv.row(s.time.value(), s.terminal.value(), s.open_circuit.value(),
                 s.load.value());
     return 0;

@@ -37,18 +37,18 @@ main()
                 "usable energy left", "TX needs (of usable)");
     bench::rule(66);
     for (double vstart = 1.7; vstart <= 2.56; vstart += 0.1) {
-        sim::PowerSystem system(cfg);
-        system.setBufferVoltage(Volts(vstart));
-        system.forceOutputEnabled(true);
+        sim::Device device(cfg);
+        device.setBufferVoltage(Volts(vstart));
+        device.forceOutputEnabled(true);
         const Joules usable_before =
-            system.capacitor().storedEnergy() - floor_energy;
+            device.system().capacitor().storedEnergy() - floor_energy;
 
         harness::RunOptions options;
         options.settle_rebound = false;
-        const auto run = harness::runTask(system, lora, options);
+        const auto run = harness::runTask(device, lora, options);
 
         const Joules usable_after =
-            system.capacitor().storedEnergy() - floor_energy;
+            device.system().capacitor().storedEnergy() - floor_energy;
         const double left_pct =
             100.0 * usable_after.value() / usable_before.value();
         const double tx_pct = 100.0 *

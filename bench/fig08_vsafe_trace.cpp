@@ -56,9 +56,9 @@ main()
     const double multi = culpeo.getVsafeMulti({1, 2, 3}).value();
 
     // Execute the whole sequence back-to-back from Vsafe_multi.
-    sim::PowerSystem system(cfg);
-    system.setBufferVoltage(Volts(multi));
-    system.forceOutputEnabled(true);
+    sim::Device device(cfg);
+    device.setBufferVoltage(Volts(multi));
+    device.forceOutputEnabled(true);
     bool all_ok = true;
     double vmin_seq = multi;
     std::printf("\n(b) sequence sense -> encrypt -> send+listen:\n");
@@ -67,7 +67,7 @@ main()
         harness::RunOptions seq_options;
         seq_options.dt = harness::chooseDt(profile);
         seq_options.settle_rebound = false;
-        const auto step = harness::runTask(system, profile, seq_options);
+        const auto step = harness::runTask(device, profile, seq_options);
         vmin_seq = std::min(vmin_seq, step.vmin.value());
         all_ok = all_ok && step.completed;
         std::printf("    %-12s vmin %.3f V  %s\n", profile.name().c_str(),

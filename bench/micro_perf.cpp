@@ -8,10 +8,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include "apps/apps.hpp"
 #include "core/api.hpp"
 #include "core/vsafe_pg.hpp"
 #include "harness/ground_truth.hpp"
 #include "load/library.hpp"
+#include "sched/engine.hpp"
 
 using namespace culpeo;
 using namespace culpeo::units;
@@ -182,6 +184,34 @@ BM_GroundTruthSearchEuler(benchmark::State &state)
     }
 }
 BENCHMARK(BM_GroundTruthSearchEuler)->Unit(benchmark::kMillisecond);
+
+/**
+ * A whole Figure 12-style scheduler trial (Periodic Sensing app under
+ * the Culpeo policy) through the sim::Device layer. The force_euler
+ * variant runs the identical trial on the per-tick reference backend;
+ * the pair's ratio is the end-to-end speedup the device layer's
+ * analytic idle stepping delivers to the scheduler, measured in-process
+ * so machine load cancels out of the comparison.
+ */
+void
+BM_RunTrial(benchmark::State &state)
+{
+    const bool force_euler = state.range(0) != 0;
+    const sched::AppSpec app = apps::periodicSensing();
+    sched::CulpeoPolicy policy;
+    policy.initialize(app);
+    sched::TrialInstruments instruments;
+    instruments.force_euler = force_euler;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            sched::runTrial(app, policy, Seconds(30.0), 7, instruments));
+    }
+}
+BENCHMARK(BM_RunTrial)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("force_euler")
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_UArchTick(benchmark::State &state)

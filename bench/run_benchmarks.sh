@@ -41,7 +41,7 @@ fi
 echo
 echo "wrote $OUTPUT"
 
-# Convenience: print the analytic-vs-Euler search speedup if both
+# Convenience: print the analytic-vs-Euler speedups if the paired
 # benchmarks are present in the output.
 python3 - "$OUTPUT" <<'EOF' 2>/dev/null || true
 import json, sys
@@ -55,4 +55,9 @@ fast = times.get("BM_GroundTruthSearch")
 euler = times.get("BM_GroundTruthSearchEuler")
 if fast and euler:
     print(f"ground-truth search speedup (Euler/analytic): {euler / fast:.1f}x")
+trial_fast = times.get("BM_RunTrial/force_euler:0")
+trial_euler = times.get("BM_RunTrial/force_euler:1")
+if trial_fast and trial_euler:
+    print(f"scheduler trial speedup (Euler/device): "
+          f"{trial_euler / trial_fast:.1f}x")
 EOF

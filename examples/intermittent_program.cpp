@@ -66,16 +66,16 @@ main()
 
     for (DispatchPolicy policy : {DispatchPolicy::Opportunistic,
                                   DispatchPolicy::VsafeGated}) {
-        sim::PowerSystem system(sim::capybaraConfig());
-        system.setHarvester(&harvester);
-        system.setBufferVoltage(Volts(1.8));
-        system.forceOutputEnabled(true);
+        sim::Device device(sim::capybaraConfig());
+        device.setHarvester(&harvester);
+        device.setBufferVoltage(Volts(1.8));
+        device.forceOutputEnabled(true);
 
         RuntimeOptions options;
         options.policy = policy;
         options.culpeo = &culpeo;
         const ProgramResult result =
-            runProgram(system, program, options);
+            runProgram(device, program, options);
         report(policy == DispatchPolicy::Opportunistic ? "opportunistic"
                                                        : "vsafe-gated",
                result);
@@ -84,14 +84,14 @@ main()
 
     // Forward progress: a task whose requirement exceeds the buffer.
     std::printf("adding an oversized task (120 mA for 200 ms):\n");
-    sim::PowerSystem system(sim::capybaraConfig());
-    system.setHarvester(&harvester);
-    system.setBufferVoltage(Volts(2.56));
-    system.forceOutputEnabled(true);
+    sim::Device device(sim::capybaraConfig());
+    device.setHarvester(&harvester);
+    device.setBufferVoltage(Volts(2.56));
+    device.forceOutputEnabled(true);
     RuntimeOptions options;
     options.max_attempts_from_full = 3;
     const ProgramResult result = runProgram(
-        system,
+        device,
         {{9, "oversized",
           load::uniform(120.0_mA, 200.0_ms).renamed("oversized")}},
         options);

@@ -7,6 +7,8 @@
  * 3. Ask Culpeo-PG (compile-time, from the current trace) and Culpeo-R
  *    (runtime, from three voltage measurements) for Vsafe.
  * 4. Check both against a brute-force simulation of the task.
+ * 5. Drive one harvest-recharge-run cycle through sim::Device, the
+ *    execution layer every driver in the repo uses.
  */
 
 #include <cstdio>
@@ -17,6 +19,8 @@
 #include "harness/ground_truth.hpp"
 #include "harness/profiling.hpp"
 #include "load/library.hpp"
+#include "sim/device.hpp"
+#include "sim/harvester.hpp"
 
 using namespace culpeo;
 using namespace culpeo::units;
@@ -66,5 +70,31 @@ main()
                 now_voltage.value(),
                 culpeo.feasible(radio_task, now_voltage) ? "IS"
                                                          : "is NOT");
+
+    // 5. One dispatch cycle through the device-execution layer: harvest
+    //    until Vsafe is banked, run the task, report what happened. The
+    //    wait uses analytic macro-stepping here (no instrumentation
+    //    attached) and would fall back to per-tick Euler automatically
+    //    if fault hooks or an observer were set; an unreachable
+    //    threshold comes back as a diagnostic instead of a hang.
+    const sim::ConstantHarvester harvester(5.0_mW);
+    sim::Device device(power);
+    device.setHarvester(&harvester);
+    device.setBufferVoltage(1.7_V);
+    device.forceOutputEnabled(true);
+
+    const sim::WaitResult wait =
+        device.idleUntilVoltage(pg.vsafe, Seconds(120.0));
+    if (!wait.reached()) {
+        std::printf("device: Vsafe not banked (%s)\n",
+                    wait.diagnostic.empty() ? "deadline/brown-out"
+                                            : wait.diagnostic.c_str());
+        return 0;
+    }
+    const sim::LoadResult run = device.runLoad(task);
+    std::printf("device: recharged %.1f s, task %s (Vmin %.3f V)\n",
+                wait.elapsed.value(),
+                run.completed ? "completed" : "browned out",
+                run.vmin.value());
     return 0;
 }

@@ -14,17 +14,18 @@ estimateBaselines(const sim::PowerSystemConfig &config,
 {
     BaselineEstimates estimates;
 
-    sim::PowerSystem system(config);
-    system.setBufferVoltage(config.monitor.vhigh);
-    system.forceOutputEnabled(true);
-    system.captureTrace(true);
+    sim::Device device(config);
+    device.setBufferVoltage(config.monitor.vhigh);
+    device.forceOutputEnabled(true);
+    device.captureTrace(true); // Forces the Euler path: per-step samples.
 
-    const units::Joules energy_before = system.capacitor().storedEnergy();
+    const units::Joules energy_before =
+        device.system().capacitor().storedEnergy();
 
     RunOptions options;
     options.dt = chooseDt(profile);
     options.stop_on_failure = false; // Profiling rig is continuously fed.
-    const RunResult run = runTask(system, profile, options);
+    const RunResult run = runTask(device, profile, options);
     estimates.run = run;
 
     const double voff = config.monitor.voff.value();
@@ -32,7 +33,8 @@ estimateBaselines(const sim::PowerSystemConfig &config,
 
     // Energy-Direct: oracle task energy drawn from the buffer, converted
     // to a voltage increment above Voff in the V^2 domain.
-    const units::Joules energy_after = system.capacitor().storedEnergy();
+    const units::Joules energy_after =
+        device.system().capacitor().storedEnergy();
     const double energy = std::max(
         0.0, (energy_before - energy_after).value());
     const double c = config.capacitor.capacitance.value();
@@ -54,7 +56,7 @@ estimateBaselines(const sim::PowerSystemConfig &config,
     // instantaneous series-ESR rebound has already happened and part of
     // the redistribution recovery too, so the drop is under-counted.
     const Volts v_slow =
-        system.trace().terminalAt(run.task_end + slow_delay);
+        device.system().trace().terminalAt(run.task_end + slow_delay);
     estimates.catnap_slow =
         Volts(voff + std::max(0.0, vstart - v_slow.value()));
 

@@ -5,23 +5,23 @@
 namespace culpeo::harness {
 
 ProfileOutcome
-profileTask(sim::PowerSystem &system, core::Culpeo &culpeo, core::TaskId id,
+profileTask(sim::Device &device, core::Culpeo &culpeo, core::TaskId id,
             const load::CurrentProfile &profile, RunOptions options)
 {
     ProfileOutcome outcome;
 
-    culpeo.profileStart(system.restingVoltage());
+    culpeo.profileStart(device.restingVoltage());
 
     RunOptions task_options = options;
     task_options.culpeo = &culpeo;
     task_options.settle_rebound = false;
-    outcome.run = runTask(system, profile, task_options);
+    outcome.run = runTask(device, profile, task_options);
 
     culpeo.profileEnd(id, outcome.run.vend_loaded);
 
-    const Volts vfinal = settleRebound(system, options, &culpeo);
+    const Volts vfinal = settleRebound(device, options, &culpeo);
     outcome.run.vfinal = vfinal;
-    outcome.run.settle_end = system.now();
+    outcome.run.settle_end = device.now();
     culpeo.reboundEnd(id, vfinal);
 
     if (!outcome.run.completed) {
@@ -45,12 +45,12 @@ profileTaskFrom(const sim::PowerSystemConfig &config, Volts vstart,
                 core::Culpeo &culpeo, core::TaskId id,
                 const load::CurrentProfile &profile, RunOptions options)
 {
-    sim::PowerSystem system(config);
-    system.setBufferVoltage(vstart);
-    system.forceOutputEnabled(true);
+    sim::Device device(config);
+    device.setBufferVoltage(vstart);
+    device.forceOutputEnabled(true);
     if (options.dt.value() == RunOptions{}.dt.value())
         options.dt = chooseDt(profile);
-    return profileTask(system, culpeo, id, profile, options);
+    return profileTask(device, culpeo, id, profile, options);
 }
 
 units::Ohms
@@ -61,12 +61,11 @@ measureApparentEsr(const sim::CapacitorConfig &config, units::Amps i_pulse,
     sim::Capacitor cap(config);
     cap.setOpenCircuitVoltage(vstart);
 
-    const double dt = std::max(width.value() / 200.0, 1e-6);
-    double elapsed = 0.0;
-    while (elapsed < width.value()) {
-        cap.step(units::Seconds(dt), i_pulse);
-        elapsed += dt;
-    }
+    // The rig pulses the buffer terminals directly (Section IV-B): one
+    // exact closed-form advance over the pulse — the same two-branch
+    // solution the segment fast path is built on — replaces the old
+    // per-step Euler loop.
+    cap.advanceAnalytic(width, i_pulse);
     const Volts voc = cap.openCircuitVoltage();
     const Volts vterm = cap.terminalVoltage(i_pulse);
     return units::Ohms((voc - vterm).value() / i_pulse.value());

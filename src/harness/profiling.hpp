@@ -24,12 +24,12 @@ struct ProfileOutcome
 };
 
 /**
- * Profile task @p id by executing @p profile on @p system with
- * @p culpeo's profiler attached, then compute its Vsafe. The system
+ * Profile task @p id by executing @p profile on @p device with
+ * @p culpeo's profiler attached, then compute its Vsafe. The device
  * should be charged and its output enabled; profiling failures (task
  * browned out) leave the table unpopulated.
  */
-ProfileOutcome profileTask(sim::PowerSystem &system, core::Culpeo &culpeo,
+ProfileOutcome profileTask(sim::Device &device, core::Culpeo &culpeo,
                            core::TaskId id,
                            const load::CurrentProfile &profile,
                            RunOptions options = {});

@@ -1,10 +1,43 @@
 #include "task_runner.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "util/logging.hpp"
 
 namespace culpeo::harness {
+
+namespace {
+
+/**
+ * Adapts an attached core::Culpeo instance to sim::LoadStepDriver: its
+ * measurement overhead current rides on the demand and its profiler is
+ * ticked with each step's terminal voltage (the ISR design pays for its
+ * own ADC).
+ */
+class CulpeoStepDriver : public sim::LoadStepDriver
+{
+  public:
+    CulpeoStepDriver(core::Culpeo &culpeo, Volts vout)
+        : culpeo_(culpeo), vout_(vout)
+    {}
+
+    Amps overheadCurrent() override
+    {
+        return culpeo_.overheadCurrent(vout_);
+    }
+
+    void onStep(Seconds dt, Volts terminal) override
+    {
+        culpeo_.tick(dt, terminal);
+    }
+
+  private:
+    core::Culpeo &culpeo_;
+    Volts vout_;
+};
+
+} // namespace
 
 Seconds
 chooseDt(const load::CurrentProfile &profile)
@@ -18,123 +51,64 @@ chooseDt(const load::CurrentProfile &profile)
 }
 
 RunResult
-runTask(sim::PowerSystem &system, const load::CurrentProfile &profile,
+runTask(sim::Device &device, const load::CurrentProfile &profile,
         const RunOptions &options)
 {
-    log::fatalIf(options.dt.value() <= 0.0, "run dt must be positive");
+    std::optional<CulpeoStepDriver> driver;
+    if (options.culpeo != nullptr)
+        driver.emplace(*options.culpeo, device.vout());
+
+    sim::LoadOptions load_options;
+    load_options.dt = options.dt;
+    load_options.stop_on_failure = options.stop_on_failure;
+    load_options.allow_fast_path = options.allow_fast_path;
+    load_options.driver = driver.has_value() ? &*driver : nullptr;
+
+    const sim::LoadResult run = device.runLoad(profile, load_options);
 
     RunResult result;
-    result.vstart = system.restingVoltage();
-    result.vmin = result.vstart;
-    result.vend_loaded = result.vstart;
-
-    core::Culpeo *culpeo = options.culpeo;
-    const Volts vout = system.vout();
-    const Seconds duration = profile.duration();
-    const double dt = options.dt.value();
-
-    // With no Culpeo attached (nothing to tick per step) and an
-    // instrumentation-free system, each piecewise-constant profile
-    // segment can be advanced with the analytic fast path.
-    if (options.allow_fast_path && culpeo == nullptr &&
-        system.analyticEligible()) {
-        sim::SegmentOptions seg_options;
-        seg_options.fallback_dt = options.dt;
-        seg_options.stop_on_failure = options.stop_on_failure;
-        bool fast_failed = false;
-        for (const auto &seg : profile.segments()) {
-            const sim::SegmentResult seg_result =
-                system.runSegment(seg.duration, seg.current, seg_options);
-            result.vmin = std::min(result.vmin, seg_result.vmin);
-            result.vend_loaded = seg_result.vend;
-            if (seg_result.power_failed || seg_result.collapsed) {
-                result.power_failed =
-                    result.power_failed || seg_result.power_failed;
-                result.collapsed =
-                    result.collapsed || seg_result.collapsed;
-                fast_failed = true;
-                if (options.stop_on_failure)
-                    break;
-            }
-        }
-        result.completed = !fast_failed;
-        result.task_end = system.now();
-        result.vfinal = system.restingVoltage();
-        if (options.settle_rebound)
-            result.vfinal = settleRebound(system, options, culpeo);
-        result.settle_end = system.now();
-        return result;
-    }
-
-    bool failed = false;
-    Seconds offset{0.0};
-    while (offset < duration) {
-        Amps demand = profile.currentAt(offset);
-        if (culpeo != nullptr)
-            demand += culpeo->overheadCurrent(vout);
-
-        const sim::StepResult step = system.step(options.dt, demand);
-        result.vmin = std::min(result.vmin, step.terminal);
-        result.vend_loaded = step.terminal;
-        if (culpeo != nullptr)
-            culpeo->tick(options.dt, step.terminal);
-
-        if (step.power_failed || step.collapsed) {
-            result.power_failed = result.power_failed || step.power_failed;
-            result.collapsed = result.collapsed || step.collapsed;
-            failed = true;
-            if (options.stop_on_failure)
-                break;
-        }
-        offset += Seconds(dt);
-    }
-    result.completed = !failed;
-    result.task_end = system.now();
+    result.completed = run.completed;
+    result.power_failed = run.power_failed;
+    result.collapsed = run.collapsed;
+    result.vstart = run.vstart;
+    result.vmin = run.vmin;
+    result.vend_loaded = run.vend;
+    result.task_end = device.now();
 
     // Let the ESR drop rebound with no load, tracking the recovery, so
     // Vfinal reflects the post-redistribution voltage (Figure 8a).
-    result.vfinal = system.restingVoltage();
+    result.vfinal = device.restingVoltage();
     if (options.settle_rebound)
-        result.vfinal = settleRebound(system, options, culpeo);
-    result.settle_end = system.now();
+        result.vfinal = settleRebound(device, options, options.culpeo);
+    result.settle_end = device.now();
     return result;
 }
 
 Volts
-settleRebound(sim::PowerSystem &system, const RunOptions &options,
+settleRebound(sim::Device &device, const RunOptions &options,
               core::Culpeo *culpeo)
 {
-    const Volts vout = system.vout();
-    const Seconds deadline = system.now() + options.settle_timeout;
-    Volts window_start = system.restingVoltage();
-    Seconds window_elapsed{0.0};
-    while (system.now() < deadline) {
-        Amps demand{0.0};
-        if (culpeo != nullptr)
-            demand += culpeo->overheadCurrent(vout);
-        const sim::StepResult step = system.step(options.settle_dt, demand);
-        if (culpeo != nullptr)
-            culpeo->tick(options.settle_dt, step.terminal);
-
-        window_elapsed += options.settle_dt;
-        if (window_elapsed >= options.settle_window) {
-            if (step.terminal - window_start < options.settle_epsilon)
-                break;
-            window_start = step.terminal;
-            window_elapsed = Seconds(0.0);
-        }
+    sim::SettleOptions settle;
+    settle.dt = options.settle_dt;
+    settle.timeout = options.settle_timeout;
+    settle.epsilon = options.settle_epsilon;
+    settle.window = options.settle_window;
+    if (culpeo != nullptr) {
+        CulpeoStepDriver driver(*culpeo, device.vout());
+        settle.driver = &driver;
+        return device.settle(settle);
     }
-    return system.restingVoltage();
+    return device.settle(settle);
 }
 
 RunResult
 runTaskFrom(const sim::PowerSystemConfig &config, Volts vstart,
             const load::CurrentProfile &profile, const RunOptions &options)
 {
-    sim::PowerSystem system(config);
-    system.setBufferVoltage(vstart);
-    system.forceOutputEnabled(true);
-    return runTask(system, profile, options);
+    sim::Device device(config);
+    device.setBufferVoltage(vstart);
+    device.forceOutputEnabled(true);
+    return runTask(device, profile, options);
 }
 
 } // namespace culpeo::harness

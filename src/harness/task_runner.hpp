@@ -15,7 +15,7 @@
 
 #include "core/api.hpp"
 #include "load/profile.hpp"
-#include "sim/power_system.hpp"
+#include "sim/device.hpp"
 
 namespace culpeo::harness {
 
@@ -71,25 +71,26 @@ struct RunResult
 };
 
 /**
- * Run @p profile on @p system from its current state. The monitor state
- * is left as configured by the caller (force it on for isolated harness
- * runs).
+ * Run @p profile on @p device from its current state via
+ * sim::Device::runLoad, adapting the attached Culpeo instance (if any)
+ * to the per-step driver interface. The monitor state is left as
+ * configured by the caller (force it on for isolated harness runs).
  */
-RunResult runTask(sim::PowerSystem &system,
+RunResult runTask(sim::Device &device,
                   const load::CurrentProfile &profile,
                   const RunOptions &options = {});
 
 /**
- * Idle the system until the post-load rebound settles (gain below
+ * Idle the device until the post-load rebound settles (gain below
  * options.settle_epsilon per settle_window) or settle_timeout elapses.
  * Returns the settled resting voltage. Ticks/charges @p culpeo's
  * profiler when non-null.
  */
-Volts settleRebound(sim::PowerSystem &system, const RunOptions &options,
+Volts settleRebound(sim::Device &device, const RunOptions &options,
                     core::Culpeo *culpeo);
 
 /**
- * Convenience: build an isolated system at @p vstart (settled, output
+ * Convenience: build an isolated device at @p vstart (settled, output
  * forced on, no harvester) and run @p profile on it.
  */
 RunResult runTaskFrom(const sim::PowerSystemConfig &config, Volts vstart,

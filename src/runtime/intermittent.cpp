@@ -14,28 +14,42 @@ ProgramResult::totalFailures() const
     return total;
 }
 
+namespace {
+
+/** Fill the starvation fields when a dispatch wait is unsatisfiable. */
+ProgramResult &
+markStarved(ProgramResult &result, sim::Device &device,
+            const std::string &task, const std::string &diagnostic)
+{
+    result.starved = true;
+    result.stuck_task = task;
+    result.diagnostic = diagnostic;
+    result.elapsed = device.now();
+    result.power_failures = device.system().monitor().powerFailures();
+    return result;
+}
+
+} // namespace
+
 ProgramResult
-runProgram(sim::PowerSystem &system, const std::vector<AtomicTask> &program,
+runProgram(sim::Device &device, const std::vector<AtomicTask> &program,
             const RuntimeOptions &options)
 {
-    log::fatalIf(options.policy == DispatchPolicy::VsafeGated &&
-                     options.culpeo == nullptr,
+    const bool gated = options.policy == DispatchPolicy::VsafeGated;
+    log::fatalIf(gated && options.culpeo == nullptr,
                  "VsafeGated dispatch requires a Culpeo instance");
-    log::fatalIf(options.idle_dt.value() <= 0.0,
-                 "idle_dt must be positive");
 
     ProgramResult result;
     result.per_task.reserve(program.size());
     for (const auto &task : program)
         result.per_task.push_back({task.name, 0, 0, 0});
 
-    const Seconds deadline = system.now() + options.timeout;
-    const Volts vhigh = system.vhigh();
+    const Seconds deadline = device.now() + options.timeout;
     // "Full" for the non-termination check. The monitor re-enables when
     // the *charging* terminal voltage reaches Vhigh, which overshoots
     // the resting voltage by the charge current's ESR drop, so accept a
     // margin below Vhigh as "effectively full".
-    const Volts full_threshold = vhigh - Volts(50e-3);
+    const Volts full_threshold = device.vhigh() - Volts(50e-3);
 
     for (std::size_t i = 0; i < program.size(); ++i) {
         const AtomicTask &task = program[i];
@@ -43,25 +57,41 @@ runProgram(sim::PowerSystem &system, const std::vector<AtomicTask> &program,
         unsigned failures_from_full = 0;
 
         while (true) {
-            if (system.now() >= deadline) {
-                result.elapsed = system.now();
+            if (device.now() >= deadline) {
+                result.elapsed = device.now();
                 return result; // Timed out; finished stays false.
             }
 
-            // Wait for the dispatch condition. Software sees the
-            // voltage through the attached fault hooks' ADC model.
-            const bool enabled = system.monitor().enabled();
-            const Volts observed = system.observedRestingVoltage();
-            const bool gated =
-                options.policy == DispatchPolicy::VsafeGated;
-            bool may_run = enabled;
-            if (may_run && gated) {
-                may_run = options.culpeo->feasible(
-                    task.id, observed - options.dispatch_margin);
+            // Browned out: recharge until the monitor re-enables the
+            // output (hysteresis enforces a full recharge) — or learn
+            // that it never will.
+            if (!device.on()) {
+                const sim::WaitResult wait =
+                    device.rechargeUntilOn(deadline);
+                if (wait.status == sim::WaitStatus::Unreachable)
+                    return markStarved(result, device, task.name,
+                                       wait.diagnostic);
+                continue; // Re-check the timeout, then dispatch.
             }
-            if (!may_run) {
-                system.step(options.idle_dt, units::Amps(0.0));
-                continue;
+
+            // Wait for the dispatch condition. Software sees the
+            // voltage through the attached fault hooks' ADC model; the
+            // gated wait is Theorem 1's feasible(observed - margin)
+            // rearranged into a voltage threshold.
+            Volts observed{0.0};
+            if (gated) {
+                const Volts need = options.culpeo->getVsafe(task.id) +
+                                   options.dispatch_margin;
+                const sim::WaitResult wait =
+                    device.idleUntilVoltage(need, deadline);
+                if (wait.status == sim::WaitStatus::Unreachable)
+                    return markStarved(result, device, task.name,
+                                       wait.diagnostic);
+                if (!wait.reached())
+                    continue; // Browned out / timed out: re-evaluate.
+                observed = wait.voltage;
+            } else {
+                observed = device.observedVoltage();
             }
 
             // Atomic execution attempt. A Vsafe-gated dispatch is a
@@ -69,7 +99,7 @@ runProgram(sim::PowerSystem &system, const std::vector<AtomicTask> &program,
             // opportunistic dispatch claims nothing.
             const bool from_full = observed >= full_threshold;
             if (gated) {
-                system.notifyCommit(task.name, system.restingVoltage(),
+                device.notifyCommit(task.name, device.restingVoltage(),
                                     options.culpeo->getVsafe(task.id) +
                                         options.dispatch_margin);
             }
@@ -78,9 +108,9 @@ runProgram(sim::PowerSystem &system, const std::vector<AtomicTask> &program,
             run_options.settle_rebound = false;
             ++stats.executions;
             const harness::RunResult run =
-                harness::runTask(system, task.profile, run_options);
+                harness::runTask(device, task.profile, run_options);
             if (gated)
-                system.notifyCommitEnd(run.completed);
+                device.notifyCommitEnd(run.completed);
             if (run.completed) {
                 ++stats.completions;
                 break;
@@ -95,9 +125,9 @@ runProgram(sim::PowerSystem &system, const std::vector<AtomicTask> &program,
                 if (failures_from_full >= options.max_attempts_from_full) {
                     result.nonterminating = true;
                     result.stuck_task = task.name;
-                    result.elapsed = system.now();
+                    result.elapsed = device.now();
                     result.power_failures =
-                        system.monitor().powerFailures();
+                        device.system().monitor().powerFailures();
                     return result;
                 }
             }
@@ -105,8 +135,8 @@ runProgram(sim::PowerSystem &system, const std::vector<AtomicTask> &program,
     }
 
     result.finished = true;
-    result.elapsed = system.now();
-    result.power_failures = system.monitor().powerFailures();
+    result.elapsed = device.now();
+    result.power_failures = device.system().monitor().powerFailures();
     return result;
 }
 

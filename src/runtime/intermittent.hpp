@@ -26,7 +26,7 @@
 
 #include "core/api.hpp"
 #include "load/profile.hpp"
-#include "sim/power_system.hpp"
+#include "sim/device.hpp"
 
 namespace culpeo::runtime {
 
@@ -62,7 +62,15 @@ struct ProgramResult
     bool finished = false;
     /** True when a task failed repeatedly from a full buffer. */
     bool nonterminating = false;
+    /**
+     * True when a dispatch wait was unsatisfiable: the harvester can
+     * never lift the buffer to the required voltage, so the runtime
+     * reports the starvation instead of idling until the timeout.
+     */
+    bool starved = false;
     std::string stuck_task;
+    /** Cause of a starved run (from the device wait diagnostic). */
+    std::string diagnostic;
     Seconds elapsed{0.0};
     unsigned power_failures = 0;
     std::vector<TaskStats> per_task;
@@ -81,8 +89,6 @@ struct RuntimeOptions
     Seconds timeout{600.0};
     /** Failures from a full buffer before declaring non-termination. */
     unsigned max_attempts_from_full = 3;
-    /** Idle/recharge simulation step. */
-    Seconds idle_dt{1e-3};
     /**
      * Guard band added to the Vsafe gate (VsafeGated only): dispatch
      * waits until the observed voltage exceeds Vsafe by this much,
@@ -93,11 +99,13 @@ struct RuntimeOptions
 };
 
 /**
- * Execute @p program on @p system (with whatever harvester the caller
- * attached) under @p options. The system should be charged and enabled,
- * or the runtime will first wait for the monitor to enable it.
+ * Execute @p program on @p device (with whatever harvester the caller
+ * attached) under @p options. The device should be charged and enabled,
+ * or the runtime will first wait for the monitor to enable it. Idle and
+ * recharge waits run at the device's idle_dt decision tick and use the
+ * analytic fast path whenever the device is instrumentation-free.
  */
-ProgramResult runProgram(sim::PowerSystem &system,
+ProgramResult runProgram(sim::Device &device,
                          const std::vector<AtomicTask> &program,
                          const RuntimeOptions &options);
 

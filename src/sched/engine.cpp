@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "harness/task_runner.hpp"
+#include "sim/device.hpp"
 #include "util/logging.hpp"
 #include "util/random.hpp"
 
@@ -69,24 +70,19 @@ struct Trial
 {
     const AppSpec &app;
     const Policy &policy;
-    sim::PowerSystem system;
-    const Seconds idle_dt{1e-3};
+    sim::Device device;
     TrialResult result;
 
-    explicit Trial(const AppSpec &app_in, const Policy &policy_in)
-        : app(app_in), policy(policy_in), system(app_in.power)
+    Trial(const AppSpec &app_in, const Policy &policy_in,
+          sim::DeviceOptions device_options)
+        : app(app_in), policy(policy_in),
+          device(app_in.power, device_options)
     {}
-
-    void
-    idleStep()
-    {
-        system.step(idle_dt, units::Amps(0.0));
-    }
 
     bool
     deviceOn() const
     {
-        return system.monitor().enabled();
+        return device.on();
     }
 
     /** Run one task; returns true when it completed. */
@@ -97,7 +93,7 @@ struct Trial
         options.dt = harness::chooseDt(task.profile);
         options.settle_rebound = false;
         const harness::RunResult run =
-            harness::runTask(system, task.profile, options);
+            harness::runTask(device, task.profile, options);
         return run.completed;
     }
 
@@ -108,16 +104,33 @@ struct Trial
     bool
     runCommitted(const SchedTask &task, Volts need)
     {
-        system.notifyCommit(task.name, system.restingVoltage(), need);
+        device.notifyCommit(task.name, device.restingVoltage(), need);
         const bool completed = runOne(task);
-        system.notifyCommitEnd(completed);
+        device.notifyCommitEnd(completed);
         return completed;
+    }
+
+    /**
+     * A wait the device proved unsatisfiable still consumes the event's
+     * whole window: the per-tick loop this replaces only gave up once
+     * the deadline had passed, and the trial clock must stay identical.
+     */
+    void
+    idleOutWindow(const sim::WaitResult &wait, Seconds deadline)
+    {
+        if (wait.status != sim::WaitStatus::Unreachable)
+            return;
+        device.idleUntil(deadline);
+        while (device.now() <= deadline)
+            device.idleFor(device.options().idle_dt);
     }
 
     /**
      * Service one event: wait for charge, run the chain, decide
      * captured/lost. Returns once the event is resolved (or the device
-     * browned out).
+     * browned out). Dispatch waits go through the device layer, which
+     * reads the (fault-hook) ADC model at every decision tick and
+     * reports an unsatisfiable threshold instead of spinning on it.
      */
     void
     serviceEvent(const PendingEvent &event, EventTypeStats &stats)
@@ -126,24 +139,20 @@ struct Trial
         const Seconds deadline = event.arrival + spec.deadline;
         const Volts need = policy.chainStart(spec);
 
-        // Wait (recharging) until the chain may start. Dispatch reads
-        // go through the fault hooks' ADC model when attached.
-        while (system.observedRestingVoltage() < need) {
-            if (system.now() > deadline || !deviceOn()) {
-                ++stats.lost;
-                return;
-            }
-            idleStep();
+        sim::WaitResult wait = device.idleUntilVoltage(need, deadline);
+        if (!wait.reached()) {
+            idleOutWindow(wait, deadline);
+            ++stats.lost;
+            return;
         }
 
         for (const auto &task : spec.chain) {
             const Volts task_need = policy.taskStart(task);
-            while (system.observedRestingVoltage() < task_need) {
-                if (system.now() > deadline || !deviceOn()) {
-                    ++stats.lost;
-                    return;
-                }
-                idleStep();
+            wait = device.idleUntilVoltage(task_need, deadline);
+            if (!wait.reached()) {
+                idleOutWindow(wait, deadline);
+                ++stats.lost;
+                return;
             }
             if (!runCommitted(task, task_need)) {
                 // Brown-out mid-chain: the event is lost and the device
@@ -153,7 +162,7 @@ struct Trial
             }
         }
 
-        if (system.now() <= deadline)
+        if (device.now() <= deadline)
             ++stats.captured;
         else
             ++stats.lost;
@@ -167,14 +176,16 @@ runTrial(const AppSpec &app, const Policy &policy, Seconds duration,
          std::uint64_t seed, const TrialInstruments &instruments)
 {
     util::Rng rng(seed);
-    Trial trial(app, policy);
+    sim::DeviceOptions device_options;
+    device_options.allow_fast_path = !instruments.force_euler;
+    Trial trial(app, policy, device_options);
 
     sim::ConstantHarvester harvester(app.harvest);
-    trial.system.setHarvester(&harvester);
-    trial.system.setFaultHooks(instruments.faults);
-    trial.system.setObserver(instruments.observer);
-    trial.system.setBufferVoltage(app.power.monitor.vhigh);
-    trial.system.forceOutputEnabled(true);
+    trial.device.setHarvester(&harvester);
+    trial.device.setFaultHooks(instruments.faults);
+    trial.device.setObserver(instruments.observer);
+    trial.device.setBufferVoltage(app.power.monitor.vhigh);
+    trial.device.forceOutputEnabled(true);
 
     trial.result.per_event.resize(app.events.size());
     for (std::size_t i = 0; i < app.events.size(); ++i)
@@ -185,12 +196,12 @@ runTrial(const AppSpec &app, const Policy &policy, Seconds duration,
     std::size_t next_arrival = 0;
     Seconds last_background{-1e9};
 
-    while (trial.system.now() < duration) {
+    while (trial.device.now() < duration) {
         // Retire any arrival whose deadline already passed unserviced.
         bool serviced = false;
         for (std::size_t i = next_arrival; i < arrivals.size(); ++i) {
             PendingEvent &event = arrivals[i];
-            if (event.arrival > trial.system.now())
+            if (event.arrival > trial.device.now())
                 break;
             if (event.handled)
                 continue;
@@ -202,7 +213,7 @@ runTrial(const AppSpec &app, const Policy &policy, Seconds duration,
             if (i == next_arrival)
                 ++next_arrival;
 
-            if (trial.system.now() >
+            if (trial.device.now() >
                 event.arrival + spec.deadline) {
                 ++stats.lost; // Expired while the device was busy/off.
             } else if (!trial.deviceOn()) {
@@ -216,28 +227,69 @@ runTrial(const AppSpec &app, const Policy &policy, Seconds duration,
         if (serviced)
             continue;
 
+        // The next not-yet-due arrival bounds every idle wait below.
+        // The per-tick loops this replaces re-scanned arrivals each
+        // tick; the chunked waits must instead hand control back at the
+        // arrival instant, so the wait deadline — which a wait exceeds
+        // strictly before giving up — sits one tick earlier, and an
+        // expired or unsatisfiable wait tops up to the target.
+        Seconds target = duration;
+        for (std::size_t i = next_arrival; i < arrivals.size(); ++i) {
+            if (arrivals[i].handled)
+                continue;
+            target = std::min(target, arrivals[i].arrival);
+            break;
+        }
+        const Seconds wait_deadline =
+            target - trial.device.options().idle_dt;
+
         if (!trial.deviceOn()) {
-            trial.idleStep();
+            const sim::WaitResult wait =
+                trial.device.rechargeUntilOn(wait_deadline);
+            if (!wait.reached())
+                trial.device.idleUntil(target);
             continue;
         }
 
-        // No pending event: consider background work.
+        // No pending event: consider background work. Dueness keeps the
+        // per-tick loop's exact difference-form comparison so trial
+        // traces stay bit-compatible with the pre-device engine.
         if (app.background.has_value() &&
-            trial.system.now() - last_background >=
-                app.background_period &&
-            trial.system.observedRestingVoltage() >=
-                policy.backgroundThreshold(app)) {
-            trial.runCommitted(*app.background,
-                               policy.backgroundThreshold(app));
-            ++trial.result.background_runs;
-            last_background = trial.system.now();
+            trial.device.now() - last_background >=
+                app.background_period) {
+            const Volts threshold = policy.backgroundThreshold(app);
+            if (trial.device.observedVoltage() >= threshold) {
+                trial.runCommitted(*app.background, threshold);
+                ++trial.result.background_runs;
+                last_background = trial.device.now();
+            } else {
+                const sim::WaitResult wait =
+                    trial.device.idleUntilVoltage(threshold,
+                                                  wait_deadline);
+                if (wait.status == sim::WaitStatus::DeadlineExpired ||
+                    wait.status == sim::WaitStatus::Unreachable)
+                    trial.device.idleUntil(target);
+            }
             continue;
         }
 
-        trial.idleStep();
+        Seconds next_decision = target;
+        if (app.background.has_value()) {
+            next_decision = std::min(
+                next_decision, last_background + app.background_period);
+        }
+        if (next_decision > trial.device.now()) {
+            trial.device.idleUntil(next_decision);
+        } else {
+            // The sum above can round below now() while the difference
+            // form still reads not-yet-due; tick once and re-evaluate,
+            // exactly as the per-tick loop did.
+            trial.device.idleFor(trial.device.options().idle_dt);
+        }
     }
 
-    trial.result.power_failures = trial.system.monitor().powerFailures();
+    trial.result.power_failures =
+        trial.device.system().monitor().powerFailures();
     return trial.result;
 }
 
@@ -253,7 +305,8 @@ AggregateResult::rateOf(const std::string &name) const
 
 AggregateResult
 runTrials(const AppSpec &app, const Policy &policy, Seconds duration,
-          unsigned trials, std::uint64_t base_seed)
+          unsigned trials, std::uint64_t base_seed,
+          const TrialInstruments &instruments)
 {
     log::fatalIf(trials == 0, "at least one trial is required");
 
@@ -267,7 +320,8 @@ runTrials(const AppSpec &app, const Policy &policy, Seconds duration,
     std::vector<unsigned> captured(app.events.size(), 0);
     for (unsigned t = 0; t < trials; ++t) {
         const TrialResult result =
-            runTrial(app, policy, duration, base_seed + t * 1000003ULL);
+            runTrial(app, policy, duration, base_seed + t * 1000003ULL,
+                     instruments);
         for (std::size_t i = 0; i < result.per_event.size(); ++i) {
             arrived[i] += result.per_event[i].arrived;
             captured[i] += result.per_event[i].captured;

@@ -50,14 +50,23 @@ struct TrialResult
 };
 
 /**
- * Optional instrumentation attached to a trial's power system: a fault
- * model (disturbances + ADC read error) and a step/commitment observer
- * (e.g. fault::InvariantMonitor). Either may be null.
+ * Optional instrumentation attached to a trial's device: a fault model
+ * (disturbances + ADC read error) and a step/commitment observer (e.g.
+ * fault::InvariantMonitor). Either may be null. Attaching either forces
+ * the per-tick Euler backend (hooks need per-step fidelity).
  */
 struct TrialInstruments
 {
     sim::FaultHooks *faults = nullptr;
     sim::StepObserver *observer = nullptr;
+    /**
+     * Force the per-tick Euler wait backend even when no instruments
+     * are attached — the reference baseline for the device fast path
+     * in equivalence tests and benchmarks. Task loads still use the
+     * analytic segment stepping when eligible, exactly as the
+     * pre-device per-tick engine did via harness::runTask.
+     */
+    bool force_euler = false;
 };
 
 /** Run one trial of @p app under @p policy (already initialized). */
@@ -77,7 +86,8 @@ struct AggregateResult
 
 AggregateResult runTrials(const AppSpec &app, const Policy &policy,
                           Seconds duration, unsigned trials,
-                          std::uint64_t base_seed = 7);
+                          std::uint64_t base_seed = 7,
+                          const TrialInstruments &instruments = {});
 
 } // namespace culpeo::sched
 

@@ -110,14 +110,14 @@ CulpeoPolicy::initialize(const AppSpec &app)
     // trigger re-initialization (Section V-B, sched::ChargeRateMonitor).
     const sim::ConstantHarvester harvester(app.harvest);
     for (const SchedTask *task : allTasks(app)) {
-        sim::PowerSystem system(app.power);
-        system.setHarvester(&harvester);
-        system.setBufferVoltage(app.power.monitor.vhigh);
-        system.forceOutputEnabled(true);
+        sim::Device device(app.power);
+        device.setHarvester(&harvester);
+        device.setBufferVoltage(app.power.monitor.vhigh);
+        device.forceOutputEnabled(true);
         harness::RunOptions options;
         options.dt = harness::chooseDt(task->profile);
         const harness::ProfileOutcome outcome = harness::profileTask(
-            system, *culpeo_, task->id, task->profile, options);
+            device, *culpeo_, task->id, task->profile, options);
         if (!outcome.stored) {
             log::warn("Culpeo profiling failed for task ", task->name,
                       "; its Vsafe defaults to Vhigh");

@@ -1,0 +1,372 @@
+#include "device.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "util/logging.hpp"
+
+namespace culpeo::sim {
+
+namespace {
+
+/**
+ * Longest single analytic chunk of an unbounded wait. Bounds the work
+ * per reachability re-check; far above any dispatch wait in the repo.
+ */
+constexpr double kMaxIdleChunk = 600.0;
+
+/**
+ * Reachability is probed just below the target: the input booster cuts
+ * charge current to zero exactly at Vhigh, but reaching Vhigh itself
+ * still happens in finite time, so testing at the target would flag a
+ * full recharge as unreachable.
+ */
+Volts
+justBelow(Volts level)
+{
+    return Volts(level.value() - 1e-9);
+}
+
+std::string
+unreachableDiagnostic(const char *what, Volts need, Amps net)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%s %.4f V is unreachable: idle net buffer current "
+                  "%+.3e A at the target (harvest cannot outpace draw)",
+                  what, need.value(), net.value());
+    return buf;
+}
+
+} // namespace
+
+Device::Device(PowerSystemConfig config, DeviceOptions options)
+    : system_(std::move(config)), options_(options)
+{
+    log::fatalIf(options_.idle_dt.value() <= 0.0,
+                 "Device idle_dt must be positive");
+}
+
+WaitResult
+Device::idleUntilVoltage(Volts need, Seconds deadline)
+{
+    return waitForVoltage(need, deadline, /*stop_when_off=*/true);
+}
+
+WaitResult
+Device::rechargeTo(Volts need)
+{
+    return waitForVoltage(need,
+                          Seconds(std::numeric_limits<double>::infinity()),
+                          /*stop_when_off=*/false);
+}
+
+WaitResult
+Device::waitForVoltage(Volts need, Seconds deadline, bool stop_when_off)
+{
+    WaitResult result;
+    const Seconds start = system_.now();
+    const bool fast = fastEligible();
+
+    // Euler-backend stall detection state: re-anchored on any resting-
+    // voltage movement beyond stall_epsilon (progress in either
+    // direction — a discharge toward brown-out still evolves toward a
+    // regime change).
+    Volts anchor_v = system_.restingVoltage();
+    Seconds anchor_t = start;
+
+    while (true) {
+        result.voltage = system_.observedRestingVoltage();
+        if (result.voltage >= need) {
+            result.status = WaitStatus::Reached;
+            break;
+        }
+        if (system_.now() > deadline) {
+            result.status = WaitStatus::DeadlineExpired;
+            break;
+        }
+        if (stop_when_off && !on()) {
+            result.status = WaitStatus::BrownedOut;
+            break;
+        }
+        if (fast) {
+            // Constant harvest, fixed monitor regime: the equilibrium
+            // test is exact. While a brown-out would end the wait the
+            // output draw counts; otherwise probe the charge-only
+            // regime the buffer ends up in after the monitor trips.
+            const Amps net = system_.idleNetCurrentAt(
+                justBelow(need), /*with_output_draw=*/stop_when_off);
+            if (net.value() >= 0.0) {
+                result.status = WaitStatus::Unreachable;
+                result.diagnostic =
+                    unreachableDiagnostic("voltage threshold", need, net);
+                break;
+            }
+            advanceIdleChunk(need, /*stop_when_enabled=*/false,
+                             /*stop_on_failure=*/stop_when_off, deadline,
+                             start);
+        } else {
+            const Volts resting = system_.restingVoltage();
+            if (std::abs(resting.value() - anchor_v.value()) >
+                options_.stall_epsilon.value()) {
+                anchor_v = resting;
+                anchor_t = system_.now();
+            } else if (system_.now() - anchor_t >= options_.stall_window) {
+                result.status = WaitStatus::Unreachable;
+                char buf[160];
+                std::snprintf(buf, sizeof(buf),
+                              "voltage threshold %.4f V is unreachable: "
+                              "resting voltage stalled at %.4f V for "
+                              "%.1f s",
+                              need.value(), resting.value(),
+                              options_.stall_window.value());
+                result.diagnostic = buf;
+                break;
+            }
+            system_.step(options_.idle_dt, Amps(0.0));
+        }
+    }
+    result.elapsed = system_.now() - start;
+    return result;
+}
+
+WaitResult
+Device::rechargeUntilOn(Seconds deadline)
+{
+    WaitResult result;
+    const Seconds start = system_.now();
+    const bool fast = fastEligible();
+    Volts anchor_v = system_.restingVoltage();
+    Seconds anchor_t = start;
+
+    while (true) {
+        result.voltage = system_.observedRestingVoltage();
+        if (on()) {
+            result.status = WaitStatus::Reached;
+            break;
+        }
+        if (system_.now() > deadline) {
+            result.status = WaitStatus::DeadlineExpired;
+            break;
+        }
+        if (fast) {
+            // Browned out: no output draw; the monitor re-arms at
+            // Vhigh, so that is the level that must be reachable.
+            const Amps net = system_.idleNetCurrentAt(
+                justBelow(system_.vhigh()), /*with_output_draw=*/false);
+            if (net.value() >= 0.0) {
+                result.status = WaitStatus::Unreachable;
+                result.diagnostic = unreachableDiagnostic(
+                    "monitor re-arm level", system_.vhigh(), net);
+                break;
+            }
+            advanceIdleChunk(std::nullopt, /*stop_when_enabled=*/true,
+                             /*stop_on_failure=*/false, deadline, start);
+        } else {
+            const Volts resting = system_.restingVoltage();
+            if (std::abs(resting.value() - anchor_v.value()) >
+                options_.stall_epsilon.value()) {
+                anchor_v = resting;
+                anchor_t = system_.now();
+            } else if (system_.now() - anchor_t >= options_.stall_window) {
+                result.status = WaitStatus::Unreachable;
+                char buf[160];
+                std::snprintf(buf, sizeof(buf),
+                              "monitor re-arm level %.4f V is "
+                              "unreachable: resting voltage stalled at "
+                              "%.4f V for %.1f s",
+                              system_.vhigh().value(), resting.value(),
+                              options_.stall_window.value());
+                result.diagnostic = buf;
+                break;
+            }
+            system_.step(options_.idle_dt, Amps(0.0));
+        }
+    }
+    result.elapsed = system_.now() - start;
+    return result;
+}
+
+void
+Device::advanceIdleChunk(std::optional<Volts> stop_level,
+                         bool stop_when_enabled, bool stop_on_failure,
+                         Seconds deadline, Seconds anchor)
+{
+    const double dt = options_.idle_dt.value();
+    const double now = system_.now().value();
+
+    // The chunk ends on the first tick boundary strictly past the
+    // deadline — exactly where the per-tick loop would first notice the
+    // expiry — or after kMaxIdleChunk for unbounded waits (the loop
+    // re-checks reachability between chunks).
+    double horizon;
+    if (std::isfinite(deadline.value())) {
+        const double ticks =
+            std::floor((deadline.value() - anchor.value()) / dt + 1e-9) +
+            1.0;
+        horizon = anchor.value() + ticks * dt;
+    } else {
+        horizon = now + kMaxIdleChunk;
+    }
+    double chunk = horizon - now;
+    if (chunk <= 0.0)
+        chunk = dt;
+    chunk = std::min(chunk, kMaxIdleChunk);
+
+    SegmentOptions seg;
+    seg.fallback_dt = options_.idle_dt;
+    seg.stop_on_failure = stop_on_failure;
+    seg.stop_above_resting = stop_level;
+    seg.stop_when_enabled = stop_when_enabled;
+    system_.runSegment(Seconds(chunk), Amps(0.0), seg);
+    snapToGrid(anchor);
+}
+
+void
+Device::snapToGrid(Seconds anchor)
+{
+    const double dt = options_.idle_dt.value();
+    const double done = (system_.now().value() - anchor.value()) / dt;
+    const double pad = (std::ceil(done - 1e-9) - done) * dt;
+    // A root-found stop lands mid-tick; pad with one sub-tick zero-load
+    // step so decisions stay on the same grid the Euler backend uses.
+    if (pad > 1e-9)
+        system_.step(Seconds(pad), Amps(0.0));
+}
+
+void
+Device::idleFor(Seconds duration)
+{
+    if (duration.value() <= 0.0)
+        return;
+    const double dt = options_.idle_dt.value();
+    const Seconds start = system_.now();
+    // At least one tick: the per-tick loops this mirrors always took a
+    // full step for any positive remaining duration, and a zero-tick
+    // round-down would let a caller idling toward a time barely ahead
+    // of now() spin forever.
+    const long ticks = std::lround(
+        std::max(1.0, std::ceil(duration.value() / dt - 1e-9)));
+    const Seconds end = start + Seconds(double(ticks) * dt);
+
+    if (fastEligible()) {
+        while (system_.now() < end) {
+            const double chunk = std::min(
+                end.value() - system_.now().value(), kMaxIdleChunk);
+            SegmentOptions seg;
+            seg.fallback_dt = options_.idle_dt;
+            seg.stop_on_failure = false;
+            system_.runSegment(Seconds(chunk), Amps(0.0), seg);
+        }
+        snapToGrid(start);
+    } else {
+        // A counted loop, not a remaining-time countdown: repeated
+        // subtraction can leave a rounding sliver above zero and take
+        // one tick more than the grid count the fast path uses.
+        for (long i = 0; i < ticks; ++i)
+            system_.step(options_.idle_dt, Amps(0.0));
+    }
+}
+
+void
+Device::idleUntil(Seconds t)
+{
+    if (t > system_.now())
+        idleFor(t - system_.now());
+}
+
+LoadResult
+Device::runLoad(const load::CurrentProfile &profile,
+                const LoadOptions &options)
+{
+    log::fatalIf(options.dt.value() <= 0.0, "run dt must be positive");
+
+    LoadResult result;
+    result.vstart = system_.restingVoltage();
+    result.vmin = result.vstart;
+    result.vend = result.vstart;
+
+    // With no per-step driver (nothing to tick) and an instrumentation-
+    // free system, each piecewise-constant profile segment advances
+    // with the analytic fast path. DeviceOptions::allow_fast_path is
+    // deliberately not consulted: it selects the wait backend only.
+    if (options.driver == nullptr && options.allow_fast_path &&
+        system_.analyticEligible()) {
+        SegmentOptions seg_options;
+        seg_options.fallback_dt = options.dt;
+        seg_options.stop_on_failure = options.stop_on_failure;
+        bool failed = false;
+        for (const auto &seg : profile.segments()) {
+            const SegmentResult seg_result =
+                system_.runSegment(seg.duration, seg.current, seg_options);
+            result.vmin = std::min(result.vmin, seg_result.vmin);
+            result.vend = seg_result.vend;
+            if (seg_result.power_failed || seg_result.collapsed) {
+                result.power_failed =
+                    result.power_failed || seg_result.power_failed;
+                result.collapsed =
+                    result.collapsed || seg_result.collapsed;
+                failed = true;
+                if (options.stop_on_failure)
+                    break;
+            }
+        }
+        result.completed = !failed;
+        return result;
+    }
+
+    bool failed = false;
+    const Seconds duration = profile.duration();
+    Seconds offset{0.0};
+    while (offset < duration) {
+        Amps demand = profile.currentAt(offset);
+        if (options.driver != nullptr)
+            demand += options.driver->overheadCurrent();
+
+        const StepResult step = system_.step(options.dt, demand);
+        result.vmin = std::min(result.vmin, step.terminal);
+        result.vend = step.terminal;
+        if (options.driver != nullptr)
+            options.driver->onStep(options.dt, step.terminal);
+
+        if (step.power_failed || step.collapsed) {
+            result.power_failed = result.power_failed || step.power_failed;
+            result.collapsed = result.collapsed || step.collapsed;
+            failed = true;
+            if (options.stop_on_failure)
+                break;
+        }
+        offset += options.dt;
+    }
+    result.completed = !failed;
+    return result;
+}
+
+Volts
+Device::settle(const SettleOptions &options)
+{
+    const Seconds deadline = system_.now() + options.timeout;
+    Volts window_start = system_.restingVoltage();
+    Seconds window_elapsed{0.0};
+    while (system_.now() < deadline) {
+        Amps demand{0.0};
+        if (options.driver != nullptr)
+            demand += options.driver->overheadCurrent();
+        const StepResult step = system_.step(options.dt, demand);
+        if (options.driver != nullptr)
+            options.driver->onStep(options.dt, step.terminal);
+
+        window_elapsed += options.dt;
+        if (window_elapsed >= options.window) {
+            if (step.terminal - window_start < options.epsilon)
+                break;
+            window_start = step.terminal;
+            window_elapsed = Seconds(0.0);
+        }
+    }
+    return system_.restingVoltage();
+}
+
+} // namespace culpeo::sim

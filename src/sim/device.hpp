@@ -1,0 +1,254 @@
+/**
+ * @file
+ * The device-execution layer: one simulated energy-harvesting node that
+ * owns its PowerSystem and exposes the three primitives every driver in
+ * the repo reduces to — "idle/recharge until a voltage threshold or
+ * deadline", "run a load profile", "recharge after brown-out" — plus the
+ * settle wait the profiling harness needs.
+ *
+ * Idle waits advance with PowerSystem::runSegment's analytic
+ * macro-stepping (threshold crossings root-found on the closed-form
+ * curve) whenever the system is instrumentation-free, and fall back to
+ * the per-tick Euler oracle automatically when fault hooks, observers,
+ * or trace capture require per-step fidelity (DESIGN.md §10/§11). Both
+ * backends keep decisions on the same idle_dt tick grid so scheduler
+ * and runtime verdicts agree between them.
+ */
+
+#ifndef CULPEO_SIM_DEVICE_HPP
+#define CULPEO_SIM_DEVICE_HPP
+
+#include <optional>
+#include <string>
+
+#include "load/profile.hpp"
+#include "sim/power_system.hpp"
+#include "util/units.hpp"
+
+namespace culpeo::sim {
+
+/** Configuration of the device-execution layer (not the electrical). */
+struct DeviceOptions
+{
+    /**
+     * Decision-tick quantum of idle waits: voltage reads, deadline
+     * checks, and brown-out checks happen on this grid regardless of
+     * backend, and it is the Euler fallback step.
+     */
+    Seconds idle_dt{1e-3};
+    /**
+     * Permit analytic macro-stepping of idle/recharge waits; false
+     * forces the per-tick Euler oracle for every wait. Load runs are
+     * governed per-call by LoadOptions::allow_fast_path instead, so a
+     * wait-level Euler reference reproduces the pre-device drivers
+     * exactly: those polled idle time tick by tick but already ran
+     * loads through the analytic segment stepping when eligible.
+     */
+    bool allow_fast_path = true;
+    /**
+     * On the Euler backend (where no closed-form reachability test
+     * exists), an idle wait whose resting voltage moves less than
+     * stall_epsilon for stall_window declares the threshold
+     * unreachable. Wide enough to ride out injected sub-second harvest
+     * dropouts.
+     */
+    Seconds stall_window{5.0};
+    Volts stall_epsilon{0.1e-3};
+};
+
+/** Why an idle/recharge wait returned. */
+enum class WaitStatus
+{
+    Reached,         ///< The wait condition was satisfied.
+    DeadlineExpired, ///< The deadline passed first.
+    BrownedOut,      ///< The monitor disabled the output mid-wait.
+    Unreachable,     ///< The harvester can never satisfy the condition.
+};
+
+/** Outcome of one idle/recharge wait. */
+struct WaitResult
+{
+    WaitStatus status = WaitStatus::Reached;
+    Seconds elapsed{0.0}; ///< Simulated time spent waiting.
+    /** Last observed (ADC-model) resting voltage read by the wait. */
+    Volts voltage{0.0};
+    /** Human-readable cause, populated for Unreachable. */
+    std::string diagnostic;
+
+    bool reached() const { return status == WaitStatus::Reached; }
+};
+
+/**
+ * Per-step load companion (the harness adapts core::Culpeo to this so
+ * sim/ stays independent of core/): overheadCurrent() is added to the
+ * demand before each step and onStep() sees the resulting terminal
+ * voltage. Attaching a driver forces the Euler path — per-step ticks
+ * are exactly the fidelity the fast path cannot provide.
+ */
+class LoadStepDriver
+{
+  public:
+    virtual ~LoadStepDriver() = default;
+    virtual Amps overheadCurrent() = 0;
+    virtual void onStep(Seconds dt, Volts terminal) = 0;
+};
+
+/** Controls for one Device::runLoad call. */
+struct LoadOptions
+{
+    Seconds dt{50e-6}; ///< Euler step / crossing-resolution quantum.
+    /** Abort the run at the first brown-out (a real device would). */
+    bool stop_on_failure = true;
+    /** Permit analytic segment stepping when eligible. */
+    bool allow_fast_path = true;
+    /** Optional per-step companion; non-null forces the Euler path. */
+    LoadStepDriver *driver = nullptr;
+};
+
+/** Outcome of one Device::runLoad call. */
+struct LoadResult
+{
+    bool completed = false;    ///< All load served without brown-out.
+    bool power_failed = false; ///< Monitor crossed Voff during the run.
+    bool collapsed = false;    ///< Booster could not source the power.
+    Volts vstart{0.0};         ///< Resting terminal voltage at start.
+    Volts vmin{0.0};           ///< Minimum terminal voltage during run.
+    Volts vend{0.0};           ///< Terminal voltage at the last step.
+};
+
+/** Controls for one Device::settle wait. */
+struct SettleOptions
+{
+    Seconds dt{1e-3};      ///< Sampling step of the convergence check.
+    Seconds timeout{0.4};  ///< Give up waiting after this long.
+    Volts epsilon{0.2e-3}; ///< Settled once gain per window is below this.
+    Seconds window{20e-3}; ///< Window over which epsilon is evaluated.
+    LoadStepDriver *driver = nullptr; ///< Optional per-step companion.
+};
+
+/**
+ * One simulated energy-harvesting node. Owns the PowerSystem; the
+ * harvester, fault hooks, and observers attach here (one attachment
+ * point instead of one per driving layer).
+ */
+class Device
+{
+  public:
+    explicit Device(PowerSystemConfig config, DeviceOptions options = {});
+
+    PowerSystem &system() { return system_; }
+    const PowerSystem &system() const { return system_; }
+    const DeviceOptions &options() const { return options_; }
+
+    // --- Wiring passthroughs (the single attachment point) ---
+
+    void setHarvester(const Harvester *harvester)
+    {
+        system_.setHarvester(harvester);
+    }
+    void setFaultHooks(FaultHooks *hooks) { system_.setFaultHooks(hooks); }
+    void setObserver(StepObserver *observer)
+    {
+        system_.setObserver(observer);
+    }
+    void setBufferVoltage(Volts voc) { system_.setBufferVoltage(voc); }
+    void forceOutputEnabled(bool enabled)
+    {
+        system_.forceOutputEnabled(enabled);
+    }
+    void captureTrace(bool capture) { system_.captureTrace(capture); }
+    void notifyCommit(const std::string &name, Volts admitted_at,
+                      Volts vsafe)
+    {
+        system_.notifyCommit(name, admitted_at, vsafe);
+    }
+    void notifyCommitEnd(bool completed)
+    {
+        system_.notifyCommitEnd(completed);
+    }
+
+    // --- State queries ---
+
+    Seconds now() const { return system_.now(); }
+    /** Brown-out state: is the output booster currently enabled? */
+    bool on() const { return system_.monitor().enabled(); }
+    bool deviceOn() const { return on(); }
+    Volts restingVoltage() const { return system_.restingVoltage(); }
+    /** Resting voltage through the attached ADC error model, if any. */
+    Volts observedVoltage() { return system_.observedRestingVoltage(); }
+    Volts vhigh() const { return system_.vhigh(); }
+    Volts voff() const { return system_.voff(); }
+    Volts vout() const { return system_.vout(); }
+
+    // --- Primitives ---
+
+    /**
+     * Idle (zero load) until the observed resting voltage reaches
+     * @p need, the device browns out, or @p deadline passes (deadline
+     * semantics match the historical dispatch loops: the wait fails
+     * only once now() exceeds the deadline strictly). Returns
+     * Unreachable with a diagnostic instead of spinning when the
+     * harvester can never lift the buffer to @p need.
+     */
+    WaitResult idleUntilVoltage(Volts need, Seconds deadline);
+
+    /**
+     * Recharge until the resting voltage reaches @p need, riding
+     * through brown-outs (unlike idleUntilVoltage, the monitor
+     * disabling the output is expected, not a failure). Unbounded in
+     * time except by reachability.
+     */
+    WaitResult rechargeTo(Volts need);
+
+    /**
+     * Idle until the monitor (re-)enables the output — the post-brown-
+     * out "wait for the capacitor to refill to Vhigh" loop every layer
+     * used to hand-roll.
+     */
+    WaitResult rechargeUntilOn(Seconds deadline);
+
+    /** Idle (zero load) for @p duration, rounded up to the tick grid. */
+    void idleFor(Seconds duration);
+    /** Idle until simulated time @p t (no-op when already past). */
+    void idleUntil(Seconds t);
+
+    /**
+     * Run a piecewise-constant load profile from the current state.
+     * Eligible segment runs use the analytic fast path; an attached
+     * driver or system instrumentation forces the per-step Euler loop.
+     */
+    LoadResult runLoad(const load::CurrentProfile &profile,
+                       const LoadOptions &options = {});
+
+    /**
+     * Idle until the post-load ESR rebound settles (gain below
+     * options.epsilon per window) or the timeout elapses; returns the
+     * settled resting voltage. Always Euler-stepped: the windowed
+     * convergence check is defined on per-tick samples.
+     */
+    Volts settle(const SettleOptions &options = {});
+
+  private:
+    bool fastEligible() const
+    {
+        return options_.allow_fast_path && system_.analyticEligible();
+    }
+    WaitResult waitForVoltage(Volts need, Seconds deadline,
+                              bool stop_when_off);
+    /**
+     * One fast-path wait quantum: an analytic chunk bounded by the
+     * first tick boundary past the deadline, then a pad back onto the
+     * tick grid if a stop condition cut the chunk short.
+     */
+    void advanceIdleChunk(std::optional<Volts> stop_level,
+                          bool stop_when_enabled, bool stop_on_failure,
+                          Seconds deadline, Seconds anchor);
+    void snapToGrid(Seconds anchor);
+
+    PowerSystem system_;
+    DeviceOptions options_;
+};
+
+} // namespace culpeo::sim
+
+#endif // CULPEO_SIM_DEVICE_HPP

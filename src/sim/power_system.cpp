@@ -218,6 +218,27 @@ PowerSystem::runSegment(Seconds duration, Amps i_load,
     return runSegmentEuler(duration, i_load, options);
 }
 
+/**
+ * Shared loop-top early-exit checks of both segment paths: level and
+ * monitor-enable stops are evaluated on the pre-step state, so a
+ * satisfied condition costs no simulated time.
+ */
+bool
+PowerSystem::segmentStopConditionMet(SegmentResult &result,
+                                     const SegmentOptions &options) const
+{
+    if (options.stop_above_resting.has_value() &&
+        restingVoltage() >= *options.stop_above_resting) {
+        result.stopped_at_level = true;
+        return true;
+    }
+    if (options.stop_when_enabled && monitor_.enabled()) {
+        result.stopped_enabled = true;
+        return true;
+    }
+    return false;
+}
+
 SegmentResult
 PowerSystem::runSegmentEuler(Seconds duration, Amps i_load,
                              const SegmentOptions &options)
@@ -230,6 +251,8 @@ PowerSystem::runSegmentEuler(Seconds duration, Amps i_load,
     // step may carry past the requested duration by up to one dt.
     double remaining = duration.value();
     while (remaining > 0.0) {
+        if (segmentStopConditionMet(result, options))
+            break;
         const StepResult s = step(options.fallback_dt, i_load);
         remaining -= options.fallback_dt.value();
         ++result.reference_steps;
@@ -282,6 +305,8 @@ PowerSystem::runSegmentAnalytic(Seconds duration, Amps i_load,
     double hint = remaining;
     bool stopped = false;
     while (remaining > 0.0 && !stopped) {
+        if (segmentStopConditionMet(result, options))
+            break;
         const bool enabled = monitor_.enabled();
 
         // Net buffer current of the current regime (as step() would
@@ -386,8 +411,20 @@ PowerSystem::runSegmentAnalytic(Seconds duration, Amps i_load,
         const double crossing = enabled
             ? curve.firstCrossing(voff, dt_try, /*falling=*/true)
             : curve.firstCrossing(vhigh, dt_try, /*falling=*/false);
-        const bool event = crossing > 0.0;
-        const double commit = event ? crossing : dt_try;
+        // Caller-requested resting-level stop: the resting voltage is
+        // the curve shifted back up by the I·R drop, so its crossing is
+        // the curve's crossing of (level - net_avg·rth), rising.
+        double level_cross = -1.0;
+        if (options.stop_above_resting.has_value()) {
+            level_cross = curve.firstCrossing(
+                options.stop_above_resting->value() - net_avg * k.rth,
+                dt_try, /*falling=*/false);
+        }
+        const bool level_first = level_cross > 0.0 &&
+                                 (crossing <= 0.0 || level_cross < crossing);
+        const bool event = !level_first && crossing > 0.0;
+        const double commit =
+            level_first ? level_cross : (event ? crossing : dt_try);
         if (commit > 0.0) {
             ++result.macro_steps;
             cap_.advanceAnalytic(Seconds(commit), Amps(net_avg));
@@ -397,7 +434,10 @@ PowerSystem::runSegmentAnalytic(Seconds duration, Amps i_load,
                 std::min(result.vmin, Volts(curve.minOver(commit)));
             result.vend = Volts(curve.at(commit));
         }
-        if (event) {
+        if (level_first) {
+            result.stopped_at_level = true;
+            stopped = true;
+        } else if (event) {
             analyticEventStep(result, i_load, options.fallback_dt,
                               remaining);
             if ((result.power_failed || result.collapsed) &&
@@ -474,6 +514,27 @@ PowerSystem::recharge(Seconds dt, Seconds deadline)
             std::min(deadline.value() - now_.value(), t_full);
         runSegment(Seconds(chunk), Amps(0.0), seg_opts);
     }
+}
+
+Amps
+PowerSystem::idleNetCurrentAt(Volts voc, bool with_output_draw) const
+{
+    Amps i_out{0.0};
+    if (with_output_draw && monitor_.enabled()) {
+        Capacitor probe = cap_;
+        probe.setOpenCircuitVoltage(voc);
+        const BoosterDraw draw = output_.computeDraw(probe, Amps(0.0));
+        if (!draw.collapsed)
+            i_out = draw.input_current;
+    }
+    const Watts harvested = harvester_ != nullptr
+        ? harvester_->powerAt(now_)
+        : Watts(0.0);
+    const Amps i_charge = input_.chargeCurrent(harvested, voc);
+    double net = i_out.value() - i_charge.value();
+    if (voc.value() > 0.0)
+        net += cap_.config().leakage.value();
+    return Amps(net);
 }
 
 Volts

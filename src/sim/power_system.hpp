@@ -75,6 +75,19 @@ struct SegmentOptions
      * tolerance — a few mV at the default, even under heavy aging.
      */
     double current_tolerance = 0.025;
+    /**
+     * Stop (from below) once the resting voltage reaches this level.
+     * The analytic path root-finds the crossing inside a macro step;
+     * the Euler path checks at step granularity. Used by the Device
+     * layer's recharge-until-voltage waits.
+     */
+    std::optional<Volts> stop_above_resting{};
+    /**
+     * Stop as soon as the monitor (re-)enables the output. Used by the
+     * Device layer's recharge-until-on waits so a Vhigh crossing deep
+     * inside a long idle chunk returns promptly.
+     */
+    bool stop_when_enabled = false;
 };
 
 /** Outcome of one constant-load segment run. */
@@ -93,6 +106,10 @@ struct SegmentResult
     unsigned probes = 0;
     /** Reference Euler steps taken (all steps on the Euler path). */
     unsigned reference_steps = 0;
+    /** Stopped because resting voltage reached stop_above_resting. */
+    bool stopped_at_level = false;
+    /** Stopped because the monitor enabled under stop_when_enabled. */
+    bool stopped_enabled = false;
 };
 
 /**
@@ -144,6 +161,18 @@ class PowerSystem
 
     /** Run with zero load until @p deadline or the buffer reaches vhigh. */
     void recharge(Seconds dt, Seconds deadline);
+
+    /**
+     * Net buffer current (positive = discharging) the system would see
+     * idling at open-circuit voltage @p voc under the present harvester
+     * and monitor state. @p with_output_draw includes the output
+     * booster's quiescent draw when the monitor is enabled; pass false
+     * to probe the charge-only regime (e.g. recharging while browned
+     * out). A non-negative value at (just below) a target voltage means
+     * the harvester can never lift the buffer there — the Device layer
+     * uses this to detect unreachable recharge thresholds.
+     */
+    Amps idleNetCurrentAt(Volts voc, bool with_output_draw) const;
 
     Seconds now() const { return now_; }
     const Capacitor &capacitor() const { return cap_; }
@@ -197,6 +226,8 @@ class PowerSystem
     void notifyCommitEnd(bool completed);
 
   private:
+    bool segmentStopConditionMet(SegmentResult &result,
+                                 const SegmentOptions &options) const;
     SegmentResult runSegmentEuler(Seconds duration, Amps i_load,
                                   const SegmentOptions &options);
     SegmentResult runSegmentAnalytic(Seconds duration, Amps i_load,

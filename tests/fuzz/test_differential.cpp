@@ -551,13 +551,13 @@ runRuntimeScenario(std::uint64_t seed)
         fault::randomPlan(plan_rng, Seconds(20.0)), seed);
     fault::InvariantMonitor monitor(scenario.config.monitor.voff);
 
-    sim::PowerSystem system(scenario.config);
+    sim::Device device(scenario.config);
     sim::ConstantHarvester harvester(Watts(15e-3));
-    system.setHarvester(&harvester);
-    system.setFaultHooks(&injector);
-    system.setObserver(&monitor);
-    system.setBufferVoltage(vhigh);
-    system.forceOutputEnabled(true);
+    device.setHarvester(&harvester);
+    device.setFaultHooks(&injector);
+    device.setObserver(&monitor);
+    device.setBufferVoltage(vhigh);
+    device.forceOutputEnabled(true);
 
     runtime::RuntimeOptions options;
     options.policy = runtime::DispatchPolicy::VsafeGated;
@@ -567,7 +567,7 @@ runRuntimeScenario(std::uint64_t seed)
     // and the Vsafe model-error tolerance.
     options.dispatch_margin = Volts(20e-3);
     const runtime::ProgramResult result =
-        runtime::runProgram(system, program, options);
+        runtime::runProgram(device, program, options);
 
     v.monitor_clean = monitor.clean();
     if (!v.monitor_clean)

@@ -111,12 +111,12 @@ TEST(RunTask, StopOnFailureHaltsEarly)
 
 TEST(RunTask, MonitorDisabledServesNothing)
 {
-    sim::PowerSystem system(sim::capybaraConfig());
-    system.setBufferVoltage(Volts(2.0)); // Below Vhigh: output off.
+    sim::Device device(sim::capybaraConfig());
+    device.setBufferVoltage(Volts(2.0)); // Below Vhigh: output off.
     RunOptions options;
     options.settle_rebound = false;
     const RunResult result =
-        runTask(system, load::uniform(10.0_mA, 10.0_ms), options);
+        runTask(device, load::uniform(10.0_mA, 10.0_ms), options);
     // Nothing was delivered, so nothing failed and no energy moved.
     EXPECT_TRUE(result.completed);
     EXPECT_NEAR(result.vmin.value(), 2.0, 1e-3);

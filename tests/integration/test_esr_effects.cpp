@@ -23,20 +23,20 @@ TEST(EsrEffects, LoRaClassLoadKillsDeviceWithAmpleEnergy)
 {
     // Figure 4: a 50 mA LoRa-class transmission from mid-range voltage
     // powers the device off while most stored energy remains.
-    sim::PowerSystem system(sim::capybaraConfig());
-    system.setBufferVoltage(Volts(2.0));
-    system.forceOutputEnabled(true);
-    const Joules before = system.capacitor().storedEnergy();
+    sim::Device device(sim::capybaraConfig());
+    device.setBufferVoltage(Volts(2.0));
+    device.forceOutputEnabled(true);
+    const Joules before = device.system().capacitor().storedEnergy();
     const Joules usable_before =
         before - units::capacitorEnergy(Farads(45e-3), Volts(1.6));
 
     harness::RunOptions options;
     options.settle_rebound = false;
     const auto result =
-        harness::runTask(system, load::uniform(50.0_mA, 100.0_ms), options);
+        harness::runTask(device, load::uniform(50.0_mA, 100.0_ms), options);
 
     EXPECT_FALSE(result.completed);
-    const Joules after = system.capacitor().storedEnergy();
+    const Joules after = device.system().capacitor().storedEnergy();
     const Joules usable_after =
         after - units::capacitorEnergy(Farads(45e-3), Volts(1.6));
     // More than 80% of the *usable* energy is still there.

@@ -61,16 +61,16 @@ TEST(RebootPersistence, RestoredTablesDriveGatedDispatch)
     // The restored values gate dispatch exactly as the originals would:
     // the program completes from mid-charge without a single brown-out.
     const sim::ConstantHarvester harvester(5.0_mW);
-    sim::PowerSystem system(cfg);
-    system.setHarvester(&harvester);
-    system.setBufferVoltage(Volts(1.8));
-    system.forceOutputEnabled(true);
+    sim::Device device(cfg);
+    device.setHarvester(&harvester);
+    device.setBufferVoltage(Volts(1.8));
+    device.forceOutputEnabled(true);
 
     runtime::RuntimeOptions options;
     options.policy = runtime::DispatchPolicy::VsafeGated;
     options.culpeo = &rebooted;
     const runtime::ProgramResult result =
-        runtime::runProgram(system, program(), options);
+        runtime::runProgram(device, program(), options);
     EXPECT_TRUE(result.finished);
     EXPECT_EQ(result.totalFailures(), 0u);
     EXPECT_EQ(result.power_failures, 0u);

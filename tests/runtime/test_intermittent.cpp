@@ -30,23 +30,23 @@ senseComputeSend()
     };
 }
 
-sim::PowerSystem
-chargedSystem(const sim::ConstantHarvester *harvester)
+sim::Device
+chargedDevice(const sim::ConstantHarvester *harvester)
 {
-    sim::PowerSystem system(sim::capybaraConfig());
-    system.setHarvester(harvester);
-    system.setBufferVoltage(Volts(2.56));
-    system.forceOutputEnabled(true);
-    return system;
+    sim::Device device(sim::capybaraConfig());
+    device.setHarvester(harvester);
+    device.setBufferVoltage(Volts(2.56));
+    device.forceOutputEnabled(true);
+    return device;
 }
 
 TEST(IntermittentRuntime, FinishesEasyProgramWithoutFailures)
 {
     const sim::ConstantHarvester harvester(Watts(3e-3));
-    sim::PowerSystem system = chargedSystem(&harvester);
+    sim::Device device = chargedDevice(&harvester);
     RuntimeOptions options;
     const ProgramResult result =
-        runProgram(system, senseComputeSend(), options);
+        runProgram(device, senseComputeSend(), options);
     EXPECT_TRUE(result.finished);
     EXPECT_EQ(result.totalFailures(), 0u);
     for (const auto &stats : result.per_task) {
@@ -61,14 +61,14 @@ TEST(IntermittentRuntime, OpportunisticReexecutesAfterBrownout)
     // at a voltage that cannot survive its ESR drop, browns out, fully
     // recharges, and re-executes the task from its start (Figure 1a).
     const sim::ConstantHarvester harvester(Watts(10e-3));
-    sim::PowerSystem system = chargedSystem(&harvester);
-    system.setBufferVoltage(Volts(1.75));
+    sim::Device device = chargedDevice(&harvester);
+    device.setBufferVoltage(Volts(1.75));
 
     RuntimeOptions options;
     options.policy = DispatchPolicy::Opportunistic;
     const std::vector<AtomicTask> program = {
         {1, "radio", load::uniform(50.0_mA, 20.0_ms).renamed("radio")}};
-    const ProgramResult result = runProgram(system, program, options);
+    const ProgramResult result = runProgram(device, program, options);
 
     EXPECT_TRUE(result.finished);
     EXPECT_GE(result.per_task[0].failures, 1u);
@@ -87,14 +87,14 @@ TEST(IntermittentRuntime, VsafeGatedAvoidsTheBrownout)
     harness::profileTaskFrom(sim::capybaraConfig(), Volts(2.56), culpeo,
                              1, radio);
 
-    sim::PowerSystem system = chargedSystem(&harvester);
-    system.setBufferVoltage(Volts(1.75));
+    sim::Device device = chargedDevice(&harvester);
+    device.setBufferVoltage(Volts(1.75));
 
     RuntimeOptions options;
     options.policy = DispatchPolicy::VsafeGated;
     options.culpeo = &culpeo;
     const ProgramResult result =
-        runProgram(system, {{1, "radio", radio}}, options);
+        runProgram(device, {{1, "radio", radio}}, options);
 
     EXPECT_TRUE(result.finished);
     EXPECT_EQ(result.totalFailures(), 0u);
@@ -106,13 +106,13 @@ TEST(IntermittentRuntime, DetectsNonterminatingTask)
     // A sustained 120 mA load cannot complete even from Vhigh on this
     // bank: the runtime must flag non-termination instead of looping.
     const sim::ConstantHarvester harvester(Watts(20e-3));
-    sim::PowerSystem system = chargedSystem(&harvester);
+    sim::Device device = chargedDevice(&harvester);
 
     RuntimeOptions options;
     options.max_attempts_from_full = 3;
     const std::vector<AtomicTask> program = {
         {1, "hog", load::uniform(120.0_mA, 200.0_ms).renamed("hog")}};
-    const ProgramResult result = runProgram(system, program, options);
+    const ProgramResult result = runProgram(device, program, options);
 
     EXPECT_FALSE(result.finished);
     EXPECT_TRUE(result.nonterminating);
@@ -123,23 +123,28 @@ TEST(IntermittentRuntime, DetectsNonterminatingTask)
 TEST(IntermittentRuntime, TimesOutWhenStarved)
 {
     // No harvest and an empty buffer: nothing can ever run.
-    sim::PowerSystem system(sim::capybaraConfig());
-    system.setBufferVoltage(Volts(1.0));
+    sim::Device device(sim::capybaraConfig());
+    device.setBufferVoltage(Volts(1.0));
 
     RuntimeOptions options;
     options.timeout = Seconds(2.0);
     const ProgramResult result =
-        runProgram(system, senseComputeSend(), options);
+        runProgram(device, senseComputeSend(), options);
     EXPECT_FALSE(result.finished);
     EXPECT_FALSE(result.nonterminating);
+    // The device layer proves the recharge wait unsatisfiable (zero
+    // harvest can never reach Vhigh) instead of idling to the timeout.
+    EXPECT_TRUE(result.starved);
+    EXPECT_EQ(result.stuck_task, "sense");
+    EXPECT_FALSE(result.diagnostic.empty());
 }
 
 TEST(IntermittentRuntime, GatedRequiresCulpeo)
 {
-    sim::PowerSystem system(sim::capybaraConfig());
+    sim::Device device(sim::capybaraConfig());
     RuntimeOptions options;
     options.policy = DispatchPolicy::VsafeGated;
-    EXPECT_THROW(runProgram(system, senseComputeSend(), options),
+    EXPECT_THROW(runProgram(device, senseComputeSend(), options),
                  log::FatalError);
 }
 
@@ -158,13 +163,13 @@ TEST(IntermittentRuntime, GatedWastesLessEnergyThanOpportunistic)
                                  culpeo, task.id, task.profile);
     }
 
-    sim::PowerSystem opportunistic = chargedSystem(&harvester);
+    sim::Device opportunistic = chargedDevice(&harvester);
     opportunistic.setBufferVoltage(Volts(1.8));
     RuntimeOptions opp;
     const ProgramResult opp_result =
         runProgram(opportunistic, program, opp);
 
-    sim::PowerSystem gated = chargedSystem(&harvester);
+    sim::Device gated = chargedDevice(&harvester);
     gated.setBufferVoltage(Volts(1.8));
     RuntimeOptions gate;
     gate.policy = DispatchPolicy::VsafeGated;

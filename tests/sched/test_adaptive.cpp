@@ -71,13 +71,13 @@ TEST(AdaptiveReprofiling, HarvestLevelChangesProfiledVsafe)
     const auto task = load::uniform(25.0_mA, 100.0_ms);
     auto vsafe_at = [&](double harvest_w) {
         const sim::ConstantHarvester harvester{Watts(harvest_w)};
-        sim::PowerSystem system(sim::capybaraConfig());
-        system.setHarvester(&harvester);
-        system.setBufferVoltage(Volts(2.56));
-        system.forceOutputEnabled(true);
+        sim::Device device(sim::capybaraConfig());
+        device.setHarvester(&harvester);
+        device.setBufferVoltage(Volts(2.56));
+        device.forceOutputEnabled(true);
         core::Culpeo culpeo(core::modelFromConfig(sim::capybaraConfig()),
                             std::make_unique<core::UArchProfiler>());
-        harness::profileTask(system, culpeo, 1, task);
+        harness::profileTask(device, culpeo, 1, task);
         return culpeo.getVsafe(1).value();
     };
     const double weak = vsafe_at(1e-3);

@@ -1,0 +1,318 @@
+/** @file Unit tests for the sim::Device execution layer. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "load/library.hpp"
+#include "sim/device.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+using namespace culpeo::units::literals;
+using sim::Device;
+using sim::DeviceOptions;
+using sim::WaitResult;
+using sim::WaitStatus;
+
+/** A charged, enabled device with the given harvester attached. */
+Device
+chargedDevice(const sim::Harvester *harvester, Volts vstart,
+              DeviceOptions options = {})
+{
+    Device device(sim::capybaraConfig(), options);
+    device.setHarvester(harvester);
+    device.setBufferVoltage(vstart);
+    device.forceOutputEnabled(true);
+    return device;
+}
+
+/** now() must sit on the idle_dt decision grid after a wait. */
+void
+expectOnGrid(const Device &device)
+{
+    const double dt = device.options().idle_dt.value();
+    const double ticks = device.now().value() / dt;
+    EXPECT_NEAR(ticks, std::round(ticks), 1e-6)
+        << "now() = " << device.now().value() << " is off the tick grid";
+}
+
+TEST(DeviceWait, ReachesThresholdUnderCharge)
+{
+    const sim::ConstantHarvester harvester(Watts(10e-3));
+    Device device = chargedDevice(&harvester, Volts(1.9));
+    const WaitResult wait =
+        device.idleUntilVoltage(Volts(2.1), Seconds(60.0));
+    EXPECT_EQ(wait.status, WaitStatus::Reached);
+    EXPECT_GE(wait.voltage.value(), 2.1);
+    EXPECT_GT(wait.elapsed.value(), 0.0);
+    expectOnGrid(device);
+}
+
+TEST(DeviceWait, DeadlineExpiresBeforeThreshold)
+{
+    const sim::ConstantHarvester harvester(Watts(10e-3));
+    Device device = chargedDevice(&harvester, Volts(1.9));
+    const WaitResult wait =
+        device.idleUntilVoltage(Volts(2.5), Seconds(0.05));
+    EXPECT_EQ(wait.status, WaitStatus::DeadlineExpired);
+    EXPECT_GT(device.now().value(), 0.05);
+    // The expiry is noticed at the first decision tick past the
+    // deadline, not some arbitrary macro-step later.
+    EXPECT_LT(device.now().value(),
+              0.05 + 2.0 * device.options().idle_dt.value());
+}
+
+TEST(DeviceWait, ZeroHarvestThresholdIsUnreachable)
+{
+    Device device = chargedDevice(nullptr, Volts(1.9));
+    const WaitResult wait =
+        device.idleUntilVoltage(Volts(2.1), Seconds(600.0));
+    EXPECT_EQ(wait.status, WaitStatus::Unreachable);
+    EXPECT_FALSE(wait.diagnostic.empty());
+    // The fast path proves unreachability from the equilibrium current;
+    // no simulated time is wasted idling toward the timeout.
+    EXPECT_LT(device.now().value(), 1.0);
+}
+
+TEST(DeviceWait, ThresholdAboveVhighIsUnreachable)
+{
+    // The input booster stops charging at Vhigh, so no harvest rate can
+    // lift the buffer above it (satellite fix: the old loops spun on
+    // this until their caller's timeout).
+    const sim::ConstantHarvester harvester(Watts(50e-3));
+    Device device = chargedDevice(&harvester, Volts(2.2));
+    const WaitResult wait = device.idleUntilVoltage(
+        device.vhigh() + Volts(0.1), Seconds(600.0));
+    EXPECT_EQ(wait.status, WaitStatus::Unreachable);
+    EXPECT_FALSE(wait.diagnostic.empty());
+}
+
+TEST(DeviceWait, EulerBackendDetectsUnreachableByStall)
+{
+    DeviceOptions options;
+    options.allow_fast_path = false;
+    options.stall_window = Seconds(0.5);
+    // Wide enough that the harvester-less buffer's slow leakage decay
+    // (well under a millivolt per window) reads as no progress instead
+    // of re-anchoring the stall detector until brown-out.
+    options.stall_epsilon = Volts(5e-3);
+    Device device = chargedDevice(nullptr, Volts(1.9), options);
+    const WaitResult wait =
+        device.idleUntilVoltage(Volts(2.1), Seconds(600.0));
+    EXPECT_EQ(wait.status, WaitStatus::Unreachable);
+    EXPECT_FALSE(wait.diagnostic.empty());
+    // Detection costs one stall window, not the full timeout.
+    EXPECT_LT(device.now().value(), 1.0);
+}
+
+TEST(DeviceWait, BrownOutEndsTheWait)
+{
+    // Start below Voff with the output forced on: the monitor trips on
+    // the first step and the wait reports the brown-out instead of the
+    // threshold.
+    const sim::ConstantHarvester harvester(Watts(2e-3));
+    Device device = chargedDevice(&harvester, Volts(1.5));
+    const WaitResult wait =
+        device.idleUntilVoltage(Volts(2.2), Seconds(60.0));
+    EXPECT_EQ(wait.status, WaitStatus::BrownedOut);
+    EXPECT_FALSE(device.on());
+}
+
+TEST(DeviceWait, RechargeToRidesThroughBrownOut)
+{
+    // Same start, but rechargeTo treats the monitor tripping as part of
+    // the recharge, not a failure.
+    const sim::ConstantHarvester harvester(Watts(10e-3));
+    Device device = chargedDevice(&harvester, Volts(1.5));
+    const WaitResult wait = device.rechargeTo(Volts(2.2));
+    EXPECT_EQ(wait.status, WaitStatus::Reached);
+    EXPECT_GE(device.restingVoltage().value(), 2.2 - 1e-3);
+}
+
+TEST(DeviceWait, RechargeUntilOnReachesVhigh)
+{
+    const sim::ConstantHarvester harvester(Watts(10e-3));
+    Device device(sim::capybaraConfig());
+    device.setHarvester(&harvester);
+    device.setBufferVoltage(Volts(1.8)); // Below Vhigh: output off.
+    EXPECT_FALSE(device.on());
+    const WaitResult wait = device.rechargeUntilOn(Seconds(600.0));
+    EXPECT_EQ(wait.status, WaitStatus::Reached);
+    EXPECT_TRUE(device.on());
+    EXPECT_GE(device.restingVoltage().value(),
+              device.vhigh().value() - 0.05);
+}
+
+TEST(DeviceWait, RechargeUntilOnWithoutHarvestIsUnreachable)
+{
+    Device device(sim::capybaraConfig());
+    device.setBufferVoltage(Volts(1.8));
+    const WaitResult wait = device.rechargeUntilOn(Seconds(600.0));
+    EXPECT_EQ(wait.status, WaitStatus::Unreachable);
+    EXPECT_FALSE(wait.diagnostic.empty());
+    EXPECT_LT(device.now().value(), 1.0);
+}
+
+TEST(DeviceIdle, IdleForRoundsUpToTheTickGrid)
+{
+    const sim::ConstantHarvester harvester(Watts(5e-3));
+    Device device = chargedDevice(&harvester, Volts(2.0));
+    device.idleFor(Seconds(3.7e-3));
+    EXPECT_NEAR(device.now().value(), 4e-3, 1e-9);
+    device.idleFor(Seconds(0.25));
+    EXPECT_NEAR(device.now().value(), 0.254, 1e-9);
+}
+
+TEST(DeviceIdle, TinyPositiveDurationStillAdvancesOneTick)
+{
+    // Guards the scheduler against floating-point residue: idling
+    // toward a time barely ahead of now() must make progress.
+    const sim::ConstantHarvester harvester(Watts(5e-3));
+    Device device = chargedDevice(&harvester, Volts(2.0));
+    device.idleFor(Seconds(1e-12));
+    EXPECT_NEAR(device.now().value(),
+                device.options().idle_dt.value(), 1e-9);
+}
+
+TEST(DeviceIdle, IdleUntilPastTimeIsANoOp)
+{
+    const sim::ConstantHarvester harvester(Watts(5e-3));
+    Device device = chargedDevice(&harvester, Volts(2.0));
+    device.idleFor(Seconds(0.01));
+    const Seconds before = device.now();
+    device.idleUntil(Seconds(0.005));
+    EXPECT_EQ(device.now().value(), before.value());
+}
+
+TEST(DeviceIdle, FastAndEulerWaitsAgreeOnElapsedTicks)
+{
+    const sim::ConstantHarvester harvester(Watts(10e-3));
+    Device fast = chargedDevice(&harvester, Volts(1.9));
+    DeviceOptions euler_options;
+    euler_options.allow_fast_path = false;
+    Device euler = chargedDevice(&harvester, Volts(1.9), euler_options);
+
+    const WaitResult wf = fast.idleUntilVoltage(Volts(2.2), Seconds(60.0));
+    const WaitResult we =
+        euler.idleUntilVoltage(Volts(2.2), Seconds(60.0));
+    ASSERT_EQ(wf.status, WaitStatus::Reached);
+    ASSERT_EQ(we.status, WaitStatus::Reached);
+    // Both backends decide on the same tick grid; the analytic
+    // integrator may land within a tick of the Euler oracle.
+    const double dt = fast.options().idle_dt.value();
+    EXPECT_NEAR(wf.elapsed.value(), we.elapsed.value(), 2.0 * dt);
+}
+
+TEST(DeviceLoad, FastAndEulerRunsAgreeOnOutcome)
+{
+    const auto profile = load::uniform(25.0_mA, 50.0_ms);
+    Device fast = chargedDevice(nullptr, Volts(2.4));
+    Device euler = chargedDevice(nullptr, Volts(2.4));
+    sim::LoadOptions euler_load;
+    euler_load.allow_fast_path = false;
+
+    const sim::LoadResult rf = fast.runLoad(profile);
+    const sim::LoadResult re = euler.runLoad(profile, euler_load);
+    EXPECT_TRUE(rf.completed);
+    EXPECT_TRUE(re.completed);
+    EXPECT_NEAR(rf.vmin.value(), re.vmin.value(), 5e-3);
+    EXPECT_NEAR(rf.vend.value(), re.vend.value(), 5e-3);
+}
+
+TEST(DeviceLoad, BrownOutReportedOnBothBackends)
+{
+    const auto profile = load::uniform(50.0_mA, 100.0_ms);
+    Device fast = chargedDevice(nullptr, Volts(1.9));
+    Device euler = chargedDevice(nullptr, Volts(1.9));
+    sim::LoadOptions euler_load;
+    euler_load.allow_fast_path = false;
+
+    const sim::LoadResult rf = fast.runLoad(profile);
+    const sim::LoadResult re = euler.runLoad(profile, euler_load);
+    EXPECT_FALSE(rf.completed);
+    EXPECT_FALSE(re.completed);
+    EXPECT_TRUE(rf.power_failed || rf.collapsed);
+    EXPECT_TRUE(re.power_failed || re.collapsed);
+}
+
+TEST(DeviceLoad, DriverSeesEveryStep)
+{
+    class CountingDriver : public sim::LoadStepDriver
+    {
+      public:
+        unsigned steps = 0;
+        Seconds total{0.0};
+        Amps overheadCurrent() override { return Amps(0.0); }
+        void onStep(Seconds dt, Volts) override
+        {
+            ++steps;
+            total += dt;
+        }
+    };
+
+    CountingDriver driver;
+    Device device = chargedDevice(nullptr, Volts(2.4));
+    sim::LoadOptions options;
+    options.dt = Seconds(1e-3);
+    options.driver = &driver;
+    device.runLoad(load::uniform(10.0_mA, 20.0_ms), options);
+    // The Euler loop may overrun the profile by at most one dt.
+    EXPECT_GE(driver.steps, 20u);
+    EXPECT_LE(driver.steps, 21u);
+    EXPECT_NEAR(driver.total.value(), 20e-3, 1.5e-3);
+}
+
+TEST(DeviceSegment, StopAboveRestingHaltsTheSegment)
+{
+    const sim::ConstantHarvester harvester(Watts(10e-3));
+    Device device = chargedDevice(&harvester, Volts(1.9));
+    sim::SegmentOptions options;
+    options.stop_above_resting = Volts(2.0);
+    const sim::SegmentResult result = device.system().runSegment(
+        Seconds(120.0), Amps(0.0), options);
+    EXPECT_TRUE(result.stopped_at_level);
+    EXPECT_LT(result.elapsed.value(), 120.0);
+    EXPECT_GE(device.restingVoltage().value(), 2.0 - 1e-6);
+}
+
+TEST(DeviceSegment, StopWhenEnabledHaltsAtMonitorReArm)
+{
+    const sim::ConstantHarvester harvester(Watts(10e-3));
+    Device device(sim::capybaraConfig());
+    device.setHarvester(&harvester);
+    device.setBufferVoltage(Volts(2.3)); // Below Vhigh: output off.
+    sim::SegmentOptions options;
+    options.stop_when_enabled = true;
+    const sim::SegmentResult result = device.system().runSegment(
+        Seconds(600.0), Amps(0.0), options);
+    EXPECT_TRUE(result.stopped_enabled);
+    EXPECT_TRUE(device.on());
+    EXPECT_LT(result.elapsed.value(), 600.0);
+}
+
+TEST(DeviceSettle, ReturnsSettledRestingVoltage)
+{
+    Device device = chargedDevice(nullptr, Volts(2.4));
+    const sim::LoadResult run =
+        device.runLoad(load::uniform(25.0_mA, 50.0_ms));
+    ASSERT_TRUE(run.completed);
+    const Seconds before = device.now();
+    const Volts settled = device.settle();
+    EXPECT_GT(settled.value(), run.vend.value());
+    EXPECT_GT(device.now().value(), before.value());
+    EXPECT_LE(device.now().value(), before.value() + 0.41);
+}
+
+TEST(DeviceOptionsValidation, NonPositiveIdleDtIsFatal)
+{
+    DeviceOptions options;
+    options.idle_dt = Seconds(0.0);
+    EXPECT_THROW(Device(sim::capybaraConfig(), options),
+                 log::FatalError);
+}
+
+} // namespace
