@@ -9,7 +9,10 @@
 #define CULPEO_BENCH_COMMON_HPP
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+
+#include "telemetry/telemetry.hpp"
 
 namespace culpeo::bench {
 
@@ -28,6 +31,34 @@ rule(int width)
     for (int i = 0; i < width; ++i)
         std::putchar('-');
     std::putchar('\n');
+}
+
+/**
+ * The CULPEO_TRACE_OUT path, or nullptr when tracing is off. Figure
+ * benches that run scheduler trials attach a telemetry sink when this
+ * is set and dump the merged trace as JSONL on exit.
+ */
+inline const char *
+traceOutPath()
+{
+    const char *value = std::getenv("CULPEO_TRACE_OUT");
+    return (value != nullptr && *value != '\0') ? value : nullptr;
+}
+
+/** Write the collected trace to CULPEO_TRACE_OUT (no-op when unset). */
+inline void
+dumpTraceIfRequested(const telemetry::Telemetry &sink)
+{
+    const char *path = traceOutPath();
+    if (path == nullptr)
+        return;
+    if (sink.writeJsonlFile(path)) {
+        std::printf("\ntrace: %llu events (%llu dropped) -> %s\n",
+                    (unsigned long long)sink.trace().recorded(),
+                    (unsigned long long)sink.trace().dropped(), path);
+    } else {
+        std::printf("\ntrace: failed to write %s\n", path);
+    }
 }
 
 } // namespace culpeo::bench

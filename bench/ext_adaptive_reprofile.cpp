@@ -15,7 +15,7 @@
 #include "apps/apps.hpp"
 #include "bench/common.hpp"
 #include "sched/adaptive.hpp"
-#include "sched/engine.hpp"
+#include "sched/trial.hpp"
 #include "util/csv.hpp"
 
 using namespace culpeo;
@@ -61,10 +61,11 @@ main()
     reprofiled.initialize(psAt(weak, period));
 
     const sched::AppSpec phase2 = psAt(weak, period);
-    const auto stale_result =
-        sched::runTrials(phase2, stale, trial, 3);
+    const auto sweep =
+        TrialBuilder().app(phase2).duration(trial).trials(3);
+    const auto stale_result = TrialBuilder(sweep).policy(stale).runAll();
     const auto fresh_result =
-        sched::runTrials(phase2, reprofiled, trial, 3);
+        TrialBuilder(sweep).policy(reprofiled).runAll();
 
     auto csv = util::CsvWriter::forBench(
         "ext_adaptive_reprofile",

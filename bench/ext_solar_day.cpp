@@ -21,7 +21,7 @@
 #include "apps/apps.hpp"
 #include "bench/common.hpp"
 #include "sched/adaptive.hpp"
-#include "sched/engine.hpp"
+#include "sched/trial.hpp"
 #include "util/csv.hpp"
 
 using namespace culpeo;
@@ -61,9 +61,13 @@ runDay(const std::vector<const sched::Policy *> &phase_policies,
     unsigned captured = 0;
     power_failures = 0;
     for (std::size_t i = 0; i < std::size(kDay); ++i) {
-        const sched::TrialResult result = sched::runTrial(
-            psAt(kDay[i].harvest), *phase_policies[i], kDay[i].duration,
-            100 + i);
+        const sched::AppSpec app = psAt(kDay[i].harvest);
+        const sched::TrialResult result = TrialBuilder()
+                                              .app(app)
+                                              .policy(*phase_policies[i])
+                                              .duration(kDay[i].duration)
+                                              .seed(100 + i)
+                                              .run();
         arrived += result.eventStats("imu").arrived;
         captured += result.eventStats("imu").captured;
         power_failures += result.power_failures;

@@ -12,7 +12,7 @@
 
 #include "apps/apps.hpp"
 #include "bench/common.hpp"
-#include "sched/engine.hpp"
+#include "sched/trial.hpp"
 #include "util/csv.hpp"
 
 using namespace culpeo;
@@ -48,6 +48,16 @@ main()
         {apps::noiseMonitoring(), "ble", "Noise Monitor BLE"},
     };
 
+    // CULPEO_TRACE_OUT=<path> collects every trial's telemetry trace
+    // (both policies) into one sink and writes it as JSONL before
+    // exit. The ring is sized to hold the full run so the export
+    // includes CatNap's brown-outs, not just the newest tail.
+    telemetry::TelemetryConfig trace_cfg;
+    trace_cfg.trace_capacity = std::size_t(1) << 17;
+    telemetry::Telemetry trace_sink(trace_cfg);
+    telemetry::Telemetry *sink =
+        bench::traceOutPath() != nullptr ? &trace_sink : nullptr;
+
     // NMR appears twice; cache per-app results keyed by name.
     std::string cached_app;
     sched::AggregateResult cat_cached, cul_cached;
@@ -57,8 +67,20 @@ main()
             catnap.initialize(m.app);
             sched::CulpeoPolicy culpeo;
             culpeo.initialize(m.app);
-            cat_cached = sched::runTrials(m.app, catnap, trial, trials);
-            cul_cached = sched::runTrials(m.app, culpeo, trial, trials);
+            cat_cached = TrialBuilder()
+                             .app(m.app)
+                             .policy(catnap)
+                             .duration(trial)
+                             .trials(trials)
+                             .telemetry(sink)
+                             .runAll();
+            cul_cached = TrialBuilder()
+                             .app(m.app)
+                             .policy(culpeo)
+                             .duration(trial)
+                             .trials(trials)
+                             .telemetry(sink)
+                             .runAll();
             cached_app = m.app.name;
         }
         const double cat_pct = cat_cached.rateOf(m.event) * 100.0;
@@ -75,5 +97,7 @@ main()
     std::printf("\nCulpeo's accurate Vsafe estimates eliminate the\n"
                 "unexpected brown-outs that make CatNap miss events;\n"
                 "its only residual losses are recharge-to-Vsafe waits.\n");
+    if (sink != nullptr)
+        bench::dumpTraceIfRequested(*sink);
     return 0;
 }

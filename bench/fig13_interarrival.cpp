@@ -13,7 +13,7 @@
 
 #include "apps/apps.hpp"
 #include "bench/common.hpp"
-#include "sched/engine.hpp"
+#include "sched/trial.hpp"
 #include "util/csv.hpp"
 
 using namespace culpeo;
@@ -53,11 +53,15 @@ main()
         catnap.initialize(ps);
         sched::CulpeoPolicy culpeo;
         culpeo.initialize(ps);
+        const auto sweep = TrialBuilder()
+                               .app(ps)
+                               .duration(trial)
+                               .trials(trials);
         const double cat =
-            sched::runTrials(ps, catnap, trial, trials).rateOf("imu") *
+            TrialBuilder(sweep).policy(catnap).runAll().rateOf("imu") *
             100.0;
         const double cul =
-            sched::runTrials(ps, culpeo, trial, trials).rateOf("imu") *
+            TrialBuilder(sweep).policy(culpeo).runAll().rateOf("imu") *
             100.0;
         std::printf("PS (%4.1f s)            %-12s %9.1f%% %9.1f%%\n",
                     r.ps_period, r.rate, cat, cul);
@@ -71,9 +75,13 @@ main()
         catnap.initialize(rr);
         sched::CulpeoPolicy culpeo;
         culpeo.initialize(rr);
-        const double cat = sched::runTrials(rr, catnap, trial, trials)
+        const auto sweep = TrialBuilder()
+                               .app(rr)
+                               .duration(trial)
+                               .trials(trials);
+        const double cat = TrialBuilder(sweep).policy(catnap).runAll()
                                .rateOf("report") * 100.0;
-        const double cul = sched::runTrials(rr, culpeo, trial, trials)
+        const double cul = TrialBuilder(sweep).policy(culpeo).runAll()
                                .rateOf("report") * 100.0;
         std::printf("RR (%4.0f s)            %-12s %9.1f%% %9.1f%%\n",
                     r.rr_interarrival, r.rate, cat, cul);

@@ -13,7 +13,8 @@
 #include "core/vsafe_pg.hpp"
 #include "harness/ground_truth.hpp"
 #include "load/library.hpp"
-#include "sched/engine.hpp"
+#include "sched/trial.hpp"
+#include "telemetry/telemetry.hpp"
 
 using namespace culpeo;
 using namespace culpeo::units;
@@ -200,18 +201,44 @@ BM_RunTrial(benchmark::State &state)
     const sched::AppSpec app = apps::periodicSensing();
     sched::CulpeoPolicy policy;
     policy.initialize(app);
-    sched::TrialInstruments instruments;
-    instruments.force_euler = force_euler;
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            sched::runTrial(app, policy, Seconds(30.0), 7, instruments));
-    }
+    const TrialBuilder trial = TrialBuilder()
+                                   .app(app)
+                                   .policy(policy)
+                                   .duration(Seconds(30.0))
+                                   .seed(7)
+                                   .forceEuler(force_euler);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(trial.run());
 }
 BENCHMARK(BM_RunTrial)
     ->Arg(0)
     ->Arg(1)
     ->ArgName("force_euler")
     ->Unit(benchmark::kMillisecond);
+
+/**
+ * The analytic-path trial with a live telemetry sink attached. The
+ * ratio against BM_RunTrial/0 is the telemetry overhead; emission
+ * happens only at primitive boundaries (never per Euler tick), so the
+ * target is <5% on top of the fast path.
+ */
+void
+BM_RunTrial_telemetry(benchmark::State &state)
+{
+    const sched::AppSpec app = apps::periodicSensing();
+    sched::CulpeoPolicy policy;
+    policy.initialize(app);
+    telemetry::Telemetry sink;
+    const TrialBuilder trial = TrialBuilder()
+                                   .app(app)
+                                   .policy(policy)
+                                   .duration(Seconds(30.0))
+                                   .seed(7)
+                                   .telemetry(&sink);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(trial.run());
+}
+BENCHMARK(BM_RunTrial_telemetry)->Unit(benchmark::kMillisecond);
 
 void
 BM_UArchTick(benchmark::State &state)

@@ -31,6 +31,10 @@ ARGS=(
     --benchmark_out="$OUTPUT"
     --benchmark_out_format=json
     --benchmark_repetitions="${BENCHMARK_REPETITIONS:-1}"
+    # Shuffle repetitions across benchmarks so suite ordering (a long
+    # Euler benchmark heating the core right before a fast one) does
+    # not bias paired comparisons.
+    --benchmark_enable_random_interleaving=true
 )
 if [[ -n "$FILTER" ]]; then
     ARGS+=(--benchmark_filter="$FILTER")
@@ -50,7 +54,9 @@ times = {}
 for b in data.get("benchmarks", []):
     if b.get("run_type") == "aggregate":
         continue
-    times[b["name"]] = b["real_time"]
+    # Min across repetitions: the robust per-benchmark statistic.
+    name = b["name"]
+    times[name] = min(times.get(name, float("inf")), b["real_time"])
 fast = times.get("BM_GroundTruthSearch")
 euler = times.get("BM_GroundTruthSearchEuler")
 if fast and euler:
@@ -60,4 +66,9 @@ trial_euler = times.get("BM_RunTrial/force_euler:1")
 if trial_fast and trial_euler:
     print(f"scheduler trial speedup (Euler/device): "
           f"{trial_euler / trial_fast:.1f}x")
+trial_tel = times.get("BM_RunTrial_telemetry")
+if trial_fast and trial_tel:
+    overhead = (trial_tel / trial_fast - 1.0) * 100.0
+    print(f"telemetry overhead on the analytic trial: {overhead:+.1f}% "
+          f"(target < 5%)")
 EOF

@@ -12,7 +12,7 @@
 #include <cstdio>
 
 #include "apps/apps.hpp"
-#include "sched/engine.hpp"
+#include "sched/trial.hpp"
 
 using namespace culpeo;
 using namespace culpeo::units;
@@ -48,7 +48,7 @@ main()
          {static_cast<const sched::Policy *>(&catnap),
           static_cast<const sched::Policy *>(&culpeo)}) {
         const sched::TrialResult result =
-            sched::runTrial(app, *policy, 120.0_s, 42);
+            TrialBuilder().app(app).policy(*policy).duration(120.0_s).seed(42).run();
         const auto &stats = result.eventStats("imu");
         std::printf("%-8s: %2u/%2u events captured (%.0f%%), "
                     "%u power failures, %u background runs\n",

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "telemetry/telemetry.hpp"
 #include "util/logging.hpp"
 
 namespace culpeo::fault {
@@ -140,21 +141,74 @@ FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t noise_seed)
               });
 }
 
+void
+FaultInjector::onTelemetry(telemetry::Telemetry *telemetry)
+{
+    if constexpr (!telemetry::kEnabled) {
+        (void)telemetry;
+        return;
+    }
+    telemetry_ = telemetry;
+    injected_ = nullptr;
+    if (telemetry_ == nullptr)
+        return;
+    injected_ =
+        &telemetry_->registry().counter(telemetry::names::kFaultInjected);
+    label_dropout_ = telemetry_->trace().intern("dropout");
+    label_leakage_ = telemetry_->trace().intern("leakage_spike");
+    label_aging_ = telemetry_->trace().intern("aging_step");
+    label_brownout_ = telemetry_->trace().intern("forced_brownout");
+}
+
+void
+FaultInjector::noteInjection(Seconds now, std::uint32_t label,
+                             double value)
+{
+    if constexpr (telemetry::kEnabled) {
+        if (telemetry_ == nullptr)
+            return;
+        injected_->add();
+        // The injector runs below the voltage read path, so the event
+        // carries no terminal voltage (0).
+        telemetry_->emit(telemetry::EventKind::FaultInjected, now.value(),
+                         0.0, label, value);
+    } else {
+        (void)now;
+        (void)label;
+        (void)value;
+    }
+}
+
 sim::FaultActions
 FaultInjector::onStep(Seconds now, Seconds dt)
 {
     (void)dt;
     sim::FaultActions actions;
 
+    noted_dropouts_.resize(plan_.dropouts.size(), false);
+    noted_spikes_.resize(plan_.leakage_spikes.size(), false);
+
     actions.harvest_scale = harvestTraceScale(plan_.harvest_trace, now);
-    for (const auto &window : plan_.dropouts) {
-        if (now >= window.start && now < window.end)
+    for (std::size_t i = 0; i < plan_.dropouts.size(); ++i) {
+        const auto &window = plan_.dropouts[i];
+        if (now >= window.start && now < window.end) {
             actions.harvest_scale *= window.scale;
+            if (!noted_dropouts_[i]) {
+                noted_dropouts_[i] = true;
+                noteInjection(now, label_dropout_, window.scale);
+            }
+        }
     }
 
-    for (const auto &spike : plan_.leakage_spikes) {
-        if (now >= spike.start && now < spike.end)
+    for (std::size_t i = 0; i < plan_.leakage_spikes.size(); ++i) {
+        const auto &spike = plan_.leakage_spikes[i];
+        if (now >= spike.start && now < spike.end) {
             actions.extra_leakage += spike.extra;
+            if (!noted_spikes_[i]) {
+                noted_spikes_[i] = true;
+                noteInjection(now, label_leakage_, spike.extra.value());
+            }
+        }
     }
 
     while (next_aging_ < plan_.aging_steps.size() &&
@@ -164,6 +218,7 @@ FaultInjector::onStep(Seconds now, Seconds dt)
         actions.capacitance_fraction = step.capacitance_fraction;
         actions.esr_multiplier = step.esr_multiplier;
         ++next_aging_;
+        noteInjection(now, label_aging_, step.esr_multiplier);
     }
 
     if (next_brownout_ < plan_.brownouts.size() &&
@@ -171,6 +226,7 @@ FaultInjector::onStep(Seconds now, Seconds dt)
         actions.force_brownout = true;
         ++next_brownout_;
         ++fired_brownouts_;
+        noteInjection(now, label_brownout_, 0.0);
     }
     return actions;
 }
@@ -192,6 +248,8 @@ FaultInjector::reset()
     next_brownout_ = 0;
     fired_brownouts_ = 0;
     noise_ = util::Rng(noise_seed_);
+    noted_dropouts_.assign(noted_dropouts_.size(), false);
+    noted_spikes_.assign(noted_spikes_.size(), false);
 }
 
 } // namespace culpeo::fault

@@ -29,6 +29,10 @@
 #include "util/random.hpp"
 #include "util/units.hpp"
 
+namespace culpeo::telemetry {
+class Counter;
+} // namespace culpeo::telemetry
+
 namespace culpeo::fault {
 
 using units::Amps;
@@ -133,6 +137,14 @@ class FaultInjector : public sim::FaultHooks
     sim::FaultActions onStep(Seconds now, Seconds dt) override;
     Volts perturbReading(Volts v) override;
 
+    /**
+     * Capture the trial's telemetry sink: every injected disturbance
+     * bumps `fault.injected` and emits one FaultInjected trace event —
+     * one-shot events (aging, forced brown-outs) when they fire,
+     * windowed ones (dropouts, leakage spikes) on first entry.
+     */
+    void onTelemetry(telemetry::Telemetry *telemetry) override;
+
     const FaultPlan &plan() const { return plan_; }
 
     /** Forced brown-outs fired so far. */
@@ -145,12 +157,24 @@ class FaultInjector : public sim::FaultHooks
     void reset();
 
   private:
+    void noteInjection(Seconds now, std::uint32_t label, double value);
+
     FaultPlan plan_;
     std::uint64_t noise_seed_;
     util::Rng noise_;
     std::size_t next_aging_ = 0;
     std::size_t next_brownout_ = 0;
     unsigned fired_brownouts_ = 0;
+
+    telemetry::Telemetry *telemetry_ = nullptr;
+    telemetry::Counter *injected_ = nullptr;
+    std::uint32_t label_dropout_ = 0;
+    std::uint32_t label_leakage_ = 0;
+    std::uint32_t label_aging_ = 0;
+    std::uint32_t label_brownout_ = 0;
+    /** First-entry latches for windowed disturbances (reset() clears). */
+    std::vector<bool> noted_dropouts_;
+    std::vector<bool> noted_spikes_;
 };
 
 } // namespace culpeo::fault

@@ -1,6 +1,7 @@
 #include "intermittent.hpp"
 
 #include "harness/task_runner.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/logging.hpp"
 
 namespace culpeo::runtime {
@@ -29,6 +30,35 @@ markStarved(ProgramResult &result, sim::Device &device,
     return result;
 }
 
+/**
+ * Boundary-rate telemetry for the runtime's dispatch loop: reboot and
+ * retry counters plus TaskStart/TaskEnd trace events and per-task Vmin
+ * histograms. All members stay null when no sink is attached (or the
+ * build compiles telemetry out), and every use is null-guarded.
+ */
+struct RuntimeTelemetry
+{
+    telemetry::Telemetry *sink = nullptr;
+    telemetry::Counter *reboots = nullptr;
+    telemetry::Counter *retries = nullptr;
+
+    explicit RuntimeTelemetry(sim::Device &device)
+    {
+        if constexpr (telemetry::kEnabled) {
+            sink = device.telemetry();
+            if (sink != nullptr) {
+                namespace names = telemetry::names;
+                reboots =
+                    &sink->registry().counter(names::kRuntimeReboots);
+                retries =
+                    &sink->registry().counter(names::kRuntimeTaskRetries);
+            }
+        } else {
+            (void)device;
+        }
+    }
+};
+
 } // namespace
 
 ProgramResult
@@ -44,6 +74,8 @@ runProgram(sim::Device &device, const std::vector<AtomicTask> &program,
     for (const auto &task : program)
         result.per_task.push_back({task.name, 0, 0, 0});
 
+    RuntimeTelemetry tel(device);
+
     const Seconds deadline = device.now() + options.timeout;
     // "Full" for the non-termination check. The monitor re-enables when
     // the *charging* terminal voltage reaches Vhigh, which overshoots
@@ -56,6 +88,17 @@ runProgram(sim::Device &device, const std::vector<AtomicTask> &program,
         TaskStats &stats = result.per_task[i];
         unsigned failures_from_full = 0;
 
+        // Telemetry handles for this task, resolved once outside the
+        // retry loop (interning and registry lookups cost a lock each).
+        std::uint32_t name_id = 0;
+        telemetry::Histogram *vmin_hist = nullptr;
+        if (tel.sink != nullptr) {
+            name_id = tel.sink->trace().intern(task.name);
+            vmin_hist = &tel.sink->registry().histogram(
+                telemetry::names::taskVmin(task.name),
+                device.voff().value(), device.vhigh().value(), 32);
+        }
+
         while (true) {
             if (device.now() >= deadline) {
                 result.elapsed = device.now();
@@ -66,6 +109,8 @@ runProgram(sim::Device &device, const std::vector<AtomicTask> &program,
             // output (hysteresis enforces a full recharge) — or learn
             // that it never will.
             if (!device.on()) {
+                if (tel.reboots != nullptr)
+                    tel.reboots->add();
                 const sim::WaitResult wait =
                     device.rechargeUntilOn(deadline);
                 if (wait.status == sim::WaitStatus::Unreachable)
@@ -107,8 +152,21 @@ runProgram(sim::Device &device, const std::vector<AtomicTask> &program,
             run_options.dt = harness::chooseDt(task.profile);
             run_options.settle_rebound = false;
             ++stats.executions;
+            if (tel.sink != nullptr) {
+                tel.sink->emit(telemetry::EventKind::TaskStart,
+                               device.now().value(),
+                               device.restingVoltage().value(), name_id,
+                               double(task.id));
+            }
             const harness::RunResult run =
                 harness::runTask(device, task.profile, run_options);
+            if (tel.sink != nullptr) {
+                tel.sink->emit(telemetry::EventKind::TaskEnd,
+                               device.now().value(),
+                               run.vend_loaded.value(), name_id,
+                               run.vmin.value(), run.completed);
+                vmin_hist->record(run.vmin.value());
+            }
             if (gated)
                 device.notifyCommitEnd(run.completed);
             if (run.completed) {
@@ -120,6 +178,8 @@ runProgram(sim::Device &device, const std::vector<AtomicTask> &program,
             // once the device recharges (monitor hysteresis enforces a
             // full recharge).
             ++stats.failures;
+            if (tel.retries != nullptr)
+                tel.retries->add();
             if (from_full) {
                 ++failures_from_full;
                 if (failures_from_full >= options.max_attempts_from_full) {

@@ -1,10 +1,14 @@
 #include "engine.hpp"
 
 #include <algorithm>
+#include <map>
+#include <memory>
+#include <utility>
 
 #include "harness/task_runner.hpp"
 #include "sim/device.hpp"
 #include "util/logging.hpp"
+#include "util/parallel.hpp"
 #include "util/random.hpp"
 
 namespace culpeo::sched {
@@ -28,7 +32,7 @@ TrialResult::overallCaptureRate() const
         arrived += stats.arrived;
         captured += stats.captured;
     }
-    return arrived == 0 ? 1.0 : double(captured) / double(arrived);
+    return arrived == 0 ? 0.0 : double(captured) / double(arrived);
 }
 
 namespace {
@@ -72,6 +76,38 @@ struct Trial
     const Policy &policy;
     sim::Device device;
     TrialResult result;
+    /** Per-trial scratch sink; null when telemetry is not attached. */
+    telemetry::Telemetry *tel = nullptr;
+    /** Committed dispatches (event-chain tasks + background runs). */
+    unsigned tasks_started = 0;
+    unsigned tasks_completed = 0;
+
+    /**
+     * Per-task telemetry handles, resolved once per task and reused on
+     * every dispatch: interning the label and the registry's name map
+     * both cost a lock + string lookup, far too much for a path that
+     * runs hundreds of times per simulated minute.
+     */
+    struct TaskTel
+    {
+        std::uint32_t name_id = 0;
+        telemetry::Histogram *vmin = nullptr;
+    };
+    std::map<const SchedTask *, TaskTel> task_tel;
+
+    const TaskTel &
+    taskTel(const SchedTask &task)
+    {
+        const auto it = task_tel.find(&task);
+        if (it != task_tel.end())
+            return it->second;
+        TaskTel handles;
+        handles.name_id = tel->trace().intern(task.name);
+        handles.vmin = &tel->registry().histogram(
+            telemetry::names::taskVmin(task.name),
+            device.voff().value(), device.vhigh().value(), 32);
+        return task_tel.emplace(&task, handles).first->second;
+    }
 
     Trial(const AppSpec &app_in, const Policy &policy_in,
           sim::DeviceOptions device_options)
@@ -85,29 +121,43 @@ struct Trial
         return device.on();
     }
 
-    /** Run one task; returns true when it completed. */
+    /**
+     * Run one task as a commitment the attached observer can audit: the
+     * policy admitted it at the current voltage against @p need. Emits
+     * the TaskStart/TaskEnd trace pair and the per-task Vmin histogram
+     * when telemetry is attached.
+     */
     bool
-    runOne(const SchedTask &task)
+    runCommitted(const SchedTask &task, Volts need)
     {
+        ++tasks_started;
+        const Volts resting = device.restingVoltage();
+        const TaskTel *handles = nullptr;
+        if (tel != nullptr) {
+            handles = &taskTel(task);
+            const double now_s = device.now().value();
+            tel->emit(telemetry::EventKind::VsafeUpdate, now_s,
+                      resting.value(), handles->name_id, need.value());
+            tel->emit(telemetry::EventKind::TaskStart, now_s,
+                      resting.value(), handles->name_id, need.value());
+        }
+        device.notifyCommit(task.name, resting, need);
         harness::RunOptions options;
         options.dt = harness::chooseDt(task.profile);
         options.settle_rebound = false;
         const harness::RunResult run =
             harness::runTask(device, task.profile, options);
+        device.notifyCommitEnd(run.completed);
+        if (tel != nullptr) {
+            tel->emit(telemetry::EventKind::TaskEnd,
+                      device.now().value(), run.vend_loaded.value(),
+                      handles->name_id, run.vmin.value(),
+                      run.completed);
+            handles->vmin->record(run.vmin.value());
+        }
+        if (run.completed)
+            ++tasks_completed;
         return run.completed;
-    }
-
-    /**
-     * Run one task as a commitment the attached observer can audit: the
-     * policy admitted it at the current voltage against @p need.
-     */
-    bool
-    runCommitted(const SchedTask &task, Volts need)
-    {
-        device.notifyCommit(task.name, device.restingVoltage(), need);
-        const bool completed = runOne(task);
-        device.notifyCommitEnd(completed);
-        return completed;
     }
 
     /**
@@ -169,23 +219,61 @@ struct Trial
     }
 };
 
-} // namespace
+/**
+ * Trial-end counter roll-up: the per-event totals the loop already
+ * tracks, recorded once into the scratch registry (boundary-rate, never
+ * inside the hot loop).
+ */
+void
+recordTrialCounters(telemetry::Telemetry &tel, const TrialResult &result,
+                    Seconds elapsed)
+{
+    namespace names = telemetry::names;
+    telemetry::Registry &reg = tel.registry();
+    unsigned arrived = 0;
+    unsigned captured = 0;
+    unsigned lost = 0;
+    for (const auto &stats : result.per_event) {
+        arrived += stats.arrived;
+        captured += stats.captured;
+        lost += stats.lost;
+    }
+    reg.counter(names::kSchedEventsArrived).add(arrived);
+    reg.counter(names::kSchedEventsCaptured).add(captured);
+    reg.counter(names::kSchedEventsLost).add(lost);
+    reg.counter(names::kSchedBackgroundRuns).add(result.background_runs);
+    reg.gauge(names::kTrialSimSeconds, telemetry::GaugeMode::Sum)
+        .record(elapsed.value());
+}
 
+/**
+ * The engine proper: one trial at @p seed, emitting into @p scratch
+ * when non-null. The caller owns scratch creation and the in-order
+ * merge into the user's sink (keeping parallel sweeps deterministic).
+ */
 TrialResult
-runTrial(const AppSpec &app, const Policy &policy, Seconds duration,
-         std::uint64_t seed, const TrialInstruments &instruments)
+runOneTrial(const AppSpec &app, const Policy &policy,
+            const TrialConfig &config, std::uint64_t seed,
+            telemetry::Telemetry *scratch)
 {
     util::Rng rng(seed);
     sim::DeviceOptions device_options;
-    device_options.allow_fast_path = !instruments.force_euler;
+    device_options.allow_fast_path = !config.force_euler;
     Trial trial(app, policy, device_options);
+    const Seconds duration = config.duration;
 
-    sim::ConstantHarvester harvester(app.harvest);
-    trial.device.setHarvester(&harvester);
-    trial.device.setFaultHooks(instruments.faults);
-    trial.device.setObserver(instruments.observer);
+    sim::ConstantHarvester default_harvester(app.harvest);
+    trial.device.setHarvester(config.harvester != nullptr
+                                  ? config.harvester
+                                  : &default_harvester);
+    trial.device.setFaultHooks(config.faults);
+    trial.device.setObserver(config.observer);
     trial.device.setBufferVoltage(app.power.monitor.vhigh);
     trial.device.forceOutputEnabled(true);
+    trial.device.setTelemetry(scratch);
+    trial.tel = trial.device.telemetry();
+    if (config.faults != nullptr)
+        config.faults->onTelemetry(trial.tel);
 
     trial.result.per_event.resize(app.events.size());
     for (std::size_t i = 0; i < app.events.size(); ++i)
@@ -290,7 +378,43 @@ runTrial(const AppSpec &app, const Policy &policy, Seconds duration,
 
     trial.result.power_failures =
         trial.device.system().monitor().powerFailures();
+    if (trial.tel != nullptr) {
+        namespace names = telemetry::names;
+        trial.tel->registry()
+            .counter(names::kSchedTasksStarted)
+            .add(trial.tasks_started);
+        trial.tel->registry()
+            .counter(names::kSchedTasksCompleted)
+            .add(trial.tasks_completed);
+        recordTrialCounters(*trial.tel, trial.result,
+                            trial.device.now());
+    }
+    if (config.faults != nullptr)
+        config.faults->onTelemetry(nullptr);
     return trial.result;
+}
+
+} // namespace
+
+TrialResult
+runTrialWith(const AppSpec &app, const Policy &policy,
+             const TrialConfig &config)
+{
+    telemetry::Telemetry *sink =
+        telemetry::kEnabled ? config.telemetry : nullptr;
+    std::optional<telemetry::Telemetry> scratch;
+    if (sink != nullptr) {
+        scratch.emplace(sink->config());
+        scratch->setTrial(0);
+    }
+    TrialResult result =
+        runOneTrial(app, policy, config, config.seed,
+                    scratch.has_value() ? &*scratch : nullptr);
+    if (scratch.has_value()) {
+        result.telemetry = scratch->summary();
+        sink->merge(*scratch);
+    }
+    return result;
 }
 
 double
@@ -303,39 +427,125 @@ AggregateResult::rateOf(const std::string &name) const
     log::fatal("no aggregated event type named ", name);
 }
 
-AggregateResult
-runTrials(const AppSpec &app, const Policy &policy, Seconds duration,
-          unsigned trials, std::uint64_t base_seed,
-          const TrialInstruments &instruments)
+double
+AggregateResult::overallCaptureRate() const
 {
-    log::fatalIf(trials == 0, "at least one trial is required");
+    // arrivals[i] and capture_rates[i] reconstruct the captured count
+    // exactly (the rate was computed as captured/arrived).
+    double arrived = 0.0;
+    double captured = 0.0;
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+        if (arrivals[i] == 0)
+            continue; // Empty type: no evidence either way.
+        arrived += double(arrivals[i]);
+        captured += capture_rates[i] * double(arrivals[i]);
+    }
+    return arrived == 0.0 ? 0.0 : captured / arrived;
+}
+
+AggregateResult
+runTrialsWith(const AppSpec &app, const Policy &policy,
+              const TrialConfig &config)
+{
+    log::fatalIf(config.trials == 0, "at least one trial is required");
 
     AggregateResult aggregate;
     for (const auto &event : app.events)
         aggregate.event_names.push_back(event.name);
     aggregate.capture_rates.assign(app.events.size(), 0.0);
+    aggregate.arrivals.assign(app.events.size(), 0);
+
+    telemetry::Telemetry *sink =
+        telemetry::kEnabled ? config.telemetry : nullptr;
+
+    struct TrialRun
+    {
+        TrialResult result;
+        std::shared_ptr<telemetry::Telemetry> scratch;
+    };
+    const auto runAt = [&](unsigned t) {
+        TrialRun run;
+        if (sink != nullptr) {
+            run.scratch =
+                std::make_shared<telemetry::Telemetry>(sink->config());
+            run.scratch->setTrial(t);
+        }
+        run.result =
+            runOneTrial(app, policy, config,
+                        config.seed + t * config.seed_stride,
+                        run.scratch.get());
+        if (run.scratch != nullptr)
+            run.result.telemetry = run.scratch->summary();
+        return run;
+    };
+
+    // Stateful instruments (a fault injector's one-shot schedule, an
+    // invariant monitor's commitment stack) cannot be shared across
+    // concurrent trials; clean sweeps parallelize. Either way, per-trial
+    // seeds depend only on the index and the merge below runs in trial
+    // order, so results are identical.
+    std::vector<TrialRun> runs;
+    const bool parallel_ok =
+        config.faults == nullptr && config.observer == nullptr;
+    if (parallel_ok && config.trials > 1) {
+        std::vector<unsigned> indices(config.trials);
+        for (unsigned t = 0; t < config.trials; ++t)
+            indices[t] = t;
+        runs = util::parallelMap(indices, runAt);
+    } else {
+        runs.reserve(config.trials);
+        for (unsigned t = 0; t < config.trials; ++t)
+            runs.push_back(runAt(t));
+    }
 
     unsigned total_failures = 0;
-    std::vector<unsigned> arrived(app.events.size(), 0);
     std::vector<unsigned> captured(app.events.size(), 0);
-    for (unsigned t = 0; t < trials; ++t) {
-        const TrialResult result =
-            runTrial(app, policy, duration, base_seed + t * 1000003ULL,
-                     instruments);
-        for (std::size_t i = 0; i < result.per_event.size(); ++i) {
-            arrived[i] += result.per_event[i].arrived;
-            captured[i] += result.per_event[i].captured;
+    for (TrialRun &run : runs) {
+        for (std::size_t i = 0; i < run.result.per_event.size(); ++i) {
+            aggregate.arrivals[i] += run.result.per_event[i].arrived;
+            captured[i] += run.result.per_event[i].captured;
         }
-        total_failures += result.power_failures;
+        total_failures += run.result.power_failures;
+        if (run.scratch != nullptr)
+            sink->merge(*run.scratch);
     }
     for (std::size_t i = 0; i < aggregate.capture_rates.size(); ++i) {
         aggregate.capture_rates[i] =
-            arrived[i] == 0 ? 1.0
-                            : double(captured[i]) / double(arrived[i]);
+            aggregate.arrivals[i] == 0
+                ? 0.0
+                : double(captured[i]) / double(aggregate.arrivals[i]);
     }
     aggregate.power_failures_per_trial =
-        double(total_failures) / double(trials);
+        double(total_failures) / double(config.trials);
     return aggregate;
+}
+
+TrialResult
+runTrial(const AppSpec &app, const Policy &policy, Seconds duration,
+         std::uint64_t seed, const TrialInstruments &instruments)
+{
+    TrialConfig config;
+    config.duration = duration;
+    config.seed = seed;
+    config.force_euler = instruments.force_euler;
+    config.faults = instruments.faults;
+    config.observer = instruments.observer;
+    return runTrialWith(app, policy, config);
+}
+
+AggregateResult
+runTrials(const AppSpec &app, const Policy &policy, Seconds duration,
+          unsigned trials, std::uint64_t base_seed,
+          const TrialInstruments &instruments)
+{
+    TrialConfig config;
+    config.duration = duration;
+    config.seed = base_seed;
+    config.trials = trials;
+    config.force_euler = instruments.force_euler;
+    config.faults = instruments.faults;
+    config.observer = instruments.observer;
+    return runTrialsWith(app, policy, config);
 }
 
 } // namespace culpeo::sched

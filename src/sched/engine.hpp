@@ -9,18 +9,27 @@
  * task chain completes within the deadline; a brown-out mid-chain powers
  * the device off until the buffer fully recharges to Vhigh (hysteresis),
  * typically losing the event and any that arrive while off.
+ *
+ * Entry points: one trial is runTrialWith(app, policy, config); a sweep
+ * of config.trials independently seeded trials is runTrialsWith(). All
+ * knobs — duration, seeding, instrumentation, telemetry — live in
+ * TrialConfig; the fluent culpeo::TrialBuilder (sched/trial.hpp) is the
+ * ergonomic front end. The historical free functions runTrial()/
+ * runTrials() survive as deprecated shims for one release.
  */
 
 #ifndef CULPEO_SCHED_ENGINE_HPP
 #define CULPEO_SCHED_ENGINE_HPP
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "sched/app.hpp"
 #include "sched/policy.hpp"
 #include "sim/harvester.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace culpeo::sched {
 
@@ -32,9 +41,17 @@ struct EventTypeStats
     unsigned captured = 0;
     unsigned lost = 0;
 
+    /** No instance of this event type arrived during the trial. */
+    bool empty() const { return arrived == 0; }
+
+    /**
+     * Fraction of arrivals captured; 0 for an empty type (an event
+     * type that never fired captured nothing — it must not read as a
+     * perfect 1.0, which inflated aggregates in short trials).
+     */
     double captureRate() const
     {
-        return arrived == 0 ? 1.0 : double(captured) / double(arrived);
+        return arrived == 0 ? 0.0 : double(captured) / double(arrived);
     }
 };
 
@@ -44,21 +61,29 @@ struct TrialResult
     std::vector<EventTypeStats> per_event;
     unsigned power_failures = 0;
     unsigned background_runs = 0;
+    /** Per-trial roll-up, present when TrialConfig::telemetry was set. */
+    std::optional<telemetry::TelemetrySummary> telemetry;
 
     const EventTypeStats &eventStats(const std::string &name) const;
+    /** Captured/arrived over all types; empty types contribute nothing. */
     double overallCaptureRate() const;
 };
 
 /**
- * Optional instrumentation attached to a trial's device: a fault model
- * (disturbances + ADC read error) and a step/commitment observer (e.g.
- * fault::InvariantMonitor). Either may be null. Attaching either forces
- * the per-tick Euler backend (hooks need per-step fidelity).
+ * Everything configurable about a trial (or a sweep of trials) beyond
+ * the app and the policy. Defaults run one clean 300 s trial: no
+ * instrumentation, no telemetry, analytic fast path allowed.
  */
-struct TrialInstruments
+struct TrialConfig
 {
-    sim::FaultHooks *faults = nullptr;
-    sim::StepObserver *observer = nullptr;
+    /** Simulated length of each trial. */
+    Seconds duration{300.0};
+    /** Arrival-process seed (first trial of a sweep). */
+    std::uint64_t seed = 7;
+    /** Trial count for runTrialsWith(); runTrialWith() ignores it. */
+    unsigned trials = 1;
+    /** Seed for trial t of a sweep is seed + t * seed_stride. */
+    std::uint64_t seed_stride = 1000003ULL;
     /**
      * Force the per-tick Euler wait backend even when no instruments
      * are attached — the reference baseline for the device fast path
@@ -67,23 +92,85 @@ struct TrialInstruments
      * pre-device per-tick engine did via harness::runTask.
      */
     bool force_euler = false;
+    /**
+     * Harvester override; null uses a constant harvester at
+     * AppSpec::harvest. A non-constant harvester disqualifies the
+     * analytic wait fast path by itself (sim::analyticEligible).
+     * Must be safe for concurrent powerAt() queries when shared
+     * across a parallel sweep.
+     */
+    const sim::Harvester *harvester = nullptr;
+    /**
+     * Fault model (disturbances + ADC read error); may be null.
+     * Attaching one forces the per-tick Euler backend and serializes
+     * runTrialsWith() (the injector's one-shot state is per-run).
+     */
+    sim::FaultHooks *faults = nullptr;
+    /**
+     * Step/commitment observer (e.g. fault::InvariantMonitor); may be
+     * null. Same Euler/serial consequences as faults.
+     */
+    sim::StepObserver *observer = nullptr;
+    /**
+     * Telemetry sink; may be null. Each trial records into a private
+     * scratch (so parallel sweeps stay deterministic) which is merged
+     * into this sink in trial order; trace events carry the trial
+     * index. Attaching telemetry does NOT force the Euler backend.
+     */
+    telemetry::Telemetry *telemetry = nullptr;
 };
 
 /** Run one trial of @p app under @p policy (already initialized). */
-TrialResult runTrial(const AppSpec &app, const Policy &policy,
-                     Seconds duration, std::uint64_t seed,
-                     const TrialInstruments &instruments = {});
+TrialResult runTrialWith(const AppSpec &app, const Policy &policy,
+                         const TrialConfig &config = {});
 
-/** Averaged capture rates over @p trials independent trials. */
+/** Averaged capture rates over independent trials. */
 struct AggregateResult
 {
     std::vector<std::string> event_names;
     std::vector<double> capture_rates; ///< Parallel to event_names.
+    /** Total arrivals per type across all trials (0 = empty type). */
+    std::vector<unsigned> arrivals;
     double power_failures_per_trial = 0.0;
 
     double rateOf(const std::string &name) const;
+    /**
+     * Captured/arrived over all types and trials. Event types with no
+     * arrivals are excluded — they carry no evidence either way.
+     */
+    double overallCaptureRate() const;
 };
 
+/**
+ * Run config.trials independently seeded trials and aggregate. Trials
+ * run on the shared thread pool when no fault hooks or observer are
+ * attached (results are bit-identical to a serial run: per-trial seeds
+ * depend only on the trial index and aggregation is order-independent).
+ */
+AggregateResult runTrialsWith(const AppSpec &app, const Policy &policy,
+                              const TrialConfig &config = {});
+
+/**
+ * Historical instrument bundle, superseded by TrialConfig.
+ * @deprecated Use TrialConfig (or culpeo::TrialBuilder).
+ */
+struct TrialInstruments
+{
+    sim::FaultHooks *faults = nullptr;
+    sim::StepObserver *observer = nullptr;
+    bool force_euler = false;
+};
+
+/** @deprecated Use runTrialWith() or culpeo::TrialBuilder. */
+[[deprecated("use runTrialWith(app, policy, TrialConfig) or "
+             "culpeo::TrialBuilder")]]
+TrialResult runTrial(const AppSpec &app, const Policy &policy,
+                     Seconds duration, std::uint64_t seed,
+                     const TrialInstruments &instruments = {});
+
+/** @deprecated Use runTrialsWith() or culpeo::TrialBuilder. */
+[[deprecated("use runTrialsWith(app, policy, TrialConfig) or "
+             "culpeo::TrialBuilder")]]
 AggregateResult runTrials(const AppSpec &app, const Policy &policy,
                           Seconds duration, unsigned trials,
                           std::uint64_t base_seed = 7,

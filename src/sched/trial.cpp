@@ -1,0 +1,25 @@
+#include "trial.hpp"
+
+#include "util/logging.hpp"
+
+namespace culpeo {
+
+sched::TrialResult
+TrialBuilder::run() const
+{
+    log::fatalIf(app_ == nullptr, "TrialBuilder: app() was not set");
+    log::fatalIf(policy_ == nullptr,
+                 "TrialBuilder: policy() was not set");
+    return sched::runTrialWith(*app_, *policy_, config_);
+}
+
+sched::AggregateResult
+TrialBuilder::runAll() const
+{
+    log::fatalIf(app_ == nullptr, "TrialBuilder: app() was not set");
+    log::fatalIf(policy_ == nullptr,
+                 "TrialBuilder: policy() was not set");
+    return sched::runTrialsWith(*app_, *policy_, config_);
+}
+
+} // namespace culpeo

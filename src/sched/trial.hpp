@@ -1,0 +1,136 @@
+/**
+ * @file
+ * culpeo::TrialBuilder — the fluent front end to the scheduler engine.
+ * One builder names everything a trial can vary, in any order, and runs
+ * it:
+ *
+ *     auto result = culpeo::TrialBuilder()
+ *                       .app(app)
+ *                       .policy(policy)
+ *                       .duration(units::Seconds(600.0))
+ *                       .seed(42)
+ *                       .telemetry(&sink)
+ *                       .run();
+ *
+ * run() executes a single trial; runAll() executes the configured
+ * number of independently seeded trials and aggregates (parallel on
+ * the shared pool when no stateful instruments are attached). The
+ * builder is a thin, copyable wrapper over sched::TrialConfig — use
+ * config() to seed it from an existing one.
+ *
+ * The app and the policy are referenced, not copied: both must outlive
+ * run()/runAll(), as must any attached harvester, instrument, or
+ * telemetry sink.
+ */
+
+#ifndef CULPEO_SCHED_TRIAL_HPP
+#define CULPEO_SCHED_TRIAL_HPP
+
+#include "sched/engine.hpp"
+
+namespace culpeo {
+
+class TrialBuilder
+{
+  public:
+    TrialBuilder() = default;
+
+    /** The application to run (required). */
+    TrialBuilder &app(const sched::AppSpec &app)
+    {
+        app_ = &app;
+        return *this;
+    }
+
+    /** The charge-management policy (required, already initialized). */
+    TrialBuilder &policy(const sched::Policy &policy)
+    {
+        policy_ = &policy;
+        return *this;
+    }
+
+    /** Replace the whole config (builder calls can still override). */
+    TrialBuilder &config(const sched::TrialConfig &config)
+    {
+        config_ = config;
+        return *this;
+    }
+
+    TrialBuilder &duration(units::Seconds duration)
+    {
+        config_.duration = duration;
+        return *this;
+    }
+
+    TrialBuilder &seed(std::uint64_t seed)
+    {
+        config_.seed = seed;
+        return *this;
+    }
+
+    /** Trial count for runAll(). */
+    TrialBuilder &trials(unsigned trials)
+    {
+        config_.trials = trials;
+        return *this;
+    }
+
+    TrialBuilder &seedStride(std::uint64_t stride)
+    {
+        config_.seed_stride = stride;
+        return *this;
+    }
+
+    /** Force the per-tick Euler wait backend (reference baseline). */
+    TrialBuilder &forceEuler(bool force = true)
+    {
+        config_.force_euler = force;
+        return *this;
+    }
+
+    /** Harvester override; null keeps the app's constant harvest. */
+    TrialBuilder &harvester(const sim::Harvester *harvester)
+    {
+        config_.harvester = harvester;
+        return *this;
+    }
+
+    /** Fault model; forces the Euler backend and a serial sweep. */
+    TrialBuilder &faults(sim::FaultHooks *faults)
+    {
+        config_.faults = faults;
+        return *this;
+    }
+
+    /** Step/commitment observer; same consequences as faults(). */
+    TrialBuilder &observer(sim::StepObserver *observer)
+    {
+        config_.observer = observer;
+        return *this;
+    }
+
+    /** Telemetry sink; keeps the fast path (boundary-rate emission). */
+    TrialBuilder &telemetry(telemetry::Telemetry *telemetry)
+    {
+        config_.telemetry = telemetry;
+        return *this;
+    }
+
+    /** The assembled config (for inspection or reuse). */
+    const sched::TrialConfig &builtConfig() const { return config_; }
+
+    /** Run one trial. Fatal unless app() and policy() were set. */
+    sched::TrialResult run() const;
+
+    /** Run the configured number of trials and aggregate. */
+    sched::AggregateResult runAll() const;
+
+  private:
+    const sched::AppSpec *app_ = nullptr;
+    const sched::Policy *policy_ = nullptr;
+    sched::TrialConfig config_;
+};
+
+} // namespace culpeo
+
+#endif // CULPEO_SCHED_TRIAL_HPP

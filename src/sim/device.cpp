@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <limits>
 
+#include "telemetry/telemetry.hpp"
 #include "util/logging.hpp"
 
 namespace culpeo::sim {
@@ -49,18 +50,113 @@ Device::Device(PowerSystemConfig config, DeviceOptions options)
                  "Device idle_dt must be positive");
 }
 
+void
+Device::setTelemetry(telemetry::Telemetry *telemetry)
+{
+    if constexpr (!telemetry::kEnabled) {
+        (void)telemetry;
+        return;
+    }
+    telemetry_ = telemetry;
+    if (telemetry_ == nullptr) {
+        tcache_ = TelemetryCache{};
+        return;
+    }
+    namespace names = telemetry::names;
+    telemetry::Registry &reg = telemetry_->registry();
+    tcache_.loads = &reg.counter(names::kDeviceLoads);
+    tcache_.brownouts = &reg.counter(names::kDeviceBrownouts);
+    tcache_.recharges = &reg.counter(names::kDeviceRecharges);
+    tcache_.waits = &reg.counter(names::kDeviceWaits);
+    tcache_.waits_unreachable =
+        &reg.counter(names::kDeviceWaitsUnreachable);
+    tcache_.recharge_seconds = &reg.gauge(names::kDeviceRechargeSeconds,
+                                          telemetry::GaugeMode::Sum);
+    tcache_.min_margin = &reg.gauge(names::kDeviceMinMarginV,
+                                    telemetry::GaugeMode::Min);
+}
+
+void
+Device::noteWait(const WaitResult &result)
+{
+    if constexpr (telemetry::kEnabled) {
+        if (telemetry_ == nullptr)
+            return;
+        tcache_.waits->add();
+        if (result.status == WaitStatus::Unreachable)
+            tcache_.waits_unreachable->add();
+    } else {
+        (void)result;
+    }
+}
+
+void
+Device::noteRecharge(Volts enter_voltage, Volts target,
+                     const WaitResult &result)
+{
+    if constexpr (telemetry::kEnabled) {
+        if (telemetry_ == nullptr)
+            return;
+        noteWait(result);
+        tcache_.recharges->add();
+        tcache_.recharge_seconds->record(result.elapsed.value());
+        const double t_exit = system_.now().value();
+        telemetry_->emit(telemetry::EventKind::RechargeEnter,
+                         t_exit - result.elapsed.value(),
+                         enter_voltage.value(), 0, target.value());
+        telemetry_->emit(telemetry::EventKind::RechargeExit, t_exit,
+                         result.voltage.value(), 0, target.value(),
+                         result.reached());
+    } else {
+        (void)enter_voltage;
+        (void)target;
+        (void)result;
+    }
+}
+
+void
+Device::noteLoad(const LoadResult &result)
+{
+    if constexpr (telemetry::kEnabled) {
+        if (telemetry_ == nullptr)
+            return;
+        tcache_.loads->add();
+        tcache_.min_margin->record(result.vmin.value() -
+                                   system_.voff().value());
+        const double t = system_.now().value();
+        if (telemetry_->sampleTick()) {
+            telemetry_->emit(telemetry::EventKind::VminRecord, t,
+                             result.vend.value(), 0, result.vmin.value(),
+                             result.completed);
+        }
+        if (result.power_failed) {
+            tcache_.brownouts->add();
+            telemetry_->emit(telemetry::EventKind::BrownOut, t,
+                             result.vmin.value(), 0, result.vmin.value());
+        }
+    } else {
+        (void)result;
+    }
+}
+
 WaitResult
 Device::idleUntilVoltage(Volts need, Seconds deadline)
 {
-    return waitForVoltage(need, deadline, /*stop_when_off=*/true);
+    const WaitResult result =
+        waitForVoltage(need, deadline, /*stop_when_off=*/true);
+    noteWait(result);
+    return result;
 }
 
 WaitResult
 Device::rechargeTo(Volts need)
 {
-    return waitForVoltage(need,
-                          Seconds(std::numeric_limits<double>::infinity()),
-                          /*stop_when_off=*/false);
+    const Volts enter_voltage = system_.restingVoltage();
+    const WaitResult result = waitForVoltage(
+        need, Seconds(std::numeric_limits<double>::infinity()),
+        /*stop_when_off=*/false);
+    noteRecharge(enter_voltage, need, result);
+    return result;
 }
 
 WaitResult
@@ -137,8 +233,9 @@ Device::rechargeUntilOn(Seconds deadline)
 {
     WaitResult result;
     const Seconds start = system_.now();
+    const Volts enter_voltage = system_.restingVoltage();
     const bool fast = fastEligible();
-    Volts anchor_v = system_.restingVoltage();
+    Volts anchor_v = enter_voltage;
     Seconds anchor_t = start;
 
     while (true) {
@@ -186,6 +283,7 @@ Device::rechargeUntilOn(Seconds deadline)
         }
     }
     result.elapsed = system_.now() - start;
+    noteRecharge(enter_voltage, system_.vhigh(), result);
     return result;
 }
 
@@ -314,6 +412,7 @@ Device::runLoad(const load::CurrentProfile &profile,
             }
         }
         result.completed = !failed;
+        noteLoad(result);
         return result;
     }
 
@@ -341,6 +440,7 @@ Device::runLoad(const load::CurrentProfile &profile,
         offset += options.dt;
     }
     result.completed = !failed;
+    noteLoad(result);
     return result;
 }
 

@@ -25,6 +25,12 @@
 #include "sim/power_system.hpp"
 #include "util/units.hpp"
 
+namespace culpeo::telemetry {
+class Counter;
+class Gauge;
+class Telemetry;
+} // namespace culpeo::telemetry
+
 namespace culpeo::sim {
 
 /** Configuration of the device-execution layer (not the electrical). */
@@ -167,6 +173,16 @@ class Device
         system_.notifyCommitEnd(completed);
     }
 
+    /**
+     * Attach a telemetry sink. Unlike fault hooks and observers this
+     * does NOT force the Euler backend: the device emits only at
+     * primitive boundaries (a load ran, a recharge wait ended), so the
+     * analytic fast path stays eligible. Pass nullptr to detach. No-op
+     * when the build has CULPEO_TELEMETRY off.
+     */
+    void setTelemetry(telemetry::Telemetry *telemetry);
+    telemetry::Telemetry *telemetry() const { return telemetry_; }
+
     // --- State queries ---
 
     Seconds now() const { return system_.now(); }
@@ -245,8 +261,27 @@ class Device
                           Seconds deadline, Seconds anchor);
     void snapToGrid(Seconds anchor);
 
+    /** Metric handles resolved once in setTelemetry (lock-free updates). */
+    struct TelemetryCache
+    {
+        telemetry::Counter *loads = nullptr;
+        telemetry::Counter *brownouts = nullptr;
+        telemetry::Counter *recharges = nullptr;
+        telemetry::Counter *waits = nullptr;
+        telemetry::Counter *waits_unreachable = nullptr;
+        telemetry::Gauge *recharge_seconds = nullptr;
+        telemetry::Gauge *min_margin = nullptr;
+    };
+
+    void noteWait(const WaitResult &result);
+    void noteRecharge(Volts enter_voltage, Volts target,
+                      const WaitResult &result);
+    void noteLoad(const LoadResult &result);
+
     PowerSystem system_;
     DeviceOptions options_;
+    telemetry::Telemetry *telemetry_ = nullptr;
+    TelemetryCache tcache_;
 };
 
 } // namespace culpeo::sim

@@ -17,6 +17,10 @@
 
 #include "util/units.hpp"
 
+namespace culpeo::telemetry {
+class Telemetry;
+} // namespace culpeo::telemetry
+
 namespace culpeo::sim {
 
 struct StepResult;
@@ -55,6 +59,14 @@ class FaultHooks
      * true voltage; only dispatch decisions see the perturbed one.
      */
     virtual units::Volts perturbReading(units::Volts v) { return v; }
+
+    /**
+     * A telemetry sink was attached to (non-null) or detached from
+     * (nullptr) the trial driving this fault model. Implementations
+     * that emit FaultInjected events override this to capture the sink;
+     * the default ignores it.
+     */
+    virtual void onTelemetry(telemetry::Telemetry * /*telemetry*/) {}
 };
 
 /**

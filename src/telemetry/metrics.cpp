@@ -1,0 +1,265 @@
+#include "metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hpp"
+
+namespace culpeo::telemetry {
+
+namespace {
+
+/** CAS-fold @p v into @p slot with @p better (min/max orderings). */
+template <typename Better>
+void
+atomicFold(std::atomic<double> &slot, double v, Better better)
+{
+    double current = slot.load(std::memory_order_relaxed);
+    while (better(v, current) &&
+           !slot.compare_exchange_weak(current, v,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+/** The record() identity per mode (what an untouched gauge reads). */
+double
+identityFor(GaugeMode mode)
+{
+    switch (mode) {
+    case GaugeMode::Min:
+        return std::numeric_limits<double>::infinity();
+    case GaugeMode::Max:
+        return -std::numeric_limits<double>::infinity();
+    case GaugeMode::Last:
+    case GaugeMode::Sum:
+        break;
+    }
+    return 0.0;
+}
+
+} // namespace
+
+Gauge::Gauge(GaugeMode mode) : mode_(mode), value_(identityFor(mode))
+{
+}
+
+void
+Gauge::record(double v)
+{
+    switch (mode_) {
+    case GaugeMode::Last:
+        value_.store(v, std::memory_order_relaxed);
+        break;
+    case GaugeMode::Sum:
+        value_.fetch_add(v, std::memory_order_relaxed);
+        break;
+    case GaugeMode::Min:
+        atomicFold(value_, v, std::less<double>());
+        break;
+    case GaugeMode::Max:
+        atomicFold(value_, v, std::greater<double>());
+        break;
+    }
+    touched_.store(true, std::memory_order_relaxed);
+}
+
+void
+Gauge::combine(const Gauge &other)
+{
+    if (other.touched())
+        record(other.value());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), width_((hi - lo) / double(buckets == 0 ? 1 : buckets)),
+      buckets_(buckets),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity())
+{
+    log::fatalIf(buckets == 0, "histogram needs at least one bucket");
+    log::fatalIf(!(hi > lo), "histogram range must be non-empty");
+    counts_ =
+        std::make_unique<std::atomic<std::uint64_t>[]>(buckets_ + 2);
+    for (std::size_t i = 0; i < buckets_ + 2; ++i)
+        counts_[i].store(0, std::memory_order_relaxed);
+}
+
+void
+Histogram::record(double v)
+{
+    std::size_t slot;
+    if (v < lo_) {
+        slot = 0;
+    } else {
+        const std::size_t bucket = std::size_t((v - lo_) / width_);
+        slot = bucket >= buckets_ ? buckets_ + 1 : bucket + 1;
+    }
+    counts_[slot].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    atomicFold(min_, v, std::less<double>());
+    atomicFold(max_, v, std::greater<double>());
+}
+
+double
+Histogram::mean() const
+{
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / double(n);
+}
+
+std::vector<std::uint64_t>
+Histogram::bucketCounts() const
+{
+    std::vector<std::uint64_t> out(buckets_ + 2);
+    for (std::size_t i = 0; i < buckets_ + 2; ++i)
+        out[i] = counts_[i].load(std::memory_order_relaxed);
+    return out;
+}
+
+void
+Histogram::combine(const Histogram &other)
+{
+    log::fatalIf(other.buckets_ != buckets_ || other.lo_ != lo_ ||
+                     other.width_ != width_,
+                 "cannot combine histograms of different shape");
+    for (std::size_t i = 0; i < buckets_ + 2; ++i) {
+        counts_[i].fetch_add(
+            other.counts_[i].load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+    }
+    count_.fetch_add(other.count(), std::memory_order_relaxed);
+    sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+    atomicFold(min_, other.min(), std::less<double>());
+    atomicFold(max_, other.max(), std::greater<double>());
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    log::fatalIf(gauges_.count(name) != 0 ||
+                     histograms_.count(name) != 0,
+                 "metric ", name, " already exists as another type");
+    auto &slot = counters_[name];
+    if (slot == nullptr)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+Registry::gauge(const std::string &name, GaugeMode mode)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    log::fatalIf(counters_.count(name) != 0 ||
+                     histograms_.count(name) != 0,
+                 "metric ", name, " already exists as another type");
+    auto &slot = gauges_[name];
+    if (slot == nullptr)
+        slot = std::make_unique<Gauge>(mode);
+    log::fatalIf(slot->mode() != mode, "gauge ", name,
+                 " re-requested with a different mode");
+    return *slot;
+}
+
+Histogram &
+Registry::histogram(const std::string &name, double lo, double hi,
+                    std::size_t buckets)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    log::fatalIf(counters_.count(name) != 0 || gauges_.count(name) != 0,
+                 "metric ", name, " already exists as another type");
+    auto &slot = histograms_[name];
+    if (slot == nullptr)
+        slot = std::make_unique<Histogram>(lo, hi, buckets);
+    log::fatalIf(slot->bucketCount() != buckets || slot->lo() != lo,
+                 "histogram ", name,
+                 " re-requested with a different shape");
+    return *slot;
+}
+
+const Counter *
+Registry::findCounter(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge *
+Registry::findGauge(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = gauges_.find(name);
+    return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram *
+Registry::findHistogram(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+Registry::counters() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.reserve(counters_.size());
+    for (const auto &[name, counter] : counters_)
+        out.emplace_back(name, counter->value());
+    return out;
+}
+
+std::vector<std::pair<std::string, double>>
+Registry::gauges() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(gauges_.size());
+    for (const auto &[name, gauge] : gauges_)
+        out.emplace_back(name, gauge->value());
+    return out;
+}
+
+std::vector<std::string>
+Registry::histogramNames() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(histograms_.size());
+    for (const auto &[name, hist] : histograms_)
+        out.push_back(name);
+    return out;
+}
+
+void
+Registry::merge(const Registry &other)
+{
+    // std::map iteration is name-ordered, so the combine order (and
+    // any fatal shape mismatch) is deterministic.
+    std::lock_guard<std::mutex> lock(other.mutex_);
+    for (const auto &[name, src] : other.counters_)
+        counter(name).add(src->value());
+    for (const auto &[name, src] : other.gauges_)
+        gauge(name, src->mode()).combine(*src);
+    for (const auto &[name, src] : other.histograms_) {
+        histogram(name, src->lo(), src->hi(), src->bucketCount())
+            .combine(*src);
+    }
+}
+
+void
+Registry::writeCsv(std::ostream &out) const
+{
+    out << "metric,type,value\n";
+    for (const auto &[name, value] : counters())
+        out << name << ",counter," << value << '\n';
+    for (const auto &[name, value] : gauges())
+        out << name << ",gauge," << value << '\n';
+}
+
+} // namespace culpeo::telemetry

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Metric primitives of the telemetry subsystem: lock-free counters,
+ * gauges with explicit combine modes, and fixed-bucket histograms, all
+ * safe for concurrent update from the sweep executor's worker threads
+ * (util::ThreadPool), plus the Registry that names and owns them.
+ *
+ * Update paths are relaxed atomics — a counter increment is one
+ * fetch_add — so instrumented hot layers pay nanoseconds, not locks.
+ * Creation and enumeration take a mutex; instrument sites are expected
+ * to resolve their metrics once (Registry::counter returns a stable
+ * reference) and update through the cached pointer afterwards.
+ *
+ * Merging is deterministic: Registry::merge walks the source's metrics
+ * in name order and combines by type (counters and histogram buckets
+ * sum; gauges combine per their mode), so merging N per-trial
+ * registries in trial order yields one well-defined aggregate
+ * regardless of how many threads produced them.
+ */
+
+#ifndef CULPEO_TELEMETRY_METRICS_HPP
+#define CULPEO_TELEMETRY_METRICS_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace culpeo::telemetry {
+
+/** Monotonic event count. Merge: sum. */
+class Counter
+{
+  public:
+    void add(std::uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** How a gauge folds successive observations (and merges). */
+enum class GaugeMode {
+    Last, ///< Keep the most recent observation.
+    Sum,  ///< Accumulate (e.g. seconds spent recharging).
+    Min,  ///< Track the minimum (e.g. worst margin to Voff).
+    Max,  ///< Track the maximum.
+};
+
+/** A single scalar observation stream folded per GaugeMode. */
+class Gauge
+{
+  public:
+    explicit Gauge(GaugeMode mode);
+
+    /** Fold @p v into the gauge per its mode. Thread-safe. */
+    void record(double v);
+
+    double value() const { return value_.load(std::memory_order_relaxed); }
+
+    /** False until the first record(); value() is the identity then. */
+    bool touched() const
+    {
+        return touched_.load(std::memory_order_relaxed);
+    }
+
+    GaugeMode mode() const { return mode_; }
+
+    /** Combine @p other into this gauge per the shared mode. */
+    void combine(const Gauge &other);
+
+  private:
+    GaugeMode mode_;
+    std::atomic<double> value_;
+    std::atomic<bool> touched_{false};
+};
+
+/**
+ * Fixed-bucket linear histogram over [lo, hi) with explicit underflow
+ * and overflow buckets. Updates are relaxed atomics; count/sum/min/max
+ * ride along so summaries need no second pass over samples.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    void record(double v);
+
+    double lo() const { return lo_; }
+    double hi() const { return lo_ + width_ * double(buckets_); }
+    std::size_t bucketCount() const { return buckets_; }
+
+    std::uint64_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+    double sum() const { return sum_.load(std::memory_order_relaxed); }
+    double mean() const;
+    /** +inf / -inf until the first record(). */
+    double min() const { return min_.load(std::memory_order_relaxed); }
+    double max() const { return max_.load(std::memory_order_relaxed); }
+
+    /** Bucket tallies: [underflow, b0 .. bN-1, overflow]. */
+    std::vector<std::uint64_t> bucketCounts() const;
+
+    /** Bucket-wise sum of @p other (same shape required). */
+    void combine(const Histogram &other);
+
+  private:
+    double lo_;
+    double width_;
+    std::size_t buckets_;
+    /** buckets_ + 2 slots: [0] underflow, [buckets_+1] overflow. */
+    std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+    std::atomic<double> min_;
+    std::atomic<double> max_;
+};
+
+/**
+ * Named metric store. Metrics are created on first request and live as
+ * long as the registry; returned references stay valid, so instrument
+ * sites cache them and update lock-free.
+ */
+class Registry
+{
+  public:
+    Registry() = default;
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    /** Find-or-create. Fatal if @p name exists as another metric type. */
+    Counter &counter(const std::string &name);
+    /** Find-or-create. Fatal on mode mismatch with an existing gauge. */
+    Gauge &gauge(const std::string &name, GaugeMode mode = GaugeMode::Last);
+    /** Find-or-create. Fatal on shape mismatch with an existing one. */
+    Histogram &histogram(const std::string &name, double lo, double hi,
+                         std::size_t buckets);
+
+    /** Lookups without creation; nullptr when absent. */
+    const Counter *findCounter(const std::string &name) const;
+    const Gauge *findGauge(const std::string &name) const;
+    const Histogram *findHistogram(const std::string &name) const;
+
+    /** Name-sorted snapshots (stable export / assertion order). */
+    std::vector<std::pair<std::string, std::uint64_t>> counters() const;
+    std::vector<std::pair<std::string, double>> gauges() const;
+    std::vector<std::string> histogramNames() const;
+
+    /**
+     * Deterministically combine @p other into this registry: iterate
+     * its metrics in name order, creating missing ones with matching
+     * shape, and combine per type.
+     */
+    void merge(const Registry &other);
+
+    /** One `metric,type,value` CSV row per counter/gauge, name-sorted. */
+    void writeCsv(std::ostream &out) const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+} // namespace culpeo::telemetry
+
+#endif // CULPEO_TELEMETRY_METRICS_HPP

@@ -1,0 +1,97 @@
+#include "telemetry.hpp"
+
+#include <fstream>
+
+namespace culpeo::telemetry {
+
+namespace names {
+
+std::string
+taskVmin(const std::string &task)
+{
+    return "task.vmin/" + task;
+}
+
+} // namespace names
+
+Telemetry::Telemetry(TelemetryConfig config)
+    : config_(config), trace_(config.trace_capacity)
+{
+}
+
+bool
+Telemetry::sampleTick()
+{
+    if (config_.sample_every <= 1)
+        return true;
+    const bool keep = sample_phase_ == 0;
+    sample_phase_ = (sample_phase_ + 1) % config_.sample_every;
+    return keep;
+}
+
+void
+Telemetry::emit(EventKind kind, double time_s, double voltage_v,
+                std::uint32_t name_id, double value, bool flag)
+{
+    TraceEvent event;
+    event.time_s = time_s;
+    event.voltage_v = float(voltage_v);
+    event.value = float(value);
+    event.name_id = name_id;
+    event.trial = trial_;
+    event.kind = kind;
+    event.flag = flag;
+    trace_.record(event);
+}
+
+void
+Telemetry::merge(const Telemetry &other)
+{
+    registry_.merge(other.registry_);
+    trace_.append(other.trace_);
+}
+
+namespace {
+
+std::uint64_t
+counterOr0(const Registry &registry, const char *name)
+{
+    const Counter *counter = registry.findCounter(name);
+    return counter == nullptr ? 0 : counter->value();
+}
+
+} // namespace
+
+TelemetrySummary
+Telemetry::summary() const
+{
+    TelemetrySummary out;
+    if (const Gauge *g = registry_.findGauge(names::kDeviceMinMarginV))
+        out.min_margin_v = g->value();
+    if (const Gauge *g =
+            registry_.findGauge(names::kDeviceRechargeSeconds))
+        out.recharge_seconds = g->value();
+    if (const Gauge *g = registry_.findGauge(names::kTrialSimSeconds))
+        out.sim_seconds = g->value();
+    out.loads = counterOr0(registry_, names::kDeviceLoads);
+    out.brownouts = counterOr0(registry_, names::kDeviceBrownouts);
+    out.recharges = counterOr0(registry_, names::kDeviceRecharges);
+    out.tasks_started = counterOr0(registry_, names::kSchedTasksStarted);
+    out.tasks_completed =
+        counterOr0(registry_, names::kSchedTasksCompleted);
+    out.reboots = counterOr0(registry_, names::kRuntimeReboots);
+    out.faults_injected = counterOr0(registry_, names::kFaultInjected);
+    return out;
+}
+
+bool
+Telemetry::writeJsonlFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    writeJsonl(out);
+    return bool(out);
+}
+
+} // namespace culpeo::telemetry

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * The telemetry facade: one object bundling a metric Registry and a
+ * TraceLog, handed to instrumented layers (sim::Device, sched::engine,
+ * runtime/intermittent, fault::Injector) through TrialConfig.
+ *
+ * Design rules the instrument sites follow:
+ *  - Emission happens at *primitive boundaries* (a load ran, a recharge
+ *    wait ended), never per Euler tick, so attaching telemetry does NOT
+ *    disqualify the analytic fast path the way fault hooks and step
+ *    observers do (DESIGN.md §11/§12).
+ *  - All instrumentation compiles out when the CULPEO_TELEMETRY macro
+ *    is off: `kEnabled` is a constexpr bool and call sites guard with
+ *    `if constexpr`.
+ *  - `config().sample_every` thins high-rate events (per-task
+ *    VminRecord trace points) without touching the counters, so
+ *    sampled traces stay cheap while summaries stay exact.
+ *
+ * Per-trial use: the engine gives each trial a scratch Telemetry
+ * (tagged with the trial index), computes the trial's TelemetrySummary
+ * from it, then merge()s it into the user's sink in trial order —
+ * deterministic even when trials ran on the sweep executor.
+ */
+
+#ifndef CULPEO_TELEMETRY_TELEMETRY_HPP
+#define CULPEO_TELEMETRY_TELEMETRY_HPP
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace_log.hpp"
+
+namespace culpeo::telemetry {
+
+/** True when the build carries telemetry instrumentation. */
+#ifdef CULPEO_TELEMETRY
+inline constexpr bool kEnabled = true;
+#else
+inline constexpr bool kEnabled = false;
+#endif
+
+/**
+ * Canonical metric names. Instrument sites and summaries agree through
+ * these; tests assert on them.
+ */
+namespace names {
+inline constexpr const char *kDeviceLoads = "device.loads";
+inline constexpr const char *kDeviceBrownouts = "device.brownouts";
+inline constexpr const char *kDeviceRecharges = "device.recharges";
+inline constexpr const char *kDeviceWaits = "device.waits";
+inline constexpr const char *kDeviceWaitsUnreachable =
+    "device.waits_unreachable";
+inline constexpr const char *kDeviceRechargeSeconds =
+    "device.recharge_seconds";
+inline constexpr const char *kDeviceMinMarginV = "device.min_margin_v";
+inline constexpr const char *kTrialSimSeconds = "trial.sim_seconds";
+inline constexpr const char *kSchedTasksStarted = "sched.tasks_started";
+inline constexpr const char *kSchedTasksCompleted =
+    "sched.tasks_completed";
+inline constexpr const char *kSchedEventsArrived =
+    "sched.events_arrived";
+inline constexpr const char *kSchedEventsCaptured =
+    "sched.events_captured";
+inline constexpr const char *kSchedEventsLost = "sched.events_lost";
+inline constexpr const char *kSchedBackgroundRuns =
+    "sched.background_runs";
+inline constexpr const char *kRuntimeReboots = "runtime.reboots";
+inline constexpr const char *kRuntimeTaskRetries =
+    "runtime.task_retries";
+inline constexpr const char *kFaultInjected = "fault.injected";
+
+/** Histogram of per-execution Vmin for @p task ("task.vmin/<task>"). */
+std::string taskVmin(const std::string &task);
+} // namespace names
+
+/** Shape knobs for a Telemetry instance. */
+struct TelemetryConfig {
+    /** TraceLog ring size; oldest events are evicted beyond this. */
+    std::size_t trace_capacity = 4096;
+    /** Keep every Nth high-rate trace event (VminRecord); 1 = all. */
+    std::uint32_t sample_every = 1;
+};
+
+/** Per-trial roll-up computed from a Telemetry's registry. */
+struct TelemetrySummary {
+    /** Worst (Vterminal - Voff) seen under load; +inf if no load ran. */
+    double min_margin_v = std::numeric_limits<double>::infinity();
+    double recharge_seconds = 0.0;
+    double sim_seconds = 0.0;
+    std::uint64_t loads = 0;
+    std::uint64_t brownouts = 0;
+    std::uint64_t recharges = 0;
+    std::uint64_t tasks_started = 0;
+    std::uint64_t tasks_completed = 0;
+    std::uint64_t reboots = 0;
+    std::uint64_t faults_injected = 0;
+
+    /** Fraction of simulated time spent waiting for charge. */
+    double rechargeFraction() const
+    {
+        return sim_seconds > 0.0 ? recharge_seconds / sim_seconds : 0.0;
+    }
+};
+
+/** Registry + TraceLog bundle; see file comment for the contract. */
+class Telemetry
+{
+  public:
+    explicit Telemetry(TelemetryConfig config = {});
+
+    const TelemetryConfig &config() const { return config_; }
+
+    Registry &registry() { return registry_; }
+    const Registry &registry() const { return registry_; }
+
+    TraceLog &trace() { return trace_; }
+    const TraceLog &trace() const { return trace_; }
+
+    /** Trial index stamped on emitted events (sweep merges keep it). */
+    std::uint32_t trial() const { return trial_; }
+    void setTrial(std::uint32_t trial) { trial_ = trial; }
+
+    /** True every config().sample_every-th call (thins trace points). */
+    bool sampleTick();
+
+    /** Record an event stamped with trial() at @p time_s / @p voltage_v. */
+    void emit(EventKind kind, double time_s, double voltage_v,
+              std::uint32_t name_id = 0, double value = 0.0,
+              bool flag = false);
+
+    /** Fold @p other in: registry merge + trace append (trial ids kept). */
+    void merge(const Telemetry &other);
+
+    /** Roll up the registry into a TelemetrySummary. */
+    TelemetrySummary summary() const;
+
+    /** Trace as JSONL (the CULPEO_TRACE_OUT format). */
+    void writeJsonl(std::ostream &out) const { trace_.writeJsonl(out); }
+
+    /** Write the JSONL trace to @p path; false on I/O failure. */
+    bool writeJsonlFile(const std::string &path) const;
+
+    /** Counters and gauges as CSV rows. */
+    void writeMetricsCsv(std::ostream &out) const
+    {
+        registry_.writeCsv(out);
+    }
+
+  private:
+    TelemetryConfig config_;
+    Registry registry_;
+    TraceLog trace_;
+    std::uint32_t trial_ = 0;
+    std::uint32_t sample_phase_ = 0;
+};
+
+} // namespace culpeo::telemetry
+
+#endif // CULPEO_TELEMETRY_TELEMETRY_HPP

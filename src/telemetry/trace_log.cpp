@@ -1,0 +1,203 @@
+#include "trace_log.hpp"
+
+#include <cstdio>
+
+#include "util/logging.hpp"
+
+namespace culpeo::telemetry {
+
+namespace {
+
+/** Shortest round-trippable formatting, stable for goldens. */
+std::string
+formatNumber(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    return buf;
+}
+
+/** Minimal JSON string escaping (labels are identifiers in practice). */
+std::string
+escapeJson(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+const char *
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+    case EventKind::TaskStart:
+        return "task_start";
+    case EventKind::TaskEnd:
+        return "task_end";
+    case EventKind::VminRecord:
+        return "vmin_record";
+    case EventKind::BrownOut:
+        return "brown_out";
+    case EventKind::RechargeEnter:
+        return "recharge_enter";
+    case EventKind::RechargeExit:
+        return "recharge_exit";
+    case EventKind::VsafeUpdate:
+        return "vsafe_update";
+    case EventKind::FaultInjected:
+        return "fault_injected";
+    }
+    return "unknown";
+}
+
+TraceLog::TraceLog(std::size_t capacity) : capacity_(capacity)
+{
+    log::fatalIf(capacity == 0, "trace log needs capacity >= 1");
+    labels_.push_back("");
+    label_ids_.emplace("", 0);
+}
+
+std::uint32_t
+TraceLog::intern(const std::string &label)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = label_ids_.find(label);
+    if (it != label_ids_.end())
+        return it->second;
+    const auto id = std::uint32_t(labels_.size());
+    labels_.push_back(label);
+    label_ids_.emplace(label, id);
+    return id;
+}
+
+std::string
+TraceLog::label(std::uint32_t id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return id < labels_.size() ? labels_[id] : std::string();
+}
+
+void
+TraceLog::recordLocked(const TraceEvent &event)
+{
+    if (ring_.size() < capacity_) {
+        ring_.push_back(event);
+        ++size_;
+    } else {
+        ring_[head_] = event;
+        head_ = (head_ + 1) % capacity_;
+    }
+    ++recorded_;
+}
+
+void
+TraceLog::record(const TraceEvent &event)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    recordLocked(event);
+}
+
+std::uint64_t
+TraceLog::recorded() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return recorded_;
+}
+
+std::uint64_t
+TraceLog::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return recorded_ - size_;
+}
+
+std::vector<TraceEvent>
+TraceLog::eventsLocked() const
+{
+    std::vector<TraceEvent> out;
+    out.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i)
+        out.push_back(ring_[(head_ + i) % capacity_]);
+    return out;
+}
+
+std::vector<TraceEvent>
+TraceLog::events() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return eventsLocked();
+}
+
+void
+TraceLog::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ring_.clear();
+    head_ = 0;
+    size_ = 0;
+    recorded_ = 0;
+}
+
+void
+TraceLog::append(const TraceLog &other)
+{
+    // Snapshot the source first so the two locks are never held
+    // together (appends can run concurrently from sweep workers).
+    std::vector<TraceEvent> events;
+    std::vector<std::string> labels;
+    {
+        std::lock_guard<std::mutex> lock(other.mutex_);
+        events = other.eventsLocked();
+        labels = other.labels_;
+    }
+    // Re-intern once per label rather than once per event, then fold
+    // the batch in under a single lock — merge cost scales with the
+    // label table, not the event count.
+    std::vector<std::uint32_t> remap(labels.size(), 0);
+    for (std::size_t i = 0; i < labels.size(); ++i)
+        remap[i] = intern(labels[i]);
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (TraceEvent event : events) {
+        event.name_id =
+            event.name_id < remap.size() ? remap[event.name_id] : 0;
+        recordLocked(event);
+    }
+}
+
+void
+TraceLog::writeJsonl(std::ostream &out) const
+{
+    for (const TraceEvent &event : events()) {
+        out << "{\"t\":" << formatNumber(event.time_s)
+            << ",\"trial\":" << event.trial << ",\"kind\":\""
+            << eventKindName(event.kind) << "\"";
+        if (event.name_id != 0)
+            out << ",\"name\":\"" << escapeJson(label(event.name_id))
+                << "\"";
+        out << ",\"v\":" << formatNumber(double(event.voltage_v))
+            << ",\"value\":" << formatNumber(double(event.value))
+            << ",\"flag\":" << (event.flag ? "true" : "false") << "}\n";
+    }
+}
+
+void
+TraceLog::writeCsv(std::ostream &out) const
+{
+    out << "t,trial,kind,name,v,value,flag\n";
+    for (const TraceEvent &event : events()) {
+        out << formatNumber(event.time_s) << ',' << event.trial << ','
+            << eventKindName(event.kind) << ',' << label(event.name_id)
+            << ',' << formatNumber(double(event.voltage_v)) << ','
+            << formatNumber(double(event.value)) << ','
+            << (event.flag ? 1 : 0) << '\n';
+    }
+}
+
+} // namespace culpeo::telemetry

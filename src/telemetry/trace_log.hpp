@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Ring-buffered log of typed simulation events. Each event carries the
+ * sim-time and terminal voltage at which it fired, an optional interned
+ * label (task or event-type name), a free scalar, and the trial index,
+ * so a single log can hold a merged multi-trial timeline.
+ *
+ * The buffer has fixed capacity: once full, the oldest events are
+ * overwritten and counted as dropped. That keeps tracing O(1) per event
+ * and memory-bounded for million-trial sweeps while still retaining the
+ * tail that matters when a trial is dumped on failure.
+ *
+ * Exporters write JSONL (one event object per line — the
+ * CULPEO_TRACE_OUT format consumed by the fig12 bench and the fuzz
+ * harness) and CSV. Output is oldest-to-newest and formatted with fixed
+ * precision, so identical event sequences serialize identically (golden
+ * snapshot tests rely on this).
+ */
+
+#ifndef CULPEO_TELEMETRY_TRACE_LOG_HPP
+#define CULPEO_TELEMETRY_TRACE_LOG_HPP
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace culpeo::telemetry {
+
+/** What happened at a trace point. */
+enum class EventKind : std::uint8_t {
+    TaskStart,     ///< A task (or task-chain link) began executing.
+    TaskEnd,       ///< A task finished; `flag` is true iff it completed.
+    VminRecord,    ///< Minimum terminal voltage observed during a load.
+    BrownOut,      ///< Terminal voltage crossed Voff under load.
+    RechargeEnter, ///< Device began waiting for charge.
+    RechargeExit,  ///< Recharge wait ended; `flag` true iff threshold hit.
+    VsafeUpdate,   ///< A Vsafe estimate was (re)computed; `value` holds it.
+    FaultInjected, ///< The fault injector perturbed the simulation.
+};
+
+/** Stable lowercase-snake name for @p kind (serialization). */
+const char *eventKindName(EventKind kind);
+
+/** One trace point. Plain data; 32 bytes. */
+struct TraceEvent {
+    double time_s = 0.0;       ///< Simulation time.
+    float voltage_v = 0.0F;    ///< Terminal voltage at the event.
+    float value = 0.0F;        ///< Kind-specific scalar (Vsafe, Vmin, …).
+    std::uint32_t name_id = 0; ///< Interned label; 0 means unnamed.
+    std::uint32_t trial = 0;   ///< Trial index within a sweep.
+    EventKind kind = EventKind::TaskStart;
+    bool flag = false;         ///< Kind-specific bit (completed, reached…).
+};
+
+/**
+ * Fixed-capacity ring of TraceEvents with label interning. Thread-safe;
+ * the expected pattern is single-writer per trial with merged logs
+ * built through append().
+ */
+class TraceLog
+{
+  public:
+    explicit TraceLog(std::size_t capacity = 4096);
+
+    std::size_t capacity() const { return capacity_; }
+
+    /** Map @p label to a stable id (idempotent). Id 0 is "". */
+    std::uint32_t intern(const std::string &label);
+
+    /** The label behind @p id ("" for 0 or unknown ids). */
+    std::string label(std::uint32_t id) const;
+
+    /** Push @p event, evicting the oldest when full. */
+    void record(const TraceEvent &event);
+
+    /** Total events ever recorded (including evicted ones). */
+    std::uint64_t recorded() const;
+
+    /** Events evicted because the ring was full. */
+    std::uint64_t dropped() const;
+
+    /** Retained events, oldest first. */
+    std::vector<TraceEvent> events() const;
+
+    /** Drop all events (labels are kept). */
+    void clear();
+
+    /**
+     * Append @p other's retained events in order, re-interning labels
+     * into this log's table. Used to fold per-trial scratch logs into a
+     * shared sink; each event keeps the trial id it was recorded with.
+     */
+    void append(const TraceLog &other);
+
+    /** One JSON object per line, oldest first. */
+    void writeJsonl(std::ostream &out) const;
+
+    /** CSV with a header row, oldest first. */
+    void writeCsv(std::ostream &out) const;
+
+  private:
+    std::vector<TraceEvent> eventsLocked() const;
+    void recordLocked(const TraceEvent &event);
+
+    mutable std::mutex mutex_;
+    std::size_t capacity_;
+    std::vector<TraceEvent> ring_;
+    std::size_t head_ = 0; ///< Index of the oldest retained event.
+    std::size_t size_ = 0;
+    std::uint64_t recorded_ = 0;
+    std::vector<std::string> labels_;
+    std::map<std::string, std::uint32_t> label_ids_;
+};
+
+} // namespace culpeo::telemetry
+
+#endif // CULPEO_TELEMETRY_TRACE_LOG_HPP

@@ -40,8 +40,9 @@
 #include "harness/vsafe_cache.hpp"
 #include "mcu/adc.hpp"
 #include "runtime/intermittent.hpp"
-#include "sched/engine.hpp"
 #include "sched/policy.hpp"
+#include "sched/trial.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/parallel.hpp"
 
 namespace {
@@ -80,6 +81,31 @@ seedHint(std::uint64_t seed)
 {
     return "replay with CULPEO_FUZZ_SEED=" + std::to_string(seed) +
            " CULPEO_FUZZ_ITERS=1";
+}
+
+/**
+ * CULPEO_TRACE_OUT=<prefix> asks failing scheduling scenarios to dump
+ * their telemetry trace as <prefix>.<seed>.jsonl (one file per failing
+ * seed, so parallel scenario evaluation never interleaves writes).
+ */
+const char *
+traceOutPrefix()
+{
+    const char *value = std::getenv("CULPEO_TRACE_OUT");
+    return (value != nullptr && *value != '\0') ? value : nullptr;
+}
+
+std::string
+dumpFailureTrace(const telemetry::Telemetry &sink, std::uint64_t seed)
+{
+    const char *prefix = traceOutPrefix();
+    if (prefix == nullptr)
+        return "\n(set CULPEO_TRACE_OUT=<prefix> to dump a trace)";
+    const std::string path =
+        std::string(prefix) + "." + std::to_string(seed) + ".jsonl";
+    if (!sink.writeJsonlFile(path))
+        return "\n(failed to write trace to " + path + ")";
+    return "\ntrace written to " + path;
 }
 
 /** Seeds base + 0 .. base + count-1, the per-item work list. */
@@ -414,14 +440,22 @@ runSchedulingScenario(std::uint64_t seed)
     {
         fault::FaultInjector injector(scenario.plan, seed);
         fault::InvariantMonitor monitor(scenario.app.power.monitor.voff);
-        sched::TrialInstruments instruments;
-        instruments.faults = &injector;
-        instruments.observer = &monitor;
-        sched::runTrial(scenario.app, culpeo_policy, scenario.duration,
-                        seed, instruments);
+        telemetry::Telemetry trace_sink;
+        TrialBuilder trial = TrialBuilder()
+                                 .app(scenario.app)
+                                 .policy(culpeo_policy)
+                                 .duration(scenario.duration)
+                                 .seed(seed)
+                                 .faults(&injector)
+                                 .observer(&monitor);
+        if (traceOutPrefix() != nullptr)
+            trial.telemetry(&trace_sink);
+        trial.run();
         v.culpeo_clean = monitor.clean();
-        if (!v.culpeo_clean)
+        if (!v.culpeo_clean) {
             v.culpeo_report = monitor.report(seed);
+            v.culpeo_report += dumpFailureTrace(trace_sink, seed);
+        }
         v.commits = monitor.commits();
         v.reboots = monitor.exemptedReboots();
     }
@@ -438,11 +472,14 @@ runSchedulingScenario(std::uint64_t seed)
     {
         fault::FaultInjector injector(scenario.plan, seed);
         fault::InvariantMonitor monitor(scenario.app.power.monitor.voff);
-        sched::TrialInstruments instruments;
-        instruments.faults = &injector;
-        instruments.observer = &monitor;
-        sched::runTrial(scenario.app, catnap_policy, scenario.duration,
-                        seed, instruments);
+        TrialBuilder()
+            .app(scenario.app)
+            .policy(catnap_policy)
+            .duration(scenario.duration)
+            .seed(seed)
+            .faults(&injector)
+            .observer(&monitor)
+            .run();
         v.catnap_violations = unsigned(monitor.violations().size());
     }
     return v;

@@ -17,7 +17,7 @@
 #include "harness/profiling.hpp"
 #include "load/library.hpp"
 #include "runtime/intermittent.hpp"
-#include "sched/engine.hpp"
+#include "sched/trial.hpp"
 #include "sim/device.hpp"
 #include "util/random.hpp"
 
@@ -102,12 +102,19 @@ TEST(DeviceEquivalence, TrialVerdictsMatchEulerAcrossSeedsAndHarvests)
     for (const double harvest_mw : {2.0, 5.0}) {
         const AppSpec app = equivalenceApp(Watts(harvest_mw * 1e-3));
         for (const std::uint64_t seed : {1ULL, 7ULL, 42ULL}) {
-            sched::TrialInstruments euler_ref;
-            euler_ref.force_euler = true;
-            const TrialResult fast =
-                sched::runTrial(app, policy, 20.0_s, seed);
-            const TrialResult euler =
-                sched::runTrial(app, policy, 20.0_s, seed, euler_ref);
+            const TrialResult fast = TrialBuilder()
+                                         .app(app)
+                                         .policy(policy)
+                                         .duration(20.0_s)
+                                         .seed(seed)
+                                         .run();
+            const TrialResult euler = TrialBuilder()
+                                          .app(app)
+                                          .policy(policy)
+                                          .duration(20.0_s)
+                                          .seed(seed)
+                                          .forceEuler()
+                                          .run();
             expectTrialsEqual(fast, euler,
                               "harvest=" + std::to_string(harvest_mw) +
                                   "mW seed=" + std::to_string(seed));
@@ -123,11 +130,19 @@ TEST(DeviceEquivalence, StarvedTrialStillMatchesEuler)
     const AppSpec app = equivalenceApp(Watts(0.3e-3));
     FixedPolicy policy;
     policy.chain_start = Volts(2.5);
-    sched::TrialInstruments euler_ref;
-    euler_ref.force_euler = true;
-    const TrialResult fast = sched::runTrial(app, policy, 15.0_s, 3);
-    const TrialResult euler =
-        sched::runTrial(app, policy, 15.0_s, 3, euler_ref);
+    const TrialResult fast = TrialBuilder()
+                                 .app(app)
+                                 .policy(policy)
+                                 .duration(15.0_s)
+                                 .seed(3)
+                                 .run();
+    const TrialResult euler = TrialBuilder()
+                                  .app(app)
+                                  .policy(policy)
+                                  .duration(15.0_s)
+                                  .seed(3)
+                                  .forceEuler()
+                                  .run();
     expectTrialsEqual(fast, euler, "starved");
     EXPECT_GT(fast.eventStats("ping").lost, 0u);
 }
@@ -144,20 +159,26 @@ TEST(DeviceEquivalence, FaultInstrumentedTrialsAreDeterministic)
 
     fault::FaultInjector injector_a(plan, /*noise_seed=*/5);
     fault::InvariantMonitor monitor_a(app.power.monitor.voff);
-    sched::TrialInstruments with_fast;
-    with_fast.faults = &injector_a;
-    with_fast.observer = &monitor_a;
-    const TrialResult fast =
-        sched::runTrial(app, policy, 20.0_s, 9, with_fast);
+    const TrialResult fast = TrialBuilder()
+                                 .app(app)
+                                 .policy(policy)
+                                 .duration(20.0_s)
+                                 .seed(9)
+                                 .faults(&injector_a)
+                                 .observer(&monitor_a)
+                                 .run();
 
     fault::FaultInjector injector_b(plan, /*noise_seed=*/5);
     fault::InvariantMonitor monitor_b(app.power.monitor.voff);
-    sched::TrialInstruments with_euler;
-    with_euler.faults = &injector_b;
-    with_euler.observer = &monitor_b;
-    with_euler.force_euler = true;
-    const TrialResult euler =
-        sched::runTrial(app, policy, 20.0_s, 9, with_euler);
+    const TrialResult euler = TrialBuilder()
+                                  .app(app)
+                                  .policy(policy)
+                                  .duration(20.0_s)
+                                  .seed(9)
+                                  .faults(&injector_b)
+                                  .observer(&monitor_b)
+                                  .forceEuler()
+                                  .run();
 
     expectTrialsEqual(fast, euler, "faulted");
     EXPECT_EQ(monitor_a.commits(), monitor_b.commits());
@@ -256,12 +277,20 @@ TEST(DeviceEquivalence, Fig12PeriodicSensingRatesMatchGolden)
     sched::CulpeoPolicy culpeo;
     culpeo.initialize(app);
 
-    sched::TrialInstruments euler;
-    euler.force_euler = true;
-    const sched::AggregateResult cat_pre =
-        sched::runTrials(app, catnap, 300.0_s, 3, 7, euler);
-    const sched::AggregateResult cul_pre =
-        sched::runTrials(app, culpeo, 300.0_s, 3, 7, euler);
+    const sched::AggregateResult cat_pre = TrialBuilder()
+                                               .app(app)
+                                               .policy(catnap)
+                                               .duration(300.0_s)
+                                               .trials(3)
+                                               .forceEuler()
+                                               .runAll();
+    const sched::AggregateResult cul_pre = TrialBuilder()
+                                               .app(app)
+                                               .policy(culpeo)
+                                               .duration(300.0_s)
+                                               .trials(3)
+                                               .forceEuler()
+                                               .runAll();
 
     // Pre-refactor golden (fig12_events output at the seed commit).
     EXPECT_NEAR(cat_pre.rateOf("imu"), 0.1515, 5e-4);
@@ -269,10 +298,18 @@ TEST(DeviceEquivalence, Fig12PeriodicSensingRatesMatchGolden)
     EXPECT_NEAR(cul_pre.rateOf("imu"), 1.0, 1e-12);
     EXPECT_NEAR(cul_pre.power_failures_per_trial, 0.0, 1e-12);
 
-    const sched::AggregateResult cat_post =
-        sched::runTrials(app, catnap, 300.0_s, 3);
-    const sched::AggregateResult cul_post =
-        sched::runTrials(app, culpeo, 300.0_s, 3);
+    const sched::AggregateResult cat_post = TrialBuilder()
+                                                .app(app)
+                                                .policy(catnap)
+                                                .duration(300.0_s)
+                                                .trials(3)
+                                                .runAll();
+    const sched::AggregateResult cul_post = TrialBuilder()
+                                                .app(app)
+                                                .policy(culpeo)
+                                                .duration(300.0_s)
+                                                .trials(3)
+                                                .runAll();
 
     // Post-migration fast-path golden.
     EXPECT_NEAR(cat_post.rateOf("imu"), 0.1364, 5e-4);

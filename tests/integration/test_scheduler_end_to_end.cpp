@@ -12,7 +12,7 @@
 #include <gtest/gtest.h>
 
 #include "apps/apps.hpp"
-#include "sched/engine.hpp"
+#include "sched/trial.hpp"
 
 namespace {
 
@@ -51,14 +51,14 @@ bool SchedulerEndToEnd::ready_ = false;
 TEST_F(SchedulerEndToEnd, CulpeoCapturesNearlyAllPsEvents)
 {
     const AggregateResult result =
-        sched::runTrials(ps_, culpeo_, 60.0_s, 1);
+        TrialBuilder().app(ps_).policy(culpeo_).duration(60.0_s).trials(1).runAll();
     EXPECT_GE(result.rateOf("imu"), 0.9);
 }
 
 TEST_F(SchedulerEndToEnd, CatnapLosesPsEventsToPowerFailures)
 {
     const sched::TrialResult result =
-        sched::runTrial(ps_, catnap_, 60.0_s, 1);
+        TrialBuilder().app(ps_).policy(catnap_).duration(60.0_s).seed(1).run();
     EXPECT_GT(result.power_failures, 0u)
         << "CatNap should brown out running at its energy-only Vsafe";
     EXPECT_LT(result.eventStats("imu").captureRate(), 0.9);
@@ -67,9 +67,9 @@ TEST_F(SchedulerEndToEnd, CatnapLosesPsEventsToPowerFailures)
 TEST_F(SchedulerEndToEnd, CulpeoBeatsCatnapOnPs)
 {
     const AggregateResult catnap_result =
-        sched::runTrials(ps_, catnap_, 60.0_s, 2);
+        TrialBuilder().app(ps_).policy(catnap_).duration(60.0_s).trials(2).runAll();
     const AggregateResult culpeo_result =
-        sched::runTrials(ps_, culpeo_, 60.0_s, 2);
+        TrialBuilder().app(ps_).policy(culpeo_).duration(60.0_s).trials(2).runAll();
     EXPECT_GT(culpeo_result.rateOf("imu"),
               catnap_result.rateOf("imu"));
 }
@@ -77,7 +77,7 @@ TEST_F(SchedulerEndToEnd, CulpeoBeatsCatnapOnPs)
 TEST_F(SchedulerEndToEnd, CulpeoAvoidsPowerFailures)
 {
     const sched::TrialResult result =
-        sched::runTrial(ps_, culpeo_, 60.0_s, 3);
+        TrialBuilder().app(ps_).policy(culpeo_).duration(60.0_s).seed(3).run();
     EXPECT_EQ(result.power_failures, 0u);
 }
 
@@ -90,7 +90,7 @@ TEST(SchedulerNmr, CulpeoServesBothEventStreams)
     CulpeoPolicy culpeo;
     culpeo.initialize(nmr);
     const sched::TrialResult result =
-        sched::runTrial(nmr, culpeo, 120.0_s, 11);
+        TrialBuilder().app(nmr).policy(culpeo).duration(120.0_s).seed(11).run();
     EXPECT_EQ(result.power_failures, 0u);
     EXPECT_GE(result.eventStats("mic").captureRate(), 0.9);
     EXPECT_GE(result.eventStats("ble").captureRate(), 0.7);
@@ -103,7 +103,7 @@ TEST(SchedulerNmr, CatnapBrownsOutOnBleReports)
     CatnapPolicy catnap;
     catnap.initialize(nmr);
     const AggregateResult result =
-        sched::runTrials(nmr, catnap, 200.0_s, 2);
+        TrialBuilder().app(nmr).policy(catnap).duration(200.0_s).trials(2).runAll();
     // The BLE chain's ESR drop is what CatNap's estimate misses.
     EXPECT_GT(result.power_failures_per_trial, 0.0);
     EXPECT_LT(result.rateOf("ble"), 0.95);
@@ -121,9 +121,9 @@ TEST(SchedulerRr, CatnapFailsMostRrResponses)
     culpeo.initialize(rr);
 
     const AggregateResult catnap_result =
-        sched::runTrials(rr, catnap, 300.0_s, 3);
+        TrialBuilder().app(rr).policy(catnap).duration(300.0_s).trials(3).runAll();
     const AggregateResult culpeo_result =
-        sched::runTrials(rr, culpeo, 300.0_s, 3);
+        TrialBuilder().app(rr).policy(culpeo).duration(300.0_s).trials(3).runAll();
 
     EXPECT_LT(catnap_result.rateOf("report"), 0.6)
         << "CatNap should fail most RR responses";

@@ -6,7 +6,7 @@
 
 #include "apps/apps.hpp"
 #include "load/library.hpp"
-#include "sched/engine.hpp"
+#include "sched/trial.hpp"
 
 namespace {
 
@@ -61,9 +61,10 @@ simpleApp()
 
 TEST(Engine, CapturesAllEasyEvents)
 {
+    const AppSpec app = simpleApp();
     FixedPolicy policy;
     const TrialResult result =
-        sched::runTrial(simpleApp(), policy, 20.0_s, 1);
+        TrialBuilder().app(app).policy(policy).duration(20.0_s).seed(1).run();
     const auto &stats = result.eventStats("ping");
     EXPECT_EQ(stats.arrived, 9u); // t = 2,4,...,18.
     EXPECT_EQ(stats.captured, stats.arrived);
@@ -72,10 +73,11 @@ TEST(Engine, CapturesAllEasyEvents)
 
 TEST(Engine, UnreachableChainStartLosesEverything)
 {
+    const AppSpec app = simpleApp();
     FixedPolicy policy;
     policy.chain_start = Volts(3.0); // Above Vhigh: never satisfiable.
     const TrialResult result =
-        sched::runTrial(simpleApp(), policy, 10.0_s, 1);
+        TrialBuilder().app(app).policy(policy).duration(10.0_s).seed(1).run();
     const auto &stats = result.eventStats("ping");
     EXPECT_GT(stats.arrived, 0u);
     EXPECT_EQ(stats.captured, 0u);
@@ -95,7 +97,7 @@ TEST(Engine, UnsafeTaskStartCausesPowerFailures)
                                       load::uniform(10.0_mA, 50.0_ms)};
     app.background_period = 0.06_s;
     policy.background = Volts(1.71);
-    const TrialResult result = sched::runTrial(app, policy, 30.0_s, 1);
+    const TrialResult result = TrialBuilder().app(app).policy(policy).duration(30.0_s).seed(1).run();
     EXPECT_GT(result.power_failures, 0u);
     EXPECT_GT(result.eventStats("ping").lost, 0u);
 }
@@ -110,13 +112,13 @@ TEST(Engine, BackgroundRunsOnlyAboveThreshold)
     FixedPolicy generous;
     generous.background = Volts(1.7);
     const TrialResult with_bg =
-        sched::runTrial(app, generous, 10.0_s, 1);
+        TrialBuilder().app(app).policy(generous).duration(10.0_s).seed(1).run();
     EXPECT_GT(with_bg.background_runs, 0u);
 
     FixedPolicy stingy;
     stingy.background = Volts(3.0); // Above Vhigh: never runs.
     const TrialResult without_bg =
-        sched::runTrial(app, stingy, 10.0_s, 1);
+        TrialBuilder().app(app).policy(stingy).duration(10.0_s).seed(1).run();
     EXPECT_EQ(without_bg.background_runs, 0u);
 }
 
@@ -126,8 +128,8 @@ TEST(Engine, PoissonArrivalsVaryBySeed)
     app.events[0].arrival = sched::Arrival::Poisson;
     app.events[0].interval = 1.0_s;
     FixedPolicy policy;
-    const TrialResult a = sched::runTrial(app, policy, 30.0_s, 1);
-    const TrialResult b = sched::runTrial(app, policy, 30.0_s, 2);
+    const TrialResult a = TrialBuilder().app(app).policy(policy).duration(30.0_s).seed(1).run();
+    const TrialResult b = TrialBuilder().app(app).policy(policy).duration(30.0_s).seed(2).run();
     // Different seeds, (almost surely) different arrival counts.
     EXPECT_NE(a.eventStats("ping").arrived, b.eventStats("ping").arrived);
 }
@@ -137,8 +139,8 @@ TEST(Engine, SameSeedIsDeterministic)
     AppSpec app = simpleApp();
     app.events[0].arrival = sched::Arrival::Poisson;
     FixedPolicy policy;
-    const TrialResult a = sched::runTrial(app, policy, 30.0_s, 5);
-    const TrialResult b = sched::runTrial(app, policy, 30.0_s, 5);
+    const TrialResult a = TrialBuilder().app(app).policy(policy).duration(30.0_s).seed(5).run();
+    const TrialResult b = TrialBuilder().app(app).policy(policy).duration(30.0_s).seed(5).run();
     EXPECT_EQ(a.eventStats("ping").arrived, b.eventStats("ping").arrived);
     EXPECT_EQ(a.eventStats("ping").captured,
               b.eventStats("ping").captured);
@@ -146,9 +148,10 @@ TEST(Engine, SameSeedIsDeterministic)
 
 TEST(Engine, AggregateAveragesTrials)
 {
+    const AppSpec app = simpleApp();
     FixedPolicy policy;
     const AggregateResult agg =
-        sched::runTrials(simpleApp(), policy, 10.0_s, 3);
+        TrialBuilder().app(app).policy(policy).duration(10.0_s).trials(3).runAll();
     EXPECT_EQ(agg.event_names.size(), 1u);
     EXPECT_NEAR(agg.rateOf("ping"), 1.0, 1e-12);
 }
@@ -159,6 +162,45 @@ TEST(Engine, OverallCaptureRateWeighsAllEvents)
     result.per_event.push_back({"a", 10, 5, 5});
     result.per_event.push_back({"b", 10, 10, 0});
     EXPECT_NEAR(result.overallCaptureRate(), 0.75, 1e-12);
+}
+
+// Regression: an event type with no arrivals used to report a perfect
+// captureRate() of 1.0, inflating aggregates in short trials. Empty
+// types must read as 0 and be excluded from overall rates.
+TEST(Engine, EmptyEventTypeDoesNotInflateCaptureRate)
+{
+    sched::EventTypeStats empty;
+    empty.name = "never";
+    EXPECT_TRUE(empty.empty());
+    EXPECT_DOUBLE_EQ(empty.captureRate(), 0.0);
+
+    // A second event type whose interval exceeds the trial duration
+    // never fires; the aggregate must reflect only the live type.
+    AppSpec app = simpleApp();
+    sched::EventSpec rare;
+    rare.name = "rare";
+    rare.arrival = sched::Arrival::Periodic;
+    rare.interval = 1000.0_s; // Far beyond the 10 s trial.
+    rare.deadline = 2.0_s;
+    rare.chain = {{9, "noop", load::uniform(5.0_mA, 10.0_ms)}};
+    app.events.push_back(rare);
+
+    FixedPolicy policy;
+    const AggregateResult agg = TrialBuilder()
+                                    .app(app)
+                                    .policy(policy)
+                                    .duration(10.0_s)
+                                    .trials(2)
+                                    .runAll();
+    EXPECT_EQ(agg.arrivals[1], 0u);
+    EXPECT_DOUBLE_EQ(agg.rateOf("rare"), 0.0);
+    // "ping" captures everything, so excluding the empty "rare" type
+    // keeps the overall rate at 1.0 (it used to be diluted or padded).
+    EXPECT_NEAR(agg.overallCaptureRate(), 1.0, 1e-12);
+
+    sched::TrialResult all_empty;
+    all_empty.per_event.push_back({"quiet", 0, 0, 0});
+    EXPECT_DOUBLE_EQ(all_empty.overallCaptureRate(), 0.0);
 }
 
 TEST(Engine, UnknownEventNameIsFatal)

@@ -5,7 +5,7 @@
 #include "util/logging.hpp"
 
 #include "apps/apps.hpp"
-#include "sched/engine.hpp"
+#include "sched/trial.hpp"
 #include "sched/policy.hpp"
 
 namespace {
@@ -147,7 +147,12 @@ TEST(CulpeoPolicyStandalone, UArchVariantProducesSaneThresholds)
     EXPECT_LE(chain, app.power.monitor.vhigh.value());
     // And it schedules successfully end-to-end.
     const sched::TrialResult result =
-        sched::runTrial(app, policy, units::Seconds(30.0), 3);
+        TrialBuilder()
+            .app(app)
+            .policy(policy)
+            .duration(units::Seconds(30.0))
+            .seed(3)
+            .run();
     EXPECT_EQ(result.power_failures, 0u);
     EXPECT_GT(result.eventStats("imu").captureRate(), 0.9);
 }

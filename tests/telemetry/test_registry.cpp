@@ -1,0 +1,161 @@
+/** @file Unit tests for the telemetry metric Registry. */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "util/logging.hpp"
+#include "util/parallel.hpp"
+
+namespace {
+
+using namespace culpeo;
+using telemetry::Gauge;
+using telemetry::GaugeMode;
+using telemetry::Histogram;
+using telemetry::Registry;
+
+TEST(Registry, CounterFindOrCreateIsStable)
+{
+    Registry reg;
+    telemetry::Counter &a = reg.counter("hits");
+    telemetry::Counter &b = reg.counter("hits");
+    EXPECT_EQ(&a, &b);
+    a.add();
+    b.add(4);
+    EXPECT_EQ(reg.findCounter("hits")->value(), 5u);
+    EXPECT_EQ(reg.findCounter("absent"), nullptr);
+}
+
+TEST(Registry, GaugeModesFoldAsDocumented)
+{
+    Registry reg;
+    Gauge &last = reg.gauge("last", GaugeMode::Last);
+    Gauge &sum = reg.gauge("sum", GaugeMode::Sum);
+    Gauge &mn = reg.gauge("min", GaugeMode::Min);
+    Gauge &mx = reg.gauge("max", GaugeMode::Max);
+    EXPECT_FALSE(mn.touched());
+    for (double v : {3.0, -1.0, 2.0}) {
+        last.record(v);
+        sum.record(v);
+        mn.record(v);
+        mx.record(v);
+    }
+    EXPECT_DOUBLE_EQ(last.value(), 2.0);
+    EXPECT_DOUBLE_EQ(sum.value(), 4.0);
+    EXPECT_DOUBLE_EQ(mn.value(), -1.0);
+    EXPECT_DOUBLE_EQ(mx.value(), 3.0);
+    EXPECT_TRUE(mn.touched());
+}
+
+TEST(Registry, HistogramBucketsAndOutliers)
+{
+    Registry reg;
+    Histogram &h = reg.histogram("h", 0.0, 10.0, 5);
+    for (double v : {-1.0, 0.0, 1.9, 2.0, 9.9, 10.0, 42.0})
+        h.record(v);
+    // Slots: [underflow, 0-2, 2-4, 4-6, 6-8, 8-10, overflow].
+    const std::vector<std::uint64_t> counts = h.bucketCounts();
+    ASSERT_EQ(counts.size(), 7u);
+    EXPECT_EQ(counts[0], 1u); // -1.0
+    EXPECT_EQ(counts[1], 2u); // 0.0, 1.9
+    EXPECT_EQ(counts[2], 1u); // 2.0
+    EXPECT_EQ(counts[5], 1u); // 9.9
+    EXPECT_EQ(counts[6], 2u); // 10.0 (hi is exclusive), 42.0
+    EXPECT_EQ(h.count(), 7u);
+    EXPECT_DOUBLE_EQ(h.min(), -1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 42.0);
+}
+
+TEST(Registry, CrossTypeNameCollisionIsFatal)
+{
+    Registry reg;
+    reg.counter("metric");
+    EXPECT_THROW(reg.gauge("metric"), log::FatalError);
+    EXPECT_THROW(reg.histogram("metric", 0.0, 1.0, 4), log::FatalError);
+    reg.gauge("g", GaugeMode::Min);
+    EXPECT_THROW(reg.gauge("g", GaugeMode::Max), log::FatalError);
+}
+
+/**
+ * The thread-safety contract: instrument sites cache references and
+ * update from the sweep executor's workers concurrently. Counter and
+ * histogram totals must be exact; Min/Max gauges must land on the true
+ * extremes.
+ */
+TEST(Registry, ConcurrentUpdatesFromThreadPoolAreExact)
+{
+    Registry reg;
+    telemetry::Counter &hits = reg.counter("hits");
+    Gauge &mn = reg.gauge("mn", GaugeMode::Min);
+    Gauge &mx = reg.gauge("mx", GaugeMode::Max);
+    Histogram &h = reg.histogram("h", 0.0, 64.0, 8);
+
+    constexpr int kWorkers = 64;
+    constexpr int kPerWorker = 2000;
+    std::vector<int> workers(kWorkers);
+    std::iota(workers.begin(), workers.end(), 0);
+    util::parallelMap(workers, [&](int w) {
+        for (int i = 0; i < kPerWorker; ++i) {
+            hits.add();
+            mn.record(double(w));
+            mx.record(double(w));
+            h.record(double(w));
+        }
+        return 0;
+    });
+
+    EXPECT_EQ(hits.value(), std::uint64_t(kWorkers) * kPerWorker);
+    EXPECT_DOUBLE_EQ(mn.value(), 0.0);
+    EXPECT_DOUBLE_EQ(mx.value(), double(kWorkers - 1));
+    EXPECT_EQ(h.count(), std::uint64_t(kWorkers) * kPerWorker);
+    const std::vector<std::uint64_t> counts = h.bucketCounts();
+    const std::uint64_t total =
+        std::accumulate(counts.begin(), counts.end(), std::uint64_t(0));
+    EXPECT_EQ(total, std::uint64_t(kWorkers) * kPerWorker);
+}
+
+TEST(Registry, MergeCombinesPerType)
+{
+    Registry a;
+    a.counter("c").add(2);
+    a.gauge("min", GaugeMode::Min).record(1.5);
+    a.gauge("sum", GaugeMode::Sum).record(1.0);
+    a.histogram("h", 0.0, 4.0, 4).record(1.0);
+
+    Registry b;
+    b.counter("c").add(3);
+    b.counter("only_b").add(7);
+    b.gauge("min", GaugeMode::Min).record(0.5);
+    b.gauge("sum", GaugeMode::Sum).record(2.0);
+    b.histogram("h", 0.0, 4.0, 4).record(3.0);
+
+    a.merge(b);
+    EXPECT_EQ(a.findCounter("c")->value(), 5u);
+    EXPECT_EQ(a.findCounter("only_b")->value(), 7u);
+    EXPECT_DOUBLE_EQ(a.findGauge("min")->value(), 0.5);
+    EXPECT_DOUBLE_EQ(a.findGauge("sum")->value(), 3.0);
+    EXPECT_EQ(a.findHistogram("h")->count(), 2u);
+
+    // Untouched gauges must not poison the destination with identity
+    // values (e.g. a Min gauge that never recorded).
+    Registry c;
+    c.gauge("min", GaugeMode::Min);
+    a.merge(c);
+    EXPECT_DOUBLE_EQ(a.findGauge("min")->value(), 0.5);
+}
+
+TEST(Registry, SnapshotsAreNameSorted)
+{
+    Registry reg;
+    reg.counter("zeta").add(1);
+    reg.counter("alpha").add(2);
+    const auto counters = reg.counters();
+    ASSERT_EQ(counters.size(), 2u);
+    EXPECT_EQ(counters[0].first, "alpha");
+    EXPECT_EQ(counters[1].first, "zeta");
+}
+
+} // namespace

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * End-to-end telemetry tests through the scheduler engine: a seeded
+ * Figure 12-style trial must yield a coherent, reproducible JSONL
+ * trace, the Euler and analytic wait backends must agree on summary
+ * telemetry, and sweep merges must be deterministic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "apps/apps.hpp"
+#include "sched/policy.hpp"
+#include "sched/trial.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+using namespace culpeo::units::literals;
+
+/** One seeded five-minute Periodic Sensing trial into @p sink. */
+sched::TrialResult
+fig12Trial(const sched::Policy &policy, telemetry::Telemetry *sink,
+           bool force_euler = false)
+{
+    const sched::AppSpec app = apps::periodicSensing();
+    return TrialBuilder()
+        .app(app)
+        .policy(policy)
+        .duration(300.0_s)
+        .seed(7)
+        .forceEuler(force_euler)
+        .telemetry(sink)
+        .run();
+}
+
+unsigned
+countKind(const telemetry::TraceLog &trace, telemetry::EventKind kind)
+{
+    unsigned n = 0;
+    for (const telemetry::TraceEvent &e : trace.events())
+        n += e.kind == kind ? 1 : 0;
+    return n;
+}
+
+TEST(TelemetryTrial, SeededTrialProducesCoherentTrace)
+{
+    if (!telemetry::kEnabled)
+        GTEST_SKIP() << "built with CULPEO_TELEMETRY=OFF";
+
+    // CatNap browns out on Periodic Sensing (Fig. 12), so this one
+    // trial exercises every event kind the device layer emits.
+    sched::CatnapPolicy catnap;
+    catnap.initialize(apps::periodicSensing());
+    telemetry::TelemetryConfig cfg;
+    cfg.trace_capacity = 1u << 16;
+    telemetry::Telemetry sink(cfg);
+    const sched::TrialResult result = fig12Trial(catnap, &sink);
+
+    ASSERT_TRUE(result.telemetry.has_value());
+    const telemetry::TelemetrySummary &sum = *result.telemetry;
+    EXPECT_GT(sum.loads, 0u);
+    EXPECT_GT(sum.tasks_started, 0u);
+    EXPECT_GE(sum.tasks_started, sum.tasks_completed);
+    EXPECT_EQ(sum.brownouts, result.power_failures);
+    EXPECT_GT(sum.brownouts, 0u);
+    EXPECT_GT(sum.recharges, 0u);
+    EXPECT_NEAR(sum.sim_seconds, 300.0, 1.0);
+    EXPECT_GT(sum.rechargeFraction(), 0.0);
+    EXPECT_LT(sum.rechargeFraction(), 1.0);
+    // CatNap's failures mean some load dipped below Voff.
+    EXPECT_LT(sum.min_margin_v, 0.0);
+
+    const auto events = sink.trace().events();
+    ASSERT_FALSE(events.empty());
+    EXPECT_EQ(sink.trace().dropped(), 0u);
+    for (std::size_t i = 1; i < events.size(); ++i)
+        EXPECT_GE(events[i].time_s, events[i - 1].time_s) << "at " << i;
+    EXPECT_GT(countKind(sink.trace(), telemetry::EventKind::TaskStart),
+              0u);
+    EXPECT_GT(countKind(sink.trace(), telemetry::EventKind::TaskEnd),
+              0u);
+    EXPECT_GT(countKind(sink.trace(), telemetry::EventKind::BrownOut),
+              0u);
+    EXPECT_GT(
+        countKind(sink.trace(), telemetry::EventKind::RechargeEnter),
+        0u);
+    EXPECT_GT(
+        countKind(sink.trace(), telemetry::EventKind::RechargeExit), 0u);
+    EXPECT_GT(
+        countKind(sink.trace(), telemetry::EventKind::VsafeUpdate), 0u);
+
+    // The per-task Vmin histogram for the event chain's task exists.
+    const telemetry::Histogram *vmin = sink.registry().findHistogram(
+        telemetry::names::taskVmin("imu_read"));
+    ASSERT_NE(vmin, nullptr);
+    EXPECT_GT(vmin->count(), 0u);
+}
+
+TEST(TelemetryTrial, GoldenJsonlSnapshotIsReproducible)
+{
+    if (!telemetry::kEnabled)
+        GTEST_SKIP() << "built with CULPEO_TELEMETRY=OFF";
+
+    sched::CulpeoPolicy culpeo;
+    culpeo.initialize(apps::periodicSensing());
+
+    std::string snapshots[2];
+    for (std::string &snapshot : snapshots) {
+        telemetry::Telemetry sink;
+        fig12Trial(culpeo, &sink);
+        std::ostringstream out;
+        sink.writeJsonl(out);
+        snapshot = out.str();
+    }
+    ASSERT_FALSE(snapshots[0].empty());
+    EXPECT_EQ(snapshots[0], snapshots[1])
+        << "identical seeded trials must serialize identically";
+    EXPECT_EQ(snapshots[0].substr(0, 5), "{\"t\":");
+}
+
+TEST(TelemetryTrial, EulerAndAnalyticBackendsAgreeOnSummary)
+{
+    if (!telemetry::kEnabled)
+        GTEST_SKIP() << "built with CULPEO_TELEMETRY=OFF";
+
+    sched::CulpeoPolicy culpeo;
+    culpeo.initialize(apps::periodicSensing());
+
+    telemetry::Telemetry fast_sink;
+    const sched::TrialResult fast = fig12Trial(culpeo, &fast_sink);
+    telemetry::Telemetry euler_sink;
+    const sched::TrialResult euler =
+        fig12Trial(culpeo, &euler_sink, /*force_euler=*/true);
+
+    ASSERT_TRUE(fast.telemetry.has_value());
+    ASSERT_TRUE(euler.telemetry.has_value());
+    const telemetry::TelemetrySummary &f = *fast.telemetry;
+    const telemetry::TelemetrySummary &e = *euler.telemetry;
+
+    // Integer counters must match exactly: the backends make identical
+    // scheduling decisions (the device-equivalence suite pins this).
+    EXPECT_EQ(f.loads, e.loads);
+    EXPECT_EQ(f.brownouts, e.brownouts);
+    EXPECT_EQ(f.recharges, e.recharges);
+    EXPECT_EQ(f.tasks_started, e.tasks_started);
+    EXPECT_EQ(f.tasks_completed, e.tasks_completed);
+
+    // Analog roll-ups agree to simulation tolerance.
+    EXPECT_NEAR(f.min_margin_v, e.min_margin_v, 0.02);
+    EXPECT_NEAR(f.recharge_seconds, e.recharge_seconds,
+                0.05 * std::max(1.0, e.recharge_seconds));
+    EXPECT_NEAR(f.sim_seconds, e.sim_seconds, 1.0);
+}
+
+TEST(TelemetryTrial, SamplingThinsTracePointsButNotCounters)
+{
+    if (!telemetry::kEnabled)
+        GTEST_SKIP() << "built with CULPEO_TELEMETRY=OFF";
+
+    sched::CulpeoPolicy culpeo;
+    culpeo.initialize(apps::periodicSensing());
+
+    telemetry::TelemetryConfig all_cfg;
+    all_cfg.trace_capacity = 1u << 16;
+    telemetry::Telemetry all(all_cfg);
+    fig12Trial(culpeo, &all);
+
+    telemetry::TelemetryConfig thin_cfg;
+    thin_cfg.trace_capacity = 1u << 16;
+    thin_cfg.sample_every = 8;
+    telemetry::Telemetry thinned(thin_cfg);
+    fig12Trial(culpeo, &thinned);
+
+    const unsigned dense =
+        countKind(all.trace(), telemetry::EventKind::VminRecord);
+    const unsigned sparse =
+        countKind(thinned.trace(), telemetry::EventKind::VminRecord);
+    ASSERT_GT(dense, 0u);
+    EXPECT_LT(sparse, dense);
+
+    // Counters are never sampled: summaries stay exact.
+    EXPECT_EQ(all.summary().loads, thinned.summary().loads);
+    EXPECT_EQ(all.summary().tasks_started,
+              thinned.summary().tasks_started);
+}
+
+TEST(TelemetryTrial, SweepMergesPerTrialScratchDeterministically)
+{
+    if (!telemetry::kEnabled)
+        GTEST_SKIP() << "built with CULPEO_TELEMETRY=OFF";
+
+    const sched::AppSpec app = apps::periodicSensing();
+    sched::CulpeoPolicy culpeo;
+    culpeo.initialize(app);
+
+    auto sweep = [&](telemetry::Telemetry &sink) {
+        return TrialBuilder()
+            .app(app)
+            .policy(culpeo)
+            .duration(60.0_s)
+            .trials(3)
+            .telemetry(&sink)
+            .runAll();
+    };
+
+    telemetry::Telemetry a;
+    sweep(a);
+    telemetry::Telemetry b;
+    sweep(b);
+
+    // Merged counters are identical run-to-run (the sweep may execute
+    // on the thread pool, but merges happen in trial order).
+    EXPECT_EQ(a.registry().counters(), b.registry().counters());
+    EXPECT_NEAR(a.summary().sim_seconds, 180.0, 1.0);
+
+    // Events from all three trials are present and tagged.
+    std::set<std::uint32_t> trials;
+    for (const telemetry::TraceEvent &e : a.trace().events())
+        trials.insert(e.trial);
+    EXPECT_EQ(trials, (std::set<std::uint32_t>{0, 1, 2}));
+}
+
+} // namespace

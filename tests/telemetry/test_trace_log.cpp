@@ -1,0 +1,139 @@
+/** @file Unit tests for the ring-buffered TraceLog and its exporters. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "telemetry/trace_log.hpp"
+
+namespace {
+
+using namespace culpeo;
+using telemetry::EventKind;
+using telemetry::TraceEvent;
+using telemetry::TraceLog;
+
+TraceEvent
+at(double t, EventKind kind, std::uint32_t name_id = 0)
+{
+    TraceEvent e;
+    e.time_s = t;
+    e.kind = kind;
+    e.name_id = name_id;
+    return e;
+}
+
+TEST(TraceLog, InternIsIdempotentAndZeroIsEmpty)
+{
+    TraceLog log(8);
+    EXPECT_EQ(log.label(0), "");
+    const std::uint32_t a = log.intern("imu");
+    const std::uint32_t b = log.intern("ble");
+    EXPECT_EQ(log.intern("imu"), a);
+    EXPECT_NE(a, b);
+    EXPECT_NE(a, 0u);
+    EXPECT_EQ(log.label(a), "imu");
+    EXPECT_EQ(log.label(b), "ble");
+    EXPECT_EQ(log.label(999), "");
+    EXPECT_EQ(log.intern(""), 0u);
+}
+
+TEST(TraceLog, RingWrapsKeepingNewestOldestFirst)
+{
+    TraceLog log(4);
+    for (int i = 0; i < 10; ++i)
+        log.record(at(double(i), EventKind::TaskStart));
+    EXPECT_EQ(log.recorded(), 10u);
+    EXPECT_EQ(log.dropped(), 6u);
+    const std::vector<TraceEvent> events = log.events();
+    ASSERT_EQ(events.size(), 4u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_DOUBLE_EQ(events[i].time_s, double(6 + i));
+}
+
+TEST(TraceLog, ClearDropsEventsButKeepsLabels)
+{
+    TraceLog log(4);
+    const std::uint32_t id = log.intern("task");
+    log.record(at(1.0, EventKind::TaskStart, id));
+    log.clear();
+    EXPECT_TRUE(log.events().empty());
+    EXPECT_EQ(log.intern("task"), id);
+}
+
+TEST(TraceLog, AppendReInternsLabelsAndKeepsTrialIds)
+{
+    // Sink and source intern the same names in different orders, so the
+    // raw ids disagree; append() must translate through the labels.
+    TraceLog sink(8);
+    sink.intern("alpha");
+    const std::uint32_t sink_beta = sink.intern("beta");
+
+    TraceLog source(8);
+    const std::uint32_t src_beta = source.intern("beta");
+    EXPECT_NE(src_beta, sink_beta);
+    TraceEvent e = at(2.0, EventKind::TaskEnd, src_beta);
+    e.trial = 3;
+    source.record(e);
+
+    sink.append(source);
+    const std::vector<TraceEvent> events = sink.events();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(sink.label(events[0].name_id), "beta");
+    EXPECT_EQ(events[0].trial, 3u);
+}
+
+TEST(TraceLog, JsonlFormatIsStable)
+{
+    TraceLog log(8);
+    const std::uint32_t imu = log.intern("imu");
+
+    TraceEvent start = at(1.5, EventKind::TaskStart, imu);
+    start.voltage_v = 2.25F;
+    start.value = 1.0F;
+    log.record(start);
+
+    TraceEvent end = at(1.625, EventKind::TaskEnd, imu);
+    end.voltage_v = 2.0F;
+    end.value = 1.9375F;
+    end.flag = true;
+    end.trial = 2;
+    log.record(end);
+
+    log.record(at(2.0, EventKind::BrownOut));
+
+    std::ostringstream out;
+    log.writeJsonl(out);
+    EXPECT_EQ(out.str(),
+              "{\"t\":1.5,\"trial\":0,\"kind\":\"task_start\","
+              "\"name\":\"imu\",\"v\":2.25,\"value\":1,"
+              "\"flag\":false}\n"
+              "{\"t\":1.625,\"trial\":2,\"kind\":\"task_end\","
+              "\"name\":\"imu\",\"v\":2,\"value\":1.9375,"
+              "\"flag\":true}\n"
+              "{\"t\":2,\"trial\":0,\"kind\":\"brown_out\",\"v\":0,"
+              "\"value\":0,\"flag\":false}\n");
+
+    std::ostringstream csv;
+    log.writeCsv(csv);
+    EXPECT_EQ(csv.str().substr(0, csv.str().find('\n')),
+              "t,trial,kind,name,v,value,flag");
+}
+
+TEST(TraceLog, EventKindNamesAreStable)
+{
+    EXPECT_STREQ(telemetry::eventKindName(EventKind::TaskStart),
+                 "task_start");
+    EXPECT_STREQ(telemetry::eventKindName(EventKind::VminRecord),
+                 "vmin_record");
+    EXPECT_STREQ(telemetry::eventKindName(EventKind::RechargeEnter),
+                 "recharge_enter");
+    EXPECT_STREQ(telemetry::eventKindName(EventKind::RechargeExit),
+                 "recharge_exit");
+    EXPECT_STREQ(telemetry::eventKindName(EventKind::VsafeUpdate),
+                 "vsafe_update");
+    EXPECT_STREQ(telemetry::eventKindName(EventKind::FaultInjected),
+                 "fault_injected");
+}
+
+} // namespace
