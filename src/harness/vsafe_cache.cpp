@@ -1,6 +1,10 @@
 #include "vsafe_cache.hpp"
 
+#include <algorithm>
 #include <bit>
+
+#include "telemetry/telemetry.hpp"
+#include "util/logging.hpp"
 
 namespace culpeo::harness {
 
@@ -79,11 +83,28 @@ groundTruthKey(const sim::PowerSystemConfig &config,
     return h.state;
 }
 
+VsafeCache::VsafeCache(std::size_t max_entries)
+    : max_entries_(max_entries)
+{
+    log::fatalIf(max_entries == 0, "vsafe cache needs max_entries >= 1");
+}
+
 VsafeCache &
 VsafeCache::global()
 {
     static VsafeCache cache;
     return cache;
+}
+
+void
+VsafeCache::evictDownToLocked(std::size_t limit)
+{
+    while (entries_.size() > limit && !order_.empty()) {
+        const std::uint64_t victim = order_.front();
+        order_.pop_front();
+        if (entries_.erase(victim) > 0)
+            ++evictions_;
+    }
 }
 
 GroundTruth
@@ -104,7 +125,13 @@ VsafeCache::findOrCompute(const sim::PowerSystemConfig &config,
     {
         std::lock_guard<std::mutex> lock(mutex_);
         ++misses_;
-        entries_.emplace(key, truth);
+        // A racing thread may have inserted the same key while the
+        // search ran outside the lock; only track insertion order for
+        // keys that actually entered the table.
+        if (entries_.emplace(key, truth).second) {
+            order_.push_back(key);
+            evictDownToLocked(max_entries_);
+        }
     }
     return truth;
 }
@@ -124,10 +151,33 @@ VsafeCache::misses() const
 }
 
 std::size_t
+VsafeCache::evictions() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return evictions_;
+}
+
+std::size_t
 VsafeCache::size() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return entries_.size();
+}
+
+std::size_t
+VsafeCache::maxEntries() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return max_entries_;
+}
+
+void
+VsafeCache::setMaxEntries(std::size_t max_entries)
+{
+    log::fatalIf(max_entries == 0, "vsafe cache needs max_entries >= 1");
+    std::lock_guard<std::mutex> lock(mutex_);
+    max_entries_ = max_entries;
+    evictDownToLocked(max_entries_);
 }
 
 void
@@ -135,8 +185,32 @@ VsafeCache::clear()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     entries_.clear();
+    order_.clear();
     hits_ = 0;
     misses_ = 0;
+    evictions_ = 0;
+}
+
+void
+VsafeCache::publishTo(telemetry::Registry &registry) const
+{
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t evictions = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        hits = hits_;
+        misses = misses_;
+        evictions = evictions_;
+    }
+    namespace names = telemetry::names;
+    registry.gauge(names::kVsafeCacheHits, telemetry::GaugeMode::Last)
+        .record(double(hits));
+    registry.gauge(names::kVsafeCacheMisses, telemetry::GaugeMode::Last)
+        .record(double(misses));
+    registry
+        .gauge(names::kVsafeCacheEvictions, telemetry::GaugeMode::Last)
+        .record(double(evictions));
 }
 
 } // namespace culpeo::harness

@@ -6,16 +6,29 @@
  * costs a bisection's worth of simulated executions. The cache keys the
  * exact numeric content of the search inputs and is safe to share
  * across the sweep executor's threads.
+ *
+ * The table is bounded (max_entries, FIFO eviction): drift and fuzz
+ * campaigns mutate the power-system config continuously, so every
+ * aging state keys a fresh entry and an unbounded memo would grow with
+ * the campaign length. FIFO is deliberate — entries are write-once
+ * truths with heavy temporal locality (a sweep finishes with a config
+ * before moving on), so recency tracking would buy little for its
+ * bookkeeping cost.
  */
 
 #ifndef CULPEO_HARNESS_VSAFE_CACHE_HPP
 #define CULPEO_HARNESS_VSAFE_CACHE_HPP
 
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <unordered_map>
 
 #include "harness/ground_truth.hpp"
+
+namespace culpeo::telemetry {
+class Registry;
+} // namespace culpeo::telemetry
 
 namespace culpeo::harness {
 
@@ -40,6 +53,11 @@ std::uint64_t groundTruthKey(const sim::PowerSystemConfig &config,
 class VsafeCache
 {
   public:
+    /** Default bound: ~64k entries, a few MiB of GroundTruths. */
+    static constexpr std::size_t kDefaultMaxEntries = 65536;
+
+    explicit VsafeCache(std::size_t max_entries = kDefaultMaxEntries);
+
     /** Process-wide cache shared by the sweeps. */
     static VsafeCache &global();
 
@@ -50,14 +68,31 @@ class VsafeCache
 
     std::size_t hits() const;
     std::size_t misses() const;
+    std::size_t evictions() const;
     std::size_t size() const;
+    std::size_t maxEntries() const;
+    /** Rebound the table; evicts oldest-first down to the new cap. */
+    void setMaxEntries(std::size_t max_entries);
     void clear();
 
+    /**
+     * Publish hit/miss/eviction totals into @p registry as the
+     * harness.vsafe_cache.* gauges (GaugeMode::Last — totals, not
+     * deltas, so repeated publishes don't double-count).
+     */
+    void publishTo(telemetry::Registry &registry) const;
+
   private:
+    void evictDownToLocked(std::size_t limit);
+
     mutable std::mutex mutex_;
+    std::size_t max_entries_;
     std::unordered_map<std::uint64_t, GroundTruth> entries_;
+    /** Insertion order of live keys (front = oldest = next evicted). */
+    std::deque<std::uint64_t> order_;
     std::size_t hits_ = 0;
     std::size_t misses_ = 0;
+    std::size_t evictions_ = 0;
 };
 
 } // namespace culpeo::harness

@@ -1,6 +1,7 @@
 #include "intermittent.hpp"
 
 #include "harness/task_runner.hpp"
+#include "sched/supervisor.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/logging.hpp"
 
@@ -83,10 +84,16 @@ runProgram(sim::Device &device, const std::vector<AtomicTask> &program,
     // margin below Vhigh as "effectively full".
     const Volts full_threshold = device.vhigh() - Volts(50e-3);
 
+    sched::Supervisor *supervisor = options.supervisor;
+
     for (std::size_t i = 0; i < program.size(); ++i) {
         const AtomicTask &task = program[i];
         TaskStats &stats = result.per_task[i];
         unsigned failures_from_full = 0;
+        const auto skipTask = [&] {
+            stats.skipped = true;
+            ++result.skipped_tasks;
+        };
 
         // Telemetry handles for this task, resolved once outside the
         // retry loop (interning and registry lookups cost a lock each).
@@ -119,19 +126,45 @@ runProgram(sim::Device &device, const std::vector<AtomicTask> &program,
                 continue; // Re-check the timeout, then dispatch.
             }
 
+            // Supervised admission: a demoted task is skipped —
+            // graceful degradation instead of livelocking on it. The
+            // supervisor's adaptive margin raises the wait threshold
+            // for both policies (Opportunistic dispatch gains a
+            // threshold only once brown-outs have inflated the margin).
+            const Volts base_need =
+                gated ? options.culpeo->getVsafe(task.id) +
+                            options.dispatch_margin
+                      : device.voff();
+            Volts need = base_need;
+            if (supervisor != nullptr) {
+                const sched::Admission admission =
+                    supervisor->admitTask(task.name, base_need,
+                                          device.vhigh(), device.now());
+                if (!admission.admit) {
+                    skipTask();
+                    break; // On to the next task.
+                }
+                need = admission.need;
+            }
+
             // Wait for the dispatch condition. Software sees the
             // voltage through the attached fault hooks' ADC model; the
             // gated wait is Theorem 1's feasible(observed - margin)
             // rearranged into a voltage threshold.
             Volts observed{0.0};
-            if (gated) {
-                const Volts need = options.culpeo->getVsafe(task.id) +
-                                   options.dispatch_margin;
+            if (gated || (supervisor != nullptr && need > base_need)) {
                 const sim::WaitResult wait =
                     device.idleUntilVoltage(need, deadline);
-                if (wait.status == sim::WaitStatus::Unreachable)
+                if (wait.status == sim::WaitStatus::Unreachable) {
+                    if (supervisor != nullptr) {
+                        supervisor->noteUnreachable(task.name,
+                                                    device.now());
+                        skipTask();
+                        break;
+                    }
                     return markStarved(result, device, task.name,
                                        wait.diagnostic);
+                }
                 if (!wait.reached())
                     continue; // Browned out / timed out: re-evaluate.
                 observed = wait.voltage;
@@ -143,11 +176,9 @@ runProgram(sim::Device &device, const std::vector<AtomicTask> &program,
             // safety commitment the attached observer can audit;
             // opportunistic dispatch claims nothing.
             const bool from_full = observed >= full_threshold;
-            if (gated) {
-                device.notifyCommit(task.name, device.restingVoltage(),
-                                    options.culpeo->getVsafe(task.id) +
-                                        options.dispatch_margin);
-            }
+            const Volts resting = device.restingVoltage();
+            if (gated)
+                device.notifyCommit(task.name, resting, need);
             harness::RunOptions run_options;
             run_options.dt = harness::chooseDt(task.profile);
             run_options.settle_rebound = false;
@@ -169,6 +200,11 @@ runProgram(sim::Device &device, const std::vector<AtomicTask> &program,
             }
             if (gated)
                 device.notifyCommitEnd(run.completed);
+            if (supervisor != nullptr) {
+                supervisor->noteOutcome(task.name, run.completed,
+                                        resting, base_need, run.vmin,
+                                        device.voff(), device.now());
+            }
             if (run.completed) {
                 ++stats.completions;
                 break;
@@ -180,6 +216,17 @@ runProgram(sim::Device &device, const std::vector<AtomicTask> &program,
             ++stats.failures;
             if (tel.retries != nullptr)
                 tel.retries->add();
+            if (supervisor != nullptr) {
+                // The supervisor's retry budget owns forward progress:
+                // once it demotes the task, skip it and move on. The
+                // legacy nonterminating bail below stays dormant.
+                if (supervisor->stateOf(task.name) ==
+                    sched::TaskHealth::Demoted) {
+                    skipTask();
+                    break;
+                }
+                continue;
+            }
             if (from_full) {
                 ++failures_from_full;
                 if (failures_from_full >= options.max_attempts_from_full) {

@@ -16,6 +16,13 @@
  * related work motivates [29]: a task that fails repeatedly from a full
  * buffer can never complete on this power system and is reported as
  * non-terminating instead of looping forever.
+ *
+ * Attaching a sched::Supervisor (RuntimeOptions::supervisor) upgrades
+ * that check into self-healing dispatch: brown-outs inflate the task's
+ * requirement with bounded retries, drift is tracked per task, and a
+ * task that stays infeasible is *skipped* (TaskStats::skipped) so the
+ * rest of the program keeps making progress instead of the run ending
+ * in nonterminating/starved.
  */
 
 #ifndef CULPEO_RUNTIME_INTERMITTENT_HPP
@@ -27,6 +34,10 @@
 #include "core/api.hpp"
 #include "load/profile.hpp"
 #include "sim/device.hpp"
+
+namespace culpeo::sched {
+class Supervisor;
+} // namespace culpeo::sched
 
 namespace culpeo::runtime {
 
@@ -54,6 +65,8 @@ struct TaskStats
     unsigned executions = 0;
     unsigned completions = 0;
     unsigned failures = 0;
+    /** Supervisor shed this task (never completed, program went on). */
+    bool skipped = false;
 };
 
 /** Outcome of one program run. */
@@ -73,6 +86,8 @@ struct ProgramResult
     std::string diagnostic;
     Seconds elapsed{0.0};
     unsigned power_failures = 0;
+    /** Tasks the supervisor shed; finished stays true when > 0. */
+    unsigned skipped_tasks = 0;
     std::vector<TaskStats> per_task;
 
     /** Total failed executions (wasted atomic re-executions). */
@@ -96,6 +111,16 @@ struct RuntimeOptions
      * the bare Theorem 1 gate.
      */
     Volts dispatch_margin{0.0};
+    /**
+     * Drift-aware safety supervisor; may be null. When attached, every
+     * dispatch is admitted through it (its adaptive margin raises the
+     * wait threshold, even for Opportunistic dispatch after brown-outs)
+     * and demoted tasks are skipped instead of ending the run as
+     * nonterminating or starved — the supervisor's retry budget
+     * replaces max_attempts_from_full. The caller owns reset() between
+     * unrelated runs.
+     */
+    sched::Supervisor *supervisor = nullptr;
 };
 
 /**

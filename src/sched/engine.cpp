@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "harness/task_runner.hpp"
+#include "sched/supervisor.hpp"
 #include "sim/device.hpp"
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
@@ -78,6 +79,8 @@ struct Trial
     TrialResult result;
     /** Per-trial scratch sink; null when telemetry is not attached. */
     telemetry::Telemetry *tel = nullptr;
+    /** Safety supervisor; null runs the policy unsupervised. */
+    Supervisor *sup = nullptr;
     /** Committed dispatches (event-chain tasks + background runs). */
     unsigned tasks_started = 0;
     unsigned tasks_completed = 0;
@@ -123,12 +126,14 @@ struct Trial
 
     /**
      * Run one task as a commitment the attached observer can audit: the
-     * policy admitted it at the current voltage against @p need. Emits
-     * the TaskStart/TaskEnd trace pair and the per-task Vmin histogram
-     * when telemetry is attached.
+     * policy (plus any supervisor margin) admitted it at the current
+     * voltage against @p need; @p base_need is the bare policy
+     * requirement the supervisor's drift estimator compares against.
+     * Emits the TaskStart/TaskEnd trace pair and the per-task Vmin
+     * histogram when telemetry is attached.
      */
     bool
-    runCommitted(const SchedTask &task, Volts need)
+    runCommitted(const SchedTask &task, Volts need, Volts base_need)
     {
         ++tasks_started;
         const Volts resting = device.restingVoltage();
@@ -154,6 +159,11 @@ struct Trial
                       handles->name_id, run.vmin.value(),
                       run.completed);
             handles->vmin->record(run.vmin.value());
+        }
+        if (sup != nullptr) {
+            sup->noteOutcome(task.name, run.completed, resting,
+                             base_need, run.vmin, device.voff(),
+                             device.now());
         }
         if (run.completed)
             ++tasks_completed;
@@ -187,6 +197,15 @@ struct Trial
     {
         const EventSpec &spec = app.events[event.spec_index];
         const Seconds deadline = event.arrival + spec.deadline;
+
+        // Shed the whole event up front when a demoted link makes the
+        // chain un-runnable — better one counted loss now than burning
+        // the deadline waiting for a chain that cannot finish.
+        if (sup != nullptr && !sup->admitChain(spec, device.now())) {
+            ++stats.lost;
+            return;
+        }
+
         const Volts need = policy.chainStart(spec);
 
         sim::WaitResult wait = device.idleUntilVoltage(need, deadline);
@@ -197,14 +216,27 @@ struct Trial
         }
 
         for (const auto &task : spec.chain) {
-            const Volts task_need = policy.taskStart(task);
+            const Volts base_need = policy.taskStart(task);
+            Volts task_need = base_need;
+            if (sup != nullptr) {
+                const Admission admission = sup->admitTask(
+                    task.name, base_need, device.vhigh(), device.now());
+                if (!admission.admit) {
+                    ++stats.lost; // Shed mid-chain (demotion).
+                    return;
+                }
+                task_need = admission.need;
+            }
             wait = device.idleUntilVoltage(task_need, deadline);
             if (!wait.reached()) {
+                if (sup != nullptr &&
+                    wait.status == sim::WaitStatus::Unreachable)
+                    sup->noteUnreachable(task.name, device.now());
                 idleOutWindow(wait, deadline);
                 ++stats.lost;
                 return;
             }
-            if (!runCommitted(task, task_need)) {
+            if (!runCommitted(task, task_need, base_need)) {
                 // Brown-out mid-chain: the event is lost and the device
                 // must fully recharge before doing anything else.
                 ++stats.lost;
@@ -272,8 +304,11 @@ runOneTrial(const AppSpec &app, const Policy &policy,
     trial.device.forceOutputEnabled(true);
     trial.device.setTelemetry(scratch);
     trial.tel = trial.device.telemetry();
+    trial.sup = config.supervisor;
     if (config.faults != nullptr)
         config.faults->onTelemetry(trial.tel);
+    if (config.supervisor != nullptr)
+        config.supervisor->onTelemetry(trial.tel);
 
     trial.result.per_event.resize(app.events.size());
     for (std::size_t i = 0; i < app.events.size(); ++i)
@@ -346,14 +381,33 @@ runOneTrial(const AppSpec &app, const Policy &policy,
             trial.device.now() - last_background >=
                 app.background_period) {
             const Volts threshold = policy.backgroundThreshold(app);
-            if (trial.device.observedVoltage() >= threshold) {
-                trial.runCommitted(*app.background, threshold);
+            bool admitted = true;
+            Volts bg_need = threshold;
+            if (trial.sup != nullptr) {
+                const Admission admission = trial.sup->admitTask(
+                    app.background->name, threshold,
+                    trial.device.vhigh(), trial.device.now());
+                admitted = admission.admit;
+                bg_need = admission.need;
+            }
+            if (!admitted) {
+                // Shed this slot but keep the pacing clock running so
+                // a demoted background task costs one skipped period,
+                // not a tight re-admission poll.
+                last_background = trial.device.now();
+            } else if (trial.device.observedVoltage() >= bg_need) {
+                trial.runCommitted(*app.background, bg_need, threshold);
                 ++trial.result.background_runs;
                 last_background = trial.device.now();
             } else {
                 const sim::WaitResult wait =
-                    trial.device.idleUntilVoltage(threshold,
+                    trial.device.idleUntilVoltage(bg_need,
                                                   wait_deadline);
+                if (trial.sup != nullptr &&
+                    wait.status == sim::WaitStatus::Unreachable) {
+                    trial.sup->noteUnreachable(app.background->name,
+                                               trial.device.now());
+                }
                 if (wait.status == sim::WaitStatus::DeadlineExpired ||
                     wait.status == sim::WaitStatus::Unreachable)
                     trial.device.idleUntil(target);
@@ -391,6 +445,8 @@ runOneTrial(const AppSpec &app, const Policy &policy,
     }
     if (config.faults != nullptr)
         config.faults->onTelemetry(nullptr);
+    if (config.supervisor != nullptr)
+        config.supervisor->onTelemetry(nullptr);
     return trial.result;
 }
 
@@ -480,13 +536,14 @@ runTrialsWith(const AppSpec &app, const Policy &policy,
     };
 
     // Stateful instruments (a fault injector's one-shot schedule, an
-    // invariant monitor's commitment stack) cannot be shared across
-    // concurrent trials; clean sweeps parallelize. Either way, per-trial
-    // seeds depend only on the index and the merge below runs in trial
-    // order, so results are identical.
+    // invariant monitor's commitment stack, a supervisor's adaptive
+    // margins) cannot be shared across concurrent trials; clean sweeps
+    // parallelize. Either way, per-trial seeds depend only on the index
+    // and the merge below runs in trial order, so results are identical.
     std::vector<TrialRun> runs;
-    const bool parallel_ok =
-        config.faults == nullptr && config.observer == nullptr;
+    const bool parallel_ok = config.faults == nullptr &&
+                             config.observer == nullptr &&
+                             config.supervisor == nullptr;
     if (parallel_ok && config.trials > 1) {
         std::vector<unsigned> indices(config.trials);
         for (unsigned t = 0; t < config.trials; ++t)
@@ -518,34 +575,6 @@ runTrialsWith(const AppSpec &app, const Policy &policy,
     aggregate.power_failures_per_trial =
         double(total_failures) / double(config.trials);
     return aggregate;
-}
-
-TrialResult
-runTrial(const AppSpec &app, const Policy &policy, Seconds duration,
-         std::uint64_t seed, const TrialInstruments &instruments)
-{
-    TrialConfig config;
-    config.duration = duration;
-    config.seed = seed;
-    config.force_euler = instruments.force_euler;
-    config.faults = instruments.faults;
-    config.observer = instruments.observer;
-    return runTrialWith(app, policy, config);
-}
-
-AggregateResult
-runTrials(const AppSpec &app, const Policy &policy, Seconds duration,
-          unsigned trials, std::uint64_t base_seed,
-          const TrialInstruments &instruments)
-{
-    TrialConfig config;
-    config.duration = duration;
-    config.seed = base_seed;
-    config.trials = trials;
-    config.force_euler = instruments.force_euler;
-    config.faults = instruments.faults;
-    config.observer = instruments.observer;
-    return runTrialsWith(app, policy, config);
 }
 
 } // namespace culpeo::sched

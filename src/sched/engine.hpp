@@ -12,10 +12,9 @@
  *
  * Entry points: one trial is runTrialWith(app, policy, config); a sweep
  * of config.trials independently seeded trials is runTrialsWith(). All
- * knobs — duration, seeding, instrumentation, telemetry — live in
- * TrialConfig; the fluent culpeo::TrialBuilder (sched/trial.hpp) is the
- * ergonomic front end. The historical free functions runTrial()/
- * runTrials() survive as deprecated shims for one release.
+ * knobs — duration, seeding, instrumentation, supervision, telemetry —
+ * live in TrialConfig; the fluent culpeo::TrialBuilder
+ * (sched/trial.hpp) is the ergonomic front end.
  */
 
 #ifndef CULPEO_SCHED_ENGINE_HPP
@@ -32,6 +31,8 @@
 #include "telemetry/telemetry.hpp"
 
 namespace culpeo::sched {
+
+class Supervisor;
 
 /** Outcome counters for one event type. */
 struct EventTypeStats
@@ -118,6 +119,14 @@ struct TrialConfig
      * index. Attaching telemetry does NOT force the Euler backend.
      */
     telemetry::Telemetry *telemetry = nullptr;
+    /**
+     * Drift-aware safety supervisor (sched/supervisor.hpp); may be
+     * null. When attached, every dispatch is gated through it and every
+     * outcome feeds its drift/recovery state. The supervisor learns
+     * across a sweep's trials and is stateful, so attaching one
+     * serializes runTrialsWith(); it does NOT force the Euler backend.
+     */
+    Supervisor *supervisor = nullptr;
 };
 
 /** Run one trial of @p app under @p policy (already initialized). */
@@ -149,32 +158,6 @@ struct AggregateResult
  */
 AggregateResult runTrialsWith(const AppSpec &app, const Policy &policy,
                               const TrialConfig &config = {});
-
-/**
- * Historical instrument bundle, superseded by TrialConfig.
- * @deprecated Use TrialConfig (or culpeo::TrialBuilder).
- */
-struct TrialInstruments
-{
-    sim::FaultHooks *faults = nullptr;
-    sim::StepObserver *observer = nullptr;
-    bool force_euler = false;
-};
-
-/** @deprecated Use runTrialWith() or culpeo::TrialBuilder. */
-[[deprecated("use runTrialWith(app, policy, TrialConfig) or "
-             "culpeo::TrialBuilder")]]
-TrialResult runTrial(const AppSpec &app, const Policy &policy,
-                     Seconds duration, std::uint64_t seed,
-                     const TrialInstruments &instruments = {});
-
-/** @deprecated Use runTrialsWith() or culpeo::TrialBuilder. */
-[[deprecated("use runTrialsWith(app, policy, TrialConfig) or "
-             "culpeo::TrialBuilder")]]
-AggregateResult runTrials(const AppSpec &app, const Policy &policy,
-                          Seconds duration, unsigned trials,
-                          std::uint64_t base_seed = 7,
-                          const TrialInstruments &instruments = {});
 
 } // namespace culpeo::sched
 

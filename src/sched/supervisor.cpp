@@ -1,0 +1,322 @@
+#include "supervisor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "telemetry/telemetry.hpp"
+
+namespace culpeo::sched {
+
+Supervisor::Supervisor(SupervisorOptions options) : options_(options) {}
+
+Supervisor::TaskState &
+Supervisor::state(const std::string &name)
+{
+    return tasks_[name];
+}
+
+bool
+Supervisor::probeDue(const TaskState &task, Seconds now) const
+{
+    return now >= task.probe_at;
+}
+
+std::uint32_t
+Supervisor::label(TaskState &task, const std::string &name)
+{
+    if constexpr (telemetry::kEnabled) {
+        if (task.label == 0 && telemetry_ != nullptr)
+            task.label = telemetry_->trace().intern(name);
+    } else {
+        (void)name;
+    }
+    return task.label;
+}
+
+void
+Supervisor::emit(telemetry::EventKind kind, Seconds now, double voltage_v,
+                 std::uint32_t name_id, double value, bool flag)
+{
+    if constexpr (telemetry::kEnabled) {
+        if (telemetry_ != nullptr) {
+            telemetry_->emit(kind, now.value(), voltage_v, name_id,
+                             value, flag);
+        }
+    } else {
+        (void)kind;
+        (void)now;
+        (void)voltage_v;
+        (void)name_id;
+        (void)value;
+        (void)flag;
+    }
+}
+
+void
+Supervisor::demote(TaskState &task, const std::string &name, Seconds now)
+{
+    task.health = TaskHealth::Demoted;
+    task.consecutive_brownouts = 0;
+    task.probe_pending = false;
+    ++task.demotions;
+    const double backoff =
+        std::pow(options_.probe_backoff, double(task.demotions - 1));
+    const double interval =
+        std::min(options_.max_probe_interval.value(),
+                 options_.probe_interval.value() * backoff);
+    task.probe_at = now + Seconds(interval);
+    ++stats_.sheds;
+    if constexpr (telemetry::kEnabled) {
+        if (ctr_sheds_ != nullptr)
+            ctr_sheds_->add();
+    }
+    emit(telemetry::EventKind::TaskShed, now, 0.0, label(task, name),
+         task.probe_at.value());
+}
+
+void
+Supervisor::setMargin(TaskState &task, const std::string &name,
+                      double margin_v, Seconds now)
+{
+    margin_v = std::clamp(margin_v, 0.0, options_.max_margin.value());
+    const double delta = margin_v - task.margin_v;
+    if (delta == 0.0)
+        return;
+    const bool inflation = delta > 0.0;
+    const bool notable =
+        std::abs(delta) >= options_.margin_quantum.value();
+    task.margin_v = margin_v;
+    if (inflation) {
+        ++stats_.margin_inflations;
+        if constexpr (telemetry::kEnabled) {
+            if (ctr_margin_inflations_ != nullptr)
+                ctr_margin_inflations_->add();
+        }
+    }
+    if (notable) {
+        emit(telemetry::EventKind::MarginUpdate, now, 0.0,
+             label(task, name), margin_v, inflation);
+    }
+}
+
+void
+Supervisor::updateDrift(TaskState &task, const std::string &name,
+                        double deficit_v, Seconds now)
+{
+    if (!task.ewma_valid) {
+        task.deficit_ewma_v = deficit_v;
+        task.ewma_valid = true;
+    } else {
+        task.deficit_ewma_v += options_.ewma_alpha *
+                               (deficit_v - task.deficit_ewma_v);
+    }
+
+    // Alarm latch with hysteresis: raise when the smoothed deficit
+    // climbs within drift_threshold of unsafe (deficit 0 = the base
+    // requirement browns out exactly), re-arm a full threshold lower.
+    const double alarm_level = -options_.drift_threshold.value();
+    if (!task.alarm && task.deficit_ewma_v > alarm_level) {
+        task.alarm = true;
+        ++stats_.drift_alarms;
+        if constexpr (telemetry::kEnabled) {
+            if (ctr_drift_alarms_ != nullptr)
+                ctr_drift_alarms_->add();
+        }
+        emit(telemetry::EventKind::DriftAlarm, now, 0.0,
+             label(task, name), task.deficit_ewma_v);
+    } else if (task.alarm && task.deficit_ewma_v <
+                                 alarm_level -
+                                     options_.drift_threshold.value()) {
+        task.alarm = false;
+    }
+
+    // Track the estimate from below, decay toward it from above. The
+    // floor leads the drift (slack above the smoothed deficit); the
+    // decay forgets brown-out inflation once completions resume and the
+    // alarm has cleared.
+    const double floor = task.deficit_ewma_v + options_.drift_slack.value();
+    double target = task.margin_v;
+    if (floor > target)
+        target = floor;
+    else if (!task.alarm)
+        target = std::max(floor, target * options_.margin_decay);
+    setMargin(task, name, target, now);
+}
+
+Admission
+Supervisor::admitTask(const std::string &name, Volts base_need,
+                      Volts ceiling, Seconds now)
+{
+    TaskState &task = state(name);
+    const double cap = (ceiling - options_.ceiling_slack).value();
+
+    if (task.health == TaskHealth::Demoted) {
+        if (!probeDue(task, now)) {
+            ++stats_.shed_skips;
+            if constexpr (telemetry::kEnabled) {
+                if (ctr_shed_skips_ != nullptr)
+                    ctr_shed_skips_->add();
+            }
+            return {false, base_need + Volts(task.margin_v)};
+        }
+        // Probe: one genuine attempt. Enter Recovering with the budget
+        // spent, so a single failure demotes again (with a longer probe
+        // interval) instead of re-opening the whole retry budget.
+        task.health = TaskHealth::Recovering;
+        task.consecutive_brownouts = options_.retry_budget;
+        task.probe_pending = true;
+        ++stats_.readmissions;
+        if constexpr (telemetry::kEnabled) {
+            if (ctr_readmissions_ != nullptr)
+                ctr_readmissions_->add();
+        }
+        emit(telemetry::EventKind::TaskReadmit, now, 0.0,
+             label(task, name), double(task.demotions));
+    }
+
+    double need = base_need.value() + task.margin_v;
+    if (need > cap) {
+        if (task.probe_pending || base_need.value() > cap) {
+            // A probe runs from the best reachable voltage — and so
+            // does a task whose *base* requirement already exceeds the
+            // ceiling, where no margin policy can help and refusing
+            // outright would just starve it without evidence.
+            need = std::max(base_need.value(), cap);
+        } else {
+            demote(task, name, now);
+            return {false, Volts(need)};
+        }
+    }
+    return {true, Volts(need)};
+}
+
+bool
+Supervisor::admitChain(const EventSpec &spec, Seconds now) const
+{
+    for (const auto &task : spec.chain) {
+        const auto it = tasks_.find(task.name);
+        if (it == tasks_.end())
+            continue;
+        const TaskState &state = it->second;
+        if (state.health == TaskHealth::Demoted && !probeDue(state, now))
+            return false;
+    }
+    return true;
+}
+
+void
+Supervisor::noteOutcome(const std::string &name, bool completed,
+                        Volts admitted_at, Volts base_need, Volts vmin,
+                        Volts voff, Seconds now)
+{
+    TaskState &task = state(name);
+    const bool was_probe = task.probe_pending;
+    task.probe_pending = false;
+
+    // The start voltage at which this run's Vmin would have grazed Voff
+    // is the task's *true* requirement; the deficit is how far it sits
+    // above the policy's model. Both admitted_at and vmin move together
+    // with the margin, so the deficit measures pure model error.
+    const double deficit = (admitted_at - vmin + voff).value() -
+                           base_need.value();
+
+    if (completed) {
+        task.consecutive_brownouts = 0;
+        task.health = TaskHealth::Healthy;
+        updateDrift(task, name, deficit, now);
+        return;
+    }
+
+    // Brown-out. The clipped Vmin makes the deficit a lower bound on
+    // the true error — still sound evidence for the estimator.
+    updateDrift(task, name, deficit, now);
+    ++task.consecutive_brownouts;
+    ++stats_.retries;
+    if constexpr (telemetry::kEnabled) {
+        if (ctr_retries_ != nullptr)
+            ctr_retries_->add();
+    }
+    emit(telemetry::EventKind::TaskRetry, now, admitted_at.value(),
+         label(task, name), double(task.consecutive_brownouts),
+         was_probe);
+    if (task.consecutive_brownouts > options_.retry_budget) {
+        demote(task, name, now);
+        return;
+    }
+    task.health = TaskHealth::Recovering;
+    const double bump =
+        options_.margin_step.value() *
+        std::pow(options_.backoff_factor,
+                 double(task.consecutive_brownouts - 1));
+    setMargin(task, name, task.margin_v + bump, now);
+}
+
+void
+Supervisor::noteUnreachable(const std::string &name, Seconds now)
+{
+    TaskState &task = state(name);
+    task.probe_pending = false;
+    if (task.health != TaskHealth::Demoted)
+        demote(task, name, now);
+}
+
+void
+Supervisor::onTelemetry(telemetry::Telemetry *telemetry)
+{
+    if constexpr (!telemetry::kEnabled) {
+        (void)telemetry;
+        return;
+    }
+    telemetry_ = telemetry;
+    ctr_drift_alarms_ = nullptr;
+    ctr_margin_inflations_ = nullptr;
+    ctr_retries_ = nullptr;
+    ctr_sheds_ = nullptr;
+    ctr_shed_skips_ = nullptr;
+    ctr_readmissions_ = nullptr;
+    for (auto &entry : tasks_)
+        entry.second.label = 0; // Labels belong to the detached sink.
+    if (telemetry_ == nullptr)
+        return;
+    namespace names = telemetry::names;
+    telemetry::Registry &reg = telemetry_->registry();
+    ctr_drift_alarms_ = &reg.counter(names::kSupervisorDriftAlarms);
+    ctr_margin_inflations_ =
+        &reg.counter(names::kSupervisorMarginInflations);
+    ctr_retries_ = &reg.counter(names::kSupervisorRetries);
+    ctr_sheds_ = &reg.counter(names::kSupervisorSheds);
+    ctr_shed_skips_ = &reg.counter(names::kSupervisorShedSkips);
+    ctr_readmissions_ = &reg.counter(names::kSupervisorReadmissions);
+}
+
+TaskHealth
+Supervisor::stateOf(const std::string &name) const
+{
+    const auto it = tasks_.find(name);
+    return it == tasks_.end() ? TaskHealth::Healthy : it->second.health;
+}
+
+Volts
+Supervisor::marginOf(const std::string &name) const
+{
+    const auto it = tasks_.find(name);
+    return Volts(it == tasks_.end() ? 0.0 : it->second.margin_v);
+}
+
+Volts
+Supervisor::driftOf(const std::string &name) const
+{
+    const auto it = tasks_.find(name);
+    return Volts(it == tasks_.end() || !it->second.ewma_valid
+                     ? 0.0
+                     : it->second.deficit_ewma_v);
+}
+
+void
+Supervisor::reset()
+{
+    tasks_.clear();
+    stats_ = SupervisorStats{};
+}
+
+} // namespace culpeo::sched

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Drift-aware safety supervisor: the closed loop that keeps Vsafe-gated
+ * dispatch safe when the power system drifts away from the profile it
+ * was measured on (capacitance fade, ESR growth, leakage creep — see
+ * fault/degradation.hpp).
+ *
+ * The supervisor wraps any sched::Policy without replacing it. Callers
+ * (sched/engine, runtime/intermittent) ask it to *admit* each dispatch:
+ * the policy supplies the base requirement, the supervisor layers an
+ * adaptive per-task margin on top and can refuse the dispatch outright.
+ * After every attempt the caller reports the outcome, which drives
+ * three mechanisms per task:
+ *
+ *  1. Drift detection (generalizes adaptive.hpp's ChargeRateMonitor
+ *     from harvest rate to task energy): every completed run yields the
+ *     *margin deficit* — how far the true start-voltage requirement
+ *     (reconstructed from the observed Vmin) sits above the policy's
+ *     base requirement. Positive deficit means dispatching at the base
+ *     requirement would brown out. An EWMA of the deficit crossing
+ *     -drift_threshold raises a drift alarm and floors the margin at
+ *     ewma + drift_slack, so the margin tracks drift *before* the first
+ *     brown-out. The deficit is invariant to the margin itself (both
+ *     the admit voltage and the observed Vmin shift together), so the
+ *     estimator measures pure model error.
+ *
+ *  2. Brown-out recovery with bounded retry: each consecutive brown-out
+ *     of a task inflates its margin by margin_step * backoff_factor^n
+ *     and consumes one retry from retry_budget.
+ *
+ *  3. Graceful degradation: when the budget is exhausted, the wait is
+ *     proven unreachable, or the inflated requirement exceeds the
+ *     reachable ceiling (Vhigh minus slack), the task is *demoted* —
+ *     skipped instead of livelocking the schedule. A recovery probe
+ *     re-admits it after an exponentially backed-off interval; the
+ *     probe attempt runs from the best reachable voltage, and a single
+ *     failure re-demotes.
+ *
+ * Per-task state machine:
+ *
+ *     Healthy --brown-out--> Recovering --budget exhausted--> Demoted
+ *        ^                      |   ^                            |
+ *        +----task completed----+   +------probe re-admission----+
+ *
+ * Every decision emits a trace event (DriftAlarm, MarginUpdate,
+ * TaskRetry, TaskShed, TaskReadmit) and bumps a supervisor.* counter
+ * when a telemetry sink is attached; SupervisorStats mirrors the
+ * counters unconditionally for telemetry-off builds.
+ *
+ * The supervisor is deterministic (no RNG) and keyed by task name.
+ * State persists across calls — reset() between unrelated runs.
+ */
+
+#ifndef CULPEO_SCHED_SUPERVISOR_HPP
+#define CULPEO_SCHED_SUPERVISOR_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sched/app.hpp"
+#include "util/units.hpp"
+
+namespace culpeo::telemetry {
+class Counter;
+class Telemetry;
+enum class EventKind : std::uint8_t;
+} // namespace culpeo::telemetry
+
+namespace culpeo::sched {
+
+using units::Seconds;
+using units::Volts;
+
+/** Where a task sits in the supervisor's state machine. */
+enum class TaskHealth {
+    Healthy,    ///< No open incident; margin tracks the drift estimate.
+    Recovering, ///< Browned out recently; inflated margin, retries left.
+    Demoted,    ///< Shed from the schedule until the next recovery probe.
+};
+
+/** Tuning for the supervisor's three mechanisms. */
+struct SupervisorOptions
+{
+    /** EWMA smoothing for the per-task margin-deficit estimate. */
+    double ewma_alpha = 0.3;
+    /** Alarm when the deficit EWMA rises above -drift_threshold. */
+    Volts drift_threshold{10e-3};
+    /** While adapting, keep the margin at deficit EWMA + this slack. */
+    Volts drift_slack{15e-3};
+    /** First post-brown-out margin bump (then times backoff_factor^n). */
+    Volts margin_step{20e-3};
+    double backoff_factor = 2.0;
+    /** Margins never inflate beyond this. */
+    Volts max_margin{0.5};
+    /** Consecutive brown-outs tolerated before demotion. */
+    unsigned retry_budget = 3;
+    /** First demotion's probe delay (then times probe_backoff^n). */
+    Seconds probe_interval{20.0};
+    double probe_backoff = 2.0;
+    Seconds max_probe_interval{300.0};
+    /** Healthy, alarm-free completions relax the margin by this factor. */
+    double margin_decay = 0.98;
+    /** MarginUpdate trace events fire only for moves >= this quantum. */
+    Volts margin_quantum{2e-3};
+    /** Requirements must stay below ceiling - this to count reachable. */
+    Volts ceiling_slack{10e-3};
+};
+
+/** Decision counters, mirrored into telemetry when a sink is attached. */
+struct SupervisorStats
+{
+    std::uint64_t drift_alarms = 0;
+    std::uint64_t margin_inflations = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t sheds = 0;
+    std::uint64_t shed_skips = 0; ///< Dispatches refused while demoted.
+    std::uint64_t readmissions = 0;
+};
+
+/** Verdict for one dispatch request. */
+struct Admission
+{
+    bool admit = false;
+    /** Effective start-voltage requirement (base + adaptive margin). */
+    Volts need{0.0};
+};
+
+/** The drift-aware safety supervisor. See the file comment. */
+class Supervisor
+{
+  public:
+    explicit Supervisor(SupervisorOptions options = {});
+
+    const SupervisorOptions &options() const { return options_; }
+
+    /**
+     * Ask to dispatch @p name whose policy requirement is @p base_need
+     * on a device whose recharge ceiling is @p ceiling (Vhigh). A
+     * demoted task is refused until its probe is due; a requirement the
+     * margin pushed beyond the ceiling demotes the task on the spot
+     * (probes instead clamp to the ceiling for one genuine attempt).
+     */
+    Admission admitTask(const std::string &name, Volts base_need,
+                        Volts ceiling, Seconds now);
+
+    /**
+     * True when no task of @p spec's chain is demoted with its probe
+     * still pending (read-only: no state changes, no probe
+     * consumption). Refusing the whole event up front beats spending
+     * its deadline waiting for a chain that ends in a shed link.
+     */
+    bool admitChain(const EventSpec &spec, Seconds now) const;
+
+    /**
+     * Report the outcome of an admitted dispatch. @p admitted_at is the
+     * resting voltage the task actually started from, @p base_need the
+     * policy requirement passed to admitTask, @p vmin the minimum
+     * terminal voltage of the run, @p voff the brown-out threshold.
+     */
+    void noteOutcome(const std::string &name, bool completed,
+                     Volts admitted_at, Volts base_need, Volts vmin,
+                     Volts voff, Seconds now);
+
+    /** The device proved @p name's wait unsatisfiable: demote it now. */
+    void noteUnreachable(const std::string &name, Seconds now);
+
+    /**
+     * Attach the (per-trial) telemetry sink, resolving counters and
+     * trace labels once; pass nullptr to detach. Mirrors the
+     * FaultInjector contract.
+     */
+    void onTelemetry(telemetry::Telemetry *telemetry);
+
+    TaskHealth stateOf(const std::string &name) const;
+    /** Current adaptive margin for @p name (0 for unknown tasks). */
+    Volts marginOf(const std::string &name) const;
+    /** Margin-deficit EWMA for @p name (0 until the first completion). */
+    Volts driftOf(const std::string &name) const;
+
+    const SupervisorStats &stats() const { return stats_; }
+
+    /** Forget all per-task state and zero the stats. */
+    void reset();
+
+  private:
+    struct TaskState
+    {
+        TaskHealth health = TaskHealth::Healthy;
+        double margin_v = 0.0;
+        double deficit_ewma_v = 0.0;
+        bool ewma_valid = false;
+        bool alarm = false;
+        unsigned consecutive_brownouts = 0;
+        unsigned demotions = 0;
+        Seconds probe_at{0.0};
+        /** One clamped-to-ceiling attempt granted by a probe. */
+        bool probe_pending = false;
+        std::uint32_t label = 0; ///< Interned trace label (0 = unset).
+    };
+
+    TaskState &state(const std::string &name);
+    bool probeDue(const TaskState &task, Seconds now) const;
+    void demote(TaskState &task, const std::string &name, Seconds now);
+    void setMargin(TaskState &task, const std::string &name,
+                   double margin_v, Seconds now);
+    void updateDrift(TaskState &task, const std::string &name,
+                     double deficit_v, Seconds now);
+    std::uint32_t label(TaskState &task, const std::string &name);
+    void emit(telemetry::EventKind kind, Seconds now, double voltage_v,
+              std::uint32_t name_id, double value, bool flag = false);
+
+    SupervisorOptions options_;
+    SupervisorStats stats_;
+    std::map<std::string, TaskState> tasks_;
+
+    telemetry::Telemetry *telemetry_ = nullptr;
+    telemetry::Counter *ctr_drift_alarms_ = nullptr;
+    telemetry::Counter *ctr_margin_inflations_ = nullptr;
+    telemetry::Counter *ctr_retries_ = nullptr;
+    telemetry::Counter *ctr_sheds_ = nullptr;
+    telemetry::Counter *ctr_shed_skips_ = nullptr;
+    telemetry::Counter *ctr_readmissions_ = nullptr;
+};
+
+} // namespace culpeo::sched
+
+#endif // CULPEO_SCHED_SUPERVISOR_HPP

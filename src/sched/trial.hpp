@@ -116,6 +116,16 @@ class TrialBuilder
         return *this;
     }
 
+    /**
+     * Drift-aware safety supervisor (sched/supervisor.hpp); stateful,
+     * so runAll() sweeps run serially. Keeps the fast path.
+     */
+    TrialBuilder &supervisor(sched::Supervisor *supervisor)
+    {
+        config_.supervisor = supervisor;
+        return *this;
+    }
+
     /** The assembled config (for inspection or reuse). */
     const sched::TrialConfig &builtConfig() const { return config_; }
 

@@ -81,6 +81,13 @@ Telemetry::summary() const
         counterOr0(registry_, names::kSchedTasksCompleted);
     out.reboots = counterOr0(registry_, names::kRuntimeReboots);
     out.faults_injected = counterOr0(registry_, names::kFaultInjected);
+    out.drift_alarms =
+        counterOr0(registry_, names::kSupervisorDriftAlarms);
+    out.margin_inflations =
+        counterOr0(registry_, names::kSupervisorMarginInflations);
+    out.sheds = counterOr0(registry_, names::kSupervisorSheds);
+    out.readmissions =
+        counterOr0(registry_, names::kSupervisorReadmissions);
     return out;
 }
 

@@ -70,6 +70,21 @@ inline constexpr const char *kRuntimeReboots = "runtime.reboots";
 inline constexpr const char *kRuntimeTaskRetries =
     "runtime.task_retries";
 inline constexpr const char *kFaultInjected = "fault.injected";
+inline constexpr const char *kSupervisorDriftAlarms =
+    "supervisor.drift_alarms";
+inline constexpr const char *kSupervisorMarginInflations =
+    "supervisor.margin_inflations";
+inline constexpr const char *kSupervisorRetries = "supervisor.retries";
+inline constexpr const char *kSupervisorSheds = "supervisor.sheds";
+inline constexpr const char *kSupervisorShedSkips =
+    "supervisor.shed_skips";
+inline constexpr const char *kSupervisorReadmissions =
+    "supervisor.readmissions";
+inline constexpr const char *kVsafeCacheHits = "harness.vsafe_cache.hits";
+inline constexpr const char *kVsafeCacheMisses =
+    "harness.vsafe_cache.misses";
+inline constexpr const char *kVsafeCacheEvictions =
+    "harness.vsafe_cache.evictions";
 
 /** Histogram of per-execution Vmin for @p task ("task.vmin/<task>"). */
 std::string taskVmin(const std::string &task);
@@ -96,6 +111,10 @@ struct TelemetrySummary {
     std::uint64_t tasks_completed = 0;
     std::uint64_t reboots = 0;
     std::uint64_t faults_injected = 0;
+    std::uint64_t drift_alarms = 0;
+    std::uint64_t margin_inflations = 0;
+    std::uint64_t sheds = 0;
+    std::uint64_t readmissions = 0;
 
     /** Fraction of simulated time spent waiting for charge. */
     double rechargeFraction() const

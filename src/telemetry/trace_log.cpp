@@ -53,6 +53,16 @@ eventKindName(EventKind kind)
         return "vsafe_update";
     case EventKind::FaultInjected:
         return "fault_injected";
+    case EventKind::DriftAlarm:
+        return "drift_alarm";
+    case EventKind::MarginUpdate:
+        return "margin_update";
+    case EventKind::TaskRetry:
+        return "task_retry";
+    case EventKind::TaskShed:
+        return "task_shed";
+    case EventKind::TaskReadmit:
+        return "task_readmit";
     }
     return "unknown";
 }

@@ -39,6 +39,11 @@ enum class EventKind : std::uint8_t {
     RechargeExit,  ///< Recharge wait ended; `flag` true iff threshold hit.
     VsafeUpdate,   ///< A Vsafe estimate was (re)computed; `value` holds it.
     FaultInjected, ///< The fault injector perturbed the simulation.
+    DriftAlarm,    ///< Supervisor: prediction error crossed the threshold.
+    MarginUpdate,  ///< Supervisor: adaptive margin changed; `value` holds it.
+    TaskRetry,     ///< Supervisor: brown-out consumed a bounded retry.
+    TaskShed,      ///< Supervisor: task demoted; `value` is the probe time.
+    TaskReadmit,   ///< Supervisor: demoted task re-admitted for a probe.
 };
 
 /** Stable lowercase-snake name for @p kind (serialization). */

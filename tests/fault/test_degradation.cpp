@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Unit tests for the continuous degradation models: the pure time-domain
+ * math, the injector's composition of drift over stepped aging, and the
+ * randomPlan drift knobs (default off, bounded when enabled).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fault/degradation.hpp"
+#include "fault/injector.hpp"
+#include "sim/power_system.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+using fault::DegradationModel;
+using fault::DriftShape;
+using fault::FaultInjector;
+using fault::FaultKnobs;
+using fault::FaultPlan;
+
+TEST(DegradationModel, DefaultIsInactive)
+{
+    const DegradationModel model;
+    EXPECT_FALSE(model.active());
+    EXPECT_DOUBLE_EQ(model.capacitanceFractionAt(Seconds(100.0)), 1.0);
+    EXPECT_DOUBLE_EQ(model.esrMultiplierAt(Seconds(100.0)), 1.0);
+    EXPECT_DOUBLE_EQ(model.extraLeakageAt(Seconds(100.0)).value(), 0.0);
+}
+
+TEST(DegradationModel, AnyPerturbationActivates)
+{
+    DegradationModel esr;
+    esr.esr_multiplier_end = 1.1;
+    EXPECT_TRUE(esr.active());
+
+    DegradationModel cap;
+    cap.capacitance_fraction_end = 0.9;
+    EXPECT_TRUE(cap.active());
+
+    DegradationModel leak;
+    leak.leakage_growth = Amps(1e-6);
+    EXPECT_TRUE(leak.active());
+}
+
+TEST(DegradationModel, LinearRampReachesEndAndHolds)
+{
+    DegradationModel model;
+    model.shape = DriftShape::Linear;
+    model.onset = Seconds(10.0);
+    model.ramp = Seconds(100.0);
+    model.capacitance_fraction_end = 0.8;
+    model.esr_multiplier_end = 2.0;
+    model.leakage_growth = Amps(100e-6);
+
+    // Pristine before the onset.
+    EXPECT_DOUBLE_EQ(model.progressAt(Seconds(0.0)), 0.0);
+    EXPECT_DOUBLE_EQ(model.progressAt(Seconds(10.0)), 0.0);
+    EXPECT_DOUBLE_EQ(model.capacitanceFractionAt(Seconds(5.0)), 1.0);
+    EXPECT_DOUBLE_EQ(model.esrMultiplierAt(Seconds(5.0)), 1.0);
+
+    // Halfway through the ramp: values lerp halfway to their ends.
+    EXPECT_NEAR(model.progressAt(Seconds(60.0)), 0.5, 1e-12);
+    EXPECT_NEAR(model.capacitanceFractionAt(Seconds(60.0)), 0.9, 1e-12);
+    EXPECT_NEAR(model.esrMultiplierAt(Seconds(60.0)), 1.5, 1e-12);
+    EXPECT_NEAR(model.extraLeakageAt(Seconds(60.0)).value(), 50e-6,
+                1e-15);
+
+    // End of ramp and beyond: fully degraded, held.
+    EXPECT_DOUBLE_EQ(model.progressAt(Seconds(110.0)), 1.0);
+    EXPECT_DOUBLE_EQ(model.progressAt(Seconds(500.0)), 1.0);
+    EXPECT_DOUBLE_EQ(model.capacitanceFractionAt(Seconds(500.0)), 0.8);
+    EXPECT_DOUBLE_EQ(model.esrMultiplierAt(Seconds(500.0)), 2.0);
+}
+
+TEST(DegradationModel, ExponentialApproachesAsymptotically)
+{
+    DegradationModel model;
+    model.shape = DriftShape::Exponential;
+    model.onset = Seconds(0.0);
+    model.ramp = Seconds(50.0); // Time constant.
+    model.esr_multiplier_end = 3.0;
+
+    EXPECT_DOUBLE_EQ(model.progressAt(Seconds(0.0)), 0.0);
+    // One time constant: 1 - 1/e.
+    EXPECT_NEAR(model.progressAt(Seconds(50.0)), 1.0 - std::exp(-1.0),
+                1e-12);
+    // Monotone, always strictly below full progress.
+    double prev = 0.0;
+    for (double t = 10.0; t <= 400.0; t += 10.0) {
+        const double p = model.progressAt(Seconds(t));
+        EXPECT_GT(p, prev);
+        EXPECT_LT(p, 1.0);
+        prev = p;
+    }
+    // Five time constants: essentially done.
+    EXPECT_NEAR(model.progressAt(Seconds(250.0)), 1.0, 1e-2);
+}
+
+TEST(FaultInjectorDrift, ContinuousDriftAgesTheCapacitor)
+{
+    sim::PowerSystem system(sim::capybaraConfig());
+    system.setBufferVoltage(Volts(2.4));
+    system.forceOutputEnabled(true);
+
+    FaultPlan plan;
+    DegradationModel drift;
+    drift.shape = DriftShape::Linear;
+    drift.onset = Seconds(0.0);
+    drift.ramp = Seconds(1.0);
+    drift.capacitance_fraction_end = 0.8;
+    drift.esr_multiplier_end = 2.0;
+    plan.degradation = drift;
+    FaultInjector injector(plan);
+    system.setFaultHooks(&injector);
+
+    for (int i = 0; i < 500; ++i)
+        system.step(Seconds(1e-3), Amps(0.0));
+    // Mid-ramp: roughly halfway degraded.
+    EXPECT_NEAR(system.capacitor().config().capacitance_fraction, 0.9,
+                5e-3);
+    EXPECT_NEAR(system.capacitor().config().esr_multiplier, 1.5, 5e-2);
+
+    for (int i = 500; i < 1100; ++i)
+        system.step(Seconds(1e-3), Amps(0.0));
+    // Past the ramp: fully degraded (within the re-apply resolution).
+    EXPECT_NEAR(system.capacitor().config().capacitance_fraction, 0.8,
+                1e-3);
+    EXPECT_NEAR(system.capacitor().config().esr_multiplier, 2.0, 1e-2);
+}
+
+TEST(FaultInjectorDrift, DriftComposesOverAgingSteps)
+{
+    FaultPlan plan;
+    plan.aging_steps = {{Seconds(0.0), 0.9, 1.2}};
+    DegradationModel drift;
+    drift.shape = DriftShape::Linear;
+    drift.onset = Seconds(0.0);
+    drift.ramp = Seconds(1.0);
+    drift.capacitance_fraction_end = 0.8;
+    drift.esr_multiplier_end = 2.0;
+    plan.degradation = drift;
+    FaultInjector injector(plan);
+
+    // Past the ramp the applied values are the product of the stepped
+    // aging and the fully progressed drift.
+    const sim::FaultActions actions =
+        injector.onStep(Seconds(2.0), Seconds(1e-3));
+    ASSERT_TRUE(actions.apply_aging);
+    EXPECT_NEAR(actions.capacitance_fraction, 0.9 * 0.8, 1e-12);
+    EXPECT_NEAR(actions.esr_multiplier, 1.2 * 2.0, 1e-12);
+}
+
+TEST(FaultInjectorDrift, LeakageGrowthFeedsExtraLeakage)
+{
+    FaultPlan plan;
+    DegradationModel drift;
+    drift.shape = DriftShape::Linear;
+    drift.onset = Seconds(0.0);
+    drift.ramp = Seconds(1.0);
+    drift.leakage_growth = Amps(100e-6);
+    plan.degradation = drift;
+    FaultInjector injector(plan);
+
+    EXPECT_NEAR(
+        injector.onStep(Seconds(0.5), Seconds(1e-3)).extra_leakage.value(),
+        50e-6, 1e-12);
+    EXPECT_NEAR(
+        injector.onStep(Seconds(2.0), Seconds(1e-3)).extra_leakage.value(),
+        100e-6, 1e-12);
+}
+
+TEST(FaultInjectorDrift, SubResolutionChangesDoNotReapplyAging)
+{
+    FaultPlan plan;
+    DegradationModel drift;
+    drift.shape = DriftShape::Linear;
+    drift.onset = Seconds(0.0);
+    drift.ramp = Seconds(1000.0); // Glacial: ~1e-6 esr change per ms.
+    drift.esr_multiplier_end = 2.0;
+    plan.degradation = drift;
+    FaultInjector injector(plan);
+
+    unsigned applied = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (injector.onStep(Seconds(i * 1e-3), Seconds(1e-3)).apply_aging)
+            ++applied;
+    }
+    EXPECT_EQ(applied, 0u) << "sub-resolution drift must not churn "
+                              "applyAging every tick";
+}
+
+TEST(FaultInjectorDrift, ResetRestoresThePristinePart)
+{
+    FaultPlan plan;
+    DegradationModel drift;
+    drift.shape = DriftShape::Linear;
+    drift.onset = Seconds(0.0);
+    drift.ramp = Seconds(1.0);
+    drift.esr_multiplier_end = 2.0;
+    plan.degradation = drift;
+    FaultInjector injector(plan);
+
+    ASSERT_TRUE(injector.onStep(Seconds(2.0), Seconds(1e-3)).apply_aging);
+    injector.reset();
+    // At t = 0 progress is 0 and the applied state is back to pristine,
+    // so nothing needs re-applying.
+    EXPECT_FALSE(injector.onStep(Seconds(0.0), Seconds(1e-3)).apply_aging);
+    // Replaying past the ramp re-applies the same degradation.
+    const sim::FaultActions replay =
+        injector.onStep(Seconds(2.0), Seconds(1e-3));
+    ASSERT_TRUE(replay.apply_aging);
+    EXPECT_NEAR(replay.esr_multiplier, 2.0, 1e-12);
+}
+
+TEST(FaultInjectorDrift, DegradationNotesTelemetryOnce)
+{
+    if (!telemetry::kEnabled)
+        GTEST_SKIP() << "built with CULPEO_TELEMETRY=OFF";
+
+    FaultPlan plan;
+    DegradationModel drift;
+    drift.shape = DriftShape::Linear;
+    drift.onset = Seconds(0.5);
+    drift.ramp = Seconds(1.0);
+    drift.esr_multiplier_end = 2.0;
+    plan.degradation = drift;
+    FaultInjector injector(plan);
+    telemetry::Telemetry sink;
+    injector.onTelemetry(&sink);
+
+    for (int i = 0; i < 2000; ++i)
+        injector.onStep(Seconds(i * 1e-3), Seconds(1e-3));
+    const telemetry::Counter *injected =
+        sink.registry().findCounter(telemetry::names::kFaultInjected);
+    ASSERT_NE(injected, nullptr);
+    EXPECT_EQ(injected->value(), 1u)
+        << "continuous drift must note itself once at onset, not per tick";
+    injector.onTelemetry(nullptr);
+}
+
+TEST(RandomPlanDrift, DefaultKnobsNeverCarryDrift)
+{
+    for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+        util::Rng rng(seed);
+        const FaultPlan plan = fault::randomPlan(rng, Seconds(8.0));
+        EXPECT_FALSE(plan.degradation.has_value())
+            << "seed " << seed
+            << ": drift must stay opt-in (seed replays depend on the "
+               "historical draw sequence)";
+    }
+}
+
+TEST(RandomPlanDrift, EnabledKnobsProduceBoundedModels)
+{
+    FaultKnobs knobs;
+    knobs.drift_probability = 1.0;
+    const Seconds horizon(8.0);
+    for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+        util::Rng rng(seed);
+        const FaultPlan plan = fault::randomPlan(rng, horizon, knobs);
+        ASSERT_TRUE(plan.degradation.has_value()) << "seed " << seed;
+        const fault::DegradationModel &drift = *plan.degradation;
+        EXPECT_GE(drift.onset.value(), 0.0);
+        EXPECT_LE(drift.onset.value(), 0.5 * horizon.value());
+        EXPECT_GE(drift.ramp.value(), 0.1 * horizon.value());
+        EXPECT_LE(drift.ramp.value(), horizon.value());
+        EXPECT_GE(drift.capacitance_fraction_end,
+                  knobs.min_drift_capacitance_fraction);
+        EXPECT_LE(drift.capacitance_fraction_end, 1.0);
+        EXPECT_GE(drift.esr_multiplier_end, 1.0);
+        EXPECT_LE(drift.esr_multiplier_end,
+                  knobs.max_drift_esr_multiplier);
+        EXPECT_GE(drift.leakage_growth.value(), 0.0);
+        EXPECT_LE(drift.leakage_growth.value(),
+                  knobs.max_drift_leakage.value());
+    }
+}
+
+TEST(RandomPlanDrift, DriftPlansAreSeedDeterministic)
+{
+    FaultKnobs knobs;
+    knobs.drift_probability = 0.5;
+    for (std::uint64_t seed : {3ULL, 17ULL, 99ULL}) {
+        util::Rng a(seed);
+        util::Rng b(seed);
+        const FaultPlan pa = fault::randomPlan(a, Seconds(8.0), knobs);
+        const FaultPlan pb = fault::randomPlan(b, Seconds(8.0), knobs);
+        EXPECT_EQ(pa.summary(), pb.summary());
+        EXPECT_EQ(pa.degradation.has_value(), pb.degradation.has_value());
+        if (pa.degradation.has_value()) {
+            EXPECT_DOUBLE_EQ(pa.degradation->onset.value(),
+                             pb.degradation->onset.value());
+            EXPECT_DOUBLE_EQ(pa.degradation->esr_multiplier_end,
+                             pb.degradation->esr_multiplier_end);
+        }
+    }
+}
+
+} // namespace

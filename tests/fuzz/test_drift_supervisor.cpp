@@ -1,0 +1,442 @@
+/**
+ * @file
+ * Drift-scenario differential tests for the safety supervisor (the
+ * self-healing tentpole): under continuous capacitor degradation the
+ * unsupervised Culpeo policy — profiled once on the pristine part —
+ * brown-outs repeatedly, while the same policy wrapped by the
+ * sched::Supervisor adapts its margins ahead of the drift, keeps the
+ * invariant monitor clean, and still captures the still-feasible
+ * events. Abrupt damage exercises the other half of the state machine:
+ * bounded retry, demotion, and probe-driven re-admission, all visible
+ * in the exported JSONL trace.
+ *
+ * Same execution model as test_differential.cpp: scenarios are pure
+ * per-seed verdict computations on the shared pool, assertions replay
+ * serially, and CULPEO_FUZZ_SEED / CULPEO_FUZZ_ITERS replay and scale
+ * the randomized sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "fault/invariants.hpp"
+#include "fault/scenario.hpp"
+#include "load/library.hpp"
+#include "sched/policy.hpp"
+#include "sched/supervisor.hpp"
+#include "sched/trial.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/parallel.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+using namespace culpeo::units::literals;
+
+unsigned
+envUnsigned(const char *name, unsigned fallback)
+{
+    const char *value = std::getenv(name);
+    if (value == nullptr || *value == '\0')
+        return fallback;
+    const unsigned long parsed = std::strtoul(value, nullptr, 10);
+    return parsed == 0 ? fallback : unsigned(parsed);
+}
+
+bool
+seedOverridden()
+{
+    const char *value = std::getenv("CULPEO_FUZZ_SEED");
+    return value != nullptr && *value != '\0';
+}
+
+std::uint64_t
+baseSeed()
+{
+    const char *value = std::getenv("CULPEO_FUZZ_SEED");
+    if (value == nullptr || *value == '\0')
+        return 20220101; // Fixed default: tier-1 is deterministic.
+    return std::strtoull(value, nullptr, 10);
+}
+
+std::string
+seedHint(std::uint64_t seed)
+{
+    return "replay with CULPEO_FUZZ_SEED=" + std::to_string(seed) +
+           " CULPEO_FUZZ_ITERS=1";
+}
+
+std::vector<std::uint64_t>
+seedRange(std::uint64_t base, unsigned count)
+{
+    std::vector<std::uint64_t> seeds(count);
+    std::iota(seeds.begin(), seeds.end(), base);
+    return seeds;
+}
+
+/** The sink's whole trace as one JSONL string (empty when disabled). */
+std::string
+traceText(const telemetry::Telemetry &sink)
+{
+    std::ostringstream out;
+    sink.writeJsonl(out);
+    return out.str();
+}
+
+bool
+traceHasKind(const std::string &jsonl, const char *kind)
+{
+    return jsonl.find(std::string("\"kind\":\"") + kind + "\"") !=
+           std::string::npos;
+}
+
+/**
+ * The lifetime-drift app: one periodic sense event plus an aggressive
+ * background drain. The drain matters — it keeps the buffer hovering at
+ * the policy's reserve threshold, so event dispatches start from just
+ * above their requirement (the regime Theorem 1 is about) instead of
+ * coasting on a full buffer that hides the drift.
+ */
+sched::AppSpec
+driftApp()
+{
+    sched::AppSpec app;
+    app.name = "lifetime-drift";
+    app.power = sim::capybaraConfig();
+    app.harvest = 5.0_mW;
+
+    sched::EventSpec sense;
+    sense.name = "sense";
+    sense.arrival = sched::Arrival::Periodic;
+    sense.interval = 2.5_s;
+    sense.deadline = 2.5_s;
+    sense.chain = {{1, "sense", load::uniform(20.0_mA, 20.0_ms)}};
+    app.events.push_back(sense);
+
+    app.background =
+        sched::SchedTask{9, "drain", load::uniform(10.0_mA, 50.0_ms)};
+    app.background_period = 0.05_s;
+    return app;
+}
+
+/** Slow wear over most of the trial: ESR up 2.2x, capacitance -12%. */
+fault::FaultPlan
+lifetimeDriftPlan()
+{
+    fault::FaultPlan plan;
+    fault::DegradationModel drift;
+    drift.shape = fault::DriftShape::Linear;
+    drift.onset = 20.0_s;
+    drift.ramp = 200.0_s;
+    drift.esr_multiplier_end = 2.2;
+    drift.capacitance_fraction_end = 0.88;
+    plan.degradation = drift;
+    return plan;
+}
+
+/**
+ * The ISSUE's acceptance scenario: continuous ESR/capacitance drift
+ * over a 250 s trial. Unsupervised, the stale profile admits dispatches
+ * that brown out over and over (each one a Theorem-1 violation the
+ * invariant monitor flags, followed by a ~20 s full recharge that
+ * drops every event arriving meanwhile). Supervised, the drift
+ * detector's margin floor tracks the deficit EWMA ahead of the first
+ * brown-out: zero unsafe dispatches, zero power failures, and the
+ * still-feasible event stream stays nearly fully captured.
+ */
+TEST(DriftSupervisor, SupervisedSurvivesLifetimeDriftUnsupervisedDoesNot)
+{
+    const sched::AppSpec app = driftApp();
+    const fault::FaultPlan plan = lifetimeDriftPlan();
+    const Seconds duration = 250.0_s;
+
+    sched::CulpeoPolicy policy(/*use_uarch=*/true);
+    policy.initialize(app); // Pristine profile: drift makes it stale.
+
+    // --- Supervised run -------------------------------------------------
+    fault::FaultInjector sup_injector(plan, /*noise_seed=*/1);
+    fault::InvariantMonitor sup_monitor(app.power.monitor.voff);
+    sched::Supervisor supervisor;
+    telemetry::TelemetryConfig tel_config;
+    tel_config.trace_capacity = 1u << 15; // Long trial, keep every event.
+    telemetry::Telemetry sup_tel(tel_config);
+    const sched::TrialResult supervised = TrialBuilder()
+                                              .app(app)
+                                              .policy(policy)
+                                              .duration(duration)
+                                              .seed(1)
+                                              .faults(&sup_injector)
+                                              .observer(&sup_monitor)
+                                              .supervisor(&supervisor)
+                                              .telemetry(&sup_tel)
+                                              .run();
+
+    // --- Unsupervised run (identical scenario) --------------------------
+    fault::FaultInjector unsup_injector(plan, /*noise_seed=*/1);
+    fault::InvariantMonitor unsup_monitor(app.power.monitor.voff);
+    const sched::TrialResult unsupervised = TrialBuilder()
+                                                .app(app)
+                                                .policy(policy)
+                                                .duration(duration)
+                                                .seed(1)
+                                                .faults(&unsup_injector)
+                                                .observer(&unsup_monitor)
+                                                .run();
+
+    // Unsupervised: the stale profile commits unsafe dispatches — the
+    // monitor catches Theorem-1 violations and the device cycles
+    // through repeated brown-out/recharge, shedding most arrivals.
+    EXPECT_FALSE(unsup_monitor.clean())
+        << "drift never produced an unsafe dispatch; the scenario lost "
+           "its discriminating power";
+    EXPECT_GE(unsupervised.power_failures, 3u);
+    EXPECT_LT(unsupervised.eventStats("sense").captureRate(), 0.75);
+
+    // Supervised: same policy, same drift — zero unsafe dispatches,
+    // zero brown-outs, and the event stream stays captured.
+    EXPECT_TRUE(sup_monitor.clean()) << sup_monitor.report(1);
+    EXPECT_EQ(supervised.power_failures, 0u);
+    EXPECT_GE(supervised.eventStats("sense").captureRate(), 0.9);
+
+    // The adaptation is observable: the drift alarm fired and margins
+    // inflated before any brown-out could happen.
+    const sched::SupervisorStats &stats = supervisor.stats();
+    EXPECT_GE(stats.drift_alarms, 1u);
+    EXPECT_GE(stats.margin_inflations, 1u);
+    EXPECT_EQ(stats.sheds, 0u)
+        << "nothing in this scenario becomes infeasible; the supervisor "
+           "must absorb the drift without demoting";
+    EXPECT_GT(supervisor.marginOf("sense").value(), 0.0);
+
+    if (telemetry::kEnabled) {
+        const std::string jsonl = traceText(sup_tel);
+        EXPECT_TRUE(traceHasKind(jsonl, "drift_alarm"));
+        EXPECT_TRUE(traceHasKind(jsonl, "margin_update"));
+    }
+}
+
+/**
+ * Abrupt damage instead of slow wear: an AgingStep multiplies ESR by
+ * 2.5x mid-trial, making the heavy "burst" event genuinely infeasible
+ * (its post-step requirement exceeds Vhigh) while the light "beacon"
+ * stays feasible. The supervisor must retry within budget, demote the
+ * hopeless task instead of livelocking, keep probing it on the backed-
+ * off schedule, and leave every one of those decisions in the JSONL
+ * trace. Unsupervised, the burst brown-outs at every arrival and the
+ * collateral recharges starve the beacon too.
+ */
+TEST(DriftSupervisor, AbruptAgingShedsProbesAndKeepsTheLightTaskAlive)
+{
+    sched::AppSpec app;
+    app.name = "abrupt-aging";
+    app.power = sim::capybaraConfig();
+    app.harvest = 15.0_mW;
+
+    sched::EventSpec beacon;
+    beacon.name = "beacon";
+    beacon.arrival = sched::Arrival::Periodic;
+    beacon.interval = 2.5_s;
+    beacon.deadline = 2.5_s;
+    beacon.chain = {{1, "beacon", load::uniform(20.0_mA, 20.0_ms)}};
+    app.events.push_back(beacon);
+
+    sched::EventSpec burst;
+    burst.name = "burst";
+    burst.arrival = sched::Arrival::Periodic;
+    burst.interval = 10.0_s;
+    burst.deadline = 10.0_s;
+    burst.chain = {{2, "burst", load::uniform(50.0_mA, 60.0_ms)}};
+    app.events.push_back(burst);
+
+    fault::FaultPlan plan;
+    plan.aging_steps.push_back({25.0_s, /*capacitance_fraction=*/1.0,
+                                /*esr_multiplier=*/2.5});
+    const Seconds duration = 150.0_s;
+
+    sched::CulpeoPolicy policy(/*use_uarch=*/true);
+    policy.initialize(app);
+
+    fault::FaultInjector sup_injector(plan, 1);
+    sched::Supervisor supervisor;
+    telemetry::TelemetryConfig tel_config;
+    tel_config.trace_capacity = 1u << 15;
+    telemetry::Telemetry sup_tel(tel_config);
+    const sched::TrialResult supervised = TrialBuilder()
+                                              .app(app)
+                                              .policy(policy)
+                                              .duration(duration)
+                                              .seed(1)
+                                              .faults(&sup_injector)
+                                              .supervisor(&supervisor)
+                                              .telemetry(&sup_tel)
+                                              .run();
+
+    fault::FaultInjector unsup_injector(plan, 1);
+    const sched::TrialResult unsupervised = TrialBuilder()
+                                                .app(app)
+                                                .policy(policy)
+                                                .duration(duration)
+                                                .seed(1)
+                                                .faults(&unsup_injector)
+                                                .run();
+
+    // The full state machine ran: bounded retries, then demotion, then
+    // probe-driven re-admissions (which fail and re-demote — the task
+    // really is infeasible now).
+    const sched::SupervisorStats &stats = supervisor.stats();
+    EXPECT_GE(stats.retries, 1u);
+    EXPECT_GE(stats.sheds, 1u);
+    EXPECT_GE(stats.readmissions, 1u);
+    EXPECT_EQ(supervisor.stateOf("burst"), sched::TaskHealth::Demoted);
+    EXPECT_EQ(supervisor.stateOf("beacon"), sched::TaskHealth::Healthy);
+
+    // Graceful degradation, not a livelock: the supervised run spends a
+    // bounded number of brown-outs on the hopeless task (retry budget
+    // plus the occasional probe), where the unsupervised run pays one
+    // per arrival until the end of the trial.
+    EXPECT_GE(supervised.power_failures, 1u);
+    EXPECT_LE(supervised.power_failures, 12u);
+    EXPECT_LT(supervised.power_failures, unsupervised.power_failures);
+
+    // The collateral benefit: the still-feasible beacon keeps running
+    // because the device stops burning full recharges on the burst.
+    EXPECT_GT(supervised.eventStats("beacon").captureRate(),
+              unsupervised.eventStats("beacon").captureRate());
+
+    // Every decision is in the exported trace.
+    if (telemetry::kEnabled) {
+        const std::string jsonl = traceText(sup_tel);
+        EXPECT_TRUE(traceHasKind(jsonl, "task_retry"));
+        EXPECT_TRUE(traceHasKind(jsonl, "task_shed"));
+        EXPECT_TRUE(traceHasKind(jsonl, "task_readmit"));
+        EXPECT_TRUE(traceHasKind(jsonl, "margin_update"));
+    }
+}
+
+/**
+ * Randomized sweep: every generated app scenario re-run with a seeded
+ * drift-only disturbance plan, supervised vs unsupervised, policies
+ * profiled on the pristine part. Per-seed outcomes vary (mild drift
+ * changes nothing; brutal drift demotes tasks), so the assertions are
+ * aggregate: supervision never costs capture overall, never adds
+ * brown-outs overall, and the drift detector actually fires somewhere
+ * in the sweep.
+ */
+struct DriftVerdict
+{
+    std::uint64_t seed = 0;
+    unsigned sup_captured = 0;
+    unsigned unsup_captured = 0;
+    unsigned arrived = 0;
+    unsigned sup_failures = 0;
+    unsigned unsup_failures = 0;
+    std::uint64_t drift_alarms = 0;
+    std::uint64_t sheds = 0;
+};
+
+DriftVerdict
+runDriftScenario(std::uint64_t seed)
+{
+    DriftVerdict v;
+    v.seed = seed;
+    const fault::AppScenario scenario = fault::randomAppScenario(seed);
+
+    // Replace the scenario's disturbance plan with pure drift, drawn
+    // from the same seed stream family the differential harness uses.
+    fault::FaultKnobs knobs;
+    knobs.drift_probability = 1.0;
+    util::Rng plan_rng(seed ^ 0x9e3779b9);
+    fault::FaultPlan plan;
+    plan.degradation =
+        fault::randomPlan(plan_rng, scenario.duration, knobs).degradation;
+
+    // Pristine profile — the drift is exactly what the profile does
+    // not know about, and what the supervisor exists to absorb.
+    sched::CulpeoPolicy policy(/*use_uarch=*/true);
+    policy.initialize(scenario.app);
+
+    {
+        fault::FaultInjector injector(plan, seed);
+        sched::Supervisor supervisor;
+        const sched::TrialResult result = TrialBuilder()
+                                              .app(scenario.app)
+                                              .policy(policy)
+                                              .duration(scenario.duration)
+                                              .seed(seed)
+                                              .faults(&injector)
+                                              .supervisor(&supervisor)
+                                              .run();
+        for (const auto &stats : result.per_event) {
+            v.sup_captured += stats.captured;
+            v.arrived += stats.arrived;
+        }
+        v.sup_failures = result.power_failures;
+        v.drift_alarms = supervisor.stats().drift_alarms;
+        v.sheds = supervisor.stats().sheds;
+    }
+    {
+        fault::FaultInjector injector(plan, seed);
+        const sched::TrialResult result = TrialBuilder()
+                                              .app(scenario.app)
+                                              .policy(policy)
+                                              .duration(scenario.duration)
+                                              .seed(seed)
+                                              .faults(&injector)
+                                              .run();
+        for (const auto &stats : result.per_event)
+            v.unsup_captured += stats.captured;
+        v.unsup_failures = result.power_failures;
+    }
+    return v;
+}
+
+TEST(DriftSupervisor, RandomizedDriftSweepNeverRegressesUnderSupervision)
+{
+    const unsigned trials =
+        std::max(4u, envUnsigned("CULPEO_FUZZ_ITERS", 200) / 40);
+    const std::uint64_t base = baseSeed() + 0x4000000;
+
+    const std::vector<DriftVerdict> verdicts =
+        util::ThreadPool::shared().parallelMap(seedRange(base, trials),
+                                               runDriftScenario);
+
+    unsigned sup_captured = 0;
+    unsigned unsup_captured = 0;
+    unsigned sup_failures = 0;
+    unsigned unsup_failures = 0;
+    std::uint64_t drift_alarms = 0;
+    for (const DriftVerdict &v : verdicts) {
+        SCOPED_TRACE(seedHint(v.seed));
+        sup_captured += v.sup_captured;
+        unsup_captured += v.unsup_captured;
+        sup_failures += v.sup_failures;
+        unsup_failures += v.unsup_failures;
+        drift_alarms += v.drift_alarms;
+    }
+
+    RecordProperty("sup_captured", int(sup_captured));
+    RecordProperty("unsup_captured", int(unsup_captured));
+    RecordProperty("sup_failures", int(sup_failures));
+    RecordProperty("unsup_failures", int(unsup_failures));
+    if (!seedOverridden()) {
+        // Aggregate only: one seed can shed a borderline task that
+        // scrapes by unsupervised, but over the sweep supervision must
+        // pay for itself.
+        EXPECT_LE(sup_failures, unsup_failures);
+        EXPECT_GE(10 * sup_captured, 9 * unsup_captured)
+            << "supervision cost more than 10% of captured events";
+        EXPECT_GE(drift_alarms, 1u)
+            << "no scenario drifted far enough to raise an alarm";
+    }
+}
+
+} // namespace

@@ -10,6 +10,7 @@
 
 #include "harness/vsafe_cache.hpp"
 #include "load/library.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/parallel.hpp"
 
 namespace {
@@ -127,6 +128,91 @@ TEST(VsafeCache, ConcurrentLookupsAreConsistent)
     EXPECT_EQ(cache.hits() + cache.misses(), results.size());
     EXPECT_GE(cache.misses(), 1u);
     EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(VsafeCache, BoundEvictsOldestFirst)
+{
+    harness::VsafeCache cache(/*max_entries=*/2);
+    const auto cfg = sim::capybaraConfig();
+    const auto a = load::uniform(10.0_mA, 5.0_ms);
+    const auto b = load::uniform(20.0_mA, 5.0_ms);
+    const auto c = load::uniform(30.0_mA, 5.0_ms);
+
+    cache.findOrCompute(cfg, a);
+    cache.findOrCompute(cfg, b);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.evictions(), 0u);
+
+    // Third entry exceeds the bound: the oldest (a) is evicted.
+    cache.findOrCompute(cfg, c);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.evictions(), 1u);
+
+    // b and c still hit; a recomputes.
+    cache.findOrCompute(cfg, b);
+    cache.findOrCompute(cfg, c);
+    EXPECT_EQ(cache.hits(), 2u);
+    cache.findOrCompute(cfg, a);
+    EXPECT_EQ(cache.misses(), 4u)
+        << "the evicted oldest entry must miss on re-lookup";
+}
+
+TEST(VsafeCache, SetMaxEntriesShrinksOldestFirst)
+{
+    harness::VsafeCache cache(/*max_entries=*/8);
+    const auto cfg = sim::capybaraConfig();
+    const auto a = load::uniform(10.0_mA, 5.0_ms);
+    const auto b = load::uniform(20.0_mA, 5.0_ms);
+    const auto c = load::uniform(30.0_mA, 5.0_ms);
+    cache.findOrCompute(cfg, a);
+    cache.findOrCompute(cfg, b);
+    cache.findOrCompute(cfg, c);
+    ASSERT_EQ(cache.size(), 3u);
+
+    cache.setMaxEntries(1);
+    EXPECT_EQ(cache.maxEntries(), 1u);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.evictions(), 2u);
+    // The newest entry (c) survives.
+    cache.findOrCompute(cfg, c);
+    EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(VsafeCache, DefaultBoundIsLarge)
+{
+    harness::VsafeCache cache;
+    EXPECT_EQ(cache.maxEntries(), harness::VsafeCache::kDefaultMaxEntries);
+}
+
+TEST(VsafeCache, PublishToExportsCounterGauges)
+{
+    harness::VsafeCache cache(/*max_entries=*/1);
+    const auto cfg = sim::capybaraConfig();
+    const auto a = load::uniform(10.0_mA, 5.0_ms);
+    const auto b = load::uniform(20.0_mA, 5.0_ms);
+    cache.findOrCompute(cfg, a);
+    cache.findOrCompute(cfg, a); // Hit.
+    cache.findOrCompute(cfg, b); // Miss + eviction of a.
+
+    telemetry::Registry registry;
+    cache.publishTo(registry);
+    namespace names = culpeo::telemetry::names;
+    const telemetry::Gauge *hits =
+        registry.findGauge(names::kVsafeCacheHits);
+    const telemetry::Gauge *misses =
+        registry.findGauge(names::kVsafeCacheMisses);
+    const telemetry::Gauge *evictions =
+        registry.findGauge(names::kVsafeCacheEvictions);
+    ASSERT_NE(hits, nullptr);
+    ASSERT_NE(misses, nullptr);
+    ASSERT_NE(evictions, nullptr);
+    EXPECT_DOUBLE_EQ(hits->value(), 1.0);
+    EXPECT_DOUBLE_EQ(misses->value(), 2.0);
+    EXPECT_DOUBLE_EQ(evictions->value(), 1.0);
+
+    // GaugeMode::Last totals: republishing does not double-count.
+    cache.publishTo(registry);
+    EXPECT_DOUBLE_EQ(misses->value(), 2.0);
 }
 
 TEST(VsafeCache, ClearResetsCounters)

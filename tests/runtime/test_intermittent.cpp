@@ -4,9 +4,11 @@
 
 #include <memory>
 
+#include "fault/injector.hpp"
 #include "harness/profiling.hpp"
 #include "load/library.hpp"
 #include "runtime/intermittent.hpp"
+#include "sched/supervisor.hpp"
 #include "util/logging.hpp"
 
 namespace {
@@ -146,6 +148,145 @@ TEST(IntermittentRuntime, GatedRequiresCulpeo)
     options.policy = DispatchPolicy::VsafeGated;
     EXPECT_THROW(runProgram(device, senseComputeSend(), options),
                  log::FatalError);
+}
+
+TEST(IntermittentRuntime, ForcedBrownoutRebootsAndResumesTheTask)
+{
+    // An injected power failure mid-execution aborts the atomic task;
+    // the runtime reboots (full hysteretic recharge) and re-executes it
+    // from the start — the Figure 1a recovery path, forced rather than
+    // electrical.
+    const sim::ConstantHarvester harvester(Watts(20e-3));
+    sim::Device device = chargedDevice(&harvester);
+
+    fault::FaultPlan plan;
+    plan.brownouts = {{Seconds(5e-3)}}; // Mid first execution.
+    fault::FaultInjector injector(plan);
+    device.setFaultHooks(&injector);
+
+    RuntimeOptions options;
+    const std::vector<AtomicTask> program = {
+        {1, "radio", load::uniform(50.0_mA, 20.0_ms).renamed("radio")}};
+    const ProgramResult result = runProgram(device, program, options);
+
+    EXPECT_TRUE(result.finished);
+    EXPECT_EQ(injector.firedBrownouts(), 1u);
+    EXPECT_GE(result.power_failures, 1u);
+    EXPECT_GE(result.per_task[0].executions, 2u);
+    EXPECT_GE(result.per_task[0].failures, 1u);
+    EXPECT_EQ(result.per_task[0].completions, 1u);
+}
+
+TEST(IntermittentRuntime, ForcedBrownoutMidProgramPreservesProgress)
+{
+    // A reboot in the middle of the program must not disturb already
+    // completed tasks: only the interrupted task re-executes, and the
+    // program still runs to completion.
+    const sim::ConstantHarvester harvester(Watts(20e-3));
+    sim::Device device = chargedDevice(&harvester);
+
+    fault::FaultPlan plan;
+    plan.brownouts = {{Seconds(2e-3)}};
+    fault::FaultInjector injector(plan);
+    device.setFaultHooks(&injector);
+
+    RuntimeOptions options;
+    const ProgramResult result =
+        runProgram(device, senseComputeSend(), options);
+
+    EXPECT_TRUE(result.finished);
+    EXPECT_GE(result.power_failures, 1u);
+    for (const auto &stats : result.per_task) {
+        EXPECT_EQ(stats.completions, 1u) << stats.name;
+        EXPECT_FALSE(stats.skipped) << stats.name;
+    }
+}
+
+TEST(IntermittentRuntime, SupervisedForcedBrownoutStaysWithinBudget)
+{
+    // With a supervisor attached, the same forced brown-out consumes
+    // one retry and the task still completes: Recovering, then Healthy.
+    const sim::ConstantHarvester harvester(Watts(20e-3));
+    sim::Device device = chargedDevice(&harvester);
+
+    fault::FaultPlan plan;
+    plan.brownouts = {{Seconds(5e-3)}};
+    fault::FaultInjector injector(plan);
+    device.setFaultHooks(&injector);
+
+    sched::Supervisor supervisor;
+    RuntimeOptions options;
+    options.supervisor = &supervisor;
+    const std::vector<AtomicTask> program = {
+        {1, "radio", load::uniform(50.0_mA, 20.0_ms).renamed("radio")}};
+    const ProgramResult result = runProgram(device, program, options);
+
+    EXPECT_TRUE(result.finished);
+    EXPECT_EQ(result.skipped_tasks, 0u);
+    EXPECT_EQ(result.per_task[0].completions, 1u);
+    EXPECT_GE(supervisor.stats().retries, 1u);
+    EXPECT_EQ(supervisor.stats().sheds, 0u);
+    EXPECT_EQ(supervisor.stateOf("radio"), sched::TaskHealth::Healthy);
+}
+
+TEST(IntermittentRuntime, SupervisedShedsHopelessTaskAndMovesOn)
+{
+    // The same 120 mA hog the non-termination check flags: with a
+    // supervisor the runtime spends the retry budget, demotes the task,
+    // and finishes the rest of the program instead of giving up.
+    const sim::ConstantHarvester harvester(Watts(20e-3));
+    sim::Device device = chargedDevice(&harvester);
+
+    sched::Supervisor supervisor;
+    RuntimeOptions options;
+    options.supervisor = &supervisor;
+    const std::vector<AtomicTask> program = {
+        {1, "hog", load::uniform(120.0_mA, 200.0_ms).renamed("hog")},
+        {2, "blip", load::uniform(5.0_mA, 10.0_ms).renamed("blip")}};
+    const ProgramResult result = runProgram(device, program, options);
+
+    EXPECT_TRUE(result.finished);
+    EXPECT_FALSE(result.nonterminating);
+    EXPECT_EQ(result.skipped_tasks, 1u);
+    EXPECT_TRUE(result.per_task[0].skipped);
+    EXPECT_EQ(result.per_task[0].completions, 0u);
+    // Bounded retry: budget (3) + the demoting attempt.
+    EXPECT_LE(result.per_task[0].failures,
+              supervisor.options().retry_budget + 1);
+    EXPECT_FALSE(result.per_task[1].skipped);
+    EXPECT_EQ(result.per_task[1].completions, 1u);
+    EXPECT_EQ(supervisor.stateOf("hog"), sched::TaskHealth::Demoted);
+    EXPECT_GE(supervisor.stats().sheds, 1u);
+}
+
+TEST(IntermittentRuntime, SupervisedGatedSkipsUnreachableWait)
+{
+    // Zero harvest and a buffer below the gate: the wait is provably
+    // unsatisfiable. Unsupervised runs end starved; a supervisor demotes
+    // the task and lets the program finish with it skipped.
+    core::Culpeo culpeo(core::modelFromConfig(sim::capybaraConfig()),
+                        std::make_unique<core::UArchProfiler>());
+    const auto radio = load::uniform(50.0_mA, 20.0_ms).renamed("radio");
+    harness::profileTaskFrom(sim::capybaraConfig(), Volts(2.56), culpeo,
+                             1, radio);
+
+    sim::Device device(sim::capybaraConfig());
+    device.setBufferVoltage(Volts(1.75));
+    device.forceOutputEnabled(true);
+
+    sched::Supervisor supervisor;
+    RuntimeOptions options;
+    options.policy = DispatchPolicy::VsafeGated;
+    options.culpeo = &culpeo;
+    options.supervisor = &supervisor;
+    const ProgramResult result =
+        runProgram(device, {{1, "radio", radio}}, options);
+
+    EXPECT_TRUE(result.finished);
+    EXPECT_FALSE(result.starved);
+    EXPECT_EQ(result.skipped_tasks, 1u);
+    EXPECT_TRUE(result.per_task[0].skipped);
+    EXPECT_EQ(supervisor.stateOf("radio"), sched::TaskHealth::Demoted);
 }
 
 TEST(IntermittentRuntime, GatedWastesLessEnergyThanOpportunistic)

@@ -1,0 +1,398 @@
+/**
+ * @file
+ * Unit tests for the drift-aware safety supervisor: the margin-deficit
+ * estimator and its alarm latch, brown-out backoff, demotion and probe
+ * re-admission, ceiling handling, and the telemetry mirror.
+ *
+ * The tests drive the supervisor directly with synthetic outcomes; the
+ * closed loop against a drifting simulated power system lives in
+ * tests/fuzz/test_drift_supervisor.cpp.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "load/library.hpp"
+#include "sched/supervisor.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+using namespace culpeo::units::literals;
+using sched::Admission;
+using sched::Supervisor;
+using sched::SupervisorOptions;
+using sched::TaskHealth;
+
+constexpr double kVoff = 1.6;
+constexpr double kVhigh = 2.56;
+constexpr double kBase = 2.0; // Policy requirement used throughout.
+
+/**
+ * Report a completed run whose reconstructed true requirement sits
+ * @p deficit_v above the base requirement: Vmin = admitted - true_req
+ * + voff = admitted - (base + deficit) + voff.
+ */
+void
+complete(Supervisor &sup, const std::string &name, double deficit_v,
+         Seconds now, double admitted_at = kBase)
+{
+    const double vmin = admitted_at - (kBase + deficit_v) + kVoff;
+    sup.noteOutcome(name, true, Volts(admitted_at), Volts(kBase),
+                    Volts(vmin), Volts(kVoff), now);
+}
+
+/** Report a brown-out (Vmin clipped at Voff => observed deficit). */
+void
+brownOut(Supervisor &sup, const std::string &name, Seconds now,
+         double admitted_at = kBase, double vmin = kVoff)
+{
+    sup.noteOutcome(name, false, Volts(admitted_at), Volts(kBase),
+                    Volts(vmin), Volts(kVoff), now);
+}
+
+TEST(Supervisor, UnknownTasksAreHealthyWithZeroMargin)
+{
+    Supervisor sup;
+    EXPECT_EQ(sup.stateOf("nope"), TaskHealth::Healthy);
+    EXPECT_DOUBLE_EQ(sup.marginOf("nope").value(), 0.0);
+    EXPECT_DOUBLE_EQ(sup.driftOf("nope").value(), 0.0);
+
+    const Admission a = sup.admitTask("fresh", Volts(kBase),
+                                      Volts(kVhigh), Seconds(0.0));
+    EXPECT_TRUE(a.admit);
+    EXPECT_DOUBLE_EQ(a.need.value(), kBase);
+}
+
+TEST(Supervisor, DeficitEstimatorMeasuresModelError)
+{
+    Supervisor sup;
+    // 50 mV of headroom below the base requirement: deficit -50 mV.
+    complete(sup, "t", -0.05, Seconds(1.0));
+    EXPECT_NEAR(sup.driftOf("t").value(), -0.05, 1e-12);
+    // Healthy margin stays at zero: the floor (-50m + 15m slack) is
+    // negative.
+    EXPECT_DOUBLE_EQ(sup.marginOf("t").value(), 0.0);
+    EXPECT_EQ(sup.stats().drift_alarms, 0u);
+
+    // The estimator is an EWMA (alpha 0.3 by default).
+    complete(sup, "t", -0.02, Seconds(2.0));
+    EXPECT_NEAR(sup.driftOf("t").value(), -0.05 + 0.3 * 0.03, 1e-12);
+}
+
+TEST(Supervisor, DeficitIsInvariantToTheMarginItself)
+{
+    // The same physical run admitted 100 mV higher (margin inflated)
+    // sees both admitted_at and Vmin shift together: same deficit.
+    Supervisor a;
+    Supervisor b;
+    const double deficit = -0.03;
+    complete(a, "t", deficit, Seconds(1.0), kBase);
+    const double admitted_high = kBase + 0.1;
+    complete(b, "t", deficit, Seconds(1.0), admitted_high);
+    EXPECT_NEAR(a.driftOf("t").value(), b.driftOf("t").value(), 1e-12);
+}
+
+TEST(Supervisor, DriftAlarmRaisesTheMarginBeforeAnyBrownOut)
+{
+    Supervisor sup;
+    // Only 2 mV of headroom left: the smoothed deficit (-2 mV) is above
+    // the -10 mV alarm level on the first sample.
+    complete(sup, "t", -0.002, Seconds(1.0));
+    EXPECT_EQ(sup.stats().drift_alarms, 1u);
+    EXPECT_GE(sup.stats().margin_inflations, 1u);
+    // Margin floored at ewma + drift_slack = -2 mV + 15 mV = 13 mV.
+    EXPECT_NEAR(sup.marginOf("t").value(), 0.013, 1e-12);
+
+    // Admission now carries the margin.
+    const Admission a = sup.admitTask("t", Volts(kBase), Volts(kVhigh),
+                                      Seconds(2.0));
+    EXPECT_TRUE(a.admit);
+    EXPECT_NEAR(a.need.value(), kBase + 0.013, 1e-12);
+
+    // Drift worsening keeps the floor tracking it; the latched alarm
+    // does not re-count.
+    complete(sup, "t", 0.01, Seconds(3.0));
+    EXPECT_EQ(sup.stats().drift_alarms, 1u);
+    EXPECT_GT(sup.marginOf("t").value(), 0.013);
+}
+
+TEST(Supervisor, AlarmLatchRearmsWithHysteresis)
+{
+    Supervisor sup;
+    complete(sup, "t", -0.002, Seconds(1.0)); // Alarm 1.
+    EXPECT_EQ(sup.stats().drift_alarms, 1u);
+
+    // A strongly negative deficit pulls the EWMA below the re-arm level
+    // (-2 * drift_threshold = -20 mV): alarm clears silently.
+    complete(sup, "t", -0.5, Seconds(2.0));
+    EXPECT_LT(sup.driftOf("t").value(), -0.02);
+    EXPECT_EQ(sup.stats().drift_alarms, 1u);
+
+    // Drifting back above -10 mV raises a second alarm.
+    for (int i = 0; i < 40 && sup.stats().drift_alarms < 2; ++i)
+        complete(sup, "t", -0.002, Seconds(3.0 + i));
+    EXPECT_EQ(sup.stats().drift_alarms, 2u);
+}
+
+TEST(Supervisor, MarginDecaysOnceTheAlarmClears)
+{
+    Supervisor sup;
+    complete(sup, "t", -0.002, Seconds(1.0)); // Alarm + 13 mV floor.
+    const double inflated = sup.marginOf("t").value();
+    ASSERT_GT(inflated, 0.0);
+
+    // Deep headroom returns: the EWMA dives, the alarm re-arms, and
+    // completions relax the margin multiplicatively toward the floor.
+    complete(sup, "t", -0.5, Seconds(2.0));
+    double prev = sup.marginOf("t").value();
+    for (int i = 0; i < 50; ++i) {
+        complete(sup, "t", -0.5, Seconds(3.0 + i));
+        const double m = sup.marginOf("t").value();
+        EXPECT_LE(m, prev + 1e-15);
+        prev = m;
+    }
+    EXPECT_LT(prev, inflated * 0.5)
+        << "margin should forget stale inflation once drift recedes";
+}
+
+TEST(Supervisor, BrownOutBackoffDoublesTheMarginStep)
+{
+    SupervisorOptions opts; // step 20 mV, factor 2, budget 3.
+    Supervisor sup(opts);
+
+    // Each brown-out reports Vmin = Voff (clipped), i.e. deficit 0: the
+    // EWMA floor contributes 15 mV, and the bumps stack on top.
+    brownOut(sup, "t", Seconds(1.0));
+    EXPECT_EQ(sup.stateOf("t"), TaskHealth::Recovering);
+    EXPECT_NEAR(sup.marginOf("t").value(), 0.015 + 0.020, 1e-12);
+    brownOut(sup, "t", Seconds(2.0));
+    EXPECT_NEAR(sup.marginOf("t").value(), 0.015 + 0.020 + 0.040, 1e-12);
+    brownOut(sup, "t", Seconds(3.0));
+    EXPECT_NEAR(sup.marginOf("t").value(),
+                0.015 + 0.020 + 0.040 + 0.080, 1e-12);
+    EXPECT_EQ(sup.stateOf("t"), TaskHealth::Recovering);
+    EXPECT_EQ(sup.stats().retries, 3u);
+    EXPECT_EQ(sup.stats().sheds, 0u);
+
+    // Budget (3) exhausted: the fourth consecutive brown-out demotes.
+    brownOut(sup, "t", Seconds(4.0));
+    EXPECT_EQ(sup.stateOf("t"), TaskHealth::Demoted);
+    EXPECT_EQ(sup.stats().retries, 4u);
+    EXPECT_EQ(sup.stats().sheds, 1u);
+}
+
+TEST(Supervisor, CompletionResetsTheRetryStreak)
+{
+    Supervisor sup;
+    brownOut(sup, "t", Seconds(1.0));
+    brownOut(sup, "t", Seconds(2.0));
+    complete(sup, "t", -0.1, Seconds(3.0));
+    EXPECT_EQ(sup.stateOf("t"), TaskHealth::Healthy);
+    // The streak restarts: three more brown-outs stay within budget.
+    brownOut(sup, "t", Seconds(4.0));
+    brownOut(sup, "t", Seconds(5.0));
+    brownOut(sup, "t", Seconds(6.0));
+    EXPECT_EQ(sup.stateOf("t"), TaskHealth::Recovering);
+}
+
+TEST(Supervisor, DemotedTasksAreRefusedUntilTheProbeIsDue)
+{
+    SupervisorOptions opts;
+    opts.retry_budget = 0; // First brown-out demotes.
+    Supervisor sup(opts);
+    brownOut(sup, "t", Seconds(10.0));
+    ASSERT_EQ(sup.stateOf("t"), TaskHealth::Demoted);
+
+    // Refused while the probe clock (20 s) runs.
+    const Admission early = sup.admitTask("t", Volts(kBase),
+                                          Volts(kVhigh), Seconds(15.0));
+    EXPECT_FALSE(early.admit);
+    EXPECT_EQ(sup.stats().shed_skips, 1u);
+
+    // Probe due: re-admitted for one genuine attempt.
+    const Admission probe = sup.admitTask("t", Volts(kBase),
+                                          Volts(kVhigh), Seconds(31.0));
+    EXPECT_TRUE(probe.admit);
+    EXPECT_EQ(sup.stats().readmissions, 1u);
+    EXPECT_EQ(sup.stateOf("t"), TaskHealth::Recovering);
+
+    // A failed probe re-demotes immediately (budget already spent) and
+    // doubles the probe interval.
+    brownOut(sup, "t", Seconds(31.5));
+    EXPECT_EQ(sup.stateOf("t"), TaskHealth::Demoted);
+    EXPECT_FALSE(
+        sup.admitTask("t", Volts(kBase), Volts(kVhigh), Seconds(70.0))
+            .admit); // 31.5 + 40 = 71.5 not yet reached.
+    EXPECT_TRUE(
+        sup.admitTask("t", Volts(kBase), Volts(kVhigh), Seconds(72.0))
+            .admit);
+}
+
+TEST(Supervisor, SuccessfulProbeRestoresHealth)
+{
+    SupervisorOptions opts;
+    opts.retry_budget = 0;
+    Supervisor sup(opts);
+    brownOut(sup, "t", Seconds(0.0));
+    ASSERT_TRUE(sup.admitTask("t", Volts(kBase), Volts(kVhigh),
+                              Seconds(25.0))
+                    .admit);
+    complete(sup, "t", -0.1, Seconds(25.5));
+    EXPECT_EQ(sup.stateOf("t"), TaskHealth::Healthy);
+}
+
+TEST(Supervisor, InflatedRequirementBeyondCeilingDemotes)
+{
+    Supervisor sup;
+    // Inflate the margin with two brown-outs (15 + 20 + 40 = 75 mV).
+    brownOut(sup, "t", Seconds(1.0));
+    brownOut(sup, "t", Seconds(2.0));
+    const double margin = sup.marginOf("t").value();
+    ASSERT_GT(margin, 0.05);
+
+    // A base requirement whose margined need clears the ceiling demotes
+    // on the spot instead of waiting forever.
+    const double base = kVhigh - 0.02; // cap = vhigh - 10 mV slack.
+    const Admission a = sup.admitTask("t", Volts(base), Volts(kVhigh),
+                                      Seconds(3.0));
+    EXPECT_FALSE(a.admit);
+    EXPECT_EQ(sup.stateOf("t"), TaskHealth::Demoted);
+    EXPECT_EQ(sup.stats().sheds, 1u);
+}
+
+TEST(Supervisor, BaseNeedAboveCeilingGetsOneClampedAttempt)
+{
+    Supervisor sup;
+    // No margin policy can help when the *base* requirement already
+    // exceeds the reachable ceiling: admit from the best reachable
+    // voltage and let the outcome decide.
+    const double base = kVhigh + 0.1;
+    const Admission a = sup.admitTask("t", Volts(base), Volts(kVhigh),
+                                      Seconds(1.0));
+    EXPECT_TRUE(a.admit);
+    EXPECT_DOUBLE_EQ(a.need.value(), base);
+}
+
+TEST(Supervisor, UnreachableWaitDemotesImmediately)
+{
+    Supervisor sup;
+    sup.noteUnreachable("t", Seconds(5.0));
+    EXPECT_EQ(sup.stateOf("t"), TaskHealth::Demoted);
+    EXPECT_EQ(sup.stats().sheds, 1u);
+    // Already demoted: a second report does not double-shed.
+    sup.noteUnreachable("t", Seconds(6.0));
+    EXPECT_EQ(sup.stats().sheds, 1u);
+}
+
+TEST(Supervisor, ChainAdmissionRefusesDemotedLinks)
+{
+    SupervisorOptions opts;
+    opts.retry_budget = 0;
+    Supervisor sup(opts);
+    brownOut(sup, "mid", Seconds(0.0));
+    ASSERT_EQ(sup.stateOf("mid"), TaskHealth::Demoted);
+
+    sched::EventSpec spec;
+    spec.name = "evt";
+    spec.chain = {{1, "head", load::uniform(1.0_mA, 1.0_ms)},
+                  {2, "mid", load::uniform(1.0_mA, 1.0_ms)}};
+    EXPECT_FALSE(sup.admitChain(spec, Seconds(5.0)));
+    // Probe due: the chain may try again.
+    EXPECT_TRUE(sup.admitChain(spec, Seconds(25.0)));
+
+    sched::EventSpec other;
+    other.name = "other";
+    other.chain = {{3, "tail", load::uniform(1.0_mA, 1.0_ms)}};
+    EXPECT_TRUE(sup.admitChain(other, Seconds(5.0)));
+}
+
+TEST(Supervisor, MaxMarginCapsInflation)
+{
+    SupervisorOptions opts;
+    opts.retry_budget = 100; // Never demote in this test.
+    opts.max_margin = Volts(0.1);
+    Supervisor sup(opts);
+    for (int i = 0; i < 10; ++i)
+        brownOut(sup, "t", Seconds(double(i)));
+    EXPECT_DOUBLE_EQ(sup.marginOf("t").value(), 0.1);
+}
+
+TEST(Supervisor, ResetForgetsEverything)
+{
+    Supervisor sup;
+    brownOut(sup, "t", Seconds(1.0));
+    ASSERT_GT(sup.stats().retries, 0u);
+    sup.reset();
+    EXPECT_EQ(sup.stats().retries, 0u);
+    EXPECT_EQ(sup.stateOf("t"), TaskHealth::Healthy);
+    EXPECT_DOUBLE_EQ(sup.marginOf("t").value(), 0.0);
+    EXPECT_DOUBLE_EQ(sup.driftOf("t").value(), 0.0);
+}
+
+TEST(Supervisor, TelemetryMirrorsStatsAndTracesDecisions)
+{
+    if (!telemetry::kEnabled)
+        GTEST_SKIP() << "built with CULPEO_TELEMETRY=OFF";
+
+    SupervisorOptions opts;
+    opts.retry_budget = 0;
+    Supervisor sup(opts);
+    telemetry::Telemetry sink;
+    sup.onTelemetry(&sink);
+
+    complete(sup, "t", -0.002, Seconds(1.0)); // Drift alarm + inflation.
+    brownOut(sup, "t", Seconds(2.0));         // Retry, then demotion.
+    ASSERT_EQ(sup.stateOf("t"), TaskHealth::Demoted);
+    EXPECT_FALSE(sup.admitTask("t", Volts(kBase), Volts(kVhigh),
+                               Seconds(3.0))
+                     .admit);                 // Shed skip.
+    EXPECT_TRUE(sup.admitTask("t", Volts(kBase), Volts(kVhigh),
+                              Seconds(30.0))
+                    .admit);                  // Probe readmission.
+
+    const auto counter = [&](const char *name) -> std::uint64_t {
+        const telemetry::Counter *c = sink.registry().findCounter(name);
+        return c == nullptr ? 0 : c->value();
+    };
+    namespace names = telemetry::names;
+    const sched::SupervisorStats &stats = sup.stats();
+    EXPECT_EQ(counter(names::kSupervisorDriftAlarms), stats.drift_alarms);
+    EXPECT_EQ(counter(names::kSupervisorMarginInflations),
+              stats.margin_inflations);
+    EXPECT_EQ(counter(names::kSupervisorRetries), stats.retries);
+    EXPECT_EQ(counter(names::kSupervisorSheds), stats.sheds);
+    EXPECT_EQ(counter(names::kSupervisorShedSkips), stats.shed_skips);
+    EXPECT_EQ(counter(names::kSupervisorReadmissions),
+              stats.readmissions);
+    EXPECT_GE(stats.drift_alarms, 1u);
+    EXPECT_GE(stats.retries, 1u);
+    EXPECT_GE(stats.sheds, 1u);
+    EXPECT_GE(stats.shed_skips, 1u);
+    EXPECT_GE(stats.readmissions, 1u);
+
+    // Every decision kind appears in the exported JSONL trace.
+    std::ostringstream jsonl;
+    sink.writeJsonl(jsonl);
+    const std::string trace = jsonl.str();
+    for (const char *kind : {"drift_alarm", "margin_update", "task_retry",
+                             "task_shed", "task_readmit"}) {
+        EXPECT_NE(trace.find(kind), std::string::npos)
+            << "missing " << kind << " in:\n"
+            << trace;
+    }
+    sup.onTelemetry(nullptr);
+}
+
+TEST(Supervisor, NoTelemetrySinkStillCountsStats)
+{
+    Supervisor sup;
+    brownOut(sup, "t", Seconds(1.0));
+    EXPECT_EQ(sup.stats().retries, 1u);
+    EXPECT_GE(sup.stats().margin_inflations, 1u);
+}
+
+} // namespace
