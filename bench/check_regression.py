@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Guard the micro_perf suite against performance regressions.
+
+Usage:
+    bench/check_regression.py BASELINE.json CANDIDATE.json
+        [--threshold 0.10] [--mode ratios|absolute]
+
+Both files are google-benchmark ``--benchmark_out`` JSON (the committed
+``BENCH_micro_perf.json`` baseline and a fresh run). For every
+benchmark the per-repetition *median* real time is compared; a
+benchmark regresses when its candidate median exceeds the baseline
+median by more than ``--threshold`` (default 10%).
+
+Two modes:
+
+- ``ratios`` (default, what CI runs): compares the *paired speedup
+  ratios* the suite is built around — analytic vs Euler ground truth,
+  device vs Euler trials, batch vs scalar sweeps, telemetry overhead.
+  Each ratio is formed from two benchmarks of the same run, so machine
+  speed cancels out and the check is meaningful across different
+  hosts (a laptop baseline vs a CI runner).
+- ``absolute``: compares every common benchmark's median directly.
+  Only sound when baseline and candidate come from the same machine;
+  use it locally when re-baselining.
+
+Exit status 0 when nothing regressed, 1 otherwise.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+# The in-process speedup pairs (numerator must stay fast relative to
+# denominator). Named (slow, fast): the checked ratio is slow/fast, and
+# a drop in that ratio means the fast path regressed relative to its
+# reference.
+RATIO_PAIRS = [
+    ("ground-truth analytic speedup",
+     "BM_GroundTruthSearchEuler", "BM_GroundTruthSearch"),
+    ("device trial speedup",
+     "BM_RunTrial/force_euler:1", "BM_RunTrial/force_euler:0"),
+    ("batch sweep speedup (warm)",
+     "BM_ScalarRunTrials", "BM_BatchRunTrial/exact:0"),
+    ("batch sweep speedup (exact)",
+     "BM_ScalarRunTrials", "BM_BatchRunTrial/exact:1"),
+    # Telemetry overhead: the "slow" side is instrumented, so this
+    # ratio is expected to be barely above 1 and must not grow.
+    ("telemetry trial cost",
+     "BM_RunTrial_telemetry", "BM_RunTrial/force_euler:0"),
+]
+
+
+def medians(path):
+    """name -> median real_time over repetitions (aggregates skipped)."""
+    with open(path) as handle:
+        data = json.load(handle)
+    samples = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        samples.setdefault(bench["name"], []).append(bench["real_time"])
+    return {name: statistics.median(times)
+            for name, times in samples.items()}
+
+
+def check_absolute(base, cand, threshold):
+    failures = []
+    common = sorted(set(base) & set(cand))
+    if not common:
+        print("error: no common benchmarks between baseline and candidate")
+        return ["no common benchmarks"]
+    for name in common:
+        ratio = cand[name] / base[name]
+        flag = ""
+        if ratio > 1.0 + threshold:
+            flag = "  << REGRESSION"
+            failures.append(name)
+        print(f"  {name}: {base[name]:.3f} -> {cand[name]:.3f} "
+              f"({(ratio - 1.0) * 100.0:+.1f}%){flag}")
+    return failures
+
+
+def check_ratios(base, cand, threshold):
+    failures = []
+    compared = 0
+    for label, slow, fast in RATIO_PAIRS:
+        if slow not in base or fast not in base:
+            continue
+        if slow not in cand or fast not in cand:
+            print(f"  {label}: missing from candidate, skipped")
+            continue
+        base_ratio = base[slow] / base[fast]
+        cand_ratio = cand[slow] / cand[fast]
+        compared += 1
+        # The fast side regressed if the speedup shrank by >threshold.
+        rel = cand_ratio / base_ratio
+        flag = ""
+        if rel < 1.0 - threshold:
+            flag = "  << REGRESSION"
+            failures.append(label)
+        print(f"  {label}: {base_ratio:.2f}x -> {cand_ratio:.2f}x "
+              f"({(rel - 1.0) * 100.0:+.1f}%){flag}")
+    if compared == 0:
+        print("error: no ratio pairs present in both files")
+        failures.append("no ratio pairs compared")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="allowed relative regression (default 0.10)")
+    parser.add_argument("--mode", choices=("ratios", "absolute"),
+                        default="ratios")
+    args = parser.parse_args()
+
+    base = medians(args.baseline)
+    cand = medians(args.candidate)
+    print(f"comparing {args.candidate} against {args.baseline} "
+          f"(mode={args.mode}, threshold={args.threshold:.0%})")
+    if args.mode == "absolute":
+        failures = check_absolute(base, cand, args.threshold)
+    else:
+        failures = check_ratios(base, cand, args.threshold)
+
+    if failures:
+        print(f"FAIL: {len(failures)} regression(s): {', '.join(failures)}")
+        return 1
+    print("OK: no regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

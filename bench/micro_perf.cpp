@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include "apps/apps.hpp"
+#include "batch/trial_runner.hpp"
 #include "core/api.hpp"
 #include "core/vsafe_pg.hpp"
 #include "harness/ground_truth.hpp"
@@ -239,6 +240,61 @@ BM_RunTrial_telemetry(benchmark::State &state)
         benchmark::DoNotOptimize(trial.run());
 }
 BENCHMARK(BM_RunTrial_telemetry)->Unit(benchmark::kMillisecond);
+
+/**
+ * The same Figure 12-style trial through the SoA batch sweep executor
+ * (batch::BatchTrialRunner), 32 independently seeded trials per timed
+ * iteration. Items are trials, so the reported items/sec is directly
+ * comparable against 1 / BM_RunTrial's per-iteration time — that ratio
+ * is the batch engine's per-trial speedup on one core; ThreadPool
+ * sharding multiplies it by the core count on wider machines. exact:1
+ * replays the scalar engine bit-for-bit; exact:0 is the default warm
+ * mode (quiescent idle draw, converged fixed point, Newton crossings).
+ */
+void
+BM_BatchRunTrial(benchmark::State &state)
+{
+    const bool exact = state.range(0) != 0;
+    const sched::AppSpec app = apps::periodicSensing();
+    sched::CulpeoPolicy policy;
+    policy.initialize(app);
+    sched::TrialConfig config;
+    config.duration = Seconds(30.0);
+    config.seed = 7;
+    config.trials = 32;
+    batch::TrialRunnerOptions options;
+    options.batch.exact_replay = exact;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            batch::runTrialsBatch(app, policy, config, options));
+    state.SetItemsProcessed(int64_t(state.iterations()) * config.trials);
+}
+BENCHMARK(BM_BatchRunTrial)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("exact")
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * The scalar sweep over the identical 32 trials — the direct
+ * apples-to-apples baseline for BM_BatchRunTrial (same arrival
+ * streams, same aggregation, same ThreadPool sharding policy).
+ */
+void
+BM_ScalarRunTrials(benchmark::State &state)
+{
+    const sched::AppSpec app = apps::periodicSensing();
+    sched::CulpeoPolicy policy;
+    policy.initialize(app);
+    sched::TrialConfig config;
+    config.duration = Seconds(30.0);
+    config.seed = 7;
+    config.trials = 32;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sched::runTrialsWith(app, policy, config));
+    state.SetItemsProcessed(int64_t(state.iterations()) * config.trials);
+}
+BENCHMARK(BM_ScalarRunTrials)->Unit(benchmark::kMillisecond);
 
 void
 BM_UArchTick(benchmark::State &state)

@@ -71,4 +71,12 @@ if trial_fast and trial_tel:
     overhead = (trial_tel / trial_fast - 1.0) * 100.0
     print(f"telemetry overhead on the analytic trial: {overhead:+.1f}% "
           f"(target < 5%)")
+# Batch sweep executor: per-trial comparison against the scalar sweep
+# (both run 32 trials per iteration, so raw times divide out).
+scalar_sweep = times.get("BM_ScalarRunTrials")
+for arg, label in (("0", "warm"), ("1", "exact")):
+    batch = times.get(f"BM_BatchRunTrial/exact:{arg}")
+    if scalar_sweep and batch:
+        print(f"batch sweep speedup ({label} vs scalar, per trial): "
+              f"{scalar_sweep / batch:.2f}x")
 EOF

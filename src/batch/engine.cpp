@@ -1,0 +1,1388 @@
+#include "batch/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "sim/harvester.hpp"
+#include "util/logging.hpp"
+
+namespace culpeo::batch {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** Longest single analytic chunk of an unbounded wait (device.cpp). */
+constexpr double kMaxIdleChunk = 600.0;
+
+/**
+ * Terminal-voltage curve of one analytic macro step, v(t) = a + b t +
+ * c exp(-t/tau). Verbatim twin of the scalar stepper's SegmentCurve
+ * (power_system.cpp) — including the 64-iteration bisection returning
+ * the crossed-side bracket end — so committed macro steps and located
+ * crossings are bit-identical between the kernel and sim::PowerSystem.
+ */
+struct Curve
+{
+    double a = 0.0;
+    double b = 0.0;
+    double c = 0.0;
+    double tau = 1.0;
+
+    double at(double t) const { return a + b * t + c * std::exp(-t / tau); }
+
+    double stationaryPoint(double horizon) const
+    {
+        if (c == 0.0 || b == 0.0)
+            return -1.0;
+        const double ratio = b * tau / c;
+        if (ratio <= 0.0 || ratio > 1.0)
+            return -1.0;
+        const double t = -tau * std::log(ratio);
+        return (t > 0.0 && t < horizon) ? t : -1.0;
+    }
+
+    double minOver(double horizon) const
+    {
+        double m = std::min(at(0.0), at(horizon));
+        const double t = stationaryPoint(horizon);
+        if (t > 0.0)
+            m = std::min(m, at(t));
+        return m;
+    }
+
+    /**
+     * firstCrossing with the bisection replaced by a bracket-safeguarded
+     * Newton iteration: same piece split, same bracket test, same
+     * crossed-side return, but ~6 curve evaluations instead of 64. Only
+     * the sub-nanosecond placement of the returned time differs from
+     * the scalar bisection — far inside the differential tolerances.
+     */
+    double fastCrossing(double level, double horizon, bool falling) const
+    {
+        const double t_star = stationaryPoint(horizon);
+        const double knots[3] = {0.0, t_star > 0.0 ? t_star : horizon,
+                                 horizon};
+        for (int piece = 0; piece < 2; ++piece) {
+            double lo = knots[piece];
+            double hi = knots[piece + 1];
+            if (hi <= lo)
+                continue;
+            const double v_lo = at(lo);
+            const double v_hi = at(hi);
+            const bool brackets = falling
+                ? (v_lo >= level && v_hi < level)
+                : (v_lo < level && v_hi >= level);
+            if (!brackets)
+                continue;
+            double t = 0.5 * (lo + hi);
+            for (int i = 0;
+                 i < 24 && hi - lo > 1e-12 * (1.0 + hi); ++i) {
+                const double e = std::exp(-t / tau);
+                const double v = a + b * t + c * e;
+                const bool crossed = falling ? v < level : v >= level;
+                (crossed ? hi : lo) = t;
+                const double dv = b - (c / tau) * e;
+                double tn = dv != 0.0 ? t - (v - level) / dv
+                                      : 0.5 * (lo + hi);
+                if (!(tn > lo && tn < hi))
+                    tn = 0.5 * (lo + hi);
+                if (std::abs(tn - t) <= 1e-13 * (1.0 + t)) {
+                    // Newton has stalled at the root while the far
+                    // bracket side is stale; probe a whisker into the
+                    // unresolved side so the width test can fire.
+                    const double whisker = 1e-12 * (1.0 + t);
+                    tn = crossed ? std::max(lo + 0.25 * (t - lo),
+                                            t - whisker)
+                                 : std::min(hi - 0.25 * (hi - t),
+                                            t + whisker);
+                }
+                t = tn;
+            }
+            return hi;
+        }
+        return -1.0;
+    }
+
+    double firstCrossing(double level, double horizon, bool falling) const
+    {
+        const double t_star = stationaryPoint(horizon);
+        const double knots[3] = {0.0, t_star > 0.0 ? t_star : horizon,
+                                 horizon};
+        for (int piece = 0; piece < 2; ++piece) {
+            double lo = knots[piece];
+            double hi = knots[piece + 1];
+            if (hi <= lo)
+                continue;
+            const double v_lo = at(lo);
+            const double v_hi = at(hi);
+            const bool brackets = falling
+                ? (v_lo >= level && v_hi < level)
+                : (v_lo < level && v_hi >= level);
+            if (!brackets)
+                continue;
+            for (int iter = 0; iter < 64; ++iter) {
+                const double mid = 0.5 * (lo + hi);
+                const bool crossed =
+                    falling ? at(mid) < level : at(mid) >= level;
+                (crossed ? hi : lo) = mid;
+            }
+            return hi;
+        }
+        return -1.0;
+    }
+};
+
+/** Lane controller sub-state between lockstep rounds. */
+enum class Sub : std::uint8_t
+{
+    OpBegin,  ///< Start (or finish) an op of the program.
+    WaitTop,  ///< Loop top of a WaitLevel/WaitEnabled op.
+    SegStep,  ///< One controller iteration of the active segment.
+    SegApply, ///< Post-commit bookkeeping after the SoA commit pass.
+    SegEnd,   ///< Segment over; hand back to its owning op.
+    Done,     ///< Program complete.
+};
+
+/** What the active segment belongs to (dispatch at SegEnd). */
+enum class SegOwner : std::uint8_t
+{
+    WaitChunk, ///< One advanceIdleChunk quantum of a wait op.
+    Profile,   ///< One profile segment of a RunProfile op.
+    IdleChunk, ///< One chunk of an IdleFor op.
+};
+
+/** Mirror of the scalar segment-runner invocation state (one call). */
+struct SegCtx
+{
+    double remaining = 0.0;
+    double i_load = 0.0;
+    double fallback = 0.0;
+    bool stop_on_failure = false;
+    bool has_stop_level = false;
+    double stop_level = 0.0;
+    bool stop_when_enabled = false;
+    double hint = 0.0;
+    bool stopped = false;
+    unsigned consec_ref = 0; ///< Consecutive reference steps (storm).
+    // SegmentResult accumulator.
+    double vmin = 0.0;
+    double vend = 0.0;
+    bool power_failed = false;
+    bool collapsed = false;
+    bool stopped_at_level = false;
+    bool stopped_enabled = false;
+};
+
+void
+validateOp(const LaneOp &op)
+{
+    switch (op.kind) {
+    case OpKind::WaitLevel:
+        log::fatalIf(!op.stop_when_off && std::isfinite(op.deadline.value()),
+                     "rechargeTo-style waits are unbounded: a finite "
+                     "deadline requires stop_when_off");
+        break;
+    case OpKind::RunProfile:
+        log::fatalIf(op.profile == nullptr,
+                     "RunProfile op requires a profile");
+        log::fatalIf(op.dt.value() <= 0.0,
+                     "RunProfile dt must be positive");
+        break;
+    case OpKind::WaitEnabled:
+    case OpKind::IdleFor:
+        break;
+    }
+}
+
+/** A macro step scheduled by the control pass, applied by commitPass. */
+struct Pending
+{
+    double dt = 0.0;      ///< Committed step length.
+    double i_state = 0.0; ///< Leak-inclusive state current (q/d forcing).
+    double net_avg = 0.0; ///< External trapezoidal net current.
+    Curve curve;          ///< Terminal-voltage curve over the step.
+    bool level_first = false;
+    bool event = false;
+    double hint_next = 0.0; ///< Hint after a plain accept.
+    bool deep = false; ///< Commit pass found a negative branch: delegate.
+    /** minOver(dt) precomputed by the control pass (full-span commits). */
+    double vmin_full = 0.0;
+    bool have_vmin = false;
+};
+
+} // namespace
+
+/** Per-lane runtime: scalar components, cached constants, controller. */
+struct LaneRt
+{
+    explicit LaneRt(const LaneSpec &spec)
+        : options(spec.options),
+          program(spec.program),
+          repeat(spec.repeat),
+          source(spec.source),
+          harvester(spec.harvest),
+          system(spec.config),
+          scratch_cap(spec.config.capacitor)
+    {
+        system.setHarvester(&harvester);
+        harvest_w = spec.harvest.value();
+
+        const sim::TwoBranchCoefficients k =
+            system.capacitor().analyticCoefficients();
+        tau = k.tau;
+        beta = k.beta;
+        gamma = k.gamma;
+        ct = k.c_total;
+        cb = k.cb;
+        cs = k.cs;
+        rth = k.rth;
+        const sim::CapacitorConfig &cc = spec.config.capacitor;
+        gb = 1.0 / cc.agedBulkResistance().value();
+        gs = 1.0 / cc.agedSurfaceResistance().value();
+        leak = cc.leakage.value();
+
+        const sim::OutputBoosterConfig &oc = spec.config.output;
+        vout = oc.vout.value();
+        dropout = oc.dropout.value();
+        quiescent = oc.quiescent.value();
+        eff = oc.efficiency;
+
+        const sim::InputBoosterConfig &ic = spec.config.input;
+        in_eff = ic.efficiency;
+        in_vhigh = ic.vhigh.value();
+        in_max = ic.max_charge_current.value();
+
+        voff = spec.config.monitor.voff.value();
+        vhigh = spec.config.monitor.vhigh.value();
+        idle_dt = options.idle_dt.value();
+    }
+
+    // --- Static per-lane data ---
+    sim::DeviceOptions options;
+    std::vector<LaneOp> program;
+    unsigned repeat = 1;
+    /** Dynamic op feeder; overrides program/repeat when non-null. */
+    OpSource *source = nullptr;
+    sim::ConstantHarvester harvester;
+    /** Scalar twin: reference steps and peeled tails run through it. */
+    sim::PowerSystem system;
+    /** Scratch for the deep-discharge Euler delegation of a commit. */
+    sim::Capacitor scratch_cap;
+    double harvest_w = 0.0;
+
+    // Cached electrical constants (no aging mid-run in batch lanes).
+    double tau = 1.0, beta = 0.0, gamma = 0.0;
+    double ct = 0.0, cb = 0.0, cs = 0.0, rth = 0.0;
+    double gb = 0.0, gs = 0.0, leak = 0.0;
+    double vout = 0.0, dropout = 0.0, quiescent = 0.0;
+    sim::Efficiency eff{};
+    double in_eff = 0.0, in_vhigh = 0.0, in_max = 0.0;
+    double voff = 0.0, vhigh = 0.0;
+    double idle_dt = 1e-3;
+
+    // --- Controller state ---
+    Sub sub = Sub::OpBegin;
+    SegOwner owner = SegOwner::WaitChunk;
+    unsigned op_index = 0;
+    unsigned rep_index = 0;
+    /** Sourced lanes: the op in flight and the last finished outcome. */
+    LaneOp dyn_op;
+    OpOutcome last_out;
+    bool have_last = false;
+    bool enabled = true; ///< Mirror of system.monitor().enabled().
+    unsigned failures_base = 0;
+    SegCtx seg;
+    Pending pc;
+    double wait_anchor = 0.0; ///< Wait/idle op start (tick-grid anchor).
+    double idle_end = 0.0;    ///< IdleFor: absolute end time.
+    std::size_t prof_seg = 0; ///< RunProfile: next profile segment.
+    OpOutcome cur;            ///< Outcome of the op in flight.
+    LaneResult result;
+};
+
+struct BatchEngine::Impl
+{
+    BatchOptions opts;
+    std::vector<std::unique_ptr<LaneRt>> lanes;
+
+    // SoA state arrays (hot data of the commit pass).
+    std::vector<double> vb, vs, now;
+    std::vector<double> tau, beta, ct, cb, cs;
+
+    // Macro steps scheduled this round.
+    std::vector<std::uint32_t> pend_lane;
+    std::vector<double> pend_dt, pend_i;
+    /** exp(-dt/tau) from the accept probe; < 0 when dt was shortened. */
+    std::vector<double> pend_exp;
+
+    // --- Cached scalar formulas (bit-identical to the sim:: models) ---
+
+    /** Capacitor::openCircuitVoltage. */
+    double vocOf(std::size_t l) const
+    {
+        return (cb[l] * vb[l] + cs[l] * vs[l]) / (cb[l] + cs[l]);
+    }
+    /** Capacitor::theveninVoltage == PowerSystem::restingVoltage. */
+    double restingOf(const LaneRt &rt, std::size_t l) const
+    {
+        return (vb[l] * rt.gb + vs[l] * rt.gs) / (rt.gb + rt.gs);
+    }
+
+    /**
+     * OutputBooster::computeDraw on branch voltages (vb0, vs0):
+     * identical arithmetic to the scalar fixed-point solve. For zero
+     * load the iteration is invariant after the first pass (pin == 0
+     * regardless of the efficiency estimate), so the closed first pass
+     * reproduces the 8-iteration result bit-for-bit — this is the draw
+     * the wait-dominated paths hit on every probe.
+     */
+    double drawAt(const LaneRt &rt, double vb0, double vs0, double i_load,
+                  bool &collapsed) const
+    {
+        const double voc = (vb0 * rt.gb + vs0 * rt.gs) / (rt.gb + rt.gs);
+        return drawAtVth(rt, voc, i_load, collapsed);
+    }
+
+    double drawAtVth(const LaneRt &rt, double voc, double i_load,
+                     bool &collapsed) const
+    {
+        const double r = rt.rth;
+        if (voc <= 0.0) {
+            collapsed = true;
+            return 0.0;
+        }
+        if (i_load == 0.0) {
+            // The scalar zero-load fixed point degenerates to
+            // i0 = (voc - sqrt(voc^2)) / 2r, which is zero up to the
+            // rounding of sqrt(voc^2) — at most half an ulp of voc over
+            // 2r, i.e. ~1e-17 A here. Exact replay keeps the dance;
+            // the fast path draws the quiescent current directly.
+            double input = rt.quiescent;
+            if (opts.exact_replay) {
+                const double i0 = r > 0.0
+                    ? (voc - std::sqrt(voc * voc)) / (2.0 * r)
+                    : 0.0;
+                input = i0 + rt.quiescent;
+            }
+            collapsed = (voc - input * r) < rt.dropout;
+            return input;
+        }
+        const double pout = rt.vout * i_load;
+        double vterm = voc;
+        double i_in = 0.0;
+        for (int iter = 0; iter < 8; ++iter) {
+            const double eta =
+                rt.eff.at(Volts(vterm), Amps(i_load));
+            const double pin = pout / eta;
+            const double disc = voc * voc - 4.0 * r * pin;
+            if (disc < 0.0) {
+                collapsed = true;
+                return (voc * 0.5) / r;
+            }
+            const double i_new = r > 0.0
+                ? (voc - std::sqrt(disc)) / (2.0 * r)
+                : pin / voc;
+            i_in = i_new;
+            const double vterm_new = voc - i_in * r;
+            // An exact fixed point makes the remaining passes no-ops
+            // (bit-identical exit). The fast path also accepts nV-level
+            // convergence, which the scalar's fixed 8 passes reach on
+            // the iterations this skips.
+            if (vterm_new == vterm ||
+                (!opts.exact_replay &&
+                 std::abs(vterm_new - vterm) < 1e-9)) {
+                vterm = vterm_new;
+                break;
+            }
+            vterm = vterm_new;
+        }
+        const double input = i_in + rt.quiescent;
+        collapsed = (voc - input * r) < rt.dropout;
+        return input;
+    }
+
+    /** InputBooster::chargeCurrent under the lane's constant harvest. */
+    double chargeAt(const LaneRt &rt, double voc) const
+    {
+        if (rt.harvest_w <= 0.0 || voc >= rt.in_vhigh)
+            return 0.0;
+        const double denom = std::max(voc, 0.1);
+        return std::min(rt.in_eff * rt.harvest_w / denom, rt.in_max);
+    }
+
+    /** PowerSystem::idleNetCurrentAt at an equalized probe voltage. */
+    double idleNetAt(const LaneRt &rt, double voc, bool with_output_draw)
+        const
+    {
+        double i_out = 0.0;
+        if (with_output_draw && rt.enabled) {
+            // The scalar probe equalizes a capacitor copy at voc; its
+            // Thevenin voltage is then (voc gb + voc gs) / (gb + gs).
+            const double vth =
+                (voc * rt.gb + voc * rt.gs) / (rt.gb + rt.gs);
+            bool collapsed = false;
+            const double input = drawAtVth(rt, vth, 0.0, collapsed);
+            if (!collapsed)
+                i_out = input;
+        }
+        const double i_charge = chargeAt(rt, voc);
+        double net = i_out - i_charge;
+        if (voc > 0.0)
+            net += rt.leak;
+        return net;
+    }
+
+    /**
+     * Capacitor::advanceAnalytic on scratch values, including its
+     * deep-discharge delegation to the clamped Euler integrator.
+     */
+    void probeAdvance(const LaneRt &rt, double vb0, double vs0, double dt,
+                      double i_out, double &vb1, double &vs1,
+                      double *exp_out = nullptr) const
+    {
+        double net = i_out;
+        const double voc = (rt.cb * vb0 + rt.cs * vs0) / (rt.cb + rt.cs);
+        if (voc > 0.0)
+            net += rt.leak;
+        const double q0 = (rt.cb * vb0 + rt.cs * vs0) / rt.ct;
+        const double d0 = vb0 - vs0;
+        const double d_inf = -net * rt.beta * rt.tau;
+        const double q = q0 - net * dt / rt.ct;
+        const double e = std::exp(-dt / rt.tau);
+        if (exp_out != nullptr)
+            *exp_out = e;
+        const double d = (d0 - d_inf) * e + d_inf;
+        vb1 = q + (rt.cs / rt.ct) * d;
+        vs1 = q - (rt.cb / rt.ct) * d;
+        if (vb1 < 0.0 || vs1 < 0.0)
+            eulerAdvance(rt, vb0, vs0, dt, i_out, vb1, vs1);
+    }
+
+    /** Capacitor::step (clamped Euler sub-stepping) on scratch values. */
+    void eulerAdvance(const LaneRt &rt, double vb0, double vs0, double dt,
+                      double i_out, double &vb1, double &vs1) const
+    {
+        double net = i_out;
+        const double voc = (rt.cb * vb0 + rt.cs * vs0) / (rt.cb + rt.cs);
+        if (voc > 0.0)
+            net += rt.leak;
+        const auto substeps = std::max<std::size_t>(
+            1, std::size_t(std::ceil(dt / (0.25 * rt.tau))));
+        const double h = dt / double(substeps);
+        vb1 = vb0;
+        vs1 = vs0;
+        for (std::size_t s = 0; s < substeps; ++s) {
+            const double vm =
+                (vb1 * rt.gb + vs1 * rt.gs - net) / (rt.gb + rt.gs);
+            const double ib = (vb1 - vm) * rt.gb;
+            const double is = (vs1 - vm) * rt.gs;
+            vb1 = std::max(0.0, vb1 - ib * h / rt.cb);
+            vs1 = std::max(0.0, vs1 - is * h / rt.cs);
+        }
+    }
+
+    // --- Scalar hand-offs ---
+
+    /** One reference Euler step through the lane's own PowerSystem. */
+    sim::StepResult refStep(LaneRt &rt, std::size_t l, double dt,
+                            double i_load)
+    {
+        rt.system.adoptState(Volts(vb[l]), Volts(vs[l]), Seconds(now[l]));
+        const sim::StepResult s =
+            rt.system.step(Seconds(dt), Amps(i_load));
+        vb[l] = rt.system.capacitor().bulkVoltage().value();
+        vs[l] = rt.system.capacitor().surfaceVoltage().value();
+        now[l] = rt.system.now().value();
+        rt.enabled = rt.system.monitor().enabled();
+        return s;
+    }
+
+    /** analyticEventStep mirror (one step + accumulator merge). */
+    void eventStep(LaneRt &rt, std::size_t l, SegCtx &sg)
+    {
+        const sim::StepResult s = refStep(rt, l, sg.fallback, sg.i_load);
+        sg.remaining -= sg.fallback;
+        sg.vmin = std::min(sg.vmin, s.terminal.value());
+        sg.vend = s.terminal.value();
+        sg.power_failed = sg.power_failed || s.power_failed;
+        sg.collapsed = sg.collapsed || s.collapsed;
+        if ((sg.power_failed || sg.collapsed) && sg.stop_on_failure)
+            sg.stopped = true;
+        ++sg.consec_ref;
+    }
+
+    /**
+     * Divergence peel: hand the remainder of the segment to the lane's
+     * scalar engine (an event storm means the closed form is re-probing
+     * every fallback_dt anyway). The lane re-enters the lockstep at the
+     * next segment boundary.
+     */
+    void peelSegment(LaneRt &rt, std::size_t l)
+    {
+        SegCtx &sg = rt.seg;
+        rt.system.adoptState(Volts(vb[l]), Volts(vs[l]), Seconds(now[l]));
+        sim::SegmentOptions o;
+        o.fallback_dt = Seconds(sg.fallback);
+        o.stop_on_failure = sg.stop_on_failure;
+        o.current_tolerance = opts.current_tolerance;
+        if (sg.has_stop_level)
+            o.stop_above_resting = Volts(sg.stop_level);
+        o.stop_when_enabled = sg.stop_when_enabled;
+        const sim::SegmentResult res = rt.system.runSegment(
+            Seconds(sg.remaining), Amps(sg.i_load), o);
+        vb[l] = rt.system.capacitor().bulkVoltage().value();
+        vs[l] = rt.system.capacitor().surfaceVoltage().value();
+        now[l] = rt.system.now().value();
+        rt.enabled = rt.system.monitor().enabled();
+        sg.remaining -= res.elapsed.value();
+        sg.vmin = std::min(sg.vmin, res.vmin.value());
+        sg.vend = res.vend.value();
+        sg.power_failed = sg.power_failed || res.power_failed;
+        sg.collapsed = sg.collapsed || res.collapsed;
+        sg.stopped_at_level = sg.stopped_at_level || res.stopped_at_level;
+        sg.stopped_enabled = sg.stopped_enabled || res.stopped_enabled;
+        sg.stopped = true;
+        ++rt.result.peels;
+        rt.sub = Sub::SegEnd;
+    }
+
+    // --- Controller ---
+
+    void beginSegment(LaneRt &rt, std::size_t l, SegOwner owner,
+                      double duration, double i_load, double fallback,
+                      bool stop_on_failure,
+                      std::optional<double> stop_level,
+                      bool stop_when_enabled)
+    {
+        rt.owner = owner;
+        SegCtx &sg = rt.seg;
+        sg = SegCtx{};
+        sg.remaining = duration;
+        sg.i_load = i_load;
+        sg.fallback = fallback;
+        sg.stop_on_failure = stop_on_failure;
+        sg.has_stop_level = stop_level.has_value();
+        sg.stop_level = stop_level.value_or(0.0);
+        sg.stop_when_enabled = stop_when_enabled;
+        sg.hint = duration;
+        const double resting = restingOf(rt, l);
+        sg.vmin = resting;
+        sg.vend = resting;
+        rt.sub = Sub::SegStep;
+    }
+
+    /** The op a lane is executing: its dynamic slot or the program. */
+    const LaneOp &curOp(const LaneRt &rt) const
+    {
+        return rt.source != nullptr ? rt.dyn_op
+                                    : rt.program[rt.op_index];
+    }
+
+    void finishLane(LaneRt &rt, std::size_t l)
+    {
+        rt.result.end_time = Seconds(now[l]);
+        rt.result.vend = Volts(restingOf(rt, l));
+        rt.result.power_failures =
+            rt.system.monitor().powerFailures() - rt.failures_base;
+        rt.sub = Sub::Done;
+    }
+
+    void finishOp(LaneRt &rt, std::size_t l)
+    {
+        rt.cur.elapsed = Seconds(now[l] - rt.wait_anchor);
+        if (rt.source != nullptr) {
+            // Sourced lanes hand the outcome back through next();
+            // recording it again in result.ops would be redundant.
+            rt.last_out = std::move(rt.cur);
+            rt.have_last = true;
+        } else {
+            rt.result.ops.push_back(std::move(rt.cur));
+            ++rt.op_index;
+        }
+        rt.cur = OpOutcome{};
+        rt.sub = Sub::OpBegin;
+    }
+
+    void finishWait(LaneRt &rt, std::size_t l, sim::WaitStatus status)
+    {
+        rt.cur.wait_status = status;
+        finishOp(rt, l);
+    }
+
+    /**
+     * Mirror of one zero-load PowerSystem::step when the monitor does
+     * not transition: same draw, charge, terminal voltage and clamped
+     * Euler update, but without touching the scalar system. Returns
+     * false when the monitor WOULD transition (the exact hysteresis
+     * comparison) — the caller then takes a real reference step so the
+     * monitor's state and failure count stay authoritative.
+     */
+    bool tryInlineStep(LaneRt &rt, std::size_t l, double dt)
+    {
+        double i_out = 0.0;
+        bool collapsed = false;
+        const double vth = restingOf(rt, l);
+        if (rt.enabled)
+            i_out = drawAtVth(rt, vth, 0.0, collapsed);
+        const double i_charge = chargeAt(rt, vocOf(l));
+        const double net = i_out - i_charge;
+        const double vterm = vth - net * rt.rth;
+        if (rt.enabled ? (vterm < rt.voff) : (vterm >= rt.vhigh))
+            return false;
+        double vb1 = 0.0, vs1 = 0.0;
+        eulerAdvance(rt, vb[l], vs[l], dt, net, vb1, vs1);
+        vb[l] = vb1;
+        vs[l] = vs1;
+        now[l] += dt;
+        return true;
+    }
+
+    /** snapToGrid mirror; returns true when it took the pad step. */
+    bool padToGrid(LaneRt &rt, std::size_t l, double anchor)
+    {
+        const double dt = rt.idle_dt;
+        const double done = (now[l] - anchor) / dt;
+        const double pad = (std::ceil(done - 1e-9) - done) * dt;
+        if (pad > 1e-9) {
+            // snapToGrid discards the step result, so the pad can run
+            // inline whenever the monitor holds state.
+            if (!tryInlineStep(rt, l, pad))
+                refStep(rt, l, pad, 0.0);
+            return true;
+        }
+        return false;
+    }
+
+    /**
+     * Advance one lane until it schedules a macro commit, takes one
+     * reference step or peel (its lockstep "round action"), or finishes
+     * its program. Cheap transitions (op boundaries, wait loop tops)
+     * run inline.
+     */
+    void controlAdvance(std::size_t l)
+    {
+        LaneRt &rt = *lanes[l];
+        while (true) {
+            switch (rt.sub) {
+            case Sub::OpBegin: {
+                if (rt.source != nullptr) {
+                    LaneStatus status;
+                    status.now = Seconds(now[l]);
+                    status.resting = Volts(restingOf(rt, l));
+                    status.enabled = rt.enabled;
+                    if (!rt.source->next(
+                            rt.have_last ? &rt.last_out : nullptr,
+                            status, &rt.dyn_op)) {
+                        finishLane(rt, l);
+                        return;
+                    }
+                    validateOp(rt.dyn_op);
+                } else {
+                    if (rt.op_index >= rt.program.size()) {
+                        rt.op_index = 0;
+                        ++rt.rep_index;
+                    }
+                    if (rt.rep_index >= rt.repeat ||
+                        rt.program.empty()) {
+                        finishLane(rt, l);
+                        return;
+                    }
+                }
+                const LaneOp &op = curOp(rt);
+                rt.cur = OpOutcome{};
+                rt.cur.kind = op.kind;
+                rt.wait_anchor = now[l];
+                switch (op.kind) {
+                case OpKind::WaitLevel:
+                case OpKind::WaitEnabled:
+                    rt.sub = Sub::WaitTop;
+                    break;
+                case OpKind::IdleFor: {
+                    // Device::idleFor tick math, verbatim.
+                    if (op.duration.value() <= 0.0) {
+                        finishOp(rt, l);
+                        break;
+                    }
+                    const double dt = rt.idle_dt;
+                    const long ticks = std::lround(std::max(
+                        1.0,
+                        std::ceil(op.duration.value() / dt - 1e-9)));
+                    rt.idle_end = now[l] + double(ticks) * dt;
+                    const double chunk = std::min(
+                        rt.idle_end - now[l], kMaxIdleChunk);
+                    beginSegment(rt, l, SegOwner::IdleChunk, chunk, 0.0,
+                                 dt, /*stop_on_failure=*/false,
+                                 std::nullopt,
+                                 /*stop_when_enabled=*/false);
+                    break;
+                }
+                case OpKind::RunProfile: {
+                    const double resting = restingOf(rt, l);
+                    rt.cur.vmin = Volts(resting);
+                    rt.cur.voltage = Volts(resting);
+                    rt.prof_seg = 0;
+                    rt.owner = SegOwner::Profile;
+                    rt.sub = Sub::SegEnd; // Dispatcher starts segment 0.
+                    break;
+                }
+                }
+                continue;
+            }
+
+            case Sub::WaitTop: {
+                const LaneOp &op = curOp(rt);
+                const double resting = restingOf(rt, l);
+                rt.cur.voltage = Volts(resting);
+                if (op.kind == OpKind::WaitLevel) {
+                    if (resting >= op.level.value()) {
+                        finishWait(rt, l, sim::WaitStatus::Reached);
+                        continue;
+                    }
+                    if (now[l] > op.deadline.value()) {
+                        finishWait(rt, l,
+                                   sim::WaitStatus::DeadlineExpired);
+                        continue;
+                    }
+                    if (op.stop_when_off && !rt.enabled) {
+                        finishWait(rt, l, sim::WaitStatus::BrownedOut);
+                        continue;
+                    }
+                    const double net = idleNetAt(
+                        rt, op.level.value() - 1e-9, op.stop_when_off);
+                    if (net >= 0.0) {
+                        rt.cur.diagnostic = sim::unreachableDiagnostic(
+                            "voltage threshold", op.level, Amps(net));
+                        finishWait(rt, l, sim::WaitStatus::Unreachable);
+                        continue;
+                    }
+                    startIdleChunk(rt, l, op.level,
+                                   /*stop_when_enabled=*/false,
+                                   /*stop_on_failure=*/op.stop_when_off,
+                                   op.deadline.value());
+                } else { // WaitEnabled
+                    if (rt.enabled) {
+                        finishWait(rt, l, sim::WaitStatus::Reached);
+                        continue;
+                    }
+                    if (now[l] > op.deadline.value()) {
+                        finishWait(rt, l,
+                                   sim::WaitStatus::DeadlineExpired);
+                        continue;
+                    }
+                    const double net = idleNetAt(
+                        rt, rt.vhigh - 1e-9, /*with_output_draw=*/false);
+                    if (net >= 0.0) {
+                        rt.cur.diagnostic = sim::unreachableDiagnostic(
+                            "monitor re-arm level", Volts(rt.vhigh),
+                            Amps(net));
+                        finishWait(rt, l, sim::WaitStatus::Unreachable);
+                        continue;
+                    }
+                    startIdleChunk(rt, l, std::nullopt,
+                                   /*stop_when_enabled=*/true,
+                                   /*stop_on_failure=*/false,
+                                   op.deadline.value());
+                }
+                continue;
+            }
+
+            case Sub::SegStep:
+                if (segStep(rt, l))
+                    return; // Commit scheduled / ref step / peel taken.
+                continue;
+
+            case Sub::SegApply:
+                if (segApply(rt, l))
+                    return; // Post-commit event took a reference step.
+                continue;
+
+            case Sub::SegEnd:
+                segEnd(rt, l);
+                continue;
+
+            case Sub::Done:
+                return;
+            }
+        }
+    }
+
+    void startIdleChunk(LaneRt &rt, std::size_t l,
+                        std::optional<Volts> stop_level,
+                        bool stop_when_enabled, bool stop_on_failure,
+                        double deadline)
+    {
+        // Device::advanceIdleChunk horizon math, verbatim.
+        const double dt = rt.idle_dt;
+        const double tnow = now[l];
+        const double anchor = rt.wait_anchor;
+        double horizon;
+        if (std::isfinite(deadline)) {
+            const double ticks =
+                std::floor((deadline - anchor) / dt + 1e-9) + 1.0;
+            horizon = anchor + ticks * dt;
+        } else {
+            horizon = tnow + kMaxIdleChunk;
+        }
+        double chunk = horizon - tnow;
+        if (chunk <= 0.0)
+            chunk = dt;
+        chunk = std::min(chunk, kMaxIdleChunk);
+        std::optional<double> level;
+        if (stop_level.has_value())
+            level = stop_level->value();
+        beginSegment(rt, l, SegOwner::WaitChunk, chunk, 0.0, dt,
+                     stop_on_failure, level, stop_when_enabled);
+    }
+
+    /**
+     * One iteration of the analytic segment controller — the mirror of
+     * runSegmentAnalytic's macro-step loop body. Returns true when the
+     * lane consumed its round action.
+     */
+    bool segStep(LaneRt &rt, std::size_t l)
+    {
+        SegCtx &sg = rt.seg;
+        if (!(sg.remaining > 0.0) || sg.stopped) {
+            rt.sub = Sub::SegEnd;
+            return false;
+        }
+        // Loop-top stop conditions (pre-step state, no simulated time).
+        const double vth0 = restingOf(rt, l);
+        if (sg.has_stop_level && vth0 >= sg.stop_level) {
+            sg.stopped_at_level = true;
+            rt.sub = Sub::SegEnd;
+            return false;
+        }
+        if (sg.stop_when_enabled && rt.enabled) {
+            sg.stopped_enabled = true;
+            rt.sub = Sub::SegEnd;
+            return false;
+        }
+        // Event storm: the closed form is degenerating to per-tick
+        // reference steps; peel the remainder onto the scalar engine.
+        if (sg.consec_ref >= opts.event_storm_threshold) {
+            peelSegment(rt, l);
+            return true;
+        }
+
+        const bool enabled = rt.enabled;
+        double i_out = 0.0;
+        bool collapsed_now = false;
+        if (enabled)
+            i_out = drawAtVth(rt, vth0, sg.i_load, collapsed_now);
+        const double voc0 = vocOf(l);
+        const double i_charge = chargeAt(rt, voc0);
+        const double net0 = i_out - i_charge;
+        const double vterm0 = vth0 - net0 * rt.rth;
+
+        if (collapsed_now || (enabled && vterm0 < rt.voff) ||
+            (!enabled && vterm0 >= rt.vhigh)) {
+            eventStep(rt, l, sg);
+            sg.hint = std::max(sg.hint, 4.0 * sg.fallback);
+            return true;
+        }
+
+        // Adaptive macro-step probe (proportional controller).
+        double dt_try = std::min(sg.remaining, sg.hint);
+        double net1 = net0;
+        double exp_try = -1.0; ///< exp(-dt_try/tau) of the accepted probe.
+        bool at_floor = false;
+        const double bound = std::max(
+            1e-6, opts.current_tolerance * std::abs(net0));
+        while (true) {
+            if (dt_try <= sg.fallback * (1.0 + 1e-9)) {
+                at_floor = true;
+                break;
+            }
+            double pvb = 0.0, pvs = 0.0;
+            probeAdvance(rt, vb[l], vs[l], dt_try, net0, pvb, pvs,
+                         &exp_try);
+            double i_out1 = 0.0;
+            bool collapsed1 = false;
+            if (enabled)
+                i_out1 = drawAt(rt, pvb, pvs, sg.i_load, collapsed1);
+            const double voc1 =
+                (rt.cb * pvb + rt.cs * pvs) / (rt.cb + rt.cs);
+            const double i_charge1 = chargeAt(rt, voc1);
+            net1 = i_out1 - i_charge1;
+            const double drift = std::abs(net1 - net0);
+            if (!collapsed1 && drift <= bound)
+                break;
+            const double shrink = (!collapsed1 && drift > 0.0)
+                ? std::clamp(0.9 * bound / drift, 0.05, 0.5)
+                : 0.5;
+            dt_try *= shrink;
+        }
+        if (at_floor) {
+            eventStep(rt, l, sg);
+            sg.hint = 4.0 * sg.fallback;
+            return true;
+        }
+
+        // Commit decision: trapezoidal current, explicit curve, monitor
+        // and level crossings — all on the scalar's exact expressions.
+        const double net_avg = 0.5 * (net0 + net1);
+        double i_state = net_avg;
+        if (voc0 > 0.0)
+            i_state += rt.leak;
+        const double q0 = (rt.cb * vb[l] + rt.cs * vs[l]) / rt.ct;
+        const double d0 = vb[l] - vs[l];
+        const double d_inf = -i_state * rt.beta * rt.tau;
+
+        Pending &pc = rt.pc;
+        pc = Pending{};
+        pc.curve.tau = rt.tau;
+        pc.curve.b = -i_state / rt.ct;
+        pc.curve.c = rt.gamma * (d0 - d_inf);
+        pc.curve.a = q0 + rt.gamma * d_inf - net_avg * rt.rth;
+
+        // Curve extremes over [0, dt_try], evaluated once: they both
+        // answer "can a crossing bracket exist at all?" (skipping the
+        // root search on the vast majority of steps) and double as the
+        // step's Vmin (bit-identical to Curve::minOver, same expression
+        // order) when the full probe span commits.
+        const double t_star = pc.curve.stationaryPoint(dt_try);
+        const double v0 = pc.curve.a + pc.curve.c; // at(0), bitwise.
+        const double v_end = pc.curve.at(dt_try);
+        double vmin_try = std::min(v0, v_end);
+        double vmax_try = std::max(v0, v_end);
+        if (t_star > 0.0) {
+            const double v_star = pc.curve.at(t_star);
+            vmin_try = std::min(vmin_try, v_star);
+            vmax_try = std::max(vmax_try, v_star);
+        }
+
+        const bool exact = opts.exact_replay;
+        const auto crossingAt = [&](double level, bool falling) {
+            return exact
+                ? pc.curve.firstCrossing(level, dt_try, falling)
+                : pc.curve.fastCrossing(level, dt_try, falling);
+        };
+        // A falling bracket needs a sub-level point, a rising bracket a
+        // point at or above the level; otherwise skip the root search
+        // (firstCrossing would scan its pieces and return -1).
+        double crossing = -1.0;
+        if (enabled) {
+            if (vmin_try < rt.voff)
+                crossing = crossingAt(rt.voff, /*falling=*/true);
+        } else {
+            if (vmax_try >= rt.vhigh)
+                crossing = crossingAt(rt.vhigh, /*falling=*/false);
+        }
+        double level_cross = -1.0;
+        if (sg.has_stop_level) {
+            const double lvl = sg.stop_level - net_avg * rt.rth;
+            if (vmax_try >= lvl)
+                level_cross = crossingAt(lvl, /*falling=*/false);
+        }
+        const bool level_first = level_cross > 0.0 &&
+            (crossing <= 0.0 || level_cross < crossing);
+        const bool event = !level_first && crossing > 0.0;
+        const double commit =
+            level_first ? level_cross : (event ? crossing : dt_try);
+        if (!(commit > 0.0)) {
+            // Unreachable with the scalar's commit selection; keep the
+            // guard so a degenerate curve cannot wedge the lane.
+            rt.sub = Sub::SegEnd;
+            return false;
+        }
+        pc.dt = commit;
+        pc.i_state = i_state;
+        pc.net_avg = net_avg;
+        pc.level_first = level_first;
+        pc.event = event;
+        const bool full_span = !level_first && !event;
+        pc.vmin_full = vmin_try;
+        pc.have_vmin = full_span;
+        {
+            const double drift = std::abs(net1 - net0);
+            const double grow = drift > 0.0
+                ? std::clamp(0.9 * bound / drift, 1.0, 8.0)
+                : 8.0;
+            pc.hint_next = dt_try * grow;
+        }
+        pend_lane.push_back(std::uint32_t(l));
+        pend_dt.push_back(commit);
+        pend_i.push_back(i_state);
+        // The accepted probe evaluated exp(-dt_try/tau); a full-span
+        // commit reuses it verbatim in the SoA pass.
+        pend_exp.push_back(full_span ? exp_try : -1.0);
+        rt.sub = Sub::SegApply;
+        return true;
+    }
+
+    /** Post-commit bookkeeping; true when an event reference step ran. */
+    bool segApply(LaneRt &rt, std::size_t l)
+    {
+        SegCtx &sg = rt.seg;
+        Pending &pc = rt.pc;
+        if (pc.deep) {
+            // The closed-form end state had a negative branch: apply
+            // the commit through the clamped Euler integrator, exactly
+            // as Capacitor::advanceAnalytic delegates to step().
+            rt.scratch_cap.setBranchVoltages(Volts(vb[l]), Volts(vs[l]));
+            rt.scratch_cap.step(Seconds(pc.dt), Amps(pc.net_avg));
+            vb[l] = rt.scratch_cap.bulkVoltage().value();
+            vs[l] = rt.scratch_cap.surfaceVoltage().value();
+            now[l] += pc.dt;
+            ++rt.result.peels;
+        }
+        ++rt.result.macro_commits;
+        sg.remaining -= pc.dt;
+        sg.vmin = std::min(sg.vmin, pc.have_vmin
+                                        ? pc.vmin_full
+                                        : pc.curve.minOver(pc.dt));
+        sg.vend = pc.curve.at(pc.dt);
+        if (pc.level_first) {
+            sg.stopped_at_level = true;
+            sg.stopped = true;
+            rt.sub = Sub::SegStep;
+            return false;
+        }
+        if (pc.event) {
+            eventStep(rt, l, sg);
+            sg.hint = std::max(2.0 * sg.fallback, pc.dt);
+            rt.sub = Sub::SegStep;
+            return true;
+        }
+        sg.hint = pc.hint_next;
+        sg.consec_ref = 0;
+        rt.sub = Sub::SegStep;
+        return false;
+    }
+
+    /** Segment over: dispatch to the op that owns it. */
+    void segEnd(LaneRt &rt, std::size_t l)
+    {
+        SegCtx &sg = rt.seg;
+        switch (rt.owner) {
+        case SegOwner::WaitChunk:
+            padToGrid(rt, l, rt.wait_anchor);
+            rt.sub = Sub::WaitTop;
+            return;
+
+        case SegOwner::IdleChunk:
+            if (now[l] < rt.idle_end) {
+                const double chunk = std::min(
+                    rt.idle_end - now[l], kMaxIdleChunk);
+                beginSegment(rt, l, SegOwner::IdleChunk, chunk, 0.0,
+                             rt.idle_dt, /*stop_on_failure=*/false,
+                             std::nullopt, /*stop_when_enabled=*/false);
+                return;
+            }
+            padToGrid(rt, l, rt.wait_anchor);
+            rt.cur.voltage = Volts(restingOf(rt, l));
+            finishOp(rt, l);
+            return;
+
+        case SegOwner::Profile: {
+            const LaneOp &op = curOp(rt);
+            bool failed =
+                rt.cur.power_failed || rt.cur.collapsed;
+            if (rt.prof_seg > 0) {
+                // Merge the segment that just finished (runLoad).
+                rt.cur.vmin = Volts(std::min(rt.cur.vmin.value(),
+                                             sg.vmin));
+                rt.cur.voltage = Volts(sg.vend);
+                if (sg.power_failed || sg.collapsed) {
+                    rt.cur.power_failed =
+                        rt.cur.power_failed || sg.power_failed;
+                    rt.cur.collapsed = rt.cur.collapsed || sg.collapsed;
+                    failed = true;
+                    if (op.stop_on_failure) {
+                        rt.cur.completed = false;
+                        finishOp(rt, l);
+                        return;
+                    }
+                }
+            }
+            const auto &segments = op.profile->segments();
+            while (rt.prof_seg < segments.size()) {
+                const load::Segment &seg = segments[rt.prof_seg];
+                ++rt.prof_seg;
+                if (seg.duration.value() <= 0.0) {
+                    // runSegment's zero-duration early-out: the result
+                    // is the resting voltage, merged like any segment.
+                    const double resting = restingOf(rt, l);
+                    rt.cur.vmin = Volts(std::min(rt.cur.vmin.value(),
+                                                 resting));
+                    rt.cur.voltage = Volts(resting);
+                    continue;
+                }
+                beginSegment(rt, l, SegOwner::Profile,
+                             seg.duration.value(), seg.current.value(),
+                             op.dt.value(), op.stop_on_failure,
+                             std::nullopt, /*stop_when_enabled=*/false);
+                return;
+            }
+            rt.cur.completed = !failed;
+            finishOp(rt, l);
+            return;
+        }
+        }
+    }
+
+    /**
+     * The branch-free SoA pass: apply every scheduled macro step with
+     * the closed-form q/d update (Capacitor::advanceAnalytic's exact
+     * arithmetic). Lanes whose end state has a negative branch are
+     * flagged for the Euler delegation instead of being written.
+     */
+    void commitPass()
+    {
+        const std::size_t n = pend_lane.size();
+        for (std::size_t k = 0; k < n; ++k) {
+            const std::size_t l = pend_lane[k];
+            const double net = pend_i[k];
+            const double dt = pend_dt[k];
+            const double q0 = (cb[l] * vb[l] + cs[l] * vs[l]) / ct[l];
+            const double d0 = vb[l] - vs[l];
+            const double d_inf = -net * beta[l] * tau[l];
+            const double q = q0 - net * dt / ct[l];
+            const double e = pend_exp[k] >= 0.0
+                ? pend_exp[k]
+                : std::exp(-dt / tau[l]);
+            const double d = (d0 - d_inf) * e + d_inf;
+            const double vb1 = q + (cs[l] / ct[l]) * d;
+            const double vs1 = q - (cb[l] / ct[l]) * d;
+            if (vb1 < 0.0 || vs1 < 0.0) {
+                lanes[l]->pc.deep = true;
+                continue;
+            }
+            vb[l] = vb1;
+            vs[l] = vs1;
+            now[l] += dt;
+        }
+        pend_lane.clear();
+        pend_dt.clear();
+        pend_i.clear();
+        pend_exp.clear();
+    }
+
+    void run()
+    {
+        std::vector<std::size_t> active;
+        for (std::size_t l = 0; l < lanes.size(); ++l) {
+            if (lanes[l]->sub != Sub::Done)
+                active.push_back(l);
+        }
+        while (!active.empty()) {
+            for (std::size_t i = 0; i < active.size();) {
+                controlAdvance(active[i]);
+                if (lanes[active[i]]->sub == Sub::Done) {
+                    active[i] = active.back();
+                    active.pop_back();
+                } else {
+                    ++i;
+                }
+            }
+            if (!pend_lane.empty())
+                commitPass();
+        }
+    }
+};
+
+BatchEngine::BatchEngine(BatchOptions options)
+    : impl_(std::make_unique<Impl>())
+{
+    impl_->opts = options;
+    log::fatalIf(options.current_tolerance <= 0.0,
+                 "batch current_tolerance must be positive");
+    log::fatalIf(options.event_storm_threshold == 0,
+                 "batch event_storm_threshold must be positive");
+}
+
+BatchEngine::~BatchEngine() = default;
+BatchEngine::BatchEngine(BatchEngine &&) noexcept = default;
+BatchEngine &BatchEngine::operator=(BatchEngine &&) noexcept = default;
+
+namespace {
+
+void
+validateProgram(const std::vector<LaneOp> &program)
+{
+    for (const LaneOp &op : program)
+        validateOp(op);
+}
+
+} // namespace
+
+std::size_t
+BatchEngine::addLane(const LaneSpec &spec)
+{
+    log::fatalIf(spec.vstart.value() < 0.0,
+                 "lane vstart cannot be negative");
+    log::fatalIf(spec.harvest.value() < 0.0,
+                 "lane harvest cannot be negative");
+    log::fatalIf(spec.repeat == 0, "lane repeat must be >= 1");
+    validateProgram(spec.program);
+
+    Impl &im = *impl_;
+    const std::size_t l = im.lanes.size();
+    im.lanes.push_back(std::make_unique<LaneRt>(spec));
+    LaneRt &rt = *im.lanes.back();
+
+    im.vb.push_back(spec.vstart.value());
+    im.vs.push_back(spec.vstart.value());
+    im.now.push_back(0.0);
+    im.tau.push_back(rt.tau);
+    im.beta.push_back(rt.beta);
+    im.ct.push_back(rt.ct);
+    im.cb.push_back(rt.cb);
+    im.cs.push_back(rt.cs);
+
+    rt.system.adoptState(spec.vstart, spec.vstart, Seconds(0.0));
+    rt.system.forceOutputEnabled(spec.start_enabled);
+    rt.enabled = spec.start_enabled;
+    rt.failures_base = rt.system.monitor().powerFailures();
+    return l;
+}
+
+std::size_t
+BatchEngine::laneCount() const
+{
+    return impl_->lanes.size();
+}
+
+void
+BatchEngine::resetLane(std::size_t lane, Volts vstart, bool enabled)
+{
+    Impl &im = *impl_;
+    log::fatalIf(lane >= im.lanes.size(), "resetLane: no such lane");
+    log::fatalIf(vstart.value() < 0.0, "lane vstart cannot be negative");
+    LaneRt &rt = *im.lanes[lane];
+    im.vb[lane] = vstart.value();
+    im.vs[lane] = vstart.value();
+    im.now[lane] = 0.0;
+    rt.system.adoptState(vstart, vstart, Seconds(0.0));
+    rt.system.forceOutputEnabled(enabled);
+    rt.enabled = enabled;
+    rt.failures_base = rt.system.monitor().powerFailures();
+    rt.sub = Sub::OpBegin;
+    rt.op_index = 0;
+    rt.rep_index = 0;
+    rt.have_last = false;
+    rt.last_out = OpOutcome{};
+    rt.cur = OpOutcome{};
+    rt.result = LaneResult{};
+}
+
+void
+BatchEngine::setLaneProgram(std::size_t lane, std::vector<LaneOp> program,
+                            unsigned repeat)
+{
+    Impl &im = *impl_;
+    log::fatalIf(lane >= im.lanes.size(), "setLaneProgram: no such lane");
+    log::fatalIf(repeat == 0, "lane repeat must be >= 1");
+    validateProgram(program);
+    LaneRt &rt = *im.lanes[lane];
+    rt.program = std::move(program);
+    rt.repeat = repeat;
+    rt.source = nullptr;
+    rt.sub = Sub::OpBegin;
+    rt.op_index = 0;
+    rt.rep_index = 0;
+    rt.have_last = false;
+    rt.last_out = OpOutcome{};
+    rt.cur = OpOutcome{};
+    rt.result = LaneResult{};
+}
+
+void
+BatchEngine::run()
+{
+    impl_->run();
+}
+
+const LaneResult &
+BatchEngine::result(std::size_t lane) const
+{
+    log::fatalIf(lane >= impl_->lanes.size(), "result: no such lane");
+    return impl_->lanes[lane]->result;
+}
+
+std::vector<LaneResult>
+runPopulation(const std::vector<LaneSpec> &specs,
+              const BatchOptions &options)
+{
+    BatchEngine engine(options);
+    for (const LaneSpec &spec : specs)
+        engine.addLane(spec);
+    engine.run();
+    std::vector<LaneResult> results;
+    results.reserve(specs.size());
+    for (std::size_t l = 0; l < specs.size(); ++l)
+        results.push_back(engine.result(l));
+    return results;
+}
+
+LaneResult
+runLaneScalar(const LaneSpec &spec)
+{
+    log::fatalIf(spec.repeat == 0, "lane repeat must be >= 1");
+    validateProgram(spec.program);
+
+    sim::ConstantHarvester harvester(spec.harvest);
+    sim::Device device(spec.config, spec.options);
+    device.setHarvester(&harvester);
+    device.setBufferVoltage(spec.vstart);
+    device.forceOutputEnabled(spec.start_enabled);
+
+    LaneResult result;
+    for (unsigned rep = 0; rep < spec.repeat; ++rep) {
+        for (const LaneOp &op : spec.program) {
+            OpOutcome out;
+            out.kind = op.kind;
+            const Seconds t0 = device.now();
+            switch (op.kind) {
+            case OpKind::WaitLevel: {
+                const sim::WaitResult w = op.stop_when_off
+                    ? device.idleUntilVoltage(op.level, op.deadline)
+                    : device.rechargeTo(op.level);
+                out.wait_status = w.status;
+                out.voltage = w.voltage;
+                out.diagnostic = w.diagnostic;
+                break;
+            }
+            case OpKind::WaitEnabled: {
+                const sim::WaitResult w =
+                    device.rechargeUntilOn(op.deadline);
+                out.wait_status = w.status;
+                out.voltage = w.voltage;
+                out.diagnostic = w.diagnostic;
+                break;
+            }
+            case OpKind::RunProfile: {
+                sim::LoadOptions lo;
+                lo.dt = op.dt;
+                lo.stop_on_failure = op.stop_on_failure;
+                const sim::LoadResult r =
+                    device.runLoad(*op.profile, lo);
+                out.completed = r.completed;
+                out.power_failed = r.power_failed;
+                out.collapsed = r.collapsed;
+                out.vmin = r.vmin;
+                out.voltage = r.vend;
+                break;
+            }
+            case OpKind::IdleFor:
+                device.idleFor(op.duration);
+                out.voltage = device.restingVoltage();
+                break;
+            }
+            out.elapsed = device.now() - t0;
+            result.ops.push_back(std::move(out));
+        }
+    }
+    result.end_time = device.now();
+    result.vend = device.restingVoltage();
+    result.power_failures = device.system().monitor().powerFailures();
+    return result;
+}
+
+} // namespace culpeo::batch

@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Structure-of-arrays batch stepping engine (DESIGN.md §14).
+ *
+ * Advances N independent devices through the analytic two-branch segment
+ * stepper in lockstep. Each lane executes a small op program (wait for a
+ * voltage, wait for the monitor, run a load profile, idle) against SoA
+ * state arrays; every round each active lane's controller schedules at
+ * most one analytic macro step, and a single branch-free commit pass then
+ * applies the closed-form q/d update across the whole batch.
+ *
+ * Lanes that diverge from the closed form — monitor crossings, collapse
+ * events, tick-grid pads — take single reference Euler steps through the
+ * lane's own sim::PowerSystem (state handed over via adoptState), so
+ * hysteresis transitions and failure accounting are byte-compatible with
+ * the scalar path. A lane stuck in an event storm, or whose committed
+ * step would drive a branch voltage negative (deep discharge), is peeled
+ * onto the scalar engine for the remainder of the segment and re-admitted
+ * to the lockstep at the next segment boundary.
+ *
+ * runLaneScalar() executes the same op program through sim::Device — the
+ * reference the differential test harness compares the kernel against.
+ */
+
+#ifndef CULPEO_BATCH_ENGINE_HPP
+#define CULPEO_BATCH_ENGINE_HPP
+
+#include <cstddef>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "load/profile.hpp"
+#include "sim/device.hpp"
+#include "sim/power_system.hpp"
+#include "util/units.hpp"
+
+namespace culpeo::batch {
+
+using units::Amps;
+using units::Seconds;
+using units::Volts;
+using units::Watts;
+
+/** The op kinds a lane program is built from (the Device primitives). */
+enum class OpKind
+{
+    /**
+     * Wait until the resting voltage reaches `level`. With
+     * stop_when_off true this is Device::idleUntilVoltage (brown-out
+     * fails the wait, deadline enforced); with stop_when_off false it
+     * is Device::rechargeTo (rides through brown-outs; deadline must be
+     * infinite, matching the Device API).
+     */
+    WaitLevel,
+    /** Wait until the monitor (re-)enables — Device::rechargeUntilOn. */
+    WaitEnabled,
+    /** Run a piecewise-constant load profile — Device::runLoad. */
+    RunProfile,
+    /** Idle for a fixed duration on the tick grid — Device::idleFor. */
+    IdleFor,
+};
+
+/** One program step of a lane. */
+struct LaneOp
+{
+    OpKind kind = OpKind::IdleFor;
+    /** WaitLevel: target resting voltage. */
+    Volts level{0.0};
+    /** WaitLevel / WaitEnabled: absolute deadline (infinity = none). */
+    Seconds deadline{std::numeric_limits<double>::infinity()};
+    /** WaitLevel: true = idleUntilVoltage semantics, false = rechargeTo. */
+    bool stop_when_off = true;
+    /** RunProfile: the profile (borrowed; caller keeps it alive). */
+    const load::CurrentProfile *profile = nullptr;
+    /** RunProfile: Euler/crossing quantum (LoadOptions::dt). */
+    Seconds dt{50e-6};
+    /** RunProfile: abort at the first brown-out. */
+    bool stop_on_failure = true;
+    /** IdleFor: duration to idle. */
+    Seconds duration{0.0};
+
+    static LaneOp waitLevel(Volts level, Seconds deadline,
+                            bool stop_when_off = true)
+    {
+        LaneOp op;
+        op.kind = OpKind::WaitLevel;
+        op.level = level;
+        op.deadline = deadline;
+        op.stop_when_off = stop_when_off;
+        return op;
+    }
+    static LaneOp rechargeTo(Volts level)
+    {
+        LaneOp op = waitLevel(
+            level, Seconds(std::numeric_limits<double>::infinity()), false);
+        return op;
+    }
+    static LaneOp waitEnabled(Seconds deadline)
+    {
+        LaneOp op;
+        op.kind = OpKind::WaitEnabled;
+        op.deadline = deadline;
+        return op;
+    }
+    static LaneOp runProfile(const load::CurrentProfile *profile, Seconds dt,
+                             bool stop_on_failure = true)
+    {
+        LaneOp op;
+        op.kind = OpKind::RunProfile;
+        op.profile = profile;
+        op.dt = dt;
+        op.stop_on_failure = stop_on_failure;
+        return op;
+    }
+    static LaneOp idleFor(Seconds duration)
+    {
+        LaneOp op;
+        op.kind = OpKind::IdleFor;
+        op.duration = duration;
+        return op;
+    }
+};
+
+struct OpOutcome;
+
+/** Lane state handed to an OpSource at every op boundary. */
+struct LaneStatus
+{
+    Seconds now{0.0};
+    /** Resting (Thevenin) voltage — Device::restingVoltage. */
+    Volts resting{0.0};
+    /** Monitor output state — Device::on. */
+    bool enabled = true;
+};
+
+/**
+ * Dynamic op feeder: a lane driven by an OpSource asks for its next op
+ * at every op boundary instead of executing a fixed program. This is
+ * how stateful drivers (the BatchTrialRunner's per-trial scheduler
+ * replicas) ride the lockstep kernel: each completed op's outcome and
+ * the lane's current state go in, the next Device-primitive op comes
+ * out. Sourced lanes do not record OpOutcomes into LaneResult::ops —
+ * the source already saw every outcome.
+ */
+class OpSource
+{
+  public:
+    virtual ~OpSource() = default;
+    /**
+     * Produce the next op into @p out. @p last is the outcome of the
+     * op that just finished (null on the first call). Return false to
+     * end the lane's run.
+     */
+    virtual bool next(const OpOutcome *last, const LaneStatus &status,
+                      LaneOp *out) = 0;
+};
+
+/** Complete description of one lane (one simulated device). */
+struct LaneSpec
+{
+    sim::PowerSystemConfig config{};
+    sim::DeviceOptions options{};
+    /** Initial open-circuit buffer voltage (equalized branches). */
+    Volts vstart{0.0};
+    /** Initial monitor state (forceOutputEnabled). */
+    bool start_enabled = true;
+    /** Constant harvested power (0 = no harvester input). */
+    Watts harvest{0.0};
+    /** The op program, executed `repeat` times in order. */
+    std::vector<LaneOp> program;
+    unsigned repeat = 1;
+    /**
+     * Dynamic op feeder; non-null makes the lane ignore program/repeat
+     * and pull ops from here instead (borrowed; caller keeps it alive
+     * and distinct per lane).
+     */
+    OpSource *source = nullptr;
+};
+
+/** Outcome of one executed op (mirrors WaitResult / LoadResult). */
+struct OpOutcome
+{
+    OpKind kind = OpKind::IdleFor;
+    /** WaitLevel / WaitEnabled verdict. */
+    sim::WaitStatus wait_status = sim::WaitStatus::Reached;
+    Seconds elapsed{0.0};
+    /** Waits: last observed resting voltage. Loads: vend. */
+    Volts voltage{0.0};
+    /** Populated for Unreachable waits (byte-identical to Device). */
+    std::string diagnostic;
+    /** RunProfile only. */
+    bool completed = false;
+    bool power_failed = false;
+    bool collapsed = false;
+    Volts vmin{0.0};
+
+    bool reached() const { return wait_status == sim::WaitStatus::Reached; }
+};
+
+/** Outcome of one lane's full program run. */
+struct LaneResult
+{
+    std::vector<OpOutcome> ops;
+    /** Monitor power failures across the whole run. */
+    unsigned power_failures = 0;
+    Seconds end_time{0.0};
+    /** Resting voltage at the end of the program. */
+    Volts vend{0.0};
+    /** Accepted analytic macro commits (kernel only; 0 for scalar). */
+    unsigned macro_commits = 0;
+    /** Segments peeled onto the scalar engine (kernel only). */
+    unsigned peels = 0;
+};
+
+/** Batch-wide knobs. */
+struct BatchOptions
+{
+    /** Macro-step acceptance bound (SegmentOptions::current_tolerance). */
+    double current_tolerance = 0.025;
+    /**
+     * Consecutive reference steps inside one segment before the lane is
+     * peeled onto the scalar engine for the segment's remainder.
+     */
+    unsigned event_storm_threshold = 64;
+    /**
+     * Replay the scalar engine bit-for-bit: full 8-iteration booster
+     * fixed point (including the degenerate zero-load solve) and the
+     * 64-iteration crossing bisection. The default leaves those on the
+     * fast variants — quiescent-only idle draw, converged fixed point,
+     * Newton-accelerated crossings — which agree with the scalar path
+     * well inside the differential-suite tolerances but not to the last
+     * bit. The differential harness exercises both settings.
+     */
+    bool exact_replay = false;
+};
+
+/**
+ * The lockstep kernel. Typical use: addLane() each spec, run(), then
+ * result() per lane. resetLane()/setLaneProgram() support callers that
+ * re-drive the same lanes repeatedly (the ground-truth bisection reuses
+ * one lane per query across search iterations).
+ */
+class BatchEngine
+{
+  public:
+    explicit BatchEngine(BatchOptions options = {});
+    ~BatchEngine();
+    BatchEngine(BatchEngine &&) noexcept;
+    BatchEngine &operator=(BatchEngine &&) noexcept;
+
+    /** Add a lane; returns its index. Validates the spec (fatal). */
+    std::size_t addLane(const LaneSpec &spec);
+    std::size_t laneCount() const;
+
+    /**
+     * Rewind a lane to t = 0 with equalized branches at @p vstart and
+     * the monitor forced to @p enabled; clears its result and warm
+     * caches. Power-failure counts report per-run deltas.
+     */
+    void resetLane(std::size_t lane, Volts vstart, bool enabled);
+    /** Replace a lane's program (empty = lane sits out the next run()). */
+    void setLaneProgram(std::size_t lane, std::vector<LaneOp> program,
+                        unsigned repeat = 1);
+
+    /** Run every lane's program to completion in lockstep. */
+    void run();
+
+    const LaneResult &result(std::size_t lane) const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/**
+ * Convenience: run a population of specs through one BatchEngine.
+ * Results are indexed like @p specs.
+ */
+std::vector<LaneResult> runPopulation(const std::vector<LaneSpec> &specs,
+                                      const BatchOptions &options = {});
+
+/**
+ * Reference executor: the same spec through sim::Device primitives.
+ * The differential harness asserts runPopulation ≡ runLaneScalar per
+ * lane within the analytic-equivalence tolerances.
+ */
+LaneResult runLaneScalar(const LaneSpec &spec);
+
+} // namespace culpeo::batch
+
+#endif // CULPEO_BATCH_ENGINE_HPP

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * BatchTrialRunner: the scheduler sweep executor on the SoA batch
+ * engine (DESIGN.md §14).
+ *
+ * Each trial of a runTrialsWith()-style sweep becomes one lane of a
+ * BatchEngine, driven by a per-trial OpSource that replays the
+ * sched::runSeededTrial decision loop op by op: the same arrival
+ * stream (same util::Rng draws), the same retire/service/background
+ * ordering, the same Device-primitive sequence with the same deadlines
+ * and thresholds. Policy thresholds and per-task step sizes are
+ * resolved once per sweep (they are const and trial-independent), and
+ * trials are sharded into fixed-size batches that run on the shared
+ * util::ThreadPool.
+ *
+ * Telemetry follows the runTrialsWith() contract exactly: each trial
+ * records into a private scratch sink (trial-tagged), and scratches
+ * are merged into the user's sink in trial order — byte-deterministic
+ * regardless of shard scheduling.
+ *
+ * With TrialRunnerOptions::batch.exact_replay = true the per-lane
+ * arithmetic is bit-identical to sim::Device, so aggregates match
+ * sched::runTrialsWith() exactly; the default warm mode agrees within
+ * the differential-suite tolerances and is substantially faster.
+ */
+
+#ifndef CULPEO_BATCH_TRIAL_RUNNER_HPP
+#define CULPEO_BATCH_TRIAL_RUNNER_HPP
+
+#include "batch/engine.hpp"
+#include "sched/engine.hpp"
+
+namespace culpeo::batch {
+
+/** Knobs for the batch sweep executor. */
+struct TrialRunnerOptions
+{
+    /** Kernel options; exact_replay = true reproduces runTrialsWith. */
+    BatchOptions batch;
+    /** Trials per engine shard (one ThreadPool work item per shard). */
+    std::size_t shard_lanes = 32;
+};
+
+/**
+ * True when @p config can be executed by the batch runner: no fault
+ * hooks, step observer or supervisor (all per-trial stateful or
+ * Euler-forcing), no force_euler, and a constant-power harvester (the
+ * analytic segment stepper's eligibility condition).
+ */
+bool batchTrialsEligible(const sched::TrialConfig &config);
+
+/**
+ * Run config.trials independently seeded trials of @p app under
+ * @p policy on the batch engine and aggregate exactly like
+ * sched::runTrialsWith(). Fatal when the config is not eligible —
+ * callers route through batchTrialsEligible() first.
+ */
+sched::AggregateResult
+runTrialsBatch(const sched::AppSpec &app, const sched::Policy &policy,
+               const sched::TrialConfig &config,
+               const TrialRunnerOptions &options = {});
+
+/** Ergonomic handle mirroring the free functions. */
+class BatchTrialRunner
+{
+  public:
+    explicit BatchTrialRunner(TrialRunnerOptions options = {})
+        : options_(options)
+    {}
+
+    static bool eligible(const sched::TrialConfig &config)
+    {
+        return batchTrialsEligible(config);
+    }
+
+    sched::AggregateResult runAll(const sched::AppSpec &app,
+                                  const sched::Policy &policy,
+                                  const sched::TrialConfig &config) const
+    {
+        return runTrialsBatch(app, policy, config, options_);
+    }
+
+  private:
+    TrialRunnerOptions options_;
+};
+
+} // namespace culpeo::batch
+
+#endif // CULPEO_BATCH_TRIAL_RUNNER_HPP

@@ -1,8 +1,128 @@
 #include "ground_truth.hpp"
 
+#include "batch/engine.hpp"
 #include "util/logging.hpp"
 
 namespace culpeo::harness {
+
+namespace {
+
+/**
+ * Bisection state for one query, advanced one candidate verdict at a
+ * time so the scalar loop and the lockstep batch loop share the exact
+ * same control flow (and therefore converge on the same bounds).
+ */
+struct Bisection
+{
+    Volts lo{0.0};
+    Volts hi{0.0};
+    Volts resolution{1e-3};
+    GroundTruth truth;
+    /** Vmin of the latest passing run at the current `hi`. */
+    Volts vmin_at_hi{0.0};
+    bool probing_hi = true;
+    bool done = false;
+
+    explicit Bisection(const sim::PowerSystemConfig &config,
+                       Volts resolution_)
+        : lo(config.monitor.voff), hi(config.monitor.vhigh),
+          resolution(resolution_)
+    {}
+
+    /** The next start voltage to try (valid while !done). */
+    Volts candidate() const
+    {
+        if (probing_hi)
+            return hi;
+        return Volts((hi.value() + lo.value()) / 2.0);
+    }
+
+    /** Consume the verdict of running candidate(); may set done. */
+    void record(bool completed, Volts vmin)
+    {
+        ++truth.trials;
+        if (probing_hi) {
+            probing_hi = false;
+            if (!completed) {
+                truth.feasible = false;
+                truth.vsafe = hi;
+                done = true;
+                return;
+            }
+            truth.feasible = true;
+            vmin_at_hi = vmin;
+        } else if (completed) {
+            hi = candidate();
+            vmin_at_hi = vmin;
+        } else {
+            lo = candidate();
+        }
+        if (done)
+            return;
+        if (hi - lo <= resolution) {
+            truth.vsafe = hi;
+            truth.vmin_at_vsafe = vmin_at_hi;
+            done = true;
+        }
+    }
+};
+
+/** The single-op lane program every candidate trial runs. */
+std::vector<batch::LaneOp>
+trialProgram(const load::CurrentProfile &profile)
+{
+    return {batch::LaneOp::runProfile(&profile, chooseDt(profile))};
+}
+
+GroundTruth
+findTrueVsafeScalar(const sim::PowerSystemConfig &config,
+                    const load::CurrentProfile &profile,
+                    const SearchOptions &search)
+{
+    RunOptions options;
+    options.dt = chooseDt(profile);
+    options.settle_rebound = false;
+    options.allow_fast_path = search.allow_fast_path;
+
+    Bisection bisect(config, search.resolution);
+    while (!bisect.done) {
+        const RunResult run =
+            runTaskFrom(config, bisect.candidate(), profile, options);
+        bisect.record(run.completed, run.vmin);
+    }
+    return bisect.truth;
+}
+
+GroundTruth
+findTrueVsafeBatched(const sim::PowerSystemConfig &config,
+                     const load::CurrentProfile &profile,
+                     const SearchOptions &search)
+{
+    // Exact replay keeps every trial verdict — and thus the converged
+    // vsafe — bit-identical to the runTaskFrom path the scalar search
+    // uses. One engine and one lane are reused across the bisection.
+    batch::BatchOptions kernel;
+    kernel.exact_replay = true;
+    batch::BatchEngine engine(kernel);
+
+    batch::LaneSpec spec;
+    spec.config = config;
+    spec.program = trialProgram(profile);
+
+    Bisection bisect(config, search.resolution);
+    spec.vstart = bisect.candidate();
+    engine.addLane(spec);
+    for (;;) {
+        engine.run();
+        const batch::OpOutcome &out = engine.result(0).ops.front();
+        bisect.record(out.completed, out.vmin);
+        if (bisect.done)
+            return bisect.truth;
+        engine.resetLane(0, bisect.candidate(), true);
+    }
+}
+
+} // namespace
 
 bool
 completesFrom(const sim::PowerSystemConfig &config, Volts vstart,
@@ -23,42 +143,9 @@ findTrueVsafe(const sim::PowerSystemConfig &config,
 {
     log::fatalIf(search.resolution.value() <= 0.0,
                  "resolution must be positive");
-
-    RunOptions options;
-    options.dt = chooseDt(profile);
-    options.settle_rebound = false;
-    options.allow_fast_path = search.allow_fast_path;
-
-    GroundTruth truth;
-    Volts lo = config.monitor.voff;
-    Volts hi = config.monitor.vhigh;
-
-    // The search needs a passing upper bound. The latest passing run at
-    // the current `hi` is kept so the converged bound's vmin doubles as
-    // vmin_at_vsafe without a redundant final trial.
-    ++truth.trials;
-    RunResult at_hi = runTaskFrom(config, hi, profile, options);
-    if (!at_hi.completed) {
-        truth.feasible = false;
-        truth.vsafe = hi;
-        return truth;
-    }
-    truth.feasible = true;
-
-    while (hi - lo > search.resolution) {
-        const Volts mid = Volts((hi.value() + lo.value()) / 2.0);
-        ++truth.trials;
-        RunResult at_mid = runTaskFrom(config, mid, profile, options);
-        if (at_mid.completed) {
-            hi = mid;
-            at_hi = at_mid;
-        } else {
-            lo = mid;
-        }
-    }
-    truth.vsafe = hi;
-    truth.vmin_at_vsafe = at_hi.vmin;
-    return truth;
+    if (search.use_batch && search.allow_fast_path)
+        return findTrueVsafeBatched(config, profile, search);
+    return findTrueVsafeScalar(config, profile, search);
 }
 
 GroundTruth
@@ -68,6 +155,69 @@ findTrueVsafe(const sim::PowerSystemConfig &config,
     SearchOptions search;
     search.resolution = resolution;
     return findTrueVsafe(config, profile, search);
+}
+
+std::vector<GroundTruth>
+findTrueVsafeBatch(const std::vector<VsafeQuery> &queries,
+                   const SearchOptions &options)
+{
+    log::fatalIf(options.resolution.value() <= 0.0,
+                 "resolution must be positive");
+    for (const VsafeQuery &query : queries)
+        log::fatalIf(query.profile == nullptr,
+                     "VsafeQuery requires a profile");
+
+    if (!options.use_batch || !options.allow_fast_path) {
+        std::vector<GroundTruth> results;
+        results.reserve(queries.size());
+        for (const VsafeQuery &query : queries)
+            results.push_back(
+                findTrueVsafe(query.config, *query.profile, options));
+        return results;
+    }
+
+    batch::BatchOptions kernel;
+    kernel.exact_replay = true;
+    batch::BatchEngine engine(kernel);
+
+    std::vector<Bisection> bisections;
+    bisections.reserve(queries.size());
+    for (const VsafeQuery &query : queries) {
+        Bisection &bisect = bisections.emplace_back(query.config,
+                                                    options.resolution);
+        batch::LaneSpec spec;
+        spec.config = query.config;
+        spec.program = trialProgram(*query.profile);
+        spec.vstart = bisect.candidate();
+        engine.addLane(spec);
+    }
+
+    // Each round runs every still-searching query's candidate as one
+    // lane of the same lockstep batch; converged lanes get an empty
+    // program and sit out.
+    std::size_t active = queries.size();
+    while (active > 0) {
+        engine.run();
+        for (std::size_t q = 0; q < queries.size(); ++q) {
+            Bisection &bisect = bisections[q];
+            if (bisect.done)
+                continue;
+            const batch::OpOutcome &out = engine.result(q).ops.front();
+            bisect.record(out.completed, out.vmin);
+            if (bisect.done) {
+                engine.setLaneProgram(q, {});
+                --active;
+            } else {
+                engine.resetLane(q, bisect.candidate(), true);
+            }
+        }
+    }
+
+    std::vector<GroundTruth> results;
+    results.reserve(queries.size());
+    for (const Bisection &bisect : bisections)
+        results.push_back(bisect.truth);
+    return results;
 }
 
 } // namespace culpeo::harness

@@ -10,6 +10,7 @@
 #define CULPEO_HARNESS_GROUND_TRUTH_HPP
 
 #include <optional>
+#include <vector>
 
 #include "harness/task_runner.hpp"
 
@@ -34,6 +35,16 @@ struct SearchOptions
     Volts resolution{1e-3};
     /** Permit the analytic segment fast path for each trial. */
     bool allow_fast_path = true;
+    /**
+     * Execute the bisection's trial runs on the SoA batch engine
+     * (exact-replay mode, so verdicts — and therefore the converged
+     * vsafe — are bit-identical to the sim::Device path). The engine
+     * and its lane are built once and rewound per candidate instead of
+     * constructing a fresh Device per trial. Ignored (scalar fallback)
+     * when allow_fast_path is false, since the batch kernel is the
+     * analytic stepper.
+     */
+    bool use_batch = true;
 };
 
 /**
@@ -49,6 +60,26 @@ GroundTruth findTrueVsafe(const sim::PowerSystemConfig &config,
 GroundTruth findTrueVsafe(const sim::PowerSystemConfig &config,
                           const load::CurrentProfile &profile,
                           Volts resolution = Volts(1e-3));
+
+/** One bisection problem for the lockstep multi-query search. */
+struct VsafeQuery
+{
+    sim::PowerSystemConfig config{};
+    /** Borrowed; caller keeps it alive for the duration of the call. */
+    const load::CurrentProfile *profile = nullptr;
+};
+
+/**
+ * Run many independent Vsafe bisections in lockstep: every round, all
+ * still-searching queries execute their current candidate as one lane
+ * of a shared BatchEngine (converged queries sit out). Results are
+ * indexed like @p queries and bit-identical to calling findTrueVsafe
+ * per query. Falls back to the per-query scalar search when
+ * options.use_batch or options.allow_fast_path is false.
+ */
+std::vector<GroundTruth>
+findTrueVsafeBatch(const std::vector<VsafeQuery> &queries,
+                   const SearchOptions &options = {});
 
 /**
  * Does @p profile complete when started at @p vstart with no incoming

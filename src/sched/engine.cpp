@@ -278,15 +278,12 @@ recordTrialCounters(telemetry::Telemetry &tel, const TrialResult &result,
         .record(elapsed.value());
 }
 
-/**
- * The engine proper: one trial at @p seed, emitting into @p scratch
- * when non-null. The caller owns scratch creation and the in-order
- * merge into the user's sink (keeping parallel sweeps deterministic).
- */
+} // namespace
+
 TrialResult
-runOneTrial(const AppSpec &app, const Policy &policy,
-            const TrialConfig &config, std::uint64_t seed,
-            telemetry::Telemetry *scratch)
+runSeededTrial(const AppSpec &app, const Policy &policy,
+               const TrialConfig &config, std::uint64_t seed,
+               telemetry::Telemetry *scratch)
 {
     util::Rng rng(seed);
     sim::DeviceOptions device_options;
@@ -450,8 +447,6 @@ runOneTrial(const AppSpec &app, const Policy &policy,
     return trial.result;
 }
 
-} // namespace
-
 TrialResult
 runTrialWith(const AppSpec &app, const Policy &policy,
              const TrialConfig &config)
@@ -464,7 +459,7 @@ runTrialWith(const AppSpec &app, const Policy &policy,
         scratch->setTrial(0);
     }
     TrialResult result =
-        runOneTrial(app, policy, config, config.seed,
+        runSeededTrial(app, policy, config, config.seed,
                     scratch.has_value() ? &*scratch : nullptr);
     if (scratch.has_value()) {
         result.telemetry = scratch->summary();
@@ -527,9 +522,9 @@ runTrialsWith(const AppSpec &app, const Policy &policy,
             run.scratch->setTrial(t);
         }
         run.result =
-            runOneTrial(app, policy, config,
-                        config.seed + t * config.seed_stride,
-                        run.scratch.get());
+            runSeededTrial(app, policy, config,
+                           config.seed + t * config.seed_stride,
+                           run.scratch.get());
         if (run.scratch != nullptr)
             run.result.telemetry = run.scratch->summary();
         return run;

@@ -133,6 +133,17 @@ struct TrialConfig
 TrialResult runTrialWith(const AppSpec &app, const Policy &policy,
                          const TrialConfig &config = {});
 
+/**
+ * The engine proper: one trial at an explicit @p seed, emitting into
+ * @p scratch when non-null. The caller owns scratch creation and the
+ * in-order merge into any user sink — this is the building block both
+ * runTrialWith()/runTrialsWith() and the batch::BatchTrialRunner sweep
+ * executor drive; TrialConfig::seed and ::trials are ignored here.
+ */
+TrialResult runSeededTrial(const AppSpec &app, const Policy &policy,
+                           const TrialConfig &config, std::uint64_t seed,
+                           telemetry::Telemetry *scratch);
+
 /** Averaged capture rates over independent trials. */
 struct AggregateResult
 {

@@ -1,5 +1,6 @@
 #include "trial.hpp"
 
+#include "batch/trial_runner.hpp"
 #include "util/logging.hpp"
 
 namespace culpeo {
@@ -19,6 +20,13 @@ TrialBuilder::runAll() const
     log::fatalIf(app_ == nullptr, "TrialBuilder: app() was not set");
     log::fatalIf(policy_ == nullptr,
                  "TrialBuilder: policy() was not set");
+    if (batch::batchTrialsEligible(config_)) {
+        // Clean sweeps run on the SoA batch engine in exact-replay
+        // mode: bit-identical results, lockstep execution.
+        batch::TrialRunnerOptions options;
+        options.batch.exact_replay = true;
+        return batch::runTrialsBatch(*app_, *policy_, config_, options);
+    }
     return sched::runTrialsWith(*app_, *policy_, config_);
 }
 

@@ -30,6 +30,8 @@ justBelow(Volts level)
     return Volts(level.value() - 1e-9);
 }
 
+} // namespace
+
 std::string
 unreachableDiagnostic(const char *what, Volts need, Amps net)
 {
@@ -40,8 +42,6 @@ unreachableDiagnostic(const char *what, Volts need, Amps net)
                   what, need.value(), net.value());
     return buf;
 }
-
-} // namespace
 
 Device::Device(PowerSystemConfig config, DeviceOptions options)
     : system_(std::move(config)), options_(options)

@@ -85,6 +85,14 @@ struct WaitResult
 };
 
 /**
+ * The canonical unreachable-threshold diagnostic string ("<what> X V is
+ * unreachable: idle net buffer current ..."). Shared so the batch
+ * engine's lanes surface byte-identical diagnostics to Device waits;
+ * @p what is "voltage threshold" or "monitor re-arm level".
+ */
+std::string unreachableDiagnostic(const char *what, Volts need, Amps net);
+
+/**
  * Per-step load companion (the harness adapts core::Culpeo to this so
  * sim/ stays independent of core/): overheadCurrent() is added to the
  * demand before each step and onStep() sees the resulting terminal

@@ -573,6 +573,13 @@ PowerSystem::setBufferVoltage(Volts voc)
 }
 
 void
+PowerSystem::adoptState(Volts v_bulk, Volts v_surf, Seconds now)
+{
+    cap_.setBranchVoltages(v_bulk, v_surf);
+    now_ = now;
+}
+
+void
 PowerSystem::forceOutputEnabled(bool enabled)
 {
     monitor_.forceEnabled(enabled);

@@ -202,6 +202,15 @@ class PowerSystem
     /** Instantly set the buffer's open-circuit voltage. */
     void setBufferVoltage(Volts voc);
 
+    /**
+     * Batch-engine handoff: adopt branch voltages and the simulation
+     * clock from a lane's SoA mirror, so reference event steps and
+     * peeled scalar tails continue exactly where the lockstep kernel
+     * left the lane. Monitor state is NOT touched (the scalar system
+     * remains its owner throughout a batch run).
+     */
+    void adoptState(Volts v_bulk, Volts v_surf, Seconds now);
+
     /** Force the monitor state regardless of thresholds. */
     void forceOutputEnabled(bool enabled);
 

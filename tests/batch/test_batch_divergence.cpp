@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Deterministic divergence edge cases for the SoA batch engine: the
+ * lockstep kernel's fallback machinery (reference Euler steps, scalar
+ * peels, re-admission at segment boundaries) exercised at its corners
+ * and compared against the sim::Device reference in exact-replay mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "batch/engine.hpp"
+#include "sim/power_system.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+
+constexpr double kExactTol = 1e-9;
+
+load::CurrentProfile
+pulse(Amps current, Seconds duration)
+{
+    return load::CurrentProfile("pulse", {{duration, current}});
+}
+
+void
+expectExactLane(const batch::LaneResult &kernel,
+                const batch::LaneResult &scalar, const std::string &what)
+{
+    ASSERT_EQ(kernel.ops.size(), scalar.ops.size()) << what;
+    for (std::size_t o = 0; o < kernel.ops.size(); ++o) {
+        const batch::OpOutcome &k = kernel.ops[o];
+        const batch::OpOutcome &s = scalar.ops[o];
+        const std::string where = what + " op " + std::to_string(o);
+        EXPECT_EQ(int(k.wait_status), int(s.wait_status)) << where;
+        EXPECT_EQ(k.completed, s.completed) << where;
+        EXPECT_EQ(k.power_failed, s.power_failed) << where;
+        EXPECT_EQ(k.collapsed, s.collapsed) << where;
+        EXPECT_EQ(k.diagnostic, s.diagnostic) << where;
+        EXPECT_NEAR(k.voltage.value(), s.voltage.value(), kExactTol) << where;
+        EXPECT_NEAR(k.vmin.value(), s.vmin.value(), kExactTol) << where;
+        EXPECT_NEAR(k.elapsed.value(), s.elapsed.value(),
+                    kExactTol * std::max(1.0, s.elapsed.value()))
+            << where;
+    }
+    EXPECT_EQ(kernel.power_failures, scalar.power_failures) << what;
+    EXPECT_NEAR(kernel.vend.value(), scalar.vend.value(), kExactTol) << what;
+}
+
+batch::BatchOptions
+exactOptions()
+{
+    batch::BatchOptions options;
+    options.exact_replay = true;
+    return options;
+}
+
+/**
+ * Every lane starts barely above Voff under a heavy pulse: the whole
+ * batch diverges (monitor crossing + possible collapse) inside the
+ * very first segment, so no closed-form commit ever lands and the
+ * kernel lives entirely on its reference-step fallback.
+ */
+TEST(BatchDivergence, AllLanesDivergeInFirstSegment)
+{
+    const load::CurrentProfile heavy = pulse(Amps(60e-3), Seconds(40e-3));
+    std::vector<batch::LaneSpec> specs;
+    for (int l = 0; l < 4; ++l) {
+        batch::LaneSpec spec;
+        spec.config = sim::capybaraConfig();
+        spec.vstart =
+            Volts(spec.config.monitor.voff.value() + 0.005 + 0.004 * l);
+        spec.program = {
+            batch::LaneOp::runProfile(&heavy, Seconds(50e-6)),
+            // Post-failure recovery exercises re-admission: the lanes
+            // rejoin the lockstep at the next op boundary.
+            batch::LaneOp::waitLevel(Volts(spec.config.monitor.vhigh),
+                                     Seconds(5.0)),
+        };
+        spec.harvest = Watts(2e-3);
+        specs.push_back(std::move(spec));
+    }
+    const std::vector<batch::LaneResult> kernel =
+        batch::runPopulation(specs, exactOptions());
+    bool any_failed = false;
+    for (std::size_t l = 0; l < specs.size(); ++l) {
+        expectExactLane(kernel[l], batch::runLaneScalar(specs[l]),
+                        "lane " + std::to_string(l));
+        any_failed = any_failed || kernel[l].ops[0].power_failed;
+    }
+    EXPECT_TRUE(any_failed) << "scenario must actually brown out";
+}
+
+/** A batch of one lane takes every lockstep path with no peers. */
+TEST(BatchDivergence, SingleLaneBatch)
+{
+    const load::CurrentProfile work = pulse(Amps(15e-3), Seconds(10e-3));
+    batch::LaneSpec spec;
+    spec.config = sim::capybaraConfig();
+    spec.vstart = Volts(spec.config.monitor.vhigh);
+    spec.harvest = Watts(1.2e-3);
+    spec.program = {
+        batch::LaneOp::runProfile(&work, Seconds(50e-6)),
+        batch::LaneOp::idleFor(Seconds(0.25)),
+        batch::LaneOp::rechargeTo(Volts(spec.config.monitor.vhigh)),
+    };
+    const std::vector<batch::LaneResult> kernel =
+        batch::runPopulation({spec}, exactOptions());
+    ASSERT_EQ(kernel.size(), 1u);
+    expectExactLane(kernel[0], batch::runLaneScalar(spec), "single lane");
+    EXPECT_GT(kernel[0].ops.size(), 0u);
+}
+
+/**
+ * One heavy pulse drives the buffer from above Vhigh to below Voff:
+ * the output-disable (Voff) crossing and the hysteresis re-arm level
+ * both sit inside a single profile segment, so the kernel must split
+ * the segment at the exact crossing rather than stepping over it.
+ * The recharge that follows re-crosses Von and runs to Vhigh.
+ */
+TEST(BatchDivergence, VoffAndVhighInsideOneStep)
+{
+    const load::CurrentProfile crash = pulse(Amps(80e-3), Seconds(60e-3));
+    batch::LaneSpec spec;
+    spec.config = sim::capybaraConfig();
+    spec.vstart = Volts(spec.config.monitor.vhigh.value() + 0.05);
+    spec.harvest = Watts(3e-3);
+    spec.program = {
+        batch::LaneOp::runProfile(&crash, Seconds(50e-6)),
+        batch::LaneOp::waitEnabled(
+            Seconds(std::numeric_limits<double>::infinity())),
+        batch::LaneOp::rechargeTo(Volts(spec.config.monitor.vhigh)),
+    };
+    const std::vector<batch::LaneResult> kernel =
+        batch::runPopulation({spec}, exactOptions());
+    const batch::LaneResult scalar = batch::runLaneScalar(spec);
+    expectExactLane(kernel[0], scalar, "crash lane");
+    EXPECT_TRUE(kernel[0].ops[0].power_failed);
+    EXPECT_TRUE(kernel[0].ops[1].reached());
+    EXPECT_TRUE(kernel[0].ops[2].reached());
+}
+
+/**
+ * A wait target above the harvest asymptote is detected as Unreachable
+ * with a diagnostic byte-identical to sim::Device's — same detection
+ * point, same rendered voltages.
+ */
+TEST(BatchDivergence, UnreachableTargetMatchesDeviceDiagnostics)
+{
+    batch::LaneSpec spec;
+    spec.config = sim::capybaraConfig();
+    // No harvest: an idle lane only droops, so any target above the
+    // start voltage sits above the asymptote and must be detected.
+    spec.vstart = Volts(spec.config.monitor.voff.value() + 0.3);
+    spec.harvest = Watts(0.0);
+    spec.program = {
+        batch::LaneOp::waitLevel(Volts(spec.config.monitor.vhigh),
+                                 Seconds(30.0)),
+        // Even a target barely above the (droop-decayed) voltage.
+        batch::LaneOp::waitLevel(Volts(spec.vstart.value() + 0.05),
+                                 Seconds(30.0)),
+    };
+    const std::vector<batch::LaneResult> kernel =
+        batch::runPopulation({spec}, exactOptions());
+    const batch::LaneResult scalar = batch::runLaneScalar(spec);
+    expectExactLane(kernel[0], scalar, "unreachable lane");
+    ASSERT_EQ(kernel[0].ops.size(), 2u);
+    EXPECT_EQ(kernel[0].ops[0].wait_status, sim::WaitStatus::Unreachable);
+    EXPECT_FALSE(kernel[0].ops[0].diagnostic.empty());
+    EXPECT_EQ(kernel[0].ops[0].diagnostic, scalar.ops[0].diagnostic);
+}
+
+/**
+ * Forcing the event-storm threshold to its floor peels lanes onto the
+ * scalar engine almost immediately; results must not change, and the
+ * peel counter must show the fallback actually engaged.
+ */
+TEST(BatchDivergence, EventStormPeelPreservesResults)
+{
+    const load::CurrentProfile work = pulse(Amps(25e-3), Seconds(15e-3));
+    batch::LaneSpec spec;
+    spec.config = sim::capybaraConfig();
+    spec.vstart = Volts(spec.config.monitor.voff.value() + 0.03);
+    spec.harvest = Watts(1e-3);
+    spec.program = {
+        // stop_on_failure = false keeps the segment alive through the
+        // Voff crossing, so the crossing's reference steps accumulate
+        // against the (floored) storm threshold instead of ending it.
+        batch::LaneOp::runProfile(&work, Seconds(50e-6),
+                                  /*stop_on_failure=*/false),
+        batch::LaneOp::waitLevel(Volts(spec.config.monitor.vhigh),
+                                 Seconds(10.0)),
+    };
+    batch::BatchOptions stormy = exactOptions();
+    stormy.event_storm_threshold = 1;
+    const std::vector<batch::LaneResult> peeled =
+        batch::runPopulation({spec}, stormy);
+    const std::vector<batch::LaneResult> normal =
+        batch::runPopulation({spec}, exactOptions());
+    expectExactLane(peeled[0], batch::runLaneScalar(spec), "peeled lane");
+    expectExactLane(peeled[0], normal[0], "peeled vs normal");
+    EXPECT_GT(peeled[0].peels, 0u);
+}
+
+/**
+ * resetLane()/setLaneProgram() reuse (the ground-truth bisection's
+ * access pattern): a rewound lane must reproduce a fresh engine's
+ * results, and per-run power-failure counts must be deltas.
+ */
+TEST(BatchDivergence, LaneReuseMatchesFreshEngine)
+{
+    const load::CurrentProfile heavy = pulse(Amps(50e-3), Seconds(30e-3));
+    batch::LaneSpec spec;
+    spec.config = sim::capybaraConfig();
+    spec.vstart = Volts(spec.config.monitor.vhigh);
+    spec.program = {batch::LaneOp::runProfile(&heavy, Seconds(50e-6))};
+
+    batch::BatchEngine engine(exactOptions());
+    engine.addLane(spec);
+    engine.run();
+    const unsigned first_failures = engine.result(0).power_failures;
+    const double first_vend = engine.result(0).vend.value();
+
+    // Rerun the identical scenario on the same lane.
+    engine.resetLane(0, spec.vstart, true);
+    engine.run();
+    EXPECT_EQ(engine.result(0).power_failures, first_failures)
+        << "power failures must report per-run deltas";
+    EXPECT_EQ(engine.result(0).vend.value(), first_vend);
+
+    // Rerun from a different start; must match a fresh engine.
+    const Volts lower(spec.config.monitor.voff.value() + 0.04);
+    engine.resetLane(0, lower, true);
+    engine.run();
+    batch::LaneSpec fresh = spec;
+    fresh.vstart = lower;
+    const std::vector<batch::LaneResult> reference =
+        batch::runPopulation({fresh}, exactOptions());
+    expectExactLane(engine.result(0), reference[0], "reused lane");
+}
+
+} // namespace

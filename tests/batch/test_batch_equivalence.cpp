@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Differential equivalence fuzz suite for the SoA batch engine
+ * (DESIGN.md §14): seeded random lane populations run through both
+ * executors — the lockstep kernel (runPopulation) and the sim::Device
+ * reference (runLaneScalar) — and every per-op outcome is compared.
+ *
+ * Two kernel settings are exercised per population:
+ *  - exact_replay = true must reproduce the scalar engine bit-for-bit
+ *    (verdicts, diagnostics, voltages and times to 1e-9);
+ *  - the default warm mode must agree within the analytic-equivalence
+ *    tolerances (5 mV / sub-ms), with verdict flips permitted only
+ *    when the scalar trajectory itself passes within tolerance of the
+ *    deciding threshold (a razor-edge case by construction).
+ *
+ * Every population derives from one 64-bit seed; failures print the
+ * seed so `CULPEO_FUZZ_SEED=<seed> CULPEO_FUZZ_ITERS=1 ./test_batch`
+ * replays exactly one failing population. CULPEO_FUZZ_ITERS scales
+ * the budget (default keeps tier-1 runtime bounded; the sanitizer CI
+ * jobs run 500).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "batch/engine.hpp"
+#include "sim/power_system.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+
+unsigned
+envUnsigned(const char *name, unsigned fallback)
+{
+    const char *value = std::getenv(name);
+    if (value == nullptr || *value == '\0')
+        return fallback;
+    const unsigned long parsed = std::strtoul(value, nullptr, 10);
+    return parsed == 0 ? fallback : unsigned(parsed);
+}
+
+std::uint64_t
+baseSeed()
+{
+    const char *value = std::getenv("CULPEO_FUZZ_SEED");
+    if (value == nullptr || *value == '\0')
+        return 20220101; // Fixed default: tier-1 is deterministic.
+    return std::strtoull(value, nullptr, 10);
+}
+
+bool
+seedOverridden()
+{
+    const char *value = std::getenv("CULPEO_FUZZ_SEED");
+    return value != nullptr && *value != '\0';
+}
+
+std::string
+seedHint(std::uint64_t seed)
+{
+    return "replay with CULPEO_FUZZ_SEED=" + std::to_string(seed) +
+           " CULPEO_FUZZ_ITERS=1";
+}
+
+/** Warm-mode agreement bounds (tests/integration kVoltTol and kin). */
+constexpr double kWarmVoltTol = 5e-3;
+constexpr double kWarmTimeTolAbs = 1e-3;
+constexpr double kWarmTimeTolRel = 0.02;
+/** Exact-replay bounds: bit-identical arithmetic, allow fp noise 0. */
+constexpr double kExactTol = 1e-9;
+
+/** One generated population: specs plus the storage they borrow. */
+struct Population
+{
+    std::vector<batch::LaneSpec> specs;
+    std::vector<std::unique_ptr<load::CurrentProfile>> profiles;
+};
+
+load::CurrentProfile *
+randomProfile(Population &pop, util::Rng &rng)
+{
+    std::vector<load::Segment> segments;
+    const int count = 1 + int(rng.uniformInt(3));
+    for (int s = 0; s < count; ++s)
+        segments.push_back({Seconds(rng.uniform(0.5e-3, 20e-3)),
+                            Amps(rng.uniform(1e-3, 40e-3))});
+    pop.profiles.push_back(std::make_unique<load::CurrentProfile>(
+        "fuzz", std::move(segments)));
+    return pop.profiles.back().get();
+}
+
+batch::LaneOp
+randomOp(Population &pop, util::Rng &rng,
+         const sim::PowerSystemConfig &config)
+{
+    const Volts voff = config.monitor.voff;
+    const Volts vhigh = config.monitor.vhigh;
+    switch (rng.uniformInt(5)) {
+    case 0: { // Bounded idle-until-voltage (may time out or brown out).
+        const Volts level(rng.uniform(voff.value() + 0.02, vhigh.value()));
+        const Seconds deadline(rng.uniform(0.05, 2.0));
+        return batch::LaneOp::waitLevel(level, deadline);
+    }
+    case 1: { // Unbounded recharge (may be Unreachable with no power).
+        const Volts level(rng.uniform(voff.value() + 0.05, vhigh.value()));
+        return batch::LaneOp::rechargeTo(level);
+    }
+    case 2: { // Wait for the monitor with a deadline.
+        return batch::LaneOp::waitEnabled(Seconds(rng.uniform(0.05, 1.0)));
+    }
+    case 3: { // Fixed idle on the tick grid.
+        return batch::LaneOp::idleFor(Seconds(rng.uniform(1e-3, 0.3)));
+    }
+    default: { // Load profile at a representative Euler quantum.
+        load::CurrentProfile *profile = randomProfile(pop, rng);
+        return batch::LaneOp::runProfile(profile,
+                                         Seconds(rng.uniform(20e-6, 100e-6)));
+    }
+    }
+}
+
+Population
+makePopulation(std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    Population pop;
+    const std::size_t lanes = 2 + rng.uniformInt(6);
+    for (std::size_t l = 0; l < lanes; ++l) {
+        batch::LaneSpec spec;
+        spec.config = sim::capybaraConfig();
+        const Volts voff = spec.config.monitor.voff;
+        const Volts vhigh = spec.config.monitor.vhigh;
+        spec.vstart = Volts(rng.uniform(voff.value() + 0.05, vhigh.value()));
+        spec.start_enabled = rng.uniform() < 0.85;
+        spec.harvest =
+            rng.uniform() < 0.3 ? Watts(0.0) : Watts(rng.uniform(0.3e-3, 5e-3));
+        const std::size_t ops = 2 + rng.uniformInt(4);
+        for (std::size_t o = 0; o < ops; ++o)
+            spec.program.push_back(randomOp(pop, rng, spec.config));
+        spec.repeat = rng.uniform() < 0.2 ? 2 : 1;
+        pop.specs.push_back(std::move(spec));
+    }
+    return pop;
+}
+
+/**
+ * Was the scalar outcome decided within @p tol of a verdict threshold?
+ * Warm mode may legitimately flip such verdicts; anything else must
+ * match exactly.
+ */
+bool
+razorEdge(const batch::OpOutcome &scalar, const batch::LaneOp &op,
+          const sim::PowerSystemConfig &config, double tol)
+{
+    const double voff = config.monitor.voff.value();
+    const double von = config.monitor.vhigh.value(); // re-enable level
+    switch (op.kind) {
+    case batch::OpKind::WaitLevel:
+        return std::abs(scalar.voltage.value() - op.level.value()) < tol ||
+               std::abs(scalar.voltage.value() - voff) < tol;
+    case batch::OpKind::WaitEnabled:
+        return std::abs(scalar.voltage.value() - von) < tol;
+    case batch::OpKind::RunProfile:
+        return std::abs(scalar.vmin.value() - voff) < tol ||
+               scalar.vmin.value() < voff + tol;
+    case batch::OpKind::IdleFor:
+        return false;
+    }
+    return false;
+}
+
+/** Compare kernel vs scalar, exact-replay flavor. Returns failure. */
+bool
+expectExact(const batch::LaneResult &kernel, const batch::LaneResult &scalar,
+            std::size_t lane, const std::string &hint)
+{
+    bool failed = false;
+    EXPECT_EQ(kernel.ops.size(), scalar.ops.size())
+        << "lane " << lane << ": " << hint;
+    if (kernel.ops.size() != scalar.ops.size())
+        return true;
+    for (std::size_t o = 0; o < kernel.ops.size(); ++o) {
+        const batch::OpOutcome &k = kernel.ops[o];
+        const batch::OpOutcome &s = scalar.ops[o];
+        const std::string where =
+            "lane " + std::to_string(lane) + " op " + std::to_string(o) +
+            ": " + hint;
+        EXPECT_EQ(int(k.kind), int(s.kind)) << where;
+        EXPECT_EQ(int(k.wait_status), int(s.wait_status)) << where;
+        EXPECT_EQ(k.completed, s.completed) << where;
+        EXPECT_EQ(k.power_failed, s.power_failed) << where;
+        EXPECT_EQ(k.collapsed, s.collapsed) << where;
+        EXPECT_EQ(k.diagnostic, s.diagnostic) << where;
+        EXPECT_NEAR(k.voltage.value(), s.voltage.value(), kExactTol) << where;
+        EXPECT_NEAR(k.vmin.value(), s.vmin.value(), kExactTol) << where;
+        EXPECT_NEAR(k.elapsed.value(), s.elapsed.value(),
+                    kExactTol * std::max(1.0, s.elapsed.value()))
+            << where;
+        failed = failed || int(k.wait_status) != int(s.wait_status) ||
+                 k.completed != s.completed ||
+                 std::abs(k.voltage.value() - s.voltage.value()) > kExactTol;
+    }
+    EXPECT_EQ(kernel.power_failures, scalar.power_failures) << hint;
+    EXPECT_NEAR(kernel.vend.value(), scalar.vend.value(), kExactTol) << hint;
+    EXPECT_NEAR(kernel.end_time.value(), scalar.end_time.value(),
+                kExactTol * std::max(1.0, scalar.end_time.value()))
+        << hint;
+    return failed;
+}
+
+/** Compare kernel vs scalar, warm flavor (threshold-guarded). */
+void
+expectWarm(const batch::LaneResult &kernel, const batch::LaneResult &scalar,
+           const batch::LaneSpec &spec, std::size_t lane,
+           const std::string &hint)
+{
+    ASSERT_EQ(kernel.ops.size(), scalar.ops.size())
+        << "lane " << lane << ": " << hint;
+    bool razor = false;
+    for (std::size_t o = 0; o < kernel.ops.size(); ++o) {
+        const batch::OpOutcome &k = kernel.ops[o];
+        const batch::OpOutcome &s = scalar.ops[o];
+        const batch::LaneOp &op =
+            spec.program[o % spec.program.size()];
+        const std::string where =
+            "lane " + std::to_string(lane) + " op " + std::to_string(o) +
+            ": " + hint;
+        const bool verdicts_match =
+            int(k.wait_status) == int(s.wait_status) &&
+            k.completed == s.completed && k.power_failed == s.power_failed &&
+            k.collapsed == s.collapsed;
+        if (!verdicts_match) {
+            EXPECT_TRUE(razorEdge(s, op, spec.config, kWarmVoltTol))
+                << where << " — verdicts diverged away from any threshold";
+            // A flip forks the downstream trajectory; later ops are not
+            // comparable for this lane.
+            razor = true;
+            break;
+        }
+        // Unreachable diagnostics embed model-variant numerics; require
+        // agreement on presence only in warm mode.
+        EXPECT_EQ(k.diagnostic.empty(), s.diagnostic.empty()) << where;
+        EXPECT_NEAR(k.voltage.value(), s.voltage.value(), kWarmVoltTol)
+            << where;
+        if (op.kind == batch::OpKind::RunProfile)
+            EXPECT_NEAR(k.vmin.value(), s.vmin.value(), kWarmVoltTol) << where;
+        EXPECT_NEAR(k.elapsed.value(), s.elapsed.value(),
+                    std::max(kWarmTimeTolAbs,
+                             kWarmTimeTolRel * s.elapsed.value()))
+            << where;
+    }
+    // A razor-edge flip legitimately changes downstream trajectories;
+    // aggregate checks only apply to populations with no flips.
+    if (!razor) {
+        EXPECT_EQ(kernel.power_failures, scalar.power_failures)
+            << "lane " << lane << ": " << hint;
+        EXPECT_NEAR(kernel.vend.value(), scalar.vend.value(), kWarmVoltTol)
+            << "lane " << lane << ": " << hint;
+    }
+}
+
+TEST(BatchEquivalenceFuzz, ExactReplayMatchesScalarBitForBit)
+{
+    const unsigned iters =
+        seedOverridden() ? envUnsigned("CULPEO_FUZZ_ITERS", 1)
+                         : envUnsigned("CULPEO_FUZZ_ITERS", 200);
+    batch::BatchOptions exact;
+    exact.exact_replay = true;
+    for (unsigned i = 0; i < iters; ++i) {
+        const std::uint64_t seed = baseSeed() + i;
+        Population pop = makePopulation(seed);
+        const std::vector<batch::LaneResult> kernel =
+            batch::runPopulation(pop.specs, exact);
+        for (std::size_t l = 0; l < pop.specs.size(); ++l) {
+            const batch::LaneResult scalar =
+                batch::runLaneScalar(pop.specs[l]);
+            if (expectExact(kernel[l], scalar, l, seedHint(seed)))
+                return; // First divergent population is enough signal.
+        }
+    }
+}
+
+TEST(BatchEquivalenceFuzz, WarmModeAgreesWithinAnalyticTolerances)
+{
+    const unsigned iters =
+        seedOverridden() ? envUnsigned("CULPEO_FUZZ_ITERS", 1)
+                         : envUnsigned("CULPEO_FUZZ_ITERS", 200);
+    for (unsigned i = 0; i < iters; ++i) {
+        const std::uint64_t seed = baseSeed() + i;
+        Population pop = makePopulation(seed);
+        const std::vector<batch::LaneResult> kernel =
+            batch::runPopulation(pop.specs);
+        for (std::size_t l = 0; l < pop.specs.size(); ++l) {
+            const batch::LaneResult scalar =
+                batch::runLaneScalar(pop.specs[l]);
+            expectWarm(kernel[l], scalar, pop.specs[l], l, seedHint(seed));
+            if (::testing::Test::HasFailure())
+                return;
+        }
+    }
+}
+
+TEST(BatchEquivalenceFuzz, RepeatedRunsAreDeterministic)
+{
+    const std::uint64_t seed = baseSeed();
+    Population pop = makePopulation(seed);
+    const std::vector<batch::LaneResult> a = batch::runPopulation(pop.specs);
+    const std::vector<batch::LaneResult> b = batch::runPopulation(pop.specs);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t l = 0; l < a.size(); ++l) {
+        ASSERT_EQ(a[l].ops.size(), b[l].ops.size()) << seedHint(seed);
+        EXPECT_EQ(a[l].power_failures, b[l].power_failures);
+        EXPECT_EQ(a[l].end_time.value(), b[l].end_time.value());
+        EXPECT_EQ(a[l].vend.value(), b[l].vend.value());
+        for (std::size_t o = 0; o < a[l].ops.size(); ++o) {
+            EXPECT_EQ(a[l].ops[o].voltage.value(), b[l].ops[o].voltage.value());
+            EXPECT_EQ(a[l].ops[o].elapsed.value(), b[l].ops[o].elapsed.value());
+        }
+    }
+}
+
+} // namespace

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * BatchTrialRunner contract tests: sweep aggregates must match the
+ * scalar sched::runTrialsWith() exactly in exact-replay mode, be
+ * invariant to shard size, and — because per-trial telemetry scratch
+ * sinks are merged into the user's sink in trial order, never in shard
+ * completion order — serialize to byte-identical JSONL across repeated
+ * runs and shard layouts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "batch/trial_runner.hpp"
+#include "sched/policy.hpp"
+#include "sched/trial.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+
+sched::TrialConfig
+sweepConfig(unsigned trials)
+{
+    sched::TrialConfig config;
+    config.duration = Seconds(10.0);
+    config.seed = 7;
+    config.trials = trials;
+    return config;
+}
+
+void
+expectAggregatesEqual(const sched::AggregateResult &a,
+                      const sched::AggregateResult &b,
+                      const std::string &what)
+{
+    ASSERT_EQ(a.capture_rates.size(), b.capture_rates.size()) << what;
+    for (std::size_t i = 0; i < a.capture_rates.size(); ++i) {
+        EXPECT_EQ(a.capture_rates[i], b.capture_rates[i])
+            << what << " rate " << a.event_names[i];
+        EXPECT_EQ(a.arrivals[i], b.arrivals[i])
+            << what << " arrivals " << a.event_names[i];
+    }
+    EXPECT_EQ(a.power_failures_per_trial, b.power_failures_per_trial) << what;
+}
+
+TEST(BatchSweep, ExactReplayMatchesScalarSweepAggregates)
+{
+    const sched::AppSpec app = apps::periodicSensing();
+    sched::CulpeoPolicy policy;
+    policy.initialize(app);
+    const sched::TrialConfig config = sweepConfig(8);
+
+    const sched::AggregateResult scalar =
+        sched::runTrialsWith(app, policy, config);
+    batch::TrialRunnerOptions options;
+    options.batch.exact_replay = true;
+    const sched::AggregateResult batched =
+        batch::runTrialsBatch(app, policy, config, options);
+    expectAggregatesEqual(scalar, batched, "scalar vs batch");
+}
+
+TEST(BatchSweep, TrialBuilderRoutesEligibleSweepsOntoBatchEngine)
+{
+    const sched::AppSpec app = apps::periodicSensing();
+    sched::CulpeoPolicy policy;
+    policy.initialize(app);
+    const sched::TrialConfig config = sweepConfig(6);
+    ASSERT_TRUE(batch::BatchTrialRunner::eligible(config));
+
+    const sched::AggregateResult routed = TrialBuilder()
+                                              .app(app)
+                                              .policy(policy)
+                                              .config(config)
+                                              .runAll();
+    expectAggregatesEqual(sched::runTrialsWith(app, policy, config), routed,
+                          "TrialBuilder routing");
+}
+
+TEST(BatchSweep, AggregatesAreShardSizeInvariant)
+{
+    const sched::AppSpec app = apps::periodicSensing();
+    sched::CulpeoPolicy policy;
+    policy.initialize(app);
+    const sched::TrialConfig config = sweepConfig(11);
+
+    sched::AggregateResult reference;
+    bool have_reference = false;
+    for (const std::size_t shard : {std::size_t(1), std::size_t(4),
+                                    std::size_t(32)}) {
+        batch::TrialRunnerOptions options;
+        options.shard_lanes = shard;
+        const sched::AggregateResult result =
+            batch::runTrialsBatch(app, policy, config, options);
+        if (have_reference)
+            expectAggregatesEqual(reference, result,
+                                  "shard_lanes=" + std::to_string(shard));
+        reference = result;
+        have_reference = true;
+    }
+}
+
+TEST(BatchSweep, TelemetryMergeOrderIsDeterministic)
+{
+    if (!telemetry::kEnabled)
+        GTEST_SKIP() << "built with CULPEO_TELEMETRY=OFF";
+
+    const sched::AppSpec app = apps::periodicSensing();
+    sched::CulpeoPolicy policy;
+    policy.initialize(app);
+
+    // Two identical seeded sweeps — and a third with a different shard
+    // layout — must serialize byte-identically: scratches merge in
+    // trial order regardless of which shard finishes first.
+    std::string snapshots[3];
+    const std::size_t shards[3] = {3, 3, 32};
+    for (int run = 0; run < 3; ++run) {
+        telemetry::Telemetry sink;
+        sched::TrialConfig config = sweepConfig(9);
+        config.telemetry = &sink;
+        batch::TrialRunnerOptions options;
+        options.shard_lanes = shards[run];
+        options.batch.exact_replay = true;
+        batch::runTrialsBatch(app, policy, config, options);
+        std::ostringstream out;
+        sink.writeJsonl(out);
+        snapshots[run] = out.str();
+    }
+    ASSERT_FALSE(snapshots[0].empty());
+    EXPECT_EQ(snapshots[0], snapshots[1])
+        << "identical sweeps must serialize identically";
+    EXPECT_EQ(snapshots[0], snapshots[2])
+        << "merge order is trial order, not shard completion order";
+}
+
+TEST(BatchSweep, TelemetryMatchesScalarSweepSnapshot)
+{
+    if (!telemetry::kEnabled)
+        GTEST_SKIP() << "built with CULPEO_TELEMETRY=OFF";
+
+    const sched::AppSpec app = apps::periodicSensing();
+    sched::CulpeoPolicy policy;
+    policy.initialize(app);
+
+    std::string scalar_jsonl;
+    {
+        telemetry::Telemetry sink;
+        sched::TrialConfig config = sweepConfig(5);
+        config.telemetry = &sink;
+        sched::runTrialsWith(app, policy, config);
+        std::ostringstream out;
+        sink.writeJsonl(out);
+        scalar_jsonl = out.str();
+    }
+    std::string batch_jsonl;
+    {
+        telemetry::Telemetry sink;
+        sched::TrialConfig config = sweepConfig(5);
+        config.telemetry = &sink;
+        batch::TrialRunnerOptions options;
+        options.batch.exact_replay = true;
+        batch::runTrialsBatch(app, policy, config, options);
+        std::ostringstream out;
+        sink.writeJsonl(out);
+        batch_jsonl = out.str();
+    }
+    ASSERT_FALSE(scalar_jsonl.empty());
+    EXPECT_EQ(scalar_jsonl, batch_jsonl)
+        << "exact-replay batch sweeps must emit the scalar trace stream";
+}
+
+} // namespace
