@@ -48,6 +48,23 @@ RATIO_PAIRS = [
     # ratio is expected to be barely above 1 and must not grow.
     ("telemetry trial cost",
      "BM_RunTrial_telemetry", "BM_RunTrial/force_euler:0"),
+    # Commit-kernel width pairs: the same panel through the scalar and
+    # wide warm tiers of one run, so each ratio is the pure vector
+    # speedup of the batch commit pass. Hosts lacking a tier skip its
+    # benchmark (error_occurred, dropped by medians()), and ratios
+    # absent from baseline or candidate are skipped, so these gates
+    # only bind on runners that actually have the ISA.
+    # Below 1x by design on hosts where libm's exp beats the scalar
+    # polynomial tier — the pair still guards the warm kernel's
+    # relative cost from growing.
+    ("commit kernel warm scalar-tier cost",
+     "BM_CommitKernelExact", "BM_CommitKernelWarm/width:1"),
+    ("commit kernel wide4 speedup",
+     "BM_CommitKernelWarm/width:1", "BM_CommitKernelWarm/width:4"),
+    ("commit kernel wide8 speedup",
+     "BM_CommitKernelWarm/width:1", "BM_CommitKernelWarm/width:8"),
+    ("crossing solver wide4 speedup",
+     "BM_SolveCrossings/width:1", "BM_SolveCrossings/width:4"),
 ]
 
 
@@ -58,6 +75,11 @@ def medians(path):
     samples = {}
     for bench in data.get("benchmarks", []):
         if bench.get("run_type") == "aggregate":
+            continue
+        # Skipped benchmarks (e.g. a SIMD tier the host lacks) report
+        # error_occurred with a zero time; dropping them here makes the
+        # ratio checks treat the pair as absent rather than infinite.
+        if bench.get("error_occurred"):
             continue
         samples.setdefault(bench["name"], []).append(bench["real_time"])
     return {name: statistics.median(times)

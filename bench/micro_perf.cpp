@@ -8,7 +8,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <random>
+
 #include "apps/apps.hpp"
+#include "batch/commit_kernel.hpp"
 #include "batch/trial_runner.hpp"
 #include "core/api.hpp"
 #include "core/vsafe_pg.hpp"
@@ -295,6 +299,157 @@ BM_ScalarRunTrials(benchmark::State &state)
     state.SetItemsProcessed(int64_t(state.iterations()) * config.trials);
 }
 BENCHMARK(BM_ScalarRunTrials)->Unit(benchmark::kMillisecond);
+
+/**
+ * Columns per panel in the kernel benchmarks. 256 is several rounds'
+ * worth of scheduled lanes — large enough that the vector loop body
+ * (not the call or resize overhead) dominates, small enough to stay
+ * resident in L1 alongside the outputs.
+ */
+constexpr std::size_t kPanelLanes = 256;
+
+/** True when the host CPU can run the tier of the given width. */
+bool
+tierAvailable(int width)
+{
+    return width <=
+           static_cast<int>(batch::simd::width(batch::simd::detectedTier()));
+}
+
+/**
+ * A commit panel with physically plausible magnitudes (the same ranges
+ * the SIMD equivalence tests draw from): two-capacitor splits in the
+ * tens-of-uF, mA-scale net currents, 10 us..5 ms committed steps.
+ * Half the columns carry a precomputed exp hint so the hint-blend path
+ * is exercised alongside the exp evaluation.
+ */
+batch::CommitPanel
+seededCommitPanel(std::size_t n)
+{
+    std::mt19937_64 rng(0xC0FFEE5EEDull);
+    std::uniform_real_distribution<double> volt(1.8, 3.3);
+    std::uniform_real_distribution<double> split(-0.2, 0.2);
+    std::uniform_real_distribution<double> cap(20e-6, 300e-6);
+    std::uniform_real_distribution<double> cur(-30e-3, 30e-3);
+    std::uniform_real_distribution<double> step(1e-5, 5e-3);
+    std::uniform_real_distribution<double> res(0.1, 2.0);
+    batch::CommitPanel panel;
+    for (std::size_t k = 0; k < n; ++k) {
+        const double cb = cap(rng);
+        const double cs = cap(rng);
+        const double ct = cb + cs;
+        const double rs = res(rng);
+        const double tau = rs * cb * cs / ct;
+        const double beta = 10.0 + 10.0 * res(rng);
+        const double vb = volt(rng);
+        const double d0 = split(rng);
+        const double net = cur(rng);
+        const double dt = step(rng);
+        const double q0 = (cb * vb + cs * (vb - d0)) / ct;
+        const double hint = (k % 2) == 0 ? std::exp(-dt / tau) : -1.0;
+        panel.push(static_cast<std::uint32_t>(k), q0, d0, ct, cs / ct,
+                   cb / ct, tau, beta, net, dt, hint, vb, -net / ct, d0);
+    }
+    return panel;
+}
+
+/**
+ * The warm commit kernel on one packed panel, pinned to a dispatch
+ * tier. The width:1/width:4/width:8 medians come from the same run,
+ * so their pairwise ratios are the per-core vector speedups the batch
+ * engine's commit pass sees (check_regression.py guards them).
+ * Unavailable tiers skip rather than silently clamping to the widest
+ * present — a clamped run would corrupt the width-pair ratios.
+ */
+void
+BM_CommitKernelWarm(benchmark::State &state)
+{
+    const int width = static_cast<int>(state.range(0));
+    if (!tierAvailable(width)) {
+        state.SkipWithError("SIMD tier unavailable on this host");
+        return;
+    }
+    batch::CommitPanel panel = seededCommitPanel(kPanelLanes);
+    const auto tier = static_cast<batch::simd::Tier>(width);
+    for (auto _ : state) {
+        batch::commitPanelWarm(panel, tier);
+        benchmark::DoNotOptimize(panel.vb1.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(kPanelLanes));
+}
+BENCHMARK(BM_CommitKernelWarm)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->ArgName("width");
+
+/**
+ * The exact-replay commit kernel (per-lane std::exp, scalar expression
+ * order) on the identical panel — the reference side of the
+ * warm-vs-exact ratio, and the throughput exact_replay sweeps pay.
+ */
+void
+BM_CommitKernelExact(benchmark::State &state)
+{
+    batch::CommitPanel panel = seededCommitPanel(kPanelLanes);
+    for (auto _ : state) {
+        batch::commitPanelExact(panel);
+        benchmark::DoNotOptimize(panel.vb1.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(kPanelLanes));
+}
+BENCHMARK(BM_CommitKernelExact);
+
+/**
+ * The batched bracket-Newton crossing solver, pinned per tier. The
+ * queries are falling discharge curves with the level placed inside
+ * the bracket, so every column runs the full Newton sweep sequence
+ * (the case the warm engine defers to this solver).
+ */
+void
+BM_SolveCrossings(benchmark::State &state)
+{
+    const int width = static_cast<int>(state.range(0));
+    if (!tierAvailable(width)) {
+        state.SkipWithError("SIMD tier unavailable on this host");
+        return;
+    }
+    constexpr std::size_t kQueries = 128;
+    std::mt19937_64 rng(0xCA0551Cull);
+    batch::CrossingPanel panel;
+    std::uniform_real_distribution<double> frac(0.2, 0.8);
+    std::uniform_real_distribution<double> slope(-40.0, -5.0);
+    std::uniform_real_distribution<double> decay(0.1, 0.8);
+    std::uniform_real_distribution<double> tau_ms(0.2e-3, 3e-3);
+    for (std::size_t k = 0; k < kQueries; ++k) {
+        const double a = 1.9;
+        const double b = slope(rng);
+        const double c = decay(rng);
+        const double tau = tau_ms(rng);
+        const double horizon = 5e-3;
+        const double v0 = a + c;
+        const double vh = a + b * horizon + c * std::exp(-horizon / tau);
+        const double level = v0 + frac(rng) * (vh - v0);
+        panel.push(a, b, c, tau, level, horizon, /*falling=*/true);
+    }
+    const auto tier = static_cast<batch::simd::Tier>(width);
+    for (auto _ : state) {
+        batch::solveCrossings(panel, tier);
+        benchmark::DoNotOptimize(panel.out.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(kQueries));
+}
+BENCHMARK(BM_SolveCrossings)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->ArgName("width");
 
 void
 BM_UArchTick(benchmark::State &state)

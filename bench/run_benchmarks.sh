@@ -79,4 +79,12 @@ for arg, label in (("0", "warm"), ("1", "exact")):
     if scalar_sweep and batch:
         print(f"batch sweep speedup ({label} vs scalar, per trial): "
               f"{scalar_sweep / batch:.2f}x")
+# Commit-kernel dispatch tiers: width-pair ratios from the same run
+# (hosts lacking a tier skip its benchmark, so these just go silent).
+kernel_scalar = times.get("BM_CommitKernelWarm/width:1")
+for width in (4, 8):
+    wide = times.get(f"BM_CommitKernelWarm/width:{width}")
+    if kernel_scalar and wide:
+        print(f"commit kernel {width}-wide speedup (vs scalar tier): "
+              f"{kernel_scalar / wide:.2f}x")
 EOF

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Base-ISA commit kernels, runtime tier dispatch, and the batched
+ * crossing solver (DESIGN.md §15). The scalar (w1) tier is
+ * instantiated here with the project's default flags; the wide tiers
+ * live in commit_kernel_avx2.cpp / commit_kernel_avx512.cpp so only
+ * those TUs carry ISA-specific codegen. CPUID decides once per
+ * process which instantiation runs, so one binary serves every host.
+ */
+
+#include "batch/commit_kernel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#define CULPEO_KERNEL_NS w1
+#define CULPEO_KERNEL_W 1
+#include "batch/commit_kernel_impl.inc"
+#undef CULPEO_KERNEL_NS
+#undef CULPEO_KERNEL_W
+
+namespace culpeo::batch {
+
+#ifdef CULPEO_SIMD_AVX2
+namespace w4 {
+void fastExpArrayImpl(const double *x, double *out, std::size_t n);
+void commitWarmImpl(CommitPanel &p);
+} // namespace w4
+#endif
+
+#ifdef CULPEO_SIMD_AVX512
+namespace w8 {
+void fastExpArrayImpl(const double *x, double *out, std::size_t n);
+void commitWarmImpl(CommitPanel &p);
+} // namespace w8
+#endif
+
+namespace simd {
+
+const char *tierName(Tier tier)
+{
+    switch (tier) {
+    case Tier::Wide8:
+        return "wide8";
+    case Tier::Wide4:
+        return "wide4";
+    case Tier::Scalar:
+        break;
+    }
+    return "scalar";
+}
+
+Tier detectedTier()
+{
+    static const Tier tier = [] {
+#if (defined(__x86_64__) || defined(_M_X64)) && defined(__GNUC__)
+#ifdef CULPEO_SIMD_AVX512
+        if (__builtin_cpu_supports("avx512f"))
+            return Tier::Wide8;
+#endif
+#ifdef CULPEO_SIMD_AVX2
+        if (__builtin_cpu_supports("avx2") &&
+            __builtin_cpu_supports("fma"))
+            return Tier::Wide4;
+#endif
+#endif
+        return Tier::Scalar;
+    }();
+    return tier;
+}
+
+Tier activeTier()
+{
+    static const Tier tier = [] {
+        Tier t = detectedTier();
+        if (const char *env = std::getenv("CULPEO_SIMD_WIDTH")) {
+            const int want = std::atoi(env);
+            if (want == 1 || want == 4 || want == 8)
+                t = Tier(std::min(static_cast<int>(t), want));
+        }
+        return t;
+    }();
+    return tier;
+}
+
+} // namespace simd
+
+namespace {
+
+using ExpFn = void (*)(const double *, double *, std::size_t);
+using CommitFn = void (*)(CommitPanel &);
+
+struct TierFns
+{
+    ExpFn exp;
+    CommitFn commit;
+};
+
+simd::Tier clampToDetected(simd::Tier tier)
+{
+    const simd::Tier det = simd::detectedTier();
+    return simd::width(tier) > simd::width(det) ? det : tier;
+}
+
+TierFns tierFns(simd::Tier tier)
+{
+    switch (tier) {
+#ifdef CULPEO_SIMD_AVX512
+    case simd::Tier::Wide8:
+        return {&w8::fastExpArrayImpl, &w8::commitWarmImpl};
+#endif
+#ifdef CULPEO_SIMD_AVX2
+    case simd::Tier::Wide4:
+        return {&w4::fastExpArrayImpl, &w4::commitWarmImpl};
+#endif
+    default:
+        return {&w1::fastExpArrayImpl, &w1::commitWarmImpl};
+    }
+}
+
+void sizeOutputs(CommitPanel &p)
+{
+    const std::size_t n = p.size();
+    p.vb1.resize(n);
+    p.vs1.resize(n);
+    p.vend.resize(n);
+    p.deep.resize(n);
+    p.scratch_x.resize(n);
+    p.scratch_e.resize(n);
+}
+
+void flagDeep(CommitPanel &p)
+{
+    const std::size_t n = p.size();
+    for (std::size_t k = 0; k < n; ++k)
+        p.deep[k] = (p.vb1[k] < 0.0 || p.vs1[k] < 0.0) ? 1 : 0;
+}
+
+} // namespace
+
+void fastExpArray(const double *x, double *out, std::size_t n,
+                  simd::Tier tier)
+{
+    tierFns(clampToDetected(tier)).exp(x, out, n);
+}
+
+void commitPanelExact(CommitPanel &p)
+{
+    sizeOutputs(p);
+    const std::size_t n = p.size();
+    for (std::size_t k = 0; k < n; ++k) {
+        const double net = p.net[k];
+        const double dtk = p.dt[k];
+        const double d_inf = -net * p.beta[k] * p.tau[k];
+        const double q = p.q0[k] - net * dtk / p.ct[k];
+        const double e = p.exp_hint[k] >= 0.0
+            ? p.exp_hint[k]
+            : std::exp(-dtk / p.tau[k]);
+        const double d = (p.d0[k] - d_inf) * e + d_inf;
+        p.vb1[k] = q + p.cs_over_ct[k] * d;
+        p.vs1[k] = q - p.cb_over_ct[k] * d;
+        p.vend[k] = p.curve_a[k] + p.curve_b[k] * dtk + p.curve_c[k] * e;
+    }
+    flagDeep(p);
+}
+
+void commitPanelWarm(CommitPanel &p, simd::Tier tier)
+{
+    sizeOutputs(p);
+    tierFns(clampToDetected(tier)).commit(p);
+    flagDeep(p);
+}
+
+void commitPanelWarm(CommitPanel &p)
+{
+    commitPanelWarm(p, simd::activeTier());
+}
+
+void solveCrossings(CrossingPanel &p, simd::Tier tier)
+{
+    const std::size_t n = p.size();
+    p.out.assign(n, -1.0);
+    p.lo.resize(n);
+    p.hi.resize(n);
+    p.t.resize(n);
+    p.x.resize(n);
+    p.e.resize(n);
+    p.idx.resize(n);
+    p.active.assign(n, 0);
+
+    // Piece selection: the same stationary-point split and bracket
+    // tests as Curve::fastCrossing, with the warm exp flavor.
+    for (std::size_t k = 0; k < n; ++k) {
+        const double a = p.a[k];
+        const double b = p.b[k];
+        const double c = p.c[k];
+        const double tau = p.tau[k];
+        const double horizon = p.horizon[k];
+        const double level = p.level[k];
+        const bool falling = p.falling[k] != 0;
+        double t_star = -1.0;
+        if (c != 0.0 && b != 0.0) {
+            const double ratio = b * tau / c;
+            if (ratio > 0.0 && ratio <= 1.0) {
+                const double ts = -tau * std::log(ratio);
+                if (ts > 0.0 && ts < horizon)
+                    t_star = ts;
+            }
+        }
+        const double knots[3] = {0.0, t_star > 0.0 ? t_star : horizon,
+                                 horizon};
+        for (int piece = 0; piece < 2; ++piece) {
+            const double lo = knots[piece];
+            const double hi = knots[piece + 1];
+            if (hi <= lo)
+                continue;
+            const double v_lo =
+                a + b * lo + c * detail::fastExpScalar(-lo / tau);
+            const double v_hi =
+                a + b * hi + c * detail::fastExpScalar(-hi / tau);
+            const bool brackets = falling
+                ? (v_lo >= level && v_hi < level)
+                : (v_lo < level && v_hi >= level);
+            if (!brackets)
+                continue;
+            p.lo[k] = lo;
+            p.hi[k] = hi;
+            p.t[k] = 0.5 * (lo + hi);
+            p.active[k] = 1;
+            break;
+        }
+    }
+
+    // Newton sweeps, batched across queries: each sweep evaluates the
+    // exp of every still-active query through the tier's vector
+    // kernel, then runs fastCrossing's exact bracket/safeguard/whisker
+    // update per query. Sequence and result match the inline solve.
+    const TierFns fns = tierFns(clampToDetected(tier));
+    for (int iter = 0; iter < 24; ++iter) {
+        std::size_t m = 0;
+        for (std::size_t k = 0; k < n; ++k) {
+            if (!p.active[k])
+                continue;
+            if (p.hi[k] - p.lo[k] <= 1e-12 * (1.0 + p.hi[k])) {
+                p.out[k] = p.hi[k];
+                p.active[k] = 0;
+                continue;
+            }
+            p.idx[m] = static_cast<std::uint32_t>(k);
+            p.x[m] = -p.t[k] / p.tau[k];
+            ++m;
+        }
+        if (m == 0)
+            break;
+        fns.exp(p.x.data(), p.e.data(), m);
+        for (std::size_t j = 0; j < m; ++j) {
+            const std::size_t k = p.idx[j];
+            const double e = p.e[j];
+            double lo = p.lo[k];
+            double hi = p.hi[k];
+            const double t = p.t[k];
+            const double v = p.a[k] + p.b[k] * t + p.c[k] * e;
+            const bool crossed =
+                p.falling[k] != 0 ? v < p.level[k] : v >= p.level[k];
+            (crossed ? hi : lo) = t;
+            const double dv = p.b[k] - (p.c[k] / p.tau[k]) * e;
+            double tn = dv != 0.0 ? t - (v - p.level[k]) / dv
+                                  : 0.5 * (lo + hi);
+            if (std::abs(tn - t) <= 1e-13 * (1.0 + t)) {
+                // Newton stalled at the root with a stale far side;
+                // probe a whisker so the width test can fire. Checked
+                // on the *raw* step, before the bracket-escape bisect:
+                // the legacy inline solve tested after, where a stalled
+                // step (tn == t == the just-pinned bracket side) always
+                // escaped to bisection first and the whisker was
+                // unreachable — leaving the far side to shrink at
+                // bisection rate and the 24-sweep budget exhausted.
+                const double whisker = 1e-12 * (1.0 + t);
+                tn = crossed
+                    ? std::max(lo + 0.25 * (t - lo), t - whisker)
+                    : std::min(hi - 0.25 * (hi - t), t + whisker);
+            } else if (!(tn > lo && tn < hi)) {
+                tn = 0.5 * (lo + hi);
+            }
+            p.lo[k] = lo;
+            p.hi[k] = hi;
+            p.t[k] = tn;
+        }
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+        if (p.active[k])
+            p.out[k] = p.hi[k];
+    }
+}
+
+void solveCrossings(CrossingPanel &p)
+{
+    solveCrossings(p, simd::activeTier());
+}
+
+} // namespace culpeo::batch

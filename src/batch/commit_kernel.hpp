@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Packed SoA kernels for the batch engine's commit pass (DESIGN.md
+ * §15).
+ *
+ * The control pass packs every scheduled macro step into a dense
+ * CommitPanel — no index gathers, one contiguous lane per column — and
+ * the commit pass runs one of two kernels over it:
+ *
+ *  - commitPanelExact: per-lane `std::exp`, expression-for-expression
+ *    identical to `Capacitor::advanceAnalytic`, so exact_replay mode
+ *    keeps its bit-identity proof against sim::Device.
+ *  - commitPanelWarm: branchless width-templated lanes (4/8-wide
+ *    doubles with a scalar tail) using the polynomial fastExp below,
+ *    runtime-dispatched per simd::Tier.
+ *
+ * Warm-mode level crossings batch the same way: the control pass
+ * defers its bracket-Newton root finds into a CrossingPanel and
+ * solveCrossings() runs the Newton iterations across all queries at
+ * once, with the exp evaluations of each sweep vectorized. The
+ * per-query update sequence (bracket shrink, Newton-vs-bisect
+ * safeguard, stall whisker, crossed-side return) follows the engine's
+ * removed scalar fastCrossing, with one fix: the stall whisker is
+ * detected on the raw Newton step, so a query whose Newton iterate has
+ * pinned one bracket side converges in a handful of sweeps instead of
+ * exhausting the budget at bisection rate (see solveCrossings).
+ */
+
+#ifndef CULPEO_BATCH_COMMIT_KERNEL_HPP
+#define CULPEO_BATCH_COMMIT_KERNEL_HPP
+
+#include <bit>
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "batch/simd.hpp"
+
+namespace culpeo::batch {
+
+namespace detail {
+
+// exp(x) as magic-number range reduction + degree-13 Horner Taylor on
+// the reduced interval (|r| <= ln2/2, remainder < 1e-17 relative) and
+// a two-step 2^n scale. Branchless — clamps instead of branching on
+// overflow/underflow so the loop bodies in commit_kernel_impl.inc
+// vectorize; NaN propagates through both clamps. Accuracy is ~1 ulp
+// against std::exp over the finite range.
+inline double fastExpScalar(double x)
+{
+    constexpr double kLog2e = 1.4426950408889634074;
+    constexpr double kMagic = 6755399441055744.0; // 1.5 * 2^52
+    constexpr double kLn2Hi = 6.93147180369123816490e-01;
+    constexpr double kLn2Lo = 1.90821492927058770002e-10;
+    // exp(709) is the largest finite power; below -745 the two-step
+    // scale underflows to zero, which is the correct limit.
+    x = x > 709.0 ? 709.0 : x;
+    x = x < -745.0 ? -745.0 : x;
+    const double z = x * kLog2e + kMagic;
+    const double n = z - kMagic;
+    double r = x - n * kLn2Hi;
+    r -= n * kLn2Lo;
+    double p = 1.0 / 6227020800.0;
+    p = p * r + 1.0 / 479001600.0;
+    p = p * r + 1.0 / 39916800.0;
+    p = p * r + 1.0 / 3628800.0;
+    p = p * r + 1.0 / 362880.0;
+    p = p * r + 1.0 / 40320.0;
+    p = p * r + 1.0 / 5040.0;
+    p = p * r + 1.0 / 720.0;
+    p = p * r + 1.0 / 120.0;
+    p = p * r + 1.0 / 24.0;
+    p = p * r + 1.0 / 6.0;
+    p = p * r + 0.5;
+    p = p * r + 1.0;
+    p = p * r + 1.0;
+    // n sits in the mantissa bits of z (magic add), so its integer
+    // value falls out of an int64 subtract — no double->int conversion,
+    // which AVX2 lacks for 64-bit lanes. The +2048 offset keeps the
+    // halving shift logical (n >= -1075).
+    const std::int64_t ni =
+        std::bit_cast<std::int64_t>(z) - std::bit_cast<std::int64_t>(kMagic);
+    const std::int64_t n1 = static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(ni + 2048) >> 1) - 1024; // floor(n/2)
+    const std::int64_t n2 = ni - n1;
+    const double s1 = std::bit_cast<double>(
+        static_cast<std::uint64_t>(n1 + 1023) << 52);
+    const double s2 = std::bit_cast<double>(
+        static_cast<std::uint64_t>(n2 + 1023) << 52);
+    return p * s1 * s2;
+}
+
+// expm1(x) without the catastrophic cancellation of fastExp(x) - 1
+// near zero: the same Taylor tail evaluated directly in x when |x| is
+// small enough that no range reduction is needed.
+inline double fastExpm1Scalar(double x)
+{
+    if (!(x > -0.5 && x < 0.5))
+        return fastExpScalar(x) - 1.0;
+    double p = 1.0 / 6227020800.0;
+    p = p * x + 1.0 / 479001600.0;
+    p = p * x + 1.0 / 39916800.0;
+    p = p * x + 1.0 / 3628800.0;
+    p = p * x + 1.0 / 362880.0;
+    p = p * x + 1.0 / 40320.0;
+    p = p * x + 1.0 / 5040.0;
+    p = p * x + 1.0 / 720.0;
+    p = p * x + 1.0 / 120.0;
+    p = p * x + 1.0 / 24.0;
+    p = p * x + 1.0 / 6.0;
+    p = p * x + 0.5;
+    p = p * x + 1.0;
+    return p * x;
+}
+
+} // namespace detail
+
+/** Polynomial exp/expm1 used by the warm-mode kernels (~1 ulp). */
+inline double fastExp(double x) { return detail::fastExpScalar(x); }
+inline double fastExpm1(double x) { return detail::fastExpm1Scalar(x); }
+
+/** Elementwise fastExp over a contiguous array, on the given tier. */
+void fastExpArray(const double *x, double *out, std::size_t n,
+                  simd::Tier tier);
+
+/**
+ * One round's scheduled macro steps, packed densely by the control
+ * pass. Column k holds everything the closed-form q/d commit of lane
+ * `lane[k]` needs — the kernels never touch the engine's lane-indexed
+ * state, so they stream contiguous memory.
+ */
+struct CommitPanel
+{
+    // Packed inputs (one column per scheduled lane).
+    std::vector<std::uint32_t> lane;
+    std::vector<double> q0;         ///< (cb vb + cs vs) / ct at pack time.
+    std::vector<double> d0;         ///< vb - vs at pack time.
+    std::vector<double> ct;
+    std::vector<double> cs_over_ct; ///< cs / ct (the commit's division).
+    std::vector<double> cb_over_ct; ///< cb / ct.
+    std::vector<double> tau;
+    std::vector<double> beta;
+    std::vector<double> net;        ///< Leak-inclusive state current.
+    std::vector<double> dt;         ///< Committed step length.
+    /** exp(-dt/tau) from the accept probe; < 0 when dt was shortened. */
+    std::vector<double> exp_hint;
+    // Terminal-voltage curve coefficients (tau is shared above).
+    std::vector<double> curve_a, curve_b, curve_c;
+
+    // Kernel outputs, sized by the kernel entry points.
+    std::vector<double> vb1, vs1;
+    /** curve.at(dt), reusing the kernel's exp — the staged boundary
+     *  sample the scatter loop hands to SegApply for non-deep lanes. */
+    std::vector<double> vend;
+    std::vector<std::uint8_t> deep; ///< Negative branch: Euler delegate.
+
+    // Warm exp staging. Two arrays, not one: the exp pass must read
+    // and write distinct buffers or GCC's runtime aliasing check sends
+    // the loop down its scalar-versioned copy.
+    std::vector<double> scratch_x, scratch_e;
+
+    std::size_t size() const { return lane.size(); }
+
+    void clear()
+    {
+        lane.clear();
+        q0.clear();
+        d0.clear();
+        ct.clear();
+        cs_over_ct.clear();
+        cb_over_ct.clear();
+        tau.clear();
+        beta.clear();
+        net.clear();
+        dt.clear();
+        exp_hint.clear();
+        curve_a.clear();
+        curve_b.clear();
+        curve_c.clear();
+    }
+
+    void push(std::uint32_t lane_idx, double q0_v, double d0_v, double ct_v,
+              double cs_over_ct_v, double cb_over_ct_v, double tau_v,
+              double beta_v, double net_v, double dt_v, double exp_hint_v,
+              double curve_a_v, double curve_b_v, double curve_c_v)
+    {
+        lane.push_back(lane_idx);
+        q0.push_back(q0_v);
+        d0.push_back(d0_v);
+        ct.push_back(ct_v);
+        cs_over_ct.push_back(cs_over_ct_v);
+        cb_over_ct.push_back(cb_over_ct_v);
+        tau.push_back(tau_v);
+        beta.push_back(beta_v);
+        net.push_back(net_v);
+        dt.push_back(dt_v);
+        exp_hint.push_back(exp_hint_v);
+        curve_a.push_back(curve_a_v);
+        curve_b.push_back(curve_b_v);
+        curve_c.push_back(curve_c_v);
+    }
+};
+
+/**
+ * Exact-replay commit: per-lane std::exp, the precise expression order
+ * of the scalar Capacitor::advanceAnalytic. Always the base-ISA TU.
+ */
+void commitPanelExact(CommitPanel &panel);
+
+/** Warm commit on the given tier (clamped to detectedTier()). */
+void commitPanelWarm(CommitPanel &panel, simd::Tier tier);
+
+/** Warm commit on simd::activeTier(). */
+void commitPanelWarm(CommitPanel &panel);
+
+/**
+ * Deferred warm-mode level-crossing queries: one v(t) curve, level and
+ * horizon per column. solveCrossings answers all of them with batched
+ * bracket-Newton sweeps (vectorized exp per sweep); out[k] is the
+ * crossed-side bracket end, or -1 when the curve never brackets the
+ * level in the requested direction.
+ */
+struct CrossingPanel
+{
+    // Inputs.
+    std::vector<double> a, b, c, tau;
+    std::vector<double> level, horizon;
+    std::vector<std::uint8_t> falling;
+
+    // Output.
+    std::vector<double> out;
+
+    // Newton state (sized by solveCrossings).
+    std::vector<double> lo, hi, t;
+    std::vector<double> x, e;
+    std::vector<std::uint32_t> idx;
+    std::vector<std::uint8_t> active;
+
+    std::size_t size() const { return a.size(); }
+
+    void clear()
+    {
+        a.clear();
+        b.clear();
+        c.clear();
+        tau.clear();
+        level.clear();
+        horizon.clear();
+        falling.clear();
+    }
+
+    /** Queue one query; returns its column for reading out[] later. */
+    std::size_t push(double a_v, double b_v, double c_v, double tau_v,
+                     double level_v, double horizon_v, bool falling_v)
+    {
+        a.push_back(a_v);
+        b.push_back(b_v);
+        c.push_back(c_v);
+        tau.push_back(tau_v);
+        level.push_back(level_v);
+        horizon.push_back(horizon_v);
+        falling.push_back(falling_v ? 1 : 0);
+        return a.size() - 1;
+    }
+};
+
+void solveCrossings(CrossingPanel &panel, simd::Tier tier);
+void solveCrossings(CrossingPanel &panel);
+
+} // namespace culpeo::batch
+
+#endif // CULPEO_BATCH_COMMIT_KERNEL_HPP

@@ -1,0 +1,6 @@
+// 4-wide tier of the warm commit kernels: this TU is compiled with
+// -mavx2 -mfma (see src/batch/CMakeLists.txt) and selected at runtime
+// by the CPUID dispatch in commit_kernel.cpp.
+#define CULPEO_KERNEL_NS w4
+#define CULPEO_KERNEL_W 4
+#include "batch/commit_kernel_impl.inc"

@@ -1,0 +1,6 @@
+// 8-wide tier of the warm commit kernels: this TU is compiled with
+// -mavx512f (see src/batch/CMakeLists.txt) and selected at runtime by
+// the CPUID dispatch in commit_kernel.cpp.
+#define CULPEO_KERNEL_NS w8
+#define CULPEO_KERNEL_W 8
+#include "batch/commit_kernel_impl.inc"

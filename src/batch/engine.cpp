@@ -7,7 +7,9 @@
 #include <optional>
 #include <utility>
 
+#include "batch/commit_kernel.hpp"
 #include "sim/harvester.hpp"
+#include "sim/segment_curve.hpp"
 #include "util/logging.hpp"
 
 namespace culpeo::batch {
@@ -21,121 +23,15 @@ constexpr double kMaxIdleChunk = 600.0;
 
 /**
  * Terminal-voltage curve of one analytic macro step, v(t) = a + b t +
- * c exp(-t/tau). Verbatim twin of the scalar stepper's SegmentCurve
- * (power_system.cpp) — including the 64-iteration bisection returning
- * the crossed-side bracket end — so committed macro steps and located
- * crossings are bit-identical between the kernel and sim::PowerSystem.
+ * c exp(-t/tau): the shared sim::SegmentCurve, so committed macro
+ * steps and located crossings are bit-identical between the batch
+ * engine and sim::PowerSystem by construction — including the
+ * 64-iteration bisection returning the crossed-side bracket end.
+ * Warm mode swaps the crossing search for the batched bracket-Newton
+ * solver in commit_kernel.cpp (solveCrossings), fed per round through
+ * the engine's CrossingPanel.
  */
-struct Curve
-{
-    double a = 0.0;
-    double b = 0.0;
-    double c = 0.0;
-    double tau = 1.0;
-
-    double at(double t) const { return a + b * t + c * std::exp(-t / tau); }
-
-    double stationaryPoint(double horizon) const
-    {
-        if (c == 0.0 || b == 0.0)
-            return -1.0;
-        const double ratio = b * tau / c;
-        if (ratio <= 0.0 || ratio > 1.0)
-            return -1.0;
-        const double t = -tau * std::log(ratio);
-        return (t > 0.0 && t < horizon) ? t : -1.0;
-    }
-
-    double minOver(double horizon) const
-    {
-        double m = std::min(at(0.0), at(horizon));
-        const double t = stationaryPoint(horizon);
-        if (t > 0.0)
-            m = std::min(m, at(t));
-        return m;
-    }
-
-    /**
-     * firstCrossing with the bisection replaced by a bracket-safeguarded
-     * Newton iteration: same piece split, same bracket test, same
-     * crossed-side return, but ~6 curve evaluations instead of 64. Only
-     * the sub-nanosecond placement of the returned time differs from
-     * the scalar bisection — far inside the differential tolerances.
-     */
-    double fastCrossing(double level, double horizon, bool falling) const
-    {
-        const double t_star = stationaryPoint(horizon);
-        const double knots[3] = {0.0, t_star > 0.0 ? t_star : horizon,
-                                 horizon};
-        for (int piece = 0; piece < 2; ++piece) {
-            double lo = knots[piece];
-            double hi = knots[piece + 1];
-            if (hi <= lo)
-                continue;
-            const double v_lo = at(lo);
-            const double v_hi = at(hi);
-            const bool brackets = falling
-                ? (v_lo >= level && v_hi < level)
-                : (v_lo < level && v_hi >= level);
-            if (!brackets)
-                continue;
-            double t = 0.5 * (lo + hi);
-            for (int i = 0;
-                 i < 24 && hi - lo > 1e-12 * (1.0 + hi); ++i) {
-                const double e = std::exp(-t / tau);
-                const double v = a + b * t + c * e;
-                const bool crossed = falling ? v < level : v >= level;
-                (crossed ? hi : lo) = t;
-                const double dv = b - (c / tau) * e;
-                double tn = dv != 0.0 ? t - (v - level) / dv
-                                      : 0.5 * (lo + hi);
-                if (!(tn > lo && tn < hi))
-                    tn = 0.5 * (lo + hi);
-                if (std::abs(tn - t) <= 1e-13 * (1.0 + t)) {
-                    // Newton has stalled at the root while the far
-                    // bracket side is stale; probe a whisker into the
-                    // unresolved side so the width test can fire.
-                    const double whisker = 1e-12 * (1.0 + t);
-                    tn = crossed ? std::max(lo + 0.25 * (t - lo),
-                                            t - whisker)
-                                 : std::min(hi - 0.25 * (hi - t),
-                                            t + whisker);
-                }
-                t = tn;
-            }
-            return hi;
-        }
-        return -1.0;
-    }
-
-    double firstCrossing(double level, double horizon, bool falling) const
-    {
-        const double t_star = stationaryPoint(horizon);
-        const double knots[3] = {0.0, t_star > 0.0 ? t_star : horizon,
-                                 horizon};
-        for (int piece = 0; piece < 2; ++piece) {
-            double lo = knots[piece];
-            double hi = knots[piece + 1];
-            if (hi <= lo)
-                continue;
-            const double v_lo = at(lo);
-            const double v_hi = at(hi);
-            const bool brackets = falling
-                ? (v_lo >= level && v_hi < level)
-                : (v_lo < level && v_hi >= level);
-            if (!brackets)
-                continue;
-            for (int iter = 0; iter < 64; ++iter) {
-                const double mid = 0.5 * (lo + hi);
-                const bool crossed =
-                    falling ? at(mid) < level : at(mid) >= level;
-                (crossed ? hi : lo) = mid;
-            }
-            return hi;
-        }
-        return -1.0;
-    }
-};
+using Curve = sim::SegmentCurve;
 
 /** Lane controller sub-state between lockstep rounds. */
 enum class Sub : std::uint8_t
@@ -143,6 +39,7 @@ enum class Sub : std::uint8_t
     OpBegin,  ///< Start (or finish) an op of the program.
     WaitTop,  ///< Loop top of a WaitLevel/WaitEnabled op.
     SegStep,  ///< One controller iteration of the active segment.
+    SegCross, ///< Warm commit parked on the round's crossing panel.
     SegApply, ///< Post-commit bookkeeping after the SoA commit pass.
     SegEnd,   ///< Segment over; hand back to its owning op.
     Done,     ///< Program complete.
@@ -213,6 +110,21 @@ struct Pending
     /** minOver(dt) precomputed by the control pass (full-span commits). */
     double vmin_full = 0.0;
     bool have_vmin = false;
+    /**
+     * Boundary sample staged by the commit kernel's scatter loop:
+     * curve.at(dt), reusing the kernel's exp so SegApply never re-pays
+     * it. Deep-discharge lanes get the flag cleared again — their
+     * closed-form pass is discarded, and the post-Euler recompute in
+     * segApply must be the macro step's only report.
+     */
+    double staged_vend = 0.0;
+    bool staged = false;
+    // SegCross resume state (warm mode parks here while the round's
+    // CrossingPanel answers its root finds).
+    double horizon = 0.0;  ///< dt_try of the probe being committed.
+    double exp_try = -1.0; ///< exp(-horizon/tau) from the accept probe.
+    std::int32_t q_event = -1; ///< Panel column of the voff/vhigh query.
+    std::int32_t q_level = -1; ///< Panel column of the stop-level query.
 };
 
 } // namespace
@@ -314,11 +226,11 @@ struct BatchEngine::Impl
     std::vector<double> vb, vs, now;
     std::vector<double> tau, beta, ct, cb, cs;
 
-    // Macro steps scheduled this round.
-    std::vector<std::uint32_t> pend_lane;
-    std::vector<double> pend_dt, pend_i;
-    /** exp(-dt/tau) from the accept probe; < 0 when dt was shortened. */
-    std::vector<double> pend_exp;
+    /** Macro steps scheduled this round, packed for the SoA kernels. */
+    CommitPanel panel;
+    /** Warm-mode crossing queries deferred to the round boundary. */
+    CrossingPanel cross;
+    std::vector<std::uint32_t> cross_lanes;
 
     // --- Cached scalar formulas (bit-identical to the sim:: models) ---
 
@@ -453,7 +365,8 @@ struct BatchEngine::Impl
         const double d0 = vb0 - vs0;
         const double d_inf = -net * rt.beta * rt.tau;
         const double q = q0 - net * dt / rt.ct;
-        const double e = std::exp(-dt / rt.tau);
+        const double e = opts.exact_replay ? std::exp(-dt / rt.tau)
+                                           : fastExp(-dt / rt.tau);
         if (exp_out != nullptr)
             *exp_out = e;
         const double d = (d0 - d_inf) * e + d_inf;
@@ -484,6 +397,28 @@ struct BatchEngine::Impl
             vb1 = std::max(0.0, vb1 - ib * h / rt.cb);
             vs1 = std::max(0.0, vs1 - is * h / rt.cs);
         }
+    }
+
+    // --- Curve evaluation, mode-flavored ---
+
+    /** curve.at(t): exact keeps std::exp (bitwise), warm goes fast. */
+    double curveAt(const Curve &c, double t) const
+    {
+        if (opts.exact_replay)
+            return c.at(t);
+        return c.a + c.b * t + c.c * fastExp(-t / c.tau);
+    }
+
+    /** curve.minOver(horizon) with the mode's exp flavor. */
+    double curveMin(const Curve &c, double horizon) const
+    {
+        if (opts.exact_replay)
+            return c.minOver(horizon);
+        double m = std::min(c.a + c.c, curveAt(c, horizon));
+        const double t = c.stationaryPoint(horizon);
+        if (t > 0.0)
+            m = std::min(m, curveAt(c, t));
+        return m;
     }
 
     // --- Scalar hand-offs ---
@@ -796,6 +731,12 @@ struct BatchEngine::Impl
                     return; // Commit scheduled / ref step / peel taken.
                 continue;
 
+            case Sub::SegCross:
+                // Parked on the round's crossing panel; crossingPass()
+                // always resumes the lane before the round ends, so the
+                // control pass never actually sees this state.
+                return;
+
             case Sub::SegApply:
                 if (segApply(rt, l))
                     return; // Post-commit event took a reference step.
@@ -948,38 +889,80 @@ struct BatchEngine::Impl
         // order) when the full probe span commits.
         const double t_star = pc.curve.stationaryPoint(dt_try);
         const double v0 = pc.curve.a + pc.curve.c; // at(0), bitwise.
-        const double v_end = pc.curve.at(dt_try);
+        const double v_end = curveAt(pc.curve, dt_try);
         double vmin_try = std::min(v0, v_end);
         double vmax_try = std::max(v0, v_end);
         if (t_star > 0.0) {
-            const double v_star = pc.curve.at(t_star);
+            const double v_star = curveAt(pc.curve, t_star);
             vmin_try = std::min(vmin_try, v_star);
             vmax_try = std::max(vmax_try, v_star);
         }
 
-        const bool exact = opts.exact_replay;
-        const auto crossingAt = [&](double level, bool falling) {
-            return exact
-                ? pc.curve.firstCrossing(level, dt_try, falling)
-                : pc.curve.fastCrossing(level, dt_try, falling);
-        };
+        pc.horizon = dt_try;
+        pc.exp_try = exp_try;
+        pc.i_state = i_state;
+        pc.net_avg = net_avg;
+        pc.vmin_full = vmin_try;
+        {
+            const double drift = std::abs(net1 - net0);
+            const double grow = drift > 0.0
+                ? std::clamp(0.9 * bound / drift, 1.0, 8.0)
+                : 8.0;
+            pc.hint_next = dt_try * grow;
+        }
+
         // A falling bracket needs a sub-level point, a rising bracket a
         // point at or above the level; otherwise skip the root search
         // (firstCrossing would scan its pieces and return -1).
+        const bool want_event = enabled ? (vmin_try < rt.voff)
+                                        : (vmax_try >= rt.vhigh);
+        const double stop_lvl =
+            sg.has_stop_level ? sg.stop_level - net_avg * rt.rth : 0.0;
+        const bool want_level =
+            sg.has_stop_level && vmax_try >= stop_lvl;
+
+        if (!opts.exact_replay && (want_event || want_level)) {
+            // Warm mode: park the lane and queue its root finds on the
+            // round's crossing panel; crossingPass() resumes it through
+            // finishCommit once the batched Newton solver has answered
+            // every lane's queries together.
+            if (want_event)
+                pc.q_event = static_cast<std::int32_t>(cross.push(
+                    pc.curve.a, pc.curve.b, pc.curve.c, pc.curve.tau,
+                    enabled ? rt.voff : rt.vhigh, dt_try,
+                    /*falling=*/enabled));
+            if (want_level)
+                pc.q_level = static_cast<std::int32_t>(cross.push(
+                    pc.curve.a, pc.curve.b, pc.curve.c, pc.curve.tau,
+                    stop_lvl, dt_try, /*falling=*/false));
+            cross_lanes.push_back(static_cast<std::uint32_t>(l));
+            rt.sub = Sub::SegCross;
+            return true;
+        }
+
         double crossing = -1.0;
-        if (enabled) {
-            if (vmin_try < rt.voff)
-                crossing = crossingAt(rt.voff, /*falling=*/true);
-        } else {
-            if (vmax_try >= rt.vhigh)
-                crossing = crossingAt(rt.vhigh, /*falling=*/false);
-        }
+        if (want_event)
+            crossing = pc.curve.firstCrossing(
+                enabled ? rt.voff : rt.vhigh, dt_try,
+                /*falling=*/enabled);
         double level_cross = -1.0;
-        if (sg.has_stop_level) {
-            const double lvl = sg.stop_level - net_avg * rt.rth;
-            if (vmax_try >= lvl)
-                level_cross = crossingAt(lvl, /*falling=*/false);
-        }
+        if (want_level)
+            level_cross = pc.curve.firstCrossing(stop_lvl, dt_try,
+                                                 /*falling=*/false);
+        return finishCommit(rt, l, crossing, level_cross);
+    }
+
+    /**
+     * Commit selection from resolved crossings: the tail of the scalar
+     * macro-step loop body, shared between the exact inline path and
+     * the warm deferred (SegCross) path. Packs the accepted step onto
+     * the round's CommitPanel.
+     */
+    bool finishCommit(LaneRt &rt, std::size_t l, double crossing,
+                      double level_cross)
+    {
+        Pending &pc = rt.pc;
+        const double dt_try = pc.horizon;
         const bool level_first = level_cross > 0.0 &&
             (crossing <= 0.0 || level_cross < crossing);
         const bool event = !level_first && crossing > 0.0;
@@ -992,26 +975,21 @@ struct BatchEngine::Impl
             return false;
         }
         pc.dt = commit;
-        pc.i_state = i_state;
-        pc.net_avg = net_avg;
         pc.level_first = level_first;
         pc.event = event;
         const bool full_span = !level_first && !event;
-        pc.vmin_full = vmin_try;
         pc.have_vmin = full_span;
-        {
-            const double drift = std::abs(net1 - net0);
-            const double grow = drift > 0.0
-                ? std::clamp(0.9 * bound / drift, 1.0, 8.0)
-                : 8.0;
-            pc.hint_next = dt_try * grow;
-        }
-        pend_lane.push_back(std::uint32_t(l));
-        pend_dt.push_back(commit);
-        pend_i.push_back(i_state);
+        // Lane state is untouched between the control pass and the
+        // commit pass, so packing q0/d0 (and the cs/ct, cb/ct ratios)
+        // here is bit-identical to computing them at commit time.
+        const double q0 = (rt.cb * vb[l] + rt.cs * vs[l]) / rt.ct;
+        const double d0 = vb[l] - vs[l];
         // The accepted probe evaluated exp(-dt_try/tau); a full-span
         // commit reuses it verbatim in the SoA pass.
-        pend_exp.push_back(full_span ? exp_try : -1.0);
+        panel.push(static_cast<std::uint32_t>(l), q0, d0, rt.ct,
+                   rt.cs / rt.ct, rt.cb / rt.ct, rt.tau, rt.beta,
+                   pc.i_state, commit, full_span ? pc.exp_try : -1.0,
+                   pc.curve.a, pc.curve.b, pc.curve.c);
         rt.sub = Sub::SegApply;
         return true;
     }
@@ -1036,8 +1014,12 @@ struct BatchEngine::Impl
         sg.remaining -= pc.dt;
         sg.vmin = std::min(sg.vmin, pc.have_vmin
                                         ? pc.vmin_full
-                                        : pc.curve.minOver(pc.dt));
-        sg.vend = pc.curve.at(pc.dt);
+                                        : curveMin(pc.curve, pc.dt));
+        // Non-deep lanes staged their boundary sample in the commit
+        // kernel (reusing its exp); deep lanes recompute it here after
+        // the Euler delegate, and that recompute is the macro step's
+        // only report — staged is deliberately cleared for them.
+        sg.vend = pc.staged ? pc.staged_vend : curveAt(pc.curve, pc.dt);
         if (pc.level_first) {
             sg.stopped_at_level = true;
             sg.stopped = true;
@@ -1128,40 +1110,63 @@ struct BatchEngine::Impl
     }
 
     /**
-     * The branch-free SoA pass: apply every scheduled macro step with
-     * the closed-form q/d update (Capacitor::advanceAnalytic's exact
-     * arithmetic). Lanes whose end state has a negative branch are
-     * flagged for the Euler delegation instead of being written.
+     * The branch-free SoA pass: run the round's packed CommitPanel
+     * through the mode's kernel (exact: per-lane std::exp with
+     * Capacitor::advanceAnalytic's exact arithmetic; warm: the
+     * vectorized tier kernel), then scatter results back to lane state.
+     * Lanes whose end state has a negative branch are flagged for the
+     * Euler delegation instead of being written.
      */
     void commitPass()
     {
-        const std::size_t n = pend_lane.size();
+        if (opts.exact_replay)
+            commitPanelExact(panel);
+        else
+            commitPanelWarm(panel);
+        const std::size_t n = panel.size();
         for (std::size_t k = 0; k < n; ++k) {
-            const std::size_t l = pend_lane[k];
-            const double net = pend_i[k];
-            const double dt = pend_dt[k];
-            const double q0 = (cb[l] * vb[l] + cs[l] * vs[l]) / ct[l];
-            const double d0 = vb[l] - vs[l];
-            const double d_inf = -net * beta[l] * tau[l];
-            const double q = q0 - net * dt / ct[l];
-            const double e = pend_exp[k] >= 0.0
-                ? pend_exp[k]
-                : std::exp(-dt / tau[l]);
-            const double d = (d0 - d_inf) * e + d_inf;
-            const double vb1 = q + (cs[l] / ct[l]) * d;
-            const double vs1 = q - (cb[l] / ct[l]) * d;
-            if (vb1 < 0.0 || vs1 < 0.0) {
-                lanes[l]->pc.deep = true;
+            const std::size_t l = panel.lane[k];
+            Pending &pc = lanes[l]->pc;
+            if (panel.deep[k]) {
+                // Deep-discharge lane: the Euler delegate in segApply
+                // recomputes the boundary sample itself. Clear the
+                // staged scratch so the peeled lane cannot double-report
+                // the kernel's (discarded) closed-form sample.
+                pc.deep = true;
+                pc.staged = false;
                 continue;
             }
-            vb[l] = vb1;
-            vs[l] = vs1;
-            now[l] += dt;
+            vb[l] = panel.vb1[k];
+            vs[l] = panel.vs1[k];
+            now[l] += panel.dt[k];
+            pc.staged_vend = panel.vend[k];
+            pc.staged = true;
         }
-        pend_lane.clear();
-        pend_dt.clear();
-        pend_i.clear();
-        pend_exp.clear();
+        panel.clear();
+    }
+
+    /**
+     * Resolve the round's deferred warm-mode crossing queries in one
+     * batched Newton solve, then resume every parked lane through
+     * finishCommit so its macro step lands on this round's panel —
+     * deferral adds no round latency.
+     */
+    void crossingPass()
+    {
+        solveCrossings(cross);
+        for (const std::uint32_t l : cross_lanes) {
+            LaneRt &rt = *lanes[l];
+            Pending &pc = rt.pc;
+            const double crossing =
+                pc.q_event >= 0 ? cross.out[pc.q_event] : -1.0;
+            const double level_cross =
+                pc.q_level >= 0 ? cross.out[pc.q_level] : -1.0;
+            pc.q_event = -1;
+            pc.q_level = -1;
+            finishCommit(rt, l, crossing, level_cross);
+        }
+        cross.clear();
+        cross_lanes.clear();
     }
 
     void run()
@@ -1181,8 +1186,17 @@ struct BatchEngine::Impl
                     ++i;
                 }
             }
-            if (!pend_lane.empty())
+            if (!cross_lanes.empty())
+                crossingPass();
+            if (panel.size() != 0)
                 commitPass();
+            // Round boundary: let buffering sources (staged telemetry)
+            // drain. Every lane is offered the flush — a lane that went
+            // Done this round still has its final ops staged.
+            for (const auto &rt : lanes) {
+                if (rt->source != nullptr)
+                    rt->source->roundFlush();
+            }
         }
     }
 };

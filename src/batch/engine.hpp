@@ -155,6 +155,14 @@ class OpSource
      */
     virtual bool next(const OpOutcome *last, const LaneStatus &status,
                       LaneOp *out) = 0;
+
+    /**
+     * Called once per lockstep round, after every lane's round action
+     * (including the round that finishes the lane). Sources that buffer
+     * per-op work — staged telemetry, most notably — drain it here so
+     * the hot control/commit passes never pay the flush cost per op.
+     */
+    virtual void roundFlush() {}
 };
 
 /** Complete description of one lane (one simulated device). */

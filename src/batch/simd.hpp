@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Runtime SIMD dispatch tiers for the batch commit kernels
+ * (DESIGN.md §15).
+ *
+ * The packed commit/crossing kernels (commit_kernel.hpp) are built as
+ * width-agnostic lane templates instantiated at 4- and 8-wide doubles
+ * in separate translation units compiled with the matching ISA flags
+ * (-mavx2/-mfma, -mavx512f). Which instantiation runs is decided once
+ * per process from CPUID — a generic build therefore runs on any
+ * x86-64 (or non-x86) host and simply dispatches to the scalar tier,
+ * while the same binary uses 4/8-wide kernels on capable hardware.
+ *
+ * Knobs:
+ *  - CMake `CULPEO_SIMD` (ON by default) compiles the wide tiers in;
+ *    OFF builds the scalar tier only (the dispatch seam stays).
+ *  - The `CULPEO_SIMD_WIDTH` environment variable (1, 4, or 8) clamps
+ *    the active tier below what CPUID detected — the test suite uses
+ *    it to force the scalar fallback and to pin kernel widths.
+ */
+
+#ifndef CULPEO_BATCH_SIMD_HPP
+#define CULPEO_BATCH_SIMD_HPP
+
+namespace culpeo::batch::simd {
+
+/** A dispatchable kernel width (doubles per vector lane group). */
+enum class Tier : int
+{
+    Scalar = 1, ///< Portable one-lane kernels (always available).
+    Wide4 = 4,  ///< 4-wide doubles (x86: AVX2 + FMA).
+    Wide8 = 8,  ///< 8-wide doubles (x86: AVX-512F).
+};
+
+constexpr int width(Tier tier) { return static_cast<int>(tier); }
+
+const char *tierName(Tier tier);
+
+/**
+ * Widest tier this binary can run here: the intersection of what was
+ * compiled in (CULPEO_SIMD + toolchain flags) and what CPUID reports.
+ * Detected once, then cached.
+ */
+Tier detectedTier();
+
+/**
+ * detectedTier() clamped by the CULPEO_SIMD_WIDTH environment variable
+ * (read once). Unrecognized values are ignored; widths above the
+ * detected tier clamp down, so forcing "8" on an AVX2-only host still
+ * runs the 4-wide kernels and forcing it on a generic build runs
+ * scalar.
+ */
+Tier activeTier();
+
+} // namespace culpeo::batch::simd
+
+#endif // CULPEO_BATCH_SIMD_HPP

@@ -138,6 +138,17 @@ class TrialDriver : public OpSource
     bool next(const OpOutcome *last, const LaneStatus &status,
               LaneOp *out) override;
 
+    /**
+     * Trace points above are stage()d, not emit()ted: the engine's
+     * round boundary drains them all under one trace-log lock instead
+     * of paying it at every op boundary inside the control pass.
+     */
+    void roundFlush() override
+    {
+        if (tel_ != nullptr)
+            tel_->flushStaged();
+    }
+
     TrialResult &result() { return result_; }
 
   private:
@@ -196,10 +207,10 @@ class TrialDriver : public OpSource
         recharges_->add();
         recharge_seconds_->record(w.elapsed.value());
         const double t_exit = status.now.value();
-        tel_->emit(telemetry::EventKind::RechargeEnter,
+        tel_->stage(telemetry::EventKind::RechargeEnter,
                    t_exit - w.elapsed.value(), enter_voltage.value(), 0,
                    target.value());
-        tel_->emit(telemetry::EventKind::RechargeExit, t_exit,
+        tel_->stage(telemetry::EventKind::RechargeExit, t_exit,
                    w.voltage.value(), 0, target.value(), w.reached());
     }
 
@@ -213,10 +224,10 @@ class TrialDriver : public OpSource
         if (tel_ != nullptr) {
             const TaskTel &handles = taskTel(task);
             const double now_s = status.now.value();
-            tel_->emit(telemetry::EventKind::VsafeUpdate, now_s,
+            tel_->stage(telemetry::EventKind::VsafeUpdate, now_s,
                        status.resting.value(), handles.name_id,
                        need.value());
-            tel_->emit(telemetry::EventKind::TaskStart, now_s,
+            tel_->stage(telemetry::EventKind::TaskStart, now_s,
                        status.resting.value(), handles.name_id,
                        need.value());
         }
@@ -232,17 +243,17 @@ class TrialDriver : public OpSource
                                 app_.power.monitor.voff.value());
             const double t = status.now.value();
             if (tel_->sampleTick()) {
-                tel_->emit(telemetry::EventKind::VminRecord, t,
+                tel_->stage(telemetry::EventKind::VminRecord, t,
                            run.voltage.value(), 0, run.vmin.value(),
                            run.completed);
             }
             if (run.power_failed) {
                 brownouts_->add();
-                tel_->emit(telemetry::EventKind::BrownOut, t,
+                tel_->stage(telemetry::EventKind::BrownOut, t,
                            run.vmin.value(), 0, run.vmin.value());
             }
             const TaskTel &handles = taskTel(*cur_task_);
-            tel_->emit(telemetry::EventKind::TaskEnd, t,
+            tel_->stage(telemetry::EventKind::TaskEnd, t,
                        run.voltage.value(), handles.name_id,
                        run.vmin.value(), run.completed);
             handles.vmin->record(run.vmin.value());

@@ -83,10 +83,14 @@ groundTruthKey(const sim::PowerSystemConfig &config,
     return h.state;
 }
 
-VsafeCache::VsafeCache(std::size_t max_entries)
-    : max_entries_(max_entries)
+VsafeCache::VsafeCache(std::size_t max_entries, std::size_t stripes)
+    : stripe_count_(std::min(std::max<std::size_t>(stripes, 1),
+                             std::max<std::size_t>(max_entries, 1))),
+      max_entries_(max_entries)
 {
     log::fatalIf(max_entries == 0, "vsafe cache needs max_entries >= 1");
+    stripes_ = std::make_unique<Stripe[]>(stripe_count_);
+    distributeCapsLocked(max_entries_);
 }
 
 VsafeCache &
@@ -97,13 +101,26 @@ VsafeCache::global()
 }
 
 void
-VsafeCache::evictDownToLocked(std::size_t limit)
+VsafeCache::Stripe::evictDownToLocked(std::size_t limit)
 {
-    while (entries_.size() > limit && !order_.empty()) {
-        const std::uint64_t victim = order_.front();
-        order_.pop_front();
-        if (entries_.erase(victim) > 0)
-            ++evictions_;
+    while (entries.size() > limit && !order.empty()) {
+        const std::uint64_t victim = order.front();
+        order.pop_front();
+        if (entries.erase(victim) > 0)
+            ++evictions;
+    }
+}
+
+void
+VsafeCache::distributeCapsLocked(std::size_t max_entries)
+{
+    const std::size_t base = max_entries / stripe_count_;
+    const std::size_t extra = max_entries % stripe_count_;
+    for (std::size_t s = 0; s < stripe_count_; ++s) {
+        Stripe &stripe = stripes_[s];
+        std::lock_guard<std::mutex> lock(stripe.mutex);
+        stripe.max_entries = base + (s < extra ? 1 : 0);
+        stripe.evictDownToLocked(stripe.max_entries);
     }
 }
 
@@ -113,24 +130,25 @@ VsafeCache::findOrCompute(const sim::PowerSystemConfig &config,
                           const SearchOptions &options)
 {
     const std::uint64_t key = groundTruthKey(config, profile, options);
+    Stripe &stripe = stripeFor(key);
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        const auto it = entries_.find(key);
-        if (it != entries_.end()) {
-            ++hits_;
+        std::lock_guard<std::mutex> lock(stripe.mutex);
+        const auto it = stripe.entries.find(key);
+        if (it != stripe.entries.end()) {
+            ++stripe.hits;
             return it->second;
         }
     }
     const GroundTruth truth = findTrueVsafe(config, profile, options);
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++misses_;
+        std::lock_guard<std::mutex> lock(stripe.mutex);
+        ++stripe.misses;
         // A racing thread may have inserted the same key while the
         // search ran outside the lock; only track insertion order for
         // keys that actually entered the table.
-        if (entries_.emplace(key, truth).second) {
-            order_.push_back(key);
-            evictDownToLocked(max_entries_);
+        if (stripe.entries.emplace(key, truth).second) {
+            stripe.order.push_back(key);
+            stripe.evictDownToLocked(stripe.max_entries);
         }
     }
     return truth;
@@ -139,35 +157,51 @@ VsafeCache::findOrCompute(const sim::PowerSystemConfig &config,
 std::size_t
 VsafeCache::hits() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return hits_;
+    std::size_t total = 0;
+    for (std::size_t s = 0; s < stripe_count_; ++s) {
+        std::lock_guard<std::mutex> lock(stripes_[s].mutex);
+        total += stripes_[s].hits;
+    }
+    return total;
 }
 
 std::size_t
 VsafeCache::misses() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return misses_;
+    std::size_t total = 0;
+    for (std::size_t s = 0; s < stripe_count_; ++s) {
+        std::lock_guard<std::mutex> lock(stripes_[s].mutex);
+        total += stripes_[s].misses;
+    }
+    return total;
 }
 
 std::size_t
 VsafeCache::evictions() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return evictions_;
+    std::size_t total = 0;
+    for (std::size_t s = 0; s < stripe_count_; ++s) {
+        std::lock_guard<std::mutex> lock(stripes_[s].mutex);
+        total += stripes_[s].evictions;
+    }
+    return total;
 }
 
 std::size_t
 VsafeCache::size() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return entries_.size();
+    std::size_t total = 0;
+    for (std::size_t s = 0; s < stripe_count_; ++s) {
+        std::lock_guard<std::mutex> lock(stripes_[s].mutex);
+        total += stripes_[s].entries.size();
+    }
+    return total;
 }
 
 std::size_t
 VsafeCache::maxEntries() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(config_mutex_);
     return max_entries_;
 }
 
@@ -175,20 +209,23 @@ void
 VsafeCache::setMaxEntries(std::size_t max_entries)
 {
     log::fatalIf(max_entries == 0, "vsafe cache needs max_entries >= 1");
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(config_mutex_);
     max_entries_ = max_entries;
-    evictDownToLocked(max_entries_);
+    distributeCapsLocked(max_entries_);
 }
 
 void
 VsafeCache::clear()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    entries_.clear();
-    order_.clear();
-    hits_ = 0;
-    misses_ = 0;
-    evictions_ = 0;
+    for (std::size_t s = 0; s < stripe_count_; ++s) {
+        Stripe &stripe = stripes_[s];
+        std::lock_guard<std::mutex> lock(stripe.mutex);
+        stripe.entries.clear();
+        stripe.order.clear();
+        stripe.hits = 0;
+        stripe.misses = 0;
+        stripe.evictions = 0;
+    }
 }
 
 void
@@ -197,11 +234,11 @@ VsafeCache::publishTo(telemetry::Registry &registry) const
     std::size_t hits = 0;
     std::size_t misses = 0;
     std::size_t evictions = 0;
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        hits = hits_;
-        misses = misses_;
-        evictions = evictions_;
+    for (std::size_t s = 0; s < stripe_count_; ++s) {
+        std::lock_guard<std::mutex> lock(stripes_[s].mutex);
+        hits += stripes_[s].hits;
+        misses += stripes_[s].misses;
+        evictions += stripes_[s].evictions;
     }
     namespace names = telemetry::names;
     registry.gauge(names::kVsafeCacheHits, telemetry::GaugeMode::Last)

@@ -7,6 +7,15 @@
  * exact numeric content of the search inputs and is safe to share
  * across the sweep executor's threads.
  *
+ * Locking is striped (DESIGN.md §15): the table is split into N
+ * independent shards, each with its own mutex, map, FIFO queue and
+ * hit/miss/eviction counters. The splitmix64-mixed key picks the shard,
+ * so concurrent sweep threads touching different keys never contend on
+ * a shared lock; the aggregate counters are summed across shards on
+ * read. The configured bound is distributed across shards, which makes
+ * eviction FIFO *per shard* rather than globally — the same write-once,
+ * temporal-locality argument applies shard-by-shard.
+ *
  * The table is bounded (max_entries, FIFO eviction): drift and fuzz
  * campaigns mutate the power-system config continuously, so every
  * aging state keys a fresh entry and an unbounded memo would grow with
@@ -21,6 +30,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 
@@ -46,17 +56,25 @@ std::uint64_t groundTruthKey(const sim::PowerSystemConfig &config,
 
 /**
  * Thread-safe memo table for findTrueVsafe results. Lookups and
- * inserts are mutex-protected; the search itself runs outside the lock
- * so concurrent threads never serialize on a miss (a duplicated
- * compute is benign — both arrive at the same truth).
+ * inserts lock only the key's stripe; the search itself runs outside
+ * any lock so concurrent threads never serialize on a miss (a
+ * duplicated compute is benign — both arrive at the same truth).
  */
 class VsafeCache
 {
   public:
     /** Default bound: ~64k entries, a few MiB of GroundTruths. */
     static constexpr std::size_t kDefaultMaxEntries = 65536;
+    /** Default stripe count; plenty for the sweep executor's pools. */
+    static constexpr std::size_t kDefaultStripes = 16;
 
-    explicit VsafeCache(std::size_t max_entries = kDefaultMaxEntries);
+    /**
+     * @p stripes is clamped to @p max_entries so every stripe can hold
+     * at least one entry. Pass stripes = 1 for the classic single-lock
+     * table with one global FIFO order.
+     */
+    explicit VsafeCache(std::size_t max_entries = kDefaultMaxEntries,
+                        std::size_t stripes = kDefaultStripes);
 
     /** Process-wide cache shared by the sweeps. */
     static VsafeCache &global();
@@ -66,12 +84,21 @@ class VsafeCache
                               const load::CurrentProfile &profile,
                               const SearchOptions &options = {});
 
+    // Aggregates, summed across stripes on read.
     std::size_t hits() const;
     std::size_t misses() const;
     std::size_t evictions() const;
     std::size_t size() const;
+
     std::size_t maxEntries() const;
-    /** Rebound the table; evicts oldest-first down to the new cap. */
+    std::size_t stripeCount() const { return stripe_count_; }
+
+    /**
+     * Rebound the table; each stripe evicts oldest-first down to its
+     * share of the new cap. Shrinking below stripeCount() leaves some
+     * stripes with a zero share — their keys stop being cacheable
+     * until the bound is raised again.
+     */
     void setMaxEntries(std::size_t max_entries);
     void clear();
 
@@ -83,16 +110,33 @@ class VsafeCache
     void publishTo(telemetry::Registry &registry) const;
 
   private:
-    void evictDownToLocked(std::size_t limit);
+    struct Stripe
+    {
+        mutable std::mutex mutex;
+        std::unordered_map<std::uint64_t, GroundTruth> entries;
+        /** Insertion order of live keys (front = oldest = evicted). */
+        std::deque<std::uint64_t> order;
+        std::size_t max_entries = 0; ///< This stripe's share of the cap.
+        std::size_t hits = 0;
+        std::size_t misses = 0;
+        std::size_t evictions = 0;
 
-    mutable std::mutex mutex_;
+        void evictDownToLocked(std::size_t limit);
+    };
+
+    Stripe &stripeFor(std::uint64_t key)
+    {
+        return stripes_[key % stripe_count_];
+    }
+
+    /** Split @p max_entries across stripes (earlier stripes get +1). */
+    void distributeCapsLocked(std::size_t max_entries);
+
+    std::size_t stripe_count_;
+    std::unique_ptr<Stripe[]> stripes_;
+    /** Guards max_entries_ and cap redistribution, not lookups. */
+    mutable std::mutex config_mutex_;
     std::size_t max_entries_;
-    std::unordered_map<std::uint64_t, GroundTruth> entries_;
-    /** Insertion order of live keys (front = oldest = next evicted). */
-    std::deque<std::uint64_t> order_;
-    std::size_t hits_ = 0;
-    std::size_t misses_ = 0;
-    std::size_t evictions_ = 0;
 };
 
 } // namespace culpeo::harness

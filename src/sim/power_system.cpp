@@ -1,90 +1,13 @@
 #include "power_system.hpp"
 
+#include "sim/segment_curve.hpp"
+
 #include <algorithm>
 #include <cmath>
 
 #include "util/logging.hpp"
 
 namespace culpeo::sim {
-
-namespace {
-
-/**
- * Explicit terminal-voltage curve of one analytic macro step under a
- * constant net buffer current (DESIGN.md §10):
- *
- *   v(t) = a + b t + c exp(-t / tau)
- *
- * v' is monotone, so the curve has at most one interior stationary
- * point and splits into at most two monotone pieces — level crossings
- * are found by bracketed bisection per piece.
- */
-struct SegmentCurve
-{
-    double a = 0.0;
-    double b = 0.0;
-    double c = 0.0;
-    double tau = 1.0;
-
-    double at(double t) const { return a + b * t + c * std::exp(-t / tau); }
-
-    /** Interior stationary point in (0, horizon), or a negative value. */
-    double stationaryPoint(double horizon) const
-    {
-        if (c == 0.0 || b == 0.0)
-            return -1.0;
-        const double ratio = b * tau / c;
-        if (ratio <= 0.0 || ratio > 1.0)
-            return -1.0;
-        const double t = -tau * std::log(ratio);
-        return (t > 0.0 && t < horizon) ? t : -1.0;
-    }
-
-    /** Continuous minimum over [0, horizon]. */
-    double minOver(double horizon) const
-    {
-        double m = std::min(at(0.0), at(horizon));
-        const double t = stationaryPoint(horizon);
-        if (t > 0.0)
-            m = std::min(m, at(t));
-        return m;
-    }
-
-    /**
-     * Earliest t in (0, horizon] where the curve reaches @p level while
-     * falling (or rising when @p falling is false). Returns a negative
-     * value when the curve never crosses in that direction.
-     */
-    double firstCrossing(double level, double horizon, bool falling) const
-    {
-        const double t_star = stationaryPoint(horizon);
-        const double knots[3] = {0.0, t_star > 0.0 ? t_star : horizon,
-                                 horizon};
-        for (int piece = 0; piece < 2; ++piece) {
-            double lo = knots[piece];
-            double hi = knots[piece + 1];
-            if (hi <= lo)
-                continue;
-            const double v_lo = at(lo);
-            const double v_hi = at(hi);
-            const bool brackets = falling
-                ? (v_lo >= level && v_hi < level)
-                : (v_lo < level && v_hi >= level);
-            if (!brackets)
-                continue;
-            for (int iter = 0; iter < 64; ++iter) {
-                const double mid = 0.5 * (lo + hi);
-                const bool crossed =
-                    falling ? at(mid) < level : at(mid) >= level;
-                (crossed ? hi : lo) = mid;
-            }
-            return hi;
-        }
-        return -1.0;
-    }
-};
-
-} // namespace
 
 PowerSystemConfig
 capybaraConfig()

@@ -251,8 +251,9 @@ expectWarm(const batch::LaneResult &kernel, const batch::LaneResult &scalar,
         EXPECT_EQ(k.diagnostic.empty(), s.diagnostic.empty()) << where;
         EXPECT_NEAR(k.voltage.value(), s.voltage.value(), kWarmVoltTol)
             << where;
-        if (op.kind == batch::OpKind::RunProfile)
+        if (op.kind == batch::OpKind::RunProfile) {
             EXPECT_NEAR(k.vmin.value(), s.vmin.value(), kWarmVoltTol) << where;
+        }
         EXPECT_NEAR(k.elapsed.value(), s.elapsed.value(),
                     std::max(kWarmTimeTolAbs,
                              kWarmTimeTolRel * s.elapsed.value()))

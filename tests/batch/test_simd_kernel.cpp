@@ -1,0 +1,321 @@
+/**
+ * @file
+ * SIMD-vs-scalar equivalence for the batch commit kernels (DESIGN.md
+ * §15): seeded CommitPanels run through every compiled dispatch tier
+ * and must agree with the scalar tier within a tight ulp bound (warm)
+ * or bit-for-bit (exact_replay, which never leaves the base-ISA TU).
+ * Also pins the fastExp polynomial's accuracy and clamp semantics, the
+ * batched crossing solver against analytic roots and the exact
+ * bisection, and the runtime dispatch clamps.
+ *
+ * Tiers are forced through the explicit simd::Tier kernel arguments;
+ * tiers the host CPU lacks are skipped. The CULPEO_SIMD_WIDTH env knob
+ * clamps the process-wide activeTier() the same way — CI's
+ * forced-scalar leg sets it for the whole suite (it is cached on first
+ * read, so flipping it mid-process is deliberately not tested here).
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "batch/commit_kernel.hpp"
+#include "sim/segment_curve.hpp"
+
+namespace {
+
+using namespace culpeo;
+using batch::CommitPanel;
+using batch::CrossingPanel;
+using batch::simd::Tier;
+
+/** Distance in representable doubles (same-sign finite values). */
+std::int64_t
+ulpDiff(double a, double b)
+{
+    const auto ia = std::bit_cast<std::int64_t>(a);
+    const auto ib = std::bit_cast<std::int64_t>(b);
+    return std::abs(ia - ib);
+}
+
+bool
+tierAvailable(Tier tier)
+{
+    return batch::simd::width(tier) <=
+           batch::simd::width(batch::simd::detectedTier());
+}
+
+/**
+ * Seeded panel with sweep-realistic magnitudes: volts-scale q0, sub-volt
+ * branch deltas, millifarad capacitances, tau from sub-millisecond to
+ * seconds, and a mix of hinted and kernel-computed exponentials.
+ */
+CommitPanel
+seededPanel(std::size_t n, std::uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+    CommitPanel p;
+    for (std::size_t k = 0; k < n; ++k) {
+        const double q0 = 2.0 + 3.0 * unit(rng);
+        const double d0 = -0.4 + 0.8 * unit(rng);
+        const double ct = 1e-3 * (1.0 + 9.0 * unit(rng));
+        const double frac = 0.1 + 0.8 * unit(rng);
+        const double tau = std::pow(10.0, -4.0 + 5.0 * unit(rng));
+        const double beta = 10.0 * (1.0 + unit(rng));
+        const double net = -0.05 + 0.1 * unit(rng);
+        const double dt = std::pow(10.0, -6.0 + 6.0 * unit(rng));
+        const bool hinted = unit(rng) < 0.5;
+        const double hint = hinted ? std::exp(-dt / tau) : -1.0;
+        p.push(std::uint32_t(k), q0, d0, ct, frac, 1.0 - frac, tau,
+               beta, net, dt, hint, q0, -net / ct, d0);
+    }
+    return p;
+}
+
+TEST(FastExp, MatchesStdExpWithinOneUlp)
+{
+    std::mt19937_64 rng(7);
+    std::uniform_real_distribution<double> arg(-700.0, 700.0);
+    std::int64_t worst = 0;
+    for (int i = 0; i < 200000; ++i) {
+        const double x = arg(rng);
+        worst = std::max(worst, ulpDiff(batch::fastExp(x), std::exp(x)));
+    }
+    // Measured max over this range is 1 ulp; 2 leaves slack for libm
+    // differences across platforms without hiding a real regression.
+    EXPECT_LE(worst, 2);
+}
+
+TEST(FastExp, EdgeSemantics)
+{
+    EXPECT_EQ(batch::fastExp(0.0), 1.0);
+    // Saturating clamps instead of inf/0 — documented branchless
+    // semantics (the kernels feed it -dt/tau which can overflow when
+    // tau is denormal-small).
+    EXPECT_EQ(batch::fastExp(1e300), batch::fastExp(709.0));
+    EXPECT_EQ(batch::fastExp(-1e300), batch::fastExp(-745.0));
+    EXPECT_TRUE(std::isfinite(batch::fastExp(709.0)));
+    EXPECT_GT(batch::fastExp(-745.0), 0.0);
+    // exp(-745) is a denormal; the two-step scale must reach it.
+    EXPECT_LT(batch::fastExp(-745.0),
+              std::numeric_limits<double>::min());
+    EXPECT_TRUE(std::isnan(
+        batch::fastExp(std::numeric_limits<double>::quiet_NaN())));
+}
+
+TEST(FastExp, Expm1AvoidsCancellation)
+{
+    std::mt19937_64 rng(11);
+    std::uniform_real_distribution<double> arg(-0.49, 0.49);
+    for (int i = 0; i < 50000; ++i) {
+        const double x = arg(rng);
+        EXPECT_LE(ulpDiff(batch::fastExpm1(x), std::expm1(x)), 16)
+            << "x = " << x;
+    }
+    EXPECT_EQ(batch::fastExpm1(0.0), 0.0);
+    EXPECT_LE(ulpDiff(batch::fastExpm1(2.0), std::expm1(2.0)), 4);
+}
+
+TEST(FastExpArray, TiersAgreeWithScalarTier)
+{
+    std::vector<double> x(1003);
+    std::mt19937_64 rng(13);
+    std::uniform_real_distribution<double> arg(-700.0, 700.0);
+    for (double &v : x)
+        v = arg(rng);
+    std::vector<double> base(x.size());
+    batch::fastExpArray(x.data(), base.data(), x.size(), Tier::Scalar);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        EXPECT_LE(ulpDiff(base[i], std::exp(x[i])), 2);
+    for (const Tier tier : {Tier::Wide4, Tier::Wide8}) {
+        if (!tierAvailable(tier))
+            GTEST_SKIP() << "host lacks "
+                         << batch::simd::tierName(tier);
+        std::vector<double> out(x.size());
+        batch::fastExpArray(x.data(), out.data(), x.size(), tier);
+        for (std::size_t i = 0; i < x.size(); ++i) {
+            // Wide tiers contract the Horner chain with FMA; one ulp
+            // of drift against the scalar tier is the expected cap.
+            EXPECT_LE(ulpDiff(out[i], base[i]), 1)
+                << batch::simd::tierName(tier) << " lane " << i;
+        }
+    }
+}
+
+TEST(CommitKernel, WarmTiersAgreeWithScalarTierUlp)
+{
+    // Widths 1, 4, 8 plus ragged tails exercise every block/tail split.
+    for (const std::size_t n : {std::size_t(1), std::size_t(4),
+                                std::size_t(8), std::size_t(37)}) {
+        CommitPanel base = seededPanel(n, 17 + n);
+        batch::commitPanelWarm(base, Tier::Scalar);
+        for (const Tier tier : {Tier::Wide4, Tier::Wide8}) {
+            if (!tierAvailable(tier))
+                continue;
+            CommitPanel p = seededPanel(n, 17 + n);
+            batch::commitPanelWarm(p, tier);
+            for (std::size_t k = 0; k < n; ++k) {
+                EXPECT_LE(ulpDiff(p.vb1[k], base.vb1[k]), 4)
+                    << batch::simd::tierName(tier) << " vb1 " << k;
+                EXPECT_LE(ulpDiff(p.vs1[k], base.vs1[k]), 4)
+                    << batch::simd::tierName(tier) << " vs1 " << k;
+                EXPECT_LE(ulpDiff(p.vend[k], base.vend[k]), 4)
+                    << batch::simd::tierName(tier) << " vend " << k;
+                EXPECT_EQ(p.deep[k], base.deep[k])
+                    << batch::simd::tierName(tier) << " deep " << k;
+            }
+        }
+    }
+}
+
+TEST(CommitKernel, ExactKernelIsBitIdenticalToReferenceExpressions)
+{
+    const std::size_t n = 23;
+    CommitPanel p = seededPanel(n, 29);
+    batch::commitPanelExact(p);
+    CommitPanel q = seededPanel(n, 29);
+    for (std::size_t k = 0; k < n; ++k) {
+        // The reference expressions, in the kernel's exact order (the
+        // scalar Capacitor::advanceAnalytic shape).
+        const double net = q.net[k];
+        const double dtk = q.dt[k];
+        const double d_inf = -net * q.beta[k] * q.tau[k];
+        const double qq = q.q0[k] - net * dtk / q.ct[k];
+        const double e = q.exp_hint[k] >= 0.0
+            ? q.exp_hint[k]
+            : std::exp(-dtk / q.tau[k]);
+        const double d = (q.d0[k] - d_inf) * e + d_inf;
+        EXPECT_EQ(p.vb1[k], qq + q.cs_over_ct[k] * d) << "lane " << k;
+        EXPECT_EQ(p.vs1[k], qq - q.cb_over_ct[k] * d) << "lane " << k;
+        EXPECT_EQ(p.vend[k],
+                  q.curve_a[k] + q.curve_b[k] * dtk + q.curve_c[k] * e)
+            << "lane " << k;
+    }
+    // Re-running the exact kernel is deterministic bit-for-bit.
+    batch::commitPanelExact(q);
+    for (std::size_t k = 0; k < n; ++k) {
+        EXPECT_EQ(p.vb1[k], q.vb1[k]);
+        EXPECT_EQ(p.vs1[k], q.vs1[k]);
+        EXPECT_EQ(p.vend[k], q.vend[k]);
+    }
+}
+
+TEST(CommitKernel, EdgeLanesSurviveEveryTier)
+{
+    // Near-zero tau drives -dt/tau deep past the underflow clamp;
+    // denormal d0 and zero net exercise the flush-prone corners. The
+    // kernels must produce identical *finite* answers on every tier.
+    CommitPanel base;
+    const double denorm = std::numeric_limits<double>::denorm_min();
+    base.push(0, 3.0, denorm, 1e-3, 0.5, 0.5, 1e-300, 10.0, 0.0, 1.0,
+              -1.0, 3.0, 0.0, denorm);
+    base.push(1, 3.0, 0.1, 1e-3, 0.5, 0.5, 1e6, 10.0, 1e-3, 1e-6, -1.0,
+              3.0, -1.0, 0.1);
+    base.push(2, 3.0, -0.2, 1e-3, 0.25, 0.75, 0.5, 10.0, -1e-3, 0.5,
+              std::exp(-0.5 / 0.5), 3.0, 1.0, -0.2);
+    CommitPanel scalar = base;
+    batch::commitPanelWarm(scalar, Tier::Scalar);
+    for (std::size_t k = 0; k < scalar.size(); ++k) {
+        EXPECT_TRUE(std::isfinite(scalar.vb1[k])) << k;
+        EXPECT_TRUE(std::isfinite(scalar.vend[k])) << k;
+    }
+    for (const Tier tier : {Tier::Wide4, Tier::Wide8}) {
+        if (!tierAvailable(tier))
+            continue;
+        CommitPanel p = base;
+        batch::commitPanelWarm(p, tier);
+        for (std::size_t k = 0; k < p.size(); ++k) {
+            // Absolute volts, not ulps: lane 1's (d0 - d_inf) * e + d_inf
+            // cancels a 1e4-scale d_inf down to 0.1, so a single ulp of
+            // FMA drift in e amplifies ~1e4x. 1e-9 V is still three
+            // orders below the engine's warm divergence budget.
+            EXPECT_NEAR(p.vb1[k], scalar.vb1[k], 1e-9) << k;
+            EXPECT_NEAR(p.vs1[k], scalar.vs1[k], 1e-9) << k;
+            EXPECT_NEAR(p.vend[k], scalar.vend[k], 1e-9) << k;
+        }
+    }
+}
+
+TEST(SolveCrossings, MatchesAnalyticRoots)
+{
+    CrossingPanel p;
+    // Falling: v(t) = 1 + e^{-t} crosses 1.5 at exactly ln 2.
+    const auto q0 =
+        p.push(1.0, 0.0, 1.0, 1.0, 1.5, 5.0, /*falling=*/true);
+    // Rising: v(t) = 1 + 0.5 t - e^{-t} crosses 1.0 where
+    // 0.5 t = e^{-t}.
+    const auto q1 =
+        p.push(1.0, 0.5, -1.0, 1.0, 1.0, 5.0, /*falling=*/false);
+    // Never brackets: the level sits above the curve's maximum.
+    const auto q2 =
+        p.push(1.0, 0.0, 1.0, 1.0, 3.0, 5.0, /*falling=*/true);
+    batch::solveCrossings(p, Tier::Scalar);
+
+    EXPECT_NEAR(p.out[q0], std::log(2.0), 1e-9);
+    const sim::SegmentCurve rising{1.0, 0.5, -1.0, 1.0};
+    const double exact =
+        rising.firstCrossing(1.0, 5.0, /*falling=*/false);
+    ASSERT_GT(exact, 0.0);
+    EXPECT_NEAR(p.out[q1], exact, 1e-9);
+    EXPECT_EQ(p.out[q2], -1.0);
+}
+
+TEST(SolveCrossings, TiersAgreeOnSeededQueryPanels)
+{
+    std::mt19937_64 rng(43);
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+    CrossingPanel base;
+    for (int i = 0; i < 64; ++i) {
+        const double a = 1.0 + unit(rng);
+        const double c = 0.2 + unit(rng);
+        const double tau = 0.1 + 2.0 * unit(rng);
+        const double level = a + c * (0.1 + 0.8 * unit(rng));
+        base.push(a, -0.01 * unit(rng), c, tau, level, 8.0 * tau,
+                  /*falling=*/true);
+    }
+    CrossingPanel scalar = base;
+    batch::solveCrossings(scalar, Tier::Scalar);
+    std::size_t found = 0;
+    for (std::size_t k = 0; k < scalar.size(); ++k)
+        found += scalar.out[k] > 0.0 ? 1 : 0;
+    EXPECT_GT(found, 32u) << "seeded panel should mostly bracket";
+    for (const Tier tier : {Tier::Wide4, Tier::Wide8}) {
+        if (!tierAvailable(tier))
+            continue;
+        CrossingPanel p = base;
+        batch::solveCrossings(p, tier);
+        for (std::size_t k = 0; k < p.size(); ++k) {
+            if (scalar.out[k] < 0.0) {
+                EXPECT_EQ(p.out[k], scalar.out[k]) << k;
+            } else {
+                // The Newton trajectory may differ by an exp ulp per
+                // sweep; the converged bracket end stays within the
+                // solver's own 1e-12 relative width.
+                EXPECT_NEAR(p.out[k], scalar.out[k],
+                            1e-10 * (1.0 + scalar.out[k]))
+                    << batch::simd::tierName(tier) << " query " << k;
+            }
+        }
+    }
+}
+
+TEST(SimdDispatch, TiersAreCoherent)
+{
+    const Tier detected = batch::simd::detectedTier();
+    const Tier active = batch::simd::activeTier();
+    const int dw = batch::simd::width(detected);
+    const int aw = batch::simd::width(active);
+    EXPECT_TRUE(dw == 1 || dw == 4 || dw == 8);
+    // activeTier honors CULPEO_SIMD_WIDTH only as a clamp, never as an
+    // escalation past what CPUID reported.
+    EXPECT_LE(aw, dw);
+    EXPECT_STRNE(batch::simd::tierName(active), "");
+}
+
+} // namespace

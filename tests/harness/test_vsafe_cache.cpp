@@ -132,7 +132,8 @@ TEST(VsafeCache, ConcurrentLookupsAreConsistent)
 
 TEST(VsafeCache, BoundEvictsOldestFirst)
 {
-    harness::VsafeCache cache(/*max_entries=*/2);
+    // One stripe: the FIFO order under test is global only then.
+    harness::VsafeCache cache(/*max_entries=*/2, /*stripes=*/1);
     const auto cfg = sim::capybaraConfig();
     const auto a = load::uniform(10.0_mA, 5.0_ms);
     const auto b = load::uniform(20.0_mA, 5.0_ms);
@@ -159,7 +160,7 @@ TEST(VsafeCache, BoundEvictsOldestFirst)
 
 TEST(VsafeCache, SetMaxEntriesShrinksOldestFirst)
 {
-    harness::VsafeCache cache(/*max_entries=*/8);
+    harness::VsafeCache cache(/*max_entries=*/8, /*stripes=*/1);
     const auto cfg = sim::capybaraConfig();
     const auto a = load::uniform(10.0_mA, 5.0_ms);
     const auto b = load::uniform(20.0_mA, 5.0_ms);
@@ -213,6 +214,66 @@ TEST(VsafeCache, PublishToExportsCounterGauges)
     // GaugeMode::Last totals: republishing does not double-count.
     cache.publishTo(registry);
     EXPECT_DOUBLE_EQ(misses->value(), 2.0);
+}
+
+TEST(VsafeCache, StripedContentionMatchesSingleLockTotals)
+{
+    // The striped table must be observationally identical to the
+    // classic single-lock table: same truths, same aggregate counter
+    // totals. Warm every key serially first so the concurrent phase's
+    // expected hit/miss split is exact (racing first-misses would make
+    // per-table miss counts nondeterministic).
+    const auto cfg = sim::capybaraConfig();
+    constexpr std::size_t kKeys = 12;
+    constexpr std::size_t kRounds = 16;
+    std::vector<load::CurrentProfile> profiles;
+    for (std::size_t i = 0; i < kKeys; ++i) {
+        profiles.push_back(load::uniform(
+            Amps(1e-3 + 1e-4 * double(i)), Seconds(2e-3)));
+    }
+
+    harness::VsafeCache striped(harness::VsafeCache::kDefaultMaxEntries,
+                                /*stripes=*/8);
+    harness::VsafeCache single(harness::VsafeCache::kDefaultMaxEntries,
+                               /*stripes=*/1);
+    ASSERT_EQ(striped.stripeCount(), 8u);
+    ASSERT_EQ(single.stripeCount(), 1u);
+
+    std::vector<double> expected;
+    for (const auto &profile : profiles) {
+        const double v = striped.findOrCompute(cfg, profile).vsafe.value();
+        EXPECT_EQ(v, single.findOrCompute(cfg, profile).vsafe.value());
+        expected.push_back(v);
+    }
+    ASSERT_EQ(striped.misses(), kKeys);
+    ASSERT_EQ(single.misses(), kKeys);
+
+    // Concurrent phase: every lookup is a hit, hammered from a pool so
+    // stripes see simultaneous traffic.
+    util::ThreadPool pool(4);
+    std::vector<std::size_t> items(kKeys * kRounds);
+    for (std::size_t i = 0; i < items.size(); ++i)
+        items[i] = i % kKeys;
+    const auto check = [&](harness::VsafeCache &cache) {
+        const auto results =
+            pool.parallelMap(items, [&](const std::size_t &i) {
+                return cache.findOrCompute(cfg, profiles[i])
+                    .vsafe.value();
+            });
+        for (std::size_t i = 0; i < items.size(); ++i)
+            EXPECT_EQ(results[i], expected[items[i]]);
+    };
+    check(striped);
+    check(single);
+
+    // Aggregate totals summed across stripes match the single lock's.
+    EXPECT_EQ(striped.hits(), single.hits());
+    EXPECT_EQ(striped.hits(), kKeys * kRounds);
+    EXPECT_EQ(striped.misses(), single.misses());
+    EXPECT_EQ(striped.misses(), kKeys);
+    EXPECT_EQ(striped.evictions(), single.evictions());
+    EXPECT_EQ(striped.size(), single.size());
+    EXPECT_EQ(striped.size(), kKeys);
 }
 
 TEST(VsafeCache, ClearResetsCounters)
