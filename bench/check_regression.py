@@ -65,6 +65,13 @@ RATIO_PAIRS = [
      "BM_CommitKernelWarm/width:1", "BM_CommitKernelWarm/width:8"),
     ("crossing solver wide4 speedup",
      "BM_SolveCrossings/width:1", "BM_SolveCrossings/width:4"),
+    # Fleet shard-parallel scaling: the same 96-device population under
+    # pools of 1 vs 2 and 1 vs 4 participants. The ratio is the pure
+    # thread-scaling factor of fleet::runFleet; it must not shrink.
+    ("fleet step 2-thread scaling",
+     "BM_FleetStep/threads:1/real_time", "BM_FleetStep/threads:2/real_time"),
+    ("fleet step 4-thread scaling",
+     "BM_FleetStep/threads:1/real_time", "BM_FleetStep/threads:4/real_time"),
 ]
 
 

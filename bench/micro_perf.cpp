@@ -16,10 +16,13 @@
 #include "batch/trial_runner.hpp"
 #include "core/api.hpp"
 #include "core/vsafe_pg.hpp"
+#include "env/field.hpp"
+#include "fleet/fleet.hpp"
 #include "harness/ground_truth.hpp"
 #include "load/library.hpp"
 #include "sched/trial.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/parallel.hpp"
 
 using namespace culpeo;
 using namespace culpeo::units;
@@ -450,6 +453,68 @@ BENCHMARK(BM_SolveCrossings)
     ->Arg(4)
     ->Arg(8)
     ->ArgName("width");
+
+/**
+ * Fleet-scale population throughput and its thread scaling: one fixed
+ * 96-device, two-cohort population under a seeded solar-diurnal field,
+ * sharded over a private pool of 1/2/4 participants. Items/sec counts
+ * simulated device-trials, so threads:1 vs threads:N is the pure
+ * shard-parallel speedup of fleet::runFleet (the population itself is
+ * identical — and bit-identical in output — across thread counts).
+ */
+void
+BM_FleetStep(benchmark::State &state)
+{
+    const unsigned threads = static_cast<unsigned>(state.range(0));
+
+    env::SolarConfig solar;
+    solar.peak = Watts(12e-3);
+    solar.day_length = Seconds(600.0);
+    solar.sample_period = Seconds(10.0);
+    solar.cloud_depth = 0.5;
+    solar.shading_depth = 0.3;
+    solar.seed = 7;
+    const env::SolarDiurnalField field(solar);
+
+    const sched::AppSpec ps = apps::periodicSensing();
+    const sched::AppSpec rr = apps::responsiveReporting();
+    sched::CulpeoPolicy culpeo_policy;
+    culpeo_policy.initialize(ps);
+    sched::CatnapPolicy catnap_policy;
+    catnap_policy.initialize(rr);
+
+    fleet::FleetSpec spec;
+    spec.cohorts = {
+        {"ps-culpeo", &ps, &culpeo_policy, 0.6},
+        {"rr-catnap", &rr, &catnap_policy, 0.4},
+    };
+    spec.devices = 96;
+    spec.capacitance_scale = {0.8, 1.2};
+    spec.esr_scale = {0.9, 1.5};
+    spec.extent = 150.0;
+    spec.field = &field;
+    spec.duration = Seconds(30.0);
+    spec.seed = 7;
+
+    util::ThreadPool pool(threads);
+    fleet::FleetOptions options;
+    options.shard_devices = 8; // 12 shards: work for every pool size.
+    options.pool = &pool;
+
+    for (auto _ : state) {
+        const fleet::SummaryReport report = fleet::runFleet(spec, options);
+        benchmark::DoNotOptimize(report.devices.data());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(spec.devices));
+}
+BENCHMARK(BM_FleetStep)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->ArgName("threads")
+    ->UseRealTime() // Items/sec = wall-clock device-trial throughput.
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_UArchTick(benchmark::State &state)

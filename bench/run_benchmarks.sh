@@ -40,7 +40,17 @@ if [[ -n "$FILTER" ]]; then
     ARGS+=(--benchmark_filter="$FILTER")
 fi
 
-"$BIN" "${ARGS[@]}"
+# Run every bench binary with explicit status accumulation: a crashed
+# or failing bench must fail this script even though later convenience
+# steps (the summary printer below) are allowed to fail soft. With a
+# bare `set -e` a non-final command's failure is easy to mask when the
+# script grows; the explicit exit keeps propagation airtight.
+STATUS=0
+"$BIN" "${ARGS[@]}" || STATUS=$?
+if [[ "$STATUS" -ne 0 ]]; then
+    echo "error: $BIN exited with status $STATUS" >&2
+    exit "$STATUS"
+fi
 
 echo
 echo "wrote $OUTPUT"
@@ -87,4 +97,12 @@ for width in (4, 8):
     if kernel_scalar and wide:
         print(f"commit kernel {width}-wide speedup (vs scalar tier): "
               f"{kernel_scalar / wide:.2f}x")
+# Fleet shard-parallel scaling: wall-clock ratio of the same
+# population under pools of 1 vs N participants.
+fleet_one = times.get("BM_FleetStep/threads:1/real_time")
+for threads in (2, 4):
+    wide = times.get(f"BM_FleetStep/threads:{threads}/real_time")
+    if fleet_one and wide:
+        print(f"fleet step {threads}-thread scaling: "
+              f"{fleet_one / wide:.2f}x")
 EOF

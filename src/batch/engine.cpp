@@ -141,8 +141,13 @@ struct LaneRt
           system(spec.config),
           scratch_cap(spec.config.capacitor)
     {
-        system.setHarvester(&harvester);
-        harvest_w = spec.harvest.value();
+        hsrc = spec.harvester != nullptr
+            ? spec.harvester
+            : static_cast<const sim::Harvester *>(&harvester);
+        system.setHarvester(hsrc);
+        const std::optional<Watts> cp = hsrc->constantPower();
+        harvest_const = cp.has_value();
+        harvest_w = harvest_const ? cp->value() : 0.0;
 
         const sim::TwoBranchCoefficients k =
             system.capacitor().analyticCoefficients();
@@ -185,7 +190,14 @@ struct LaneRt
     sim::PowerSystem system;
     /** Scratch for the deep-discharge Euler delegation of a commit. */
     sim::Capacitor scratch_cap;
+    /** The lane's energy source: spec.harvester or &harvester. */
+    const sim::Harvester *hsrc = nullptr;
+    /** Strictly constant harvest (equilibrium wait tests are sound). */
+    bool harvest_const = true;
+    /** Harvest power of the current piece (refreshed per macro step). */
     double harvest_w = 0.0;
+    /** Absolute end of the current constancy piece (inf = constant). */
+    double piece_end = std::numeric_limits<double>::infinity();
 
     // Cached electrical constants (no aging mid-run in batch lanes).
     double tau = 1.0, beta = 0.0, gamma = 0.0;
@@ -316,6 +328,20 @@ struct BatchEngine::Impl
         const double input = i_in + rt.quiescent;
         collapsed = (voc - input * r) < rt.dropout;
         return input;
+    }
+
+    /**
+     * Re-sample a piecewise-constant lane's harvest piece at the
+     * lane's current time — the mirror of the scalar analytic loop
+     * reading powerAt(now_) at every iteration top. Constant lanes
+     * keep their cached harvest_w and infinite piece_end.
+     */
+    void refreshHarvest(LaneRt &rt, std::size_t l) const
+    {
+        if (rt.harvest_const)
+            return;
+        rt.harvest_w = rt.hsrc->powerAt(Seconds(now[l])).value();
+        rt.piece_end = rt.hsrc->constantUntil(Seconds(now[l])).value();
     }
 
     /** InputBooster::chargeCurrent under the lane's constant harvest. */
@@ -559,6 +585,7 @@ struct BatchEngine::Impl
      */
     bool tryInlineStep(LaneRt &rt, std::size_t l, double dt)
     {
+        refreshHarvest(rt, l);
         double i_out = 0.0;
         bool collapsed = false;
         const double vth = restingOf(rt, l);
@@ -687,13 +714,22 @@ struct BatchEngine::Impl
                         finishWait(rt, l, sim::WaitStatus::BrownedOut);
                         continue;
                     }
-                    const double net = idleNetAt(
-                        rt, op.level.value() - 1e-9, op.stop_when_off);
-                    if (net >= 0.0) {
-                        rt.cur.diagnostic = sim::unreachableDiagnostic(
-                            "voltage threshold", op.level, Amps(net));
-                        finishWait(rt, l, sim::WaitStatus::Unreachable);
-                        continue;
+                    // Equilibrium reachability only holds for strictly
+                    // constant harvest (Device::waitForVoltage's gate);
+                    // a piecewise field may improve in a later piece.
+                    if (rt.harvest_const) {
+                        const double net = idleNetAt(
+                            rt, op.level.value() - 1e-9,
+                            op.stop_when_off);
+                        if (net >= 0.0) {
+                            rt.cur.diagnostic =
+                                sim::unreachableDiagnostic(
+                                    "voltage threshold", op.level,
+                                    Amps(net));
+                            finishWait(rt, l,
+                                       sim::WaitStatus::Unreachable);
+                            continue;
+                        }
                     }
                     startIdleChunk(rt, l, op.level,
                                    /*stop_when_enabled=*/false,
@@ -709,14 +745,19 @@ struct BatchEngine::Impl
                                    sim::WaitStatus::DeadlineExpired);
                         continue;
                     }
-                    const double net = idleNetAt(
-                        rt, rt.vhigh - 1e-9, /*with_output_draw=*/false);
-                    if (net >= 0.0) {
-                        rt.cur.diagnostic = sim::unreachableDiagnostic(
-                            "monitor re-arm level", Volts(rt.vhigh),
-                            Amps(net));
-                        finishWait(rt, l, sim::WaitStatus::Unreachable);
-                        continue;
+                    if (rt.harvest_const) {
+                        const double net = idleNetAt(
+                            rt, rt.vhigh - 1e-9,
+                            /*with_output_draw=*/false);
+                        if (net >= 0.0) {
+                            rt.cur.diagnostic =
+                                sim::unreachableDiagnostic(
+                                    "monitor re-arm level",
+                                    Volts(rt.vhigh), Amps(net));
+                            finishWait(rt, l,
+                                       sim::WaitStatus::Unreachable);
+                            continue;
+                        }
                     }
                     startIdleChunk(rt, l, std::nullopt,
                                    /*stop_when_enabled=*/true,
@@ -811,6 +852,7 @@ struct BatchEngine::Impl
             return true;
         }
 
+        refreshHarvest(rt, l);
         const bool enabled = rt.enabled;
         double i_out = 0.0;
         bool collapsed_now = false;
@@ -828,8 +870,13 @@ struct BatchEngine::Impl
             return true;
         }
 
-        // Adaptive macro-step probe (proportional controller).
+        // Adaptive macro-step probe (proportional controller). A macro
+        // step never spans a harvest-piece boundary (scalar stepper's
+        // cap, same expression order).
         double dt_try = std::min(sg.remaining, sg.hint);
+        const double piece_left = rt.piece_end - now[l];
+        if (piece_left < dt_try)
+            dt_try = piece_left;
         double net1 = net0;
         double exp_try = -1.0; ///< exp(-dt_try/tau) of the accepted probe.
         bool at_floor = false;
@@ -1233,6 +1280,9 @@ BatchEngine::addLane(const LaneSpec &spec)
                  "lane vstart cannot be negative");
     log::fatalIf(spec.harvest.value() < 0.0,
                  "lane harvest cannot be negative");
+    log::fatalIf(spec.harvester != nullptr &&
+                     !spec.harvester->piecewiseConstant(),
+                 "lane harvester must be piecewise constant");
     log::fatalIf(spec.repeat == 0, "lane repeat must be >= 1");
     validateProgram(spec.program);
 
@@ -1341,9 +1391,15 @@ runLaneScalar(const LaneSpec &spec)
     log::fatalIf(spec.repeat == 0, "lane repeat must be >= 1");
     validateProgram(spec.program);
 
-    sim::ConstantHarvester harvester(spec.harvest);
+    log::fatalIf(spec.harvester != nullptr &&
+                     !spec.harvester->piecewiseConstant(),
+                 "lane harvester must be piecewise constant");
+    sim::ConstantHarvester constant(spec.harvest);
+    const sim::Harvester *harvester = spec.harvester != nullptr
+        ? spec.harvester
+        : static_cast<const sim::Harvester *>(&constant);
     sim::Device device(spec.config, spec.options);
-    device.setHarvester(&harvester);
+    device.setHarvester(harvester);
     device.setBufferVoltage(spec.vstart);
     device.forceOutputEnabled(spec.start_enabled);
 

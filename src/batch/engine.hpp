@@ -176,6 +176,16 @@ struct LaneSpec
     bool start_enabled = true;
     /** Constant harvested power (0 = no harvester input). */
     Watts harvest{0.0};
+    /**
+     * Time-varying energy source; non-null overrides `harvest`. Must
+     * declare itself piecewise constant (Harvester::piecewiseConstant)
+     * — the lockstep kernel holds each piece's power fixed per macro
+     * step and caps steps at the piece boundary, exactly like the
+     * scalar analytic stepper. Borrowed (caller keeps it alive); its
+     * powerAt/constantUntil must be safe to call concurrently when
+     * lanes run on multiple threads.
+     */
+    const sim::Harvester *harvester = nullptr;
     /** The op program, executed `repeat` times in order. */
     std::vector<LaneOp> program;
     unsigned repeat = 1;

@@ -1,0 +1,463 @@
+#include "batch/trial_driver.hpp"
+
+#include <algorithm>
+
+#include "harness/task_runner.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace culpeo::batch {
+
+using sched::AppSpec;
+using sched::EventSpec;
+using sched::Policy;
+using sched::SchedTask;
+using sched::TrialConfig;
+
+std::vector<PendingEvent>
+generateArrivals(const AppSpec &app, Seconds duration, util::Rng &rng)
+{
+    std::vector<PendingEvent> arrivals;
+    for (std::size_t i = 0; i < app.events.size(); ++i) {
+        const EventSpec &spec = app.events[i];
+        Seconds t{0.0};
+        while (true) {
+            if (spec.arrival == sched::Arrival::Periodic)
+                t += spec.interval;
+            else
+                t += Seconds(rng.exponential(spec.interval.value()));
+            if (t >= duration)
+                break;
+            arrivals.push_back({t, i, false});
+        }
+    }
+    std::sort(arrivals.begin(), arrivals.end(),
+              [](const PendingEvent &a, const PendingEvent &b) {
+                  return a.arrival < b.arrival;
+              });
+    return arrivals;
+}
+
+PolicyTables::PolicyTables(const AppSpec &app, const Policy &policy)
+{
+    chain_need.reserve(app.events.size());
+    for (const EventSpec &spec : app.events) {
+        chain_need.push_back(policy.chainStart(spec));
+        std::vector<Volts> needs;
+        std::vector<Seconds> dts;
+        for (const SchedTask &task : spec.chain) {
+            needs.push_back(policy.taskStart(task));
+            dts.push_back(harness::chooseDt(task.profile));
+        }
+        task_need.push_back(std::move(needs));
+        task_dt.push_back(std::move(dts));
+    }
+    if (app.background.has_value()) {
+        bg_need = policy.backgroundThreshold(app);
+        bg_dt = harness::chooseDt(app.background->profile);
+    }
+}
+
+TrialDriver::TrialDriver(const AppSpec &app, const TrialConfig &config,
+                         const PolicyTables &tables, std::uint64_t seed,
+                         telemetry::Telemetry *scratch)
+    : app_(app), tables_(tables), tel_(scratch),
+      duration_(config.duration),
+      idle_dt_(sim::DeviceOptions{}.idle_dt)
+{
+    util::Rng rng(seed);
+    arrivals_ = generateArrivals(app, duration_, rng);
+    result_.per_event.resize(app.events.size());
+    for (std::size_t i = 0; i < app.events.size(); ++i)
+        result_.per_event[i].name = app.events[i].name;
+    if (tel_ != nullptr) {
+        // Device::setTelemetry's eager handle resolution, in the
+        // same registry insertion order.
+        namespace names = telemetry::names;
+        telemetry::Registry &reg = tel_->registry();
+        loads_ = &reg.counter(names::kDeviceLoads);
+        brownouts_ = &reg.counter(names::kDeviceBrownouts);
+        recharges_ = &reg.counter(names::kDeviceRecharges);
+        waits_ = &reg.counter(names::kDeviceWaits);
+        waits_unreachable_ =
+            &reg.counter(names::kDeviceWaitsUnreachable);
+        recharge_seconds_ =
+            &reg.gauge(names::kDeviceRechargeSeconds,
+                       telemetry::GaugeMode::Sum);
+        min_margin_ = &reg.gauge(names::kDeviceMinMarginV,
+                                 telemetry::GaugeMode::Min);
+    }
+}
+
+void
+TrialDriver::roundFlush()
+{
+    if (tel_ != nullptr)
+        tel_->flushStaged();
+}
+
+const TrialDriver::TaskTel &
+TrialDriver::taskTel(const SchedTask &task)
+{
+    const auto it = task_tel_.find(&task);
+    if (it != task_tel_.end())
+        return it->second;
+    TaskTel handles;
+    handles.name_id = tel_->trace().intern(task.name);
+    handles.vmin = &tel_->registry().histogram(
+        telemetry::names::taskVmin(task.name),
+        app_.power.monitor.voff.value(),
+        app_.power.monitor.vhigh.value(), 32);
+    return task_tel_.emplace(&task, handles).first->second;
+}
+
+void
+TrialDriver::noteWait(const OpOutcome &w)
+{
+    if (tel_ == nullptr)
+        return;
+    waits_->add();
+    if (w.wait_status == sim::WaitStatus::Unreachable)
+        waits_unreachable_->add();
+}
+
+void
+TrialDriver::noteRecharge(Volts enter_voltage, Volts target,
+                          const OpOutcome &w, const LaneStatus &status)
+{
+    if (tel_ == nullptr)
+        return;
+    noteWait(w);
+    recharges_->add();
+    recharge_seconds_->record(w.elapsed.value());
+    const double t_exit = status.now.value();
+    tel_->stage(telemetry::EventKind::RechargeEnter,
+                t_exit - w.elapsed.value(), enter_voltage.value(), 0,
+                target.value());
+    tel_->stage(telemetry::EventKind::RechargeExit, t_exit,
+                w.voltage.value(), 0, target.value(), w.reached());
+}
+
+void
+TrialDriver::beginCommitted(const SchedTask &task, Volts need,
+                            const LaneStatus &status)
+{
+    ++tasks_started_;
+    cur_task_ = &task;
+    if (tel_ != nullptr) {
+        const TaskTel &handles = taskTel(task);
+        const double now_s = status.now.value();
+        tel_->stage(telemetry::EventKind::VsafeUpdate, now_s,
+                    status.resting.value(), handles.name_id,
+                    need.value());
+        tel_->stage(telemetry::EventKind::TaskStart, now_s,
+                    status.resting.value(), handles.name_id,
+                    need.value());
+    }
+}
+
+bool
+TrialDriver::finishCommitted(const OpOutcome &run,
+                             const LaneStatus &status)
+{
+    if (tel_ != nullptr) {
+        // Device::noteLoad fires inside runLoad, before the
+        // engine's TaskEnd — same order here.
+        loads_->add();
+        min_margin_->record(run.vmin.value() -
+                            app_.power.monitor.voff.value());
+        const double t = status.now.value();
+        if (tel_->sampleTick()) {
+            tel_->stage(telemetry::EventKind::VminRecord, t,
+                        run.voltage.value(), 0, run.vmin.value(),
+                        run.completed);
+        }
+        if (run.power_failed) {
+            brownouts_->add();
+            tel_->stage(telemetry::EventKind::BrownOut, t,
+                        run.vmin.value(), 0, run.vmin.value());
+        }
+        const TaskTel &handles = taskTel(*cur_task_);
+        tel_->stage(telemetry::EventKind::TaskEnd, t,
+                    run.voltage.value(), handles.name_id,
+                    run.vmin.value(), run.completed);
+        handles.vmin->record(run.vmin.value());
+    }
+    if (run.completed)
+        ++tasks_completed_;
+    return run.completed;
+}
+
+bool
+TrialDriver::issueIdleUntil(Seconds t, const LaneStatus &status,
+                            LaneOp *out)
+{
+    if (t > status.now) {
+        *out = LaneOp::idleFor(t - status.now);
+        st_ = St::Idle;
+        return true;
+    }
+    st_ = St::Main;
+    return false;
+}
+
+bool
+TrialDriver::idleOutStep(const LaneStatus &status, LaneOp *out)
+{
+    if (status.now.value() <= io_deadline_.value()) {
+        *out = LaneOp::idleFor(idle_dt_);
+        st_ = St::IdleOutTick;
+        return true;
+    }
+    st_ = St::Main;
+    return false;
+}
+
+bool
+TrialDriver::enterIdleOut(const OpOutcome &w, const LaneStatus &status,
+                          LaneOp *out)
+{
+    if (w.wait_status != sim::WaitStatus::Unreachable) {
+        st_ = St::Main;
+        return false;
+    }
+    io_deadline_ = service_deadline_;
+    if (io_deadline_ > status.now) {
+        *out = LaneOp::idleFor(io_deadline_ - status.now);
+        st_ = St::IdleOutBig;
+        return true;
+    }
+    return idleOutStep(status, out);
+}
+
+bool
+TrialDriver::advanceChain(const LaneStatus &status, LaneOp *out)
+{
+    const EventSpec &spec = app_.events[spec_index_];
+    if (task_i_ < spec.chain.size()) {
+        *out = LaneOp::waitLevel(
+            tables_.task_need[spec_index_][task_i_],
+            service_deadline_, /*stop_when_off=*/true);
+        st_ = St::TaskWait;
+        return true;
+    }
+    if (status.now <= service_deadline_)
+        ++cur_stats_->captured;
+    else
+        ++cur_stats_->lost;
+    st_ = St::Main;
+    return false;
+}
+
+void
+TrialDriver::finalize(const LaneStatus &status)
+{
+    if (tel_ == nullptr)
+        return;
+    namespace names = telemetry::names;
+    telemetry::Registry &reg = tel_->registry();
+    reg.counter(names::kSchedTasksStarted).add(tasks_started_);
+    reg.counter(names::kSchedTasksCompleted).add(tasks_completed_);
+    unsigned arrived = 0;
+    unsigned captured = 0;
+    unsigned lost = 0;
+    for (const auto &stats : result_.per_event) {
+        arrived += stats.arrived;
+        captured += stats.captured;
+        lost += stats.lost;
+    }
+    reg.counter(names::kSchedEventsArrived).add(arrived);
+    reg.counter(names::kSchedEventsCaptured).add(captured);
+    reg.counter(names::kSchedEventsLost).add(lost);
+    reg.counter(names::kSchedBackgroundRuns)
+        .add(result_.background_runs);
+    reg.gauge(names::kTrialSimSeconds, telemetry::GaugeMode::Sum)
+        .record(status.now.value());
+}
+
+bool
+TrialDriver::next(const OpOutcome *last, const LaneStatus &status,
+                  LaneOp *out)
+{
+    // Interpret the outcome the finished op produced, exactly where
+    // the scalar loop would have consumed the Device return value.
+    switch (st_) {
+    case St::Main:
+    case St::Idle:
+        break;
+
+    case St::ChainWait:
+        noteWait(*last);
+        if (!last->reached()) {
+            ++cur_stats_->lost;
+            if (enterIdleOut(*last, status, out))
+                return true;
+            break;
+        }
+        task_i_ = 0;
+        if (advanceChain(status, out))
+            return true;
+        break;
+
+    case St::TaskWait: {
+        noteWait(*last);
+        if (!last->reached()) {
+            ++cur_stats_->lost;
+            if (enterIdleOut(*last, status, out))
+                return true;
+            break;
+        }
+        const EventSpec &spec = app_.events[spec_index_];
+        const SchedTask &task = spec.chain[task_i_];
+        beginCommitted(task, tables_.task_need[spec_index_][task_i_],
+                       status);
+        *out = LaneOp::runProfile(&task.profile,
+                                  tables_.task_dt[spec_index_][task_i_]);
+        st_ = St::TaskRun;
+        return true;
+    }
+
+    case St::TaskRun:
+        if (!finishCommitted(*last, status)) {
+            // Brown-out mid-chain: the event is lost and the device
+            // must fully recharge before doing anything else.
+            ++cur_stats_->lost;
+            break;
+        }
+        ++task_i_;
+        if (advanceChain(status, out))
+            return true;
+        break;
+
+    case St::RechargeOn:
+        noteRecharge(recharge_enter_v_, app_.power.monitor.vhigh, *last,
+                     status);
+        if (!last->reached() && issueIdleUntil(target_, status, out))
+            return true;
+        break;
+
+    case St::BgRun:
+        finishCommitted(*last, status);
+        ++result_.background_runs;
+        last_background_ = status.now;
+        break;
+
+    case St::BgWait:
+        noteWait(*last);
+        if ((last->wait_status == sim::WaitStatus::DeadlineExpired ||
+             last->wait_status == sim::WaitStatus::Unreachable) &&
+            issueIdleUntil(target_, status, out))
+            return true;
+        break;
+
+    case St::IdleOutBig:
+    case St::IdleOutTick:
+        if (idleOutStep(status, out))
+            return true;
+        break;
+
+    case St::Done:
+        return false;
+    }
+
+    // --- The main decision loop (runSeededTrial's while body). Time
+    // only advances through issued ops, so iterating here with a fixed
+    // `status` matches the scalar `continue`s after no-op passes. ---
+    for (;;) {
+        if (!(status.now < duration_)) {
+            finalize(status);
+            st_ = St::Done;
+            return false;
+        }
+
+        // Retire any arrival whose deadline already passed unserviced.
+        bool serviced = false;
+        for (std::size_t i = next_arrival_; i < arrivals_.size(); ++i) {
+            PendingEvent &event = arrivals_[i];
+            if (event.arrival > status.now)
+                break;
+            if (event.handled)
+                continue;
+            sched::EventTypeStats &stats =
+                result_.per_event[event.spec_index];
+            const EventSpec &spec = app_.events[event.spec_index];
+            ++stats.arrived;
+            event.handled = true;
+            if (i == next_arrival_)
+                ++next_arrival_;
+
+            if (status.now > event.arrival + spec.deadline) {
+                ++stats.lost; // Expired while the device was busy/off.
+            } else if (!status.enabled) {
+                ++stats.lost; // Device is off recharging.
+            } else {
+                // serviceEvent: wait for the chain-start threshold.
+                spec_index_ = event.spec_index;
+                cur_stats_ = &stats;
+                service_deadline_ = event.arrival + spec.deadline;
+                *out = LaneOp::waitLevel(tables_.chain_need[spec_index_],
+                                         service_deadline_,
+                                         /*stop_when_off=*/true);
+                st_ = St::ChainWait;
+                return true;
+            }
+            serviced = true;
+            break; // Re-evaluate time/arrivals after servicing.
+        }
+        if (serviced)
+            continue;
+
+        // The next not-yet-due arrival bounds every idle wait below.
+        Seconds target = duration_;
+        for (std::size_t i = next_arrival_; i < arrivals_.size(); ++i) {
+            if (arrivals_[i].handled)
+                continue;
+            target = std::min(target, arrivals_[i].arrival);
+            break;
+        }
+        const Seconds wait_deadline = target - idle_dt_;
+
+        if (!status.enabled) {
+            recharge_enter_v_ = status.resting;
+            target_ = target;
+            *out = LaneOp::waitEnabled(wait_deadline);
+            st_ = St::RechargeOn;
+            return true;
+        }
+
+        // No pending event: consider background work (difference-form
+        // dueness, as in the scalar engine).
+        if (app_.background.has_value() &&
+            status.now - last_background_ >= app_.background_period) {
+            const Volts bg_need = tables_.bg_need;
+            if (status.resting >= bg_need) {
+                beginCommitted(*app_.background, bg_need, status);
+                *out = LaneOp::runProfile(&app_.background->profile,
+                                          tables_.bg_dt);
+                st_ = St::BgRun;
+                return true;
+            }
+            target_ = target;
+            *out = LaneOp::waitLevel(bg_need, wait_deadline,
+                                     /*stop_when_off=*/true);
+            st_ = St::BgWait;
+            return true;
+        }
+
+        Seconds next_decision = target;
+        if (app_.background.has_value()) {
+            next_decision = std::min(
+                next_decision, last_background_ + app_.background_period);
+        }
+        if (next_decision > status.now) {
+            *out = LaneOp::idleFor(next_decision - status.now);
+        } else {
+            // The sum above can round below now() while the difference
+            // form still reads not-yet-due; tick once and re-evaluate.
+            *out = LaneOp::idleFor(idle_dt_);
+        }
+        st_ = St::Idle;
+        return true;
+    }
+}
+
+} // namespace culpeo::batch

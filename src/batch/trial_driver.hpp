@@ -1,0 +1,180 @@
+/**
+ * @file
+ * The per-trial scheduler replica behind the batch sweep executor
+ * (DESIGN.md §14): an OpSource that replays sched::runSeededTrial's
+ * decision loop op by op against a BatchEngine lane — same arrival
+ * stream (same util::Rng draws), same retire/service/background
+ * ordering, same Device-primitive sequence, same staged-telemetry
+ * emission order.
+ *
+ * Split out of trial_runner.cpp so population-scale front ends
+ * (fleet::runFleet) can drive heterogeneous per-device lanes with the
+ * same replica the homogeneous sweep runner uses. Like trial_runner,
+ * this translation unit is compiled into culpeo_sched (it needs the
+ * sched:: types) while the interface lives here under batch/.
+ */
+
+#ifndef CULPEO_BATCH_TRIAL_DRIVER_HPP
+#define CULPEO_BATCH_TRIAL_DRIVER_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "batch/engine.hpp"
+#include "sched/engine.hpp"
+#include "util/random.hpp"
+
+namespace culpeo::telemetry {
+class Counter;
+class Gauge;
+class Histogram;
+class Telemetry;
+} // namespace culpeo::telemetry
+
+namespace culpeo::batch {
+
+/** One concrete event instance awaiting service (engine.cpp mirror). */
+struct PendingEvent
+{
+    Seconds arrival{0.0};
+    std::size_t spec_index = 0;
+    bool handled = false;
+};
+
+/**
+ * Verbatim port of the scheduler engine's arrival generation: the same
+ * Rng draw sequence produces the same arrival stream, so a batch trial
+ * and its scalar twin service identical event instances.
+ */
+std::vector<PendingEvent> generateArrivals(const sched::AppSpec &app,
+                                           Seconds duration,
+                                           util::Rng &rng);
+
+/**
+ * Dispatch thresholds and step sizes, resolved once per sweep (or per
+ * fleet cohort). Policy methods are const and trial-independent, so
+ * per-trial re-queries would only repeat the same lookups.
+ */
+struct PolicyTables
+{
+    std::vector<Volts> chain_need;             ///< Per event spec.
+    std::vector<std::vector<Volts>> task_need; ///< Per spec, per link.
+    std::vector<std::vector<Seconds>> task_dt; ///< chooseDt per link.
+    Volts bg_need{0.0};
+    Seconds bg_dt{50e-6};
+
+    PolicyTables(const sched::AppSpec &app, const sched::Policy &policy);
+};
+
+/**
+ * One trial's scheduler replica: an OpSource that re-derives the next
+ * Device primitive from each op outcome, replaying runSeededTrial's
+ * decision loop — including its telemetry emission order — without a
+ * sim::Device. All time/threshold arithmetic uses the same expressions
+ * as the scalar engine so exact_replay runs are bit-identical.
+ */
+class TrialDriver : public OpSource
+{
+  public:
+    TrialDriver(const sched::AppSpec &app, const sched::TrialConfig &config,
+                const PolicyTables &tables, std::uint64_t seed,
+                telemetry::Telemetry *scratch);
+
+    bool next(const OpOutcome *last, const LaneStatus &status,
+              LaneOp *out) override;
+
+    /**
+     * Trace points are stage()d, not emit()ted: the engine's round
+     * boundary drains them all under one trace-log lock instead of
+     * paying it at every op boundary inside the control pass.
+     */
+    void roundFlush() override;
+
+    sched::TrialResult &result() { return result_; }
+
+  private:
+    enum class St
+    {
+        Main,        ///< No outcome pending interpretation.
+        ChainWait,   ///< idleUntilVoltage(chainStart, deadline).
+        TaskWait,    ///< idleUntilVoltage(taskStart, deadline).
+        TaskRun,     ///< Chain task profile run.
+        RechargeOn,  ///< rechargeUntilOn(wait_deadline).
+        BgRun,       ///< Background task profile run.
+        BgWait,      ///< idleUntilVoltage(bg_need, wait_deadline).
+        IdleOutBig,  ///< idleOutWindow's idleUntil(deadline).
+        IdleOutTick, ///< idleOutWindow's per-tick tail.
+        Idle,        ///< Outcome-ignored idle (idleUntil / one tick).
+        Done,
+    };
+
+    struct TaskTel
+    {
+        std::uint32_t name_id = 0;
+        telemetry::Histogram *vmin = nullptr;
+    };
+
+    const TaskTel &taskTel(const sched::SchedTask &task);
+
+    // --- Device telemetry mirrors (sim/device.cpp note*) ---
+
+    void noteWait(const OpOutcome &w);
+    void noteRecharge(Volts enter_voltage, Volts target,
+                      const OpOutcome &w, const LaneStatus &status);
+
+    // --- runCommitted split across the op boundary ---
+
+    void beginCommitted(const sched::SchedTask &task, Volts need,
+                        const LaneStatus &status);
+    bool finishCommitted(const OpOutcome &run, const LaneStatus &status);
+
+    // --- Control helpers ---
+
+    bool issueIdleUntil(Seconds t, const LaneStatus &status, LaneOp *out);
+    bool idleOutStep(const LaneStatus &status, LaneOp *out);
+    bool enterIdleOut(const OpOutcome &w, const LaneStatus &status,
+                      LaneOp *out);
+    bool advanceChain(const LaneStatus &status, LaneOp *out);
+    void finalize(const LaneStatus &status);
+
+    const sched::AppSpec &app_;
+    const PolicyTables &tables_;
+    telemetry::Telemetry *tel_ = nullptr;
+    const Seconds duration_;
+    const Seconds idle_dt_;
+
+    std::vector<PendingEvent> arrivals_;
+    std::size_t next_arrival_ = 0;
+    Seconds last_background_{-1e9};
+
+    sched::TrialResult result_;
+    unsigned tasks_started_ = 0;
+    unsigned tasks_completed_ = 0;
+    std::map<const sched::SchedTask *, TaskTel> task_tel_;
+
+    St st_ = St::Main;
+    // Event in service.
+    std::size_t spec_index_ = 0;
+    std::size_t task_i_ = 0;
+    Seconds service_deadline_{0.0};
+    sched::EventTypeStats *cur_stats_ = nullptr;
+    const sched::SchedTask *cur_task_ = nullptr;
+    // Pending idle/recharge context.
+    Seconds target_{0.0};
+    Seconds io_deadline_{0.0};
+    Volts recharge_enter_v_{0.0};
+
+    telemetry::Counter *loads_ = nullptr;
+    telemetry::Counter *brownouts_ = nullptr;
+    telemetry::Counter *recharges_ = nullptr;
+    telemetry::Counter *waits_ = nullptr;
+    telemetry::Counter *waits_unreachable_ = nullptr;
+    telemetry::Gauge *recharge_seconds_ = nullptr;
+    telemetry::Gauge *min_margin_ = nullptr;
+};
+
+} // namespace culpeo::batch
+
+#endif // CULPEO_BATCH_TRIAL_DRIVER_HPP

@@ -1,585 +1,22 @@
 #include "batch/trial_runner.hpp"
 
 #include <algorithm>
-#include <map>
 #include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
-#include "harness/task_runner.hpp"
+#include "batch/trial_driver.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
-#include "util/random.hpp"
 
 namespace culpeo::batch {
 
-namespace {
-
 using sched::AppSpec;
-using sched::EventSpec;
 using sched::Policy;
-using sched::SchedTask;
 using sched::TrialConfig;
 using sched::TrialResult;
-
-/** One concrete event instance awaiting service (engine.cpp mirror). */
-struct PendingEvent
-{
-    Seconds arrival{0.0};
-    std::size_t spec_index = 0;
-    bool handled = false;
-};
-
-/**
- * Verbatim port of the scheduler engine's arrival generation: the same
- * Rng draw sequence produces the same arrival stream, so a batch trial
- * and its scalar twin service identical event instances.
- */
-std::vector<PendingEvent>
-generateArrivals(const AppSpec &app, Seconds duration, util::Rng &rng)
-{
-    std::vector<PendingEvent> arrivals;
-    for (std::size_t i = 0; i < app.events.size(); ++i) {
-        const EventSpec &spec = app.events[i];
-        Seconds t{0.0};
-        while (true) {
-            if (spec.arrival == sched::Arrival::Periodic)
-                t += spec.interval;
-            else
-                t += Seconds(rng.exponential(spec.interval.value()));
-            if (t >= duration)
-                break;
-            arrivals.push_back({t, i, false});
-        }
-    }
-    std::sort(arrivals.begin(), arrivals.end(),
-              [](const PendingEvent &a, const PendingEvent &b) {
-                  return a.arrival < b.arrival;
-              });
-    return arrivals;
-}
-
-/**
- * Dispatch thresholds and step sizes, resolved once per sweep. Policy
- * methods are const and trial-independent (runTrialsWith already
- * shares the policy across parallel trials), so per-trial re-queries
- * only repeat the same lookups.
- */
-struct PolicyTables
-{
-    std::vector<Volts> chain_need;             ///< Per event spec.
-    std::vector<std::vector<Volts>> task_need; ///< Per spec, per link.
-    std::vector<std::vector<Seconds>> task_dt; ///< chooseDt per link.
-    Volts bg_need{0.0};
-    Seconds bg_dt{50e-6};
-
-    PolicyTables(const AppSpec &app, const Policy &policy)
-    {
-        chain_need.reserve(app.events.size());
-        for (const EventSpec &spec : app.events) {
-            chain_need.push_back(policy.chainStart(spec));
-            std::vector<Volts> needs;
-            std::vector<Seconds> dts;
-            for (const SchedTask &task : spec.chain) {
-                needs.push_back(policy.taskStart(task));
-                dts.push_back(harness::chooseDt(task.profile));
-            }
-            task_need.push_back(std::move(needs));
-            task_dt.push_back(std::move(dts));
-        }
-        if (app.background.has_value()) {
-            bg_need = policy.backgroundThreshold(app);
-            bg_dt = harness::chooseDt(app.background->profile);
-        }
-    }
-};
-
-/**
- * One trial's scheduler replica: an OpSource that re-derives the next
- * Device primitive from each op outcome, replaying runSeededTrial's
- * decision loop — including its telemetry emission order — without a
- * sim::Device. All time/threshold arithmetic uses the same expressions
- * as the scalar engine so exact_replay runs are bit-identical.
- */
-class TrialDriver : public OpSource
-{
-  public:
-    TrialDriver(const AppSpec &app, const TrialConfig &config,
-                const PolicyTables &tables, std::uint64_t seed,
-                telemetry::Telemetry *scratch)
-        : app_(app), tables_(tables), tel_(scratch),
-          duration_(config.duration),
-          idle_dt_(sim::DeviceOptions{}.idle_dt)
-    {
-        util::Rng rng(seed);
-        arrivals_ = generateArrivals(app, duration_, rng);
-        result_.per_event.resize(app.events.size());
-        for (std::size_t i = 0; i < app.events.size(); ++i)
-            result_.per_event[i].name = app.events[i].name;
-        if (tel_ != nullptr) {
-            // Device::setTelemetry's eager handle resolution, in the
-            // same registry insertion order.
-            namespace names = telemetry::names;
-            telemetry::Registry &reg = tel_->registry();
-            loads_ = &reg.counter(names::kDeviceLoads);
-            brownouts_ = &reg.counter(names::kDeviceBrownouts);
-            recharges_ = &reg.counter(names::kDeviceRecharges);
-            waits_ = &reg.counter(names::kDeviceWaits);
-            waits_unreachable_ =
-                &reg.counter(names::kDeviceWaitsUnreachable);
-            recharge_seconds_ =
-                &reg.gauge(names::kDeviceRechargeSeconds,
-                           telemetry::GaugeMode::Sum);
-            min_margin_ = &reg.gauge(names::kDeviceMinMarginV,
-                                     telemetry::GaugeMode::Min);
-        }
-    }
-
-    bool next(const OpOutcome *last, const LaneStatus &status,
-              LaneOp *out) override;
-
-    /**
-     * Trace points above are stage()d, not emit()ted: the engine's
-     * round boundary drains them all under one trace-log lock instead
-     * of paying it at every op boundary inside the control pass.
-     */
-    void roundFlush() override
-    {
-        if (tel_ != nullptr)
-            tel_->flushStaged();
-    }
-
-    TrialResult &result() { return result_; }
-
-  private:
-    enum class St
-    {
-        Main,        ///< No outcome pending interpretation.
-        ChainWait,   ///< idleUntilVoltage(chainStart, deadline).
-        TaskWait,    ///< idleUntilVoltage(taskStart, deadline).
-        TaskRun,     ///< Chain task profile run.
-        RechargeOn,  ///< rechargeUntilOn(wait_deadline).
-        BgRun,       ///< Background task profile run.
-        BgWait,      ///< idleUntilVoltage(bg_need, wait_deadline).
-        IdleOutBig,  ///< idleOutWindow's idleUntil(deadline).
-        IdleOutTick, ///< idleOutWindow's per-tick tail.
-        Idle,        ///< Outcome-ignored idle (idleUntil / one tick).
-        Done,
-    };
-
-    struct TaskTel
-    {
-        std::uint32_t name_id = 0;
-        telemetry::Histogram *vmin = nullptr;
-    };
-
-    const TaskTel &taskTel(const SchedTask &task)
-    {
-        const auto it = task_tel_.find(&task);
-        if (it != task_tel_.end())
-            return it->second;
-        TaskTel handles;
-        handles.name_id = tel_->trace().intern(task.name);
-        handles.vmin = &tel_->registry().histogram(
-            telemetry::names::taskVmin(task.name),
-            app_.power.monitor.voff.value(),
-            app_.power.monitor.vhigh.value(), 32);
-        return task_tel_.emplace(&task, handles).first->second;
-    }
-
-    // --- Device telemetry mirrors (sim/device.cpp note*) ---
-
-    void noteWait(const OpOutcome &w)
-    {
-        if (tel_ == nullptr)
-            return;
-        waits_->add();
-        if (w.wait_status == sim::WaitStatus::Unreachable)
-            waits_unreachable_->add();
-    }
-
-    void noteRecharge(Volts enter_voltage, Volts target,
-                      const OpOutcome &w, const LaneStatus &status)
-    {
-        if (tel_ == nullptr)
-            return;
-        noteWait(w);
-        recharges_->add();
-        recharge_seconds_->record(w.elapsed.value());
-        const double t_exit = status.now.value();
-        tel_->stage(telemetry::EventKind::RechargeEnter,
-                   t_exit - w.elapsed.value(), enter_voltage.value(), 0,
-                   target.value());
-        tel_->stage(telemetry::EventKind::RechargeExit, t_exit,
-                   w.voltage.value(), 0, target.value(), w.reached());
-    }
-
-    // --- runCommitted split across the op boundary ---
-
-    void beginCommitted(const SchedTask &task, Volts need,
-                        const LaneStatus &status)
-    {
-        ++tasks_started_;
-        cur_task_ = &task;
-        if (tel_ != nullptr) {
-            const TaskTel &handles = taskTel(task);
-            const double now_s = status.now.value();
-            tel_->stage(telemetry::EventKind::VsafeUpdate, now_s,
-                       status.resting.value(), handles.name_id,
-                       need.value());
-            tel_->stage(telemetry::EventKind::TaskStart, now_s,
-                       status.resting.value(), handles.name_id,
-                       need.value());
-        }
-    }
-
-    bool finishCommitted(const OpOutcome &run, const LaneStatus &status)
-    {
-        if (tel_ != nullptr) {
-            // Device::noteLoad fires inside runLoad, before the
-            // engine's TaskEnd — same order here.
-            loads_->add();
-            min_margin_->record(run.vmin.value() -
-                                app_.power.monitor.voff.value());
-            const double t = status.now.value();
-            if (tel_->sampleTick()) {
-                tel_->stage(telemetry::EventKind::VminRecord, t,
-                           run.voltage.value(), 0, run.vmin.value(),
-                           run.completed);
-            }
-            if (run.power_failed) {
-                brownouts_->add();
-                tel_->stage(telemetry::EventKind::BrownOut, t,
-                           run.vmin.value(), 0, run.vmin.value());
-            }
-            const TaskTel &handles = taskTel(*cur_task_);
-            tel_->stage(telemetry::EventKind::TaskEnd, t,
-                       run.voltage.value(), handles.name_id,
-                       run.vmin.value(), run.completed);
-            handles.vmin->record(run.vmin.value());
-        }
-        if (run.completed)
-            ++tasks_completed_;
-        return run.completed;
-    }
-
-    // --- Control helpers ---
-
-    /** idleUntil(@p t): issue the idle when it advances time. */
-    bool issueIdleUntil(Seconds t, const LaneStatus &status, LaneOp *out)
-    {
-        if (t > status.now) {
-            *out = LaneOp::idleFor(t - status.now);
-            st_ = St::Idle;
-            return true;
-        }
-        st_ = St::Main;
-        return false;
-    }
-
-    /** idleOutWindow's per-tick tail: while (now <= deadline) tick. */
-    bool idleOutStep(const LaneStatus &status, LaneOp *out)
-    {
-        if (status.now.value() <= io_deadline_.value()) {
-            *out = LaneOp::idleFor(idle_dt_);
-            st_ = St::IdleOutTick;
-            return true;
-        }
-        st_ = St::Main;
-        return false;
-    }
-
-    /**
-     * idleOutWindow(@p w, service_deadline_): an unsatisfiable wait
-     * still consumes the event's whole window.
-     */
-    bool enterIdleOut(const OpOutcome &w, const LaneStatus &status,
-                      LaneOp *out)
-    {
-        if (w.wait_status != sim::WaitStatus::Unreachable) {
-            st_ = St::Main;
-            return false;
-        }
-        io_deadline_ = service_deadline_;
-        if (io_deadline_ > status.now) {
-            *out = LaneOp::idleFor(io_deadline_ - status.now);
-            st_ = St::IdleOutBig;
-            return true;
-        }
-        return idleOutStep(status, out);
-    }
-
-    /**
-     * Next link of the chain in service, or resolve captured/lost when
-     * the chain is exhausted. True when an op was issued.
-     */
-    bool advanceChain(const LaneStatus &status, LaneOp *out)
-    {
-        const EventSpec &spec = app_.events[spec_index_];
-        if (task_i_ < spec.chain.size()) {
-            *out = LaneOp::waitLevel(
-                tables_.task_need[spec_index_][task_i_],
-                service_deadline_, /*stop_when_off=*/true);
-            st_ = St::TaskWait;
-            return true;
-        }
-        if (status.now <= service_deadline_)
-            ++cur_stats_->captured;
-        else
-            ++cur_stats_->lost;
-        st_ = St::Main;
-        return false;
-    }
-
-    /** Trial-end roll-up (engine.cpp's counters, scratch-recorded). */
-    void finalize(const LaneStatus &status)
-    {
-        if (tel_ == nullptr)
-            return;
-        namespace names = telemetry::names;
-        telemetry::Registry &reg = tel_->registry();
-        reg.counter(names::kSchedTasksStarted).add(tasks_started_);
-        reg.counter(names::kSchedTasksCompleted).add(tasks_completed_);
-        unsigned arrived = 0;
-        unsigned captured = 0;
-        unsigned lost = 0;
-        for (const auto &stats : result_.per_event) {
-            arrived += stats.arrived;
-            captured += stats.captured;
-            lost += stats.lost;
-        }
-        reg.counter(names::kSchedEventsArrived).add(arrived);
-        reg.counter(names::kSchedEventsCaptured).add(captured);
-        reg.counter(names::kSchedEventsLost).add(lost);
-        reg.counter(names::kSchedBackgroundRuns)
-            .add(result_.background_runs);
-        reg.gauge(names::kTrialSimSeconds, telemetry::GaugeMode::Sum)
-            .record(status.now.value());
-    }
-
-    const AppSpec &app_;
-    const PolicyTables &tables_;
-    telemetry::Telemetry *tel_ = nullptr;
-    const Seconds duration_;
-    const Seconds idle_dt_;
-
-    std::vector<PendingEvent> arrivals_;
-    std::size_t next_arrival_ = 0;
-    Seconds last_background_{-1e9};
-
-    TrialResult result_;
-    unsigned tasks_started_ = 0;
-    unsigned tasks_completed_ = 0;
-    std::map<const SchedTask *, TaskTel> task_tel_;
-
-    St st_ = St::Main;
-    // Event in service.
-    std::size_t spec_index_ = 0;
-    std::size_t task_i_ = 0;
-    Seconds service_deadline_{0.0};
-    sched::EventTypeStats *cur_stats_ = nullptr;
-    const SchedTask *cur_task_ = nullptr;
-    // Pending idle/recharge context.
-    Seconds target_{0.0};
-    Seconds io_deadline_{0.0};
-    Volts recharge_enter_v_{0.0};
-
-    telemetry::Counter *loads_ = nullptr;
-    telemetry::Counter *brownouts_ = nullptr;
-    telemetry::Counter *recharges_ = nullptr;
-    telemetry::Counter *waits_ = nullptr;
-    telemetry::Counter *waits_unreachable_ = nullptr;
-    telemetry::Gauge *recharge_seconds_ = nullptr;
-    telemetry::Gauge *min_margin_ = nullptr;
-};
-
-bool
-TrialDriver::next(const OpOutcome *last, const LaneStatus &status,
-                  LaneOp *out)
-{
-    // Interpret the outcome the finished op produced, exactly where
-    // the scalar loop would have consumed the Device return value.
-    switch (st_) {
-    case St::Main:
-    case St::Idle:
-        break;
-
-    case St::ChainWait:
-        noteWait(*last);
-        if (!last->reached()) {
-            ++cur_stats_->lost;
-            if (enterIdleOut(*last, status, out))
-                return true;
-            break;
-        }
-        task_i_ = 0;
-        if (advanceChain(status, out))
-            return true;
-        break;
-
-    case St::TaskWait: {
-        noteWait(*last);
-        if (!last->reached()) {
-            ++cur_stats_->lost;
-            if (enterIdleOut(*last, status, out))
-                return true;
-            break;
-        }
-        const EventSpec &spec = app_.events[spec_index_];
-        const SchedTask &task = spec.chain[task_i_];
-        beginCommitted(task, tables_.task_need[spec_index_][task_i_],
-                       status);
-        *out = LaneOp::runProfile(&task.profile,
-                                  tables_.task_dt[spec_index_][task_i_]);
-        st_ = St::TaskRun;
-        return true;
-    }
-
-    case St::TaskRun:
-        if (!finishCommitted(*last, status)) {
-            // Brown-out mid-chain: the event is lost and the device
-            // must fully recharge before doing anything else.
-            ++cur_stats_->lost;
-            break;
-        }
-        ++task_i_;
-        if (advanceChain(status, out))
-            return true;
-        break;
-
-    case St::RechargeOn:
-        noteRecharge(recharge_enter_v_, app_.power.monitor.vhigh, *last,
-                     status);
-        if (!last->reached() && issueIdleUntil(target_, status, out))
-            return true;
-        break;
-
-    case St::BgRun:
-        finishCommitted(*last, status);
-        ++result_.background_runs;
-        last_background_ = status.now;
-        break;
-
-    case St::BgWait:
-        noteWait(*last);
-        if ((last->wait_status == sim::WaitStatus::DeadlineExpired ||
-             last->wait_status == sim::WaitStatus::Unreachable) &&
-            issueIdleUntil(target_, status, out))
-            return true;
-        break;
-
-    case St::IdleOutBig:
-    case St::IdleOutTick:
-        if (idleOutStep(status, out))
-            return true;
-        break;
-
-    case St::Done:
-        return false;
-    }
-
-    // --- The main decision loop (runSeededTrial's while body). Time
-    // only advances through issued ops, so iterating here with a fixed
-    // `status` matches the scalar `continue`s after no-op passes. ---
-    for (;;) {
-        if (!(status.now < duration_)) {
-            finalize(status);
-            st_ = St::Done;
-            return false;
-        }
-
-        // Retire any arrival whose deadline already passed unserviced.
-        bool serviced = false;
-        for (std::size_t i = next_arrival_; i < arrivals_.size(); ++i) {
-            PendingEvent &event = arrivals_[i];
-            if (event.arrival > status.now)
-                break;
-            if (event.handled)
-                continue;
-            sched::EventTypeStats &stats =
-                result_.per_event[event.spec_index];
-            const EventSpec &spec = app_.events[event.spec_index];
-            ++stats.arrived;
-            event.handled = true;
-            if (i == next_arrival_)
-                ++next_arrival_;
-
-            if (status.now > event.arrival + spec.deadline) {
-                ++stats.lost; // Expired while the device was busy/off.
-            } else if (!status.enabled) {
-                ++stats.lost; // Device is off recharging.
-            } else {
-                // serviceEvent: wait for the chain-start threshold.
-                spec_index_ = event.spec_index;
-                cur_stats_ = &stats;
-                service_deadline_ = event.arrival + spec.deadline;
-                *out = LaneOp::waitLevel(tables_.chain_need[spec_index_],
-                                         service_deadline_,
-                                         /*stop_when_off=*/true);
-                st_ = St::ChainWait;
-                return true;
-            }
-            serviced = true;
-            break; // Re-evaluate time/arrivals after servicing.
-        }
-        if (serviced)
-            continue;
-
-        // The next not-yet-due arrival bounds every idle wait below.
-        Seconds target = duration_;
-        for (std::size_t i = next_arrival_; i < arrivals_.size(); ++i) {
-            if (arrivals_[i].handled)
-                continue;
-            target = std::min(target, arrivals_[i].arrival);
-            break;
-        }
-        const Seconds wait_deadline = target - idle_dt_;
-
-        if (!status.enabled) {
-            recharge_enter_v_ = status.resting;
-            target_ = target;
-            *out = LaneOp::waitEnabled(wait_deadline);
-            st_ = St::RechargeOn;
-            return true;
-        }
-
-        // No pending event: consider background work (difference-form
-        // dueness, as in the scalar engine).
-        if (app_.background.has_value() &&
-            status.now - last_background_ >= app_.background_period) {
-            const Volts bg_need = tables_.bg_need;
-            if (status.resting >= bg_need) {
-                beginCommitted(*app_.background, bg_need, status);
-                *out = LaneOp::runProfile(&app_.background->profile,
-                                          tables_.bg_dt);
-                st_ = St::BgRun;
-                return true;
-            }
-            target_ = target;
-            *out = LaneOp::waitLevel(bg_need, wait_deadline,
-                                     /*stop_when_off=*/true);
-            st_ = St::BgWait;
-            return true;
-        }
-
-        Seconds next_decision = target;
-        if (app_.background.has_value()) {
-            next_decision = std::min(
-                next_decision, last_background_ + app_.background_period);
-        }
-        if (next_decision > status.now) {
-            *out = LaneOp::idleFor(next_decision - status.now);
-        } else {
-            // The sum above can round below now() while the difference
-            // form still reads not-yet-due; tick once and re-evaluate.
-            *out = LaneOp::idleFor(idle_dt_);
-        }
-        st_ = St::Idle;
-        return true;
-    }
-}
-
-} // namespace
 
 bool
 batchTrialsEligible(const sched::TrialConfig &config)
@@ -587,7 +24,7 @@ batchTrialsEligible(const sched::TrialConfig &config)
     return config.faults == nullptr && config.observer == nullptr &&
            config.supervisor == nullptr && !config.force_euler &&
            (config.harvester == nullptr ||
-            config.harvester->constantPower().has_value());
+            config.harvester->piecewiseConstant());
 }
 
 sched::AggregateResult
@@ -600,12 +37,15 @@ runTrialsBatch(const AppSpec &app, const Policy &policy,
     log::fatalIf(!batchTrialsEligible(config),
                  "runTrialsBatch needs a batch-eligible config: no "
                  "faults/observer/supervisor, no force_euler, and a "
-                 "constant-power harvester");
+                 "piecewise-constant harvester");
 
     const PolicyTables tables(app, policy);
-    const Watts harvest = config.harvester != nullptr
-                              ? *config.harvester->constantPower()
-                              : app.harvest;
+    // A strictly constant source flows through the plain per-lane
+    // harvest wattage (bit-identical to the pre-field runner); a
+    // piecewise one is attached to every lane directly.
+    const std::optional<Watts> constant = config.harvester != nullptr
+        ? config.harvester->constantPower()
+        : std::optional<Watts>(app.harvest);
 
     telemetry::Telemetry *sink =
         telemetry::kEnabled ? config.telemetry : nullptr;
@@ -646,7 +86,10 @@ runTrialsBatch(const AppSpec &app, const Policy &policy,
             spec.config = app.power;
             spec.vstart = app.power.monitor.vhigh;
             spec.start_enabled = true;
-            spec.harvest = harvest;
+            if (constant.has_value())
+                spec.harvest = *constant;
+            else
+                spec.harvester = config.harvester;
             spec.source = drivers.back().get();
             engine.addLane(spec);
         }

@@ -44,8 +44,8 @@ struct TrialRunnerOptions
 /**
  * True when @p config can be executed by the batch runner: no fault
  * hooks, step observer or supervisor (all per-trial stateful or
- * Euler-forcing), no force_euler, and a constant-power harvester (the
- * analytic segment stepper's eligibility condition).
+ * Euler-forcing), no force_euler, and a piecewise-constant harvester
+ * (the analytic segment stepper's eligibility condition).
  */
 bool batchTrialsEligible(const sched::TrialConfig &config);
 

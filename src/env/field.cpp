@@ -1,0 +1,160 @@
+#include "env/field.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace culpeo::env {
+
+namespace {
+
+/** splitmix64 finalizer: the bit mixer behind all field noise. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Deterministic uniform [0, 1) from (seed, cell, piece). */
+double
+noise01(std::uint64_t seed, std::int64_t cx, std::int64_t cy,
+        std::int64_t piece)
+{
+    std::uint64_t h = mix64(seed ^ 0x5bf03635aca1fd6bULL);
+    h = mix64(h ^ static_cast<std::uint64_t>(cx));
+    h = mix64(h ^ static_cast<std::uint64_t>(cy));
+    h = mix64(h ^ static_cast<std::uint64_t>(piece));
+    // 53 high bits -> double in [0, 1).
+    return double(h >> 11) * 0x1.0p-53;
+}
+
+std::int64_t
+cellOf(double coord, double cell_size)
+{
+    return static_cast<std::int64_t>(std::floor(coord / cell_size));
+}
+
+/** Piece index containing t, and its end on the sample grid. */
+std::int64_t
+pieceOf(double t, double period)
+{
+    return static_cast<std::int64_t>(std::floor(t / period));
+}
+
+/**
+ * End of the sample-grid piece containing t, strictly greater than t
+ * (the HarvestField contract): a boundary landing at or below t from
+ * floating rounding advances one full piece.
+ */
+double
+pieceEnd(double t, double period)
+{
+    const double end = double(pieceOf(t, period) + 1) * period;
+    return end > t ? end : end + period;
+}
+
+} // namespace
+
+UniformField::UniformField(Watts power) : power_(power)
+{
+    log::fatalIf(power.value() < 0.0,
+                 "UniformField power cannot be negative");
+}
+
+SolarDiurnalField::SolarDiurnalField(SolarConfig config)
+    : config_(config)
+{
+    log::fatalIf(config_.peak.value() < 0.0,
+                 "solar peak cannot be negative");
+    log::fatalIf(config_.day_length.value() <= 0.0,
+                 "solar day_length must be positive");
+    log::fatalIf(config_.daylight_fraction <= 0.0 ||
+                     config_.daylight_fraction > 1.0,
+                 "solar daylight_fraction must be in (0, 1]");
+    log::fatalIf(config_.sample_period.value() <= 0.0,
+                 "solar sample_period must be positive");
+    log::fatalIf(config_.cloud_depth < 0.0 || config_.cloud_depth > 1.0,
+                 "solar cloud_depth must be in [0, 1]");
+    log::fatalIf(config_.shading_depth < 0.0 ||
+                     config_.shading_depth > 1.0,
+                 "solar shading_depth must be in [0, 1]");
+    log::fatalIf(config_.cell_size <= 0.0,
+                 "solar cell_size must be positive");
+}
+
+Watts
+SolarDiurnalField::powerAt(Position pos, Seconds t) const
+{
+    const SolarConfig &c = config_;
+    const double period = c.sample_period.value();
+    const std::int64_t piece = pieceOf(t.value(), period);
+    // Irradiance is evaluated at the piece's start so the whole piece
+    // sees one value (the piecewise-constant contract).
+    const double t0 = double(piece) * period;
+    const double day = c.day_length.value();
+    double local = std::fmod(t0 + c.dawn_offset.value(), day);
+    if (local < 0.0)
+        local += day;
+    const double daylight = day * c.daylight_fraction;
+    double irradiance = 0.0;
+    if (local < daylight)
+        irradiance = std::sin(M_PI * local / daylight);
+    if (irradiance <= 0.0)
+        return Watts(0.0);
+
+    const std::int64_t cx = cellOf(pos.x, c.cell_size);
+    const std::int64_t cy = cellOf(pos.y, c.cell_size);
+    // Static per-cell shading (piece index pinned to a sentinel so the
+    // draw is time-invariant), then per-(cell, piece) cloud cover.
+    const double shade =
+        1.0 - c.shading_depth * noise01(c.seed, cx, cy, -1);
+    const double cloud =
+        1.0 - c.cloud_depth * noise01(c.seed, cx, cy, piece);
+    return Watts(c.peak.value() * irradiance * shade * cloud);
+}
+
+Seconds
+SolarDiurnalField::constantUntil(Position, Seconds t) const
+{
+    return Seconds(pieceEnd(t.value(), config_.sample_period.value()));
+}
+
+KineticBurstField::KineticBurstField(KineticConfig config)
+    : config_(config)
+{
+    log::fatalIf(config_.baseline.value() < 0.0,
+                 "kinetic baseline cannot be negative");
+    log::fatalIf(config_.burst.value() < 0.0,
+                 "kinetic burst cannot be negative");
+    log::fatalIf(config_.sample_period.value() <= 0.0,
+                 "kinetic sample_period must be positive");
+    log::fatalIf(config_.burst_probability < 0.0 ||
+                     config_.burst_probability > 1.0,
+                 "kinetic burst_probability must be in [0, 1]");
+    log::fatalIf(config_.cell_size <= 0.0,
+                 "kinetic cell_size must be positive");
+}
+
+Watts
+KineticBurstField::powerAt(Position pos, Seconds t) const
+{
+    const KineticConfig &c = config_;
+    const std::int64_t piece =
+        pieceOf(t.value(), c.sample_period.value());
+    const std::int64_t cx = cellOf(pos.x, c.cell_size);
+    const std::int64_t cy = cellOf(pos.y, c.cell_size);
+    const bool bursting =
+        noise01(c.seed, cx, cy, piece) < c.burst_probability;
+    return bursting ? c.burst : c.baseline;
+}
+
+Seconds
+KineticBurstField::constantUntil(Position, Seconds t) const
+{
+    return Seconds(pieceEnd(t.value(), config_.sample_period.value()));
+}
+
+} // namespace culpeo::env

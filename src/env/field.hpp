@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Spatio-temporal harvest fields (DESIGN.md §16): the shared
+ * environment a fleet of devices harvests from. A HarvestField maps
+ * (position, time) to available power through parametric generators —
+ * uniform, solar-diurnal with seeded cloud noise, kinetic bursts —
+ * and every generator is *piecewise constant in time*: power is held
+ * fixed over [t, constantUntil(pos, t)) with a strictly positive
+ * piece length. That contract is what lets per-device FieldHarvester
+ * views ride the analytic segment stepper and the SoA batch kernel
+ * (Harvester::piecewiseConstant): macro steps are capped at the piece
+ * boundary and each piece is a constant-harvest regime.
+ *
+ * Fields are immutable after construction and sampled concurrently
+ * from fleet shards, so all sampling is const and derives any noise
+ * deterministically from (seed, cell, piece index) — never from
+ * mutable state.
+ */
+
+#ifndef CULPEO_ENV_FIELD_HPP
+#define CULPEO_ENV_FIELD_HPP
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+
+#include "sim/harvester.hpp"
+#include "util/units.hpp"
+
+namespace culpeo::env {
+
+using units::Seconds;
+using units::Watts;
+
+/** A device's fixed location in the deployment plane (meters). */
+struct Position
+{
+    double x = 0.0;
+    double y = 0.0;
+};
+
+/** Interface: harvestable power available at (position, time). */
+class HarvestField
+{
+  public:
+    virtual ~HarvestField() = default;
+
+    /** Power available at @p pos at time @p t (the piece's power). */
+    virtual Watts powerAt(Position pos, Seconds t) const = 0;
+
+    /**
+     * End of the constancy piece containing @p t at @p pos: powerAt
+     * is constant on [t, constantUntil(pos, t)), and the result is
+     * strictly greater than @p t (the piecewise-constant contract).
+     */
+    virtual Seconds constantUntil(Position pos, Seconds t) const = 0;
+
+    /**
+     * The constant power delivered at @p pos at *every* instant, or
+     * nullopt for time-varying fields. Lets a FieldHarvester report
+     * Harvester::constantPower so constant scenarios keep the
+     * equilibrium-based Unreachable wait verdicts.
+     */
+    virtual std::optional<Watts> constantPower(Position pos) const
+    {
+        (void)pos;
+        return std::nullopt;
+    }
+};
+
+/** Spatially and temporally uniform field (the paper's condition). */
+class UniformField : public HarvestField
+{
+  public:
+    explicit UniformField(Watts power);
+
+    Watts powerAt(Position, Seconds) const override { return power_; }
+    Seconds constantUntil(Position, Seconds) const override
+    {
+        return Seconds(std::numeric_limits<double>::infinity());
+    }
+    std::optional<Watts> constantPower(Position) const override
+    {
+        return power_;
+    }
+
+  private:
+    Watts power_;
+};
+
+/** Knobs of the solar-diurnal generator. */
+struct SolarConfig
+{
+    /** Clear-sky peak harvest at an unshaded position. */
+    Watts peak{50e-6};
+    /** Length of one simulated day. */
+    Seconds day_length{86400.0};
+    /** Fraction of the day the sun is up (half-sine irradiance). */
+    double daylight_fraction = 0.5;
+    /** Dawn offset: local solar time at t = 0 (0 = dawn). */
+    Seconds dawn_offset{0.0};
+    /**
+     * Piece length: irradiance and cloud cover are re-sampled on this
+     * grid and held constant between samples (the piecewise-constant
+     * contract). Macro steps cannot exceed it, so shorter pieces cost
+     * proportionally more stepper work.
+     */
+    Seconds sample_period{60.0};
+    /**
+     * Cloud-noise depth in [0, 1]: each (cell, piece) draws a
+     * deterministic attenuation in [1 - depth, 1]. 0 disables clouds.
+     */
+    double cloud_depth = 0.4;
+    /** Spatial cell size of the cloud pattern (meters). */
+    double cell_size = 25.0;
+    /**
+     * Per-position shading: an unshaded position harvests peak; this
+     * fraction of peak is deterministically lost at the worst cell.
+     */
+    double shading_depth = 0.3;
+    /** Noise seed; fields with equal seeds are identical. */
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Solar-diurnal field: half-sine daytime irradiance over a repeating
+ * day, multiplied by per-cell static shading and per-(cell, piece)
+ * cloud attenuation. Both noise terms hash (seed, cell, piece) so the
+ * field is a pure function of its config — byte-reproducible across
+ * runs and shard layouts.
+ */
+class SolarDiurnalField : public HarvestField
+{
+  public:
+    explicit SolarDiurnalField(SolarConfig config = {});
+
+    Watts powerAt(Position pos, Seconds t) const override;
+    Seconds constantUntil(Position pos, Seconds t) const override;
+
+    const SolarConfig &config() const { return config_; }
+
+  private:
+    SolarConfig config_;
+};
+
+/** Knobs of the kinetic-burst generator. */
+struct KineticConfig
+{
+    /** Power between bursts (vibration floor; may be zero). */
+    Watts baseline{2e-6};
+    /** Power while a burst is active. */
+    Watts burst{150e-6};
+    /** Piece length; bursts start and stop on this grid. */
+    Seconds sample_period{5.0};
+    /** Probability a given (cell, piece) is bursting. */
+    double burst_probability = 0.1;
+    /** Spatial cell size of the excitation pattern (meters). */
+    double cell_size = 10.0;
+    /** Noise seed; fields with equal seeds are identical. */
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Kinetic-burst field: a sparse on/off excitation (machinery, motion)
+ * where each (cell, piece) independently bursts with the configured
+ * probability, deterministically from the seed.
+ */
+class KineticBurstField : public HarvestField
+{
+  public:
+    explicit KineticBurstField(KineticConfig config = {});
+
+    Watts powerAt(Position pos, Seconds t) const override;
+    Seconds constantUntil(Position pos, Seconds t) const override;
+
+    const KineticConfig &config() const { return config_; }
+
+  private:
+    KineticConfig config_;
+};
+
+/**
+ * One device's view of a field: a sim::Harvester sampling the field
+ * at a fixed position. Declares itself piecewise constant, so
+ * PowerSystem's analytic stepper and BatchEngine lanes accept it; a
+ * field that is constant at the position also reports constantPower,
+ * keeping equilibrium Unreachable verdicts for constant scenarios.
+ * Borrows the field (the Fleet/TrialBuilder owner keeps it alive).
+ */
+class FieldHarvester : public sim::Harvester
+{
+  public:
+    FieldHarvester(const HarvestField &field, Position pos)
+        : field_(&field), pos_(pos)
+    {}
+
+    Watts powerAt(Seconds t) const override
+    {
+        return field_->powerAt(pos_, t);
+    }
+    std::optional<Watts> constantPower() const override
+    {
+        return field_->constantPower(pos_);
+    }
+    bool piecewiseConstant() const override { return true; }
+    Seconds constantUntil(Seconds t) const override
+    {
+        return field_->constantUntil(pos_, t);
+    }
+
+    Position position() const { return pos_; }
+    const HarvestField &field() const { return *field_; }
+
+  private:
+    const HarvestField *field_;
+    Position pos_;
+};
+
+} // namespace culpeo::env
+
+#endif // CULPEO_ENV_FIELD_HPP

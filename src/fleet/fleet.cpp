@@ -1,0 +1,353 @@
+#include "fleet/fleet.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <utility>
+
+#include "batch/trial_driver.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/logging.hpp"
+#include "util/parallel.hpp"
+#include "util/random.hpp"
+
+namespace culpeo::fleet {
+
+namespace {
+
+/** splitmix64 finalizer: decorrelates (seed, index) sampling streams. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Shortest round-trippable decimal for deterministic report output. */
+std::string
+num(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+void
+validate(const FleetSpec &spec, const FleetOptions &options)
+{
+    log::fatalIf(spec.field == nullptr, "FleetSpec::field is required");
+    log::fatalIf(spec.devices == 0, "fleet needs at least one device");
+    log::fatalIf(spec.cohorts.empty(), "fleet needs at least one cohort");
+    double total_weight = 0.0;
+    for (const Cohort &c : spec.cohorts) {
+        log::fatalIf(c.app == nullptr || c.policy == nullptr,
+                     "every cohort needs an app and a policy");
+        log::fatalIf(c.weight <= 0.0, "cohort weights must be positive");
+        total_weight += c.weight;
+    }
+    log::fatalIf(total_weight <= 0.0, "cohort weights must sum > 0");
+    const auto badRange = [](const ParamRange &r) {
+        return r.lo <= 0.0 || r.hi < r.lo;
+    };
+    log::fatalIf(badRange(spec.capacitance_scale) ||
+                     badRange(spec.esr_scale),
+                 "scale ranges need 0 < lo <= hi");
+    log::fatalIf(spec.extent <= 0.0, "fleet extent must be positive");
+    log::fatalIf(spec.duration.value() <= 0.0,
+                 "fleet duration must be positive");
+    log::fatalIf(options.shard_devices == 0,
+                 "fleet shard_devices must be >= 1");
+}
+
+} // namespace
+
+DeviceRecord
+sampleDevice(const FleetSpec &spec, std::size_t index)
+{
+    log::fatalIf(spec.cohorts.empty(), "fleet needs at least one cohort");
+    // Keyed on (seed, index) only — never the shard layout — so the
+    // same device is sampled identically under any sharding.
+    std::uint64_t s = mix64(spec.seed ^ 0x0f1ee7d071ce5ULL);
+    s = mix64(s ^ static_cast<std::uint64_t>(index));
+    util::Rng rng(s);
+
+    DeviceRecord rec;
+    rec.index = index;
+
+    double total_weight = 0.0;
+    for (const Cohort &c : spec.cohorts)
+        total_weight += c.weight;
+    const double pick = rng.uniform() * total_weight;
+    double cumulative = 0.0;
+    rec.cohort = spec.cohorts.size() - 1;
+    for (std::size_t i = 0; i < spec.cohorts.size(); ++i) {
+        cumulative += spec.cohorts[i].weight;
+        if (pick < cumulative) {
+            rec.cohort = i;
+            break;
+        }
+    }
+
+    rec.pos.x = rng.uniform(0.0, spec.extent);
+    rec.pos.y = rng.uniform(0.0, spec.extent);
+    rec.cap_scale =
+        rng.uniform(spec.capacitance_scale.lo, spec.capacitance_scale.hi);
+    rec.esr_scale = rng.uniform(spec.esr_scale.lo, spec.esr_scale.hi);
+    rec.trial_seed = spec.seed + index * spec.seed_stride;
+    return rec;
+}
+
+Histo::Histo(double lo_, double hi_, std::size_t nbins)
+    : lo(lo_), hi(hi_), bins(nbins, 0)
+{
+    log::fatalIf(nbins == 0 || hi_ <= lo_,
+                 "Histo needs bins >= 1 and hi > lo");
+}
+
+void
+Histo::add(double v)
+{
+    if (count == 0) {
+        min = max = v;
+    } else {
+        min = std::min(min, v);
+        max = std::max(max, v);
+    }
+    ++count;
+    sum += v;
+    // Out-of-range samples clamp into the edge bins so population
+    // totals always equal the device count.
+    double f = (v - lo) / (hi - lo);
+    f = std::min(std::max(f, 0.0), 1.0);
+    std::size_t b = static_cast<std::size_t>(f * double(bins.size()));
+    if (b >= bins.size())
+        b = bins.size() - 1;
+    ++bins[b];
+}
+
+double
+SummaryReport::overallCaptureRate() const
+{
+    std::uint64_t arrived = 0;
+    std::uint64_t captured = 0;
+    for (const DeviceResult &d : devices) {
+        arrived += d.arrived;
+        captured += d.captured;
+    }
+    return arrived == 0 ? 0.0 : double(captured) / double(arrived);
+}
+
+unsigned
+SummaryReport::totalPowerFailures() const
+{
+    unsigned total = 0;
+    for (const DeviceResult &d : devices)
+        total += d.power_failures;
+    return total;
+}
+
+void
+SummaryReport::writeCsv(std::ostream &out) const
+{
+    out << "index,cohort,x,y,cap_scale,esr_scale,arrived,captured,"
+           "capture_rate,power_failures,background_runs,sheds\n";
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+        const DeviceResult &d = devices[i];
+        out << i << ',' << cohorts[d.cohort].name << ',' << num(d.pos.x)
+            << ',' << num(d.pos.y) << ',' << num(d.cap_scale) << ','
+            << num(d.esr_scale) << ',' << d.arrived << ',' << d.captured
+            << ',' << num(d.captureRate()) << ',' << d.power_failures
+            << ',' << d.background_runs << ',' << d.sheds << '\n';
+    }
+}
+
+void
+SummaryReport::writeJsonl(std::ostream &out) const
+{
+    out << "{\"type\":\"fleet_summary\",\"devices\":" << devices.size()
+        << ",\"capture_rate\":" << num(overallCaptureRate())
+        << ",\"power_failures\":" << totalPowerFailures() << "}\n";
+    for (const CohortSummary &c : cohorts) {
+        out << "{\"type\":\"cohort\",\"name\":\"" << c.name
+            << "\",\"devices\":" << c.devices
+            << ",\"arrived\":" << c.arrived
+            << ",\"captured\":" << c.captured
+            << ",\"capture_rate\":" << num(c.captureRate())
+            << ",\"power_failures\":" << c.power_failures
+            << ",\"background_runs\":" << c.background_runs
+            << ",\"sheds\":" << c.sheds << "}\n";
+    }
+    const auto histogram = [&](const char *name, const Histo &h) {
+        out << "{\"type\":\"histogram\",\"name\":\"" << name
+            << "\",\"lo\":" << num(h.lo) << ",\"hi\":" << num(h.hi)
+            << ",\"count\":" << h.count << ",\"min\":" << num(h.min)
+            << ",\"max\":" << num(h.max) << ",\"mean\":" << num(h.mean())
+            << ",\"bins\":[";
+        for (std::size_t i = 0; i < h.bins.size(); ++i)
+            out << (i == 0 ? "" : ",") << h.bins[i];
+        out << "]}\n";
+    };
+    histogram("capture_rate", capture_rate);
+    histogram("power_failures", power_failures);
+    histogram("sheds", sheds);
+}
+
+void
+SummaryReport::writeCsvFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    log::fatalIf(!out, "cannot open fleet CSV output file");
+    writeCsv(out);
+}
+
+void
+SummaryReport::writeJsonlFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    log::fatalIf(!out, "cannot open fleet JSONL output file");
+    writeJsonl(out);
+}
+
+SummaryReport
+runFleet(const FleetSpec &spec, const FleetOptions &options)
+{
+    validate(spec, options);
+
+    // Policy thresholds are design-time artifacts: resolved once per
+    // cohort at nominal parameters, shared by every sampled device.
+    sched::TrialConfig config;
+    config.duration = spec.duration;
+    std::vector<batch::PolicyTables> tables;
+    tables.reserve(spec.cohorts.size());
+    for (const Cohort &c : spec.cohorts)
+        tables.emplace_back(*c.app, *c.policy);
+
+    telemetry::Telemetry *sink =
+        telemetry::kEnabled ? options.telemetry : nullptr;
+
+    struct DeviceRun
+    {
+        DeviceResult result;
+        std::shared_ptr<telemetry::Telemetry> scratch;
+    };
+
+    const std::size_t shard_devices = options.shard_devices;
+    const std::size_t shards =
+        (spec.devices + shard_devices - 1) / shard_devices;
+
+    // One pool item per shard; each shard steps its lanes in lockstep
+    // through one BatchEngine. Lanes are mutually independent (they
+    // share only the immutable field), so results depend only on the
+    // device index, never on the shard layout.
+    const auto runShard = [&](std::size_t s) {
+        const std::size_t d0 = s * shard_devices;
+        const std::size_t d1 = std::min(spec.devices, d0 + shard_devices);
+        std::vector<DeviceRun> runs(d1 - d0);
+        // Reserved up front: lane specs borrow these harvester views by
+        // address, so the vector must never reallocate.
+        std::vector<env::FieldHarvester> views;
+        views.reserve(d1 - d0);
+        std::vector<std::unique_ptr<batch::TrialDriver>> drivers;
+        drivers.reserve(d1 - d0);
+        batch::BatchEngine engine(options.batch);
+        for (std::size_t d = d0; d < d1; ++d) {
+            const DeviceRecord rec = sampleDevice(spec, d);
+            const Cohort &cohort = spec.cohorts[rec.cohort];
+            DeviceRun &run = runs[d - d0];
+            run.result.cohort = rec.cohort;
+            run.result.pos = rec.pos;
+            run.result.cap_scale = rec.cap_scale;
+            run.result.esr_scale = rec.esr_scale;
+            if (sink != nullptr) {
+                run.scratch = std::make_shared<telemetry::Telemetry>(
+                    sink->config());
+                run.scratch->setTrial(std::uint32_t(d));
+            }
+            drivers.push_back(std::make_unique<batch::TrialDriver>(
+                *cohort.app, config, tables[rec.cohort], rec.trial_seed,
+                run.scratch.get()));
+            views.emplace_back(*spec.field, rec.pos);
+
+            batch::LaneSpec lane;
+            lane.config = cohort.app->power;
+            // Heterogeneity scales the nominal part values directly
+            // (the aging knobs capacitance_fraction/esr_multiplier have
+            // their own restricted validity semantics).
+            sim::CapacitorConfig &cap = lane.config.capacitor;
+            cap.capacitance =
+                units::Farads(cap.capacitance.value() * rec.cap_scale);
+            cap.series_esr =
+                units::Ohms(cap.series_esr.value() * rec.esr_scale);
+            cap.bulk_resistance =
+                units::Ohms(cap.bulk_resistance.value() * rec.esr_scale);
+            cap.surface_resistance = units::Ohms(
+                cap.surface_resistance.value() * rec.esr_scale);
+            lane.vstart = lane.config.monitor.vhigh;
+            lane.start_enabled = true;
+            lane.harvester = &views.back();
+            lane.source = drivers.back().get();
+            engine.addLane(lane);
+        }
+        engine.run();
+        for (std::size_t d = d0; d < d1; ++d) {
+            DeviceRun &run = runs[d - d0];
+            const sched::TrialResult &trial = drivers[d - d0]->result();
+            for (const sched::EventTypeStats &e : trial.per_event) {
+                run.result.arrived += e.arrived;
+                run.result.captured += e.captured;
+            }
+            run.result.background_runs = trial.background_runs;
+            run.result.power_failures =
+                engine.result(d - d0).power_failures;
+            if (run.scratch != nullptr)
+                run.result.sheds =
+                    unsigned(run.scratch->summary().sheds);
+        }
+        return runs;
+    };
+
+    std::vector<std::size_t> shard_index(shards);
+    for (std::size_t s = 0; s < shards; ++s)
+        shard_index[s] = s;
+    util::ThreadPool &pool = options.pool != nullptr
+                                 ? *options.pool
+                                 : util::ThreadPool::shared();
+    std::vector<std::vector<DeviceRun>> shard_runs =
+        pool.parallelMap(shard_index, runShard);
+
+    SummaryReport report;
+    report.devices.reserve(spec.devices);
+    report.cohorts.resize(spec.cohorts.size());
+    for (std::size_t i = 0; i < spec.cohorts.size(); ++i)
+        report.cohorts[i].name = spec.cohorts[i].name;
+    report.capture_rate = Histo(0.0, 1.0, 20);
+    report.power_failures = Histo(0.0, 16.0, 16);
+    report.sheds = Histo(0.0, 16.0, 16);
+
+    // Device-order merge: shard layout cannot reorder anything.
+    for (std::vector<DeviceRun> &runs : shard_runs) {
+        for (DeviceRun &run : runs) {
+            const DeviceResult &d = run.result;
+            CohortSummary &c = report.cohorts[d.cohort];
+            ++c.devices;
+            c.arrived += d.arrived;
+            c.captured += d.captured;
+            c.power_failures += d.power_failures;
+            c.background_runs += d.background_runs;
+            c.sheds += d.sheds;
+            report.capture_rate.add(d.captureRate());
+            report.power_failures.add(double(d.power_failures));
+            report.sheds.add(double(d.sheds));
+            if (run.scratch != nullptr)
+                sink->merge(*run.scratch);
+            report.devices.push_back(std::move(run.result));
+        }
+    }
+    return report;
+}
+
+} // namespace culpeo::fleet

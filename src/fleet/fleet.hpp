@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Fleet-scale population simulator (DESIGN.md §16): N heterogeneous
+ * devices deployed across a shared env::HarvestField, each running a
+ * full scheduler trial on its own batch::BatchEngine lane via the
+ * batch::TrialDriver replica, sharded over the thread pool.
+ *
+ * Determinism contract: every per-device draw (cohort, position,
+ * parameter scales, trial seed) is a pure function of (FleetSpec::seed,
+ * device index) — never of the shard layout — and shard merge happens
+ * in device order, so a run with shard_devices = 1 and shard_devices =
+ * 10 000 produce byte-identical SummaryReports.
+ */
+
+#ifndef CULPEO_FLEET_FLEET_HPP
+#define CULPEO_FLEET_FLEET_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "batch/engine.hpp"
+#include "env/field.hpp"
+#include "sched/app.hpp"
+#include "sched/policy.hpp"
+
+namespace culpeo::telemetry {
+class Telemetry;
+}
+namespace culpeo::util {
+class ThreadPool;
+}
+
+namespace culpeo::fleet {
+
+using units::Seconds;
+
+/**
+ * One device archetype: an application paired with a policy already
+ * initialized against it (sched::Policy binds to one app). Devices are
+ * assigned to cohorts by weighted draw at sampling time.
+ */
+struct Cohort
+{
+    std::string name;
+    const sched::AppSpec *app = nullptr;
+    const sched::Policy *policy = nullptr; ///< Initialized for *app.
+    double weight = 1.0;                   ///< Relative population share.
+};
+
+/** Closed range a per-device scale factor is drawn uniformly from. */
+struct ParamRange
+{
+    double lo = 1.0;
+    double hi = 1.0;
+};
+
+/** The population to simulate: who, where, under what sky. */
+struct FleetSpec
+{
+    std::vector<Cohort> cohorts;
+    std::size_t devices = 1000;
+    /**
+     * Per-device capacitance spread: the nominal bank capacitance is
+     * multiplied by a uniform draw from this range (manufacturing
+     * tolerance / deployment-age spread).
+     */
+    ParamRange capacitance_scale{1.0, 1.0};
+    /** Same, applied to series/bulk/surface resistances. */
+    ParamRange esr_scale{1.0, 1.0};
+    /** Deployment extent: positions are uniform in [0, extent)². */
+    double extent = 100.0;
+    /** The shared environment; required. Borrowed, caller keeps alive. */
+    const env::HarvestField *field = nullptr;
+    /** Simulated time each device runs for. */
+    Seconds duration{300.0};
+    /** Root seed: drives sampling and every per-device trial stream. */
+    std::uint64_t seed = 7;
+    /** Trial seed of device i is seed + i * seed_stride. */
+    std::uint64_t seed_stride = 1000003ULL;
+};
+
+/** Execution knobs; the defaults shard 64 lanes per pool item. */
+struct FleetOptions
+{
+    batch::BatchOptions batch;
+    /** Devices per shard (one BatchEngine per shard). */
+    std::size_t shard_devices = 64;
+    /**
+     * Telemetry sink; may be null. Each device records into a private
+     * scratch merged into this sink in device order (trial index =
+     * device index), so sink contents are shard-count invariant.
+     */
+    telemetry::Telemetry *telemetry = nullptr;
+    /** Pool to shard on; null uses util::ThreadPool::shared(). */
+    util::ThreadPool *pool = nullptr;
+};
+
+/** Everything sampled for one device; pure function of (seed, index). */
+struct DeviceRecord
+{
+    std::size_t index = 0;
+    std::size_t cohort = 0;
+    env::Position pos;
+    double cap_scale = 1.0;
+    double esr_scale = 1.0;
+    std::uint64_t trial_seed = 0;
+};
+
+/**
+ * Sample device @p index of @p spec. Exposed so tests can assert the
+ * draw is shard-independent and seeded-reproducible.
+ */
+DeviceRecord sampleDevice(const FleetSpec &spec, std::size_t index);
+
+/** One device's trial outcome, joined with its sampled identity. */
+struct DeviceResult
+{
+    std::size_t cohort = 0;
+    env::Position pos;
+    double cap_scale = 1.0;
+    double esr_scale = 1.0;
+    unsigned arrived = 0;
+    unsigned captured = 0;
+    unsigned power_failures = 0;
+    unsigned background_runs = 0;
+    /** Supervisor load-sheds (0 unless telemetry captured them). */
+    unsigned sheds = 0;
+
+    double captureRate() const
+    {
+        return arrived == 0 ? 0.0 : double(captured) / double(arrived);
+    }
+};
+
+/**
+ * Plain fixed-bin histogram for population summaries. (Deliberately
+ * not telemetry::Histogram: that type is atomic for concurrent
+ * emission and therefore unmovable; report aggregation is
+ * single-threaded and wants value semantics.)
+ */
+struct Histo
+{
+    Histo() = default;
+    Histo(double lo, double hi, std::size_t bins);
+
+    void add(double v);
+
+    double lo = 0.0;
+    double hi = 1.0;
+    std::vector<std::uint64_t> bins;
+    std::uint64_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double sum = 0.0;
+
+    double mean() const { return count == 0 ? 0.0 : sum / double(count); }
+};
+
+/** Per-cohort (per app × policy) population breakdown. */
+struct CohortSummary
+{
+    std::string name;
+    std::size_t devices = 0;
+    unsigned arrived = 0;
+    unsigned captured = 0;
+    unsigned power_failures = 0;
+    unsigned background_runs = 0;
+    unsigned sheds = 0;
+
+    double captureRate() const
+    {
+        return arrived == 0 ? 0.0 : double(captured) / double(arrived);
+    }
+};
+
+/** Population-level aggregate of a fleet run. */
+struct SummaryReport
+{
+    std::vector<DeviceResult> devices; ///< Indexed by device.
+    std::vector<CohortSummary> cohorts;
+    Histo capture_rate;   ///< Per-device capture rate, 20 bins on [0, 1].
+    Histo power_failures; ///< Per-device brown-out count.
+    Histo sheds;          ///< Per-device supervisor shed count.
+
+    double overallCaptureRate() const;
+    unsigned totalPowerFailures() const;
+
+    /** Per-device rows (index, cohort, position, scales, outcomes). */
+    void writeCsv(std::ostream &out) const;
+    void writeCsvFile(const std::string &path) const;
+    /** Summary, cohort, and histogram records, one JSON object per line. */
+    void writeJsonl(std::ostream &out) const;
+    void writeJsonlFile(const std::string &path) const;
+};
+
+/**
+ * Run the whole population: sample spec.devices devices, shard them
+ * options.shard_devices per BatchEngine across the pool, drive each
+ * lane with a TrialDriver under its own env::FieldHarvester view of
+ * spec.field, and aggregate in device order.
+ */
+SummaryReport runFleet(const FleetSpec &spec,
+                       const FleetOptions &options = {});
+
+} // namespace culpeo::fleet
+
+#endif // CULPEO_FLEET_FLEET_HPP

@@ -95,10 +95,12 @@ struct TrialConfig
     bool force_euler = false;
     /**
      * Harvester override; null uses a constant harvester at
-     * AppSpec::harvest. A non-constant harvester disqualifies the
-     * analytic wait fast path by itself (sim::analyticEligible).
-     * Must be safe for concurrent powerAt() queries when shared
-     * across a parallel sweep.
+     * AppSpec::harvest. Piecewise-constant sources (e.g. an
+     * env::FieldHarvester) keep the analytic wait fast path; a
+     * harvester that declares neither constant nor piecewise-constant
+     * power disqualifies it (sim::analyticEligible) and falls back to
+     * per-tick Euler waits. Must be safe for concurrent powerAt()
+     * queries when shared across a parallel sweep.
      */
     const sim::Harvester *harvester = nullptr;
     /**

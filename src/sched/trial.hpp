@@ -26,6 +26,9 @@
 #ifndef CULPEO_SCHED_TRIAL_HPP
 #define CULPEO_SCHED_TRIAL_HPP
 
+#include <memory>
+
+#include "env/field.hpp"
 #include "sched/engine.hpp"
 
 namespace culpeo {
@@ -95,6 +98,22 @@ class TrialBuilder
         return *this;
     }
 
+    /**
+     * Run under a spatio-temporal harvest field, sampled at the
+     * device's deployment position: installs an owned
+     * env::FieldHarvester view as the harvester override (builder
+     * copies share it). The field itself is borrowed and must outlive
+     * run()/runAll(). Fields are piecewise constant, so the analytic
+     * fast path stays eligible.
+     */
+    TrialBuilder &environment(const env::HarvestField &field,
+                              env::Position pos = {})
+    {
+        env_harvester_ = std::make_shared<env::FieldHarvester>(field, pos);
+        config_.harvester = env_harvester_.get();
+        return *this;
+    }
+
     /** Fault model; forces the Euler backend and a serial sweep. */
     TrialBuilder &faults(sim::FaultHooks *faults)
     {
@@ -138,6 +157,7 @@ class TrialBuilder
   private:
     const sched::AppSpec *app_ = nullptr;
     const sched::Policy *policy_ = nullptr;
+    std::shared_ptr<const env::FieldHarvester> env_harvester_;
     sched::TrialConfig config_;
 };
 

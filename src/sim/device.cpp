@@ -165,6 +165,7 @@ Device::waitForVoltage(Volts need, Seconds deadline, bool stop_when_off)
     WaitResult result;
     const Seconds start = system_.now();
     const bool fast = fastEligible();
+    const bool harvest_const = harvestConstant();
 
     // Euler-backend stall detection state: re-anchored on any resting-
     // voltage movement beyond stall_epsilon (progress in either
@@ -192,13 +193,18 @@ Device::waitForVoltage(Volts need, Seconds deadline, bool stop_when_off)
             // test is exact. While a brown-out would end the wait the
             // output draw counts; otherwise probe the charge-only
             // regime the buffer ends up in after the monitor trips.
-            const Amps net = system_.idleNetCurrentAt(
-                justBelow(need), /*with_output_draw=*/stop_when_off);
-            if (net.value() >= 0.0) {
-                result.status = WaitStatus::Unreachable;
-                result.diagnostic =
-                    unreachableDiagnostic("voltage threshold", need, net);
-                break;
+            // Under a piecewise-constant field the present piece says
+            // nothing about later ones, so the wait just keeps
+            // advancing toward its deadline.
+            if (harvest_const) {
+                const Amps net = system_.idleNetCurrentAt(
+                    justBelow(need), /*with_output_draw=*/stop_when_off);
+                if (net.value() >= 0.0) {
+                    result.status = WaitStatus::Unreachable;
+                    result.diagnostic = unreachableDiagnostic(
+                        "voltage threshold", need, net);
+                    break;
+                }
             }
             advanceIdleChunk(need, /*stop_when_enabled=*/false,
                              /*stop_on_failure=*/stop_when_off, deadline,
@@ -235,6 +241,7 @@ Device::rechargeUntilOn(Seconds deadline)
     const Seconds start = system_.now();
     const Volts enter_voltage = system_.restingVoltage();
     const bool fast = fastEligible();
+    const bool harvest_const = harvestConstant();
     Volts anchor_v = enter_voltage;
     Seconds anchor_t = start;
 
@@ -250,14 +257,19 @@ Device::rechargeUntilOn(Seconds deadline)
         }
         if (fast) {
             // Browned out: no output draw; the monitor re-arms at
-            // Vhigh, so that is the level that must be reachable.
-            const Amps net = system_.idleNetCurrentAt(
-                justBelow(system_.vhigh()), /*with_output_draw=*/false);
-            if (net.value() >= 0.0) {
-                result.status = WaitStatus::Unreachable;
-                result.diagnostic = unreachableDiagnostic(
-                    "monitor re-arm level", system_.vhigh(), net);
-                break;
+            // Vhigh, so that is the level that must be reachable. The
+            // equilibrium test only holds for strictly constant
+            // harvest; a piecewise field may improve in a later piece.
+            if (harvest_const) {
+                const Amps net = system_.idleNetCurrentAt(
+                    justBelow(system_.vhigh()),
+                    /*with_output_draw=*/false);
+                if (net.value() >= 0.0) {
+                    result.status = WaitStatus::Unreachable;
+                    result.diagnostic = unreachableDiagnostic(
+                        "monitor re-arm level", system_.vhigh(), net);
+                    break;
+                }
             }
             advanceIdleChunk(std::nullopt, /*stop_when_enabled=*/true,
                              /*stop_on_failure=*/false, deadline, start);

@@ -257,6 +257,18 @@ class Device
     {
         return options_.allow_fast_path && system_.analyticEligible();
     }
+    /**
+     * True when the harvest is strictly constant for all time — the
+     * condition under which the fast-path equilibrium reachability
+     * test is sound. A merely piecewise-constant source (an
+     * environment field) may improve later, so waits under one keep
+     * advancing until their deadline instead of declaring Unreachable.
+     */
+    bool harvestConstant() const
+    {
+        const Harvester *h = system_.harvester();
+        return h == nullptr || h->constantPower().has_value();
+    }
     WaitResult waitForVoltage(Volts need, Seconds deadline,
                               bool stop_when_off);
     /**

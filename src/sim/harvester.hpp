@@ -8,6 +8,7 @@
 #ifndef CULPEO_SIM_HARVESTER_HPP
 #define CULPEO_SIM_HARVESTER_HPP
 
+#include <limits>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -38,6 +39,35 @@ class Harvester
     virtual std::optional<Watts> constantPower() const
     {
         return std::nullopt;
+    }
+
+    /**
+     * True when the harvest is *piecewise* constant: powerAt is
+     * constant on [t, constantUntil(t)) with constantUntil(t) > t at
+     * every t. The analytic segment stepper treats each piece as a
+     * constant-harvest regime, capping macro steps at the piece
+     * boundary, so such sources keep the closed-form fast path even
+     * though their power varies over time. Sources that cannot
+     * guarantee positive-length constancy pieces keep the default and
+     * force the step-by-step Euler path.
+     */
+    virtual bool piecewiseConstant() const
+    {
+        return constantPower().has_value();
+    }
+
+    /**
+     * End of the constancy piece containing @p t: powerAt is constant
+     * on [t, constantUntil(t)). Strictly constant sources report
+     * infinity; sources that are not piecewise constant report t
+     * itself (a zero-length piece). Overridden together with
+     * piecewiseConstant() by stepped sources.
+     */
+    virtual Seconds constantUntil(Seconds t) const
+    {
+        return constantPower().has_value()
+            ? Seconds(std::numeric_limits<double>::infinity())
+            : t;
     }
 };
 

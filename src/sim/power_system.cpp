@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/logging.hpp"
 
@@ -119,8 +120,7 @@ bool
 PowerSystem::analyticEligible() const
 {
     return hooks_ == nullptr && observer_ == nullptr && !capture_ &&
-           (harvester_ == nullptr ||
-            harvester_->constantPower().has_value());
+           (harvester_ == nullptr || harvester_->piecewiseConstant());
 }
 
 SegmentResult
@@ -215,9 +215,6 @@ PowerSystem::runSegmentAnalytic(Seconds duration, Amps i_load,
     result.vend = result.vmin;
 
     const double fallback = options.fallback_dt.value();
-    const Watts harvest = harvester_ != nullptr
-        ? *harvester_->constantPower()
-        : Watts(0.0);
     const double voff = config_.monitor.voff.value();
     const double vhigh = config_.monitor.vhigh.value();
 
@@ -231,6 +228,18 @@ PowerSystem::runSegmentAnalytic(Seconds duration, Amps i_load,
         if (segmentStopConditionMet(result, options))
             break;
         const bool enabled = monitor_.enabled();
+
+        // Harvest of the constancy piece containing now_ (piecewise-
+        // constant sources re-read it every iteration; for a strictly
+        // constant source this is the same value each time). Macro
+        // steps below are capped at the piece boundary so the constant-
+        // harvest regime assumption holds over every committed step.
+        const Watts harvest = harvester_ != nullptr
+            ? harvester_->powerAt(now_)
+            : Watts(0.0);
+        const double piece_left = harvester_ != nullptr
+            ? harvester_->constantUntil(now_).value() - now_.value()
+            : std::numeric_limits<double>::infinity();
 
         // Net buffer current of the current regime (as step() would
         // compute it at this state).
@@ -267,6 +276,12 @@ PowerSystem::runSegmentAnalytic(Seconds duration, Amps i_load,
         // probe predicts the acceptable step directly instead of
         // halving blindly.
         double dt_try = std::min(remaining, hint);
+        // A macro step may not span a harvest-piece boundary: cap at
+        // the piece end. A piece shorter than one fallback step floors
+        // the probe below, degrading to a reference Euler step that
+        // carries across the boundary (step() reads powerAt natively).
+        if (piece_left < dt_try)
+            dt_try = piece_left;
         double net1 = net0;
         bool at_floor = false;
         const double bound =
@@ -401,11 +416,17 @@ PowerSystem::recharge(Seconds dt, Seconds deadline)
     SegmentOptions seg_opts;
     seg_opts.fallback_dt = dt;
     seg_opts.stop_on_failure = false;
-    const Watts harvest = harvester_ != nullptr
-        ? *harvester_->constantPower()
-        : Watts(0.0);
     const double vhigh = config_.monitor.vhigh.value();
     while (now_ < deadline && cap_.openCircuitVoltage().value() < vhigh) {
+        // Harvest and piece of the current constancy interval: the
+        // chunk estimate below assumes a constant charge rate, so a
+        // chunk may not outlive the piece it was computed in.
+        const Watts harvest = harvester_ != nullptr
+            ? harvester_->powerAt(now_)
+            : Watts(0.0);
+        const double piece_left = harvester_ != nullptr
+            ? harvester_->constantUntil(now_).value() - now_.value()
+            : std::numeric_limits<double>::infinity();
         Amps i_out{0.0};
         if (monitor_.enabled()) {
             const BoosterDraw draw = output_.computeDraw(cap_, Amps(0.0));
@@ -421,10 +442,18 @@ PowerSystem::recharge(Seconds dt, Seconds deadline)
         if (cap_.openCircuitVoltage().value() > 0.0)
             net += cap_.config().leakage.value();
         if (net >= 0.0) {
-            // Not actually charging: vhigh is unreachable, so just run
-            // out the clock in one segment.
-            runSegment(deadline - now_, Amps(0.0), seg_opts);
-            return;
+            if (!std::isfinite(piece_left)) {
+                // Constant harvest and not charging: vhigh is
+                // unreachable, so just run out the clock in one segment.
+                runSegment(deadline - now_, Amps(0.0), seg_opts);
+                return;
+            }
+            // This piece cannot charge, but a later one may (night
+            // before morning): sit out the rest of the piece only.
+            const double sit = std::min(deadline.value() - now_.value(),
+                                        std::max(piece_left, dt.value()));
+            runSegment(Seconds(sit), Amps(0.0), seg_opts);
+            continue;
         }
         const double t_full =
             (vhigh - cap_.openCircuitVoltage().value()) *
@@ -433,8 +462,9 @@ PowerSystem::recharge(Seconds dt, Seconds deadline)
             step(dt, Amps(0.0));
             continue;
         }
-        const double chunk =
-            std::min(deadline.value() - now_.value(), t_full);
+        double chunk = std::min(deadline.value() - now_.value(), t_full);
+        if (piece_left < chunk)
+            chunk = std::max(piece_left, dt.value());
         runSegment(Seconds(chunk), Amps(0.0), seg_opts);
     }
 }

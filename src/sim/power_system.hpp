@@ -124,6 +124,9 @@ class PowerSystem
     /** Select the energy source; nullptr means no incoming power. */
     void setHarvester(const Harvester *harvester) { harvester_ = harvester; }
 
+    /** The attached energy source (nullptr = no incoming power). */
+    const Harvester *harvester() const { return harvester_; }
+
     /**
      * Advance by @p dt while the load demands @p i_load at Vout.
      * The demand is served only while the monitor enables the output
@@ -153,9 +156,12 @@ class PowerSystem
 
     /**
      * True when no fault hooks, observer, or trace capture are
-     * attached and the harvest (if any) is declared constant — the
-     * conditions under which runSegment()/recharge() may use the
-     * closed-form fast path without skipping instrumentation.
+     * attached and the harvest (if any) is declared piecewise
+     * constant (Harvester::piecewiseConstant) — the conditions under
+     * which runSegment()/recharge() may use the closed-form fast path
+     * without skipping instrumentation. Macro steps never span a
+     * harvest-piece boundary (Harvester::constantUntil), so each
+     * analytic step still sees a strictly constant harvest.
      */
     bool analyticEligible() const;
 

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Property tests for the env:: harvest fields (DESIGN.md §16): the
+ * piecewise-constant contract every field owes the analytic stepper
+ * (power fixed on [t, constantUntil(pos, t)), boundary strictly past
+ * t), pure-function determinism (equal configs produce equal fields,
+ * different seeds different skies), and the generators' envelopes
+ * (solar bounded by peak and dark at night, kinetic two-leveled at
+ * roughly the configured burst rate).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "env/field.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+
+env::SolarConfig
+testSolar()
+{
+    env::SolarConfig config;
+    config.peak = Watts(5e-3);
+    config.day_length = Seconds(120.0);
+    config.daylight_fraction = 0.5;
+    config.sample_period = Seconds(0.5);
+    config.cloud_depth = 0.5;
+    config.cell_size = 10.0;
+    config.shading_depth = 0.3;
+    config.seed = 42;
+    return config;
+}
+
+env::KineticConfig
+testKinetic()
+{
+    env::KineticConfig config;
+    config.baseline = Watts(50e-6);
+    config.burst = Watts(5e-3);
+    config.sample_period = Seconds(0.25);
+    config.burst_probability = 0.3;
+    config.cell_size = 5.0;
+    config.seed = 99;
+    return config;
+}
+
+TEST(UniformField, ConstantEverywhereForever)
+{
+    const env::UniformField field(Watts(2e-3));
+    for (double t : {0.0, 17.3, 9999.0}) {
+        for (double x : {0.0, -50.0, 1234.5}) {
+            EXPECT_EQ(field.powerAt({x, -x}, Seconds(t)).value(), 2e-3);
+        }
+    }
+    EXPECT_TRUE(std::isinf(field.constantUntil({}, Seconds(5.0)).value()));
+    ASSERT_TRUE(field.constantPower({1.0, 2.0}).has_value());
+    EXPECT_EQ(field.constantPower({1.0, 2.0})->value(), 2e-3);
+}
+
+TEST(SolarField, PiecewiseConstantContract)
+{
+    const env::SolarDiurnalField field(testSolar());
+    const env::Position pos{12.0, 33.0};
+    double t = 0.0;
+    int pieces = 0;
+    while (t < 360.0 && pieces < 10000) {
+        const double end = field.constantUntil(pos, Seconds(t)).value();
+        ASSERT_GT(end, t) << "piece boundary must be strictly past t";
+        const double power = field.powerAt(pos, Seconds(t)).value();
+        // Constant across the piece: probe the midpoint and just
+        // before the boundary.
+        const double mid = t + 0.5 * (end - t);
+        const double late = t + 0.999 * (end - t);
+        EXPECT_EQ(field.powerAt(pos, Seconds(mid)).value(), power);
+        EXPECT_EQ(field.powerAt(pos, Seconds(late)).value(), power);
+        t = end;
+        ++pieces;
+    }
+    EXPECT_GE(pieces, int(360.0 / testSolar().sample_period.value()) - 1);
+}
+
+TEST(SolarField, EnvelopeDayAndNight)
+{
+    const env::SolarConfig config = testSolar();
+    const env::SolarDiurnalField field(config);
+    const double day = config.day_length.value();
+    const double daylight = day * config.daylight_fraction;
+    bool saw_light = false;
+    for (double t = 0.0; t < 2.0 * day; t += config.sample_period.value()) {
+        for (double x : {0.0, 37.0, 80.0}) {
+            const double p = field.powerAt({x, x / 2.0}, Seconds(t)).value();
+            EXPECT_GE(p, 0.0);
+            EXPECT_LE(p, config.peak.value());
+            const double local = std::fmod(t, day);
+            if (local >= daylight) {
+                EXPECT_EQ(p, 0.0) << "night must be dark at t=" << t;
+            }
+            if (p > 0.0)
+                saw_light = true;
+        }
+    }
+    EXPECT_TRUE(saw_light);
+}
+
+TEST(SolarField, DeterministicAndSeedSensitive)
+{
+    const env::SolarDiurnalField a(testSolar());
+    const env::SolarDiurnalField b(testSolar());
+    env::SolarConfig other = testSolar();
+    other.seed = 43;
+    const env::SolarDiurnalField c(other);
+
+    bool seed_differs = false;
+    for (double t = 0.0; t < 60.0; t += 0.5) {
+        for (double x = 0.0; x < 100.0; x += 12.5) {
+            const env::Position pos{x, 100.0 - x};
+            EXPECT_EQ(a.powerAt(pos, Seconds(t)).value(),
+                      b.powerAt(pos, Seconds(t)).value());
+            if (a.powerAt(pos, Seconds(t)).value() !=
+                c.powerAt(pos, Seconds(t)).value())
+                seed_differs = true;
+        }
+    }
+    EXPECT_TRUE(seed_differs);
+}
+
+TEST(KineticField, TwoLevelsAtConfiguredRate)
+{
+    const env::KineticConfig config = testKinetic();
+    const env::KineticBurstField field(config);
+    const env::Position pos{3.0, 4.0};
+    int bursting = 0;
+    const int pieces = 4000;
+    for (int i = 0; i < pieces; ++i) {
+        const double t = double(i) * config.sample_period.value();
+        const double p = field.powerAt(pos, Seconds(t)).value();
+        const bool is_burst = p == config.burst.value();
+        EXPECT_TRUE(is_burst || p == config.baseline.value())
+            << "kinetic power must be baseline or burst, got " << p;
+        bursting += is_burst ? 1 : 0;
+        EXPECT_GT(field.constantUntil(pos, Seconds(t)).value(), t);
+    }
+    const double rate = double(bursting) / double(pieces);
+    EXPECT_NEAR(rate, config.burst_probability, 0.05);
+}
+
+TEST(FieldHarvester, ForwardsTheFieldAtItsPosition)
+{
+    const env::SolarDiurnalField solar(testSolar());
+    const env::Position pos{22.0, 7.0};
+    const env::FieldHarvester view(solar, pos);
+    EXPECT_TRUE(view.piecewiseConstant());
+    EXPECT_FALSE(view.constantPower().has_value());
+    for (double t : {0.0, 3.3, 61.7}) {
+        EXPECT_EQ(view.powerAt(Seconds(t)).value(),
+                  solar.powerAt(pos, Seconds(t)).value());
+        EXPECT_EQ(view.constantUntil(Seconds(t)).value(),
+                  solar.constantUntil(pos, Seconds(t)).value());
+    }
+
+    // A uniform field's view is a constant source: the equilibrium
+    // Unreachable verdicts stay armed.
+    const env::UniformField uniform(Watts(1e-3));
+    const env::FieldHarvester constant_view(uniform, pos);
+    ASSERT_TRUE(constant_view.constantPower().has_value());
+    EXPECT_EQ(constant_view.constantPower()->value(), 1e-3);
+}
+
+} // namespace

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Fleet determinism guarantees (DESIGN.md §16): per-device sampling is
+ * a pure function of (seed, index); a fleet run's SummaryReport — and
+ * any merged telemetry — is byte-identical across shard layouts; equal
+ * seeds reproduce, different seeds diverge; and the TrialBuilder
+ * .environment() knob routes a single trial through the same
+ * FieldHarvester view a hand-built config would.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "apps/apps.hpp"
+#include "env/field.hpp"
+#include "fleet/fleet.hpp"
+#include "sched/policy.hpp"
+#include "sched/trial.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+
+env::SolarConfig
+testSolar()
+{
+    env::SolarConfig solar;
+    solar.peak = Watts(10e-3);
+    solar.day_length = Seconds(240.0);
+    solar.sample_period = Seconds(5.0);
+    solar.cloud_depth = 0.5;
+    solar.shading_depth = 0.3;
+    solar.seed = 3;
+    return solar;
+}
+
+/** Two-cohort fixture shared by the determinism cases. */
+struct FleetFixture
+{
+    FleetFixture()
+        : ps(apps::periodicSensing()), rr(apps::responsiveReporting()),
+          field(testSolar())
+    {
+        culpeo_policy.initialize(ps);
+        catnap_policy.initialize(rr);
+        spec.cohorts = {
+            {"ps-culpeo", &ps, &culpeo_policy, 0.6},
+            {"rr-catnap", &rr, &catnap_policy, 0.4},
+        };
+        spec.devices = 48;
+        spec.capacitance_scale = {0.8, 1.2};
+        spec.esr_scale = {0.9, 1.5};
+        spec.extent = 120.0;
+        spec.field = &field;
+        spec.duration = Seconds(60.0);
+        spec.seed = 17;
+    }
+
+    sched::AppSpec ps;
+    sched::AppSpec rr;
+    sched::CulpeoPolicy culpeo_policy;
+    sched::CatnapPolicy catnap_policy;
+    env::SolarDiurnalField field;
+    fleet::FleetSpec spec;
+};
+
+std::string
+reportBytes(const fleet::SummaryReport &report)
+{
+    std::ostringstream out;
+    report.writeJsonl(out);
+    report.writeCsv(out);
+    return out.str();
+}
+
+TEST(FleetSampling, PureFunctionOfSeedAndIndex)
+{
+    const FleetFixture fx;
+    for (std::size_t i = 0; i < 200; ++i) {
+        const fleet::DeviceRecord a = fleet::sampleDevice(fx.spec, i);
+        const fleet::DeviceRecord b = fleet::sampleDevice(fx.spec, i);
+        EXPECT_EQ(a.cohort, b.cohort);
+        EXPECT_EQ(a.pos.x, b.pos.x);
+        EXPECT_EQ(a.pos.y, b.pos.y);
+        EXPECT_EQ(a.cap_scale, b.cap_scale);
+        EXPECT_EQ(a.esr_scale, b.esr_scale);
+        EXPECT_EQ(a.trial_seed, b.trial_seed);
+
+        EXPECT_LT(a.cohort, fx.spec.cohorts.size());
+        EXPECT_GE(a.pos.x, 0.0);
+        EXPECT_LT(a.pos.x, fx.spec.extent);
+        EXPECT_GE(a.pos.y, 0.0);
+        EXPECT_LT(a.pos.y, fx.spec.extent);
+        EXPECT_GE(a.cap_scale, fx.spec.capacitance_scale.lo);
+        EXPECT_LE(a.cap_scale, fx.spec.capacitance_scale.hi);
+        EXPECT_GE(a.esr_scale, fx.spec.esr_scale.lo);
+        EXPECT_LE(a.esr_scale, fx.spec.esr_scale.hi);
+        EXPECT_EQ(a.trial_seed,
+                  fx.spec.seed + i * fx.spec.seed_stride);
+    }
+    // Positions actually spread (the draw is index-sensitive).
+    const fleet::DeviceRecord d0 = fleet::sampleDevice(fx.spec, 0);
+    const fleet::DeviceRecord d1 = fleet::sampleDevice(fx.spec, 1);
+    EXPECT_NE(d0.pos.x, d1.pos.x);
+}
+
+TEST(FleetDeterminism, ShardCountInvariance)
+{
+    const FleetFixture fx;
+    fleet::FleetOptions one;
+    one.shard_devices = 1;
+    fleet::FleetOptions seven;
+    seven.shard_devices = 7;
+    fleet::FleetOptions all;
+    all.shard_devices = fx.spec.devices;
+
+    const fleet::SummaryReport a = fleet::runFleet(fx.spec, one);
+    const fleet::SummaryReport b = fleet::runFleet(fx.spec, seven);
+    const fleet::SummaryReport c = fleet::runFleet(fx.spec, all);
+
+    const std::string bytes = reportBytes(a);
+    EXPECT_EQ(bytes, reportBytes(b))
+        << "shards of 1 vs 7 devices must agree byte-for-byte";
+    EXPECT_EQ(bytes, reportBytes(c))
+        << "shards of 1 vs 48 devices must agree byte-for-byte";
+
+    ASSERT_EQ(a.devices.size(), fx.spec.devices);
+    for (std::size_t i = 0; i < a.devices.size(); ++i) {
+        EXPECT_EQ(a.devices[i].arrived, b.devices[i].arrived);
+        EXPECT_EQ(a.devices[i].captured, b.devices[i].captured);
+        EXPECT_EQ(a.devices[i].power_failures,
+                  b.devices[i].power_failures);
+        EXPECT_EQ(a.devices[i].background_runs,
+                  b.devices[i].background_runs);
+    }
+}
+
+TEST(FleetDeterminism, TelemetryMergeIsShardInvariant)
+{
+    if (!telemetry::kEnabled)
+        GTEST_SKIP() << "telemetry compiled out";
+    FleetFixture fx;
+    fx.spec.devices = 12; // Keep the instrumented run small.
+
+    const auto summarize = [&](std::size_t shard_devices) {
+        telemetry::Telemetry sink;
+        fleet::FleetOptions options;
+        options.shard_devices = shard_devices;
+        options.telemetry = &sink;
+        fleet::runFleet(fx.spec, options);
+        return sink.summary();
+    };
+    const telemetry::TelemetrySummary a = summarize(1);
+    const telemetry::TelemetrySummary b = summarize(5);
+    EXPECT_EQ(a.loads, b.loads);
+    EXPECT_EQ(a.brownouts, b.brownouts);
+    EXPECT_EQ(a.recharges, b.recharges);
+    EXPECT_EQ(a.tasks_started, b.tasks_started);
+    EXPECT_EQ(a.tasks_completed, b.tasks_completed);
+    EXPECT_EQ(a.min_margin_v, b.min_margin_v);
+    EXPECT_EQ(a.recharge_seconds, b.recharge_seconds);
+}
+
+TEST(FleetDeterminism, SeedReproducesAndPerturbs)
+{
+    FleetFixture fx;
+    fx.spec.devices = 24;
+    const fleet::SummaryReport a = fleet::runFleet(fx.spec);
+    const fleet::SummaryReport b = fleet::runFleet(fx.spec);
+    EXPECT_EQ(reportBytes(a), reportBytes(b));
+
+    fx.spec.seed += 1;
+    const fleet::SummaryReport c = fleet::runFleet(fx.spec);
+    EXPECT_NE(reportBytes(a), reportBytes(c))
+        << "a different seed must sample a different population";
+}
+
+TEST(TrialBuilderEnvironment, MatchesExplicitFieldHarvester)
+{
+    const FleetFixture fx;
+    const env::Position pos{40.0, 25.0};
+
+    const sched::TrialResult built = TrialBuilder()
+                                         .app(fx.ps)
+                                         .policy(fx.culpeo_policy)
+                                         .environment(fx.field, pos)
+                                         .duration(Seconds(60.0))
+                                         .seed(123)
+                                         .run();
+
+    const env::FieldHarvester view(fx.field, pos);
+    sched::TrialConfig config;
+    config.duration = Seconds(60.0);
+    config.seed = 123;
+    config.harvester = &view;
+    const sched::TrialResult manual =
+        sched::runTrialWith(fx.ps, fx.culpeo_policy, config);
+
+    ASSERT_EQ(built.per_event.size(), manual.per_event.size());
+    for (std::size_t i = 0; i < built.per_event.size(); ++i) {
+        EXPECT_EQ(built.per_event[i].arrived, manual.per_event[i].arrived);
+        EXPECT_EQ(built.per_event[i].captured,
+                  manual.per_event[i].captured);
+    }
+    EXPECT_EQ(built.power_failures, manual.power_failures);
+    EXPECT_EQ(built.background_runs, manual.background_runs);
+}
+
+} // namespace

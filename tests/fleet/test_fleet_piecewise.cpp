@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Differential suite for time-varying harvest lanes: seeded random
+ * populations whose lanes each view a shared env:: field through a
+ * FieldHarvester run through both executors — the lockstep kernel in
+ * exact_replay mode and the sim::Device reference (runLaneScalar) —
+ * and every op outcome must match bit-for-bit, exactly like the
+ * constant-harvest equivalence suite. This is the acceptance gate for
+ * the piecewise-constant threading: macro steps capped at piece
+ * boundaries, per-piece harvest refresh, and the constant-only gating
+ * of equilibrium Unreachable verdicts must mirror the scalar engine
+ * under a sky that changes every few hundred milliseconds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "batch/engine.hpp"
+#include "env/field.hpp"
+#include "load/profile.hpp"
+#include "sim/power_system.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+
+constexpr double kExactTol = 1e-9;
+
+std::uint64_t
+baseSeed()
+{
+    const char *value = std::getenv("CULPEO_FUZZ_SEED");
+    if (value == nullptr || *value == '\0')
+        return 20260809;
+    return std::strtoull(value, nullptr, 10);
+}
+
+struct Population
+{
+    std::vector<batch::LaneSpec> specs;
+    std::vector<std::unique_ptr<load::CurrentProfile>> profiles;
+    std::vector<std::unique_ptr<env::FieldHarvester>> views;
+};
+
+load::CurrentProfile *
+randomProfile(Population &pop, util::Rng &rng)
+{
+    std::vector<load::Segment> segments;
+    const int count = 1 + int(rng.uniformInt(3));
+    for (int s = 0; s < count; ++s)
+        segments.push_back({Seconds(rng.uniform(0.5e-3, 20e-3)),
+                            Amps(rng.uniform(1e-3, 40e-3))});
+    pop.profiles.push_back(std::make_unique<load::CurrentProfile>(
+        "piecewise", std::move(segments)));
+    return pop.profiles.back().get();
+}
+
+batch::LaneOp
+randomOp(Population &pop, util::Rng &rng,
+         const sim::PowerSystemConfig &config)
+{
+    const Volts voff = config.monitor.voff;
+    const Volts vhigh = config.monitor.vhigh;
+    switch (rng.uniformInt(4)) {
+    case 0: {
+        const Volts level(rng.uniform(voff.value() + 0.02, vhigh.value()));
+        const Seconds deadline(rng.uniform(0.5, 10.0));
+        return batch::LaneOp::waitLevel(level, deadline);
+    }
+    case 1:
+        return batch::LaneOp::waitEnabled(Seconds(rng.uniform(0.5, 8.0)));
+    case 2:
+        return batch::LaneOp::runProfile(randomProfile(pop, rng),
+                                         Seconds(50e-6));
+    default:
+        return batch::LaneOp::idleFor(Seconds(rng.uniform(0.05, 2.0)));
+    }
+}
+
+Population
+randomPopulation(const env::HarvestField &field, std::uint64_t seed,
+                 std::size_t lanes)
+{
+    Population pop;
+    util::Rng rng(seed);
+    const sim::PowerSystemConfig config = sim::capybaraConfig();
+    for (std::size_t l = 0; l < lanes; ++l) {
+        batch::LaneSpec spec;
+        spec.config = config;
+        spec.vstart = Volts(rng.uniform(config.monitor.voff.value() + 0.1,
+                                        config.monitor.vhigh.value()));
+        spec.start_enabled = true;
+        pop.views.push_back(std::make_unique<env::FieldHarvester>(
+            field, env::Position{rng.uniform(0.0, 100.0),
+                                 rng.uniform(0.0, 100.0)}));
+        spec.harvester = pop.views.back().get();
+        const int ops = 3 + int(rng.uniformInt(5));
+        for (int i = 0; i < ops; ++i)
+            spec.program.push_back(randomOp(pop, rng, config));
+        pop.specs.push_back(spec);
+    }
+    return pop;
+}
+
+void
+expectExactMatch(const batch::LaneResult &kernel,
+                 const batch::LaneResult &scalar, std::uint64_t seed,
+                 std::size_t lane)
+{
+    const std::string where = "seed " + std::to_string(seed) + " lane " +
+                              std::to_string(lane);
+    ASSERT_EQ(kernel.ops.size(), scalar.ops.size()) << where;
+    for (std::size_t i = 0; i < kernel.ops.size(); ++i) {
+        const batch::OpOutcome &k = kernel.ops[i];
+        const batch::OpOutcome &s = scalar.ops[i];
+        ASSERT_EQ(int(k.kind), int(s.kind)) << where << " op " << i;
+        EXPECT_EQ(int(k.wait_status), int(s.wait_status))
+            << where << " op " << i;
+        EXPECT_NEAR(k.elapsed.value(), s.elapsed.value(), kExactTol)
+            << where << " op " << i;
+        EXPECT_NEAR(k.voltage.value(), s.voltage.value(), kExactTol)
+            << where << " op " << i;
+        EXPECT_EQ(k.diagnostic, s.diagnostic) << where << " op " << i;
+        EXPECT_EQ(k.completed, s.completed) << where << " op " << i;
+        EXPECT_EQ(k.power_failed, s.power_failed) << where << " op " << i;
+        EXPECT_NEAR(k.vmin.value(), s.vmin.value(), kExactTol)
+            << where << " op " << i;
+    }
+    EXPECT_EQ(kernel.power_failures, scalar.power_failures) << where;
+    EXPECT_NEAR(kernel.end_time.value(), scalar.end_time.value(), kExactTol)
+        << where;
+    EXPECT_NEAR(kernel.vend.value(), scalar.vend.value(), kExactTol)
+        << where;
+}
+
+void
+runDifferential(const env::HarvestField &field, std::uint64_t seed)
+{
+    Population pop = randomPopulation(field, seed, 8);
+    batch::BatchOptions options;
+    options.exact_replay = true;
+    const std::vector<batch::LaneResult> kernel =
+        batch::runPopulation(pop.specs, options);
+    for (std::size_t l = 0; l < pop.specs.size(); ++l) {
+        const batch::LaneResult scalar =
+            batch::runLaneScalar(pop.specs[l]);
+        expectExactMatch(kernel[l], scalar, seed, l);
+    }
+}
+
+TEST(FleetPiecewise, ExactReplayMatchesScalarUnderSolarField)
+{
+    env::SolarConfig solar;
+    solar.peak = Watts(8e-3);
+    solar.day_length = Seconds(60.0); // Fast day: waits cross pieces.
+    solar.sample_period = Seconds(0.4);
+    solar.cloud_depth = 0.6;
+    solar.cell_size = 10.0;
+    solar.shading_depth = 0.3;
+    solar.seed = 5;
+    const env::SolarDiurnalField field(solar);
+    for (std::uint64_t i = 0; i < 4; ++i)
+        runDifferential(field, baseSeed() + i);
+}
+
+TEST(FleetPiecewise, ExactReplayMatchesScalarUnderKineticField)
+{
+    env::KineticConfig kinetic;
+    kinetic.baseline = Watts(100e-6);
+    kinetic.burst = Watts(6e-3);
+    kinetic.sample_period = Seconds(0.2);
+    kinetic.burst_probability = 0.25;
+    kinetic.cell_size = 8.0;
+    kinetic.seed = 11;
+    const env::KineticBurstField field(kinetic);
+    for (std::uint64_t i = 0; i < 4; ++i)
+        runDifferential(field, baseSeed() + 100 + i);
+}
+
+TEST(FleetPiecewise, ConstantFieldLaneMatchesPlainHarvestLane)
+{
+    // A UniformField view must be bit-identical to the pre-field
+    // constant-wattage lane: LaneRt folds a constant harvester into
+    // the same harvest_w scalar the plain path uses.
+    const env::UniformField field(Watts(3e-3));
+    Population viewed = randomPopulation(field, baseSeed() + 999, 6);
+    Population plain = randomPopulation(field, baseSeed() + 999, 6);
+    for (batch::LaneSpec &spec : plain.specs) {
+        spec.harvester = nullptr;
+        spec.harvest = Watts(3e-3);
+    }
+    batch::BatchOptions options;
+    options.exact_replay = true;
+    const std::vector<batch::LaneResult> a =
+        batch::runPopulation(viewed.specs, options);
+    const std::vector<batch::LaneResult> b =
+        batch::runPopulation(plain.specs, options);
+    for (std::size_t l = 0; l < a.size(); ++l)
+        expectExactMatch(a[l], b[l], baseSeed() + 999, l);
+}
+
+} // namespace
