@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Policy bake-off matrix CLI: ranks every registered charge policy
+ * across capacitor configurations × load mixes × harvest scenarios
+ * (harness/bakeoff.hpp) and prints the scorecard, optionally writing
+ * CSV/JSONL artifacts.
+ *
+ * The full matrix sweeps 4 policies × 3 buffer variants × 2 load mixes
+ * × 3 harvest scenarios; `--smoke` trims every dimension to 2 for a
+ * fast CI leg. `--csv PATH` / `--jsonl PATH` write the artifacts.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "apps/apps.hpp"
+#include "bench/common.hpp"
+#include "env/field.hpp"
+#include "harness/bakeoff.hpp"
+
+using namespace culpeo;
+using namespace culpeo::units;
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    std::string csv_path;
+    std::string jsonl_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+            csv_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--jsonl") == 0 &&
+                   i + 1 < argc) {
+            jsonl_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--smoke] [--csv PATH] "
+                         "[--jsonl PATH]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    bench::banner("Policy bake-off matrix",
+                  "hardware-agnostic policy comparison (extension)");
+
+    const sched::AppSpec ps = apps::periodicSensing();
+    const sched::AppSpec rr = apps::responsiveReporting();
+
+    env::SolarConfig solar;
+    solar.peak = Watts(9e-3);
+    solar.day_length = Seconds(240.0);
+    solar.sample_period = Seconds(5.0);
+    solar.cloud_depth = 0.5;
+    solar.shading_depth = 0.3;
+    solar.seed = 11;
+    const env::SolarDiurnalField solar_field(solar);
+
+    harness::BakeoffMatrix matrix;
+    matrix.policies = {"culpeo", "catnap", "culpeo-uarch", "eab",
+                       "adaptive"};
+    matrix.buffers = {
+        {"nominal", 1.0, 1.0},
+        {"half-cap", 0.5, 1.0},
+        {"aged-esr", 1.0, 1.8},
+    };
+    matrix.loads = {
+        {"periodic-sensing", &ps},
+        {"responsive-reporting", &rr},
+    };
+    matrix.environments = {
+        {"steady", nullptr, {}, 1.0},
+        {"weak-steady", nullptr, {}, 0.55},
+        {"solar-diurnal", &solar_field, {30.0, 30.0}, 1.0},
+    };
+    matrix.duration = Seconds(120.0);
+    matrix.trials = 4;
+
+    if (smoke) {
+        matrix.policies = {"culpeo", "catnap"};
+        matrix.buffers = {{"nominal", 1.0, 1.0}, {"half-cap", 0.5, 1.0}};
+        matrix.environments = {{"steady", nullptr, {}, 1.0},
+                               {"weak-steady", nullptr, {}, 0.55}};
+        matrix.duration = Seconds(60.0);
+        matrix.trials = 2;
+    }
+    const harness::BakeoffResult result = harness::runBakeoff(matrix);
+
+    std::printf("%4s %-13s %-9s %-21s %-13s %8s %6s %9s %7s\n", "rank",
+                "policy", "buffer", "load", "environment", "capture",
+                "pf", "latency", "c/J");
+    bench::rule(100);
+    for (const harness::BakeoffCell &c : result.cells) {
+        std::printf("%4u %-13s %-9s %-21s %-13s %7.1f%% %6.1f %8.3fs "
+                    "%7.1f\n",
+                    c.rank, c.policy.c_str(), c.buffer.c_str(),
+                    c.load.c_str(), c.environment.c_str(),
+                    c.capture_rate * 100.0, c.power_failures_per_trial,
+                    c.mean_latency_s, c.captures_per_joule);
+    }
+
+    std::printf("\nper-policy capture rate (all cells, "
+                "arrival-weighted):\n");
+    for (const std::string &policy : matrix.policies)
+        std::printf("  %-13s %6.1f%%\n", policy.c_str(),
+                    result.meanCaptureRate(policy) * 100.0);
+
+    if (!csv_path.empty()) {
+        result.writeCsvFile(csv_path);
+        std::printf("\nscorecard CSV   -> %s\n", csv_path.c_str());
+    }
+    if (!jsonl_path.empty()) {
+        result.writeJsonlFile(jsonl_path);
+        std::printf("scorecard JSONL -> %s\n", jsonl_path.c_str());
+    }
+    return 0;
+}

@@ -48,6 +48,14 @@ RATIO_PAIRS = [
     # ratio is expected to be barely above 1 and must not grow.
     ("telemetry trial cost",
      "BM_RunTrial_telemetry", "BM_RunTrial/force_euler:0"),
+    # Admission decisions are per-dispatch hot-path table lookups;
+    # pinning them against the full trial makes an Admission-object
+    # regression (an accidental allocation, a profiling pass leaking
+    # into the decision) show up as a shrinking ratio.
+    ("policy decision cost (catnap)",
+     "BM_RunTrial/force_euler:0", "BM_PolicyDecision/catnap"),
+    ("policy decision cost (culpeo)",
+     "BM_RunTrial/force_euler:0", "BM_PolicyDecision/culpeo"),
     # Commit-kernel width pairs: the same panel through the scalar and
     # wide warm tiers of one run, so each ratio is the pure vector
     # speedup of the batch commit pass. Hosts lacking a tier skip its
@@ -75,8 +83,14 @@ RATIO_PAIRS = [
 ]
 
 
+# google-benchmark reports real_time in each benchmark's own
+# time_unit; normalize to nanoseconds so ratio pairs can mix units
+# (e.g. a millisecond-scale trial over a nanosecond-scale decision).
+UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
 def medians(path):
-    """name -> median real_time over repetitions (aggregates skipped)."""
+    """name -> median real_time (ns) over repetitions (aggregates skipped)."""
     with open(path) as handle:
         data = json.load(handle)
     samples = {}
@@ -88,7 +102,9 @@ def medians(path):
         # ratio checks treat the pair as absent rather than infinite.
         if bench.get("error_occurred"):
             continue
-        samples.setdefault(bench["name"], []).append(bench["real_time"])
+        scale = UNIT_NS.get(bench.get("time_unit", "ns"), 1.0)
+        samples.setdefault(bench["name"], []).append(
+            bench["real_time"] * scale)
     return {name: statistics.median(times)
             for name, times in samples.items()}
 

@@ -78,8 +78,8 @@ struct Outcome
 };
 
 Outcome
-runAt(const sched::AppSpec &app, const sched::Policy &policy,
-      double esr_end, sched::Supervisor *supervisor)
+runAt(const sched::AppSpec &app, sched::Policy &policy, double esr_end,
+      sched::Supervisor *supervisor)
 {
     fault::FaultInjector injector(planAt(esr_end), /*noise_seed=*/1);
     TrialBuilder trial = TrialBuilder()

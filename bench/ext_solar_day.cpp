@@ -54,7 +54,7 @@ psAt(Watts harvest)
 
 /** Run the whole day with a fixed set of per-phase policies. */
 double
-runDay(const std::vector<const sched::Policy *> &phase_policies,
+runDay(const std::vector<sched::Policy *> &phase_policies,
        unsigned &power_failures)
 {
     unsigned arrived = 0;
@@ -92,7 +92,7 @@ main()
     // Adaptive deployment: re-profile when the monitor trips.
     sched::ChargeRateMonitor monitor(0.25);
     std::vector<sched::CulpeoPolicy> adaptive_policies(std::size(kDay));
-    std::vector<const sched::Policy *> adaptive(std::size(kDay));
+    std::vector<sched::Policy *> adaptive(std::size(kDay));
     unsigned reprofiles = 0;
     Watts baseline = kDay[0].harvest;
     monitor.baseline(baseline);
@@ -123,14 +123,14 @@ main()
     bench::rule(58);
 
     unsigned pf = 0;
-    const std::vector<const sched::Policy *> dawn_all(
+    const std::vector<sched::Policy *> dawn_all(
         std::size(kDay), &dawn_profiled);
     const double dawn_rate = runDay(dawn_all, pf);
     std::printf("%-24s %9.1f%% %8u %12u\n", "dawn-profiled (fixed)",
                 dawn_rate * 100.0, pf, 1u);
     csv.row("dawn", dawn_rate * 100.0, pf, 1);
 
-    const std::vector<const sched::Policy *> noon_all(
+    const std::vector<sched::Policy *> noon_all(
         std::size(kDay), &noon_profiled);
     const double noon_rate = runDay(noon_all, pf);
     std::printf("%-24s %9.1f%% %8u %12u\n", "noon-profiled (fixed)",

@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <memory>
 #include <random>
 
 #include "apps/apps.hpp"
@@ -20,6 +21,7 @@
 #include "fleet/fleet.hpp"
 #include "harness/ground_truth.hpp"
 #include "load/library.hpp"
+#include "sched/policy.hpp"
 #include "sched/trial.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/parallel.hpp"
@@ -485,8 +487,8 @@ BM_FleetStep(benchmark::State &state)
 
     fleet::FleetSpec spec;
     spec.cohorts = {
-        {"ps-culpeo", &ps, &culpeo_policy, 0.6},
-        {"rr-catnap", &rr, &catnap_policy, 0.4},
+        {"ps-culpeo", &ps, &culpeo_policy, {}, 0.6},
+        {"rr-catnap", &rr, &catnap_policy, {}, 0.4},
     };
     spec.devices = 96;
     spec.capacitance_scale = {0.8, 1.2};
@@ -515,6 +517,30 @@ BENCHMARK(BM_FleetStep)
     ->ArgName("threads")
     ->UseRealTime() // Items/sec = wall-clock device-trial throughput.
     ->Unit(benchmark::kMillisecond);
+
+/**
+ * The per-dispatch admission path of the pluggable Policy interface:
+ * one chain admission plus one task admission, the two decisions the
+ * engine makes for every captured event. Post-initialization these
+ * must stay table lookups — returning the Admission object must not
+ * cost an allocation or a profiling pass.
+ */
+void
+BM_PolicyDecision(benchmark::State &state, const char *name)
+{
+    const sched::AppSpec app = apps::periodicSensing();
+    const std::unique_ptr<sched::Policy> policy = sched::makePolicy(name);
+    policy->initialize(app);
+    const sched::EventSpec &event = app.events[0];
+    const sched::SchedTask &task = event.chain[0];
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(policy->admitChain(event).need);
+        benchmark::DoNotOptimize(policy->admitTask(task).need);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) * 2);
+}
+BENCHMARK_CAPTURE(BM_PolicyDecision, catnap, "catnap");
+BENCHMARK_CAPTURE(BM_PolicyDecision, culpeo, "culpeo");
 
 void
 BM_UArchTick(benchmark::State &state)

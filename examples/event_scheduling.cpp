@@ -35,18 +35,20 @@ main()
     sched::CulpeoPolicy culpeo;
     culpeo.initialize(app);
 
-    // Show what each policy believes about the IMU task.
+    // Show what each policy believes about the IMU task. Admission
+    // decisions carry the required start voltage; describe() exposes
+    // the same estimates generically for any policy.
     const auto &imu = app.events[0].chain[0];
     std::printf("IMU task start voltage:  CatNap %.3f V   Culpeo %.3f V\n",
-                catnap.taskStart(imu).value(),
-                culpeo.taskStart(imu).value());
+                catnap.admitTask(imu).need.value(),
+                culpeo.admitTask(imu).need.value());
     std::printf("background threshold:    CatNap %.3f V   Culpeo %.3f V\n\n",
-                catnap.backgroundThreshold(app).value(),
-                culpeo.backgroundThreshold(app).value());
+                catnap.admitBackground(app).need.value(),
+                culpeo.admitBackground(app).need.value());
 
-    for (const sched::Policy *policy :
-         {static_cast<const sched::Policy *>(&catnap),
-          static_cast<const sched::Policy *>(&culpeo)}) {
+    for (sched::Policy *policy :
+         {static_cast<sched::Policy *>(&catnap),
+          static_cast<sched::Policy *>(&culpeo)}) {
         const sched::TrialResult result =
             TrialBuilder().app(app).policy(*policy).duration(120.0_s).seed(42).run();
         const auto &stats = result.eventStats("imu");

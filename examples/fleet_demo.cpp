@@ -52,18 +52,15 @@ main(int argc, char **argv)
     solar.seed = seed;
     const env::SolarDiurnalField field(solar);
 
-    // Two device archetypes, each policy initialized against its app.
+    // Two device archetypes. Policies are selected from the registry
+    // by name; runFleet instantiates and initializes one per cohort.
     const sched::AppSpec ps = apps::periodicSensing();
     const sched::AppSpec rr = apps::responsiveReporting();
-    sched::CulpeoPolicy culpeo_policy;
-    culpeo_policy.initialize(ps);
-    sched::CatnapPolicy catnap_policy;
-    catnap_policy.initialize(rr);
 
     fleet::FleetSpec spec;
     spec.cohorts = {
-        {"ps-culpeo", &ps, &culpeo_policy, 0.6},
-        {"rr-catnap", &rr, &catnap_policy, 0.4},
+        {"ps-culpeo", &ps, nullptr, "culpeo", 0.6},
+        {"rr-catnap", &rr, nullptr, "catnap", 0.4},
     };
     spec.devices = devices;
     spec.capacitance_scale = {0.8, 1.2};

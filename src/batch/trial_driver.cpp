@@ -4,6 +4,7 @@
 
 #include "harness/task_runner.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/logging.hpp"
 
 namespace culpeo::batch {
 
@@ -37,22 +38,47 @@ generateArrivals(const AppSpec &app, Seconds duration, util::Rng &rng)
     return arrivals;
 }
 
+namespace {
+
+/**
+ * Resolve one admission into a table threshold. Lockstep lanes share
+ * one table, so only unconditional, side-effect-free admissions can be
+ * tabled: a refusal or a buffer-reconfiguration request needs the
+ * scalar engine's per-dispatch handling.
+ */
+Volts
+tabled(const sched::Admission &admission, const char *what)
+{
+    log::fatalIf(!admission.admit, "PolicyTables: policy refuses ", what,
+                 " admission; run on the scalar path");
+    log::fatalIf(admission.buffer != nullptr,
+                 "PolicyTables: policy requests buffer reconfiguration; "
+                 "run on the scalar path");
+    return admission.need;
+}
+
+} // namespace
+
 PolicyTables::PolicyTables(const AppSpec &app, const Policy &policy)
 {
+    log::fatalIf(!policy.stationary(),
+                 "PolicyTables requires a stationary policy: '",
+                 policy.name(),
+                 "' adapts at runtime and must run on the scalar path");
     chain_need.reserve(app.events.size());
     for (const EventSpec &spec : app.events) {
-        chain_need.push_back(policy.chainStart(spec));
+        chain_need.push_back(tabled(policy.admitChain(spec), "chain"));
         std::vector<Volts> needs;
         std::vector<Seconds> dts;
         for (const SchedTask &task : spec.chain) {
-            needs.push_back(policy.taskStart(task));
+            needs.push_back(tabled(policy.admitTask(task), "task"));
             dts.push_back(harness::chooseDt(task.profile));
         }
         task_need.push_back(std::move(needs));
         task_dt.push_back(std::move(dts));
     }
     if (app.background.has_value()) {
-        bg_need = policy.backgroundThreshold(app);
+        bg_need = tabled(policy.admitBackground(app), "background");
         bg_dt = harness::chooseDt(app.background->profile);
     }
 }
@@ -240,10 +266,14 @@ TrialDriver::advanceChain(const LaneStatus &status, LaneOp *out)
         st_ = St::TaskWait;
         return true;
     }
-    if (status.now <= service_deadline_)
+    if (status.now <= service_deadline_) {
         ++cur_stats_->captured;
-    else
+        // Same Seconds expression as the scalar engine's
+        // `device.now() - event.arrival` — exact_replay bit-identity.
+        result_.capture_latency += status.now - cur_arrival_;
+    } else {
         ++cur_stats_->lost;
+    }
     st_ = St::Main;
     return false;
 }
@@ -251,6 +281,8 @@ TrialDriver::advanceChain(const LaneStatus &status, LaneOp *out)
 void
 TrialDriver::finalize(const LaneStatus &status)
 {
+    result_.tasks_started = tasks_started_;
+    result_.tasks_completed = tasks_completed_;
     if (tel_ == nullptr)
         return;
     namespace names = telemetry::names;
@@ -393,6 +425,7 @@ TrialDriver::next(const OpOutcome *last, const LaneStatus &status,
                 // serviceEvent: wait for the chain-start threshold.
                 spec_index_ = event.spec_index;
                 cur_stats_ = &stats;
+                cur_arrival_ = event.arrival;
                 service_deadline_ = event.arrival + spec.deadline;
                 *out = LaneOp::waitLevel(tables_.chain_need[spec_index_],
                                          service_deadline_,

@@ -98,8 +98,8 @@ class TrialDriver : public OpSource
     enum class St
     {
         Main,        ///< No outcome pending interpretation.
-        ChainWait,   ///< idleUntilVoltage(chainStart, deadline).
-        TaskWait,    ///< idleUntilVoltage(taskStart, deadline).
+        ChainWait,   ///< idleUntilVoltage(chain admission need, deadline).
+        TaskWait,    ///< idleUntilVoltage(task admission need, deadline).
         TaskRun,     ///< Chain task profile run.
         RechargeOn,  ///< rechargeUntilOn(wait_deadline).
         BgRun,       ///< Background task profile run.
@@ -159,6 +159,7 @@ class TrialDriver : public OpSource
     std::size_t spec_index_ = 0;
     std::size_t task_i_ = 0;
     Seconds service_deadline_{0.0};
+    Seconds cur_arrival_{0.0};
     sched::EventTypeStats *cur_stats_ = nullptr;
     const sched::SchedTask *cur_task_ = nullptr;
     // Pending idle/recharge context.

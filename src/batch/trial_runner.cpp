@@ -27,6 +27,13 @@ batchTrialsEligible(const sched::TrialConfig &config)
             config.harvester->piecewiseConstant());
 }
 
+bool
+batchTrialsEligible(const sched::TrialConfig &config,
+                    const sched::Policy &policy)
+{
+    return batchTrialsEligible(config) && policy.stationary();
+}
+
 sched::AggregateResult
 runTrialsBatch(const AppSpec &app, const Policy &policy,
                const TrialConfig &config, const TrialRunnerOptions &options)
@@ -127,6 +134,10 @@ runTrialsBatch(const AppSpec &app, const Policy &policy,
                 captured[i] += run.result.per_event[i].captured;
             }
             total_failures += run.result.power_failures;
+            aggregate.tasks_started += run.result.tasks_started;
+            aggregate.tasks_completed += run.result.tasks_completed;
+            aggregate.capture_latency_s +=
+                run.result.capture_latency.value();
             if (run.scratch != nullptr)
                 sink->merge(*run.scratch);
         }

@@ -50,6 +50,14 @@ struct TrialRunnerOptions
 bool batchTrialsEligible(const sched::TrialConfig &config);
 
 /**
+ * Policy-aware eligibility: the config conditions above AND a
+ * stationary policy (batch lanes share resolve-once PolicyTables, so
+ * an online-adapting policy must run on the scalar serial path).
+ */
+bool batchTrialsEligible(const sched::TrialConfig &config,
+                         const sched::Policy &policy);
+
+/**
  * Run config.trials independently seeded trials of @p app under
  * @p policy on the batch engine and aggregate exactly like
  * sched::runTrialsWith(). Fatal when the config is not eligible —

@@ -44,8 +44,13 @@ validate(const FleetSpec &spec, const FleetOptions &options)
     log::fatalIf(spec.cohorts.empty(), "fleet needs at least one cohort");
     double total_weight = 0.0;
     for (const Cohort &c : spec.cohorts) {
-        log::fatalIf(c.app == nullptr || c.policy == nullptr,
-                     "every cohort needs an app and a policy");
+        log::fatalIf(c.app == nullptr, "every cohort needs an app");
+        log::fatalIf(c.policy == nullptr && c.policy_name.empty(),
+                     "every cohort needs a policy instance or a "
+                     "registered policy_name");
+        log::fatalIf(c.policy != nullptr && !c.policy_name.empty(),
+                     "cohort '", c.name,
+                     "' sets both policy and policy_name; pick one");
         log::fatalIf(c.weight <= 0.0, "cohort weights must be positive");
         total_weight += c.weight;
     }
@@ -217,14 +222,30 @@ runFleet(const FleetSpec &spec, const FleetOptions &options)
 {
     validate(spec, options);
 
+    // Registry-named cohorts get an owned instance, initialized here
+    // against the cohort's app; instance cohorts are borrowed as-is.
+    std::vector<std::unique_ptr<sched::Policy>> owned_policies;
+    std::vector<const sched::Policy *> policies(spec.cohorts.size());
+    for (std::size_t i = 0; i < spec.cohorts.size(); ++i) {
+        const Cohort &c = spec.cohorts[i];
+        if (c.policy != nullptr) {
+            policies[i] = c.policy;
+            continue;
+        }
+        owned_policies.push_back(sched::makePolicy(c.policy_name));
+        owned_policies.back()->initialize(*c.app);
+        policies[i] = owned_policies.back().get();
+    }
+
     // Policy thresholds are design-time artifacts: resolved once per
     // cohort at nominal parameters, shared by every sampled device.
+    // (PolicyTables rejects non-stationary policies.)
     sched::TrialConfig config;
     config.duration = spec.duration;
     std::vector<batch::PolicyTables> tables;
     tables.reserve(spec.cohorts.size());
-    for (const Cohort &c : spec.cohorts)
-        tables.emplace_back(*c.app, *c.policy);
+    for (std::size_t i = 0; i < spec.cohorts.size(); ++i)
+        tables.emplace_back(*spec.cohorts[i].app, *policies[i]);
 
     telemetry::Telemetry *sink =
         telemetry::kEnabled ? options.telemetry : nullptr;

@@ -38,15 +38,23 @@ namespace culpeo::fleet {
 using units::Seconds;
 
 /**
- * One device archetype: an application paired with a policy already
- * initialized against it (sched::Policy binds to one app). Devices are
- * assigned to cohorts by weighted draw at sampling time.
+ * One device archetype: an application paired with a charge policy.
+ * Devices are assigned to cohorts by weighted draw at sampling time.
+ *
+ * The policy is selected exactly one of two ways: `policy` borrows an
+ * instance the caller already initialized against *app, while
+ * `policy_name` names a registry entry (sched::makePolicy) that
+ * runFleet instantiates, owns, and initializes against *app — so a
+ * heterogeneous population mixes policies without the caller managing
+ * instances. Fleet lanes share per-cohort threshold tables, so either
+ * way the policy must be stationary.
  */
 struct Cohort
 {
     std::string name;
     const sched::AppSpec *app = nullptr;
     const sched::Policy *policy = nullptr; ///< Initialized for *app.
+    std::string policy_name; ///< Registry name (alternative to policy).
     double weight = 1.0;                   ///< Relative population share.
 };
 

@@ -1,0 +1,268 @@
+#include "harness/bakeoff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <tuple>
+
+#include "batch/trial_runner.hpp"
+#include "sched/engine.hpp"
+#include "sched/policy.hpp"
+#include "util/logging.hpp"
+
+namespace culpeo::harness {
+
+namespace {
+
+using units::Watts;
+
+/** Shortest round-trippable decimal for deterministic report output. */
+std::string
+num(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+void
+validate(const BakeoffMatrix &matrix)
+{
+    log::fatalIf(matrix.policies.empty(),
+                 "bake-off matrix needs at least one policy");
+    log::fatalIf(matrix.buffers.empty(),
+                 "bake-off matrix needs at least one buffer variant");
+    log::fatalIf(matrix.loads.empty(),
+                 "bake-off matrix needs at least one load mix");
+    log::fatalIf(matrix.environments.empty(),
+                 "bake-off matrix needs at least one harvest scenario");
+    log::fatalIf(matrix.duration.value() <= 0.0,
+                 "bake-off trial duration must be positive");
+    log::fatalIf(matrix.trials == 0,
+                 "bake-off needs at least one trial per cell");
+    for (const std::string &name : matrix.policies)
+        log::fatalIf(!sched::policyRegistered(name), "bake-off policy '",
+                     name, "' is not registered");
+    for (const LoadMix &load : matrix.loads)
+        log::fatalIf(load.app == nullptr, "bake-off load mix '",
+                     load.name, "' has no app");
+    for (const BufferVariant &buffer : matrix.buffers) {
+        log::fatalIf(buffer.capacitance_scale <= 0.0, "buffer variant '",
+                     buffer.name,
+                     "': capacitance_scale must be positive");
+        log::fatalIf(buffer.esr_scale <= 0.0, "buffer variant '",
+                     buffer.name, "': esr_scale must be positive");
+    }
+    for (const HarvestScenario &env : matrix.environments)
+        log::fatalIf(env.field == nullptr && env.harvest_scale <= 0.0,
+                     "harvest scenario '", env.name,
+                     "': harvest_scale must be positive");
+}
+
+/** The app with one cell's buffer variant and harvest scale applied. */
+sched::AppSpec
+cellApp(const LoadMix &load, const BufferVariant &buffer,
+        const HarvestScenario &env)
+{
+    sched::AppSpec app = *load.app;
+    sim::CapacitorConfig &cap = app.power.capacitor;
+    cap.capacitance = cap.capacitance * buffer.capacitance_scale;
+    cap.series_esr = cap.series_esr * buffer.esr_scale;
+    cap.bulk_resistance = cap.bulk_resistance * buffer.esr_scale;
+    cap.surface_resistance = cap.surface_resistance * buffer.esr_scale;
+    if (env.field == nullptr)
+        app.harvest = app.harvest * env.harvest_scale;
+    return app;
+}
+
+/**
+ * Mean harvest power over the trial window: the constant source
+ * directly, or the field view averaged over 64 midpoint samples
+ * (exact for the piecewise-constant fields when segments align;
+ * a close deterministic estimate otherwise).
+ */
+double
+meanHarvestWatts(const sched::AppSpec &app, const sim::Harvester *view,
+                 Seconds duration)
+{
+    if (view == nullptr)
+        return app.harvest.value();
+    constexpr int kSamples = 64;
+    double sum = 0.0;
+    for (int i = 0; i < kSamples; ++i) {
+        const double t =
+            duration.value() * (double(i) + 0.5) / double(kSamples);
+        sum += view->powerAt(Seconds(t)).value();
+    }
+    return sum / double(kSamples);
+}
+
+BakeoffCell
+runCell(const BakeoffMatrix &matrix, const std::string &policy_name,
+        const BufferVariant &buffer, const LoadMix &load,
+        const HarvestScenario &env)
+{
+    const sched::AppSpec app = cellApp(load, buffer, env);
+
+    // A fresh policy instance per cell: online policies must not leak
+    // learned state between cells of the matrix.
+    std::unique_ptr<sched::Policy> policy =
+        sched::makePolicy(policy_name);
+    policy->initialize(app);
+
+    std::optional<env::FieldHarvester> view;
+    sched::TrialConfig config;
+    config.duration = matrix.duration;
+    config.trials = matrix.trials;
+    config.seed = matrix.seed;
+    if (env.field != nullptr) {
+        view.emplace(*env.field, env.position);
+        config.harvester = &*view;
+    }
+
+    // Stationary policies take the batch sweep executor in exact-replay
+    // mode; adaptive ones take the scalar path (serial, carrying state).
+    sched::AggregateResult agg;
+    if (batch::batchTrialsEligible(config, *policy)) {
+        batch::TrialRunnerOptions options;
+        options.batch.exact_replay = true;
+        agg = batch::runTrialsBatch(app, *policy, config, options);
+    } else {
+        agg = sched::runTrialsWith(app, *policy, config);
+    }
+
+    BakeoffCell cell;
+    cell.policy = policy_name;
+    cell.buffer = buffer.name;
+    cell.load = load.name;
+    cell.environment = env.name;
+    for (std::size_t i = 0; i < agg.arrivals.size(); ++i) {
+        cell.arrived += agg.arrivals[i];
+        cell.captured += std::uint64_t(std::llround(
+            agg.capture_rates[i] * double(agg.arrivals[i])));
+    }
+    cell.tasks_started = agg.tasks_started;
+    cell.tasks_completed = agg.tasks_completed;
+    cell.capture_rate = agg.overallCaptureRate();
+    cell.power_failures_per_trial = agg.power_failures_per_trial;
+    cell.mean_latency_s = agg.meanCaptureLatency();
+    cell.completion_rate = agg.taskCompletionRate();
+
+    const double joules =
+        meanHarvestWatts(app, config.harvester, matrix.duration) *
+        matrix.duration.value() * double(matrix.trials);
+    cell.captures_per_joule =
+        joules <= 0.0 ? 0.0 : double(cell.captured) / joules;
+    return cell;
+}
+
+} // namespace
+
+double
+BakeoffResult::meanCaptureRate(const std::string &policy) const
+{
+    std::uint64_t arrived = 0;
+    std::uint64_t captured = 0;
+    for (const BakeoffCell &cell : cells) {
+        if (cell.policy != policy)
+            continue;
+        arrived += cell.arrived;
+        captured += cell.captured;
+    }
+    return arrived == 0 ? 0.0 : double(captured) / double(arrived);
+}
+
+void
+BakeoffResult::writeCsv(std::ostream &out) const
+{
+    out << "rank,policy,buffer,load,environment,arrived,captured,"
+           "capture_rate,power_failures_per_trial,mean_latency_s,"
+           "completion_rate,captures_per_joule\n";
+    for (const BakeoffCell &c : cells) {
+        out << c.rank << ',' << c.policy << ',' << c.buffer << ','
+            << c.load << ',' << c.environment << ',' << c.arrived << ','
+            << c.captured << ',' << num(c.capture_rate) << ','
+            << num(c.power_failures_per_trial) << ','
+            << num(c.mean_latency_s) << ',' << num(c.completion_rate)
+            << ',' << num(c.captures_per_joule) << '\n';
+    }
+}
+
+void
+BakeoffResult::writeJsonl(std::ostream &out) const
+{
+    out << "{\"type\":\"bakeoff\",\"cells\":" << cells.size() << "}\n";
+    for (const BakeoffCell &c : cells) {
+        out << "{\"type\":\"cell\",\"rank\":" << c.rank
+            << ",\"policy\":\"" << c.policy << "\",\"buffer\":\""
+            << c.buffer << "\",\"load\":\"" << c.load
+            << "\",\"environment\":\"" << c.environment
+            << "\",\"arrived\":" << c.arrived
+            << ",\"captured\":" << c.captured
+            << ",\"capture_rate\":" << num(c.capture_rate)
+            << ",\"power_failures_per_trial\":"
+            << num(c.power_failures_per_trial)
+            << ",\"mean_latency_s\":" << num(c.mean_latency_s)
+            << ",\"completion_rate\":" << num(c.completion_rate)
+            << ",\"captures_per_joule\":" << num(c.captures_per_joule)
+            << "}\n";
+    }
+}
+
+void
+BakeoffResult::writeCsvFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    log::fatalIf(!out, "cannot open bake-off CSV output file");
+    writeCsv(out);
+}
+
+void
+BakeoffResult::writeJsonlFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    log::fatalIf(!out, "cannot open bake-off JSONL output file");
+    writeJsonl(out);
+}
+
+BakeoffResult
+runBakeoff(const BakeoffMatrix &matrix)
+{
+    validate(matrix);
+
+    BakeoffResult result;
+    result.cells.reserve(matrix.policies.size() *
+                         matrix.buffers.size() * matrix.loads.size() *
+                         matrix.environments.size());
+    // Cells run serially — each is internally parallel across its
+    // trials — in a fixed nesting order; the sort below is stable with
+    // a total tie-break key, so the scorecard is byte-deterministic.
+    for (const std::string &policy : matrix.policies)
+        for (const BufferVariant &buffer : matrix.buffers)
+            for (const LoadMix &load : matrix.loads)
+                for (const HarvestScenario &env : matrix.environments)
+                    result.cells.push_back(
+                        runCell(matrix, policy, buffer, load, env));
+
+    std::stable_sort(
+        result.cells.begin(), result.cells.end(),
+        [](const BakeoffCell &a, const BakeoffCell &b) {
+            return std::make_tuple(-a.capture_rate,
+                                   a.power_failures_per_trial,
+                                   a.mean_latency_s, a.policy, a.buffer,
+                                   a.load, a.environment) <
+                   std::make_tuple(-b.capture_rate,
+                                   b.power_failures_per_trial,
+                                   b.mean_latency_s, b.policy, b.buffer,
+                                   b.load, b.environment);
+        });
+    for (std::size_t i = 0; i < result.cells.size(); ++i)
+        result.cells[i].rank = unsigned(i + 1);
+    return result;
+}
+
+} // namespace culpeo::harness

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Hardware-agnostic policy bake-off (the matrix evaluation of Nasser
+ * et al., "Managing Task Execution for Unknown Workloads in Batteryless
+ * IoT: A Hardware-Agnostic Evaluation"): sweep every registered charge
+ * policy across capacitor configurations × load mixes × harvest
+ * scenarios, score each cell (capture rate, brown-outs, latency,
+ * energy efficiency), and emit a ranked CSV/JSONL scorecard.
+ *
+ * Policies are selected by registry name (sched::makePolicy), so any
+ * user-registered policy joins the matrix without code changes here.
+ * Stationary policies run each cell through the batch sweep executor
+ * in exact-replay mode (bit-identical, reproducible scorecards);
+ * online-adapting policies run the scalar serial path, carrying their
+ * learned state across a cell's trials. Cells execute serially — each
+ * is internally parallel — so nested pool fan-out never oversubscribes.
+ *
+ * Like the batch trial sources, bakeoff.cpp compiles into culpeo_sched
+ * (it drives sched:: entry points) while the interface lives here.
+ */
+
+#ifndef CULPEO_HARNESS_BAKEOFF_HPP
+#define CULPEO_HARNESS_BAKEOFF_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "env/field.hpp"
+#include "sched/app.hpp"
+
+namespace culpeo::harness {
+
+using units::Seconds;
+
+/** One capacitor configuration: scale factors on the app's buffer. */
+struct BufferVariant
+{
+    std::string name;
+    double capacitance_scale = 1.0;
+    /** Applied to series ESR and both branch resistances. */
+    double esr_scale = 1.0;
+};
+
+/** One application workload (borrowed; must outlive runBakeoff). */
+struct LoadMix
+{
+    std::string name;
+    const sched::AppSpec *app = nullptr;
+};
+
+/** One harvest scenario: a field view, or scaled constant harvest. */
+struct HarvestScenario
+{
+    std::string name;
+    /**
+     * Spatio-temporal field sampled at `position`; null runs the
+     * app's constant harvest scaled by `harvest_scale`. Borrowed.
+     */
+    const env::HarvestField *field = nullptr;
+    env::Position position{};
+    double harvest_scale = 1.0;
+};
+
+/** The full matrix: policies × buffers × loads × environments. */
+struct BakeoffMatrix
+{
+    std::vector<std::string> policies; ///< Registry names.
+    std::vector<BufferVariant> buffers;
+    std::vector<LoadMix> loads;
+    std::vector<HarvestScenario> environments;
+    Seconds duration{120.0};
+    unsigned trials = 4; ///< Independently seeded trials per cell.
+    std::uint64_t seed = 7;
+};
+
+/** One scored cell of the matrix. */
+struct BakeoffCell
+{
+    std::string policy;
+    std::string buffer;
+    std::string load;
+    std::string environment;
+
+    std::uint64_t arrived = 0;
+    std::uint64_t captured = 0;
+    std::uint64_t tasks_started = 0;
+    std::uint64_t tasks_completed = 0;
+
+    double capture_rate = 0.0;
+    double power_failures_per_trial = 0.0;
+    /** Mean arrival-to-completion latency of captured events. */
+    double mean_latency_s = 0.0;
+    /** Completed/started committed dispatches. */
+    double completion_rate = 0.0;
+    /** Events captured per joule of harvested energy (efficiency). */
+    double captures_per_joule = 0.0;
+
+    /** 1-based position after ranking (1 = best). */
+    unsigned rank = 0;
+};
+
+/** The ranked scorecard. */
+struct BakeoffResult
+{
+    /**
+     * All cells, best first: capture rate descending, then fewer
+     * brown-outs, then lower latency, then stable lexicographic order
+     * — byte-deterministic for a given matrix.
+     */
+    std::vector<BakeoffCell> cells;
+
+    /** Arrival-weighted capture rate of @p policy over all its cells. */
+    double meanCaptureRate(const std::string &policy) const;
+
+    /** Ranked rows; columns match the JSONL cell fields. */
+    void writeCsv(std::ostream &out) const;
+    void writeCsvFile(const std::string &path) const;
+    /** A matrix header record, then one JSON object per ranked cell. */
+    void writeJsonl(std::ostream &out) const;
+    void writeJsonlFile(const std::string &path) const;
+};
+
+/** Run every cell of @p matrix and rank. Fatal on an empty dimension. */
+BakeoffResult runBakeoff(const BakeoffMatrix &matrix);
+
+} // namespace culpeo::harness
+
+#endif // CULPEO_HARNESS_BAKEOFF_HPP

@@ -74,7 +74,7 @@ generateArrivals(const AppSpec &app, Seconds duration, util::Rng &rng)
 struct Trial
 {
     const AppSpec &app;
-    const Policy &policy;
+    Policy &policy;
     sim::Device device;
     TrialResult result;
     /** Per-trial scratch sink; null when telemetry is not attached. */
@@ -112,7 +112,7 @@ struct Trial
         return task_tel.emplace(&task, handles).first->second;
     }
 
-    Trial(const AppSpec &app_in, const Policy &policy_in,
+    Trial(const AppSpec &app_in, Policy &policy_in,
           sim::DeviceOptions device_options)
         : app(app_in), policy(policy_in),
           device(app_in.power, device_options)
@@ -122,6 +122,28 @@ struct Trial
     deviceOn() const
     {
         return device.on();
+    }
+
+    /**
+     * Honor an admission's side requests before its threshold: a
+     * policy managing a bank array attaches the buffer configuration
+     * it wants on the rail, and the engine applies it unconditionally
+     * (policies rely on that — the Admission::buffer contract).
+     */
+    void
+    applyAdmission(const Admission &admission)
+    {
+        if (admission.buffer != nullptr)
+            device.reconfigureBuffer(*admission.buffer);
+    }
+
+    /** Harvest power at the device's current simulation time. */
+    Watts
+    currentHarvest() const
+    {
+        const sim::Harvester *harvester = device.system().harvester();
+        return harvester == nullptr ? Watts(0.0)
+                                    : harvester->powerAt(device.now());
     }
 
     /**
@@ -165,6 +187,18 @@ struct Trial
                              base_need, run.vmin, device.voff(),
                              device.now());
         }
+        TaskOutcome outcome;
+        outcome.task = &task;
+        outcome.completed = run.completed;
+        outcome.started_at = resting;
+        outcome.need = need;
+        outcome.base_need = base_need;
+        outcome.vmin = run.vmin;
+        outcome.vend = run.vend_loaded;
+        outcome.voff = device.voff();
+        outcome.harvest = currentHarvest();
+        outcome.now = device.now();
+        policy.observe(outcome);
         if (run.completed)
             ++tasks_completed;
         return run.completed;
@@ -206,7 +240,13 @@ struct Trial
             return;
         }
 
-        const Volts need = policy.chainStart(spec);
+        const Admission chain_admission = policy.admitChain(spec);
+        if (!chain_admission.admit) {
+            ++stats.lost; // The policy refused the whole chain.
+            return;
+        }
+        applyAdmission(chain_admission);
+        const Volts need = chain_admission.need;
 
         sim::WaitResult wait = device.idleUntilVoltage(need, deadline);
         if (!wait.reached()) {
@@ -216,7 +256,13 @@ struct Trial
         }
 
         for (const auto &task : spec.chain) {
-            const Volts base_need = policy.taskStart(task);
+            const Admission task_admission = policy.admitTask(task);
+            if (!task_admission.admit) {
+                ++stats.lost; // The policy refused mid-chain.
+                return;
+            }
+            applyAdmission(task_admission);
+            const Volts base_need = task_admission.need;
             Volts task_need = base_need;
             if (sup != nullptr) {
                 const Admission admission = sup->admitTask(
@@ -244,10 +290,12 @@ struct Trial
             }
         }
 
-        if (device.now() <= deadline)
+        if (device.now() <= deadline) {
             ++stats.captured;
-        else
+            result.capture_latency += device.now() - event.arrival;
+        } else {
             ++stats.lost;
+        }
     }
 };
 
@@ -281,7 +329,7 @@ recordTrialCounters(telemetry::Telemetry &tel, const TrialResult &result,
 } // namespace
 
 TrialResult
-runSeededTrial(const AppSpec &app, const Policy &policy,
+runSeededTrial(const AppSpec &app, Policy &policy,
                const TrialConfig &config, std::uint64_t seed,
                telemetry::Telemetry *scratch)
 {
@@ -377,10 +425,13 @@ runSeededTrial(const AppSpec &app, const Policy &policy,
         if (app.background.has_value() &&
             trial.device.now() - last_background >=
                 app.background_period) {
-            const Volts threshold = policy.backgroundThreshold(app);
-            bool admitted = true;
+            const Admission bg_admission =
+                trial.policy.admitBackground(app);
+            trial.applyAdmission(bg_admission);
+            const Volts threshold = bg_admission.need;
+            bool admitted = bg_admission.admit;
             Volts bg_need = threshold;
-            if (trial.sup != nullptr) {
+            if (admitted && trial.sup != nullptr) {
                 const Admission admission = trial.sup->admitTask(
                     app.background->name, threshold,
                     trial.device.vhigh(), trial.device.now());
@@ -429,6 +480,8 @@ runSeededTrial(const AppSpec &app, const Policy &policy,
 
     trial.result.power_failures =
         trial.device.system().monitor().powerFailures();
+    trial.result.tasks_started = trial.tasks_started;
+    trial.result.tasks_completed = trial.tasks_completed;
     if (trial.tel != nullptr) {
         namespace names = telemetry::names;
         trial.tel->registry()
@@ -448,7 +501,7 @@ runSeededTrial(const AppSpec &app, const Policy &policy,
 }
 
 TrialResult
-runTrialWith(const AppSpec &app, const Policy &policy,
+runTrialWith(const AppSpec &app, Policy &policy,
              const TrialConfig &config)
 {
     telemetry::Telemetry *sink =
@@ -494,8 +547,25 @@ AggregateResult::overallCaptureRate() const
     return arrived == 0.0 ? 0.0 : captured / arrived;
 }
 
+double
+AggregateResult::meanCaptureLatency() const
+{
+    double captured = 0.0;
+    for (std::size_t i = 0; i < arrivals.size(); ++i)
+        captured += capture_rates[i] * double(arrivals[i]);
+    return captured <= 0.0 ? 0.0 : capture_latency_s / captured;
+}
+
+double
+AggregateResult::taskCompletionRate() const
+{
+    return tasks_started == 0
+               ? 0.0
+               : double(tasks_completed) / double(tasks_started);
+}
+
 AggregateResult
-runTrialsWith(const AppSpec &app, const Policy &policy,
+runTrialsWith(const AppSpec &app, Policy &policy,
               const TrialConfig &config)
 {
     log::fatalIf(config.trials == 0, "at least one trial is required");
@@ -538,7 +608,8 @@ runTrialsWith(const AppSpec &app, const Policy &policy,
     std::vector<TrialRun> runs;
     const bool parallel_ok = config.faults == nullptr &&
                              config.observer == nullptr &&
-                             config.supervisor == nullptr;
+                             config.supervisor == nullptr &&
+                             policy.stationary();
     if (parallel_ok && config.trials > 1) {
         std::vector<unsigned> indices(config.trials);
         for (unsigned t = 0; t < config.trials; ++t)
@@ -558,6 +629,9 @@ runTrialsWith(const AppSpec &app, const Policy &policy,
             captured[i] += run.result.per_event[i].captured;
         }
         total_failures += run.result.power_failures;
+        aggregate.tasks_started += run.result.tasks_started;
+        aggregate.tasks_completed += run.result.tasks_completed;
+        aggregate.capture_latency_s += run.result.capture_latency.value();
         if (run.scratch != nullptr)
             sink->merge(*run.scratch);
     }

@@ -62,6 +62,11 @@ struct TrialResult
     std::vector<EventTypeStats> per_event;
     unsigned power_failures = 0;
     unsigned background_runs = 0;
+    /** Committed dispatches (event-chain tasks + background runs). */
+    unsigned tasks_started = 0;
+    unsigned tasks_completed = 0;
+    /** Summed arrival-to-completion time over captured events. */
+    Seconds capture_latency{0.0};
     /** Per-trial roll-up, present when TrialConfig::telemetry was set. */
     std::optional<telemetry::TelemetrySummary> telemetry;
 
@@ -131,8 +136,12 @@ struct TrialConfig
     Supervisor *supervisor = nullptr;
 };
 
-/** Run one trial of @p app under @p policy (already initialized). */
-TrialResult runTrialWith(const AppSpec &app, const Policy &policy,
+/**
+ * Run one trial of @p app under @p policy (already initialized). The
+ * policy is non-const: every committed dispatch feeds back through
+ * Policy::observe(), so online policies learn as the trial runs.
+ */
+TrialResult runTrialWith(const AppSpec &app, Policy &policy,
                          const TrialConfig &config = {});
 
 /**
@@ -142,7 +151,7 @@ TrialResult runTrialWith(const AppSpec &app, const Policy &policy,
  * runTrialWith()/runTrialsWith() and the batch::BatchTrialRunner sweep
  * executor drive; TrialConfig::seed and ::trials are ignored here.
  */
-TrialResult runSeededTrial(const AppSpec &app, const Policy &policy,
+TrialResult runSeededTrial(const AppSpec &app, Policy &policy,
                            const TrialConfig &config, std::uint64_t seed,
                            telemetry::Telemetry *scratch);
 
@@ -154,8 +163,17 @@ struct AggregateResult
     /** Total arrivals per type across all trials (0 = empty type). */
     std::vector<unsigned> arrivals;
     double power_failures_per_trial = 0.0;
+    /** Committed dispatches summed over all trials. */
+    std::uint64_t tasks_started = 0;
+    std::uint64_t tasks_completed = 0;
+    /** Summed arrival-to-completion time over all captured events. */
+    double capture_latency_s = 0.0;
 
     double rateOf(const std::string &name) const;
+    /** Mean arrival-to-completion latency of captured events (0 if none). */
+    double meanCaptureLatency() const;
+    /** Completed/started over all committed dispatches (0 if none). */
+    double taskCompletionRate() const;
     /**
      * Captured/arrived over all types and trials. Event types with no
      * arrivals are excluded — they carry no evidence either way.
@@ -165,11 +183,14 @@ struct AggregateResult
 
 /**
  * Run config.trials independently seeded trials and aggregate. Trials
- * run on the shared thread pool when no fault hooks or observer are
- * attached (results are bit-identical to a serial run: per-trial seeds
- * depend only on the trial index and aggregation is order-independent).
+ * run on the shared thread pool when no fault hooks, observer, or
+ * supervisor are attached AND the policy is stationary (results are
+ * bit-identical to a serial run: per-trial seeds depend only on the
+ * trial index and aggregation is order-independent). Non-stationary
+ * policies run serially, in trial order, carrying their learned state
+ * across the sweep.
  */
-AggregateResult runTrialsWith(const AppSpec &app, const Policy &policy,
+AggregateResult runTrialsWith(const AppSpec &app, Policy &policy,
                               const TrialConfig &config = {});
 
 } // namespace culpeo::sched

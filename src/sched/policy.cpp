@@ -1,9 +1,13 @@
 #include "policy.hpp"
 
 #include <algorithm>
+#include <mutex>
+#include <sstream>
+#include <utility>
 
 #include "harness/baselines.hpp"
 #include "harness/profiling.hpp"
+#include "sched/policy_adaptive.hpp"
 #include "util/logging.hpp"
 
 namespace culpeo::sched {
@@ -25,6 +29,127 @@ allTasks(const AppSpec &app)
 
 } // namespace
 
+bool
+PolicyDescription::has(core::TaskId id) const
+{
+    for (const TaskCost &entry : tasks) {
+        if (entry.id == id)
+            return true;
+    }
+    return false;
+}
+
+const TaskCost &
+PolicyDescription::costOf(core::TaskId id) const
+{
+    for (const TaskCost &entry : tasks) {
+        if (entry.id == id)
+            return entry;
+    }
+    log::fatal("policy '", policy, "' has no cost entry for task ", id);
+}
+
+PolicyDescription
+Policy::describe() const
+{
+    PolicyDescription description;
+    description.policy = name();
+    return description;
+}
+
+// --- Policy registry ----------------------------------------------------
+
+namespace {
+
+struct Registry
+{
+    std::mutex mutex;
+    std::map<std::string, PolicyFactory> factories;
+};
+
+Registry &
+registry()
+{
+    // Seeded on first use so registration order never depends on
+    // static-initialization order across translation units. (The mutex
+    // makes Registry unmovable, so seeding happens in a second static
+    // rather than a by-value initializer.)
+    static Registry instance;
+    static const bool seeded = [] {
+        instance.factories["catnap"] = [] {
+            return std::unique_ptr<Policy>(new CatnapPolicy());
+        };
+        instance.factories["culpeo"] = [] {
+            return std::unique_ptr<Policy>(new CulpeoPolicy());
+        };
+        instance.factories["culpeo-uarch"] = [] {
+            return std::unique_ptr<Policy>(new CulpeoPolicy(true));
+        };
+        instance.factories["eab"] = [] {
+            return std::unique_ptr<Policy>(
+                new EnergyAdaptiveBufferPolicy());
+        };
+        instance.factories["adaptive"] = [] {
+            return std::unique_ptr<Policy>(new AdaptiveWorkloadPolicy());
+        };
+        return true;
+    }();
+    (void)seeded;
+    return instance;
+}
+
+} // namespace
+
+void
+registerPolicy(const std::string &name, PolicyFactory factory)
+{
+    log::fatalIf(name.empty(), "policy name cannot be empty");
+    log::fatalIf(factory == nullptr, "policy factory cannot be null");
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    const bool inserted =
+        reg.factories.emplace(name, std::move(factory)).second;
+    log::fatalIf(!inserted, "policy '", name, "' is already registered");
+}
+
+bool
+policyRegistered(const std::string &name)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    return reg.factories.find(name) != reg.factories.end();
+}
+
+std::unique_ptr<Policy>
+makePolicy(const std::string &name)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    const auto it = reg.factories.find(name);
+    if (it == reg.factories.end()) {
+        std::ostringstream known;
+        for (const auto &entry : reg.factories)
+            known << (known.tellp() > 0 ? ", " : "") << entry.first;
+        log::fatal("unknown policy '", name, "' (registered: ",
+                   known.str(), ")");
+    }
+    return it->second();
+}
+
+std::vector<std::string>
+registeredPolicies()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    std::vector<std::string> names;
+    names.reserve(reg.factories.size());
+    for (const auto &entry : reg.factories)
+        names.push_back(entry.first);
+    return names; // std::map iterates sorted.
+}
+
+// --- CatnapPolicy -------------------------------------------------------
+
 void
 CatnapPolicy::initialize(const AppSpec &app)
 {
@@ -35,7 +160,8 @@ CatnapPolicy::initialize(const AppSpec &app)
         const harness::BaselineEstimates estimates =
             harness::estimateBaselines(app.power, task->profile);
         // CatNap's task cost is the start-to-completion voltage drop.
-        cost_[task->id] = estimates.catnap_measured - voff_;
+        cost_[task->id] = {task->name,
+                           estimates.catnap_measured - voff_};
     }
 }
 
@@ -44,38 +170,56 @@ CatnapPolicy::costOf(core::TaskId id) const
 {
     const auto it = cost_.find(id);
     log::fatalIf(it == cost_.end(), "no CatNap cost for task ", id);
-    return it->second;
+    return it->second.cost;
 }
 
-Volts
-CatnapPolicy::taskStart(const SchedTask &task) const
+Admission
+CatnapPolicy::admitTask(const SchedTask &task) const
 {
-    return voff_ + costOf(task.id);
+    return {true, voff_ + costOf(task.id)};
 }
 
-Volts
-CatnapPolicy::chainStart(const EventSpec &event) const
+Admission
+CatnapPolicy::admitChain(const EventSpec &event) const
 {
     // "Energy bucket": the sum of per-task voltage costs.
     Volts total = voff_;
     for (const auto &task : event.chain)
         total += costOf(task.id);
-    return std::min(total, vhigh_);
+    return {true, std::min(total, vhigh_)};
 }
 
-Volts
-CatnapPolicy::backgroundThreshold(const AppSpec &app) const
+Admission
+CatnapPolicy::admitBackground(const AppSpec &app) const
 {
     // Keep an energy reserve for the most expensive event chain, plus
     // the background task's own cost. ESR is not considered, so this
     // reserve lets the buffer discharge too deep (Section VII-C).
     Volts reserve = voff_;
     for (const auto &event : app.events)
-        reserve = std::max(reserve, chainStart(event));
+        reserve = std::max(reserve, admitChain(event).need);
     if (app.background.has_value())
         reserve += costOf(app.background->id);
-    return std::min(reserve, vhigh_);
+    return {true, std::min(reserve, vhigh_)};
 }
+
+PolicyDescription
+CatnapPolicy::describe() const
+{
+    PolicyDescription description;
+    description.policy = name();
+    for (const auto &entry : cost_) {
+        TaskCost cost;
+        cost.id = entry.first;
+        cost.task = entry.second.name;
+        cost.cost = entry.second.cost;
+        cost.threshold = voff_ + entry.second.cost;
+        description.tasks.push_back(std::move(cost));
+    }
+    return description;
+}
+
+// --- CulpeoPolicy -------------------------------------------------------
 
 CulpeoPolicy::CulpeoPolicy(bool use_uarch, Volts dispatch_margin)
     : use_uarch_(use_uarch), dispatch_margin_(dispatch_margin)
@@ -94,6 +238,7 @@ CulpeoPolicy::culpeo() const
 void
 CulpeoPolicy::initialize(const AppSpec &app)
 {
+    voff_ = app.power.monitor.voff;
     vhigh_ = app.power.monitor.vhigh;
     const core::PowerSystemModel model = core::modelFromConfig(app.power);
     std::unique_ptr<core::Profiler> profiler;
@@ -108,6 +253,7 @@ CulpeoPolicy::initialize(const AppSpec &app)
     // tuned to the present incoming power. Stable harvest means a
     // single pass suffices (Section VI-B); a charge-rate change should
     // trigger re-initialization (Section V-B, sched::ChargeRateMonitor).
+    profiled_.clear();
     const sim::ConstantHarvester harvester(app.harvest);
     for (const SchedTask *task : allTasks(app)) {
         sim::Device device(app.power);
@@ -122,36 +268,37 @@ CulpeoPolicy::initialize(const AppSpec &app)
             log::warn("Culpeo profiling failed for task ", task->name,
                       "; its Vsafe defaults to Vhigh");
         }
+        profiled_.emplace_back(task->id, task->name);
     }
 }
 
-Volts
-CulpeoPolicy::taskStart(const SchedTask &task) const
+Admission
+CulpeoPolicy::admitTask(const SchedTask &task) const
 {
     // The guard band applies to every dispatch, not only chain starts:
     // Vsafe estimates carry model error of a few mV (the Figure 10
     // accuracy band), and the fuzz harness shows that dispatching at
     // the bare estimate can brown out by exactly that margin.
-    return std::min(culpeo().getVsafe(task.id) + dispatch_margin_,
-                    vhigh_);
+    return {true, std::min(culpeo().getVsafe(task.id) + dispatch_margin_,
+                           vhigh_)};
 }
 
-Volts
-CulpeoPolicy::chainStart(const EventSpec &event) const
+Admission
+CulpeoPolicy::admitChain(const EventSpec &event) const
 {
     std::vector<core::TaskId> ids;
     ids.reserve(event.chain.size());
     for (const auto &task : event.chain)
         ids.push_back(task.id);
-    return std::min(culpeo().getVsafeMulti(ids) + dispatch_margin_,
-                    vhigh_);
+    return {true, std::min(culpeo().getVsafeMulti(ids) + dispatch_margin_,
+                           vhigh_)};
 }
 
-Volts
-CulpeoPolicy::backgroundThreshold(const AppSpec &app) const
+Admission
+CulpeoPolicy::admitBackground(const AppSpec &app) const
 {
     if (!app.background.has_value())
-        return vhigh_;
+        return {true, vhigh_};
     // Background work may run only if, after it, the buffer could still
     // serve the most demanding event chain: compose background + chain.
     Volts threshold{0.0};
@@ -162,7 +309,27 @@ CulpeoPolicy::backgroundThreshold(const AppSpec &app) const
             ids.push_back(task.id);
         threshold = std::max(threshold, culpeo().getVsafeMulti(ids));
     }
-    return std::min(threshold + dispatch_margin_, vhigh_);
+    return {true, std::min(threshold + dispatch_margin_, vhigh_)};
+}
+
+PolicyDescription
+CulpeoPolicy::describe() const
+{
+    PolicyDescription description;
+    description.policy = name();
+    std::vector<std::pair<core::TaskId, std::string>> sorted = profiled_;
+    std::sort(sorted.begin(), sorted.end());
+    for (const auto &entry : sorted) {
+        TaskCost cost;
+        cost.id = entry.first;
+        cost.task = entry.second;
+        cost.threshold =
+            std::min(culpeo().getVsafe(entry.first) + dispatch_margin_,
+                     vhigh_);
+        cost.cost = cost.threshold - voff_;
+        description.tasks.push_back(std::move(cost));
+    }
+    return description;
 }
 
 } // namespace culpeo::sched

@@ -2,6 +2,16 @@
  * @file
  * Charge-management policies for the scheduler engine.
  *
+ * A Policy is consulted at every dispatch decision and returns an
+ * Admission: whether to dispatch, the start-voltage requirement, and an
+ * optional buffer-reconfiguration request (for policies that manage a
+ * switchable bank array). Policies may be *stateful*: the engine feeds
+ * every committed task's outcome back through observe(), so online
+ * strategies can learn from completions and brown-outs. Policies whose
+ * admissions are pure functions of the initialized app report
+ * stationary() == true and stay eligible for the batch sweep executor's
+ * resolve-once threshold tables.
+ *
  * CatnapPolicy reproduces the energy-only reasoning of the CatNap
  * scheduler [71]: each task's cost is the capacitor voltage drop measured
  * at task completion (before the ESR rebound), and chains are budgeted by
@@ -13,20 +23,104 @@
  * by profiling each task once through the Table I interface, and budgets
  * chains with Vsafe_multi (Section IV-A), implementing the corrected
  * feasibility test of Theorem 1.
+ *
+ * Concrete policies register in a process-wide registry so front ends
+ * (TrialBuilder, harness::runBakeoff, fleet cohorts) can select them by
+ * name: makePolicy("culpeo"), TrialBuilder().policy("eab"), ...
  */
 
 #ifndef CULPEO_SCHED_POLICY_HPP
 #define CULPEO_SCHED_POLICY_HPP
 
+#include <functional>
 #include <map>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "core/api.hpp"
 #include "sched/app.hpp"
 
+namespace culpeo::sim {
+struct CapacitorConfig;
+} // namespace culpeo::sim
+
 namespace culpeo::sched {
 
-/** Interface the engine consults for start/reserve voltage levels. */
+/**
+ * Verdict for one dispatch request — returned by Policy::admit*() and
+ * by the safety supervisor's admission layer (sched/supervisor.hpp).
+ */
+struct Admission
+{
+    bool admit = false;
+    /** Effective start-voltage requirement (base + adaptive margin). */
+    Volts need{0.0};
+    /**
+     * Optional buffer-reconfiguration request: a policy managing a
+     * switchable bank array (sim/bank_array.hpp) points at the
+     * aggregate capacitor configuration it wants on the rail before
+     * this dispatch. The pointee is owned by the policy and stable
+     * until the next initialize(). The engine applies the request via
+     * sim::Device::reconfigureBuffer() before honoring `need`; a
+     * policy may therefore assume an attached request takes effect.
+     * Null (the default, and always for the built-in threshold
+     * policies) leaves the buffer untouched.
+     */
+    const sim::CapacitorConfig *buffer = nullptr;
+    /** Active bank count implied by `buffer` (0 when not applicable). */
+    unsigned banks = 0;
+    /**
+     * Static human-readable reason for telemetry/scorecards (e.g.
+     * "eab:shrink(harvest)"). Never null; "" means unremarkable.
+     */
+    const char *rationale = "";
+};
+
+/**
+ * Feedback for one committed dispatch, fed to Policy::observe() after
+ * the task ran (or browned out). All voltages are terminal-side.
+ */
+struct TaskOutcome
+{
+    const SchedTask *task = nullptr;
+    bool completed = false;
+    Volts started_at{0.0}; ///< Resting voltage the dispatch left from.
+    Volts need{0.0};       ///< Requirement it was admitted against.
+    Volts base_need{0.0};  ///< Bare policy requirement (no margins).
+    Volts vmin{0.0};       ///< Minimum terminal voltage of the run.
+    Volts vend{0.0};       ///< Terminal voltage when the run ended.
+    Volts voff{0.0};       ///< Brown-out threshold.
+    Watts harvest{0.0};    ///< Harvest power at completion time.
+    Seconds now{0.0};      ///< Simulation time when the run ended.
+};
+
+/** One task's entry in a policy's introspection report. */
+struct TaskCost
+{
+    core::TaskId id = 0;
+    std::string task;       ///< Task name.
+    Volts threshold{0.0};   ///< Admission requirement for the lone task.
+    Volts cost{0.0};        ///< threshold - Voff: the budgeted drop.
+};
+
+/**
+ * Generic, policy-agnostic introspection surface: what a policy
+ * currently believes each task requires. Tests and the bake-off
+ * scorecard read this instead of downcasting to concrete types.
+ */
+struct PolicyDescription
+{
+    std::string policy;          ///< Policy name.
+    std::vector<TaskCost> tasks; ///< Sorted by task id.
+    std::string notes;           ///< Free-form state summary.
+
+    bool has(core::TaskId id) const;
+    /** Entry for @p id; fatal when the policy has no estimate for it. */
+    const TaskCost &costOf(core::TaskId id) const;
+};
+
+/** Interface the engine consults for every dispatch decision. */
 class Policy
 {
   public:
@@ -35,24 +129,75 @@ class Policy
     virtual const char *name() const = 0;
 
     /**
-     * One-time offline profiling pass against an isolated copy of the
-     * app's power system (harvested power is stable in the evaluation,
-     * Section VI-B, so profiling happens once before the app starts).
+     * One-time offline pass against an isolated copy of the app's
+     * power system (profiling, table construction, estimator reset).
+     * Must be called before any admit*()/describe() query.
      */
     virtual void initialize(const AppSpec &app) = 0;
 
-    /** Minimum voltage to begin an individual task. */
-    virtual Volts taskStart(const SchedTask &task) const = 0;
+    /** May an individual task dispatch, and from what voltage? */
+    virtual Admission admitTask(const SchedTask &task) const = 0;
 
-    /** Minimum voltage to begin an event's full task chain. */
-    virtual Volts chainStart(const EventSpec &event) const = 0;
+    /** May an event's full task chain begin, and from what voltage? */
+    virtual Admission admitChain(const EventSpec &event) const = 0;
 
     /**
-     * Minimum voltage at which background (low-priority) work may run;
-     * below it the scheduler hoards charge for future events.
+     * May background (low-priority) work run, and above what reserve?
+     * Below the returned need the scheduler hoards charge for future
+     * events.
      */
-    virtual Volts backgroundThreshold(const AppSpec &app) const = 0;
+    virtual Admission admitBackground(const AppSpec &app) const = 0;
+
+    /**
+     * Runtime feedback: called by the engine after every committed
+     * dispatch (chain tasks and background runs alike). Stateless
+     * policies ignore it; online policies update their estimates here.
+     */
+    virtual void observe(const TaskOutcome &outcome) { (void)outcome; }
+
+    /**
+     * True when admissions are a pure function of the initialized app —
+     * i.e. observe() never changes a future admission. Stationary
+     * policies may have their thresholds resolved once per sweep
+     * (batch::PolicyTables) and shared across parallel trials;
+     * adapting policies must return false and run on the scalar
+     * serial path.
+     */
+    virtual bool stationary() const { return true; }
+
+    /**
+     * Introspection snapshot (see PolicyDescription). The default
+     * reports the name with no per-task entries; policies that hold
+     * per-task estimates override it.
+     */
+    virtual PolicyDescription describe() const;
 };
+
+// --- Policy registry ----------------------------------------------------
+
+/** Factory signature: a fresh, uninitialized policy instance. */
+using PolicyFactory = std::function<std::unique_ptr<Policy>()>;
+
+/**
+ * Register @p factory under @p name. Fatal on an empty name or a
+ * duplicate registration. The built-in policies ("catnap", "culpeo",
+ * "culpeo-uarch", "eab", "adaptive") are pre-registered.
+ */
+void registerPolicy(const std::string &name, PolicyFactory factory);
+
+/** True when @p name resolves to a registered factory. */
+bool policyRegistered(const std::string &name);
+
+/**
+ * Instantiate a fresh, uninitialized policy by name; fatal (listing
+ * the registered names) when @p name is unknown.
+ */
+std::unique_ptr<Policy> makePolicy(const std::string &name);
+
+/** All registered policy names, sorted. */
+std::vector<std::string> registeredPolicies();
+
+// --- Built-in threshold policies ----------------------------------------
 
 /** Energy-only baseline (CatNap-style voltage-as-energy budgeting). */
 class CatnapPolicy : public Policy
@@ -60,15 +205,22 @@ class CatnapPolicy : public Policy
   public:
     const char *name() const override { return "catnap"; }
     void initialize(const AppSpec &app) override;
-    Volts taskStart(const SchedTask &task) const override;
-    Volts chainStart(const EventSpec &event) const override;
-    Volts backgroundThreshold(const AppSpec &app) const override;
-
-    /** Measured voltage-drop cost of a task (for inspection/tests). */
-    Volts costOf(core::TaskId id) const;
+    Admission admitTask(const SchedTask &task) const override;
+    Admission admitChain(const EventSpec &event) const override;
+    Admission admitBackground(const AppSpec &app) const override;
+    PolicyDescription describe() const override;
 
   private:
-    std::map<core::TaskId, Volts> cost_; ///< Per-task measured drop.
+    struct Entry
+    {
+        std::string name;
+        Volts cost{0.0}; ///< Measured start-to-completion drop.
+    };
+
+    /** Measured voltage-drop cost of a task; fatal for unknown ids. */
+    Volts costOf(core::TaskId id) const;
+
+    std::map<core::TaskId, Entry> cost_;
     Volts voff_{0.0};
     Volts vhigh_{0.0};
 };
@@ -95,9 +247,10 @@ class CulpeoPolicy : public Policy
         return use_uarch_ ? "culpeo-uarch" : "culpeo";
     }
     void initialize(const AppSpec &app) override;
-    Volts taskStart(const SchedTask &task) const override;
-    Volts chainStart(const EventSpec &event) const override;
-    Volts backgroundThreshold(const AppSpec &app) const override;
+    Admission admitTask(const SchedTask &task) const override;
+    Admission admitChain(const EventSpec &event) const override;
+    Admission admitBackground(const AppSpec &app) const override;
+    PolicyDescription describe() const override;
 
     /** The underlying Culpeo instance (valid after initialize). */
     const core::Culpeo &culpeo() const;
@@ -106,6 +259,9 @@ class CulpeoPolicy : public Policy
     bool use_uarch_;
     Volts dispatch_margin_;
     std::unique_ptr<core::Culpeo> culpeo_;
+    /** (id, name) of every profiled task, for describe(). */
+    std::vector<std::pair<core::TaskId, std::string>> profiled_;
+    Volts voff_{0.0};
     Volts vhigh_{0.0};
 };
 

@@ -1,0 +1,422 @@
+#include "policy_adaptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace culpeo::sched {
+
+namespace {
+
+/** Every task an app can run (chains plus background). */
+std::vector<const SchedTask *>
+allTasks(const AppSpec &app)
+{
+    std::vector<const SchedTask *> tasks;
+    for (const auto &event : app.events)
+        for (const auto &task : event.chain)
+            tasks.push_back(&task);
+    if (app.background.has_value())
+        tasks.push_back(&*app.background);
+    return tasks;
+}
+
+} // namespace
+
+// --- EnergyAdaptiveBufferPolicy -----------------------------------------
+
+EnergyAdaptiveBufferPolicy::EnergyAdaptiveBufferPolicy(
+    EnergyAdaptiveBufferOptions options)
+    : options_(options)
+{
+    log::fatalIf(options_.total_banks == 0,
+                 "eab needs at least one bank");
+    log::fatalIf(options_.ewma_alpha <= 0.0 || options_.ewma_alpha > 1.0,
+                 "eab ewma_alpha must be in (0, 1]");
+    log::fatalIf(options_.shrink_ratio >= options_.grow_ratio,
+                 "eab shrink_ratio must be below grow_ratio");
+}
+
+void
+EnergyAdaptiveBufferPolicy::initialize(const AppSpec &app)
+{
+    vhigh_ = app.power.monitor.vhigh;
+    profiled_harvest_ = app.harvest;
+    harvest_ewma_w_ = 0.0;
+    ewma_valid_ = false;
+    pending_rationale_ = "";
+
+    // Split the app's capacitor into total_banks identical parallel
+    // sub-banks: a k-of-n aggregate then has k/n of the capacitance and
+    // leakage and n/k of every branch resistance, so the full array
+    // reproduces the app's buffer (plus the parallel switch path).
+    const double n = double(options_.total_banks);
+    sim::BankArrayConfig array;
+    array.sub_bank = app.power.capacitor;
+    array.sub_bank.capacitance = app.power.capacitor.capacitance / n;
+    array.sub_bank.leakage = app.power.capacitor.leakage / n;
+    array.sub_bank.series_esr = app.power.capacitor.series_esr * n;
+    array.sub_bank.bulk_resistance = app.power.capacitor.bulk_resistance * n;
+    array.sub_bank.surface_resistance =
+        app.power.capacitor.surface_resistance * n;
+    array.total_banks = options_.total_banks;
+    array.switch_resistance = options_.switch_resistance;
+    bank_.emplace(array);
+
+    // Per-configuration Culpeo profiles: every bank count gets its own
+    // ESR-aware threshold set (profile data is tagged with a buffer
+    // configuration, Section V-B).
+    configs_.clear();
+    configs_.reserve(options_.total_banks);
+    policies_.clear();
+    policies_.reserve(options_.total_banks);
+    for (unsigned k = 1; k <= options_.total_banks; ++k) {
+        configs_.push_back(bank_->capacitorFor(k));
+        AppSpec scaled = app;
+        scaled.power = bank_->powerSystemFor(k, app.power);
+        auto policy = std::make_unique<CulpeoPolicy>(
+            false, options_.dispatch_margin);
+        policy->initialize(scaled);
+        policies_.push_back(std::move(policy));
+    }
+
+    // Feasibility floor: never shrink below the smallest configuration
+    // whose most demanding chain threshold is still reachable below
+    // Vhigh (a threshold clamped to Vhigh means the chain may not be
+    // sustainable at all on that few banks).
+    floor_banks_ = options_.total_banks;
+    for (unsigned k = 1; k <= options_.total_banks; ++k) {
+        Volts worst{0.0};
+        for (const auto &event : app.events)
+            worst = std::max(worst, policies_[k - 1]->admitChain(event).need);
+        if (worst <= vhigh_ - options_.feasibility_slack) {
+            floor_banks_ = k;
+            break;
+        }
+    }
+
+    // Start on the full array: it is the closest match to the app's
+    // deployed buffer, and shrinking is an observed-harvest decision.
+    target_banks_ = options_.total_banks;
+    active_banks_ = options_.total_banks;
+}
+
+void
+EnergyAdaptiveBufferPolicy::requireInitialized() const
+{
+    log::fatalIf(!bank_.has_value(),
+                 "EnergyAdaptiveBufferPolicy not initialized");
+}
+
+const Policy &
+EnergyAdaptiveBufferPolicy::policyFor(unsigned banks) const
+{
+    requireInitialized();
+    log::fatalIf(banks == 0 || banks > policies_.size(),
+                 "bank count must be in 1..", policies_.size());
+    return *policies_[banks - 1];
+}
+
+unsigned
+EnergyAdaptiveBufferPolicy::activeBanks() const
+{
+    requireInitialized();
+    return active_banks_;
+}
+
+unsigned
+EnergyAdaptiveBufferPolicy::feasibilityFloor() const
+{
+    requireInitialized();
+    return floor_banks_;
+}
+
+const sim::CapacitorConfig &
+EnergyAdaptiveBufferPolicy::bankConfig(unsigned banks) const
+{
+    requireInitialized();
+    log::fatalIf(banks == 0 || banks > configs_.size(),
+                 "bank count must be in 1..", configs_.size());
+    return configs_[banks - 1];
+}
+
+Admission
+EnergyAdaptiveBufferPolicy::configured(Volts need) const
+{
+    Admission admission;
+    admission.admit = true;
+    admission.need = need;
+    if (target_banks_ != active_banks_) {
+        // The engine applies an attached request before honoring
+        // `need` (the Admission::buffer contract), so the switch can
+        // be recorded as effective here despite const-ness.
+        admission.buffer = &configs_[target_banks_ - 1];
+        admission.banks = target_banks_;
+        admission.rationale = pending_rationale_;
+        active_banks_ = target_banks_;
+        pending_rationale_ = "";
+    }
+    return admission;
+}
+
+Admission
+EnergyAdaptiveBufferPolicy::admitTask(const SchedTask &task) const
+{
+    // Mid-chain dispatches never switch banks: the chain was admitted
+    // against one configuration and must finish on it.
+    return policyFor(activeBanks()).admitTask(task);
+}
+
+Admission
+EnergyAdaptiveBufferPolicy::admitChain(const EventSpec &event) const
+{
+    requireInitialized();
+    return configured(policyFor(target_banks_).admitChain(event).need);
+}
+
+Admission
+EnergyAdaptiveBufferPolicy::admitBackground(const AppSpec &app) const
+{
+    requireInitialized();
+    return configured(policyFor(target_banks_).admitBackground(app).need);
+}
+
+void
+EnergyAdaptiveBufferPolicy::observe(const TaskOutcome &outcome)
+{
+    requireInitialized();
+    if (ewma_valid_) {
+        harvest_ewma_w_ = options_.ewma_alpha * outcome.harvest.value() +
+                          (1.0 - options_.ewma_alpha) * harvest_ewma_w_;
+    } else {
+        harvest_ewma_w_ = outcome.harvest.value();
+        ewma_valid_ = true;
+    }
+
+    unsigned target = target_banks_;
+    const char *why = pending_rationale_;
+    if (!outcome.completed) {
+        // A brown-out means the active configuration could not sustain
+        // the load: add capacitance regardless of the harvest trend.
+        target = std::min(target_banks_ + 1, options_.total_banks);
+        why = "eab:grow(brownout)";
+    } else {
+        const double profiled = profiled_harvest_.value();
+        if (profiled > 0.0 &&
+            harvest_ewma_w_ >= options_.grow_ratio * profiled) {
+            // Rich harvest: persistence — more banks sustain demanding
+            // chains and buffer the surplus.
+            target = std::min(target_banks_ + 1, options_.total_banks);
+            why = "eab:grow(harvest)";
+        } else if (profiled > 0.0 &&
+                   harvest_ewma_w_ <= options_.shrink_ratio * profiled) {
+            // Scarce harvest: responsiveness — fewer banks recharge to
+            // the dispatch threshold sooner.
+            target = std::max(target_banks_ - 1, floor_banks_);
+            why = "eab:shrink(harvest)";
+        }
+    }
+    if (target != target_banks_) {
+        target_banks_ = target;
+        pending_rationale_ = why;
+    }
+}
+
+PolicyDescription
+EnergyAdaptiveBufferPolicy::describe() const
+{
+    requireInitialized();
+    PolicyDescription description = policyFor(activeBanks()).describe();
+    description.policy = name();
+    std::ostringstream notes;
+    notes << "banks=" << active_banks_ << "/" << options_.total_banks
+          << " target=" << target_banks_ << " floor=" << floor_banks_;
+    description.notes = notes.str();
+    return description;
+}
+
+// --- AdaptiveWorkloadPolicy ---------------------------------------------
+
+AdaptiveWorkloadPolicy::AdaptiveWorkloadPolicy(AdaptiveWorkloadOptions options)
+    : options_(options), monitor_(options.harvest_threshold)
+{
+    log::fatalIf(options_.ewma_alpha <= 0.0 || options_.ewma_alpha > 1.0,
+                 "adaptive ewma_alpha must be in (0, 1]");
+    log::fatalIf(options_.safety_margin.value() < 0.0,
+                 "adaptive safety_margin cannot be negative");
+}
+
+void
+AdaptiveWorkloadPolicy::initialize(const AppSpec &app)
+{
+    initialized_ = true;
+    voff_ = app.power.monitor.voff;
+    vhigh_ = app.power.monitor.vhigh;
+    estimates_.clear();
+    task_names_.clear();
+    for (const SchedTask *task : allTasks(app))
+        task_names_[task->id] = task->name;
+    harvest_resets_ = 0;
+    monitor_ = ChargeRateMonitor(options_.harvest_threshold);
+    monitor_.baseline(app.harvest);
+}
+
+void
+AdaptiveWorkloadPolicy::requireInitialized() const
+{
+    log::fatalIf(!initialized_, "AdaptiveWorkloadPolicy not initialized");
+}
+
+Volts
+AdaptiveWorkloadPolicy::costOf(core::TaskId id) const
+{
+    // No a-priori profiles: a task we have never run dispatches from
+    // the most conservative level the hardware offers (a full buffer).
+    const auto it = estimates_.find(id);
+    if (it == estimates_.end() || it->second.samples == 0)
+        return vhigh_ - voff_;
+    // Admit on the worst drop seen since the last reset, not the EWMA
+    // mean: per-dispatch load jitter puts tail instances above the
+    // mean, and a committed dispatch must survive the tail.
+    //
+    // The observed drop also scales roughly with 1/V: the boost
+    // converter draws more input current at a lower buffer voltage
+    // (bigger ESR drop) and each joule removes more volts from a
+    // less-charged capacitor. A sample taken at ref_v therefore
+    // under-predicts the drop at a lower admission voltage. Model
+    // drop(V) = drop*ref/V and solve V - drop*ref/V >= voff + margin
+    // for the admission voltage; when samples were taken right at the
+    // admission level the solution collapses to the uncompensated
+    // voff+drop+margin, which also serves as the floor.
+    const double drop = std::max(it->second.drop_v, it->second.peak_v);
+    const double floor_v = (voff_ + options_.safety_margin).value();
+    const double k = drop * it->second.ref_v;
+    const double compensated =
+        0.5 * (floor_v + std::sqrt(floor_v * floor_v + 4.0 * k));
+    const double cost = std::max(drop + options_.safety_margin.value(),
+                                 compensated - voff_.value());
+    return std::min(Volts(cost), vhigh_ - voff_);
+}
+
+Admission
+AdaptiveWorkloadPolicy::admitTask(const SchedTask &task) const
+{
+    requireInitialized();
+    return {true, std::min(voff_ + costOf(task.id), vhigh_)};
+}
+
+Admission
+AdaptiveWorkloadPolicy::admitChain(const EventSpec &event) const
+{
+    requireInitialized();
+    Volts total = voff_;
+    for (const auto &task : event.chain)
+        total += costOf(task.id);
+    return {true, std::min(total, vhigh_)};
+}
+
+Admission
+AdaptiveWorkloadPolicy::admitBackground(const AppSpec &app) const
+{
+    requireInitialized();
+    // Reserve the most demanding chain's budget on top of the
+    // background task's own cost, as the CatNap-style reserve does.
+    Volts reserve = voff_;
+    for (const auto &event : app.events)
+        reserve = std::max(reserve, admitChain(event).need);
+    if (app.background.has_value())
+        reserve += costOf(app.background->id);
+    return {true, std::min(reserve, vhigh_)};
+}
+
+void
+AdaptiveWorkloadPolicy::observe(const TaskOutcome &outcome)
+{
+    requireInitialized();
+    // Harvest drift invalidates every estimate: the start-to-Vmin drop
+    // depends on the incoming power the samples were taken at
+    // (Section V-B), exactly like Culpeo's profiled Vsafe values.
+    if (monitor_.observe(outcome.harvest)) {
+        estimates_.clear();
+        monitor_.baseline(outcome.harvest);
+        ++harvest_resets_;
+    }
+    if (outcome.task == nullptr)
+        return;
+    task_names_[outcome.task->id] = outcome.task->name;
+
+    // A completion's requirement sample is the observed start-to-Vmin
+    // drop (ESR-aware, directly comparable to Vsafe - Voff). A
+    // brown-out only lower-bounds the true drop — the run consumed the
+    // whole start-to-Voff budget and still failed — so bump past it.
+    double sample;
+    if (outcome.completed)
+        sample = (outcome.started_at - outcome.vmin).value();
+    else
+        sample = (outcome.started_at - outcome.voff).value() +
+                 options_.brownout_bump.value();
+    sample = std::max(sample, 0.0);
+
+    Estimate &estimate = estimates_[outcome.task->id];
+    if (estimate.samples == 0) {
+        estimate.drop_v = sample;
+        estimate.ref_v = outcome.started_at.value();
+    } else {
+        estimate.drop_v = options_.ewma_alpha * sample +
+                          (1.0 - options_.ewma_alpha) * estimate.drop_v;
+        estimate.ref_v =
+            options_.ewma_alpha * outcome.started_at.value() +
+            (1.0 - options_.ewma_alpha) * estimate.ref_v;
+    }
+    if (!outcome.completed) {
+        // Never let a failure *lower* the estimate through the EWMA.
+        estimate.drop_v = std::max(estimate.drop_v, sample);
+    }
+    estimate.peak_v = std::max(estimate.peak_v, sample);
+    ++estimate.samples;
+}
+
+std::optional<Volts>
+AdaptiveWorkloadPolicy::estimatedDrop(core::TaskId id) const
+{
+    const auto it = estimates_.find(id);
+    if (it == estimates_.end() || it->second.samples == 0)
+        return std::nullopt;
+    return Volts(it->second.drop_v);
+}
+
+unsigned
+AdaptiveWorkloadPolicy::sampleCount(core::TaskId id) const
+{
+    const auto it = estimates_.find(id);
+    return it == estimates_.end() ? 0 : it->second.samples;
+}
+
+PolicyDescription
+AdaptiveWorkloadPolicy::describe() const
+{
+    requireInitialized();
+    PolicyDescription description;
+    description.policy = name();
+    unsigned total_samples = 0;
+    for (const auto &entry : task_names_) {
+        TaskCost cost;
+        cost.id = entry.first;
+        cost.task = entry.second;
+        cost.cost = costOf(entry.first);
+        cost.threshold = std::min(voff_ + cost.cost, vhigh_);
+        description.tasks.push_back(std::move(cost));
+        const auto it = estimates_.find(entry.first);
+        if (it != estimates_.end())
+            total_samples += it->second.samples;
+    }
+    std::ostringstream notes;
+    notes << "samples=" << total_samples << " resets=" << harvest_resets_
+          << " baseline_w=" << monitor_.currentBaseline().value();
+    description.notes = notes.str();
+    return description;
+}
+
+} // namespace culpeo::sched

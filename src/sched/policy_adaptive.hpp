@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Online-adapting charge-management policies — the two strategies the
+ * pluggable Policy interface exists to express:
+ *
+ * EnergyAdaptiveBufferPolicy (Williams & Hicks, "Energy-adaptive
+ * Buffering for Efficient, Responsive, and Persistent Batteryless
+ * Systems"): treats the app's capacitor as a switchable bank array
+ * (sim/bank_array.hpp) and resizes the effective capacitance at run
+ * time — few banks recharge fast (responsive under scarce harvest),
+ * many banks sustain demanding chains (persistent under rich harvest).
+ * Thresholds for each bank count come from a per-configuration
+ * CulpeoPolicy, so every configuration stays ESR-safe; observe() runs
+ * a harvest EWMA that drives grow/shrink requests attached to chain
+ * and background admissions.
+ *
+ * AdaptiveWorkloadPolicy (Nasser et al., "Managing Task Execution for
+ * Unknown Workloads in Batteryless IoT"): no a-priori task profiles at
+ * all. Unknown tasks dispatch from Vhigh (maximally conservative); each
+ * completion yields the observed start-to-Vmin drop, and a per-task
+ * estimate (EWMA mean, admission on the worst drop seen since the
+ * last reset — committed dispatches must survive the jitter tail)
+ * converges onto the true requirement from above.
+ * Because the drop scales roughly with 1/V (boost input current and
+ * volts-per-joule both grow as the buffer empties), admissions solve
+ * for the start voltage at which the voltage-scaled estimate still
+ * clears Voff + margin, so estimates learned at a high start voltage
+ * stay safe when dispatching lower.
+ * Brown-outs bump the estimate; a sched::ChargeRateMonitor resets the
+ * estimator when the harvest level drifts past the re-profiling
+ * threshold (Section V-B).
+ */
+
+#ifndef CULPEO_SCHED_POLICY_ADAPTIVE_HPP
+#define CULPEO_SCHED_POLICY_ADAPTIVE_HPP
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sched/adaptive.hpp"
+#include "sched/policy.hpp"
+#include "sim/bank_array.hpp"
+
+namespace culpeo::sched {
+
+/** Tuning for EnergyAdaptiveBufferPolicy. */
+struct EnergyAdaptiveBufferOptions
+{
+    /** Sub-banks the app capacitor is split into. */
+    unsigned total_banks = 3;
+    /** Per-bank switch interconnect resistance (Section V-B). */
+    units::Ohms switch_resistance{0.15};
+    /** EWMA smoothing of the observed harvest power. */
+    double ewma_alpha = 0.4;
+    /** Grow one bank when harvest EWMA >= this × the profiled level. */
+    double grow_ratio = 1.25;
+    /** Shrink one bank when harvest EWMA <= this × the profiled level. */
+    double shrink_ratio = 0.8;
+    /** Guard band of the per-configuration Culpeo thresholds. */
+    Volts dispatch_margin{20e-3};
+    /** Chain thresholds must clear vhigh - this to count feasible. */
+    Volts feasibility_slack{10e-3};
+};
+
+/**
+ * Energy-adaptive buffering over the repo's reconfigurable bank-array
+ * model. Non-stationary: admissions depend on the bank count observe()
+ * steers. Buffer switches are requested only at chain/background
+ * admissions (between commitments, as the hardware would).
+ */
+class EnergyAdaptiveBufferPolicy : public Policy
+{
+  public:
+    explicit EnergyAdaptiveBufferPolicy(
+        EnergyAdaptiveBufferOptions options = {});
+
+    const char *name() const override { return "eab"; }
+    void initialize(const AppSpec &app) override;
+    Admission admitTask(const SchedTask &task) const override;
+    Admission admitChain(const EventSpec &event) const override;
+    Admission admitBackground(const AppSpec &app) const override;
+    void observe(const TaskOutcome &outcome) override;
+    bool stationary() const override { return false; }
+    PolicyDescription describe() const override;
+
+    const EnergyAdaptiveBufferOptions &options() const { return options_; }
+    /** Banks currently on the rail (per the engine-applied requests). */
+    unsigned activeBanks() const;
+    /** Bank count the next chain/background admission will request. */
+    unsigned targetBanks() const { return target_banks_; }
+    /**
+     * Smallest bank count whose most demanding chain threshold stays
+     * reachable (<= vhigh - feasibility_slack); shrink floor.
+     */
+    unsigned feasibilityFloor() const;
+    /** Aggregate capacitor model for @p banks active (1-based). */
+    const sim::CapacitorConfig &bankConfig(unsigned banks) const;
+
+  private:
+    /** Buffer request + threshold source for the decided bank count. */
+    Admission configured(Volts need) const;
+    const Policy &policyFor(unsigned banks) const;
+    void requireInitialized() const;
+
+    EnergyAdaptiveBufferOptions options_;
+    std::optional<sim::BankArray> bank_;
+    std::vector<sim::CapacitorConfig> configs_;  ///< Index k-1: k banks.
+    std::vector<std::unique_ptr<CulpeoPolicy>> policies_; ///< Same index.
+    unsigned floor_banks_ = 1;
+    unsigned target_banks_ = 1;
+    /**
+     * Banks the engine has on the rail. Updated from const admissions
+     * under the Admission::buffer contract (an attached request is
+     * applied by the engine before the dispatch proceeds).
+     */
+    mutable unsigned active_banks_ = 1;
+    mutable const char *pending_rationale_ = "";
+    Watts profiled_harvest_{0.0};
+    double harvest_ewma_w_ = 0.0;
+    bool ewma_valid_ = false;
+    Volts vhigh_{0.0};
+};
+
+/** Tuning for AdaptiveWorkloadPolicy. */
+struct AdaptiveWorkloadOptions
+{
+    /** EWMA smoothing of the per-task drop estimate. */
+    double ewma_alpha = 0.5;
+    /** Guard band above the estimated drop, as CulpeoPolicy's margin. */
+    Volts safety_margin{30e-3};
+    /** Extra requirement added after a brown-out of the task. */
+    Volts brownout_bump{40e-3};
+    /** Relative harvest change that resets all estimates (Section V-B). */
+    double harvest_threshold = 0.25;
+};
+
+/**
+ * Profile-free online cost estimation: converges onto the profiled
+ * Vsafe from above using only observed outcomes. Non-stationary.
+ */
+class AdaptiveWorkloadPolicy : public Policy
+{
+  public:
+    explicit AdaptiveWorkloadPolicy(AdaptiveWorkloadOptions options = {});
+
+    const char *name() const override { return "adaptive"; }
+    void initialize(const AppSpec &app) override;
+    Admission admitTask(const SchedTask &task) const override;
+    Admission admitChain(const EventSpec &event) const override;
+    Admission admitBackground(const AppSpec &app) const override;
+    void observe(const TaskOutcome &outcome) override;
+    bool stationary() const override { return false; }
+    PolicyDescription describe() const override;
+
+    const AdaptiveWorkloadOptions &options() const { return options_; }
+    /** Current drop estimate for @p id (nullopt before any sample). */
+    std::optional<Volts> estimatedDrop(core::TaskId id) const;
+    /** Samples folded into @p id's estimate so far. */
+    unsigned sampleCount(core::TaskId id) const;
+    /** Estimator resets triggered by harvest drift. */
+    unsigned harvestResets() const { return harvest_resets_; }
+
+  private:
+    struct Estimate
+    {
+        double drop_v = 0.0; ///< EWMA of the start-to-Vmin drop.
+        double peak_v = 0.0; ///< Worst drop observed since the reset.
+        double ref_v = 0.0;  ///< EWMA of the sample start voltages.
+        unsigned samples = 0;
+    };
+
+    /** Per-task cost above Voff: estimate + margin, or worst case. */
+    Volts costOf(core::TaskId id) const;
+    void requireInitialized() const;
+
+    AdaptiveWorkloadOptions options_;
+    ChargeRateMonitor monitor_;
+    std::map<core::TaskId, Estimate> estimates_;
+    std::map<core::TaskId, std::string> task_names_;
+    unsigned harvest_resets_ = 0;
+    bool initialized_ = false;
+    Volts voff_{0.0};
+    Volts vhigh_{0.0};
+};
+
+} // namespace culpeo::sched
+
+#endif // CULPEO_SCHED_POLICY_ADAPTIVE_HPP

@@ -59,6 +59,7 @@
 #include <string>
 
 #include "sched/app.hpp"
+#include "sched/policy.hpp"
 #include "util/units.hpp"
 
 namespace culpeo::telemetry {
@@ -118,13 +119,8 @@ struct SupervisorStats
     std::uint64_t readmissions = 0;
 };
 
-/** Verdict for one dispatch request. */
-struct Admission
-{
-    bool admit = false;
-    /** Effective start-voltage requirement (base + adaptive margin). */
-    Volts need{0.0};
-};
+// The supervisor's admission verdicts share sched::Admission
+// (sched/policy.hpp) with the policy interface.
 
 /** The drift-aware safety supervisor. See the file comment. */
 class Supervisor

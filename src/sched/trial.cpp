@@ -5,29 +5,43 @@
 
 namespace culpeo {
 
+sched::Policy &
+TrialBuilder::resolvedPolicy() const
+{
+    if (named_ != nullptr) {
+        if (named_->initialized_for != app_) {
+            named_->policy->initialize(*app_);
+            named_->initialized_for = app_;
+        }
+        return *named_->policy;
+    }
+    return *policy_;
+}
+
 sched::TrialResult
 TrialBuilder::run() const
 {
     log::fatalIf(app_ == nullptr, "TrialBuilder: app() was not set");
-    log::fatalIf(policy_ == nullptr,
+    log::fatalIf(policy_ == nullptr && named_ == nullptr,
                  "TrialBuilder: policy() was not set");
-    return sched::runTrialWith(*app_, *policy_, config_);
+    return sched::runTrialWith(*app_, resolvedPolicy(), config_);
 }
 
 sched::AggregateResult
 TrialBuilder::runAll() const
 {
     log::fatalIf(app_ == nullptr, "TrialBuilder: app() was not set");
-    log::fatalIf(policy_ == nullptr,
+    log::fatalIf(policy_ == nullptr && named_ == nullptr,
                  "TrialBuilder: policy() was not set");
-    if (batch::batchTrialsEligible(config_)) {
-        // Clean sweeps run on the SoA batch engine in exact-replay
-        // mode: bit-identical results, lockstep execution.
+    sched::Policy &policy = resolvedPolicy();
+    if (batch::batchTrialsEligible(config_, policy)) {
+        // Clean stationary sweeps run on the SoA batch engine in
+        // exact-replay mode: bit-identical results, lockstep execution.
         batch::TrialRunnerOptions options;
         options.batch.exact_replay = true;
-        return batch::runTrialsBatch(*app_, *policy_, config_, options);
+        return batch::runTrialsBatch(*app_, policy, config_, options);
     }
-    return sched::runTrialsWith(*app_, *policy_, config_);
+    return sched::runTrialsWith(*app_, policy, config_);
 }
 
 } // namespace culpeo

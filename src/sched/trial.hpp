@@ -45,10 +45,30 @@ class TrialBuilder
         return *this;
     }
 
-    /** The charge-management policy (required, already initialized). */
-    TrialBuilder &policy(const sched::Policy &policy)
+    /**
+     * The charge-management policy (required, already initialized).
+     * Non-const: the engine feeds dispatch outcomes back through
+     * Policy::observe().
+     */
+    TrialBuilder &policy(sched::Policy &policy)
     {
         policy_ = &policy;
+        named_.reset();
+        return *this;
+    }
+
+    /**
+     * Select a policy by registry name — `.policy("eab")` — instead of
+     * supplying an instance. The builder owns the instance (copies
+     * share it) and initializes it lazily against the configured app
+     * at run()/runAll(); re-running after app() changed re-initializes.
+     * Fatal on an unknown name (see sched::makePolicy).
+     */
+    TrialBuilder &policy(const std::string &name)
+    {
+        named_ = std::make_shared<Named>();
+        named_->policy = sched::makePolicy(name);
+        policy_ = nullptr;
         return *this;
     }
 
@@ -155,8 +175,19 @@ class TrialBuilder
     sched::AggregateResult runAll() const;
 
   private:
+    /** A registry-made policy the builder owns, initialized lazily. */
+    struct Named
+    {
+        std::unique_ptr<sched::Policy> policy;
+        const sched::AppSpec *initialized_for = nullptr;
+    };
+
+    /** The policy to run: the referenced one, or the owned named one. */
+    sched::Policy &resolvedPolicy() const;
+
     const sched::AppSpec *app_ = nullptr;
-    const sched::Policy *policy_ = nullptr;
+    sched::Policy *policy_ = nullptr;
+    std::shared_ptr<Named> named_;
     std::shared_ptr<const env::FieldHarvester> env_harvester_;
     sched::TrialConfig config_;
 };

@@ -58,6 +58,7 @@ Device::setTelemetry(telemetry::Telemetry *telemetry)
         return;
     }
     telemetry_ = telemetry;
+    buffer_switches_ = nullptr; // Re-resolved lazily against the new sink.
     if (telemetry_ == nullptr) {
         tcache_ = TelemetryCache{};
         return;
@@ -74,6 +75,21 @@ Device::setTelemetry(telemetry::Telemetry *telemetry)
                                           telemetry::GaugeMode::Sum);
     tcache_.min_margin = &reg.gauge(names::kDeviceMinMarginV,
                                     telemetry::GaugeMode::Min);
+}
+
+void
+Device::reconfigureBuffer(const CapacitorConfig &next)
+{
+    system_.reconfigureCapacitor(next);
+    if constexpr (telemetry::kEnabled) {
+        if (telemetry_ == nullptr)
+            return;
+        if (buffer_switches_ == nullptr) {
+            buffer_switches_ = &telemetry_->registry().counter(
+                telemetry::names::kDeviceBufferSwitches);
+        }
+        buffer_switches_->add();
+    }
 }
 
 void

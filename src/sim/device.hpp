@@ -166,6 +166,12 @@ class Device
         system_.setObserver(observer);
     }
     void setBufferVoltage(Volts voc) { system_.setBufferVoltage(voc); }
+    /**
+     * Swap the storage buffer for a bank-array reconfiguration
+     * (charge-conserving; see PowerSystem::reconfigureCapacitor) and
+     * count the switch in telemetry.
+     */
+    void reconfigureBuffer(const CapacitorConfig &next);
     void forceOutputEnabled(bool enabled)
     {
         system_.forceOutputEnabled(enabled);
@@ -302,6 +308,12 @@ class Device
     DeviceOptions options_;
     telemetry::Telemetry *telemetry_ = nullptr;
     TelemetryCache tcache_;
+    /**
+     * Resolved lazily on the first reconfigureBuffer() call — never in
+     * setTelemetry — so runs that never switch banks keep the registry
+     * insertion order of older telemetry snapshots.
+     */
+    telemetry::Counter *buffer_switches_ = nullptr;
 };
 
 } // namespace culpeo::sim

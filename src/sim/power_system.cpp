@@ -526,6 +526,23 @@ PowerSystem::setBufferVoltage(Volts voc)
 }
 
 void
+PowerSystem::reconfigureCapacitor(const CapacitorConfig &next)
+{
+    log::fatalIf(next.capacitance.value() <= 0.0,
+                 "reconfigured capacitance must be positive");
+    const double c_old = config_.capacitor.capacitance.value();
+    const double c_new = next.capacitance.value();
+    const double voc = cap_.openCircuitVoltage().value();
+    // Growing attaches empty banks: the stored charge q = C_old * voc
+    // redistributes over C_new. Shrinking detaches banks that keep
+    // their own charge, leaving the rail voltage where it was.
+    const double v = c_new > c_old ? voc * (c_old / c_new) : voc;
+    config_.capacitor = next;
+    cap_ = Capacitor(next);
+    cap_.setOpenCircuitVoltage(Volts(v));
+}
+
+void
 PowerSystem::adoptState(Volts v_bulk, Volts v_surf, Seconds now)
 {
     cap_.setBranchVoltages(v_bulk, v_surf);

@@ -209,6 +209,17 @@ class PowerSystem
     void setBufferVoltage(Volts voc);
 
     /**
+     * Swap the storage buffer for @p next, conserving stored charge
+     * (bank-array reconfiguration, Section V-B). Growing the effective
+     * capacitance attaches empty banks, so the open-circuit voltage
+     * scales by C_old/C_new; shrinking detaches banks that keep their
+     * own charge, so the rail voltage is unchanged. The new buffer
+     * starts settled at that voltage; monitor hysteresis state is
+     * untouched.
+     */
+    void reconfigureCapacitor(const CapacitorConfig &next);
+
+    /**
      * Batch-engine handoff: adopt branch voltages and the simulation
      * clock from a lane's SoA mirror, so reference event steps and
      * peeled scalar tails continue exactly where the lockstep kernel

@@ -55,6 +55,13 @@ inline constexpr const char *kDeviceWaitsUnreachable =
     "device.waits_unreachable";
 inline constexpr const char *kDeviceRechargeSeconds =
     "device.recharge_seconds";
+/**
+ * Registered lazily on the first buffer reconfiguration (never in
+ * Device::setTelemetry), so runs without bank switching keep their
+ * exact registry insertion order.
+ */
+inline constexpr const char *kDeviceBufferSwitches =
+    "device.buffer_switches";
 inline constexpr const char *kDeviceMinMarginV = "device.min_margin_v";
 inline constexpr const char *kTrialSimSeconds = "trial.sim_seconds";
 inline constexpr const char *kSchedTasksStarted = "sched.tasks_started";

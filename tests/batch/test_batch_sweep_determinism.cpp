@@ -48,6 +48,9 @@ expectAggregatesEqual(const sched::AggregateResult &a,
             << what << " arrivals " << a.event_names[i];
     }
     EXPECT_EQ(a.power_failures_per_trial, b.power_failures_per_trial) << what;
+    EXPECT_EQ(a.tasks_started, b.tasks_started) << what;
+    EXPECT_EQ(a.tasks_completed, b.tasks_completed) << what;
+    EXPECT_EQ(a.capture_latency_s, b.capture_latency_s) << what;
 }
 
 TEST(BatchSweep, ExactReplayMatchesScalarSweepAggregates)

@@ -19,6 +19,7 @@
 #include "sched/policy.hpp"
 #include "sched/trial.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/logging.hpp"
 
 namespace {
 
@@ -48,8 +49,8 @@ struct FleetFixture
         culpeo_policy.initialize(ps);
         catnap_policy.initialize(rr);
         spec.cohorts = {
-            {"ps-culpeo", &ps, &culpeo_policy, 0.6},
-            {"rr-catnap", &rr, &catnap_policy, 0.4},
+            {"ps-culpeo", &ps, &culpeo_policy, {}, 0.6},
+            {"rr-catnap", &rr, &catnap_policy, {}, 0.4},
         };
         spec.devices = 48;
         spec.capacitance_scale = {0.8, 1.2};
@@ -179,9 +180,62 @@ TEST(FleetDeterminism, SeedReproducesAndPerturbs)
         << "a different seed must sample a different population";
 }
 
+TEST(FleetDeterminism, RegistryPoliciesMixAndStayShardInvariant)
+{
+    // Heterogeneous per-device policies selected by registry name: the
+    // fleet materializes its own instances, and the report stays
+    // byte-identical across shard layouts.
+    FleetFixture fx;
+    fx.spec.cohorts = {
+        {"ps-culpeo", &fx.ps, nullptr, "culpeo", 0.5},
+        {"rr-catnap", &fx.rr, nullptr, "catnap", 0.3},
+        {"rr-uarch", &fx.rr, nullptr, "culpeo-uarch", 0.2},
+    };
+    fx.spec.devices = 24;
+
+    fleet::FleetOptions one;
+    one.shard_devices = 1;
+    fleet::FleetOptions five;
+    five.shard_devices = 5;
+    const fleet::SummaryReport a = fleet::runFleet(fx.spec, one);
+    const fleet::SummaryReport b = fleet::runFleet(fx.spec, five);
+    EXPECT_EQ(reportBytes(a), reportBytes(b))
+        << "registry-made policies must not break shard invariance";
+
+    // All three cohorts actually received devices.
+    for (const fleet::CohortSummary &c : a.cohorts)
+        EXPECT_GT(c.devices, 0u) << c.name;
+
+    // A registry policy and the equivalent borrowed instance agree.
+    fleet::FleetSpec borrowed = fx.spec;
+    borrowed.cohorts = {
+        {"ps-culpeo", &fx.ps, &fx.culpeo_policy, {}, 0.5},
+        {"rr-catnap", &fx.rr, &fx.catnap_policy, {}, 0.3},
+        {"rr-uarch", &fx.rr, nullptr, "culpeo-uarch", 0.2},
+    };
+    const fleet::SummaryReport c = fleet::runFleet(borrowed, five);
+    EXPECT_EQ(reportBytes(a), reportBytes(c));
+}
+
+TEST(FleetValidation, CohortNeedsExactlyOnePolicySource)
+{
+    FleetFixture fx;
+    fx.spec.devices = 4;
+    fx.spec.cohorts = {{"ps-none", &fx.ps, nullptr, "", 1.0}};
+    EXPECT_THROW(fleet::runFleet(fx.spec), log::FatalError);
+
+    fx.spec.cohorts = {
+        {"ps-both", &fx.ps, &fx.culpeo_policy, "catnap", 1.0}};
+    EXPECT_THROW(fleet::runFleet(fx.spec), log::FatalError);
+
+    // Non-stationary policies cannot share fleet threshold tables.
+    fx.spec.cohorts = {{"ps-eab", &fx.ps, nullptr, "eab", 1.0}};
+    EXPECT_THROW(fleet::runFleet(fx.spec), log::FatalError);
+}
+
 TEST(TrialBuilderEnvironment, MatchesExplicitFieldHarvester)
 {
-    const FleetFixture fx;
+    FleetFixture fx;
     const env::Position pos{40.0, 25.0};
 
     const sched::TrialResult built = TrialBuilder()

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Differential fuzz lane for the online-adapting policies: seeded
+ * scenarios sweep harvest level, buffer scale, and arrival seed over
+ * the app library, and every committed dispatch made by
+ * EnergyAdaptiveBufferPolicy and AdaptiveWorkloadPolicy runs under the
+ * fault::InvariantMonitor — a brown-out inside a commitment window
+ * whose admission premise was intact is a safety violation (Theorem 1
+ * generalized to runtime-adapted thresholds).
+ *
+ * Same execution model as test_differential.cpp: pure per-seed verdict
+ * computations on the shared pool, assertions replayed serially;
+ * CULPEO_FUZZ_SEED / CULPEO_FUZZ_ITERS replay and scale the sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "fault/invariants.hpp"
+#include "sched/policy.hpp"
+#include "sched/policy_adaptive.hpp"
+#include "sched/trial.hpp"
+#include "util/parallel.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+
+unsigned
+envUnsigned(const char *name, unsigned fallback)
+{
+    const char *value = std::getenv(name);
+    if (value == nullptr || *value == '\0')
+        return fallback;
+    const unsigned long parsed = std::strtoul(value, nullptr, 10);
+    return parsed == 0 ? fallback : unsigned(parsed);
+}
+
+std::uint64_t
+baseSeed()
+{
+    const char *value = std::getenv("CULPEO_FUZZ_SEED");
+    if (value == nullptr || *value == '\0')
+        return 20220101;
+    return std::strtoull(value, nullptr, 10);
+}
+
+std::string
+seedHint(std::uint64_t seed)
+{
+    return "replay with CULPEO_FUZZ_SEED=" + std::to_string(seed) +
+           " CULPEO_FUZZ_ITERS=1";
+}
+
+std::vector<std::uint64_t>
+seedRange(std::uint64_t base, unsigned count)
+{
+    std::vector<std::uint64_t> seeds(count);
+    std::iota(seeds.begin(), seeds.end(), base);
+    return seeds;
+}
+
+/** One seeded scenario: app variant + conditions drawn from the seed. */
+sched::AppSpec
+scenarioApp(std::uint64_t seed)
+{
+    util::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+    sched::AppSpec app = rng.uniform() < 0.5
+        ? apps::periodicSensing(Seconds(rng.uniform(4.0, 9.0)))
+        : apps::responsiveReporting(Seconds(rng.uniform(20.0, 50.0)));
+    // Harvest from scarce to rich around the profiled level, so the
+    // EAB policy exercises both shrink and grow decisions and the
+    // workload estimator sees drift resets.
+    app.harvest = app.harvest * rng.uniform(0.45, 2.0);
+    // Deployment spread on the buffer, as the fleet sampler applies.
+    auto &cap = app.power.capacitor;
+    cap.capacitance = cap.capacitance * rng.uniform(0.7, 1.3);
+    const double esr_scale = rng.uniform(0.9, 1.5);
+    cap.series_esr = cap.series_esr * esr_scale;
+    cap.bulk_resistance = cap.bulk_resistance * esr_scale;
+    cap.surface_resistance = cap.surface_resistance * esr_scale;
+    return app;
+}
+
+struct PolicyVerdict
+{
+    std::uint64_t seed = 0;
+    bool clean = false;
+    std::string report;
+    unsigned commits = 0;
+    unsigned captured = 0;
+};
+
+PolicyVerdict
+runScenario(std::uint64_t seed, const std::string &policy_name)
+{
+    PolicyVerdict v;
+    v.seed = seed;
+    const sched::AppSpec app = scenarioApp(seed);
+
+    std::unique_ptr<sched::Policy> policy =
+        sched::makePolicy(policy_name);
+    policy->initialize(app);
+
+    fault::InvariantMonitor monitor(app.power.monitor.voff);
+    const sched::TrialResult result =
+        TrialBuilder()
+            .app(app)
+            .policy(*policy)
+            .duration(Seconds(45.0))
+            .seed(seed)
+            .observer(&monitor)
+            .run();
+
+    v.clean = monitor.clean();
+    if (!v.clean)
+        v.report = monitor.report(seed);
+    v.commits = monitor.commits();
+    for (const auto &stats : result.per_event)
+        v.captured += stats.captured;
+    return v;
+}
+
+void
+runLane(const std::string &policy_name, std::uint64_t salt)
+{
+    const unsigned trials =
+        std::max(8u, envUnsigned("CULPEO_FUZZ_ITERS", 200) / 8);
+    const std::uint64_t base = baseSeed() + salt;
+
+    const std::vector<PolicyVerdict> verdicts =
+        util::ThreadPool::shared().parallelMap(
+            seedRange(base, trials), [&](std::uint64_t seed) {
+                return runScenario(seed, policy_name);
+            });
+
+    unsigned total_commits = 0;
+    unsigned total_captured = 0;
+    for (const PolicyVerdict &v : verdicts) {
+        SCOPED_TRACE(seedHint(v.seed));
+        EXPECT_TRUE(v.clean) << v.report;
+        total_commits += v.commits;
+        total_captured += v.captured;
+    }
+    ::testing::Test::RecordProperty("total_commits", int(total_commits));
+    ::testing::Test::RecordProperty("total_captured",
+                                    int(total_captured));
+    EXPECT_GT(total_commits, 0u)
+        << "no scenario exercised a committed dispatch";
+    EXPECT_GT(total_captured, 0u)
+        << "no scenario captured a single event";
+}
+
+TEST(FuzzPolicyMatrix, EnergyAdaptiveBufferStaysBrownoutSafe)
+{
+    // Every bank configuration's thresholds come from a per-config
+    // Culpeo profile, so resizing must never admit an unsafe dispatch.
+    runLane("eab", 0x3000000);
+}
+
+TEST(FuzzPolicyMatrix, AdaptiveWorkloadStaysBrownoutSafe)
+{
+    // Unknown tasks start from Vhigh and estimates carry a safety
+    // margin; convergence must stay on the safe side throughout.
+    runLane("adaptive", 0x4000000);
+}
+
+} // namespace

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for the policy bake-off matrix: cell coverage, the paper's
+ * Culpeo >= CatNap capture ordering, deterministic ranked output, the
+ * batch/scalar routing split, and the CSV/JSONL scorecard format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "apps/apps.hpp"
+#include "harness/bakeoff.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+
+/** Small two-policy matrix that finishes in well under a second. */
+harness::BakeoffMatrix
+smokeMatrix(const sched::AppSpec &ps, const sched::AppSpec &rr)
+{
+    harness::BakeoffMatrix matrix;
+    matrix.policies = {"culpeo", "catnap"};
+    matrix.buffers = {{"nominal", 1.0, 1.0}, {"half-cap", 0.5, 1.0}};
+    matrix.loads = {{"periodic-sensing", &ps},
+                    {"responsive-reporting", &rr}};
+    matrix.environments = {{"steady", nullptr, {}, 1.0},
+                           {"weak", nullptr, {}, 0.55}};
+    matrix.duration = Seconds(60.0);
+    matrix.trials = 2;
+    return matrix;
+}
+
+TEST(Bakeoff, CoversEveryCellAndRanksThem)
+{
+    const sched::AppSpec ps = apps::periodicSensing();
+    const sched::AppSpec rr = apps::responsiveReporting();
+    const harness::BakeoffResult result =
+        harness::runBakeoff(smokeMatrix(ps, rr));
+
+    ASSERT_EQ(result.cells.size(), 2u * 2u * 2u * 2u);
+    for (std::size_t i = 0; i < result.cells.size(); ++i) {
+        const harness::BakeoffCell &c = result.cells[i];
+        EXPECT_EQ(c.rank, i + 1);
+        EXPECT_GE(c.capture_rate, 0.0);
+        EXPECT_LE(c.capture_rate, 1.0);
+        if (i > 0) {
+            EXPECT_LE(c.capture_rate,
+                      result.cells[i - 1].capture_rate + 1e-12)
+                << "cells must be ranked by capture rate";
+        }
+    }
+}
+
+TEST(Bakeoff, CulpeoCapturesAtLeastCatnap)
+{
+    // The paper's headline ordering must survive the matrix sweep:
+    // ESR-aware admission beats energy-only budgeting overall.
+    const sched::AppSpec ps = apps::periodicSensing();
+    const sched::AppSpec rr = apps::responsiveReporting();
+    const harness::BakeoffResult result =
+        harness::runBakeoff(smokeMatrix(ps, rr));
+    EXPECT_GE(result.meanCaptureRate("culpeo"),
+              result.meanCaptureRate("catnap"));
+    EXPECT_GT(result.meanCaptureRate("culpeo"), 0.5);
+}
+
+TEST(Bakeoff, ScorecardIsByteDeterministic)
+{
+    const sched::AppSpec ps = apps::periodicSensing();
+    const sched::AppSpec rr = apps::responsiveReporting();
+    const auto render = [&] {
+        const harness::BakeoffResult result =
+            harness::runBakeoff(smokeMatrix(ps, rr));
+        std::ostringstream out;
+        result.writeCsv(out);
+        result.writeJsonl(out);
+        return out.str();
+    };
+    EXPECT_EQ(render(), render());
+}
+
+TEST(Bakeoff, ScorecardFormats)
+{
+    const sched::AppSpec ps = apps::periodicSensing();
+    const sched::AppSpec rr = apps::responsiveReporting();
+    harness::BakeoffMatrix matrix = smokeMatrix(ps, rr);
+    matrix.policies = {"culpeo"};
+    matrix.buffers = {{"nominal", 1.0, 1.0}};
+    const harness::BakeoffResult result = harness::runBakeoff(matrix);
+
+    std::ostringstream csv;
+    result.writeCsv(csv);
+    const std::string csv_text = csv.str();
+    EXPECT_NE(csv_text.find("rank,policy,buffer,load,environment"),
+              std::string::npos);
+    EXPECT_NE(csv_text.find("culpeo,nominal,periodic-sensing"),
+              std::string::npos);
+
+    std::ostringstream jsonl;
+    result.writeJsonl(jsonl);
+    const std::string jsonl_text = jsonl.str();
+    EXPECT_NE(jsonl_text.find("{\"type\":\"bakeoff\",\"cells\":4}"),
+              std::string::npos);
+    EXPECT_NE(jsonl_text.find("\"policy\":\"culpeo\""),
+              std::string::npos);
+    EXPECT_NE(jsonl_text.find("\"captures_per_joule\":"),
+              std::string::npos);
+}
+
+TEST(Bakeoff, AdaptivePoliciesRunTheScalarPath)
+{
+    // Non-stationary policies are matrix-eligible (the cell routes
+    // them through the serial scalar path instead of the batch lanes).
+    const sched::AppSpec ps = apps::periodicSensing();
+    harness::BakeoffMatrix matrix;
+    matrix.policies = {"eab", "adaptive"};
+    matrix.buffers = {{"nominal", 1.0, 1.0}};
+    matrix.loads = {{"periodic-sensing", &ps}};
+    matrix.environments = {{"steady", nullptr, {}, 1.0}};
+    matrix.duration = Seconds(45.0);
+    matrix.trials = 2;
+    const harness::BakeoffResult result = harness::runBakeoff(matrix);
+    ASSERT_EQ(result.cells.size(), 2u);
+    for (const harness::BakeoffCell &c : result.cells)
+        EXPECT_GT(c.arrived, 0u);
+}
+
+TEST(Bakeoff, ValidatesMatrixInput)
+{
+    const sched::AppSpec ps = apps::periodicSensing();
+    const sched::AppSpec rr = apps::responsiveReporting();
+    harness::BakeoffMatrix matrix = smokeMatrix(ps, rr);
+
+    harness::BakeoffMatrix empty = matrix;
+    empty.policies.clear();
+    EXPECT_THROW(harness::runBakeoff(empty), log::FatalError);
+
+    harness::BakeoffMatrix unknown = matrix;
+    unknown.policies = {"no-such-policy"};
+    EXPECT_THROW(harness::runBakeoff(unknown), log::FatalError);
+
+    harness::BakeoffMatrix null_app = matrix;
+    null_app.loads = {{"nothing", nullptr}};
+    EXPECT_THROW(harness::runBakeoff(null_app), log::FatalError);
+
+    harness::BakeoffMatrix bad_scale = matrix;
+    bad_scale.buffers = {{"zero", 0.0, 1.0}};
+    EXPECT_THROW(harness::runBakeoff(bad_scale), log::FatalError);
+}
+
+} // namespace

@@ -27,17 +27,17 @@ class FixedPolicy : public sched::Policy
 
     const char *name() const override { return "fixed"; }
     void initialize(const AppSpec &) override {}
-    Volts taskStart(const sched::SchedTask &) const override
+    sched::Admission admitTask(const sched::SchedTask &) const override
     {
-        return task_start;
+        return {true, task_start};
     }
-    Volts chainStart(const sched::EventSpec &) const override
+    sched::Admission admitChain(const sched::EventSpec &) const override
     {
-        return chain_start;
+        return {true, chain_start};
     }
-    Volts backgroundThreshold(const AppSpec &) const override
+    sched::Admission admitBackground(const AppSpec &) const override
     {
-        return background;
+        return {true, background};
     }
 };
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "util/logging.hpp"
 
 #include "apps/apps.hpp"
@@ -42,24 +44,26 @@ bool PolicyTest::initialized_ = false;
 
 TEST_F(PolicyTest, CatnapCostsArePositive)
 {
+    const sched::PolicyDescription desc = catnap_.describe();
     for (const auto &task : app_.events[0].chain)
-        EXPECT_GT(catnap_.costOf(task.id).value(), 0.0);
+        EXPECT_GT(desc.costOf(task.id).cost.value(), 0.0);
 }
 
 TEST_F(PolicyTest, CatnapChainSumsTaskCosts)
 {
     const auto &event = app_.events[0];
+    const sched::PolicyDescription desc = catnap_.describe();
     double sum = app_.power.monitor.voff.value();
     for (const auto &task : event.chain)
-        sum += catnap_.costOf(task.id).value();
-    EXPECT_NEAR(catnap_.chainStart(event).value(),
+        sum += desc.costOf(task.id).cost.value();
+    EXPECT_NEAR(catnap_.admitChain(event).need.value(),
                 std::min(sum, app_.power.monitor.vhigh.value()), 1e-9);
 }
 
 TEST_F(PolicyTest, CulpeoTaskStartAboveVoff)
 {
     for (const auto &task : app_.events[0].chain) {
-        const double v = culpeo_.taskStart(task).value();
+        const double v = culpeo_.admitTask(task).need.value();
         EXPECT_GT(v, app_.power.monitor.voff.value());
         EXPECT_LE(v, app_.power.monitor.vhigh.value());
     }
@@ -70,8 +74,8 @@ TEST_F(PolicyTest, CulpeoDemandsMoreThanCatnapForBurstyTasks)
     // The IMU task front-loads a 20 mA burst whose drop rebounds behind
     // the compute tail; CatNap's end measurement misses it.
     const auto &imu = app_.events[0].chain[0];
-    EXPECT_GT(culpeo_.taskStart(imu).value(),
-              catnap_.taskStart(imu).value() + 0.03);
+    EXPECT_GT(culpeo_.admitTask(imu).need.value(),
+              catnap_.admitTask(imu).need.value() + 0.03);
 }
 
 TEST_F(PolicyTest, CulpeoChainAtLeastMaxTask)
@@ -79,25 +83,71 @@ TEST_F(PolicyTest, CulpeoChainAtLeastMaxTask)
     const auto &event = app_.events[0];
     double max_task = 0.0;
     for (const auto &task : event.chain)
-        max_task = std::max(max_task, culpeo_.taskStart(task).value());
-    EXPECT_GE(culpeo_.chainStart(event).value(), max_task - 1e-9);
+        max_task =
+            std::max(max_task, culpeo_.admitTask(task).need.value());
+    EXPECT_GE(culpeo_.admitChain(event).need.value(), max_task - 1e-9);
 }
 
 TEST_F(PolicyTest, BackgroundThresholdReservesForChain)
 {
     // Both policies hold background work above their own chain start.
-    EXPECT_GE(catnap_.backgroundThreshold(app_).value(),
-              catnap_.chainStart(app_.events[0]).value());
-    EXPECT_GE(culpeo_.backgroundThreshold(app_).value(),
-              culpeo_.chainStart(app_.events[0]).value());
+    EXPECT_GE(catnap_.admitBackground(app_).need.value(),
+              catnap_.admitChain(app_.events[0]).need.value());
+    EXPECT_GE(culpeo_.admitBackground(app_).need.value(),
+              culpeo_.admitChain(app_.events[0]).need.value());
 }
 
 TEST_F(PolicyTest, CulpeoBackgroundThresholdHigherThanCatnap)
 {
     // The Section VII-C mechanism: CatNap lets background work discharge
     // the buffer further than is actually safe.
-    EXPECT_GT(culpeo_.backgroundThreshold(app_).value(),
-              catnap_.backgroundThreshold(app_).value());
+    EXPECT_GT(culpeo_.admitBackground(app_).need.value(),
+              catnap_.admitBackground(app_).need.value());
+}
+
+TEST_F(PolicyTest, BuiltInAdmissionsAreUnconditional)
+{
+    // The fixed-threshold policies always admit, never touch the
+    // buffer, and are stationary — the batch lanes rely on all three.
+    for (const sched::Policy *policy :
+         {static_cast<const sched::Policy *>(&catnap_),
+          static_cast<const sched::Policy *>(&culpeo_)}) {
+        const sched::Admission chain =
+            policy->admitChain(app_.events[0]);
+        const sched::Admission task =
+            policy->admitTask(app_.events[0].chain[0]);
+        const sched::Admission background =
+            policy->admitBackground(app_);
+        for (const sched::Admission &a : {chain, task, background}) {
+            EXPECT_TRUE(a.admit);
+            EXPECT_EQ(a.buffer, nullptr);
+        }
+        EXPECT_TRUE(policy->stationary());
+    }
+}
+
+TEST_F(PolicyTest, DescribeReportsThresholdsConsistently)
+{
+    // describe() is the generic introspection surface: threshold must
+    // equal the admission requirement, and cost = threshold - Voff.
+    for (const sched::Policy *policy :
+         {static_cast<const sched::Policy *>(&catnap_),
+          static_cast<const sched::Policy *>(&culpeo_)}) {
+        const sched::PolicyDescription desc = policy->describe();
+        EXPECT_EQ(desc.policy, policy->name());
+        for (const auto &task : app_.events[0].chain) {
+            ASSERT_TRUE(desc.has(task.id));
+            const sched::TaskCost &entry = desc.costOf(task.id);
+            EXPECT_EQ(entry.task, task.name);
+            EXPECT_NEAR(entry.threshold.value(),
+                        policy->admitTask(task).need.value(), 1e-12);
+            EXPECT_NEAR(entry.cost.value(),
+                        entry.threshold.value() -
+                            app_.power.monitor.voff.value(),
+                        1e-12);
+        }
+        EXPECT_FALSE(desc.has(9999));
+    }
 }
 
 TEST_F(PolicyTest, PolicyNames)
@@ -126,15 +176,15 @@ TEST(CulpeoPolicyStandalone, DispatchMarginShiftsThresholds)
     CulpeoPolicy padded(false, Volts(0.04));
     tight.initialize(app);
     padded.initialize(app);
-    const double delta = padded.chainStart(app.events[0]).value() -
-                         tight.chainStart(app.events[0]).value();
+    const double delta = padded.admitChain(app.events[0]).need.value() -
+                         tight.admitChain(app.events[0]).need.value();
     // Identical profiling (deterministic), so the gap is the margin --
     // unless clamped at Vhigh.
-    if (padded.chainStart(app.events[0]).value() < 2.56 - 1e-9) {
+    if (padded.admitChain(app.events[0]).need.value() < 2.56 - 1e-9) {
         EXPECT_NEAR(delta, 0.04, 1e-6);
     }
-    EXPECT_GE(padded.backgroundThreshold(app).value(),
-              tight.backgroundThreshold(app).value());
+    EXPECT_GE(padded.admitBackground(app).need.value(),
+              tight.admitBackground(app).need.value());
 }
 
 TEST(CulpeoPolicyStandalone, UArchVariantProducesSaneThresholds)
@@ -142,7 +192,7 @@ TEST(CulpeoPolicyStandalone, UArchVariantProducesSaneThresholds)
     const sched::AppSpec app = apps::periodicSensing();
     CulpeoPolicy policy(true);
     policy.initialize(app);
-    const double chain = policy.chainStart(app.events[0]).value();
+    const double chain = policy.admitChain(app.events[0]).need.value();
     EXPECT_GT(chain, app.power.monitor.voff.value());
     EXPECT_LE(chain, app.power.monitor.vhigh.value());
     // And it schedules successfully end-to-end.
@@ -155,6 +205,80 @@ TEST(CulpeoPolicyStandalone, UArchVariantProducesSaneThresholds)
             .run();
     EXPECT_EQ(result.power_failures, 0u);
     EXPECT_GT(result.eventStats("imu").captureRate(), 0.9);
+}
+
+// --- Policy registry ----------------------------------------------------
+
+TEST(PolicyRegistry, BuiltInsAreRegistered)
+{
+    for (const char *name :
+         {"catnap", "culpeo", "culpeo-uarch", "eab", "adaptive"})
+        EXPECT_TRUE(sched::policyRegistered(name)) << name;
+    EXPECT_FALSE(sched::policyRegistered("no-such-policy"));
+
+    const std::vector<std::string> names = sched::registeredPolicies();
+    for (const char *name :
+         {"catnap", "culpeo", "culpeo-uarch", "eab", "adaptive"})
+        EXPECT_NE(std::find(names.begin(), names.end(), name),
+                  names.end())
+            << name;
+    EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(PolicyRegistry, MakePolicyRoundTrips)
+{
+    for (const char *name : {"catnap", "culpeo", "culpeo-uarch"}) {
+        auto policy = sched::makePolicy(name);
+        ASSERT_NE(policy, nullptr);
+        EXPECT_STREQ(policy->name(), name);
+        EXPECT_TRUE(policy->stationary());
+    }
+    // The adaptive policies come back non-stationary.
+    EXPECT_FALSE(sched::makePolicy("eab")->stationary());
+    EXPECT_FALSE(sched::makePolicy("adaptive")->stationary());
+}
+
+TEST(PolicyRegistry, UnknownNameIsFatal)
+{
+    EXPECT_THROW(sched::makePolicy("no-such-policy"),
+                 culpeo::log::FatalError);
+}
+
+TEST(PolicyRegistry, DuplicateRegistrationIsFatal)
+{
+    sched::registerPolicy("test-duplicate-probe", [] {
+        return std::unique_ptr<sched::Policy>(new CatnapPolicy());
+    });
+    EXPECT_THROW(sched::registerPolicy(
+                     "test-duplicate-probe",
+                     [] {
+                         return std::unique_ptr<sched::Policy>(
+                             new CatnapPolicy());
+                     }),
+                 culpeo::log::FatalError);
+}
+
+TEST(PolicyRegistry, TrialBuilderSelectsByName)
+{
+    const sched::AppSpec app = apps::periodicSensing();
+    const sched::TrialResult by_name = TrialBuilder()
+                                           .app(app)
+                                           .policy("culpeo")
+                                           .duration(Seconds(30.0))
+                                           .seed(3)
+                                           .run();
+    CulpeoPolicy culpeo;
+    culpeo.initialize(app);
+    const sched::TrialResult by_instance = TrialBuilder()
+                                               .app(app)
+                                               .policy(culpeo)
+                                               .duration(Seconds(30.0))
+                                               .seed(3)
+                                               .run();
+    EXPECT_EQ(by_name.eventStats("imu").captured,
+              by_instance.eventStats("imu").captured);
+    EXPECT_EQ(by_name.power_failures, by_instance.power_failures);
+    EXPECT_EQ(by_name.tasks_completed, by_instance.tasks_completed);
 }
 
 } // namespace

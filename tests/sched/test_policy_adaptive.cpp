@@ -1,0 +1,361 @@
+/**
+ * @file
+ * Unit tests for the online-adapting policies: energy-adaptive bank
+ * resizing under rising/falling harvest (EnergyAdaptiveBufferPolicy)
+ * and profile-free cost estimation converging onto the profiled
+ * thresholds (AdaptiveWorkloadPolicy).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+#include "apps/apps.hpp"
+#include "sched/policy_adaptive.hpp"
+#include "sched/trial.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+using sched::AdaptiveWorkloadPolicy;
+using sched::Admission;
+using sched::EnergyAdaptiveBufferPolicy;
+using sched::TaskOutcome;
+
+/** A completed-dispatch outcome at @p harvest for @p task. */
+TaskOutcome
+completedAt(const sched::SchedTask &task, Watts harvest,
+            Volts started_at = Volts(2.5), Volts vmin = Volts(2.2))
+{
+    TaskOutcome outcome;
+    outcome.task = &task;
+    outcome.completed = true;
+    outcome.started_at = started_at;
+    outcome.vmin = vmin;
+    outcome.vend = vmin;
+    outcome.voff = Volts(1.6);
+    outcome.harvest = harvest;
+    return outcome;
+}
+
+// --- EnergyAdaptiveBufferPolicy -----------------------------------------
+
+class EabTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        app_ = apps::periodicSensing();
+        policy_.initialize(app_);
+    }
+
+    /** Feed @p n completed outcomes at @p harvest. */
+    void
+    observeHarvest(Watts harvest, int n)
+    {
+        for (int i = 0; i < n; ++i)
+            policy_.observe(completedAt(app_.events[0].chain[0], harvest));
+    }
+
+    sched::AppSpec app_;
+    EnergyAdaptiveBufferPolicy policy_;
+};
+
+TEST_F(EabTest, StartsOnFullArrayAndReproducesAppBuffer)
+{
+    const unsigned n = policy_.options().total_banks;
+    EXPECT_EQ(policy_.activeBanks(), n);
+    EXPECT_EQ(policy_.targetBanks(), n);
+    EXPECT_GE(policy_.feasibilityFloor(), 1u);
+    EXPECT_LE(policy_.feasibilityFloor(), n);
+
+    // The all-banks aggregate matches the app's deployed capacitor.
+    const sim::CapacitorConfig &full = policy_.bankConfig(n);
+    EXPECT_NEAR(full.capacitance.value(),
+                app_.power.capacitor.capacitance.value(),
+                1e-9);
+    // Fewer banks: proportionally less capacitance, more resistance.
+    if (n >= 2) {
+        const sim::CapacitorConfig &one = policy_.bankConfig(1);
+        EXPECT_NEAR(one.capacitance.value() * n,
+                    full.capacitance.value(), 1e-9);
+        EXPECT_GT(one.series_esr.value(), full.series_esr.value());
+    }
+}
+
+TEST_F(EabTest, ScarceHarvestShrinksTowardFeasibilityFloor)
+{
+    const unsigned n = policy_.options().total_banks;
+    ASSERT_GT(policy_.feasibilityFloor(), 0u);
+    // Well below shrink_ratio x profiled harvest.
+    const Watts scarce(app_.harvest.value() * 0.3);
+    observeHarvest(scarce, 20);
+    EXPECT_LT(policy_.targetBanks(), n);
+    EXPECT_GE(policy_.targetBanks(), policy_.feasibilityFloor());
+    // Saturates at the floor, never below.
+    observeHarvest(scarce, 50);
+    EXPECT_EQ(policy_.targetBanks(), policy_.feasibilityFloor());
+}
+
+TEST_F(EabTest, RichHarvestGrowsBackToFullArray)
+{
+    const unsigned n = policy_.options().total_banks;
+    observeHarvest(Watts(app_.harvest.value() * 0.3), 50);
+    ASSERT_EQ(policy_.targetBanks(), policy_.feasibilityFloor());
+    // Well above grow_ratio x profiled harvest.
+    observeHarvest(Watts(app_.harvest.value() * 2.0), 50);
+    EXPECT_EQ(policy_.targetBanks(), n);
+}
+
+TEST_F(EabTest, BrownoutGrowsRegardlessOfHarvestTrend)
+{
+    observeHarvest(Watts(app_.harvest.value() * 0.3), 50);
+    const unsigned shrunk = policy_.targetBanks();
+    ASSERT_LT(shrunk, policy_.options().total_banks);
+
+    TaskOutcome failure =
+        completedAt(app_.events[0].chain[0],
+                    Watts(app_.harvest.value() * 0.3));
+    failure.completed = false;
+    policy_.observe(failure);
+    EXPECT_EQ(policy_.targetBanks(), shrunk + 1);
+}
+
+TEST_F(EabTest, ChainAdmissionCarriesBufferRequestOnce)
+{
+    observeHarvest(Watts(app_.harvest.value() * 0.3), 50);
+    const unsigned target = policy_.targetBanks();
+    ASSERT_NE(target, policy_.activeBanks());
+
+    // Mid-chain task admissions never switch banks.
+    const Admission task = policy_.admitTask(app_.events[0].chain[0]);
+    EXPECT_TRUE(task.admit);
+    EXPECT_EQ(task.buffer, nullptr);
+
+    // The chain admission requests the pending reconfiguration...
+    const Admission chain = policy_.admitChain(app_.events[0]);
+    EXPECT_TRUE(chain.admit);
+    ASSERT_NE(chain.buffer, nullptr);
+    EXPECT_EQ(chain.banks, target);
+    EXPECT_STREQ(chain.rationale, "eab:shrink(harvest)");
+    EXPECT_DOUBLE_EQ(chain.buffer->capacitance.value(),
+                     policy_.bankConfig(target).capacitance.value());
+    // ...and under the Admission::buffer contract it is now applied.
+    EXPECT_EQ(policy_.activeBanks(), target);
+    const Admission again = policy_.admitChain(app_.events[0]);
+    EXPECT_EQ(again.buffer, nullptr);
+}
+
+TEST_F(EabTest, ThresholdsComeFromPerConfigurationCulpeo)
+{
+    // Fewer banks => higher ESR => the ESR-aware chain threshold on one
+    // bank is at least the full-array one.
+    const unsigned n = policy_.options().total_banks;
+    if (n < 2)
+        GTEST_SKIP() << "needs a multi-bank split";
+    observeHarvest(Watts(app_.harvest.value() * 0.3), 50);
+    const Volts shrunk_need = policy_.admitChain(app_.events[0]).need;
+    observeHarvest(Watts(app_.harvest.value() * 2.0), 50);
+    const Volts full_need = policy_.admitChain(app_.events[0]).need;
+    EXPECT_GE(shrunk_need.value(), full_need.value() - 1e-9);
+}
+
+TEST_F(EabTest, DescribeReportsBankState)
+{
+    const sched::PolicyDescription desc = policy_.describe();
+    EXPECT_EQ(desc.policy, "eab");
+    EXPECT_NE(desc.notes.find("banks="), std::string::npos);
+    EXPECT_TRUE(desc.has(app_.events[0].chain[0].id));
+}
+
+TEST_F(EabTest, EndToEndTrialRunsWithoutBrownouts)
+{
+    // The registry-made instance drives a real trial on the scalar
+    // path (non-stationary), switching banks as the EWMA settles.
+    const sched::TrialResult result = TrialBuilder()
+                                          .app(app_)
+                                          .policy("eab")
+                                          .duration(Seconds(60.0))
+                                          .seed(5)
+                                          .run();
+    EXPECT_EQ(result.power_failures, 0u);
+    EXPECT_GT(result.eventStats("imu").captureRate(), 0.9);
+}
+
+TEST(EabOptions, InvalidOptionsAreFatal)
+{
+    sched::EnergyAdaptiveBufferOptions zero;
+    zero.total_banks = 0;
+    EXPECT_THROW(EnergyAdaptiveBufferPolicy{zero}, log::FatalError);
+
+    sched::EnergyAdaptiveBufferOptions ratios;
+    ratios.grow_ratio = 0.9;
+    ratios.shrink_ratio = 1.1;
+    EXPECT_THROW(EnergyAdaptiveBufferPolicy{ratios}, log::FatalError);
+
+    EnergyAdaptiveBufferPolicy uninitialized;
+    EXPECT_THROW(uninitialized.activeBanks(), log::FatalError);
+}
+
+// --- AdaptiveWorkloadPolicy ---------------------------------------------
+
+class AdaptiveTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        app_ = apps::periodicSensing();
+        policy_.initialize(app_);
+        voff_ = app_.power.monitor.voff;
+        vhigh_ = app_.power.monitor.vhigh;
+    }
+
+    sched::AppSpec app_;
+    AdaptiveWorkloadPolicy policy_;
+    Volts voff_{0.0};
+    Volts vhigh_{0.0};
+};
+
+TEST_F(AdaptiveTest, UnknownTasksDispatchFromVhigh)
+{
+    // No profiles: maximum conservatism until evidence arrives.
+    for (const auto &task : app_.events[0].chain) {
+        EXPECT_FALSE(policy_.estimatedDrop(task.id).has_value());
+        EXPECT_DOUBLE_EQ(policy_.admitTask(task).need.value(),
+                         vhigh_.value());
+    }
+    EXPECT_DOUBLE_EQ(policy_.admitChain(app_.events[0]).need.value(),
+                     vhigh_.value());
+}
+
+TEST_F(AdaptiveTest, CompletionsConvergeOntoObservedDrop)
+{
+    const auto &task = app_.events[0].chain[0];
+    const double drop = 0.24;
+    for (int i = 0; i < 16; ++i)
+        policy_.observe(completedAt(task, app_.harvest, Volts(2.5),
+                                    Volts(2.5 - drop)));
+    ASSERT_TRUE(policy_.estimatedDrop(task.id).has_value());
+    EXPECT_NEAR(policy_.estimatedDrop(task.id)->value(), drop, 1e-9);
+    EXPECT_EQ(policy_.sampleCount(task.id), 16u);
+    // The samples were taken at 2.5 V; admitting lower would see a
+    // larger drop (~1/V), so the need solves V - drop*2.5/V =
+    // voff + margin and sits strictly above the naive sum.
+    const double naive = voff_.value() + drop +
+                         policy_.options().safety_margin.value();
+    const double floor_v =
+        voff_.value() + policy_.options().safety_margin.value();
+    const double expected =
+        0.5 * (floor_v +
+               std::sqrt(floor_v * floor_v + 4.0 * drop * 2.5));
+    EXPECT_NEAR(policy_.admitTask(task).need.value(), expected, 1e-9);
+    EXPECT_GT(policy_.admitTask(task).need.value(), naive);
+}
+
+TEST_F(AdaptiveTest, BrownoutBumpsAndNeverLowersEstimate)
+{
+    const auto &task = app_.events[0].chain[0];
+    policy_.observe(
+        completedAt(task, app_.harvest, Volts(2.5), Volts(2.3)));
+    const double before = policy_.estimatedDrop(task.id)->value();
+
+    TaskOutcome failure =
+        completedAt(task, app_.harvest, Volts(2.1), Volts(1.6));
+    failure.completed = false;
+    policy_.observe(failure);
+    const double after = policy_.estimatedDrop(task.id)->value();
+    EXPECT_GT(after, before);
+    // At least the full started_at-to-Voff budget plus the bump.
+    EXPECT_GE(after, (2.1 - 1.6) +
+                         policy_.options().brownout_bump.value() - 1e-9);
+}
+
+TEST_F(AdaptiveTest, HarvestDriftResetsEstimates)
+{
+    const auto &task = app_.events[0].chain[0];
+    policy_.observe(
+        completedAt(task, app_.harvest, Volts(2.5), Volts(2.3)));
+    ASSERT_TRUE(policy_.estimatedDrop(task.id).has_value());
+    EXPECT_EQ(policy_.harvestResets(), 0u);
+
+    // A 2x harvest step trips the ChargeRateMonitor: all estimates are
+    // invalid at the new incoming power (Section V-B).
+    policy_.observe(completedAt(task, Watts(app_.harvest.value() * 2.0),
+                                Volts(2.5), Volts(2.3)));
+    EXPECT_EQ(policy_.harvestResets(), 1u);
+    // The triggering outcome itself seeds the fresh estimator.
+    EXPECT_EQ(policy_.sampleCount(task.id), 1u);
+}
+
+TEST_F(AdaptiveTest, ChainSumsEstimatesClampedAtVhigh)
+{
+    for (const auto &task : app_.events[0].chain)
+        for (int i = 0; i < 8; ++i)
+            policy_.observe(completedAt(task, app_.harvest, Volts(2.5),
+                                        Volts(2.45)));
+    double sum = voff_.value();
+    for (const auto &task : app_.events[0].chain)
+        sum += policy_.admitTask(task).need.value() - voff_.value();
+    EXPECT_NEAR(policy_.admitChain(app_.events[0]).need.value(),
+                std::min(sum, vhigh_.value()), 1e-9);
+    EXPECT_GE(policy_.admitBackground(app_).need.value(),
+              policy_.admitChain(app_.events[0]).need.value() - 1e-9);
+}
+
+TEST_F(AdaptiveTest, OnlineEstimatesApproachProfiledThresholds)
+{
+    // Run real trials: the profile-free estimates must land in a band
+    // around the offline-profiled Culpeo thresholds — above the bare
+    // physical drop (safe) but far below the Vhigh worst case.
+    sched::TrialConfig config;
+    config.duration = Seconds(300.0);
+    config.seed = 9;
+    sched::runTrialWith(app_, policy_, config);
+
+    sched::CulpeoPolicy culpeo;
+    culpeo.initialize(app_);
+    const auto &imu = app_.events[0].chain[0];
+    ASSERT_GT(policy_.sampleCount(imu.id), 0u);
+    const double adaptive_need = policy_.admitTask(imu).need.value();
+    const double culpeo_need = culpeo.admitTask(imu).need.value();
+    // Converged: no longer pinned at the Vhigh worst case...
+    EXPECT_LT(adaptive_need, vhigh_.value() - 1e-6);
+    // ...and within a deployment-meaningful band of the profiled value.
+    EXPECT_NEAR(adaptive_need, culpeo_need, 0.25);
+}
+
+TEST_F(AdaptiveTest, DescribeCarriesEstimatorState)
+{
+    const sched::PolicyDescription desc = policy_.describe();
+    EXPECT_EQ(desc.policy, "adaptive");
+    EXPECT_NE(desc.notes.find("samples=0"), std::string::npos);
+    EXPECT_NE(desc.notes.find("resets=0"), std::string::npos);
+    for (const auto &task : app_.events[0].chain) {
+        ASSERT_TRUE(desc.has(task.id));
+        EXPECT_DOUBLE_EQ(desc.costOf(task.id).threshold.value(),
+                         vhigh_.value());
+    }
+}
+
+TEST(AdaptiveOptions, InvalidOptionsAreFatal)
+{
+    sched::AdaptiveWorkloadOptions alpha;
+    alpha.ewma_alpha = 0.0;
+    EXPECT_THROW(AdaptiveWorkloadPolicy{alpha}, log::FatalError);
+
+    sched::AdaptiveWorkloadOptions margin;
+    margin.safety_margin = Volts(-0.01);
+    EXPECT_THROW(AdaptiveWorkloadPolicy{margin}, log::FatalError);
+
+    AdaptiveWorkloadPolicy uninitialized;
+    sched::AppSpec app = apps::periodicSensing();
+    EXPECT_THROW(uninitialized.admitTask(app.events[0].chain[0]),
+                 log::FatalError);
+}
+
+} // namespace

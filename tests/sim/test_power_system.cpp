@@ -164,4 +164,54 @@ TEST(PowerSystem, InputValidation)
     EXPECT_THROW(system.setBufferVoltage(Volts(-1.0)), culpeo::log::FatalError);
 }
 
+TEST(PowerSystemReconfigure, GrowingCapacitanceConservesCharge)
+{
+    // Attaching empty banks spreads the stored charge over the larger
+    // capacitance: Q = C*V is conserved, so V scales by C_old/C_new.
+    PowerSystem system(capybaraConfig());
+    system.setBufferVoltage(Volts(2.4));
+    sim::CapacitorConfig next = system.config().capacitor;
+    next.capacitance = next.capacitance * 2.0;
+    system.reconfigureCapacitor(next);
+    EXPECT_NEAR(system.capacitor().openCircuitVoltage().value(), 1.2,
+                1e-9);
+    EXPECT_DOUBLE_EQ(system.config().capacitor.capacitance.value(),
+                     next.capacitance.value());
+}
+
+TEST(PowerSystemReconfigure, ShrinkingCapacitanceKeepsVoltage)
+{
+    // Detached banks take their own charge with them; the remaining
+    // banks keep their per-bank voltage.
+    PowerSystem system(capybaraConfig());
+    system.setBufferVoltage(Volts(2.2));
+    sim::CapacitorConfig next = system.config().capacitor;
+    next.capacitance = next.capacitance * (1.0 / 3.0);
+    system.reconfigureCapacitor(next);
+    EXPECT_NEAR(system.capacitor().openCircuitVoltage().value(), 2.2,
+                1e-9);
+}
+
+TEST(PowerSystemReconfigure, RoundTripRestoresVoltageScale)
+{
+    PowerSystem system(capybaraConfig());
+    system.setBufferVoltage(Volts(2.0));
+    const sim::CapacitorConfig original = system.config().capacitor;
+    sim::CapacitorConfig doubled = original;
+    doubled.capacitance = original.capacitance * 2.0;
+    system.reconfigureCapacitor(doubled); // 2.0 V -> 1.0 V.
+    system.reconfigureCapacitor(original); // Shrink: keeps 1.0 V.
+    EXPECT_NEAR(system.capacitor().openCircuitVoltage().value(), 1.0,
+                1e-9);
+}
+
+TEST(PowerSystemReconfigure, RejectsNonPositiveCapacitance)
+{
+    PowerSystem system(capybaraConfig());
+    sim::CapacitorConfig next = system.config().capacitor;
+    next.capacitance = Farads(0.0);
+    EXPECT_THROW(system.reconfigureCapacitor(next),
+                 culpeo::log::FatalError);
+}
+
 } // namespace

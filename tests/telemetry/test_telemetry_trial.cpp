@@ -25,7 +25,7 @@ using namespace culpeo::units::literals;
 
 /** One seeded five-minute Periodic Sensing trial into @p sink. */
 sched::TrialResult
-fig12Trial(const sched::Policy &policy, telemetry::Telemetry *sink,
+fig12Trial(sched::Policy &policy, telemetry::Telemetry *sink,
            bool force_euler = false)
 {
     const sched::AppSpec app = apps::periodicSensing();
