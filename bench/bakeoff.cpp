@@ -11,6 +11,7 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -18,12 +19,15 @@
 #include "bench/common.hpp"
 #include "env/field.hpp"
 #include "harness/bakeoff.hpp"
+#include "util/logging.hpp"
 
 using namespace culpeo;
 using namespace culpeo::units;
 
+namespace {
+
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     bool smoke = false;
     std::string csv_path;
@@ -118,4 +122,19 @@ main(int argc, char **argv)
         std::printf("scorecard JSONL -> %s\n", jsonl_path.c_str());
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // An unwritable --csv/--jsonl path surfaces as a diagnostic and a
+    // nonzero exit, not an unhandled-exception abort.
+    try {
+        return run(argc, argv);
+    } catch (const log::FatalError &error) {
+        std::fprintf(stderr, "bakeoff: %s\n", error.what());
+        return EXIT_FAILURE;
+    }
 }

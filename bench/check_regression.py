@@ -80,6 +80,16 @@ RATIO_PAIRS = [
      "BM_FleetStep/threads:1/real_time", "BM_FleetStep/threads:2/real_time"),
     ("fleet step 4-thread scaling",
      "BM_FleetStep/threads:1/real_time", "BM_FleetStep/threads:4/real_time"),
+    # Trace ingestion: replaying a recorded sky must stay within a
+    # bounded factor of the constant-harvest trial (field sampling is a
+    # binary search, not a decode), and the defensive decode itself —
+    # CRC walk plus per-sample validation over 64k samples — must stay
+    # cheap relative to one replayed trial. Either ratio shrinking
+    # means the trace path picked up per-sample overhead.
+    ("trace replay trial cost",
+     "BM_RunTrial/force_euler:0", "BM_TraceStep"),
+    ("trace decode cost",
+     "BM_TraceStep", "BM_TraceDecode"),
 ]
 
 

@@ -18,6 +18,8 @@
 #include "core/api.hpp"
 #include "core/vsafe_pg.hpp"
 #include "env/field.hpp"
+#include "env/trace.hpp"
+#include "env/trace_reader.hpp"
 #include "fleet/fleet.hpp"
 #include "harness/ground_truth.hpp"
 #include "load/library.hpp"
@@ -556,6 +558,104 @@ BM_UArchTick(benchmark::State &state)
     }
 }
 BENCHMARK(BM_UArchTick);
+
+/**
+ * A varying indoor-solar sky recorded to a temp .ctrace once per
+ * process: 8 Hz over 32 s with 1 s cloud pieces, sized so its mean
+ * power matches the Periodic Sensing app's 1.2 mW design point. Both
+ * trace benchmarks replay this file.
+ */
+const std::string &
+recordedSkyPath()
+{
+    static const std::string path = [] {
+        env::SolarConfig solar;
+        solar.peak = Watts(2.4e-3);
+        solar.day_length = Seconds(140.0);
+        solar.daylight_fraction = 1.0;
+        solar.dawn_offset = Seconds(35.0);
+        solar.sample_period = Seconds(1.0);
+        solar.cloud_depth = 0.3;
+        solar.shading_depth = 0.0;
+        solar.seed = 7;
+        const env::SolarDiurnalField field(solar);
+        const env::TraceData data = env::recordField(
+            field, env::Position{}, Seconds(32.0), Hertz(8.0));
+        std::string p = "/tmp/culpeo_bench_sky.ctrace";
+        if (!env::writeTrace(p, data).ok())
+            std::abort();
+        return p;
+    }();
+    return path;
+}
+
+/**
+ * Defensive-decode throughput: TraceReader::open on a clean file is
+ * the mmap + header parse + per-block CRC + per-sample validation
+ * walk, with zero-copy column views (no materialization). Items/sec
+ * is samples validated per second. Paired against BM_TraceStep in
+ * check_regression.py so a decoder that starts copying or re-hashing
+ * shows up as a shrinking ratio.
+ */
+void
+BM_TraceDecode(benchmark::State &state)
+{
+    const std::string path = [] {
+        env::TraceData data;
+        data.sample_rate = Hertz(1000.0);
+        for (std::size_t i = 0; i < (1u << 16); ++i) {
+            data.time_s.push_back(double(i) * 1e-3);
+            data.current_a.push_back(1e-3 +
+                                     1e-4 * std::sin(double(i) * 0.01));
+            data.voltage_v.push_back(3.0);
+        }
+        std::string p = "/tmp/culpeo_bench_decode.ctrace";
+        if (!env::writeTrace(p, data).ok())
+            std::abort();
+        return p;
+    }();
+    std::size_t samples = 0;
+    for (auto _ : state) {
+        auto reader = env::TraceReader::open(path);
+        if (!reader.ok())
+            std::abort();
+        samples = reader->size();
+        benchmark::DoNotOptimize(reader->sampleAt(samples / 2));
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(samples));
+    state.SetBytesProcessed(int64_t(state.iterations()) *
+                            int64_t(samples) * 24);
+}
+BENCHMARK(BM_TraceDecode);
+
+/**
+ * The BM_RunTrial scheduler trial stepped under a *recorded* harvest
+ * environment instead of the constant built-in: every macro step
+ * samples env::TraceField (binary search over blocks + piece lookup)
+ * and is capped at the 125 ms piece boundary. The ratio against
+ * BM_RunTrial/force_euler:0 is the full cost of replaying from disk
+ * rather than assuming the paper's constant-harvest condition.
+ */
+void
+BM_TraceStep(benchmark::State &state)
+{
+    auto field = env::TraceField::open(recordedSkyPath());
+    if (!field.ok())
+        std::abort();
+    const sched::AppSpec app = apps::periodicSensing();
+    sched::CulpeoPolicy policy;
+    policy.initialize(app);
+    const TrialBuilder trial = TrialBuilder()
+                                   .app(app)
+                                   .policy(policy)
+                                   .duration(Seconds(30.0))
+                                   .seed(7)
+                                   .environment(*field);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(trial.run());
+}
+BENCHMARK(BM_TraceStep)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -61,12 +61,17 @@ python3 - "$OUTPUT" <<'EOF' 2>/dev/null || true
 import json, sys
 data = json.load(open(sys.argv[1]))
 times = {}
+# Benchmarks report real_time in their own unit; normalize to ns so
+# cross-unit ratios (a ns-scale decode over a ms-scale trial) hold.
+unit_ns = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 for b in data.get("benchmarks", []):
     if b.get("run_type") == "aggregate":
         continue
     # Min across repetitions: the robust per-benchmark statistic.
     name = b["name"]
-    times[name] = min(times.get(name, float("inf")), b["real_time"])
+    scale = unit_ns.get(b.get("time_unit", "ns"), 1.0)
+    times[name] = min(times.get(name, float("inf")),
+                      b["real_time"] * scale)
 fast = times.get("BM_GroundTruthSearch")
 euler = times.get("BM_GroundTruthSearchEuler")
 if fast and euler:
@@ -105,4 +110,14 @@ for threads in (2, 4):
     if fleet_one and wide:
         print(f"fleet step {threads}-thread scaling: "
               f"{fleet_one / wide:.2f}x")
+# Trace ingestion: replayed-trial overhead vs the constant-harvest
+# trial, and the defensive decode's cost relative to one replay.
+trace_step = times.get("BM_TraceStep")
+trace_decode = times.get("BM_TraceDecode")
+if trial_fast and trace_step:
+    print(f"trace replay trial cost (vs constant harvest): "
+          f"{trace_step / trial_fast:.2f}x")
+if trace_step and trace_decode:
+    print(f"trace decode cost (vs one replayed trial): "
+          f"{trace_decode / trace_step:.2f}x")
 EOF

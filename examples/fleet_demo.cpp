@@ -23,21 +23,40 @@
 #include "env/field.hpp"
 #include "fleet/fleet.hpp"
 #include "sched/policy.hpp"
+#include "util/logging.hpp"
 
 using namespace culpeo;
 
+namespace {
+
+/** Parse one positional argument strictly; exits with usage on junk. */
+double
+numericArg(const char *name, const char *text)
+{
+    char *end = nullptr;
+    const double value = std::strtod(text, &end);
+    if (end == text || *end != '\0') {
+        std::fprintf(stderr,
+                     "fleet_demo: %s must be a number, got '%s'\n"
+                     "usage: fleet_demo [devices] [duration_s] [seed]\n",
+                     name, text);
+        std::exit(2);
+    }
+    return value;
+}
+
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     std::size_t devices = 10000;
     double duration = 300.0;
     std::uint64_t seed = 7;
     if (argc > 1)
-        devices = std::strtoull(argv[1], nullptr, 10);
+        devices = std::size_t(numericArg("devices", argv[1]));
     if (argc > 2)
-        duration = std::strtod(argv[2], nullptr);
+        duration = numericArg("duration_s", argv[2]);
     if (argc > 3)
-        seed = std::strtoull(argv[3], nullptr, 10);
+        seed = std::uint64_t(numericArg("seed", argv[3]));
 
     // The shared sky: one simulated day compressed so a default-length
     // trial sees meaningful irradiance swings, with seeded per-cell
@@ -111,4 +130,19 @@ main(int argc, char **argv)
     report.writeJsonlFile("fleet_summary.jsonl");
     std::printf("\nwrote fleet_summary.csv and fleet_summary.jsonl\n");
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Bad input (an invalid spec, an unwritable artifact path) is a
+    // diagnostic and a nonzero exit, not an unhandled-exception abort.
+    try {
+        return run(argc, argv);
+    } catch (const log::FatalError &error) {
+        std::fprintf(stderr, "fleet_demo: %s\n", error.what());
+        return EXIT_FAILURE;
+    }
 }

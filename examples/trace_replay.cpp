@@ -29,8 +29,17 @@ main()
     std::printf("captured %zu samples of '%s' to %s\n", captured.size(),
                 live.name().c_str(), path.c_str());
 
-    // --- Later, on the designer's workstation: load and analyze. ---
-    const auto trace = load::loadTraceCsv(path);
+    // --- Later, on the designer's workstation: load and analyze.
+    // Files that crossed a disk are input data: the checked loader
+    // returns a typed, line-addressed error instead of aborting when
+    // the capture arrives truncated or hand-edited.
+    const auto loaded = load::loadTraceCsvChecked(path);
+    if (!loaded) {
+        std::fprintf(stderr, "trace_replay: %s: %s\n", path.c_str(),
+                     loaded.error().message().c_str());
+        return 1;
+    }
+    const auto &trace = *loaded;
     std::printf("loaded   %zu samples at %.0f kHz\n\n", trace.size(),
                 trace.rate().value() / 1e3);
 

@@ -1,0 +1,266 @@
+#include "env/trace.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace culpeo::env {
+
+namespace {
+
+/** CRC-32 lookup table, built once (IEEE 802.3 reflected polynomial). */
+const std::array<std::uint32_t, 256> &
+crcTable()
+{
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int bit = 0; bit < 8; ++bit)
+                c = (c & 1U) ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+void
+putU16(std::string &out, std::uint16_t v)
+{
+    out.push_back(char(v & 0xFF));
+    out.push_back(char((v >> 8) & 0xFF));
+}
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(char((v >> (8 * i)) & 0xFF));
+}
+
+void
+putU64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(char((v >> (8 * i)) & 0xFF));
+}
+
+void
+putF64(std::string &out, double v)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    putU64(out, bits);
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const void *data, std::size_t size, std::uint32_t seed)
+{
+    const auto &table = crcTable();
+    const unsigned char *bytes = static_cast<const unsigned char *>(data);
+    std::uint32_t crc = seed ^ 0xFFFFFFFFU;
+    for (std::size_t i = 0; i < size; ++i)
+        crc = table[(crc ^ bytes[i]) & 0xFFU] ^ (crc >> 8);
+    return crc ^ 0xFFFFFFFFU;
+}
+
+const char *
+traceErrorName(TraceErrorCode code)
+{
+    switch (code) {
+    case TraceErrorCode::Io:
+        return "io";
+    case TraceErrorCode::Truncated:
+        return "truncated";
+    case TraceErrorCode::BadMagic:
+        return "bad_magic";
+    case TraceErrorCode::BadVersion:
+        return "bad_version";
+    case TraceErrorCode::HeaderCorrupt:
+        return "header_corrupt";
+    case TraceErrorCode::ZeroLengthBlock:
+        return "zero_length_block";
+    case TraceErrorCode::BlockCrcMismatch:
+        return "block_crc_mismatch";
+    case TraceErrorCode::NonFiniteSample:
+        return "non_finite_sample";
+    case TraceErrorCode::NonMonotonicTime:
+        return "non_monotonic_time";
+    case TraceErrorCode::DuplicateTime:
+        return "duplicate_time";
+    case TraceErrorCode::OutOfRangeCurrent:
+        return "out_of_range_current";
+    case TraceErrorCode::OutOfRangeVoltage:
+        return "out_of_range_voltage";
+    case TraceErrorCode::TrailingData:
+        return "trailing_data";
+    case TraceErrorCode::EmptyTrace:
+        return "empty_trace";
+    }
+    return "unknown";
+}
+
+const char *
+recoveryModeName(RecoveryMode mode)
+{
+    switch (mode) {
+    case RecoveryMode::Strict:
+        return "strict";
+    case RecoveryMode::Clamp:
+        return "clamp";
+    case RecoveryMode::Skip:
+        return "skip";
+    }
+    return "unknown";
+}
+
+std::string
+TraceError::message() const
+{
+    std::ostringstream out;
+    out << traceErrorName(code) << " at byte " << byte_offset
+        << " (block " << block << ", sample " << sample << ")";
+    if (!detail.empty())
+        out << ": " << detail;
+    return out.str();
+}
+
+util::Expected<void, TraceError>
+writeTrace(const std::string &path, const TraceData &data,
+           const TraceWriteOptions &options)
+{
+    const std::size_t n = data.size();
+    if (n == 0)
+        return util::fail(TraceError{TraceErrorCode::EmptyTrace,
+                                     "refusing to write a trace with no "
+                                     "samples",
+                                     0, 0, 0});
+    if (data.current_a.size() != n || data.voltage_v.size() != n)
+        return util::fail(
+            TraceError{TraceErrorCode::Truncated,
+                       "column lengths disagree (time " +
+                           std::to_string(n) + ", current " +
+                           std::to_string(data.current_a.size()) +
+                           ", voltage " +
+                           std::to_string(data.voltage_v.size()) + ")",
+                       0, 0, 0});
+    const double rate = data.sample_rate.value();
+    if (!std::isfinite(rate) || rate <= 0.0)
+        return util::fail(TraceError{TraceErrorCode::HeaderCorrupt,
+                                     "sample rate must be positive and "
+                                     "finite",
+                                     0, 0, 0});
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!std::isfinite(data.time_s[i]) ||
+            !std::isfinite(data.current_a[i]) ||
+            !std::isfinite(data.voltage_v[i]))
+            return util::fail(TraceError{TraceErrorCode::NonFiniteSample,
+                                         "refusing to write a non-finite "
+                                         "sample",
+                                         0, 0, i});
+        if (i > 0 && data.time_s[i] <= data.time_s[i - 1]) {
+            const TraceErrorCode code =
+                data.time_s[i] == data.time_s[i - 1]
+                    ? TraceErrorCode::DuplicateTime
+                    : TraceErrorCode::NonMonotonicTime;
+            return util::fail(TraceError{
+                code, "refusing to write an unordered timestamp", 0, 0,
+                i});
+        }
+    }
+
+    const std::uint32_t block_samples =
+        options.block_samples == 0 ? 1
+        : options.block_samples > kTraceMaxBlockSamples
+            ? kTraceMaxBlockSamples
+            : options.block_samples;
+
+    std::string bytes;
+    bytes.reserve(kTraceHeaderSize +
+                  (n * 24 + (n / block_samples + 1) *
+                                kTraceBlockHeaderSize));
+    putU32(bytes, kTraceMagic);
+    putU16(bytes, kTraceVersion);
+    putU16(bytes, 0); // flags
+    putF64(bytes, rate);
+    putF64(bytes, 1.0); // current_scale
+    putF64(bytes, 1.0); // voltage_scale
+    putU64(bytes, n);
+    putU32(bytes, block_samples);
+    putU32(bytes, 0); // reserved
+    for (int i = 0; i < 12; ++i)
+        bytes.push_back('\0');
+    putU32(bytes, crc32(bytes.data(), bytes.size()));
+
+    for (std::size_t start = 0; start < n; start += block_samples) {
+        const std::size_t count =
+            std::min<std::size_t>(block_samples, n - start);
+        std::string payload;
+        payload.reserve(count * 24);
+        for (std::size_t i = 0; i < count; ++i)
+            putF64(payload, data.time_s[start + i]);
+        for (std::size_t i = 0; i < count; ++i)
+            putF64(payload, data.current_a[start + i]);
+        for (std::size_t i = 0; i < count; ++i)
+            putF64(payload, data.voltage_v[start + i]);
+        putU32(bytes, std::uint32_t(count));
+        putU32(bytes, 0);
+        putU32(bytes, 0);
+        putU32(bytes, crc32(payload.data(), payload.size()));
+        bytes += payload;
+    }
+
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out.is_open())
+        return util::fail(TraceError{TraceErrorCode::Io,
+                                     "cannot open for writing: " + path,
+                                     0, 0, 0});
+    out.write(bytes.data(), std::streamsize(bytes.size()));
+    out.flush();
+    if (!out.good())
+        return util::fail(TraceError{TraceErrorCode::Io,
+                                     "short write: " + path, 0, 0, 0});
+    return {};
+}
+
+TraceData
+recordField(const HarvestField &field, Position pos, Seconds duration,
+            Hertz rate, const TraceRecordOptions &options)
+{
+    log::fatalIf(rate.value() <= 0.0 || !std::isfinite(rate.value()),
+                 "trace record rate must be positive");
+    log::fatalIf(duration.value() <= 0.0 ||
+                     !std::isfinite(duration.value()),
+                 "trace record duration must be positive");
+    log::fatalIf(options.bus_voltage.value() <= 0.0,
+                 "trace record bus voltage must be positive");
+
+    const double period = 1.0 / rate.value();
+    const std::size_t n =
+        std::size_t(std::ceil(duration.value() * rate.value()));
+    TraceData data;
+    data.sample_rate = rate;
+    data.time_s.reserve(n);
+    data.current_a.reserve(n);
+    data.voltage_v.reserve(n);
+    const double bus = options.bus_voltage.value();
+    for (std::size_t k = 0; k < n; ++k) {
+        const double t = double(k) * period;
+        const double power = field.powerAt(pos, Seconds(t)).value();
+        data.time_s.push_back(t);
+        data.current_a.push_back(power / bus);
+        data.voltage_v.push_back(bus);
+    }
+    return data;
+}
+
+} // namespace culpeo::env

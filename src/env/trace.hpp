@@ -1,0 +1,217 @@
+/**
+ * @file
+ * The Culpeo harvest-trace format (DESIGN.md §18): a compact columnar
+ * on-disk container for sensor-recorded (time, I_harvest, V_harvest)
+ * series, the artifact a production fleet service ingests instead of
+ * parametric skies. Shepherd-style recorders log harvesting conditions
+ * at points in space over time and replay them against node
+ * populations; this file defines the container, the recoverable error
+ * taxonomy every malformed-input class maps onto, and the writer /
+ * recorder half of the round trip. trace_reader.hpp holds the
+ * defensive mmap'd decoder and the env::Field replay adapter.
+ *
+ * Layout (little-endian, all offsets 8-byte aligned by construction):
+ *
+ *     FileHeader (64 bytes)
+ *       u32  magic           "CTRC"
+ *       u16  version         1
+ *       u16  flags           reserved, 0
+ *       f64  sample_rate_hz  nominal rate (informational; timestamps
+ *                            are explicit so gappy captures are legal)
+ *       f64  current_scale   stored I × scale = amps (writer emits 1)
+ *       f64  voltage_scale   stored V × scale = volts (writer emits 1)
+ *       u64  sample_count    total samples across all blocks
+ *       u32  block_samples   max samples per block
+ *       u32  reserved        0
+ *       u8   pad[12]         0
+ *       u32  header_crc      CRC-32 of bytes [0, 60)
+ *     Block, repeated:
+ *       u32  count           samples in this block (1..block_samples)
+ *       u32  reserved[2]     0
+ *       u32  payload_crc     CRC-32 of the payload bytes
+ *       f64  time[count]     then f64 current[count], f64 voltage[count]
+ *
+ * Columnar blocks mean one CRC guards a bounded span (a flipped bit
+ * corrupts one block, not the file), and the per-column layout keeps
+ * replay reads sequential. Every decode failure is a typed TraceError,
+ * never a crash or an abort — the ingestion boundary is the robustness
+ * boundary.
+ */
+
+#ifndef CULPEO_ENV_TRACE_HPP
+#define CULPEO_ENV_TRACE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "env/field.hpp"
+#include "util/expected.hpp"
+#include "util/units.hpp"
+
+namespace culpeo::env {
+
+using units::Hertz;
+using units::Seconds;
+using units::Volts;
+
+/** "CTRC" read as a little-endian u32. */
+inline constexpr std::uint32_t kTraceMagic = 0x43525443U;
+inline constexpr std::uint16_t kTraceVersion = 1;
+inline constexpr std::size_t kTraceHeaderSize = 64;
+inline constexpr std::size_t kTraceBlockHeaderSize = 16;
+/** Upper bound on block_samples a well-formed header may declare. */
+inline constexpr std::uint32_t kTraceMaxBlockSamples = 1U << 20;
+
+/**
+ * Every malformed-input class the decoder can meet. Codes are stable:
+ * the fuzzer asserts each mutated input classifies into exactly one of
+ * these, and telemetry interns their names.
+ */
+enum class TraceErrorCode : std::uint8_t {
+    Io,               ///< open/stat/mmap failed (missing file, EACCES…).
+    Truncated,        ///< File or block cut short of its declared size.
+    BadMagic,         ///< Not a trace file.
+    BadVersion,       ///< A version this decoder does not speak.
+    HeaderCorrupt,    ///< Header CRC mismatch or nonsensical fields.
+    ZeroLengthBlock,  ///< A block declaring zero samples.
+    BlockCrcMismatch, ///< Block payload failed its CRC.
+    NonFiniteSample,  ///< NaN/Inf time, current, or voltage.
+    NonMonotonicTime, ///< Timestamp at or below its predecessor.
+    DuplicateTime,    ///< Timestamp exactly equal to its predecessor.
+    OutOfRangeCurrent, ///< Negative or implausibly large current.
+    OutOfRangeVoltage, ///< Negative or implausibly large voltage.
+    TrailingData,     ///< Bytes past the declared sample count.
+    EmptyTrace,       ///< No samples survive decoding.
+};
+
+/** Stable lowercase-snake name for @p code (telemetry, diagnostics). */
+const char *traceErrorName(TraceErrorCode code);
+
+/** One decode failure, locatable enough to debug a capture rig. */
+struct TraceError
+{
+    TraceErrorCode code = TraceErrorCode::Io;
+    std::string detail;            ///< Human-readable specifics.
+    std::uint64_t byte_offset = 0; ///< Where in the file it was found.
+    std::uint64_t block = 0;       ///< Block index (0-based).
+    std::uint64_t sample = 0;      ///< Global sample index (0-based).
+
+    /** "<code> at byte N (block B, sample S): detail" */
+    std::string message() const;
+};
+
+/**
+ * What the decoder does when it meets a malformed input class that is
+ * recoverable (sample- or block-local; structural header damage always
+ * fails the open).
+ */
+enum class RecoveryMode : std::uint8_t {
+    /** Fail the open with the first TraceError, full diagnostics. */
+    Strict,
+    /**
+     * Keep the time grid: a bad value at a good timestamp saturates to
+     * the last good (I, V); samples with bad timestamps and blocks
+     * with bad CRCs are dropped (the previous value holds over the
+     * gap). Every repair is counted and telemetered.
+     */
+    Clamp,
+    /**
+     * Keep only good data: corrupt samples and blocks are dropped
+     * wholesale and the previous value holds across the gap.
+     */
+    Skip,
+};
+
+const char *recoveryModeName(RecoveryMode mode);
+
+/** What recovery did; populated by the reader even when telemetry is off. */
+struct TraceStats
+{
+    std::uint64_t samples_decoded = 0; ///< Survived into the replay view.
+    std::uint64_t samples_clamped = 0; ///< Values saturated to last-good.
+    std::uint64_t samples_dropped = 0; ///< Samples removed entirely.
+    std::uint64_t blocks_total = 0;    ///< Blocks seen in the file.
+    std::uint64_t blocks_dropped = 0;  ///< CRC-failed / truncated blocks.
+    std::uint64_t trailing_bytes = 0;  ///< Ignored bytes past the end.
+    /** Header sample_count disagreed with the decoded blocks. */
+    bool count_mismatch = false;
+    /** First errors met (bounded; enough to name the corruption). */
+    std::vector<TraceError> errors;
+
+    /** True when any recovery action fired. */
+    bool corrupted() const
+    {
+        return samples_clamped != 0 || samples_dropped != 0 ||
+               blocks_dropped != 0 || trailing_bytes != 0 ||
+               count_mismatch;
+    }
+};
+
+/**
+ * An in-memory (time, I, V) series: what the writer consumes, the
+ * recorder and downsampler produce, and a recovering decode
+ * materializes. Parallel columns; times strictly increasing.
+ */
+struct TraceData
+{
+    Hertz sample_rate{1.0};
+    std::vector<double> time_s;
+    std::vector<double> current_a;
+    std::vector<double> voltage_v;
+
+    std::size_t size() const { return time_s.size(); }
+    units::Watts powerAt(std::size_t i) const
+    {
+        return units::Watts(current_a[i] * voltage_v[i]);
+    }
+};
+
+/** Writer knobs. */
+struct TraceWriteOptions
+{
+    /** Samples per CRC-guarded block. */
+    std::uint32_t block_samples = 512;
+};
+
+/**
+ * Write @p data to @p path in the format above. Returns a TraceError
+ * (Io, NonFiniteSample, NonMonotonicTime, DuplicateTime, EmptyTrace)
+ * instead of writing a file that could not be decoded back.
+ */
+util::Expected<void, TraceError>
+writeTrace(const std::string &path, const TraceData &data,
+           const TraceWriteOptions &options = {});
+
+/** Recorder knobs: how a live env field is quantized into a trace. */
+struct TraceRecordOptions
+{
+    /**
+     * The harvest-bus voltage the recorder books samples against:
+     * stored I = P / bus, stored V = bus, so replayed power is
+     * I × V. The default 1 V makes the round trip exact in floating
+     * point; a rig-realistic bus (e.g. 3.3 V) costs at most 1 ulp.
+     */
+    Volts bus_voltage{1.0};
+};
+
+/**
+ * Record @p field at @p pos into a trace: sample k is the field's
+ * power at k / rate over [0, duration). A rate whose period divides
+ * the field's piece length captures a piecewise-constant field
+ * exactly; coarser rates alias (use the downsampler deliberately
+ * instead). Fatal on a non-positive rate or duration (configuration,
+ * not input).
+ */
+TraceData recordField(const HarvestField &field, Position pos,
+                      Seconds duration, Hertz rate,
+                      const TraceRecordOptions &options = {});
+
+/** CRC-32 (IEEE 802.3, reflected) of @p size bytes at @p data. */
+std::uint32_t crc32(const void *data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+} // namespace culpeo::env
+
+#endif // CULPEO_ENV_TRACE_HPP

@@ -1,0 +1,671 @@
+#include "env/trace_reader.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "telemetry/telemetry.hpp"
+#include "util/logging.hpp"
+
+namespace culpeo::env {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::uint16_t
+readU16(const unsigned char *p)
+{
+    return std::uint16_t(p[0]) | std::uint16_t(p[1]) << 8;
+}
+
+std::uint32_t
+readU32(const unsigned char *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+std::uint64_t
+readU64(const unsigned char *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+double
+readF64(const unsigned char *p)
+{
+    std::uint64_t bits = readU64(p);
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+/** Decoded header fields (post-validation). */
+struct Header
+{
+    double sample_rate = 1.0;
+    double current_scale = 1.0;
+    double voltage_scale = 1.0;
+    std::uint64_t sample_count = 0;
+    std::uint32_t block_samples = 0;
+};
+
+std::optional<TraceError>
+parseHeader(const unsigned char *data, std::size_t size, Header &header)
+{
+    if (size < kTraceHeaderSize)
+        return TraceError{TraceErrorCode::Truncated,
+                          "file shorter than the 64-byte header", size, 0,
+                          0};
+    if (readU32(data) != kTraceMagic)
+        return TraceError{TraceErrorCode::BadMagic,
+                          "not a Culpeo trace file", 0, 0, 0};
+    const std::uint16_t version = readU16(data + 4);
+    if (version != kTraceVersion)
+        return TraceError{TraceErrorCode::BadVersion,
+                          "trace version " + std::to_string(version) +
+                              " (decoder speaks " +
+                              std::to_string(kTraceVersion) + ")",
+                          4, 0, 0};
+    if (crc32(data, 60) != readU32(data + 60))
+        return TraceError{TraceErrorCode::HeaderCorrupt,
+                          "header CRC mismatch", 60, 0, 0};
+    header.sample_rate = readF64(data + 8);
+    header.current_scale = readF64(data + 16);
+    header.voltage_scale = readF64(data + 24);
+    header.sample_count = readU64(data + 32);
+    header.block_samples = readU32(data + 40);
+    if (!std::isfinite(header.sample_rate) || header.sample_rate <= 0.0)
+        return TraceError{TraceErrorCode::HeaderCorrupt,
+                          "sample rate must be positive and finite", 8, 0,
+                          0};
+    if (!std::isfinite(header.current_scale) ||
+        header.current_scale <= 0.0 ||
+        !std::isfinite(header.voltage_scale) ||
+        header.voltage_scale <= 0.0)
+        return TraceError{TraceErrorCode::HeaderCorrupt,
+                          "unit scales must be positive and finite", 16,
+                          0, 0};
+    if (header.block_samples == 0 ||
+        header.block_samples > kTraceMaxBlockSamples)
+        return TraceError{TraceErrorCode::HeaderCorrupt,
+                          "block_samples out of range", 40, 0, 0};
+    return std::nullopt;
+}
+
+/** How a bad sample is bad: the code, and whether its *time* is bad. */
+struct SampleFault
+{
+    TraceErrorCode code;
+    bool time_bad;
+};
+
+std::optional<SampleFault>
+classifySample(double prev_time, double t, double current, double voltage,
+               const TraceReadOptions &options)
+{
+    if (!std::isfinite(t))
+        return SampleFault{TraceErrorCode::NonFiniteSample, true};
+    if (t == prev_time)
+        return SampleFault{TraceErrorCode::DuplicateTime, true};
+    if (t < prev_time)
+        return SampleFault{TraceErrorCode::NonMonotonicTime, true};
+    if (!std::isfinite(current) || !std::isfinite(voltage))
+        return SampleFault{TraceErrorCode::NonFiniteSample, false};
+    if (current < 0.0 || current > options.max_current_a)
+        return SampleFault{TraceErrorCode::OutOfRangeCurrent, false};
+    if (voltage < 0.0 || voltage > options.max_voltage_v)
+        return SampleFault{TraceErrorCode::OutOfRangeVoltage, false};
+    return std::nullopt;
+}
+
+/** Everything one decode pass needs to see. */
+struct DecodeCtx
+{
+    const unsigned char *data = nullptr;
+    std::size_t size = 0;
+    Header header;
+    const TraceReadOptions *options = nullptr;
+    /** Stats + telemetry are recorded on the first pass only. */
+    bool emit = true;
+    TraceStats *stats = nullptr;
+};
+
+/** Count an error into stats and telemetry (bounded, emit-pass only). */
+void
+noteError(const DecodeCtx &ctx, const TraceError &error)
+{
+    if (!ctx.emit)
+        return;
+    if (ctx.stats->errors.size() < ctx.options->max_errors_kept)
+        ctx.stats->errors.push_back(error);
+    if constexpr (telemetry::kEnabled) {
+        telemetry::Telemetry *tel = ctx.options->telemetry;
+        if (tel != nullptr) {
+            tel->registry()
+                .counter(telemetry::names::kTraceCorruption)
+                .add(1);
+            tel->emit(telemetry::EventKind::TraceCorruption,
+                      /*time_s=*/0.0, /*voltage_v=*/0.0,
+                      tel->trace().intern(traceErrorName(error.code)),
+                      double(error.block),
+                      /*flag=*/ctx.options->mode != RecoveryMode::Strict);
+        }
+    }
+}
+
+/**
+ * The one block walk both passes share. Strict mode returns the first
+ * error; Clamp/Skip repair and keep going. @p refs (nullable) collects
+ * zero-copy spans for fully clean blocks; @p out (nullable)
+ * materializes the recovered series; @p needs_own (nullable) reports
+ * whether any sample-level repair made the refs unusable.
+ */
+std::optional<TraceError>
+walkBlocks(const DecodeCtx &ctx, std::vector<double> *kept_probe,
+           TraceData *out, bool *needs_own, std::uint64_t &kept_count)
+{
+    const TraceReadOptions &options = *ctx.options;
+    const RecoveryMode mode = options.mode;
+    const bool strict = mode == RecoveryMode::Strict;
+
+    std::size_t offset = kTraceHeaderSize;
+    std::uint64_t block = 0;
+    std::uint64_t file_samples = 0; ///< Declared by parsed block headers.
+    double prev_time = -kInf;
+    double last_current = 0.0;
+    double last_voltage = 0.0;
+    kept_count = 0;
+
+    while (offset < ctx.size) {
+        const std::size_t remaining = ctx.size - offset;
+        const bool past_declared = file_samples >= ctx.header.sample_count;
+        if (remaining < kTraceBlockHeaderSize) {
+            const TraceError error{past_declared
+                                       ? TraceErrorCode::TrailingData
+                                       : TraceErrorCode::Truncated,
+                                   "dangling " +
+                                       std::to_string(remaining) +
+                                       " bytes where a block header "
+                                       "should be",
+                                   offset, block, file_samples};
+            noteError(ctx, error);
+            if (strict)
+                return error;
+            if (ctx.emit)
+                ctx.stats->trailing_bytes += remaining;
+            break;
+        }
+        const std::uint32_t count = readU32(ctx.data + offset);
+        if (count == 0) {
+            const TraceError error{TraceErrorCode::ZeroLengthBlock,
+                                   "block declares zero samples", offset,
+                                   block, file_samples};
+            noteError(ctx, error);
+            if (strict)
+                return error;
+            if (ctx.emit) {
+                ++ctx.stats->blocks_total;
+                ++ctx.stats->blocks_dropped;
+            }
+            offset += kTraceBlockHeaderSize;
+            ++block;
+            continue;
+        }
+        const std::uint64_t payload_bytes = 24ULL * count;
+        if (kTraceBlockHeaderSize + payload_bytes > remaining) {
+            const TraceError error{past_declared
+                                       ? TraceErrorCode::TrailingData
+                                       : TraceErrorCode::Truncated,
+                                   "block declares " +
+                                       std::to_string(count) +
+                                       " samples past end of file",
+                                   offset, block, file_samples};
+            noteError(ctx, error);
+            if (strict)
+                return error;
+            if (ctx.emit) {
+                ++ctx.stats->blocks_total;
+                ++ctx.stats->blocks_dropped;
+                ctx.stats->trailing_bytes += remaining;
+            }
+            break;
+        }
+        if (ctx.emit)
+            ++ctx.stats->blocks_total;
+        const unsigned char *payload =
+            ctx.data + offset + kTraceBlockHeaderSize;
+        const std::uint32_t stored_crc = readU32(ctx.data + offset + 12);
+        if (crc32(payload, payload_bytes) != stored_crc) {
+            const TraceError error{TraceErrorCode::BlockCrcMismatch,
+                                   "payload CRC mismatch", offset, block,
+                                   file_samples};
+            noteError(ctx, error);
+            if (strict)
+                return error;
+            if (ctx.emit) {
+                ++ctx.stats->blocks_dropped;
+                ctx.stats->samples_dropped += count;
+            }
+            file_samples += count;
+            offset += kTraceBlockHeaderSize + payload_bytes;
+            ++block;
+            continue;
+        }
+
+        const unsigned char *tcol = payload;
+        const unsigned char *icol = payload + 8ULL * count;
+        const unsigned char *vcol = payload + 16ULL * count;
+        bool block_clean = true;
+        for (std::uint32_t i = 0; i < count; ++i) {
+            const double t = readF64(tcol + 8ULL * i);
+            const double current =
+                readF64(icol + 8ULL * i) * ctx.header.current_scale;
+            const double voltage =
+                readF64(vcol + 8ULL * i) * ctx.header.voltage_scale;
+            const std::optional<SampleFault> fault =
+                classifySample(prev_time, t, current, voltage, options);
+            if (!fault.has_value()) {
+                prev_time = t;
+                last_current = current;
+                last_voltage = voltage;
+                if (out != nullptr) {
+                    out->time_s.push_back(t);
+                    out->current_a.push_back(current);
+                    out->voltage_v.push_back(voltage);
+                }
+                ++kept_count;
+                continue;
+            }
+            const TraceError error{
+                fault->code, "sample failed validation",
+                offset + kTraceBlockHeaderSize + 8ULL * i, block,
+                file_samples + i};
+            noteError(ctx, error);
+            if (strict)
+                return error;
+            block_clean = false;
+            if (needs_own != nullptr)
+                *needs_own = true;
+            if (mode == RecoveryMode::Clamp && !fault->time_bad) {
+                // The time grid survives: saturate to last-good values.
+                prev_time = t;
+                if (out != nullptr) {
+                    out->time_s.push_back(t);
+                    out->current_a.push_back(last_current);
+                    out->voltage_v.push_back(last_voltage);
+                }
+                ++kept_count;
+                if (ctx.emit)
+                    ++ctx.stats->samples_clamped;
+            } else if (ctx.emit) {
+                ++ctx.stats->samples_dropped;
+            }
+        }
+        if (kept_probe != nullptr && block_clean) {
+            // Record the block's span as (first kept index, raw offset).
+            kept_probe->push_back(double(kept_count) - double(count));
+            kept_probe->push_back(double(offset));
+        }
+        file_samples += count;
+        offset += kTraceBlockHeaderSize + payload_bytes;
+        ++block;
+    }
+
+    if (file_samples != ctx.header.sample_count) {
+        const TraceError error{
+            file_samples < ctx.header.sample_count
+                ? TraceErrorCode::Truncated
+                : TraceErrorCode::TrailingData,
+            "header declares " +
+                std::to_string(ctx.header.sample_count) +
+                " samples, blocks carry " + std::to_string(file_samples),
+            offset, block, file_samples};
+        // Only worth reporting when the block walk itself was clean
+        // (a dropped tail already told this story).
+        if (ctx.emit && !ctx.stats->count_mismatch) {
+            noteError(ctx, error);
+            ctx.stats->count_mismatch = true;
+        }
+        if (strict)
+            return error;
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+util::Expected<MappedFile, TraceError>
+MappedFile::open(const std::string &path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0)
+        return util::fail(TraceError{TraceErrorCode::Io,
+                                     "cannot open " + path + ": " +
+                                         std::strerror(errno),
+                                     0, 0, 0});
+    struct stat st = {};
+    if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+        ::close(fd);
+        return util::fail(TraceError{TraceErrorCode::Io,
+                                     path + " is not a regular file", 0,
+                                     0, 0});
+    }
+    const std::size_t size = std::size_t(st.st_size);
+    if (size == 0) {
+        ::close(fd);
+        return util::fail(TraceError{TraceErrorCode::Truncated,
+                                     path + " is empty", 0, 0, 0});
+    }
+    void *mapped = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (mapped == MAP_FAILED)
+        return util::fail(TraceError{TraceErrorCode::Io,
+                                     "mmap failed for " + path + ": " +
+                                         std::strerror(errno),
+                                     0, 0, 0});
+    return MappedFile(static_cast<const unsigned char *>(mapped), size);
+}
+
+MappedFile::MappedFile(MappedFile &&other) noexcept
+    : data_(other.data_), size_(other.size_)
+{
+    other.data_ = nullptr;
+    other.size_ = 0;
+}
+
+MappedFile &
+MappedFile::operator=(MappedFile &&other) noexcept
+{
+    if (this != &other) {
+        if (data_ != nullptr)
+            ::munmap(const_cast<unsigned char *>(data_), size_);
+        data_ = other.data_;
+        size_ = other.size_;
+        other.data_ = nullptr;
+        other.size_ = 0;
+    }
+    return *this;
+}
+
+MappedFile::~MappedFile()
+{
+    if (data_ != nullptr)
+        ::munmap(const_cast<unsigned char *>(data_), size_);
+}
+
+util::Expected<TraceReader, TraceError>
+TraceReader::open(const std::string &path, const TraceReadOptions &options)
+{
+    util::Expected<MappedFile, TraceError> map = MappedFile::open(path);
+    if (!map) {
+        TraceReader probe; // Emit the failure before surfacing it.
+        DecodeCtx ctx;
+        ctx.options = &options;
+        ctx.stats = &probe.stats_;
+        noteError(ctx, map.error());
+        return util::fail(map.error());
+    }
+
+    TraceReader reader;
+    reader.map_.emplace(std::move(*map));
+    reader.mode_ = options.mode;
+
+    DecodeCtx ctx;
+    ctx.data = reader.map_->data();
+    ctx.size = reader.map_->size();
+    ctx.options = &options;
+    ctx.emit = true;
+    ctx.stats = &reader.stats_;
+
+    Header header;
+    if (std::optional<TraceError> error =
+            parseHeader(ctx.data, ctx.size, header)) {
+        noteError(ctx, *error);
+        return util::fail(*error);
+    }
+    ctx.header = header;
+    reader.sample_rate_ = Hertz(header.sample_rate);
+    reader.current_scale_ = header.current_scale;
+    reader.voltage_scale_ = header.voltage_scale;
+
+    // Pass 1: validate + count, remembering clean-block spans.
+    std::vector<double> spans;
+    bool needs_own = false;
+    std::uint64_t kept = 0;
+    if (std::optional<TraceError> error =
+            walkBlocks(ctx, &spans, nullptr, &needs_own, kept))
+        return util::fail(*error);
+    if (kept == 0) {
+        const TraceError error{TraceErrorCode::EmptyTrace,
+                               "no samples survived decoding", 0, 0, 0};
+        noteError(ctx, error);
+        return util::fail(error);
+    }
+    reader.stats_.samples_decoded = kept;
+    reader.size_ = std::size_t(kept);
+
+    if (!needs_own) {
+        // Zero-copy: rebuild the BlockRefs from the recorded spans.
+        reader.blocks_.reserve(spans.size() / 2);
+        for (std::size_t s = 0; s + 1 < spans.size(); s += 2) {
+            const std::size_t first = std::size_t(spans[s]);
+            const std::size_t offset = std::size_t(spans[s + 1]);
+            const std::uint32_t count = readU32(ctx.data + offset);
+            const unsigned char *payload =
+                ctx.data + offset + kTraceBlockHeaderSize;
+            BlockRef ref;
+            ref.first = first;
+            ref.count = count;
+            ref.time = reinterpret_cast<const double *>(payload);
+            ref.current =
+                reinterpret_cast<const double *>(payload + 8ULL * count);
+            ref.voltage =
+                reinterpret_cast<const double *>(payload + 16ULL * count);
+            reader.blocks_.push_back(ref);
+        }
+        return reader;
+    }
+
+    // Pass 2: materialize the recovered series (stats already final).
+    ctx.emit = false;
+    reader.use_owned_ = true;
+    reader.owned_.sample_rate = Hertz(header.sample_rate);
+    reader.owned_.time_s.reserve(std::size_t(kept));
+    reader.owned_.current_a.reserve(std::size_t(kept));
+    reader.owned_.voltage_v.reserve(std::size_t(kept));
+    std::uint64_t kept_again = 0;
+    if (std::optional<TraceError> error =
+            walkBlocks(ctx, nullptr, &reader.owned_, nullptr, kept_again))
+        return util::fail(*error); // Unreachable: pass 1 already passed.
+    log::panicIf(kept_again != kept,
+                 "trace decode passes disagree on sample count");
+    // Scales were applied during materialization.
+    reader.current_scale_ = 1.0;
+    reader.voltage_scale_ = 1.0;
+    reader.map_.reset(); // The mapping is no longer referenced.
+    return reader;
+}
+
+TraceReader
+TraceReader::fromData(TraceData data)
+{
+    const std::size_t n = data.size();
+    log::fatalIf(n == 0, "trace data must hold at least one sample");
+    log::fatalIf(data.current_a.size() != n || data.voltage_v.size() != n,
+                 "trace data columns must have equal lengths");
+    log::fatalIf(data.sample_rate.value() <= 0.0 ||
+                     !std::isfinite(data.sample_rate.value()),
+                 "trace data sample rate must be positive");
+    for (std::size_t i = 0; i < n; ++i) {
+        log::fatalIf(!std::isfinite(data.time_s[i]) ||
+                         !std::isfinite(data.current_a[i]) ||
+                         !std::isfinite(data.voltage_v[i]),
+                     "trace data sample ", i, " is not finite");
+        log::fatalIf(i > 0 && data.time_s[i] <= data.time_s[i - 1],
+                     "trace data timestamps must be strictly increasing "
+                     "(sample ",
+                     i, ")");
+    }
+    TraceReader reader;
+    reader.use_owned_ = true;
+    reader.size_ = n;
+    reader.sample_rate_ = data.sample_rate;
+    reader.stats_.samples_decoded = n;
+    reader.owned_ = std::move(data);
+    return reader;
+}
+
+TraceReader::Sample
+TraceReader::sampleAt(std::size_t i) const
+{
+    log::panicIf(i >= size_, "trace sample index out of range");
+    if (use_owned_)
+        return {owned_.time_s[i], owned_.current_a[i],
+                owned_.voltage_v[i]};
+    // Last block whose first index is <= i.
+    const auto it = std::upper_bound(
+        blocks_.begin(), blocks_.end(), i,
+        [](std::size_t index, const BlockRef &ref) {
+            return index < ref.first;
+        });
+    const BlockRef &ref = *(it - 1);
+    const std::size_t local = i - ref.first;
+    return {ref.time[local], ref.current[local] * current_scale_,
+            ref.voltage[local] * voltage_scale_};
+}
+
+double
+TraceReader::timeAt(std::size_t i) const
+{
+    return sampleAt(i).time_s;
+}
+
+std::size_t
+TraceReader::indexFor(double t) const
+{
+    if (use_owned_) {
+        const auto it = std::upper_bound(owned_.time_s.begin(),
+                                         owned_.time_s.end(), t);
+        if (it == owned_.time_s.begin())
+            return 0;
+        return std::size_t(it - owned_.time_s.begin()) - 1;
+    }
+    // Last block whose first timestamp is <= t, then search within.
+    const auto bit = std::upper_bound(
+        blocks_.begin(), blocks_.end(), t,
+        [](double value, const BlockRef &ref) {
+            return value < ref.time[0];
+        });
+    if (bit == blocks_.begin())
+        return blocks_.front().first;
+    const BlockRef &ref = *(bit - 1);
+    const double *end = ref.time + ref.count;
+    const double *pos = std::upper_bound(ref.time, end, t);
+    if (pos == ref.time)
+        return ref.first;
+    return ref.first + std::size_t(pos - ref.time) - 1;
+}
+
+TraceData
+downsample(const TraceReader &reader, unsigned factor)
+{
+    log::fatalIf(factor == 0, "downsample factor must be positive");
+    TraceData out;
+    out.sample_rate = Hertz(reader.sampleRate().value() / double(factor));
+    const std::size_t n = reader.size();
+    out.time_s.reserve(n / factor + 1);
+    out.current_a.reserve(n / factor + 1);
+    out.voltage_v.reserve(n / factor + 1);
+    std::size_t i = 0;
+    while (i < n) {
+        const std::size_t bin =
+            std::min<std::size_t>(factor, n - i);
+        double current = 0.0;
+        double voltage = 0.0;
+        const double t0 = reader.timeAt(i);
+        for (std::size_t k = 0; k < bin; ++k) {
+            const TraceReader::Sample s = reader.sampleAt(i + k);
+            current += s.current_a;
+            voltage += s.voltage_v;
+        }
+        out.time_s.push_back(t0);
+        out.current_a.push_back(current / double(bin));
+        out.voltage_v.push_back(voltage / double(bin));
+        i += bin;
+    }
+    return out;
+}
+
+util::Expected<TraceField, TraceError>
+TraceField::open(const std::string &path, const TraceReadOptions &options)
+{
+    util::Expected<TraceReader, TraceError> reader =
+        TraceReader::open(path, options);
+    if (!reader)
+        return util::fail(reader.error());
+    return TraceField(std::move(*reader));
+}
+
+TraceField::TraceField(TraceData data)
+    : TraceField(TraceReader::fromData(std::move(data)))
+{}
+
+TraceField::TraceField(TraceReader reader) : reader_(std::move(reader))
+{
+    computeConstantPower();
+}
+
+void
+TraceField::computeConstantPower()
+{
+    const std::size_t n = reader_.size();
+    const double first = reader_.sampleAt(0).power_w();
+    for (std::size_t i = 1; i < n; ++i) {
+        if (reader_.sampleAt(i).power_w() != first)
+            return;
+    }
+    constant_power_ = Watts(first);
+}
+
+Watts
+TraceField::powerAt(Position, Seconds t) const
+{
+    return Watts(reader_.sampleAt(reader_.indexFor(t.value())).power_w());
+}
+
+Seconds
+TraceField::constantUntil(Position, Seconds t) const
+{
+    const std::size_t index = reader_.indexFor(t.value());
+    if (index + 1 < reader_.size())
+        return Seconds(reader_.timeAt(index + 1));
+    return Seconds(kInf);
+}
+
+std::optional<Watts>
+TraceField::constantPower(Position) const
+{
+    return constant_power_;
+}
+
+Seconds
+TraceField::endTime() const
+{
+    return Seconds(reader_.timeAt(reader_.size() - 1));
+}
+
+} // namespace culpeo::env

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * The defensive half of the harvest-trace subsystem (DESIGN.md §18):
+ * an mmap'd zero-copy TraceReader whose decoder treats every byte of
+ * input as hostile, a streaming downsampler, and TraceField — the
+ * env::HarvestField adapter that replays a recorded trace through the
+ * same piecewise-constant seam the parametric skies use, so scalar
+ * sim::Device lanes, the SoA batch engine, and fleet shards all see
+ * bit-identical harvest without any engine changes.
+ *
+ * Decoder contract (the trace-corruption fuzzer enforces all three):
+ *  - it never crashes and never reads out of bounds, whatever the
+ *    input bytes (every block extent is checked against the mapped
+ *    size before the payload is touched);
+ *  - every malformed input classifies into the TraceErrorCode
+ *    taxonomy (trace.hpp);
+ *  - it lands in the declared RecoveryMode: Strict fails the open
+ *    with the first error, Clamp/Skip repair sample- and block-local
+ *    damage, count every repair in TraceStats, and telemeter them
+ *    (`trace.corruption` counter + TraceCorruption events) when a
+ *    sink is attached. Structural header damage (bad magic/version,
+ *    header CRC, nothing decodable) fails the open in every mode.
+ *
+ * Zero-copy: a clean file — and one whose only damage is whole
+ * dropped blocks or trailing bytes — is served straight from the
+ * mapping (block-ref spans; all column offsets are 8-aligned by
+ * format construction). Sample-level repairs (clamped values,
+ * dropped samples) materialize an owned, recovered copy instead;
+ * zeroCopy() reports which path is live. Readers are immutable after
+ * open and safe to sample from concurrent fleet shards.
+ */
+
+#ifndef CULPEO_ENV_TRACE_READER_HPP
+#define CULPEO_ENV_TRACE_READER_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "env/trace.hpp"
+#include "util/expected.hpp"
+
+namespace culpeo::telemetry {
+class Telemetry;
+}
+
+namespace culpeo::env {
+
+/** Read-only mmap of a whole file; movable RAII over fd + mapping. */
+class MappedFile
+{
+  public:
+    static util::Expected<MappedFile, TraceError>
+    open(const std::string &path);
+
+    MappedFile(MappedFile &&other) noexcept;
+    MappedFile &operator=(MappedFile &&other) noexcept;
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+    ~MappedFile();
+
+    const unsigned char *data() const { return data_; }
+    std::size_t size() const { return size_; }
+
+  private:
+    MappedFile(const unsigned char *data, std::size_t size)
+        : data_(data), size_(size)
+    {}
+
+    const unsigned char *data_ = nullptr;
+    std::size_t size_ = 0;
+};
+
+/** Decoder knobs: recovery mode, plausibility bounds, telemetry. */
+struct TraceReadOptions
+{
+    RecoveryMode mode = RecoveryMode::Strict;
+    /**
+     * Corruption telemetry sink (may be null): every detected error
+     * bumps `trace.corruption` and emits one TraceCorruption event
+     * carrying the error-code name and the block it was found in.
+     */
+    telemetry::Telemetry *telemetry = nullptr;
+    /** Currents outside [0, max] are OutOfRangeCurrent. */
+    double max_current_a = 100.0;
+    /** Voltages outside [0, max] are OutOfRangeVoltage. */
+    double max_voltage_v = 1000.0;
+    /** First errors kept in TraceStats::errors (the rest only count). */
+    std::size_t max_errors_kept = 16;
+};
+
+/**
+ * Decoded, recovered view of one trace file. Samples are exposed by
+ * index and by time; both resolve through the zero-copy block refs or
+ * the materialized recovery copy transparently.
+ */
+class TraceReader
+{
+  public:
+    /** Decode @p path under @p options; see the file comment. */
+    static util::Expected<TraceReader, TraceError>
+    open(const std::string &path, const TraceReadOptions &options = {});
+
+    /** Wrap an in-memory series (tests, benches, recorder output). */
+    static TraceReader fromData(TraceData data);
+
+    /** One decoded sample. */
+    struct Sample
+    {
+        double time_s = 0.0;
+        double current_a = 0.0;
+        double voltage_v = 0.0;
+
+        double power_w() const { return current_a * voltage_v; }
+    };
+
+    /** Samples that survived recovery (>= 1 on a successful open). */
+    std::size_t size() const { return size_; }
+
+    Hertz sampleRate() const { return sample_rate_; }
+
+    Sample sampleAt(std::size_t i) const;
+    double timeAt(std::size_t i) const;
+
+    /**
+     * Index of the last sample with time <= @p t; 0 when @p t is
+     * before the first sample (the first value is held backwards).
+     */
+    std::size_t indexFor(double t) const;
+
+    /** What the decoder met and repaired. */
+    const TraceStats &stats() const { return stats_; }
+
+    RecoveryMode mode() const { return mode_; }
+
+    /** True while replay reads straight from the mapping. */
+    bool zeroCopy() const { return !use_owned_; }
+
+  private:
+    /** A clean block's columns inside the mapping. */
+    struct BlockRef
+    {
+        std::size_t first = 0; ///< Global index of the block's sample 0.
+        std::size_t count = 0;
+        const double *time = nullptr;
+        const double *current = nullptr;
+        const double *voltage = nullptr;
+    };
+
+    TraceReader() = default;
+
+    std::optional<MappedFile> map_;
+    std::vector<BlockRef> blocks_; ///< Zero-copy path (clean blocks).
+    TraceData owned_;              ///< Materialized path (repairs).
+    bool use_owned_ = false;
+    std::size_t size_ = 0;
+    Hertz sample_rate_{1.0};
+    /** Header unit scales, applied on the zero-copy read path (the
+     * materialized path bakes them in and resets these to 1). */
+    double current_scale_ = 1.0;
+    double voltage_scale_ = 1.0;
+    RecoveryMode mode_ = RecoveryMode::Strict;
+    TraceStats stats_;
+};
+
+/**
+ * Streaming decimation: each output sample is the mean (I, V) of
+ * @p factor consecutive inputs, stamped with the bin's first
+ * timestamp; the nominal rate divides by @p factor. A trailing
+ * partial bin averages what is there. Fatal on factor == 0
+ * (configuration, not input).
+ */
+TraceData downsample(const TraceReader &reader, unsigned factor);
+
+/**
+ * A recorded trace as a harvest field: sample k's power holds over
+ * [time[k], time[k+1]) — the piecewise-constant contract — the first
+ * sample is held before the trace starts and the last after it ends,
+ * and recovery gaps hold the previous value. Position-independent (a
+ * trace records one point in space); replays identically from every
+ * fleet position. A trace whose samples all carry one power reports
+ * constantPower(), keeping equilibrium Unreachable wait verdicts.
+ */
+class TraceField : public HarvestField
+{
+  public:
+    /** Decode @p path; error taxonomy and recovery per the reader. */
+    static util::Expected<TraceField, TraceError>
+    open(const std::string &path, const TraceReadOptions &options = {});
+
+    /** Replay an in-memory series. Fatal on empty/unordered data. */
+    explicit TraceField(TraceData data);
+
+    Watts powerAt(Position pos, Seconds t) const override;
+    Seconds constantUntil(Position pos, Seconds t) const override;
+    std::optional<Watts> constantPower(Position pos) const override;
+
+    const TraceReader &reader() const { return reader_; }
+    const TraceStats &stats() const { return reader_.stats(); }
+
+    /** Timestamp of the last sample (the held-forever tail begins). */
+    Seconds endTime() const;
+
+  private:
+    explicit TraceField(TraceReader reader);
+
+    void computeConstantPower();
+
+    TraceReader reader_;
+    std::optional<Watts> constant_power_;
+};
+
+} // namespace culpeo::env
+
+#endif // CULPEO_ENV_TRACE_READER_HPP

@@ -205,16 +205,19 @@ void
 SummaryReport::writeCsvFile(const std::string &path) const
 {
     std::ofstream out(path);
-    log::fatalIf(!out, "cannot open fleet CSV output file");
+    log::fatalIf(!out, "cannot open fleet CSV output file: ", path);
     writeCsv(out);
+    log::fatalIf(!out.good(), "failed while writing fleet CSV: ", path);
 }
 
 void
 SummaryReport::writeJsonlFile(const std::string &path) const
 {
     std::ofstream out(path);
-    log::fatalIf(!out, "cannot open fleet JSONL output file");
+    log::fatalIf(!out, "cannot open fleet JSONL output file: ", path);
     writeJsonl(out);
+    log::fatalIf(!out.good(),
+                 "failed while writing fleet JSONL: ", path);
 }
 
 SummaryReport

@@ -217,16 +217,20 @@ void
 BakeoffResult::writeCsvFile(const std::string &path) const
 {
     std::ofstream out(path);
-    log::fatalIf(!out, "cannot open bake-off CSV output file");
+    log::fatalIf(!out, "cannot open bake-off CSV output file: ", path);
     writeCsv(out);
+    log::fatalIf(!out.good(),
+                 "failed while writing bake-off CSV: ", path);
 }
 
 void
 BakeoffResult::writeJsonlFile(const std::string &path) const
 {
     std::ofstream out(path);
-    log::fatalIf(!out, "cannot open bake-off JSONL output file");
+    log::fatalIf(!out, "cannot open bake-off JSONL output file: ", path);
     writeJsonl(out);
+    log::fatalIf(!out.good(),
+                 "failed while writing bake-off JSONL: ", path);
 }
 
 BakeoffResult

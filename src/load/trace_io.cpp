@@ -22,52 +22,62 @@ saveTraceCsv(const SampledTrace &trace, const std::string &path)
     log::fatalIf(!out.good(), "failed while writing trace file: ", path);
 }
 
+util::Expected<SampledTrace, util::CsvError>
+loadTraceCsvChecked(const std::string &path)
+{
+    util::Expected<std::vector<util::CsvRow>, util::CsvError> rows =
+        util::readCsvRows(path, 1);
+    if (!rows)
+        return util::fail(rows.error());
+
+    const util::CsvRow &header = rows->front();
+    if (header.cells[0] != "sample_rate_hz")
+        return util::fail(util::CsvError{
+            util::CsvErrorCode::BadHeader, header.line,
+            "expected 'sample_rate_hz,<rate>' in " + path});
+    if (header.cells.size() < 2)
+        return util::fail(
+            util::CsvError{util::CsvErrorCode::ShortRow, header.line,
+                           "header is missing the sample rate"});
+    const util::Expected<double, util::CsvError> rate =
+        util::csvNumber(header.cells[1], header.line);
+    if (!rate)
+        return util::fail(rate.error());
+    if (*rate <= 0.0)
+        return util::fail(
+            util::CsvError{util::CsvErrorCode::BadValue, header.line,
+                           "sample rate must be positive"});
+
+    std::vector<Amps> samples;
+    samples.reserve(rows->size() - 1);
+    for (std::size_t r = 1; r < rows->size(); ++r) {
+        const util::CsvRow &row = (*rows)[r];
+        if (row.cells.size() != 1)
+            return util::fail(util::CsvError{
+                util::CsvErrorCode::MalformedRow, row.line,
+                "expected one current sample per line, got " +
+                    std::to_string(row.cells.size()) + " fields"});
+        const util::Expected<double, util::CsvError> value =
+            util::csvNumber(row.cells[0], row.line);
+        if (!value)
+            return util::fail(value.error());
+        if (*value < 0.0)
+            return util::fail(util::CsvError{
+                util::CsvErrorCode::BadValue, row.line,
+                "current samples cannot be negative"});
+        samples.push_back(Amps(*value));
+    }
+    return SampledTrace(Hertz(*rate), std::move(samples));
+}
+
 SampledTrace
 loadTraceCsv(const std::string &path)
 {
-    std::ifstream in(path);
-    log::fatalIf(!in.is_open(), "cannot open trace file: ", path);
-
-    std::string header;
-    log::fatalIf(!std::getline(in, header),
-                 "trace file is empty: ", path);
-    const std::string prefix = "sample_rate_hz,";
-    log::fatalIf(header.rfind(prefix, 0) != 0,
-                 "trace file has a bad header: ", path);
-    double rate = 0.0;
-    try {
-        rate = std::stod(header.substr(prefix.size()));
-    } catch (const std::exception &) {
-        log::fatal("trace file has an unparsable sample rate: ", path);
-    }
-    log::fatalIf(rate <= 0.0, "trace sample rate must be positive: ",
-                 path);
-
-    std::vector<Amps> samples;
-    std::string line;
-    std::size_t line_number = 1;
-    while (std::getline(in, line)) {
-        ++line_number;
-        if (line.empty())
-            continue;
-        try {
-            std::size_t consumed = 0;
-            const double value = std::stod(line, &consumed);
-            log::fatalIf(consumed != line.size(),
-                         "trailing characters on trace line ",
-                         line_number, " of ", path);
-            log::fatalIf(value < 0.0 || !std::isfinite(value),
-                         "invalid current sample on line ", line_number,
-                         " of ", path);
-            samples.push_back(Amps(value));
-        } catch (const log::FatalError &) {
-            throw;
-        } catch (const std::exception &) {
-            log::fatal("unparsable sample on line ", line_number, " of ",
-                       path);
-        }
-    }
-    return SampledTrace(Hertz(rate), std::move(samples));
+    util::Expected<SampledTrace, util::CsvError> trace =
+        loadTraceCsvChecked(path);
+    if (!trace)
+        log::fatal("trace file ", path, ": ", trace.error().message());
+    return std::move(*trace);
 }
 
 CurrentProfile

@@ -16,6 +16,8 @@
 #include <string>
 
 #include "load/profile.hpp"
+#include "util/csv.hpp"
+#include "util/expected.hpp"
 
 namespace culpeo::load {
 
@@ -24,9 +26,18 @@ void saveTraceCsv(const SampledTrace &trace, const std::string &path);
 
 /**
  * Load a trace written by saveTraceCsv (or by an external capture
- * tool following the same format).
- * @throws log::FatalError on missing file, bad header, or malformed
- *         sample lines.
+ * tool following the same format), reporting every malformed-input
+ * class — missing file, bad or truncated header, short rows, an
+ * unparsable / non-finite / negative sample — as a typed
+ * util::CsvError locating the offending line instead of unwinding.
+ */
+util::Expected<SampledTrace, util::CsvError>
+loadTraceCsvChecked(const std::string &path);
+
+/**
+ * loadTraceCsvChecked for call sites that treat a bad trace file as a
+ * configuration error.
+ * @throws log::FatalError carrying the CsvError's message.
  */
 SampledTrace loadTraceCsv(const std::string &path);
 

@@ -93,6 +93,8 @@ inline constexpr const char *kVsafeCacheMisses =
     "harness.vsafe_cache.misses";
 inline constexpr const char *kVsafeCacheEvictions =
     "harness.vsafe_cache.evictions";
+/** Malformed-input classes met while decoding a harvest trace. */
+inline constexpr const char *kTraceCorruption = "trace.corruption";
 
 /** Histogram of per-execution Vmin for @p task ("task.vmin/<task>"). */
 std::string taskVmin(const std::string &task);

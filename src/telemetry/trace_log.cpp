@@ -63,6 +63,8 @@ eventKindName(EventKind kind)
         return "task_shed";
     case EventKind::TaskReadmit:
         return "task_readmit";
+    case EventKind::TraceCorruption:
+        return "trace_corruption";
     }
     return "unknown";
 }

@@ -44,6 +44,14 @@ enum class EventKind : std::uint8_t {
     TaskRetry,     ///< Supervisor: brown-out consumed a bounded retry.
     TaskShed,      ///< Supervisor: task demoted; `value` is the probe time.
     TaskReadmit,   ///< Supervisor: demoted task re-admitted for a probe.
+    /**
+     * Trace decoder met a malformed-input class; `name_id` interns the
+     * TraceErrorCode name, `value` is the block index, `flag` is true
+     * when the decoder recovered (Clamp/Skip) rather than failed.
+     * Appended last so existing golden trace snapshots keep their kind
+     * encodings.
+     */
+    TraceCorruption,
 };
 
 /** Stable lowercase-snake name for @p kind (serialization). */

@@ -1,5 +1,8 @@
 #include "csv.hpp"
 
+#include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 #include "logging.hpp"
@@ -45,6 +48,152 @@ csvEscape(const std::string &cell)
     }
     escaped += '"';
     return escaped;
+}
+
+const char *
+csvErrorName(CsvErrorCode code)
+{
+    switch (code) {
+    case CsvErrorCode::Io:
+        return "io";
+    case CsvErrorCode::Empty:
+        return "empty";
+    case CsvErrorCode::MalformedRow:
+        return "malformed_row";
+    case CsvErrorCode::ShortRow:
+        return "short_row";
+    case CsvErrorCode::BadHeader:
+        return "bad_header";
+    case CsvErrorCode::BadNumber:
+        return "bad_number";
+    case CsvErrorCode::BadValue:
+        return "bad_value";
+    }
+    return "unknown";
+}
+
+std::string
+CsvError::message() const
+{
+    std::ostringstream out;
+    out << csvErrorName(code);
+    if (line != 0)
+        out << " at line " << line;
+    if (!detail.empty())
+        out << ": " << detail;
+    return out.str();
+}
+
+Expected<std::vector<std::string>, CsvError>
+csvSplitLine(const std::string &line, std::size_t line_number)
+{
+    std::vector<std::string> cells;
+    std::string cell;
+    std::size_t i = 0;
+    const std::size_t n = line.size();
+    while (true) {
+        cell.clear();
+        if (i < n && line[i] == '"') {
+            ++i;
+            bool closed = false;
+            while (i < n) {
+                if (line[i] == '"') {
+                    if (i + 1 < n && line[i + 1] == '"') {
+                        cell += '"';
+                        i += 2;
+                        continue;
+                    }
+                    ++i;
+                    closed = true;
+                    break;
+                }
+                cell += line[i];
+                ++i;
+            }
+            if (!closed)
+                return fail(CsvError{CsvErrorCode::MalformedRow,
+                                     line_number,
+                                     "unterminated quoted cell"});
+            if (i < n && line[i] != ',')
+                return fail(CsvError{CsvErrorCode::MalformedRow,
+                                     line_number,
+                                     "characters after closing quote"});
+        } else {
+            while (i < n && line[i] != ',') {
+                cell += line[i];
+                ++i;
+            }
+        }
+        cells.push_back(cell);
+        if (i >= n)
+            break;
+        ++i; // Past the separator; a trailing one means an empty cell.
+        if (i == n) {
+            cells.emplace_back();
+            break;
+        }
+    }
+    return cells;
+}
+
+Expected<double, CsvError>
+csvNumber(const std::string &cell, std::size_t line_number)
+{
+    if (cell.empty())
+        return fail(CsvError{CsvErrorCode::BadNumber, line_number,
+                             "empty cell where a number is required"});
+    // strtod would silently skip leading whitespace; a strict cell
+    // parse must not.
+    if (std::isspace(static_cast<unsigned char>(cell.front())) != 0)
+        return fail(CsvError{CsvErrorCode::BadNumber, line_number,
+                             "unparsable number '" + cell + "'"});
+    const char *begin = cell.c_str();
+    char *end = nullptr;
+    errno = 0;
+    const double value = std::strtod(begin, &end);
+    if (end != begin + cell.size())
+        return fail(CsvError{CsvErrorCode::BadNumber, line_number,
+                             "unparsable number '" + cell + "'"});
+    if (errno == ERANGE || !std::isfinite(value))
+        return fail(CsvError{CsvErrorCode::BadNumber, line_number,
+                             "number out of range '" + cell + "'"});
+    return value;
+}
+
+Expected<std::vector<CsvRow>, CsvError>
+readCsvRows(const std::string &path, std::size_t min_fields)
+{
+    std::ifstream in(path);
+    if (!in.is_open())
+        return fail(
+            CsvError{CsvErrorCode::Io, 0, "cannot open " + path});
+    std::vector<CsvRow> rows;
+    std::string line;
+    std::size_t line_number = 0;
+    while (std::getline(in, line)) {
+        ++line_number;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty())
+            continue;
+        Expected<std::vector<std::string>, CsvError> cells =
+            csvSplitLine(line, line_number);
+        if (!cells)
+            return fail(cells.error());
+        if (cells->size() < min_fields)
+            return fail(CsvError{
+                CsvErrorCode::ShortRow, line_number,
+                "row has " + std::to_string(cells->size()) +
+                    " fields, needs " + std::to_string(min_fields)});
+        rows.push_back(CsvRow{line_number, std::move(*cells)});
+    }
+    if (in.bad())
+        return fail(CsvError{CsvErrorCode::Io, line_number,
+                             "read failed for " + path});
+    if (rows.empty())
+        return fail(
+            CsvError{CsvErrorCode::Empty, 0, path + " has no rows"});
+    return rows;
 }
 
 } // namespace culpeo::util

@@ -1,20 +1,30 @@
 /**
  * @file
- * Small CSV writer used by benchmarks to emit figure data series.
+ * Small CSV writer used by benchmarks to emit figure data series, and
+ * the defensive reader half used by ingestion call sites.
  *
  * Benchmarks print human-readable tables to stdout and, when the
  * CULPEO_BENCH_CSV environment variable is set, also write the raw rows
  * to a CSV file so figures can be re-plotted.
+ *
+ * The reader follows the same error discipline as the trace decoder
+ * (util/expected.hpp): operator-supplied CSV is *input data*, so every
+ * malformed-file class — unreadable path, empty file, unterminated
+ * quote, short row, unparsable or non-finite number — surfaces as a
+ * typed CsvError through util::Expected instead of a fatal unwind.
  */
 
 #ifndef CULPEO_UTIL_CSV_HPP
 #define CULPEO_UTIL_CSV_HPP
 
+#include <cstdint>
 #include <fstream>
 #include <initializer_list>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "util/expected.hpp"
 
 namespace culpeo::util {
 
@@ -70,6 +80,66 @@ class CsvWriter
 
 /** Escape a string cell for CSV if it contains separators or quotes. */
 std::string csvEscape(const std::string &cell);
+
+/** Every malformed-CSV class the reader can meet. */
+enum class CsvErrorCode : std::uint8_t {
+    Io,           ///< The file could not be opened or read.
+    Empty,        ///< No data rows at all.
+    MalformedRow, ///< Unterminated quote or junk after a quoted cell.
+    ShortRow,     ///< Fewer fields than the consumer's schema needs.
+    BadHeader,    ///< The header row is not what the format declares.
+    BadNumber,    ///< A cell that must be numeric failed to parse.
+    BadValue,     ///< Parsed fine but violates a range constraint.
+};
+
+/** Stable lowercase-snake name for @p code (diagnostics). */
+const char *csvErrorName(CsvErrorCode code);
+
+/** One CSV ingest failure, locatable to the offending line. */
+struct CsvError
+{
+    CsvErrorCode code = CsvErrorCode::Io;
+    std::size_t line = 0; ///< 1-based line number; 0 = whole file.
+    std::string detail;   ///< Human-readable specifics.
+
+    /** "<code> at line N: detail" */
+    std::string message() const;
+};
+
+/**
+ * Split one CSV line into cells, honoring csvEscape()'s quoting
+ * (double-quote delimiters, "" as an embedded quote). Returns
+ * MalformedRow for an unterminated quote or junk between a closing
+ * quote and the next separator.
+ */
+Expected<std::vector<std::string>, CsvError>
+csvSplitLine(const std::string &line, std::size_t line_number = 0);
+
+/**
+ * Parse a numeric cell strictly: the whole cell must be one finite
+ * number (no trailing characters, no empty cells). @p line_number is
+ * carried into the error for diagnostics.
+ */
+Expected<double, CsvError> csvNumber(const std::string &cell,
+                                     std::size_t line_number = 0);
+
+/** One parsed row, tagged with where it came from. */
+struct CsvRow
+{
+    std::size_t line = 0; ///< 1-based source line (blank lines counted).
+    std::vector<std::string> cells;
+};
+
+/**
+ * Read @p path into rows of cells. Blank lines are skipped (but still
+ * counted, so CsvRow::line matches the editor); every surviving row
+ * must carry at least @p min_fields cells (ShortRow otherwise — a
+ * truncated file that lost the tail of a row fails here instead of
+ * silently feeding half a record downstream). Returns Empty when no
+ * rows survive.
+ */
+Expected<std::vector<CsvRow>, CsvError>
+readCsvRows(const std::string &path, std::size_t min_fields = 0);
 
 } // namespace culpeo::util
 

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * util::Expected<T, E> — a lightweight value-or-error return channel
+ * for recoverable failures at ingestion boundaries (trace decoding,
+ * CSV parsing, report export).
+ *
+ * The library's error discipline so far has two levels: log::fatal for
+ * bad *configuration* (the caller constructed something invalid — a
+ * programming error at the call site) and log::panic for violated
+ * internal invariants. Neither fits *input data*: a sensor-recorded
+ * trace file or an operator-supplied path can be malformed through no
+ * fault of the calling code, and a fleet service must degrade, report,
+ * and continue rather than unwind the whole process. Functions on that
+ * boundary return Expected instead of throwing: the error is a typed,
+ * inspectable value the caller routes (fail the trial, clamp the
+ * sample, drop the block) instead of a control-flow bomb.
+ *
+ * Deliberately minimal — no monadic chaining, no exception interop —
+ * because call sites here are "check, then branch once". Accessing the
+ * wrong side is a programming error and panics.
+ */
+
+#ifndef CULPEO_UTIL_EXPECTED_HPP
+#define CULPEO_UTIL_EXPECTED_HPP
+
+#include <optional>
+#include <utility>
+#include <variant>
+
+#include "util/logging.hpp"
+
+namespace culpeo::util {
+
+/** Wrapper marking a constructor argument as the error alternative. */
+template <typename E>
+class Unexpected
+{
+  public:
+    explicit Unexpected(E error) : error_(std::move(error)) {}
+
+    E &error() & { return error_; }
+    const E &error() const & { return error_; }
+    E &&error() && { return std::move(error_); }
+
+  private:
+    E error_;
+};
+
+/** Deduce E: `return util::fail(TraceError{...});` */
+template <typename E>
+Unexpected<std::decay_t<E>>
+fail(E &&error)
+{
+    return Unexpected<std::decay_t<E>>(std::forward<E>(error));
+}
+
+/**
+ * Either a T (success) or an E (failure). Implicitly constructible
+ * from either side, so `return value;` and `return util::fail(err);`
+ * both work; T and E must be distinct types.
+ */
+template <typename T, typename E>
+class Expected
+{
+    static_assert(!std::is_same_v<T, E>,
+                  "Expected<T, E> needs distinct value and error types");
+
+  public:
+    Expected(T value) : storage_(std::in_place_index<0>, std::move(value))
+    {}
+    Expected(Unexpected<E> error)
+        : storage_(std::in_place_index<1>, std::move(error).error())
+    {}
+
+    bool ok() const { return storage_.index() == 0; }
+    explicit operator bool() const { return ok(); }
+
+    T &value() &
+    {
+        log::panicIf(!ok(), "Expected::value() called on an error");
+        return std::get<0>(storage_);
+    }
+    const T &value() const &
+    {
+        log::panicIf(!ok(), "Expected::value() called on an error");
+        return std::get<0>(storage_);
+    }
+    T &&value() &&
+    {
+        log::panicIf(!ok(), "Expected::value() called on an error");
+        return std::get<0>(std::move(storage_));
+    }
+
+    E &error() &
+    {
+        log::panicIf(ok(), "Expected::error() called on a value");
+        return std::get<1>(storage_);
+    }
+    const E &error() const &
+    {
+        log::panicIf(ok(), "Expected::error() called on a value");
+        return std::get<1>(storage_);
+    }
+
+    T &operator*() & { return value(); }
+    const T &operator*() const & { return value(); }
+    T *operator->() { return &value(); }
+    const T *operator->() const { return &value(); }
+
+    T valueOr(T fallback) const &
+    {
+        return ok() ? std::get<0>(storage_) : std::move(fallback);
+    }
+
+  private:
+    std::variant<T, E> storage_;
+};
+
+/** The void specialization: success carries nothing. */
+template <typename E>
+class Expected<void, E>
+{
+  public:
+    Expected() = default;
+    Expected(Unexpected<E> error) : error_(std::move(error).error()) {}
+
+    bool ok() const { return !error_.has_value(); }
+    explicit operator bool() const { return ok(); }
+
+    E &error()
+    {
+        log::panicIf(ok(), "Expected::error() called on a value");
+        return *error_;
+    }
+    const E &error() const
+    {
+        log::panicIf(ok(), "Expected::error() called on a value");
+        return *error_;
+    }
+
+  private:
+    std::optional<E> error_;
+};
+
+} // namespace culpeo::util
+
+#endif // CULPEO_UTIL_EXPECTED_HPP

@@ -1,0 +1,392 @@
+/**
+ * @file
+ * TraceField acceptance suite (DESIGN.md §18): the recorded-trace
+ * harvest field honors the piecewise-constant HarvestField contract,
+ * a field → trace file → replay round trip drives the lockstep batch
+ * kernel and the scalar sim::Device reference to bit-identical
+ * outcomes under exact_replay, and a fleet run over a TraceField stays
+ * shard-count invariant. This is the tentpole's closing loop: traces
+ * ride the same seam the parametric skies use, so no engine changes —
+ * and no engine divergence — are possible.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "batch/engine.hpp"
+#include "env/field.hpp"
+#include "env/trace.hpp"
+#include "env/trace_reader.hpp"
+#include "fleet/fleet.hpp"
+#include "load/profile.hpp"
+#include "sched/policy.hpp"
+#include "sched/trial.hpp"
+#include "sim/power_system.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+
+constexpr double kExactTol = 1e-9;
+
+std::uint64_t
+baseSeed()
+{
+    const char *value = std::getenv("CULPEO_FUZZ_SEED");
+    if (value == nullptr || *value == '\0')
+        return 20260809;
+    return std::strtoull(value, nullptr, 10);
+}
+
+std::string
+tempPath(const std::string &name)
+{
+    return testing::TempDir() + name;
+}
+
+env::SolarConfig
+testSolar()
+{
+    env::SolarConfig solar;
+    solar.peak = Watts(8e-3);
+    solar.day_length = Seconds(120.0);
+    solar.sample_period = Seconds(0.5);
+    solar.cloud_depth = 0.6;
+    solar.cell_size = 10.0;
+    solar.shading_depth = 0.3;
+    solar.seed = 21;
+    return solar;
+}
+
+/**
+ * Record the solar sky at one position through the on-disk round trip
+ * and reopen it as a field. Rate 2 Hz matches the 0.5 s sample period,
+ * so the capture is alias-free.
+ */
+env::TraceField
+recordedSolarField(const std::string &name, Seconds duration)
+{
+    const env::SolarDiurnalField sky(testSolar());
+    const env::TraceData data = env::recordField(
+        sky, env::Position{30.0, 40.0}, duration, Hertz(2.0));
+    const std::string path = tempPath(name);
+    EXPECT_TRUE(env::writeTrace(path, data).ok());
+    util::Expected<env::TraceField, env::TraceError> field =
+        env::TraceField::open(path);
+    EXPECT_TRUE(field.ok()) << field.error().message();
+    return std::move(*field);
+}
+
+TEST(TraceFieldContract, HoldsEachSampleOverItsInterval)
+{
+    env::TraceData data;
+    data.sample_rate = Hertz(1.0);
+    data.time_s = {0.0, 1.0, 2.5, 7.0};
+    data.current_a = {1e-3, 2e-3, 3e-3, 4e-3};
+    data.voltage_v = {2.0, 2.0, 2.0, 2.0};
+    const env::TraceField field(data);
+    const env::Position pos{};
+
+    EXPECT_DOUBLE_EQ(field.powerAt(pos, Seconds(0.0)).value(), 2e-3);
+    EXPECT_DOUBLE_EQ(field.powerAt(pos, Seconds(0.99)).value(), 2e-3);
+    EXPECT_DOUBLE_EQ(field.powerAt(pos, Seconds(1.0)).value(), 4e-3);
+    EXPECT_DOUBLE_EQ(field.powerAt(pos, Seconds(2.5)).value(), 6e-3);
+    EXPECT_DOUBLE_EQ(field.powerAt(pos, Seconds(100.0)).value(), 8e-3);
+    // Before the first sample, the first value holds backwards.
+    EXPECT_DOUBLE_EQ(field.powerAt(pos, Seconds(-5.0)).value(), 2e-3);
+
+    EXPECT_DOUBLE_EQ(field.constantUntil(pos, Seconds(0.2)).value(), 1.0);
+    EXPECT_DOUBLE_EQ(field.constantUntil(pos, Seconds(1.0)).value(), 2.5);
+    EXPECT_DOUBLE_EQ(field.constantUntil(pos, Seconds(3.0)).value(), 7.0);
+    EXPECT_TRUE(
+        std::isinf(field.constantUntil(pos, Seconds(7.0)).value()));
+    EXPECT_DOUBLE_EQ(field.endTime().value(), 7.0);
+
+    // Power varies, so there is no constant-power fast path.
+    EXPECT_FALSE(field.constantPower(pos).has_value());
+
+    // Position-independence: a trace records one point in space.
+    const env::Position far{1e6, -1e6};
+    EXPECT_DOUBLE_EQ(field.powerAt(far, Seconds(1.5)).value(),
+                     field.powerAt(pos, Seconds(1.5)).value());
+}
+
+TEST(TraceFieldContract, FlatTraceReportsConstantPower)
+{
+    env::TraceData data;
+    data.sample_rate = Hertz(1.0);
+    for (int i = 0; i < 10; ++i) {
+        data.time_s.push_back(double(i));
+        data.current_a.push_back(2e-3);
+        data.voltage_v.push_back(1.5);
+    }
+    const env::TraceField field(data);
+    const std::optional<Watts> constant =
+        field.constantPower(env::Position{});
+    ASSERT_TRUE(constant.has_value());
+    EXPECT_DOUBLE_EQ(constant->value(), 3e-3);
+}
+
+TEST(TraceFieldContract, RecordFieldCapturesPiecewiseSkyExactly)
+{
+    const env::SolarDiurnalField sky(testSolar());
+    const env::Position pos{30.0, 40.0};
+    const env::TraceData data =
+        env::recordField(sky, pos, Seconds(30.0), Hertz(2.0));
+    ASSERT_EQ(data.size(), 60U);
+    const env::TraceField field(data);
+    // At every recorded instant the replay equals the source exactly
+    // (bus_voltage defaults to 1 V, so I × V round-trips the power).
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        const Seconds t(data.time_s[i]);
+        EXPECT_EQ(field.powerAt(pos, t).value(),
+                  sky.powerAt(pos, t).value())
+            << "sample " << i;
+    }
+}
+
+// --- Batch-vs-scalar differential under a replayed trace -----------
+
+struct Population
+{
+    std::vector<batch::LaneSpec> specs;
+    std::vector<std::unique_ptr<load::CurrentProfile>> profiles;
+    std::vector<std::unique_ptr<env::FieldHarvester>> views;
+};
+
+load::CurrentProfile *
+randomProfile(Population &pop, util::Rng &rng)
+{
+    std::vector<load::Segment> segments;
+    const int count = 1 + int(rng.uniformInt(3));
+    for (int s = 0; s < count; ++s)
+        segments.push_back({Seconds(rng.uniform(0.5e-3, 20e-3)),
+                            Amps(rng.uniform(1e-3, 40e-3))});
+    pop.profiles.push_back(std::make_unique<load::CurrentProfile>(
+        "piecewise", std::move(segments)));
+    return pop.profiles.back().get();
+}
+
+batch::LaneOp
+randomOp(Population &pop, util::Rng &rng,
+         const sim::PowerSystemConfig &config)
+{
+    const Volts voff = config.monitor.voff;
+    const Volts vhigh = config.monitor.vhigh;
+    switch (rng.uniformInt(4)) {
+    case 0: {
+        const Volts level(rng.uniform(voff.value() + 0.02, vhigh.value()));
+        const Seconds deadline(rng.uniform(0.5, 10.0));
+        return batch::LaneOp::waitLevel(level, deadline);
+    }
+    case 1:
+        return batch::LaneOp::waitEnabled(Seconds(rng.uniform(0.5, 8.0)));
+    case 2:
+        return batch::LaneOp::runProfile(randomProfile(pop, rng),
+                                         Seconds(50e-6));
+    default:
+        return batch::LaneOp::idleFor(Seconds(rng.uniform(0.05, 2.0)));
+    }
+}
+
+Population
+randomPopulation(const env::HarvestField &field, std::uint64_t seed,
+                 std::size_t lanes)
+{
+    Population pop;
+    util::Rng rng(seed);
+    const sim::PowerSystemConfig config = sim::capybaraConfig();
+    for (std::size_t l = 0; l < lanes; ++l) {
+        batch::LaneSpec spec;
+        spec.config = config;
+        spec.vstart = Volts(rng.uniform(config.monitor.voff.value() + 0.1,
+                                        config.monitor.vhigh.value()));
+        spec.start_enabled = true;
+        pop.views.push_back(std::make_unique<env::FieldHarvester>(
+            field, env::Position{rng.uniform(0.0, 100.0),
+                                 rng.uniform(0.0, 100.0)}));
+        spec.harvester = pop.views.back().get();
+        const int ops = 3 + int(rng.uniformInt(5));
+        for (int i = 0; i < ops; ++i)
+            spec.program.push_back(randomOp(pop, rng, config));
+        pop.specs.push_back(spec);
+    }
+    return pop;
+}
+
+void
+expectExactMatch(const batch::LaneResult &kernel,
+                 const batch::LaneResult &scalar, std::uint64_t seed,
+                 std::size_t lane)
+{
+    const std::string where = "seed " + std::to_string(seed) + " lane " +
+                              std::to_string(lane);
+    ASSERT_EQ(kernel.ops.size(), scalar.ops.size()) << where;
+    for (std::size_t i = 0; i < kernel.ops.size(); ++i) {
+        const batch::OpOutcome &k = kernel.ops[i];
+        const batch::OpOutcome &s = scalar.ops[i];
+        ASSERT_EQ(int(k.kind), int(s.kind)) << where << " op " << i;
+        EXPECT_EQ(int(k.wait_status), int(s.wait_status))
+            << where << " op " << i;
+        EXPECT_NEAR(k.elapsed.value(), s.elapsed.value(), kExactTol)
+            << where << " op " << i;
+        EXPECT_NEAR(k.voltage.value(), s.voltage.value(), kExactTol)
+            << where << " op " << i;
+        EXPECT_EQ(k.diagnostic, s.diagnostic) << where << " op " << i;
+        EXPECT_EQ(k.completed, s.completed) << where << " op " << i;
+        EXPECT_EQ(k.power_failed, s.power_failed) << where << " op " << i;
+        EXPECT_NEAR(k.vmin.value(), s.vmin.value(), kExactTol)
+            << where << " op " << i;
+    }
+    EXPECT_EQ(kernel.power_failures, scalar.power_failures) << where;
+    EXPECT_NEAR(kernel.end_time.value(), scalar.end_time.value(),
+                kExactTol)
+        << where;
+    EXPECT_NEAR(kernel.vend.value(), scalar.vend.value(), kExactTol)
+        << where;
+}
+
+TEST(TraceFieldDifferential, ExactReplayMatchesScalarUnderRecordedTrace)
+{
+    const env::TraceField field =
+        recordedSolarField("trace_diff.ctrace", Seconds(60.0));
+    for (std::uint64_t round = 0; round < 4; ++round) {
+        const std::uint64_t seed = baseSeed() + 5000 + round;
+        Population pop = randomPopulation(field, seed, 8);
+        batch::BatchOptions options;
+        options.exact_replay = true;
+        const std::vector<batch::LaneResult> kernel =
+            batch::runPopulation(pop.specs, options);
+        for (std::size_t l = 0; l < pop.specs.size(); ++l) {
+            const batch::LaneResult scalar =
+                batch::runLaneScalar(pop.specs[l]);
+            expectExactMatch(kernel[l], scalar, seed, l);
+        }
+    }
+}
+
+TEST(TraceFieldDifferential, RecoveredTraceStillReplaysBitIdentically)
+{
+    // Corrupt one mid-trace block, recover under Skip, and the
+    // recovered view must still drive both executors identically: the
+    // recovery decision is made once at decode time, never per engine.
+    const env::SolarDiurnalField sky(testSolar());
+    const env::TraceData data = env::recordField(
+        sky, env::Position{30.0, 40.0}, Seconds(60.0), Hertz(2.0));
+    const std::string path = tempPath("trace_diff_corrupt.ctrace");
+    env::TraceWriteOptions write;
+    write.block_samples = 16;
+    ASSERT_TRUE(env::writeTrace(path, data, write).ok());
+    {
+        std::fstream file(path, std::ios::binary | std::ios::in |
+                                    std::ios::out);
+        ASSERT_TRUE(file.is_open());
+        file.seekp(64 + 400 + 16 + 3); // Block 1 payload byte.
+        char byte = 0;
+        file.read(&byte, 1);
+        byte = char(byte ^ 0x40);
+        file.seekp(64 + 400 + 16 + 3);
+        file.write(&byte, 1);
+    }
+    env::TraceReadOptions options;
+    options.mode = env::RecoveryMode::Skip;
+    util::Expected<env::TraceField, env::TraceError> field =
+        env::TraceField::open(path, options);
+    ASSERT_TRUE(field.ok()) << field.error().message();
+    ASSERT_TRUE(field->stats().corrupted());
+    const std::uint64_t seed = baseSeed() + 6000;
+    Population pop = randomPopulation(*field, seed, 6);
+    batch::BatchOptions batch_options;
+    batch_options.exact_replay = true;
+    const std::vector<batch::LaneResult> kernel =
+        batch::runPopulation(pop.specs, batch_options);
+    for (std::size_t l = 0; l < pop.specs.size(); ++l)
+        expectExactMatch(kernel[l], batch::runLaneScalar(pop.specs[l]),
+                         seed, l);
+}
+
+TEST(TraceFieldFleet, ShardCountInvariantUnderTraceField)
+{
+    const env::TraceField field =
+        recordedSolarField("trace_fleet.ctrace", Seconds(60.0));
+
+    sched::AppSpec ps = apps::periodicSensing();
+    sched::AppSpec rr = apps::responsiveReporting();
+    sched::CulpeoPolicy culpeo_policy;
+    sched::CatnapPolicy catnap_policy;
+    culpeo_policy.initialize(ps);
+    catnap_policy.initialize(rr);
+
+    fleet::FleetSpec spec;
+    spec.cohorts = {
+        {"ps-culpeo", &ps, &culpeo_policy, {}, 0.6},
+        {"rr-catnap", &rr, &catnap_policy, {}, 0.4},
+    };
+    spec.devices = 24;
+    spec.capacitance_scale = {0.9, 1.1};
+    spec.extent = 100.0;
+    spec.field = &field;
+    spec.duration = Seconds(45.0);
+    spec.seed = 29;
+
+    const auto bytes = [](const fleet::SummaryReport &report) {
+        std::ostringstream out;
+        report.writeJsonl(out);
+        report.writeCsv(out);
+        return out.str();
+    };
+    fleet::FleetOptions one;
+    one.shard_devices = 1;
+    fleet::FleetOptions five;
+    five.shard_devices = 5;
+    const fleet::SummaryReport a = fleet::runFleet(spec, one);
+    const fleet::SummaryReport b = fleet::runFleet(spec, five);
+    EXPECT_EQ(bytes(a), bytes(b))
+        << "trace-replay fleets must stay shard-count invariant";
+    EXPECT_GT(a.overallCaptureRate(), 0.0);
+}
+
+TEST(TraceFieldTrial, TrialBuilderEnvironmentAcceptsTraceField)
+{
+    const env::TraceField field =
+        recordedSolarField("trace_trial.ctrace", Seconds(60.0));
+    sched::AppSpec ps = apps::periodicSensing();
+    sched::CulpeoPolicy policy;
+    policy.initialize(ps);
+
+    const sched::TrialResult built = TrialBuilder()
+                                         .app(ps)
+                                         .policy(policy)
+                                         .environment(field)
+                                         .duration(Seconds(45.0))
+                                         .seed(77)
+                                         .run();
+
+    const env::FieldHarvester view(field, env::Position{});
+    sched::TrialConfig config;
+    config.duration = Seconds(45.0);
+    config.seed = 77;
+    config.harvester = &view;
+    const sched::TrialResult manual =
+        sched::runTrialWith(ps, policy, config);
+    EXPECT_EQ(built.power_failures, manual.power_failures);
+    EXPECT_EQ(built.background_runs, manual.background_runs);
+    ASSERT_EQ(built.per_event.size(), manual.per_event.size());
+    for (std::size_t i = 0; i < built.per_event.size(); ++i) {
+        EXPECT_EQ(built.per_event[i].arrived, manual.per_event[i].arrived);
+        EXPECT_EQ(built.per_event[i].captured,
+                  manual.per_event[i].captured);
+    }
+}
+
+} // namespace

@@ -1,0 +1,644 @@
+/**
+ * @file
+ * Format-level suite for the harvest-trace container (DESIGN.md §18):
+ * writer/reader round trip, the full malformed-input taxonomy, the
+ * three recovery modes with their TraceStats accounting and telemetry
+ * side channel, the streaming downsampler, and the checked-in corrupt
+ * fixture corpus under tests/data/traces/.
+ *
+ * The fixtures are deterministic byte edits of one generated valid
+ * trace, so the corpus is reproducible: running this binary with
+ * CULPEO_TRACE_FIXTURE_OUT=<dir> rewrites the corpus, and
+ * TraceFixtures.CheckedInCorpusMatchesGenerator pins the checked-in
+ * bytes to the generator so the two cannot drift apart.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "env/trace.hpp"
+#include "env/trace_reader.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+
+std::string
+tracesDir()
+{
+    return std::string(CULPEO_TEST_DATA_DIR) + "/traces";
+}
+
+std::string
+tempPath(const std::string &name)
+{
+    return testing::TempDir() + name;
+}
+
+/** The one deterministic series every fixture derives from. */
+env::TraceData
+fixtureSeries()
+{
+    env::TraceData data;
+    data.sample_rate = Hertz(8.0); // Period 0.125 s: exact in binary.
+    for (int i = 0; i < 64; ++i) {
+        data.time_s.push_back(double(i) * 0.125);
+        data.current_a.push_back(double(i + 1) * 1e-4);
+        data.voltage_v.push_back(3.0 + double(i % 4) * 0.25);
+    }
+    return data;
+}
+
+std::string
+readFileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.is_open()) << path;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+void
+writeFileBytes(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.is_open()) << path;
+    out.write(bytes.data(), std::streamsize(bytes.size()));
+    ASSERT_TRUE(out.good()) << path;
+}
+
+void
+patchU32(std::string &bytes, std::size_t offset, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        bytes[offset + std::size_t(i)] = char((v >> (8 * i)) & 0xFF);
+}
+
+void
+patchF64(std::string &bytes, std::size_t offset, double v)
+{
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int i = 0; i < 8; ++i)
+        bytes[offset + std::size_t(i)] = char((bits >> (8 * i)) & 0xFF);
+}
+
+/** Recompute and patch the payload CRC of the block at @p block_off. */
+void
+resealBlock(std::string &bytes, std::size_t block_off,
+            std::size_t payload_bytes)
+{
+    const std::uint32_t crc = env::crc32(
+        bytes.data() + block_off + env::kTraceBlockHeaderSize,
+        payload_bytes);
+    patchU32(bytes, block_off + 12, crc);
+}
+
+/**
+ * The fixture corpus: name -> deterministic byte edit of the valid
+ * file. Layout of the valid file (64 samples, 16 per block): header at
+ * 0, block k at 64 + k * 400 (16-byte block header + 3 * 128-byte
+ * columns).
+ */
+constexpr std::size_t kBlockBytes = 400; // 16 + 3 * 16 * 8.
+constexpr std::size_t kBlockPayload = 384;
+
+std::string
+validBytes()
+{
+    const std::string path = tempPath("trace_fixture_gen.ctrace");
+    env::TraceWriteOptions options;
+    options.block_samples = 16;
+    const util::Expected<void, env::TraceError> wrote =
+        env::writeTrace(path, fixtureSeries(), options);
+    EXPECT_TRUE(wrote.ok());
+    return readFileBytes(path);
+}
+
+std::string
+truncatedBytes(const std::string &valid)
+{
+    // Cut block 1 mid-payload.
+    return valid.substr(0, 64 + kBlockBytes + 200);
+}
+
+std::string
+crcFlipBytes(std::string valid)
+{
+    // One flipped bit inside block 1's payload: its CRC must catch it.
+    valid[64 + kBlockBytes + 16 + 10] ^= char(0x01);
+    return valid;
+}
+
+std::string
+nanSampleBytes(std::string valid)
+{
+    // Block 2, current[3] = NaN, CRC resealed so only sample
+    // validation can catch it.
+    const std::size_t block_off = 64 + 2 * kBlockBytes;
+    const std::size_t current3 =
+        block_off + env::kTraceBlockHeaderSize + 8 * 16 + 8 * 3;
+    patchF64(valid, current3, std::nan(""));
+    resealBlock(valid, block_off, kBlockPayload);
+    return valid;
+}
+
+std::string
+nonmonoBytes(std::string valid)
+{
+    // Block 0: swap time[5] and time[6]; the decoder must reject the
+    // sample that steps backwards. CRC resealed.
+    const std::size_t block_off = 64;
+    const std::size_t time5 = block_off + env::kTraceBlockHeaderSize + 40;
+    patchF64(valid, time5, 6.0 * 0.125);
+    patchF64(valid, time5 + 8, 5.0 * 0.125);
+    resealBlock(valid, block_off, kBlockPayload);
+    return valid;
+}
+
+struct Fixture
+{
+    const char *name;
+    std::string (*make)(const std::string &valid);
+};
+
+std::string
+identityBytes(const std::string &valid)
+{
+    return valid;
+}
+
+std::string
+crcFlipAdapter(const std::string &valid)
+{
+    return crcFlipBytes(valid);
+}
+
+std::string
+nanAdapter(const std::string &valid)
+{
+    return nanSampleBytes(valid);
+}
+
+std::string
+nonmonoAdapter(const std::string &valid)
+{
+    return nonmonoBytes(valid);
+}
+
+const Fixture kFixtures[] = {
+    {"valid.ctrace", identityBytes},
+    {"truncated.ctrace", truncatedBytes},
+    {"crc_flip.ctrace", crcFlipAdapter},
+    {"nan_sample.ctrace", nanAdapter},
+    {"nonmono.ctrace", nonmonoAdapter},
+};
+
+TEST(TraceRoundTrip, WriteThenReadIsExact)
+{
+    const env::TraceData data = fixtureSeries();
+    const std::string path = tempPath("trace_round_trip.ctrace");
+    ASSERT_TRUE(env::writeTrace(path, data).ok());
+
+    const util::Expected<env::TraceReader, env::TraceError> reader =
+        env::TraceReader::open(path);
+    ASSERT_TRUE(reader.ok()) << reader.error().message();
+    ASSERT_EQ(reader->size(), data.size());
+    EXPECT_TRUE(reader->zeroCopy());
+    EXPECT_FALSE(reader->stats().corrupted());
+    EXPECT_EQ(reader->sampleRate().value(), data.sample_rate.value());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        const env::TraceReader::Sample s = reader->sampleAt(i);
+        EXPECT_EQ(s.time_s, data.time_s[i]) << i;
+        EXPECT_EQ(s.current_a, data.current_a[i]) << i;
+        EXPECT_EQ(s.voltage_v, data.voltage_v[i]) << i;
+    }
+}
+
+TEST(TraceRoundTrip, SmallBlocksAndOddTailRoundTrip)
+{
+    env::TraceData data = fixtureSeries();
+    data.time_s.resize(37); // Odd tail: 37 = 5 blocks of 7 + 2.
+    data.current_a.resize(37);
+    data.voltage_v.resize(37);
+    const std::string path = tempPath("trace_odd_tail.ctrace");
+    env::TraceWriteOptions options;
+    options.block_samples = 7;
+    ASSERT_TRUE(env::writeTrace(path, data, options).ok());
+    const util::Expected<env::TraceReader, env::TraceError> reader =
+        env::TraceReader::open(path);
+    ASSERT_TRUE(reader.ok()) << reader.error().message();
+    ASSERT_EQ(reader->size(), 37U);
+    EXPECT_EQ(reader->stats().blocks_total, 6U);
+    for (std::size_t i = 0; i < 37; ++i)
+        EXPECT_EQ(reader->sampleAt(i).time_s, data.time_s[i]);
+}
+
+TEST(TraceWriter, RefusesDataItCouldNotDecodeBack)
+{
+    const std::string path = tempPath("trace_writer_reject.ctrace");
+
+    env::TraceData empty;
+    EXPECT_EQ(env::writeTrace(path, empty).error().code,
+              env::TraceErrorCode::EmptyTrace);
+
+    env::TraceData ragged = fixtureSeries();
+    ragged.current_a.pop_back();
+    EXPECT_EQ(env::writeTrace(path, ragged).error().code,
+              env::TraceErrorCode::Truncated);
+
+    env::TraceData nan_value = fixtureSeries();
+    nan_value.voltage_v[3] = std::nan("");
+    EXPECT_EQ(env::writeTrace(path, nan_value).error().code,
+              env::TraceErrorCode::NonFiniteSample);
+
+    env::TraceData dup = fixtureSeries();
+    dup.time_s[10] = dup.time_s[9];
+    EXPECT_EQ(env::writeTrace(path, dup).error().code,
+              env::TraceErrorCode::DuplicateTime);
+
+    env::TraceData backwards = fixtureSeries();
+    backwards.time_s[10] = backwards.time_s[9] - 0.01;
+    EXPECT_EQ(env::writeTrace(path, backwards).error().code,
+              env::TraceErrorCode::NonMonotonicTime);
+
+    EXPECT_EQ(env::writeTrace("/nonexistent-dir/x.ctrace",
+                              fixtureSeries())
+                  .error()
+                  .code,
+              env::TraceErrorCode::Io);
+}
+
+TEST(TraceTaxonomy, HeaderDamageFailsEveryMode)
+{
+    const std::string valid = validBytes();
+    const std::string path = tempPath("trace_header_damage.ctrace");
+
+    struct Case
+    {
+        const char *what;
+        std::string bytes;
+        env::TraceErrorCode code;
+    };
+    std::string bad_magic = valid;
+    bad_magic[0] = 'X';
+    std::string bad_version = valid;
+    bad_version[4] = char(9);
+    // Re-seal the header CRC so only the version check can fire.
+    patchU32(bad_version, 60, env::crc32(bad_version.data(), 60));
+    std::string bad_crc = valid;
+    bad_crc[33] ^= char(0x10); // sample_count byte: CRC catches it.
+    std::string bad_rate = valid;
+    patchF64(bad_rate, 8, -4.0);
+    patchU32(bad_rate, 60, env::crc32(bad_rate.data(), 60));
+    const Case cases[] = {
+        {"short file", valid.substr(0, 40), env::TraceErrorCode::Truncated},
+        {"bad magic", bad_magic, env::TraceErrorCode::BadMagic},
+        {"future version", bad_version, env::TraceErrorCode::BadVersion},
+        {"header bit flip", bad_crc, env::TraceErrorCode::HeaderCorrupt},
+        {"negative rate", bad_rate, env::TraceErrorCode::HeaderCorrupt},
+    };
+    for (const Case &c : cases) {
+        writeFileBytes(path, c.bytes);
+        for (const env::RecoveryMode mode :
+             {env::RecoveryMode::Strict, env::RecoveryMode::Clamp,
+              env::RecoveryMode::Skip}) {
+            env::TraceReadOptions options;
+            options.mode = mode;
+            const util::Expected<env::TraceReader, env::TraceError> r =
+                env::TraceReader::open(path, options);
+            ASSERT_FALSE(r.ok())
+                << c.what << " under " << env::recoveryModeName(mode);
+            EXPECT_EQ(r.error().code, c.code)
+                << c.what << " under " << env::recoveryModeName(mode);
+        }
+    }
+
+    const util::Expected<env::TraceReader, env::TraceError> missing =
+        env::TraceReader::open(tempPath("no_such_trace.ctrace"));
+    ASSERT_FALSE(missing.ok());
+    EXPECT_EQ(missing.error().code, env::TraceErrorCode::Io);
+}
+
+TEST(TraceTaxonomy, StrictFailsWithTheFirstLocatedError)
+{
+    const std::string path = tempPath("trace_strict.ctrace");
+    writeFileBytes(path, crcFlipBytes(validBytes()));
+    const util::Expected<env::TraceReader, env::TraceError> r =
+        env::TraceReader::open(path); // Strict is the default.
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, env::TraceErrorCode::BlockCrcMismatch);
+    EXPECT_EQ(r.error().block, 1U);
+    EXPECT_EQ(r.error().byte_offset, 64U + kBlockBytes);
+    EXPECT_NE(r.error().message().find("block_crc_mismatch"),
+              std::string::npos);
+}
+
+TEST(TraceRecovery, CrcFailedBlockIsDroppedZeroCopy)
+{
+    const std::string path = tempPath("trace_drop_block.ctrace");
+    writeFileBytes(path, crcFlipBytes(validBytes()));
+    for (const env::RecoveryMode mode :
+         {env::RecoveryMode::Clamp, env::RecoveryMode::Skip}) {
+        env::TraceReadOptions options;
+        options.mode = mode;
+        const util::Expected<env::TraceReader, env::TraceError> r =
+            env::TraceReader::open(path, options);
+        ASSERT_TRUE(r.ok()) << r.error().message();
+        // Whole-block damage keeps the mmap'd fast path.
+        EXPECT_TRUE(r->zeroCopy());
+        EXPECT_EQ(r->size(), 48U);
+        EXPECT_EQ(r->stats().blocks_total, 4U);
+        EXPECT_EQ(r->stats().blocks_dropped, 1U);
+        EXPECT_EQ(r->stats().samples_dropped, 16U);
+        EXPECT_TRUE(r->stats().corrupted());
+        ASSERT_FALSE(r->stats().errors.empty());
+        EXPECT_EQ(r->stats().errors.front().code,
+                  env::TraceErrorCode::BlockCrcMismatch);
+        // Indexing is continuous across the dropped block: sample 16
+        // is now block 2's first sample (t = 32 * 0.125).
+        EXPECT_EQ(r->sampleAt(15).time_s, 15.0 * 0.125);
+        EXPECT_EQ(r->sampleAt(16).time_s, 32.0 * 0.125);
+        // Time lookup over the gap resolves to the last pre-gap sample.
+        EXPECT_EQ(r->indexFor(2.5), 15U);
+    }
+}
+
+TEST(TraceRecovery, ClampHoldsLastGoodValueOnTheTimeGrid)
+{
+    const std::string path = tempPath("trace_clamp.ctrace");
+    writeFileBytes(path, nanSampleBytes(validBytes()));
+    env::TraceReadOptions options;
+    options.mode = env::RecoveryMode::Clamp;
+    const util::Expected<env::TraceReader, env::TraceError> r =
+        env::TraceReader::open(path, options);
+    ASSERT_TRUE(r.ok()) << r.error().message();
+    EXPECT_FALSE(r->zeroCopy()); // Sample repair materializes.
+    EXPECT_EQ(r->size(), 64U);   // The time grid is preserved.
+    EXPECT_EQ(r->stats().samples_clamped, 1U);
+    EXPECT_EQ(r->stats().samples_dropped, 0U);
+    // Sample 35 (block 2, index 3) keeps its timestamp but carries
+    // sample 34's current.
+    const env::TraceData series = fixtureSeries();
+    EXPECT_EQ(r->sampleAt(35).time_s, series.time_s[35]);
+    EXPECT_EQ(r->sampleAt(35).current_a, series.current_a[34]);
+    EXPECT_EQ(r->sampleAt(36).current_a, series.current_a[36]);
+}
+
+TEST(TraceRecovery, SkipDropsTheCorruptSample)
+{
+    const std::string path = tempPath("trace_skip.ctrace");
+    writeFileBytes(path, nanSampleBytes(validBytes()));
+    env::TraceReadOptions options;
+    options.mode = env::RecoveryMode::Skip;
+    const util::Expected<env::TraceReader, env::TraceError> r =
+        env::TraceReader::open(path, options);
+    ASSERT_TRUE(r.ok()) << r.error().message();
+    EXPECT_FALSE(r->zeroCopy());
+    EXPECT_EQ(r->size(), 63U);
+    EXPECT_EQ(r->stats().samples_clamped, 0U);
+    EXPECT_EQ(r->stats().samples_dropped, 1U);
+    const env::TraceData series = fixtureSeries();
+    EXPECT_EQ(r->sampleAt(34).time_s, series.time_s[34]);
+    EXPECT_EQ(r->sampleAt(35).time_s, series.time_s[36]);
+}
+
+TEST(TraceRecovery, BadTimestampIsDroppedEvenUnderClamp)
+{
+    const std::string path = tempPath("trace_nonmono.ctrace");
+    writeFileBytes(path, nonmonoBytes(validBytes()));
+    for (const env::RecoveryMode mode :
+         {env::RecoveryMode::Clamp, env::RecoveryMode::Skip}) {
+        env::TraceReadOptions options;
+        options.mode = mode;
+        const util::Expected<env::TraceReader, env::TraceError> r =
+            env::TraceReader::open(path, options);
+        ASSERT_TRUE(r.ok()) << r.error().message();
+        EXPECT_EQ(r->size(), 63U)
+            << env::recoveryModeName(mode);
+        EXPECT_EQ(r->stats().samples_dropped, 1U);
+        ASSERT_FALSE(r->stats().errors.empty());
+        EXPECT_EQ(r->stats().errors.front().code,
+                  env::TraceErrorCode::NonMonotonicTime);
+    }
+}
+
+TEST(TraceRecovery, OutOfRangeAndTrailingAndZeroBlocks)
+{
+    const std::string valid = validBytes();
+    const std::string path = tempPath("trace_misc.ctrace");
+
+    // Out-of-range current (finite but past the plausibility bound).
+    std::string hot = valid;
+    patchF64(hot, 64 + env::kTraceBlockHeaderSize + 8 * 16, 5000.0);
+    resealBlock(hot, 64, kBlockPayload);
+    writeFileBytes(path, hot);
+    env::TraceReadOptions skip;
+    skip.mode = env::RecoveryMode::Skip;
+    util::Expected<env::TraceReader, env::TraceError> r =
+        env::TraceReader::open(path, skip);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->stats().errors.front().code,
+              env::TraceErrorCode::OutOfRangeCurrent);
+    EXPECT_EQ(r->size(), 63U);
+
+    // The bound is an option: raise it and the same file is clean.
+    env::TraceReadOptions lax = skip;
+    lax.max_current_a = 10000.0;
+    r = env::TraceReader::open(path, lax);
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r->stats().corrupted());
+
+    // Trailing garbage past the declared sample count.
+    std::string trailing = valid + std::string(11, '\x5A');
+    writeFileBytes(path, trailing);
+    EXPECT_EQ(env::TraceReader::open(path).error().code,
+              env::TraceErrorCode::TrailingData);
+    r = env::TraceReader::open(path, skip);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->size(), 64U);
+    EXPECT_TRUE(r->zeroCopy());
+    EXPECT_EQ(r->stats().trailing_bytes, 11U);
+
+    // An appended zero-length block.
+    std::string zero_block = valid + std::string(16, '\0');
+    writeFileBytes(path, zero_block);
+    EXPECT_EQ(env::TraceReader::open(path).error().code,
+              env::TraceErrorCode::ZeroLengthBlock);
+    r = env::TraceReader::open(path, skip);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->size(), 64U);
+    EXPECT_EQ(r->stats().blocks_dropped, 1U);
+
+    // A truncated final block (recoverable mid-file damage).
+    writeFileBytes(path, truncatedBytes(valid));
+    EXPECT_EQ(env::TraceReader::open(path).error().code,
+              env::TraceErrorCode::Truncated);
+    r = env::TraceReader::open(path, skip);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->size(), 16U);
+    EXPECT_TRUE(r->stats().count_mismatch);
+}
+
+TEST(TraceRecovery, NothingDecodableIsEmptyTraceInEveryMode)
+{
+    // Every block CRC broken: recovery has nothing left to serve.
+    std::string bytes = validBytes();
+    for (std::size_t b = 0; b < 4; ++b)
+        bytes[64 + b * kBlockBytes + 16] ^= char(0x01);
+    const std::string path = tempPath("trace_all_bad.ctrace");
+    writeFileBytes(path, bytes);
+    for (const env::RecoveryMode mode :
+         {env::RecoveryMode::Clamp, env::RecoveryMode::Skip}) {
+        env::TraceReadOptions options;
+        options.mode = mode;
+        const util::Expected<env::TraceReader, env::TraceError> r =
+            env::TraceReader::open(path, options);
+        ASSERT_FALSE(r.ok()) << env::recoveryModeName(mode);
+        EXPECT_EQ(r.error().code, env::TraceErrorCode::EmptyTrace);
+    }
+}
+
+TEST(TraceTelemetry, CorruptionIsCountedAndTraced)
+{
+    if (!telemetry::kEnabled)
+        GTEST_SKIP() << "telemetry compiled out";
+    const std::string path = tempPath("trace_telemetry.ctrace");
+    writeFileBytes(path, crcFlipBytes(validBytes()));
+
+    telemetry::Telemetry sink;
+    env::TraceReadOptions options;
+    options.mode = env::RecoveryMode::Skip;
+    options.telemetry = &sink;
+    const util::Expected<env::TraceReader, env::TraceError> r =
+        env::TraceReader::open(path, options);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(sink.registry()
+                  .counter(telemetry::names::kTraceCorruption)
+                  .value(),
+              1U);
+    const std::vector<telemetry::TraceEvent> events =
+        sink.trace().events();
+    ASSERT_EQ(events.size(), 1U);
+    EXPECT_EQ(events[0].kind, telemetry::EventKind::TraceCorruption);
+    EXPECT_EQ(sink.trace().label(events[0].name_id),
+              "block_crc_mismatch");
+    EXPECT_EQ(events[0].value, 1.0F); // Block index.
+    EXPECT_TRUE(events[0].flag);      // Recovered, not fatal.
+
+    // Strict mode still telemeters the failure it surfaces.
+    telemetry::Telemetry strict_sink;
+    env::TraceReadOptions strict;
+    strict.telemetry = &strict_sink;
+    ASSERT_FALSE(env::TraceReader::open(path, strict).ok());
+    const std::vector<telemetry::TraceEvent> strict_events =
+        strict_sink.trace().events();
+    ASSERT_EQ(strict_events.size(), 1U);
+    EXPECT_FALSE(strict_events[0].flag);
+}
+
+TEST(TraceDownsample, MeansBinsAndKeepsFirstTimestamp)
+{
+    const env::TraceReader reader =
+        env::TraceReader::fromData(fixtureSeries());
+    const env::TraceData down = env::downsample(reader, 4);
+    ASSERT_EQ(down.size(), 16U);
+    EXPECT_EQ(down.sample_rate.value(), 2.0);
+    const env::TraceData src = fixtureSeries();
+    for (std::size_t b = 0; b < down.size(); ++b) {
+        EXPECT_EQ(down.time_s[b], src.time_s[4 * b]);
+        double current = 0.0;
+        for (std::size_t k = 0; k < 4; ++k)
+            current += src.current_a[4 * b + k];
+        EXPECT_DOUBLE_EQ(down.current_a[b], current / 4.0);
+        // The voltage pattern has period 4, so each bin means to the
+        // same value.
+        EXPECT_DOUBLE_EQ(down.voltage_v[b], (3.0 * 4 + 0.25 * 6) / 4.0);
+    }
+
+    // A factor that does not divide the length averages the tail.
+    const env::TraceData tail = env::downsample(reader, 60);
+    ASSERT_EQ(tail.size(), 2U);
+    EXPECT_EQ(tail.time_s[1], src.time_s[60]);
+    double mean = 0.0;
+    for (std::size_t i = 60; i < 64; ++i)
+        mean += src.current_a[i];
+    EXPECT_DOUBLE_EQ(tail.current_a[1], mean / 4.0);
+}
+
+TEST(TraceFixtures, CheckedInCorpusMatchesGenerator)
+{
+    const std::string valid = validBytes();
+    for (const Fixture &fixture : kFixtures) {
+        const std::string path = tracesDir() + "/" + fixture.name;
+        EXPECT_EQ(readFileBytes(path), fixture.make(valid))
+            << fixture.name
+            << " drifted from its generator; regenerate with "
+               "CULPEO_TRACE_FIXTURE_OUT";
+    }
+}
+
+TEST(TraceFixtures, CorpusDecodesToItsDeclaredTaxonomy)
+{
+    struct Expect
+    {
+        const char *name;
+        bool strict_ok;
+        env::TraceErrorCode code; // When !strict_ok.
+        std::size_t skip_size;    // Survivors under Skip.
+    };
+    const Expect expects[] = {
+        {"valid.ctrace", true, env::TraceErrorCode::Io, 64},
+        {"truncated.ctrace", false, env::TraceErrorCode::Truncated, 16},
+        {"crc_flip.ctrace", false, env::TraceErrorCode::BlockCrcMismatch,
+         48},
+        {"nan_sample.ctrace", false, env::TraceErrorCode::NonFiniteSample,
+         63},
+        {"nonmono.ctrace", false, env::TraceErrorCode::NonMonotonicTime,
+         63},
+    };
+    for (const Expect &e : expects) {
+        const std::string path = tracesDir() + "/" + e.name;
+        const util::Expected<env::TraceReader, env::TraceError> strict =
+            env::TraceReader::open(path);
+        ASSERT_EQ(strict.ok(), e.strict_ok) << e.name;
+        if (!e.strict_ok) {
+            EXPECT_EQ(strict.error().code, e.code) << e.name;
+        }
+        env::TraceReadOptions skip;
+        skip.mode = env::RecoveryMode::Skip;
+        const util::Expected<env::TraceReader, env::TraceError> r =
+            env::TraceReader::open(path, skip);
+        ASSERT_TRUE(r.ok()) << e.name << ": " << r.error().message();
+        EXPECT_EQ(r->size(), e.skip_size) << e.name;
+        EXPECT_EQ(r->stats().corrupted(), !e.strict_ok) << e.name;
+    }
+}
+
+/**
+ * Not a check: rewrites the corpus when CULPEO_TRACE_FIXTURE_OUT names
+ * a directory. Run once after changing the format or the generator,
+ * then commit the bytes.
+ */
+TEST(TraceFixtures, RegenerateWhenRequested)
+{
+    const char *out = std::getenv("CULPEO_TRACE_FIXTURE_OUT");
+    if (out == nullptr || *out == '\0')
+        GTEST_SKIP() << "set CULPEO_TRACE_FIXTURE_OUT to regenerate";
+    const std::string valid = validBytes();
+    for (const Fixture &fixture : kFixtures)
+        writeFileBytes(std::string(out) + "/" + fixture.name,
+                       fixture.make(valid));
+}
+
+} // namespace

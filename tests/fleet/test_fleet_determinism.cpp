@@ -233,6 +233,24 @@ TEST(FleetValidation, CohortNeedsExactlyOnePolicySource)
     EXPECT_THROW(fleet::runFleet(fx.spec), log::FatalError);
 }
 
+TEST(FleetValidation, ArtifactWriteFailuresNameThePath)
+{
+    FleetFixture fx;
+    fx.spec.devices = 4;
+    const fleet::SummaryReport report = fleet::runFleet(fx.spec);
+    const std::string bad = "/nonexistent-dir/fleet.csv";
+    try {
+        report.writeCsvFile(bad);
+        FAIL() << "unwritable CSV path did not throw";
+    } catch (const log::FatalError &error) {
+        EXPECT_NE(std::string(error.what()).find(bad),
+                  std::string::npos)
+            << error.what();
+    }
+    EXPECT_THROW(report.writeJsonlFile("/nonexistent-dir/fleet.jsonl"),
+                 log::FatalError);
+}
+
 TEST(TrialBuilderEnvironment, MatchesExplicitFieldHarvester)
 {
     FleetFixture fx;

@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Trace-corruption fuzzer (DESIGN.md §18): seeded random byte-level
+ * mutations of valid trace files, decoded under all three recovery
+ * modes. The decoder's contract under arbitrary input:
+ *
+ *  1. it never crashes and never reads out of bounds (the ASan/UBSan
+ *     CI legs make this bite);
+ *  2. every failure classifies into the TraceErrorCode taxonomy;
+ *  3. it lands in the declared recovery mode: Strict never serves a
+ *     corrupted view, Clamp/Skip only refuse structurally-unreadable
+ *     files, and every recovery action is visible in TraceStats and
+ *     the trace.corruption telemetry counter.
+ *
+ * Seeded and replayable: CULPEO_TRACE_FUZZ_SEED pins the mutation
+ * stream, CULPEO_TRACE_FUZZ_ITERS scales the budget (default 500
+ * mutations across the modes; CI smoke runs the same default).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "env/field.hpp"
+#include "env/trace.hpp"
+#include "env/trace_reader.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace culpeo;
+using namespace culpeo::units;
+
+std::uint64_t
+envUnsigned(const char *name, std::uint64_t fallback)
+{
+    const char *value = std::getenv(name);
+    if (value == nullptr || *value == '\0')
+        return fallback;
+    return std::strtoull(value, nullptr, 10);
+}
+
+std::uint64_t
+fuzzSeed()
+{
+    return envUnsigned("CULPEO_TRACE_FUZZ_SEED", 20260809);
+}
+
+std::uint64_t
+fuzzIters()
+{
+    return envUnsigned("CULPEO_TRACE_FUZZ_ITERS", 500);
+}
+
+/** A small valid trace to mutate (a few blocks, varied values). */
+std::string
+pristineBytes(util::Rng &rng)
+{
+    env::TraceData data;
+    data.sample_rate = Hertz(4.0);
+    const std::size_t n = 24 + std::size_t(rng.uniformInt(72));
+    double t = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        t += rng.uniform(0.05, 0.5);
+        data.time_s.push_back(t);
+        data.current_a.push_back(rng.uniform(0.0, 20e-3));
+        data.voltage_v.push_back(rng.uniform(0.5, 5.0));
+    }
+    env::TraceWriteOptions options;
+    options.block_samples = 8 + std::uint32_t(rng.uniformInt(17));
+    const std::string path =
+        testing::TempDir() + "trace_fuzz_pristine.ctrace";
+    EXPECT_TRUE(env::writeTrace(path, data, options).ok());
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    EXPECT_FALSE(bytes.empty());
+    return bytes;
+}
+
+/** Apply 1..4 random structure-agnostic mutations. */
+void
+mutate(std::string &bytes, util::Rng &rng)
+{
+    const int edits = 1 + int(rng.uniformInt(4));
+    for (int e = 0; e < edits; ++e) {
+        if (bytes.empty())
+            return;
+        switch (rng.uniformInt(6)) {
+        case 0: // Flip one bit.
+            bytes[rng.uniformInt(bytes.size())] ^=
+                char(1U << rng.uniformInt(8));
+            break;
+        case 1: // Overwrite one byte.
+            bytes[rng.uniformInt(bytes.size())] =
+                char(rng.uniformInt(256));
+            break;
+        case 2: // Truncate.
+            bytes.resize(rng.uniformInt(bytes.size() + 1));
+            break;
+        case 3: // Append garbage.
+        {
+            const std::size_t extra = 1 + rng.uniformInt(64);
+            for (std::size_t i = 0; i < extra; ++i)
+                bytes.push_back(char(rng.uniformInt(256)));
+            break;
+        }
+        case 4: // Zero a run.
+        {
+            const std::size_t start = rng.uniformInt(bytes.size());
+            const std::size_t len =
+                std::min<std::size_t>(1 + rng.uniformInt(32),
+                                      bytes.size() - start);
+            for (std::size_t i = 0; i < len; ++i)
+                bytes[start + i] = '\0';
+            break;
+        }
+        default: // Splice a slice of the file over another offset.
+        {
+            const std::size_t src = rng.uniformInt(bytes.size());
+            const std::size_t dst = rng.uniformInt(bytes.size());
+            const std::size_t len = std::min(
+                {std::size_t(1 + rng.uniformInt(48)),
+                 bytes.size() - src, bytes.size() - dst});
+            bytes.replace(dst, len, bytes, src, len);
+            break;
+        }
+        }
+    }
+}
+
+bool
+headerLevel(env::TraceErrorCode code)
+{
+    switch (code) {
+    case env::TraceErrorCode::Io:
+    case env::TraceErrorCode::BadMagic:
+    case env::TraceErrorCode::BadVersion:
+    case env::TraceErrorCode::HeaderCorrupt:
+    case env::TraceErrorCode::EmptyTrace:
+        return true;
+    case env::TraceErrorCode::Truncated:
+        // Recoverable when block-local; terminal when the header
+        // itself is cut short. The caller checks the offset.
+        return false;
+    default:
+        return false;
+    }
+}
+
+bool
+knownCode(env::TraceErrorCode code)
+{
+    switch (code) {
+    case env::TraceErrorCode::Io:
+    case env::TraceErrorCode::Truncated:
+    case env::TraceErrorCode::BadMagic:
+    case env::TraceErrorCode::BadVersion:
+    case env::TraceErrorCode::HeaderCorrupt:
+    case env::TraceErrorCode::ZeroLengthBlock:
+    case env::TraceErrorCode::BlockCrcMismatch:
+    case env::TraceErrorCode::NonFiniteSample:
+    case env::TraceErrorCode::NonMonotonicTime:
+    case env::TraceErrorCode::DuplicateTime:
+    case env::TraceErrorCode::OutOfRangeCurrent:
+    case env::TraceErrorCode::OutOfRangeVoltage:
+    case env::TraceErrorCode::TrailingData:
+    case env::TraceErrorCode::EmptyTrace:
+        return true;
+    }
+    return false;
+}
+
+void
+exerciseSurvivor(const env::TraceReader &reader)
+{
+    // Touch every decoded sample and a spread of time lookups so the
+    // sanitizers walk the whole recovered view.
+    double prev = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < reader.size(); ++i) {
+        const env::TraceReader::Sample s = reader.sampleAt(i);
+        ASSERT_GT(s.time_s, prev) << "decoded times must be ordered";
+        ASSERT_TRUE(std::isfinite(s.time_s));
+        ASSERT_TRUE(std::isfinite(s.power_w()));
+        prev = s.time_s;
+    }
+    const double t0 = reader.timeAt(0);
+    const double t1 = reader.timeAt(reader.size() - 1);
+    for (int k = 0; k <= 16; ++k) {
+        const double t = t0 - 1.0 + (t1 - t0 + 2.0) * double(k) / 16.0;
+        const std::size_t index = reader.indexFor(t);
+        ASSERT_LT(index, reader.size());
+        if (t >= t0) {
+            ASSERT_LE(reader.timeAt(index), t);
+        }
+    }
+}
+
+TEST(TraceFuzz, MutatedFilesAlwaysLandInTheDeclaredRecoveryMode)
+{
+    const std::uint64_t iters = fuzzIters();
+    util::Rng rng(fuzzSeed());
+    const std::string path =
+        testing::TempDir() + "trace_fuzz_mutant.ctrace";
+    const env::RecoveryMode modes[] = {env::RecoveryMode::Strict,
+                                       env::RecoveryMode::Clamp,
+                                       env::RecoveryMode::Skip};
+    std::uint64_t survived = 0;
+    std::uint64_t refused = 0;
+    std::string pristine = pristineBytes(rng);
+    for (std::uint64_t iter = 0; iter < iters; ++iter) {
+        if (iter % 64 == 0 && iter != 0)
+            pristine = pristineBytes(rng); // Vary the substrate too.
+        std::string bytes = pristine;
+        mutate(bytes, rng);
+        {
+            std::ofstream out(path,
+                              std::ios::binary | std::ios::trunc);
+            ASSERT_TRUE(out.is_open());
+            out.write(bytes.data(), std::streamsize(bytes.size()));
+        }
+        const env::RecoveryMode mode = modes[iter % 3];
+        telemetry::Telemetry sink;
+        env::TraceReadOptions options;
+        options.mode = mode;
+        options.telemetry = &sink;
+        const util::Expected<env::TraceReader, env::TraceError> r =
+            env::TraceReader::open(path, options);
+        const std::string where = "iter " + std::to_string(iter) +
+                                  " mode " +
+                                  env::recoveryModeName(mode);
+        if (!r.ok()) {
+            ++refused;
+            const env::TraceError &error = r.error();
+            ASSERT_TRUE(knownCode(error.code))
+                << where << ": unclassified error";
+            if (mode != env::RecoveryMode::Strict) {
+                // Recovery modes only refuse structural damage: a
+                // header-level code, or a file too short to hold one.
+                ASSERT_TRUE(headerLevel(error.code) ||
+                            (error.code ==
+                                 env::TraceErrorCode::Truncated &&
+                             bytes.size() < env::kTraceHeaderSize))
+                    << where << ": refused with " << error.message();
+            }
+            continue;
+        }
+        ++survived;
+        ASSERT_GT(r->size(), 0U) << where;
+        if (mode == env::RecoveryMode::Strict) {
+            // A strict open that succeeds must be a clean decode.
+            ASSERT_FALSE(r->stats().corrupted()) << where;
+        }
+        // Stats, telemetry, and the error list must agree on whether
+        // anything was repaired.
+        const bool corrupted = r->stats().corrupted();
+        EXPECT_EQ(!r->stats().errors.empty(), corrupted) << where;
+        if (telemetry::kEnabled) {
+            const std::uint64_t counted =
+                sink.registry()
+                    .counter(telemetry::names::kTraceCorruption)
+                    .value();
+            EXPECT_EQ(counted != 0, corrupted) << where;
+        }
+        exerciseSurvivor(*r);
+    }
+    // The mutator must exercise both outcomes, or the suite is
+    // fuzzing the wrong thing.
+    EXPECT_GT(refused, 0U);
+    EXPECT_GT(survived, 0U);
+    ASSERT_EQ(survived + refused, iters);
+}
+
+TEST(TraceFuzz, SurvivingTracesReplayThroughTraceFieldWithoutFaults)
+{
+    // A lighter pass that pushes survivors through the HarvestField
+    // seam: powerAt/constantUntil over the whole span must stay
+    // finite and ordered whatever the mutation did.
+    const std::uint64_t iters = std::max<std::uint64_t>(
+        fuzzIters() / 5, 20);
+    util::Rng rng(fuzzSeed() + 1);
+    const std::string path =
+        testing::TempDir() + "trace_fuzz_field.ctrace";
+    const std::string pristine = pristineBytes(rng);
+    std::uint64_t replayed = 0;
+    for (std::uint64_t iter = 0; iter < iters; ++iter) {
+        std::string bytes = pristine;
+        mutate(bytes, rng);
+        {
+            std::ofstream out(path,
+                              std::ios::binary | std::ios::trunc);
+            ASSERT_TRUE(out.is_open());
+            out.write(bytes.data(), std::streamsize(bytes.size()));
+        }
+        env::TraceReadOptions options;
+        options.mode = iter % 2 == 0 ? env::RecoveryMode::Clamp
+                                     : env::RecoveryMode::Skip;
+        const util::Expected<env::TraceField, env::TraceError> field =
+            env::TraceField::open(path, options);
+        if (!field.ok())
+            continue;
+        ++replayed;
+        const env::Position pos{};
+        const double end = field->endTime().value();
+        double t = -0.5;
+        int hops = 0;
+        while (t < end && hops < 4096) {
+            const double power = field->powerAt(pos, Seconds(t)).value();
+            ASSERT_TRUE(std::isfinite(power));
+            ASSERT_GE(power, 0.0);
+            const double until =
+                field->constantUntil(pos, Seconds(t)).value();
+            ASSERT_GT(until, t)
+                << "constantUntil must make progress (iter " << iter
+                << ")";
+            t = until;
+            ++hops;
+        }
+        ASSERT_LT(hops, 4096) << "piece iteration wedged";
+    }
+    EXPECT_GT(replayed, 0U);
+}
+
+} // namespace

@@ -17,8 +17,12 @@ using namespace culpeo::units;
 using namespace culpeo::units::literals;
 using load::SampledTrace;
 using load::loadTraceCsv;
+using load::loadTraceCsvChecked;
 using load::profileFromTrace;
 using load::saveTraceCsv;
+using util::CsvError;
+using util::CsvErrorCode;
+using util::Expected;
 
 class TraceIoTest : public ::testing::Test
 {
@@ -113,6 +117,69 @@ TEST_F(TraceIoTest, EmptyLinesSkipped)
     const SampledTrace trace = loadTraceCsv(path_);
     ASSERT_EQ(trace.size(), 2u);
     EXPECT_DOUBLE_EQ(trace[1].value(), 0.002);
+}
+
+TEST_F(TraceIoTest, CheckedLoaderTypesEveryMalformedClass)
+{
+    struct Case
+    {
+        const char *content;
+        CsvErrorCode code;
+        std::size_t line;
+    };
+    const Case cases[] = {
+        {"rate,125000\n0.001\n", CsvErrorCode::BadHeader, 1},
+        {"sample_rate_hz\n0.001\n", CsvErrorCode::ShortRow, 1},
+        {"sample_rate_hz,fast\n0.001\n", CsvErrorCode::BadNumber, 1},
+        {"sample_rate_hz,0\n0.001\n", CsvErrorCode::BadValue, 1},
+        {"sample_rate_hz,1000\n0.001\nbogus\n", CsvErrorCode::BadNumber,
+         3},
+        {"sample_rate_hz,1000\n0.001 extra\n", CsvErrorCode::BadNumber,
+         2},
+        {"sample_rate_hz,1000\n0.001,0.002\n",
+         CsvErrorCode::MalformedRow, 2},
+        {"sample_rate_hz,1000\n-0.5\n", CsvErrorCode::BadValue, 2},
+        {"\n\n", CsvErrorCode::Empty, 0},
+    };
+    for (const Case &c : cases) {
+        writeFile(c.content);
+        const Expected<SampledTrace, CsvError> trace =
+            loadTraceCsvChecked(path_);
+        ASSERT_FALSE(trace.ok()) << c.content;
+        EXPECT_EQ(trace.error().code, c.code) << c.content;
+        EXPECT_EQ(trace.error().line, c.line) << c.content;
+    }
+    const Expected<SampledTrace, CsvError> missing =
+        loadTraceCsvChecked("/nonexistent/trace.csv");
+    ASSERT_FALSE(missing.ok());
+    EXPECT_EQ(missing.error().code, CsvErrorCode::Io);
+}
+
+TEST_F(TraceIoTest, CheckedLoaderBlankLineNumbersMatchTheEditor)
+{
+    writeFile("sample_rate_hz,1000\n0.001\n\n\nbogus\n");
+    const Expected<SampledTrace, CsvError> trace =
+        loadTraceCsvChecked(path_);
+    ASSERT_FALSE(trace.ok());
+    EXPECT_EQ(trace.error().code, CsvErrorCode::BadNumber);
+    EXPECT_EQ(trace.error().line, 5U); // Blank lines still count.
+}
+
+TEST_F(TraceIoTest, TruncatedFixtureIsATypedError)
+{
+    // Checked-in regression artifact: a capture cut mid-exponent on
+    // its last line (no trailing newline). The loader must locate the
+    // damage instead of aborting the process.
+    const std::string fixture =
+        std::string(CULPEO_TEST_DATA_DIR) + "/truncated_trace.csv";
+    const Expected<SampledTrace, CsvError> trace =
+        loadTraceCsvChecked(fixture);
+    ASSERT_FALSE(trace.ok());
+    EXPECT_EQ(trace.error().code, CsvErrorCode::BadNumber);
+    EXPECT_EQ(trace.error().line, 4U);
+    EXPECT_NE(trace.error().message().find("0.0051e"),
+              std::string::npos);
+    EXPECT_THROW(loadTraceCsv(fixture), log::FatalError);
 }
 
 TEST(ProfileFromTrace, MergesEqualRuns)

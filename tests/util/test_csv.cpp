@@ -1,18 +1,29 @@
-/** @file Unit tests for the CSV writer. */
+/** @file Unit tests for the CSV writer and the defensive reader. */
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "util/csv.hpp"
+#include "util/expected.hpp"
 #include "util/logging.hpp"
 
 namespace {
 
+using culpeo::util::CsvError;
+using culpeo::util::CsvErrorCode;
+using culpeo::util::CsvRow;
+using culpeo::util::csvErrorName;
+using culpeo::util::csvNumber;
+using culpeo::util::csvSplitLine;
 using culpeo::util::CsvWriter;
 using culpeo::util::csvEscape;
+using culpeo::util::Expected;
+using culpeo::util::readCsvRows;
 
 std::string
 slurp(const std::string &path)
@@ -95,6 +106,118 @@ TEST(CsvEscape, SeparatorsAndQuotesAreQuoted)
     EXPECT_EQ(csvEscape("a,b"), "\"a,b\"");
     EXPECT_EQ(csvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
     EXPECT_EQ(csvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvSplitLine, PlainAndQuotedCells)
+{
+    Expected<std::vector<std::string>, CsvError> cells =
+        csvSplitLine("a,b,c");
+    ASSERT_TRUE(cells.ok());
+    EXPECT_EQ(*cells, (std::vector<std::string>{"a", "b", "c"}));
+
+    // Round trip through csvEscape.
+    cells = csvSplitLine(csvEscape("a,b") + "," + csvEscape("say \"hi\""));
+    ASSERT_TRUE(cells.ok());
+    EXPECT_EQ(*cells, (std::vector<std::string>{"a,b", "say \"hi\""}));
+
+    cells = csvSplitLine("x,,y,");
+    ASSERT_TRUE(cells.ok());
+    EXPECT_EQ(*cells, (std::vector<std::string>{"x", "", "y", ""}));
+}
+
+TEST(CsvSplitLine, MalformedQuotingIsTyped)
+{
+    Expected<std::vector<std::string>, CsvError> cells =
+        csvSplitLine("\"never closed", 7);
+    ASSERT_FALSE(cells.ok());
+    EXPECT_EQ(cells.error().code, CsvErrorCode::MalformedRow);
+    EXPECT_EQ(cells.error().line, 7U);
+
+    cells = csvSplitLine("\"ok\"junk,b", 9);
+    ASSERT_FALSE(cells.ok());
+    EXPECT_EQ(cells.error().code, CsvErrorCode::MalformedRow);
+}
+
+TEST(CsvNumber, StrictWholeCellParse)
+{
+    ASSERT_TRUE(csvNumber("2.5e3").ok());
+    EXPECT_DOUBLE_EQ(*csvNumber("2.5e3"), 2500.0);
+    EXPECT_DOUBLE_EQ(*csvNumber("-0.25"), -0.25);
+
+    for (const char *bad : {"", "x", "1.5x", "1.5 ", " 1.5", "0.005e",
+                            "nan", "inf", "1e999"}) {
+        const Expected<double, CsvError> value = csvNumber(bad, 3);
+        ASSERT_FALSE(value.ok()) << "'" << bad << "'";
+        EXPECT_EQ(value.error().code, CsvErrorCode::BadNumber)
+            << "'" << bad << "'";
+        EXPECT_EQ(value.error().line, 3U);
+    }
+}
+
+class CsvReaderTest : public CsvTest
+{};
+
+TEST_F(CsvReaderTest, ReadsRowsWithSourceLineNumbers)
+{
+    {
+        std::ofstream out(path_);
+        out << "h1,h2\n\n1,2\n\n\n3,4\n";
+    }
+    const Expected<std::vector<CsvRow>, CsvError> rows =
+        readCsvRows(path_, 2);
+    ASSERT_TRUE(rows.ok()) << rows.error().message();
+    ASSERT_EQ(rows->size(), 3U);
+    EXPECT_EQ((*rows)[0].line, 1U);
+    EXPECT_EQ((*rows)[1].line, 3U); // Blank lines counted, not kept.
+    EXPECT_EQ((*rows)[2].line, 6U);
+    EXPECT_EQ((*rows)[2].cells,
+              (std::vector<std::string>{"3", "4"}));
+}
+
+TEST_F(CsvReaderTest, EveryMalformedClassIsTyped)
+{
+    const Expected<std::vector<CsvRow>, CsvError> missing =
+        readCsvRows("/nonexistent/rows.csv");
+    ASSERT_FALSE(missing.ok());
+    EXPECT_EQ(missing.error().code, CsvErrorCode::Io);
+
+    {
+        std::ofstream out(path_);
+        out << "\n\n";
+    }
+    const Expected<std::vector<CsvRow>, CsvError> empty =
+        readCsvRows(path_);
+    ASSERT_FALSE(empty.ok());
+    EXPECT_EQ(empty.error().code, CsvErrorCode::Empty);
+
+    // A row that lost fields (the truncated-download case).
+    {
+        std::ofstream out(path_);
+        out << "a,b,c\n1,2,3\n4,5\n";
+    }
+    const Expected<std::vector<CsvRow>, CsvError> shorted =
+        readCsvRows(path_, 3);
+    ASSERT_FALSE(shorted.ok());
+    EXPECT_EQ(shorted.error().code, CsvErrorCode::ShortRow);
+    EXPECT_EQ(shorted.error().line, 3U);
+
+    {
+        std::ofstream out(path_);
+        out << "a,\"bad\n";
+    }
+    const Expected<std::vector<CsvRow>, CsvError> malformed =
+        readCsvRows(path_);
+    ASSERT_FALSE(malformed.ok());
+    EXPECT_EQ(malformed.error().code, CsvErrorCode::MalformedRow);
+}
+
+TEST(CsvErrorMessage, NamesCodeLineAndDetail)
+{
+    const CsvError error{CsvErrorCode::ShortRow, 12, "needs 3 fields"};
+    EXPECT_EQ(error.message(), "short_row at line 12: needs 3 fields");
+    const CsvError whole{CsvErrorCode::Empty, 0, "no rows"};
+    EXPECT_EQ(whole.message(), "empty: no rows");
+    EXPECT_STREQ(csvErrorName(CsvErrorCode::BadValue), "bad_value");
 }
 
 } // namespace
